@@ -1,0 +1,287 @@
+//! Baseline 5 — heuristic rules (Wang & Madnick, §2.2.5).
+//!
+//! "Wang and Madnick attacked the problem using a knowledge-based
+//! approach. A set of heuristic rules is used to infer additional
+//! information about the object instances to be matched. Because the
+//! knowledge used is heuristic in nature, the matching result
+//! produced may not be correct."
+//!
+//! A heuristic rule looks like an ILFD but carries a confidence in
+//! `(0, 1]` and — crucially — *may be wrong*. Inference chains
+//! multiply confidences; derived values are used to compare the pair
+//! on a target key, and a match is declared when the combined
+//! confidence clears the threshold. Soundness is therefore not
+//! guaranteed, which the comparison experiments quantify.
+
+use std::collections::HashMap;
+
+use eid_ilfd::Ilfd;
+use eid_relational::{AttrName, Schema, Tuple, Value};
+use eid_rules::MatchDecision;
+
+use crate::technique::Technique;
+
+/// An ILFD-shaped rule with a confidence.
+#[derive(Debug, Clone)]
+pub struct HeuristicRule {
+    /// The rule body (may be factually wrong).
+    pub rule: Ilfd,
+    /// Confidence in `(0, 1]`.
+    pub confidence: f64,
+}
+
+impl HeuristicRule {
+    /// Builds a heuristic rule.
+    pub fn new(rule: Ilfd, confidence: f64) -> Self {
+        assert!(
+            confidence > 0.0 && confidence <= 1.0,
+            "confidence must be in (0, 1]"
+        );
+        HeuristicRule { rule, confidence }
+    }
+}
+
+/// A value inferred with some confidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferredValue {
+    /// The inferred value.
+    pub value: Value,
+    /// Combined confidence of the inference chain.
+    pub confidence: f64,
+}
+
+/// Heuristic matcher: infers attribute values with confidences, then
+/// compares the pair on `match_attrs`.
+#[derive(Debug, Clone)]
+pub struct HeuristicRules {
+    rules: Vec<HeuristicRule>,
+    match_attrs: Vec<AttrName>,
+    /// Combined confidence required to declare a match.
+    pub threshold: f64,
+}
+
+impl HeuristicRules {
+    /// Builds the technique.
+    pub fn new(rules: Vec<HeuristicRule>, match_attrs: &[&str], threshold: f64) -> Self {
+        HeuristicRules {
+            rules,
+            match_attrs: match_attrs.iter().map(AttrName::new).collect(),
+            threshold,
+        }
+    }
+
+    /// Infers every attribute derivable for `tuple`, with combined
+    /// confidences (fixpoint; first inference per attribute wins,
+    /// base facts have confidence 1).
+    pub fn infer(&self, schema: &Schema, tuple: &Tuple) -> HashMap<AttrName, InferredValue> {
+        let mut known: HashMap<AttrName, InferredValue> = HashMap::new();
+        for (attr, value) in schema.attributes().iter().zip(tuple.values()) {
+            if !value.is_null() {
+                known.insert(
+                    attr.name.clone(),
+                    InferredValue {
+                        value: value.clone(),
+                        confidence: 1.0,
+                    },
+                );
+            }
+        }
+        loop {
+            let mut progress = false;
+            for hr in &self.rules {
+                // All antecedent symbols must be known and agree.
+                let mut chain = hr.confidence;
+                let mut ok = true;
+                for s in hr.rule.antecedent() {
+                    match known.get(&s.attr) {
+                        Some(iv) if iv.value.non_null_eq(&s.value) => {
+                            chain *= iv.confidence;
+                        }
+                        _ => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                for s in hr.rule.consequent() {
+                    if !known.contains_key(&s.attr) {
+                        known.insert(
+                            s.attr.clone(),
+                            InferredValue {
+                                value: s.value.clone(),
+                                confidence: chain,
+                            },
+                        );
+                        progress = true;
+                    }
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+        known
+    }
+}
+
+impl Technique for HeuristicRules {
+    fn name(&self) -> &str {
+        "heuristic-rules"
+    }
+
+    fn decide(&self, s1: &Schema, t1: &Tuple, s2: &Schema, t2: &Tuple) -> MatchDecision {
+        let k1 = self.infer(s1, t1);
+        let k2 = self.infer(s2, t2);
+        let mut confidence = 1.0f64;
+        for attr in &self.match_attrs {
+            match (k1.get(attr), k2.get(attr)) {
+                (Some(a), Some(b)) => {
+                    if !a.value.non_null_eq(&b.value) {
+                        // A confident disagreement refutes; a shaky one
+                        // leaves the pair undetermined.
+                        return if a.confidence * b.confidence >= self.threshold {
+                            MatchDecision::NotMatching
+                        } else {
+                            MatchDecision::Undetermined
+                        };
+                    }
+                    confidence *= a.confidence * b.confidence;
+                }
+                _ => return MatchDecision::Undetermined,
+            }
+        }
+        if confidence >= self.threshold {
+            MatchDecision::Matching
+        } else {
+            MatchDecision::Undetermined
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eid_relational::Schema;
+
+    fn schemas() -> (std::sync::Arc<Schema>, std::sync::Arc<Schema>) {
+        (
+            Schema::of_strs("R", &["name", "cuisine"], &["name"]).unwrap(),
+            Schema::of_strs("S", &["name", "speciality"], &["name"]).unwrap(),
+        )
+    }
+
+    fn technique(conf: f64, threshold: f64) -> HeuristicRules {
+        HeuristicRules::new(
+            vec![HeuristicRule::new(
+                Ilfd::of_strs(&[("speciality", "mughalai")], &[("cuisine", "indian")]),
+                conf,
+            )],
+            &["name", "cuisine"],
+            threshold,
+        )
+    }
+
+    #[test]
+    fn confident_inference_matches() {
+        let (s1, s2) = schemas();
+        let h = technique(0.95, 0.9);
+        let d = h.decide(
+            &s1,
+            &Tuple::of_strs(&["anjuman", "indian"]),
+            &s2,
+            &Tuple::of_strs(&["anjuman", "mughalai"]),
+        );
+        assert_eq!(d, MatchDecision::Matching);
+    }
+
+    #[test]
+    fn low_confidence_stays_undetermined() {
+        let (s1, s2) = schemas();
+        let h = technique(0.5, 0.9);
+        let d = h.decide(
+            &s1,
+            &Tuple::of_strs(&["anjuman", "indian"]),
+            &s2,
+            &Tuple::of_strs(&["anjuman", "mughalai"]),
+        );
+        assert_eq!(d, MatchDecision::Undetermined);
+    }
+
+    #[test]
+    fn confident_disagreement_refutes() {
+        let (s1, s2) = schemas();
+        let h = technique(0.95, 0.9);
+        let d = h.decide(
+            &s1,
+            &Tuple::of_strs(&["anjuman", "greek"]),
+            &s2,
+            &Tuple::of_strs(&["anjuman", "mughalai"]),
+        );
+        assert_eq!(d, MatchDecision::NotMatching);
+    }
+
+    #[test]
+    fn missing_information_is_undetermined() {
+        let (s1, s2) = schemas();
+        let h = technique(0.95, 0.9);
+        let d = h.decide(
+            &s1,
+            &Tuple::of_strs(&["anjuman", "indian"]),
+            &s2,
+            &Tuple::of_strs(&["anjuman", "gyros_unknown"]),
+        );
+        assert_eq!(d, MatchDecision::Undetermined);
+    }
+
+    #[test]
+    fn chained_inference_multiplies_confidence() {
+        let schema = Schema::of_strs("T", &["a", "b", "c"], &["a"]).unwrap();
+        let h = HeuristicRules::new(
+            vec![
+                HeuristicRule::new(Ilfd::of_strs(&[("a", "1")], &[("b", "2")]), 0.9),
+                HeuristicRule::new(Ilfd::of_strs(&[("b", "2")], &[("c", "3")]), 0.9),
+            ],
+            &["c"],
+            0.5,
+        );
+        let known = h.infer(
+            &schema,
+            &Tuple::new(vec![Value::str("1"), Value::Null, Value::Null]),
+        );
+        let c = known.get(&AttrName::new("c")).unwrap();
+        assert_eq!(c.value, Value::str("3"));
+        assert!((c.confidence - 0.81).abs() < 1e-9);
+    }
+
+    /// The §2.2 caveat made concrete: a wrong heuristic produces a
+    /// false match the technique is confident about.
+    #[test]
+    fn wrong_heuristic_causes_false_match() {
+        let (s1, s2) = schemas();
+        // Bogus rule: every mughalai place is greek.
+        let h = HeuristicRules::new(
+            vec![HeuristicRule::new(
+                Ilfd::of_strs(&[("speciality", "mughalai")], &[("cuisine", "greek")]),
+                0.95,
+            )],
+            &["name", "cuisine"],
+            0.9,
+        );
+        let d = h.decide(
+            &s1,
+            &Tuple::of_strs(&["anjuman", "greek"]), // actually a Greek place named anjuman
+            &s2,
+            &Tuple::of_strs(&["anjuman", "mughalai"]), // the Indian one
+        );
+        assert_eq!(d, MatchDecision::Matching); // unsound!
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn invalid_confidence_panics() {
+        HeuristicRule::new(Ilfd::of_strs(&[("a", "1")], &[("b", "2")]), 1.5);
+    }
+}

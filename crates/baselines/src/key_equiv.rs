@@ -1,0 +1,144 @@
+//! Baseline 1 — key equivalence (§2.2.1).
+//!
+//! "Many approaches assume some common key exists between relations
+//! from different databases modeling the same entity type, e.g.,
+//! Multibase. … equivalence of values of the common key can be used
+//! to resolve the problem." The often-unstated assumption (§4.1) is
+//! that the common key *remains a key in the integrated world*; when
+//! it does not (instance-level homonyms), key equivalence declares
+//! false matches — which is exactly what the comparison experiments
+//! demonstrate.
+
+use eid_relational::{AttrName, Schema, Tuple};
+use eid_rules::MatchDecision;
+
+use crate::technique::Technique;
+
+/// Key-equivalence matching over a shared candidate key.
+#[derive(Debug, Clone)]
+pub struct KeyEquivalence {
+    key: Vec<AttrName>,
+    /// Whether unequal keys prove distinctness. True models the
+    /// classical assumption ("the key is a key of the integrated
+    /// world", so different keys ⇒ different entities); false leaves
+    /// unequal pairs undetermined.
+    assume_integrated_key: bool,
+}
+
+impl KeyEquivalence {
+    /// Builds the technique over the named common-key attributes.
+    pub fn new(key: &[&str], assume_integrated_key: bool) -> Self {
+        KeyEquivalence {
+            key: key.iter().map(AttrName::new).collect(),
+            assume_integrated_key,
+        }
+    }
+}
+
+impl Technique for KeyEquivalence {
+    fn name(&self) -> &str {
+        "key-equivalence"
+    }
+
+    fn decide(&self, s1: &Schema, t1: &Tuple, s2: &Schema, t2: &Tuple) -> MatchDecision {
+        let mut all_equal = true;
+        for attr in &self.key {
+            let (Some(a), Some(b)) = (t1.value_of(s1, attr), t2.value_of(s2, attr)) else {
+                return MatchDecision::Undetermined; // no common key
+            };
+            if a.is_null() || b.is_null() {
+                return MatchDecision::Undetermined;
+            }
+            if !a.non_null_eq(b) {
+                all_equal = false;
+            }
+        }
+        if all_equal {
+            MatchDecision::Matching
+        } else if self.assume_integrated_key {
+            MatchDecision::NotMatching
+        } else {
+            MatchDecision::Undetermined
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eid_relational::{Schema, Value};
+
+    fn schemas() -> (std::sync::Arc<Schema>, std::sync::Arc<Schema>) {
+        (
+            Schema::of_strs("R", &["name", "street"], &["name"]).unwrap(),
+            Schema::of_strs("S", &["name", "city"], &["name"]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn equal_keys_match() {
+        let (s1, s2) = schemas();
+        let k = KeyEquivalence::new(&["name"], true);
+        assert_eq!(
+            k.decide(
+                &s1,
+                &Tuple::of_strs(&["villagewok", "wash_ave"]),
+                &s2,
+                &Tuple::of_strs(&["villagewok", "mpls"])
+            ),
+            MatchDecision::Matching
+        );
+    }
+
+    #[test]
+    fn unequal_keys_refute_under_integrated_key_assumption() {
+        let (s1, s2) = schemas();
+        let strict = KeyEquivalence::new(&["name"], true);
+        let lax = KeyEquivalence::new(&["name"], false);
+        let a = Tuple::of_strs(&["a", "x"]);
+        let b = Tuple::of_strs(&["b", "y"]);
+        assert_eq!(strict.decide(&s1, &a, &s2, &b), MatchDecision::NotMatching);
+        assert_eq!(lax.decide(&s1, &a, &s2, &b), MatchDecision::Undetermined);
+    }
+
+    #[test]
+    fn missing_or_null_key_is_undetermined() {
+        let (s1, s2) = schemas();
+        let k = KeyEquivalence::new(&["street"], true); // S lacks street
+        assert_eq!(
+            k.decide(
+                &s1,
+                &Tuple::of_strs(&["a", "x"]),
+                &s2,
+                &Tuple::of_strs(&["a", "y"])
+            ),
+            MatchDecision::Undetermined
+        );
+        let k = KeyEquivalence::new(&["name"], true);
+        assert_eq!(
+            k.decide(
+                &s1,
+                &Tuple::new(vec![Value::Null, Value::str("x")]),
+                &s2,
+                &Tuple::of_strs(&["a", "y"])
+            ),
+            MatchDecision::Undetermined
+        );
+    }
+
+    /// Example 1's failure mode: same name, different restaurants.
+    #[test]
+    fn instance_level_homonym_causes_false_match() {
+        let (s1, s2) = schemas();
+        let k = KeyEquivalence::new(&["name"], true);
+        // Minneapolis VillageWok vs a hypothetical St. Paul VillageWok:
+        // key equivalence cannot tell them apart and declares a match.
+        let d = k.decide(
+            &s1,
+            &Tuple::of_strs(&["villagewok", "wash_ave"]),
+            &s2,
+            &Tuple::of_strs(&["villagewok", "st_paul"]),
+        );
+        assert_eq!(d, MatchDecision::Matching);
+    }
+}

@@ -1,0 +1,38 @@
+//! # `eid-baselines` — the five §2.2 baseline techniques
+//!
+//! Lim et al. survey five existing approaches to entity
+//! identification before proposing theirs; all five are implemented
+//! here behind one [`Technique`] trait so the comparison experiments
+//! can measure their soundness and completeness against the ILFD
+//! technique on synthetic integrated worlds:
+//!
+//! 1. [`key_equiv::KeyEquivalence`] — common-candidate-key equality
+//!    (Multibase); unsound under instance-level homonyms;
+//! 2. [`user_map::UserSpecified`] / [`user_map::GlobalIdMap`] —
+//!    user-maintained equivalence tables (Pegasus); sound but
+//!    cumbersome, incomplete when under-maintained;
+//! 3. [`prob_key::ProbabilisticKey`] — subfield matching of key
+//!    values (Pu); "may admit erroneous matching";
+//! 4. [`prob_attr::ProbabilisticAttr`] — weighted comparison values
+//!    over all common attributes (Chatterjee & Segev); defeated by
+//!    the Figure-2 scenario;
+//! 5. [`heuristic::HeuristicRules`] — confidence-weighted inference
+//!    rules (Wang & Madnick); "the matching result produced may not
+//!    be correct".
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod heuristic;
+pub mod key_equiv;
+pub mod prob_attr;
+pub mod prob_key;
+pub mod technique;
+pub mod user_map;
+
+pub use heuristic::{HeuristicRule, HeuristicRules};
+pub use key_equiv::KeyEquivalence;
+pub use prob_attr::ProbabilisticAttr;
+pub use prob_key::ProbabilisticKey;
+pub use technique::{evaluate_technique, run_technique, Technique, TechniqueOutcome};
+pub use user_map::{GlobalIdMap, UserSpecified};

@@ -1,0 +1,229 @@
+//! Baseline 4 — probabilistic attribute equivalence
+//! (Chatterjee & Segev, §2.2.4).
+//!
+//! "Chatterjee and Segev proposed the use of all common attributes
+//! between two relations to determine entity equivalence. For each
+//! pair of records from two relations, a value called *comparison
+//! value* is assigned based on a probabilistic model." §2.1
+//! demonstrates that comparing common attribute values does not
+//! necessarily produce correct matching results — the Figure-2
+//! scenario (identical attributes, different entities) defeats it by
+//! construction.
+//!
+//! The comparison value here is a weighted mean of per-attribute
+//! agreement indicators over the common attributes (NULLs are
+//! excluded from both numerator and weight mass), thresholded into
+//! the three-valued decision.
+
+use eid_relational::{AttrName, Schema, Tuple};
+use eid_rules::MatchDecision;
+
+use crate::technique::Technique;
+
+/// Weighted comparison-value matching over common attributes.
+#[derive(Debug, Clone)]
+pub struct ProbabilisticAttr {
+    /// Per-attribute weights; attributes not listed get weight 1.0.
+    weights: Vec<(AttrName, f64)>,
+    /// Comparison values ≥ accept declare `Matching`.
+    pub accept: f64,
+    /// Comparison values ≤ reject declare `NotMatching`.
+    pub reject: f64,
+}
+
+impl ProbabilisticAttr {
+    /// Builds with uniform weights.
+    pub fn uniform(accept: f64, reject: f64) -> Self {
+        assert!(reject < accept, "reject threshold must be below accept");
+        ProbabilisticAttr {
+            weights: Vec::new(),
+            accept,
+            reject,
+        }
+    }
+
+    /// Builds with explicit weights for some attributes.
+    pub fn weighted(weights: &[(&str, f64)], accept: f64, reject: f64) -> Self {
+        assert!(reject < accept, "reject threshold must be below accept");
+        ProbabilisticAttr {
+            weights: weights
+                .iter()
+                .map(|(a, w)| (AttrName::new(a), *w))
+                .collect(),
+            accept,
+            reject,
+        }
+    }
+
+    fn weight_of(&self, attr: &AttrName) -> f64 {
+        self.weights
+            .iter()
+            .find(|(a, _)| a == attr)
+            .map(|(_, w)| *w)
+            .unwrap_or(1.0)
+    }
+
+    /// The comparison value of a pair: weighted fraction of agreeing
+    /// common attributes; `None` when no common attribute is
+    /// comparable (all NULL or schemas disjoint).
+    pub fn comparison_value(
+        &self,
+        s1: &Schema,
+        t1: &Tuple,
+        s2: &Schema,
+        t2: &Tuple,
+    ) -> Option<f64> {
+        let mut mass = 0.0;
+        let mut agree = 0.0;
+        for attr in s1.attribute_names() {
+            if !s2.has_attribute(attr) {
+                continue;
+            }
+            let a = t1.value_of(s1, attr)?;
+            let b = t2.value_of(s2, attr)?;
+            if a.is_null() || b.is_null() {
+                continue;
+            }
+            let w = self.weight_of(attr);
+            mass += w;
+            if a.non_null_eq(b) {
+                agree += w;
+            }
+        }
+        (mass > 0.0).then(|| agree / mass)
+    }
+}
+
+impl Technique for ProbabilisticAttr {
+    fn name(&self) -> &str {
+        "probabilistic-attr"
+    }
+
+    fn decide(&self, s1: &Schema, t1: &Tuple, s2: &Schema, t2: &Tuple) -> MatchDecision {
+        match self.comparison_value(s1, t1, s2, t2) {
+            None => MatchDecision::Undetermined,
+            Some(v) if v >= self.accept => MatchDecision::Matching,
+            Some(v) if v <= self.reject => MatchDecision::NotMatching,
+            Some(_) => MatchDecision::Undetermined,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eid_relational::{Schema, Value};
+
+    fn schemas() -> (std::sync::Arc<Schema>, std::sync::Arc<Schema>) {
+        (
+            Schema::of_strs("R", &["name", "cuisine", "street"], &["name"]).unwrap(),
+            Schema::of_strs("S", &["name", "cuisine", "city"], &["name"]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn full_agreement_matches() {
+        let (s1, s2) = schemas();
+        let p = ProbabilisticAttr::uniform(0.9, 0.3);
+        let d = p.decide(
+            &s1,
+            &Tuple::of_strs(&["villagewok", "chinese", "wash_ave"]),
+            &s2,
+            &Tuple::of_strs(&["villagewok", "chinese", "mpls"]),
+        );
+        assert_eq!(d, MatchDecision::Matching);
+    }
+
+    #[test]
+    fn half_agreement_is_undetermined_then_rejected_by_threshold() {
+        let (s1, s2) = schemas();
+        let p = ProbabilisticAttr::uniform(0.9, 0.3);
+        let d = p.decide(
+            &s1,
+            &Tuple::of_strs(&["villagewok", "chinese", "x"]),
+            &s2,
+            &Tuple::of_strs(&["villagewok", "greek", "y"]),
+        );
+        assert_eq!(d, MatchDecision::Undetermined); // 0.5 between thresholds
+        let strict = ProbabilisticAttr::uniform(0.9, 0.6);
+        let d = strict.decide(
+            &s1,
+            &Tuple::of_strs(&["villagewok", "chinese", "x"]),
+            &s2,
+            &Tuple::of_strs(&["villagewok", "greek", "y"]),
+        );
+        assert_eq!(d, MatchDecision::NotMatching);
+    }
+
+    #[test]
+    fn weights_shift_the_value() {
+        let (s1, s2) = schemas();
+        // name weighted 3×: agreement on name alone gives 3/4.
+        let p = ProbabilisticAttr::weighted(&[("name", 3.0)], 0.7, 0.2);
+        let v = p
+            .comparison_value(
+                &s1,
+                &Tuple::of_strs(&["villagewok", "chinese", "x"]),
+                &s2,
+                &Tuple::of_strs(&["villagewok", "greek", "y"]),
+            )
+            .unwrap();
+        assert!((v - 0.75).abs() < 1e-9);
+        assert_eq!(
+            p.decide(
+                &s1,
+                &Tuple::of_strs(&["villagewok", "chinese", "x"]),
+                &s2,
+                &Tuple::of_strs(&["villagewok", "greek", "y"]),
+            ),
+            MatchDecision::Matching
+        );
+    }
+
+    #[test]
+    fn nulls_are_excluded_from_mass() {
+        let (s1, s2) = schemas();
+        let p = ProbabilisticAttr::uniform(0.9, 0.3);
+        let v = p
+            .comparison_value(
+                &s1,
+                &Tuple::new(vec![
+                    Value::str("villagewok"),
+                    Value::Null,
+                    Value::str("x"),
+                ]),
+                &s2,
+                &Tuple::of_strs(&["villagewok", "chinese", "y"]),
+            )
+            .unwrap();
+        assert_eq!(v, 1.0); // only name is comparable and it agrees
+    }
+
+    #[test]
+    fn no_comparable_attribute_is_undetermined() {
+        let (s1, s2) = schemas();
+        let p = ProbabilisticAttr::uniform(0.9, 0.3);
+        let d = p.decide(
+            &s1,
+            &Tuple::new(vec![Value::Null, Value::Null, Value::str("x")]),
+            &s2,
+            &Tuple::of_strs(&["villagewok", "chinese", "y"]),
+        );
+        assert_eq!(d, MatchDecision::Undetermined);
+    }
+
+    /// The Figure-2 defeat: identical common attributes, different
+    /// entities — the comparison value cannot distinguish them.
+    #[test]
+    fn figure_2_false_match() {
+        let s = Schema::of_strs("D", &["name", "cuisine"], &["name"]).unwrap();
+        let p = ProbabilisticAttr::uniform(0.9, 0.3);
+        let d = p.decide(
+            &s,
+            &Tuple::of_strs(&["villagewok", "chinese"]), // Wash. Ave. branch
+            &s,
+            &Tuple::of_strs(&["villagewok", "chinese"]), // Co. B2. Rd. branch
+        );
+        assert_eq!(d, MatchDecision::Matching); // unsound!
+    }
+}

@@ -1,0 +1,179 @@
+//! Baseline 3 — probabilistic key equivalence (Pu, §2.2.3).
+//!
+//! "Instead of insisting on full key equivalence, Pu suggested
+//! matching object instances using only a portion of the key values
+//! in the restricted domain. The name matching problem … has been
+//! addressed by matching the subfields of names. If most of the
+//! subfields in two given names match, the names are considered to be
+//! identical. … The probabilistic nature of matching may also admit
+//! erroneous matching."
+//!
+//! We tokenize string key values into subfields (on `_`, `-`, `.`
+//! and whitespace) and score a pair by the fraction of shared
+//! subfields (Jaccard over subfield multisets collapsed to sets).
+//! Scores at or above `accept` declare a match, at or below `reject`
+//! a non-match, in between undetermined.
+
+use std::collections::HashSet;
+
+use eid_relational::{AttrName, Schema, Tuple, Value};
+use eid_rules::MatchDecision;
+
+use crate::technique::Technique;
+
+/// Probabilistic key matching over a (string-valued) key attribute
+/// set.
+#[derive(Debug, Clone)]
+pub struct ProbabilisticKey {
+    key: Vec<AttrName>,
+    /// Scores ≥ accept declare `Matching`.
+    pub accept: f64,
+    /// Scores ≤ reject declare `NotMatching`.
+    pub reject: f64,
+}
+
+impl ProbabilisticKey {
+    /// Builds the technique; requires `reject < accept`.
+    pub fn new(key: &[&str], accept: f64, reject: f64) -> Self {
+        assert!(reject < accept, "reject threshold must be below accept");
+        ProbabilisticKey {
+            key: key.iter().map(AttrName::new).collect(),
+            accept,
+            reject,
+        }
+    }
+
+    /// Splits a value into subfields.
+    fn subfields(v: &Value) -> HashSet<String> {
+        match v {
+            Value::Str(s) => s
+                .split(|c: char| c == '_' || c == '-' || c == '.' || c.is_whitespace())
+                .filter(|t| !t.is_empty())
+                .map(str::to_string)
+                .collect(),
+            Value::Null => HashSet::new(),
+            other => [other.render().into_owned()].into_iter().collect(),
+        }
+    }
+
+    /// The subfield-overlap score of a pair: mean over key attributes
+    /// of `|A ∩ B| / |A ∪ B|`; `None` when any key value is missing.
+    pub fn score(&self, s1: &Schema, t1: &Tuple, s2: &Schema, t2: &Tuple) -> Option<f64> {
+        let mut total = 0.0;
+        for attr in &self.key {
+            let a = t1.value_of(s1, attr)?;
+            let b = t2.value_of(s2, attr)?;
+            if a.is_null() || b.is_null() {
+                return None;
+            }
+            let sa = Self::subfields(a);
+            let sb = Self::subfields(b);
+            let union = sa.union(&sb).count();
+            if union == 0 {
+                return None;
+            }
+            let inter = sa.intersection(&sb).count();
+            total += inter as f64 / union as f64;
+        }
+        Some(total / self.key.len() as f64)
+    }
+}
+
+impl Technique for ProbabilisticKey {
+    fn name(&self) -> &str {
+        "probabilistic-key"
+    }
+
+    fn decide(&self, s1: &Schema, t1: &Tuple, s2: &Schema, t2: &Tuple) -> MatchDecision {
+        match self.score(s1, t1, s2, t2) {
+            None => MatchDecision::Undetermined,
+            Some(score) if score >= self.accept => MatchDecision::Matching,
+            Some(score) if score <= self.reject => MatchDecision::NotMatching,
+            Some(_) => MatchDecision::Undetermined,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eid_relational::Schema;
+
+    fn schema() -> std::sync::Arc<Schema> {
+        Schema::of_strs("R", &["name"], &["name"]).unwrap()
+    }
+
+    fn t(s: &str) -> Tuple {
+        Tuple::of_strs(&[s])
+    }
+
+    #[test]
+    fn identical_names_score_one() {
+        let p = ProbabilisticKey::new(&["name"], 0.7, 0.2);
+        let s = schema();
+        assert_eq!(
+            p.score(&s, &t("village_wok"), &s, &t("village_wok")),
+            Some(1.0)
+        );
+        assert_eq!(
+            p.decide(&s, &t("village_wok"), &s, &t("village_wok")),
+            MatchDecision::Matching
+        );
+    }
+
+    #[test]
+    fn partial_subfield_overlap() {
+        let p = ProbabilisticKey::new(&["name"], 0.7, 0.2);
+        let s = schema();
+        // {john, a, smith} vs {john, smith}: 2/3 overlap.
+        let score = p.score(&s, &t("john_a_smith"), &s, &t("john_smith")).unwrap();
+        assert!((score - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(
+            p.decide(&s, &t("john_a_smith"), &s, &t("john_smith")),
+            MatchDecision::Undetermined
+        );
+        // Lower the accept threshold: now it matches.
+        let loose = ProbabilisticKey::new(&["name"], 0.6, 0.2);
+        assert_eq!(
+            loose.decide(&s, &t("john_a_smith"), &s, &t("john_smith")),
+            MatchDecision::Matching
+        );
+    }
+
+    #[test]
+    fn disjoint_names_reject() {
+        let p = ProbabilisticKey::new(&["name"], 0.7, 0.2);
+        let s = schema();
+        assert_eq!(
+            p.decide(&s, &t("village_wok"), &s, &t("old_country")),
+            MatchDecision::NotMatching
+        );
+    }
+
+    #[test]
+    fn null_key_is_undetermined() {
+        let p = ProbabilisticKey::new(&["name"], 0.7, 0.2);
+        let s = schema();
+        let null = Tuple::new(vec![Value::Null]);
+        assert_eq!(p.decide(&s, &null, &s, &t("x")), MatchDecision::Undetermined);
+    }
+
+    /// The §2.2 caveat: erroneous matches are possible — two different
+    /// people sharing most subfields.
+    #[test]
+    fn erroneous_match_possible() {
+        let p = ProbabilisticKey::new(&["name"], 0.6, 0.2);
+        let s = schema();
+        // john_smith_jr vs john_smith — different people, 2/3 overlap.
+        assert_eq!(
+            p.decide(&s, &t("john_smith_jr"), &s, &t("john_smith")),
+            MatchDecision::Matching
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "reject threshold")]
+    fn invalid_thresholds_panic() {
+        ProbabilisticKey::new(&["name"], 0.2, 0.7);
+    }
+}

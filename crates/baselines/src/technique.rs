@@ -1,0 +1,121 @@
+//! A common interface for entity-identification techniques.
+//!
+//! §2.2 surveys five existing approaches; each is implemented in this
+//! crate behind the [`Technique`] trait so the comparison experiments
+//! (S3) can run them side by side against the paper's ILFD technique
+//! and measure soundness/completeness with [`eid_core::metrics`].
+
+use eid_core::match_table::PairTable;
+use eid_core::metrics::{Evaluation, GroundTruth};
+use eid_relational::{Relation, Schema, Tuple};
+use eid_rules::MatchDecision;
+
+/// An entity-identification technique: a three-valued function on
+/// tuple pairs (§3.2).
+pub trait Technique {
+    /// Human-readable technique name.
+    fn name(&self) -> &str;
+
+    /// Decides one pair. `t1` comes from relation `R` (schema `s1`),
+    /// `t2` from `S` (schema `s2`).
+    fn decide(&self, s1: &Schema, t1: &Tuple, s2: &Schema, t2: &Tuple) -> MatchDecision;
+}
+
+/// The tables a technique produced over a full relation pair.
+#[derive(Debug, Clone)]
+pub struct TechniqueOutcome {
+    /// Declared matches.
+    pub matching: PairTable,
+    /// Declared non-matches.
+    pub negative: PairTable,
+    /// Pairs left undetermined.
+    pub undetermined: usize,
+}
+
+/// Runs `technique` over every pair of `r` × `s`.
+pub fn run_technique(technique: &dyn Technique, r: &Relation, s: &Relation) -> TechniqueOutcome {
+    let mut matching = PairTable::new(r.schema().primary_key(), s.schema().primary_key());
+    let mut negative = PairTable::new(r.schema().primary_key(), s.schema().primary_key());
+    let mut undetermined = 0;
+    for tr in r.iter() {
+        for ts in s.iter() {
+            match technique.decide(r.schema(), tr, s.schema(), ts) {
+                MatchDecision::Matching => {
+                    matching.insert(r.primary_key_of(tr), s.primary_key_of(ts));
+                }
+                MatchDecision::NotMatching => {
+                    negative.insert(r.primary_key_of(tr), s.primary_key_of(ts));
+                }
+                MatchDecision::Undetermined => undetermined += 1,
+            }
+        }
+    }
+    TechniqueOutcome {
+        matching,
+        negative,
+        undetermined,
+    }
+}
+
+/// Runs and scores a technique against ground truth.
+pub fn evaluate_technique(
+    technique: &dyn Technique,
+    r: &Relation,
+    s: &Relation,
+    truth: &GroundTruth,
+) -> Evaluation {
+    let outcome = run_technique(technique, r, s);
+    Evaluation::compute(
+        truth,
+        &outcome.matching,
+        &outcome.negative,
+        r.len() * s.len(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eid_relational::Schema;
+
+    /// A trivial technique: everything matches.
+    struct AlwaysMatch;
+    impl Technique for AlwaysMatch {
+        fn name(&self) -> &str {
+            "always-match"
+        }
+        fn decide(&self, _: &Schema, _: &Tuple, _: &Schema, _: &Tuple) -> MatchDecision {
+            MatchDecision::Matching
+        }
+    }
+
+    #[test]
+    fn run_technique_partitions_all_pairs() {
+        let schema = Schema::of_strs("R", &["k"], &["k"]).unwrap();
+        let mut r = Relation::new(schema.clone());
+        r.insert_strs(&["a"]).unwrap();
+        r.insert_strs(&["b"]).unwrap();
+        let mut s = Relation::new(schema.renamed("S"));
+        s.insert_strs(&["a"]).unwrap();
+        let out = run_technique(&AlwaysMatch, &r, &s);
+        assert_eq!(out.matching.len(), 2);
+        assert_eq!(out.negative.len(), 0);
+        assert_eq!(out.undetermined, 0);
+    }
+
+    #[test]
+    fn evaluate_detects_false_matches() {
+        let schema = Schema::of_strs("R", &["k"], &["k"]).unwrap();
+        let mut r = Relation::new(schema.clone());
+        r.insert_strs(&["a"]).unwrap();
+        r.insert_strs(&["b"]).unwrap();
+        let mut s = Relation::new(schema.renamed("S"));
+        s.insert_strs(&["a"]).unwrap();
+        let mut truth = GroundTruth::new();
+        truth.add(Tuple::of_strs(&["a"]), Tuple::of_strs(&["a"]));
+        let e = evaluate_technique(&AlwaysMatch, &r, &s, &truth);
+        assert_eq!(e.true_matches, 1);
+        assert_eq!(e.false_matches, 1);
+        assert!(!e.is_sound());
+    }
+}

@@ -1,0 +1,269 @@
+//! Baseline 2 — user-specified equivalence (§2.2.2).
+//!
+//! "This approach requires the user to specify equivalence between
+//! object instances, e.g., as a table that maps local object ids to
+//! global object ids … suggested for the Pegasus project. Because the
+//! matching table can be very large, this approach can potentially be
+//! extremely cumbersome." It is, however, general — it handles
+//! synonyms and homonyms — and the paper's own technique explicitly
+//! allows a knowledgeable user to add entries directly to the
+//! matching table.
+
+use std::collections::{HashMap, HashSet};
+
+use eid_relational::{Schema, Tuple};
+use eid_rules::MatchDecision;
+
+use crate::technique::Technique;
+
+/// A user-maintained equivalence table keyed by the relations'
+/// primary-key values.
+#[derive(Debug, Clone, Default)]
+pub struct UserSpecified {
+    pairs: HashSet<(Tuple, Tuple)>,
+    r_key_positions: Vec<usize>,
+    s_key_positions: Vec<usize>,
+    /// Closed-world: pairs not in the table are declared
+    /// `NotMatching` (a fully maintained table). Open-world leaves
+    /// them `Undetermined` (a partially maintained table).
+    closed_world: bool,
+}
+
+impl UserSpecified {
+    /// Creates an empty table. `r_key_positions`/`s_key_positions`
+    /// locate the primary keys inside tuples of each relation.
+    pub fn new(
+        r_key_positions: Vec<usize>,
+        s_key_positions: Vec<usize>,
+        closed_world: bool,
+    ) -> Self {
+        UserSpecified {
+            pairs: HashSet::new(),
+            r_key_positions,
+            s_key_positions,
+            closed_world,
+        }
+    }
+
+    /// Asserts that the tuples with these key values are equivalent.
+    pub fn assert_match(&mut self, r_key: Tuple, s_key: Tuple) {
+        self.pairs.insert((r_key, s_key));
+    }
+
+    /// Number of asserted pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Builds a *complete, correct* user table from ground truth —
+    /// modeling the ideal (and maximally cumbersome) case where the
+    /// user enumerated every correspondence by hand. Useful as the
+    /// oracle upper bound in comparisons.
+    pub fn from_truth(
+        truth: impl IntoIterator<Item = (Tuple, Tuple)>,
+        r_key_positions: Vec<usize>,
+        s_key_positions: Vec<usize>,
+    ) -> Self {
+        let mut t = UserSpecified::new(r_key_positions, s_key_positions, true);
+        for (a, b) in truth {
+            t.assert_match(a, b);
+        }
+        t
+    }
+
+    /// Simulates partial maintenance: keeps only the pairs accepted
+    /// by `keep` (e.g. a coverage fraction), switching to open-world.
+    pub fn thin(&self, mut keep: impl FnMut(&(Tuple, Tuple)) -> bool) -> Self {
+        let mut pairs = HashSet::new();
+        let mut ordered: Vec<&(Tuple, Tuple)> = self.pairs.iter().collect();
+        ordered.sort_by_key(|p| format!("{}|{}", p.0, p.1));
+        for p in ordered {
+            if keep(p) {
+                pairs.insert(p.clone());
+            }
+        }
+        UserSpecified {
+            pairs,
+            r_key_positions: self.r_key_positions.clone(),
+            s_key_positions: self.s_key_positions.clone(),
+            closed_world: false,
+        }
+    }
+}
+
+impl Technique for UserSpecified {
+    fn name(&self) -> &str {
+        "user-specified"
+    }
+
+    fn decide(&self, _s1: &Schema, t1: &Tuple, _s2: &Schema, t2: &Tuple) -> MatchDecision {
+        let key = (
+            t1.project(&self.r_key_positions),
+            t2.project(&self.s_key_positions),
+        );
+        if self.pairs.contains(&key) {
+            MatchDecision::Matching
+        } else if self.closed_world {
+            MatchDecision::NotMatching
+        } else {
+            MatchDecision::Undetermined
+        }
+    }
+}
+
+/// A mutable global-id mapping in the Pegasus style: local ids from
+/// each database map to a global object id; two tuples match iff
+/// their local ids map to the same global id.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalIdMap {
+    r_to_global: HashMap<Tuple, u64>,
+    s_to_global: HashMap<Tuple, u64>,
+    r_key_positions: Vec<usize>,
+    s_key_positions: Vec<usize>,
+}
+
+impl GlobalIdMap {
+    /// Creates an empty mapping.
+    pub fn new(r_key_positions: Vec<usize>, s_key_positions: Vec<usize>) -> Self {
+        GlobalIdMap {
+            r_to_global: HashMap::new(),
+            s_to_global: HashMap::new(),
+            r_key_positions,
+            s_key_positions,
+        }
+    }
+
+    /// Maps an `R` local id (key value) to a global id.
+    pub fn map_r(&mut self, r_key: Tuple, global: u64) {
+        self.r_to_global.insert(r_key, global);
+    }
+
+    /// Maps an `S` local id to a global id.
+    pub fn map_s(&mut self, s_key: Tuple, global: u64) {
+        self.s_to_global.insert(s_key, global);
+    }
+}
+
+impl Technique for GlobalIdMap {
+    fn name(&self) -> &str {
+        "global-id-map"
+    }
+
+    fn decide(&self, _s1: &Schema, t1: &Tuple, _s2: &Schema, t2: &Tuple) -> MatchDecision {
+        let a = self.r_to_global.get(&t1.project(&self.r_key_positions));
+        let b = self.s_to_global.get(&t2.project(&self.s_key_positions));
+        match (a, b) {
+            (Some(x), Some(y)) if x == y => MatchDecision::Matching,
+            (Some(_), Some(_)) => MatchDecision::NotMatching,
+            _ => MatchDecision::Undetermined,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eid_relational::Schema;
+
+    fn schema() -> std::sync::Arc<Schema> {
+        Schema::of_strs("R", &["k", "v"], &["k"]).unwrap()
+    }
+
+    #[test]
+    fn asserted_pairs_match() {
+        let mut u = UserSpecified::new(vec![0], vec![0], true);
+        u.assert_match(Tuple::of_strs(&["a"]), Tuple::of_strs(&["a"]));
+        let s = schema();
+        assert_eq!(
+            u.decide(
+                &s,
+                &Tuple::of_strs(&["a", "1"]),
+                &s,
+                &Tuple::of_strs(&["a", "2"])
+            ),
+            MatchDecision::Matching
+        );
+        assert_eq!(
+            u.decide(
+                &s,
+                &Tuple::of_strs(&["b", "1"]),
+                &s,
+                &Tuple::of_strs(&["a", "2"])
+            ),
+            MatchDecision::NotMatching
+        );
+    }
+
+    #[test]
+    fn open_world_leaves_unknown_undetermined() {
+        let u = UserSpecified::new(vec![0], vec![0], false);
+        let s = schema();
+        assert_eq!(
+            u.decide(
+                &s,
+                &Tuple::of_strs(&["b", "1"]),
+                &s,
+                &Tuple::of_strs(&["a", "2"])
+            ),
+            MatchDecision::Undetermined
+        );
+    }
+
+    #[test]
+    fn thinning_drops_entries_and_opens_world() {
+        let truth = vec![
+            (Tuple::of_strs(&["a"]), Tuple::of_strs(&["a"])),
+            (Tuple::of_strs(&["b"]), Tuple::of_strs(&["b"])),
+        ];
+        let full = UserSpecified::from_truth(truth, vec![0], vec![0]);
+        assert_eq!(full.len(), 2);
+        let mut flip = false;
+        let half = full.thin(|_| {
+            flip = !flip;
+            flip
+        });
+        assert_eq!(half.len(), 1);
+        assert!(!half.closed_world);
+    }
+
+    #[test]
+    fn global_id_map_matches_on_same_global() {
+        let mut g = GlobalIdMap::new(vec![0], vec![0]);
+        g.map_r(Tuple::of_strs(&["r1"]), 7);
+        g.map_s(Tuple::of_strs(&["s1"]), 7);
+        g.map_s(Tuple::of_strs(&["s2"]), 9);
+        let s = schema();
+        assert_eq!(
+            g.decide(
+                &s,
+                &Tuple::of_strs(&["r1", "x"]),
+                &s,
+                &Tuple::of_strs(&["s1", "y"])
+            ),
+            MatchDecision::Matching
+        );
+        assert_eq!(
+            g.decide(
+                &s,
+                &Tuple::of_strs(&["r1", "x"]),
+                &s,
+                &Tuple::of_strs(&["s2", "y"])
+            ),
+            MatchDecision::NotMatching
+        );
+        assert_eq!(
+            g.decide(
+                &s,
+                &Tuple::of_strs(&["r9", "x"]),
+                &s,
+                &Tuple::of_strs(&["s1", "y"])
+            ),
+            MatchDecision::Undetermined
+        );
+    }
+}

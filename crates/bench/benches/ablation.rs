@@ -1,0 +1,53 @@
+//! S4 — design-choice ablations: derivation strategy and
+//! negative-table collection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use eid_bench::scaling_workload;
+use eid_core::matcher::{EntityMatcher, MatchConfig};
+use eid_ilfd::Strategy;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for n in [200usize, 800] {
+        let w = scaling_workload(n, 41);
+        for (label, strategy) in [
+            ("first_match", Strategy::FirstMatch),
+            ("fixpoint", Strategy::Fixpoint),
+        ] {
+            let mut config = MatchConfig::new(w.extended_key.clone(), w.ilfds.clone());
+            config.strategy = strategy;
+            config.collect_negative = false;
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    EntityMatcher::new(w.r.clone(), w.s.clone(), config.clone())
+                        .unwrap()
+                        .run()
+                        .unwrap()
+                })
+            });
+        }
+        // Refutation phase cost (quadratic) vs matching only.
+        if n <= 200 {
+            let mut config = MatchConfig::new(w.extended_key.clone(), w.ilfds.clone());
+            config.collect_negative = true;
+            group.bench_with_input(
+                BenchmarkId::new("with_negative_table", n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        EntityMatcher::new(w.r.clone(), w.s.clone(), config.clone())
+                            .unwrap()
+                            .run()
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! S2 — symbol-closure scaling: chain depth and flat family width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use eid_bench::{chain_ilfds, flat_ilfds};
+use eid_ilfd::closure::{minimal_cover, symbol_closure, symbol_closure_naive};
+use eid_ilfd::{PropSymbol, SymbolSet};
+use eid_relational::Value;
+
+fn bench_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symbol_closure");
+    for depth in [16usize, 64, 256, 1024] {
+        let f = chain_ilfds(depth);
+        let start = SymbolSet::from_symbols([PropSymbol::new("a0", Value::int(0))]);
+        group.bench_with_input(BenchmarkId::new("chain", depth), &depth, |b, _| {
+            b.iter(|| symbol_closure(black_box(&start), black_box(&f)))
+        });
+        if depth <= 256 {
+            group.bench_with_input(BenchmarkId::new("chain_naive", depth), &depth, |b, _| {
+                b.iter(|| symbol_closure_naive(black_box(&start), black_box(&f)))
+            });
+        }
+    }
+    for width in [64usize, 256, 1024] {
+        let f = flat_ilfds(width, 8);
+        let start = SymbolSet::from_symbols([PropSymbol::new("spec", Value::int(3))]);
+        group.bench_with_input(BenchmarkId::new("flat", width), &width, |b, _| {
+            b.iter(|| symbol_closure(black_box(&start), black_box(&f)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_minimal_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minimal_cover");
+    group.sample_size(20);
+    for depth in [8usize, 32, 64] {
+        let f = chain_ilfds(depth);
+        group.bench_with_input(BenchmarkId::new("chain", depth), &depth, |b, _| {
+            b.iter(|| minimal_cover(black_box(&f)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_closure, bench_minimal_cover);
+criterion_main!(benches);

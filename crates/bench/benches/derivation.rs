@@ -1,0 +1,46 @@
+//! S2/S4 — per-tuple ILFD derivation: first-match (Prolog cut) vs
+//! fixpoint (closure), over chain depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use eid_bench::chain_ilfds;
+use eid_ilfd::{derive_tuple, Strategy};
+use eid_relational::{Schema, Tuple, Value};
+
+fn bench_derivation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("derive_tuple");
+    for depth in [8usize, 32, 128] {
+        let f = chain_ilfds(depth);
+        let attrs: Vec<String> = (0..=depth).map(|i| format!("a{i}")).collect();
+        let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        let schema = Schema::of_strs("T", &attr_refs, &attr_refs[..1]).unwrap();
+        // Only a0 is known; the whole chain must be derived.
+        let mut values = vec![Value::Null; depth + 1];
+        values[0] = Value::int(0);
+        let tuple = Tuple::new(values);
+        for (label, strategy) in [
+            ("first_match", Strategy::FirstMatch),
+            ("fixpoint", Strategy::Fixpoint),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, depth),
+                &depth,
+                |b, _| {
+                    b.iter(|| {
+                        derive_tuple(
+                            black_box(&schema),
+                            black_box(&tuple),
+                            black_box(&f),
+                            strategy,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_derivation);
+criterion_main!(benches);

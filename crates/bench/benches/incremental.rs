@@ -1,0 +1,63 @@
+//! Incremental maintenance vs batch recomputation: the cost of one
+//! tuple insertion under each regime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use eid_bench::scaling_workload;
+use eid_core::incremental::{IncrementalMatcher, SideSel};
+use eid_core::matcher::{EntityMatcher, MatchConfig};
+use eid_relational::Tuple;
+
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert_one_tuple");
+    group.sample_size(10);
+    for n in [200usize, 800] {
+        let w = scaling_workload(n, 61);
+        let mut config = MatchConfig::new(w.extended_key.clone(), w.ilfds.clone());
+        config.collect_negative = false;
+
+        // Incremental: clone a warmed matcher, insert one tuple.
+        let warmed =
+            IncrementalMatcher::new(w.r.clone(), w.s.clone(), config.clone()).unwrap();
+        let mut counter = 0u64;
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            b.iter(|| {
+                let mut m = warmed.clone();
+                counter += 1;
+                m.insert(
+                    SideSel::R,
+                    Tuple::of_strs(&[
+                        &format!("fresh{counter}"),
+                        "cuisine_x",
+                        &format!("street{counter}"),
+                        "city_x",
+                    ]),
+                )
+                .unwrap()
+            })
+        });
+
+        // Batch: re-run the whole matcher with the tuple added.
+        group.bench_with_input(BenchmarkId::new("batch_recompute", n), &n, |b, _| {
+            b.iter(|| {
+                let mut r = w.r.clone();
+                counter += 1;
+                r.insert(Tuple::of_strs(&[
+                    &format!("fresh{counter}"),
+                    "cuisine_x",
+                    &format!("street{counter}"),
+                    "city_x",
+                ]))
+                .unwrap();
+                EntityMatcher::new(r, w.s.clone(), config.clone())
+                    .unwrap()
+                    .run()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E4 — cost of re-running identification as knowledge grows (the
+//! Figure-3 sweep), per incremental ILFD.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use eid_core::monotonic::KnowledgeSweep;
+use eid_core::matcher::MatchConfig;
+use eid_datagen::{generate, GeneratorConfig};
+use eid_ilfd::IlfdSet;
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knowledge_sweep");
+    group.sample_size(10);
+    for n in [20usize, 60] {
+        let w = generate(&GeneratorConfig {
+            n_entities: n,
+            ilfd_coverage: 1.0,
+            n_specialities: 12,
+            seed: 51,
+            ..GeneratorConfig::default()
+        });
+        let ilfds: Vec<_> = w.full_ilfds.iter().cloned().collect();
+        let config = MatchConfig::new(w.extended_key.clone(), IlfdSet::new());
+        group.bench_with_input(BenchmarkId::new("entities", n), &n, |b, _| {
+            b.iter(|| KnowledgeSweep::run(&w.r, &w.s, &config, &ilfds).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! S3 — per-pair decision cost of each technique.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use eid_baselines::{
+    run_technique, KeyEquivalence, ProbabilisticAttr, ProbabilisticKey, Technique,
+};
+use eid_bench::scaling_workload;
+use eid_core::matcher::{EntityMatcher, MatchConfig};
+
+fn bench_techniques(c: &mut Criterion) {
+    let w = scaling_workload(200, 31);
+    let mut group = c.benchmark_group("techniques_200_entities");
+    group.sample_size(10);
+
+    let techniques: Vec<(&str, Box<dyn Technique>)> = vec![
+        ("key_equivalence", Box::new(KeyEquivalence::new(&["name"], true))),
+        (
+            "probabilistic_key",
+            Box::new(ProbabilisticKey::new(&["name"], 0.6, 0.1)),
+        ),
+        (
+            "probabilistic_attr",
+            Box::new(ProbabilisticAttr::uniform(0.9, 0.2)),
+        ),
+    ];
+    for (name, t) in &techniques {
+        group.bench_function(*name, |b| {
+            b.iter(|| run_technique(black_box(t.as_ref()), &w.r, &w.s))
+        });
+    }
+
+    let config = MatchConfig::new(w.extended_key.clone(), w.ilfds.clone());
+    group.bench_function("ilfd_extended_key", |b| {
+        b.iter(|| {
+            EntityMatcher::new(w.r.clone(), w.s.clone(), config.clone())
+                .unwrap()
+                .run()
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_techniques);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Shared helpers for the benchmark harness and the `experiments`
+//! binary: canned workload configurations and ILFD-set builders used
+//! by both the Criterion benches and the table regeneration.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use eid_datagen::{generate, GeneratorConfig, Workload};
+use eid_ilfd::{Ilfd, IlfdSet, PropSymbol, SymbolSet};
+use eid_relational::Value;
+
+/// A scaling workload with `n` entities and everything else at
+/// benchmark defaults (full coverage, mild homonyms).
+pub fn scaling_workload(n: usize, seed: u64) -> Workload {
+    generate(&GeneratorConfig {
+        n_entities: n,
+        overlap: 0.5,
+        homonym_rate: 0.1,
+        ilfd_coverage: 1.0,
+        noise: 0.0,
+        n_specialities: 32,
+        n_cuisines: 10,
+        seed,
+    })
+}
+
+/// A synthetic ILFD chain `a₀=0 → a₁=0 → … → a_depth=0` for closure
+/// and derivation benchmarks (worst-case sequential firing).
+pub fn chain_ilfds(depth: usize) -> IlfdSet {
+    (0..depth)
+        .map(|i| {
+            Ilfd::new(
+                SymbolSet::from_symbols([PropSymbol::new(
+                    format!("a{i}"),
+                    Value::int(0),
+                )]),
+                SymbolSet::from_symbols([PropSymbol::new(
+                    format!("a{}", i + 1),
+                    Value::int(0),
+                )]),
+            )
+        })
+        .collect()
+}
+
+/// A wide, flat ILFD family: `spec=i → cui=(i mod k)` over `n` rules —
+/// the realistic shape of DBA-asserted domain knowledge.
+pub fn flat_ilfds(n: usize, k: usize) -> IlfdSet {
+    (0..n as i64)
+        .map(|i| {
+            Ilfd::new(
+                SymbolSet::from_symbols([PropSymbol::new("spec", Value::int(i))]),
+                SymbolSet::from_symbols([PropSymbol::new(
+                    "cui",
+                    Value::int(i % k as i64),
+                )]),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eid_ilfd::closure::symbol_closure;
+
+    #[test]
+    fn chain_closure_reaches_the_end() {
+        let f = chain_ilfds(10);
+        let start = SymbolSet::from_symbols([PropSymbol::new("a0", Value::int(0))]);
+        let plus = symbol_closure(&start, &f);
+        assert_eq!(plus.len(), 11);
+    }
+
+    #[test]
+    fn flat_family_size() {
+        assert_eq!(flat_ilfds(50, 7).len(), 50);
+    }
+
+    #[test]
+    fn scaling_workload_scales() {
+        let small = scaling_workload(20, 1);
+        let large = scaling_workload(200, 1);
+        assert!(large.r.len() > small.r.len());
+    }
+}

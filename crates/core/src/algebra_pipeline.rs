@@ -1,0 +1,307 @@
+//! The §4.2 relational-expression construction of `MT_RS`.
+//!
+//! The paper expresses matching-table construction as a series of
+//! relational expressions over ILFD tables:
+//!
+//! ```text
+//! R^j_{y_i} = Π_{K_R, y_i}( R ⋈ IM_{(r̄_j, y_i)} )      -- one per table
+//! R_{y_i}   = ⋃_j R^j_{y_i}
+//! R′        = R ⟕_{K_R} R_{y_1} ⟕_{K_R} … ⟕_{K_R} R_{y_m}
+//! (S′ analogously)
+//! MT_RS     = Π_{K_R, K_S}( R′ ⋈_{K_Ext} S′ )
+//! ```
+//!
+//! This module is an independent implementation of the matcher built
+//! *entirely* from the algebra operators and ILFD tables; the test
+//! suite cross-validates it against [`crate::matcher::EntityMatcher`].
+//! One refinement: the expressions are iterated to a fixpoint so that
+//! chained ILFDs fire (the paper handles the chain I7+I8 by manually
+//! adding the *derived* ILFD I9 — iterating subsumes that).
+
+use eid_ilfd::tables::{tables_from_ilfds, IlfdTable};
+use eid_ilfd::IlfdSet;
+use eid_relational::{algebra, AttrName, Attribute, Relation, Tuple, Value, ValueType};
+use eid_rules::ExtendedKey;
+
+use crate::error::Result;
+use crate::match_table::PairTable;
+
+/// Output of the algebra pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineOutcome {
+    /// The extended relation `R′`.
+    pub extended_r: Relation,
+    /// The extended relation `S′`.
+    pub extended_s: Relation,
+    /// The matching table.
+    pub matching: PairTable,
+}
+
+/// Runs the §4.2 construction for `r` and `s` under extended key
+/// `key`, with knowledge given as ILFD tables.
+pub fn run_with_tables(
+    r: &Relation,
+    s: &Relation,
+    key: &ExtendedKey,
+    tables: &[IlfdTable],
+) -> Result<PipelineOutcome> {
+    let extended_r = extend_via_tables(r, key, tables)?;
+    let extended_s = extend_via_tables(s, key, tables)?;
+
+    // MT_RS = Π_{K_R, K_S}(R′ ⋈_{K_Ext} S′), with non-NULL equality
+    // built into the join.
+    let on: Vec<(AttrName, AttrName)> = key
+        .attrs()
+        .iter()
+        .map(|a| (a.clone(), a.clone()))
+        .collect();
+    let joined = algebra::equi_join(&extended_r, &extended_s, &on)?;
+
+    let r_arity = extended_r.schema().arity();
+    let r_key_pos: Vec<usize> = extended_r
+        .positions_of(&r.schema().primary_key())?;
+    let s_key_pos: Vec<usize> = extended_s
+        .positions_of(&s.schema().primary_key())?
+        .iter()
+        .map(|p| p + r_arity)
+        .collect();
+
+    let mut matching = PairTable::new(r.schema().primary_key(), s.schema().primary_key());
+    for t in joined.iter() {
+        matching.insert(t.project(&r_key_pos), t.project(&s_key_pos));
+    }
+
+    Ok(PipelineOutcome {
+        extended_r,
+        extended_s,
+        matching,
+    })
+}
+
+/// Convenience: converts an [`IlfdSet`] into ILFD tables first.
+pub fn run(
+    r: &Relation,
+    s: &Relation,
+    key: &ExtendedKey,
+    ilfds: &IlfdSet,
+) -> Result<PipelineOutcome> {
+    let tables = tables_from_ilfds(ilfds)?;
+    run_with_tables(r, s, key, &tables)
+}
+
+/// Builds `R′`: widens `rel` with the missing extended-key attributes
+/// (NULL) and repeatedly applies `Π_{K_R,y}(R′ ⋈ IM)` + outer-join
+/// coalescing until no table derives anything new.
+fn extend_via_tables(
+    rel: &Relation,
+    key: &ExtendedKey,
+    tables: &[IlfdTable],
+) -> Result<Relation> {
+    // Widen with every attribute any table can derive too — chained
+    // derivations may pass through attributes outside K_Ext (the
+    // paper's county in Example 3).
+    let mut missing: Vec<AttrName> = key.missing_in(rel.schema());
+    for t in tables {
+        let y = t.consequent_attr();
+        if !rel.schema().has_attribute(y) && !missing.contains(y) {
+            // Only widen with intermediates that some chain can use:
+            // conservatively include all derivable attributes.
+            missing.push(y.clone());
+        }
+    }
+    let extra: Vec<Attribute> = missing
+        .iter()
+        .map(|a| Attribute::new(a.clone(), ValueType::Str))
+        .collect();
+    let mut out = if extra.is_empty() {
+        rel.clone()
+    } else {
+        algebra::extend(rel, &extra, |_| vec![Value::Null; extra.len()])?
+    };
+
+    let key_positions = out.positions_of(&rel.schema().primary_key())?;
+    loop {
+        let mut progress = false;
+        for table in tables {
+            if !table.applies_to(&out) {
+                continue;
+            }
+            // Attributes of the *original* relation are base facts;
+            // tables deriving them are not applicable to this side.
+            if rel.schema().has_attribute(table.consequent_attr()) {
+                continue;
+            }
+            let y = table.consequent_attr().clone();
+            let y_pos = out.schema().position(&y)?;
+            // Π_{K_R, y}(R′ ⋈ IM)
+            let derived = table.derive_join(&out)?;
+            if derived.is_empty() {
+                continue;
+            }
+            // Coalesce: left-outer-join R′ with the derived column on
+            // K_R and keep the first non-NULL value per slot.
+            let mut lookup: std::collections::HashMap<Tuple, Value> =
+                std::collections::HashMap::new();
+            let d_key_pos: Vec<usize> = (0..key_positions.len()).collect();
+            let d_y_pos = key_positions.len();
+            for t in derived.iter() {
+                lookup
+                    .entry(t.project(&d_key_pos))
+                    .or_insert_with(|| t.get(d_y_pos).clone());
+            }
+            let mut next = Relation::new_unchecked(out.schema().clone());
+            for t in out.iter() {
+                if t.get(y_pos).is_null() {
+                    if let Some(v) = lookup.get(&t.project(&key_positions)) {
+                        if !v.is_null() {
+                            next.insert(t.with_value(y_pos, v.clone()))?;
+                            progress = true;
+                            continue;
+                        }
+                    }
+                }
+                next.insert(t.clone())?;
+            }
+            out = next;
+        }
+        if !progress {
+            break;
+        }
+    }
+
+    // Project away intermediates not in the output schema:
+    // R′ = original attributes ∪ K_Ext.
+    let keep: Vec<AttrName> = out
+        .schema()
+        .attribute_names()
+        .filter(|a| rel.schema().has_attribute(a) || key.attrs().contains(a))
+        .cloned()
+        .collect();
+    if keep.len() != out.schema().arity() {
+        out = algebra::project(&out, &keep)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eid_ilfd::Ilfd;
+    use eid_relational::Schema;
+
+    fn example3() -> (Relation, Relation, ExtendedKey, IlfdSet) {
+        let r_schema = Schema::of_strs(
+            "R",
+            &["name", "cuisine", "street"],
+            &["name", "cuisine"],
+        )
+        .unwrap();
+        let mut r = Relation::new(r_schema);
+        r.insert_strs(&["twincities", "chinese", "co_b2"]).unwrap();
+        r.insert_strs(&["twincities", "indian", "co_b3"]).unwrap();
+        r.insert_strs(&["itsgreek", "greek", "front_ave"]).unwrap();
+        r.insert_strs(&["anjuman", "indian", "le_salle_ave"]).unwrap();
+        r.insert_strs(&["villagewok", "chinese", "wash_ave"]).unwrap();
+
+        let s_schema = Schema::of_strs(
+            "S",
+            &["name", "speciality", "county"],
+            &["name", "speciality"],
+        )
+        .unwrap();
+        let mut s = Relation::new(s_schema);
+        s.insert_strs(&["twincities", "hunan", "roseville"]).unwrap();
+        s.insert_strs(&["twincities", "sichuan", "hennepin"]).unwrap();
+        s.insert_strs(&["itsgreek", "gyros", "ramsey"]).unwrap();
+        s.insert_strs(&["anjuman", "mughalai", "minneapolis"]).unwrap();
+
+        let ilfds: IlfdSet = vec![
+            Ilfd::of_strs(&[("speciality", "hunan")], &[("cuisine", "chinese")]),
+            Ilfd::of_strs(&[("speciality", "sichuan")], &[("cuisine", "chinese")]),
+            Ilfd::of_strs(&[("speciality", "gyros")], &[("cuisine", "greek")]),
+            Ilfd::of_strs(&[("speciality", "mughalai")], &[("cuisine", "indian")]),
+            Ilfd::of_strs(
+                &[("name", "twincities"), ("street", "co_b2")],
+                &[("speciality", "hunan")],
+            ),
+            Ilfd::of_strs(
+                &[("name", "anjuman"), ("street", "le_salle_ave")],
+                &[("speciality", "mughalai")],
+            ),
+            Ilfd::of_strs(&[("street", "front_ave")], &[("county", "ramsey")]),
+            Ilfd::of_strs(
+                &[("name", "itsgreek"), ("county", "ramsey")],
+                &[("speciality", "gyros")],
+            ),
+        ]
+        .into_iter()
+        .collect();
+        (
+            r,
+            s,
+            ExtendedKey::of_strs(&["name", "cuisine", "speciality"]),
+            ilfds,
+        )
+    }
+
+    #[test]
+    fn pipeline_reproduces_table_7() {
+        let (r, s, key, ilfds) = example3();
+        let out = run(&r, &s, &key, &ilfds).unwrap();
+        assert_eq!(out.matching.len(), 3);
+        assert!(out.matching.contains(
+            &Tuple::of_strs(&["twincities", "chinese"]),
+            &Tuple::of_strs(&["twincities", "hunan"])
+        ));
+        assert!(out.matching.contains(
+            &Tuple::of_strs(&["itsgreek", "greek"]),
+            &Tuple::of_strs(&["itsgreek", "gyros"])
+        ));
+        assert!(out.matching.contains(
+            &Tuple::of_strs(&["anjuman", "indian"]),
+            &Tuple::of_strs(&["anjuman", "mughalai"])
+        ));
+    }
+
+    #[test]
+    fn pipeline_extends_r_with_chain_through_county() {
+        let (r, s, key, ilfds) = example3();
+        let out = run(&r, &s, &key, &ilfds).unwrap();
+        // R′ keeps only original ∪ K_Ext attributes (county projected away).
+        assert!(!out
+            .extended_r
+            .schema()
+            .has_attribute(&AttrName::new("county")));
+        let spec = out
+            .extended_r
+            .schema()
+            .position(&AttrName::new("speciality"))
+            .unwrap();
+        // itsgreek got speciality=gyros via the I7→I8 chain.
+        let itsgreek = out
+            .extended_r
+            .iter()
+            .find(|t| t.get(0) == &Value::str("itsgreek"))
+            .unwrap();
+        assert_eq!(itsgreek.get(spec), &Value::str("gyros"));
+    }
+
+    #[test]
+    fn pipeline_agrees_with_entity_matcher() {
+        use crate::matcher::{EntityMatcher, MatchConfig};
+        let (r, s, key, ilfds) = example3();
+        let pipeline = run(&r, &s, &key, &ilfds).unwrap();
+        let mut config = MatchConfig::new(key, ilfds);
+        config.strategy = eid_ilfd::Strategy::Fixpoint;
+        let matcher = EntityMatcher::new(r, s, config).unwrap().run().unwrap();
+        assert!(pipeline.matching.includes(&matcher.matching));
+        assert!(matcher.matching.includes(&pipeline.matching));
+    }
+
+    #[test]
+    fn pipeline_with_no_tables_matches_nothing_underivable() {
+        let (r, s, key, _) = example3();
+        let out = run(&r, &s, &key, &IlfdSet::new()).unwrap();
+        assert_eq!(out.matching.len(), 0);
+    }
+}

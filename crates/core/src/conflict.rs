@@ -1,0 +1,366 @@
+//! Attribute-value conflict detection and resolution (§2, instance
+//! level problem 2).
+//!
+//! "Attribute value conflict arises when the attribute values in the
+//! two databases, modeling the same property of a real-world entity,
+//! do not match. … It is clear that attribute value conflict
+//! resolution can be performed only after the entity-identification
+//! problem has been resolved." This module runs after the matcher:
+//! given the matching table, it detects disagreements on semantically
+//! equivalent attributes of matched pairs and builds a *unified*
+//! relation (one row per integrated entity, one column per attribute
+//! name) under a [`ConflictPolicy`].
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use eid_relational::{AttrName, Attribute, Relation, Schema, Tuple, Value, ValueType};
+
+use crate::error::Result;
+use crate::matcher::MatchOutcome;
+
+/// How to resolve a conflicting attribute value of a matched pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConflictPolicy {
+    /// Keep the `R` value (database 1 is authoritative).
+    PreferR,
+    /// Keep the `S` value.
+    PreferS,
+    /// Store NULL — the integrated database admits it does not know.
+    #[default]
+    Null,
+}
+
+/// A detected disagreement between matched tuples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeConflict {
+    /// Primary key of the `R` tuple.
+    pub r_key: Tuple,
+    /// Primary key of the `S` tuple.
+    pub s_key: Tuple,
+    /// The attribute in question.
+    pub attr: AttrName,
+    /// `R`'s value.
+    pub r_value: Value,
+    /// `S`'s value.
+    pub s_value: Value,
+}
+
+impl fmt::Display for AttributeConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: R{} says {}, S{} says {}",
+            self.attr, self.r_key, self.r_value, self.s_key, self.s_value
+        )
+    }
+}
+
+/// The unified (actually integrated) relation plus the conflicts
+/// that were resolved to build it.
+#[derive(Debug, Clone)]
+pub struct Unified {
+    /// One row per integrated entity; columns are the union of both
+    /// extended schemas' attribute names.
+    pub relation: Relation,
+    /// Every conflict encountered, regardless of policy.
+    pub conflicts: Vec<AttributeConflict>,
+}
+
+/// Detects conflicts on all shared attributes of matched pairs.
+/// NULL on either side is *missing data*, not a conflict.
+pub fn detect_conflicts(
+    r: &Relation,
+    s: &Relation,
+    outcome: &MatchOutcome,
+) -> Result<Vec<AttributeConflict>> {
+    let ext_r = &outcome.extended_r.relation;
+    let ext_s = &outcome.extended_s.relation;
+    let shared: Vec<AttrName> = ext_r
+        .schema()
+        .attribute_names()
+        .filter(|a| ext_s.schema().has_attribute(a))
+        .cloned()
+        .collect();
+    let r_by_key = index_by_key(r);
+    let s_by_key = index_by_key(s);
+
+    let mut out = Vec::new();
+    for entry in outcome.matching.entries() {
+        let (Some(&i), Some(&j)) = (r_by_key.get(&entry.r_key), s_by_key.get(&entry.s_key))
+        else {
+            continue;
+        };
+        let tr = &ext_r.tuples()[i];
+        let ts = &ext_s.tuples()[j];
+        for attr in &shared {
+            let rv = tr.value_of(ext_r.schema(), attr).cloned().unwrap_or(Value::Null);
+            let sv = ts.value_of(ext_s.schema(), attr).cloned().unwrap_or(Value::Null);
+            if !rv.is_null() && !sv.is_null() && !rv.non_null_eq(&sv) {
+                out.push(AttributeConflict {
+                    r_key: entry.r_key.clone(),
+                    s_key: entry.s_key.clone(),
+                    attr: attr.clone(),
+                    r_value: rv,
+                    s_value: sv,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn index_by_key(rel: &Relation) -> HashMap<Tuple, usize> {
+    rel.iter()
+        .enumerate()
+        .map(|(i, t)| (rel.primary_key_of(t), i))
+        .collect()
+}
+
+/// Builds the unified relation: matched pairs merge into one row (the
+/// given `policy` resolves conflicts; agreeing or one-sided values
+/// coalesce), unmatched tuples keep their own values with NULLs for
+/// the other side's private attributes.
+pub fn unify(
+    r: &Relation,
+    s: &Relation,
+    outcome: &MatchOutcome,
+    policy: ConflictPolicy,
+) -> Result<Unified> {
+    let ext_r = &outcome.extended_r.relation;
+    let ext_s = &outcome.extended_s.relation;
+
+    // Unified column set: R′'s attributes, then S′'s extras.
+    let mut attrs: Vec<AttrName> = ext_r.schema().attribute_names().cloned().collect();
+    for a in ext_s.schema().attribute_names() {
+        if !attrs.contains(a) {
+            attrs.push(a.clone());
+        }
+    }
+    let schema: Arc<Schema> = Schema::new(
+        "Unified",
+        attrs
+            .iter()
+            .map(|a| Attribute::new(a.clone(), ValueType::Str))
+            .collect(),
+        vec![],
+    )?;
+
+    let conflicts = detect_conflicts(r, s, outcome)?;
+    let conflict_set: std::collections::HashSet<(Tuple, AttrName)> = conflicts
+        .iter()
+        .map(|c| (c.r_key.clone(), c.attr.clone()))
+        .collect();
+
+    let r_by_key = index_by_key(r);
+    let s_by_key = index_by_key(s);
+    let mut rel = Relation::new_unchecked(schema);
+    let mut r_matched = vec![false; r.len()];
+    let mut s_matched = vec![false; s.len()];
+
+    for entry in outcome.matching.entries() {
+        let (Some(&i), Some(&j)) = (r_by_key.get(&entry.r_key), s_by_key.get(&entry.s_key))
+        else {
+            continue;
+        };
+        r_matched[i] = true;
+        s_matched[j] = true;
+        let tr = &ext_r.tuples()[i];
+        let ts = &ext_s.tuples()[j];
+        let values: Vec<Value> = attrs
+            .iter()
+            .map(|a| {
+                let rv = tr.value_of(ext_r.schema(), a).cloned().unwrap_or(Value::Null);
+                let sv = ts.value_of(ext_s.schema(), a).cloned().unwrap_or(Value::Null);
+                if conflict_set.contains(&(entry.r_key.clone(), a.clone())) {
+                    match policy {
+                        ConflictPolicy::PreferR => rv,
+                        ConflictPolicy::PreferS => sv,
+                        ConflictPolicy::Null => Value::Null,
+                    }
+                } else if rv.is_null() {
+                    sv
+                } else {
+                    rv
+                }
+            })
+            .collect();
+        rel.insert(Tuple::new(values))?;
+    }
+    for (i, done) in r_matched.iter().enumerate() {
+        if *done {
+            continue;
+        }
+        let tr = &ext_r.tuples()[i];
+        let values: Vec<Value> = attrs
+            .iter()
+            .map(|a| tr.value_of(ext_r.schema(), a).cloned().unwrap_or(Value::Null))
+            .collect();
+        rel.insert(Tuple::new(values))?;
+    }
+    for (j, done) in s_matched.iter().enumerate() {
+        if *done {
+            continue;
+        }
+        let ts = &ext_s.tuples()[j];
+        let values: Vec<Value> = attrs
+            .iter()
+            .map(|a| ts.value_of(ext_s.schema(), a).cloned().unwrap_or(Value::Null))
+            .collect();
+        rel.insert(Tuple::new(values))?;
+    }
+
+    Ok(Unified {
+        relation: rel,
+        conflicts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::{EntityMatcher, MatchConfig};
+    use eid_ilfd::{Ilfd, IlfdSet};
+    use eid_relational::Schema;
+    use eid_rules::ExtendedKey;
+
+    /// R and S agree on (name, cuisine) but disagree on `phone`.
+    fn conflicted_workload() -> (Relation, Relation, MatchOutcome) {
+        let r_schema = Schema::of_strs(
+            "R",
+            &["name", "cuisine", "phone", "street"],
+            &["name", "cuisine"],
+        )
+        .unwrap();
+        let mut r = Relation::new(r_schema);
+        r.insert_strs(&["tc", "chinese", "111", "co_b2"]).unwrap();
+        r.insert_strs(&["vw", "chinese", "333", "wash"]).unwrap();
+
+        let s_schema = Schema::of_strs(
+            "S",
+            &["name", "speciality", "phone", "county"],
+            &["name", "speciality"],
+        )
+        .unwrap();
+        let mut s = Relation::new(s_schema);
+        s.insert_strs(&["tc", "hunan", "222", "roseville"]).unwrap();
+        s.insert_strs(&["xx", "gyros", "444", "ramsey"]).unwrap();
+
+        let ilfds: IlfdSet = vec![
+            Ilfd::of_strs(&[("speciality", "hunan")], &[("cuisine", "chinese")]),
+            Ilfd::of_strs(&[("speciality", "gyros")], &[("cuisine", "greek")]),
+        ]
+        .into_iter()
+        .collect();
+        let outcome = EntityMatcher::new(
+            r.clone(),
+            s.clone(),
+            MatchConfig::new(ExtendedKey::of_strs(&["name", "cuisine"]), ilfds),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        (r, s, outcome)
+    }
+
+    #[test]
+    fn detects_phone_conflict_only_on_matched_pairs() {
+        let (r, s, outcome) = conflicted_workload();
+        assert_eq!(outcome.matching.len(), 1);
+        let conflicts = detect_conflicts(&r, &s, &outcome).unwrap();
+        assert_eq!(conflicts.len(), 1);
+        assert_eq!(conflicts[0].attr, AttrName::new("phone"));
+        assert_eq!(conflicts[0].r_value, Value::str("111"));
+        assert_eq!(conflicts[0].s_value, Value::str("222"));
+        assert!(conflicts[0].to_string().contains("phone"));
+    }
+
+    #[test]
+    fn unify_policies() {
+        let (r, s, outcome) = conflicted_workload();
+        let phone = AttrName::new("phone");
+
+        let u = unify(&r, &s, &outcome, ConflictPolicy::PreferR).unwrap();
+        let merged = u
+            .relation
+            .iter()
+            .find(|t| t.get(0) == &Value::str("tc"))
+            .unwrap();
+        assert_eq!(merged.value_of(u.relation.schema(), &phone), Some(&Value::str("111")));
+
+        let u = unify(&r, &s, &outcome, ConflictPolicy::PreferS).unwrap();
+        let merged = u
+            .relation
+            .iter()
+            .find(|t| t.get(0) == &Value::str("tc"))
+            .unwrap();
+        assert_eq!(merged.value_of(u.relation.schema(), &phone), Some(&Value::str("222")));
+
+        let u = unify(&r, &s, &outcome, ConflictPolicy::Null).unwrap();
+        let merged = u
+            .relation
+            .iter()
+            .find(|t| t.get(0) == &Value::str("tc"))
+            .unwrap();
+        assert!(merged.value_of(u.relation.schema(), &phone).unwrap().is_null());
+        assert_eq!(u.conflicts.len(), 1);
+    }
+
+    #[test]
+    fn unify_row_count_and_coalescing() {
+        let (r, s, outcome) = conflicted_workload();
+        let u = unify(&r, &s, &outcome, ConflictPolicy::PreferR).unwrap();
+        // 1 merged + 1 R-only + 1 S-only = 3 rows.
+        assert_eq!(u.relation.len(), 3);
+        // The merged row coalesced speciality (S-only value) in.
+        let spec = AttrName::new("speciality");
+        let merged = u
+            .relation
+            .iter()
+            .find(|t| t.get(0) == &Value::str("tc"))
+            .unwrap();
+        assert_eq!(
+            merged.value_of(u.relation.schema(), &spec),
+            Some(&Value::str("hunan"))
+        );
+        // The S-only row carries its derived cuisine.
+        let sonly = u
+            .relation
+            .iter()
+            .find(|t| t.get(0) == &Value::str("xx"))
+            .unwrap();
+        assert_eq!(
+            sonly.value_of(u.relation.schema(), &AttrName::new("cuisine")),
+            Some(&Value::str("greek"))
+        );
+        // …and NULL for R-private street.
+        assert!(sonly
+            .value_of(u.relation.schema(), &AttrName::new("street"))
+            .unwrap()
+            .is_null());
+    }
+
+    #[test]
+    fn agreeing_values_are_not_conflicts() {
+        let r_schema = Schema::of_strs("R", &["name", "city"], &["name"]).unwrap();
+        let mut r = Relation::new(r_schema);
+        r.insert_strs(&["a", "mpls"]).unwrap();
+        let s_schema = Schema::of_strs("S", &["name", "city"], &["name"]).unwrap();
+        let mut s = Relation::new(s_schema);
+        s.insert_strs(&["a", "mpls"]).unwrap();
+        let outcome = EntityMatcher::new(
+            r.clone(),
+            s.clone(),
+            MatchConfig::new(
+                ExtendedKey::of_strs(&["name", "city"]),
+                IlfdSet::new(),
+            ),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert_eq!(outcome.matching.len(), 1);
+        assert!(detect_conflicts(&r, &s, &outcome).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! Error types for the entity-identification engine.
+
+use std::fmt;
+
+use eid_relational::RelationalError;
+use eid_rules::{IdentityRuleError, InconsistentRules};
+
+/// Any error raised by the entity-identification engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// An underlying relational operation failed.
+    Relational(RelationalError),
+    /// An identity rule failed its well-formedness check.
+    IdentityRule(IdentityRuleError),
+    /// An identity and a distinctness rule fired on the same pair.
+    InconsistentRules(InconsistentRules),
+    /// The matching table violates the §3.2 uniqueness constraint:
+    /// a tuple matched more than one tuple of the other relation —
+    /// the prototype's "extended key causes unsound matching result".
+    UniquenessViolation {
+        /// `"R"` or `"S"` — the side whose tuple matched twice.
+        side: &'static str,
+        /// Rendered key value of the offending tuple.
+        key: String,
+    },
+    /// The §3.2 consistency constraint is violated: a pair appears in
+    /// both the matching and the negative matching table.
+    ConsistencyViolation {
+        /// Rendered `(r_key, s_key)` of the offending pair.
+        pair: String,
+    },
+    /// The extended key is empty — it can never establish identity.
+    EmptyExtendedKey,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Relational(e) => write!(f, "{e}"),
+            CoreError::IdentityRule(e) => write!(f, "{e}"),
+            CoreError::InconsistentRules(e) => write!(f, "{e}"),
+            CoreError::UniquenessViolation { side, key } => write!(
+                f,
+                "unsound matching: tuple {key} of {side} matched more than one tuple"
+            ),
+            CoreError::ConsistencyViolation { pair } => write!(
+                f,
+                "pair {pair} appears in both the matching and negative matching tables"
+            ),
+            CoreError::EmptyExtendedKey => write!(f, "extended key has no attributes"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Relational(e) => Some(e),
+            CoreError::IdentityRule(e) => Some(e),
+            CoreError::InconsistentRules(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationalError> for CoreError {
+    fn from(e: RelationalError) -> Self {
+        CoreError::Relational(e)
+    }
+}
+
+impl From<IdentityRuleError> for CoreError {
+    fn from(e: IdentityRuleError) -> Self {
+        CoreError::IdentityRule(e)
+    }
+}
+
+impl From<InconsistentRules> for CoreError {
+    fn from(e: InconsistentRules) -> Self {
+        CoreError::InconsistentRules(e)
+    }
+}
+
+/// Convenient result alias for the core engine.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: CoreError = RelationalError::EmptySchema {
+            relation: "R".into(),
+        }
+        .into();
+        assert!(e.to_string().contains('R'));
+
+        let u = CoreError::UniquenessViolation {
+            side: "S",
+            key: "(villagewok)".into(),
+        };
+        assert!(u.to_string().contains("villagewok"));
+        assert!(u.to_string().contains("unsound"));
+
+        let c = CoreError::ConsistencyViolation {
+            pair: "((a), (b))".into(),
+        };
+        assert!(c.to_string().contains("both"));
+    }
+
+    #[test]
+    fn source_chain() {
+        use std::error::Error as _;
+        let e: CoreError = RelationalError::EmptySchema {
+            relation: "R".into(),
+        }
+        .into();
+        assert!(e.source().is_some());
+        assert!(CoreError::EmptyExtendedKey.source().is_none());
+    }
+}

@@ -1,0 +1,257 @@
+//! Match explanations: *why* does the engine say two tuples model
+//! the same entity?
+//!
+//! Soundness is the paper's non-negotiable property, and a sound
+//! system should be able to justify its declarations. An explanation
+//! for a matching pair consists of, per extended-key attribute and
+//! per side, either the base value ("given") or the chain of ILFDs
+//! that derived it (the SLD proof trace from
+//! [`eid_ilfd::horn::HornProgram::prove_goal_trace`]), ending with
+//! the extended-key equality itself.
+
+use std::fmt;
+
+use eid_ilfd::horn::HornProgram;
+use eid_ilfd::{PropSymbol, SymbolSet};
+use eid_relational::{AttrName, Relation, Tuple, Value};
+
+use crate::error::{CoreError, Result};
+use crate::matcher::MatchConfig;
+
+/// How one extended-key attribute value came to be known.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Support {
+    /// The value is stored in the source tuple.
+    Given,
+    /// The value was derived; the strings render the ILFD chain in
+    /// application order.
+    Derived(Vec<String>),
+}
+
+/// One attribute's justification on one side.
+#[derive(Debug, Clone)]
+pub struct AttributeSupport {
+    /// The extended-key attribute.
+    pub attr: AttrName,
+    /// The (non-NULL) value both sides agree on.
+    pub value: Value,
+    /// Justification for the `R` tuple's value.
+    pub r_support: Support,
+    /// Justification for the `S` tuple's value.
+    pub s_support: Support,
+}
+
+/// A full explanation of a matching pair.
+#[derive(Debug, Clone)]
+pub struct MatchExplanation {
+    /// Per extended-key attribute, the agreed value and its support.
+    pub attributes: Vec<AttributeSupport>,
+}
+
+impl fmt::Display for MatchExplanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "the tuples agree on every extended-key attribute:")?;
+        for a in &self.attributes {
+            writeln!(f, "  {} = {}", a.attr, a.value)?;
+            for (side, support) in [("R", &a.r_support), ("S", &a.s_support)] {
+                match support {
+                    Support::Given => writeln!(f, "    {side}: given")?,
+                    Support::Derived(chain) => {
+                        writeln!(f, "    {side}: derived via")?;
+                        for step in chain {
+                            writeln!(f, "      {step}")?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Explains why `r_tuple` and `s_tuple` satisfy extended-key
+/// equivalence under `config`. Returns an error if they do not (the
+/// pair would not be in the matching table).
+pub fn explain_match(
+    r: &Relation,
+    r_tuple: &Tuple,
+    s: &Relation,
+    s_tuple: &Tuple,
+    config: &MatchConfig,
+) -> Result<MatchExplanation> {
+    let program = HornProgram::from_ilfds(&config.ilfds);
+    let mut attributes = Vec::with_capacity(config.extended_key.len());
+    for attr in config.extended_key.attrs() {
+        let (r_value, r_support) = side_support(&program, r, r_tuple, attr)?;
+        let (s_value, s_support) = side_support(&program, s, s_tuple, attr)?;
+        if !r_value.non_null_eq(&s_value) {
+            return Err(CoreError::ConsistencyViolation {
+                pair: format!(
+                    "explain_match: {attr} disagrees ({r_value} vs {s_value}) — the pair does not match"
+                ),
+            });
+        }
+        attributes.push(AttributeSupport {
+            attr: attr.clone(),
+            value: r_value,
+            r_support,
+            s_support,
+        });
+    }
+    Ok(MatchExplanation { attributes })
+}
+
+/// Resolves one attribute on one side: a given value, or the unique
+/// derivable value with its proof trace.
+fn side_support(
+    program: &HornProgram,
+    rel: &Relation,
+    tuple: &Tuple,
+    attr: &AttrName,
+) -> Result<(Value, Support)> {
+    if let Some(v) = tuple.value_of(rel.schema(), attr) {
+        if !v.is_null() {
+            return Ok((v.clone(), Support::Given));
+        }
+    }
+    // Derive: forward-chain from the tuple's facts, find the value(s)
+    // the closure assigns to `attr`, then extract the SLD trace.
+    let facts = SymbolSet::of_tuple(rel.schema(), tuple);
+    let model = program.forward_chain(&facts);
+    let candidates: Vec<&PropSymbol> = model
+        .iter()
+        .filter(|s| &s.attr == attr && !facts.contains(s))
+        .collect();
+    match candidates.as_slice() {
+        [symbol] => {
+            let trace = program
+                .prove_goal_trace(symbol, &facts)
+                .expect("closure member must be provable");
+            let chain: Vec<String> = trace.iter().map(|c| c.to_string()).collect();
+            Ok((symbol.value.clone(), Support::Derived(chain)))
+        }
+        [] => Err(CoreError::ConsistencyViolation {
+            pair: format!("explain_match: {attr} is underivable for {tuple}"),
+        }),
+        _ => Err(CoreError::ConsistencyViolation {
+            pair: format!("explain_match: conflicting derivations for {attr} of {tuple}"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eid_datagen_is_not_a_dep::*;
+
+    /// Local copy of the Example 3 fixtures (eid-datagen depends on
+    /// eid-core, so we cannot use it here).
+    mod eid_datagen_is_not_a_dep {
+        use super::super::*;
+        use eid_ilfd::{Ilfd, IlfdSet};
+        use eid_relational::Schema;
+        use eid_rules::ExtendedKey;
+
+        pub fn example3() -> (Relation, Relation, MatchConfig) {
+            let r_schema = Schema::of_strs(
+                "R",
+                &["name", "cuisine", "street"],
+                &["name", "cuisine"],
+            )
+            .unwrap();
+            let mut r = Relation::new(r_schema);
+            r.insert_strs(&["itsgreek", "greek", "front_ave"]).unwrap();
+            r.insert_strs(&["anjuman", "indian", "le_salle_ave"]).unwrap();
+
+            let s_schema = Schema::of_strs(
+                "S",
+                &["name", "speciality", "county"],
+                &["name", "speciality"],
+            )
+            .unwrap();
+            let mut s = Relation::new(s_schema);
+            s.insert_strs(&["itsgreek", "gyros", "ramsey"]).unwrap();
+            s.insert_strs(&["anjuman", "mughalai", "minneapolis"]).unwrap();
+
+            let ilfds: IlfdSet = vec![
+                Ilfd::of_strs(&[("speciality", "gyros")], &[("cuisine", "greek")]),
+                Ilfd::of_strs(&[("speciality", "mughalai")], &[("cuisine", "indian")]),
+                Ilfd::of_strs(&[("street", "front_ave")], &[("county", "ramsey")]),
+                Ilfd::of_strs(
+                    &[("name", "itsgreek"), ("county", "ramsey")],
+                    &[("speciality", "gyros")],
+                ),
+            ]
+            .into_iter()
+            .collect();
+            let config = MatchConfig::new(
+                ExtendedKey::of_strs(&["name", "cuisine", "speciality"]),
+                ilfds,
+            );
+            (r, s, config)
+        }
+    }
+
+    #[test]
+    fn explains_the_itsgreek_chain() {
+        let (r, s, config) = example3();
+        let explanation = explain_match(
+            &r,
+            &r.tuples()[0], // itsgreek
+            &s,
+            &s.tuples()[0],
+            &config,
+        )
+        .unwrap();
+        assert_eq!(explanation.attributes.len(), 3);
+
+        // name: given on both sides.
+        assert_eq!(explanation.attributes[0].r_support, Support::Given);
+        assert_eq!(explanation.attributes[0].s_support, Support::Given);
+
+        // cuisine: given in R, derived in S via one ILFD.
+        let cuisine = &explanation.attributes[1];
+        assert_eq!(cuisine.r_support, Support::Given);
+        match &cuisine.s_support {
+            Support::Derived(chain) => assert_eq!(chain.len(), 1),
+            other => panic!("expected derivation, got {other:?}"),
+        }
+
+        // speciality: derived in R via the two-step I7→I8 chain.
+        let speciality = &explanation.attributes[2];
+        match &speciality.r_support {
+            Support::Derived(chain) => {
+                assert_eq!(chain.len(), 2, "{chain:?}");
+                assert!(chain[0].contains("county = ramsey"));
+                assert!(chain[1].contains("speciality = gyros"));
+            }
+            other => panic!("expected derivation, got {other:?}"),
+        }
+        // Rendering mentions the chain.
+        let text = explanation.to_string();
+        assert!(text.contains("derived via"));
+        assert!(text.contains("(county = ramsey)"));
+    }
+
+    #[test]
+    fn refuses_to_explain_non_matches() {
+        let (r, s, config) = example3();
+        let err = explain_match(
+            &r,
+            &r.tuples()[0], // itsgreek
+            &s,
+            &s.tuples()[1], // anjuman
+            &config,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("does not match"));
+    }
+
+    #[test]
+    fn underivable_attribute_is_an_error() {
+        let (r, s, mut config) = example3();
+        config.ilfds = eid_ilfd::IlfdSet::new();
+        let err = explain_match(&r, &r.tuples()[0], &s, &s.tuples()[0], &config).unwrap_err();
+        assert!(err.to_string().contains("underivable"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Relation extension — step 1 and 2 of the §4.2 matching-table
+//! construction.
+//!
+//! > Extend relation `R`, to `R′`, with attributes `K_Ext−R` and set
+//! > the missing attribute values of each tuple to be NULL. …
+//! > Apply the available ILFDs to derive the values for `K_Ext−R`
+//! > … for each `R′` tuple.
+//!
+//! Derivation is delegated to [`eid_ilfd::derive`] with a selectable
+//! [`Strategy`]; the ILFDs may also fill NULLs in pre-existing
+//! attributes (the prototype derives `r_cty` for `R` even though
+//! county is not part of `R`'s schema — here any attribute in the
+//! extended schema is fair game, which is what the Prolog program's
+//! dynamically asserted predicates achieve).
+
+use eid_ilfd::derive::{derive_relation, DeriveReport};
+use eid_ilfd::{IlfdSet, Strategy};
+use eid_relational::{algebra, Attribute, Relation, Value, ValueType};
+use eid_rules::ExtendedKey;
+
+use crate::error::Result;
+
+/// The result of extending a relation: the extended relation `R′`
+/// plus the per-tuple derivation reports.
+#[derive(Debug, Clone)]
+pub struct Extended {
+    /// The extended relation (schema = original ∪ missing `K_Ext` attrs).
+    pub relation: Relation,
+    /// One report per tuple, in relation order.
+    pub reports: Vec<DeriveReport>,
+}
+
+impl Extended {
+    /// Whether every tuple derived cleanly (no conflicts or
+    /// inconsistencies reported).
+    pub fn is_clean(&self) -> bool {
+        self.reports.iter().all(DeriveReport::is_clean)
+    }
+}
+
+/// Extends `rel` with the extended-key attributes it is missing
+/// (NULL-filled) and applies the ILFDs to derive their values.
+///
+/// New attributes are typed `Str` — the paper's workloads are
+/// symbolic; a typed integration layer would carry domain metadata
+/// here.
+pub fn extend_relation(
+    rel: &Relation,
+    key: &ExtendedKey,
+    ilfds: &IlfdSet,
+    strategy: Strategy,
+) -> Result<Extended> {
+    let missing = key.missing_in(rel.schema());
+    let extra: Vec<Attribute> = missing
+        .iter()
+        .map(|a| Attribute::new(a.clone(), ValueType::Str))
+        .collect();
+    let widened = if extra.is_empty() {
+        rel.clone()
+    } else {
+        algebra::extend(rel, &extra, |_| vec![Value::Null; extra.len()])?
+    };
+    let (relation, reports) = derive_relation(&widened, ilfds, strategy);
+    Ok(Extended { relation, reports })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eid_ilfd::Ilfd;
+    use eid_relational::{AttrName, Schema, Tuple};
+
+    fn r() -> Relation {
+        // Paper Table 5, relation R(name, cuisine, street).
+        let schema = Schema::of_strs(
+            "R",
+            &["name", "cuisine", "street"],
+            &["name", "cuisine"],
+        )
+        .unwrap();
+        let mut r = Relation::new(schema);
+        r.insert_strs(&["twincities", "chinese", "co_b2"]).unwrap();
+        r.insert_strs(&["twincities", "indian", "co_b3"]).unwrap();
+        r.insert_strs(&["itsgreek", "greek", "front_ave"]).unwrap();
+        r.insert_strs(&["anjuman", "indian", "le_salle_ave"]).unwrap();
+        r.insert_strs(&["villagewok", "chinese", "wash_ave"]).unwrap();
+        r
+    }
+
+    fn ilfds() -> IlfdSet {
+        vec![
+            Ilfd::of_strs(&[("speciality", "hunan")], &[("cuisine", "chinese")]),
+            Ilfd::of_strs(&[("speciality", "sichuan")], &[("cuisine", "chinese")]),
+            Ilfd::of_strs(&[("speciality", "gyros")], &[("cuisine", "greek")]),
+            Ilfd::of_strs(&[("speciality", "mughalai")], &[("cuisine", "indian")]),
+            Ilfd::of_strs(
+                &[("name", "twincities"), ("street", "co_b2")],
+                &[("speciality", "hunan")],
+            ),
+            Ilfd::of_strs(
+                &[("name", "anjuman"), ("street", "le_salle_ave")],
+                &[("speciality", "mughalai")],
+            ),
+            Ilfd::of_strs(&[("street", "front_ave")], &[("county", "ramsey")]),
+            Ilfd::of_strs(
+                &[("name", "itsgreek"), ("county", "ramsey")],
+                &[("speciality", "gyros")],
+            ),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn extend_r_reproduces_paper_table_6_left() {
+        // Table 6: R′ has speciality derived for twincities/co_b2
+        // (hunan), itsgreek (gyros via I7+I8), anjuman (mughalai);
+        // NULL for twincities/co_b3 and villagewok.
+        let key = ExtendedKey::of_strs(&["name", "cuisine", "speciality"]);
+        let ext = extend_relation(&r(), &key, &ilfds(), Strategy::FirstMatch).unwrap();
+        let rel = &ext.relation;
+        assert!(rel.schema().has_attribute(&AttrName::new("speciality")));
+        let spec = |i: usize| rel.tuples()[i].value_of(rel.schema(), &AttrName::new("speciality")).unwrap().clone();
+        assert_eq!(spec(0), Value::str("hunan"));
+        assert!(spec(1).is_null());
+        assert_eq!(spec(2), Value::str("gyros"));
+        assert_eq!(spec(3), Value::str("mughalai"));
+        assert!(spec(4).is_null());
+        assert!(ext.is_clean());
+    }
+
+    #[test]
+    fn already_covered_schema_is_untouched_structurally() {
+        let key = ExtendedKey::of_strs(&["name", "cuisine"]);
+        let ext = extend_relation(&r(), &key, &ilfds(), Strategy::FirstMatch).unwrap();
+        assert_eq!(ext.relation.schema().arity(), 3);
+        assert_eq!(ext.relation.len(), 5);
+    }
+
+    #[test]
+    fn fixpoint_strategy_agrees_on_paper_workload() {
+        let key = ExtendedKey::of_strs(&["name", "cuisine", "speciality"]);
+        let a = extend_relation(&r(), &key, &ilfds(), Strategy::FirstMatch).unwrap();
+        let b = extend_relation(&r(), &key, &ilfds(), Strategy::Fixpoint).unwrap();
+        assert!(a.relation.same_tuples(&b.relation));
+    }
+
+    #[test]
+    fn empty_ilfds_leave_nulls() {
+        let key = ExtendedKey::of_strs(&["name", "cuisine", "speciality"]);
+        let ext =
+            extend_relation(&r(), &key, &IlfdSet::new(), Strategy::FirstMatch).unwrap();
+        let pos = ext.relation.schema().position(&AttrName::new("speciality")).unwrap();
+        assert!(ext.relation.iter().all(|t: &Tuple| t.get(pos).is_null()));
+    }
+}

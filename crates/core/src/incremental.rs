@@ -1,0 +1,568 @@
+//! Incremental entity identification under federated updates.
+//!
+//! §2 of the paper: "In the case of federated databases,
+//! participating database systems can continue to operate
+//! autonomously. Instance integration may have to be performed
+//! whenever updating is done on the participating databases." And
+//! §3.2: "to cope with incompleteness, an entity identification
+//! technique should allow the DBA to supply more information as more
+//! knowledge about the real world is gained."
+//!
+//! [`IncrementalMatcher`] maintains the matching and negative
+//! matching tables under two kinds of events without recomputing from
+//! scratch:
+//!
+//! * **tuple insertion** into either relation — the new tuple is
+//!   extended and derived, probed against a hash index on the
+//!   extended key (`O(1)` expected for the match phase), and scanned
+//!   against the other side's tuples for distinctness firings;
+//! * **ILFD addition** — only the tuples that still carry NULLs are
+//!   re-derived (fully-known tuples cannot change), then the indexes
+//!   are refreshed and newly complete keys (re-)probed.
+//!
+//! Monotonicity (§3.3) is preserved by construction: existing
+//! entries are never removed. The test suite cross-validates every
+//! state against a from-scratch batch run.
+
+use std::collections::HashMap;
+
+use eid_ilfd::derive::derive_tuple;
+use eid_ilfd::{Ilfd, IlfdSet};
+use eid_relational::{Relation, Tuple, Value};
+use eid_rules::RuleBase;
+
+use crate::error::{CoreError, Result};
+use crate::extend::extend_relation;
+use crate::match_table::{PairEntry, PairTable};
+use crate::matcher::MatchConfig;
+
+/// Which relation an event touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SideSel {
+    /// Relation `R`.
+    R,
+    /// Relation `S`.
+    S,
+}
+
+/// New decisions produced by one event.
+#[derive(Debug, Clone, Default)]
+pub struct Delta {
+    /// Pairs newly proven matching.
+    pub new_matches: Vec<PairEntry>,
+    /// Pairs newly proven distinct.
+    pub new_non_matches: Vec<PairEntry>,
+}
+
+/// An incrementally maintained matcher.
+#[derive(Debug, Clone)]
+pub struct IncrementalMatcher {
+    config: MatchConfig,
+    r: Relation,
+    s: Relation,
+    ext_r: Relation,
+    ext_s: Relation,
+    /// Extended-key projection → tuple indices (non-NULL keys only).
+    r_index: HashMap<Tuple, Vec<usize>>,
+    s_index: HashMap<Tuple, Vec<usize>>,
+    matching: PairTable,
+    negative: PairTable,
+    rule_base: RuleBase,
+}
+
+impl IncrementalMatcher {
+    /// Starts from (possibly empty) relations, running one batch pass.
+    pub fn new(r: Relation, s: Relation, config: MatchConfig) -> Result<Self> {
+        if config.extended_key.is_empty() {
+            return Err(CoreError::EmptyExtendedKey);
+        }
+        let ext_r = extend_relation(&r, &config.extended_key, &config.ilfds, config.strategy)?;
+        let ext_s = extend_relation(&s, &config.extended_key, &config.ilfds, config.strategy)?;
+        let matching = PairTable::new(r.schema().primary_key(), s.schema().primary_key());
+        let negative = PairTable::new(r.schema().primary_key(), s.schema().primary_key());
+
+        let mut rule_base = config.extra_rules.clone();
+        rule_base.add_identity(config.extended_key.identity_rule()?);
+        if config.use_ilfd_distinctness {
+            rule_base.add_ilfd_distinctness(&config.ilfds);
+        }
+
+        let mut m = IncrementalMatcher {
+            config,
+            r,
+            s,
+            ext_r: ext_r.relation,
+            ext_s: ext_s.relation,
+            r_index: HashMap::new(),
+            s_index: HashMap::new(),
+            matching,
+            negative,
+            rule_base,
+        };
+        m.rebuild_indexes()?;
+        m.initial_pass()?;
+        Ok(m)
+    }
+
+    fn key_projection(&self, side: SideSel, tuple: &Tuple) -> Result<Option<Tuple>> {
+        let ext = match side {
+            SideSel::R => &self.ext_r,
+            SideSel::S => &self.ext_s,
+        };
+        let pos = ext.positions_of(self.config.extended_key.attrs())?;
+        Ok(tuple.non_null_at(&pos).then(|| tuple.project(&pos)))
+    }
+
+    fn rebuild_indexes(&mut self) -> Result<()> {
+        self.r_index.clear();
+        self.s_index.clear();
+        for (i, t) in self.ext_r.tuples().to_vec().iter().enumerate() {
+            if let Some(k) = self.key_projection(SideSel::R, t)? {
+                self.r_index.entry(k).or_default().push(i);
+            }
+        }
+        for (j, t) in self.ext_s.tuples().to_vec().iter().enumerate() {
+            if let Some(k) = self.key_projection(SideSel::S, t)? {
+                self.s_index.entry(k).or_default().push(j);
+            }
+        }
+        Ok(())
+    }
+
+    fn initial_pass(&mut self) -> Result<()> {
+        // Match phase via the index.
+        let pairs: Vec<(usize, usize)> = self
+            .r_index
+            .iter()
+            .filter_map(|(k, is)| self.s_index.get(k).map(|js| (is.clone(), js.clone())))
+            .flat_map(|(is, js)| {
+                is.into_iter()
+                    .flat_map(move |i| js.clone().into_iter().map(move |j| (i, j)))
+            })
+            .collect();
+        for (i, j) in pairs {
+            self.record_match(i, j);
+        }
+        // Refutation phase.
+        if self.config.collect_negative {
+            for i in 0..self.ext_r.len() {
+                for j in 0..self.ext_s.len() {
+                    self.try_refute(i, j);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn record_match(&mut self, i: usize, j: usize) -> Option<PairEntry> {
+        let rk = self.r.primary_key_of(&self.r.tuples()[i]);
+        let sk = self.s.primary_key_of(&self.s.tuples()[j]);
+        self.matching.insert(rk.clone(), sk.clone()).then_some(PairEntry {
+            r_key: rk,
+            s_key: sk,
+        })
+    }
+
+    fn try_refute(&mut self, i: usize, j: usize) -> Option<PairEntry> {
+        let tr = &self.ext_r.tuples()[i];
+        let ts = &self.ext_s.tuples()[j];
+        if self
+            .rule_base
+            .fires_distinctness(self.ext_r.schema(), tr, self.ext_s.schema(), ts)
+        {
+            let rk = self.r.primary_key_of(&self.r.tuples()[i]);
+            let sk = self.s.primary_key_of(&self.s.tuples()[j]);
+            return self
+                .negative
+                .insert(rk.clone(), sk.clone())
+                .then_some(PairEntry { r_key: rk, s_key: sk });
+        }
+        None
+    }
+
+    /// Inserts a tuple into `R` or `S`, returning the new decisions.
+    pub fn insert(&mut self, side: SideSel, tuple: Tuple) -> Result<Delta> {
+        // Insert into the base relation (key constraints enforced).
+        match side {
+            SideSel::R => self.r.insert(tuple.clone())?,
+            SideSel::S => self.s.insert(tuple.clone())?,
+        }
+        // Extend + derive just this tuple.
+        let (schema, base_arity) = match side {
+            SideSel::R => (self.ext_r.schema().clone(), self.r.schema().arity()),
+            SideSel::S => (self.ext_s.schema().clone(), self.s.schema().arity()),
+        };
+        let widened = tuple.extend_with(&vec![Value::Null; schema.arity() - base_arity]);
+        let (derived, _report) =
+            derive_tuple(&schema, &widened, &self.config.ilfds, self.config.strategy);
+        match side {
+            SideSel::R => self.ext_r.insert(derived.clone())?,
+            SideSel::S => self.ext_s.insert(derived.clone())?,
+        }
+
+        let mut delta = Delta::default();
+        let idx = match side {
+            SideSel::R => self.ext_r.len() - 1,
+            SideSel::S => self.ext_s.len() - 1,
+        };
+        // Probe the opposite index.
+        if let Some(key) = self.key_projection(side, &derived)? {
+            let hits: Vec<usize> = match side {
+                SideSel::R => self.s_index.get(&key).cloned().unwrap_or_default(),
+                SideSel::S => self.r_index.get(&key).cloned().unwrap_or_default(),
+            };
+            for other in hits {
+                let entry = match side {
+                    SideSel::R => self.record_match(idx, other),
+                    SideSel::S => self.record_match(other, idx),
+                };
+                delta.new_matches.extend(entry);
+            }
+            match side {
+                SideSel::R => self.r_index.entry(key).or_default().push(idx),
+                SideSel::S => self.s_index.entry(key).or_default().push(idx),
+            };
+        }
+        // Refutations against every opposite tuple.
+        if self.config.collect_negative {
+            match side {
+                SideSel::R => {
+                    for j in 0..self.ext_s.len() {
+                        delta.new_non_matches.extend(self.try_refute(idx, j));
+                    }
+                }
+                SideSel::S => {
+                    for i in 0..self.ext_r.len() {
+                        delta.new_non_matches.extend(self.try_refute(i, idx));
+                    }
+                }
+            }
+        }
+        Ok(delta)
+    }
+
+    /// Supplies one more ILFD (§3.3's growing knowledge). Tuples with
+    /// incomplete extended keys are re-derived and re-probed; the new
+    /// distinctness rule is evaluated against all pairs when the
+    /// refutation phase is on.
+    pub fn add_ilfd(&mut self, ilfd: Ilfd) -> Result<Delta> {
+        if !self.config.ilfds.insert(ilfd.clone()) {
+            return Ok(Delta::default()); // already known
+        }
+        if self.config.use_ilfd_distinctness {
+            let single: IlfdSet = [ilfd].into_iter().collect();
+            self.rule_base.add_ilfd_distinctness(&single);
+        }
+
+        // Re-derive every tuple that still has NULLs on either side —
+        // not just incomplete extended keys: a new ILFD can also fill
+        // a non-key NULL that a distinctness rule's `e₂.B ≠ b`
+        // condition needs to witness.
+        let mut delta = Delta::default();
+        for side in [SideSel::R, SideSel::S] {
+            let ext = match side {
+                SideSel::R => &self.ext_r,
+                SideSel::S => &self.ext_s,
+            };
+            let schema = ext.schema().clone();
+            let mut updates: Vec<(usize, Tuple)> = Vec::new();
+            for (i, t) in ext.iter().enumerate() {
+                if !t.has_null() {
+                    continue;
+                }
+                let (nt, _) =
+                    derive_tuple(&schema, t, &self.config.ilfds, self.config.strategy);
+                if &nt != t {
+                    updates.push((i, nt));
+                }
+            }
+            if updates.is_empty() {
+                continue;
+            }
+            // Apply updates and re-probe completed tuples.
+            let mut rebuilt = Relation::new_unchecked(schema);
+            let current: Vec<Tuple> = ext.tuples().to_vec();
+            let mut by_index: HashMap<usize, Tuple> = updates.into_iter().collect();
+            for (i, t) in current.into_iter().enumerate() {
+                rebuilt.insert(by_index.remove(&i).unwrap_or(t))?;
+            }
+            match side {
+                SideSel::R => self.ext_r = rebuilt,
+                SideSel::S => self.ext_s = rebuilt,
+            }
+        }
+        self.rebuild_indexes()?;
+
+        // Probe everything that is now complete (cheap: index walk).
+        let pairs: Vec<(usize, usize)> = self
+            .r_index
+            .iter()
+            .filter_map(|(k, is)| self.s_index.get(k).map(|js| (is.clone(), js.clone())))
+            .flat_map(|(is, js)| {
+                is.into_iter()
+                    .flat_map(move |i| js.clone().into_iter().map(move |j| (i, j)))
+            })
+            .collect();
+        for (i, j) in pairs {
+            delta.new_matches.extend(self.record_match(i, j));
+        }
+        if self.config.collect_negative {
+            for i in 0..self.ext_r.len() {
+                for j in 0..self.ext_s.len() {
+                    delta.new_non_matches.extend(self.try_refute(i, j));
+                }
+            }
+        }
+        Ok(delta)
+    }
+
+    /// The current matching table.
+    pub fn matching(&self) -> &PairTable {
+        &self.matching
+    }
+
+    /// The current negative matching table.
+    pub fn negative(&self) -> &PairTable {
+        &self.negative
+    }
+
+    /// The current source relations.
+    pub fn relations(&self) -> (&Relation, &Relation) {
+        (&self.r, &self.s)
+    }
+
+    /// Current count of undetermined pairs.
+    pub fn undetermined(&self) -> usize {
+        let total = self.r.len() * self.s.len();
+        let overlap = self
+            .matching
+            .entries()
+            .iter()
+            .filter(|e| self.negative.contains(&e.r_key, &e.s_key))
+            .count();
+        (total + overlap)
+            .saturating_sub(self.matching.len())
+            .saturating_sub(self.negative.len())
+    }
+
+    /// Runs the §3.2 verifications on the current state.
+    pub fn verify(&self) -> Result<()> {
+        self.matching.verify_uniqueness()?;
+        self.matching.verify_consistency(&self.negative)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::EntityMatcher;
+    use eid_relational::Schema;
+    use eid_rules::ExtendedKey;
+
+    fn setup() -> (Relation, Relation, MatchConfig) {
+        let r_schema = Schema::of_strs(
+            "R",
+            &["name", "cuisine", "street"],
+            &["name", "cuisine"],
+        )
+        .unwrap();
+        let s_schema = Schema::of_strs(
+            "S",
+            &["name", "speciality", "county"],
+            &["name", "speciality"],
+        )
+        .unwrap();
+        let ilfds: IlfdSet = vec![
+            Ilfd::of_strs(&[("speciality", "hunan")], &[("cuisine", "chinese")]),
+            Ilfd::of_strs(&[("speciality", "gyros")], &[("cuisine", "greek")]),
+        ]
+        .into_iter()
+        .collect();
+        let config = MatchConfig::new(ExtendedKey::of_strs(&["name", "cuisine"]), ilfds);
+        (
+            Relation::new(r_schema),
+            Relation::new(s_schema),
+            config,
+        )
+    }
+
+    /// Batch-equivalence oracle.
+    fn batch(r: &Relation, s: &Relation, config: &MatchConfig) -> (PairTable, PairTable) {
+        let o = EntityMatcher::new(r.clone(), s.clone(), config.clone())
+            .unwrap()
+            .run()
+            .unwrap();
+        (o.matching, o.negative)
+    }
+
+    #[test]
+    fn inserts_produce_matches_as_they_arrive() {
+        let (r, s, config) = setup();
+        let mut m = IncrementalMatcher::new(r, s, config).unwrap();
+        assert_eq!(m.matching().len(), 0);
+
+        // S tuple arrives first: no match yet.
+        let d = m
+            .insert(SideSel::S, Tuple::of_strs(&["tc", "hunan", "roseville"]))
+            .unwrap();
+        assert!(d.new_matches.is_empty());
+
+        // Matching R tuple arrives: immediate match.
+        let d = m
+            .insert(SideSel::R, Tuple::of_strs(&["tc", "chinese", "co_b2"]))
+            .unwrap();
+        assert_eq!(d.new_matches.len(), 1);
+        assert_eq!(m.matching().len(), 1);
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn incremental_state_equals_batch_after_every_insert() {
+        let (r, s, config) = setup();
+        let mut m = IncrementalMatcher::new(r, s, config.clone()).unwrap();
+        let script: Vec<(SideSel, Tuple)> = vec![
+            (SideSel::R, Tuple::of_strs(&["tc", "chinese", "co_b2"])),
+            (SideSel::S, Tuple::of_strs(&["tc", "hunan", "roseville"])),
+            (SideSel::R, Tuple::of_strs(&["ig", "greek", "front"])),
+            (SideSel::S, Tuple::of_strs(&["ig", "gyros", "ramsey"])),
+            (SideSel::R, Tuple::of_strs(&["vw", "chinese", "wash"])),
+            (SideSel::S, Tuple::of_strs(&["zz", "hunan", "hennepin"])),
+        ];
+        for (side, tuple) in script {
+            m.insert(side, tuple).unwrap();
+            let (br, bs) = m.relations();
+            let (bm, bn) = batch(br, bs, &config);
+            assert!(m.matching().includes(&bm) && bm.includes(m.matching()));
+            assert!(m.negative().includes(&bn) && bn.includes(m.negative()));
+        }
+    }
+
+    #[test]
+    fn add_ilfd_unlocks_matches_monotonically() {
+        let (mut r, mut s, mut config) = setup();
+        config.ilfds = IlfdSet::new(); // start with no knowledge
+        r.insert_strs(&["tc", "chinese", "co_b2"]).unwrap();
+        s.insert_strs(&["tc", "hunan", "roseville"]).unwrap();
+        let mut m = IncrementalMatcher::new(r, s, config).unwrap();
+        assert_eq!(m.matching().len(), 0);
+        assert_eq!(m.undetermined(), 1);
+
+        let before = m.matching().clone();
+        let d = m
+            .add_ilfd(Ilfd::of_strs(
+                &[("speciality", "hunan")],
+                &[("cuisine", "chinese")],
+            ))
+            .unwrap();
+        assert_eq!(d.new_matches.len(), 1);
+        assert_eq!(m.matching().len(), 1);
+        assert!(m.matching().includes(&before), "monotone");
+        assert_eq!(m.undetermined(), 0);
+    }
+
+    #[test]
+    fn add_ilfd_matches_batch() {
+        let (mut r, mut s, mut config) = setup();
+        let all_ilfds = config.ilfds.clone();
+        config.ilfds = IlfdSet::new();
+        r.insert_strs(&["tc", "chinese", "co_b2"]).unwrap();
+        r.insert_strs(&["ig", "greek", "front"]).unwrap();
+        s.insert_strs(&["tc", "hunan", "roseville"]).unwrap();
+        s.insert_strs(&["ig", "gyros", "ramsey"]).unwrap();
+        let mut m = IncrementalMatcher::new(r, s, config.clone()).unwrap();
+        for ilfd in all_ilfds.iter() {
+            m.add_ilfd(ilfd.clone()).unwrap();
+            let (br, bs) = m.relations();
+            let mut c = config.clone();
+            c.ilfds = m.config.ilfds.clone();
+            let (bm, bn) = batch(br, bs, &c);
+            assert!(m.matching().includes(&bm) && bm.includes(m.matching()));
+            assert!(m.negative().includes(&bn) && bn.includes(m.negative()));
+        }
+        assert_eq!(m.matching().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_ilfd_is_a_noop() {
+        let (r, s, config) = setup();
+        let ilfd = config.ilfds.as_slice()[0].clone();
+        let mut m = IncrementalMatcher::new(r, s, config).unwrap();
+        let d = m.add_ilfd(ilfd).unwrap();
+        assert!(d.new_matches.is_empty());
+        assert!(d.new_non_matches.is_empty());
+    }
+
+    #[test]
+    fn key_violations_are_rejected() {
+        let (r, s, config) = setup();
+        let mut m = IncrementalMatcher::new(r, s, config).unwrap();
+        m.insert(SideSel::R, Tuple::of_strs(&["tc", "chinese", "a"]))
+            .unwrap();
+        let err = m
+            .insert(SideSel::R, Tuple::of_strs(&["tc", "chinese", "b"]))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Relational(_)));
+    }
+
+    /// Regression: a new ILFD that fills a *non-key* NULL must still
+    /// be applied — distinctness rules need the value. (Previously
+    /// only tuples with incomplete extended keys were re-derived.)
+    #[test]
+    fn add_ilfd_fills_non_key_nulls_for_refutation() {
+        let r_schema = Schema::of_strs("R", &["name", "speciality"], &["name"]).unwrap();
+        let s_schema =
+            Schema::of_strs("S", &["name", "speciality", "cuisine"], &["name"]).unwrap();
+        let mut r = Relation::new(r_schema);
+        r.insert_strs(&["a", "gyros"]).unwrap();
+        let mut s = Relation::new(s_schema);
+        s.insert(Tuple::new(vec![
+            Value::str("b"),
+            Value::str("mughalai"),
+            Value::Null, // cuisine unknown, derivable
+        ]))
+        .unwrap();
+        let config = MatchConfig::new(ExtendedKey::of_strs(&["name"]), IlfdSet::new());
+        let mut m = IncrementalMatcher::new(r, s, config.clone()).unwrap();
+        assert_eq!(m.negative().len(), 0);
+
+        m.add_ilfd(Ilfd::of_strs(
+            &[("speciality", "mughalai")],
+            &[("cuisine", "indian")],
+        ))
+        .unwrap();
+        let d = m
+            .add_ilfd(Ilfd::of_strs(
+                &[("speciality", "gyros")],
+                &[("cuisine", "greek")],
+            ))
+            .unwrap();
+        // The gyros rule's distinctness (e1.spec = gyros ∧ e2.cuisine
+        // ≠ greek) fires only because S's cuisine was re-derived to
+        // indian despite its extended key {name} being complete.
+        assert_eq!(d.new_non_matches.len(), 1, "{d:?}");
+        // And the state equals a batch run with the same knowledge.
+        let (br, bs) = m.relations();
+        let mut c = config;
+        c.ilfds = m.config.ilfds.clone();
+        let batch = EntityMatcher::new(br.clone(), bs.clone(), c)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(m.negative().includes(&batch.negative));
+        assert!(batch.negative.includes(m.negative()));
+    }
+
+    #[test]
+    fn refutations_arrive_incrementally() {
+        let (r, s, config) = setup();
+        let mut m = IncrementalMatcher::new(r, s, config).unwrap();
+        m.insert(SideSel::S, Tuple::of_strs(&["x", "hunan", "c1"]))
+            .unwrap();
+        // An Indian restaurant can't be the hunan-speciality entity.
+        let d = m
+            .insert(SideSel::R, Tuple::of_strs(&["x", "indian", "st"]))
+            .unwrap();
+        assert_eq!(d.new_non_matches.len(), 1);
+        assert_eq!(m.negative().len(), 1);
+    }
+}

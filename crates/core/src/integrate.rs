@@ -1,0 +1,403 @@
+//! The integrated table `T_RS = MT_RS ⋈ R ⟗ S` (§4.1, §6.3).
+//!
+//! "We keep those `R` (`S`) tuples not matched with any `S` (`R`)
+//! tuple as separate tuples in the integrated table, while merging
+//! the matching pairs into one. … Because `R` and `S` may not have
+//! all extended key attributes, NULL values may exist in the extended
+//! key attributes of `T_RS`." A `T_RS` tuple can possibly match
+//! another `T_RS` tuple provided they have no conflicting non-NULL
+//! values in their extended key — [`IntegratedTable::possibly_same`]
+//! implements that interpretation.
+//!
+//! Column layout matches the prototype's `print_integ_table`: the
+//! extended-key attributes of `R′` (prefixed `r_`), then of `S′`
+//! (prefixed `s_`), then the leftover attributes of each side.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use eid_relational::{AttrName, Relation, Schema, Tuple, Value};
+use eid_rules::ExtendedKey;
+
+use crate::error::Result;
+use crate::matcher::MatchOutcome;
+
+/// The integrated table over two matched relations.
+#[derive(Debug, Clone)]
+pub struct IntegratedTable {
+    relation: Relation,
+    /// Positions of the `r_`-side extended-key attributes.
+    r_key_pos: Vec<usize>,
+    /// Positions of the `s_`-side extended-key attributes.
+    s_key_pos: Vec<usize>,
+}
+
+impl IntegratedTable {
+    /// Builds `T_RS` from a match outcome. `r` and `s` must be the
+    /// matcher's source relations (their primary keys identify the
+    /// matched tuples).
+    pub fn build(
+        r: &Relation,
+        s: &Relation,
+        outcome: &MatchOutcome,
+        key: &ExtendedKey,
+    ) -> Result<IntegratedTable> {
+        let ext_r = &outcome.extended_r.relation;
+        let ext_s = &outcome.extended_s.relation;
+
+        // Column plan: K_Ext of R′, K_Ext of S′, rest of R′, rest of S′.
+        let mut r_cols: Vec<AttrName> = Vec::new();
+        let mut s_cols: Vec<AttrName> = Vec::new();
+        for a in key.attrs() {
+            if ext_r.schema().has_attribute(a) {
+                r_cols.push(a.clone());
+            }
+            if ext_s.schema().has_attribute(a) {
+                s_cols.push(a.clone());
+            }
+        }
+        let r_rest: Vec<AttrName> = ext_r
+            .schema()
+            .attribute_names()
+            .filter(|a| !r_cols.contains(a))
+            .cloned()
+            .collect();
+        let s_rest: Vec<AttrName> = ext_s
+            .schema()
+            .attribute_names()
+            .filter(|a| !s_cols.contains(a))
+            .cloned()
+            .collect();
+
+        let mut names: Vec<String> = Vec::new();
+        names.extend(r_cols.iter().map(|a| format!("r_{a}")));
+        names.extend(s_cols.iter().map(|a| format!("s_{a}")));
+        names.extend(r_rest.iter().map(|a| format!("r_{a}")));
+        names.extend(s_rest.iter().map(|a| format!("s_{a}")));
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let schema: Arc<Schema> = Schema::of_strs("T_RS", &name_refs, &name_refs)?;
+
+        let r_positions: Vec<usize> = r_cols
+            .iter()
+            .chain(&r_rest)
+            .map(|a| ext_r.schema().position(a))
+            .collect::<eid_relational::Result<_>>()?;
+        let s_positions: Vec<usize> = s_cols
+            .iter()
+            .chain(&s_rest)
+            .map(|a| ext_s.schema().position(a))
+            .collect::<eid_relational::Result<_>>()?;
+
+        // Index source tuples by primary key for MT lookups.
+        let mut r_by_key: HashMap<Tuple, usize> = HashMap::new();
+        for (i, t) in r.iter().enumerate() {
+            r_by_key.insert(r.primary_key_of(t), i);
+        }
+        let mut s_by_key: HashMap<Tuple, usize> = HashMap::new();
+        for (j, t) in s.iter().enumerate() {
+            s_by_key.insert(s.primary_key_of(t), j);
+        }
+
+        let n_r_cols = r_cols.len() + r_rest.len();
+        let n_s_cols = s_cols.len() + s_rest.len();
+        let mut rel = Relation::new_unchecked(schema);
+        let mut r_matched = vec![false; r.len()];
+        let mut s_matched = vec![false; s.len()];
+
+        // Merged rows for matched pairs. The r-columns come before the
+        // s-key columns, but within the row we emit r_key, s_key,
+        // r_rest, s_rest per the column plan.
+        for e in outcome.matching.entries() {
+            let (Some(&i), Some(&j)) = (r_by_key.get(&e.r_key), s_by_key.get(&e.s_key)) else {
+                continue;
+            };
+            r_matched[i] = true;
+            s_matched[j] = true;
+            let tr = &ext_r.tuples()[i];
+            let ts = &ext_s.tuples()[j];
+            let mut values: Vec<Value> = Vec::with_capacity(n_r_cols + n_s_cols);
+            for &p in &r_positions[..r_cols.len()] {
+                values.push(tr.get(p).clone());
+            }
+            for &p in &s_positions[..s_cols.len()] {
+                values.push(ts.get(p).clone());
+            }
+            for &p in &r_positions[r_cols.len()..] {
+                values.push(tr.get(p).clone());
+            }
+            for &p in &s_positions[s_cols.len()..] {
+                values.push(ts.get(p).clone());
+            }
+            rel.insert(Tuple::new(values))?;
+        }
+        // Dangling R tuples.
+        for (i, matched) in r_matched.iter().enumerate() {
+            if *matched {
+                continue;
+            }
+            let tr = &ext_r.tuples()[i];
+            let mut values: Vec<Value> = Vec::with_capacity(n_r_cols + n_s_cols);
+            for &p in &r_positions[..r_cols.len()] {
+                values.push(tr.get(p).clone());
+            }
+            values.extend(std::iter::repeat_n(Value::Null, s_cols.len()));
+            for &p in &r_positions[r_cols.len()..] {
+                values.push(tr.get(p).clone());
+            }
+            values.extend(std::iter::repeat_n(Value::Null, s_rest.len()));
+            rel.insert(Tuple::new(values))?;
+        }
+        // Dangling S tuples.
+        for (j, matched) in s_matched.iter().enumerate() {
+            if *matched {
+                continue;
+            }
+            let ts = &ext_s.tuples()[j];
+            let mut values: Vec<Value> = Vec::with_capacity(n_r_cols + n_s_cols);
+            values.extend(std::iter::repeat_n(Value::Null, r_cols.len()));
+            for &p in &s_positions[..s_cols.len()] {
+                values.push(ts.get(p).clone());
+            }
+            values.extend(std::iter::repeat_n(Value::Null, r_rest.len()));
+            for &p in &s_positions[s_cols.len()..] {
+                values.push(ts.get(p).clone());
+            }
+            rel.insert(Tuple::new(values))?;
+        }
+
+        let r_key_pos: Vec<usize> = (0..r_cols.len()).collect();
+        let s_key_pos: Vec<usize> = (r_cols.len()..r_cols.len() + s_cols.len()).collect();
+        Ok(IntegratedTable {
+            relation: rel,
+            r_key_pos,
+            s_key_pos,
+        })
+    }
+
+    /// The underlying relation (for printing / further queries).
+    pub fn relation(&self) -> &Relation {
+        &self.relation
+    }
+
+    /// Number of extended-key columns per side (the `r_`/`s_` key
+    /// column blocks have equal width).
+    pub fn key_width(&self) -> usize {
+        self.r_key_pos.len()
+    }
+
+    /// Re-wraps a relation that already has the integrated layout
+    /// (`key_width` `r_`-key columns, then `key_width` `s_`-key
+    /// columns, then the rests) — used when deriving a filtered
+    /// slice of an existing integrated table.
+    pub fn from_relation(relation: Relation, key_width: usize) -> IntegratedTable {
+        IntegratedTable {
+            relation,
+            r_key_pos: (0..key_width).collect(),
+            s_key_pos: (key_width..2 * key_width).collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.relation.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relation.is_empty()
+    }
+
+    /// The paper's interpretation of `T_RS`: two rows *possibly*
+    /// model the same entity if their extended-key values have no
+    /// conflicting non-NULL components (each row carries an `r_`-side
+    /// and an `s_`-side copy of the extended key; a component
+    /// conflicts when both rows have it non-NULL and unequal on every
+    /// same-side comparison that is defined).
+    pub fn possibly_same(&self, row_a: usize, row_b: usize) -> bool {
+        let a = &self.relation.tuples()[row_a];
+        let b = &self.relation.tuples()[row_b];
+        // Take each row's best-known extended-key value: prefer the
+        // r_-side, fall back to the s_-side.
+        let key_of = |t: &Tuple| -> Vec<Value> {
+            self.r_key_pos
+                .iter()
+                .zip(&self.s_key_pos)
+                .map(|(&rp, &sp)| {
+                    let rv = t.get(rp);
+                    if rv.is_null() {
+                        t.get(sp).clone()
+                    } else {
+                        rv.clone()
+                    }
+                })
+                .collect()
+        };
+        // Rows built from unmatched S tuples have fewer r-side key
+        // columns populated; key_of handles that via fallback.
+        let ka = key_of(a);
+        let kb = key_of(b);
+        ka.iter()
+            .zip(&kb)
+            .all(|(x, y)| x.is_null() || y.is_null() || x == y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::{EntityMatcher, MatchConfig};
+    use eid_ilfd::{Ilfd, IlfdSet};
+    use eid_relational::Schema;
+
+    /// The full Example 3 workload (paper Table 5).
+    fn example3() -> (Relation, Relation, MatchConfig) {
+        let r_schema = Schema::of_strs(
+            "R",
+            &["name", "cuisine", "street"],
+            &["name", "cuisine"],
+        )
+        .unwrap();
+        let mut r = Relation::new(r_schema);
+        r.insert_strs(&["twincities", "chinese", "co_b2"]).unwrap();
+        r.insert_strs(&["twincities", "indian", "co_b3"]).unwrap();
+        r.insert_strs(&["itsgreek", "greek", "front_ave"]).unwrap();
+        r.insert_strs(&["anjuman", "indian", "le_salle_ave"]).unwrap();
+        r.insert_strs(&["villagewok", "chinese", "wash_ave"]).unwrap();
+
+        let s_schema = Schema::of_strs(
+            "S",
+            &["name", "speciality", "county"],
+            &["name", "speciality"],
+        )
+        .unwrap();
+        let mut s = Relation::new(s_schema);
+        s.insert_strs(&["twincities", "hunan", "roseville"]).unwrap();
+        s.insert_strs(&["twincities", "sichuan", "hennepin"]).unwrap();
+        s.insert_strs(&["itsgreek", "gyros", "ramsey"]).unwrap();
+        s.insert_strs(&["anjuman", "mughalai", "minneapolis"]).unwrap();
+
+        let ilfds: IlfdSet = vec![
+            Ilfd::of_strs(&[("speciality", "hunan")], &[("cuisine", "chinese")]),
+            Ilfd::of_strs(&[("speciality", "sichuan")], &[("cuisine", "chinese")]),
+            Ilfd::of_strs(&[("speciality", "gyros")], &[("cuisine", "greek")]),
+            Ilfd::of_strs(&[("speciality", "mughalai")], &[("cuisine", "indian")]),
+            Ilfd::of_strs(
+                &[("name", "twincities"), ("street", "co_b2")],
+                &[("speciality", "hunan")],
+            ),
+            Ilfd::of_strs(
+                &[("name", "anjuman"), ("street", "le_salle_ave")],
+                &[("speciality", "mughalai")],
+            ),
+            Ilfd::of_strs(&[("street", "front_ave")], &[("county", "ramsey")]),
+            Ilfd::of_strs(
+                &[("name", "itsgreek"), ("county", "ramsey")],
+                &[("speciality", "gyros")],
+            ),
+        ]
+        .into_iter()
+        .collect();
+        let config = MatchConfig::new(
+            ExtendedKey::of_strs(&["name", "cuisine", "speciality"]),
+            ilfds,
+        );
+        (r, s, config)
+    }
+
+    #[test]
+    fn integrated_table_has_six_rows_like_the_prototype() {
+        let (r, s, config) = example3();
+        let key = config.extended_key.clone();
+        let outcome = EntityMatcher::new(r.clone(), s.clone(), config)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(outcome.matching.len(), 3); // Table 7
+        let t = IntegratedTable::build(&r, &s, &outcome, &key).unwrap();
+        // 3 merged + 2 unmatched R + 1 unmatched S = 6 rows (§6.3).
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn merged_rows_carry_both_sides() {
+        let (r, s, config) = example3();
+        let key = config.extended_key.clone();
+        let outcome = EntityMatcher::new(r.clone(), s.clone(), config)
+            .unwrap()
+            .run()
+            .unwrap();
+        let t = IntegratedTable::build(&r, &s, &outcome, &key).unwrap();
+        let rel = t.relation();
+        // Find the anjuman merged row: r_name=anjuman and s_name=anjuman.
+        let rn = rel.schema().position(&AttrName::new("r_name")).unwrap();
+        let sn = rel.schema().position(&AttrName::new("s_name")).unwrap();
+        let row = rel
+            .iter()
+            .find(|t| t.get(rn) == &Value::str("anjuman"))
+            .expect("anjuman row");
+        assert_eq!(row.get(sn), &Value::str("anjuman"));
+        // Its r_speciality was ILFD-derived.
+        let rs = rel
+            .schema()
+            .position(&AttrName::new("r_speciality"))
+            .unwrap();
+        assert_eq!(row.get(rs), &Value::str("mughalai"));
+    }
+
+    #[test]
+    fn dangling_rows_are_null_padded() {
+        let (r, s, config) = example3();
+        let key = config.extended_key.clone();
+        let outcome = EntityMatcher::new(r.clone(), s.clone(), config)
+            .unwrap()
+            .run()
+            .unwrap();
+        let t = IntegratedTable::build(&r, &s, &outcome, &key).unwrap();
+        let rel = t.relation();
+        let rn = rel.schema().position(&AttrName::new("r_name")).unwrap();
+        let sn = rel.schema().position(&AttrName::new("s_name")).unwrap();
+        // villagewok is R-only: s_name NULL.
+        let vw = rel
+            .iter()
+            .find(|t| t.get(rn) == &Value::str("villagewok"))
+            .unwrap();
+        assert!(vw.get(sn).is_null());
+        // twincities/sichuan is S-only: r_name NULL.
+        let sonly = rel.iter().find(|t| t.get(rn).is_null()).unwrap();
+        assert_eq!(sonly.get(sn), &Value::str("twincities"));
+    }
+
+    #[test]
+    fn possibly_same_respects_non_null_conflicts() {
+        let (r, s, config) = example3();
+        let key = config.extended_key.clone();
+        let outcome = EntityMatcher::new(r.clone(), s.clone(), config)
+            .unwrap()
+            .run()
+            .unwrap();
+        let t = IntegratedTable::build(&r, &s, &outcome, &key).unwrap();
+        let rel = t.relation();
+        let rn = rel.schema().position(&AttrName::new("r_name")).unwrap();
+        let sn = rel.schema().position(&AttrName::new("s_name")).unwrap();
+        // Row indices: find villagewok (R-only, speciality NULL) and
+        // the S-only sichuan row: names differ (villagewok vs
+        // twincities) → cannot be the same entity.
+        let vw = rel
+            .iter()
+            .position(|t| t.get(rn) == &Value::str("villagewok"))
+            .unwrap();
+        let so = rel.iter().position(|t| t.get(rn).is_null()).unwrap();
+        assert!(!t.possibly_same(vw, so));
+        // twincities/indian (R-only, spec NULL) vs S-only
+        // twincities/chinese/sichuan: indian ≠ chinese → conflict.
+        let ti = rel
+            .iter()
+            .position(|t| {
+                t.get(rn) == &Value::str("twincities") && t.get(sn).is_null()
+            })
+            .unwrap();
+        assert!(!t.possibly_same(ti, so));
+        // A row is always possibly the same as itself.
+        assert!(t.possibly_same(vw, vw));
+    }
+}

@@ -1,0 +1,233 @@
+//! One-call orchestration: the whole §2 instance-integration story —
+//! validate the knowledge, identify entities, verify soundness,
+//! build the integrated table, resolve attribute conflicts — as a
+//! single [`IntegrationJob`] producing a single [`IntegrationReport`].
+//!
+//! This is the API a downstream integrator actually calls; the
+//! individual stages remain available for fine-grained use.
+
+use std::fmt;
+
+use eid_relational::Relation;
+
+use crate::conflict::{unify, ConflictPolicy, Unified};
+use crate::error::Result;
+use crate::integrate::IntegratedTable;
+use crate::matcher::{EntityMatcher, MatchConfig, MatchOutcome};
+use crate::partition::Partition;
+use crate::validate::{validate_knowledge, KnowledgeReport};
+
+/// Configuration of a full integration run.
+#[derive(Debug, Clone)]
+pub struct IntegrationJob {
+    /// The matching configuration (extended key, ILFDs, rules…).
+    pub config: MatchConfig,
+    /// Conflict policy for the unified relation.
+    pub policy: ConflictPolicy,
+    /// Whether to abort (error) when the §3.2 post-match verification
+    /// fails, instead of reporting and continuing (the prototype
+    /// warns and continues; production integration usually aborts).
+    pub strict: bool,
+}
+
+impl IntegrationJob {
+    /// A job with the given matching configuration, NULL conflict
+    /// policy, and non-strict verification.
+    pub fn new(config: MatchConfig) -> Self {
+        IntegrationJob {
+            config,
+            policy: ConflictPolicy::Null,
+            strict: false,
+        }
+    }
+
+    /// Runs the full pipeline.
+    pub fn run(&self, r: &Relation, s: &Relation) -> Result<IntegrationReport> {
+        // 1. §3.2 necessary checks.
+        let knowledge = validate_knowledge(r, s, &self.config)?;
+
+        // 2. Entity identification.
+        let outcome =
+            EntityMatcher::new(r.clone(), s.clone(), self.config.clone())?.run()?;
+
+        // 3. §3.2 sufficient checks.
+        let verification = outcome.verify().err().map(|e| e.to_string());
+        if self.strict {
+            outcome.verify()?;
+        }
+
+        // 4. Integrated table + unified relation.
+        let integrated = IntegratedTable::build(r, s, &outcome, &self.config.extended_key)?;
+        let unified = unify(r, s, &outcome, self.policy)?;
+
+        let partition = Partition::of(&outcome);
+        Ok(IntegrationReport {
+            knowledge,
+            partition,
+            verification,
+            outcome,
+            integrated,
+            unified,
+        })
+    }
+}
+
+/// Everything a full integration run produced.
+#[derive(Debug, Clone)]
+pub struct IntegrationReport {
+    /// Pre-match knowledge diagnostics.
+    pub knowledge: KnowledgeReport,
+    /// The Figure-3 partition.
+    pub partition: Partition,
+    /// `None` if the §3.2 verification passed, else the failure text.
+    pub verification: Option<String>,
+    /// The raw matching outcome (tables, extended relations).
+    pub outcome: MatchOutcome,
+    /// The integrated table `T_RS`.
+    pub integrated: IntegratedTable,
+    /// The unified one-row-per-entity relation + conflicts.
+    pub unified: Unified,
+}
+
+impl IntegrationReport {
+    /// Whether the run is fully healthy: clean knowledge, verified
+    /// matching, no unresolved conflicts.
+    pub fn is_healthy(&self) -> bool {
+        self.knowledge.is_clean()
+            && self.verification.is_none()
+            && self.unified.conflicts.is_empty()
+    }
+}
+
+impl fmt::Display for IntegrationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "integration report")?;
+        writeln!(f, "  knowledge: {} ILFD violations, {} intra-relation key duplicates",
+            self.knowledge.ilfd_violations.len(),
+            self.knowledge.key_duplicates.len())?;
+        writeln!(f, "  pairs: {}", self.partition)?;
+        match &self.verification {
+            None => writeln!(f, "  verification: passed (sound)")?,
+            Some(e) => writeln!(f, "  verification: FAILED — {e}")?,
+        }
+        writeln!(f, "  integrated table: {} rows", self.integrated.len())?;
+        writeln!(
+            f,
+            "  unified relation: {} rows, {} attribute conflicts",
+            self.unified.relation.len(),
+            self.unified.conflicts.len()
+        )?;
+        write!(f, "  healthy: {}", self.is_healthy())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eid_ilfd::{Ilfd, IlfdSet};
+    use eid_relational::{Schema, Tuple};
+    use eid_rules::ExtendedKey;
+
+    fn workload() -> (Relation, Relation, MatchConfig) {
+        let r_schema = Schema::of_strs(
+            "R",
+            &["name", "cuisine", "city"],
+            &["name", "cuisine"],
+        )
+        .unwrap();
+        let mut r = Relation::new(r_schema);
+        r.insert_strs(&["tc", "chinese", "mpls"]).unwrap();
+        r.insert_strs(&["vw", "chinese", "mpls"]).unwrap();
+
+        let s_schema = Schema::of_strs(
+            "S",
+            &["name", "speciality", "city"],
+            &["name", "speciality"],
+        )
+        .unwrap();
+        let mut s = Relation::new(s_schema);
+        s.insert_strs(&["tc", "hunan", "st_paul"]).unwrap(); // city conflict
+
+        let ilfds: IlfdSet = vec![Ilfd::of_strs(
+            &[("speciality", "hunan")],
+            &[("cuisine", "chinese")],
+        )]
+        .into_iter()
+        .collect();
+        (
+            r,
+            s,
+            MatchConfig::new(ExtendedKey::of_strs(&["name", "cuisine"]), ilfds),
+        )
+    }
+
+    #[test]
+    fn full_run_produces_all_artifacts() {
+        let (r, s, config) = workload();
+        let report = IntegrationJob::new(config).run(&r, &s).unwrap();
+        assert!(report.knowledge.is_clean());
+        assert!(report.verification.is_none());
+        assert_eq!(report.partition.matching, 1);
+        assert_eq!(report.integrated.len(), 2); // 1 merged + 1 R-only
+        assert_eq!(report.unified.relation.len(), 2);
+        assert_eq!(report.unified.conflicts.len(), 1); // the city
+        assert!(!report.is_healthy()); // conflict present
+        let text = report.to_string();
+        assert!(text.contains("verification: passed"));
+        assert!(text.contains("1 attribute conflicts"));
+    }
+
+    #[test]
+    fn strict_mode_aborts_on_unsound_key() {
+        let (r, s, mut config) = workload();
+        config.extended_key = ExtendedKey::of_strs(&["city"]); // not a key
+        let mut job = IntegrationJob::new(config);
+        job.strict = true;
+        // Both R tuples share city=mpls → the single S tuple could
+        // never be disambiguated; with city as the key, R's two mpls
+        // tuples collide in validate… but run() should fail at verify
+        // or report duplicates. Either way strict mode errors or
+        // reports non-clean knowledge.
+        match job.run(&r, &s) {
+            Err(_) => {}
+            Ok(report) => assert!(!report.is_healthy()),
+        }
+    }
+
+    #[test]
+    fn policy_controls_conflict_resolution() {
+        let (r, s, config) = workload();
+        let mut job = IntegrationJob::new(config);
+        job.policy = ConflictPolicy::PreferS;
+        let report = job.run(&r, &s).unwrap();
+        let schema = report.unified.relation.schema().clone();
+        let city = eid_relational::AttrName::new("city");
+        let merged = report
+            .unified
+            .relation
+            .iter()
+            .find(|t| t.get(0) == &eid_relational::Value::str("tc"))
+            .unwrap();
+        assert_eq!(
+            merged.value_of(&schema, &city),
+            Some(&eid_relational::Value::str("st_paul"))
+        );
+    }
+
+    #[test]
+    fn healthy_run() {
+        let (_, s, config) = workload();
+        // Remove the conflicting R tuple's city difference by using a
+        // fresh R that agrees.
+        let r_schema = Schema::of_strs(
+            "R",
+            &["name", "cuisine", "city"],
+            &["name", "cuisine"],
+        )
+        .unwrap();
+        let mut r = Relation::new(r_schema);
+        r.insert(Tuple::of_strs(&["tc", "chinese", "st_paul"])).unwrap();
+        let report = IntegrationJob::new(config).run(&r, &s).unwrap();
+        assert!(report.is_healthy(), "{report}");
+    }
+}

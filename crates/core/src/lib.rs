@@ -1,0 +1,116 @@
+//! # `eid-core` — the entity-identification engine
+//!
+//! The primary contribution of Lim, Srivastava, Prabhakar &
+//! Richardson, *Entity Identification in Database Integration* (ICDE
+//! 1993), as a native Rust engine:
+//!
+//! * [`extend`] — widen relations with missing extended-key
+//!   attributes and derive their values from ILFDs (§4.2 steps 1–2);
+//! * [`matcher`] — the [`matcher::EntityMatcher`]: extended-key
+//!   equivalence via hash join or nested loop, distinctness via
+//!   Proposition-1 rules, producing matching and negative matching
+//!   tables (§4.2 step 3);
+//! * [`match_table`] — pair tables with the §3.2 uniqueness and
+//!   consistency constraints;
+//! * [`algebra_pipeline`] — an independent implementation of the same
+//!   construction as the §4.2 relational expressions over ILFD
+//!   tables (cross-validated against the matcher);
+//! * [`integrate`] — the integrated table `T_RS = MT ⋈ R ⟗ S` with
+//!   NULL semantics (§4.1, §6.3);
+//! * [`partition`] — the Figure-3 three-way partition;
+//! * [`monotonic`] — the §3.3 monotonicity harness (knowledge sweeps);
+//! * [`metrics`] — soundness/completeness measurement against ground
+//!   truth;
+//! * [`session`] — a facade reproducing the Prolog prototype's
+//!   `setup_extkey` / `print_matchtable` / `print_integ_table`
+//!   workflow, including its verification messages;
+//! * [`validate`] — the §3.2 *necessary* pre-match checks on
+//!   DBA-supplied knowledge;
+//! * [`conflict`] — attribute-value conflict detection/resolution
+//!   after identification (§2) and the unified relation;
+//! * [`incremental`] — matching tables maintained under federated
+//!   tuple inserts and growing ILFD knowledge (§2, §3.3);
+//! * [`virtual_view`] — query-time virtual integration with
+//!   selection pushdown (§1);
+//! * [`explain`] — per-match provenance: the ILFD chains behind each
+//!   derived extended-key value;
+//! * [`job`] — one-call orchestration of the whole pipeline.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use eid_core::prelude::*;
+//! use eid_relational::{Relation, Schema};
+//! use eid_ilfd::{Ilfd, IlfdSet};
+//!
+//! // R(name, cuisine) and S(name, speciality) share no candidate key.
+//! let r_schema = Schema::of_strs("R", &["name", "cuisine"], &["name", "cuisine"]).unwrap();
+//! let mut r = Relation::new(r_schema);
+//! r.insert_strs(&["twincities", "indian"]).unwrap();
+//!
+//! let s_schema = Schema::of_strs("S", &["name", "speciality"], &["name", "speciality"]).unwrap();
+//! let mut s = Relation::new(s_schema);
+//! s.insert_strs(&["twincities", "mughalai"]).unwrap();
+//!
+//! // One ILFD bridges them: Mughalai speciality ⇒ Indian cuisine.
+//! let ilfds: IlfdSet = vec![
+//!     Ilfd::of_strs(&[("speciality", "mughalai")], &[("cuisine", "indian")]),
+//! ].into_iter().collect();
+//!
+//! let config = MatchConfig::new(ExtendedKey::of_strs(&["name", "cuisine"]), ilfds);
+//! let outcome = EntityMatcher::new(r, s, config).unwrap().run().unwrap();
+//! assert_eq!(outcome.matching.len(), 1);
+//! outcome.verify().unwrap(); // sound: uniqueness + consistency hold
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod algebra_pipeline;
+pub mod conflict;
+pub mod error;
+pub mod explain;
+pub mod extend;
+pub mod incremental;
+pub mod integrate;
+pub mod job;
+pub mod match_table;
+pub mod matcher;
+pub mod metrics;
+pub mod monotonic;
+pub mod partition;
+pub mod session;
+pub mod validate;
+pub mod virtual_view;
+
+pub use conflict::{AttributeConflict, ConflictPolicy, Unified};
+pub use error::{CoreError, Result};
+pub use explain::{explain_match, MatchExplanation, Support};
+pub use incremental::{Delta, IncrementalMatcher, SideSel};
+pub use integrate::IntegratedTable;
+pub use job::{IntegrationJob, IntegrationReport};
+pub use match_table::{PairEntry, PairTable};
+pub use matcher::{EntityMatcher, JoinAlgorithm, MatchConfig, MatchOutcome};
+pub use metrics::{Evaluation, GroundTruth};
+pub use monotonic::KnowledgeSweep;
+pub use partition::Partition;
+pub use session::Session;
+pub use validate::{validate_knowledge, KnowledgeReport};
+pub use virtual_view::{Selection, ViewAnswer, VirtualView};
+
+/// Commonly used types, one `use` away.
+pub mod prelude {
+    pub use crate::conflict::{AttributeConflict, ConflictPolicy, Unified};
+    pub use crate::incremental::{Delta, IncrementalMatcher, SideSel};
+    pub use crate::integrate::IntegratedTable;
+    pub use crate::job::{IntegrationJob, IntegrationReport};
+    pub use crate::match_table::PairTable;
+    pub use crate::matcher::{EntityMatcher, JoinAlgorithm, MatchConfig, MatchOutcome};
+    pub use crate::metrics::{Evaluation, GroundTruth};
+    pub use crate::monotonic::KnowledgeSweep;
+    pub use crate::partition::Partition;
+    pub use crate::session::Session;
+    pub use crate::virtual_view::{Selection, VirtualView};
+    pub use eid_ilfd::Strategy as DerivationStrategy;
+    pub use eid_rules::{ExtendedKey, MatchDecision, RuleBase};
+}

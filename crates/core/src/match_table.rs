@@ -1,0 +1,274 @@
+//! Matching and negative matching tables (§3.2, §4.2).
+//!
+//! "Those pairs evaluating to *true* or *false* can be represented in
+//! a matching table and a negative matching table, respectively.
+//! Because each tuple has a unique identifier in its relation, a
+//! matching (negative matching) table entry consists of the key
+//! values of the pair of tuples." Entries must satisfy:
+//!
+//! * **Uniqueness constraint** — no tuple in either relation can be
+//!   matched to more than one tuple in the other relation;
+//! * **Consistency constraint** — no tuple pair can appear in both
+//!   the matching and negative matching tables.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use eid_relational::{AttrName, Relation, Schema, Tuple};
+
+use crate::error::{CoreError, Result};
+
+/// One entry: the key projections of a matched (or provably
+/// unmatched) tuple pair.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PairEntry {
+    /// Primary-key value of the `R` tuple.
+    pub r_key: Tuple,
+    /// Primary-key value of the `S` tuple.
+    pub s_key: Tuple,
+}
+
+/// A table of tuple pairs keyed by their relations' primary keys —
+/// used for both `MT_RS` and `NMT_RS`.
+#[derive(Debug, Clone)]
+pub struct PairTable {
+    r_key_attrs: Vec<AttrName>,
+    s_key_attrs: Vec<AttrName>,
+    entries: Vec<PairEntry>,
+    seen: HashSet<PairEntry>,
+}
+
+impl PairTable {
+    /// Creates an empty table over the given key attribute names.
+    pub fn new(r_key_attrs: Vec<AttrName>, s_key_attrs: Vec<AttrName>) -> Self {
+        PairTable {
+            r_key_attrs,
+            s_key_attrs,
+            entries: Vec::new(),
+            seen: HashSet::new(),
+        }
+    }
+
+    /// `R`'s key attribute names.
+    pub fn r_key_attrs(&self) -> &[AttrName] {
+        &self.r_key_attrs
+    }
+
+    /// `S`'s key attribute names.
+    pub fn s_key_attrs(&self) -> &[AttrName] {
+        &self.s_key_attrs
+    }
+
+    /// Adds a pair (idempotent).
+    pub fn insert(&mut self, r_key: Tuple, s_key: Tuple) -> bool {
+        let e = PairEntry { r_key, s_key };
+        if self.seen.insert(e.clone()) {
+            self.entries.push(e);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The entries in insertion order.
+    pub fn entries(&self) -> &[PairEntry] {
+        &self.entries
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, r_key: &Tuple, s_key: &Tuple) -> bool {
+        self.seen.contains(&PairEntry {
+            r_key: r_key.clone(),
+            s_key: s_key.clone(),
+        })
+    }
+
+    /// Whether this table's pair set includes all of `other`'s —
+    /// the monotonicity check's workhorse.
+    pub fn includes(&self, other: &PairTable) -> bool {
+        other.entries.iter().all(|e| self.seen.contains(e))
+    }
+
+    /// Checks the **uniqueness constraint**: every `R` key maps to at
+    /// most one `S` key and vice versa. The prototype performs this
+    /// check after `setup_extkey` and prints "The extended key causes
+    /// unsound matching result" on failure.
+    pub fn verify_uniqueness(&self) -> Result<()> {
+        let mut r_seen: HashMap<&Tuple, &Tuple> = HashMap::new();
+        let mut s_seen: HashMap<&Tuple, &Tuple> = HashMap::new();
+        for e in &self.entries {
+            if let Some(prev) = r_seen.insert(&e.r_key, &e.s_key) {
+                if prev != &e.s_key {
+                    return Err(CoreError::UniquenessViolation {
+                        side: "R",
+                        key: e.r_key.to_string(),
+                    });
+                }
+            }
+            if let Some(prev) = s_seen.insert(&e.s_key, &e.r_key) {
+                if prev != &e.r_key {
+                    return Err(CoreError::UniquenessViolation {
+                        side: "S",
+                        key: e.s_key.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks the **consistency constraint** against a negative
+    /// table: no pair may appear in both.
+    pub fn verify_consistency(&self, negative: &PairTable) -> Result<()> {
+        for e in &self.entries {
+            if negative.seen.contains(e) {
+                return Err(CoreError::ConsistencyViolation {
+                    pair: format!("({}, {})", e.r_key, e.s_key),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the table as a relation whose attributes are the `R`
+    /// key attributes (prefixed `r_`) followed by the `S` key
+    /// attributes (prefixed `s_`), for printing in the prototype's
+    /// format.
+    pub fn to_relation(&self, name: &str) -> Result<Relation> {
+        let mut names: Vec<String> = Vec::new();
+        for a in &self.r_key_attrs {
+            names.push(format!("r_{a}"));
+        }
+        for a in &self.s_key_attrs {
+            names.push(format!("s_{a}"));
+        }
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let schema: Arc<Schema> = Schema::of_strs(name, &name_refs, &name_refs)?;
+        let mut rel = Relation::new_unchecked(schema);
+        for e in &self.entries {
+            rel.insert(e.r_key.concat(&e.s_key))?;
+        }
+        Ok(rel)
+    }
+
+    /// The set of `R` keys appearing in the table.
+    pub fn r_keys(&self) -> HashSet<&Tuple> {
+        self.entries.iter().map(|e| &e.r_key).collect()
+    }
+
+    /// The set of `S` keys appearing in the table.
+    pub fn s_keys(&self) -> HashSet<&Tuple> {
+        self.entries.iter().map(|e| &e.s_key).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> PairTable {
+        PairTable::new(
+            vec![AttrName::new("name"), AttrName::new("cuisine")],
+            vec![AttrName::new("name"), AttrName::new("speciality")],
+        )
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let mut t = table();
+        assert!(t.insert(
+            Tuple::of_strs(&["tc", "chinese"]),
+            Tuple::of_strs(&["tc", "hunan"])
+        ));
+        assert!(!t.insert(
+            Tuple::of_strs(&["tc", "chinese"]),
+            Tuple::of_strs(&["tc", "hunan"])
+        ));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn uniqueness_ok_for_one_to_one() {
+        let mut t = table();
+        t.insert(Tuple::of_strs(&["a", "x"]), Tuple::of_strs(&["a", "p"]));
+        t.insert(Tuple::of_strs(&["b", "y"]), Tuple::of_strs(&["b", "q"]));
+        assert!(t.verify_uniqueness().is_ok());
+    }
+
+    #[test]
+    fn uniqueness_violation_on_r_side() {
+        let mut t = table();
+        t.insert(Tuple::of_strs(&["a", "x"]), Tuple::of_strs(&["a", "p"]));
+        t.insert(Tuple::of_strs(&["a", "x"]), Tuple::of_strs(&["b", "q"]));
+        let err = t.verify_uniqueness().unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::UniquenessViolation { side: "R", .. }
+        ));
+    }
+
+    #[test]
+    fn uniqueness_violation_on_s_side() {
+        let mut t = table();
+        t.insert(Tuple::of_strs(&["a", "x"]), Tuple::of_strs(&["c", "p"]));
+        t.insert(Tuple::of_strs(&["b", "y"]), Tuple::of_strs(&["c", "p"]));
+        let err = t.verify_uniqueness().unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::UniquenessViolation { side: "S", .. }
+        ));
+    }
+
+    #[test]
+    fn consistency_detects_overlap() {
+        let mut mt = table();
+        mt.insert(Tuple::of_strs(&["a", "x"]), Tuple::of_strs(&["a", "p"]));
+        let mut nmt = table();
+        nmt.insert(Tuple::of_strs(&["a", "x"]), Tuple::of_strs(&["a", "p"]));
+        assert!(mt.verify_consistency(&nmt).is_err());
+        let empty = table();
+        assert!(mt.verify_consistency(&empty).is_ok());
+    }
+
+    #[test]
+    fn includes_for_monotonicity() {
+        let mut small = table();
+        small.insert(Tuple::of_strs(&["a", "x"]), Tuple::of_strs(&["a", "p"]));
+        let mut big = small.clone();
+        big.insert(Tuple::of_strs(&["b", "y"]), Tuple::of_strs(&["b", "q"]));
+        assert!(big.includes(&small));
+        assert!(!small.includes(&big));
+    }
+
+    #[test]
+    fn to_relation_prefixes_columns() {
+        let mut t = table();
+        t.insert(
+            Tuple::of_strs(&["tc", "chinese"]),
+            Tuple::of_strs(&["tc", "hunan"]),
+        );
+        let rel = t.to_relation("MT").unwrap();
+        assert!(rel.schema().has_attribute(&AttrName::new("r_name")));
+        assert!(rel.schema().has_attribute(&AttrName::new("s_speciality")));
+        assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn key_sets() {
+        let mut t = table();
+        t.insert(Tuple::of_strs(&["a", "x"]), Tuple::of_strs(&["a", "p"]));
+        t.insert(Tuple::of_strs(&["b", "y"]), Tuple::of_strs(&["b", "q"]));
+        assert_eq!(t.r_keys().len(), 2);
+        assert_eq!(t.s_keys().len(), 2);
+    }
+}

@@ -1,0 +1,433 @@
+//! The entity matcher — §4's proposed technique, end to end.
+//!
+//! Pipeline (§4.2):
+//! 1. extend `R` and `S` with their missing extended-key attributes
+//!    (NULL-filled) — [`crate::extend`];
+//! 2. apply the ILFDs to derive the missing values;
+//! 3. match: every pair of extended tuples with identical **non-NULL**
+//!    extended-key values enters the matching table `MT_RS`;
+//!    additional identity rules (if any) are evaluated pairwise;
+//! 4. refute: distinctness rules — including those every ILFD induces
+//!    via Proposition 1 — populate the negative matching table
+//!    `NMT_RS`;
+//! 5. verify: the uniqueness and consistency constraints of §3.2.
+//!
+//! Step 3 is an equi-join; [`JoinAlgorithm::Hash`] runs it in
+//! `O(|R| + |S|)` expected time, [`JoinAlgorithm::NestedLoop`]
+//! evaluates the full rule base on all `|R|·|S|` pairs (needed when
+//! extra rules go beyond extended-key equality, and as the baseline
+//! for the scaling benchmarks).
+
+use eid_ilfd::{IlfdSet, Strategy};
+use eid_relational::{HashIndex, Relation};
+use eid_rules::{ExtendedKey, RuleBase};
+
+use crate::error::{CoreError, Result};
+use crate::extend::{extend_relation, Extended};
+use crate::match_table::PairTable;
+
+/// How the extended-key equi-join is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinAlgorithm {
+    /// Hash join on the extended-key projection (linear expected time).
+    #[default]
+    Hash,
+    /// Nested-loop evaluation of the full rule base on every pair.
+    NestedLoop,
+}
+
+/// Configuration of a matching run.
+#[derive(Debug, Clone)]
+pub struct MatchConfig {
+    /// The extended key `K_Ext` asserted by the DBA.
+    pub extended_key: ExtendedKey,
+    /// The available ILFDs (used for derivation, and for distinctness
+    /// via Proposition 1 when `use_ilfd_distinctness` is set).
+    pub ilfds: IlfdSet,
+    /// Derivation strategy for missing values.
+    pub strategy: Strategy,
+    /// Join algorithm for the identity phase.
+    pub join: JoinAlgorithm,
+    /// Extra identity/distinctness rules beyond extended-key
+    /// equivalence (e.g. hand-asserted rules like the paper's r1/r3).
+    pub extra_rules: RuleBase,
+    /// Whether each ILFD also contributes its Proposition-1
+    /// distinctness rule to the refutation phase.
+    pub use_ilfd_distinctness: bool,
+    /// Whether to run the (quadratic) refutation phase at all. Off
+    /// for pure-matching scaling benchmarks.
+    pub collect_negative: bool,
+}
+
+impl MatchConfig {
+    /// The common configuration: an extended key plus ILFDs,
+    /// first-match derivation, hash join, ILFD distinctness on.
+    pub fn new(extended_key: ExtendedKey, ilfds: IlfdSet) -> Self {
+        MatchConfig {
+            extended_key,
+            ilfds,
+            strategy: Strategy::FirstMatch,
+            join: JoinAlgorithm::Hash,
+            extra_rules: RuleBase::new(),
+            use_ilfd_distinctness: true,
+            collect_negative: true,
+        }
+    }
+}
+
+/// The complete result of a matching run.
+#[derive(Debug, Clone)]
+pub struct MatchOutcome {
+    /// The matching table `MT_RS` (key-value pairs).
+    pub matching: PairTable,
+    /// The negative matching table `NMT_RS`.
+    pub negative: PairTable,
+    /// Extended relation `R′` with derivation reports.
+    pub extended_r: Extended,
+    /// Extended relation `S′` with derivation reports.
+    pub extended_s: Extended,
+    /// Number of pairs left undetermined
+    /// (`|R|·|S| − |MT| − |NMT|`, Figure 3's middle region).
+    pub undetermined: usize,
+}
+
+impl MatchOutcome {
+    /// Runs the §3.2 verifications: uniqueness of the matching table
+    /// and its consistency with the negative table.
+    pub fn verify(&self) -> Result<()> {
+        self.matching.verify_uniqueness()?;
+        self.matching.verify_consistency(&self.negative)
+    }
+
+    /// Whether the outcome is *complete*: no undetermined pairs.
+    pub fn is_complete(&self) -> bool {
+        self.undetermined == 0
+    }
+}
+
+/// The entity matcher over a pair of relations.
+#[derive(Debug, Clone)]
+pub struct EntityMatcher {
+    r: Relation,
+    s: Relation,
+    config: MatchConfig,
+}
+
+impl EntityMatcher {
+    /// Builds a matcher; rejects empty extended keys.
+    pub fn new(r: Relation, s: Relation, config: MatchConfig) -> Result<Self> {
+        if config.extended_key.is_empty() {
+            return Err(CoreError::EmptyExtendedKey);
+        }
+        Ok(EntityMatcher { r, s, config })
+    }
+
+    /// The source relation `R`.
+    pub fn r(&self) -> &Relation {
+        &self.r
+    }
+
+    /// The source relation `S`.
+    pub fn s(&self) -> &Relation {
+        &self.s
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MatchConfig {
+        &self.config
+    }
+
+    /// The full rule base in force: extended-key equivalence, extra
+    /// rules, and (optionally) the ILFD-induced distinctness rules.
+    pub fn rule_base(&self) -> Result<RuleBase> {
+        let mut rb = self.config.extra_rules.clone();
+        rb.add_identity(self.config.extended_key.identity_rule()?);
+        if self.config.use_ilfd_distinctness {
+            rb.add_ilfd_distinctness(&self.config.ilfds);
+        }
+        Ok(rb)
+    }
+
+    /// Runs the pipeline and returns the outcome. The §3.2
+    /// constraints are **not** enforced here — call
+    /// [`MatchOutcome::verify`] (the prototype's `setup_extkey` does,
+    /// printing a warning instead of failing).
+    pub fn run(&self) -> Result<MatchOutcome> {
+        let ext_r = extend_relation(
+            &self.r,
+            &self.config.extended_key,
+            &self.config.ilfds,
+            self.config.strategy,
+        )?;
+        let ext_s = extend_relation(
+            &self.s,
+            &self.config.extended_key,
+            &self.config.ilfds,
+            self.config.strategy,
+        )?;
+
+        let mut matching = PairTable::new(
+            self.r.schema().primary_key(),
+            self.s.schema().primary_key(),
+        );
+        let mut negative = PairTable::new(
+            self.r.schema().primary_key(),
+            self.s.schema().primary_key(),
+        );
+
+        let rb = self.rule_base()?;
+        match self.config.join {
+            JoinAlgorithm::Hash => {
+                self.hash_identity_phase(&ext_r.relation, &ext_s.relation, &mut matching)?;
+                // Extra identity rules (rare) still need pairwise checks.
+                if !self.config.extra_rules.identity_rules().is_empty() {
+                    self.pairwise_phase(
+                        &ext_r.relation,
+                        &ext_s.relation,
+                        &rb,
+                        &mut matching,
+                        &mut negative,
+                        /*identity:*/ true,
+                        /*distinct:*/ false,
+                    )?;
+                }
+                if self.config.collect_negative {
+                    self.pairwise_phase(
+                        &ext_r.relation,
+                        &ext_s.relation,
+                        &rb,
+                        &mut matching,
+                        &mut negative,
+                        false,
+                        true,
+                    )?;
+                }
+            }
+            JoinAlgorithm::NestedLoop => {
+                self.pairwise_phase(
+                    &ext_r.relation,
+                    &ext_s.relation,
+                    &rb,
+                    &mut matching,
+                    &mut negative,
+                    true,
+                    self.config.collect_negative,
+                )?;
+            }
+        }
+
+        let total = self.r.len() * self.s.len();
+        // Pairs recorded in both tables (inconsistent knowledge, caught
+        // by verify()) must not be subtracted twice.
+        let overlap = matching
+            .entries()
+            .iter()
+            .filter(|e| negative.contains(&e.r_key, &e.s_key))
+            .count();
+        let undetermined = (total + overlap)
+            .saturating_sub(matching.len())
+            .saturating_sub(negative.len());
+        Ok(MatchOutcome {
+            matching,
+            negative,
+            extended_r: ext_r,
+            extended_s: ext_s,
+            undetermined,
+        })
+    }
+
+    /// Hash join over the extended-key projection (non-NULL only),
+    /// via a [`HashIndex`] on the extended `S` side.
+    fn hash_identity_phase(
+        &self,
+        ext_r: &Relation,
+        ext_s: &Relation,
+        matching: &mut PairTable,
+    ) -> Result<()> {
+        let key_attrs = self.config.extended_key.attrs();
+        let r_pos = ext_r.positions_of(key_attrs)?;
+        let index = HashIndex::build(ext_s, key_attrs)?;
+        for (i, t) in ext_r.iter().enumerate() {
+            let Some(js) = index.probe_tuple(t, &r_pos) else {
+                continue;
+            };
+            for &j in js {
+                matching.insert(
+                    self.r.primary_key_of(&self.r.tuples()[i]),
+                    self.s.primary_key_of(&self.s.tuples()[j]),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Nested-loop evaluation of the rule base; fills the requested
+    /// tables. A pair on which both an identity and a distinctness
+    /// rule fire is recorded in **both** tables — the prototype does
+    /// not abort on inconsistent knowledge, it surfaces the problem
+    /// as the §3.2 consistency-constraint failure when
+    /// [`MatchOutcome::verify`] runs ("the extended key causes
+    /// unsound matching result").
+    #[allow(clippy::too_many_arguments)]
+    fn pairwise_phase(
+        &self,
+        ext_r: &Relation,
+        ext_s: &Relation,
+        rb: &RuleBase,
+        matching: &mut PairTable,
+        negative: &mut PairTable,
+        record_identity: bool,
+        record_distinct: bool,
+    ) -> Result<()> {
+        for (i, tr) in ext_r.iter().enumerate() {
+            for (j, ts) in ext_s.iter().enumerate() {
+                if record_identity
+                    && rb.fires_identity(ext_r.schema(), tr, ext_s.schema(), ts)
+                {
+                    matching.insert(
+                        self.r.primary_key_of(&self.r.tuples()[i]),
+                        self.s.primary_key_of(&self.s.tuples()[j]),
+                    );
+                }
+                if record_distinct
+                    && rb.fires_distinctness(ext_r.schema(), tr, ext_s.schema(), ts)
+                {
+                    negative.insert(
+                        self.r.primary_key_of(&self.r.tuples()[i]),
+                        self.s.primary_key_of(&self.s.tuples()[j]),
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eid_ilfd::Ilfd;
+    use eid_relational::{Schema, Tuple};
+
+    /// Paper Example 2 (Tables 2–3): R(name,cuisine,street),
+    /// S(name,speciality,city), K_Ext = {name, cuisine}, one ILFD.
+    fn example2() -> (Relation, Relation, MatchConfig) {
+        let r_schema =
+            Schema::of_strs("R", &["name", "cuisine", "street"], &["name", "cuisine"])
+                .unwrap();
+        let mut r = Relation::new(r_schema);
+        r.insert_strs(&["twincities", "chinese", "wash_ave"]).unwrap();
+        r.insert_strs(&["twincities", "indian", "univ_ave"]).unwrap();
+
+        let s_schema =
+            Schema::of_strs("S", &["name", "speciality", "city"], &["name", "city"])
+                .unwrap();
+        let mut s = Relation::new(s_schema);
+        s.insert_strs(&["twincities", "mughalai", "st_paul"]).unwrap();
+
+        let ilfds: IlfdSet = vec![Ilfd::of_strs(
+            &[("speciality", "mughalai")],
+            &[("cuisine", "indian")],
+        )]
+        .into_iter()
+        .collect();
+        let config = MatchConfig::new(ExtendedKey::of_strs(&["name", "cuisine"]), ilfds);
+        (r, s, config)
+    }
+
+    #[test]
+    fn example2_matches_indian_twincities() {
+        let (r, s, config) = example2();
+        let outcome = EntityMatcher::new(r, s, config).unwrap().run().unwrap();
+        // Table 3: exactly one match — (TwinCities, Indian) ↔ TwinCities.
+        assert_eq!(outcome.matching.len(), 1);
+        let e = &outcome.matching.entries()[0];
+        assert_eq!(e.r_key, Tuple::of_strs(&["twincities", "indian"]));
+        assert_eq!(e.s_key, Tuple::of_strs(&["twincities", "st_paul"]));
+        outcome.verify().unwrap();
+    }
+
+    #[test]
+    fn example2_negative_table_4() {
+        let (r, s, config) = example2();
+        let outcome = EntityMatcher::new(r, s, config).unwrap().run().unwrap();
+        // Table 4: (TwinCities, Chinese) provably differs from the S
+        // tuple (speciality mughalai ⇒ cuisine indian ≠ chinese).
+        assert_eq!(outcome.negative.len(), 1);
+        let e = &outcome.negative.entries()[0];
+        assert_eq!(e.r_key, Tuple::of_strs(&["twincities", "chinese"]));
+        // 2×1 pairs: 1 matching + 1 negative = complete.
+        assert!(outcome.is_complete());
+    }
+
+    #[test]
+    fn hash_and_nested_loop_agree() {
+        let (r, s, mut config) = example2();
+        let hash = EntityMatcher::new(r.clone(), s.clone(), config.clone())
+            .unwrap()
+            .run()
+            .unwrap();
+        config.join = JoinAlgorithm::NestedLoop;
+        let nested = EntityMatcher::new(r, s, config).unwrap().run().unwrap();
+        assert!(hash.matching.includes(&nested.matching));
+        assert!(nested.matching.includes(&hash.matching));
+        assert!(hash.negative.includes(&nested.negative));
+        assert!(nested.negative.includes(&hash.negative));
+    }
+
+    #[test]
+    fn empty_extended_key_rejected() {
+        let (r, s, mut config) = example2();
+        config.extended_key = ExtendedKey::new([]);
+        assert!(matches!(
+            EntityMatcher::new(r, s, config),
+            Err(CoreError::EmptyExtendedKey)
+        ));
+    }
+
+    #[test]
+    fn without_ilfds_everything_is_undetermined() {
+        let (r, s, mut config) = example2();
+        config.ilfds = IlfdSet::new();
+        let outcome = EntityMatcher::new(r, s, config).unwrap().run().unwrap();
+        // S has no cuisine and no ILFD can derive it: no pair can
+        // satisfy extended-key equivalence, none can be refuted.
+        assert_eq!(outcome.matching.len(), 0);
+        assert_eq!(outcome.negative.len(), 0);
+        assert_eq!(outcome.undetermined, 2);
+    }
+
+    #[test]
+    fn unsound_extended_key_detected_by_verify() {
+        // K_Ext = {name} is not a key of the integrated world here:
+        // both R tuples share name=twincities, so the single S tuple
+        // matches both — the prototype's warning scenario.
+        let (r, s, mut config) = example2();
+        config.extended_key = ExtendedKey::of_strs(&["name"]);
+        let outcome = EntityMatcher::new(r, s, config).unwrap().run().unwrap();
+        assert_eq!(outcome.matching.len(), 2);
+        assert!(matches!(
+            outcome.verify(),
+            Err(CoreError::UniquenessViolation { side: "S", .. })
+        ));
+    }
+
+    #[test]
+    fn collect_negative_off_skips_refutation() {
+        let (r, s, mut config) = example2();
+        config.collect_negative = false;
+        let outcome = EntityMatcher::new(r, s, config).unwrap().run().unwrap();
+        assert_eq!(outcome.matching.len(), 1);
+        assert!(outcome.negative.is_empty());
+        assert_eq!(outcome.undetermined, 1);
+    }
+
+    #[test]
+    fn rule_base_composition() {
+        let (r, s, config) = example2();
+        let m = EntityMatcher::new(r, s, config).unwrap();
+        let rb = m.rule_base().unwrap();
+        assert_eq!(rb.identity_rules().len(), 1);
+        assert_eq!(rb.distinctness_rules().len(), 1); // one ILFD
+    }
+}

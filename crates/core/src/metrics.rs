@@ -1,0 +1,225 @@
+//! Soundness and completeness metrics against a ground truth (§3.2).
+//!
+//! The paper defines *soundness* ("each record pair declared to be
+//! matching (not matching) indeed models the same (distinct)
+//! real-world entity") and *completeness* ("the process returns
+//! matching or not matching, but not undetermined, for all pairs").
+//! With synthetic workloads we know the true correspondence, so both
+//! properties are measurable; the baseline comparison experiments
+//! (S3) report these numbers per technique.
+
+use std::collections::HashSet;
+
+use eid_relational::Tuple;
+
+use crate::match_table::PairTable;
+
+/// The true correspondence between `R` and `S` tuples, as key-value
+/// pairs — the conceptual `MT_RS` of §3.2 (everything not in it is
+/// conceptually in `NMT_RS`).
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    pairs: HashSet<(Tuple, Tuple)>,
+}
+
+impl GroundTruth {
+    /// An empty ground truth (no true matches).
+    pub fn new() -> Self {
+        GroundTruth::default()
+    }
+
+    /// Registers a true match between key values.
+    pub fn add(&mut self, r_key: Tuple, s_key: Tuple) {
+        self.pairs.insert((r_key, s_key));
+    }
+
+    /// Whether `(r_key, s_key)` is a true match.
+    pub fn is_match(&self, r_key: &Tuple, s_key: &Tuple) -> bool {
+        self.pairs.contains(&(r_key.clone(), s_key.clone()))
+    }
+
+    /// Number of true matches.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether there are no true matches.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterates over the true pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &(Tuple, Tuple)> {
+        self.pairs.iter()
+    }
+}
+
+/// Quality of one technique's declared tables against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// Declared matches that are true matches.
+    pub true_matches: usize,
+    /// Declared matches that are *not* true matches (soundness
+    /// violations on the positive side).
+    pub false_matches: usize,
+    /// Declared non-matches that are actually matches (soundness
+    /// violations on the negative side).
+    pub false_non_matches: usize,
+    /// Declared non-matches that are truly distinct.
+    pub true_non_matches: usize,
+    /// True matches the technique failed to declare (left
+    /// undetermined or wrongly refuted).
+    pub missed_matches: usize,
+    /// Total candidate pairs (`|R| · |S|`).
+    pub total_pairs: usize,
+}
+
+impl Evaluation {
+    /// Compares declared matching/negative tables against the truth.
+    pub fn compute(
+        truth: &GroundTruth,
+        matching: &PairTable,
+        negative: &PairTable,
+        total_pairs: usize,
+    ) -> Evaluation {
+        let mut e = Evaluation {
+            true_matches: 0,
+            false_matches: 0,
+            false_non_matches: 0,
+            true_non_matches: 0,
+            missed_matches: 0,
+            total_pairs,
+        };
+        for entry in matching.entries() {
+            if truth.is_match(&entry.r_key, &entry.s_key) {
+                e.true_matches += 1;
+            } else {
+                e.false_matches += 1;
+            }
+        }
+        for entry in negative.entries() {
+            if truth.is_match(&entry.r_key, &entry.s_key) {
+                e.false_non_matches += 1;
+            } else {
+                e.true_non_matches += 1;
+            }
+        }
+        e.missed_matches = truth.len() - e.true_matches;
+        e
+    }
+
+    /// Whether the result is **sound** (§3.2): no false matches and
+    /// no false non-matches.
+    pub fn is_sound(&self) -> bool {
+        self.false_matches == 0 && self.false_non_matches == 0
+    }
+
+    /// Fraction of declared matches that are correct (1.0 when none
+    /// declared).
+    pub fn match_precision(&self) -> f64 {
+        let declared = self.true_matches + self.false_matches;
+        if declared == 0 {
+            1.0
+        } else {
+            self.true_matches as f64 / declared as f64
+        }
+    }
+
+    /// Fraction of true matches found.
+    pub fn match_recall(&self) -> f64 {
+        let truth = self.true_matches + self.missed_matches;
+        if truth == 0 {
+            1.0
+        } else {
+            self.true_matches as f64 / truth as f64
+        }
+    }
+
+    /// §3.2 completeness: fraction of all pairs decided either way.
+    pub fn completeness(&self) -> f64 {
+        if self.total_pairs == 0 {
+            return 1.0;
+        }
+        let decided =
+            self.true_matches + self.false_matches + self.true_non_matches + self.false_non_matches;
+        decided as f64 / self.total_pairs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eid_relational::AttrName;
+
+    fn key(s: &str) -> Tuple {
+        Tuple::of_strs(&[s])
+    }
+
+    fn table(pairs: &[(&str, &str)]) -> PairTable {
+        let mut t = PairTable::new(vec![AttrName::new("k")], vec![AttrName::new("k")]);
+        for (a, b) in pairs {
+            t.insert(key(a), key(b));
+        }
+        t
+    }
+
+    fn truth() -> GroundTruth {
+        let mut g = GroundTruth::new();
+        g.add(key("a"), key("a"));
+        g.add(key("b"), key("b"));
+        g
+    }
+
+    #[test]
+    fn perfect_result_is_sound_and_complete() {
+        let t = truth();
+        let mt = table(&[("a", "a"), ("b", "b")]);
+        let nmt = table(&[("a", "b"), ("b", "a")]);
+        let e = Evaluation::compute(&t, &mt, &nmt, 4);
+        assert!(e.is_sound());
+        assert_eq!(e.match_precision(), 1.0);
+        assert_eq!(e.match_recall(), 1.0);
+        assert_eq!(e.completeness(), 1.0);
+    }
+
+    #[test]
+    fn false_match_breaks_soundness() {
+        let t = truth();
+        let mt = table(&[("a", "a"), ("a", "b")]);
+        let nmt = table(&[]);
+        let e = Evaluation::compute(&t, &mt, &nmt, 4);
+        assert!(!e.is_sound());
+        assert_eq!(e.false_matches, 1);
+        assert!((e.match_precision() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrong_refutation_breaks_soundness() {
+        let t = truth();
+        let mt = table(&[]);
+        let nmt = table(&[("a", "a")]); // truly a match
+        let e = Evaluation::compute(&t, &mt, &nmt, 4);
+        assert!(!e.is_sound());
+        assert_eq!(e.false_non_matches, 1);
+    }
+
+    #[test]
+    fn sound_but_incomplete() {
+        let t = truth();
+        let mt = table(&[("a", "a")]);
+        let nmt = table(&[]);
+        let e = Evaluation::compute(&t, &mt, &nmt, 4);
+        assert!(e.is_sound());
+        assert_eq!(e.missed_matches, 1);
+        assert!((e.match_recall() - 0.5).abs() < 1e-12);
+        assert!((e.completeness() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_everything() {
+        let e = Evaluation::compute(&GroundTruth::new(), &table(&[]), &table(&[]), 0);
+        assert!(e.is_sound());
+        assert_eq!(e.completeness(), 1.0);
+        assert_eq!(e.match_recall(), 1.0);
+    }
+}

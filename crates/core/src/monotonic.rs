@@ -1,0 +1,163 @@
+//! Monotonicity of entity identification (§3.3).
+//!
+//! > An entity-identification technique is monotonic if every pair of
+//! > tuples determined by the technique to be matching/not matching
+//! > remains so when additional information is supplied.
+//!
+//! [`KnowledgeSweep`] re-runs the matcher under growing prefixes of
+//! an ILFD list and records the Figure-3 partition after each step;
+//! [`KnowledgeSweep::verify_monotonic`] checks that the matching and
+//! not-matching sets only ever grow. This also regenerates the
+//! paper's Figure 3 as a data series (experiment E4).
+
+use eid_ilfd::{Ilfd, IlfdSet};
+use eid_relational::Relation;
+
+use crate::error::Result;
+use crate::match_table::PairTable;
+use crate::matcher::{EntityMatcher, MatchConfig, MatchOutcome};
+use crate::partition::Partition;
+
+/// One step of the sweep: how many ILFDs were in force and what the
+/// partition looked like.
+#[derive(Debug, Clone)]
+pub struct SweepStep {
+    /// Number of ILFDs supplied so far.
+    pub ilfds: usize,
+    /// The resulting partition.
+    pub partition: Partition,
+    /// The matching table at this step.
+    pub matching: PairTable,
+    /// The negative matching table at this step.
+    pub negative: PairTable,
+}
+
+/// The result of sweeping knowledge from none to all.
+#[derive(Debug, Clone)]
+pub struct KnowledgeSweep {
+    /// One entry per prefix length `0..=n`.
+    pub steps: Vec<SweepStep>,
+}
+
+impl KnowledgeSweep {
+    /// Runs the matcher under every prefix of `ilfds` (`0..=n` rules),
+    /// with the rest of `config` fixed.
+    pub fn run(
+        r: &Relation,
+        s: &Relation,
+        config: &MatchConfig,
+        ilfds: &[Ilfd],
+    ) -> Result<KnowledgeSweep> {
+        let mut steps = Vec::with_capacity(ilfds.len() + 1);
+        for k in 0..=ilfds.len() {
+            let mut c = config.clone();
+            c.ilfds = ilfds[..k].iter().cloned().collect::<IlfdSet>();
+            let outcome: MatchOutcome =
+                EntityMatcher::new(r.clone(), s.clone(), c)?.run()?;
+            steps.push(SweepStep {
+                ilfds: k,
+                partition: Partition::of(&outcome),
+                matching: outcome.matching,
+                negative: outcome.negative,
+            });
+        }
+        Ok(KnowledgeSweep { steps })
+    }
+
+    /// §3.3: "the sets of matching pairs and non-matching pairs will
+    /// expand, whereas the set of undetermined pairs shrinks as more
+    /// semantic information becomes available." Returns the index of
+    /// the first step that violates this, or `None` if monotonic.
+    pub fn verify_monotonic(&self) -> Option<usize> {
+        for w in self.steps.windows(2) {
+            let (prev, next) = (&w[0], &w[1]);
+            if !next.matching.includes(&prev.matching)
+                || !next.negative.includes(&prev.negative)
+            {
+                return Some(next.ilfds);
+            }
+        }
+        None
+    }
+
+    /// The partitions as a printable series (Figure 3's data).
+    pub fn series(&self) -> Vec<(usize, Partition)> {
+        self.steps.iter().map(|s| (s.ilfds, s.partition)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eid_ilfd::Ilfd;
+    use eid_relational::Schema;
+    use eid_rules::ExtendedKey;
+
+    fn workload() -> (Relation, Relation, MatchConfig, Vec<Ilfd>) {
+        let r_schema = Schema::of_strs(
+            "R",
+            &["name", "cuisine", "street"],
+            &["name", "cuisine"],
+        )
+        .unwrap();
+        let mut r = Relation::new(r_schema);
+        r.insert_strs(&["twincities", "chinese", "co_b2"]).unwrap();
+        r.insert_strs(&["itsgreek", "greek", "front_ave"]).unwrap();
+        r.insert_strs(&["anjuman", "indian", "le_salle_ave"]).unwrap();
+
+        let s_schema = Schema::of_strs(
+            "S",
+            &["name", "speciality", "county"],
+            &["name", "speciality"],
+        )
+        .unwrap();
+        let mut s = Relation::new(s_schema);
+        s.insert_strs(&["twincities", "hunan", "roseville"]).unwrap();
+        s.insert_strs(&["itsgreek", "gyros", "ramsey"]).unwrap();
+        s.insert_strs(&["anjuman", "mughalai", "minneapolis"]).unwrap();
+
+        let ilfds = vec![
+            Ilfd::of_strs(&[("speciality", "hunan")], &[("cuisine", "chinese")]),
+            Ilfd::of_strs(&[("speciality", "gyros")], &[("cuisine", "greek")]),
+            Ilfd::of_strs(&[("speciality", "mughalai")], &[("cuisine", "indian")]),
+        ];
+        let config = MatchConfig::new(
+            ExtendedKey::of_strs(&["name", "cuisine"]),
+            IlfdSet::new(),
+        );
+        (r, s, config, ilfds)
+    }
+
+    #[test]
+    fn sweep_grows_matches_and_shrinks_undetermined() {
+        let (r, s, config, ilfds) = workload();
+        let sweep = KnowledgeSweep::run(&r, &s, &config, &ilfds).unwrap();
+        assert_eq!(sweep.steps.len(), 4);
+        // No knowledge: nothing decided.
+        assert_eq!(sweep.steps[0].partition.matching, 0);
+        assert_eq!(sweep.steps[0].partition.undetermined, 9);
+        // Full knowledge: all three pairs matched.
+        assert_eq!(sweep.steps[3].partition.matching, 3);
+        // Undetermined shrinks monotonically.
+        for w in sweep.steps.windows(2) {
+            assert!(w[1].partition.undetermined <= w[0].partition.undetermined);
+        }
+    }
+
+    #[test]
+    fn sweep_is_monotonic() {
+        let (r, s, config, ilfds) = workload();
+        let sweep = KnowledgeSweep::run(&r, &s, &config, &ilfds).unwrap();
+        assert_eq!(sweep.verify_monotonic(), None);
+    }
+
+    #[test]
+    fn series_has_one_point_per_prefix() {
+        let (r, s, config, ilfds) = workload();
+        let sweep = KnowledgeSweep::run(&r, &s, &config, &ilfds).unwrap();
+        let series = sweep.series();
+        assert_eq!(series.len(), 4);
+        assert_eq!(series[0].0, 0);
+        assert_eq!(series[3].0, 3);
+    }
+}

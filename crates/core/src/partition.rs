@@ -1,0 +1,115 @@
+//! The Figure-3 partition: matching / not-matching / undetermined.
+//!
+//! "Based on the function values, all pairs of tuples can be
+//! partitioned into three disjoint sets, namely identical pairs,
+//! distinct pairs, and undetermined pairs." As knowledge grows, a
+//! monotonic technique only moves pairs *out* of the undetermined
+//! region (§3.3); completeness is reached when it is empty.
+
+use std::fmt;
+
+use crate::matcher::MatchOutcome;
+
+/// Sizes of the three regions of Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Partition {
+    /// Pairs proven to model the same entity (`MT_RS`).
+    pub matching: usize,
+    /// Pairs proven distinct (`NMT_RS`).
+    pub not_matching: usize,
+    /// Pairs the process cannot decide.
+    pub undetermined: usize,
+}
+
+impl Partition {
+    /// Builds the partition from a match outcome.
+    pub fn of(outcome: &MatchOutcome) -> Partition {
+        Partition {
+            matching: outcome.matching.len(),
+            not_matching: outcome.negative.len(),
+            undetermined: outcome.undetermined,
+        }
+    }
+
+    /// Total number of pairs.
+    pub fn total(&self) -> usize {
+        self.matching + self.not_matching + self.undetermined
+    }
+
+    /// The completeness ratio: decided pairs / total pairs
+    /// (1.0 when the undetermined set is empty; 1.0 for zero pairs).
+    pub fn completeness(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            1.0
+        } else {
+            (self.matching + self.not_matching) as f64 / total as f64
+        }
+    }
+
+    /// Whether entity identification is complete (§3.2: the process
+    /// never answers "undetermined").
+    pub fn is_complete(&self) -> bool {
+        self.undetermined == 0
+    }
+}
+
+impl fmt::Display for Partition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "matching: {}, not matching: {}, undetermined: {} (completeness {:.1}%)",
+            self.matching,
+            self.not_matching,
+            self.undetermined,
+            self.completeness() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let p = Partition {
+            matching: 3,
+            not_matching: 5,
+            undetermined: 2,
+        };
+        assert_eq!(p.total(), 10);
+        assert!((p.completeness() - 0.8).abs() < 1e-12);
+        assert!(!p.is_complete());
+    }
+
+    #[test]
+    fn complete_when_no_undetermined() {
+        let p = Partition {
+            matching: 1,
+            not_matching: 1,
+            undetermined: 0,
+        };
+        assert!(p.is_complete());
+        assert_eq!(p.completeness(), 1.0);
+    }
+
+    #[test]
+    fn empty_partition_counts_as_complete() {
+        let p = Partition::default();
+        assert_eq!(p.completeness(), 1.0);
+        assert!(p.is_complete());
+    }
+
+    #[test]
+    fn display_mentions_all_regions() {
+        let p = Partition {
+            matching: 1,
+            not_matching: 2,
+            undetermined: 3,
+        };
+        let s = p.to_string();
+        assert!(s.contains("matching: 1"));
+        assert!(s.contains("undetermined: 3"));
+    }
+}

@@ -1,0 +1,307 @@
+//! An interactive-style session reproducing the Prolog prototype
+//! (§6.3).
+//!
+//! The prototype's workflow:
+//!
+//! 1. `setup_extkey` — lists the candidate extended-key attributes,
+//!    lets the user pick a subset, regenerates the matching-table
+//!    rule, and verifies soundness, printing either
+//!    `Message: The extended key is verified.` or
+//!    `Message: The extended key causes unsound matching result.`;
+//! 2. `print_matchtable` — prints `MT_RS` sorted;
+//! 3. `print_integ_table` — prints the integrated table `T_RS`.
+//!
+//! [`Session`] packages the same steps over the native engine and
+//! renders tables in the prototype's format.
+
+use eid_ilfd::IlfdSet;
+use eid_relational::display::render_default;
+use eid_relational::{AttrName, Relation};
+use eid_rules::ExtendedKey;
+
+use crate::error::{CoreError, Result};
+use crate::integrate::IntegratedTable;
+use crate::matcher::{EntityMatcher, MatchConfig, MatchOutcome};
+
+/// The message printed when verification passes.
+pub const MSG_VERIFIED: &str = "Message: The extended key is verified.";
+/// The message printed when the matching result is unsound.
+pub const MSG_UNSOUND: &str =
+    "Message: The extended key causes unsound matching result.";
+
+/// Result of `setup_extkey`: the outcome plus the prototype's
+/// verification verdict.
+#[derive(Debug, Clone)]
+pub struct SetupReport {
+    /// Whether the §3.2 uniqueness/consistency checks passed.
+    pub verified: bool,
+    /// The prototype's message line.
+    pub message: &'static str,
+    /// The matching run behind the verdict.
+    pub outcome: MatchOutcome,
+}
+
+/// A prototype-style session over two relations and an ILFD set.
+#[derive(Debug, Clone)]
+pub struct Session {
+    r: Relation,
+    s: Relation,
+    ilfds: IlfdSet,
+    extended_key: Option<ExtendedKey>,
+    outcome: Option<MatchOutcome>,
+}
+
+impl Session {
+    /// Opens a session.
+    pub fn new(r: Relation, s: Relation, ilfds: IlfdSet) -> Self {
+        Session {
+            r,
+            s,
+            ilfds,
+            extended_key: None,
+            outcome: None,
+        }
+    }
+
+    /// The candidate extended-key attributes the prototype would list:
+    /// attributes that exist in (or are ILFD-derivable for) *both*
+    /// relations, so cross-equality over them is meaningful.
+    pub fn candidate_attributes(&self) -> Vec<AttrName> {
+        let derivable: Vec<AttrName> = self
+            .ilfds
+            .iter()
+            .flat_map(|i| i.consequent().attributes())
+            .collect();
+        let available = |schema: &eid_relational::Schema, a: &AttrName| {
+            schema.has_attribute(a) || derivable.contains(a)
+        };
+        let mut out: Vec<AttrName> = Vec::new();
+        for a in self
+            .r
+            .schema()
+            .attribute_names()
+            .chain(self.s.schema().attribute_names())
+        {
+            if !out.contains(a)
+                && available(self.r.schema(), a)
+                && available(self.s.schema(), a)
+            {
+                out.push(a.clone());
+            }
+        }
+        out
+    }
+
+    /// `setup_extkey`: install an extended key, run the matcher, and
+    /// verify. An unsound key is installed anyway (the prototype only
+    /// warns), so its tables can be inspected.
+    pub fn setup_extended_key(&mut self, attrs: &[&str]) -> Result<SetupReport> {
+        let key = ExtendedKey::of_strs(attrs);
+        let config = MatchConfig::new(key.clone(), self.ilfds.clone());
+        let outcome = EntityMatcher::new(self.r.clone(), self.s.clone(), config)?.run()?;
+        let verified = outcome.verify().is_ok();
+        self.extended_key = Some(key);
+        self.outcome = Some(outcome.clone());
+        Ok(SetupReport {
+            verified,
+            message: if verified { MSG_VERIFIED } else { MSG_UNSOUND },
+            outcome,
+        })
+    }
+
+    /// The installed extended key, if any.
+    pub fn extended_key(&self) -> Option<&ExtendedKey> {
+        self.extended_key.as_ref()
+    }
+
+    /// The last matching outcome, if `setup_extended_key` has run.
+    pub fn outcome(&self) -> Option<&MatchOutcome> {
+        self.outcome.as_ref()
+    }
+
+    fn require_outcome(&self) -> Result<&MatchOutcome> {
+        self.outcome.as_ref().ok_or(CoreError::EmptyExtendedKey)
+    }
+
+    /// `print_matchtable`: renders `MT_RS` in the prototype's format.
+    pub fn matching_table_display(&self) -> Result<String> {
+        let outcome = self.require_outcome()?;
+        let rel = outcome.matching.to_relation("MT")?;
+        Ok(render_default("matching table", &rel))
+    }
+
+    /// `print_integ_table`: renders the integrated table.
+    pub fn integrated_table_display(&self) -> Result<String> {
+        let outcome = self.require_outcome()?;
+        let key = self
+            .extended_key
+            .as_ref()
+            .ok_or(CoreError::EmptyExtendedKey)?;
+        let t = IntegratedTable::build(&self.r, &self.s, outcome, key)?;
+        Ok(render_default("integrated table", t.relation()))
+    }
+
+    /// Renders the extended relation `R′` (the prototype's
+    /// `print_RRtable`).
+    pub fn extended_r_display(&self) -> Result<String> {
+        let outcome = self.require_outcome()?;
+        Ok(render_default(
+            "extended R table",
+            &outcome.extended_r.relation,
+        ))
+    }
+
+    /// Renders the extended relation `S′` (the prototype's
+    /// `print_SStable`).
+    pub fn extended_s_display(&self) -> Result<String> {
+        let outcome = self.require_outcome()?;
+        Ok(render_default(
+            "extended S table",
+            &outcome.extended_s.relation,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eid_ilfd::Ilfd;
+    use eid_relational::Schema;
+
+    fn session() -> Session {
+        let r_schema = Schema::of_strs(
+            "R",
+            &["name", "cuisine", "street"],
+            &["name", "cuisine"],
+        )
+        .unwrap();
+        let mut r = Relation::new(r_schema);
+        r.insert_strs(&["twincities", "chinese", "co_b2"]).unwrap();
+        r.insert_strs(&["twincities", "indian", "co_b3"]).unwrap();
+        r.insert_strs(&["itsgreek", "greek", "front_ave"]).unwrap();
+        r.insert_strs(&["anjuman", "indian", "le_salle_ave"]).unwrap();
+        r.insert_strs(&["villagewok", "chinese", "wash_ave"]).unwrap();
+
+        let s_schema = Schema::of_strs(
+            "S",
+            &["name", "speciality", "county"],
+            &["name", "speciality"],
+        )
+        .unwrap();
+        let mut s = Relation::new(s_schema);
+        s.insert_strs(&["twincities", "hunan", "roseville"]).unwrap();
+        s.insert_strs(&["twincities", "sichuan", "hennepin"]).unwrap();
+        s.insert_strs(&["itsgreek", "gyros", "ramsey"]).unwrap();
+        s.insert_strs(&["anjuman", "mughalai", "minneapolis"]).unwrap();
+
+        let ilfds: IlfdSet = vec![
+            Ilfd::of_strs(&[("speciality", "hunan")], &[("cuisine", "chinese")]),
+            Ilfd::of_strs(&[("speciality", "sichuan")], &[("cuisine", "chinese")]),
+            Ilfd::of_strs(&[("speciality", "gyros")], &[("cuisine", "greek")]),
+            Ilfd::of_strs(&[("speciality", "mughalai")], &[("cuisine", "indian")]),
+            Ilfd::of_strs(
+                &[("name", "twincities"), ("street", "co_b2")],
+                &[("speciality", "hunan")],
+            ),
+            Ilfd::of_strs(
+                &[("name", "anjuman"), ("street", "le_salle_ave")],
+                &[("speciality", "mughalai")],
+            ),
+            Ilfd::of_strs(&[("street", "front_ave")], &[("county", "ramsey")]),
+            Ilfd::of_strs(
+                &[("name", "itsgreek"), ("county", "ramsey")],
+                &[("speciality", "gyros")],
+            ),
+        ]
+        .into_iter()
+        .collect();
+        Session::new(r, s, ilfds)
+    }
+
+    #[test]
+    fn candidate_attributes_are_name_spec_cui() {
+        let s = session();
+        let cands = s.candidate_attributes();
+        // The prototype lists Name, Spec, Cui (and our engine also
+        // sees county, derivable for R via I7).
+        assert!(cands.contains(&AttrName::new("name")));
+        assert!(cands.contains(&AttrName::new("cuisine")));
+        assert!(cands.contains(&AttrName::new("speciality")));
+        assert!(!cands.contains(&AttrName::new("street"))); // R-only, underivable for S
+    }
+
+    #[test]
+    fn good_key_is_verified() {
+        let mut s = session();
+        let rep = s
+            .setup_extended_key(&["name", "cuisine", "speciality"])
+            .unwrap();
+        assert!(rep.verified);
+        assert_eq!(rep.message, MSG_VERIFIED);
+        assert_eq!(rep.outcome.matching.len(), 3);
+    }
+
+    #[test]
+    fn name_only_key_warns_unsound() {
+        // §6.3's second transcript: extended key {Name} matches the two
+        // twincities R tuples to the two twincities S tuples (4 pairs),
+        // violating uniqueness.
+        let mut s = session();
+        let rep = s.setup_extended_key(&["name"]).unwrap();
+        assert!(!rep.verified);
+        assert_eq!(rep.message, MSG_UNSOUND);
+    }
+
+    #[test]
+    fn matching_table_display_matches_prototype_rows() {
+        let mut s = session();
+        s.setup_extended_key(&["name", "cuisine", "speciality"])
+            .unwrap();
+        let out = s.matching_table_display().unwrap();
+        assert!(out.starts_with("matching table\n"));
+        // Sorted rows: anjuman, itsgreek, twincities (as in §6.3).
+        let a = out.find("anjuman").unwrap();
+        let i = out.find("itsgreek").unwrap();
+        let t = out.find("twincities").unwrap();
+        assert!(a < i && i < t);
+        assert!(out.contains("mughalai"));
+        assert!(out.contains("gyros"));
+        assert!(out.contains("hunan"));
+    }
+
+    #[test]
+    fn integrated_table_display_has_six_rows_and_nulls() {
+        let mut s = session();
+        s.setup_extended_key(&["name", "cuisine", "speciality"])
+            .unwrap();
+        let out = s.integrated_table_display().unwrap();
+        assert!(out.starts_with("integrated table\n"));
+        assert!(out.contains("null"));
+        // 6 data rows (3 merged, 2 R-only, 1 S-only).
+        let data_rows = out
+            .lines()
+            .skip(4) // title, rule, header, dashes
+            .filter(|l| !l.trim().is_empty())
+            .count();
+        assert_eq!(data_rows, 6);
+    }
+
+    #[test]
+    fn displays_require_setup() {
+        let s = session();
+        assert!(s.matching_table_display().is_err());
+        assert!(s.integrated_table_display().is_err());
+        assert!(s.extended_r_display().is_err());
+    }
+
+    #[test]
+    fn extended_tables_render() {
+        let mut s = session();
+        s.setup_extended_key(&["name", "cuisine", "speciality"])
+            .unwrap();
+        let r = s.extended_r_display().unwrap();
+        assert!(r.contains("speciality"));
+        let sdisp = s.extended_s_display().unwrap();
+        assert!(sdisp.contains("cuisine"));
+    }
+}

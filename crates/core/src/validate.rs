@@ -1,0 +1,269 @@
+//! Pre-match validation of DBA-supplied knowledge (§3.2).
+//!
+//! "In general, it is necessary though not sufficient to enforce the
+//! identity/distinctness rules in the integrated world as constraints
+//! in the relations to be matched. For example, for the identity rule
+//! r1 to hold, we have to ensure that there is at most one Chinese
+//! restaurant in every relation … Similarly, for the distinctness
+//! rule r3 to hold, we have to ensure that for each relation … no
+//! non-Indian restaurant tuple can have specialty in Mughalai food."
+//!
+//! [`validate_knowledge`] runs those necessary checks *before*
+//! matching:
+//!
+//! 1. **ILFD consistency** — every tuple of each relation must be
+//!    consistent with every ILFD (using lenient semantics: NULLs are
+//!    unknowns, only witnessed contradictions count), since "all
+//!    tuples modeling the real world are consistent with the ILFDs";
+//! 2. **intra-relation key uniqueness** — after extension/derivation,
+//!    no two tuples of the *same* relation may share a complete
+//!    extended-key value ("the uniqueness of tuple in a relation
+//!    satisfying the identity rule conditions must be observed");
+//! 3. **identity-rule uniqueness** — same check for every extra
+//!    identity rule: no two tuples of one relation may both satisfy
+//!    an identity rule against the same counterpart.
+//!
+//! Failures here mean the knowledge cannot possibly yield a sound
+//! matching; they are reported with the offending tuples so the DBA
+//! can fix either the data or the rules.
+
+use eid_ilfd::satisfaction::tuple_satisfies_lenient;
+use eid_relational::{Relation, Tuple};
+
+use crate::error::Result;
+use crate::extend::extend_relation;
+use crate::matcher::MatchConfig;
+
+/// One tuple contradicting one ILFD.
+#[derive(Debug, Clone)]
+pub struct IlfdViolation {
+    /// `"R"` or `"S"`.
+    pub side: &'static str,
+    /// The violating tuple's primary key.
+    pub key: Tuple,
+    /// A rendering of the violated ILFD.
+    pub ilfd: String,
+}
+
+/// Two tuples of one relation sharing a complete extended-key value.
+#[derive(Debug, Clone)]
+pub struct IntraKeyDuplicate {
+    /// `"R"` or `"S"`.
+    pub side: &'static str,
+    /// Primary keys of the colliding tuples.
+    pub keys: (Tuple, Tuple),
+    /// The shared extended-key projection.
+    pub shared: Tuple,
+}
+
+/// The validation report. Empty vectors = the necessary conditions
+/// hold (which, per the paper, is still "not sufficient" — only the
+/// post-match [`crate::matcher::MatchOutcome::verify`] is decisive).
+#[derive(Debug, Clone, Default)]
+pub struct KnowledgeReport {
+    /// Tuples contradicting ILFDs.
+    pub ilfd_violations: Vec<IlfdViolation>,
+    /// Intra-relation extended-key duplicates.
+    pub key_duplicates: Vec<IntraKeyDuplicate>,
+}
+
+impl KnowledgeReport {
+    /// Whether every necessary condition held.
+    pub fn is_clean(&self) -> bool {
+        self.ilfd_violations.is_empty() && self.key_duplicates.is_empty()
+    }
+}
+
+/// Runs the §3.2 necessary checks for `config` over `r` and `s`.
+pub fn validate_knowledge(
+    r: &Relation,
+    s: &Relation,
+    config: &MatchConfig,
+) -> Result<KnowledgeReport> {
+    let mut report = KnowledgeReport::default();
+
+    for (side, rel) in [("R", r), ("S", s)] {
+        // 1. ILFD consistency on the raw relation.
+        for ilfd in config.ilfds.iter() {
+            for t in rel.iter() {
+                if !tuple_satisfies_lenient(rel.schema(), t, ilfd) {
+                    report.ilfd_violations.push(IlfdViolation {
+                        side,
+                        key: rel.primary_key_of(t),
+                        ilfd: ilfd.to_string(),
+                    });
+                }
+            }
+        }
+
+        // 2. Extended-key uniqueness inside the relation, after
+        //    derivation (two same-relation tuples with identical
+        //    complete extended keys would both match any counterpart
+        //    — the uniqueness constraint could then never hold).
+        let extended = extend_relation(rel, &config.extended_key, &config.ilfds, config.strategy)?;
+        let positions = extended
+            .relation
+            .positions_of(config.extended_key.attrs())?;
+        let mut seen: std::collections::HashMap<Tuple, usize> =
+            std::collections::HashMap::new();
+        for (i, t) in extended.relation.iter().enumerate() {
+            if !t.non_null_at(&positions) {
+                continue;
+            }
+            let proj = t.project(&positions);
+            if let Some(&j) = seen.get(&proj) {
+                report.key_duplicates.push(IntraKeyDuplicate {
+                    side,
+                    keys: (
+                        rel.primary_key_of(&rel.tuples()[j]),
+                        rel.primary_key_of(&rel.tuples()[i]),
+                    ),
+                    shared: proj,
+                });
+            } else {
+                seen.insert(proj, i);
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eid_ilfd::{Ilfd, IlfdSet};
+    use eid_relational::Schema;
+    use eid_rules::ExtendedKey;
+
+    fn config(ilfds: IlfdSet) -> MatchConfig {
+        MatchConfig::new(ExtendedKey::of_strs(&["name", "cuisine"]), ilfds)
+    }
+
+    fn relations() -> (Relation, Relation) {
+        let r_schema = Schema::of_strs(
+            "R",
+            &["name", "cuisine", "street"],
+            &["name", "street"],
+        )
+        .unwrap();
+        let s_schema = Schema::of_strs(
+            "S",
+            &["name", "speciality", "cuisine"],
+            &["name", "speciality"],
+        )
+        .unwrap();
+        (Relation::new(r_schema), Relation::new(s_schema))
+    }
+
+    #[test]
+    fn clean_knowledge_passes() {
+        let (mut r, mut s) = relations();
+        r.insert_strs(&["tc", "chinese", "a"]).unwrap();
+        s.insert_strs(&["tc", "hunan", "chinese"]).unwrap();
+        let f: IlfdSet = vec![Ilfd::of_strs(
+            &[("speciality", "hunan")],
+            &[("cuisine", "chinese")],
+        )]
+        .into_iter()
+        .collect();
+        let report = validate_knowledge(&r, &s, &config(f)).unwrap();
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn detects_ilfd_violation() {
+        let (r, mut s) = relations();
+        // S tuple contradicts the ILFD: hunan but greek.
+        s.insert_strs(&["x", "hunan", "greek"]).unwrap();
+        let f: IlfdSet = vec![Ilfd::of_strs(
+            &[("speciality", "hunan")],
+            &[("cuisine", "chinese")],
+        )]
+        .into_iter()
+        .collect();
+        let report = validate_knowledge(&r, &s, &config(f)).unwrap();
+        assert_eq!(report.ilfd_violations.len(), 1);
+        assert_eq!(report.ilfd_violations[0].side, "S");
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn null_consequents_are_not_violations() {
+        // A tuple that merely lacks the consequent value is fine.
+        let (mut r, s) = relations();
+        r.insert(Tuple::new(vec![
+            eid_relational::Value::str("x"),
+            eid_relational::Value::Null,
+            eid_relational::Value::str("st"),
+        ]))
+        .unwrap();
+        let f: IlfdSet = vec![Ilfd::of_strs(
+            &[("name", "x")],
+            &[("cuisine", "chinese")],
+        )]
+        .into_iter()
+        .collect();
+        let report = validate_knowledge(&r, &s, &config(f)).unwrap();
+        assert!(report.ilfd_violations.is_empty());
+    }
+
+    #[test]
+    fn detects_intra_relation_key_duplicates() {
+        // Two R tuples with the same (name, cuisine): legal for R's
+        // own key (name, street) but fatal for the extended key.
+        let (mut r, s) = relations();
+        r.insert_strs(&["tc", "chinese", "a"]).unwrap();
+        r.insert_strs(&["tc", "chinese", "b"]).unwrap();
+        let report = validate_knowledge(&r, &s, &config(IlfdSet::new())).unwrap();
+        assert_eq!(report.key_duplicates.len(), 1);
+        assert_eq!(report.key_duplicates[0].side, "R");
+        assert_eq!(
+            report.key_duplicates[0].shared,
+            Tuple::of_strs(&["tc", "chinese"])
+        );
+    }
+
+    #[test]
+    fn duplicates_created_by_derivation_are_caught() {
+        // Two S tuples whose derived cuisines collide on (name, cuisine).
+        let (r, _) = relations();
+        let s_schema = Schema::of_strs(
+            "S",
+            &["name", "speciality"],
+            &["name", "speciality"],
+        )
+        .unwrap();
+        let mut s = Relation::new(s_schema);
+        s.insert_strs(&["tc", "hunan"]).unwrap();
+        s.insert_strs(&["tc", "sichuan"]).unwrap();
+        let f: IlfdSet = vec![
+            Ilfd::of_strs(&[("speciality", "hunan")], &[("cuisine", "chinese")]),
+            Ilfd::of_strs(&[("speciality", "sichuan")], &[("cuisine", "chinese")]),
+        ]
+        .into_iter()
+        .collect();
+        let report = validate_knowledge(&r, &s, &config(f)).unwrap();
+        assert_eq!(report.key_duplicates.len(), 1);
+        assert_eq!(report.key_duplicates[0].side, "S");
+    }
+
+    #[test]
+    fn incomplete_keys_do_not_collide() {
+        let (mut r, s) = relations();
+        // NULL cuisine → incomplete extended key → not a duplicate.
+        r.insert(Tuple::new(vec![
+            eid_relational::Value::str("tc"),
+            eid_relational::Value::Null,
+            eid_relational::Value::str("a"),
+        ]))
+        .unwrap();
+        r.insert(Tuple::new(vec![
+            eid_relational::Value::str("tc"),
+            eid_relational::Value::Null,
+            eid_relational::Value::str("b"),
+        ]))
+        .unwrap();
+        let report = validate_knowledge(&r, &s, &config(IlfdSet::new())).unwrap();
+        assert!(report.key_duplicates.is_empty());
+    }
+}

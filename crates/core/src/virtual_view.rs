@@ -1,0 +1,393 @@
+//! Virtual database integration — query-time entity identification.
+//!
+//! §1 distinguishes *actual* integration (materialize the integrated
+//! database, discard the originals) from *virtual* integration ("a
+//! virtually integrated database is created on top of the component
+//! databases … while the components retain their identities and
+//! usage"), and §2 notes that for virtual integration "the actual
+//! processing only takes place during the query time". The paper's
+//! conclusion: "In processing a federated database query, entity
+//! identification has to be performed whenever the information about
+//! real-world entities exists in different databases."
+//!
+//! [`VirtualView`] is that design: it holds references to the
+//! component relations plus the integration knowledge, and answers
+//! selection queries over the integrated table by
+//!
+//! 1. **pushing the selection down** to each component relation where
+//!    the selected attribute is a *base* attribute of that side
+//!    (derived attributes cannot be filtered before derivation — the
+//!    ILfDs must run first);
+//! 2. running entity identification only on the qualifying tuples;
+//! 3. building the (small) integrated result.
+//!
+//! The result is always identical to filtering the fully materialized
+//! `T_RS` — verified by the test suite — but touches only the
+//! relevant tuples.
+
+use eid_relational::{algebra, AttrName, Relation, Value};
+
+use crate::error::Result;
+use crate::integrate::IntegratedTable;
+use crate::matcher::{EntityMatcher, MatchConfig};
+
+/// A selection condition over the integrated table's columns:
+/// `attr = value` on the unified (unprefixed) attribute name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    /// The unified attribute name (`name`, `cuisine`, …).
+    pub attr: AttrName,
+    /// The required value (non-NULL equality).
+    pub value: Value,
+}
+
+impl Selection {
+    /// Builds `attr = value`.
+    pub fn eq(attr: impl Into<AttrName>, value: impl Into<Value>) -> Self {
+        Selection {
+            attr: attr.into(),
+            value: value.into(),
+        }
+    }
+}
+
+/// A virtually integrated view over two component relations.
+#[derive(Debug, Clone)]
+pub struct VirtualView {
+    r: Relation,
+    s: Relation,
+    config: MatchConfig,
+}
+
+/// The answer to a virtual-view query.
+#[derive(Debug, Clone)]
+pub struct ViewAnswer {
+    /// The qualifying slice of the integrated table.
+    pub table: IntegratedTable,
+    /// How many component tuples were actually matched (the work
+    /// done), vs. the component totals — the pushdown win.
+    pub scanned_r: usize,
+    /// Tuples of `S` that survived pushdown.
+    pub scanned_s: usize,
+}
+
+impl VirtualView {
+    /// Creates the view. Nothing is computed yet.
+    pub fn new(r: Relation, s: Relation, config: MatchConfig) -> Self {
+        VirtualView { r, s, config }
+    }
+
+    /// The component relations.
+    pub fn components(&self) -> (&Relation, &Relation) {
+        (&self.r, &self.s)
+    }
+
+    /// Whether filtering `rel` on `attr` before matching is safe,
+    /// i.e. cannot drop a tuple whose merged row would still qualify
+    /// through the counterpart `other`:
+    ///
+    /// * extended-key attributes are safe — matched pairs agree on
+    ///   them (non-NULL extended-key equality), so a witnessed
+    ///   disagreement on this side implies the counterpart disagrees
+    ///   too;
+    /// * otherwise the attribute must be absent from `other` and not
+    ///   derivable there (no ILFD consequent mentions it) — then this
+    ///   side is the merged row's only source for the value.
+    ///
+    /// Shared non-key attributes (where attribute-value *conflicts*
+    /// can make the counterpart qualify a row this side disagrees
+    /// with) are never pushed down.
+    fn pushdown_safe(&self, attr: &AttrName, other: &Relation) -> bool {
+        if self.config.extended_key.attrs().contains(attr) {
+            return true;
+        }
+        let derivable_in_other = self
+            .config
+            .ilfds
+            .iter()
+            .any(|i| i.consequent().attributes().contains(attr));
+        !other.schema().has_attribute(attr) && !derivable_in_other
+    }
+
+    fn pushdown(&self, rel: &Relation, other: &Relation, sel: &[Selection]) -> Result<Relation> {
+        let mut out = rel.clone();
+        for s in sel {
+            if !self.pushdown_safe(&s.attr, other) {
+                continue;
+            }
+            if let Some(pos) = out.schema().try_position(&s.attr) {
+                // Keep NULLs: a tuple with an unknown value may still
+                // qualify through its matched counterpart's value (or
+                // through derivation); only a *witnessed* disagreement
+                // disqualifies it before matching.
+                let value = s.value.clone();
+                out = algebra::select(&out, |t| {
+                    let v = t.get(pos);
+                    v.is_null() || v.non_null_eq(&value)
+                });
+            }
+            // Attributes the side lacks entirely: cannot filter before
+            // derivation; the post-match filter finishes the job.
+        }
+        Ok(out)
+    }
+
+    /// Answers `σ_{sel}(T_RS)` by pushdown + local matching +
+    /// post-filtering. Conjunctive equality selections only (the
+    /// shape federated queries route to component databases).
+    pub fn select(&self, sel: &[Selection]) -> Result<ViewAnswer> {
+        let r_slice = self.pushdown(&self.r, &self.s, sel)?;
+        let s_slice = self.pushdown(&self.s, &self.r, sel)?;
+        let scanned_r = r_slice.len();
+        let scanned_s = s_slice.len();
+
+        // Rebuild key-enforcing relations over the slices so the
+        // matcher's key bookkeeping holds.
+        let mut r_sub = Relation::new(self.r.schema().clone());
+        for t in r_slice.iter() {
+            r_sub.insert(t.clone())?;
+        }
+        let mut s_sub = Relation::new(self.s.schema().clone());
+        for t in s_slice.iter() {
+            s_sub.insert(t.clone())?;
+        }
+
+        let outcome =
+            EntityMatcher::new(r_sub.clone(), s_sub.clone(), self.config.clone())?.run()?;
+        let table = IntegratedTable::build(
+            &r_sub,
+            &s_sub,
+            &outcome,
+            &self.config.extended_key,
+        )?;
+
+        // Post-filter: the pushdown kept superset rows when the
+        // selected attribute was derived (or lives on one side only);
+        // enforce the selection on the integrated columns now.
+        let filtered = filter_integrated(&table, sel)?;
+        Ok(ViewAnswer {
+            table: filtered,
+            scanned_r,
+            scanned_s,
+        })
+    }
+
+    /// Materializes the full integrated table (the "actual
+    /// integration" path) — the oracle the tests compare against.
+    pub fn materialize(&self) -> Result<IntegratedTable> {
+        let outcome =
+            EntityMatcher::new(self.r.clone(), self.s.clone(), self.config.clone())?.run()?;
+        IntegratedTable::build(&self.r, &self.s, &outcome, &self.config.extended_key)
+    }
+}
+
+/// Keeps integrated rows where, for every selection, the `r_`-side or
+/// `s_`-side copy of the attribute equals the value (a row qualifies
+/// through whichever side knows the attribute).
+pub fn filter_integrated(
+    table: &IntegratedTable,
+    sel: &[Selection],
+) -> Result<IntegratedTable> {
+    let rel = table.relation();
+    let mut keep = Relation::new_unchecked(rel.schema().clone());
+    'rows: for t in rel.iter() {
+        for s in sel {
+            let r_attr = AttrName::new(format!("r_{}", s.attr));
+            let s_attr = AttrName::new(format!("s_{}", s.attr));
+            let r_ok = t
+                .value_of(rel.schema(), &r_attr)
+                .map(|v| v.non_null_eq(&s.value))
+                .unwrap_or(false);
+            let s_ok = t
+                .value_of(rel.schema(), &s_attr)
+                .map(|v| v.non_null_eq(&s.value))
+                .unwrap_or(false);
+            if !r_ok && !s_ok {
+                continue 'rows;
+            }
+        }
+        keep.insert(t.clone())?;
+    }
+    Ok(IntegratedTable::from_relation(keep, table.key_width()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eid_ilfd::{Ilfd, IlfdSet};
+    use eid_relational::Schema;
+    use eid_rules::ExtendedKey;
+
+    fn view() -> VirtualView {
+        let r_schema = Schema::of_strs(
+            "R",
+            &["name", "cuisine", "street"],
+            &["name", "cuisine"],
+        )
+        .unwrap();
+        let mut r = Relation::new(r_schema);
+        r.insert_strs(&["twincities", "chinese", "co_b2"]).unwrap();
+        r.insert_strs(&["twincities", "indian", "co_b3"]).unwrap();
+        r.insert_strs(&["itsgreek", "greek", "front_ave"]).unwrap();
+        r.insert_strs(&["anjuman", "indian", "le_salle_ave"]).unwrap();
+        r.insert_strs(&["villagewok", "chinese", "wash_ave"]).unwrap();
+
+        let s_schema = Schema::of_strs(
+            "S",
+            &["name", "speciality", "county"],
+            &["name", "speciality"],
+        )
+        .unwrap();
+        let mut s = Relation::new(s_schema);
+        s.insert_strs(&["twincities", "hunan", "roseville"]).unwrap();
+        s.insert_strs(&["twincities", "sichuan", "hennepin"]).unwrap();
+        s.insert_strs(&["itsgreek", "gyros", "ramsey"]).unwrap();
+        s.insert_strs(&["anjuman", "mughalai", "minneapolis"]).unwrap();
+
+        let ilfds: IlfdSet = vec![
+            Ilfd::of_strs(&[("speciality", "hunan")], &[("cuisine", "chinese")]),
+            Ilfd::of_strs(&[("speciality", "sichuan")], &[("cuisine", "chinese")]),
+            Ilfd::of_strs(&[("speciality", "gyros")], &[("cuisine", "greek")]),
+            Ilfd::of_strs(&[("speciality", "mughalai")], &[("cuisine", "indian")]),
+        ]
+        .into_iter()
+        .collect();
+        VirtualView::new(
+            r,
+            s,
+            MatchConfig::new(ExtendedKey::of_strs(&["name", "cuisine"]), ilfds),
+        )
+    }
+
+    #[test]
+    fn base_attribute_selection_pushes_down() {
+        let v = view();
+        let ans = v.select(&[Selection::eq("name", "twincities")]).unwrap();
+        // Pushdown kept only twincities tuples on both sides.
+        assert_eq!(ans.scanned_r, 2);
+        assert_eq!(ans.scanned_s, 2);
+        // Result: the matched chinese pair merged, plus the unmatched
+        // twincities rows.
+        assert!(ans.table.len() >= 2);
+    }
+
+    #[test]
+    fn derived_attribute_selection_cannot_prefilter_s() {
+        let v = view();
+        // cuisine is derived on S: S cannot be pre-filtered (4 scanned),
+        // R can (2 chinese tuples).
+        let ans = v.select(&[Selection::eq("cuisine", "chinese")]).unwrap();
+        assert_eq!(ans.scanned_r, 2);
+        assert_eq!(ans.scanned_s, 4);
+    }
+
+    #[test]
+    fn select_equals_materialize_then_filter() {
+        let v = view();
+        for sel in [
+            vec![Selection::eq("name", "twincities")],
+            vec![Selection::eq("cuisine", "chinese")],
+            vec![Selection::eq("name", "anjuman"), Selection::eq("cuisine", "indian")],
+            vec![Selection::eq("name", "nonexistent")],
+        ] {
+            let fast = v.select(&sel).unwrap();
+            let oracle = filter_integrated(&v.materialize().unwrap(), &sel).unwrap();
+            assert!(
+                fast.table.relation().same_tuples(oracle.relation()),
+                "divergence for {sel:?}: fast={} oracle={}",
+                fast.table.len(),
+                oracle.len()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_selection_is_the_whole_table() {
+        let v = view();
+        let all = v.select(&[]).unwrap();
+        let materialized = v.materialize().unwrap();
+        assert!(all.table.relation().same_tuples(materialized.relation()));
+    }
+
+    /// Regression: a selection on a *shared non-key* attribute must
+    /// not be pushed down — under an attribute-value conflict the
+    /// counterpart can still qualify the merged row.
+    #[test]
+    fn conflicting_shared_attribute_is_not_pushed_down() {
+        let r_schema =
+            Schema::of_strs("R", &["name", "cuisine", "city"], &["name", "cuisine"]).unwrap();
+        let mut r = Relation::new(r_schema);
+        r.insert_strs(&["tc", "chinese", "st_paul"]).unwrap(); // conflicts with S
+        let s_schema =
+            Schema::of_strs("S", &["name", "speciality", "city"], &["name", "speciality"])
+                .unwrap();
+        let mut s = Relation::new(s_schema);
+        s.insert_strs(&["tc", "hunan", "mpls"]).unwrap();
+        let ilfds: IlfdSet = vec![Ilfd::of_strs(
+            &[("speciality", "hunan")],
+            &[("cuisine", "chinese")],
+        )]
+        .into_iter()
+        .collect();
+        let v = VirtualView::new(
+            r,
+            s,
+            MatchConfig::new(ExtendedKey::of_strs(&["name", "cuisine"]), ilfds),
+        );
+        let sel = [Selection::eq("city", "mpls")];
+        let fast = v.select(&sel).unwrap();
+        let oracle = filter_integrated(&v.materialize().unwrap(), &sel).unwrap();
+        // The merged row qualifies through s_city even though R says
+        // st_paul; pushdown must not have lost it.
+        assert_eq!(oracle.len(), 1);
+        assert!(fast.table.relation().same_tuples(oracle.relation()));
+        // And indeed R was not pre-filtered (city is shared, non-key).
+        assert_eq!(fast.scanned_r, 1);
+    }
+
+    /// Regression: a NULL base value must not be pruned by pushdown —
+    /// the merged row can qualify through the counterpart's value.
+    #[test]
+    fn null_base_values_survive_pushdown() {
+        use eid_relational::Value;
+        let r_schema =
+            Schema::of_strs("R", &["name", "cuisine", "city"], &["name", "cuisine"]).unwrap();
+        let mut r = Relation::new(r_schema);
+        r.insert(eid_relational::Tuple::new(vec![
+            Value::str("tc"),
+            Value::str("chinese"),
+            Value::Null, // city unknown in R
+        ]))
+        .unwrap();
+        let s_schema =
+            Schema::of_strs("S", &["name", "speciality", "city"], &["name", "speciality"])
+                .unwrap();
+        let mut s = Relation::new(s_schema);
+        s.insert_strs(&["tc", "hunan", "mpls"]).unwrap();
+        let ilfds: IlfdSet = vec![Ilfd::of_strs(
+            &[("speciality", "hunan")],
+            &[("cuisine", "chinese")],
+        )]
+        .into_iter()
+        .collect();
+        let v = VirtualView::new(
+            r,
+            s,
+            MatchConfig::new(ExtendedKey::of_strs(&["name", "cuisine"]), ilfds),
+        );
+        let sel = [Selection::eq("city", "mpls")];
+        let fast = v.select(&sel).unwrap();
+        let oracle = filter_integrated(&v.materialize().unwrap(), &sel).unwrap();
+        assert_eq!(fast.table.len(), 1, "merged row qualifies via s_city");
+        assert!(fast.table.relation().same_tuples(oracle.relation()));
+    }
+
+    #[test]
+    fn selection_through_either_side_qualifies() {
+        let v = view();
+        // speciality lives on S (and derived on R' only via ILFDs we
+        // did not supply) — rows qualify through the s_ column.
+        let ans = v.select(&[Selection::eq("speciality", "gyros")]).unwrap();
+        assert_eq!(ans.table.len(), 1);
+    }
+}

@@ -1,0 +1,273 @@
+//! The integrated-billing scenario from the paper's introduction:
+//! "the integration of operations of different organizations (for
+//! example, corporate mergers and acquisitions, or integrated
+//! billing, as in the case of U.S. West and AT&T)."
+//!
+//! Two carriers bill the same subscriber lines:
+//!
+//! * the local carrier's `Local(phone, customer, exchange, plan)`,
+//!   keyed by `phone`;
+//! * the long-distance carrier's `LongDist(account, customer,
+//!   region)`, keyed by `account`.
+//!
+//! There is no common candidate key — `phone` and `account` are
+//! different identifier spaces — and `customer` alone is ambiguous
+//! (the same person holds lines in several regions). The integrated
+//! world's extended key is `{customer, region}`; the local carrier
+//! derives `region` from its `exchange` codes via the ILFD family
+//! `exchange = eXX → region = rYY` (exchanges nest inside regions).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use eid_core::metrics::GroundTruth;
+use eid_ilfd::{Ilfd, IlfdSet};
+use eid_relational::{Relation, Schema, Tuple};
+use eid_rules::ExtendedKey;
+
+use crate::vocab;
+
+/// Parameters for the billing workload.
+#[derive(Debug, Clone)]
+pub struct BillingConfig {
+    /// Number of subscriber lines in the integrated world.
+    pub n_lines: usize,
+    /// Number of distinct customers (fewer ⇒ more same-name lines).
+    pub n_customers: usize,
+    /// Number of regions.
+    pub n_regions: usize,
+    /// Exchanges per region.
+    pub exchanges_per_region: usize,
+    /// Probability a line is billed by *both* carriers.
+    pub overlap: f64,
+    /// Fraction of the exchange → region ILFD family supplied.
+    pub ilfd_coverage: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BillingConfig {
+    fn default() -> Self {
+        BillingConfig {
+            n_lines: 120,
+            n_customers: 60,
+            n_regions: 5,
+            exchanges_per_region: 4,
+            overlap: 0.6,
+            ilfd_coverage: 1.0,
+            seed: 0xB111,
+        }
+    }
+}
+
+/// The generated billing workload.
+#[derive(Debug, Clone)]
+pub struct BillingWorkload {
+    /// The local carrier's relation.
+    pub local: Relation,
+    /// The long-distance carrier's relation.
+    pub long_dist: Relation,
+    /// `{customer, region}`.
+    pub extended_key: ExtendedKey,
+    /// The supplied exchange → region ILFDs.
+    pub ilfds: IlfdSet,
+    /// The complete family.
+    pub full_ilfds: IlfdSet,
+    /// True line correspondence (local.phone ↔ long_dist.account).
+    pub truth: GroundTruth,
+    /// The integrated world (one row per line).
+    pub universe: Relation,
+}
+
+/// Generates a billing workload. Deterministic per seed.
+pub fn generate_billing(config: &BillingConfig) -> BillingWorkload {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let customers = vocab::pool(&mut rng, config.n_customers.max(1), 2);
+    let n_exchanges = config.n_regions * config.exchanges_per_region;
+
+    // exchange e{i} belongs to region r{i / exchanges_per_region}.
+    let region_of = |exchange: usize| exchange / config.exchanges_per_region;
+    let full_ilfds: IlfdSet = (0..n_exchanges)
+        .map(|e| {
+            Ilfd::of_strs(
+                &[("exchange", &format!("e{e:02}"))],
+                &[("region", &format!("r{}", region_of(e)))],
+            )
+        })
+        .collect();
+    let covered = ((n_exchanges as f64) * config.ilfd_coverage).round() as usize;
+    let ilfds: IlfdSet = full_ilfds.iter().take(covered).cloned().collect();
+
+    // Lines: (customer, region) unique; phone/account unique serials.
+    let mut taken: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    let u_schema = Schema::of_strs(
+        "Lines",
+        &["customer", "region", "exchange", "phone", "account"],
+        &["customer", "region"],
+    )
+    .expect("valid schema");
+    let mut universe = Relation::new(u_schema);
+
+    let local_schema = Schema::of_strs(
+        "Local",
+        &["phone", "customer", "exchange", "plan"],
+        &["phone"],
+    )
+    .expect("valid schema");
+    let ld_schema = Schema::of_strs(
+        "LongDist",
+        &["account", "customer", "region"],
+        &["account"],
+    )
+    .expect("valid schema");
+    let mut local = Relation::new(local_schema);
+    let mut long_dist = Relation::new(ld_schema);
+    let mut truth = GroundTruth::new();
+
+    let plans = ["basic", "family", "business"];
+    let mut line = 0usize;
+    let mut attempts = 0usize;
+    while line < config.n_lines && attempts < config.n_lines * 20 {
+        attempts += 1;
+        let cust = rng.random_range(0..customers.len());
+        let exch = rng.random_range(0..n_exchanges);
+        let region = region_of(exch);
+        if !taken.insert((cust, region)) {
+            continue; // that customer already has a line in the region
+        }
+        let phone = format!("p{line:05}");
+        let account = format!("a{line:05}");
+        let customer = &customers[cust];
+        let exchange = format!("e{exch:02}");
+        let region_s = format!("r{region}");
+        universe
+            .insert(Tuple::of_strs(&[
+                customer, &region_s, &exchange, &phone, &account,
+            ]))
+            .expect("(customer, region) unique");
+
+        let in_local = rng.random_bool(config.overlap) || rng.random_bool(0.5);
+        let in_ld = rng.random_bool(config.overlap) || !in_local;
+        if in_local {
+            local
+                .insert(Tuple::of_strs(&[
+                    &phone,
+                    customer,
+                    &exchange,
+                    plans[line % plans.len()],
+                ]))
+                .expect("phone unique");
+        }
+        if in_ld {
+            long_dist
+                .insert(Tuple::of_strs(&[&account, customer, &region_s]))
+                .expect("account unique");
+        }
+        if in_local && in_ld {
+            truth.add(Tuple::of_strs(&[&phone]), Tuple::of_strs(&[&account]));
+        }
+        line += 1;
+    }
+
+    BillingWorkload {
+        local,
+        long_dist,
+        extended_key: ExtendedKey::of_strs(&["customer", "region"]),
+        ilfds,
+        full_ilfds,
+        truth,
+        universe,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eid_core::matcher::{EntityMatcher, MatchConfig};
+    use eid_core::metrics::Evaluation;
+
+    #[test]
+    fn extended_key_is_a_key_of_the_universe() {
+        let w = generate_billing(&BillingConfig::default());
+        assert!(w.extended_key.unique_in(&w.universe));
+    }
+
+    #[test]
+    fn no_common_candidate_key() {
+        let w = generate_billing(&BillingConfig::default());
+        // Keys are phone vs account — disjoint attribute sets.
+        assert_eq!(w.local.schema().primary_key()[0].as_str(), "phone");
+        assert_eq!(w.long_dist.schema().primary_key()[0].as_str(), "account");
+    }
+
+    #[test]
+    fn full_coverage_matches_soundly_with_full_recall() {
+        let w = generate_billing(&BillingConfig::default());
+        let outcome = EntityMatcher::new(
+            w.local.clone(),
+            w.long_dist.clone(),
+            MatchConfig::new(w.extended_key.clone(), w.ilfds.clone()),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        outcome.verify().unwrap();
+        let e = Evaluation::compute(
+            &w.truth,
+            &outcome.matching,
+            &outcome.negative,
+            w.local.len() * w.long_dist.len(),
+        );
+        assert!(e.is_sound(), "{e:?}");
+        assert_eq!(e.match_recall(), 1.0, "{e:?}");
+        assert!(!w.truth.is_empty(), "workload must have overlap");
+    }
+
+    #[test]
+    fn partial_coverage_stays_sound() {
+        let w = generate_billing(&BillingConfig {
+            ilfd_coverage: 0.4,
+            ..BillingConfig::default()
+        });
+        let outcome = EntityMatcher::new(
+            w.local.clone(),
+            w.long_dist.clone(),
+            MatchConfig::new(w.extended_key.clone(), w.ilfds.clone()),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        let e = Evaluation::compute(
+            &w.truth,
+            &outcome.matching,
+            &outcome.negative,
+            w.local.len() * w.long_dist.len(),
+        );
+        assert!(e.is_sound(), "{e:?}");
+        assert!(e.match_recall() < 1.0, "{e:?}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_billing(&BillingConfig::default());
+        let b = generate_billing(&BillingConfig::default());
+        assert!(a.local.same_tuples(&b.local));
+        assert!(a.long_dist.same_tuples(&b.long_dist));
+    }
+
+    #[test]
+    fn customers_repeat_across_regions() {
+        let w = generate_billing(&BillingConfig {
+            n_lines: 150,
+            n_customers: 30,
+            ..BillingConfig::default()
+        });
+        let customers: Vec<&str> = w
+            .universe
+            .iter()
+            .map(|t| t.get(0).as_str().unwrap())
+            .collect();
+        let distinct: std::collections::HashSet<_> = customers.iter().collect();
+        assert!(distinct.len() < customers.len());
+    }
+}

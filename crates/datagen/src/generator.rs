@@ -1,0 +1,418 @@
+//! Synthetic integrated-world generator.
+//!
+//! Simulates the situation the paper targets: one real-world domain
+//! (restaurant-like entities) independently captured by two
+//! databases whose relations **share no candidate key**:
+//!
+//! * `R(name, cuisine, street, city)` with key `(name, street)`;
+//! * `S(name, speciality, county, city)` with key `(name, speciality)`.
+//!
+//! The integrated world is constructed so that
+//! `K_Ext = {name, cuisine}` is a genuine key (homonym entities that
+//! share a name always differ in cuisine), and so that every tuple is
+//! consistent with a functional `speciality → cuisine` ILFD family —
+//! the knowledge a DBA would assert. The generator hands the matcher
+//! only a configurable *coverage fraction* of that family, which is
+//! the knob behind the Figure-3 completeness curves; a *homonym rate*
+//! controls how often naive name matching is wrong, and a *noise
+//! rate* injects attribute-value conflicts into the shared `city`
+//! column to stress the probabilistic baselines.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use eid_core::metrics::GroundTruth;
+use eid_ilfd::{Ilfd, IlfdSet};
+use eid_relational::{Relation, Schema, Tuple};
+use eid_rules::ExtendedKey;
+
+use crate::vocab;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Number of real-world entities in the integrated world.
+    pub n_entities: usize,
+    /// Probability an entity is modeled in *both* databases
+    /// (remaining entities split evenly between `R`-only / `S`-only).
+    pub overlap: f64,
+    /// Probability an entity reuses an existing entity's name
+    /// (instance-level homonyms; the paper's Example 1 failure mode).
+    pub homonym_rate: f64,
+    /// Fraction of the `speciality → cuisine` ILFD family supplied to
+    /// the matcher.
+    pub ilfd_coverage: f64,
+    /// Probability the shared `city` value is corrupted in `S`
+    /// (attribute-value conflict).
+    pub noise: f64,
+    /// Number of distinct specialities (each maps to one cuisine).
+    pub n_specialities: usize,
+    /// Number of distinct cuisines.
+    pub n_cuisines: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            n_entities: 100,
+            overlap: 0.5,
+            homonym_rate: 0.1,
+            ilfd_coverage: 1.0,
+            noise: 0.0,
+            n_specialities: 24,
+            n_cuisines: 8,
+            seed: 0xE1D,
+        }
+    }
+}
+
+/// A generated workload with ground truth.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Database 1's relation.
+    pub r: Relation,
+    /// Database 2's relation.
+    pub s: Relation,
+    /// The extended key of the integrated world (`{name, cuisine}`).
+    pub extended_key: ExtendedKey,
+    /// The ILFDs supplied to the matcher (covered subset).
+    pub ilfds: IlfdSet,
+    /// The complete `speciality → cuisine` family.
+    pub full_ilfds: IlfdSet,
+    /// True tuple correspondence (by primary-key values).
+    pub truth: GroundTruth,
+    /// The integrated world itself (one row per entity).
+    pub universe: Relation,
+    /// The configuration used.
+    pub config: GeneratorConfig,
+}
+
+/// Which database(s) model an entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Membership {
+    Both,
+    ROnly,
+    SOnly,
+}
+
+/// Generates a workload from `config`. Deterministic per seed.
+pub fn generate(config: &GeneratorConfig) -> Workload {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.n_entities;
+
+    // Vocabularies.
+    let specialities = vocab::pool(&mut rng, config.n_specialities, 2);
+    let cuisines = vocab::pool(&mut rng, config.n_cuisines, 2);
+    let name_pool = vocab::pool(&mut rng, n.max(1), 2)
+        .into_iter()
+        .zip(vocab::pool(&mut rng, n.max(1), 1))
+        .map(|(a, b)| format!("{a}_{b}"))
+        .collect::<Vec<_>>();
+    let streets = vocab::street_pool(&mut rng, n.max(1));
+    let cities = vocab::pool(&mut rng, (n / 10).max(3), 2);
+
+    // The functional speciality → cuisine map (the ILFD family).
+    let cuisine_of = |spec_idx: usize| &cuisines[spec_idx % cuisines.len()];
+    let full_ilfds: IlfdSet = (0..specialities.len())
+        .map(|i| {
+            Ilfd::of_strs(
+                &[("speciality", &specialities[i])],
+                &[("cuisine", cuisine_of(i))],
+            )
+        })
+        .collect();
+
+    // Covered subset, deterministic shuffle.
+    let mut order: Vec<usize> = (0..specialities.len()).collect();
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.random_range(0..=i));
+    }
+    let covered = ((specialities.len() as f64) * config.ilfd_coverage).round() as usize;
+    let covered_specs: std::collections::HashSet<usize> =
+        order.into_iter().take(covered).collect();
+    let ilfds: IlfdSet = (0..specialities.len())
+        .filter(|i| covered_specs.contains(i))
+        .map(|i| {
+            Ilfd::of_strs(
+                &[("speciality", &specialities[i])],
+                &[("cuisine", cuisine_of(i))],
+            )
+        })
+        .collect();
+
+    // Entities. (name, cuisine) must be unique — resample speciality
+    // for homonyms until the cuisine differs from all same-named
+    // entities.
+    struct Entity {
+        name: String,
+        spec_idx: usize,
+        street: String,
+        city: String,
+        membership: Membership,
+    }
+    let mut entities: Vec<Entity> = Vec::with_capacity(n);
+    let mut used: std::collections::HashMap<String, Vec<usize>> =
+        std::collections::HashMap::new();
+    for i in 0..n {
+        let name = if i > 0 && rng.random_bool(config.homonym_rate) {
+            entities[rng.random_range(0..i)].name.clone()
+        } else {
+            name_pool[i].clone()
+        };
+        let taken: Vec<usize> = used.get(&name).cloned().unwrap_or_default();
+        // Find a speciality whose cuisine is new for this name.
+        let mut spec_idx = rng.random_range(0..specialities.len());
+        let mut attempts = 0;
+        while taken
+            .iter()
+            .any(|&j| cuisine_of(entities[j].spec_idx) == cuisine_of(spec_idx))
+        {
+            spec_idx = rng.random_range(0..specialities.len());
+            attempts += 1;
+            if attempts > 64 {
+                break; // give up on the homonym; fall back to a fresh name below
+            }
+        }
+        let name = if attempts > 64 { name_pool[i].clone() } else { name };
+        let membership = if rng.random_bool(config.overlap) {
+            Membership::Both
+        } else if rng.random_bool(0.5) {
+            Membership::ROnly
+        } else {
+            Membership::SOnly
+        };
+        used.entry(name.clone()).or_default().push(i);
+        entities.push(Entity {
+            name,
+            spec_idx,
+            street: streets[i].clone(),
+            city: cities[rng.random_range(0..cities.len())].clone(),
+            membership,
+        });
+    }
+
+    // Universe relation.
+    let u_schema = Schema::of_strs(
+        "World",
+        &["name", "cuisine", "speciality", "street", "city"],
+        &["name", "cuisine"],
+    )
+    .expect("valid schema");
+    let mut universe = Relation::new_unchecked(u_schema);
+    for e in &entities {
+        universe
+            .insert(Tuple::of_strs(&[
+                &e.name,
+                cuisine_of(e.spec_idx),
+                &specialities[e.spec_idx],
+                &e.street,
+                &e.city,
+            ]))
+            .expect("arity");
+    }
+
+    // Project into R and S.
+    let r_schema = Schema::of_strs(
+        "R",
+        &["name", "cuisine", "street", "city"],
+        &["name", "street"],
+    )
+    .expect("valid schema");
+    let s_schema = Schema::of_strs(
+        "S",
+        &["name", "speciality", "county", "city"],
+        &["name", "speciality"],
+    )
+    .expect("valid schema");
+    let mut r = Relation::new(r_schema);
+    let mut s = Relation::new(s_schema);
+    let mut truth = GroundTruth::new();
+
+    for e in &entities {
+        let in_r = matches!(e.membership, Membership::Both | Membership::ROnly);
+        let in_s = matches!(e.membership, Membership::Both | Membership::SOnly);
+        if in_r {
+            r.insert(Tuple::of_strs(&[
+                &e.name,
+                cuisine_of(e.spec_idx),
+                &e.street,
+                &e.city,
+            ]))
+            .expect("(name, street) unique by construction");
+        }
+        if in_s {
+            let city = if config.noise > 0.0 && rng.random_bool(config.noise) {
+                // Attribute-value conflict: a different city.
+                cities[rng.random_range(0..cities.len())].clone()
+            } else {
+                e.city.clone()
+            };
+            let county = format!("{}_county", e.city);
+            if s.insert(Tuple::of_strs(&[
+                &e.name,
+                &specialities[e.spec_idx],
+                &county,
+                &city,
+            ]))
+            .is_err()
+            {
+                // (name, speciality) collided with an earlier entity —
+                // rare with homonyms; skip the S copy.
+                continue;
+            }
+            if in_r {
+                truth.add(
+                    Tuple::of_strs(&[&e.name, &e.street]),
+                    Tuple::of_strs(&[&e.name, &specialities[e.spec_idx]]),
+                );
+            }
+        }
+    }
+
+    Workload {
+        r,
+        s,
+        extended_key: ExtendedKey::of_strs(&["name", "cuisine"]),
+        ilfds,
+        full_ilfds,
+        truth,
+        universe,
+        config: config.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eid_core::matcher::{EntityMatcher, MatchConfig};
+    use eid_core::metrics::Evaluation;
+    use eid_ilfd::satisfaction::relation_satisfies_all;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = GeneratorConfig::default();
+        let a = generate(&c);
+        let b = generate(&c);
+        assert!(a.r.same_tuples(&b.r));
+        assert!(a.s.same_tuples(&b.s));
+        assert_eq!(a.truth.len(), b.truth.len());
+    }
+
+    #[test]
+    fn extended_key_is_a_key_of_the_universe() {
+        let w = generate(&GeneratorConfig {
+            n_entities: 300,
+            homonym_rate: 0.3,
+            ..GeneratorConfig::default()
+        });
+        assert!(w.extended_key.unique_in(&w.universe));
+    }
+
+    #[test]
+    fn universe_satisfies_the_full_ilfd_family() {
+        let w = generate(&GeneratorConfig::default());
+        assert!(relation_satisfies_all(&w.universe, &w.full_ilfds));
+    }
+
+    #[test]
+    fn full_coverage_yields_sound_and_recall_one_matching() {
+        let w = generate(&GeneratorConfig {
+            n_entities: 150,
+            ilfd_coverage: 1.0,
+            homonym_rate: 0.2,
+            ..GeneratorConfig::default()
+        });
+        let config = MatchConfig::new(w.extended_key.clone(), w.ilfds.clone());
+        let outcome = EntityMatcher::new(w.r.clone(), w.s.clone(), config)
+            .unwrap()
+            .run()
+            .unwrap();
+        outcome.verify().unwrap();
+        let e = Evaluation::compute(
+            &w.truth,
+            &outcome.matching,
+            &outcome.negative,
+            w.r.len() * w.s.len(),
+        );
+        assert!(e.is_sound(), "{e:?}");
+        assert_eq!(e.match_recall(), 1.0, "{e:?}");
+    }
+
+    #[test]
+    fn partial_coverage_is_sound_but_incomplete() {
+        let w = generate(&GeneratorConfig {
+            n_entities: 150,
+            ilfd_coverage: 0.4,
+            ..GeneratorConfig::default()
+        });
+        let config = MatchConfig::new(w.extended_key.clone(), w.ilfds.clone());
+        let outcome = EntityMatcher::new(w.r.clone(), w.s.clone(), config)
+            .unwrap()
+            .run()
+            .unwrap();
+        let e = Evaluation::compute(
+            &w.truth,
+            &outcome.matching,
+            &outcome.negative,
+            w.r.len() * w.s.len(),
+        );
+        assert!(e.is_sound(), "{e:?}");
+        assert!(e.match_recall() < 1.0, "{e:?}");
+    }
+
+    #[test]
+    fn homonyms_exist_at_high_rates() {
+        let w = generate(&GeneratorConfig {
+            n_entities: 200,
+            homonym_rate: 0.4,
+            ..GeneratorConfig::default()
+        });
+        let names: Vec<&str> = w
+            .universe
+            .iter()
+            .map(|t| t.get(0).as_str().unwrap())
+            .collect();
+        let distinct: std::collections::HashSet<_> = names.iter().collect();
+        assert!(distinct.len() < names.len(), "expected repeated names");
+    }
+
+    #[test]
+    fn noise_corrupts_cities() {
+        let clean = generate(&GeneratorConfig {
+            noise: 0.0,
+            ..GeneratorConfig::default()
+        });
+        let noisy = generate(&GeneratorConfig {
+            noise: 0.5,
+            ..GeneratorConfig::default()
+        });
+        // Count S tuples whose city disagrees with the matched R tuple.
+        let disagreements = |w: &Workload| {
+            let mut n = 0;
+            for (rk, sk) in w.truth.iter().map(|p| (&p.0, &p.1)) {
+                let rt = w.r.find_by_primary_key(rk).unwrap();
+                let st = w.s.find_by_primary_key(sk).unwrap();
+                let rc = rt.value_of(w.r.schema(), &"city".into()).unwrap();
+                let sc = st.value_of(w.s.schema(), &"city".into()).unwrap();
+                if !rc.non_null_eq(sc) {
+                    n += 1;
+                }
+            }
+            n
+        };
+        assert_eq!(disagreements(&clean), 0);
+        assert!(disagreements(&noisy) > 0);
+    }
+
+    #[test]
+    fn ilfd_coverage_bounds_supplied_set() {
+        let w = generate(&GeneratorConfig {
+            ilfd_coverage: 0.5,
+            ..GeneratorConfig::default()
+        });
+        assert_eq!(w.ilfds.len(), 12); // half of 24 specialities
+        assert_eq!(w.full_ilfds.len(), 24);
+    }
+}

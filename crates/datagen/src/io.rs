@@ -1,0 +1,212 @@
+//! Workload export/import: a generated workload written as plain
+//! files (two CSVs, a rules file in the `eid-rules` syntax, and a
+//! ground-truth CSV) so experiments are reproducible outside this
+//! process — the same files the `eid` CLI consumes.
+
+use std::path::Path;
+
+use eid_core::metrics::GroundTruth;
+use eid_ilfd::IlfdSet;
+use eid_relational::{csv, Relation, Tuple};
+use eid_rules::parser::{ilfds_to_source, parse_rules};
+
+use crate::generator::Workload;
+
+/// Errors from workload I/O.
+#[derive(Debug)]
+pub enum IoError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// CSV or schema failure.
+    Relational(eid_relational::RelationalError),
+    /// Rules-file failure.
+    Parse(eid_rules::ParseError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "{e}"),
+            IoError::Relational(e) => write!(f, "{e}"),
+            IoError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<eid_relational::RelationalError> for IoError {
+    fn from(e: eid_relational::RelationalError) -> Self {
+        IoError::Relational(e)
+    }
+}
+
+impl From<eid_rules::ParseError> for IoError {
+    fn from(e: eid_rules::ParseError) -> Self {
+        IoError::Parse(e)
+    }
+}
+
+/// The on-disk file names used by [`export_workload`].
+pub const FILE_R: &str = "r.csv";
+/// See [`FILE_R`].
+pub const FILE_S: &str = "s.csv";
+/// See [`FILE_R`].
+pub const FILE_RULES: &str = "knowledge.rules";
+/// See [`FILE_R`].
+pub const FILE_TRUTH: &str = "truth.csv";
+
+/// Writes `workload` into `dir` (created if missing): `r.csv`,
+/// `s.csv`, `knowledge.rules`, `truth.csv` (pipe-separated key
+/// pairs).
+pub fn export_workload(workload: &Workload, dir: &Path) -> Result<(), IoError> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join(FILE_R), csv::to_csv(&workload.r))?;
+    std::fs::write(dir.join(FILE_S), csv::to_csv(&workload.s))?;
+    std::fs::write(dir.join(FILE_RULES), ilfds_to_source(&workload.ilfds))?;
+
+    // truth.csv: r-key values, then s-key values, pipe-joined per side.
+    let mut truth = String::from("r_key,s_key\n");
+    let mut rows: Vec<String> = workload
+        .truth
+        .iter()
+        .map(|(rk, sk)| format!("{},{}", join_key(rk), join_key(sk)))
+        .collect();
+    rows.sort();
+    truth.push_str(&rows.join("\n"));
+    truth.push('\n');
+    std::fs::write(dir.join(FILE_TRUTH), truth)?;
+    Ok(())
+}
+
+fn join_key(t: &Tuple) -> String {
+    t.values()
+        .iter()
+        .map(|v| v.render().into_owned())
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+fn split_key(s: &str) -> Tuple {
+    Tuple::of_strs(&s.split('|').collect::<Vec<_>>())
+}
+
+/// The files read back: relations, ILFDs, and truth.
+#[derive(Debug, Clone)]
+pub struct ImportedWorkload {
+    /// Relation `R` (key re-enforced from `r_key` attribute names).
+    pub r: Relation,
+    /// Relation `S`.
+    pub s: Relation,
+    /// The knowledge file's ILFDs.
+    pub ilfds: IlfdSet,
+    /// The ground truth.
+    pub truth: GroundTruth,
+}
+
+/// Reads a workload directory written by [`export_workload`].
+/// `r_key`/`s_key` name the candidate keys (they are data, not part
+/// of the CSV format).
+pub fn import_workload(
+    dir: &Path,
+    r_key: &[&str],
+    s_key: &[&str],
+) -> Result<ImportedWorkload, IoError> {
+    let r_text = std::fs::read_to_string(dir.join(FILE_R))?;
+    let s_text = std::fs::read_to_string(dir.join(FILE_S))?;
+    let rules_text = std::fs::read_to_string(dir.join(FILE_RULES))?;
+    let truth_text = std::fs::read_to_string(dir.join(FILE_TRUTH))?;
+
+    let r = csv::from_csv_inferred("R", &r_text, r_key)?;
+    let s = csv::from_csv_inferred("S", &s_text, s_key)?;
+    let ilfds = parse_rules(&rules_text)?.ilfds();
+
+    let mut truth = GroundTruth::new();
+    for line in truth_text.lines().skip(1) {
+        if line.is_empty() {
+            continue;
+        }
+        let (rk, sk) = line.split_once(',').ok_or_else(|| {
+            IoError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("malformed truth row: {line}"),
+            ))
+        })?;
+        truth.add(split_key(rk), split_key(sk));
+    }
+    Ok(ImportedWorkload { r, s, ilfds, truth })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorConfig};
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("eid-io-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn export_import_round_trip() {
+        let w = generate(&GeneratorConfig {
+            n_entities: 40,
+            ..GeneratorConfig::default()
+        });
+        let dir = tmpdir("roundtrip");
+        export_workload(&w, &dir).unwrap();
+        let back = import_workload(&dir, &["name", "street"], &["name", "speciality"]).unwrap();
+        assert!(w.r.same_tuples(&back.r));
+        assert!(w.s.same_tuples(&back.s));
+        assert!(eid_ilfd::closure::equivalent(&w.ilfds, &back.ilfds));
+        assert_eq!(w.truth.len(), back.truth.len());
+        for (rk, sk) in w.truth.iter() {
+            assert!(back.truth.is_match(rk, sk), "lost pair {rk} ↔ {sk}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn imported_workload_matches_like_the_original() {
+        use eid_core::matcher::{EntityMatcher, MatchConfig};
+        let w = generate(&GeneratorConfig {
+            n_entities: 30,
+            ..GeneratorConfig::default()
+        });
+        let dir = tmpdir("rerun");
+        export_workload(&w, &dir).unwrap();
+        let back = import_workload(&dir, &["name", "street"], &["name", "speciality"]).unwrap();
+
+        let a = EntityMatcher::new(
+            w.r.clone(),
+            w.s.clone(),
+            MatchConfig::new(w.extended_key.clone(), w.ilfds.clone()),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        let b = EntityMatcher::new(
+            back.r,
+            back.s,
+            MatchConfig::new(w.extended_key.clone(), back.ilfds),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert_eq!(a.matching.len(), b.matching.len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_files_error_cleanly() {
+        let dir = tmpdir("missing");
+        assert!(import_workload(&dir, &["name"], &["name"]).is_err());
+    }
+}

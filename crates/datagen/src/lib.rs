@@ -1,0 +1,26 @@
+//! # `eid-datagen` — workloads for entity identification
+//!
+//! Two kinds of input for the engine and the experiments:
+//!
+//! * [`restaurant`] — the paper's exact fixtures: Example 1
+//!   (Table 1), Figure 2, Example 2 (Table 2), Example 3 (Table 5)
+//!   with ILFDs I1–I8 and the derived I9;
+//! * [`generator`] — a synthetic integrated-world simulator with
+//!   ground truth: configurable entity count, database overlap,
+//!   instance-level homonym rate, ILFD coverage, and attribute-value
+//!   noise. Used by the scaling and technique-comparison experiments.
+//! * [`vocab`] — deterministic pronounceable-word pools behind the
+//!   generator.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod billing;
+pub mod generator;
+pub mod io;
+pub mod restaurant;
+pub mod vocab;
+
+pub use billing::{generate_billing, BillingConfig, BillingWorkload};
+pub use generator::{generate, GeneratorConfig, Workload};
+pub use io::{export_workload, import_workload, ImportedWorkload};

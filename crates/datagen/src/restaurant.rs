@@ -1,0 +1,231 @@
+//! The paper's restaurant fixtures, verbatim.
+//!
+//! Values are lower-cased and underscored the way the Prolog
+//! prototype asserts them (`wash_ave`, `co_b2`, …), so printed tables
+//! line up with §6.3's transcript.
+
+use eid_ilfd::{Ilfd, IlfdSet};
+use eid_relational::{Relation, Schema};
+use eid_rules::ExtendedKey;
+
+/// Example 1 (Table 1): `R(name, street, cuisine)` with key
+/// `(name, street)` and `S(name, city, manager)` with key
+/// `(name, city)`.
+pub fn example1() -> (Relation, Relation) {
+    let r_schema =
+        Schema::of_strs("R", &["name", "street", "cuisine"], &["name", "street"])
+            .expect("valid schema");
+    let mut r = Relation::new(r_schema);
+    r.insert_strs(&["villagewok", "wash_ave", "chinese"]).unwrap();
+    r.insert_strs(&["ching", "co_b_rd", "chinese"]).unwrap();
+    r.insert_strs(&["oldcountry", "co_b2_rd", "american"]).unwrap();
+
+    let s_schema = Schema::of_strs("S", &["name", "city", "manager"], &["name", "city"])
+        .expect("valid schema");
+    let mut s = Relation::new(s_schema);
+    s.insert_strs(&["villagewok", "mpls", "hwang"]).unwrap();
+    s.insert_strs(&["oldcountry", "roseville", "libby"]).unwrap();
+    s.insert_strs(&["expresscafe", "burnsville", "tom"]).unwrap();
+    (r, s)
+}
+
+/// The Example 1 insertion that breaks naive name matching: a second
+/// VillageWok on Penn. Ave.
+pub fn example1_ambiguous_insert(r: &mut Relation) {
+    r.insert_strs(&["villagewok", "penn_ave", "chinese"])
+        .expect("legal insert: same name, different street");
+}
+
+/// Figure 2: two databases each holding `(VillageWok, Chinese)` — the
+/// same attribute values for two *different* real-world restaurants
+/// (Wash. Ave. vs Co. B2. Rd.). Returns `(db1, db2)` without domain
+/// attributes.
+pub fn figure2() -> (Relation, Relation) {
+    let schema1 =
+        Schema::of_strs("R", &["name", "cuisine"], &["name", "cuisine"]).expect("valid");
+    let mut db1 = Relation::new(schema1);
+    db1.insert_strs(&["villagewok", "chinese"]).unwrap();
+
+    let schema2 =
+        Schema::of_strs("S", &["name", "cuisine"], &["name", "cuisine"]).expect("valid");
+    let mut db2 = Relation::new(schema2);
+    db2.insert_strs(&["villagewok", "chinese"]).unwrap();
+    (db1, db2)
+}
+
+/// Figure 2 with the paper's fix: a `domain` attribute distinguishing
+/// the databases' modeled subsets.
+pub fn figure2_with_domain() -> (Relation, Relation) {
+    let schema1 = Schema::of_strs(
+        "R",
+        &["name", "cuisine", "domain"],
+        &["name", "cuisine", "domain"],
+    )
+    .expect("valid");
+    let mut db1 = Relation::new(schema1);
+    db1.insert_strs(&["villagewok", "chinese", "db1"]).unwrap();
+
+    let schema2 = Schema::of_strs(
+        "S",
+        &["name", "cuisine", "domain"],
+        &["name", "cuisine", "domain"],
+    )
+    .expect("valid");
+    let mut db2 = Relation::new(schema2);
+    db2.insert_strs(&["villagewok", "chinese", "db2"]).unwrap();
+    (db1, db2)
+}
+
+/// Example 2 (Table 2): the two-TwinCities workload with extended key
+/// `{name, cuisine}` and the single Mughalai ILFD.
+pub fn example2() -> (Relation, Relation, ExtendedKey, IlfdSet) {
+    let r_schema = Schema::of_strs(
+        "R",
+        &["name", "cuisine", "street"],
+        &["name", "cuisine"],
+    )
+    .expect("valid");
+    let mut r = Relation::new(r_schema);
+    r.insert_strs(&["twincities", "chinese", "wash_ave"]).unwrap();
+    r.insert_strs(&["twincities", "indian", "univ_ave"]).unwrap();
+
+    let s_schema = Schema::of_strs(
+        "S",
+        &["name", "speciality", "city"],
+        &["name", "city"],
+    )
+    .expect("valid");
+    let mut s = Relation::new(s_schema);
+    s.insert_strs(&["twincities", "mughalai", "st_paul"]).unwrap();
+
+    let ilfds: IlfdSet = vec![Ilfd::of_strs(
+        &[("speciality", "mughalai")],
+        &[("cuisine", "indian")],
+    )]
+    .into_iter()
+    .collect();
+    (
+        r,
+        s,
+        ExtendedKey::of_strs(&["name", "cuisine"]),
+        ilfds,
+    )
+}
+
+/// Example 3 (Table 5): the five-restaurant `R` and four-restaurant
+/// `S` with extended key `{name, cuisine, speciality}`.
+pub fn example3() -> (Relation, Relation, ExtendedKey, IlfdSet) {
+    let r_schema = Schema::of_strs(
+        "R",
+        &["name", "cuisine", "street"],
+        &["name", "cuisine"],
+    )
+    .expect("valid");
+    let mut r = Relation::new(r_schema);
+    r.insert_strs(&["twincities", "chinese", "co_b2"]).unwrap();
+    r.insert_strs(&["twincities", "indian", "co_b3"]).unwrap();
+    r.insert_strs(&["itsgreek", "greek", "front_ave"]).unwrap();
+    r.insert_strs(&["anjuman", "indian", "le_salle_ave"]).unwrap();
+    r.insert_strs(&["villagewok", "chinese", "wash_ave"]).unwrap();
+
+    let s_schema = Schema::of_strs(
+        "S",
+        &["name", "speciality", "county"],
+        &["name", "speciality"],
+    )
+    .expect("valid");
+    let mut s = Relation::new(s_schema);
+    s.insert_strs(&["twincities", "hunan", "roseville"]).unwrap();
+    s.insert_strs(&["twincities", "sichuan", "hennepin"]).unwrap();
+    s.insert_strs(&["itsgreek", "gyros", "ramsey"]).unwrap();
+    s.insert_strs(&["anjuman", "mughalai", "minneapolis"]).unwrap();
+
+    (
+        r,
+        s,
+        ExtendedKey::of_strs(&["name", "cuisine", "speciality"]),
+        example3_ilfds(),
+    )
+}
+
+/// The eight ILFDs I1–I8 of Example 3, in the paper's order.
+pub fn example3_ilfds() -> IlfdSet {
+    vec![
+        // I1–I4: speciality determines cuisine.
+        Ilfd::of_strs(&[("speciality", "hunan")], &[("cuisine", "chinese")]),
+        Ilfd::of_strs(&[("speciality", "sichuan")], &[("cuisine", "chinese")]),
+        Ilfd::of_strs(&[("speciality", "gyros")], &[("cuisine", "greek")]),
+        Ilfd::of_strs(&[("speciality", "mughalai")], &[("cuisine", "indian")]),
+        // I5–I6: specific restaurants' specialities.
+        Ilfd::of_strs(
+            &[("name", "twincities"), ("street", "co_b2")],
+            &[("speciality", "hunan")],
+        ),
+        Ilfd::of_strs(
+            &[("name", "anjuman"), ("street", "le_salle_ave")],
+            &[("speciality", "mughalai")],
+        ),
+        // I7–I8: the chain that derives I9.
+        Ilfd::of_strs(&[("street", "front_ave")], &[("county", "ramsey")]),
+        Ilfd::of_strs(
+            &[("name", "itsgreek"), ("county", "ramsey")],
+            &[("speciality", "gyros")],
+        ),
+    ]
+    .into_iter()
+    .collect()
+}
+
+/// The derived ILFD I9 (provable from I7 + I8).
+pub fn ilfd_i9() -> Ilfd {
+    Ilfd::of_strs(
+        &[("name", "itsgreek"), ("street", "front_ave")],
+        &[("speciality", "gyros")],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eid_ilfd::closure::implies;
+
+    #[test]
+    fn example1_shapes() {
+        let (r, s) = example1();
+        assert_eq!(r.len(), 3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(r.schema().primary_key().len(), 2);
+    }
+
+    #[test]
+    fn ambiguous_insert_is_legal_for_r_key() {
+        let (mut r, _) = example1();
+        example1_ambiguous_insert(&mut r);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn figure2_tuples_are_attribute_identical() {
+        let (a, b) = figure2();
+        assert_eq!(a.tuples()[0], b.tuples()[0]);
+        let (a, b) = figure2_with_domain();
+        assert_ne!(a.tuples()[0], b.tuples()[0]);
+    }
+
+    #[test]
+    fn example3_has_expected_sizes() {
+        let (r, s, key, ilfds) = example3();
+        assert_eq!(r.len(), 5);
+        assert_eq!(s.len(), 4);
+        assert_eq!(key.len(), 3);
+        assert_eq!(ilfds.len(), 8);
+    }
+
+    #[test]
+    fn i9_is_derivable_from_i7_i8() {
+        assert!(implies(&example3_ilfds(), &ilfd_i9()));
+        // …but not from I1–I6 alone.
+        let partial: IlfdSet = example3_ilfds().iter().take(6).cloned().collect();
+        assert!(!implies(&partial, &ilfd_i9()));
+    }
+}

@@ -1,0 +1,94 @@
+//! Deterministic synthetic vocabularies.
+//!
+//! Workload generation needs pools of plausible symbolic values —
+//! restaurant names, street names, cuisine/speciality words — that
+//! are reproducible from a seed. Words are composed from syllables,
+//! optionally suffixed with an index to force uniqueness.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+const ONSETS: &[&str] = &[
+    "b", "ch", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "sh", "t", "v", "w",
+    "z",
+];
+const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ou"];
+const CODAS: &[&str] = &["", "n", "r", "s", "l", "k", "ng"];
+
+/// Generates one pronounceable word of `syllables` syllables.
+pub fn word(rng: &mut StdRng, syllables: usize) -> String {
+    let mut out = String::new();
+    for _ in 0..syllables {
+        out.push_str(ONSETS[rng.random_range(0..ONSETS.len())]);
+        out.push_str(VOWELS[rng.random_range(0..VOWELS.len())]);
+        if rng.random_bool(0.3) {
+            out.push_str(CODAS[rng.random_range(0..CODAS.len())]);
+        }
+    }
+    out
+}
+
+/// A pool of `n` distinct words; duplicates are disambiguated with a
+/// numeric suffix so the pool size is exact.
+pub fn pool(rng: &mut StdRng, n: usize, syllables: usize) -> Vec<String> {
+    let mut out = Vec::with_capacity(n);
+    let mut seen = std::collections::HashSet::new();
+    while out.len() < n {
+        let mut w = word(rng, syllables);
+        if !seen.insert(w.clone()) {
+            w = format!("{w}{}", out.len());
+            seen.insert(w.clone());
+        }
+        out.push(w);
+    }
+    out
+}
+
+/// A pool of street-like names (`<word>_ave`, `<word>_rd`, …).
+pub fn street_pool(rng: &mut StdRng, n: usize) -> Vec<String> {
+    const SUFFIX: &[&str] = &["ave", "rd", "st", "blvd", "way"];
+    pool(rng, n, 2)
+        .into_iter()
+        .enumerate()
+        .map(|(i, w)| format!("{w}_{}", SUFFIX[i % SUFFIX.len()]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn words_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(word(&mut a, 3), word(&mut b, 3));
+    }
+
+    #[test]
+    fn pool_is_exact_and_distinct() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let p = pool(&mut rng, 500, 2);
+        assert_eq!(p.len(), 500);
+        let set: std::collections::HashSet<_> = p.iter().collect();
+        assert_eq!(set.len(), 500);
+    }
+
+    #[test]
+    fn street_pool_has_suffixes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = street_pool(&mut rng, 10);
+        assert!(p.iter().all(|s| s.contains('_')));
+    }
+
+    #[test]
+    fn words_are_nonempty_lowercase() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let w = word(&mut rng, 2);
+            assert!(!w.is_empty());
+            assert_eq!(w, w.to_lowercase());
+        }
+    }
+}

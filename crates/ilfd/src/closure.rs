@@ -1,0 +1,386 @@
+//! Closure computation and logical implication for ILFDs.
+//!
+//! §5.2: "computing the closure `X⁺_F` of a set of propositional
+//! symbols `X` with respect to a set of ILFDs `F` is relatively
+//! easier \[than computing `F⁺`\]. Essentially, the algorithm … is the
+//! same as that for computing the closure of a set of attributes with
+//! respect to a set of FDs." We implement the standard linear-time
+//! counter algorithm (Beeri–Bernstein) transliterated to symbols.
+
+use std::collections::HashMap;
+
+use crate::ilfd::{Ilfd, IlfdSet};
+use crate::symbol::{PropSymbol, SymbolSet};
+
+/// Computes the closure `X⁺_F`: every propositional symbol derivable
+/// from `x` using Armstrong's axioms for ILFDs over `f`.
+///
+/// Runs in time linear in the total size of `f` plus the output.
+pub fn symbol_closure(x: &SymbolSet, f: &IlfdSet) -> SymbolSet {
+    // unsatisfied[i] = number of antecedent symbols of f[i] not yet in the closure.
+    let mut unsatisfied: Vec<usize> = f.iter().map(|i| i.antecedent().len()).collect();
+    // For each symbol, the ILFDs whose antecedent mentions it.
+    let mut waiting: HashMap<&PropSymbol, Vec<usize>> = HashMap::new();
+    for (idx, ilfd) in f.iter().enumerate() {
+        for s in ilfd.antecedent() {
+            waiting.entry(s).or_default().push(idx);
+        }
+    }
+
+    let mut closure = x.clone();
+    let mut queue: Vec<PropSymbol> = x.iter().cloned().collect();
+    // ILFDs with empty antecedents fire immediately.
+    let mut fire: Vec<usize> = unsatisfied
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c == 0)
+        .map(|(i, _)| i)
+        .collect();
+
+    loop {
+        for idx in fire.drain(..) {
+            for s in f.as_slice()[idx].consequent() {
+                if closure.insert(s.clone()) {
+                    queue.push(s.clone());
+                }
+            }
+        }
+        match queue.pop() {
+            None => break,
+            Some(s) => {
+                if let Some(idxs) = waiting.get(&s) {
+                    for &idx in idxs {
+                        unsatisfied[idx] -= 1;
+                        if unsatisfied[idx] == 0 {
+                            fire.push(idx);
+                        }
+                    }
+                    // Each symbol is dequeued once; drop its entry so a
+                    // duplicate enqueue cannot double-decrement.
+                    let key = s.clone();
+                    waiting.remove(&key);
+                }
+            }
+        }
+    }
+    closure
+}
+
+/// Reference implementation of [`symbol_closure`]: the textbook
+/// quadratic fixpoint ("repeat until no ILFD adds anything"). Kept as
+/// an independent oracle for tests and as the baseline in the closure
+/// benchmarks; the counter-based algorithm must always agree with it.
+pub fn symbol_closure_naive(x: &SymbolSet, f: &IlfdSet) -> SymbolSet {
+    let mut closure = x.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for ilfd in f.iter() {
+            if ilfd.antecedent().is_subset(&closure)
+                && !ilfd.consequent().is_subset(&closure)
+            {
+                closure = closure.union_with(ilfd.consequent());
+                changed = true;
+            }
+        }
+    }
+    closure
+}
+
+/// Logical implication `F ⊨ X → Y`: by Theorem 1 (soundness and
+/// completeness of Armstrong's axioms for ILFDs) this holds iff
+/// `Y ⊆ X⁺_F`.
+pub fn implies(f: &IlfdSet, ilfd: &Ilfd) -> bool {
+    ilfd.consequent()
+        .is_subset(&symbol_closure(ilfd.antecedent(), f))
+}
+
+/// Whether `f` is a member of the closure `F⁺` of `g` **and** vice
+/// versa — i.e. the two sets are logically equivalent (imply the same
+/// ILFDs).
+pub fn equivalent(f: &IlfdSet, g: &IlfdSet) -> bool {
+    f.iter().all(|i| implies(g, i)) && g.iter().all(|i| implies(f, i))
+}
+
+/// Computes a **minimal cover** of `f`: an equivalent set where
+/// every consequent is a single symbol, no antecedent symbol is
+/// extraneous, and no ILFD is redundant. Analogous to FD minimal
+/// covers; useful for storing ILFD knowledge bases compactly.
+pub fn minimal_cover(f: &IlfdSet) -> IlfdSet {
+    // 1. Decompose consequents to single symbols; drop trivial ILFDs.
+    let mut work: Vec<Ilfd> = f
+        .iter()
+        .flat_map(|i| i.decompose())
+        .filter(|i| !i.is_trivial())
+        .collect();
+    work.dedup();
+
+    // 2. Remove extraneous antecedent symbols: symbol s of X is
+    //    extraneous in X→y if (X−{s})⁺ still contains y.
+    let full: IlfdSet = work.iter().cloned().collect();
+    let mut reduced: Vec<Ilfd> = Vec::with_capacity(work.len());
+    for ilfd in &work {
+        let mut ante: Vec<PropSymbol> = ilfd.antecedent().iter().cloned().collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for k in 0..ante.len() {
+                if ante.len() == 1 {
+                    break;
+                }
+                let candidate: SymbolSet = ante
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != k)
+                    .map(|(_, s)| s.clone())
+                    .collect();
+                let derivable = ilfd
+                    .consequent()
+                    .is_subset(&symbol_closure(&candidate, &full));
+                if derivable {
+                    ante.remove(k);
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        reduced.push(Ilfd::new(
+            ante.into_iter().collect(),
+            ilfd.consequent().clone(),
+        ));
+    }
+
+    // 3. Remove redundant ILFDs: drop i if the rest still implies it.
+    let mut keep: Vec<bool> = vec![true; reduced.len()];
+    for k in 0..reduced.len() {
+        keep[k] = false;
+        let rest: IlfdSet = reduced
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| keep[*j])
+            .map(|(_, i)| i.clone())
+            .collect();
+        if !implies(&rest, &reduced[k]) {
+            keep[k] = true;
+        }
+    }
+    reduced
+        .into_iter()
+        .zip(keep)
+        .filter(|(_, k)| *k)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Enumerates the full closure `F⁺` restricted to a symbol universe —
+/// every non-trivial, satisfiable `X → Y` with `X` drawn from
+/// `universe` (antecedent size ≤ `max_antecedent`) and
+/// `Y = X⁺_F − X`. Exponential in `|universe|`; intended for tests
+/// and the theory experiment, mirroring §5's remark that "the closure
+/// of a set of ILFDs is expensive to compute".
+pub fn enumerate_closure(
+    f: &IlfdSet,
+    universe: &[PropSymbol],
+    max_antecedent: usize,
+) -> Vec<Ilfd> {
+    let n = universe.len();
+    assert!(n <= 20, "closure enumeration universe too large");
+    let mut out = Vec::new();
+    for mask in 1u32..(1 << n) {
+        if (mask.count_ones() as usize) > max_antecedent {
+            continue;
+        }
+        let x: SymbolSet = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| universe[i].clone())
+            .collect();
+        if x.is_contradictory() {
+            continue;
+        }
+        let plus = symbol_closure(&x, f);
+        let y: SymbolSet = plus.iter().filter(|s| !x.contains(s)).cloned().collect();
+        if !y.is_empty() {
+            out.push(Ilfd::new(x, y));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eid_relational::Value;
+
+    fn sym(a: &str, v: &str) -> PropSymbol {
+        PropSymbol::new(a, Value::str(v))
+    }
+
+    /// The §5.2 example: F = {(A=a1)→(B=b1), (B=b1)→(C=c1)}.
+    fn example_f() -> IlfdSet {
+        vec![
+            Ilfd::of_strs(&[("A", "a1")], &[("B", "b1")]),
+            Ilfd::of_strs(&[("B", "b1")], &[("C", "c1")]),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn closure_chains_transitively() {
+        let x = SymbolSet::from_symbols([sym("A", "a1")]);
+        let plus = symbol_closure(&x, &example_f());
+        assert!(plus.contains(&sym("A", "a1")));
+        assert!(plus.contains(&sym("B", "b1")));
+        assert!(plus.contains(&sym("C", "c1")));
+        assert_eq!(plus.len(), 3);
+    }
+
+    #[test]
+    fn naive_and_counter_closures_agree() {
+        let f = example_f();
+        for start in [
+            SymbolSet::new(),
+            SymbolSet::from_symbols([sym("A", "a1")]),
+            SymbolSet::from_symbols([sym("B", "b1")]),
+            SymbolSet::from_symbols([sym("C", "c1"), sym("A", "a1")]),
+            SymbolSet::from_symbols([sym("Z", "z")]),
+        ] {
+            assert_eq!(
+                symbol_closure(&start, &f),
+                symbol_closure_naive(&start, &f),
+                "diverged on {start}"
+            );
+        }
+    }
+
+    #[test]
+    fn closure_of_unrelated_symbol_is_itself() {
+        let x = SymbolSet::from_symbols([sym("Z", "z")]);
+        let plus = symbol_closure(&x, &example_f());
+        assert_eq!(plus.len(), 1);
+    }
+
+    #[test]
+    fn empty_antecedent_ilfds_always_fire() {
+        let f: IlfdSet = vec![Ilfd::new(
+            SymbolSet::new(),
+            SymbolSet::of_strs(&[("B", "b")]),
+        )]
+        .into_iter()
+        .collect();
+        let plus = symbol_closure(&SymbolSet::new(), &f);
+        assert!(plus.contains(&sym("B", "b")));
+    }
+
+    #[test]
+    fn implies_transitive_consequence() {
+        // F ⊨ (A=a1) → (C=c1), the transitivity axiom's conclusion.
+        let target = Ilfd::of_strs(&[("A", "a1")], &[("C", "c1")]);
+        assert!(implies(&example_f(), &target));
+        // But not (C=c1) → (A=a1).
+        let wrong = Ilfd::of_strs(&[("C", "c1")], &[("A", "a1")]);
+        assert!(!implies(&example_f(), &wrong));
+    }
+
+    #[test]
+    fn implies_trivial_always() {
+        let trivial = Ilfd::of_strs(&[("Q", "q"), ("R", "r")], &[("Q", "q")]);
+        assert!(implies(&IlfdSet::new(), &trivial));
+    }
+
+    #[test]
+    fn multi_symbol_antecedent_requires_all() {
+        // I5: name=twincities ∧ street=co_b2 → spec=hunan
+        let f: IlfdSet = vec![Ilfd::of_strs(
+            &[("name", "twincities"), ("street", "co_b2")],
+            &[("spec", "hunan")],
+        )]
+        .into_iter()
+        .collect();
+        let partial = SymbolSet::of_strs(&[("name", "twincities")]);
+        assert!(!symbol_closure(&partial, &f).contains(&sym("spec", "hunan")));
+        let full = SymbolSet::of_strs(&[("name", "twincities"), ("street", "co_b2")]);
+        assert!(symbol_closure(&full, &f).contains(&sym("spec", "hunan")));
+    }
+
+    #[test]
+    fn derived_ilfd_i9_from_i7_i8() {
+        // Paper: I7 (street=front_ave → county=ramsey) and
+        // I8 (name=itsgreek ∧ county=ramsey → spec=gyros) derive
+        // I9 (name=itsgreek ∧ street=front_ave → spec=gyros).
+        let f: IlfdSet = vec![
+            Ilfd::of_strs(&[("street", "front_ave")], &[("county", "ramsey")]),
+            Ilfd::of_strs(
+                &[("name", "itsgreek"), ("county", "ramsey")],
+                &[("spec", "gyros")],
+            ),
+        ]
+        .into_iter()
+        .collect();
+        let i9 = Ilfd::of_strs(
+            &[("name", "itsgreek"), ("street", "front_ave")],
+            &[("spec", "gyros")],
+        );
+        assert!(implies(&f, &i9));
+    }
+
+    #[test]
+    fn equivalent_sets() {
+        let f = example_f();
+        // g adds the derived transitive ILFD — logically equivalent.
+        let mut g = f.clone();
+        g.insert(Ilfd::of_strs(&[("A", "a1")], &[("C", "c1")]));
+        assert!(equivalent(&f, &g));
+        // h loses information.
+        let h: IlfdSet = vec![Ilfd::of_strs(&[("A", "a1")], &[("B", "b1")])]
+            .into_iter()
+            .collect();
+        assert!(!equivalent(&f, &h));
+    }
+
+    #[test]
+    fn minimal_cover_removes_redundant_ilfd() {
+        let mut f = example_f();
+        f.insert(Ilfd::of_strs(&[("A", "a1")], &[("C", "c1")])); // derivable
+        let m = minimal_cover(&f);
+        assert!(equivalent(&m, &f));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn minimal_cover_strips_extraneous_antecedent_symbols() {
+        // (A=a1) → (B=b1); (A=a1 ∧ Z=z) → (B=b1) has Z extraneous.
+        let f: IlfdSet = vec![
+            Ilfd::of_strs(&[("A", "a1")], &[("B", "b1")]),
+            Ilfd::of_strs(&[("A", "a1"), ("Z", "z")], &[("B", "b1")]),
+        ]
+        .into_iter()
+        .collect();
+        let m = minimal_cover(&f);
+        assert!(equivalent(&m, &f));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.as_slice()[0].antecedent().len(), 1);
+    }
+
+    #[test]
+    fn minimal_cover_of_empty_is_empty() {
+        assert!(minimal_cover(&IlfdSet::new()).is_empty());
+    }
+
+    #[test]
+    fn enumerate_closure_contains_derived_and_respects_bounds() {
+        let f = example_f();
+        let universe = vec![sym("A", "a1"), sym("B", "b1"), sym("C", "c1")];
+        let all = enumerate_closure(&f, &universe, 3);
+        let derived = Ilfd::of_strs(&[("A", "a1")], &[("B", "b1"), ("C", "c1")]);
+        assert!(all.contains(&derived));
+        // Everything enumerated is implied by F.
+        assert!(all.iter().all(|i| implies(&f, i)));
+        // Contradictory antecedents are skipped.
+        let universe2 = vec![sym("A", "a1"), sym("A", "a2")];
+        let some = enumerate_closure(&f, &universe2, 2);
+        assert!(some
+            .iter()
+            .all(|i| !i.antecedent().is_contradictory()));
+    }
+}

@@ -1,0 +1,400 @@
+//! Deriving missing attribute values of a tuple from ILFDs.
+//!
+//! This is the step that makes extended-key equivalence applicable
+//! (§4.1): "ILFDs can be used to derive the missing key attribute
+//! values that are required for using extended key equivalence."
+//!
+//! Two strategies are provided:
+//!
+//! * [`Strategy::FirstMatch`] — faithful to the Prolog prototype
+//!   (§6.1): attributes are evaluated by backward chaining through
+//!   the ILFDs **in insertion order**, and "a cut (!) is given at the
+//!   end of an ILFD to prevent other ILFDs from being used once the
+//!   former ILFD has successfully derived the attribute value"; when
+//!   every ILFD fails the value defaults to NULL.
+//! * [`Strategy::Fixpoint`] — computes the full symbol closure of the
+//!   tuple (so chained ILFDs like the paper's I7+I8 ⇒ I9 always
+//!   fire regardless of rule order) and assigns each missing
+//!   attribute its uniquely derived value; if two ILFDs derive
+//!   *different* values for the same attribute the conflict is
+//!   reported and the attribute stays NULL.
+//!
+//! Both strategies never overwrite a non-NULL base value; the
+//! fixpoint strategy additionally reports *inconsistencies* — given
+//! values that contradict what the ILFDs derive.
+
+use std::collections::HashMap;
+
+use eid_relational::{AttrName, Relation, Schema, Tuple, Value};
+
+use crate::closure::symbol_closure;
+use crate::ilfd::IlfdSet;
+use crate::symbol::SymbolSet;
+
+/// How missing values are derived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Prolog-faithful: ordered backward chaining with cut.
+    #[default]
+    FirstMatch,
+    /// Order-independent symbol-closure fixpoint with conflict
+    /// detection.
+    Fixpoint,
+}
+
+/// Two ILFDs derived different values for the same missing attribute
+/// (only possible under [`Strategy::Fixpoint`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conflict {
+    /// The attribute with conflicting derivations.
+    pub attr: AttrName,
+    /// The distinct values derived for it.
+    pub values: Vec<Value>,
+}
+
+/// A given (non-NULL) value contradicts what the ILFDs derive for
+/// that attribute — the tuple is inconsistent with the ILFD set,
+/// violating the paper's assumption that "all tuples modeling the
+/// real world are consistent with the ILFDs".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inconsistency {
+    /// The attribute in question.
+    pub attr: AttrName,
+    /// The value stored in the tuple.
+    pub given: Value,
+    /// A different value the ILFDs derive.
+    pub derived: Value,
+}
+
+/// What a derivation pass did to one tuple.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeriveReport {
+    /// Attribute values that were filled in.
+    pub assigned: Vec<(AttrName, Value)>,
+    /// Conflicting derivations (fixpoint only); the attributes stay NULL.
+    pub conflicts: Vec<Conflict>,
+    /// Given values contradicted by derivation (fixpoint only).
+    pub inconsistencies: Vec<Inconsistency>,
+}
+
+impl DeriveReport {
+    /// Whether anything noteworthy happened.
+    pub fn is_clean(&self) -> bool {
+        self.conflicts.is_empty() && self.inconsistencies.is_empty()
+    }
+}
+
+/// Derives missing (NULL) attribute values of `tuple` under `schema`
+/// from the ILFD set `f`, returning the completed tuple and a report.
+pub fn derive_tuple(
+    schema: &Schema,
+    tuple: &Tuple,
+    f: &IlfdSet,
+    strategy: Strategy,
+) -> (Tuple, DeriveReport) {
+    match strategy {
+        Strategy::FirstMatch => first_match(schema, tuple, f),
+        Strategy::Fixpoint => fixpoint(schema, tuple, f),
+    }
+}
+
+/// Applies [`derive_tuple`] to every tuple of `rel`, returning the
+/// completed relation (same schema) and the per-tuple reports.
+pub fn derive_relation(
+    rel: &Relation,
+    f: &IlfdSet,
+    strategy: Strategy,
+) -> (Relation, Vec<DeriveReport>) {
+    let mut out = Relation::new_unchecked(rel.schema().clone());
+    let mut reports = Vec::with_capacity(rel.len());
+    for t in rel.iter() {
+        let (nt, rep) = derive_tuple(rel.schema(), t, f, strategy);
+        out.insert(nt).expect("same schema");
+        reports.push(rep);
+    }
+    (out, reports)
+}
+
+// ---------------------------------------------------------------------------
+// First-match (Prolog cut) strategy
+// ---------------------------------------------------------------------------
+
+/// Memoized backward-chaining evaluation of one attribute, with the
+/// prototype's semantics: base facts win, then ILFDs in order with a
+/// cut on first success, then the NULL default. Cyclic rule chains
+/// (which would loop in Prolog) fail the offending path instead.
+struct FirstMatchEval<'a> {
+    schema: &'a Schema,
+    tuple: &'a Tuple,
+    f: &'a IlfdSet,
+    memo: HashMap<AttrName, Value>,
+    in_progress: Vec<AttrName>,
+}
+
+impl FirstMatchEval<'_> {
+    fn eval(&mut self, attr: &AttrName) -> Value {
+        if let Some(v) = self.memo.get(attr) {
+            return v.clone();
+        }
+        if self.in_progress.contains(attr) {
+            // A cyclic derivation; Prolog would not terminate. Fail
+            // this path (NULL) without memoizing so an outer,
+            // non-cyclic path can still succeed.
+            return Value::Null;
+        }
+        // Base fact.
+        if let Some(v) = self.tuple.value_of(self.schema, attr) {
+            if !v.is_null() {
+                let v = v.clone();
+                self.memo.insert(attr.clone(), v.clone());
+                return v;
+            }
+        }
+        self.in_progress.push(attr.clone());
+        let mut result = Value::Null;
+        'rules: for ilfd in self.f.iter() {
+            // Which value does this ILFD bind for `attr`, if any?
+            let Some(bound) = ilfd.consequent().iter().find(|s| &s.attr == attr) else {
+                continue;
+            };
+            for cond in ilfd.antecedent() {
+                if !self.eval(&cond.attr).non_null_eq(&cond.value) {
+                    continue 'rules;
+                }
+            }
+            // Antecedent succeeded: cut.
+            result = bound.value.clone();
+            break;
+        }
+        self.in_progress.pop();
+        self.memo.insert(attr.clone(), result.clone());
+        result
+    }
+}
+
+fn first_match(schema: &Schema, tuple: &Tuple, f: &IlfdSet) -> (Tuple, DeriveReport) {
+    let mut eval = FirstMatchEval {
+        schema,
+        tuple,
+        f,
+        memo: HashMap::new(),
+        in_progress: Vec::new(),
+    };
+    let mut out = tuple.clone();
+    let mut report = DeriveReport::default();
+    for (pos, attr) in schema.attributes().iter().enumerate() {
+        if tuple.get(pos).is_null() {
+            let v = eval.eval(&attr.name);
+            if !v.is_null() {
+                out = out.with_value(pos, v.clone());
+                report.assigned.push((attr.name.clone(), v));
+            }
+        }
+    }
+    (out, report)
+}
+
+// ---------------------------------------------------------------------------
+// Fixpoint (closure) strategy
+// ---------------------------------------------------------------------------
+
+fn fixpoint(schema: &Schema, tuple: &Tuple, f: &IlfdSet) -> (Tuple, DeriveReport) {
+    let base = SymbolSet::of_tuple(schema, tuple);
+    let closure = symbol_closure(&base, f);
+
+    // Group derived symbols by attribute.
+    let mut by_attr: HashMap<AttrName, Vec<Value>> = HashMap::new();
+    for s in closure.iter() {
+        let entry = by_attr.entry(s.attr.clone()).or_default();
+        if !entry.contains(&s.value) {
+            entry.push(s.value.clone());
+        }
+    }
+
+    let mut out = tuple.clone();
+    let mut report = DeriveReport::default();
+    for (pos, attr) in schema.attributes().iter().enumerate() {
+        let given = tuple.get(pos);
+        let Some(derived) = by_attr.get(&attr.name) else {
+            continue;
+        };
+        if given.is_null() {
+            match derived.as_slice() {
+                [v] => {
+                    out = out.with_value(pos, v.clone());
+                    report.assigned.push((attr.name.clone(), v.clone()));
+                }
+                many => report.conflicts.push(Conflict {
+                    attr: attr.name.clone(),
+                    values: many.to_vec(),
+                }),
+            }
+        } else {
+            // The closure contains (attr = given) by construction;
+            // any *other* derived value is an inconsistency.
+            for v in derived {
+                if !v.non_null_eq(given) {
+                    report.inconsistencies.push(Inconsistency {
+                        attr: attr.name.clone(),
+                        given: given.clone(),
+                        derived: v.clone(),
+                    });
+                }
+            }
+        }
+    }
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ilfd::Ilfd;
+
+    fn schema() -> std::sync::Arc<Schema> {
+        Schema::of_strs("S", &["name", "spec", "cui", "county", "street"], &["name"]).unwrap()
+    }
+
+    fn paper_ilfds() -> IlfdSet {
+        vec![
+            // I1..I4
+            Ilfd::of_strs(&[("spec", "hunan")], &[("cui", "chinese")]),
+            Ilfd::of_strs(&[("spec", "sichuan")], &[("cui", "chinese")]),
+            Ilfd::of_strs(&[("spec", "gyros")], &[("cui", "greek")]),
+            Ilfd::of_strs(&[("spec", "mughalai")], &[("cui", "indian")]),
+            // I7, I8 (chain)
+            Ilfd::of_strs(&[("street", "front_ave")], &[("county", "ramsey")]),
+            Ilfd::of_strs(
+                &[("name", "itsgreek"), ("county", "ramsey")],
+                &[("spec", "gyros")],
+            ),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    fn t(name: &str, spec: Option<&str>, cui: Option<&str>, county: Option<&str>, street: Option<&str>) -> Tuple {
+        Tuple::new(vec![
+            Value::str(name),
+            spec.map(Value::str).unwrap_or(Value::Null),
+            cui.map(Value::str).unwrap_or(Value::Null),
+            county.map(Value::str).unwrap_or(Value::Null),
+            street.map(Value::str).unwrap_or(Value::Null),
+        ])
+    }
+
+    #[test]
+    fn simple_derivation_both_strategies() {
+        let tup = t("twincities", Some("hunan"), None, None, None);
+        for s in [Strategy::FirstMatch, Strategy::Fixpoint] {
+            let (out, rep) = derive_tuple(&schema(), &tup, &paper_ilfds(), s);
+            assert_eq!(out.get(2), &Value::str("chinese"), "{s:?}");
+            assert_eq!(rep.assigned.len(), 1);
+            assert!(rep.is_clean());
+        }
+    }
+
+    #[test]
+    fn chained_derivation_i7_then_i8() {
+        // itsgreek on front_ave: county := ramsey (I7), then spec :=
+        // gyros (I8), then cui := greek (I3) — a three-step chain.
+        let tup = t("itsgreek", None, None, None, Some("front_ave"));
+        for s in [Strategy::FirstMatch, Strategy::Fixpoint] {
+            let (out, rep) = derive_tuple(&schema(), &tup, &paper_ilfds(), s);
+            assert_eq!(out.get(1), &Value::str("gyros"), "{s:?}");
+            assert_eq!(out.get(2), &Value::str("greek"), "{s:?}");
+            assert_eq!(out.get(3), &Value::str("ramsey"), "{s:?}");
+            assert_eq!(rep.assigned.len(), 3, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn underivable_stays_null() {
+        let tup = t("unknown", None, None, None, None);
+        let (out, rep) = derive_tuple(&schema(), &tup, &paper_ilfds(), Strategy::FirstMatch);
+        assert!(out.get(1).is_null());
+        assert!(out.get(2).is_null());
+        assert!(rep.assigned.is_empty());
+    }
+
+    #[test]
+    fn base_values_are_never_overwritten() {
+        // spec=mughalai would derive cui=indian, but cui is given as chinese.
+        let tup = t("x", Some("mughalai"), Some("chinese"), None, None);
+        let (out, _) = derive_tuple(&schema(), &tup, &paper_ilfds(), Strategy::FirstMatch);
+        assert_eq!(out.get(2), &Value::str("chinese"));
+        let (out, rep) = derive_tuple(&schema(), &tup, &paper_ilfds(), Strategy::Fixpoint);
+        assert_eq!(out.get(2), &Value::str("chinese"));
+        // …but fixpoint reports the inconsistency.
+        assert_eq!(rep.inconsistencies.len(), 1);
+        assert_eq!(rep.inconsistencies[0].derived, Value::str("indian"));
+    }
+
+    #[test]
+    fn first_match_cut_commits_to_first_rule() {
+        // Two rules derive different cuisines from the same antecedent;
+        // the prototype's cut keeps the first.
+        let f: IlfdSet = vec![
+            Ilfd::of_strs(&[("spec", "fusion")], &[("cui", "chinese")]),
+            Ilfd::of_strs(&[("spec", "fusion")], &[("cui", "indian")]),
+        ]
+        .into_iter()
+        .collect();
+        let tup = t("x", Some("fusion"), None, None, None);
+        let (out, rep) = derive_tuple(&schema(), &tup, &f, Strategy::FirstMatch);
+        assert_eq!(out.get(2), &Value::str("chinese"));
+        assert!(rep.conflicts.is_empty());
+        // Fixpoint reports the conflict and leaves NULL.
+        let (out, rep) = derive_tuple(&schema(), &tup, &f, Strategy::Fixpoint);
+        assert!(out.get(2).is_null());
+        assert_eq!(rep.conflicts.len(), 1);
+        assert_eq!(rep.conflicts[0].values.len(), 2);
+    }
+
+    #[test]
+    fn cyclic_rules_terminate() {
+        // a=1 → b=1 and b=1 → a=1, tuple gives neither.
+        let f: IlfdSet = vec![
+            Ilfd::of_strs(&[("spec", "x")], &[("cui", "y")]),
+            Ilfd::of_strs(&[("cui", "y")], &[("spec", "x")]),
+        ]
+        .into_iter()
+        .collect();
+        let tup = t("n", None, None, None, None);
+        let (out, _) = derive_tuple(&schema(), &tup, &f, Strategy::FirstMatch);
+        assert!(out.get(1).is_null());
+        assert!(out.get(2).is_null());
+        let (out, _) = derive_tuple(&schema(), &tup, &f, Strategy::Fixpoint);
+        assert!(out.get(1).is_null());
+    }
+
+    #[test]
+    fn derive_relation_maps_all_tuples() {
+        let mut rel = Relation::new_unchecked(schema());
+        rel.insert(t("a", Some("hunan"), None, None, None)).unwrap();
+        rel.insert(t("b", Some("gyros"), None, None, None)).unwrap();
+        let (out, reports) = derive_relation(&rel, &paper_ilfds(), Strategy::FirstMatch);
+        assert_eq!(out.tuples()[0].get(2), &Value::str("chinese"));
+        assert_eq!(out.tuples()[1].get(2), &Value::str("greek"));
+        assert_eq!(reports.len(), 2);
+    }
+
+    #[test]
+    fn first_match_order_dependence_vs_fixpoint_order_independence() {
+        // With I8 before I7, first-match must still find the chain
+        // because evaluation is backward-chaining (county is evaluated
+        // on demand), mirroring Prolog's semantics.
+        let f: IlfdSet = vec![
+            Ilfd::of_strs(
+                &[("name", "itsgreek"), ("county", "ramsey")],
+                &[("spec", "gyros")],
+            ),
+            Ilfd::of_strs(&[("street", "front_ave")], &[("county", "ramsey")]),
+        ]
+        .into_iter()
+        .collect();
+        let tup = t("itsgreek", None, None, None, Some("front_ave"));
+        let (out, _) = derive_tuple(&schema(), &tup, &f, Strategy::FirstMatch);
+        assert_eq!(out.get(1), &Value::str("gyros"));
+    }
+}

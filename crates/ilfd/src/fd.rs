@@ -1,0 +1,436 @@
+//! Classical functional dependencies and the ILFD ↔ FD bridge.
+//!
+//! §5.1 relates the two notions. Proposition 2: *if for each
+//! combination of values `a₁…aₘ` in the domains of `A₁…Aₘ` there is
+//! an ILFD `(A₁=a₁) ∧ … ∧ (Aₘ=aₘ) → (B₁=b₁) ∧ … ∧ (Bₙ=bₙ)` that
+//! holds in the relation `R`, then the FD `{A₁,…,Aₘ} → {B₁,…,Bₙ}`
+//! also holds in `R`.* The converse is false — FDs do not suggest
+//! particular values.
+//!
+//! This module provides a standard FD engine (attribute-set closure,
+//! implication, satisfaction checking over relations) and the
+//! Proposition-2 constructions in both directions:
+//! [`fd_from_ilfd_family`] checks the premise and concludes the FD,
+//! and [`ilfds_from_relation_fd`] extracts the (relation-specific)
+//! ILFD family witnessing an FD that holds in a given relation.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use eid_relational::{AttrName, Relation, Tuple};
+
+use crate::ilfd::{Ilfd, IlfdSet};
+use crate::symbol::{PropSymbol, SymbolSet};
+
+/// A functional dependency `lhs → rhs` over attribute *names* (not
+/// values — contrast with [`Ilfd`]).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Fd {
+    /// Determinant attribute set.
+    pub lhs: BTreeSet<AttrName>,
+    /// Determined attribute set.
+    pub rhs: BTreeSet<AttrName>,
+}
+
+impl Fd {
+    /// Builds `lhs → rhs`.
+    pub fn new(
+        lhs: impl IntoIterator<Item = AttrName>,
+        rhs: impl IntoIterator<Item = AttrName>,
+    ) -> Self {
+        Fd {
+            lhs: lhs.into_iter().collect(),
+            rhs: rhs.into_iter().collect(),
+        }
+    }
+
+    /// Builds from attribute name strings.
+    pub fn of_strs(lhs: &[&str], rhs: &[&str]) -> Self {
+        Fd::new(
+            lhs.iter().map(|s| AttrName::new(*s)),
+            rhs.iter().map(|s| AttrName::new(*s)),
+        )
+    }
+
+    /// Trivial iff `rhs ⊆ lhs`.
+    pub fn is_trivial(&self) -> bool {
+        self.rhs.is_subset(&self.lhs)
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let l: Vec<&str> = self.lhs.iter().map(|a| a.as_str()).collect();
+        let r: Vec<&str> = self.rhs.iter().map(|a| a.as_str()).collect();
+        write!(f, "{{{}}} → {{{}}}", l.join(", "), r.join(", "))
+    }
+}
+
+/// Attribute-set closure `X⁺` with respect to a set of FDs — the
+/// classical fixpoint algorithm §5.2 says the symbol closure mirrors.
+pub fn attr_closure(x: &BTreeSet<AttrName>, fds: &[Fd]) -> BTreeSet<AttrName> {
+    let mut closure = x.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for fd in fds {
+            if fd.lhs.is_subset(&closure) && !fd.rhs.is_subset(&closure) {
+                closure.extend(fd.rhs.iter().cloned());
+                changed = true;
+            }
+        }
+    }
+    closure
+}
+
+/// Logical implication for FDs: `fds ⊨ target` iff
+/// `target.rhs ⊆ (target.lhs)⁺`.
+pub fn fd_implies(fds: &[Fd], target: &Fd) -> bool {
+    target.rhs.is_subset(&attr_closure(&target.lhs, fds))
+}
+
+/// Whether the FD holds in `rel`: every pair of tuples agreeing on
+/// `lhs` (with all values non-NULL) agrees on `rhs`. NULL `lhs`
+/// values exempt a tuple — NULL means *unknown*, so it cannot witness
+/// agreement.
+pub fn fd_holds_in(rel: &Relation, fd: &Fd) -> bool {
+    let lhs_pos: Vec<usize> = match fd
+        .lhs
+        .iter()
+        .map(|a| rel.schema().try_position(a).ok_or(()))
+        .collect::<Result<_, _>>()
+    {
+        Ok(v) => v,
+        Err(()) => return false,
+    };
+    let rhs_pos: Vec<usize> = match fd
+        .rhs
+        .iter()
+        .map(|a| rel.schema().try_position(a).ok_or(()))
+        .collect::<Result<_, _>>()
+    {
+        Ok(v) => v,
+        Err(()) => return false,
+    };
+    let mut seen: HashMap<Tuple, Tuple> = HashMap::new();
+    for t in rel.iter() {
+        if !t.non_null_at(&lhs_pos) {
+            continue;
+        }
+        let key = t.project(&lhs_pos);
+        let val = t.project(&rhs_pos);
+        match seen.entry(key) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(val);
+            }
+            std::collections::hash_map::Entry::Occupied(e) => {
+                if e.get() != &val {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Enumerates the **candidate keys** of a relation scheme with
+/// attribute set `attrs` under the FDs `fds`: the minimal attribute
+/// sets whose closure covers everything. Classic exponential search
+/// pruned by (i) seeding with the attributes that appear in no RHS
+/// (they are in every key) and (ii) minimality filtering.
+///
+/// The paper's extended key is "a minimal set of attributes … needed
+/// to uniquely identify an instance of type E in the integrated real
+/// world" — i.e. a candidate key of the integrated scheme; this
+/// function lets a DBA *derive* the candidate extended keys from FD
+/// knowledge instead of guessing them.
+pub fn candidate_keys(attrs: &BTreeSet<AttrName>, fds: &[Fd]) -> Vec<BTreeSet<AttrName>> {
+    if attrs.is_empty() {
+        return Vec::new();
+    }
+    // Attributes never determined by anything must be in every key.
+    let determined: BTreeSet<AttrName> = fds
+        .iter()
+        .flat_map(|fd| fd.rhs.iter().filter(|a| !fd.lhs.contains(a)).cloned())
+        .collect();
+    let core: BTreeSet<AttrName> = attrs.difference(&determined).cloned().collect();
+    let optional: Vec<AttrName> = attrs.intersection(&determined).cloned().collect();
+    assert!(
+        optional.len() <= 20,
+        "candidate-key search space too large"
+    );
+
+    let is_superkey =
+        |set: &BTreeSet<AttrName>| -> bool { attr_closure(set, fds).is_superset(attrs) };
+
+    let mut keys: Vec<BTreeSet<AttrName>> = Vec::new();
+    // Enumerate subsets of the optional attributes by increasing size
+    // so minimality is a subset check against already-found keys.
+    for mask in 0u32..(1 << optional.len()) {
+        let mut set = core.clone();
+        for (i, a) in optional.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                set.insert(a.clone());
+            }
+        }
+        if !is_superkey(&set) {
+            continue;
+        }
+        if keys.iter().any(|k| k.is_subset(&set)) {
+            continue;
+        }
+        // Remove any previously added supersets (enumeration order is
+        // not strictly by size).
+        keys.retain(|k| !set.is_subset(k));
+        keys.push(set);
+    }
+    keys.sort();
+    keys
+}
+
+/// Proposition 2, checked constructively. Given a relation `rel` and
+/// an ILFD set `f`, tests whether *every* tuple's `lhs`-value
+/// combination is covered by some ILFD in `f` over exactly the `lhs`
+/// attributes deriving all of `rhs`, and that `rel` satisfies those
+/// ILFDs; if so the FD `lhs → rhs` is guaranteed (and this function
+/// verifies it holds).
+pub fn fd_from_ilfd_family(rel: &Relation, f: &IlfdSet, fd: &Fd) -> bool {
+    // Every tuple combination must be covered.
+    for t in rel.iter() {
+        let mut ante = SymbolSet::new();
+        let mut total = true;
+        for a in &fd.lhs {
+            match t.value_of(rel.schema(), a) {
+                Some(v) if !v.is_null() => {
+                    ante.insert(PropSymbol::new(a.clone(), v.clone()));
+                }
+                _ => {
+                    total = false;
+                    break;
+                }
+            }
+        }
+        if !total {
+            continue; // NULL lhs tuples are exempt, as in `fd_holds_in`
+        }
+        // The closure of the antecedent must pin down every rhs attribute.
+        let closure = crate::closure::symbol_closure(&ante, f);
+        for b in &fd.rhs {
+            let derived: Vec<&PropSymbol> =
+                closure.iter().filter(|s| &s.attr == b).collect();
+            if derived.len() != 1 {
+                return false;
+            }
+            // The tuple itself must agree (f holds in rel for this tuple).
+            match t.value_of(rel.schema(), b) {
+                Some(v) if v.non_null_eq(&derived[0].value) => {}
+                _ => return false,
+            }
+        }
+    }
+    debug_assert!(fd_holds_in(rel, fd), "Proposition 2 violated");
+    true
+}
+
+/// The reverse construction: if `fd` holds in `rel`, extract the
+/// witnessing ILFD family — one ILFD per distinct `lhs`-value
+/// combination present in `rel`. (Only meaningful for the given
+/// relation instance; this is why the converse of Proposition 2 does
+/// not hold in general.)
+pub fn ilfds_from_relation_fd(rel: &Relation, fd: &Fd) -> Option<IlfdSet> {
+    if !fd_holds_in(rel, fd) {
+        return None;
+    }
+    let mut out = IlfdSet::new();
+    for t in rel.iter() {
+        let mut ante = SymbolSet::new();
+        let mut cons = SymbolSet::new();
+        let mut ok = true;
+        for a in &fd.lhs {
+            match t.value_of(rel.schema(), a) {
+                Some(v) if !v.is_null() => {
+                    ante.insert(PropSymbol::new(a.clone(), v.clone()));
+                }
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        for b in &fd.rhs {
+            match t.value_of(rel.schema(), b) {
+                Some(v) if !v.is_null() => {
+                    cons.insert(PropSymbol::new(b.clone(), v.clone()));
+                }
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            out.insert(Ilfd::new(ante, cons));
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eid_relational::{Schema, Value};
+
+    fn name(s: &str) -> AttrName {
+        AttrName::new(s)
+    }
+
+    fn restaurant_rel() -> Relation {
+        let schema =
+            Schema::of_strs("R", &["name", "speciality", "cuisine"], &["name"]).unwrap();
+        let mut r = Relation::new(schema);
+        r.insert_strs(&["a", "hunan", "chinese"]).unwrap();
+        r.insert_strs(&["b", "sichuan", "chinese"]).unwrap();
+        r.insert_strs(&["c", "gyros", "greek"]).unwrap();
+        r
+    }
+
+    #[test]
+    fn attr_closure_chains() {
+        let fds = vec![Fd::of_strs(&["a"], &["b"]), Fd::of_strs(&["b"], &["c"])];
+        let x: BTreeSet<AttrName> = [name("a")].into_iter().collect();
+        let plus = attr_closure(&x, &fds);
+        assert!(plus.contains(&name("c")));
+        assert_eq!(plus.len(), 3);
+    }
+
+    #[test]
+    fn fd_implies_transitivity() {
+        let fds = vec![Fd::of_strs(&["a"], &["b"]), Fd::of_strs(&["b"], &["c"])];
+        assert!(fd_implies(&fds, &Fd::of_strs(&["a"], &["c"])));
+        assert!(!fd_implies(&fds, &Fd::of_strs(&["c"], &["a"])));
+    }
+
+    #[test]
+    fn fd_holds_in_relation() {
+        let r = restaurant_rel();
+        assert!(fd_holds_in(&r, &Fd::of_strs(&["speciality"], &["cuisine"])));
+        // cuisine does not determine speciality (chinese → {hunan, sichuan}).
+        assert!(!fd_holds_in(&r, &Fd::of_strs(&["cuisine"], &["speciality"])));
+    }
+
+    #[test]
+    fn fd_on_missing_attribute_fails() {
+        let r = restaurant_rel();
+        assert!(!fd_holds_in(&r, &Fd::of_strs(&["nope"], &["cuisine"])));
+    }
+
+    #[test]
+    fn null_lhs_tuples_are_exempt() {
+        let schema = Schema::of_strs("T", &["a", "b"], &["a"]).unwrap();
+        let mut r = Relation::new_unchecked(schema);
+        r.insert(Tuple::new(vec![Value::Null, Value::str("x")]))
+            .unwrap();
+        r.insert(Tuple::new(vec![Value::Null, Value::str("y")]))
+            .unwrap();
+        assert!(fd_holds_in(&r, &Fd::of_strs(&["a"], &["b"])));
+    }
+
+    #[test]
+    fn proposition_2_premise_implies_fd() {
+        let r = restaurant_rel();
+        let f: IlfdSet = vec![
+            Ilfd::of_strs(&[("speciality", "hunan")], &[("cuisine", "chinese")]),
+            Ilfd::of_strs(&[("speciality", "sichuan")], &[("cuisine", "chinese")]),
+            Ilfd::of_strs(&[("speciality", "gyros")], &[("cuisine", "greek")]),
+        ]
+        .into_iter()
+        .collect();
+        let fd = Fd::of_strs(&["speciality"], &["cuisine"]);
+        assert!(fd_from_ilfd_family(&r, &f, &fd));
+        assert!(fd_holds_in(&r, &fd));
+    }
+
+    #[test]
+    fn incomplete_family_fails_premise() {
+        let r = restaurant_rel();
+        let f: IlfdSet = vec![Ilfd::of_strs(
+            &[("speciality", "hunan")],
+            &[("cuisine", "chinese")],
+        )]
+        .into_iter()
+        .collect();
+        // gyros/sichuan combinations are uncovered.
+        assert!(!fd_from_ilfd_family(
+            &r,
+            &f,
+            &Fd::of_strs(&["speciality"], &["cuisine"])
+        ));
+    }
+
+    #[test]
+    fn extracted_ilfd_family_witnesses_fd() {
+        let r = restaurant_rel();
+        let fd = Fd::of_strs(&["speciality"], &["cuisine"]);
+        let f = ilfds_from_relation_fd(&r, &fd).unwrap();
+        assert_eq!(f.len(), 3);
+        assert!(fd_from_ilfd_family(&r, &f, &fd));
+        // Converse direction: extraction refuses a violated FD.
+        assert!(ilfds_from_relation_fd(&r, &Fd::of_strs(&["cuisine"], &["speciality"])).is_none());
+    }
+
+    #[test]
+    fn candidate_keys_basic() {
+        // R(a, b, c) with a → b, b → c: the only key is {a}.
+        let attrs: BTreeSet<AttrName> =
+            ["a", "b", "c"].iter().map(|s| name(s)).collect();
+        let fds = vec![Fd::of_strs(&["a"], &["b"]), Fd::of_strs(&["b"], &["c"])];
+        let keys = candidate_keys(&attrs, &fds);
+        assert_eq!(keys.len(), 1);
+        assert_eq!(keys[0], [name("a")].into_iter().collect());
+    }
+
+    #[test]
+    fn candidate_keys_multiple() {
+        // a → b and b → a: both {a, c} and {b, c} are keys.
+        let attrs: BTreeSet<AttrName> =
+            ["a", "b", "c"].iter().map(|s| name(s)).collect();
+        let fds = vec![Fd::of_strs(&["a"], &["b"]), Fd::of_strs(&["b"], &["a"])];
+        let mut keys = candidate_keys(&attrs, &fds);
+        keys.sort();
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains(&["a", "c"].iter().map(|s| name(s)).collect()));
+        assert!(keys.contains(&["b", "c"].iter().map(|s| name(s)).collect()));
+    }
+
+    #[test]
+    fn no_fds_means_whole_set_is_the_key() {
+        let attrs: BTreeSet<AttrName> = ["a", "b"].iter().map(|s| name(s)).collect();
+        let keys = candidate_keys(&attrs, &[]);
+        assert_eq!(keys.len(), 1);
+        assert_eq!(keys[0], attrs);
+    }
+
+    #[test]
+    fn keys_are_minimal() {
+        let attrs: BTreeSet<AttrName> =
+            ["name", "cuisine", "speciality"].iter().map(|s| name(s)).collect();
+        // speciality → cuisine (the paper's family as an FD).
+        let fds = vec![Fd::of_strs(&["speciality"], &["cuisine"])];
+        let keys = candidate_keys(&attrs, &fds);
+        // {name, speciality} is the single minimal key.
+        assert_eq!(keys.len(), 1);
+        assert_eq!(
+            keys[0],
+            ["name", "speciality"].iter().map(|s| name(s)).collect()
+        );
+    }
+
+    #[test]
+    fn fd_display_and_trivial() {
+        let fd = Fd::of_strs(&["a", "b"], &["a"]);
+        assert!(fd.is_trivial());
+        assert_eq!(fd.to_string(), "{a, b} → {a}");
+    }
+}

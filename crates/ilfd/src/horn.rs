@@ -1,0 +1,479 @@
+//! A propositional Horn-clause view of ILFD reasoning.
+//!
+//! §5: "Although ILFDs can be modeled using propositional logic, it
+//! can also be modeled in first order logic as program clauses \[9,
+//! Lloyd\]. … representing ILFDs using propositional logic can make
+//! the ILFD reasoning process simpler." Decomposed ILFDs *are*
+//! definite Horn clauses — one positive literal (the consequent
+//! symbol), negative literals for the antecedent. This module gives
+//! that reading its own engine:
+//!
+//! * [`HornProgram`] — clauses over [`PropSymbol`] atoms;
+//! * [`HornProgram::forward_chain`] — bottom-up consequence operator
+//!   (`T_P ↑ ω`), the semantics the fixpoint derivation strategy
+//!   implements;
+//! * [`HornProgram::prove_goal`] — top-down SLD resolution with
+//!   memoization and loop detection, the semantics of the Prolog
+//!   prototype (§6).
+//!
+//! Both agree with [`crate::closure::symbol_closure`] on every input
+//! — the property suite and the unit tests here pin that down,
+//! giving the closure algorithm two independent oracles.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::ilfd::IlfdSet;
+use crate::symbol::{PropSymbol, SymbolSet};
+
+/// A definite Horn clause `body₁ ∧ … ∧ bodyₙ → head`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HornClause {
+    /// The positive literal.
+    pub head: PropSymbol,
+    /// The negative literals (empty = a fact).
+    pub body: Vec<PropSymbol>,
+}
+
+impl fmt::Display for HornClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, b) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{b}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+/// A set of definite clauses.
+#[derive(Debug, Clone, Default)]
+pub struct HornProgram {
+    clauses: Vec<HornClause>,
+    /// head atom → clause indices, for backward chaining.
+    by_head: HashMap<PropSymbol, Vec<usize>>,
+}
+
+impl HornProgram {
+    /// An empty program.
+    pub fn new() -> Self {
+        HornProgram::default()
+    }
+
+    /// Converts an ILFD set: each decomposed ILFD becomes a clause.
+    pub fn from_ilfds(f: &IlfdSet) -> Self {
+        let mut p = HornProgram::new();
+        for ilfd in f.iter() {
+            for part in ilfd.decompose() {
+                let head = part
+                    .consequent()
+                    .iter()
+                    .next()
+                    .expect("decomposed consequent")
+                    .clone();
+                let body: Vec<PropSymbol> = part.antecedent().iter().cloned().collect();
+                p.push(HornClause { head, body });
+            }
+        }
+        p
+    }
+
+    /// Adds a clause.
+    pub fn push(&mut self, clause: HornClause) {
+        self.by_head
+            .entry(clause.head.clone())
+            .or_default()
+            .push(self.clauses.len());
+        self.clauses.push(clause);
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[HornClause] {
+        &self.clauses
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Bottom-up consequence operator to fixpoint: the least Herbrand
+    /// model of the program extended with `facts`. Agenda-driven,
+    /// linear in program size.
+    pub fn forward_chain(&self, facts: &SymbolSet) -> SymbolSet {
+        let mut unsatisfied: Vec<usize> = self.clauses.iter().map(|c| c.body.len()).collect();
+        let mut waiting: HashMap<&PropSymbol, Vec<usize>> = HashMap::new();
+        for (i, c) in self.clauses.iter().enumerate() {
+            for b in &c.body {
+                waiting.entry(b).or_default().push(i);
+            }
+        }
+        let mut model = facts.clone();
+        let mut agenda: Vec<PropSymbol> = facts.iter().cloned().collect();
+        let mut done: HashSet<PropSymbol> = HashSet::new();
+        // Facts in the program fire immediately.
+        for (i, c) in self.clauses.iter().enumerate() {
+            if unsatisfied[i] == 0 && model.insert(c.head.clone()) {
+                agenda.push(c.head.clone());
+            }
+        }
+        while let Some(atom) = agenda.pop() {
+            if !done.insert(atom.clone()) {
+                continue;
+            }
+            if let Some(indices) = waiting.get(&atom) {
+                for &i in indices {
+                    unsatisfied[i] -= 1;
+                    if unsatisfied[i] == 0 {
+                        let head = &self.clauses[i].head;
+                        if model.insert(head.clone()) {
+                            agenda.push(head.clone());
+                        }
+                    }
+                }
+            }
+        }
+        model
+    }
+
+    /// Top-down SLD proof of a single goal atom from `facts`, with
+    /// memoization; cyclic rule paths fail finitely (where Prolog
+    /// would loop). Clause order is respected, so this is the
+    /// semantics of the prototype's backward chaining.
+    pub fn prove_goal(&self, goal: &PropSymbol, facts: &SymbolSet) -> bool {
+        let mut memo: HashMap<PropSymbol, bool> = HashMap::new();
+        let mut stack: Vec<PropSymbol> = Vec::new();
+        self.sld(goal, facts, &mut memo, &mut stack)
+    }
+
+    fn sld(
+        &self,
+        goal: &PropSymbol,
+        facts: &SymbolSet,
+        memo: &mut HashMap<PropSymbol, bool>,
+        stack: &mut Vec<PropSymbol>,
+    ) -> bool {
+        if facts.contains(goal) {
+            return true;
+        }
+        if let Some(&r) = memo.get(goal) {
+            return r;
+        }
+        if stack.contains(goal) {
+            return false; // cut the cycle
+        }
+        stack.push(goal.clone());
+        let mut proved = false;
+        if let Some(indices) = self.by_head.get(goal) {
+            'clauses: for &i in indices {
+                for b in &self.clauses[i].body {
+                    if !self.sld(b, facts, memo, stack) {
+                        continue 'clauses;
+                    }
+                }
+                proved = true;
+                break;
+            }
+        }
+        stack.pop();
+        // Memoize successes unconditionally. Failures are only safe
+        // to cache at the top level: a goal that failed because the
+        // only path looped through an active ancestor may be provable
+        // once that ancestor is established (e.g. `b :- a` while `a`
+        // is still on the stack but later proved via another clause).
+        if proved || stack.is_empty() {
+            memo.insert(goal.clone(), proved);
+        }
+        proved
+    }
+
+    /// Whether every atom of `goals` is provable.
+    pub fn prove_all(&self, goals: &SymbolSet, facts: &SymbolSet) -> bool {
+        goals.iter().all(|g| self.prove_goal(g, facts))
+    }
+
+    /// Like [`HornProgram::prove_goal`], but returns the **proof
+    /// trace**: the clauses applied, in the order they completed
+    /// (sub-proofs first), ending with the clause whose head is the
+    /// goal. `Some(vec![])` means the goal is a given fact; `None`
+    /// means unprovable. Used for match explanations.
+    pub fn prove_goal_trace(
+        &self,
+        goal: &PropSymbol,
+        facts: &SymbolSet,
+    ) -> Option<Vec<HornClause>> {
+        let mut trace = Vec::new();
+        let mut stack = Vec::new();
+        let mut memo: HashMap<PropSymbol, bool> = HashMap::new();
+        self.sld_trace(goal, facts, &mut memo, &mut stack, &mut trace)
+            .then_some(trace)
+    }
+
+    fn sld_trace(
+        &self,
+        goal: &PropSymbol,
+        facts: &SymbolSet,
+        memo: &mut HashMap<PropSymbol, bool>,
+        stack: &mut Vec<PropSymbol>,
+        trace: &mut Vec<HornClause>,
+    ) -> bool {
+        if facts.contains(goal) {
+            return true;
+        }
+        // A goal already proved in this trace needs no re-derivation.
+        if trace.iter().any(|c| &c.head == goal) {
+            return true;
+        }
+        if let Some(&false) = memo.get(goal) {
+            return false;
+        }
+        if stack.contains(goal) {
+            return false;
+        }
+        stack.push(goal.clone());
+        let mut proved = false;
+        if let Some(indices) = self.by_head.get(goal) {
+            'clauses: for &i in indices {
+                let before = trace.len();
+                for b in &self.clauses[i].body {
+                    if !self.sld_trace(b, facts, memo, stack, trace) {
+                        trace.truncate(before); // roll back the failed branch
+                        continue 'clauses;
+                    }
+                }
+                trace.push(self.clauses[i].clone());
+                proved = true;
+                break;
+            }
+        }
+        stack.pop();
+        if !proved && stack.is_empty() {
+            memo.insert(goal.clone(), false);
+        }
+        proved
+    }
+}
+
+impl fmt::Display for HornProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.clauses {
+            writeln!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::symbol_closure;
+    use crate::ilfd::Ilfd;
+    use eid_relational::Value;
+
+    fn sym(a: &str, v: &str) -> PropSymbol {
+        PropSymbol::new(a, Value::str(v))
+    }
+
+    fn example3_program() -> (IlfdSet, HornProgram) {
+        let f: IlfdSet = vec![
+            Ilfd::of_strs(&[("spec", "hunan")], &[("cui", "chinese")]),
+            Ilfd::of_strs(&[("spec", "gyros")], &[("cui", "greek")]),
+            Ilfd::of_strs(&[("street", "front_ave")], &[("county", "ramsey")]),
+            Ilfd::of_strs(
+                &[("name", "itsgreek"), ("county", "ramsey")],
+                &[("spec", "gyros")],
+            ),
+        ]
+        .into_iter()
+        .collect();
+        let p = HornProgram::from_ilfds(&f);
+        (f, p)
+    }
+
+    #[test]
+    fn conversion_produces_one_clause_per_decomposed_ilfd() {
+        let (_f, p) = example3_program();
+        assert_eq!(p.len(), 4);
+        assert!(p.to_string().contains(":-"));
+    }
+
+    #[test]
+    fn forward_chaining_equals_symbol_closure() {
+        let (f, p) = example3_program();
+        let starts = [
+            SymbolSet::new(),
+            SymbolSet::of_strs(&[("spec", "hunan")]),
+            SymbolSet::of_strs(&[("name", "itsgreek"), ("street", "front_ave")]),
+            SymbolSet::of_strs(&[("county", "ramsey")]),
+        ];
+        for s in starts {
+            assert_eq!(
+                p.forward_chain(&s),
+                symbol_closure(&s, &f),
+                "diverged on {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn backward_chaining_proves_the_chain() {
+        let (_f, p) = example3_program();
+        let facts = SymbolSet::of_strs(&[("name", "itsgreek"), ("street", "front_ave")]);
+        assert!(p.prove_goal(&sym("county", "ramsey"), &facts));
+        assert!(p.prove_goal(&sym("spec", "gyros"), &facts));
+        assert!(p.prove_goal(&sym("cui", "greek"), &facts));
+        assert!(!p.prove_goal(&sym("cui", "chinese"), &facts));
+    }
+
+    #[test]
+    fn backward_equals_forward_membership() {
+        let (_f, p) = example3_program();
+        let facts = SymbolSet::of_strs(&[("name", "itsgreek"), ("street", "front_ave")]);
+        let model = p.forward_chain(&facts);
+        for goal in [
+            sym("county", "ramsey"),
+            sym("spec", "gyros"),
+            sym("cui", "greek"),
+            sym("cui", "chinese"),
+            sym("name", "other"),
+        ] {
+            assert_eq!(p.prove_goal(&goal, &facts), model.contains(&goal), "{goal}");
+        }
+    }
+
+    #[test]
+    fn cyclic_programs_terminate_both_ways() {
+        let f: IlfdSet = vec![
+            Ilfd::of_strs(&[("a", "1")], &[("b", "1")]),
+            Ilfd::of_strs(&[("b", "1")], &[("a", "1")]),
+        ]
+        .into_iter()
+        .collect();
+        let p = HornProgram::from_ilfds(&f);
+        let empty = SymbolSet::new();
+        assert!(!p.prove_goal(&sym("a", "1"), &empty));
+        assert_eq!(p.forward_chain(&empty).len(), 0);
+        // With one fact, the cycle closes.
+        let facts = SymbolSet::of_strs(&[("a", "1")]);
+        assert!(p.prove_goal(&sym("b", "1"), &facts));
+        assert_eq!(p.forward_chain(&facts).len(), 2);
+    }
+
+    #[test]
+    fn program_facts_fire_without_input() {
+        let mut p = HornProgram::new();
+        p.push(HornClause {
+            head: sym("b", "1"),
+            body: vec![],
+        });
+        p.push(HornClause {
+            head: sym("c", "1"),
+            body: vec![sym("b", "1")],
+        });
+        let model = p.forward_chain(&SymbolSet::new());
+        assert!(model.contains(&sym("b", "1")));
+        assert!(model.contains(&sym("c", "1")));
+        assert!(p.prove_goal(&sym("c", "1"), &SymbolSet::new()));
+    }
+
+    /// Regression: a failure caused by cycle truncation must not be
+    /// cached. Here `b` first "fails" while `a` is on the stack, but
+    /// `a` is then proved via `c`, making `b :- a` succeed — the
+    /// conjunction `a ∧ b` is provable.
+    #[test]
+    fn cycle_truncated_failures_are_not_cached() {
+        let f: IlfdSet = vec![
+            Ilfd::of_strs(&[("b", "1")], &[("a", "1")]),
+            Ilfd::of_strs(&[("c", "1")], &[("a", "1")]),
+            Ilfd::of_strs(&[("a", "1")], &[("b", "1")]),
+        ]
+        .into_iter()
+        .collect();
+        let p = HornProgram::from_ilfds(&f);
+        let facts = SymbolSet::of_strs(&[("c", "1")]);
+        // Membership agrees with the forward model on both atoms.
+        let model = p.forward_chain(&facts);
+        assert!(model.contains(&sym("a", "1")));
+        assert!(model.contains(&sym("b", "1")));
+        assert!(p.prove_goal(&sym("a", "1"), &facts));
+        assert!(p.prove_goal(&sym("b", "1"), &facts));
+        assert!(p.prove_all(
+            &SymbolSet::of_strs(&[("a", "1"), ("b", "1")]),
+            &facts
+        ));
+
+        // The in-call variant: one clause whose body is the whole
+        // conjunction, so `b` is queried under the same memo that
+        // watched it fail during `a`'s proof.
+        let g: IlfdSet = vec![
+            Ilfd::of_strs(&[("b", "1")], &[("a", "1")]),
+            Ilfd::of_strs(&[("c", "1")], &[("a", "1")]),
+            Ilfd::of_strs(&[("a", "1")], &[("b", "1")]),
+            Ilfd::of_strs(&[("a", "1"), ("b", "1")], &[("top", "1")]),
+        ]
+        .into_iter()
+        .collect();
+        let p = HornProgram::from_ilfds(&g);
+        assert!(p.prove_goal(&sym("top", "1"), &facts));
+    }
+
+    #[test]
+    fn trace_records_the_chain_in_dependency_order() {
+        let (_f, p) = example3_program();
+        let facts = SymbolSet::of_strs(&[("name", "itsgreek"), ("street", "front_ave")]);
+        let trace = p.prove_goal_trace(&sym("cui", "greek"), &facts).unwrap();
+        // county := ramsey, then spec := gyros, then cui := greek.
+        let heads: Vec<String> = trace.iter().map(|c| c.head.to_string()).collect();
+        assert_eq!(
+            heads,
+            vec!["(county = ramsey)", "(spec = gyros)", "(cui = greek)"]
+        );
+        // Facts need no trace; unprovable goals return None.
+        assert_eq!(
+            p.prove_goal_trace(&sym("name", "itsgreek"), &facts),
+            Some(vec![])
+        );
+        assert_eq!(p.prove_goal_trace(&sym("cui", "chinese"), &facts), None);
+    }
+
+    #[test]
+    fn trace_rolls_back_failed_branches() {
+        // First clause for the goal fails midway; trace must not keep
+        // its partial sub-proofs.
+        let f: IlfdSet = vec![
+            // goal :- a, missing.   (a provable, missing not)
+            Ilfd::of_strs(&[("a", "1"), ("missing", "1")], &[("goal", "1")]),
+            // goal :- a.
+            Ilfd::of_strs(&[("a", "1")], &[("goal", "1")]),
+            // a :- b.
+            Ilfd::of_strs(&[("b", "1")], &[("a", "1")]),
+        ]
+        .into_iter()
+        .collect();
+        let p = HornProgram::from_ilfds(&f);
+        let facts = SymbolSet::of_strs(&[("b", "1")]);
+        let trace = p.prove_goal_trace(&sym("goal", "1"), &facts).unwrap();
+        let heads: Vec<String> = trace.iter().map(|c| c.head.to_string()).collect();
+        assert_eq!(heads, vec!["(a = 1)", "(goal = 1)"]);
+    }
+
+    #[test]
+    fn prove_all_conjunction() {
+        let (_f, p) = example3_program();
+        let facts = SymbolSet::of_strs(&[("name", "itsgreek"), ("street", "front_ave")]);
+        let goals = SymbolSet::of_strs(&[("spec", "gyros"), ("cui", "greek")]);
+        assert!(p.prove_all(&goals, &facts));
+        let goals = SymbolSet::of_strs(&[("spec", "gyros"), ("cui", "chinese")]);
+        assert!(!p.prove_all(&goals, &facts));
+    }
+}

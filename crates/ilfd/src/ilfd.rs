@@ -1,0 +1,284 @@
+//! Instance-level functional dependencies.
+//!
+//! An ILFD (§4.1) is a semantic constraint on the real-world entities
+//! of one entity set:
+//!
+//! ```text
+//! (A₁ = a₁) ∧ … ∧ (Aₙ = aₙ)  →  (B = b)
+//! ```
+//!
+//! §5 generalizes the consequent to a conjunction (the union rule
+//! combines ILFDs with identical antecedents), so [`Ilfd`] stores a
+//! [`SymbolSet`] on both sides.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use eid_relational::Value;
+
+use crate::symbol::{PropSymbol, SymbolSet};
+
+/// An instance-level functional dependency `X → Y` over one entity
+/// set, with `X` and `Y` conjunctions of `(attribute = constant)`
+/// symbols.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Ilfd {
+    antecedent: SymbolSet,
+    consequent: SymbolSet,
+}
+
+impl Ilfd {
+    /// Builds `antecedent → consequent`.
+    pub fn new(antecedent: SymbolSet, consequent: SymbolSet) -> Self {
+        Ilfd {
+            antecedent,
+            consequent,
+        }
+    }
+
+    /// Builds an ILFD from string-valued conditions:
+    /// `Ilfd::of_strs(&[("speciality", "hunan")], &[("cuisine", "chinese")])`
+    /// is the paper's I1.
+    pub fn of_strs(antecedent: &[(&str, &str)], consequent: &[(&str, &str)]) -> Self {
+        Ilfd::new(
+            SymbolSet::of_strs(antecedent),
+            SymbolSet::of_strs(consequent),
+        )
+    }
+
+    /// A single-condition-to-single-condition ILFD, the common shape.
+    pub fn simple(
+        ante_attr: &str,
+        ante_value: impl Into<Value>,
+        cons_attr: &str,
+        cons_value: impl Into<Value>,
+    ) -> Self {
+        Ilfd::new(
+            SymbolSet::from_symbols([PropSymbol::new(ante_attr, ante_value)]),
+            SymbolSet::from_symbols([PropSymbol::new(cons_attr, cons_value)]),
+        )
+    }
+
+    /// The antecedent conjunction `X`.
+    pub fn antecedent(&self) -> &SymbolSet {
+        &self.antecedent
+    }
+
+    /// The consequent conjunction `Y`.
+    pub fn consequent(&self) -> &SymbolSet {
+        &self.consequent
+    }
+
+    /// Whether this ILFD is *trivial* (reflexivity axiom instances):
+    /// the consequent is a subset of the antecedent, so it "holds in
+    /// any entity set and does not depend on F".
+    pub fn is_trivial(&self) -> bool {
+        self.consequent.is_subset(&self.antecedent)
+    }
+
+    /// Whether the antecedent is contradictory (binds an attribute to
+    /// two values). Such an ILFD is vacuously satisfied by every
+    /// tuple.
+    pub fn has_contradictory_antecedent(&self) -> bool {
+        self.antecedent.is_contradictory()
+    }
+
+    /// Splits this ILFD into one ILFD per consequent symbol
+    /// (decomposition rule).
+    pub fn decompose(&self) -> Vec<Ilfd> {
+        self.consequent
+            .iter()
+            .map(|s| Ilfd::new(self.antecedent.clone(), SymbolSet::from_symbols([s.clone()])))
+            .collect()
+    }
+
+    /// Combines ILFDs with identical antecedents into one (union
+    /// rule, §5: "two or more ILFDs with identical antecedent
+    /// conditions can be combined into one formula"). Returns `None`
+    /// if the antecedents differ.
+    pub fn combine(&self, other: &Ilfd) -> Option<Ilfd> {
+        (self.antecedent == other.antecedent).then(|| {
+            Ilfd::new(
+                self.antecedent.clone(),
+                self.consequent.union_with(&other.consequent),
+            )
+        })
+    }
+}
+
+impl fmt::Display for Ilfd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} → {}", self.antecedent, self.consequent)
+    }
+}
+
+/// An ordered collection of ILFDs (`F` in the paper's notation).
+///
+/// Order matters to the Prolog-faithful *first-match* derivation
+/// strategy (§6.1: a cut commits to the first ILFD whose antecedent
+/// succeeds), so `IlfdSet` preserves insertion order while also
+/// deduplicating.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IlfdSet {
+    ilfds: Vec<Ilfd>,
+}
+
+impl IlfdSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        IlfdSet::default()
+    }
+
+    /// Builds from an iterator, deduplicating while preserving first
+    /// occurrence order.
+    pub fn from_iter_dedup(iter: impl IntoIterator<Item = Ilfd>) -> Self {
+        let mut set = IlfdSet::new();
+        for i in iter {
+            set.insert(i);
+        }
+        set
+    }
+
+    /// Adds an ILFD (no-op if already present). Returns whether it
+    /// was new.
+    pub fn insert(&mut self, ilfd: Ilfd) -> bool {
+        if self.ilfds.contains(&ilfd) {
+            false
+        } else {
+            self.ilfds.push(ilfd);
+            true
+        }
+    }
+
+    /// Number of ILFDs.
+    pub fn len(&self) -> usize {
+        self.ilfds.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ilfds.is_empty()
+    }
+
+    /// The ILFDs in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Ilfd> {
+        self.ilfds.iter()
+    }
+
+    /// The ILFDs as a slice.
+    pub fn as_slice(&self) -> &[Ilfd] {
+        &self.ilfds
+    }
+
+    /// Membership test.
+    pub fn contains(&self, ilfd: &Ilfd) -> bool {
+        self.ilfds.contains(ilfd)
+    }
+
+    /// A new set restricted to ILFDs whose symbols only mention
+    /// attributes accepted by `keep`.
+    pub fn filter_attrs(&self, keep: impl Fn(&eid_relational::AttrName) -> bool) -> IlfdSet {
+        IlfdSet {
+            ilfds: self
+                .ilfds
+                .iter()
+                .filter(|i| {
+                    i.antecedent().attributes().iter().all(&keep)
+                        && i.consequent().attributes().iter().all(&keep)
+                })
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+impl FromIterator<Ilfd> for IlfdSet {
+    fn from_iter<I: IntoIterator<Item = Ilfd>>(iter: I) -> Self {
+        IlfdSet::from_iter_dedup(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a IlfdSet {
+    type Item = &'a Ilfd;
+    type IntoIter = std::slice::Iter<'a, Ilfd>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.ilfds.iter()
+    }
+}
+
+impl fmt::Display for IlfdSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in &self.ilfds {
+            writeln!(f, "{i}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_i1_displays() {
+        let i1 = Ilfd::of_strs(&[("speciality", "hunan")], &[("cuisine", "chinese")]);
+        assert_eq!(
+            i1.to_string(),
+            "(speciality = hunan) → (cuisine = chinese)"
+        );
+    }
+
+    #[test]
+    fn trivial_iff_consequent_subset_of_antecedent() {
+        let t = Ilfd::of_strs(&[("a", "1"), ("b", "2")], &[("a", "1")]);
+        assert!(t.is_trivial());
+        let nt = Ilfd::of_strs(&[("a", "1")], &[("b", "2")]);
+        assert!(!nt.is_trivial());
+    }
+
+    #[test]
+    fn decompose_splits_consequent() {
+        let i = Ilfd::of_strs(&[("a", "1")], &[("b", "2"), ("c", "3")]);
+        let parts = i.decompose();
+        assert_eq!(parts.len(), 2);
+        assert!(parts.iter().all(|p| p.consequent().len() == 1));
+        assert!(parts.iter().all(|p| p.antecedent() == i.antecedent()));
+    }
+
+    #[test]
+    fn combine_requires_same_antecedent() {
+        let a = Ilfd::of_strs(&[("x", "1")], &[("y", "2")]);
+        let b = Ilfd::of_strs(&[("x", "1")], &[("z", "3")]);
+        let c = a.combine(&b).unwrap();
+        assert_eq!(c.consequent().len(), 2);
+        let d = Ilfd::of_strs(&[("w", "9")], &[("z", "3")]);
+        assert!(a.combine(&d).is_none());
+    }
+
+    #[test]
+    fn set_dedups_preserving_order() {
+        let i1 = Ilfd::of_strs(&[("a", "1")], &[("b", "2")]);
+        let i2 = Ilfd::of_strs(&[("c", "3")], &[("d", "4")]);
+        let set: IlfdSet = vec![i1.clone(), i2.clone(), i1.clone()].into_iter().collect();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.as_slice()[0], i1);
+        assert_eq!(set.as_slice()[1], i2);
+    }
+
+    #[test]
+    fn filter_attrs_drops_foreign_ilfds() {
+        let i1 = Ilfd::of_strs(&[("a", "1")], &[("b", "2")]);
+        let i2 = Ilfd::of_strs(&[("c", "3")], &[("b", "4")]);
+        let set: IlfdSet = vec![i1.clone(), i2].into_iter().collect();
+        let filtered = set.filter_attrs(|a| a.as_str() != "c");
+        assert_eq!(filtered.len(), 1);
+        assert!(filtered.contains(&i1));
+    }
+
+    #[test]
+    fn contradictory_antecedent_flagged() {
+        let i = Ilfd::of_strs(&[("a", "1"), ("a", "2")], &[("b", "3")]);
+        assert!(i.has_contradictory_antecedent());
+    }
+}

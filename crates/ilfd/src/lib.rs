@@ -1,0 +1,70 @@
+//! # `eid-ilfd` — instance-level functional dependency theory
+//!
+//! ILFDs (§4.1 and §5 of Lim et al., ICDE 1993) are semantic
+//! constraints on real-world entities of the form
+//!
+//! ```text
+//! (A₁ = a₁) ∧ … ∧ (Aₙ = aₙ)  →  (B = b)
+//! ```
+//!
+//! They look like functional dependencies but bind *values*, not
+//! attributes, and a single tuple can violate one. This crate
+//! implements the paper's complete ILFD theory:
+//!
+//! * [`symbol`] — propositional symbols `(A = a)` and conjunctions;
+//! * [`ilfd`] — ILFDs and ordered ILFD sets;
+//! * [`closure`] — linear-time symbol closure `X⁺_F`, logical
+//!   implication, equivalence, minimal covers, and bounded `F⁺`
+//!   enumeration;
+//! * [`axioms`] — Armstrong's axioms for ILFDs as verified proof
+//!   trees, the derived union/pseudo-transitivity/decomposition
+//!   rules (Lemma 2), and a constructive completeness procedure
+//!   ([`axioms::prove`], Theorem 1);
+//! * [`satisfaction`] — per-tuple and per-relation ILFD checking;
+//! * [`derive`] — filling in missing attribute values of tuples
+//!   (Prolog-faithful first-match-with-cut, and an order-independent
+//!   fixpoint with conflict detection);
+//! * [`tables`] — ILFD tables `IM(x̄,y)` stored as relations (§4.2,
+//!   Table 8) with the `Π(R ⋈ IM)` derivation join;
+//! * [`fd`] — classical FDs and the Proposition 2 bridge.
+//!
+//! ## Example: the paper's derived ILFD I9
+//!
+//! ```
+//! use eid_ilfd::{Ilfd, IlfdSet, closure};
+//!
+//! let f: IlfdSet = vec![
+//!     // I7: street = front_ave → county = ramsey
+//!     Ilfd::of_strs(&[("street", "front_ave")], &[("county", "ramsey")]),
+//!     // I8: name = itsgreek ∧ county = ramsey → speciality = gyros
+//!     Ilfd::of_strs(&[("name", "itsgreek"), ("county", "ramsey")],
+//!                   &[("speciality", "gyros")]),
+//! ].into_iter().collect();
+//!
+//! // I9 is derivable: name = itsgreek ∧ street = front_ave → speciality = gyros
+//! let i9 = Ilfd::of_strs(&[("name", "itsgreek"), ("street", "front_ave")],
+//!                        &[("speciality", "gyros")]);
+//! assert!(closure::implies(&f, &i9));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod axioms;
+pub mod closure;
+pub mod derive;
+pub mod fd;
+pub mod horn;
+pub mod ilfd;
+pub mod satisfaction;
+pub mod symbol;
+pub mod tables;
+
+pub use axioms::{AxiomError, Derivation};
+pub use closure::{implies, symbol_closure};
+pub use derive::{derive_relation, derive_tuple, DeriveReport, Strategy};
+pub use fd::Fd;
+pub use horn::{HornClause, HornProgram};
+pub use ilfd::{Ilfd, IlfdSet};
+pub use symbol::{PropSymbol, SymbolSet};
+pub use tables::IlfdTable;

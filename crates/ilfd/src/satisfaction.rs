@@ -1,0 +1,141 @@
+//! ILFD satisfaction and violation over relations.
+//!
+//! §5: "We say that a relation `R` satisfies ILFD `X → Y` if for
+//! every possible tuple `r ∈ R`, such that `X` holds, it is also
+//! true that `Y` holds in `r`" — note that unlike FDs, "checking for
+//! violation of ILFDs involves only one tuple".
+
+use eid_relational::{Relation, Schema, Tuple};
+
+use crate::ilfd::{Ilfd, IlfdSet};
+
+/// Whether a single `tuple` (under `schema`) satisfies `ilfd`.
+///
+/// The implication is material: a tuple whose values do not witness
+/// the full antecedent satisfies the ILFD vacuously. A NULL
+/// consequent attribute does **not** satisfy the ILFD when the
+/// antecedent holds — the tuple fails to witness the required
+/// condition. (Relations holding partially-derived tuples should be
+/// checked with [`tuple_satisfies_lenient`] instead, which treats
+/// NULL as *unknown, possibly consistent*.)
+pub fn tuple_satisfies(schema: &Schema, tuple: &Tuple, ilfd: &Ilfd) -> bool {
+    !ilfd.antecedent().holds_in(schema, tuple) || ilfd.consequent().holds_in(schema, tuple)
+}
+
+/// Like [`tuple_satisfies`], but a NULL (or schema-missing)
+/// consequent attribute is treated as consistent: the tuple does not
+/// *contradict* the ILFD, it merely lacks information. Only a
+/// non-NULL consequent value different from the required constant is
+/// a violation.
+pub fn tuple_satisfies_lenient(schema: &Schema, tuple: &Tuple, ilfd: &Ilfd) -> bool {
+    if !ilfd.antecedent().holds_in(schema, tuple) {
+        return true;
+    }
+    ilfd.consequent().iter().all(|s| {
+        match tuple.value_of(schema, &s.attr) {
+            None => true,                       // attribute not modeled
+            Some(v) if v.is_null() => true,     // unknown
+            Some(v) => v.non_null_eq(&s.value), // must agree
+        }
+    })
+}
+
+/// Whether every tuple of `rel` satisfies `ilfd`.
+pub fn relation_satisfies(rel: &Relation, ilfd: &Ilfd) -> bool {
+    rel.iter()
+        .all(|t| tuple_satisfies(rel.schema(), t, ilfd))
+}
+
+/// Whether `rel` violates `ilfd` (the negation of
+/// [`relation_satisfies`], provided for the paper's vocabulary).
+pub fn relation_violates(rel: &Relation, ilfd: &Ilfd) -> bool {
+    !relation_satisfies(rel, ilfd)
+}
+
+/// The tuples of `rel` that violate `ilfd` (strict semantics).
+pub fn violating_tuples<'a>(rel: &'a Relation, ilfd: &'a Ilfd) -> Vec<&'a Tuple> {
+    rel.iter()
+        .filter(|t| !tuple_satisfies(rel.schema(), t, ilfd))
+        .collect()
+}
+
+/// Whether every tuple of `rel` satisfies every ILFD in `f`.
+pub fn relation_satisfies_all(rel: &Relation, f: &IlfdSet) -> bool {
+    f.iter().all(|i| relation_satisfies(rel, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eid_relational::{Schema, Value};
+
+    fn schema() -> std::sync::Arc<Schema> {
+        Schema::of_strs("R", &["spec", "cui"], &["spec"]).unwrap()
+    }
+
+    fn i1() -> Ilfd {
+        Ilfd::of_strs(&[("spec", "hunan")], &[("cui", "chinese")])
+    }
+
+    #[test]
+    fn witnessing_tuple_satisfies() {
+        let t = Tuple::of_strs(&["hunan", "chinese"]);
+        assert!(tuple_satisfies(&schema(), &t, &i1()));
+    }
+
+    #[test]
+    fn contradicting_tuple_violates() {
+        let t = Tuple::of_strs(&["hunan", "greek"]);
+        assert!(!tuple_satisfies(&schema(), &t, &i1()));
+    }
+
+    #[test]
+    fn vacuous_satisfaction_when_antecedent_fails() {
+        let t = Tuple::of_strs(&["gyros", "greek"]);
+        assert!(tuple_satisfies(&schema(), &t, &i1()));
+    }
+
+    #[test]
+    fn null_consequent_strict_vs_lenient() {
+        let t = Tuple::new(vec![Value::str("hunan"), Value::Null]);
+        assert!(!tuple_satisfies(&schema(), &t, &i1()));
+        assert!(tuple_satisfies_lenient(&schema(), &t, &i1()));
+    }
+
+    #[test]
+    fn missing_attribute_lenient() {
+        let narrow = Schema::of_strs("R", &["spec"], &["spec"]).unwrap();
+        let t = Tuple::of_strs(&["hunan"]);
+        assert!(tuple_satisfies_lenient(&narrow, &t, &i1()));
+        // Strict: cuisine cannot be witnessed, so the ILFD fails.
+        assert!(!tuple_satisfies(&narrow, &t, &i1()));
+    }
+
+    #[test]
+    fn relation_level_checks_and_violators() {
+        let mut rel = Relation::new_unchecked(schema());
+        rel.insert(Tuple::of_strs(&["hunan", "chinese"])).unwrap();
+        rel.insert(Tuple::of_strs(&["gyros", "greek"])).unwrap();
+        assert!(relation_satisfies(&rel, &i1()));
+        rel.insert(Tuple::of_strs(&["hunan", "indian"])).unwrap();
+        assert!(relation_violates(&rel, &i1()));
+        let ilfd = i1();
+        let bad = violating_tuples(&rel, &ilfd);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].get(1), &Value::str("indian"));
+    }
+
+    #[test]
+    fn relation_satisfies_all_over_set() {
+        let f: IlfdSet = vec![
+            i1(),
+            Ilfd::of_strs(&[("spec", "gyros")], &[("cui", "greek")]),
+        ]
+        .into_iter()
+        .collect();
+        let mut rel = Relation::new_unchecked(schema());
+        rel.insert(Tuple::of_strs(&["hunan", "chinese"])).unwrap();
+        rel.insert(Tuple::of_strs(&["gyros", "greek"])).unwrap();
+        assert!(relation_satisfies_all(&rel, &f));
+    }
+}

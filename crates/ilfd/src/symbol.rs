@@ -1,0 +1,264 @@
+//! Propositional symbols `(A = a)` and sets thereof.
+//!
+//! §5 of the paper reduces ILFD reasoning to propositional logic:
+//! each boolean condition `Attribute = constant` is treated as a
+//! propositional symbol, and an ILFD becomes an implication between
+//! conjunctions of such symbols. [`PropSymbol`] is one symbol,
+//! [`SymbolSet`] an ordered conjunction.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use eid_relational::{AttrName, Schema, Tuple, Value};
+
+/// A propositional symbol: the condition `attr = value`.
+///
+/// The value must be non-NULL — `(A = NULL)` is not a condition the
+/// paper's ILFD language can express (NULL means *unknown*, and
+/// ILFD antecedents/consequents quantify over real-world attribute
+/// values).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PropSymbol {
+    /// The attribute.
+    pub attr: AttrName,
+    /// The (non-NULL) constant it is compared against.
+    pub value: Value,
+}
+
+impl PropSymbol {
+    /// Builds `attr = value`. Panics on NULL values (a programming
+    /// error: the ILFD language has no NULL conditions).
+    pub fn new(attr: impl Into<AttrName>, value: impl Into<Value>) -> Self {
+        let value = value.into();
+        assert!(
+            !value.is_null(),
+            "propositional symbols cannot carry NULL values"
+        );
+        PropSymbol {
+            attr: attr.into(),
+            value,
+        }
+    }
+
+    /// Whether `tuple` (under `schema`) makes this symbol true.
+    /// A NULL or missing attribute value makes it false — the tuple
+    /// does not (yet) witness the condition.
+    pub fn holds_in(&self, schema: &Schema, tuple: &Tuple) -> bool {
+        tuple
+            .value_of(schema, &self.attr)
+            .map(|v| v.non_null_eq(&self.value))
+            .unwrap_or(false)
+    }
+}
+
+impl fmt::Display for PropSymbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} = {})", self.attr, self.value)
+    }
+}
+
+/// An ordered set of propositional symbols, read as a conjunction.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SymbolSet {
+    symbols: BTreeSet<PropSymbol>,
+}
+
+impl SymbolSet {
+    /// The empty conjunction (logically `true`).
+    pub fn new() -> Self {
+        SymbolSet::default()
+    }
+
+    /// Builds a set from symbols.
+    pub fn from_symbols(symbols: impl IntoIterator<Item = PropSymbol>) -> Self {
+        SymbolSet {
+            symbols: symbols.into_iter().collect(),
+        }
+    }
+
+    /// Builds a set of string-valued conditions: `[("spec", "hunan")]`.
+    pub fn of_strs(pairs: &[(&str, &str)]) -> Self {
+        SymbolSet::from_symbols(
+            pairs
+                .iter()
+                .map(|(a, v)| PropSymbol::new(*a, Value::str(*v))),
+        )
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Whether the conjunction is empty (logically `true`).
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Adds a symbol.
+    pub fn insert(&mut self, s: PropSymbol) -> bool {
+        self.symbols.insert(s)
+    }
+
+    /// Whether `s` is a member.
+    pub fn contains(&self, s: &PropSymbol) -> bool {
+        self.symbols.contains(s)
+    }
+
+    /// Subset test: every symbol of `self` is in `other`.
+    pub fn is_subset(&self, other: &SymbolSet) -> bool {
+        self.symbols.is_subset(&other.symbols)
+    }
+
+    /// Set union (conjunction of both).
+    pub fn union_with(&self, other: &SymbolSet) -> SymbolSet {
+        SymbolSet {
+            symbols: self.symbols.union(&other.symbols).cloned().collect(),
+        }
+    }
+
+    /// Iterates over symbols in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &PropSymbol> {
+        self.symbols.iter()
+    }
+
+    /// The distinct attributes mentioned.
+    pub fn attributes(&self) -> BTreeSet<AttrName> {
+        self.symbols.iter().map(|s| s.attr.clone()).collect()
+    }
+
+    /// Whether every symbol holds in `tuple` (under `schema`).
+    pub fn holds_in(&self, schema: &Schema, tuple: &Tuple) -> bool {
+        self.symbols.iter().all(|s| s.holds_in(schema, tuple))
+    }
+
+    /// Whether the set binds some attribute to two different values —
+    /// such a conjunction is unsatisfiable by any single entity.
+    pub fn is_contradictory(&self) -> bool {
+        let mut prev: Option<&PropSymbol> = None;
+        for s in &self.symbols {
+            if let Some(p) = prev {
+                if p.attr == s.attr && p.value != s.value {
+                    return true;
+                }
+            }
+            prev = Some(s);
+        }
+        false
+    }
+
+    /// Extracts all symbols a tuple witnesses: one `(A = a)` per
+    /// non-NULL attribute value. This is the propositional view of a
+    /// tuple used by closure-based derivation.
+    pub fn of_tuple(schema: &Schema, tuple: &Tuple) -> SymbolSet {
+        let mut set = SymbolSet::new();
+        for (attr, value) in schema.attributes().iter().zip(tuple.values()) {
+            if !value.is_null() {
+                set.insert(PropSymbol {
+                    attr: attr.name.clone(),
+                    value: value.clone(),
+                });
+            }
+        }
+        set
+    }
+}
+
+impl FromIterator<PropSymbol> for SymbolSet {
+    fn from_iter<I: IntoIterator<Item = PropSymbol>>(iter: I) -> Self {
+        SymbolSet::from_symbols(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a SymbolSet {
+    type Item = &'a PropSymbol;
+    type IntoIter = std::collections::btree_set::Iter<'a, PropSymbol>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.symbols.iter()
+    }
+}
+
+impl fmt::Display for SymbolSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.symbols.is_empty() {
+            return f.write_str("⊤");
+        }
+        for (i, s) in self.symbols.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ∧ ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eid_relational::Schema;
+
+    #[test]
+    #[should_panic(expected = "NULL")]
+    fn null_symbol_panics() {
+        PropSymbol::new("a", Value::Null);
+    }
+
+    #[test]
+    fn symbol_holds_in_tuple() {
+        let schema = Schema::of_strs("R", &["spec", "cui"], &["spec"]).unwrap();
+        let t = Tuple::of_strs(&["hunan", "chinese"]);
+        assert!(PropSymbol::new("spec", "hunan").holds_in(&schema, &t));
+        assert!(!PropSymbol::new("spec", "gyros").holds_in(&schema, &t));
+        assert!(!PropSymbol::new("missing", "x").holds_in(&schema, &t));
+    }
+
+    #[test]
+    fn null_value_does_not_witness_symbol() {
+        let schema = Schema::of_strs("R", &["spec"], &["spec"]).unwrap();
+        let t = Tuple::new(vec![Value::Null]);
+        assert!(!PropSymbol::new("spec", "hunan").holds_in(&schema, &t));
+    }
+
+    #[test]
+    fn set_subset_and_union() {
+        let a = SymbolSet::of_strs(&[("x", "1")]);
+        let b = SymbolSet::of_strs(&[("x", "1"), ("y", "2")]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert_eq!(a.union_with(&b), b);
+    }
+
+    #[test]
+    fn contradiction_detection() {
+        let ok = SymbolSet::of_strs(&[("x", "1"), ("y", "1")]);
+        assert!(!ok.is_contradictory());
+        let bad = SymbolSet::of_strs(&[("x", "1"), ("x", "2")]);
+        assert!(bad.is_contradictory());
+    }
+
+    #[test]
+    fn of_tuple_skips_nulls() {
+        let schema = Schema::of_strs("R", &["a", "b"], &["a"]).unwrap();
+        let t = Tuple::new(vec![Value::str("v"), Value::Null]);
+        let s = SymbolSet::of_tuple(&schema, &t);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&PropSymbol::new("a", "v")));
+    }
+
+    #[test]
+    fn display_forms() {
+        let s = SymbolSet::of_strs(&[("spec", "hunan")]);
+        assert_eq!(s.to_string(), "(spec = hunan)");
+        assert_eq!(SymbolSet::new().to_string(), "⊤");
+    }
+
+    #[test]
+    fn empty_set_holds_vacuously() {
+        let schema = Schema::of_strs("R", &["a"], &["a"]).unwrap();
+        let t = Tuple::new(vec![Value::Null]);
+        assert!(SymbolSet::new().holds_in(&schema, &t));
+    }
+}

@@ -1,0 +1,354 @@
+//! ILFD tables — storing uniform ILFDs as relations (§4.2, Table 8).
+//!
+//! "For the second category of useful ILFDs \[many ILFDs of uniform
+//! format\], it may be storage efficient to store the ILFDs as
+//! relations. … ILFDs of the form `(E.A₁=a₁) ∧ … ∧ (E.Aₙ=aₙ) →
+//! (E.B=b)` can be stored in the relation schema
+//! `ILFD(A₁, A₂, …, Aₙ, B)`." The paper writes `IM(x̄,y)` for the
+//! ILFD table over antecedent attributes `x̄` deriving attribute `y`.
+
+use std::collections::BTreeMap;
+
+use eid_relational::{algebra, AttrName, Relation, Result, Schema, Tuple, Value};
+
+use crate::ilfd::{Ilfd, IlfdSet};
+use crate::symbol::PropSymbol;
+
+/// A relation-backed store of uniform ILFDs: all rules share the same
+/// antecedent attribute set `x̄` and consequent attribute `y`.
+#[derive(Debug, Clone)]
+pub struct IlfdTable {
+    antecedent_attrs: Vec<AttrName>,
+    consequent_attr: AttrName,
+    relation: Relation,
+}
+
+impl IlfdTable {
+    /// Creates an empty `IM(antecedent_attrs, consequent_attr)` table.
+    pub fn new(antecedent_attrs: Vec<AttrName>, consequent_attr: AttrName) -> Result<Self> {
+        let mut attrs: Vec<&str> = antecedent_attrs.iter().map(|a| a.as_str()).collect();
+        attrs.push(consequent_attr.as_str());
+        let key: Vec<&str> = antecedent_attrs.iter().map(|a| a.as_str()).collect();
+        let name = format!(
+            "IM({}; {})",
+            key.join(","),
+            consequent_attr.as_str()
+        );
+        let schema = Schema::of_strs(name, &attrs, &key)?;
+        Ok(IlfdTable {
+            antecedent_attrs,
+            consequent_attr,
+            relation: Relation::new(schema),
+        })
+    }
+
+    /// The antecedent attributes `x̄`.
+    pub fn antecedent_attrs(&self) -> &[AttrName] {
+        &self.antecedent_attrs
+    }
+
+    /// The derived attribute `y`.
+    pub fn consequent_attr(&self) -> &AttrName {
+        &self.consequent_attr
+    }
+
+    /// The backing relation (for the §4.2 algebra pipeline and for
+    /// printing Table 8).
+    pub fn relation(&self) -> &Relation {
+        &self.relation
+    }
+
+    /// Number of stored rules.
+    pub fn len(&self) -> usize {
+        self.relation.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relation.is_empty()
+    }
+
+    /// Inserts the rule `x̄ = antecedent_values → y = consequent_value`.
+    /// The antecedent is the table's candidate key, so two rules with
+    /// the same antecedent values are rejected — the relational
+    /// representation cannot express the conflicting derivations that
+    /// [`crate::derive::Strategy::Fixpoint`] reports.
+    pub fn insert_rule(
+        &mut self,
+        antecedent_values: Vec<Value>,
+        consequent_value: Value,
+    ) -> Result<()> {
+        let mut values = antecedent_values;
+        values.push(consequent_value);
+        self.relation.insert(Tuple::new(values))
+    }
+
+    /// Converts the stored rules back to an [`IlfdSet`].
+    pub fn to_ilfds(&self) -> IlfdSet {
+        let n = self.antecedent_attrs.len();
+        self.relation
+            .iter()
+            .map(|t| {
+                let ante = self
+                    .antecedent_attrs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, a)| PropSymbol::new(a.clone(), t.get(i).clone()))
+                    .collect();
+                let cons = [PropSymbol::new(
+                    self.consequent_attr.clone(),
+                    t.get(n).clone(),
+                )]
+                .into_iter()
+                .collect();
+                Ilfd::new(ante, cons)
+            })
+            .collect()
+    }
+
+    /// Looks up the derived `y` value for the given antecedent values,
+    /// if a rule matches.
+    pub fn lookup(&self, antecedent_values: &Tuple) -> Option<Value> {
+        self.relation
+            .find_by_primary_key(antecedent_values)
+            .map(|t| t.get(self.antecedent_attrs.len()).clone())
+    }
+
+    /// The §4.2 relational expression `R^j_{y_i} = Π_{K_R, y_i}(R ⋈ IM)`:
+    /// joins `rel` with this ILFD table on the antecedent attributes
+    /// and projects `rel`'s primary key plus the derived attribute.
+    ///
+    /// Requires `rel` to define all antecedent attributes (tables
+    /// whose antecedents mention attributes `rel` lacks are simply not
+    /// applicable to `rel`; callers filter with [`IlfdTable::applies_to`]).
+    pub fn derive_join(&self, rel: &Relation) -> Result<Relation> {
+        // Degenerate case: deriving an attribute that is part of
+        // `rel`'s primary key is pointless (key attributes are
+        // non-NULL base facts) and would collide in the projection.
+        if rel.schema().primary_key().contains(&self.consequent_attr) {
+            let mut names: Vec<&str> = Vec::new();
+            let key = rel.schema().primary_key();
+            for k in &key {
+                names.push(k.as_str());
+            }
+            let schema = Schema::of_strs("∅", &names, &names)?;
+            return Ok(Relation::new_unchecked(schema));
+        }
+        let on: Vec<(AttrName, AttrName)> = self
+            .antecedent_attrs
+            .iter()
+            .map(|a| (a.clone(), a.clone()))
+            .collect();
+        let joined = algebra::equi_join(rel, &self.relation, &on)?;
+        // Output attribute names in the joined relation: rel's key
+        // attributes keep their names unless they collide with the IM
+        // schema; the derived attribute may be prefixed if rel also
+        // has it (it typically does not — that is why it is derived).
+        let mut keep: Vec<AttrName> = Vec::new();
+        for k in rel.schema().primary_key() {
+            if joined.schema().has_attribute(&k) {
+                keep.push(k);
+            } else {
+                keep.push(AttrName::new(format!("{}.{}", rel.name(), k)));
+            }
+        }
+        let y = &self.consequent_attr;
+        if joined.schema().has_attribute(y) {
+            keep.push(y.clone());
+        } else {
+            keep.push(AttrName::new(format!(
+                "{}.{}",
+                self.relation.name(),
+                y
+            )));
+        }
+        let mut out = algebra::project(&joined, &keep)?;
+        // Normalize any prefixed names back to their plain forms.
+        for (plain, kept) in rel
+            .schema()
+            .primary_key()
+            .into_iter()
+            .chain([y.clone()])
+            .zip(keep.clone())
+        {
+            if plain != kept {
+                out = algebra::rename_attr(&out, &kept, &plain)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether `rel` defines every antecedent attribute (so
+    /// [`IlfdTable::derive_join`] is applicable).
+    pub fn applies_to(&self, rel: &Relation) -> bool {
+        self.antecedent_attrs
+            .iter()
+            .all(|a| rel.schema().has_attribute(a))
+    }
+}
+
+/// Partitions an [`IlfdSet`] into uniform [`IlfdTable`]s.
+///
+/// Multi-consequent ILFDs are decomposed first; rules are grouped by
+/// (antecedent attribute set, consequent attribute). Rules whose
+/// antecedent binds the same attribute twice (contradictory) are
+/// skipped, as are duplicate-antecedent rules within a group (the
+/// first is kept, matching the first-match strategy's cut).
+pub fn tables_from_ilfds(f: &IlfdSet) -> Result<Vec<IlfdTable>> {
+    let mut groups: BTreeMap<(Vec<AttrName>, AttrName), IlfdTable> = BTreeMap::new();
+    for ilfd in f.iter() {
+        if ilfd.has_contradictory_antecedent() {
+            continue;
+        }
+        for part in ilfd.decompose() {
+            let ante_attrs: Vec<AttrName> =
+                part.antecedent().iter().map(|s| s.attr.clone()).collect();
+            let cons = part
+                .consequent()
+                .iter()
+                .next()
+                .expect("decomposed ILFD has one consequent")
+                .clone();
+            let key = (ante_attrs.clone(), cons.attr.clone());
+            let table = match groups.entry(key) {
+                std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(IlfdTable::new(ante_attrs.clone(), cons.attr.clone())?)
+                }
+            };
+            let ante_values: Vec<Value> =
+                part.antecedent().iter().map(|s| s.value.clone()).collect();
+            // Ignore duplicate antecedents (cut semantics keeps the first).
+            let _ = table.insert_rule(ante_values, cons.value);
+        }
+    }
+    Ok(groups.into_values().collect())
+}
+
+/// Round-trips a set of ILFD tables back into one [`IlfdSet`].
+pub fn ilfds_from_tables(tables: &[IlfdTable]) -> IlfdSet {
+    let mut out = IlfdSet::new();
+    for t in tables {
+        for i in t.to_ilfds().iter() {
+            out.insert(i.clone());
+        }
+    }
+    out
+}
+
+/// Builds the paper's Table 8 — `IM(speciality; cuisine)` holding
+/// I1–I4 — as a ready-made fixture.
+pub fn paper_table8() -> IlfdTable {
+    let mut t = IlfdTable::new(
+        vec![AttrName::new("speciality")],
+        AttrName::new("cuisine"),
+    )
+    .expect("valid schema");
+    for (spec, cui) in [
+        ("hunan", "chinese"),
+        ("sichuan", "chinese"),
+        ("gyros", "greek"),
+        ("mughalai", "indian"),
+    ] {
+        t.insert_rule(vec![Value::str(spec)], Value::str(cui))
+            .expect("unique antecedents");
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table8_contents() {
+        let t = paper_table8();
+        assert_eq!(t.len(), 4);
+        assert_eq!(
+            t.lookup(&Tuple::of_strs(&["mughalai"])),
+            Some(Value::str("indian"))
+        );
+        assert_eq!(t.lookup(&Tuple::of_strs(&["nope"])), None);
+    }
+
+    #[test]
+    fn to_ilfds_round_trip() {
+        let t = paper_table8();
+        let f = t.to_ilfds();
+        assert_eq!(f.len(), 4);
+        assert!(f.contains(&Ilfd::of_strs(
+            &[("speciality", "hunan")],
+            &[("cuisine", "chinese")]
+        )));
+    }
+
+    #[test]
+    fn tables_from_ilfds_groups_by_shape() {
+        let f: IlfdSet = vec![
+            Ilfd::of_strs(&[("speciality", "hunan")], &[("cuisine", "chinese")]),
+            Ilfd::of_strs(&[("speciality", "gyros")], &[("cuisine", "greek")]),
+            Ilfd::of_strs(&[("street", "front_ave")], &[("county", "ramsey")]),
+        ]
+        .into_iter()
+        .collect();
+        let tables = tables_from_ilfds(&f).unwrap();
+        assert_eq!(tables.len(), 2);
+        let back = ilfds_from_tables(&tables);
+        assert!(crate::closure::equivalent(&f, &back));
+    }
+
+    #[test]
+    fn multi_consequent_ilfds_are_decomposed() {
+        let f: IlfdSet = vec![Ilfd::of_strs(
+            &[("a", "1")],
+            &[("b", "2"), ("c", "3")],
+        )]
+        .into_iter()
+        .collect();
+        let tables = tables_from_ilfds(&f).unwrap();
+        assert_eq!(tables.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_antecedent_keeps_first_rule() {
+        let f: IlfdSet = vec![
+            Ilfd::of_strs(&[("spec", "fusion")], &[("cui", "chinese")]),
+            Ilfd::of_strs(&[("spec", "fusion")], &[("cui", "indian")]),
+        ]
+        .into_iter()
+        .collect();
+        let tables = tables_from_ilfds(&f).unwrap();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), 1);
+        assert_eq!(
+            tables[0].lookup(&Tuple::of_strs(&["fusion"])),
+            Some(Value::str("chinese"))
+        );
+    }
+
+    #[test]
+    fn derive_join_produces_key_plus_derived_attr() {
+        // S(name, speciality) with key name; derive cuisine.
+        let schema = Schema::of_strs("S", &["name", "speciality"], &["name"]).unwrap();
+        let mut s = Relation::new(schema);
+        s.insert_strs(&["twincities", "hunan"]).unwrap();
+        s.insert_strs(&["anjuman", "mughalai"]).unwrap();
+        s.insert_strs(&["mystery", "unlisted"]).unwrap();
+        let t = paper_table8();
+        assert!(t.applies_to(&s));
+        let derived = t.derive_join(&s).unwrap();
+        assert_eq!(derived.len(), 2); // `mystery` has no rule
+        assert!(derived.schema().has_attribute(&AttrName::new("name")));
+        assert!(derived.schema().has_attribute(&AttrName::new("cuisine")));
+        let rows = derived.sorted_tuples();
+        assert_eq!(rows[0], Tuple::of_strs(&["anjuman", "indian"]));
+        assert_eq!(rows[1], Tuple::of_strs(&["twincities", "chinese"]));
+    }
+
+    #[test]
+    fn applies_to_requires_antecedent_attrs() {
+        let schema = Schema::of_strs("R", &["name", "street"], &["name"]).unwrap();
+        let r = Relation::new(schema);
+        assert!(!paper_table8().applies_to(&r));
+    }
+}

@@ -1,0 +1,581 @@
+//! Relational algebra over [`Relation`]s.
+//!
+//! These are the operators the paper's §4.2 construction needs:
+//! selection, projection (set semantics), rename, extension, union,
+//! equi-join (hash-based) and natural join, and left/right/full
+//! **outer** joins (the integrated table is
+//! `MT ⋈ R ⟗ S`, a full outer join). All operators return
+//! key-unchecked derived relations.
+//!
+//! Join equality is **non-NULL equality** throughout (`NULL` never
+//! joins with `NULL`), matching the prototype's `non_null_eq`
+//! predicate; outer joins then re-admit the unjoined tuples padded
+//! with NULLs.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::attr::AttrName;
+use crate::error::{RelationalError, Result};
+use crate::relation::Relation;
+use crate::schema::{Attribute, Schema};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// σ — selection: keeps tuples satisfying `pred`.
+pub fn select(rel: &Relation, pred: impl Fn(&Tuple) -> bool) -> Relation {
+    let mut out = Relation::new_unchecked(Arc::clone(rel.schema()));
+    for t in rel.iter() {
+        if pred(t) {
+            out.insert(t.clone()).expect("same schema");
+        }
+    }
+    out
+}
+
+/// σ with an attribute = constant condition (non-NULL equality).
+pub fn select_eq(rel: &Relation, attr: &AttrName, value: &Value) -> Result<Relation> {
+    let p = rel.schema().position(attr)?;
+    Ok(select(rel, |t| t.get(p).non_null_eq(value)))
+}
+
+/// Π — projection with set semantics (duplicates removed), as in the
+/// paper's `Π_{K_R, y_i}` expressions.
+pub fn project(rel: &Relation, attrs: &[AttrName]) -> Result<Relation> {
+    let positions = rel.positions_of(attrs)?;
+    let out_attrs: Vec<Attribute> = positions
+        .iter()
+        .map(|&p| rel.schema().attributes()[p].clone())
+        .collect();
+    let schema = Schema::new(format!("π({})", rel.name()), out_attrs, vec![])?;
+    let mut out = Relation::new_unchecked(schema);
+    let mut seen = std::collections::HashSet::new();
+    for t in rel.iter() {
+        let proj = t.project(&positions);
+        if seen.insert(proj.clone()) {
+            out.insert(proj).expect("projected arity");
+        }
+    }
+    Ok(out)
+}
+
+/// ρ — renames the relation (schema name only).
+pub fn rename(rel: &Relation, name: impl Into<String>) -> Relation {
+    let mut out = Relation::new_unchecked(rel.schema().renamed(name));
+    for t in rel.iter() {
+        out.insert(t.clone()).expect("same schema");
+    }
+    out
+}
+
+/// Renames a single attribute, preserving everything else. Needed to
+/// align semantically-equivalent attributes that were given different
+/// names by the component databases (the schema-integration output
+/// the paper assumes, e.g. `r_name`/`s_name` → `name`).
+pub fn rename_attr(rel: &Relation, from: &AttrName, to: &AttrName) -> Result<Relation> {
+    let p = rel.schema().position(from)?;
+    let attrs: Vec<Attribute> = rel
+        .schema()
+        .attributes()
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            if i == p {
+                Attribute::new(to.clone(), a.ty)
+            } else {
+                a.clone()
+            }
+        })
+        .collect();
+    let keys: Vec<Vec<AttrName>> = rel
+        .schema()
+        .keys()
+        .iter()
+        .map(|k| {
+            k.positions
+                .iter()
+                .map(|&q| {
+                    if q == p {
+                        to.clone()
+                    } else {
+                        rel.schema().attributes()[q].name.clone()
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let schema = Schema::new(rel.name(), attrs, keys)?;
+    let mut out = Relation::new_unchecked(schema);
+    for t in rel.iter() {
+        out.insert(t.clone()).expect("same arity");
+    }
+    Ok(out)
+}
+
+/// Extends every tuple with new attributes whose values are computed
+/// by `f` (may return NULL). This is the "extend relation R to R′ with
+/// attributes `K_Ext − K_R`" step of §4.2.
+pub fn extend(
+    rel: &Relation,
+    extra: &[Attribute],
+    mut f: impl FnMut(&Tuple) -> Vec<Value>,
+) -> Result<Relation> {
+    let schema = rel.schema().extended(extra)?;
+    let mut out = Relation::new_unchecked(schema);
+    for t in rel.iter() {
+        let vals = f(t);
+        debug_assert_eq!(vals.len(), extra.len());
+        out.insert(t.extend_with(&vals)).expect("extended arity");
+    }
+    Ok(out)
+}
+
+/// ∪ — set union of two union-compatible relations.
+pub fn union(a: &Relation, b: &Relation) -> Result<Relation> {
+    check_union_compatible(a, b)?;
+    let mut out = Relation::new_unchecked(Arc::clone(a.schema()));
+    let mut seen = std::collections::HashSet::new();
+    for t in a.iter().chain(b.iter()) {
+        if seen.insert(t.clone()) {
+            out.insert(t.clone()).expect("same schema");
+        }
+    }
+    Ok(out)
+}
+
+/// − — set difference `a − b` of union-compatible relations.
+pub fn difference(a: &Relation, b: &Relation) -> Result<Relation> {
+    check_union_compatible(a, b)?;
+    let exclude: std::collections::HashSet<&Tuple> = b.iter().collect();
+    let mut out = Relation::new_unchecked(Arc::clone(a.schema()));
+    let mut seen = std::collections::HashSet::new();
+    for t in a.iter() {
+        if !exclude.contains(t) && seen.insert(t.clone()) {
+            out.insert(t.clone()).expect("same schema");
+        }
+    }
+    Ok(out)
+}
+
+fn check_union_compatible(a: &Relation, b: &Relation) -> Result<()> {
+    if a.schema().arity() != b.schema().arity() {
+        return Err(RelationalError::SchemaMismatch {
+            detail: format!(
+                "union of `{}` (arity {}) and `{}` (arity {})",
+                a.name(),
+                a.schema().arity(),
+                b.name(),
+                b.schema().arity()
+            ),
+        });
+    }
+    for (x, y) in a
+        .schema()
+        .attributes()
+        .iter()
+        .zip(b.schema().attributes())
+    {
+        if x.ty != y.ty {
+            return Err(RelationalError::SchemaMismatch {
+                detail: format!(
+                    "attribute `{}`:{} is not union-compatible with `{}`:{}",
+                    x.name, x.ty, y.name, y.ty
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Builds the output schema of a join: all attributes of `a` then all
+/// of `b`, prefixing colliding names with the relation name
+/// (`R.name`, `S.name`).
+fn join_schema(a: &Relation, b: &Relation, name: String) -> Result<Arc<Schema>> {
+    let mut attrs: Vec<Attribute> = Vec::with_capacity(a.schema().arity() + b.schema().arity());
+    for attr in a.schema().attributes() {
+        let collides = b.schema().has_attribute(&attr.name);
+        let out_name = if collides {
+            AttrName::new(format!("{}.{}", a.name(), attr.name))
+        } else {
+            attr.name.clone()
+        };
+        attrs.push(Attribute::new(out_name, attr.ty));
+    }
+    for attr in b.schema().attributes() {
+        let collides = a.schema().has_attribute(&attr.name);
+        let out_name = if collides {
+            AttrName::new(format!("{}.{}", b.name(), attr.name))
+        } else {
+            attr.name.clone()
+        };
+        attrs.push(Attribute::new(out_name, attr.ty));
+    }
+    Schema::new(name, attrs, vec![])
+}
+
+/// ⋈ — hash equi-join on pairs of attributes `(a_attr, b_attr)`,
+/// using non-NULL equality.
+pub fn equi_join(a: &Relation, b: &Relation, on: &[(AttrName, AttrName)]) -> Result<Relation> {
+    let (matched, _, _) = equi_join_parts(a, b, on)?;
+    Ok(matched)
+}
+
+/// The workhorse behind inner and outer joins: returns the joined
+/// relation plus the per-side "dangling" tuples that joined nothing.
+fn equi_join_parts(
+    a: &Relation,
+    b: &Relation,
+    on: &[(AttrName, AttrName)],
+) -> Result<(Relation, Vec<Tuple>, Vec<Tuple>)> {
+    let a_pos: Vec<usize> = on
+        .iter()
+        .map(|(x, _)| a.schema().position(x))
+        .collect::<Result<_>>()?;
+    let b_pos: Vec<usize> = on
+        .iter()
+        .map(|(_, y)| b.schema().position(y))
+        .collect::<Result<_>>()?;
+
+    let schema = join_schema(a, b, format!("{}⋈{}", a.name(), b.name()))?;
+    let mut out = Relation::new_unchecked(schema);
+
+    // Build hash table over the smaller side; keys with NULLs are
+    // excluded so NULL never joins.
+    let mut table: HashMap<Tuple, Vec<usize>> = HashMap::new();
+    for (i, t) in b.iter().enumerate() {
+        if t.non_null_at(&b_pos) {
+            table.entry(t.project(&b_pos)).or_default().push(i);
+        }
+    }
+
+    let mut b_matched = vec![false; b.len()];
+    let mut a_dangling = Vec::new();
+    for t in a.iter() {
+        let mut hit = false;
+        if t.non_null_at(&a_pos) {
+            if let Some(rows) = table.get(&t.project(&a_pos)) {
+                for &j in rows {
+                    out.insert(t.concat(&b.tuples()[j])).expect("join arity");
+                    b_matched[j] = true;
+                    hit = true;
+                }
+            }
+        }
+        if !hit {
+            a_dangling.push(t.clone());
+        }
+    }
+    let b_dangling: Vec<Tuple> = b
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| !b_matched[*j])
+        .map(|(_, t)| t.clone())
+        .collect();
+    Ok((out, a_dangling, b_dangling))
+}
+
+/// Natural join: equi-join on every same-named attribute pair, then
+/// common attributes are kept once (from the left side).
+pub fn natural_join(a: &Relation, b: &Relation) -> Result<Relation> {
+    let common: Vec<AttrName> = a
+        .schema()
+        .attribute_names()
+        .filter(|n| b.schema().has_attribute(n))
+        .cloned()
+        .collect();
+    let on: Vec<(AttrName, AttrName)> =
+        common.iter().map(|n| (n.clone(), n.clone())).collect();
+    let joined = equi_join(a, b, &on)?;
+    // Drop the duplicated right-side copies of the common attributes.
+    let keep: Vec<AttrName> = joined
+        .schema()
+        .attribute_names()
+        .filter(|n| {
+            !common
+                .iter()
+                .any(|c| n.as_str() == format!("{}.{}", b.name(), c))
+        })
+        .cloned()
+        .collect();
+    let projected = project(&joined, &keep)?;
+    // Restore plain names for the left-side copies.
+    let mut out = projected;
+    for c in &common {
+        let prefixed = AttrName::new(format!("{}.{}", a.name(), c));
+        if out.schema().has_attribute(&prefixed) {
+            out = rename_attr(&out, &prefixed, c)?;
+        }
+    }
+    Ok(out)
+}
+
+/// How a join's unmatched tuples are treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinSide {
+    /// Keep unmatched left tuples (left outer join).
+    Left,
+    /// Keep unmatched right tuples (right outer join).
+    Right,
+    /// Keep both (full outer join, the paper's ⟗).
+    Full,
+}
+
+/// Outer equi-join: like [`equi_join`] but dangling tuples of the
+/// selected side(s) are padded with NULLs. The integrated table
+/// `T_RS` uses the `Full` variant.
+pub fn outer_join(
+    a: &Relation,
+    b: &Relation,
+    on: &[(AttrName, AttrName)],
+    side: JoinSide,
+) -> Result<Relation> {
+    let (mut out, a_dangling, b_dangling) = equi_join_parts(a, b, on)?;
+    let a_arity = a.schema().arity();
+    let b_arity = b.schema().arity();
+    if matches!(side, JoinSide::Left | JoinSide::Full) {
+        let nulls = vec![Value::Null; b_arity];
+        for t in a_dangling {
+            out.insert(t.extend_with(&nulls)).expect("join arity");
+        }
+    }
+    if matches!(side, JoinSide::Right | JoinSide::Full) {
+        let nulls = Tuple::new(vec![Value::Null; a_arity]);
+        for t in b_dangling {
+            out.insert(nulls.concat(&t)).expect("join arity");
+        }
+    }
+    Ok(out)
+}
+
+/// Semi-join `a ⋉ b`: the tuples of `a` that join with at least one
+/// tuple of `b` (non-NULL equality). The matched half of a relation —
+/// `R ⋉_{K_Ext} S` is exactly the `R` side of the matching table.
+pub fn semi_join(a: &Relation, b: &Relation, on: &[(AttrName, AttrName)]) -> Result<Relation> {
+    let a_pos: Vec<usize> = on
+        .iter()
+        .map(|(x, _)| a.schema().position(x))
+        .collect::<Result<_>>()?;
+    let b_pos: Vec<usize> = on
+        .iter()
+        .map(|(_, y)| b.schema().position(y))
+        .collect::<Result<_>>()?;
+    let keys: std::collections::HashSet<Tuple> = b
+        .iter()
+        .filter(|t| t.non_null_at(&b_pos))
+        .map(|t| t.project(&b_pos))
+        .collect();
+    let mut out = Relation::new_unchecked(Arc::clone(a.schema()));
+    for t in a.iter() {
+        if t.non_null_at(&a_pos) && keys.contains(&t.project(&a_pos)) {
+            out.insert(t.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// Anti-join `a ▷ b`: the tuples of `a` that join with *no* tuple of
+/// `b` — the dangling tuples the integrated table NULL-pads.
+pub fn anti_join(a: &Relation, b: &Relation, on: &[(AttrName, AttrName)]) -> Result<Relation> {
+    let matched = semi_join(a, b, on)?;
+    difference(a, &matched)
+}
+
+/// Cartesian product (θ-joins are `product` + `select`). Quadratic;
+/// used by the nested-loop matcher baseline and tests.
+pub fn product(a: &Relation, b: &Relation) -> Result<Relation> {
+    let schema = join_schema(a, b, format!("{}×{}", a.name(), b.name()))?;
+    let mut out = Relation::new_unchecked(schema);
+    for ta in a.iter() {
+        for tb in b.iter() {
+            out.insert(ta.concat(tb)).expect("product arity");
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(name: &str, attrs: &[&str], rows: &[&[&str]]) -> Relation {
+        let schema = Schema::of_strs(name, attrs, &attrs[..1]).unwrap();
+        let mut r = Relation::new_unchecked(schema);
+        for row in rows {
+            r.insert(Tuple::of_strs(row)).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn select_filters() {
+        let r = rel(
+            "R",
+            &["name", "cuisine"],
+            &[&["a", "chinese"], &["b", "greek"]],
+        );
+        let s = select_eq(&r, &AttrName::new("cuisine"), &Value::str("chinese")).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.tuples()[0].get(0), &Value::str("a"));
+    }
+
+    #[test]
+    fn project_dedups() {
+        let r = rel(
+            "R",
+            &["name", "cuisine"],
+            &[&["a", "chinese"], &["b", "chinese"]],
+        );
+        let p = project(&r, &[AttrName::new("cuisine")]).unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn union_dedups_and_checks_compat() {
+        let a = rel("A", &["x"], &[&["1"], &["2"]]);
+        let b = rel("B", &["x"], &[&["2"], &["3"]]);
+        let u = union(&a, &b).unwrap();
+        assert_eq!(u.len(), 3);
+
+        let c = rel("C", &["x", "y"], &[&["1", "2"]]);
+        assert!(union(&a, &c).is_err());
+    }
+
+    #[test]
+    fn difference_removes() {
+        let a = rel("A", &["x"], &[&["1"], &["2"]]);
+        let b = rel("B", &["x"], &[&["2"]]);
+        let d = difference(&a, &b).unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.tuples()[0], Tuple::of_strs(&["1"]));
+    }
+
+    #[test]
+    fn equi_join_matches_on_non_null() {
+        let a = rel("A", &["k", "v"], &[&["1", "x"], &["2", "y"]]);
+        let b = rel("B", &["k2", "w"], &[&["1", "p"], &["3", "q"]]);
+        let j = equi_join(&a, &b, &[(AttrName::new("k"), AttrName::new("k2"))]).unwrap();
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.tuples()[0], Tuple::of_strs(&["1", "x", "1", "p"]));
+    }
+
+    #[test]
+    fn null_never_joins() {
+        let schema_a = Schema::of_strs("A", &["k"], &["k"]).unwrap();
+        let mut a = Relation::new_unchecked(schema_a);
+        a.insert(Tuple::new(vec![Value::Null])).unwrap();
+        let schema_b = Schema::of_strs("B", &["k2"], &["k2"]).unwrap();
+        let mut b = Relation::new_unchecked(schema_b);
+        b.insert(Tuple::new(vec![Value::Null])).unwrap();
+        let j = equi_join(&a, &b, &[(AttrName::new("k"), AttrName::new("k2"))]).unwrap();
+        assert!(j.is_empty());
+    }
+
+    #[test]
+    fn full_outer_join_pads_both_sides() {
+        let a = rel("A", &["k", "v"], &[&["1", "x"], &["2", "y"]]);
+        let b = rel("B", &["k2", "w"], &[&["1", "p"], &["3", "q"]]);
+        let j = outer_join(
+            &a,
+            &b,
+            &[(AttrName::new("k"), AttrName::new("k2"))],
+            JoinSide::Full,
+        )
+        .unwrap();
+        assert_eq!(j.len(), 3);
+        let rows = j.sorted_tuples();
+        // Padded rows carry NULLs.
+        assert!(rows.iter().any(|t| t.get(0).is_null()));
+        assert!(rows.iter().any(|t| t.get(2).is_null()));
+    }
+
+    #[test]
+    fn left_and_right_outer_joins() {
+        let a = rel("A", &["k"], &[&["1"], &["2"]]);
+        let b = rel("B", &["k2"], &[&["1"], &["3"]]);
+        let on = [(AttrName::new("k"), AttrName::new("k2"))];
+        let l = outer_join(&a, &b, &on, JoinSide::Left).unwrap();
+        assert_eq!(l.len(), 2); // (1,1) and (2,null)
+        let r = outer_join(&a, &b, &on, JoinSide::Right).unwrap();
+        assert_eq!(r.len(), 2); // (1,1) and (null,3)
+    }
+
+    #[test]
+    fn natural_join_merges_common_attrs() {
+        let a = rel("A", &["name", "cuisine"], &[&["tc", "chinese"]]);
+        let b = rel("B", &["name", "city"], &[&["tc", "mpls"], &["x", "y"]]);
+        let j = natural_join(&a, &b).unwrap();
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.schema().arity(), 3);
+        assert!(j.schema().has_attribute(&AttrName::new("name")));
+        assert!(j.schema().has_attribute(&AttrName::new("city")));
+    }
+
+    #[test]
+    fn join_schema_prefixes_collisions() {
+        let a = rel("A", &["name", "v"], &[&["x", "1"]]);
+        let b = rel("B", &["name", "w"], &[&["x", "2"]]);
+        let j = equi_join(&a, &b, &[(AttrName::new("name"), AttrName::new("name"))]).unwrap();
+        assert!(j.schema().has_attribute(&AttrName::new("A.name")));
+        assert!(j.schema().has_attribute(&AttrName::new("B.name")));
+    }
+
+    #[test]
+    fn semi_join_keeps_matching_left_tuples() {
+        let a = rel("A", &["k", "v"], &[&["1", "x"], &["2", "y"], &["3", "z"]]);
+        let b = rel("B", &["k2"], &[&["1"], &["3"]]);
+        let on = [(AttrName::new("k"), AttrName::new("k2"))];
+        let s = semi_join(&a, &b, &on).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.schema().arity(), 2); // original schema, not widened
+        let anti = anti_join(&a, &b, &on).unwrap();
+        assert_eq!(anti.len(), 1);
+        assert_eq!(anti.tuples()[0].get(0), &Value::str("2"));
+    }
+
+    #[test]
+    fn semi_join_excludes_null_keys() {
+        let schema = Schema::of_strs("A", &["k"], &["k"]).unwrap();
+        let mut a = Relation::new_unchecked(schema);
+        a.insert(Tuple::new(vec![Value::Null])).unwrap();
+        let b = rel("B", &["k2"], &[&["1"]]);
+        let on = [(AttrName::new("k"), AttrName::new("k2"))];
+        assert!(semi_join(&a, &b, &on).unwrap().is_empty());
+        assert_eq!(anti_join(&a, &b, &on).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn semi_plus_anti_partition_the_left_relation() {
+        let a = rel("A", &["k"], &[&["1"], &["2"], &["3"], &["4"]]);
+        let b = rel("B", &["k2"], &[&["2"], &["4"], &["9"]]);
+        let on = [(AttrName::new("k"), AttrName::new("k2"))];
+        let s = semi_join(&a, &b, &on).unwrap();
+        let t = anti_join(&a, &b, &on).unwrap();
+        assert_eq!(s.len() + t.len(), a.len());
+        let u = union(&s, &t).unwrap();
+        assert!(u.same_tuples(&a));
+    }
+
+    #[test]
+    fn product_is_cartesian() {
+        let a = rel("A", &["x"], &[&["1"], &["2"]]);
+        let b = rel("B", &["y"], &[&["p"], &["q"], &["r"]]);
+        assert_eq!(product(&a, &b).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn rename_attr_updates_schema_and_keys() {
+        let a = rel("A", &["k", "v"], &[&["1", "x"]]);
+        let r = rename_attr(&a, &AttrName::new("k"), &AttrName::new("key")).unwrap();
+        assert!(r.schema().has_attribute(&AttrName::new("key")));
+        assert!(!r.schema().has_attribute(&AttrName::new("k")));
+        assert_eq!(r.schema().primary_key(), vec![AttrName::new("key")]);
+    }
+
+    #[test]
+    fn extend_adds_computed_column() {
+        let a = rel("A", &["k"], &[&["1"]]);
+        let e = extend(&a, &[Attribute::str("extra")], |_| vec![Value::Null]).unwrap();
+        assert_eq!(e.schema().arity(), 2);
+        assert!(e.tuples()[0].get(1).is_null());
+    }
+}

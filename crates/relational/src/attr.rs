@@ -1,0 +1,146 @@
+//! Interned attribute names.
+//!
+//! Attribute names are compared and hashed constantly (joins, ILFD
+//! lookups, rule evaluation), so they are interned: every distinct
+//! name is stored once in a process-wide table and [`AttrName`] is a
+//! cheap pointer-sized handle whose equality is a pointer comparison.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Process-wide intern table for attribute names.
+static INTERNER: Mutex<Option<HashSet<Arc<str>>>> = Mutex::new(None);
+
+/// An interned, case-preserving attribute name.
+///
+/// Construct with [`AttrName::new`] or via `From<&str>`. Equality
+/// first compares pointers (the common case for interned names) and
+/// falls back to string comparison, so names deserialized from
+/// outside the interner still compare correctly.
+#[derive(Debug, Clone)]
+pub struct AttrName(Arc<str>);
+
+impl AttrName {
+    /// Interns `name` and returns a handle to the canonical copy.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        let name = name.as_ref();
+        let mut guard = INTERNER.lock();
+        let table = guard.get_or_insert_with(HashSet::new);
+        if let Some(existing) = table.get(name) {
+            return AttrName(Arc::clone(existing));
+        }
+        let arc: Arc<str> = Arc::from(name);
+        table.insert(Arc::clone(&arc));
+        AttrName(arc)
+    }
+
+    /// The textual name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq for AttrName {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for AttrName {}
+
+impl std::hash::Hash for AttrName {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state)
+    }
+}
+
+impl PartialOrd for AttrName {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for AttrName {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl fmt::Display for AttrName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for AttrName {
+    fn from(s: &str) -> Self {
+        AttrName::new(s)
+    }
+}
+
+impl From<String> for AttrName {
+    fn from(s: String) -> Self {
+        AttrName::new(s)
+    }
+}
+
+impl AsRef<str> for AttrName {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Serialize for AttrName {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.0)
+    }
+}
+
+impl<'de> Deserialize<'de> for AttrName {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        Ok(AttrName::new(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_returns_pointer_equal_handles() {
+        let a = AttrName::new("cuisine");
+        let b = AttrName::new("cuisine");
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_names_differ() {
+        assert_ne!(AttrName::new("name"), AttrName::new("street"));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(AttrName::new("a") < AttrName::new("b"));
+    }
+
+    #[test]
+    fn display_and_as_str() {
+        let a = AttrName::new("speciality");
+        assert_eq!(a.to_string(), "speciality");
+        assert_eq!(a.as_str(), "speciality");
+    }
+
+    #[test]
+    fn hash_equals_for_equal_names() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(AttrName::new("x"));
+        assert!(set.contains(&AttrName::new("x")));
+    }
+}

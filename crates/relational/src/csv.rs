@@ -1,0 +1,271 @@
+//! A deliberately tiny CSV reader/writer for workload files.
+//!
+//! Supports comma separation, double-quote quoting with `""` escapes,
+//! and the literal cell `null` (unquoted) for NULL. This is enough to
+//! round-trip generated workloads; it is not a general CSV library.
+
+use std::sync::Arc;
+
+use crate::error::{RelationalError, Result};
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Serializes `rel` to CSV with a header row of attribute names.
+pub fn to_csv(rel: &Relation) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = rel
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| quote(a.name.as_str()))
+        .collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for t in rel.iter() {
+        let row: Vec<String> = t
+            .values()
+            .iter()
+            .map(|v| match v {
+                Value::Null => "null".to_string(),
+                other => quote(&other.render()),
+            })
+            .collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn quote(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s == "null" {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Parses CSV produced by [`to_csv`] into a relation under `schema`
+/// (header row must match the schema's attribute names). All values
+/// are read as strings except the literal `null`.
+pub fn from_csv(schema: Arc<Schema>, text: &str) -> Result<Relation> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or(RelationalError::Csv {
+        line: 1,
+        detail: "missing header row".into(),
+    })?;
+    let header_cells = parse_line(header, 1)?;
+    let expected: Vec<&str> = schema
+        .attributes()
+        .iter()
+        .map(|a| a.name.as_str())
+        .collect();
+    if header_cells.iter().map(|c| c.as_str()).ne(expected.iter().copied()) {
+        return Err(RelationalError::Csv {
+            line: 1,
+            detail: format!(
+                "header {:?} does not match schema attributes {:?}",
+                header_cells, expected
+            ),
+        });
+    }
+    let mut rel = Relation::new_unchecked(schema);
+    for (i, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let cells = parse_line(line, i + 1)?;
+        if cells.len() != rel.schema().arity() {
+            return Err(RelationalError::Csv {
+                line: i + 1,
+                detail: format!(
+                    "expected {} cells, got {}",
+                    rel.schema().arity(),
+                    cells.len()
+                ),
+            });
+        }
+        let values: Vec<Value> = cells
+            .into_iter()
+            .map(|c| {
+                if c.raw && c.text == "null" {
+                    Value::Null
+                } else {
+                    Value::str(c.text)
+                }
+            })
+            .collect();
+        rel.insert(Tuple::new(values))?;
+    }
+    Ok(rel)
+}
+
+/// Parses CSV whose schema is *inferred from the header row*: every
+/// column is string-typed, and `key` names the candidate key. This is
+/// the entry point for user-supplied workload files (the `eid` CLI).
+pub fn from_csv_inferred(name: &str, text: &str, key: &[&str]) -> Result<Relation> {
+    let header = text.lines().next().ok_or(RelationalError::Csv {
+        line: 1,
+        detail: "missing header row".into(),
+    })?;
+    let cells = parse_line(header, 1)?;
+    let attrs: Vec<&str> = cells.iter().map(|c| c.as_str()).collect();
+    let schema = Schema::of_strs(name, &attrs, key)?;
+    let rel = from_csv(schema.clone(), text)?;
+    // Re-validate through a key-enforcing relation.
+    let mut checked = Relation::new(schema);
+    for t in rel.iter() {
+        checked.insert(t.clone())?;
+    }
+    Ok(checked)
+}
+
+/// A parsed cell: `raw` is false when the cell was quoted (so a
+/// quoted `"null"` stays the string `null`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Cell {
+    text: String,
+    raw: bool,
+}
+
+impl Cell {
+    fn as_str(&self) -> &str {
+        &self.text
+    }
+}
+
+fn parse_line(line: &str, line_no: usize) -> Result<Vec<Cell>> {
+    let mut cells = Vec::new();
+    let mut chars = line.chars().peekable();
+    loop {
+        let mut text = String::new();
+        let mut raw = true;
+        if chars.peek() == Some(&'"') {
+            raw = false;
+            chars.next();
+            loop {
+                match chars.next() {
+                    Some('"') => {
+                        if chars.peek() == Some(&'"') {
+                            chars.next();
+                            text.push('"');
+                        } else {
+                            break;
+                        }
+                    }
+                    Some(c) => text.push(c),
+                    None => {
+                        return Err(RelationalError::Csv {
+                            line: line_no,
+                            detail: "unterminated quoted cell".into(),
+                        })
+                    }
+                }
+            }
+        } else {
+            while let Some(&c) = chars.peek() {
+                if c == ',' {
+                    break;
+                }
+                if c == '"' {
+                    return Err(RelationalError::Csv {
+                        line: line_no,
+                        detail: "quote inside unquoted cell".into(),
+                    });
+                }
+                text.push(c);
+                chars.next();
+            }
+        }
+        cells.push(Cell { text, raw });
+        match chars.next() {
+            Some(',') => continue,
+            None => break,
+            Some(c) => {
+                return Err(RelationalError::Csv {
+                    line: line_no,
+                    detail: format!("unexpected character `{c}` after cell"),
+                })
+            }
+        }
+    }
+    Ok(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Arc<Schema> {
+        Schema::of_strs("R", &["name", "cuisine"], &["name"]).unwrap()
+    }
+
+    #[test]
+    fn round_trip_with_nulls() {
+        let mut rel = Relation::new_unchecked(schema());
+        rel.insert(Tuple::of_strs(&["villagewok", "chinese"])).unwrap();
+        rel.insert(Tuple::new(vec![Value::str("x"), Value::Null]))
+            .unwrap();
+        let csv = to_csv(&rel);
+        let back = from_csv(schema(), &csv).unwrap();
+        assert!(rel.same_tuples(&back));
+    }
+
+    #[test]
+    fn quoting_round_trips_commas_quotes_and_literal_null_string() {
+        let mut rel = Relation::new_unchecked(schema());
+        rel.insert(Tuple::of_strs(&["a,b", "he said \"hi\""])).unwrap();
+        rel.insert(Tuple::of_strs(&["null", "ok"])).unwrap(); // string "null", not NULL
+        let csv = to_csv(&rel);
+        let back = from_csv(schema(), &csv).unwrap();
+        assert!(rel.same_tuples(&back));
+        assert_eq!(back.tuples()[1].get(0), &Value::str("null"));
+    }
+
+    #[test]
+    fn header_mismatch_is_error() {
+        let csv = "wrong,header\na,b\n";
+        let err = from_csv(schema(), csv).unwrap_err();
+        assert!(matches!(err, RelationalError::Csv { line: 1, .. }));
+    }
+
+    #[test]
+    fn bad_arity_is_error_with_line_number() {
+        let csv = "name,cuisine\na\n";
+        let err = from_csv(schema(), csv).unwrap_err();
+        assert!(matches!(err, RelationalError::Csv { line: 2, .. }));
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        let csv = "name,cuisine\n\"abc,def\n";
+        assert!(from_csv(schema(), csv).is_err());
+    }
+}
+
+#[cfg(test)]
+mod inferred_tests {
+    use super::*;
+
+    #[test]
+    fn infers_schema_from_header() {
+        let csv = "name,cuisine\nvillagewok,chinese\nching,chinese\n";
+        let rel = from_csv_inferred("R", csv, &["name"]).unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.schema().primary_key().len(), 1);
+    }
+
+    #[test]
+    fn enforces_declared_key() {
+        let csv = "name,cuisine\na,chinese\na,greek\n";
+        assert!(from_csv_inferred("R", csv, &["name"]).is_err());
+        assert!(from_csv_inferred("R", csv, &["name", "cuisine"]).is_ok());
+    }
+
+    #[test]
+    fn unknown_key_attribute_is_error() {
+        let csv = "name\na\n";
+        assert!(from_csv_inferred("R", csv, &["nope"]).is_err());
+    }
+}

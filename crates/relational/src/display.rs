@@ -1,0 +1,168 @@
+//! Pretty printing in the style of the Prolog prototype (§6.3).
+//!
+//! The prototype prints a centered-ish title, a dashed rule, a header
+//! row of attribute names in fixed-width left-aligned columns
+//! (`print_al(15, …)`), a row of dashes under each header, and then
+//! the tuples in sorted order (`setof` sorts its results). NULLs
+//! print as `null`.
+
+use std::fmt::Write as _;
+
+use crate::relation::Relation;
+
+/// Column layout options for [`render_table`].
+#[derive(Debug, Clone, Copy)]
+pub struct TableStyle {
+    /// Minimum column width (the prototype uses 15).
+    pub min_width: usize,
+    /// Whether to sort rows (the prototype's `setof` does).
+    pub sorted: bool,
+}
+
+impl Default for TableStyle {
+    fn default() -> Self {
+        TableStyle {
+            min_width: 15,
+            sorted: true,
+        }
+    }
+}
+
+/// Renders `rel` as the prototype would print it, under `title`.
+pub fn render_table(title: &str, rel: &Relation, style: TableStyle) -> String {
+    let headers: Vec<&str> = rel
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| a.name.as_str())
+        .collect();
+    let rows: Vec<Vec<String>> = {
+        let ts = if style.sorted {
+            rel.sorted_tuples()
+        } else {
+            rel.tuples().to_vec()
+        };
+        ts.iter()
+            .map(|t| t.values().iter().map(|v| v.render().into_owned()).collect())
+            .collect()
+    };
+
+    // Column width: at least `min_width`, and wide enough for the
+    // longest cell plus one space of separation.
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len() + 1).collect();
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len() + 1);
+        }
+    }
+    for w in &mut widths {
+        *w = (*w).max(style.min_width);
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let total: usize = widths.iter().sum();
+    let _ = writeln!(out, "{}", "-".repeat(total.min(100)));
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(out, "{h:<w$}");
+    }
+    out.push('\n');
+    for w in &widths {
+        let _ = write!(out, "{:<w$}", "-".repeat(10));
+    }
+    out.push('\n');
+    for row in &rows {
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(out, "{cell:<w$}");
+        }
+        // Trim trailing padding for cleanliness.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders with the default prototype style.
+pub fn render_default(title: &str, rel: &Relation) -> String {
+    render_table(title, rel, TableStyle::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::tuple::Tuple;
+    use crate::value::Value;
+
+    #[test]
+    fn renders_headers_rows_and_nulls() {
+        let schema = Schema::of_strs("M", &["r_name", "s_name"], &["r_name"]).unwrap();
+        let mut rel = crate::relation::Relation::new_unchecked(schema);
+        rel.insert(Tuple::of_strs(&["twincities", "twincities"]))
+            .unwrap();
+        rel.insert(Tuple::new(vec![Value::str("anjuman"), Value::Null]))
+            .unwrap();
+        let s = render_default("matching table", &rel);
+        assert!(s.starts_with("matching table\n"));
+        assert!(s.contains("r_name"));
+        assert!(s.contains("null"));
+        // Sorted: anjuman before twincities.
+        let a = s.find("anjuman").unwrap();
+        let t = s.find("twincities").unwrap();
+        assert!(a < t);
+    }
+
+    #[test]
+    fn unsorted_preserves_insertion_order() {
+        let schema = Schema::of_strs("M", &["x"], &["x"]).unwrap();
+        let mut rel = crate::relation::Relation::new_unchecked(schema);
+        rel.insert(Tuple::of_strs(&["zz"])).unwrap();
+        rel.insert(Tuple::of_strs(&["aa"])).unwrap();
+        let s = render_table(
+            "t",
+            &rel,
+            TableStyle {
+                min_width: 15,
+                sorted: false,
+            },
+        );
+        assert!(s.find("zz").unwrap() < s.find("aa").unwrap());
+    }
+
+    #[test]
+    fn empty_relation_prints_header_only() {
+        let schema = Schema::of_strs("M", &["a", "b"], &["a"]).unwrap();
+        let rel = crate::relation::Relation::new_unchecked(schema);
+        let s = render_default("empty", &rel);
+        assert!(s.contains('a'));
+        assert!(s.contains("----------"));
+        // Exactly 4 lines: title, rule, header, dashes.
+        assert_eq!(s.trim_end().lines().count(), 4);
+    }
+
+    #[test]
+    fn columns_align_across_rows() {
+        let schema = Schema::of_strs("M", &["x", "y"], &["x"]).unwrap();
+        let mut rel = crate::relation::Relation::new_unchecked(schema);
+        rel.insert(Tuple::of_strs(&["a", "b"])).unwrap();
+        rel.insert(Tuple::of_strs(&["longervalue", "c"])).unwrap();
+        let s = render_default("t", &rel);
+        // The second column starts at the same offset in each data row.
+        let rows: Vec<&str> = s.lines().skip(4).filter(|l| !l.is_empty()).collect();
+        let off_b = rows.iter().find(|r| r.contains(" b")).unwrap().find('b').unwrap();
+        let off_c = rows.iter().find(|r| r.contains(" c")).unwrap().find('c').unwrap();
+        assert_eq!(off_b, off_c);
+    }
+
+    #[test]
+    fn wide_cells_widen_columns() {
+        let schema = Schema::of_strs("M", &["x"], &["x"]).unwrap();
+        let mut rel = crate::relation::Relation::new_unchecked(schema);
+        let long = "a".repeat(30);
+        rel.insert(Tuple::new(vec![Value::str(&long)])).unwrap();
+        let s = render_default("t", &rel);
+        assert!(s.contains(&long));
+    }
+}

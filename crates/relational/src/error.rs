@@ -1,0 +1,175 @@
+//! Error types for the relational substrate.
+
+use std::fmt;
+
+use crate::attr::AttrName;
+
+/// Any error raised by the relational engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationalError {
+    /// An attribute was referenced that the schema does not define.
+    UnknownAttribute {
+        /// The missing attribute.
+        attr: AttrName,
+        /// The relation whose schema was consulted.
+        relation: String,
+    },
+    /// A declared key references an attribute outside the schema.
+    KeyAttributeMissing {
+        /// The offending attribute.
+        attr: AttrName,
+        /// The relation being defined.
+        relation: String,
+    },
+    /// An inserted tuple has the wrong number of values.
+    ArityMismatch {
+        /// Attributes in the schema.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+        /// The relation being inserted into.
+        relation: String,
+    },
+    /// An inserted value does not inhabit the attribute's declared type.
+    TypeMismatch {
+        /// The attribute whose type was violated.
+        attr: AttrName,
+        /// The relation being inserted into.
+        relation: String,
+    },
+    /// Inserting the tuple would duplicate an existing candidate-key value.
+    ///
+    /// The paper assumes each relation has candidate keys that uniquely
+    /// identify its tuples (§3.1); relations enforce this on insert.
+    KeyViolation {
+        /// The candidate key that was violated, rendered `(a, b, …)`.
+        key: String,
+        /// The relation being inserted into.
+        relation: String,
+    },
+    /// A key contains a NULL — candidate keys must be fully defined.
+    NullInKey {
+        /// The NULL key attribute.
+        attr: AttrName,
+        /// The relation being inserted into.
+        relation: String,
+    },
+    /// Two schemas were expected to be union-compatible but are not.
+    SchemaMismatch {
+        /// Human-readable explanation.
+        detail: String,
+    },
+    /// A schema defines the same attribute twice.
+    DuplicateAttribute {
+        /// The repeated attribute.
+        attr: AttrName,
+        /// The relation being defined.
+        relation: String,
+    },
+    /// A schema has no attributes.
+    EmptySchema {
+        /// The relation being defined.
+        relation: String,
+    },
+    /// Malformed CSV input.
+    Csv {
+        /// 1-based line number of the problem.
+        line: usize,
+        /// Human-readable explanation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationalError::UnknownAttribute { attr, relation } => {
+                write!(f, "unknown attribute `{attr}` in relation `{relation}`")
+            }
+            RelationalError::KeyAttributeMissing { attr, relation } => {
+                write!(
+                    f,
+                    "key attribute `{attr}` is not in the schema of `{relation}`"
+                )
+            }
+            RelationalError::ArityMismatch {
+                expected,
+                got,
+                relation,
+            } => write!(
+                f,
+                "relation `{relation}` expects {expected} values, got {got}"
+            ),
+            RelationalError::TypeMismatch { attr, relation } => {
+                write!(
+                    f,
+                    "value for attribute `{attr}` of `{relation}` has the wrong type"
+                )
+            }
+            RelationalError::KeyViolation { key, relation } => {
+                write!(
+                    f,
+                    "candidate key {key} of relation `{relation}` would be duplicated"
+                )
+            }
+            RelationalError::NullInKey { attr, relation } => {
+                write!(
+                    f,
+                    "key attribute `{attr}` of relation `{relation}` cannot be NULL"
+                )
+            }
+            RelationalError::SchemaMismatch { detail } => {
+                write!(f, "schema mismatch: {detail}")
+            }
+            RelationalError::DuplicateAttribute { attr, relation } => {
+                write!(
+                    f,
+                    "attribute `{attr}` appears twice in the schema of `{relation}`"
+                )
+            }
+            RelationalError::EmptySchema { relation } => {
+                write!(f, "relation `{relation}` must have at least one attribute")
+            }
+            RelationalError::Csv { line, detail } => {
+                write!(f, "CSV error on line {line}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelationalError {}
+
+/// Convenient result alias for the relational substrate.
+pub type Result<T> = std::result::Result<T, RelationalError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RelationalError::UnknownAttribute {
+            attr: AttrName::new("cuisine"),
+            relation: "S".into(),
+        };
+        assert!(e.to_string().contains("cuisine"));
+        assert!(e.to_string().contains('S'));
+
+        let e = RelationalError::KeyViolation {
+            key: "(name, street)".into(),
+            relation: "R".into(),
+        };
+        assert!(e.to_string().contains("(name, street)"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = RelationalError::EmptySchema {
+            relation: "R".into(),
+        };
+        let b = RelationalError::EmptySchema {
+            relation: "R".into(),
+        };
+        assert_eq!(a, b);
+    }
+}

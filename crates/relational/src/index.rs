@@ -1,0 +1,165 @@
+//! Secondary hash indexes over relations.
+//!
+//! The matcher probes relations by extended-key projection, the
+//! incremental engine by arbitrary attribute subsets; this module
+//! factors that pattern into a reusable, maintainable index:
+//! projection of the indexed attributes → positions of the tuples
+//! holding it. Tuples whose indexed projection contains a NULL are
+//! **not** indexed — NULL never participates in equality (the
+//! engine's non-NULL semantics), so an index probe can never return
+//! them.
+
+use std::collections::HashMap;
+
+use crate::attr::AttrName;
+use crate::error::Result;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+
+/// A hash index on an attribute subset of one relation.
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    positions: Vec<usize>,
+    map: HashMap<Tuple, Vec<usize>>,
+    indexed_len: usize,
+}
+
+impl HashIndex {
+    /// Builds an index on `attrs` over the current contents of `rel`.
+    pub fn build(rel: &Relation, attrs: &[AttrName]) -> Result<HashIndex> {
+        let positions = rel.positions_of(attrs)?;
+        let mut index = HashIndex {
+            positions,
+            map: HashMap::new(),
+            indexed_len: 0,
+        };
+        index.refresh(rel);
+        Ok(index)
+    }
+
+    /// Re-scans `rel` from where the index left off — call after
+    /// appending tuples. (Relations are append-only, so an index is
+    /// never stale in any other way.)
+    pub fn refresh(&mut self, rel: &Relation) {
+        for (i, t) in rel.iter().enumerate().skip(self.indexed_len) {
+            if t.non_null_at(&self.positions) {
+                self.map.entry(t.project(&self.positions)).or_default().push(i);
+            }
+        }
+        self.indexed_len = rel.len();
+    }
+
+    /// The tuple positions holding `key` (the projection over the
+    /// indexed attributes).
+    pub fn probe(&self, key: &Tuple) -> &[usize] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Probes with the projection of `tuple` (a tuple of the *other*
+    /// relation whose values at `positions_in_other` align with the
+    /// indexed attributes); `None` when the probe key has NULLs.
+    pub fn probe_tuple(&self, tuple: &Tuple, positions_in_other: &[usize]) -> Option<&[usize]> {
+        tuple
+            .non_null_at(positions_in_other)
+            .then(|| self.probe(&tuple.project(positions_in_other)))
+    }
+
+    /// Number of distinct indexed keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Number of indexed tuples (excludes NULL-keyed ones).
+    pub fn len(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    /// Whether no tuple is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether every indexed key maps to exactly one tuple — i.e.
+    /// the indexed attributes behave as a key of the relation.
+    pub fn is_unique(&self) -> bool {
+        self.map.values().all(|v| v.len() == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::Value;
+
+    fn rel() -> Relation {
+        let schema =
+            Schema::of_strs("R", &["name", "cuisine", "street"], &["name", "street"]).unwrap();
+        let mut r = Relation::new(schema);
+        r.insert_strs(&["tc", "chinese", "a"]).unwrap();
+        r.insert_strs(&["tc", "indian", "b"]).unwrap();
+        r.insert_strs(&["vw", "chinese", "c"]).unwrap();
+        r
+    }
+
+    #[test]
+    fn build_and_probe() {
+        let r = rel();
+        let ix = HashIndex::build(&r, &[AttrName::new("cuisine")]).unwrap();
+        assert_eq!(ix.probe(&Tuple::of_strs(&["chinese"])), &[0, 2]);
+        assert_eq!(ix.probe(&Tuple::of_strs(&["indian"])), &[1]);
+        assert!(ix.probe(&Tuple::of_strs(&["greek"])).is_empty());
+        assert_eq!(ix.len(), 3);
+        assert_eq!(ix.distinct_keys(), 2);
+        assert!(!ix.is_unique());
+    }
+
+    #[test]
+    fn composite_key_index_is_unique() {
+        let r = rel();
+        let ix =
+            HashIndex::build(&r, &[AttrName::new("name"), AttrName::new("cuisine")]).unwrap();
+        assert!(ix.is_unique());
+        assert_eq!(ix.probe(&Tuple::of_strs(&["tc", "indian"])), &[1]);
+    }
+
+    #[test]
+    fn refresh_picks_up_appends() {
+        let mut r = rel();
+        let mut ix = HashIndex::build(&r, &[AttrName::new("cuisine")]).unwrap();
+        r.insert_strs(&["og", "greek", "d"]).unwrap();
+        assert!(ix.probe(&Tuple::of_strs(&["greek"])).is_empty());
+        ix.refresh(&r);
+        assert_eq!(ix.probe(&Tuple::of_strs(&["greek"])), &[3]);
+        // Refresh is idempotent.
+        ix.refresh(&r);
+        assert_eq!(ix.len(), 4);
+    }
+
+    #[test]
+    fn null_keys_are_not_indexed() {
+        let schema = Schema::of_strs("R", &["a", "b"], &["a"]).unwrap();
+        let mut r = Relation::new_unchecked(schema);
+        r.insert(Tuple::new(vec![Value::str("x"), Value::Null])).unwrap();
+        r.insert(Tuple::of_strs(&["y", "v"])).unwrap();
+        let ix = HashIndex::build(&r, &[AttrName::new("b")]).unwrap();
+        assert_eq!(ix.len(), 1);
+        assert!(ix.is_unique());
+    }
+
+    #[test]
+    fn probe_tuple_respects_nulls() {
+        let r = rel();
+        let ix = HashIndex::build(&r, &[AttrName::new("cuisine")]).unwrap();
+        let probe = Tuple::new(vec![Value::str("zz"), Value::str("chinese")]);
+        assert_eq!(ix.probe_tuple(&probe, &[1]), Some(&[0usize, 2][..]));
+        let null_probe = Tuple::new(vec![Value::str("zz"), Value::Null]);
+        assert_eq!(ix.probe_tuple(&null_probe, &[1]), None);
+    }
+
+    #[test]
+    fn unknown_attribute_errors() {
+        let r = rel();
+        assert!(HashIndex::build(&r, &[AttrName::new("nope")]).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! # `eid-relational` — relational substrate for entity identification
+//!
+//! A minimal, dependency-light, in-memory relational engine that the
+//! entity-identification stack of Lim et al. (ICDE 1993) is built on:
+//!
+//! * [`Value`] — typed attribute values with SQL-style `NULL` and the
+//!   prototype's **non-NULL equality** ([`Value::non_null_eq`]);
+//! * [`AttrName`] — interned attribute names;
+//! * [`Schema`] / [`Relation`] — candidate-key-enforcing tuple stores
+//!   (§3.1 of the paper assumes every relation has candidate keys);
+//! * [`algebra`] — σ, Π, ρ, ∪, −, equi/natural joins and
+//!   left/right/full **outer** joins with non-NULL join semantics;
+//! * [`display`] — the Prolog prototype's table printer;
+//! * [`csv`] — a tiny CSV round-trip for workload files.
+//!
+//! ## Example
+//!
+//! ```
+//! use eid_relational::{Schema, Relation, AttrName, Value, algebra};
+//!
+//! let schema = Schema::of_strs("R", &["name", "street", "cuisine"],
+//!                              &["name", "street"]).unwrap();
+//! let mut r = Relation::new(schema);
+//! r.insert_strs(&["villagewok", "wash_ave", "chinese"]).unwrap();
+//! r.insert_strs(&["oldcountry", "co_b2_rd", "american"]).unwrap();
+//!
+//! let chinese = algebra::select_eq(&r, &AttrName::new("cuisine"),
+//!                                  &Value::str("chinese")).unwrap();
+//! assert_eq!(chinese.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod algebra;
+pub mod attr;
+pub mod csv;
+pub mod display;
+pub mod error;
+pub mod index;
+pub mod relation;
+pub mod schema;
+pub mod tri;
+pub mod tuple;
+pub mod value;
+
+pub use attr::AttrName;
+pub use error::{RelationalError, Result};
+pub use index::HashIndex;
+pub use relation::Relation;
+pub use schema::{Attribute, Key, Schema};
+pub use tri::TriBool;
+pub use tuple::Tuple;
+pub use value::{Value, ValueType};

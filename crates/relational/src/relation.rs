@@ -1,0 +1,349 @@
+//! Relations: schema + tuple store with candidate-key enforcement.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::attr::AttrName;
+use crate::error::{RelationalError, Result};
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// An in-memory relation.
+///
+/// Tuples are stored in insertion order (the paper's printed tables
+/// are insertion-ordered or sorted; the pretty printer can do
+/// either). Every declared candidate key is enforced on insertion:
+/// duplicate key values are a [`RelationalError::KeyViolation`] and
+/// NULL key attributes are a [`RelationalError::NullInKey`], matching
+/// the paper's assumption that candidate keys uniquely identify
+/// tuples (§3.1).
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: Arc<Schema>,
+    tuples: Vec<Tuple>,
+    /// One uniqueness index per candidate key: key projection → tuple index.
+    key_indexes: Vec<HashMap<Tuple, usize>>,
+    /// Whether inserts enforce key uniqueness. Derived relations
+    /// (join/projection results) switch this off since their rows are
+    /// not base entities.
+    enforce_keys: bool,
+}
+
+impl Relation {
+    /// Creates an empty relation with key enforcement on.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        let key_indexes = schema.keys().iter().map(|_| HashMap::new()).collect();
+        Relation {
+            schema,
+            tuples: Vec::new(),
+            key_indexes,
+            enforce_keys: true,
+        }
+    }
+
+    /// Creates an empty relation that does not enforce keys — used
+    /// for derived results (projections, joins, matching tables).
+    pub fn new_unchecked(schema: Arc<Schema>) -> Self {
+        let mut r = Relation::new(schema);
+        r.enforce_keys = false;
+        r
+    }
+
+    /// Builds a relation from rows of string values (the shape of the
+    /// paper's example tables), enforcing keys.
+    pub fn from_strs(schema: Arc<Schema>, rows: &[&[&str]]) -> Result<Self> {
+        let mut rel = Relation::new(schema);
+        for row in rows {
+            rel.insert(Tuple::of_strs(row))?;
+        }
+        Ok(rel)
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The relation name (from the schema).
+    pub fn name(&self) -> &str {
+        self.schema.name()
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// All tuples in insertion order.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Iterates over tuples.
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Inserts a tuple, validating arity, types, and (if enforcement
+    /// is on) NULL-freedom and uniqueness of every candidate key.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<()> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(RelationalError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: tuple.arity(),
+                relation: self.schema.name().to_string(),
+            });
+        }
+        for (attr, value) in self.schema.attributes().iter().zip(tuple.values()) {
+            if !attr.ty.admits(value) {
+                return Err(RelationalError::TypeMismatch {
+                    attr: attr.name.clone(),
+                    relation: self.schema.name().to_string(),
+                });
+            }
+        }
+        if self.enforce_keys {
+            for (key, index) in self.schema.keys().iter().zip(&self.key_indexes) {
+                for &p in &key.positions {
+                    if tuple.get(p).is_null() {
+                        return Err(RelationalError::NullInKey {
+                            attr: self.schema.attributes()[p].name.clone(),
+                            relation: self.schema.name().to_string(),
+                        });
+                    }
+                }
+                let proj = tuple.project(&key.positions);
+                if index.contains_key(&proj) {
+                    return Err(RelationalError::KeyViolation {
+                        key: self.schema.render_key(key),
+                        relation: self.schema.name().to_string(),
+                    });
+                }
+            }
+            let idx = self.tuples.len();
+            for (key, index) in self.schema.keys().iter().zip(self.key_indexes.iter_mut()) {
+                index.insert(tuple.project(&key.positions), idx);
+            }
+        }
+        self.tuples.push(tuple);
+        Ok(())
+    }
+
+    /// Inserts a row of string values.
+    pub fn insert_strs(&mut self, row: &[&str]) -> Result<()> {
+        self.insert(Tuple::of_strs(row))
+    }
+
+    /// Looks up a tuple by its primary (first candidate) key value.
+    /// Only meaningful for key-enforcing relations.
+    pub fn find_by_primary_key(&self, key_value: &Tuple) -> Option<&Tuple> {
+        self.key_indexes
+            .first()
+            .and_then(|ix| ix.get(key_value))
+            .map(|&i| &self.tuples[i])
+    }
+
+    /// Projects the primary-key value of `tuple` (which must belong
+    /// to this relation's schema).
+    pub fn primary_key_of(&self, tuple: &Tuple) -> Tuple {
+        tuple.project(&self.schema.keys()[0].positions)
+    }
+
+    /// Positions of the primary-key attributes.
+    pub fn primary_key_positions(&self) -> &[usize] {
+        &self.schema.keys()[0].positions
+    }
+
+    /// Resolves attribute names to positions against this schema.
+    pub fn positions_of(&self, attrs: &[AttrName]) -> Result<Vec<usize>> {
+        attrs.iter().map(|a| self.schema.position(a)).collect()
+    }
+
+    /// The value of `attr` in `tuple`.
+    pub fn value(&self, tuple: &Tuple, attr: &AttrName) -> Result<Value> {
+        let p = self.schema.position(attr)?;
+        Ok(tuple.get(p).clone())
+    }
+
+    /// Returns tuples sorted by their full value vector — handy for
+    /// stable test assertions and for the prototype-style printouts,
+    /// which list rows in sorted order.
+    pub fn sorted_tuples(&self) -> Vec<Tuple> {
+        let mut ts = self.tuples.clone();
+        ts.sort_by(|a, b| {
+            a.values()
+                .iter()
+                .zip(b.values())
+                .map(|(x, y)| x.total_cmp(y))
+                .find(|o| o.is_ne())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        ts
+    }
+
+    /// Whether `other` contains exactly the same set of tuples
+    /// (ignoring order and schema names, but requiring equal arity).
+    pub fn same_tuples(&self, other: &Relation) -> bool {
+        if self.schema.arity() != other.schema.arity() || self.len() != other.len() {
+            return false;
+        }
+        self.sorted_tuples() == other.sorted_tuples()
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for t in &self.tuples {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r_schema() -> Arc<Schema> {
+        Schema::of_strs("R", &["name", "street", "cuisine"], &["name", "street"]).unwrap()
+    }
+
+    #[test]
+    fn insert_and_len() {
+        let mut r = Relation::new(r_schema());
+        r.insert_strs(&["villagewok", "wash_ave", "chinese"]).unwrap();
+        r.insert_strs(&["ching", "co_b_rd", "chinese"]).unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn key_violation_on_duplicate_key() {
+        let mut r = Relation::new(r_schema());
+        r.insert_strs(&["villagewok", "wash_ave", "chinese"]).unwrap();
+        let err = r
+            .insert_strs(&["villagewok", "wash_ave", "american"])
+            .unwrap_err();
+        assert!(matches!(err, RelationalError::KeyViolation { .. }));
+    }
+
+    #[test]
+    fn same_key_attr_different_value_ok() {
+        // Example 1: a second VillageWok on a different street is legal.
+        let mut r = Relation::new(r_schema());
+        r.insert_strs(&["villagewok", "wash_ave", "chinese"]).unwrap();
+        r.insert_strs(&["villagewok", "penn_ave", "chinese"]).unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn null_in_key_rejected() {
+        let mut r = Relation::new(r_schema());
+        let err = r
+            .insert(Tuple::new(vec![
+                Value::Null,
+                Value::str("x"),
+                Value::str("y"),
+            ]))
+            .unwrap_err();
+        assert!(matches!(err, RelationalError::NullInKey { .. }));
+    }
+
+    #[test]
+    fn null_in_non_key_accepted() {
+        let mut r = Relation::new(r_schema());
+        r.insert(Tuple::new(vec![
+            Value::str("a"),
+            Value::str("b"),
+            Value::Null,
+        ]))
+        .unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut r = Relation::new(r_schema());
+        let err = r.insert_strs(&["too", "few"]).unwrap_err();
+        assert!(matches!(err, RelationalError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let s = Schema::new(
+            "T",
+            vec![
+                crate::schema::Attribute::str("a"),
+                crate::schema::Attribute::int("n"),
+            ],
+            vec![vec![AttrName::new("a")]],
+        )
+        .unwrap();
+        let mut r = Relation::new(s);
+        let err = r
+            .insert(Tuple::new(vec![Value::str("x"), Value::str("not_int")]))
+            .unwrap_err();
+        assert!(matches!(err, RelationalError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn unchecked_relation_allows_duplicates_and_null_keys() {
+        let mut r = Relation::new_unchecked(r_schema());
+        r.insert(Tuple::new(vec![Value::Null, Value::Null, Value::Null]))
+            .unwrap();
+        r.insert(Tuple::new(vec![Value::Null, Value::Null, Value::Null]))
+            .unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn find_by_primary_key() {
+        let mut r = Relation::new(r_schema());
+        r.insert_strs(&["villagewok", "wash_ave", "chinese"]).unwrap();
+        let key = Tuple::of_strs(&["villagewok", "wash_ave"]);
+        let found = r.find_by_primary_key(&key).unwrap();
+        assert_eq!(found.get(2), &Value::str("chinese"));
+        assert!(r
+            .find_by_primary_key(&Tuple::of_strs(&["nope", "nope"]))
+            .is_none());
+    }
+
+    #[test]
+    fn primary_key_of_projects_key_attrs() {
+        let r = Relation::new(r_schema());
+        let t = Tuple::of_strs(&["a", "b", "c"]);
+        assert_eq!(r.primary_key_of(&t), Tuple::of_strs(&["a", "b"]));
+    }
+
+    #[test]
+    fn same_tuples_ignores_order() {
+        let mut a = Relation::new(r_schema());
+        a.insert_strs(&["x", "1", "c"]).unwrap();
+        a.insert_strs(&["y", "2", "c"]).unwrap();
+        let mut b = Relation::new(r_schema());
+        b.insert_strs(&["y", "2", "c"]).unwrap();
+        b.insert_strs(&["x", "1", "c"]).unwrap();
+        assert!(a.same_tuples(&b));
+    }
+
+    #[test]
+    fn from_strs_builds_table_1() {
+        let r = Relation::from_strs(
+            r_schema(),
+            &[
+                &["villagewok", "wash_ave", "chinese"],
+                &["ching", "co_b_rd", "chinese"],
+                &["oldcountry", "co_b2_rd", "american"],
+            ],
+        )
+        .unwrap();
+        assert_eq!(r.len(), 3);
+    }
+}

@@ -1,0 +1,317 @@
+//! Relation schemas: attribute lists, types, and candidate keys.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::attr::AttrName;
+use crate::error::{RelationalError, Result};
+use crate::value::ValueType;
+
+/// One attribute in a schema: a name plus its declared type.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Interned attribute name.
+    pub name: AttrName,
+    /// Declared type; NULL inhabits every type.
+    pub ty: ValueType,
+}
+
+impl Attribute {
+    /// Builds an attribute.
+    pub fn new(name: impl Into<AttrName>, ty: ValueType) -> Self {
+        Attribute {
+            name: name.into(),
+            ty,
+        }
+    }
+
+    /// A string-typed attribute (the common case in the paper).
+    pub fn str(name: impl Into<AttrName>) -> Self {
+        Attribute::new(name, ValueType::Str)
+    }
+
+    /// An int-typed attribute.
+    pub fn int(name: impl Into<AttrName>) -> Self {
+        Attribute::new(name, ValueType::Int)
+    }
+}
+
+/// A candidate key: an ordered set of attribute positions.
+///
+/// The paper underlines candidate keys in its example relations; a
+/// relation may declare several, and tuple insertion enforces the
+/// uniqueness of each (§3.1: "Each relation is expected to have one
+/// or more candidate keys to uniquely identify its tuples").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Key {
+    /// Positions (into the schema's attribute list) of the key attributes.
+    pub positions: Vec<usize>,
+}
+
+/// An immutable relation schema.
+///
+/// Schemas are shared by `Arc`; deriving a new schema (projection,
+/// extension, join) builds a fresh one.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    name: String,
+    attributes: Vec<Attribute>,
+    keys: Vec<Key>,
+}
+
+impl Schema {
+    /// Builds a schema, validating that attributes are non-empty and
+    /// unique and that every key attribute exists.
+    ///
+    /// `keys` lists candidate keys by attribute name. If no key is
+    /// given, the entire attribute set is treated as the key, per the
+    /// paper's footnote 1.
+    pub fn new(
+        name: impl Into<String>,
+        attributes: Vec<Attribute>,
+        keys: Vec<Vec<AttrName>>,
+    ) -> Result<Arc<Schema>> {
+        let name = name.into();
+        if attributes.is_empty() {
+            return Err(RelationalError::EmptySchema { relation: name });
+        }
+        for (i, a) in attributes.iter().enumerate() {
+            if attributes[..i].iter().any(|b| b.name == a.name) {
+                return Err(RelationalError::DuplicateAttribute {
+                    attr: a.name.clone(),
+                    relation: name,
+                });
+            }
+        }
+        let mut resolved_keys = Vec::with_capacity(keys.len().max(1));
+        for key in &keys {
+            let mut positions = Vec::with_capacity(key.len());
+            for attr in key {
+                match attributes.iter().position(|a| &a.name == attr) {
+                    Some(p) => positions.push(p),
+                    None => {
+                        return Err(RelationalError::KeyAttributeMissing {
+                            attr: attr.clone(),
+                            relation: name,
+                        })
+                    }
+                }
+            }
+            resolved_keys.push(Key { positions });
+        }
+        if resolved_keys.is_empty() {
+            // Footnote 1: if no key is defined, the entire attribute
+            // set of the relation is treated as the key.
+            resolved_keys.push(Key {
+                positions: (0..attributes.len()).collect(),
+            });
+        }
+        Ok(Arc::new(Schema {
+            name,
+            attributes,
+            keys: resolved_keys,
+        }))
+    }
+
+    /// Convenience constructor: all attributes are strings, one
+    /// candidate key given by name. This matches every relation in
+    /// the paper's examples.
+    pub fn of_strs(
+        name: impl Into<String>,
+        attrs: &[&str],
+        key: &[&str],
+    ) -> Result<Arc<Schema>> {
+        Schema::new(
+            name,
+            attrs.iter().map(|a| Attribute::str(*a)).collect(),
+            vec![key.iter().map(AttrName::new).collect()],
+        )
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All attributes, in declaration order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Position of `attr`, or an error naming this relation.
+    pub fn position(&self, attr: &AttrName) -> Result<usize> {
+        self.attributes
+            .iter()
+            .position(|a| &a.name == attr)
+            .ok_or_else(|| RelationalError::UnknownAttribute {
+                attr: attr.clone(),
+                relation: self.name.clone(),
+            })
+    }
+
+    /// Position of `attr`, or `None`.
+    pub fn try_position(&self, attr: &AttrName) -> Option<usize> {
+        self.attributes.iter().position(|a| &a.name == attr)
+    }
+
+    /// Whether the schema defines `attr`.
+    pub fn has_attribute(&self, attr: &AttrName) -> bool {
+        self.try_position(attr).is_some()
+    }
+
+    /// Attribute names in declaration order.
+    pub fn attribute_names(&self) -> impl Iterator<Item = &AttrName> {
+        self.attributes.iter().map(|a| &a.name)
+    }
+
+    /// Declared candidate keys.
+    pub fn keys(&self) -> &[Key] {
+        &self.keys
+    }
+
+    /// The primary (first-declared) candidate key's attribute names.
+    pub fn primary_key(&self) -> Vec<AttrName> {
+        self.keys[0]
+            .positions
+            .iter()
+            .map(|&p| self.attributes[p].name.clone())
+            .collect()
+    }
+
+    /// Renders a key as `(a, b)` for error messages.
+    pub fn render_key(&self, key: &Key) -> String {
+        let names: Vec<&str> = key
+            .positions
+            .iter()
+            .map(|&p| self.attributes[p].name.as_str())
+            .collect();
+        format!("({})", names.join(", "))
+    }
+
+    /// A copy of this schema under a different relation name.
+    pub fn renamed(&self, name: impl Into<String>) -> Arc<Schema> {
+        Arc::new(Schema {
+            name: name.into(),
+            attributes: self.attributes.clone(),
+            keys: self.keys.clone(),
+        })
+    }
+
+    /// Derives a schema that appends `extra` attributes (used when a
+    /// relation is extended with missing extended-key attributes,
+    /// §4.2). Candidate keys carry over unchanged.
+    pub fn extended(&self, extra: &[Attribute]) -> Result<Arc<Schema>> {
+        let mut attributes = self.attributes.clone();
+        for a in extra {
+            if attributes.iter().any(|b| b.name == a.name) {
+                return Err(RelationalError::DuplicateAttribute {
+                    attr: a.name.clone(),
+                    relation: self.name.clone(),
+                });
+            }
+            attributes.push(a.clone());
+        }
+        Ok(Arc::new(Schema {
+            name: self.name.clone(),
+            attributes,
+            keys: self.keys.clone(),
+        }))
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", a.name, a.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn of_strs_builds_paper_schema() {
+        let r = Schema::of_strs("R", &["name", "street", "cuisine"], &["name", "street"])
+            .expect("valid schema");
+        assert_eq!(r.name(), "R");
+        assert_eq!(r.arity(), 3);
+        assert_eq!(
+            r.primary_key(),
+            vec![AttrName::new("name"), AttrName::new("street")]
+        );
+    }
+
+    #[test]
+    fn missing_key_attribute_is_rejected() {
+        let err = Schema::of_strs("R", &["name"], &["street"]).unwrap_err();
+        assert!(matches!(err, RelationalError::KeyAttributeMissing { .. }));
+    }
+
+    #[test]
+    fn duplicate_attribute_is_rejected() {
+        let err = Schema::of_strs("R", &["a", "a"], &["a"]).unwrap_err();
+        assert!(matches!(err, RelationalError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn empty_schema_is_rejected() {
+        let err = Schema::of_strs("R", &[], &[]).unwrap_err();
+        assert!(matches!(err, RelationalError::EmptySchema { .. }));
+    }
+
+    #[test]
+    fn no_key_defaults_to_all_attributes() {
+        let s = Schema::new(
+            "R",
+            vec![Attribute::str("a"), Attribute::str("b")],
+            vec![],
+        )
+        .unwrap();
+        assert_eq!(s.keys().len(), 1);
+        assert_eq!(s.keys()[0].positions, vec![0, 1]);
+    }
+
+    #[test]
+    fn extended_appends_attributes() {
+        let s = Schema::of_strs("R", &["a"], &["a"]).unwrap();
+        let e = s.extended(&[Attribute::str("b")]).unwrap();
+        assert_eq!(e.arity(), 2);
+        assert!(e.has_attribute(&AttrName::new("b")));
+        // Keys carry over.
+        assert_eq!(e.primary_key(), vec![AttrName::new("a")]);
+    }
+
+    #[test]
+    fn extended_rejects_duplicates() {
+        let s = Schema::of_strs("R", &["a"], &["a"]).unwrap();
+        assert!(s.extended(&[Attribute::str("a")]).is_err());
+    }
+
+    #[test]
+    fn display_format() {
+        let s = Schema::of_strs("R", &["a", "b"], &["a"]).unwrap();
+        assert_eq!(s.to_string(), "R(a: str, b: str)");
+    }
+
+    #[test]
+    fn renamed_keeps_structure() {
+        let s = Schema::of_strs("R", &["a"], &["a"]).unwrap();
+        let t = s.renamed("T");
+        assert_eq!(t.name(), "T");
+        assert_eq!(t.arity(), 1);
+    }
+}

@@ -1,0 +1,225 @@
+//! Three-valued (Kleene) logic for NULL-aware evaluation.
+//!
+//! The engine's predicate evaluation is three-valued: a comparison
+//! that touches a NULL is *unknown*, and rules fire only on
+//! definitely-true conjunctions (§3.2's three-valued entity
+//! identification function). The ad-hoc `Option<bool>` used at the
+//! evaluation sites follows Kleene's strong three-valued logic; this
+//! module makes that algebra explicit, with the standard truth
+//! tables, so invariants can be stated and tested once.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A Kleene truth value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TriBool {
+    /// Definitely false.
+    False,
+    /// Unknown (some input was NULL).
+    Unknown,
+    /// Definitely true.
+    True,
+}
+
+impl TriBool {
+    /// Lifts a two-valued bool.
+    pub fn known(b: bool) -> TriBool {
+        if b {
+            TriBool::True
+        } else {
+            TriBool::False
+        }
+    }
+
+    /// From the engine's `Option<bool>` convention
+    /// (`None` = unknown).
+    pub fn from_option(o: Option<bool>) -> TriBool {
+        match o {
+            Some(true) => TriBool::True,
+            Some(false) => TriBool::False,
+            None => TriBool::Unknown,
+        }
+    }
+
+    /// Back to the `Option<bool>` convention.
+    pub fn to_option(self) -> Option<bool> {
+        match self {
+            TriBool::True => Some(true),
+            TriBool::False => Some(false),
+            TriBool::Unknown => None,
+        }
+    }
+
+    /// Whether this is definitely true (the only state that fires a
+    /// rule).
+    pub fn is_true(self) -> bool {
+        self == TriBool::True
+    }
+
+    /// Whether this is definitely false.
+    pub fn is_false(self) -> bool {
+        self == TriBool::False
+    }
+
+    /// Kleene conjunction: false dominates, then unknown.
+    pub fn and(self, other: TriBool) -> TriBool {
+        use TriBool::*;
+        match (self, other) {
+            (False, _) | (_, False) => False,
+            (Unknown, _) | (_, Unknown) => Unknown,
+            (True, True) => True,
+        }
+    }
+
+    /// Kleene disjunction: true dominates, then unknown.
+    pub fn or(self, other: TriBool) -> TriBool {
+        use TriBool::*;
+        match (self, other) {
+            (True, _) | (_, True) => True,
+            (Unknown, _) | (_, Unknown) => Unknown,
+            (False, False) => False,
+        }
+    }
+
+    /// Kleene negation: unknown stays unknown. (Named `not` to match
+    /// the logic literature; `TriBool` deliberately does not implement
+    /// `std::ops::Not`, whose `!` reads poorly on truth values.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> TriBool {
+        match self {
+            TriBool::True => TriBool::False,
+            TriBool::False => TriBool::True,
+            TriBool::Unknown => TriBool::Unknown,
+        }
+    }
+
+    /// Conjunction over an iterator (`True` for the empty
+    /// conjunction), short-circuiting on `False`.
+    pub fn all(values: impl IntoIterator<Item = TriBool>) -> TriBool {
+        let mut acc = TriBool::True;
+        for v in values {
+            acc = acc.and(v);
+            if acc == TriBool::False {
+                return TriBool::False;
+            }
+        }
+        acc
+    }
+
+    /// Disjunction over an iterator (`False` for the empty
+    /// disjunction), short-circuiting on `True`.
+    pub fn any(values: impl IntoIterator<Item = TriBool>) -> TriBool {
+        let mut acc = TriBool::False;
+        for v in values {
+            acc = acc.or(v);
+            if acc == TriBool::True {
+                return TriBool::True;
+            }
+        }
+        acc
+    }
+}
+
+impl fmt::Display for TriBool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TriBool::True => "true",
+            TriBool::False => "false",
+            TriBool::Unknown => "unknown",
+        })
+    }
+}
+
+impl From<bool> for TriBool {
+    fn from(b: bool) -> TriBool {
+        TriBool::known(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TriBool::*;
+
+    const ALL: [TriBool; 3] = [False, Unknown, True];
+
+    #[test]
+    fn and_truth_table() {
+        assert_eq!(True.and(True), True);
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(True.and(False), False);
+        assert_eq!(Unknown.and(Unknown), Unknown);
+        assert_eq!(Unknown.and(False), False);
+        assert_eq!(False.and(False), False);
+    }
+
+    #[test]
+    fn or_truth_table() {
+        assert_eq!(True.or(True), True);
+        assert_eq!(True.or(Unknown), True);
+        assert_eq!(True.or(False), True);
+        assert_eq!(Unknown.or(Unknown), Unknown);
+        assert_eq!(Unknown.or(False), Unknown);
+        assert_eq!(False.or(False), False);
+    }
+
+    #[test]
+    fn not_involution_except_unknown() {
+        assert_eq!(True.not(), False);
+        assert_eq!(False.not(), True);
+        assert_eq!(Unknown.not(), Unknown);
+        for v in ALL {
+            assert_eq!(v.not().not(), v);
+        }
+    }
+
+    #[test]
+    fn de_morgan_holds() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.and(b).not(), a.not().or(b.not()));
+                assert_eq!(a.or(b).not(), a.not().and(b.not()));
+            }
+        }
+    }
+
+    #[test]
+    fn commutativity_and_associativity() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.and(b), b.and(a));
+                assert_eq!(a.or(b), b.or(a));
+                for c in ALL {
+                    assert_eq!(a.and(b).and(c), a.and(b.and(c)));
+                    assert_eq!(a.or(b).or(c), a.or(b.or(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn option_round_trip() {
+        for v in ALL {
+            assert_eq!(TriBool::from_option(v.to_option()), v);
+        }
+    }
+
+    #[test]
+    fn all_and_any() {
+        assert_eq!(TriBool::all([]), True);
+        assert_eq!(TriBool::any([]), False);
+        assert_eq!(TriBool::all([True, Unknown]), Unknown);
+        assert_eq!(TriBool::all([True, Unknown, False]), False);
+        assert_eq!(TriBool::any([False, Unknown]), Unknown);
+        assert_eq!(TriBool::any([False, Unknown, True]), True);
+    }
+
+    #[test]
+    fn display_and_from_bool() {
+        assert_eq!(True.to_string(), "true");
+        assert_eq!(Unknown.to_string(), "unknown");
+        assert_eq!(TriBool::from(true), True);
+    }
+}

@@ -1,0 +1,183 @@
+//! Tuples: fixed-arity value vectors tied to a schema by position.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::attr::AttrName;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A tuple of attribute values.
+///
+/// Tuples are immutable and cheaply cloneable (`Arc<[Value]>`), and
+/// are interpreted against a [`Schema`] positionally — the tuple type
+/// itself does not carry the schema, which keeps relations compact.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Tuple {
+    values: Arc<[Value]>,
+}
+
+impl Tuple {
+    /// Builds a tuple from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple {
+            values: values.into(),
+        }
+    }
+
+    /// Builds a tuple of string values — the shape of every tuple in
+    /// the paper's examples.
+    pub fn of_strs(values: &[&str]) -> Self {
+        Tuple::new(values.iter().map(|v| Value::str(*v)).collect())
+    }
+
+    /// Number of values.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value at `position`.
+    pub fn get(&self, position: usize) -> &Value {
+        &self.values[position]
+    }
+
+    /// All values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Value of `attr` under `schema`, or `None` if the schema does
+    /// not define it.
+    pub fn value_of(&self, schema: &Schema, attr: &AttrName) -> Option<&Value> {
+        schema.try_position(attr).map(|p| &self.values[p])
+    }
+
+    /// Projects the values at `positions` into a new tuple.
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple::new(positions.iter().map(|&p| self.values[p].clone()).collect())
+    }
+
+    /// A new tuple with `extra` values appended.
+    pub fn extend_with(&self, extra: &[Value]) -> Tuple {
+        let mut values = Vec::with_capacity(self.values.len() + extra.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(extra);
+        Tuple::new(values)
+    }
+
+    /// A new tuple with the value at `position` replaced.
+    pub fn with_value(&self, position: usize, value: Value) -> Tuple {
+        let mut values = self.values.to_vec();
+        values[position] = value;
+        Tuple::new(values)
+    }
+
+    /// Concatenates two tuples (join output).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Tuple::new(values)
+    }
+
+    /// Whether any value is NULL.
+    pub fn has_null(&self) -> bool {
+        self.values.iter().any(Value::is_null)
+    }
+
+    /// Whether the values at `positions` are all non-NULL.
+    pub fn non_null_at(&self, positions: &[usize]) -> bool {
+        positions.iter().all(|&p| !self.values[p].is_null())
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Tuple::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    #[test]
+    fn of_strs_and_get() {
+        let t = Tuple::of_strs(&["villagewok", "wash_ave", "chinese"]);
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(0), &Value::str("villagewok"));
+    }
+
+    #[test]
+    fn value_of_resolves_by_name() {
+        let s = Schema::of_strs("R", &["name", "cuisine"], &["name"]).unwrap();
+        let t = Tuple::of_strs(&["ching", "chinese"]);
+        assert_eq!(
+            t.value_of(&s, &AttrName::new("cuisine")),
+            Some(&Value::str("chinese"))
+        );
+        assert_eq!(t.value_of(&s, &AttrName::new("missing")), None);
+    }
+
+    #[test]
+    fn project_reorders() {
+        let t = Tuple::of_strs(&["a", "b", "c"]);
+        let p = t.project(&[2, 0]);
+        assert_eq!(p, Tuple::of_strs(&["c", "a"]));
+    }
+
+    #[test]
+    fn extend_and_concat() {
+        let t = Tuple::of_strs(&["a"]);
+        let e = t.extend_with(&[Value::Null]);
+        assert_eq!(e.arity(), 2);
+        assert!(e.get(1).is_null());
+        let c = t.concat(&Tuple::of_strs(&["b"]));
+        assert_eq!(c, Tuple::of_strs(&["a", "b"]));
+    }
+
+    #[test]
+    fn with_value_replaces_one_slot() {
+        let t = Tuple::of_strs(&["a", "b"]);
+        let u = t.with_value(1, Value::str("z"));
+        assert_eq!(u, Tuple::of_strs(&["a", "z"]));
+        // Original is untouched.
+        assert_eq!(t.get(1), &Value::str("b"));
+    }
+
+    #[test]
+    fn null_probes() {
+        let t = Tuple::new(vec![Value::str("a"), Value::Null]);
+        assert!(t.has_null());
+        assert!(t.non_null_at(&[0]));
+        assert!(!t.non_null_at(&[0, 1]));
+    }
+
+    #[test]
+    fn display_is_parenthesized() {
+        let t = Tuple::new(vec![Value::str("a"), Value::Null]);
+        assert_eq!(t.to_string(), "(a, null)");
+    }
+
+    #[test]
+    fn from_iterator() {
+        let t: Tuple = vec![Value::int(1), Value::int(2)].into_iter().collect();
+        assert_eq!(t.arity(), 2);
+    }
+}

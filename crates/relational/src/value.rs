@@ -1,0 +1,404 @@
+//! Attribute values, including SQL-style `NULL`, and the comparison
+//! semantics the paper's prototype relies on.
+//!
+//! The entity-identification engine follows the Prolog prototype of
+//! Lim et al. (§6.2): missing information is represented by a `NULL`
+//! value, and equality tests used for matching are **non-NULL
+//! equality** — `NULL` never matches anything, not even another
+//! `NULL`. Ordinary (`PartialEq`) equality on [`Value`] treats `Null`
+//! as equal to `Null`, which is what relation storage and test
+//! assertions want; use [`Value::non_null_eq`] for matching.
+
+use std::borrow::Cow;
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// A single attribute value.
+///
+/// Values are cheap to clone: strings are reference-counted.
+/// The variant set covers the domains that appear in database
+/// integration workloads — symbolic constants (names, cuisines,
+/// cities), integers (ids, counts), floats (currency after domain
+/// resolution), and booleans.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// Missing information. See the module docs for equality semantics.
+    Null,
+    /// A symbolic/string constant such as `"VillageWok"`.
+    Str(Arc<str>),
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A 64-bit float. `NaN` is not a legal attribute value; constructors
+    /// normalize it to [`Value::Null`].
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Builds an integer value.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Builds a float value, normalizing `NaN` to `Null`.
+    pub fn float(f: f64) -> Self {
+        if f.is_nan() {
+            Value::Null
+        } else {
+            Value::Float(f)
+        }
+    }
+
+    /// Builds a boolean value.
+    pub fn bool(b: bool) -> Self {
+        Value::Bool(b)
+    }
+
+    /// Returns `true` iff this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Non-NULL equality (the prototype's `non_null_eq` predicate):
+    /// `true` iff both values are non-NULL and equal.
+    ///
+    /// This is the equality used throughout matching-table
+    /// construction, so tuples with underivable extended-key
+    /// attributes can never be matched on those attributes.
+    pub fn non_null_eq(&self, other: &Value) -> bool {
+        !self.is_null() && !other.is_null() && self == other
+    }
+
+    /// Three-valued comparison: `None` when either side is NULL (the
+    /// comparison is *unknown*), otherwise the ordering of the two
+    /// values. Values of different types are ordered by a fixed type
+    /// rank (Str < Int < Float < Bool) so that sorting relations is
+    /// total; cross-type comparisons never arise in well-typed
+    /// relations.
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.total_cmp(other))
+    }
+
+    /// A total order over values used for sorting and indexing.
+    /// `Null` sorts before everything.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Str(a), Str(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b).unwrap_or(Ordering::Equal),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)).unwrap_or(Ordering::Equal),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (a, b) => a.type_rank().cmp(&b.type_rank()),
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Str(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Bool(_) => 4,
+        }
+    }
+
+    /// The runtime type of this value, or `None` for NULL.
+    pub fn value_type(&self) -> Option<ValueType> {
+        match self {
+            Value::Null => None,
+            Value::Str(_) => Some(ValueType::Str),
+            Value::Int(_) => Some(ValueType::Int),
+            Value::Float(_) => Some(ValueType::Float),
+            Value::Bool(_) => Some(ValueType::Bool),
+        }
+    }
+
+    /// Borrows the string contents if this is a `Str` value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer if this is an `Int` value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Renders the value the way the prototype prints it: `null` for
+    /// NULL, bare text otherwise.
+    pub fn render(&self) -> Cow<'_, str> {
+        match self {
+            Value::Null => Cow::Borrowed("null"),
+            Value::Str(s) => Cow::Borrowed(s),
+            Value::Int(i) => Cow::Owned(i.to_string()),
+            Value::Float(f) => Cow::Owned(format!("{f}")),
+            Value::Bool(b) => Cow::Borrowed(if *b { "true" } else { "false" }),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => true,
+            (Str(a), Str(b)) => a == b,
+            (Int(a), Int(b)) => a == b,
+            (Float(a), Float(b)) => a.to_bits() == b.to_bits(),
+            (Int(a), Float(b)) | (Float(b), Int(a)) => (*a as f64).to_bits() == b.to_bits(),
+            (Bool(a), Bool(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Str(s) => {
+                1u8.hash(state);
+                s.hash(state);
+            }
+            // Int and Float hash identically when numerically equal so
+            // that `Int(2) == Float(2.0)` implies equal hashes.
+            Value::Int(i) => {
+                2u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                2u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Bool(b) => {
+                3u8.hash(state);
+                b.hash(state);
+            }
+        }
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::float(f)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+
+/// The type of a non-NULL [`Value`]. Schemas assign one to each
+/// attribute; `Null` inhabits every type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ValueType {
+    /// Symbolic/string constants.
+    Str,
+    /// 64-bit signed integers.
+    Int,
+    /// 64-bit floats.
+    Float,
+    /// Booleans.
+    Bool,
+}
+
+impl ValueType {
+    /// Whether `value` is a legal instance of this type. NULL is legal
+    /// for every type, and integers are accepted where floats are
+    /// expected.
+    pub fn admits(self, value: &Value) -> bool {
+        matches!(
+            (self, value),
+            (_, Value::Null)
+                | (ValueType::Str, Value::Str(_))
+                | (ValueType::Int, Value::Int(_))
+                | (ValueType::Float, Value::Float(_) | Value::Int(_))
+                | (ValueType::Bool, Value::Bool(_))
+        )
+    }
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValueType::Str => "str",
+            ValueType::Int => "int",
+            ValueType::Float => "float",
+            ValueType::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn null_equals_null_under_partial_eq() {
+        assert_eq!(Value::Null, Value::Null);
+    }
+
+    #[test]
+    fn non_null_eq_rejects_null_on_either_side() {
+        assert!(!Value::Null.non_null_eq(&Value::Null));
+        assert!(!Value::Null.non_null_eq(&Value::int(1)));
+        assert!(!Value::int(1).non_null_eq(&Value::Null));
+    }
+
+    #[test]
+    fn non_null_eq_accepts_equal_non_nulls() {
+        assert!(Value::str("a").non_null_eq(&Value::str("a")));
+        assert!(!Value::str("a").non_null_eq(&Value::str("b")));
+        assert!(Value::int(7).non_null_eq(&Value::int(7)));
+    }
+
+    #[test]
+    fn compare_is_unknown_with_null() {
+        assert_eq!(Value::Null.compare(&Value::int(3)), None);
+        assert_eq!(Value::int(3).compare(&Value::Null), None);
+        assert_eq!(Value::int(3).compare(&Value::int(4)), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn int_float_numeric_equality_and_hash_agree() {
+        let i = Value::int(2);
+        let f = Value::float(2.0);
+        assert_eq!(i, f);
+        assert_eq!(hash_of(&i), hash_of(&f));
+    }
+
+    #[test]
+    fn nan_normalizes_to_null() {
+        assert!(Value::float(f64::NAN).is_null());
+    }
+
+    #[test]
+    fn total_order_sorts_null_first() {
+        let mut vs = [Value::str("b"), Value::Null, Value::str("a")];
+        vs.sort();
+        assert_eq!(vs[0], Value::Null);
+        assert_eq!(vs[1], Value::str("a"));
+    }
+
+    #[test]
+    fn value_type_admits() {
+        assert!(ValueType::Str.admits(&Value::str("x")));
+        assert!(ValueType::Str.admits(&Value::Null));
+        assert!(!ValueType::Str.admits(&Value::int(1)));
+        assert!(ValueType::Float.admits(&Value::int(1)));
+        assert!(!ValueType::Int.admits(&Value::float(1.5)));
+    }
+
+    #[test]
+    fn render_matches_prototype_conventions() {
+        assert_eq!(Value::Null.render(), "null");
+        assert_eq!(Value::str("twincities").render(), "twincities");
+        assert_eq!(Value::int(5).render(), "5");
+        assert_eq!(Value::bool(true).render(), "true");
+    }
+
+    #[test]
+    fn from_option_maps_none_to_null() {
+        let v: Value = Option::<i64>::None.into();
+        assert!(v.is_null());
+        let v: Value = Some(3i64).into();
+        assert_eq!(v, Value::int(3));
+    }
+
+    #[test]
+    fn display_uses_render() {
+        assert_eq!(format!("{}", Value::str("hi")), "hi");
+        assert_eq!(format!("{}", Value::Null), "null");
+    }
+
+    #[test]
+    fn value_type_display() {
+        assert_eq!(ValueType::Str.to_string(), "str");
+        assert_eq!(ValueType::Int.to_string(), "int");
+        assert_eq!(ValueType::Float.to_string(), "float");
+        assert_eq!(ValueType::Bool.to_string(), "bool");
+    }
+}

@@ -1,0 +1,325 @@
+//! Distinctness rules (§3.2) and the ILFD duality (Proposition 1).
+//!
+//! A distinctness rule has the form
+//!
+//! ```text
+//! ∀ e₁,e₂ ∈ E,  P(e₁.A₁, …, e₂.Bₙ) → (e₁ ≢ e₂)
+//! ```
+//!
+//! where `P` "must involve some attribute from each of `e₁` and
+//! `e₂`". Proposition 1 makes ILFDs and distinctness rules two views
+//! of the same knowledge:
+//!
+//! > `(E.A₁=a₁) ∧ … ∧ (E.Aₙ=aₙ) → (E.B=b)` is an ILFD **iff**
+//! > `∀e₁,e₂, (e₁.A₁=a₁) ∧ … ∧ (e₁.Aₙ=aₙ) ∧ (e₂.B≠b) → (e₁ ≢ e₂)`
+//! > is a distinctness rule.
+//!
+//! [`DistinctnessRule::from_ilfd`] and [`DistinctnessRule::to_ilfd`]
+//! implement the two directions.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use eid_ilfd::{Ilfd, PropSymbol, SymbolSet};
+use eid_relational::{Schema, Tuple};
+
+use crate::pred::{CmpOp, Operand, Predicate, Side};
+
+/// Error raised by [`DistinctnessRule::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistinctnessRuleError {
+    /// `P` must involve at least one attribute of the named side.
+    MissingSide {
+        /// The side with no attribute references.
+        side: Side,
+    },
+    /// The rule has no predicates.
+    Empty,
+}
+
+impl fmt::Display for DistinctnessRuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistinctnessRuleError::MissingSide { side } => {
+                write!(f, "distinctness rule involves no attribute of {side}")
+            }
+            DistinctnessRuleError::Empty => write!(f, "distinctness rule has no predicates"),
+        }
+    }
+}
+
+impl std::error::Error for DistinctnessRuleError {}
+
+/// A distinctness rule: a conjunction of predicates whose
+/// satisfaction proves `e₁ ≢ e₂`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistinctnessRule {
+    /// Optional human-readable name (`r3`, …).
+    pub name: String,
+    predicates: Vec<Predicate>,
+}
+
+impl DistinctnessRule {
+    /// Builds and validates a distinctness rule.
+    pub fn new(
+        name: impl Into<String>,
+        predicates: Vec<Predicate>,
+    ) -> Result<Self, DistinctnessRuleError> {
+        let rule = DistinctnessRule {
+            name: name.into(),
+            predicates,
+        };
+        rule.validate()?;
+        Ok(rule)
+    }
+
+    /// The predicate conjunction `P`.
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+
+    /// Checks the §3.2 side condition: `P` involves some attribute
+    /// of each entity.
+    pub fn validate(&self) -> Result<(), DistinctnessRuleError> {
+        if self.predicates.is_empty() {
+            return Err(DistinctnessRuleError::Empty);
+        }
+        for side in [Side::E1, Side::E2] {
+            let involved = self
+                .predicates
+                .iter()
+                .flat_map(|p| p.mentioned())
+                .any(|(s, _)| s == side);
+            if !involved {
+                return Err(DistinctnessRuleError::MissingSide { side });
+            }
+        }
+        Ok(())
+    }
+
+    /// Three-valued evaluation, as for identity rules: `Some(true)`
+    /// proves the pair distinct.
+    pub fn eval(
+        &self,
+        s1: &Schema,
+        t1: &Tuple,
+        s2: &Schema,
+        t2: &Tuple,
+    ) -> Option<bool> {
+        let mut all_true = true;
+        for p in &self.predicates {
+            match p.eval(s1, t1, s2, t2) {
+                Some(true) => {}
+                Some(false) => return Some(false),
+                None => all_true = false,
+            }
+        }
+        all_true.then_some(true)
+    }
+
+    /// Whether the rule fires (proves distinctness) for the pair.
+    pub fn fires(&self, s1: &Schema, t1: &Tuple, s2: &Schema, t2: &Tuple) -> bool {
+        self.eval(s1, t1, s2, t2) == Some(true)
+    }
+
+    /// Proposition 1, "only if" direction: converts an ILFD into its
+    /// equivalent distinctness rule. Multi-symbol consequents produce
+    /// one rule per consequent symbol (the conjunction of their
+    /// negations distributes over distinct rules).
+    pub fn from_ilfd(ilfd: &Ilfd) -> Vec<DistinctnessRule> {
+        ilfd.decompose()
+            .iter()
+            .map(|part| {
+                let mut predicates: Vec<Predicate> = part
+                    .antecedent()
+                    .iter()
+                    .map(|s| {
+                        Predicate::attr_const(
+                            Side::E1,
+                            s.attr.clone(),
+                            CmpOp::Eq,
+                            s.value.clone(),
+                        )
+                    })
+                    .collect();
+                let cons = part
+                    .consequent()
+                    .iter()
+                    .next()
+                    .expect("decomposed ILFD has one consequent");
+                predicates.push(Predicate::attr_const(
+                    Side::E2,
+                    cons.attr.clone(),
+                    CmpOp::Ne,
+                    cons.value.clone(),
+                ));
+                DistinctnessRule {
+                    name: format!("¬[{ilfd}]"),
+                    predicates,
+                }
+            })
+            .collect()
+    }
+
+    /// Proposition 1, "if" direction: recognizes a distinctness rule
+    /// of the shape produced by [`DistinctnessRule::from_ilfd`]
+    /// (equality constants on `e₁`, one `≠`-constant on `e₂`) and
+    /// recovers the ILFD; `None` for other shapes.
+    pub fn to_ilfd(&self) -> Option<Ilfd> {
+        let mut ante = SymbolSet::new();
+        let mut cons: Option<PropSymbol> = None;
+        for p in &self.predicates {
+            match (&p.lhs, p.op, &p.rhs) {
+                (Operand::Attr { side: Side::E1, attr }, CmpOp::Eq, Operand::Const(v)) => {
+                    ante.insert(PropSymbol::new(attr.clone(), v.clone()));
+                }
+                (Operand::Attr { side: Side::E2, attr }, CmpOp::Ne, Operand::Const(v)) => {
+                    if cons.is_some() {
+                        return None; // more than one negated consequent
+                    }
+                    cons = Some(PropSymbol::new(attr.clone(), v.clone()));
+                }
+                _ => return None,
+            }
+        }
+        let cons = cons?;
+        if ante.is_empty() {
+            return None;
+        }
+        Some(Ilfd::new(ante, SymbolSet::from_symbols([cons])))
+    }
+}
+
+impl fmt::Display for DistinctnessRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.name)?;
+        for (i, p) in self.predicates.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ∧ ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        f.write_str(" → (e1 ≢ e2)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eid_relational::{Schema, Value};
+
+    fn schemas() -> (std::sync::Arc<Schema>, std::sync::Arc<Schema>) {
+        (
+            Schema::of_strs("R", &["name", "speciality"], &["name"]).unwrap(),
+            Schema::of_strs("S", &["name", "cuisine"], &["name"]).unwrap(),
+        )
+    }
+
+    /// The paper's r3: e1.speciality = "Mughalai" ∧ e2.cuisine ≠ "Indian".
+    fn r3() -> DistinctnessRule {
+        DistinctnessRule::new(
+            "r3",
+            vec![
+                Predicate::attr_const(Side::E1, "speciality", CmpOp::Eq, "mughalai"),
+                Predicate::attr_const(Side::E2, "cuisine", CmpOp::Ne, "indian"),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn r3_fires_on_mughalai_vs_non_indian() {
+        let (s1, s2) = schemas();
+        let t1 = Tuple::of_strs(&["anjuman", "mughalai"]);
+        let t2 = Tuple::of_strs(&["x", "greek"]);
+        assert!(r3().fires(&s1, &t1, &s2, &t2));
+        let t3 = Tuple::of_strs(&["x", "indian"]);
+        assert!(!r3().fires(&s1, &t1, &s2, &t3));
+    }
+
+    #[test]
+    fn null_blocks_firing() {
+        let (s1, s2) = schemas();
+        let t1 = Tuple::of_strs(&["anjuman", "mughalai"]);
+        let t2 = Tuple::new(vec![Value::str("x"), Value::Null]);
+        assert_eq!(r3().eval(&s1, &t1, &s2, &t2), None);
+    }
+
+    #[test]
+    fn one_sided_rule_rejected() {
+        let err = DistinctnessRule::new(
+            "bad",
+            vec![Predicate::attr_const(
+                Side::E1,
+                "speciality",
+                CmpOp::Eq,
+                "mughalai",
+            )],
+        )
+        .unwrap_err();
+        assert_eq!(err, DistinctnessRuleError::MissingSide { side: Side::E2 });
+    }
+
+    #[test]
+    fn empty_rule_rejected() {
+        assert_eq!(
+            DistinctnessRule::new("e", vec![]).unwrap_err(),
+            DistinctnessRuleError::Empty
+        );
+    }
+
+    #[test]
+    fn proposition_1_forward() {
+        // I4: speciality=mughalai → cuisine=indian.
+        let i4 = Ilfd::of_strs(&[("speciality", "mughalai")], &[("cuisine", "indian")]);
+        let rules = DistinctnessRule::from_ilfd(&i4);
+        assert_eq!(rules.len(), 1);
+        let (s1, s2) = schemas();
+        // The generated rule behaves exactly like hand-written r3.
+        let t1 = Tuple::of_strs(&["anjuman", "mughalai"]);
+        let t2 = Tuple::of_strs(&["x", "greek"]);
+        assert!(rules[0].fires(&s1, &t1, &s2, &t2));
+        assert!(rules[0].validate().is_ok());
+    }
+
+    #[test]
+    fn proposition_1_round_trip() {
+        let i = Ilfd::of_strs(
+            &[("name", "itsgreek"), ("county", "ramsey")],
+            &[("speciality", "gyros")],
+        );
+        let rules = DistinctnessRule::from_ilfd(&i);
+        let back = rules[0].to_ilfd().unwrap();
+        assert_eq!(back, i);
+    }
+
+    #[test]
+    fn multi_consequent_ilfd_yields_multiple_rules() {
+        let i = Ilfd::of_strs(&[("a", "1")], &[("b", "2"), ("c", "3")]);
+        let rules = DistinctnessRule::from_ilfd(&i);
+        assert_eq!(rules.len(), 2);
+    }
+
+    #[test]
+    fn to_ilfd_rejects_other_shapes() {
+        assert!(r3().to_ilfd().is_some());
+        let odd = DistinctnessRule::new(
+            "odd",
+            vec![
+                Predicate::new(
+                    Operand::attr(Side::E1, "a"),
+                    CmpOp::Lt,
+                    Operand::attr(Side::E2, "a"),
+                ),
+            ],
+        )
+        .unwrap();
+        assert!(odd.to_ilfd().is_none());
+    }
+
+    #[test]
+    fn display_shows_negated_implication() {
+        assert!(r3().to_string().ends_with("→ (e1 ≢ e2)"));
+    }
+}

@@ -1,0 +1,292 @@
+//! Extended keys and extended-key equivalence (§4.1).
+//!
+//! > **Definition (Extended key).** The extended key `K_Ext` is a
+//! > minimal set of attributes, of the form `K₁ ∪ K₂ ∪ Ā`, needed to
+//! > uniquely identify an instance of type `E` in the integrated real
+//! > world, where `Ā` is a set of attributes of `E` in neither `K₁`
+//! > nor `K₂`.
+//!
+//! Its identity rule, *extended key equivalence*, is the conjunction
+//! of cross-equalities over the extended key's attributes, and is
+//! special in that only the ordinary key constraints of the matched
+//! relations are needed to guarantee matched tuples are unique.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use eid_relational::{AttrName, Relation, Schema};
+
+use crate::identity::{IdentityRule, IdentityRuleError};
+use crate::pred::Predicate;
+
+/// An extended key: an ordered set of attribute names that uniquely
+/// identifies entities of the integrated world.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExtendedKey {
+    attrs: Vec<AttrName>,
+}
+
+impl ExtendedKey {
+    /// Builds from attribute names (duplicates are dropped).
+    pub fn new(attrs: impl IntoIterator<Item = AttrName>) -> Self {
+        let mut out: Vec<AttrName> = Vec::new();
+        for a in attrs {
+            if !out.contains(&a) {
+                out.push(a);
+            }
+        }
+        ExtendedKey { attrs: out }
+    }
+
+    /// Builds from strings.
+    pub fn of_strs(attrs: &[&str]) -> Self {
+        ExtendedKey::new(attrs.iter().map(AttrName::new))
+    }
+
+    /// The key attributes.
+    pub fn attrs(&self) -> &[AttrName] {
+        &self.attrs
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Whether the key is empty (never valid for matching).
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// The §4.1 extended-key-equivalence identity rule:
+    /// `∀e₁,e₂, (e₁.A₁=e₂.A₁) ∧ … ∧ (e₁.Aₖ=e₂.Aₖ) → (e₁ ≡ e₂)`.
+    pub fn identity_rule(&self) -> Result<IdentityRule, IdentityRuleError> {
+        IdentityRule::new(
+            "extended-key-equivalence",
+            self.attrs
+                .iter()
+                .map(|a| Predicate::cross_eq(a.clone()))
+                .collect(),
+        )
+    }
+
+    /// The attributes of `K_Ext` missing from `schema` — the
+    /// `K_Ext−R` of §4.2, i.e. what relation `R` must be extended
+    /// with (and have derived by ILFDs) before extended-key
+    /// equivalence applies.
+    pub fn missing_in(&self, schema: &Schema) -> Vec<AttrName> {
+        self.attrs
+            .iter()
+            .filter(|a| !schema.has_attribute(a))
+            .cloned()
+            .collect()
+    }
+
+    /// Whether `schema` already has every extended-key attribute.
+    pub fn covered_by(&self, schema: &Schema) -> bool {
+        self.missing_in(schema).is_empty()
+    }
+
+    /// Verifies that the extended key is a key *of the given
+    /// integrated-world relation*: no two distinct tuples agree
+    /// (non-NULL) on all key attributes. This is the ground-truth
+    /// check a DBA's asserted extended key must pass for soundness.
+    pub fn unique_in(&self, world: &Relation) -> bool {
+        let Ok(positions) = world.positions_of(&self.attrs) else {
+            return false;
+        };
+        let mut seen = std::collections::HashSet::new();
+        for t in world.iter() {
+            if !t.non_null_at(&positions) {
+                continue;
+            }
+            if !seen.insert(t.project(&positions)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether the key is **minimal** for `world`: it is unique and
+    /// no proper subset is. (The paper's definition requires
+    /// minimality; in practice a DBA may assert a non-minimal key,
+    /// which is still sound, just redundant.)
+    pub fn minimal_in(&self, world: &Relation) -> bool {
+        if !self.unique_in(world) {
+            return false;
+        }
+        for skip in 0..self.attrs.len() {
+            let subset: Vec<AttrName> = self
+                .attrs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, a)| a.clone())
+                .collect();
+            if subset.is_empty() {
+                continue;
+            }
+            if (ExtendedKey { attrs: subset }).unique_in(world) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Derives the candidate extended keys of the integrated scheme
+    /// from FD knowledge about the integrated world: each returned
+    /// key is a *minimal* attribute set that functionally determines
+    /// every attribute in `attrs` — exactly the paper's definition of
+    /// an extended key. The DBA picks one (typically the one best
+    /// covered, directly or via ILFDs, by both relations).
+    pub fn suggest_from_fds(
+        attrs: impl IntoIterator<Item = AttrName>,
+        fds: &[eid_ilfd::fd::Fd],
+    ) -> Vec<ExtendedKey> {
+        let set: std::collections::BTreeSet<AttrName> = attrs.into_iter().collect();
+        eid_ilfd::fd::candidate_keys(&set, fds)
+            .into_iter()
+            .map(ExtendedKey::new)
+            .collect()
+    }
+
+    /// Convenience: the union `K₁ ∪ K₂` of two relations' primary
+    /// keys — the paper notes "quite often, we may have
+    /// `K_Ext = K₁ ∪ K₂`".
+    pub fn union_of_keys(r: &Relation, s: &Relation) -> ExtendedKey {
+        ExtendedKey::new(
+            r.schema()
+                .primary_key()
+                .into_iter()
+                .chain(s.schema().primary_key()),
+        )
+    }
+}
+
+impl fmt::Display for ExtendedKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.attrs.iter().map(|a| a.as_str()).collect();
+        write!(f, "K_Ext = {{{}}}", names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eid_relational::{Relation, Schema};
+
+    fn world() -> Relation {
+        // Integrated world of restaurants; (name, cuisine) is the key,
+        // and it is minimal (name alone repeats, cuisine alone repeats).
+        let schema = Schema::of_strs(
+            "World",
+            &["name", "cuisine", "street"],
+            &["name", "cuisine"],
+        )
+        .unwrap();
+        let mut w = Relation::new(schema);
+        w.insert_strs(&["twincities", "chinese", "wash_ave"]).unwrap();
+        w.insert_strs(&["twincities", "indian", "univ_ave"]).unwrap();
+        w.insert_strs(&["anjuman", "indian", "lasalle_ave"]).unwrap();
+        w
+    }
+
+    #[test]
+    fn identity_rule_is_cross_equalities() {
+        let k = ExtendedKey::of_strs(&["name", "cuisine"]);
+        let rule = k.identity_rule().unwrap();
+        assert_eq!(rule.predicates().len(), 2);
+        assert!(rule.validate().is_ok());
+    }
+
+    #[test]
+    fn missing_in_computes_k_ext_minus_r() {
+        let k = ExtendedKey::of_strs(&["name", "cuisine", "speciality"]);
+        let r = Schema::of_strs("R", &["name", "cuisine", "street"], &["name"]).unwrap();
+        assert_eq!(k.missing_in(&r), vec![AttrName::new("speciality")]);
+        let s = Schema::of_strs("S", &["name", "speciality", "county"], &["name"]).unwrap();
+        assert_eq!(k.missing_in(&s), vec![AttrName::new("cuisine")]);
+        assert!(!k.covered_by(&r));
+    }
+
+    #[test]
+    fn unique_in_detects_key_violations() {
+        let w = world();
+        assert!(ExtendedKey::of_strs(&["name", "cuisine"]).unique_in(&w));
+        assert!(!ExtendedKey::of_strs(&["name"]).unique_in(&w));
+        assert!(!ExtendedKey::of_strs(&["cuisine"]).unique_in(&w));
+        // Missing attribute → cannot be a key.
+        assert!(!ExtendedKey::of_strs(&["nope"]).unique_in(&w));
+    }
+
+    #[test]
+    fn minimality() {
+        let w = world();
+        assert!(ExtendedKey::of_strs(&["name", "cuisine"]).minimal_in(&w));
+        // Adding street keeps uniqueness but loses minimality.
+        assert!(!ExtendedKey::of_strs(&["name", "cuisine", "street"]).minimal_in(&w));
+        // Non-unique keys are not minimal either.
+        assert!(!ExtendedKey::of_strs(&["name"]).minimal_in(&w));
+    }
+
+    #[test]
+    fn union_of_keys_dedups() {
+        let r = Relation::new(
+            Schema::of_strs("R", &["name", "street"], &["name", "street"]).unwrap(),
+        );
+        let s = Relation::new(Schema::of_strs("S", &["name", "city"], &["name", "city"]).unwrap());
+        let k = ExtendedKey::union_of_keys(&r, &s);
+        assert_eq!(
+            k.attrs(),
+            &[
+                AttrName::new("name"),
+                AttrName::new("street"),
+                AttrName::new("city")
+            ]
+        );
+    }
+
+    #[test]
+    fn suggest_from_fds_finds_paper_key() {
+        // Integrated scheme {name, cuisine, speciality, street} with
+        // speciality → cuisine and (name, street) → speciality:
+        // minimal keys are {name, street} and {name, speciality}.
+        use eid_ilfd::fd::Fd;
+        let attrs = ["name", "cuisine", "speciality", "street"]
+            .iter()
+            .map(AttrName::new);
+        let fds = vec![
+            Fd::of_strs(&["speciality"], &["cuisine"]),
+            Fd::of_strs(&["name", "street"], &["speciality"]),
+        ];
+        let keys = ExtendedKey::suggest_from_fds(attrs, &fds);
+        // street is determined by nothing, so it is in every key;
+        // (name, street) closes over everything — the unique minimal
+        // extended key.
+        assert_eq!(keys.len(), 1);
+        assert_eq!(keys[0].to_string(), "K_Ext = {name, street}");
+
+        // Add street determination (speciality → street, a contrived
+        // reverse lookup) and {name, speciality} becomes a key too.
+        let mut fds2 = fds.clone();
+        fds2.push(Fd::of_strs(&["speciality"], &["street"]));
+        let keys = ExtendedKey::suggest_from_fds(
+            ["name", "cuisine", "speciality", "street"]
+                .iter()
+                .map(AttrName::new),
+            &fds2,
+        );
+        assert_eq!(keys.len(), 2);
+        for k in &keys {
+            assert_eq!(k.len(), 2);
+        }
+    }
+
+    #[test]
+    fn dedup_on_construction_and_display() {
+        let k = ExtendedKey::of_strs(&["a", "b", "a"]);
+        assert_eq!(k.len(), 2);
+        assert_eq!(k.to_string(), "K_Ext = {a, b}");
+    }
+}

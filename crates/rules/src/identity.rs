@@ -1,0 +1,392 @@
+//! Identity rules (§3.2).
+//!
+//! An identity rule has the form
+//!
+//! ```text
+//! ∀ e₁,e₂ ∈ E,  P(e₁.A₁, …, e₁.Aₘ, e₂.B₁, …, e₂.Bₙ) → (e₁ ≡ e₂)
+//! ```
+//!
+//! with a **well-formedness side condition**: "for each `e₁.Aᵢ` or
+//! `e₂.Aᵢ` that appears in the predicates, `P` must imply
+//! `e₁.Aᵢ = e₂.Aᵢ`". The paper's example: `r1 = (e₁.cuisine =
+//! "Chinese") ∧ (e₂.cuisine = "Chinese") → (e₁ ≡ e₂)` is an identity
+//! rule, but `r2 = (e₁.cuisine = "Chinese") → (e₁ ≡ e₂)` is not.
+//!
+//! [`IdentityRule::validate`] decides the side condition by building
+//! the equality graph of `P`'s `=`-predicates (union–find over
+//! attribute references and constants) and requiring `e₁.A` and
+//! `e₂.A` to be connected for every mentioned attribute `A`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use eid_relational::{AttrName, Schema, Tuple, Value};
+
+use crate::pred::{CmpOp, Operand, Predicate, Side};
+
+/// Error raised by [`IdentityRule::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IdentityRuleError {
+    /// The side condition fails for this attribute: `P` does not
+    /// imply `e₁.attr = e₂.attr`.
+    UnconstrainedAttribute {
+        /// The offending attribute.
+        attr: AttrName,
+    },
+    /// The rule has no predicates (it would match every pair).
+    Empty,
+}
+
+impl fmt::Display for IdentityRuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdentityRuleError::UnconstrainedAttribute { attr } => write!(
+                f,
+                "identity rule mentions `{attr}` but its predicates do not imply e1.{attr} = e2.{attr}"
+            ),
+            IdentityRuleError::Empty => write!(f, "identity rule has no predicates"),
+        }
+    }
+}
+
+impl std::error::Error for IdentityRuleError {}
+
+/// An identity rule: a conjunction of predicates whose satisfaction
+/// proves `e₁ ≡ e₂`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IdentityRule {
+    /// Optional human-readable name (`r1`, `extended-key`, …).
+    pub name: String,
+    predicates: Vec<Predicate>,
+}
+
+impl IdentityRule {
+    /// Builds and validates an identity rule.
+    pub fn new(
+        name: impl Into<String>,
+        predicates: Vec<Predicate>,
+    ) -> Result<Self, IdentityRuleError> {
+        let rule = IdentityRule {
+            name: name.into(),
+            predicates,
+        };
+        rule.validate()?;
+        Ok(rule)
+    }
+
+    /// Builds without validation — for constructing deliberately
+    /// ill-formed rules in tests and for rules whose soundness is
+    /// established externally.
+    pub fn new_unchecked(name: impl Into<String>, predicates: Vec<Predicate>) -> Self {
+        IdentityRule {
+            name: name.into(),
+            predicates,
+        }
+    }
+
+    /// The predicate conjunction `P`.
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+
+    /// Checks the §3.2 side condition; see the module docs.
+    pub fn validate(&self) -> Result<(), IdentityRuleError> {
+        if self.predicates.is_empty() {
+            return Err(IdentityRuleError::Empty);
+        }
+        // Union–find over terms: attribute references and constants.
+        let mut uf = UnionFind::default();
+        for p in &self.predicates {
+            if p.op == CmpOp::Eq {
+                let a = uf.node(&p.lhs);
+                let b = uf.node(&p.rhs);
+                uf.union(a, b);
+            } else {
+                // Non-equality predicates still register their terms.
+                uf.node(&p.lhs);
+                uf.node(&p.rhs);
+            }
+        }
+        // Every mentioned attribute must have e1.A ~ e2.A.
+        for p in &self.predicates {
+            for (_, attr) in p.mentioned() {
+                let a = uf.node(&Operand::attr(Side::E1, attr.clone()));
+                let b = uf.node(&Operand::attr(Side::E2, attr.clone()));
+                if !uf.connected(a, b) {
+                    return Err(IdentityRuleError::UnconstrainedAttribute { attr });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Three-valued evaluation: `Some(true)` — the pair provably
+    /// matches; `Some(false)` — some predicate is definitely false;
+    /// `None` — a predicate is unknown (NULL/missing), so the rule
+    /// neither fires nor refutes.
+    pub fn eval(
+        &self,
+        s1: &Schema,
+        t1: &Tuple,
+        s2: &Schema,
+        t2: &Tuple,
+    ) -> Option<bool> {
+        let mut all_true = true;
+        for p in &self.predicates {
+            match p.eval(s1, t1, s2, t2) {
+                Some(true) => {}
+                Some(false) => return Some(false),
+                None => all_true = false,
+            }
+        }
+        all_true.then_some(true)
+    }
+
+    /// Whether the rule *fires* (proves a match) for the pair.
+    pub fn fires(&self, s1: &Schema, t1: &Tuple, s2: &Schema, t2: &Tuple) -> bool {
+        self.eval(s1, t1, s2, t2) == Some(true)
+    }
+
+    /// The attributes mentioned by the rule's predicates.
+    pub fn attributes(&self) -> Vec<AttrName> {
+        let mut out: Vec<AttrName> = Vec::new();
+        for p in &self.predicates {
+            for (_, a) in p.mentioned() {
+                if !out.contains(&a) {
+                    out.push(a);
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds the *key equivalence* identity rule for a shared
+    /// candidate key (§2.2 technique 1, formalized in §3.2):
+    /// `∀e₁,e₂, (e₁.A_k = e₂.A_k for all k) → e₁ ≡ e₂`.
+    pub fn key_equivalence(key: &[AttrName]) -> Result<Self, IdentityRuleError> {
+        IdentityRule::new(
+            "key-equivalence",
+            key.iter().map(|a| Predicate::cross_eq(a.clone())).collect(),
+        )
+    }
+}
+
+impl fmt::Display for IdentityRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.name)?;
+        for (i, p) in self.predicates.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ∧ ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        f.write_str(" → (e1 ≡ e2)")
+    }
+}
+
+/// Minimal union–find over operand terms, keyed by a canonical
+/// rendering of each term. Values compare by [`Value`]'s equality, so
+/// two `Const("Chinese")` operands are the same node.
+#[derive(Default)]
+struct UnionFind {
+    ids: HashMap<Term, usize>,
+    parent: Vec<usize>,
+}
+
+#[derive(PartialEq, Eq, Hash, Clone)]
+enum Term {
+    Attr(Side, AttrName),
+    Const(Value),
+}
+
+impl UnionFind {
+    fn node(&mut self, o: &Operand) -> usize {
+        let term = match o {
+            Operand::Attr { side, attr } => Term::Attr(*side, attr.clone()),
+            Operand::Const(v) => Term::Const(v.clone()),
+        };
+        if let Some(&id) = self.ids.get(&term) {
+            return id;
+        }
+        let id = self.parent.len();
+        self.parent.push(id);
+        self.ids.insert(term, id);
+        id
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+
+    fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema(name: &str, attrs: &[&str]) -> std::sync::Arc<Schema> {
+        Schema::of_strs(name, attrs, &attrs[..1]).unwrap()
+    }
+
+    /// Paper r1: (e1.cuisine="Chinese") ∧ (e2.cuisine="Chinese") is well-formed.
+    #[test]
+    fn paper_r1_is_valid() {
+        let r1 = IdentityRule::new(
+            "r1",
+            vec![
+                Predicate::attr_const(Side::E1, "cuisine", CmpOp::Eq, "chinese"),
+                Predicate::attr_const(Side::E2, "cuisine", CmpOp::Eq, "chinese"),
+            ],
+        );
+        assert!(r1.is_ok());
+    }
+
+    /// Paper r2: only (e1.cuisine="Chinese") — not an identity rule.
+    #[test]
+    fn paper_r2_is_invalid() {
+        let r2 = IdentityRule::new(
+            "r2",
+            vec![Predicate::attr_const(
+                Side::E1,
+                "cuisine",
+                CmpOp::Eq,
+                "chinese",
+            )],
+        );
+        assert_eq!(
+            r2.unwrap_err(),
+            IdentityRuleError::UnconstrainedAttribute {
+                attr: AttrName::new("cuisine")
+            }
+        );
+    }
+
+    #[test]
+    fn cross_equality_is_valid() {
+        assert!(IdentityRule::new("k", vec![Predicate::cross_eq("name")]).is_ok());
+    }
+
+    #[test]
+    fn different_constants_do_not_connect() {
+        // e1.c = "x" ∧ e2.c = "y" leaves e1.c and e2.c unconnected.
+        let r = IdentityRule::new(
+            "bad",
+            vec![
+                Predicate::attr_const(Side::E1, "c", CmpOp::Eq, "x"),
+                Predicate::attr_const(Side::E2, "c", CmpOp::Eq, "y"),
+            ],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn inequality_predicates_do_not_connect() {
+        let r = IdentityRule::new(
+            "bad",
+            vec![
+                Predicate::new(
+                    Operand::attr(Side::E1, "n"),
+                    CmpOp::Lt,
+                    Operand::attr(Side::E2, "n"),
+                ),
+            ],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn empty_rule_rejected() {
+        assert_eq!(
+            IdentityRule::new("e", vec![]).unwrap_err(),
+            IdentityRuleError::Empty
+        );
+    }
+
+    #[test]
+    fn transitive_connection_through_cross_attr() {
+        // e1.a = e2.b ∧ e1.b = e2.a ∧ e1.a = e1.b connects everything.
+        let r = IdentityRule::new(
+            "t",
+            vec![
+                Predicate::new(
+                    Operand::attr(Side::E1, "a"),
+                    CmpOp::Eq,
+                    Operand::attr(Side::E2, "b"),
+                ),
+                Predicate::new(
+                    Operand::attr(Side::E1, "b"),
+                    CmpOp::Eq,
+                    Operand::attr(Side::E2, "a"),
+                ),
+                Predicate::new(
+                    Operand::attr(Side::E1, "a"),
+                    CmpOp::Eq,
+                    Operand::attr(Side::E1, "b"),
+                ),
+            ],
+        );
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn eval_three_valued() {
+        let s1 = schema("R", &["name", "cuisine"]);
+        let s2 = schema("S", &["name", "cuisine"]);
+        let rule = IdentityRule::new(
+            "k",
+            vec![Predicate::cross_eq("name"), Predicate::cross_eq("cuisine")],
+        )
+        .unwrap();
+        let a = Tuple::of_strs(&["tc", "chinese"]);
+        let b = Tuple::of_strs(&["tc", "chinese"]);
+        assert_eq!(rule.eval(&s1, &a, &s2, &b), Some(true));
+        let c = Tuple::of_strs(&["tc", "indian"]);
+        assert_eq!(rule.eval(&s1, &a, &s2, &c), Some(false));
+        let d = Tuple::new(vec![Value::str("tc"), Value::Null]);
+        assert_eq!(rule.eval(&s1, &a, &s2, &d), None);
+        // Definite falsity wins over unknown.
+        let e = Tuple::new(vec![Value::str("zz"), Value::Null]);
+        assert_eq!(rule.eval(&s1, &a, &s2, &e), Some(false));
+    }
+
+    #[test]
+    fn key_equivalence_builder() {
+        let rule =
+            IdentityRule::key_equivalence(&[AttrName::new("name"), AttrName::new("city")])
+                .unwrap();
+        assert_eq!(rule.predicates().len(), 2);
+        assert!(rule.validate().is_ok());
+    }
+
+    #[test]
+    fn attributes_lists_unique_names() {
+        let rule = IdentityRule::new(
+            "k",
+            vec![Predicate::cross_eq("name"), Predicate::cross_eq("name")],
+        )
+        .unwrap();
+        assert_eq!(rule.attributes(), vec![AttrName::new("name")]);
+    }
+
+    #[test]
+    fn display_shows_implication() {
+        let rule = IdentityRule::new("k", vec![Predicate::cross_eq("name")]).unwrap();
+        assert_eq!(rule.to_string(), "k: e1.name = e2.name → (e1 ≡ e2)");
+    }
+}

@@ -1,0 +1,728 @@
+//! A textual rule language for DBA-supplied knowledge.
+//!
+//! The paper's knowledge — ILFDs, identity rules, distinctness rules
+//! — is "asserted by the database administrator … who has a better
+//! understanding of the integrated domain" (§3.2). This module gives
+//! that assertion a concrete, file-friendly syntax:
+//!
+//! ```text
+//! # ILFDs: attribute conditions on one entity
+//! speciality = "hunan" -> cuisine = "chinese"
+//! name = "itsgreek" & county = "ramsey" -> speciality = "gyros"
+//!
+//! # Identity rules: predicates over a pair, concluding e1 == e2
+//! e1.name = e2.name & e1.cuisine = e2.cuisine -> e1 == e2
+//! e1.cuisine = "chinese" & e2.cuisine = "chinese" -> e1 == e2
+//!
+//! # Distinctness rules: concluding e1 != e2
+//! e1.speciality = "mughalai" & e2.cuisine != "indian" -> e1 != e2
+//! ```
+//!
+//! One statement per line; `#` starts a comment; bare words, quoted
+//! strings, and integers are literals. The statement kind is decided
+//! by its conclusion: `e1 == e2` (identity), `e1 != e2`
+//! (distinctness), or attribute assignments (ILFD). Identity rules
+//! are validated against the §3.2 well-formedness condition at parse
+//! time.
+
+use std::fmt;
+
+use eid_ilfd::{Ilfd, IlfdSet, PropSymbol, SymbolSet};
+use eid_relational::Value;
+
+use crate::distinctness::DistinctnessRule;
+use crate::identity::IdentityRule;
+use crate::pred::{CmpOp, Operand, Predicate, Side};
+use crate::rulebase::RuleBase;
+
+/// A parse error with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// One parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// An instance-level functional dependency.
+    Ilfd(Ilfd),
+    /// An identity rule (`… -> e1 == e2`).
+    Identity(IdentityRule),
+    /// A distinctness rule (`… -> e1 != e2`).
+    Distinctness(DistinctnessRule),
+}
+
+/// The parsed contents of a rules file.
+#[derive(Debug, Clone, Default)]
+pub struct RuleFile {
+    /// All parsed statements, in source order.
+    pub statements: Vec<Statement>,
+}
+
+impl RuleFile {
+    /// The ILFDs, in source order.
+    pub fn ilfds(&self) -> IlfdSet {
+        self.statements
+            .iter()
+            .filter_map(|s| match s {
+                Statement::Ilfd(i) => Some(i.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The identity and distinctness rules as a [`RuleBase`].
+    pub fn rule_base(&self) -> RuleBase {
+        let mut rb = RuleBase::new();
+        for s in &self.statements {
+            match s {
+                Statement::Identity(r) => {
+                    rb.add_identity(r.clone());
+                }
+                Statement::Distinctness(r) => {
+                    rb.add_distinctness(r.clone());
+                }
+                Statement::Ilfd(_) => {}
+            }
+        }
+        rb
+    }
+}
+
+/// Renders an ILFD in the parser's source syntax, so knowledge bases
+/// can be written back out (`parse_rules ∘ to_source` is identity).
+pub fn ilfd_to_source(ilfd: &Ilfd) -> String {
+    let cond = |s: &PropSymbol| -> String {
+        match &s.value {
+            Value::Int(i) => format!("{} = {}", s.attr, i),
+            v => format!("{} = \"{}\"", s.attr, v),
+        }
+    };
+    let ante: Vec<String> = ilfd.antecedent().iter().map(cond).collect();
+    let cons: Vec<String> = ilfd.consequent().iter().map(cond).collect();
+    format!("{} -> {}", ante.join(" & "), cons.join(" & "))
+}
+
+/// Renders a whole ILFD set as a rules file.
+pub fn ilfds_to_source(f: &IlfdSet) -> String {
+    let mut out = String::new();
+    for i in f.iter() {
+        out.push_str(&ilfd_to_source(i));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a whole rules file.
+pub fn parse_rules(text: &str) -> Result<RuleFile, ParseError> {
+    let mut file = RuleFile::default();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        file.statements.push(parse_statement(line, line_no)?);
+    }
+    Ok(file)
+}
+
+/// Parses a single statement (no comments, non-empty).
+pub fn parse_statement(line: &str, line_no: usize) -> Result<Statement, ParseError> {
+    let mut p = Parser::new(line, line_no);
+    let stmt = p.statement()?;
+    p.expect_end()?;
+    Ok(stmt)
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Eq,     // =
+    EqEq,   // ==
+    Ne,     // !=
+    Lt,     // <
+    Le,     // <=
+    Gt,     // >
+    Ge,     // >=
+    And,    // &
+    Arrow,  // ->
+    Dot,    // .
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Str(s) => write!(f, "\"{s}\""),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Eq => write!(f, "`=`"),
+            Tok::EqEq => write!(f, "`==`"),
+            Tok::Ne => write!(f, "`!=`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::And => write!(f, "`&`"),
+            Tok::Arrow => write!(f, "`->`"),
+            Tok::Dot => write!(f, "`.`"),
+        }
+    }
+}
+
+struct Parser {
+    tokens: Vec<(Tok, usize)>, // (token, 1-based column)
+    pos: usize,
+    line: usize,
+    len: usize,
+}
+
+impl Parser {
+    fn new(text: &str, line: usize) -> Parser {
+        let mut tokens = Vec::new();
+        let bytes: Vec<char> = text.chars().collect();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i];
+            let col = i + 1;
+            match c {
+                ' ' | '\t' => {
+                    i += 1;
+                }
+                '&' => {
+                    tokens.push((Tok::And, col));
+                    i += 1;
+                }
+                '.' => {
+                    tokens.push((Tok::Dot, col));
+                    i += 1;
+                }
+                '-' if bytes.get(i + 1) == Some(&'>') => {
+                    tokens.push((Tok::Arrow, col));
+                    i += 2;
+                }
+                '=' if bytes.get(i + 1) == Some(&'=') => {
+                    tokens.push((Tok::EqEq, col));
+                    i += 2;
+                }
+                '=' => {
+                    tokens.push((Tok::Eq, col));
+                    i += 1;
+                }
+                '!' if bytes.get(i + 1) == Some(&'=') => {
+                    tokens.push((Tok::Ne, col));
+                    i += 2;
+                }
+                '<' if bytes.get(i + 1) == Some(&'=') => {
+                    tokens.push((Tok::Le, col));
+                    i += 2;
+                }
+                '<' => {
+                    tokens.push((Tok::Lt, col));
+                    i += 1;
+                }
+                '>' if bytes.get(i + 1) == Some(&'=') => {
+                    tokens.push((Tok::Ge, col));
+                    i += 2;
+                }
+                '>' => {
+                    tokens.push((Tok::Gt, col));
+                    i += 1;
+                }
+                '"' => {
+                    let mut s = String::new();
+                    i += 1;
+                    let mut closed = false;
+                    while i < bytes.len() {
+                        if bytes[i] == '"' {
+                            closed = true;
+                            i += 1;
+                            break;
+                        }
+                        s.push(bytes[i]);
+                        i += 1;
+                    }
+                    if !closed {
+                        tokens.push((Tok::Str(s), col)); // flagged at parse via expect_end? no:
+                        tokens.push((Tok::Ident("\u{0}unterminated".into()), col));
+                    } else {
+                        tokens.push((Tok::Str(s), col));
+                    }
+                }
+                c if c.is_ascii_digit() || (c == '-' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())) => {
+                    let start = i;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text: String = bytes[start..i].iter().collect();
+                    tokens.push((Tok::Int(text.parse().unwrap_or(0)), col));
+                }
+                c if c.is_alphanumeric() || c == '_' => {
+                    let start = i;
+                    while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                        i += 1;
+                    }
+                    let text: String = bytes[start..i].iter().collect();
+                    tokens.push((Tok::Ident(text), col));
+                }
+                other => {
+                    tokens.push((Tok::Ident(format!("\u{0}bad:{other}")), col));
+                    i += 1;
+                }
+            }
+        }
+        let len = text.chars().count();
+        Parser {
+            tokens,
+            pos: 0,
+            line,
+            len,
+        }
+    }
+
+    fn err(&self, column: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            column,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&(Tok, usize)> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<(Tok, usize)> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_end(&self) -> Result<(), ParseError> {
+        match self.peek() {
+            None => Ok(()),
+            Some((t, col)) => Err(self.err(*col, format!("unexpected {t} after statement"))),
+        }
+    }
+
+    /// statement := term-list "->" conclusion
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        let terms = self.term_list()?;
+        match self.next() {
+            Some((Tok::Arrow, _)) => {}
+            Some((t, col)) => return Err(self.err(col, format!("expected `->`, found {t}"))),
+            None => return Err(self.err(self.len + 1, "expected `->`")),
+        }
+        // Conclusion decides the statement kind.
+        let save = self.pos;
+        if let Some(side) = self.try_entity_conclusion()? {
+            let predicates = terms
+                .into_iter()
+                .map(|t| t.into_predicate(self.line))
+                .collect::<Result<Vec<_>, _>>()?;
+            return match side {
+                EntityConclusion::Identity => {
+                    let rule = IdentityRule::new(format!("line {}", self.line), predicates)
+                        .map_err(|e| self.err(1, e.to_string()))?;
+                    Ok(Statement::Identity(rule))
+                }
+                EntityConclusion::Distinctness => {
+                    let rule =
+                        DistinctnessRule::new(format!("line {}", self.line), predicates)
+                            .map_err(|e| self.err(1, e.to_string()))?;
+                    Ok(Statement::Distinctness(rule))
+                }
+            };
+        }
+        self.pos = save;
+        // ILFD conclusion: assignments.
+        let conclusions = self.term_list()?;
+        let ante = terms
+            .into_iter()
+            .map(|t| t.into_symbol(self.line))
+            .collect::<Result<Vec<_>, _>>()?;
+        let cons = conclusions
+            .into_iter()
+            .map(|t| t.into_symbol(self.line))
+            .collect::<Result<Vec<_>, _>>()?;
+        if cons.is_empty() {
+            return Err(self.err(self.len + 1, "ILFD needs a consequent"));
+        }
+        Ok(Statement::Ilfd(Ilfd::new(
+            SymbolSet::from_symbols(ante),
+            SymbolSet::from_symbols(cons),
+        )))
+    }
+
+    /// Tries `e1 == e2` / `e1 != e2` (in either order).
+    fn try_entity_conclusion(&mut self) -> Result<Option<EntityConclusion>, ParseError> {
+        let save = self.pos;
+        let first = match self.next() {
+            Some((Tok::Ident(s), _)) if s == "e1" || s == "e2" => s,
+            _ => {
+                self.pos = save;
+                return Ok(None);
+            }
+        };
+        let op = match self.next() {
+            Some((Tok::EqEq, _)) => EntityConclusion::Identity,
+            Some((Tok::Ne, _)) => EntityConclusion::Distinctness,
+            _ => {
+                self.pos = save;
+                return Ok(None);
+            }
+        };
+        match self.next() {
+            Some((Tok::Ident(s), col)) if (s == "e1" || s == "e2") && s != first => {
+                let _ = col;
+                Ok(Some(op))
+            }
+            Some((_, col)) => Err(self.err(col, "conclusion must relate e1 and e2")),
+            None => Err(self.err(self.len + 1, "conclusion must relate e1 and e2")),
+        }
+    }
+
+    /// term-list := term ("&" term)*
+    fn term_list(&mut self) -> Result<Vec<Term>, ParseError> {
+        let mut out = vec![self.term()?];
+        while matches!(self.peek(), Some((Tok::And, _))) {
+            self.next();
+            out.push(self.term()?);
+        }
+        Ok(out)
+    }
+
+    /// term := operand cmp-op operand
+    fn term(&mut self) -> Result<Term, ParseError> {
+        let lhs = self.operand()?;
+        let (op, col) = match self.next() {
+            Some((Tok::Eq, c)) => (CmpOp::Eq, c),
+            Some((Tok::Ne, c)) => (CmpOp::Ne, c),
+            Some((Tok::Lt, c)) => (CmpOp::Lt, c),
+            Some((Tok::Le, c)) => (CmpOp::Le, c),
+            Some((Tok::Gt, c)) => (CmpOp::Gt, c),
+            Some((Tok::Ge, c)) => (CmpOp::Ge, c),
+            Some((t, c)) => return Err(self.err(c, format!("expected comparison, found {t}"))),
+            None => return Err(self.err(self.len + 1, "expected comparison")),
+        };
+        let _ = col;
+        let rhs = self.operand()?;
+        Ok(Term { lhs, op, rhs })
+    }
+
+    /// operand := ("e1"|"e2") "." ident | ident | string | int
+    fn operand(&mut self) -> Result<RawOperand, ParseError> {
+        match self.next() {
+            Some((Tok::Ident(s), col)) if s.starts_with('\u{0}') => {
+                Err(self.err(col, "unrecognized or unterminated token"))
+            }
+            Some((Tok::Ident(s), col)) if s == "e1" || s == "e2" => {
+                match (self.next(), self.next()) {
+                    (Some((Tok::Dot, _)), Some((Tok::Ident(attr), _))) => Ok(RawOperand::Attr {
+                        side: if s == "e1" { Side::E1 } else { Side::E2 },
+                        attr,
+                    }),
+                    _ => Err(self.err(col, "expected `.attribute` after entity reference")),
+                }
+            }
+            Some((Tok::Ident(s), _)) => Ok(RawOperand::Bare(s)),
+            Some((Tok::Str(s), _)) => Ok(RawOperand::Literal(Value::str(s))),
+            Some((Tok::Int(i), _)) => Ok(RawOperand::Literal(Value::Int(i))),
+            Some((t, col)) => Err(self.err(col, format!("expected operand, found {t}"))),
+            None => Err(self.err(self.len + 1, "expected operand")),
+        }
+    }
+}
+
+enum EntityConclusion {
+    Identity,
+    Distinctness,
+}
+
+/// An operand before we know whether the statement is an ILFD
+/// (bare identifiers are attribute names) or a pair rule (bare
+/// identifiers on the right of a comparison are string literals).
+#[derive(Debug, Clone)]
+enum RawOperand {
+    Attr { side: Side, attr: String },
+    Bare(String),
+    Literal(Value),
+}
+
+struct Term {
+    lhs: RawOperand,
+    op: CmpOp,
+    rhs: RawOperand,
+}
+
+impl Term {
+    /// Interprets the term as a pair predicate (identity/distinctness
+    /// statement): `e_i.attr op (e_j.attr | literal)`.
+    fn into_predicate(self, line: usize) -> Result<Predicate, ParseError> {
+        let err = |m: &str| ParseError {
+            line,
+            column: 1,
+            message: m.to_string(),
+        };
+        let lhs = match self.lhs {
+            RawOperand::Attr { side, attr } => Operand::attr(side, attr.as_str()),
+            RawOperand::Bare(_) | RawOperand::Literal(_) => {
+                return Err(err(
+                    "pair-rule predicates must start with e1.attr or e2.attr",
+                ))
+            }
+        };
+        let rhs = match self.rhs {
+            RawOperand::Attr { side, attr } => Operand::attr(side, attr.as_str()),
+            RawOperand::Bare(s) => Operand::constant(Value::str(s)),
+            RawOperand::Literal(v) => Operand::Const(v),
+        };
+        Ok(Predicate::new(lhs, self.op, rhs))
+    }
+
+    /// Interprets the term as an ILFD condition: `attr = value`.
+    fn into_symbol(self, line: usize) -> Result<PropSymbol, ParseError> {
+        let err = |m: String| ParseError {
+            line,
+            column: 1,
+            message: m,
+        };
+        if self.op != CmpOp::Eq {
+            return Err(err("ILFD conditions must use `=`".into()));
+        }
+        let attr = match self.lhs {
+            RawOperand::Bare(s) => s,
+            RawOperand::Attr { .. } => {
+                return Err(err(
+                    "ILFD conditions are on one entity; drop the e1./e2. prefix".into(),
+                ))
+            }
+            RawOperand::Literal(v) => {
+                return Err(err(format!("expected attribute name, found literal {v}")))
+            }
+        };
+        let value = match self.rhs {
+            RawOperand::Literal(v) => v,
+            RawOperand::Bare(s) => Value::str(s),
+            RawOperand::Attr { .. } => {
+                return Err(err("ILFD values must be constants".into()))
+            }
+        };
+        Ok(PropSymbol::new(attr.as_str(), value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_ilfd() {
+        let f = parse_rules(r#"speciality = "hunan" -> cuisine = "chinese""#).unwrap();
+        assert_eq!(f.statements.len(), 1);
+        assert_eq!(
+            f.statements[0],
+            Statement::Ilfd(Ilfd::of_strs(
+                &[("speciality", "hunan")],
+                &[("cuisine", "chinese")]
+            ))
+        );
+    }
+
+    #[test]
+    fn parses_bare_words_as_strings() {
+        let f = parse_rules("speciality = hunan -> cuisine = chinese").unwrap();
+        assert_eq!(
+            f.ilfds().as_slice()[0],
+            Ilfd::of_strs(&[("speciality", "hunan")], &[("cuisine", "chinese")])
+        );
+    }
+
+    #[test]
+    fn parses_conjunctive_ilfd() {
+        let f = parse_rules(
+            r#"name = "itsgreek" & county = "ramsey" -> speciality = "gyros""#,
+        )
+        .unwrap();
+        let i = f.ilfds();
+        assert_eq!(i.as_slice()[0].antecedent().len(), 2);
+    }
+
+    #[test]
+    fn parses_multi_consequent_ilfd() {
+        let f = parse_rules("a = 1 -> b = 2 & c = 3").unwrap();
+        let i = f.ilfds();
+        assert_eq!(i.as_slice()[0].consequent().len(), 2);
+    }
+
+    #[test]
+    fn parses_integer_values() {
+        let f = parse_rules("zip = 55455 -> city = minneapolis").unwrap();
+        let ilfds = f.ilfds();
+        let sym = ilfds.as_slice()[0].antecedent().iter().next().unwrap().clone();
+        assert_eq!(sym.value, Value::Int(55455));
+    }
+
+    #[test]
+    fn parses_identity_rule() {
+        let f = parse_rules("e1.name = e2.name & e1.cuisine = e2.cuisine -> e1 == e2")
+            .unwrap();
+        match &f.statements[0] {
+            Statement::Identity(rule) => {
+                assert_eq!(rule.predicates().len(), 2);
+                assert!(rule.validate().is_ok());
+            }
+            other => panic!("expected identity, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_r1_constant_identity() {
+        let f = parse_rules(
+            r#"e1.cuisine = "chinese" & e2.cuisine = "chinese" -> e1 == e2"#,
+        )
+        .unwrap();
+        assert!(matches!(f.statements[0], Statement::Identity(_)));
+    }
+
+    #[test]
+    fn rejects_ill_formed_identity_rule() {
+        // Paper's r2: only e1 constrained.
+        let err = parse_rules(r#"e1.cuisine = "chinese" -> e1 == e2"#).unwrap_err();
+        assert!(err.message.contains("imply"), "{err}");
+    }
+
+    #[test]
+    fn parses_distinctness_rule() {
+        let f = parse_rules(
+            r#"e1.speciality = "mughalai" & e2.cuisine != "indian" -> e1 != e2"#,
+        )
+        .unwrap();
+        match &f.statements[0] {
+            Statement::Distinctness(rule) => {
+                assert_eq!(rule.predicates().len(), 2);
+                // It round-trips to the paper's I4.
+                assert_eq!(
+                    rule.to_ilfd(),
+                    Some(Ilfd::of_strs(
+                        &[("speciality", "mughalai")],
+                        &[("cuisine", "indian")]
+                    ))
+                );
+            }
+            other => panic!("expected distinctness, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_ordering_predicates() {
+        let f = parse_rules("e1.n <= e2.n & e1.name = e2.name -> e1 != e2").unwrap();
+        assert!(matches!(f.statements[0], Statement::Distinctness(_)));
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let text = r#"
+# the ILFD family
+speciality = hunan -> cuisine = chinese   # inline comment
+
+speciality = gyros -> cuisine = greek
+"#;
+        let f = parse_rules(text).unwrap();
+        assert_eq!(f.statements.len(), 2);
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse_rules("speciality hunan -> cuisine = chinese").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.column > 1);
+        assert!(err.to_string().contains("1:"));
+    }
+
+    #[test]
+    fn missing_arrow_is_an_error() {
+        let err = parse_rules("speciality = hunan").unwrap_err();
+        assert!(err.message.contains("->"), "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        let err = parse_rules("a = 1 -> b = 2 extra").unwrap_err();
+        assert!(err.message.contains("expected comparison") || err.message.contains("unexpected"), "{err}");
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(parse_rules(r#"a = "oops -> b = 2"#).is_err());
+    }
+
+    #[test]
+    fn ilfd_rejects_inequality_conditions() {
+        let err = parse_rules("a != 1 -> b = 2").unwrap_err();
+        assert!(err.message.contains('='), "{err}");
+    }
+
+    #[test]
+    fn rule_file_splits_into_ilfds_and_rule_base() {
+        let text = r#"
+speciality = hunan -> cuisine = chinese
+e1.name = e2.name -> e1 == e2
+e1.speciality = "mughalai" & e2.cuisine != "indian" -> e1 != e2
+"#;
+        let f = parse_rules(text).unwrap();
+        assert_eq!(f.ilfds().len(), 1);
+        let rb = f.rule_base();
+        assert_eq!(rb.identity_rules().len(), 1);
+        assert_eq!(rb.distinctness_rules().len(), 1);
+    }
+
+    /// The paper's complete Example-3 knowledge, as a rules file.
+    #[test]
+    fn example3_knowledge_file_parses() {
+        let text = r#"
+speciality = hunan    -> cuisine = chinese
+speciality = sichuan  -> cuisine = chinese
+speciality = gyros    -> cuisine = greek
+speciality = mughalai -> cuisine = indian
+name = twincities & street = co_b2        -> speciality = hunan
+name = anjuman & street = le_salle_ave    -> speciality = mughalai
+street = front_ave                        -> county = ramsey
+name = itsgreek & county = ramsey         -> speciality = gyros
+"#;
+        let f = parse_rules(text).unwrap();
+        assert_eq!(f.ilfds().len(), 8);
+        // The parsed set is logically identical to the hand-built one:
+        // it implies the derived I9.
+        let i9 = Ilfd::of_strs(
+            &[("name", "itsgreek"), ("street", "front_ave")],
+            &[("speciality", "gyros")],
+        );
+        assert!(eid_ilfd::closure::implies(&f.ilfds(), &i9));
+    }
+}

@@ -1,0 +1,319 @@
+//! Pair predicates — the building blocks of identity and
+//! distinctness rules (§3.2).
+//!
+//! A predicate compares either two attribute references or an
+//! attribute reference with a constant, using one of
+//! `{=, <, >, ≤, ≥, ≠}`. Attribute references name which of the two
+//! entities (`e₁` from relation `R`, `e₂` from relation `S`) they
+//! read. Evaluation is three-valued: a predicate touching a NULL (or
+//! schema-missing) value is *unknown*.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use eid_relational::{AttrName, Schema, TriBool, Tuple, Value};
+
+/// Comparison operators admitted by the rule language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `≠`
+    Ne,
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `>`
+    Gt,
+    /// `≥`
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the operator to an ordering.
+    fn test(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "≠",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "≤",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => "≥",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which of the two entities an attribute reference reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Side {
+    /// `e₁` — the tuple from the first relation.
+    E1,
+    /// `e₂` — the tuple from the second relation.
+    E2,
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Side::E1 => "e1",
+            Side::E2 => "e2",
+        })
+    }
+}
+
+/// One side of a predicate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// An attribute of `e₁` or `e₂`.
+    Attr {
+        /// Which entity.
+        side: Side,
+        /// Which attribute.
+        attr: AttrName,
+    },
+    /// A constant value (non-NULL).
+    Const(Value),
+}
+
+impl Operand {
+    /// `eᵢ.attr`.
+    pub fn attr(side: Side, attr: impl Into<AttrName>) -> Self {
+        Operand::Attr {
+            side,
+            attr: attr.into(),
+        }
+    }
+
+    /// A constant.
+    pub fn constant(v: impl Into<Value>) -> Self {
+        Operand::Const(v.into())
+    }
+
+    /// Resolves this operand against a tuple pair; `None` when the
+    /// value is NULL or the attribute is not in the schema.
+    fn resolve<'a>(
+        &'a self,
+        s1: &Schema,
+        t1: &'a Tuple,
+        s2: &Schema,
+        t2: &'a Tuple,
+    ) -> Option<&'a Value> {
+        match self {
+            Operand::Const(v) => Some(v),
+            Operand::Attr { side, attr } => {
+                let v = match side {
+                    Side::E1 => t1.value_of(s1, attr),
+                    Side::E2 => t2.value_of(s2, attr),
+                }?;
+                (!v.is_null()).then_some(v)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Attr { side, attr } => write!(f, "{side}.{attr}"),
+            Operand::Const(v) => write!(f, "\"{v}\""),
+        }
+    }
+}
+
+/// A single comparison predicate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Predicate {
+    /// Left operand.
+    pub lhs: Operand,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right operand.
+    pub rhs: Operand,
+}
+
+impl Predicate {
+    /// Builds a predicate.
+    pub fn new(lhs: Operand, op: CmpOp, rhs: Operand) -> Self {
+        Predicate { lhs, op, rhs }
+    }
+
+    /// `e1.attr = e2.attr` — the cross-equality shape extended-key
+    /// equivalence is made of.
+    pub fn cross_eq(attr: impl Into<AttrName>) -> Self {
+        let attr = attr.into();
+        Predicate::new(
+            Operand::attr(Side::E1, attr.clone()),
+            CmpOp::Eq,
+            Operand::attr(Side::E2, attr),
+        )
+    }
+
+    /// `side.attr op constant`.
+    pub fn attr_const(
+        side: Side,
+        attr: impl Into<AttrName>,
+        op: CmpOp,
+        value: impl Into<Value>,
+    ) -> Self {
+        Predicate::new(Operand::attr(side, attr), op, Operand::constant(value))
+    }
+
+    /// Three-valued evaluation over a tuple pair: `Some(bool)` when
+    /// both operands are known, `None` otherwise. (Equivalent to
+    /// [`Predicate::eval_tri`]; kept for the `Option<bool>`
+    /// convention used across the engine.)
+    pub fn eval(
+        &self,
+        s1: &Schema,
+        t1: &Tuple,
+        s2: &Schema,
+        t2: &Tuple,
+    ) -> Option<bool> {
+        let l = self.lhs.resolve(s1, t1, s2, t2)?;
+        let r = self.rhs.resolve(s1, t1, s2, t2)?;
+        let ord = l.compare(r)?;
+        Some(self.op.test(ord))
+    }
+
+    /// [`Predicate::eval`] in Kleene three-valued logic.
+    pub fn eval_tri(&self, s1: &Schema, t1: &Tuple, s2: &Schema, t2: &Tuple) -> TriBool {
+        TriBool::from_option(self.eval(s1, t1, s2, t2))
+    }
+
+    /// The attribute references `(side, attr)` this predicate mentions.
+    pub fn mentioned(&self) -> Vec<(Side, AttrName)> {
+        let mut out = Vec::new();
+        for o in [&self.lhs, &self.rhs] {
+            if let Operand::Attr { side, attr } = o {
+                out.push((*side, attr.clone()));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.op, self.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eid_relational::Schema;
+
+    fn schemas() -> (std::sync::Arc<Schema>, std::sync::Arc<Schema>) {
+        (
+            Schema::of_strs("R", &["name", "cuisine"], &["name"]).unwrap(),
+            Schema::of_strs("S", &["name", "city"], &["name"]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn cross_eq_matches_equal_values() {
+        let (s1, s2) = schemas();
+        let p = Predicate::cross_eq("name");
+        let t1 = Tuple::of_strs(&["villagewok", "chinese"]);
+        let t2 = Tuple::of_strs(&["villagewok", "mpls"]);
+        assert_eq!(p.eval(&s1, &t1, &s2, &t2), Some(true));
+        let t3 = Tuple::of_strs(&["other", "mpls"]);
+        assert_eq!(p.eval(&s1, &t1, &s2, &t3), Some(false));
+    }
+
+    #[test]
+    fn null_makes_predicate_unknown() {
+        let (s1, s2) = schemas();
+        let p = Predicate::cross_eq("name");
+        let t1 = Tuple::new(vec![Value::Null, Value::str("chinese")]);
+        let t2 = Tuple::of_strs(&["villagewok", "mpls"]);
+        assert_eq!(p.eval(&s1, &t1, &s2, &t2), None);
+    }
+
+    #[test]
+    fn missing_attribute_is_unknown() {
+        let (s1, s2) = schemas();
+        let p = Predicate::new(
+            Operand::attr(Side::E1, "city"), // R has no city
+            CmpOp::Eq,
+            Operand::constant("mpls"),
+        );
+        let t1 = Tuple::of_strs(&["a", "b"]);
+        let t2 = Tuple::of_strs(&["c", "d"]);
+        assert_eq!(p.eval(&s1, &t1, &s2, &t2), None);
+    }
+
+    #[test]
+    fn constant_comparisons() {
+        let (s1, s2) = schemas();
+        let t1 = Tuple::of_strs(&["a", "chinese"]);
+        let t2 = Tuple::of_strs(&["b", "mpls"]);
+        let p = Predicate::attr_const(Side::E1, "cuisine", CmpOp::Eq, "chinese");
+        assert_eq!(p.eval(&s1, &t1, &s2, &t2), Some(true));
+        let p = Predicate::attr_const(Side::E2, "city", CmpOp::Ne, "mpls");
+        assert_eq!(p.eval(&s1, &t1, &s2, &t2), Some(false));
+    }
+
+    #[test]
+    fn ordering_operators() {
+        let s = Schema::new(
+            "N",
+            vec![eid_relational::Attribute::int("n")],
+            vec![vec![AttrName::new("n")]],
+        )
+        .unwrap();
+        let t1 = Tuple::new(vec![Value::int(3)]);
+        let t2 = Tuple::new(vec![Value::int(5)]);
+        let lt = Predicate::new(
+            Operand::attr(Side::E1, "n"),
+            CmpOp::Lt,
+            Operand::attr(Side::E2, "n"),
+        );
+        assert_eq!(lt.eval(&s, &t1, &s, &t2), Some(true));
+        let ge = Predicate::new(
+            Operand::attr(Side::E1, "n"),
+            CmpOp::Ge,
+            Operand::attr(Side::E2, "n"),
+        );
+        assert_eq!(ge.eval(&s, &t1, &s, &t2), Some(false));
+        let le = Predicate::new(
+            Operand::attr(Side::E1, "n"),
+            CmpOp::Le,
+            Operand::constant(3i64),
+        );
+        assert_eq!(le.eval(&s, &t1, &s, &t2), Some(true));
+    }
+
+    #[test]
+    fn mentioned_lists_attr_refs() {
+        let p = Predicate::cross_eq("name");
+        let m = p.mentioned();
+        assert_eq!(m.len(), 2);
+        assert!(m.contains(&(Side::E1, AttrName::new("name"))));
+        assert!(m.contains(&(Side::E2, AttrName::new("name"))));
+    }
+
+    #[test]
+    fn display_forms() {
+        let p = Predicate::attr_const(Side::E1, "cuisine", CmpOp::Eq, "chinese");
+        assert_eq!(p.to_string(), "e1.cuisine = \"chinese\"");
+        assert_eq!(Predicate::cross_eq("x").to_string(), "e1.x = e2.x");
+    }
+}

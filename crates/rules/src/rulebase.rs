@@ -1,0 +1,317 @@
+//! Rule bases: identity + distinctness rules with three-valued
+//! pairwise decisions (§3.2–§3.3).
+//!
+//! The entity-identification process "can be expressed as a
+//! three-valued function that takes a pair of tuples and returns
+//! `true` only if they refer to the same real-world entity, `false`
+//! only if they do not, and `unknown` otherwise." [`RuleBase::decide`]
+//! is that function; it also detects the pathological case where an
+//! identity rule and a distinctness rule both fire (the supplied
+//! knowledge is inconsistent with itself).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use eid_ilfd::IlfdSet;
+use eid_relational::{Schema, Tuple};
+
+use crate::distinctness::DistinctnessRule;
+use crate::identity::IdentityRule;
+
+/// The three-valued matching decision for a tuple pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MatchDecision {
+    /// Some identity rule fired: the tuples model the same entity.
+    Matching,
+    /// Some distinctness rule fired: the tuples model distinct entities.
+    NotMatching,
+    /// Neither kind of rule fired.
+    Undetermined,
+}
+
+impl fmt::Display for MatchDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MatchDecision::Matching => "matching",
+            MatchDecision::NotMatching => "not matching",
+            MatchDecision::Undetermined => "undetermined",
+        })
+    }
+}
+
+/// Both an identity rule and a distinctness rule fired on the same
+/// pair — the rule base is inconsistent for this pair of tuples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InconsistentRules {
+    /// The identity rule that fired.
+    pub identity: String,
+    /// The distinctness rule that fired.
+    pub distinctness: String,
+}
+
+impl fmt::Display for InconsistentRules {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "identity rule `{}` and distinctness rule `{}` both fired on the same pair",
+            self.identity, self.distinctness
+        )
+    }
+}
+
+impl std::error::Error for InconsistentRules {}
+
+/// A collection of identity and distinctness rules asserted by the
+/// DBA (or derived — every ILFD contributes a distinctness rule via
+/// Proposition 1).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RuleBase {
+    identity: Vec<IdentityRule>,
+    distinctness: Vec<DistinctnessRule>,
+}
+
+impl RuleBase {
+    /// An empty rule base (every pair is undetermined).
+    pub fn new() -> Self {
+        RuleBase::default()
+    }
+
+    /// Adds an identity rule.
+    pub fn add_identity(&mut self, rule: IdentityRule) -> &mut Self {
+        self.identity.push(rule);
+        self
+    }
+
+    /// Adds a distinctness rule.
+    pub fn add_distinctness(&mut self, rule: DistinctnessRule) -> &mut Self {
+        self.distinctness.push(rule);
+        self
+    }
+
+    /// Adds the distinctness rules corresponding to every ILFD in
+    /// `f` (Proposition 1).
+    pub fn add_ilfd_distinctness(&mut self, f: &IlfdSet) -> &mut Self {
+        for ilfd in f.iter() {
+            for rule in DistinctnessRule::from_ilfd(ilfd) {
+                self.distinctness.push(rule);
+            }
+        }
+        self
+    }
+
+    /// The identity rules.
+    pub fn identity_rules(&self) -> &[IdentityRule] {
+        &self.identity
+    }
+
+    /// The distinctness rules.
+    pub fn distinctness_rules(&self) -> &[DistinctnessRule] {
+        &self.distinctness
+    }
+
+    /// The three-valued decision for one tuple pair, or an
+    /// [`InconsistentRules`] error when both kinds of rule fire.
+    ///
+    /// Because `≡` and `≢` are symmetric relations, every rule is
+    /// evaluated in **both orientations** — `(e₁, e₂)` and
+    /// `(e₂, e₁)`. This matters for rules whose syntax is
+    /// directional, e.g. the Proposition-1 distinctness rule
+    /// `(e₁.speciality = mughalai) ∧ (e₂.cuisine ≠ indian)`, which
+    /// must also refute pairs where the *second* tuple is the
+    /// Mughalai restaurant.
+    pub fn decide(
+        &self,
+        s1: &Schema,
+        t1: &Tuple,
+        s2: &Schema,
+        t2: &Tuple,
+    ) -> Result<MatchDecision, InconsistentRules> {
+        let fired_identity = self
+            .identity
+            .iter()
+            .find(|r| r.fires(s1, t1, s2, t2) || r.fires(s2, t2, s1, t1));
+        let fired_distinct = self
+            .distinctness
+            .iter()
+            .find(|r| r.fires(s1, t1, s2, t2) || r.fires(s2, t2, s1, t1));
+        match (fired_identity, fired_distinct) {
+            (Some(i), Some(d)) => Err(InconsistentRules {
+                identity: i.name.clone(),
+                distinctness: d.name.clone(),
+            }),
+            (Some(_), None) => Ok(MatchDecision::Matching),
+            (None, Some(_)) => Ok(MatchDecision::NotMatching),
+            (None, None) => Ok(MatchDecision::Undetermined),
+        }
+    }
+
+    /// Whether any identity rule fires on the pair (in either
+    /// orientation). Unlike [`RuleBase::decide`], does not consult
+    /// distinctness rules — used by engines that phase the two kinds
+    /// of rule separately and reconcile conflicts afterwards.
+    pub fn fires_identity(&self, s1: &Schema, t1: &Tuple, s2: &Schema, t2: &Tuple) -> bool {
+        self.identity
+            .iter()
+            .any(|r| r.fires(s1, t1, s2, t2) || r.fires(s2, t2, s1, t1))
+    }
+
+    /// Whether any distinctness rule fires on the pair (in either
+    /// orientation). See [`RuleBase::fires_identity`].
+    pub fn fires_distinctness(
+        &self,
+        s1: &Schema,
+        t1: &Tuple,
+        s2: &Schema,
+        t2: &Tuple,
+    ) -> bool {
+        self.distinctness
+            .iter()
+            .any(|r| r.fires(s1, t1, s2, t2) || r.fires(s2, t2, s1, t1))
+    }
+
+    /// Total number of rules.
+    pub fn len(&self) -> usize {
+        self.identity.len() + self.distinctness.len()
+    }
+
+    /// Whether the rule base has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.identity.is_empty() && self.distinctness.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::{CmpOp, Predicate, Side};
+    use eid_ilfd::Ilfd;
+    use eid_relational::Schema;
+
+    fn schemas() -> (std::sync::Arc<Schema>, std::sync::Arc<Schema>) {
+        (
+            Schema::of_strs("R", &["name", "speciality"], &["name"]).unwrap(),
+            Schema::of_strs("S", &["name", "cuisine"], &["name"]).unwrap(),
+        )
+    }
+
+    fn base() -> RuleBase {
+        let mut rb = RuleBase::new();
+        rb.add_identity(IdentityRule::new("name-eq", vec![Predicate::cross_eq("name")]).unwrap());
+        rb.add_distinctness(
+            DistinctnessRule::new(
+                "r3",
+                vec![
+                    Predicate::attr_const(Side::E1, "speciality", CmpOp::Eq, "mughalai"),
+                    Predicate::attr_const(Side::E2, "cuisine", CmpOp::Ne, "indian"),
+                ],
+            )
+            .unwrap(),
+        );
+        rb
+    }
+
+    #[test]
+    fn decides_matching() {
+        let (s1, s2) = schemas();
+        let d = base()
+            .decide(
+                &s1,
+                &Tuple::of_strs(&["tc", "hunan"]),
+                &s2,
+                &Tuple::of_strs(&["tc", "chinese"]),
+            )
+            .unwrap();
+        assert_eq!(d, MatchDecision::Matching);
+    }
+
+    #[test]
+    fn decides_not_matching() {
+        let (s1, s2) = schemas();
+        let d = base()
+            .decide(
+                &s1,
+                &Tuple::of_strs(&["a", "mughalai"]),
+                &s2,
+                &Tuple::of_strs(&["b", "greek"]),
+            )
+            .unwrap();
+        assert_eq!(d, MatchDecision::NotMatching);
+    }
+
+    #[test]
+    fn decides_undetermined() {
+        let (s1, s2) = schemas();
+        let d = base()
+            .decide(
+                &s1,
+                &Tuple::of_strs(&["a", "hunan"]),
+                &s2,
+                &Tuple::of_strs(&["b", "chinese"]),
+            )
+            .unwrap();
+        assert_eq!(d, MatchDecision::Undetermined);
+    }
+
+    #[test]
+    fn detects_inconsistent_rules() {
+        let (s1, s2) = schemas();
+        // Same name but e1 mughalai / e2 non-indian: both rules fire.
+        let err = base()
+            .decide(
+                &s1,
+                &Tuple::of_strs(&["x", "mughalai"]),
+                &s2,
+                &Tuple::of_strs(&["x", "greek"]),
+            )
+            .unwrap_err();
+        assert_eq!(err.identity, "name-eq");
+        assert_eq!(err.distinctness, "r3");
+    }
+
+    #[test]
+    fn empty_rulebase_is_all_undetermined() {
+        let (s1, s2) = schemas();
+        let rb = RuleBase::new();
+        assert!(rb.is_empty());
+        let d = rb
+            .decide(
+                &s1,
+                &Tuple::of_strs(&["a", "b"]),
+                &s2,
+                &Tuple::of_strs(&["a", "c"]),
+            )
+            .unwrap();
+        assert_eq!(d, MatchDecision::Undetermined);
+    }
+
+    #[test]
+    fn ilfd_distinctness_ingestion() {
+        let (s1, s2) = schemas();
+        let f: eid_ilfd::IlfdSet = vec![Ilfd::of_strs(
+            &[("speciality", "mughalai")],
+            &[("cuisine", "indian")],
+        )]
+        .into_iter()
+        .collect();
+        let mut rb = RuleBase::new();
+        rb.add_ilfd_distinctness(&f);
+        assert_eq!(rb.distinctness_rules().len(), 1);
+        let d = rb
+            .decide(
+                &s1,
+                &Tuple::of_strs(&["a", "mughalai"]),
+                &s2,
+                &Tuple::of_strs(&["b", "chinese"]),
+            )
+            .unwrap();
+        assert_eq!(d, MatchDecision::NotMatching);
+    }
+
+    #[test]
+    fn decision_display() {
+        assert_eq!(MatchDecision::Matching.to_string(), "matching");
+        assert_eq!(MatchDecision::NotMatching.to_string(), "not matching");
+        assert_eq!(MatchDecision::Undetermined.to_string(), "undetermined");
+    }
+}

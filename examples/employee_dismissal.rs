@@ -1,0 +1,94 @@
+//! §4's motivating scenario: "a company wanting to dismiss employees
+//! with sales performance below expectation requires matching between
+//! the employee records in one database and their performance records
+//! in another database. It is crucial that the set of matched records
+//! be correct; otherwise, some people may be wrongly fired."
+//!
+//! This example pits the paper's sound ILFD technique against the
+//! probabilistic-key baseline and counts who would be wrongly fired
+//! under each.
+//!
+//! Run with `cargo run --example employee_dismissal`.
+
+use entity_id::baselines::{run_technique, ProbabilisticKey};
+use entity_id::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // HR database: employees keyed by (name, office).
+    let hr_schema = Schema::of_strs(
+        "HR",
+        &["name", "office", "division"],
+        &["name", "office"],
+    )?;
+    let mut hr = Relation::new(hr_schema);
+    hr.insert_strs(&["john_smith", "mpls", "sensors"])?; // strong performer
+    hr.insert_strs(&["john_smith", "st_paul", "controls"])?; // weak performer
+    hr.insert_strs(&["mary_jones", "mpls", "sensors"])?;
+
+    // Sales database: performance keyed by (name, region_code).
+    let perf_schema = Schema::of_strs(
+        "Perf",
+        &["name", "region_code", "rating"],
+        &["name", "region_code"],
+    )?;
+    let mut perf = Relation::new(perf_schema);
+    perf.insert_strs(&["john_smith", "rc_7", "below"])?; // the St. Paul John
+    perf.insert_strs(&["mary_jones", "rc_2", "above"])?;
+
+    println!("Two John Smiths; only the St. Paul one underperformed.\n");
+
+    // --- Baseline: probabilistic key equivalence on `name` ---------
+    let prob = ProbabilisticKey::new(&["name"], 0.7, 0.2);
+    let outcome = run_technique(&prob, &hr, &perf);
+    println!("probabilistic-key declares {} matches:", outcome.matching.len());
+    let mut wrongly_fired = 0;
+    for e in outcome.matching.entries() {
+        let below = perf
+            .find_by_primary_key(&e.s_key)
+            .map(|t| t.get(2) == &Value::str("below"))
+            .unwrap_or(false);
+        let is_st_paul = e.r_key.get(1) == &Value::str("st_paul");
+        println!("  HR{} ↔ Perf{}{}", e.r_key, e.s_key,
+            if below && !is_st_paul { "   ← WRONGLY FIRED" } else { "" });
+        if below && !is_st_paul {
+            wrongly_fired += 1;
+        }
+    }
+    assert!(wrongly_fired > 0, "the baseline fires the wrong John");
+    println!("→ {wrongly_fired} employee(s) would be wrongly fired.\n");
+
+    // --- The paper's technique ------------------------------------
+    // The DBAs assert: (name, office) identifies employees in the
+    // integrated world, and region code rc_7 is the St. Paul office,
+    // rc_2 Minneapolis (ILFDs on the performance records).
+    let key = ExtendedKey::of_strs(&["name", "office"]);
+    let ilfds: IlfdSet = vec![
+        Ilfd::of_strs(&[("region_code", "rc_7")], &[("office", "st_paul")]),
+        Ilfd::of_strs(&[("region_code", "rc_2")], &[("office", "mpls")]),
+    ]
+    .into_iter()
+    .collect();
+    let outcome = EntityMatcher::new(hr.clone(), perf.clone(), MatchConfig::new(key, ilfds))?
+        .run()?;
+    outcome.verify()?;
+
+    println!("ILFD technique declares {} matches:", outcome.matching.len());
+    for e in outcome.matching.entries() {
+        println!("  HR{} ↔ Perf{}", e.r_key, e.s_key);
+    }
+    // Only the St. Paul John matches the "below" record.
+    let below_matches: Vec<_> = outcome
+        .matching
+        .entries()
+        .iter()
+        .filter(|e| {
+            perf.find_by_primary_key(&e.s_key)
+                .map(|t| t.get(2) == &Value::str("below"))
+                .unwrap_or(false)
+        })
+        .collect();
+    assert_eq!(below_matches.len(), 1);
+    assert_eq!(below_matches[0].r_key.get(1), &Value::str("st_paul"));
+    println!("→ exactly the right employee is identified; nobody is wrongly fired.");
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Quickstart: match two relations that share no common candidate
+//! key, using an extended key plus one ILFD.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use entity_id::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Database 1 knows restaurants by (name, cuisine); database 2 by
+    // (name, speciality). There is no common candidate key.
+    let r_schema = Schema::of_strs("R", &["name", "cuisine", "street"], &["name", "cuisine"])?;
+    let mut r = Relation::new(r_schema);
+    r.insert_strs(&["twincities", "chinese", "wash_ave"])?;
+    r.insert_strs(&["twincities", "indian", "univ_ave"])?;
+
+    let s_schema = Schema::of_strs("S", &["name", "speciality", "city"], &["name", "city"])?;
+    let mut s = Relation::new(s_schema);
+    s.insert_strs(&["twincities", "mughalai", "st_paul"])?;
+
+    println!("R = two TwinCities restaurants (Chinese and Indian).");
+    println!("S = one TwinCities restaurant specializing in Mughalai.\n");
+    println!("Naive name matching cannot tell which R tuple the S tuple is.");
+
+    // The DBA asserts: (name, cuisine) identifies restaurants in the
+    // integrated world, and Mughalai food implies Indian cuisine.
+    let key = ExtendedKey::of_strs(&["name", "cuisine"]);
+    let ilfds: IlfdSet = vec![Ilfd::of_strs(
+        &[("speciality", "mughalai")],
+        &[("cuisine", "indian")],
+    )]
+    .into_iter()
+    .collect();
+
+    let outcome = EntityMatcher::new(r, s, MatchConfig::new(key, ilfds))?.run()?;
+    outcome.verify()?; // uniqueness + consistency: the result is sound
+
+    println!("\nMatching table ({} pair):", outcome.matching.len());
+    for e in outcome.matching.entries() {
+        println!("  R{} ≡ S{}", e.r_key, e.s_key);
+    }
+    println!(
+        "\nNegative matching table ({} pair):",
+        outcome.negative.len()
+    );
+    for e in outcome.negative.entries() {
+        println!("  R{} ≢ S{}", e.r_key, e.s_key);
+    }
+    println!("\n{}", Partition::of(&outcome));
+    assert!(outcome.is_complete());
+    println!("\nEvery pair was decided — the identification is complete.");
+    Ok(())
+}

@@ -1,0 +1,318 @@
+//! `eid` — command-line entity identification.
+//!
+//! ```text
+//! eid match --r R.csv --r-key name,street --s S.csv --s-key name,city \
+//!           --rules knowledge.rules --key name,cuisine \
+//!           [--integrated] [--unify prefer-r|prefer-s|null] [--negative]
+//! eid validate --rules knowledge.rules
+//! eid demo
+//! ```
+//!
+//! CSV files carry a header row; `null` cells are NULL. Rule files use
+//! the `eid-rules` textual syntax (`speciality = hunan -> cuisine =
+//! chinese`, `e1.a = e2.a -> e1 == e2`, `… -> e1 != e2`).
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use entity_id::core::conflict::{unify, ConflictPolicy};
+use entity_id::core::integrate::IntegratedTable;
+use entity_id::core::matcher::{EntityMatcher, MatchConfig};
+use entity_id::core::partition::Partition;
+use entity_id::datagen::restaurant;
+use entity_id::ilfd::closure::minimal_cover;
+use entity_id::relational::csv::from_csv_inferred;
+use entity_id::relational::display::render_default;
+use entity_id::rules::{parse_rules, ExtendedKey};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("match") => cmd_match(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("session") => cmd_session(&args[1..]),
+        Some("demo") => cmd_demo(),
+        Some("--help") | Some("-h") | None => {
+            usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`; try --help")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    println!(
+        "eid — entity identification in database integration (Lim et al., ICDE 1993)
+
+USAGE:
+  eid match --r R.csv --r-key a,b --s S.csv --s-key c,d \\
+            --rules FILE --key x,y [--integrated] [--negative] \\
+            [--unify prefer-r|prefer-s|null]
+  eid validate --rules FILE
+  eid session --r R.csv --r-key a,b --s S.csv --s-key c,d --rules FILE
+  eid demo"
+    );
+}
+
+/// Parses `--flag value` pairs plus boolean flags.
+fn parse_flags(
+    args: &[String],
+    valued: &[&str],
+    boolean: &[&str],
+) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, found `{}`", args[i]))?;
+        if boolean.contains(&flag) {
+            out.insert(flag.to_string(), "true".to_string());
+            i += 1;
+        } else if valued.contains(&flag) {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{flag} needs a value"))?;
+            out.insert(flag.to_string(), value.clone());
+            i += 2;
+        } else {
+            return Err(format!("unknown flag --{flag}"));
+        }
+    }
+    Ok(out)
+}
+
+fn required<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("--{name} is required"))
+}
+
+fn cmd_match(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(
+        args,
+        &["r", "r-key", "s", "s-key", "rules", "key", "unify"],
+        &["integrated", "negative"],
+    )?;
+    let r_path = required(&flags, "r")?;
+    let s_path = required(&flags, "s")?;
+    let r_key: Vec<&str> = required(&flags, "r-key")?.split(',').collect();
+    let s_key: Vec<&str> = required(&flags, "s-key")?.split(',').collect();
+    let key: Vec<&str> = required(&flags, "key")?.split(',').collect();
+    let rules_path = required(&flags, "rules")?;
+
+    let r_text = std::fs::read_to_string(r_path).map_err(|e| format!("{r_path}: {e}"))?;
+    let s_text = std::fs::read_to_string(s_path).map_err(|e| format!("{s_path}: {e}"))?;
+    let rules_text =
+        std::fs::read_to_string(rules_path).map_err(|e| format!("{rules_path}: {e}"))?;
+
+    let r = from_csv_inferred("R", &r_text, &r_key).map_err(|e| format!("{r_path}: {e}"))?;
+    let s = from_csv_inferred("S", &s_text, &s_key).map_err(|e| format!("{s_path}: {e}"))?;
+    let rules = parse_rules(&rules_text).map_err(|e| format!("{rules_path}:{e}"))?;
+
+    let mut config = MatchConfig::new(ExtendedKey::of_strs(&key), rules.ilfds());
+    config.extra_rules = rules.rule_base();
+
+    // §3.2 necessary checks before matching.
+    let report = entity_id::core::validate::validate_knowledge(&r, &s, &config)
+        .map_err(|e| e.to_string())?;
+    for v in &report.ilfd_violations {
+        println!(
+            "warning: tuple {} of {} contradicts ILFD {}",
+            v.key, v.side, v.ilfd
+        );
+    }
+    for d in &report.key_duplicates {
+        println!(
+            "warning: tuples {} and {} of {} share extended-key value {}",
+            d.keys.0, d.keys.1, d.side, d.shared
+        );
+    }
+
+    let outcome = EntityMatcher::new(r.clone(), s.clone(), config)
+        .map_err(|e| e.to_string())?
+        .run()
+        .map_err(|e| e.to_string())?;
+
+    match outcome.verify() {
+        Ok(()) => println!("Message: The extended key is verified."),
+        Err(e) => println!("Message: The extended key causes unsound matching result. ({e})"),
+    }
+    println!();
+    println!(
+        "{}",
+        render_default(
+            "matching table",
+            &outcome.matching.to_relation("MT").map_err(|e| e.to_string())?
+        )
+    );
+    if flags.contains_key("negative") {
+        println!(
+            "{}",
+            render_default(
+                "negative matching table",
+                &outcome.negative.to_relation("NMT").map_err(|e| e.to_string())?
+            )
+        );
+    }
+    println!("{}", Partition::of(&outcome));
+
+    if flags.contains_key("integrated") {
+        let table = IntegratedTable::build(&r, &s, &outcome, &ExtendedKey::of_strs(&key))
+            .map_err(|e| e.to_string())?;
+        println!();
+        println!("{}", render_default("integrated table", table.relation()));
+    }
+    if let Some(policy) = flags.get("unify") {
+        let policy = match policy.as_str() {
+            "prefer-r" => ConflictPolicy::PreferR,
+            "prefer-s" => ConflictPolicy::PreferS,
+            "null" => ConflictPolicy::Null,
+            other => return Err(format!("unknown --unify policy `{other}`")),
+        };
+        let unified = unify(&r, &s, &outcome, policy).map_err(|e| e.to_string())?;
+        println!();
+        println!("{}", render_default("unified relation", &unified.relation));
+        if !unified.conflicts.is_empty() {
+            println!("attribute-value conflicts resolved ({policy:?}):");
+            for c in &unified.conflicts {
+                println!("  {c}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["rules"], &[])?;
+    let path = required(&flags, "rules")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let rules = parse_rules(&text).map_err(|e| format!("{path}:{e}"))?;
+    let ilfds = rules.ilfds();
+    let rb = rules.rule_base();
+    println!(
+        "{path}: OK — {} ILFDs, {} identity rules, {} distinctness rules",
+        ilfds.len(),
+        rb.identity_rules().len(),
+        rb.distinctness_rules().len()
+    );
+    let cover = minimal_cover(&ilfds);
+    if cover.len() < ilfds.len() {
+        println!(
+            "note: the ILFD set is redundant — a minimal cover has {} rules:",
+            cover.len()
+        );
+        for i in cover.iter() {
+            println!("  {i}");
+        }
+    } else {
+        println!("the ILFD set is already minimal");
+    }
+    Ok(())
+}
+
+/// An interactive session over CSV + rules files, mirroring the
+/// Prolog prototype's command loop (§6.3). Commands on stdin:
+///
+/// ```text
+/// setup_extkey a,b,c     -- install an extended key and verify
+/// candidates             -- list candidate extended-key attributes
+/// print_matchtable
+/// print_integ_table
+/// print_rr / print_ss    -- the extended relations
+/// quit
+/// ```
+fn cmd_session(args: &[String]) -> Result<(), String> {
+    use std::io::BufRead;
+
+    let flags = parse_flags(args, &["r", "r-key", "s", "s-key", "rules"], &[])?;
+    let r_path = required(&flags, "r")?;
+    let s_path = required(&flags, "s")?;
+    let r_key: Vec<&str> = required(&flags, "r-key")?.split(',').collect();
+    let s_key: Vec<&str> = required(&flags, "s-key")?.split(',').collect();
+    let rules_path = required(&flags, "rules")?;
+
+    let r_text = std::fs::read_to_string(r_path).map_err(|e| format!("{r_path}: {e}"))?;
+    let s_text = std::fs::read_to_string(s_path).map_err(|e| format!("{s_path}: {e}"))?;
+    let rules_text =
+        std::fs::read_to_string(rules_path).map_err(|e| format!("{rules_path}: {e}"))?;
+    let r = from_csv_inferred("R", &r_text, &r_key).map_err(|e| format!("{r_path}: {e}"))?;
+    let s = from_csv_inferred("S", &s_text, &s_key).map_err(|e| format!("{s_path}: {e}"))?;
+    let rules = parse_rules(&rules_text).map_err(|e| format!("{rules_path}:{e}"))?;
+
+    let mut session = entity_id::core::session::Session::new(r, s, rules.ilfds());
+    println!("eid session — type `candidates`, `setup_extkey a,b`, `print_matchtable`,");
+    println!("`print_integ_table`, `print_rr`, `print_ss`, or `quit`.");
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let line = line.trim();
+        let (cmd, arg) = match line.split_once(' ') {
+            Some((c, a)) => (c, a.trim()),
+            None => (line, ""),
+        };
+        let outcome = match cmd {
+            "" => Ok(String::new()),
+            "quit" | "exit" => break,
+            "candidates" => Ok(format!(
+                "candidate attributes: {}",
+                session
+                    .candidate_attributes()
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )),
+            "setup_extkey" => {
+                let attrs: Vec<&str> = arg.split(',').map(str::trim).collect();
+                session
+                    .setup_extended_key(&attrs)
+                    .map(|rep| rep.message.to_string())
+                    .map_err(|e| e.to_string())
+            }
+            "print_matchtable" => session.matching_table_display().map_err(|e| e.to_string()),
+            "print_integ_table" => {
+                session.integrated_table_display().map_err(|e| e.to_string())
+            }
+            "print_rr" => session.extended_r_display().map_err(|e| e.to_string()),
+            "print_ss" => session.extended_s_display().map_err(|e| e.to_string()),
+            other => Err(format!("unknown command `{other}`")),
+        };
+        match outcome {
+            Ok(text) if text.is_empty() => {}
+            Ok(text) => println!("{text}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_demo() -> Result<(), String> {
+    let (r, s, key, ilfds) = restaurant::example3();
+    println!("{}", render_default("R (Table 5)", &r));
+    println!("{}", render_default("S (Table 5)", &s));
+    let outcome = EntityMatcher::new(r.clone(), s.clone(), MatchConfig::new(key.clone(), ilfds))
+        .map_err(|e| e.to_string())?
+        .run()
+        .map_err(|e| e.to_string())?;
+    outcome.verify().map_err(|e| e.to_string())?;
+    println!(
+        "{}",
+        render_default(
+            "matching table (Table 7)",
+            &outcome.matching.to_relation("MT").map_err(|e| e.to_string())?
+        )
+    );
+    let table = IntegratedTable::build(&r, &s, &outcome, &key).map_err(|e| e.to_string())?;
+    println!("{}", render_default("integrated table (§6.3)", table.relation()));
+    Ok(())
+}

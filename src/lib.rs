@@ -1,0 +1,53 @@
+//! # `entity-id` — Entity Identification in Database Integration
+//!
+//! A Rust implementation of Lim, Srivastava, Prabhakar & Richardson,
+//! *"Entity Identification in Database Integration"* (ICDE 1993;
+//! extended version in Information Sciences 89, 1996): sound entity
+//! identification across autonomous databases whose relations share
+//! **no common candidate key**, via *extended keys* and
+//! *instance-level functional dependencies* (ILFDs).
+//!
+//! This crate is a facade re-exporting the workspace:
+//!
+//! * [`relational`] — the relational substrate (values with NULL,
+//!   schemas, candidate-key-enforcing relations, algebra);
+//! * [`ilfd`] — ILFD theory (Armstrong axioms, closures, derivation,
+//!   ILFD tables, the FD bridge);
+//! * [`rules`] — identity/distinctness rules and extended keys;
+//! * [`core`] — the entity-identification engine (matcher, matching
+//!   tables, integrated table, prototype session);
+//! * [`baselines`] — the five §2.2 baseline techniques;
+//! * [`datagen`] — paper fixtures and the synthetic integrated-world
+//!   generator.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use entity_id::prelude::*;
+//!
+//! // The paper's Example 3: restaurants in two databases.
+//! let (r, s, key, ilfds) = entity_id::datagen::restaurant::example3();
+//! let outcome = EntityMatcher::new(r, s, MatchConfig::new(key, ilfds))
+//!     .unwrap().run().unwrap();
+//! assert_eq!(outcome.matching.len(), 3);   // Table 7
+//! outcome.verify().unwrap();               // sound
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use eid_baselines as baselines;
+pub use eid_core as core;
+pub use eid_datagen as datagen;
+pub use eid_ilfd as ilfd;
+pub use eid_relational as relational;
+pub use eid_rules as rules;
+
+pub mod theory;
+
+/// The most commonly used types, one `use` away.
+pub mod prelude {
+    pub use eid_core::prelude::*;
+    pub use eid_ilfd::{Ilfd, IlfdSet};
+    pub use eid_relational::{AttrName, Relation, Schema, Tuple, Value};
+}

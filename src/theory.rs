@@ -1,0 +1,70 @@
+//! # Paper-to-API map
+//!
+//! Where each definition, proposition and construction of *Entity
+//! Identification in Database Integration* (Lim, Srivastava,
+//! Prabhakar & Richardson, ICDE 1993) lives in this workspace.
+//!
+//! ## §3 — the entity-identification problem
+//!
+//! | Paper concept | API |
+//! |---|---|
+//! | Candidate keys uniquely identify tuples (§3.1) | [`eid_relational::Schema`] + key enforcement in [`eid_relational::Relation::insert`] |
+//! | Value equivalence `a = b` vs entity equivalence `a ≡ b` | [`eid_relational::Value::non_null_eq`] vs [`eid_rules::MatchDecision`] |
+//! | Three-valued identification function (§3.2) | [`eid_rules::RuleBase::decide`] |
+//! | Matching table `MT_RS` / negative table `NMT_RS` | [`eid_core::match_table::PairTable`] |
+//! | Uniqueness constraint | [`eid_core::match_table::PairTable::verify_uniqueness`] |
+//! | Consistency constraint | [`eid_core::match_table::PairTable::verify_consistency`] |
+//! | Soundness / completeness | [`eid_core::metrics::Evaluation::is_sound`] / [`eid_core::metrics::Evaluation::completeness`] |
+//! | Identity rules + well-formedness side condition | [`eid_rules::IdentityRule`] (validated by an equality graph) |
+//! | Distinctness rules | [`eid_rules::DistinctnessRule`] |
+//! | Necessary in-relation constraints (§3.2) | [`eid_core::validate::validate_knowledge`] |
+//! | Monotonicity (§3.3, Figure 3) | [`eid_core::monotonic::KnowledgeSweep`], [`eid_core::partition::Partition`] |
+//!
+//! ## §4 — the proposed solution
+//!
+//! | Paper concept | API |
+//! |---|---|
+//! | Extended key `K_Ext` (minimal, `K₁ ∪ K₂ ∪ Ā`) | [`eid_rules::ExtendedKey`]; minimality via [`eid_rules::ExtendedKey::minimal_in`] and FD-based discovery via [`eid_rules::ExtendedKey::suggest_from_fds`] |
+//! | Extended-key equivalence | [`eid_rules::ExtendedKey::identity_rule`] |
+//! | ILFD definition | [`eid_ilfd::Ilfd`] |
+//! | Deriving missing key values from ILFDs | [`eid_ilfd::derive::derive_tuple`] (first-match-with-cut and fixpoint) |
+//! | Proposition 1 (ILFD ⇄ distinctness rule) | [`eid_rules::DistinctnessRule::from_ilfd`] / [`eid_rules::DistinctnessRule::to_ilfd`] |
+//! | Matching-table construction (§4.2, steps 1–3) | [`eid_core::matcher::EntityMatcher::run`] |
+//! | The same construction as relational expressions over ILFD tables | [`eid_core::algebra_pipeline::run`] with [`eid_ilfd::tables::IlfdTable`] |
+//! | Integrated table `T_RS = MT ⋈ R ⟗ S` | [`eid_core::integrate::IntegratedTable`] |
+//! | "A `T_RS` tuple can possibly match another…" | [`eid_core::integrate::IntegratedTable::possibly_same`] |
+//!
+//! ## §5 — formal properties of ILFDs
+//!
+//! | Paper result | API |
+//! |---|---|
+//! | Propositional reading of ILFDs | [`eid_ilfd::PropSymbol`], [`eid_ilfd::SymbolSet`] |
+//! | Armstrong's axioms for ILFDs | [`eid_ilfd::axioms::Derivation`] (reflexivity / augmentation / transitivity constructors) |
+//! | Lemma 2 (union, pseudo-transitivity, decomposition) | [`eid_ilfd::axioms::Derivation::union_rule`] etc., built from the primitives |
+//! | Theorem 1 (soundness + completeness) | [`eid_ilfd::closure::implies`] (decision) + [`eid_ilfd::axioms::prove`] (constructive completeness) |
+//! | Closure `X⁺_F` ("relatively easier") | [`eid_ilfd::closure::symbol_closure`] (linear counter algorithm; naive oracle: [`eid_ilfd::closure::symbol_closure_naive`]) |
+//! | `F⁺` ("expensive to compute") | [`eid_ilfd::closure::enumerate_closure`] (bounded) |
+//! | ILFDs as program clauses (Lloyd) | [`eid_ilfd::horn::HornProgram`] (forward chaining and SLD) |
+//! | Proposition 2 (ILFD family ⇒ FD) | [`eid_ilfd::fd::fd_from_ilfd_family`] |
+//! | FD theory used for comparison | [`eid_ilfd::fd`] (closure, implication, satisfaction, candidate keys) |
+//!
+//! ## §6 — the prototype
+//!
+//! | Prototype behaviour | API |
+//! |---|---|
+//! | `setup_extkey` + verification messages | [`eid_core::session::Session::setup_extended_key`], [`eid_core::session::MSG_VERIFIED`], [`eid_core::session::MSG_UNSOUND`] |
+//! | NULL default after all ILFDs fail; `non_null_eq` | [`eid_ilfd::Strategy::FirstMatch`]; [`eid_relational::Value::non_null_eq`] |
+//! | `print_matchtable` / `print_integ_table` / `print_RRtable` | [`eid_core::session::Session`] display methods + [`eid_relational::display`] |
+//! | The interactive loop, over files | the `eid session` CLI command |
+//!
+//! ## §2 context and §7 outlook
+//!
+//! | Paper remark | API |
+//! |---|---|
+//! | The five existing approaches (§2.2) | [`eid_baselines`] |
+//! | Attribute-value conflicts "resolved only after entity identification" | [`eid_core::conflict`] |
+//! | Federated updates ⇒ re-identification (§2) | [`eid_core::incremental::IncrementalMatcher`] |
+//! | Virtual integration processes at query time (§2, §7) | [`eid_core::virtual_view::VirtualView`] |
+//! | Knowledge "supplied as more … is gained" (§3.2) | [`eid_core::incremental::IncrementalMatcher::add_ilfd`] |
+
+// This module is documentation-only.

@@ -1,0 +1,115 @@
+//! Property tests for the relational algebra: the laws the §4.2
+//! pipeline silently relies on (join symmetry, semi/anti partition,
+//! outer-join row accounting, projection idempotence) on randomized
+//! relations with NULLs.
+
+use proptest::prelude::*;
+
+use entity_id::relational::{algebra, AttrName, Relation, Schema, Tuple, Value};
+
+/// A random two-column relation with NULLs and small value domains
+/// (to force joins, duplicates and NULL paths).
+fn arb_relation(name: &'static str) -> impl Strategy<Value = Relation> {
+    prop::collection::vec(
+        (prop::option::of(0..4i64), prop::option::of(0..3i64)),
+        0..12,
+    )
+    .prop_map(move |rows| {
+        let schema = Schema::new(
+            name,
+            vec![
+                entity_id::relational::Attribute::int("k"),
+                entity_id::relational::Attribute::int("v"),
+            ],
+            vec![],
+        )
+        .unwrap();
+        let mut rel = Relation::new_unchecked(schema);
+        for (k, v) in rows {
+            rel.insert(Tuple::new(vec![
+                k.map(Value::int).unwrap_or(Value::Null),
+                v.map(Value::int).unwrap_or(Value::Null),
+            ]))
+            .unwrap();
+        }
+        rel
+    })
+}
+
+fn on() -> [(AttrName, AttrName); 1] {
+    [(AttrName::new("k"), AttrName::new("k"))]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// |A ⋈ B| = |B ⋈ A| (join cardinality is symmetric).
+    #[test]
+    fn equi_join_cardinality_symmetric(a in arb_relation("A"), b in arb_relation("B")) {
+        let ab = algebra::equi_join(&a, &b, &on()).unwrap();
+        let ba = algebra::equi_join(&b, &a, &on()).unwrap();
+        prop_assert_eq!(ab.len(), ba.len());
+    }
+
+    /// Semi-join + anti-join partition the left relation.
+    #[test]
+    fn semi_anti_partition(a in arb_relation("A"), b in arb_relation("B")) {
+        let semi = algebra::semi_join(&a, &b, &on()).unwrap();
+        let anti = algebra::anti_join(&a, &b, &on()).unwrap();
+        // Set semantics: duplicates collapse in anti (difference), so
+        // compare as sets against the deduplicated left side.
+        let dedup_a = algebra::union(&a, &a).unwrap();
+        let dedup_semi = algebra::union(&semi, &semi).unwrap();
+        let rejoined = algebra::union(&dedup_semi, &anti).unwrap();
+        prop_assert!(rejoined.same_tuples(&dedup_a));
+    }
+
+    /// Full outer join accounts for every input tuple: its row count
+    /// is |A ⋈ B| + |dangling A| + |dangling B|, and at least
+    /// max(|A|, |B|).
+    #[test]
+    fn full_outer_join_accounting(a in arb_relation("A"), b in arb_relation("B")) {
+        let inner = algebra::equi_join(&a, &b, &on()).unwrap();
+        let full = algebra::outer_join(&a, &b, &on(), algebra::JoinSide::Full).unwrap();
+        let left = algebra::outer_join(&a, &b, &on(), algebra::JoinSide::Left).unwrap();
+        let right = algebra::outer_join(&a, &b, &on(), algebra::JoinSide::Right).unwrap();
+        prop_assert!(full.len() >= a.len().max(b.len()));
+        // full = inner + (left − inner) + (right − inner)
+        prop_assert_eq!(
+            full.len(),
+            inner.len() + (left.len() - inner.len()) + (right.len() - inner.len())
+        );
+    }
+
+    /// Projection is idempotent and never grows the relation.
+    #[test]
+    fn projection_idempotent(a in arb_relation("A")) {
+        let attrs = [AttrName::new("k")];
+        let p1 = algebra::project(&a, &attrs).unwrap();
+        let p2 = algebra::project(&p1, &attrs).unwrap();
+        prop_assert!(p1.same_tuples(&p2));
+        prop_assert!(p1.len() <= a.len());
+    }
+
+    /// Union is commutative and difference-consistent:
+    /// (A ∪ B) − B ⊆ A.
+    #[test]
+    fn union_difference_laws(a in arb_relation("A"), b in arb_relation("B")) {
+        let ab = algebra::union(&a, &b).unwrap();
+        let ba = algebra::union(&b, &a).unwrap();
+        prop_assert!(ab.same_tuples(&ba));
+        let diff = algebra::difference(&ab, &b).unwrap();
+        for t in diff.iter() {
+            prop_assert!(a.tuples().contains(t));
+        }
+    }
+
+    /// NULL keys never join, in any operator.
+    #[test]
+    fn nulls_never_join_anywhere(a in arb_relation("A"), b in arb_relation("B")) {
+        let semi = algebra::semi_join(&a, &b, &on()).unwrap();
+        prop_assert!(semi.iter().all(|t| !t.get(0).is_null()));
+        let inner = algebra::equi_join(&a, &b, &on()).unwrap();
+        prop_assert!(inner.iter().all(|t| !t.get(0).is_null()));
+    }
+}

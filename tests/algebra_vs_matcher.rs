@@ -1,0 +1,100 @@
+//! Experiment E8 — cross-validation of the two independent
+//! matching-table constructions: the rule-based [`EntityMatcher`] and
+//! the §4.2 relational-algebra pipeline over ILFD tables.
+
+use entity_id::core::algebra_pipeline;
+use entity_id::datagen::{generate, restaurant, GeneratorConfig};
+use entity_id::ilfd::tables::{ilfds_from_tables, paper_table8, tables_from_ilfds};
+use entity_id::prelude::*;
+
+/// Both constructions produce Table 7 on the paper workload.
+#[test]
+fn equivalent_on_example3() {
+    let (r, s, key, ilfds) = restaurant::example3();
+    let pipeline = algebra_pipeline::run(&r, &s, &key, &ilfds).unwrap();
+
+    let mut config = MatchConfig::new(key, ilfds);
+    config.strategy = DerivationStrategy::Fixpoint;
+    let matcher = EntityMatcher::new(r, s, config).unwrap().run().unwrap();
+
+    assert_eq!(pipeline.matching.len(), 3);
+    assert!(pipeline.matching.includes(&matcher.matching));
+    assert!(matcher.matching.includes(&pipeline.matching));
+}
+
+/// …and on synthetic workloads across seeds, sizes, coverages and
+/// homonym rates.
+#[test]
+fn equivalent_on_generated_workloads() {
+    for seed in [1, 2, 3] {
+        for coverage in [0.3, 0.7, 1.0] {
+            for homonym in [0.0, 0.25] {
+                let w = generate(&GeneratorConfig {
+                    n_entities: 80,
+                    ilfd_coverage: coverage,
+                    homonym_rate: homonym,
+                    seed,
+                    ..GeneratorConfig::default()
+                });
+                let pipeline =
+                    algebra_pipeline::run(&w.r, &w.s, &w.extended_key, &w.ilfds).unwrap();
+                let mut config = MatchConfig::new(w.extended_key.clone(), w.ilfds.clone());
+                config.strategy = DerivationStrategy::Fixpoint;
+                config.collect_negative = false;
+                let matcher = EntityMatcher::new(w.r.clone(), w.s.clone(), config)
+                    .unwrap()
+                    .run()
+                    .unwrap();
+                assert!(
+                    pipeline.matching.includes(&matcher.matching)
+                        && matcher.matching.includes(&pipeline.matching),
+                    "divergence at seed={seed} coverage={coverage} homonym={homonym}: \
+                     pipeline={} matcher={}",
+                    pipeline.matching.len(),
+                    matcher.matching.len()
+                );
+            }
+        }
+    }
+}
+
+/// Table 8: the ILFD-table representation round-trips to the same
+/// logical ILFD set.
+#[test]
+fn table_8_round_trip() {
+    let t8 = paper_table8();
+    assert_eq!(t8.len(), 4);
+    // As printed in the paper: speciality → cuisine rows.
+    let rows = t8.relation().sorted_tuples();
+    assert_eq!(rows[0], Tuple::of_strs(&["gyros", "greek"]));
+    assert_eq!(rows[1], Tuple::of_strs(&["hunan", "chinese"]));
+    assert_eq!(rows[2], Tuple::of_strs(&["mughalai", "indian"]));
+    assert_eq!(rows[3], Tuple::of_strs(&["sichuan", "chinese"]));
+}
+
+/// The whole I1–I8 set survives the relation representation (grouped
+/// into uniform tables and back).
+#[test]
+fn example3_ilfds_round_trip_through_tables() {
+    let ilfds = restaurant::example3_ilfds();
+    let tables = tables_from_ilfds(&ilfds).unwrap();
+    // Shapes: (speciality→cuisine), (name,street→speciality),
+    // (street→county), (name,county→speciality) = 4 tables.
+    assert_eq!(tables.len(), 4);
+    let back = ilfds_from_tables(&tables);
+    assert!(entity_id::ilfd::closure::equivalent(&ilfds, &back));
+}
+
+/// The pipeline derives through chains without being handed the
+/// derived ILFD explicitly (it re-derives the paper's I9 on the fly).
+#[test]
+fn pipeline_subsumes_derived_ilfds() {
+    let (r, s, key, ilfds) = restaurant::example3();
+    // Add I9 explicitly: the result must not change.
+    let mut with_i9 = ilfds.clone();
+    with_i9.insert(restaurant::ilfd_i9());
+    let without = algebra_pipeline::run(&r, &s, &key, &ilfds).unwrap();
+    let with = algebra_pipeline::run(&r, &s, &key, &with_i9).unwrap();
+    assert!(without.matching.includes(&with.matching));
+    assert!(with.matching.includes(&without.matching));
+}

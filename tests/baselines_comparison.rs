@@ -1,0 +1,135 @@
+//! Experiment S3 (deterministic slice) — the five §2.2 baselines vs
+//! the paper's ILFD technique on worlds with instance-level homonyms.
+//!
+//! The shape claim from the paper: techniques that guess (key
+//! equivalence on a non-key, probabilistic matching, heuristics) lose
+//! soundness as homonyms appear, while the ILFD technique stays sound
+//! (it simply leaves harder pairs undetermined).
+
+use entity_id::baselines::{
+    evaluate_technique, KeyEquivalence, ProbabilisticAttr, ProbabilisticKey, UserSpecified,
+};
+use entity_id::datagen::{generate, GeneratorConfig};
+use entity_id::prelude::*;
+
+fn homonym_world(homonym_rate: f64) -> entity_id::datagen::Workload {
+    generate(&GeneratorConfig {
+        n_entities: 120,
+        overlap: 0.6,
+        homonym_rate,
+        ilfd_coverage: 1.0,
+        noise: 0.1,
+        seed: 99,
+        ..GeneratorConfig::default()
+    })
+}
+
+fn ilfd_eval(w: &entity_id::datagen::Workload) -> Evaluation {
+    let outcome = EntityMatcher::new(
+        w.r.clone(),
+        w.s.clone(),
+        MatchConfig::new(w.extended_key.clone(), w.ilfds.clone()),
+    )
+    .unwrap()
+    .run()
+    .unwrap();
+    Evaluation::compute(
+        &w.truth,
+        &outcome.matching,
+        &outcome.negative,
+        w.r.len() * w.s.len(),
+    )
+}
+
+/// With no homonyms, name matching happens to work; with homonyms it
+/// produces false matches while the ILFD technique stays sound.
+#[test]
+fn key_equivalence_breaks_under_homonyms_ilfd_does_not() {
+    let clean = homonym_world(0.0);
+    let dirty = homonym_world(0.35);
+
+    let naive = KeyEquivalence::new(&["name"], true);
+    let clean_eval = evaluate_technique(&naive, &clean.r, &clean.s, &clean.truth);
+    assert_eq!(clean_eval.false_matches, 0, "no homonyms → no false matches");
+
+    let dirty_eval = evaluate_technique(&naive, &dirty.r, &dirty.s, &dirty.truth);
+    assert!(
+        dirty_eval.false_matches > 0,
+        "homonyms must break name matching: {dirty_eval:?}"
+    );
+
+    let ilfd = ilfd_eval(&dirty);
+    assert!(ilfd.is_sound(), "{ilfd:?}");
+    assert_eq!(ilfd.match_recall(), 1.0);
+}
+
+/// The probabilistic techniques trade soundness for coverage: on
+/// noisy, homonym-ridden worlds they admit erroneous matches.
+#[test]
+fn probabilistic_techniques_admit_errors() {
+    let w = homonym_world(0.35);
+
+    let prob_key = ProbabilisticKey::new(&["name"], 0.6, 0.1);
+    let pk = evaluate_technique(&prob_key, &w.r, &w.s, &w.truth);
+    assert!(pk.false_matches > 0, "{pk:?}");
+
+    let prob_attr = ProbabilisticAttr::uniform(0.9, 0.2);
+    let pa = evaluate_technique(&prob_attr, &w.r, &w.s, &w.truth);
+    // Common attributes are (name, city): homonym pairs in the same
+    // city agree on everything common → false matches.
+    assert!(pa.false_matches > 0, "{pa:?}");
+}
+
+/// A perfectly maintained user table is sound and complete — the
+/// oracle upper bound — but thinning it (partial maintenance) loses
+/// completeness while keeping soundness.
+#[test]
+fn user_table_oracle_and_partial_maintenance() {
+    let w = homonym_world(0.2);
+    let full = UserSpecified::from_truth(
+        w.truth.iter().cloned(),
+        vec![0, 2], // (name, street) positions in R
+        vec![0, 1], // (name, speciality) positions in S
+    );
+    let full_eval = evaluate_technique(&full, &w.r, &w.s, &w.truth);
+    assert!(full_eval.is_sound());
+    assert_eq!(full_eval.completeness(), 1.0);
+    assert_eq!(full_eval.match_recall(), 1.0);
+
+    let mut k = 0;
+    let half = full.thin(|_| {
+        k += 1;
+        k % 2 == 0
+    });
+    let half_eval = evaluate_technique(&half, &w.r, &w.s, &w.truth);
+    assert!(half_eval.is_sound());
+    assert!(half_eval.match_recall() < 1.0);
+    assert!(half_eval.completeness() < 1.0);
+}
+
+/// The central comparison: across homonym rates, only the ILFD
+/// technique (and the oracle) keep precision 1.0.
+#[test]
+fn precision_across_homonym_rates() {
+    for rate in [0.0, 0.15, 0.3] {
+        let w = homonym_world(rate);
+        let ilfd = ilfd_eval(&w);
+        assert_eq!(
+            ilfd.match_precision(),
+            1.0,
+            "ILFD precision dropped at homonym rate {rate}"
+        );
+        let naive = evaluate_technique(
+            &KeyEquivalence::new(&["name"], true),
+            &w.r,
+            &w.s,
+            &w.truth,
+        );
+        if rate > 0.0 {
+            assert!(
+                naive.match_precision() < 1.0,
+                "expected naive precision < 1 at rate {rate}"
+            );
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! The S3 soundness comparison on the *second* domain — integrated
+//! billing (paper §1's U.S. West / AT&T motivation) — confirming the
+//! technique ranking is not an artifact of the restaurant generator.
+
+use entity_id::baselines::{evaluate_technique, KeyEquivalence, ProbabilisticAttr};
+use entity_id::datagen::{generate_billing, BillingConfig};
+use entity_id::prelude::*;
+
+fn world() -> entity_id::datagen::BillingWorkload {
+    generate_billing(&BillingConfig {
+        n_lines: 150,
+        n_customers: 40, // few customers ⇒ many multi-region homonyms
+        overlap: 0.7,
+        ilfd_coverage: 1.0,
+        seed: 77,
+        ..BillingConfig::default()
+    })
+}
+
+#[test]
+fn ilfd_technique_is_sound_and_total_on_billing() {
+    let w = world();
+    let outcome = EntityMatcher::new(
+        w.local.clone(),
+        w.long_dist.clone(),
+        MatchConfig::new(w.extended_key.clone(), w.ilfds.clone()),
+    )
+    .unwrap()
+    .run()
+    .unwrap();
+    outcome.verify().unwrap();
+    let e = Evaluation::compute(
+        &w.truth,
+        &outcome.matching,
+        &outcome.negative,
+        w.local.len() * w.long_dist.len(),
+    );
+    assert!(e.is_sound(), "{e:?}");
+    assert_eq!(e.match_recall(), 1.0, "{e:?}");
+}
+
+#[test]
+fn customer_name_matching_is_unsound_on_billing() {
+    let w = world();
+    // "Key equivalence" on the customer name — the naive join a
+    // billing-consolidation script would write.
+    let naive = KeyEquivalence::new(&["customer"], true);
+    let e = evaluate_technique(&naive, &w.local, &w.long_dist, &w.truth);
+    assert!(
+        e.false_matches > 0,
+        "multi-region customers must break name matching: {e:?}"
+    );
+    assert!(e.match_precision() < 1.0);
+}
+
+#[test]
+fn attribute_equivalence_cannot_separate_multi_region_lines() {
+    let w = world();
+    // Common attributes of Local and LongDist: only `customer` — so
+    // comparison values degenerate to name matching and inherit its
+    // false matches.
+    let prob = ProbabilisticAttr::uniform(0.9, 0.2);
+    let e = evaluate_technique(&prob, &w.local, &w.long_dist, &w.truth);
+    assert!(e.false_matches > 0, "{e:?}");
+}
+
+#[test]
+fn partial_exchange_knowledge_degrades_recall_not_precision() {
+    for coverage in [0.25, 0.5, 0.75] {
+        let w = generate_billing(&BillingConfig {
+            n_lines: 150,
+            n_customers: 40,
+            ilfd_coverage: coverage,
+            seed: 78,
+            ..BillingConfig::default()
+        });
+        let outcome = EntityMatcher::new(
+            w.local.clone(),
+            w.long_dist.clone(),
+            MatchConfig::new(w.extended_key.clone(), w.ilfds.clone()),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        let e = Evaluation::compute(
+            &w.truth,
+            &outcome.matching,
+            &outcome.negative,
+            w.local.len() * w.long_dist.len(),
+        );
+        assert_eq!(
+            e.match_precision(),
+            1.0,
+            "precision must not degrade at coverage {coverage}"
+        );
+        assert!(e.is_sound());
+    }
+    // And recall grows with coverage.
+    let recalls: Vec<f64> = [0.25, 0.75]
+        .iter()
+        .map(|&coverage| {
+            let w = generate_billing(&BillingConfig {
+                n_lines: 150,
+                n_customers: 40,
+                ilfd_coverage: coverage,
+                seed: 78,
+                ..BillingConfig::default()
+            });
+            let outcome = EntityMatcher::new(
+                w.local.clone(),
+                w.long_dist.clone(),
+                MatchConfig::new(w.extended_key.clone(), w.ilfds.clone()),
+            )
+            .unwrap()
+            .run()
+            .unwrap();
+            Evaluation::compute(
+                &w.truth,
+                &outcome.matching,
+                &outcome.negative,
+                w.local.len() * w.long_dist.len(),
+            )
+            .match_recall()
+        })
+        .collect();
+    assert!(recalls[1] > recalls[0], "{recalls:?}");
+}
+
+#[test]
+fn incremental_matcher_handles_billing_feed() {
+    use entity_id::core::incremental::{IncrementalMatcher, SideSel};
+    let w = world();
+    // Replay the long-distance side as a live feed.
+    let empty_ld = Relation::new(w.long_dist.schema().clone());
+    let mut m = IncrementalMatcher::new(
+        w.local.clone(),
+        empty_ld,
+        MatchConfig::new(w.extended_key.clone(), w.ilfds.clone()),
+    )
+    .unwrap();
+    let mut total_new = 0;
+    for t in w.long_dist.iter() {
+        let d = m.insert(SideSel::S, t.clone()).unwrap();
+        total_new += d.new_matches.len();
+    }
+    // Every true pair was discovered exactly once, online.
+    assert_eq!(total_new, w.truth.len());
+    m.verify().unwrap();
+}

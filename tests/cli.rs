@@ -1,0 +1,243 @@
+//! End-to-end tests of the `eid` command-line tool: CSV + rule files
+//! in, prototype-style tables out.
+
+use std::io::Write;
+use std::process::Command;
+
+fn eid() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_eid"))
+}
+
+struct Fixture {
+    dir: std::path::PathBuf,
+}
+
+impl Fixture {
+    fn new(tag: &str) -> Fixture {
+        let dir = std::env::temp_dir().join(format!("eid-cli-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        Fixture { dir }
+    }
+
+    fn write(&self, name: &str, contents: &str) -> String {
+        let path = self.dir.join(name);
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(contents.as_bytes()).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+const R_CSV: &str = "name,cuisine,street\n\
+twincities,chinese,co_b2\n\
+twincities,indian,co_b3\n\
+itsgreek,greek,front_ave\n\
+anjuman,indian,le_salle_ave\n\
+villagewok,chinese,wash_ave\n";
+
+const S_CSV: &str = "name,speciality,county\n\
+twincities,hunan,roseville\n\
+twincities,sichuan,hennepin\n\
+itsgreek,gyros,ramsey\n\
+anjuman,mughalai,minneapolis\n";
+
+const RULES: &str = "\
+speciality = hunan    -> cuisine = chinese\n\
+speciality = sichuan  -> cuisine = chinese\n\
+speciality = gyros    -> cuisine = greek\n\
+speciality = mughalai -> cuisine = indian\n\
+name = twincities & street = co_b2     -> speciality = hunan\n\
+name = anjuman & street = le_salle_ave -> speciality = mughalai\n\
+street = front_ave                     -> county = ramsey\n\
+name = itsgreek & county = ramsey      -> speciality = gyros\n";
+
+#[test]
+fn match_command_reproduces_example3() {
+    let fx = Fixture::new("match");
+    let r = fx.write("r.csv", R_CSV);
+    let s = fx.write("s.csv", S_CSV);
+    let rules = fx.write("knowledge.rules", RULES);
+    let out = eid()
+        .args([
+            "match", "--r", &r, "--r-key", "name,cuisine", "--s", &s, "--s-key",
+            "name,speciality", "--rules", &rules, "--key", "name,cuisine,speciality",
+            "--integrated",
+        ])
+        .output()
+        .expect("run eid");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Message: The extended key is verified."));
+    assert!(text.contains("matching table"));
+    assert!(text.contains("anjuman"));
+    assert!(text.contains("integrated table"));
+    assert!(text.contains("null"));
+    assert!(text.contains("matching: 3"));
+}
+
+#[test]
+fn unsound_key_prints_warning_but_succeeds() {
+    let fx = Fixture::new("unsound");
+    let r = fx.write("r.csv", R_CSV);
+    let s = fx.write("s.csv", S_CSV);
+    let rules = fx.write("knowledge.rules", RULES);
+    let out = eid()
+        .args([
+            "match", "--r", &r, "--r-key", "name,cuisine", "--s", &s, "--s-key",
+            "name,speciality", "--rules", &rules, "--key", "name",
+        ])
+        .output()
+        .expect("run eid");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("unsound matching result"));
+}
+
+#[test]
+fn validate_reports_rule_counts_and_redundancy() {
+    let fx = Fixture::new("validate");
+    let rules = fx.write(
+        "k.rules",
+        "a = 1 -> b = 2\nb = 2 -> c = 3\na = 1 -> c = 3\n", // third is redundant
+    );
+    let out = eid().args(["validate", "--rules", &rules]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("3 ILFDs"));
+    assert!(text.contains("redundant"));
+    assert!(text.contains("minimal cover has 2"));
+}
+
+#[test]
+fn parse_errors_are_reported_with_position() {
+    let fx = Fixture::new("badrules");
+    let rules = fx.write("bad.rules", "speciality hunan -> cuisine = chinese\n");
+    let out = eid().args(["validate", "--rules", &rules]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("1:"), "{err}");
+}
+
+#[test]
+fn bad_csv_key_is_an_error() {
+    let fx = Fixture::new("badkey");
+    let r = fx.write("r.csv", R_CSV);
+    let s = fx.write("s.csv", S_CSV);
+    let rules = fx.write("k.rules", RULES);
+    let out = eid()
+        .args([
+            "match", "--r", &r, "--r-key", "nope", "--s", &s, "--s-key",
+            "name,speciality", "--rules", &rules, "--key", "name",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn demo_runs() {
+    let out = eid().arg("demo").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("matching table (Table 7)"));
+}
+
+#[test]
+fn unify_prints_conflicts() {
+    let fx = Fixture::new("unify");
+    // Shared `city` column that disagrees on the matched pair.
+    let r = fx.write(
+        "r.csv",
+        "name,cuisine,city\ntc,chinese,mpls\n",
+    );
+    let s = fx.write(
+        "s.csv",
+        "name,speciality,city\ntc,hunan,st_paul\n",
+    );
+    let rules = fx.write("k.rules", "speciality = hunan -> cuisine = chinese\n");
+    let out = eid()
+        .args([
+            "match", "--r", &r, "--r-key", "name,cuisine", "--s", &s, "--s-key",
+            "name,speciality", "--rules", &rules, "--key", "name,cuisine",
+            "--unify", "prefer-r",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("unified relation"));
+    assert!(text.contains("conflicts resolved"));
+    assert!(text.contains("city"));
+}
+
+#[test]
+fn unknown_flags_and_commands_fail_cleanly() {
+    let out = eid().args(["match", "--bogus", "x"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = eid().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let out = eid().arg("--help").output().unwrap();
+    assert!(out.status.success());
+}
+
+#[test]
+fn session_repl_runs_the_prototype_transcript() {
+    use std::io::Write as _;
+    use std::process::Stdio;
+    let fx = Fixture::new("session");
+    let r = fx.write("r.csv", R_CSV);
+    let s = fx.write("s.csv", S_CSV);
+    let rules = fx.write("knowledge.rules", RULES);
+    let mut child = eid()
+        .args([
+            "session", "--r", &r, "--r-key", "name,cuisine", "--s", &s, "--s-key",
+            "name,speciality", "--rules", &rules,
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn session");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(
+            b"candidates\nsetup_extkey name\nsetup_extkey name,cuisine,speciality\n\
+              print_matchtable\nprint_integ_table\nbogus_command\nquit\n",
+        )
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("candidate attributes: name"));
+    assert!(text.contains("unsound matching result"));
+    assert!(text.contains("The extended key is verified."));
+    assert!(text.contains("matching table"));
+    assert!(text.contains("integrated table"));
+    assert!(text.contains("unknown command `bogus_command`"));
+}
+
+#[test]
+fn match_warns_on_inconsistent_data() {
+    let fx = Fixture::new("warn");
+    // S's hunan tuple claims greek cuisine, contradicting the ILFD.
+    let r = fx.write("r.csv", "name,cuisine\ntc,chinese\n");
+    let s = fx.write("s.csv", "name,speciality,cuisine\ntc,hunan,greek\n");
+    let rules = fx.write("k.rules", "speciality = hunan -> cuisine = chinese\n");
+    let out = eid()
+        .args([
+            "match", "--r", &r, "--r-key", "name,cuisine", "--s", &s, "--s-key",
+            "name,speciality", "--rules", &rules, "--key", "name,cuisine",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("warning:"), "{text}");
+    assert!(text.contains("contradicts ILFD"), "{text}");
+}

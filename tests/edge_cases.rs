@@ -1,0 +1,269 @@
+//! Edge cases and failure injection across the whole stack: empty
+//! inputs, degenerate keys, contradictory knowledge, unicode values,
+//! and self-integration.
+
+use entity_id::core::algebra_pipeline;
+use entity_id::core::conflict::{unify, ConflictPolicy};
+use entity_id::core::integrate::IntegratedTable;
+use entity_id::prelude::*;
+use entity_id::relational::{Schema, Value};
+use entity_id::rules::{CmpOp, Predicate, Side};
+
+fn empty_pair() -> (Relation, Relation) {
+    (
+        Relation::new(Schema::of_strs("R", &["name", "cuisine"], &["name"]).unwrap()),
+        Relation::new(Schema::of_strs("S", &["name", "speciality"], &["name"]).unwrap()),
+    )
+}
+
+#[test]
+fn empty_relations_produce_empty_everything() {
+    let (r, s) = empty_pair();
+    let config = MatchConfig::new(ExtendedKey::of_strs(&["name", "cuisine"]), IlfdSet::new());
+    let outcome = EntityMatcher::new(r.clone(), s.clone(), config.clone())
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(outcome.matching.is_empty());
+    assert!(outcome.negative.is_empty());
+    assert_eq!(outcome.undetermined, 0);
+    assert!(outcome.is_complete()); // vacuously
+    outcome.verify().unwrap();
+
+    let t = IntegratedTable::build(&r, &s, &outcome, &config.extended_key).unwrap();
+    assert!(t.is_empty());
+    let u = unify(&r, &s, &outcome, ConflictPolicy::Null).unwrap();
+    assert!(u.relation.is_empty());
+    assert!(u.conflicts.is_empty());
+}
+
+#[test]
+fn one_sided_workload_is_all_dangling() {
+    let (mut r, s) = empty_pair();
+    r.insert_strs(&["a", "chinese"]).unwrap();
+    r.insert_strs(&["b", "greek"]).unwrap();
+    let config = MatchConfig::new(ExtendedKey::of_strs(&["name", "cuisine"]), IlfdSet::new());
+    let outcome = EntityMatcher::new(r.clone(), s.clone(), config.clone())
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(outcome.matching.is_empty());
+    let t = IntegratedTable::build(&r, &s, &outcome, &config.extended_key).unwrap();
+    assert_eq!(t.len(), 2);
+}
+
+#[test]
+fn contradictory_ilfds_first_match_picks_first_fixpoint_reports() {
+    let (mut r, mut s) = empty_pair();
+    r.insert_strs(&["x", "chinese"]).unwrap();
+    s.insert_strs(&["x", "fusion"]).unwrap();
+    let ilfds: IlfdSet = vec![
+        Ilfd::of_strs(&[("speciality", "fusion")], &[("cuisine", "chinese")]),
+        Ilfd::of_strs(&[("speciality", "fusion")], &[("cuisine", "indian")]),
+    ]
+    .into_iter()
+    .collect();
+    let mut config = MatchConfig::new(ExtendedKey::of_strs(&["name", "cuisine"]), ilfds);
+
+    // First-match commits to chinese → matches.
+    let outcome = EntityMatcher::new(r.clone(), s.clone(), config.clone())
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(outcome.matching.len(), 1);
+
+    // Fixpoint refuses to guess: cuisine stays NULL and the conflict
+    // is reported per tuple.
+    config.strategy = DerivationStrategy::Fixpoint;
+    let outcome = EntityMatcher::new(r, s, config).unwrap().run().unwrap();
+    assert_eq!(outcome.matching.len(), 0);
+    assert!(!outcome.extended_s.is_clean());
+    assert_eq!(outcome.extended_s.reports[0].conflicts.len(), 1);
+}
+
+#[test]
+fn mutually_inconsistent_rules_show_up_as_consistency_violation() {
+    // An extra identity rule and the ILFD distinctness rule disagree.
+    let (mut r, mut s) = empty_pair();
+    r.insert_strs(&["x", "greek"]).unwrap();
+    s.insert_strs(&["x", "mughalai"]).unwrap();
+    let ilfds: IlfdSet = vec![Ilfd::of_strs(
+        &[("speciality", "mughalai")],
+        &[("cuisine", "indian")],
+    )]
+    .into_iter()
+    .collect();
+    let mut config = MatchConfig::new(ExtendedKey::of_strs(&["name", "cuisine"]), ilfds);
+    // DBA also (wrongly) asserts name equality is enough.
+    config.extra_rules.add_identity(
+        entity_id::rules::IdentityRule::new("name-eq", vec![Predicate::cross_eq("name")])
+            .unwrap(),
+    );
+    let outcome = EntityMatcher::new(r, s, config).unwrap().run().unwrap();
+    // The pair is in both tables; verification reports it.
+    assert_eq!(outcome.matching.len(), 1);
+    assert_eq!(outcome.negative.len(), 1);
+    assert!(matches!(
+        outcome.verify(),
+        Err(entity_id::core::CoreError::ConsistencyViolation { .. })
+    ));
+}
+
+#[test]
+fn unicode_values_survive_the_whole_pipeline() {
+    let (mut r, mut s) = empty_pair();
+    r.insert_strs(&["日本橋", "日本料理"]).unwrap();
+    s.insert_strs(&["日本橋", "寿司"]).unwrap();
+    let ilfds: IlfdSet = vec![Ilfd::of_strs(
+        &[("speciality", "寿司")],
+        &[("cuisine", "日本料理")],
+    )]
+    .into_iter()
+    .collect();
+    let config = MatchConfig::new(ExtendedKey::of_strs(&["name", "cuisine"]), ilfds);
+    let outcome = EntityMatcher::new(r.clone(), s.clone(), config.clone())
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(outcome.matching.len(), 1);
+    // CSV round trip too.
+    let text = entity_id::relational::csv::to_csv(&r);
+    let back = entity_id::relational::csv::from_csv(r.schema().clone(), &text).unwrap();
+    assert!(r.same_tuples(&back));
+}
+
+#[test]
+fn extended_key_attribute_unknown_to_both_sides_never_matches() {
+    let (mut r, mut s) = empty_pair();
+    r.insert_strs(&["a", "chinese"]).unwrap();
+    s.insert_strs(&["a", "hunan"]).unwrap();
+    // `galaxy` exists nowhere and no ILFD derives it.
+    let config = MatchConfig::new(
+        ExtendedKey::of_strs(&["name", "galaxy"]),
+        IlfdSet::new(),
+    );
+    let outcome = EntityMatcher::new(r, s, config).unwrap().run().unwrap();
+    assert!(outcome.matching.is_empty());
+    assert_eq!(outcome.undetermined, 1);
+}
+
+#[test]
+fn self_integration_matches_every_tuple_to_itself() {
+    // Integrating a relation with a copy of itself: every tuple pairs
+    // with its twin, uniqueness holds.
+    let schema = Schema::of_strs("R", &["name", "cuisine"], &["name", "cuisine"]).unwrap();
+    let mut r = Relation::new(schema.clone());
+    r.insert_strs(&["a", "chinese"]).unwrap();
+    r.insert_strs(&["b", "greek"]).unwrap();
+    let s = {
+        let mut s = Relation::new(schema.renamed("S"));
+        for t in r.iter() {
+            s.insert(t.clone()).unwrap();
+        }
+        s
+    };
+    let config = MatchConfig::new(ExtendedKey::of_strs(&["name", "cuisine"]), IlfdSet::new());
+    let outcome = EntityMatcher::new(r, s, config).unwrap().run().unwrap();
+    assert_eq!(outcome.matching.len(), 2);
+    outcome.verify().unwrap();
+}
+
+#[test]
+fn ordering_predicates_in_distinctness_rules() {
+    // "A restaurant seating fewer than 10 cannot be the banquet hall":
+    // numeric ordering comparisons in a distinctness rule.
+    let r_schema = Schema::new(
+        "R",
+        vec![
+            entity_id::relational::Attribute::str("name"),
+            entity_id::relational::Attribute::int("seats"),
+        ],
+        vec![vec!["name".into()]],
+    )
+    .unwrap();
+    let s_schema = Schema::new(
+        "S",
+        vec![
+            entity_id::relational::Attribute::str("name"),
+            entity_id::relational::Attribute::int("min_capacity"),
+        ],
+        vec![vec!["name".into()]],
+    )
+    .unwrap();
+    let mut r = Relation::new(r_schema);
+    r.insert(Tuple::new(vec![Value::str("tiny"), Value::int(8)]))
+        .unwrap();
+    let mut s = Relation::new(s_schema);
+    s.insert(Tuple::new(vec![Value::str("tiny"), Value::int(100)]))
+        .unwrap();
+
+    let rule = entity_id::rules::DistinctnessRule::new(
+        "capacity",
+        vec![Predicate::new(
+            entity_id::rules::Operand::attr(Side::E1, "seats"),
+            CmpOp::Lt,
+            entity_id::rules::Operand::attr(Side::E2, "min_capacity"),
+        )],
+    )
+    .unwrap();
+    let mut config = MatchConfig::new(ExtendedKey::of_strs(&["name"]), IlfdSet::new());
+    config.extra_rules.add_distinctness(rule);
+    let outcome = EntityMatcher::new(r, s, config).unwrap().run().unwrap();
+    // Same name, but the distinctness rule fires and wins the pair
+    // into NMT; name-only identity also fires → consistency violation
+    // caught by verify, as the knowledge is contradictory.
+    assert_eq!(outcome.negative.len(), 1);
+}
+
+#[test]
+fn algebra_pipeline_on_empty_inputs() {
+    let (r, s) = empty_pair();
+    let out = algebra_pipeline::run(
+        &r,
+        &s,
+        &ExtendedKey::of_strs(&["name", "cuisine"]),
+        &IlfdSet::new(),
+    )
+    .unwrap();
+    assert!(out.matching.is_empty());
+}
+
+#[test]
+fn null_heavy_relation_never_matches_on_null() {
+    let schema = Schema::of_strs("R", &["name", "cuisine"], &["name"]).unwrap();
+    let mut r = Relation::new(schema.clone());
+    r.insert(Tuple::new(vec![Value::str("a"), Value::Null]))
+        .unwrap();
+    let mut s = Relation::new(
+        Schema::of_strs("S", &["name", "cuisine"], &["name"]).unwrap(),
+    );
+    s.insert(Tuple::new(vec![Value::str("b"), Value::Null]))
+        .unwrap();
+    let config = MatchConfig::new(ExtendedKey::of_strs(&["cuisine"]), IlfdSet::new());
+    let outcome = EntityMatcher::new(r, s, config).unwrap().run().unwrap();
+    // NULL = NULL must never match (non-NULL equality).
+    assert!(outcome.matching.is_empty());
+}
+
+#[test]
+fn very_wide_extended_key() {
+    // 12 key attributes, all shared.
+    let attrs: Vec<String> = (0..12).map(|i| format!("a{i}")).collect();
+    let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+    let schema = Schema::of_strs("R", &attr_refs, &attr_refs[..1]).unwrap();
+    let mut r = Relation::new(schema.clone());
+    let row: Vec<&str> = (0..12).map(|_| "v").collect();
+    let mut row_named = row.clone();
+    row_named[0] = "k1";
+    r.insert_strs(&row_named).unwrap();
+    let mut s = Relation::new(schema.renamed("S"));
+    let mut row2 = row.clone();
+    row2[0] = "k1";
+    s.insert_strs(&row2).unwrap();
+    let config = MatchConfig::new(
+        ExtendedKey::new(attrs.iter().map(|a| a.as_str().into())),
+        IlfdSet::new(),
+    );
+    let outcome = EntityMatcher::new(r, s, config).unwrap().run().unwrap();
+    assert_eq!(outcome.matching.len(), 1);
+}

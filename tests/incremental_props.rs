@@ -1,0 +1,160 @@
+//! Property-based validation of incremental maintenance: any
+//! interleaving of tuple insertions and ILFD additions leaves the
+//! incremental matcher in exactly the state a from-scratch batch run
+//! would produce, and never retracts a decision (§3.3 monotonicity).
+
+use proptest::prelude::*;
+
+use entity_id::core::incremental::{IncrementalMatcher, SideSel};
+use entity_id::core::matcher::{EntityMatcher, MatchConfig};
+use entity_id::ilfd::{Ilfd, IlfdSet};
+use entity_id::prelude::*;
+use entity_id::relational::Schema;
+
+/// The event alphabet for generated scripts.
+#[derive(Debug, Clone)]
+enum Event {
+    InsertR { name: u8, cuisine: u8, street: u8 },
+    InsertS { name: u8, speciality: u8, county: u8 },
+    AddIlfd { speciality: u8 },
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (0..6u8, 0..3u8, 0..16u8)
+            .prop_map(|(name, cuisine, street)| Event::InsertR { name, cuisine, street }),
+        (0..6u8, 0..9u8, 0..16u8)
+            .prop_map(|(name, speciality, county)| Event::InsertS { name, speciality, county }),
+        (0..9u8).prop_map(|speciality| Event::AddIlfd { speciality }),
+    ]
+}
+
+/// speciality i maps to cuisine i % 3 — the ILFD family.
+fn ilfd_for(speciality: u8) -> Ilfd {
+    Ilfd::of_strs(
+        &[("speciality", &format!("sp{speciality}"))],
+        &[("cuisine", &format!("cu{}", speciality % 3))],
+    )
+}
+
+fn schemas() -> (std::sync::Arc<Schema>, std::sync::Arc<Schema>) {
+    (
+        Schema::of_strs("R", &["name", "cuisine", "street"], &["name", "street"]).unwrap(),
+        Schema::of_strs(
+            "S",
+            &["name", "speciality", "county"],
+            &["name", "speciality", "county"],
+        )
+        .unwrap(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// After every event, incremental state == batch state.
+    #[test]
+    fn incremental_equals_batch_under_any_script(events in prop::collection::vec(arb_event(), 1..25)) {
+        let (r_schema, s_schema) = schemas();
+        let config = MatchConfig::new(
+            ExtendedKey::of_strs(&["name", "cuisine"]),
+            IlfdSet::new(),
+        );
+        let mut inc = IncrementalMatcher::new(
+            Relation::new(r_schema),
+            Relation::new(s_schema),
+            config.clone(),
+        ).unwrap();
+        let mut known_ilfds = IlfdSet::new();
+        let mut prev_matching = inc.matching().clone();
+        let mut prev_negative = inc.negative().clone();
+
+        for e in events {
+            match e {
+                Event::InsertR { name, cuisine, street } => {
+                    // Ignore key violations — scripts may repeat keys.
+                    let _ = inc.insert(SideSel::R, Tuple::of_strs(&[
+                        &format!("n{name}"), &format!("cu{cuisine}"), &format!("st{street}"),
+                    ]));
+                }
+                Event::InsertS { name, speciality, county } => {
+                    let _ = inc.insert(SideSel::S, Tuple::of_strs(&[
+                        &format!("n{name}"), &format!("sp{speciality}"), &format!("co{county}"),
+                    ]));
+                }
+                Event::AddIlfd { speciality } => {
+                    let ilfd = ilfd_for(speciality);
+                    known_ilfds.insert(ilfd.clone());
+                    inc.add_ilfd(ilfd).unwrap();
+                }
+            }
+            // Monotonicity: nothing retracted.
+            prop_assert!(inc.matching().includes(&prev_matching));
+            prop_assert!(inc.negative().includes(&prev_negative));
+            prev_matching = inc.matching().clone();
+            prev_negative = inc.negative().clone();
+
+            // Batch equivalence.
+            let (r, s) = inc.relations();
+            let mut c = config.clone();
+            c.ilfds = known_ilfds.clone();
+            let batch = EntityMatcher::new(r.clone(), s.clone(), c).unwrap().run().unwrap();
+            prop_assert!(
+                inc.matching().includes(&batch.matching)
+                    && batch.matching.includes(inc.matching()),
+                "matching diverged: inc={} batch={}",
+                inc.matching().len(), batch.matching.len()
+            );
+            prop_assert!(
+                inc.negative().includes(&batch.negative)
+                    && batch.negative.includes(inc.negative()),
+                "negative diverged: inc={} batch={}",
+                inc.negative().len(), batch.negative.len()
+            );
+            prop_assert_eq!(inc.undetermined(), batch.undetermined);
+        }
+    }
+}
+
+/// A deterministic long-script smoke test (faster to debug than the
+/// proptest when something breaks).
+#[test]
+fn long_interleaved_script() {
+    let (r_schema, s_schema) = schemas();
+    let config = MatchConfig::new(
+        ExtendedKey::of_strs(&["name", "cuisine"]),
+        IlfdSet::new(),
+    );
+    let mut inc = IncrementalMatcher::new(
+        Relation::new(r_schema),
+        Relation::new(s_schema),
+        config,
+    )
+    .unwrap();
+    for i in 0..30u8 {
+        let _ = inc.insert(
+            SideSel::R,
+            Tuple::of_strs(&[
+                &format!("n{}", i % 6),
+                &format!("cu{}", i % 3),
+                &format!("st{i}"),
+            ]),
+        );
+        let _ = inc.insert(
+            SideSel::S,
+            Tuple::of_strs(&[
+                &format!("n{}", (i + 1) % 6),
+                &format!("sp{}", i % 9),
+                &format!("co{i}"),
+            ]),
+        );
+        if i % 3 == 0 {
+            inc.add_ilfd(ilfd_for(i % 9)).unwrap();
+        }
+    }
+    // The state is internally consistent even if not verifiable
+    // (generated homonyms may make the key unsound — that is what
+    // verify() is for).
+    let _ = inc.verify();
+    assert!(inc.matching().len() + inc.negative().len() + inc.undetermined() > 0);
+}

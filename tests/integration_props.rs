@@ -1,0 +1,128 @@
+//! Property tests for the post-match layers: attribute-conflict
+//! unification and the virtual-integration view.
+
+use proptest::prelude::*;
+
+use entity_id::core::conflict::{detect_conflicts, unify, ConflictPolicy};
+use entity_id::core::virtual_view::{filter_integrated, Selection, VirtualView};
+use entity_id::datagen::{generate, GeneratorConfig};
+use entity_id::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
+    (10..60usize, 0.0..1.0f64, 0.0..0.3f64, 0.0..0.5f64, any::<u64>()).prop_map(
+        |(n, overlap, homonym, noise, seed)| GeneratorConfig {
+            n_entities: n,
+            overlap,
+            homonym_rate: homonym,
+            ilfd_coverage: 1.0,
+            noise,
+            n_specialities: 12,
+            n_cuisines: 5,
+            seed,
+        },
+    )
+}
+
+fn run(w: &entity_id::datagen::Workload) -> MatchOutcome {
+    EntityMatcher::new(
+        w.r.clone(),
+        w.s.clone(),
+        MatchConfig::new(w.extended_key.clone(), w.ilfds.clone()),
+    )
+    .unwrap()
+    .run()
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Unify invariants: row count is |R| + |S| − |MT|; with noise 0
+    /// there are no conflicts; every conflict is on the shared `city`
+    /// column; and the policy decides the surviving value.
+    #[test]
+    fn unify_invariants(config in arb_config()) {
+        let w = generate(&config);
+        let outcome = run(&w);
+        outcome.verify().unwrap();
+        let conflicts = detect_conflicts(&w.r, &w.s, &outcome).unwrap();
+        if config.noise == 0.0 {
+            prop_assert!(conflicts.is_empty());
+        }
+        for c in &conflicts {
+            prop_assert_eq!(c.attr.as_str(), "city");
+        }
+        for policy in [ConflictPolicy::PreferR, ConflictPolicy::PreferS, ConflictPolicy::Null] {
+            let u = unify(&w.r, &w.s, &outcome, policy).unwrap();
+            prop_assert_eq!(
+                u.relation.len(),
+                w.r.len() + w.s.len() - outcome.matching.len()
+            );
+            prop_assert_eq!(u.conflicts.len(), conflicts.len());
+        }
+        // Spot-check the policy semantics on the first conflict.
+        if let Some(c) = conflicts.first() {
+            let city = entity_id::relational::AttrName::new("city");
+            for (policy, expected) in [
+                (ConflictPolicy::PreferR, Some(c.r_value.clone())),
+                (ConflictPolicy::PreferS, Some(c.s_value.clone())),
+                (ConflictPolicy::Null, None),
+            ] {
+                let u = unify(&w.r, &w.s, &outcome, policy).unwrap();
+                // Find the merged row for this pair via its name+street
+                // (R's key is (name, street), both present unprefixed).
+                let schema = u.relation.schema().clone();
+                let name_pos = schema.position(&"name".into()).unwrap();
+                let street_pos = schema.position(&"street".into()).unwrap();
+                let row = u.relation.iter().find(|t| {
+                    t.get(name_pos) == c.r_key.get(0) && t.get(street_pos) == c.r_key.get(1)
+                }).expect("merged row present");
+                let got = row.value_of(&schema, &city).unwrap();
+                match expected {
+                    Some(v) => prop_assert_eq!(got, &v),
+                    None => prop_assert!(got.is_null()),
+                }
+            }
+        }
+    }
+
+    /// Virtual-view pushdown equals materialize-then-filter for
+    /// random equality selections (including empty results).
+    #[test]
+    fn virtual_view_equals_oracle(config in arb_config(), pick in any::<prop::sample::Index>()) {
+        let w = generate(&config);
+        let view = VirtualView::new(
+            w.r.clone(),
+            w.s.clone(),
+            MatchConfig::new(w.extended_key.clone(), w.ilfds.clone()),
+        );
+        let materialized = view.materialize().unwrap();
+
+        // Random selections drawn from the universe plus one miss.
+        let entity = &w.universe.tuples()[pick.index(w.universe.len())];
+        let selections: Vec<Vec<Selection>> = vec![
+            vec![Selection::eq("name", entity.get(0).clone())],
+            vec![Selection::eq("cuisine", entity.get(1).clone())],
+            vec![
+                Selection::eq("name", entity.get(0).clone()),
+                Selection::eq("cuisine", entity.get(1).clone()),
+            ],
+            vec![Selection::eq("name", "no_such_restaurant")],
+            // city is shared and non-key, and the generator's noise
+            // creates conflicts on it — the pushdown-safety regression.
+            vec![Selection::eq("city", entity.get(4).clone())],
+        ];
+        for sel in selections {
+            let fast = view.select(&sel).unwrap();
+            let oracle = filter_integrated(&materialized, &sel).unwrap();
+            prop_assert!(
+                fast.table.relation().same_tuples(oracle.relation()),
+                "divergence on {:?}: fast={} oracle={}",
+                sel, fast.table.len(), oracle.len()
+            );
+            // Pushdown never scans more than the full relations.
+            prop_assert!(fast.scanned_r <= w.r.len());
+            prop_assert!(fast.scanned_s <= w.s.len());
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Experiment E1 — the paper's Example 1 (Table 1).
+//!
+//! Demonstrates why naive common-attribute matching fails and how the
+//! extra semantic information the paper hints at ("restaurants have
+//! unique (name, street, city); Wash. Ave. is only in Mpls; the
+//! restaurant owned by Hwang is only on Wash. Ave.") resolves it.
+
+use entity_id::baselines::{run_technique, KeyEquivalence};
+use entity_id::datagen::restaurant;
+use entity_id::prelude::*;
+
+/// Naive matching on the common attribute `name` matches VillageWok
+/// and OldCountry across the two relations.
+#[test]
+fn name_matching_looks_plausible_before_the_insert() {
+    let (r, s) = restaurant::example1();
+    let naive = KeyEquivalence::new(&["name"], true);
+    let outcome = run_technique(&naive, &r, &s);
+    assert_eq!(outcome.matching.len(), 2);
+    // And the uniqueness constraint holds — so the flaw is invisible.
+    assert!(outcome.matching.verify_uniqueness().is_ok());
+}
+
+/// After inserting ("VillageWok", "Penn.Ave."), one S tuple matches
+/// two R tuples: the uniqueness constraint (§3.2) is violated and the
+/// naive technique is exposed as unsound.
+#[test]
+fn ambiguous_insert_breaks_uniqueness() {
+    let (mut r, s) = restaurant::example1();
+    restaurant::example1_ambiguous_insert(&mut r);
+    let naive = KeyEquivalence::new(&["name"], true);
+    let outcome = run_technique(&naive, &r, &s);
+    assert_eq!(outcome.matching.len(), 3);
+    let err = outcome.matching.verify_uniqueness().unwrap_err();
+    assert!(err.to_string().contains("villagewok"));
+}
+
+/// The paper's fix: with the extended key {name, street, city} and
+/// ILFDs capturing the extra knowledge, the first tuples match and
+/// the Penn. Ave. insertion no longer causes any problem.
+#[test]
+fn extended_key_with_ilfds_resolves_the_ambiguity() {
+    let (mut r, s) = restaurant::example1();
+    restaurant::example1_ambiguous_insert(&mut r);
+
+    let key = ExtendedKey::of_strs(&["name", "street", "city"]);
+    let ilfds: IlfdSet = vec![
+        // "Wash.Ave. is only in city Mpls."
+        Ilfd::of_strs(&[("street", "wash_ave")], &[("city", "mpls")]),
+        // "The restaurant owned by Hwang is only on Wash.Ave." —
+        // manager is an S attribute; derive the street from it.
+        Ilfd::of_strs(&[("manager", "hwang")], &[("street", "wash_ave")]),
+    ]
+    .into_iter()
+    .collect();
+
+    let outcome = EntityMatcher::new(r, s, MatchConfig::new(key, ilfds))
+        .unwrap()
+        .run()
+        .unwrap();
+    outcome.verify().expect("sound under the extended key");
+
+    // Exactly the Wash. Ave. VillageWok matches; Penn. Ave. does not.
+    assert_eq!(outcome.matching.len(), 1);
+    let e = &outcome.matching.entries()[0];
+    assert_eq!(e.r_key, Tuple::of_strs(&["villagewok", "wash_ave"]));
+    assert_eq!(e.s_key, Tuple::of_strs(&["villagewok", "mpls"]));
+}
+
+/// Without city knowledge, OldCountry's Roseville record cannot be
+/// matched to the Co. B2 Rd. record — the sound technique stays
+/// undetermined rather than guessing.
+#[test]
+fn sound_technique_prefers_undetermined_over_guessing() {
+    let (r, s) = restaurant::example1();
+    let key = ExtendedKey::of_strs(&["name", "street", "city"]);
+    let ilfds: IlfdSet = vec![Ilfd::of_strs(
+        &[("street", "wash_ave")],
+        &[("city", "mpls")],
+    )]
+    .into_iter()
+    .collect();
+    let outcome = EntityMatcher::new(r, s, MatchConfig::new(key, ilfds))
+        .unwrap()
+        .run()
+        .unwrap();
+    outcome.verify().unwrap();
+    // Nothing is provable without the Hwang rule: street of S tuples
+    // is underivable, so no extended-key match fires.
+    assert_eq!(outcome.matching.len(), 0);
+    assert!(outcome.undetermined > 0);
+}

@@ -1,0 +1,186 @@
+//! Experiment E7 — the paper's Example 3 (Tables 5–7) end to end.
+
+use entity_id::core::integrate::IntegratedTable;
+use entity_id::datagen::restaurant;
+use entity_id::prelude::*;
+use entity_id::relational::AttrName;
+
+fn run_example3() -> (Relation, Relation, ExtendedKey, MatchOutcome) {
+    let (r, s, key, ilfds) = restaurant::example3();
+    let outcome = EntityMatcher::new(r.clone(), s.clone(), MatchConfig::new(key.clone(), ilfds))
+        .unwrap()
+        .run()
+        .unwrap();
+    (r, s, key, outcome)
+}
+
+/// Table 6: the extended relations `R′` and `S′`, value for value.
+#[test]
+fn table_6_extended_relations() {
+    let (_, _, _, outcome) = run_example3();
+    let ext_r = &outcome.extended_r.relation;
+    let spec = ext_r.schema().position(&AttrName::new("speciality")).unwrap();
+
+    let expect_r = [
+        ("twincities", "chinese", Some("hunan")),
+        ("twincities", "indian", None),
+        ("itsgreek", "greek", Some("gyros")),
+        ("anjuman", "indian", Some("mughalai")),
+        ("villagewok", "chinese", None),
+    ];
+    assert_eq!(ext_r.len(), expect_r.len());
+    for (t, (name, cui, spec_v)) in ext_r.iter().zip(expect_r) {
+        assert_eq!(t.get(0), &Value::str(name));
+        assert_eq!(t.get(1), &Value::str(cui));
+        match spec_v {
+            Some(v) => assert_eq!(t.get(spec), &Value::str(v), "{name}"),
+            None => assert!(t.get(spec).is_null(), "{name}"),
+        }
+    }
+
+    let ext_s = &outcome.extended_s.relation;
+    let cui = ext_s.schema().position(&AttrName::new("cuisine")).unwrap();
+    let expect_s = [
+        ("twincities", "hunan", "chinese"),
+        ("twincities", "sichuan", "chinese"),
+        ("itsgreek", "gyros", "greek"),
+        ("anjuman", "mughalai", "indian"),
+    ];
+    assert_eq!(ext_s.len(), expect_s.len());
+    for (t, (name, spec_v, cui_v)) in ext_s.iter().zip(expect_s) {
+        assert_eq!(t.get(0), &Value::str(name));
+        assert_eq!(t.get(1), &Value::str(spec_v));
+        assert_eq!(t.get(cui), &Value::str(cui_v), "{name}");
+    }
+}
+
+/// Table 7: the matching table, row for row.
+#[test]
+fn table_7_matching_table() {
+    let (_, _, _, outcome) = run_example3();
+    assert_eq!(outcome.matching.len(), 3);
+    let expected = [
+        (["twincities", "chinese"], ["twincities", "hunan"]),
+        (["itsgreek", "greek"], ["itsgreek", "gyros"]),
+        (["anjuman", "indian"], ["anjuman", "mughalai"]),
+    ];
+    for (rk, sk) in expected {
+        assert!(
+            outcome
+                .matching
+                .contains(&Tuple::of_strs(&rk), &Tuple::of_strs(&sk)),
+            "missing {rk:?} ↔ {sk:?}"
+        );
+    }
+    outcome.verify().expect("Table 7 is sound");
+}
+
+/// The derivation behind the match of It'sGreek needs the I7→I8
+/// chain (the paper's derived ILFD I9); dropping I7 loses the match.
+#[test]
+fn dropping_i7_loses_the_itsgreek_match() {
+    let (r, s, key, ilfds) = restaurant::example3();
+    let without_i7: IlfdSet = ilfds
+        .iter()
+        .filter(|i| {
+            i.to_string() != "(street = front_ave) → (county = ramsey)"
+        })
+        .cloned()
+        .collect();
+    assert_eq!(without_i7.len(), 7);
+    let outcome = EntityMatcher::new(r, s, MatchConfig::new(key, without_i7))
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(outcome.matching.len(), 2);
+    assert!(!outcome.matching.contains(
+        &Tuple::of_strs(&["itsgreek", "greek"]),
+        &Tuple::of_strs(&["itsgreek", "gyros"])
+    ));
+}
+
+/// The §6.3 integrated table: six rows with the exact NULL pattern.
+#[test]
+fn integrated_table_rows_match_prototype_output() {
+    let (r, s, key, outcome) = run_example3();
+    let t = IntegratedTable::build(&r, &s, &outcome, &key).unwrap();
+    let rel = t.relation();
+    assert_eq!(rel.len(), 6);
+
+    // Expected rows keyed by (r_name, s_name); columns:
+    // r_name r_cuisine r_speciality s_name s_cuisine s_speciality r_street s_county
+    let header: Vec<String> = rel
+        .schema()
+        .attribute_names()
+        .map(|a| a.to_string())
+        .collect();
+    assert_eq!(
+        header,
+        vec![
+            "r_name",
+            "r_cuisine",
+            "r_speciality",
+            "s_name",
+            "s_cuisine",
+            "s_speciality",
+            "r_street",
+            "s_county"
+        ]
+    );
+
+    let render = |t: &Tuple| -> Vec<String> {
+        t.values().iter().map(|v| v.render().into_owned()).collect()
+    };
+    let mut rows: Vec<Vec<String>> = rel.iter().map(render).collect();
+    rows.sort();
+
+    let mut expected: Vec<Vec<String>> = vec![
+        // merged pairs
+        vec![
+            "anjuman", "indian", "mughalai", "anjuman", "indian", "mughalai",
+            "le_salle_ave", "minneapolis",
+        ],
+        vec![
+            "itsgreek", "greek", "gyros", "itsgreek", "greek", "gyros", "front_ave",
+            "ramsey",
+        ],
+        vec![
+            "twincities", "chinese", "hunan", "twincities", "chinese", "hunan", "co_b2",
+            "roseville",
+        ],
+        // R-only
+        vec![
+            "twincities", "indian", "null", "null", "null", "null", "co_b3", "null",
+        ],
+        vec![
+            "villagewok", "chinese", "null", "null", "null", "null", "wash_ave", "null",
+        ],
+        // S-only
+        vec![
+            "null", "null", "null", "twincities", "chinese", "sichuan", "null",
+            "hennepin",
+        ],
+    ]
+    .into_iter()
+    .map(|r| r.into_iter().map(str::to_string).collect())
+    .collect();
+    expected.sort();
+
+    assert_eq!(rows, expected);
+}
+
+/// Fixpoint derivation gives the same Example-3 result as the
+/// Prolog-faithful first-match strategy.
+#[test]
+fn strategies_agree_on_example3() {
+    let (r, s, key, ilfds) = restaurant::example3();
+    let mut config = MatchConfig::new(key, ilfds);
+    config.strategy = DerivationStrategy::Fixpoint;
+    let fix = EntityMatcher::new(r.clone(), s.clone(), config)
+        .unwrap()
+        .run()
+        .unwrap();
+    let (_, _, _, first) = run_example3();
+    assert!(fix.matching.includes(&first.matching));
+    assert!(first.matching.includes(&fix.matching));
+}

@@ -1,0 +1,59 @@
+//! Property tests for the rule-text parser: source round-trips and
+//! robustness against arbitrary junk input.
+
+use proptest::prelude::*;
+
+use entity_id::ilfd::{Ilfd, IlfdSet, PropSymbol, SymbolSet};
+use entity_id::relational::Value;
+use entity_id::rules::parser::{ilfds_to_source, parse_rules};
+
+fn arb_symbol() -> impl Strategy<Value = PropSymbol> {
+    let attr = prop::sample::select(vec!["name", "cuisine", "speciality", "street", "county"]);
+    let value = prop_oneof![
+        "[a-z][a-z0-9_]{0,8}".prop_map(Value::str),
+        (-1000i64..1000).prop_map(Value::Int),
+    ];
+    (attr, value).prop_map(|(a, v)| PropSymbol::new(a, v))
+}
+
+fn arb_ilfd() -> impl Strategy<Value = Ilfd> {
+    (
+        prop::collection::vec(arb_symbol(), 1..4),
+        prop::collection::vec(arb_symbol(), 1..3),
+    )
+        .prop_map(|(a, c)| {
+            Ilfd::new(SymbolSet::from_symbols(a), SymbolSet::from_symbols(c))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `parse ∘ render` is the identity on ILFD sets.
+    #[test]
+    fn ilfd_source_round_trip(ilfds in prop::collection::vec(arb_ilfd(), 0..10)) {
+        let set: IlfdSet = ilfds.into_iter().collect();
+        let source = ilfds_to_source(&set);
+        let parsed = parse_rules(&source).expect("rendered source parses");
+        prop_assert_eq!(parsed.ilfds(), set);
+    }
+
+    /// The parser never panics on arbitrary input — it returns a
+    /// positioned error or a parse.
+    #[test]
+    fn parser_total_on_junk(input in ".{0,200}") {
+        let _ = parse_rules(&input);
+    }
+
+    /// Junk confined to one line reports that line number.
+    #[test]
+    fn error_line_numbers_are_accurate(good in 0..5usize) {
+        let mut text = String::new();
+        for _ in 0..good {
+            text.push_str("a = 1 -> b = 2\n");
+        }
+        text.push_str("this is ! not a rule\n");
+        let err = parse_rules(&text).expect_err("junk line must fail");
+        prop_assert_eq!(err.line, good + 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Experiment E10 — the §6.3 prototype transcript.
+
+use entity_id::core::session::{Session, MSG_UNSOUND, MSG_VERIFIED};
+use entity_id::datagen::restaurant;
+
+fn open() -> Session {
+    let (r, s, _, ilfds) = restaurant::example3();
+    Session::new(r, s, ilfds)
+}
+
+/// Transcript 1: {Name, Spec, Cui} → "The extended key is verified."
+#[test]
+fn full_key_is_verified() {
+    let mut session = open();
+    let report = session
+        .setup_extended_key(&["name", "speciality", "cuisine"])
+        .unwrap();
+    assert!(report.verified);
+    assert_eq!(report.message, MSG_VERIFIED);
+}
+
+/// Transcript 2: {Name} → "The extended key causes unsound matching
+/// result."
+#[test]
+fn name_only_key_is_unsound() {
+    let mut session = open();
+    let report = session.setup_extended_key(&["name"]).unwrap();
+    assert!(!report.verified);
+    assert_eq!(report.message, MSG_UNSOUND);
+}
+
+/// The matching-table printout has the transcript's three rows in
+/// sorted order with the right key columns.
+#[test]
+fn print_matchtable_transcript() {
+    let mut session = open();
+    session
+        .setup_extended_key(&["name", "speciality", "cuisine"])
+        .unwrap();
+    let out = session.matching_table_display().unwrap();
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines[0], "matching table");
+    // Header row contains the r_ and s_ key columns.
+    let header = lines[2];
+    for col in ["r_name", "r_cuisine", "s_name", "s_speciality"] {
+        assert!(header.contains(col), "missing {col} in {header:?}");
+    }
+    // Data rows, sorted: anjuman < itsgreek < twincities.
+    let data: Vec<&str> = lines[4..].iter().filter(|l| !l.is_empty()).copied().collect();
+    assert_eq!(data.len(), 3);
+    assert!(data[0].starts_with("anjuman"));
+    assert!(data[1].starts_with("itsgreek"));
+    assert!(data[2].starts_with("twincities"));
+    // Row contents.
+    assert!(data[0].contains("indian") && data[0].contains("mughalai"));
+    assert!(data[1].contains("greek") && data[1].contains("gyros"));
+    assert!(data[2].contains("chinese") && data[2].contains("hunan"));
+}
+
+/// The integrated-table printout shows six rows with NULLs rendered
+/// as `null`, like the transcript.
+#[test]
+fn print_integ_table_transcript() {
+    let mut session = open();
+    session
+        .setup_extended_key(&["name", "speciality", "cuisine"])
+        .unwrap();
+    let out = session.integrated_table_display().unwrap();
+    assert!(out.starts_with("integrated table"));
+    let data: Vec<&str> = out
+        .lines()
+        .skip(4)
+        .filter(|l| !l.trim().is_empty())
+        .collect();
+    assert_eq!(data.len(), 6);
+    // The villagewok row ends in a sea of nulls.
+    let vw = data.iter().find(|l| l.contains("villagewok")).unwrap();
+    assert!(vw.contains("null"));
+    // The sichuan row is S-only: begins with null (r side missing).
+    let sichuan = data.iter().find(|l| l.contains("sichuan")).unwrap();
+    assert!(sichuan.starts_with("null"));
+}
+
+/// Extended-table printouts match the prototype's `print_RRtable` /
+/// `print_SStable` shape.
+#[test]
+fn print_extended_tables() {
+    let mut session = open();
+    session
+        .setup_extended_key(&["name", "speciality", "cuisine"])
+        .unwrap();
+    let rr = session.extended_r_display().unwrap();
+    assert!(rr.starts_with("extended R table"));
+    // R′ contains the derived speciality values.
+    assert!(rr.contains("hunan"));
+    assert!(rr.contains("gyros"));
+    assert!(rr.contains("mughalai"));
+    let ss = session.extended_s_display().unwrap();
+    assert!(ss.starts_with("extended S table"));
+    assert!(ss.contains("chinese")); // derived cuisine
+}
+
+/// Candidate attributes include exactly the cross-matchable ones.
+#[test]
+fn candidate_attribute_listing() {
+    let session = open();
+    let names: Vec<String> = session
+        .candidate_attributes()
+        .iter()
+        .map(|a| a.to_string())
+        .collect();
+    assert!(names.contains(&"name".to_string()));
+    assert!(names.contains(&"speciality".to_string()));
+    assert!(names.contains(&"cuisine".to_string()));
+    assert!(!names.contains(&"street".to_string()));
+}
+
+/// Re-running setup with a different key replaces the outcome (the
+/// prototype's `abolish(matchtable,4)` + re-consult).
+#[test]
+fn setup_can_be_rerun() {
+    let mut session = open();
+    session.setup_extended_key(&["name"]).unwrap();
+    let first = session.outcome().unwrap().matching.len();
+    session
+        .setup_extended_key(&["name", "speciality", "cuisine"])
+        .unwrap();
+    let second = session.outcome().unwrap().matching.len();
+    assert_ne!(first, second);
+    assert_eq!(second, 3);
+}
