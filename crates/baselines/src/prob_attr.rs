@@ -187,11 +187,7 @@ mod tests {
         let v = p
             .comparison_value(
                 &s1,
-                &Tuple::new(vec![
-                    Value::str("villagewok"),
-                    Value::Null,
-                    Value::str("x"),
-                ]),
+                &Tuple::new(vec![Value::str("villagewok"), Value::Null, Value::str("x")]),
                 &s2,
                 &Tuple::of_strs(&["villagewok", "chinese", "y"]),
             )

@@ -126,7 +126,9 @@ mod tests {
         let p = ProbabilisticKey::new(&["name"], 0.7, 0.2);
         let s = schema();
         // {john, a, smith} vs {john, smith}: 2/3 overlap.
-        let score = p.score(&s, &t("john_a_smith"), &s, &t("john_smith")).unwrap();
+        let score = p
+            .score(&s, &t("john_a_smith"), &s, &t("john_smith"))
+            .unwrap();
         assert!((score - 2.0 / 3.0).abs() < 1e-9);
         assert_eq!(
             p.decide(&s, &t("john_a_smith"), &s, &t("john_smith")),
@@ -155,7 +157,10 @@ mod tests {
         let p = ProbabilisticKey::new(&["name"], 0.7, 0.2);
         let s = schema();
         let null = Tuple::new(vec![Value::Null]);
-        assert_eq!(p.decide(&s, &null, &s, &t("x")), MatchDecision::Undetermined);
+        assert_eq!(
+            p.decide(&s, &null, &s, &t("x")),
+            MatchDecision::Undetermined
+        );
     }
 
     /// The §2.2 caveat: erroneous matches are possible — two different

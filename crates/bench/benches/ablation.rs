@@ -32,18 +32,14 @@ fn bench_ablation(c: &mut Criterion) {
         if n <= 200 {
             let mut config = MatchConfig::new(w.extended_key.clone(), w.ilfds.clone());
             config.collect_negative = true;
-            group.bench_with_input(
-                BenchmarkId::new("with_negative_table", n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        EntityMatcher::new(w.r.clone(), w.s.clone(), config.clone())
-                            .unwrap()
-                            .run()
-                            .unwrap()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new("with_negative_table", n), &n, |b, _| {
+                b.iter(|| {
+                    EntityMatcher::new(w.r.clone(), w.s.clone(), config.clone())
+                        .unwrap()
+                        .run()
+                        .unwrap()
+                })
+            });
         }
     }
     group.finish();

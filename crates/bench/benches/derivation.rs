@@ -23,20 +23,16 @@ fn bench_derivation(c: &mut Criterion) {
             ("first_match", Strategy::FirstMatch),
             ("fixpoint", Strategy::Fixpoint),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(label, depth),
-                &depth,
-                |b, _| {
-                    b.iter(|| {
-                        derive_tuple(
-                            black_box(&schema),
-                            black_box(&tuple),
-                            black_box(&f),
-                            strategy,
-                        )
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, depth), &depth, |b, _| {
+                b.iter(|| {
+                    derive_tuple(
+                        black_box(&schema),
+                        black_box(&tuple),
+                        black_box(&f),
+                        strategy,
+                    )
+                })
+            });
         }
     }
     group.finish();

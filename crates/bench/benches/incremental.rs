@@ -17,8 +17,7 @@ fn bench_incremental(c: &mut Criterion) {
         config.collect_negative = false;
 
         // Incremental: clone a warmed matcher, insert one tuple.
-        let warmed =
-            IncrementalMatcher::new(w.r.clone(), w.s.clone(), config.clone()).unwrap();
+        let warmed = IncrementalMatcher::new(w.r.clone(), w.s.clone(), config.clone()).unwrap();
         let mut counter = 0u64;
         group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
             b.iter(|| {

@@ -42,13 +42,8 @@ fn bench_matching(c: &mut Criterion) {
 
         group.bench_with_input(BenchmarkId::new("algebra_pipeline", n), &n, |b, _| {
             b.iter(|| {
-                algebra_pipeline::run(
-                    black_box(&w.r),
-                    black_box(&w.s),
-                    &w.extended_key,
-                    &w.ilfds,
-                )
-                .unwrap()
+                algebra_pipeline::run(black_box(&w.r), black_box(&w.s), &w.extended_key, &w.ilfds)
+                    .unwrap()
             })
         });
     }

@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use eid_core::monotonic::KnowledgeSweep;
 use eid_core::matcher::MatchConfig;
+use eid_core::monotonic::KnowledgeSweep;
 use eid_datagen::{generate, GeneratorConfig};
 use eid_ilfd::IlfdSet;
 

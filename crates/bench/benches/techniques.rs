@@ -15,7 +15,10 @@ fn bench_techniques(c: &mut Criterion) {
     group.sample_size(10);
 
     let techniques: Vec<(&str, Box<dyn Technique>)> = vec![
-        ("key_equivalence", Box::new(KeyEquivalence::new(&["name"], true))),
+        (
+            "key_equivalence",
+            Box::new(KeyEquivalence::new(&["name"], true)),
+        ),
         (
             "probabilistic_key",
             Box::new(ProbabilisticKey::new(&["name"], 0.6, 0.1)),

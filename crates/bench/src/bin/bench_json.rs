@@ -1,0 +1,200 @@
+//! Machine-readable matching benchmark: nested-loop oracle vs the
+//! seed hash path vs the blocked engine (serial and parallel), at a
+//! few workload sizes, written to `BENCH_matching.json` at the repo
+//! root.
+//!
+//! Run with `cargo run --release -p eid-bench --bin bench_json`.
+//! Pass sizes as arguments to override the defaults, e.g.
+//! `bench_json 100 200`.
+
+use std::time::Instant;
+
+use eid_bench::scaling_workload;
+use eid_core::matcher::{EntityMatcher, JoinAlgorithm, MatchConfig, MatchOutcome};
+
+/// One engine configuration under measurement.
+struct Engine {
+    name: &'static str,
+    join: JoinAlgorithm,
+    threads: usize,
+}
+
+const ENGINES: &[Engine] = &[
+    Engine {
+        name: "nested_loop",
+        join: JoinAlgorithm::NestedLoop,
+        threads: 1,
+    },
+    Engine {
+        name: "hash",
+        join: JoinAlgorithm::Hash,
+        threads: 1,
+    },
+    Engine {
+        name: "blocked",
+        join: JoinAlgorithm::Blocked,
+        threads: 1,
+    },
+    Engine {
+        name: "blocked_parallel",
+        join: JoinAlgorithm::Blocked,
+        threads: 0,
+    },
+];
+
+struct Measurement {
+    name: &'static str,
+    seconds: f64,
+    pairs_per_sec: f64,
+    matching: usize,
+    negative: usize,
+    undetermined: usize,
+}
+
+fn measure(
+    engine: &Engine,
+    config: &MatchConfig,
+    r: &eid_relational::Relation,
+    s: &eid_relational::Relation,
+) -> (MatchOutcome, f64) {
+    let mut config = config.clone();
+    config.join = engine.join;
+    config.threads = engine.threads;
+    let matcher = EntityMatcher::new(r.clone(), s.clone(), config).unwrap();
+    // Warm-up once, then keep the best of three timed runs.
+    let mut outcome = matcher.run().unwrap();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        outcome = matcher.run().unwrap();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (outcome, best)
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let sizes: Vec<usize> = {
+        let args: Vec<usize> = std::env::args()
+            .skip(1)
+            .map(|a| a.parse().expect("sizes must be integers"))
+            .collect();
+        if args.is_empty() {
+            vec![200, 400, 800]
+        } else {
+            args
+        }
+    };
+
+    let mut size_objects = Vec::new();
+    for &n in &sizes {
+        let w = scaling_workload(n, 42);
+        let config = MatchConfig::new(w.extended_key.clone(), w.ilfds.clone());
+        let pairs = w.r.len() * w.s.len();
+        eprintln!(
+            "n_entities={n}: |R|={}, |S|={}, {pairs} pairs",
+            w.r.len(),
+            w.s.len()
+        );
+
+        let mut measurements: Vec<Measurement> = Vec::new();
+        for engine in ENGINES {
+            let (outcome, seconds) = measure(engine, &config, &w.r, &w.s);
+            eprintln!(
+                "  {:<17} {seconds:>10.4}s  {:>12.0} pairs/s  |MT|={} |NMT|={}",
+                engine.name,
+                pairs as f64 / seconds,
+                outcome.matching.len(),
+                outcome.negative.len()
+            );
+            measurements.push(Measurement {
+                name: engine.name,
+                seconds,
+                pairs_per_sec: pairs as f64 / seconds,
+                matching: outcome.matching.len(),
+                negative: outcome.negative.len(),
+                undetermined: outcome.undetermined,
+            });
+        }
+
+        // All engines must agree — this is a benchmark, not a place
+        // to quietly diverge from the oracle.
+        let oracle = &measurements[0];
+        for m in &measurements[1..] {
+            assert_eq!(
+                (m.matching, m.negative, m.undetermined),
+                (oracle.matching, oracle.negative, oracle.undetermined),
+                "{} disagrees with the nested-loop oracle at n={n}",
+                m.name
+            );
+        }
+
+        let speedup = |name: &str| -> f64 {
+            let m = measurements.iter().find(|m| m.name == name).unwrap();
+            oracle.seconds / m.seconds
+        };
+        let engines_json: Vec<String> = measurements
+            .iter()
+            .map(|m| {
+                format!(
+                    concat!(
+                        "{{\"name\": \"{}\", \"seconds\": {}, ",
+                        "\"pairs_per_sec\": {}, \"matching\": {}, ",
+                        "\"negative\": {}, \"undetermined\": {}}}"
+                    ),
+                    m.name,
+                    json_f64(m.seconds),
+                    json_f64(m.pairs_per_sec),
+                    m.matching,
+                    m.negative,
+                    m.undetermined
+                )
+            })
+            .collect();
+        size_objects.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"n_entities\": {},\n",
+                "      \"r_rows\": {},\n",
+                "      \"s_rows\": {},\n",
+                "      \"pairs\": {},\n",
+                "      \"engines\": [\n        {}\n      ],\n",
+                "      \"speedup_blocked_vs_nested_loop\": {},\n",
+                "      \"speedup_blocked_parallel_vs_nested_loop\": {}\n",
+                "    }}"
+            ),
+            n,
+            w.r.len(),
+            w.s.len(),
+            pairs,
+            engines_json.join(",\n        "),
+            json_f64(speedup("blocked")),
+            json_f64(speedup("blocked_parallel"))
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"matching\",\n",
+            "  \"workload\": \"eid_bench::scaling_workload(n, 42), full refutation\",\n",
+            "  \"metric\": \"pairs_per_sec = |R|*|S| / best-of-3 wall seconds\",\n",
+            "  \"sizes\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        size_objects.join(",\n")
+    );
+
+    // The repo root is two levels above this crate's manifest.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_matching.json");
+    std::fs::write(out, &json).expect("write BENCH_matching.json");
+    eprintln!("wrote {out}");
+    println!("{json}");
+}

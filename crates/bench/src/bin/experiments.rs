@@ -47,19 +47,27 @@ fn table1() {
 
     let naive = KeyEquivalence::new(&["name"], true);
     let before = eid_baselines::run_technique(&naive, &r, &s);
-    println!("naive name matching: {} pairs, uniqueness {}",
+    println!(
+        "naive name matching: {} pairs, uniqueness {}",
         before.matching.len(),
-        if before.matching.verify_uniqueness().is_ok() { "OK (flaw hidden)" } else { "VIOLATED" });
+        if before.matching.verify_uniqueness().is_ok() {
+            "OK (flaw hidden)"
+        } else {
+            "VIOLATED"
+        }
+    );
 
     restaurant::example1_ambiguous_insert(&mut r);
     println!("\ninsert (villagewok, penn_ave, chinese) into R …");
     let after = eid_baselines::run_technique(&naive, &r, &s);
-    println!("naive name matching: {} pairs, uniqueness {}",
+    println!(
+        "naive name matching: {} pairs, uniqueness {}",
         after.matching.len(),
         match after.matching.verify_uniqueness() {
             Ok(()) => "OK".to_string(),
             Err(e) => format!("VIOLATED — {e}"),
-        });
+        }
+    );
 }
 
 /// E2 — Figure 1: tuples vs real-world entities.
@@ -75,7 +83,11 @@ fn figure1() {
         ..GeneratorConfig::default()
     });
     println!("integrated world: {} entities", w.universe.len());
-    println!("relation R models {} of them, S models {}", w.r.len(), w.s.len());
+    println!(
+        "relation R models {} of them, S models {}",
+        w.r.len(),
+        w.s.len()
+    );
     println!("true matches (a_i ~ b_j pairs): {}", w.truth.len());
     for (rk, sk) in w.truth.iter().map(|p| (&p.0, &p.1)) {
         println!("  R{rk} ~ S{sk}");
@@ -88,16 +100,20 @@ fn figure2() {
     let (db1, db2) = restaurant::figure2();
     let prob = ProbabilisticAttr::uniform(0.9, 0.2);
     let d = prob.decide(
-        db1.schema(), &db1.tuples()[0],
-        db2.schema(), &db2.tuples()[0],
+        db1.schema(),
+        &db1.tuples()[0],
+        db2.schema(),
+        &db2.tuples()[0],
     );
     println!("attribute-equivalence on (villagewok, chinese) vs (villagewok, chinese): {d:?}");
     println!("  → declared matching, but the entities are DIFFERENT (soundness violated)");
 
     let (db1, db2) = restaurant::figure2_with_domain();
     let d = prob.decide(
-        db1.schema(), &db1.tuples()[0],
-        db2.schema(), &db2.tuples()[0],
+        db1.schema(),
+        &db1.tuples()[0],
+        db2.schema(),
+        &db2.tuples()[0],
     );
     println!("with the domain attribute (db1 vs db2): {d:?}");
     println!("  → the pair no longer reaches the accept threshold; soundness restored");
@@ -114,7 +130,10 @@ fn figure3() {
     for (k, p) in sweep.series() {
         println!(
             "{k:>5} | {:>8} | {:>12} | {:>12} | {:>10.1}%",
-            p.matching, p.not_matching, p.undetermined, p.completeness() * 100.0
+            p.matching,
+            p.not_matching,
+            p.undetermined,
+            p.completeness() * 100.0
         );
     }
     assert!(sweep.verify_monotonic().is_none());
@@ -129,13 +148,23 @@ fn table2_3_4() {
     println!("{}", render_default("S", &s));
     println!("ILFD: {}", ilfds.as_slice()[0]);
     let outcome = EntityMatcher::new(r, s, MatchConfig::new(key, ilfds))
-        .expect("matcher").run().expect("run");
-    println!("\n{}",
-        render_default("Table 3 — matching table MT_RS",
-            &outcome.matching.to_relation("MT").unwrap()));
-    println!("{}",
-        render_default("Table 4 — negative matching table NMT_RS",
-            &outcome.negative.to_relation("NMT").unwrap()));
+        .expect("matcher")
+        .run()
+        .expect("run");
+    println!(
+        "\n{}",
+        render_default(
+            "Table 3 — matching table MT_RS",
+            &outcome.matching.to_relation("MT").unwrap()
+        )
+    );
+    println!(
+        "{}",
+        render_default(
+            "Table 4 — negative matching table NMT_RS",
+            &outcome.negative.to_relation("NMT").unwrap()
+        )
+    );
     outcome.verify().expect("sound");
     println!("{}", Partition::of(&outcome));
 }
@@ -147,11 +176,16 @@ fn table5_7() {
     println!("{}", render_default("Table 5 — R", &r));
     println!("{}", render_default("Table 5 — S", &s));
     println!("ILFDs I1-I8:\n{ilfds}");
-    println!("derived I9: {} (implied: {})",
-        restaurant::ilfd_i9(), implies(&ilfds, &restaurant::ilfd_i9()));
+    println!(
+        "derived I9: {} (implied: {})",
+        restaurant::ilfd_i9(),
+        implies(&ilfds, &restaurant::ilfd_i9())
+    );
 
     let mut session = Session::new(r, s, ilfds);
-    session.setup_extended_key(&["name", "cuisine", "speciality"]).expect("setup");
+    session
+        .setup_extended_key(&["name", "cuisine", "speciality"])
+        .expect("setup");
     println!("\n{}", session.extended_r_display().unwrap());
     println!("{}", session.extended_s_display().unwrap());
     println!("{}", session.matching_table_display().unwrap());
@@ -161,13 +195,20 @@ fn table5_7() {
 fn table8() {
     banner("Table 8: ILFD table IM(speciality; cuisine) + algebra pipeline");
     let t8 = paper_table8();
-    println!("{}", render_default("IM(speciality; cuisine)", t8.relation()));
+    println!(
+        "{}",
+        render_default("IM(speciality; cuisine)", t8.relation())
+    );
 
     let (r, s, key, ilfds) = restaurant::example3();
     let pipeline = algebra_pipeline::run(&r, &s, &key, &ilfds).expect("pipeline");
-    println!("{}",
-        render_default("MT via relational expressions (Π(R' ⋈_KExt S'))",
-            &pipeline.matching.to_relation("MT").unwrap()));
+    println!(
+        "{}",
+        render_default(
+            "MT via relational expressions (Π(R' ⋈_KExt S'))",
+            &pipeline.matching.to_relation("MT").unwrap()
+        )
+    );
 
     let mut config = MatchConfig::new(key, ilfds);
     config.strategy = eid_ilfd::Strategy::Fixpoint;
@@ -182,15 +223,30 @@ fn table8() {
 fn figure4() {
     banner("Figure 4: entity identification using ILFD tables (dataflow)");
     let (r, s, key, ilfds) = restaurant::example3();
-    println!("R ({} tuples), S ({} tuples)  ──►  [extend with K_Ext − K]", r.len(), s.len());
+    println!(
+        "R ({} tuples), S ({} tuples)  ──►  [extend with K_Ext − K]",
+        r.len(),
+        s.len()
+    );
     let outcome = EntityMatcher::new(r.clone(), s.clone(), MatchConfig::new(key.clone(), ilfds))
-        .unwrap().run().unwrap();
-    println!("R' ({} tuples), S' ({} tuples)  ──►  [⋈ over K_Ext]",
-        outcome.extended_r.relation.len(), outcome.extended_s.relation.len());
-    println!("MT_RS ({} pairs)  ──►  [MT ⋈ R ⟗ S]", outcome.matching.len());
+        .unwrap()
+        .run()
+        .unwrap();
+    println!(
+        "R' ({} tuples), S' ({} tuples)  ──►  [⋈ over K_Ext]",
+        outcome.extended_r.relation.len(),
+        outcome.extended_s.relation.len()
+    );
+    println!(
+        "MT_RS ({} pairs)  ──►  [MT ⋈ R ⟗ S]",
+        outcome.matching.len()
+    );
     let t = IntegratedTable::build(&r, &s, &outcome, &key).unwrap();
     println!("T_RS ({} rows)", t.len());
-    println!("\n{}", render_default("integrated table T_RS", t.relation()));
+    println!(
+        "\n{}",
+        render_default("integrated table T_RS", t.relation())
+    );
 }
 
 /// E10 — the §6.3 prototype transcript.
@@ -200,7 +256,9 @@ fn prototype() {
     let mut session = Session::new(r, s, ilfds);
 
     println!("| ?- setup_extkey.    % keys = {{name, speciality, cuisine}}");
-    let rep = session.setup_extended_key(&["name", "speciality", "cuisine"]).unwrap();
+    let rep = session
+        .setup_extended_key(&["name", "speciality", "cuisine"])
+        .unwrap();
     println!("{}", rep.message);
 
     println!("\n| ?- setup_extkey.    % keys = {{name}}");
@@ -208,9 +266,17 @@ fn prototype() {
     println!("{}", rep.message);
 
     // Restore the good key and print the tables as the transcript does.
-    session.setup_extended_key(&["name", "speciality", "cuisine"]).unwrap();
-    println!("\n| ?- print_matchtable.\n{}", session.matching_table_display().unwrap());
-    println!("| ?- print_integ_table.\n{}", session.integrated_table_display().unwrap());
+    session
+        .setup_extended_key(&["name", "speciality", "cuisine"])
+        .unwrap();
+    println!(
+        "\n| ?- print_matchtable.\n{}",
+        session.matching_table_display().unwrap()
+    );
+    println!(
+        "| ?- print_integ_table.\n{}",
+        session.integrated_table_display().unwrap()
+    );
 }
 
 /// E11 — §5 theory demonstrations.
@@ -220,7 +286,9 @@ fn theory() {
     let f: IlfdSet = vec![
         Ilfd::of_strs(&[("A", "a1")], &[("B", "b1")]),
         Ilfd::of_strs(&[("B", "b1")], &[("C", "c1")]),
-    ].into_iter().collect();
+    ]
+    .into_iter()
+    .collect();
     println!("F = {{ {} ; {} }}", f.as_slice()[0], f.as_slice()[1]);
     let target = Ilfd::of_strs(&[("A", "a1")], &[("C", "c1")]);
     println!("F ⊨ {target}: {}", implies(&f, &target));
@@ -228,32 +296,46 @@ fn theory() {
     println!("axiom derivation found, {} steps", proof.size());
 
     // Bounded F+ enumeration — "expensive to compute".
-    let universe: Vec<_> = f.iter()
+    let universe: Vec<_> = f
+        .iter()
         .flat_map(|i| i.antecedent().iter().chain(i.consequent().iter()).cloned())
         .collect::<std::collections::BTreeSet<_>>()
-        .into_iter().collect();
+        .into_iter()
+        .collect();
     let start = Instant::now();
     let fplus = enumerate_closure(&f, &universe, universe.len());
-    println!("|F⁺| over its own {}-symbol universe: {} non-trivial ILFDs ({:?})",
-        universe.len(), fplus.len(), start.elapsed());
+    println!(
+        "|F⁺| over its own {}-symbol universe: {} non-trivial ILFDs ({:?})",
+        universe.len(),
+        fplus.len(),
+        start.elapsed()
+    );
 
     // Minimal cover demo.
     let mut redundant = f.clone();
     redundant.insert(target);
     let cover = minimal_cover(&redundant);
-    println!("minimal cover of F ∪ {{derived}}: {} ILFDs (redundancy removed)", cover.len());
+    println!(
+        "minimal cover of F ∪ {{derived}}: {} ILFDs (redundancy removed)",
+        cover.len()
+    );
 
     // I9 derivation.
     let ilfds = restaurant::example3_ilfds();
-    println!("\npaper I9 {}: implied = {}", restaurant::ilfd_i9(),
-        implies(&ilfds, &restaurant::ilfd_i9()));
+    println!(
+        "\npaper I9 {}: implied = {}",
+        restaurant::ilfd_i9(),
+        implies(&ilfds, &restaurant::ilfd_i9())
+    );
 }
 
 /// S3 — technique comparison across homonym rates.
 fn techniques() {
     banner("S3: soundness/completeness of all techniques vs homonym rate");
-    println!("{:<22} {:>8} {:>10} {:>10} {:>12} {:>7}",
-        "technique", "homonyms", "precision", "recall", "completeness", "sound");
+    println!(
+        "{:<22} {:>8} {:>10} {:>10} {:>12} {:>7}",
+        "technique", "homonyms", "precision", "recall", "completeness", "sound"
+    );
     for rate in [0.0, 0.1, 0.2, 0.3, 0.4] {
         let w = generate(&GeneratorConfig {
             n_entities: 200,
@@ -268,30 +350,56 @@ fn techniques() {
 
         // The paper's technique.
         let outcome = EntityMatcher::new(
-            w.r.clone(), w.s.clone(),
-            MatchConfig::new(w.extended_key.clone(), w.ilfds.clone()))
-            .unwrap().run().unwrap();
+            w.r.clone(),
+            w.s.clone(),
+            MatchConfig::new(w.extended_key.clone(), w.ilfds.clone()),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
         let evals: Vec<(String, Evaluation)> = vec![
-            ("ilfd-extended-key".into(),
-                Evaluation::compute(&w.truth, &outcome.matching, &outcome.negative, total)),
-            ("key-equivalence".into(),
-                evaluate_technique(&KeyEquivalence::new(&["name"], true), &w.r, &w.s, &w.truth)),
-            ("probabilistic-key".into(),
-                evaluate_technique(&ProbabilisticKey::new(&["name"], 0.6, 0.1), &w.r, &w.s, &w.truth)),
-            ("probabilistic-attr".into(),
-                evaluate_technique(&ProbabilisticAttr::uniform(0.9, 0.2), &w.r, &w.s, &w.truth)),
+            (
+                "ilfd-extended-key".into(),
+                Evaluation::compute(&w.truth, &outcome.matching, &outcome.negative, total),
+            ),
+            (
+                "key-equivalence".into(),
+                evaluate_technique(&KeyEquivalence::new(&["name"], true), &w.r, &w.s, &w.truth),
+            ),
+            (
+                "probabilistic-key".into(),
+                evaluate_technique(
+                    &ProbabilisticKey::new(&["name"], 0.6, 0.1),
+                    &w.r,
+                    &w.s,
+                    &w.truth,
+                ),
+            ),
+            (
+                "probabilistic-attr".into(),
+                evaluate_technique(&ProbabilisticAttr::uniform(0.9, 0.2), &w.r, &w.s, &w.truth),
+            ),
             ("user-specified(50%)".into(), {
-                let full = UserSpecified::from_truth(
-                    w.truth.iter().cloned(), vec![0, 2], vec![0, 1]);
+                let full =
+                    UserSpecified::from_truth(w.truth.iter().cloned(), vec![0, 2], vec![0, 1]);
                 let mut k = 0;
-                let half = full.thin(|_| { k += 1; k % 2 == 0 });
+                let half = full.thin(|_| {
+                    k += 1;
+                    k % 2 == 0
+                });
                 evaluate_technique(&half, &w.r, &w.s, &w.truth)
             }),
         ];
         for (name, e) in evals {
-            println!("{:<22} {:>8.2} {:>10.3} {:>10.3} {:>12.3} {:>7}",
-                name, rate, e.match_precision(), e.match_recall(),
-                e.completeness(), e.is_sound());
+            println!(
+                "{:<22} {:>8.2} {:>10.3} {:>10.3} {:>12.3} {:>7}",
+                name,
+                rate,
+                e.match_precision(),
+                e.match_recall(),
+                e.completeness(),
+                e.is_sound()
+            );
         }
         println!();
     }
@@ -330,7 +438,10 @@ fn keys() {
 /// Criterion benches; this prints one-shot timings for the record).
 fn scaling() {
     banner("S1: matching-table construction scaling (one-shot timings)");
-    println!("{:>8} {:>10} {:>14} {:>14}", "entities", "pairs", "hash join", "nested loop");
+    println!(
+        "{:>8} {:>10} {:>14} {:>14}",
+        "entities", "pairs", "hash join", "nested loop"
+    );
     for n in [100usize, 400, 1600] {
         let w = scaling_workload(n, 11);
         let mut config = MatchConfig::new(w.extended_key.clone(), w.ilfds.clone());
@@ -338,18 +449,27 @@ fn scaling() {
 
         let start = Instant::now();
         let hash = EntityMatcher::new(w.r.clone(), w.s.clone(), config.clone())
-            .unwrap().run().unwrap();
+            .unwrap()
+            .run()
+            .unwrap();
         let hash_t = start.elapsed();
 
         config.join = JoinAlgorithm::NestedLoop;
         let start = Instant::now();
         let nested = EntityMatcher::new(w.r.clone(), w.s.clone(), config)
-            .unwrap().run().unwrap();
+            .unwrap()
+            .run()
+            .unwrap();
         let nested_t = start.elapsed();
 
         assert_eq!(hash.matching.len(), nested.matching.len());
-        println!("{:>8} {:>10} {:>14?} {:>14?}",
-            n, w.r.len() * w.s.len(), hash_t, nested_t);
+        println!(
+            "{:>8} {:>10} {:>14?} {:>14?}",
+            n,
+            w.r.len() * w.s.len(),
+            hash_t,
+            nested_t
+        );
     }
 
     banner("S4: derivation-strategy ablation (first-match vs fixpoint)");
@@ -360,12 +480,16 @@ fn scaling() {
         config.collect_negative = false;
         let start = Instant::now();
         let a = EntityMatcher::new(w.r.clone(), w.s.clone(), config.clone())
-            .unwrap().run().unwrap();
+            .unwrap()
+            .run()
+            .unwrap();
         let t1 = start.elapsed();
         config.strategy = eid_ilfd::Strategy::Fixpoint;
         let start = Instant::now();
         let b = EntityMatcher::new(w.r.clone(), w.s.clone(), config)
-            .unwrap().run().unwrap();
+            .unwrap()
+            .run()
+            .unwrap();
         let t2 = start.elapsed();
         assert_eq!(a.matching.len(), b.matching.len());
         println!("{:>8} {:>14?} {:>14?}", n, t1, t2);
@@ -394,8 +518,8 @@ fn main() {
     match which {
         "all" => {
             for f in [
-                table1, figure1, figure2, figure3, table2_3_4, table5_7, table8,
-                figure4, prototype, theory, keys, techniques, scaling,
+                table1, figure1, figure2, figure3, table2_3_4, table5_7, table8, figure4,
+                prototype, theory, keys, techniques, scaling,
             ] {
                 f();
             }
@@ -403,8 +527,10 @@ fn main() {
         name => match commands.get(name) {
             Some(f) => f(),
             None => {
-                eprintln!("unknown experiment `{name}`; known: all, {}",
-                    commands.keys().copied().collect::<Vec<_>>().join(", "));
+                eprintln!(
+                    "unknown experiment `{name}`; known: all, {}",
+                    commands.keys().copied().collect::<Vec<_>>().join(", ")
+                );
                 std::process::exit(2);
             }
         },

@@ -30,14 +30,8 @@ pub fn chain_ilfds(depth: usize) -> IlfdSet {
     (0..depth)
         .map(|i| {
             Ilfd::new(
-                SymbolSet::from_symbols([PropSymbol::new(
-                    format!("a{i}"),
-                    Value::int(0),
-                )]),
-                SymbolSet::from_symbols([PropSymbol::new(
-                    format!("a{}", i + 1),
-                    Value::int(0),
-                )]),
+                SymbolSet::from_symbols([PropSymbol::new(format!("a{i}"), Value::int(0))]),
+                SymbolSet::from_symbols([PropSymbol::new(format!("a{}", i + 1), Value::int(0))]),
             )
         })
         .collect()
@@ -50,10 +44,7 @@ pub fn flat_ilfds(n: usize, k: usize) -> IlfdSet {
         .map(|i| {
             Ilfd::new(
                 SymbolSet::from_symbols([PropSymbol::new("spec", Value::int(i))]),
-                SymbolSet::from_symbols([PropSymbol::new(
-                    "cui",
-                    Value::int(i % k as i64),
-                )]),
+                SymbolSet::from_symbols([PropSymbol::new("cui", Value::int(i % k as i64))]),
             )
         })
         .collect()

@@ -50,16 +50,12 @@ pub fn run_with_tables(
 
     // MT_RS = Π_{K_R, K_S}(R′ ⋈_{K_Ext} S′), with non-NULL equality
     // built into the join.
-    let on: Vec<(AttrName, AttrName)> = key
-        .attrs()
-        .iter()
-        .map(|a| (a.clone(), a.clone()))
-        .collect();
+    let on: Vec<(AttrName, AttrName)> =
+        key.attrs().iter().map(|a| (a.clone(), a.clone())).collect();
     let joined = algebra::equi_join(&extended_r, &extended_s, &on)?;
 
     let r_arity = extended_r.schema().arity();
-    let r_key_pos: Vec<usize> = extended_r
-        .positions_of(&r.schema().primary_key())?;
+    let r_key_pos: Vec<usize> = extended_r.positions_of(&r.schema().primary_key())?;
     let s_key_pos: Vec<usize> = extended_s
         .positions_of(&s.schema().primary_key())?
         .iter()
@@ -92,11 +88,7 @@ pub fn run(
 /// Builds `R′`: widens `rel` with the missing extended-key attributes
 /// (NULL) and repeatedly applies `Π_{K_R,y}(R′ ⋈ IM)` + outer-join
 /// coalescing until no table derives anything new.
-fn extend_via_tables(
-    rel: &Relation,
-    key: &ExtendedKey,
-    tables: &[IlfdTable],
-) -> Result<Relation> {
+fn extend_via_tables(rel: &Relation, key: &ExtendedKey, tables: &[IlfdTable]) -> Result<Relation> {
     // Widen with every attribute any table can derive too — chained
     // derivations may pass through attributes outside K_Ext (the
     // paper's county in Example 3).
@@ -190,18 +182,16 @@ mod tests {
     use eid_relational::Schema;
 
     fn example3() -> (Relation, Relation, ExtendedKey, IlfdSet) {
-        let r_schema = Schema::of_strs(
-            "R",
-            &["name", "cuisine", "street"],
-            &["name", "cuisine"],
-        )
-        .unwrap();
+        let r_schema =
+            Schema::of_strs("R", &["name", "cuisine", "street"], &["name", "cuisine"]).unwrap();
         let mut r = Relation::new(r_schema);
         r.insert_strs(&["twincities", "chinese", "co_b2"]).unwrap();
         r.insert_strs(&["twincities", "indian", "co_b3"]).unwrap();
         r.insert_strs(&["itsgreek", "greek", "front_ave"]).unwrap();
-        r.insert_strs(&["anjuman", "indian", "le_salle_ave"]).unwrap();
-        r.insert_strs(&["villagewok", "chinese", "wash_ave"]).unwrap();
+        r.insert_strs(&["anjuman", "indian", "le_salle_ave"])
+            .unwrap();
+        r.insert_strs(&["villagewok", "chinese", "wash_ave"])
+            .unwrap();
 
         let s_schema = Schema::of_strs(
             "S",
@@ -210,10 +200,13 @@ mod tests {
         )
         .unwrap();
         let mut s = Relation::new(s_schema);
-        s.insert_strs(&["twincities", "hunan", "roseville"]).unwrap();
-        s.insert_strs(&["twincities", "sichuan", "hennepin"]).unwrap();
+        s.insert_strs(&["twincities", "hunan", "roseville"])
+            .unwrap();
+        s.insert_strs(&["twincities", "sichuan", "hennepin"])
+            .unwrap();
         s.insert_strs(&["itsgreek", "gyros", "ramsey"]).unwrap();
-        s.insert_strs(&["anjuman", "mughalai", "minneapolis"]).unwrap();
+        s.insert_strs(&["anjuman", "mughalai", "minneapolis"])
+            .unwrap();
 
         let ilfds: IlfdSet = vec![
             Ilfd::of_strs(&[("speciality", "hunan")], &[("cuisine", "chinese")]),

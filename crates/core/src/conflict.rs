@@ -88,15 +88,20 @@ pub fn detect_conflicts(
 
     let mut out = Vec::new();
     for entry in outcome.matching.entries() {
-        let (Some(&i), Some(&j)) = (r_by_key.get(&entry.r_key), s_by_key.get(&entry.s_key))
-        else {
+        let (Some(&i), Some(&j)) = (r_by_key.get(&entry.r_key), s_by_key.get(&entry.s_key)) else {
             continue;
         };
         let tr = &ext_r.tuples()[i];
         let ts = &ext_s.tuples()[j];
         for attr in &shared {
-            let rv = tr.value_of(ext_r.schema(), attr).cloned().unwrap_or(Value::Null);
-            let sv = ts.value_of(ext_s.schema(), attr).cloned().unwrap_or(Value::Null);
+            let rv = tr
+                .value_of(ext_r.schema(), attr)
+                .cloned()
+                .unwrap_or(Value::Null);
+            let sv = ts
+                .value_of(ext_s.schema(), attr)
+                .cloned()
+                .unwrap_or(Value::Null);
             if !rv.is_null() && !sv.is_null() && !rv.non_null_eq(&sv) {
                 out.push(AttributeConflict {
                     r_key: entry.r_key.clone(),
@@ -160,8 +165,7 @@ pub fn unify(
     let mut s_matched = vec![false; s.len()];
 
     for entry in outcome.matching.entries() {
-        let (Some(&i), Some(&j)) = (r_by_key.get(&entry.r_key), s_by_key.get(&entry.s_key))
-        else {
+        let (Some(&i), Some(&j)) = (r_by_key.get(&entry.r_key), s_by_key.get(&entry.s_key)) else {
             continue;
         };
         r_matched[i] = true;
@@ -171,8 +175,14 @@ pub fn unify(
         let values: Vec<Value> = attrs
             .iter()
             .map(|a| {
-                let rv = tr.value_of(ext_r.schema(), a).cloned().unwrap_or(Value::Null);
-                let sv = ts.value_of(ext_s.schema(), a).cloned().unwrap_or(Value::Null);
+                let rv = tr
+                    .value_of(ext_r.schema(), a)
+                    .cloned()
+                    .unwrap_or(Value::Null);
+                let sv = ts
+                    .value_of(ext_s.schema(), a)
+                    .cloned()
+                    .unwrap_or(Value::Null);
                 if conflict_set.contains(&(entry.r_key.clone(), a.clone())) {
                     match policy {
                         ConflictPolicy::PreferR => rv,
@@ -195,7 +205,11 @@ pub fn unify(
         let tr = &ext_r.tuples()[i];
         let values: Vec<Value> = attrs
             .iter()
-            .map(|a| tr.value_of(ext_r.schema(), a).cloned().unwrap_or(Value::Null))
+            .map(|a| {
+                tr.value_of(ext_r.schema(), a)
+                    .cloned()
+                    .unwrap_or(Value::Null)
+            })
             .collect();
         rel.insert(Tuple::new(values))?;
     }
@@ -206,7 +220,11 @@ pub fn unify(
         let ts = &ext_s.tuples()[j];
         let values: Vec<Value> = attrs
             .iter()
-            .map(|a| ts.value_of(ext_s.schema(), a).cloned().unwrap_or(Value::Null))
+            .map(|a| {
+                ts.value_of(ext_s.schema(), a)
+                    .cloned()
+                    .unwrap_or(Value::Null)
+            })
             .collect();
         rel.insert(Tuple::new(values))?;
     }
@@ -287,7 +305,10 @@ mod tests {
             .iter()
             .find(|t| t.get(0) == &Value::str("tc"))
             .unwrap();
-        assert_eq!(merged.value_of(u.relation.schema(), &phone), Some(&Value::str("111")));
+        assert_eq!(
+            merged.value_of(u.relation.schema(), &phone),
+            Some(&Value::str("111"))
+        );
 
         let u = unify(&r, &s, &outcome, ConflictPolicy::PreferS).unwrap();
         let merged = u
@@ -295,7 +316,10 @@ mod tests {
             .iter()
             .find(|t| t.get(0) == &Value::str("tc"))
             .unwrap();
-        assert_eq!(merged.value_of(u.relation.schema(), &phone), Some(&Value::str("222")));
+        assert_eq!(
+            merged.value_of(u.relation.schema(), &phone),
+            Some(&Value::str("222"))
+        );
 
         let u = unify(&r, &s, &outcome, ConflictPolicy::Null).unwrap();
         let merged = u
@@ -303,7 +327,10 @@ mod tests {
             .iter()
             .find(|t| t.get(0) == &Value::str("tc"))
             .unwrap();
-        assert!(merged.value_of(u.relation.schema(), &phone).unwrap().is_null());
+        assert!(merged
+            .value_of(u.relation.schema(), &phone)
+            .unwrap()
+            .is_null());
         assert_eq!(u.conflicts.len(), 1);
     }
 
@@ -352,10 +379,7 @@ mod tests {
         let outcome = EntityMatcher::new(
             r.clone(),
             s.clone(),
-            MatchConfig::new(
-                ExtendedKey::of_strs(&["name", "city"]),
-                IlfdSet::new(),
-            ),
+            MatchConfig::new(ExtendedKey::of_strs(&["name", "city"]), IlfdSet::new()),
         )
         .unwrap()
         .run()

@@ -153,15 +153,12 @@ mod tests {
         use eid_rules::ExtendedKey;
 
         pub fn example3() -> (Relation, Relation, MatchConfig) {
-            let r_schema = Schema::of_strs(
-                "R",
-                &["name", "cuisine", "street"],
-                &["name", "cuisine"],
-            )
-            .unwrap();
+            let r_schema =
+                Schema::of_strs("R", &["name", "cuisine", "street"], &["name", "cuisine"]).unwrap();
             let mut r = Relation::new(r_schema);
             r.insert_strs(&["itsgreek", "greek", "front_ave"]).unwrap();
-            r.insert_strs(&["anjuman", "indian", "le_salle_ave"]).unwrap();
+            r.insert_strs(&["anjuman", "indian", "le_salle_ave"])
+                .unwrap();
 
             let s_schema = Schema::of_strs(
                 "S",
@@ -171,7 +168,8 @@ mod tests {
             .unwrap();
             let mut s = Relation::new(s_schema);
             s.insert_strs(&["itsgreek", "gyros", "ramsey"]).unwrap();
-            s.insert_strs(&["anjuman", "mughalai", "minneapolis"]).unwrap();
+            s.insert_strs(&["anjuman", "mughalai", "minneapolis"])
+                .unwrap();
 
             let ilfds: IlfdSet = vec![
                 Ilfd::of_strs(&[("speciality", "gyros")], &[("cuisine", "greek")]),

@@ -72,18 +72,16 @@ mod tests {
 
     fn r() -> Relation {
         // Paper Table 5, relation R(name, cuisine, street).
-        let schema = Schema::of_strs(
-            "R",
-            &["name", "cuisine", "street"],
-            &["name", "cuisine"],
-        )
-        .unwrap();
+        let schema =
+            Schema::of_strs("R", &["name", "cuisine", "street"], &["name", "cuisine"]).unwrap();
         let mut r = Relation::new(schema);
         r.insert_strs(&["twincities", "chinese", "co_b2"]).unwrap();
         r.insert_strs(&["twincities", "indian", "co_b3"]).unwrap();
         r.insert_strs(&["itsgreek", "greek", "front_ave"]).unwrap();
-        r.insert_strs(&["anjuman", "indian", "le_salle_ave"]).unwrap();
-        r.insert_strs(&["villagewok", "chinese", "wash_ave"]).unwrap();
+        r.insert_strs(&["anjuman", "indian", "le_salle_ave"])
+            .unwrap();
+        r.insert_strs(&["villagewok", "chinese", "wash_ave"])
+            .unwrap();
         r
     }
 
@@ -120,7 +118,12 @@ mod tests {
         let ext = extend_relation(&r(), &key, &ilfds(), Strategy::FirstMatch).unwrap();
         let rel = &ext.relation;
         assert!(rel.schema().has_attribute(&AttrName::new("speciality")));
-        let spec = |i: usize| rel.tuples()[i].value_of(rel.schema(), &AttrName::new("speciality")).unwrap().clone();
+        let spec = |i: usize| {
+            rel.tuples()[i]
+                .value_of(rel.schema(), &AttrName::new("speciality"))
+                .unwrap()
+                .clone()
+        };
         assert_eq!(spec(0), Value::str("hunan"));
         assert!(spec(1).is_null());
         assert_eq!(spec(2), Value::str("gyros"));
@@ -148,9 +151,12 @@ mod tests {
     #[test]
     fn empty_ilfds_leave_nulls() {
         let key = ExtendedKey::of_strs(&["name", "cuisine", "speciality"]);
-        let ext =
-            extend_relation(&r(), &key, &IlfdSet::new(), Strategy::FirstMatch).unwrap();
-        let pos = ext.relation.schema().position(&AttrName::new("speciality")).unwrap();
+        let ext = extend_relation(&r(), &key, &IlfdSet::new(), Strategy::FirstMatch).unwrap();
+        let pos = ext
+            .relation
+            .schema()
+            .position(&AttrName::new("speciality"))
+            .unwrap();
         assert!(ext.relation.iter().all(|t: &Tuple| t.get(pos).is_null()));
     }
 }

@@ -20,6 +20,11 @@
 //!   re-derived (fully-known tuples cannot change), then the indexes
 //!   are refreshed and newly complete keys (re-)probed.
 //!
+//! Bulk refutation passes (the initial build and each ILFD addition)
+//! run through the [`BlockedEngine`], so they visit only candidate
+//! pairs instead of scanning all `|R|·|S|` combinations; per-insert
+//! refutation stays a single scan of the opposite relation.
+//!
 //! Monotonicity (§3.3) is preserved by construction: existing
 //! entries are never removed. The test suite cross-validates every
 //! state against a from-scratch batch run.
@@ -31,6 +36,7 @@ use eid_ilfd::{Ilfd, IlfdSet};
 use eid_relational::{Relation, Tuple, Value};
 use eid_rules::RuleBase;
 
+use crate::engine::BlockedEngine;
 use crate::error::{CoreError, Result};
 use crate::extend::extend_relation;
 use crate::match_table::{PairEntry, PairTable};
@@ -143,24 +149,48 @@ impl IncrementalMatcher {
         for (i, j) in pairs {
             self.record_match(i, j);
         }
-        // Refutation phase.
+        // Refutation phase: the blocked engine visits only candidate
+        // pairs instead of scanning all |R|·|S| combinations.
         if self.config.collect_negative {
-            for i in 0..self.ext_r.len() {
-                for j in 0..self.ext_s.len() {
-                    self.try_refute(i, j);
-                }
-            }
+            self.refute_all_pairs();
         }
         Ok(())
+    }
+
+    /// Runs the blocked engine's refutation pass over the full
+    /// extended relations, recording every firing. Returns the pairs
+    /// that are newly refuted.
+    fn refute_all_pairs(&mut self) -> Vec<PairEntry> {
+        let engine = BlockedEngine::new(
+            &self.ext_r,
+            &self.ext_s,
+            &self.rule_base,
+            self.config.threads,
+        );
+        let pairs = engine.run(false, true);
+        let mut new = Vec::new();
+        for (i, j) in pairs.negative {
+            let rk = self.r.primary_key_of(&self.r.tuples()[i]);
+            let sk = self.s.primary_key_of(&self.s.tuples()[j]);
+            if self.negative.insert(rk.clone(), sk.clone()) {
+                new.push(PairEntry {
+                    r_key: rk,
+                    s_key: sk,
+                });
+            }
+        }
+        new
     }
 
     fn record_match(&mut self, i: usize, j: usize) -> Option<PairEntry> {
         let rk = self.r.primary_key_of(&self.r.tuples()[i]);
         let sk = self.s.primary_key_of(&self.s.tuples()[j]);
-        self.matching.insert(rk.clone(), sk.clone()).then_some(PairEntry {
-            r_key: rk,
-            s_key: sk,
-        })
+        self.matching
+            .insert(rk.clone(), sk.clone())
+            .then_some(PairEntry {
+                r_key: rk,
+                s_key: sk,
+            })
     }
 
     fn try_refute(&mut self, i: usize, j: usize) -> Option<PairEntry> {
@@ -175,7 +205,10 @@ impl IncrementalMatcher {
             return self
                 .negative
                 .insert(rk.clone(), sk.clone())
-                .then_some(PairEntry { r_key: rk, s_key: sk });
+                .then_some(PairEntry {
+                    r_key: rk,
+                    s_key: sk,
+                });
         }
         None
     }
@@ -270,8 +303,7 @@ impl IncrementalMatcher {
                 if !t.has_null() {
                     continue;
                 }
-                let (nt, _) =
-                    derive_tuple(&schema, t, &self.config.ilfds, self.config.strategy);
+                let (nt, _) = derive_tuple(&schema, t, &self.config.ilfds, self.config.strategy);
                 if &nt != t {
                     updates.push((i, nt));
                 }
@@ -307,11 +339,7 @@ impl IncrementalMatcher {
             delta.new_matches.extend(self.record_match(i, j));
         }
         if self.config.collect_negative {
-            for i in 0..self.ext_r.len() {
-                for j in 0..self.ext_s.len() {
-                    delta.new_non_matches.extend(self.try_refute(i, j));
-                }
-            }
+            delta.new_non_matches.extend(self.refute_all_pairs());
         }
         Ok(delta)
     }
@@ -360,12 +388,8 @@ mod tests {
     use eid_rules::ExtendedKey;
 
     fn setup() -> (Relation, Relation, MatchConfig) {
-        let r_schema = Schema::of_strs(
-            "R",
-            &["name", "cuisine", "street"],
-            &["name", "cuisine"],
-        )
-        .unwrap();
+        let r_schema =
+            Schema::of_strs("R", &["name", "cuisine", "street"], &["name", "cuisine"]).unwrap();
         let s_schema = Schema::of_strs(
             "S",
             &["name", "speciality", "county"],
@@ -379,11 +403,7 @@ mod tests {
         .into_iter()
         .collect();
         let config = MatchConfig::new(ExtendedKey::of_strs(&["name", "cuisine"]), ilfds);
-        (
-            Relation::new(r_schema),
-            Relation::new(s_schema),
-            config,
-        )
+        (Relation::new(r_schema), Relation::new(s_schema), config)
     }
 
     /// Batch-equivalence oracle.
@@ -510,8 +530,7 @@ mod tests {
     #[test]
     fn add_ilfd_fills_non_key_nulls_for_refutation() {
         let r_schema = Schema::of_strs("R", &["name", "speciality"], &["name"]).unwrap();
-        let s_schema =
-            Schema::of_strs("S", &["name", "speciality", "cuisine"], &["name"]).unwrap();
+        let s_schema = Schema::of_strs("S", &["name", "speciality", "cuisine"], &["name"]).unwrap();
         let mut r = Relation::new(r_schema);
         r.insert_strs(&["a", "gyros"]).unwrap();
         let mut s = Relation::new(s_schema);

@@ -251,18 +251,16 @@ mod tests {
 
     /// The full Example 3 workload (paper Table 5).
     fn example3() -> (Relation, Relation, MatchConfig) {
-        let r_schema = Schema::of_strs(
-            "R",
-            &["name", "cuisine", "street"],
-            &["name", "cuisine"],
-        )
-        .unwrap();
+        let r_schema =
+            Schema::of_strs("R", &["name", "cuisine", "street"], &["name", "cuisine"]).unwrap();
         let mut r = Relation::new(r_schema);
         r.insert_strs(&["twincities", "chinese", "co_b2"]).unwrap();
         r.insert_strs(&["twincities", "indian", "co_b3"]).unwrap();
         r.insert_strs(&["itsgreek", "greek", "front_ave"]).unwrap();
-        r.insert_strs(&["anjuman", "indian", "le_salle_ave"]).unwrap();
-        r.insert_strs(&["villagewok", "chinese", "wash_ave"]).unwrap();
+        r.insert_strs(&["anjuman", "indian", "le_salle_ave"])
+            .unwrap();
+        r.insert_strs(&["villagewok", "chinese", "wash_ave"])
+            .unwrap();
 
         let s_schema = Schema::of_strs(
             "S",
@@ -271,10 +269,13 @@ mod tests {
         )
         .unwrap();
         let mut s = Relation::new(s_schema);
-        s.insert_strs(&["twincities", "hunan", "roseville"]).unwrap();
-        s.insert_strs(&["twincities", "sichuan", "hennepin"]).unwrap();
+        s.insert_strs(&["twincities", "hunan", "roseville"])
+            .unwrap();
+        s.insert_strs(&["twincities", "sichuan", "hennepin"])
+            .unwrap();
         s.insert_strs(&["itsgreek", "gyros", "ramsey"]).unwrap();
-        s.insert_strs(&["anjuman", "mughalai", "minneapolis"]).unwrap();
+        s.insert_strs(&["anjuman", "mughalai", "minneapolis"])
+            .unwrap();
 
         let ilfds: IlfdSet = vec![
             Ilfd::of_strs(&[("speciality", "hunan")], &[("cuisine", "chinese")]),
@@ -392,9 +393,7 @@ mod tests {
         // twincities/chinese/sichuan: indian ≠ chinese → conflict.
         let ti = rel
             .iter()
-            .position(|t| {
-                t.get(rn) == &Value::str("twincities") && t.get(sn).is_null()
-            })
+            .position(|t| t.get(rn) == &Value::str("twincities") && t.get(sn).is_null())
             .unwrap();
         assert!(!t.possibly_same(ti, so));
         // A row is always possibly the same as itself.

@@ -47,8 +47,7 @@ impl IntegrationJob {
         let knowledge = validate_knowledge(r, s, &self.config)?;
 
         // 2. Entity identification.
-        let outcome =
-            EntityMatcher::new(r.clone(), s.clone(), self.config.clone())?.run()?;
+        let outcome = EntityMatcher::new(r.clone(), s.clone(), self.config.clone())?.run()?;
 
         // 3. §3.2 sufficient checks.
         let verification = outcome.verify().err().map(|e| e.to_string());
@@ -102,9 +101,12 @@ impl IntegrationReport {
 impl fmt::Display for IntegrationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "integration report")?;
-        writeln!(f, "  knowledge: {} ILFD violations, {} intra-relation key duplicates",
+        writeln!(
+            f,
+            "  knowledge: {} ILFD violations, {} intra-relation key duplicates",
             self.knowledge.ilfd_violations.len(),
-            self.knowledge.key_duplicates.len())?;
+            self.knowledge.key_duplicates.len()
+        )?;
         writeln!(f, "  pairs: {}", self.partition)?;
         match &self.verification {
             None => writeln!(f, "  verification: passed (sound)")?,
@@ -129,12 +131,8 @@ mod tests {
     use eid_rules::ExtendedKey;
 
     fn workload() -> (Relation, Relation, MatchConfig) {
-        let r_schema = Schema::of_strs(
-            "R",
-            &["name", "cuisine", "city"],
-            &["name", "cuisine"],
-        )
-        .unwrap();
+        let r_schema =
+            Schema::of_strs("R", &["name", "cuisine", "city"], &["name", "cuisine"]).unwrap();
         let mut r = Relation::new(r_schema);
         r.insert_strs(&["tc", "chinese", "mpls"]).unwrap();
         r.insert_strs(&["vw", "chinese", "mpls"]).unwrap();
@@ -219,14 +217,11 @@ mod tests {
         let (_, s, config) = workload();
         // Remove the conflicting R tuple's city difference by using a
         // fresh R that agrees.
-        let r_schema = Schema::of_strs(
-            "R",
-            &["name", "cuisine", "city"],
-            &["name", "cuisine"],
-        )
-        .unwrap();
+        let r_schema =
+            Schema::of_strs("R", &["name", "cuisine", "city"], &["name", "cuisine"]).unwrap();
         let mut r = Relation::new(r_schema);
-        r.insert(Tuple::of_strs(&["tc", "chinese", "st_paul"])).unwrap();
+        r.insert(Tuple::of_strs(&["tc", "chinese", "st_paul"]))
+            .unwrap();
         let report = IntegrationJob::new(config).run(&r, &s).unwrap();
         assert!(report.is_healthy(), "{report}");
     }

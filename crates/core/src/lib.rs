@@ -10,6 +10,9 @@
 //!   equivalence via hash join or nested loop, distinctness via
 //!   Proposition-1 rules, producing matching and negative matching
 //!   tables (§4.2 step 3);
+//! * [`engine`] — the blocked matching engine: precompiled rules,
+//!   per-rule inverted-index blocking, chunked data parallelism
+//!   (the default [`JoinAlgorithm::Blocked`] execution path);
 //! * [`match_table`] — pair tables with the §3.2 uniqueness and
 //!   consistency constraints;
 //! * [`algebra_pipeline`] — an independent implementation of the same
@@ -68,6 +71,7 @@
 
 pub mod algebra_pipeline;
 pub mod conflict;
+pub mod engine;
 pub mod error;
 pub mod explain;
 pub mod extend;
@@ -84,6 +88,7 @@ pub mod validate;
 pub mod virtual_view;
 
 pub use conflict::{AttributeConflict, ConflictPolicy, Unified};
+pub use engine::{BlockedEngine, EnginePairs};
 pub use error::{CoreError, Result};
 pub use explain::{explain_match, MatchExplanation, Support};
 pub use incremental::{Delta, IncrementalMatcher, SideSel};
@@ -101,6 +106,7 @@ pub use virtual_view::{Selection, ViewAnswer, VirtualView};
 /// Commonly used types, one `use` away.
 pub mod prelude {
     pub use crate::conflict::{AttributeConflict, ConflictPolicy, Unified};
+    pub use crate::engine::{BlockedEngine, EnginePairs};
     pub use crate::incremental::{Delta, IncrementalMatcher, SideSel};
     pub use crate::integrate::IntegratedTable;
     pub use crate::job::{IntegrationJob, IntegrationReport};

@@ -11,10 +11,11 @@
 //! * **Consistency constraint** — no tuple pair can appear in both
 //!   the matching and negative matching tables.
 
+use std::cell::OnceCell;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use eid_relational::{AttrName, Relation, Schema, Tuple};
+use eid_relational::{AttrName, FxHashSet, Relation, Schema, Tuple};
 
 use crate::error::{CoreError, Result};
 
@@ -30,12 +31,18 @@ pub struct PairEntry {
 
 /// A table of tuple pairs keyed by their relations' primary keys —
 /// used for both `MT_RS` and `NMT_RS`.
+///
+/// The membership set backing [`PairTable::contains`] and the
+/// per-[`PairTable::insert`] dedup is built lazily: bulk producers
+/// (the blocked engine) append pre-deduplicated entries through
+/// [`PairTable::extend_unique`] without ever paying for tuple
+/// hashing, and the set materializes from `entries` on first use.
 #[derive(Debug, Clone)]
 pub struct PairTable {
     r_key_attrs: Vec<AttrName>,
     s_key_attrs: Vec<AttrName>,
     entries: Vec<PairEntry>,
-    seen: HashSet<PairEntry>,
+    seen: OnceCell<FxHashSet<PairEntry>>,
 }
 
 impl PairTable {
@@ -45,8 +52,18 @@ impl PairTable {
             r_key_attrs,
             s_key_attrs,
             entries: Vec::new(),
-            seen: HashSet::new(),
+            seen: OnceCell::new(),
         }
+    }
+
+    /// The membership set, materialized from `entries` on first use.
+    fn seen(&self) -> &FxHashSet<PairEntry> {
+        self.seen.get_or_init(|| {
+            let mut set =
+                FxHashSet::with_capacity_and_hasher(self.entries.len(), Default::default());
+            set.extend(self.entries.iter().cloned());
+            set
+        })
     }
 
     /// `R`'s key attribute names.
@@ -61,12 +78,37 @@ impl PairTable {
 
     /// Adds a pair (idempotent).
     pub fn insert(&mut self, r_key: Tuple, s_key: Tuple) -> bool {
+        self.seen();
         let e = PairEntry { r_key, s_key };
-        if self.seen.insert(e.clone()) {
+        if self
+            .seen
+            .get_mut()
+            .expect("just initialized")
+            .insert(e.clone())
+        {
             self.entries.push(e);
             true
         } else {
             false
+        }
+    }
+
+    /// Appends entries the caller guarantees are pairwise distinct
+    /// and absent from the table — the blocked engine's bulk path,
+    /// which dedups on row-index pairs before key projection and so
+    /// never needs per-entry tuple hashing here. If the membership
+    /// set has already materialized it is kept in sync (and then
+    /// still protects against duplicate inserts).
+    pub fn extend_unique(&mut self, new: impl IntoIterator<Item = PairEntry>) {
+        match self.seen.get_mut() {
+            Some(seen) => {
+                for e in new {
+                    if seen.insert(e.clone()) {
+                        self.entries.push(e);
+                    }
+                }
+            }
+            None => self.entries.extend(new),
         }
     }
 
@@ -87,7 +129,7 @@ impl PairTable {
 
     /// Membership test.
     pub fn contains(&self, r_key: &Tuple, s_key: &Tuple) -> bool {
-        self.seen.contains(&PairEntry {
+        self.seen().contains(&PairEntry {
             r_key: r_key.clone(),
             s_key: s_key.clone(),
         })
@@ -96,7 +138,8 @@ impl PairTable {
     /// Whether this table's pair set includes all of `other`'s —
     /// the monotonicity check's workhorse.
     pub fn includes(&self, other: &PairTable) -> bool {
-        other.entries.iter().all(|e| self.seen.contains(e))
+        let seen = self.seen();
+        other.entries.iter().all(|e| seen.contains(e))
     }
 
     /// Checks the **uniqueness constraint**: every `R` key maps to at
@@ -130,8 +173,9 @@ impl PairTable {
     /// Checks the **consistency constraint** against a negative
     /// table: no pair may appear in both.
     pub fn verify_consistency(&self, negative: &PairTable) -> Result<()> {
+        let negative_seen = negative.seen();
         for e in &self.entries {
-            if negative.seen.contains(e) {
+            if negative_seen.contains(e) {
                 return Err(CoreError::ConsistencyViolation {
                     pair: format!("({}, {})", e.r_key, e.s_key),
                 });
@@ -195,6 +239,36 @@ mod tests {
             Tuple::of_strs(&["tc", "hunan"])
         ));
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn extend_unique_bulk_path_agrees_with_insert() {
+        let a = PairEntry {
+            r_key: Tuple::of_strs(&["a", "x"]),
+            s_key: Tuple::of_strs(&["a", "p"]),
+        };
+        let b = PairEntry {
+            r_key: Tuple::of_strs(&["b", "y"]),
+            s_key: Tuple::of_strs(&["b", "q"]),
+        };
+        // Bulk append before the membership set materializes…
+        let mut t = table();
+        t.extend_unique([a.clone(), b.clone()]);
+        assert_eq!(t.len(), 2);
+        // …then membership and per-insert dedup still work.
+        assert!(t.contains(&a.r_key, &a.s_key));
+        assert!(!t.insert(b.r_key.clone(), b.s_key.clone()));
+        // Bulk append after materialization keeps the set in sync
+        // (and dedups defensively).
+        t.extend_unique([a.clone()]);
+        assert_eq!(t.len(), 2);
+        let c = PairEntry {
+            r_key: Tuple::of_strs(&["c", "z"]),
+            s_key: Tuple::of_strs(&["c", "r"]),
+        };
+        t.extend_unique([c.clone()]);
+        assert!(t.contains(&c.r_key, &c.s_key));
+        assert_eq!(t.len(), 3);
     }
 
     #[test]

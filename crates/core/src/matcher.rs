@@ -12,27 +12,43 @@
 //!    `NMT_RS`;
 //! 5. verify: the uniqueness and consistency constraints of §3.2.
 //!
-//! Step 3 is an equi-join; [`JoinAlgorithm::Hash`] runs it in
-//! `O(|R| + |S|)` expected time, [`JoinAlgorithm::NestedLoop`]
-//! evaluates the full rule base on all `|R|·|S|` pairs (needed when
-//! extra rules go beyond extended-key equality, and as the baseline
-//! for the scaling benchmarks).
+//! Steps 3–4 have three execution paths. [`JoinAlgorithm::Blocked`]
+//! (the default) hands the whole rule base to the
+//! [`crate::engine::BlockedEngine`]: rules are precompiled to
+//! positional form, indexable rules run as inverted-index block
+//! plans (identity rules as hash joins, ILFD-induced distinctness
+//! rules as disagreement probes), the rest fall back to a compiled
+//! pairwise scan — all optionally data-parallel and
+//! output-sensitive rather than quadratic. [`JoinAlgorithm::Hash`]
+//! is the seed path: a hash equi-join for extended-key equivalence
+//! plus interpreted pairwise scans for everything else.
+//! [`JoinAlgorithm::NestedLoop`] evaluates the full rule base on all
+//! `|R|·|S|` pairs — the exhaustive correctness oracle the other two
+//! are equivalence-tested against, and the baseline for the scaling
+//! benchmarks.
 
 use eid_ilfd::{IlfdSet, Strategy};
-use eid_relational::{HashIndex, Relation};
+use eid_relational::{FxHashSet, HashIndex, Relation, Tuple};
 use eid_rules::{ExtendedKey, RuleBase};
 
+use crate::engine::BlockedEngine;
 use crate::error::{CoreError, Result};
 use crate::extend::{extend_relation, Extended};
-use crate::match_table::PairTable;
+use crate::match_table::{PairEntry, PairTable};
 
-/// How the extended-key equi-join is executed.
+/// How the matching and refutation phases are executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum JoinAlgorithm {
-    /// Hash join on the extended-key projection (linear expected time).
+    /// The blocked engine: precompiled rules, per-rule inverted-index
+    /// blocking, chunked data parallelism. Output-sensitive.
     #[default]
+    Blocked,
+    /// Hash join on the extended-key projection (linear expected
+    /// time) plus interpreted pairwise scans for extra identity rules
+    /// and for refutation.
     Hash,
-    /// Nested-loop evaluation of the full rule base on every pair.
+    /// Nested-loop evaluation of the full rule base on every pair —
+    /// the exhaustive oracle.
     NestedLoop,
 }
 
@@ -54,23 +70,29 @@ pub struct MatchConfig {
     /// Whether each ILFD also contributes its Proposition-1
     /// distinctness rule to the refutation phase.
     pub use_ilfd_distinctness: bool,
-    /// Whether to run the (quadratic) refutation phase at all. Off
-    /// for pure-matching scaling benchmarks.
+    /// Whether to run the refutation phase at all. Off for
+    /// pure-matching scaling benchmarks.
     pub collect_negative: bool,
+    /// Worker threads for [`JoinAlgorithm::Blocked`]: `0` uses the
+    /// machine's available parallelism, `1` runs serially. The
+    /// result is identical for any value.
+    pub threads: usize,
 }
 
 impl MatchConfig {
     /// The common configuration: an extended key plus ILFDs,
-    /// first-match derivation, hash join, ILFD distinctness on.
+    /// first-match derivation, the blocked engine with automatic
+    /// parallelism, ILFD distinctness on.
     pub fn new(extended_key: ExtendedKey, ilfds: IlfdSet) -> Self {
         MatchConfig {
             extended_key,
             ilfds,
             strategy: Strategy::FirstMatch,
-            join: JoinAlgorithm::Hash,
+            join: JoinAlgorithm::Blocked,
             extra_rules: RuleBase::new(),
             use_ilfd_distinctness: true,
             collect_negative: true,
+            threads: 0,
         }
     }
 }
@@ -166,25 +188,73 @@ impl EntityMatcher {
             self.config.strategy,
         )?;
 
-        let mut matching = PairTable::new(
-            self.r.schema().primary_key(),
-            self.s.schema().primary_key(),
-        );
-        let mut negative = PairTable::new(
-            self.r.schema().primary_key(),
-            self.s.schema().primary_key(),
-        );
+        let mut matching =
+            PairTable::new(self.r.schema().primary_key(), self.s.schema().primary_key());
+        let mut negative =
+            PairTable::new(self.r.schema().primary_key(), self.s.schema().primary_key());
 
         let rb = self.rule_base()?;
+        // For the blocked path the matching/negative overlap is counted
+        // on row-index pairs while converting; the tuple-keyed probe
+        // below stays for the seed paths.
+        let mut blocked_overlap = None;
         match self.config.join {
+            JoinAlgorithm::Blocked => {
+                let engine =
+                    BlockedEngine::new(&ext_r.relation, &ext_s.relation, &rb, self.config.threads);
+                let pairs = engine.run(true, self.config.collect_negative);
+                // Project each row's primary key once up front: entry
+                // construction then costs two reference-count bumps
+                // per pair instead of two fresh projections, and the
+                // dedup below hashes row-index pairs instead of key
+                // tuples — the difference between this arm being
+                // output-bound and being engine-bound.
+                let pk_r: Vec<Tuple> = self.r.iter().map(|t| self.r.primary_key_of(t)).collect();
+                let pk_s: Vec<Tuple> = self.s.iter().map(|t| self.s.primary_key_of(t)).collect();
+                let mut m_seen: FxHashSet<(usize, usize)> =
+                    FxHashSet::with_capacity_and_hasher(pairs.matching.len(), Default::default());
+                matching.extend_unique(pairs.matching.iter().filter(|p| m_seen.insert(**p)).map(
+                    |&(i, j)| PairEntry {
+                        r_key: pk_r[i].clone(),
+                        s_key: pk_s[j].clone(),
+                    },
+                ));
+                let mut n_seen: FxHashSet<(usize, usize)> =
+                    FxHashSet::with_capacity_and_hasher(pairs.negative.len(), Default::default());
+                let mut in_both = 0usize;
+                negative.extend_unique(
+                    pairs
+                        .negative
+                        .iter()
+                        .filter(|p| n_seen.insert(**p))
+                        .inspect(|p| {
+                            if m_seen.contains(p) {
+                                in_both += 1;
+                            }
+                        })
+                        .map(|&(i, j)| PairEntry {
+                            r_key: pk_r[i].clone(),
+                            s_key: pk_s[j].clone(),
+                        }),
+                );
+                blocked_overlap = Some(in_both);
+            }
             JoinAlgorithm::Hash => {
                 self.hash_identity_phase(&ext_r.relation, &ext_s.relation, &mut matching)?;
-                // Extra identity rules (rare) still need pairwise checks.
+                // Extra identity rules (rare) still need pairwise
+                // checks — but only the extra rules: extended-key
+                // equivalence was already decided by the hash join,
+                // so re-running the full rule base here would redo
+                // the whole identity phase quadratically.
                 if !self.config.extra_rules.identity_rules().is_empty() {
+                    let mut extra_identity = RuleBase::new();
+                    for rule in self.config.extra_rules.identity_rules() {
+                        extra_identity.add_identity(rule.clone());
+                    }
                     self.pairwise_phase(
                         &ext_r.relation,
                         &ext_s.relation,
-                        &rb,
+                        &extra_identity,
                         &mut matching,
                         &mut negative,
                         /*identity:*/ true,
@@ -219,11 +289,14 @@ impl EntityMatcher {
         let total = self.r.len() * self.s.len();
         // Pairs recorded in both tables (inconsistent knowledge, caught
         // by verify()) must not be subtracted twice.
-        let overlap = matching
-            .entries()
-            .iter()
-            .filter(|e| negative.contains(&e.r_key, &e.s_key))
-            .count();
+        let overlap = match blocked_overlap {
+            Some(n) => n,
+            None => matching
+                .entries()
+                .iter()
+                .filter(|e| negative.contains(&e.r_key, &e.s_key))
+                .count(),
+        };
         let undetermined = (total + overlap)
             .saturating_sub(matching.len())
             .saturating_sub(negative.len());
@@ -281,16 +354,13 @@ impl EntityMatcher {
     ) -> Result<()> {
         for (i, tr) in ext_r.iter().enumerate() {
             for (j, ts) in ext_s.iter().enumerate() {
-                if record_identity
-                    && rb.fires_identity(ext_r.schema(), tr, ext_s.schema(), ts)
-                {
+                if record_identity && rb.fires_identity(ext_r.schema(), tr, ext_s.schema(), ts) {
                     matching.insert(
                         self.r.primary_key_of(&self.r.tuples()[i]),
                         self.s.primary_key_of(&self.s.tuples()[j]),
                     );
                 }
-                if record_distinct
-                    && rb.fires_distinctness(ext_r.schema(), tr, ext_s.schema(), ts)
+                if record_distinct && rb.fires_distinctness(ext_r.schema(), tr, ext_s.schema(), ts)
                 {
                     negative.insert(
                         self.r.primary_key_of(&self.r.tuples()[i]),
@@ -313,17 +383,18 @@ mod tests {
     /// S(name,speciality,city), K_Ext = {name, cuisine}, one ILFD.
     fn example2() -> (Relation, Relation, MatchConfig) {
         let r_schema =
-            Schema::of_strs("R", &["name", "cuisine", "street"], &["name", "cuisine"])
-                .unwrap();
+            Schema::of_strs("R", &["name", "cuisine", "street"], &["name", "cuisine"]).unwrap();
         let mut r = Relation::new(r_schema);
-        r.insert_strs(&["twincities", "chinese", "wash_ave"]).unwrap();
-        r.insert_strs(&["twincities", "indian", "univ_ave"]).unwrap();
+        r.insert_strs(&["twincities", "chinese", "wash_ave"])
+            .unwrap();
+        r.insert_strs(&["twincities", "indian", "univ_ave"])
+            .unwrap();
 
         let s_schema =
-            Schema::of_strs("S", &["name", "speciality", "city"], &["name", "city"])
-                .unwrap();
+            Schema::of_strs("S", &["name", "speciality", "city"], &["name", "city"]).unwrap();
         let mut s = Relation::new(s_schema);
-        s.insert_strs(&["twincities", "mughalai", "st_paul"]).unwrap();
+        s.insert_strs(&["twincities", "mughalai", "st_paul"])
+            .unwrap();
 
         let ilfds: IlfdSet = vec![Ilfd::of_strs(
             &[("speciality", "mughalai")],
@@ -361,18 +432,80 @@ mod tests {
     }
 
     #[test]
-    fn hash_and_nested_loop_agree() {
+    fn all_algorithms_agree() {
+        let (r, s, config) = example2();
+        let mut nl_config = config.clone();
+        nl_config.join = JoinAlgorithm::NestedLoop;
+        let oracle = EntityMatcher::new(r.clone(), s.clone(), nl_config)
+            .unwrap()
+            .run()
+            .unwrap();
+        for join in [JoinAlgorithm::Blocked, JoinAlgorithm::Hash] {
+            let mut c = config.clone();
+            c.join = join;
+            let got = EntityMatcher::new(r.clone(), s.clone(), c)
+                .unwrap()
+                .run()
+                .unwrap();
+            assert!(got.matching.includes(&oracle.matching), "{join:?} matching");
+            assert!(oracle.matching.includes(&got.matching), "{join:?} matching");
+            assert!(got.negative.includes(&oracle.negative), "{join:?} negative");
+            assert!(oracle.negative.includes(&got.negative), "{join:?} negative");
+            assert_eq!(
+                got.undetermined, oracle.undetermined,
+                "{join:?} undetermined"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_is_deterministic_across_thread_counts() {
+        let (r, s, config) = example2();
+        let run_with = |threads: usize| {
+            let mut c = config.clone();
+            c.threads = threads;
+            EntityMatcher::new(r.clone(), s.clone(), c)
+                .unwrap()
+                .run()
+                .unwrap()
+        };
+        let serial = run_with(1);
+        for threads in [0, 2, 8] {
+            let parallel = run_with(threads);
+            assert_eq!(
+                serial.matching.entries(),
+                parallel.matching.entries(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                serial.negative.entries(),
+                parallel.negative.entries(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_handles_extra_identity_rules() {
+        use eid_rules::{IdentityRule, Predicate};
         let (r, s, mut config) = example2();
-        let hash = EntityMatcher::new(r.clone(), s.clone(), config.clone())
+        // A (deliberately unsound) extra rule: same name ⇒ same
+        // entity. It has no indexable shape restriction problems —
+        // a pure cross-equality join — and matches both R tuples.
+        config.extra_rules.add_identity(
+            IdentityRule::new("same-name", vec![Predicate::cross_eq("name")]).unwrap(),
+        );
+        let blocked = EntityMatcher::new(r.clone(), s.clone(), config.clone())
             .unwrap()
             .run()
             .unwrap();
         config.join = JoinAlgorithm::NestedLoop;
-        let nested = EntityMatcher::new(r, s, config).unwrap().run().unwrap();
-        assert!(hash.matching.includes(&nested.matching));
-        assert!(nested.matching.includes(&hash.matching));
-        assert!(hash.negative.includes(&nested.negative));
-        assert!(nested.negative.includes(&hash.negative));
+        let oracle = EntityMatcher::new(r, s, config).unwrap().run().unwrap();
+        assert_eq!(blocked.matching.len(), 2);
+        assert!(blocked.matching.includes(&oracle.matching));
+        assert!(oracle.matching.includes(&blocked.matching));
+        assert!(blocked.negative.includes(&oracle.negative));
+        assert!(oracle.negative.includes(&blocked.negative));
     }
 
     #[test]

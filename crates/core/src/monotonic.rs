@@ -52,8 +52,7 @@ impl KnowledgeSweep {
         for k in 0..=ilfds.len() {
             let mut c = config.clone();
             c.ilfds = ilfds[..k].iter().cloned().collect::<IlfdSet>();
-            let outcome: MatchOutcome =
-                EntityMatcher::new(r.clone(), s.clone(), c)?.run()?;
+            let outcome: MatchOutcome = EntityMatcher::new(r.clone(), s.clone(), c)?.run()?;
             steps.push(SweepStep {
                 ilfds: k,
                 partition: Partition::of(&outcome),
@@ -71,9 +70,7 @@ impl KnowledgeSweep {
     pub fn verify_monotonic(&self) -> Option<usize> {
         for w in self.steps.windows(2) {
             let (prev, next) = (&w[0], &w[1]);
-            if !next.matching.includes(&prev.matching)
-                || !next.negative.includes(&prev.negative)
-            {
+            if !next.matching.includes(&prev.matching) || !next.negative.includes(&prev.negative) {
                 return Some(next.ilfds);
             }
         }
@@ -94,16 +91,13 @@ mod tests {
     use eid_rules::ExtendedKey;
 
     fn workload() -> (Relation, Relation, MatchConfig, Vec<Ilfd>) {
-        let r_schema = Schema::of_strs(
-            "R",
-            &["name", "cuisine", "street"],
-            &["name", "cuisine"],
-        )
-        .unwrap();
+        let r_schema =
+            Schema::of_strs("R", &["name", "cuisine", "street"], &["name", "cuisine"]).unwrap();
         let mut r = Relation::new(r_schema);
         r.insert_strs(&["twincities", "chinese", "co_b2"]).unwrap();
         r.insert_strs(&["itsgreek", "greek", "front_ave"]).unwrap();
-        r.insert_strs(&["anjuman", "indian", "le_salle_ave"]).unwrap();
+        r.insert_strs(&["anjuman", "indian", "le_salle_ave"])
+            .unwrap();
 
         let s_schema = Schema::of_strs(
             "S",
@@ -112,19 +106,18 @@ mod tests {
         )
         .unwrap();
         let mut s = Relation::new(s_schema);
-        s.insert_strs(&["twincities", "hunan", "roseville"]).unwrap();
+        s.insert_strs(&["twincities", "hunan", "roseville"])
+            .unwrap();
         s.insert_strs(&["itsgreek", "gyros", "ramsey"]).unwrap();
-        s.insert_strs(&["anjuman", "mughalai", "minneapolis"]).unwrap();
+        s.insert_strs(&["anjuman", "mughalai", "minneapolis"])
+            .unwrap();
 
         let ilfds = vec![
             Ilfd::of_strs(&[("speciality", "hunan")], &[("cuisine", "chinese")]),
             Ilfd::of_strs(&[("speciality", "gyros")], &[("cuisine", "greek")]),
             Ilfd::of_strs(&[("speciality", "mughalai")], &[("cuisine", "indian")]),
         ];
-        let config = MatchConfig::new(
-            ExtendedKey::of_strs(&["name", "cuisine"]),
-            IlfdSet::new(),
-        );
+        let config = MatchConfig::new(ExtendedKey::of_strs(&["name", "cuisine"]), IlfdSet::new());
         (r, s, config, ilfds)
     }
 

@@ -26,8 +26,7 @@ use crate::matcher::{EntityMatcher, MatchConfig, MatchOutcome};
 /// The message printed when verification passes.
 pub const MSG_VERIFIED: &str = "Message: The extended key is verified.";
 /// The message printed when the matching result is unsound.
-pub const MSG_UNSOUND: &str =
-    "Message: The extended key causes unsound matching result.";
+pub const MSG_UNSOUND: &str = "Message: The extended key causes unsound matching result.";
 
 /// Result of `setup_extkey`: the outcome plus the prototype's
 /// verification verdict.
@@ -82,10 +81,7 @@ impl Session {
             .attribute_names()
             .chain(self.s.schema().attribute_names())
         {
-            if !out.contains(a)
-                && available(self.r.schema(), a)
-                && available(self.s.schema(), a)
-            {
+            if !out.contains(a) && available(self.r.schema(), a) && available(self.s.schema(), a) {
                 out.push(a.clone());
             }
         }
@@ -169,18 +165,16 @@ mod tests {
     use eid_relational::Schema;
 
     fn session() -> Session {
-        let r_schema = Schema::of_strs(
-            "R",
-            &["name", "cuisine", "street"],
-            &["name", "cuisine"],
-        )
-        .unwrap();
+        let r_schema =
+            Schema::of_strs("R", &["name", "cuisine", "street"], &["name", "cuisine"]).unwrap();
         let mut r = Relation::new(r_schema);
         r.insert_strs(&["twincities", "chinese", "co_b2"]).unwrap();
         r.insert_strs(&["twincities", "indian", "co_b3"]).unwrap();
         r.insert_strs(&["itsgreek", "greek", "front_ave"]).unwrap();
-        r.insert_strs(&["anjuman", "indian", "le_salle_ave"]).unwrap();
-        r.insert_strs(&["villagewok", "chinese", "wash_ave"]).unwrap();
+        r.insert_strs(&["anjuman", "indian", "le_salle_ave"])
+            .unwrap();
+        r.insert_strs(&["villagewok", "chinese", "wash_ave"])
+            .unwrap();
 
         let s_schema = Schema::of_strs(
             "S",
@@ -189,10 +183,13 @@ mod tests {
         )
         .unwrap();
         let mut s = Relation::new(s_schema);
-        s.insert_strs(&["twincities", "hunan", "roseville"]).unwrap();
-        s.insert_strs(&["twincities", "sichuan", "hennepin"]).unwrap();
+        s.insert_strs(&["twincities", "hunan", "roseville"])
+            .unwrap();
+        s.insert_strs(&["twincities", "sichuan", "hennepin"])
+            .unwrap();
         s.insert_strs(&["itsgreek", "gyros", "ramsey"]).unwrap();
-        s.insert_strs(&["anjuman", "mughalai", "minneapolis"]).unwrap();
+        s.insert_strs(&["anjuman", "mughalai", "minneapolis"])
+            .unwrap();
 
         let ilfds: IlfdSet = vec![
             Ilfd::of_strs(&[("speciality", "hunan")], &[("cuisine", "chinese")]),

@@ -104,8 +104,7 @@ pub fn validate_knowledge(
         let positions = extended
             .relation
             .positions_of(config.extended_key.attrs())?;
-        let mut seen: std::collections::HashMap<Tuple, usize> =
-            std::collections::HashMap::new();
+        let mut seen: std::collections::HashMap<Tuple, usize> = std::collections::HashMap::new();
         for (i, t) in extended.relation.iter().enumerate() {
             if !t.non_null_at(&positions) {
                 continue;
@@ -140,12 +139,8 @@ mod tests {
     }
 
     fn relations() -> (Relation, Relation) {
-        let r_schema = Schema::of_strs(
-            "R",
-            &["name", "cuisine", "street"],
-            &["name", "street"],
-        )
-        .unwrap();
+        let r_schema =
+            Schema::of_strs("R", &["name", "cuisine", "street"], &["name", "street"]).unwrap();
         let s_schema = Schema::of_strs(
             "S",
             &["name", "speciality", "cuisine"],
@@ -197,12 +192,9 @@ mod tests {
             eid_relational::Value::str("st"),
         ]))
         .unwrap();
-        let f: IlfdSet = vec![Ilfd::of_strs(
-            &[("name", "x")],
-            &[("cuisine", "chinese")],
-        )]
-        .into_iter()
-        .collect();
+        let f: IlfdSet = vec![Ilfd::of_strs(&[("name", "x")], &[("cuisine", "chinese")])]
+            .into_iter()
+            .collect();
         let report = validate_knowledge(&r, &s, &config(f)).unwrap();
         assert!(report.ilfd_violations.is_empty());
     }
@@ -227,12 +219,8 @@ mod tests {
     fn duplicates_created_by_derivation_are_caught() {
         // Two S tuples whose derived cuisines collide on (name, cuisine).
         let (r, _) = relations();
-        let s_schema = Schema::of_strs(
-            "S",
-            &["name", "speciality"],
-            &["name", "speciality"],
-        )
-        .unwrap();
+        let s_schema =
+            Schema::of_strs("S", &["name", "speciality"], &["name", "speciality"]).unwrap();
         let mut s = Relation::new(s_schema);
         s.insert_strs(&["tc", "hunan"]).unwrap();
         s.insert_strs(&["tc", "sichuan"]).unwrap();

@@ -154,12 +154,7 @@ impl VirtualView {
 
         let outcome =
             EntityMatcher::new(r_sub.clone(), s_sub.clone(), self.config.clone())?.run()?;
-        let table = IntegratedTable::build(
-            &r_sub,
-            &s_sub,
-            &outcome,
-            &self.config.extended_key,
-        )?;
+        let table = IntegratedTable::build(&r_sub, &s_sub, &outcome, &self.config.extended_key)?;
 
         // Post-filter: the pushdown kept superset rows when the
         // selected attribute was derived (or lives on one side only);
@@ -184,10 +179,7 @@ impl VirtualView {
 /// Keeps integrated rows where, for every selection, the `r_`-side or
 /// `s_`-side copy of the attribute equals the value (a row qualifies
 /// through whichever side knows the attribute).
-pub fn filter_integrated(
-    table: &IntegratedTable,
-    sel: &[Selection],
-) -> Result<IntegratedTable> {
+pub fn filter_integrated(table: &IntegratedTable, sel: &[Selection]) -> Result<IntegratedTable> {
     let rel = table.relation();
     let mut keep = Relation::new_unchecked(rel.schema().clone());
     'rows: for t in rel.iter() {
@@ -219,18 +211,16 @@ mod tests {
     use eid_rules::ExtendedKey;
 
     fn view() -> VirtualView {
-        let r_schema = Schema::of_strs(
-            "R",
-            &["name", "cuisine", "street"],
-            &["name", "cuisine"],
-        )
-        .unwrap();
+        let r_schema =
+            Schema::of_strs("R", &["name", "cuisine", "street"], &["name", "cuisine"]).unwrap();
         let mut r = Relation::new(r_schema);
         r.insert_strs(&["twincities", "chinese", "co_b2"]).unwrap();
         r.insert_strs(&["twincities", "indian", "co_b3"]).unwrap();
         r.insert_strs(&["itsgreek", "greek", "front_ave"]).unwrap();
-        r.insert_strs(&["anjuman", "indian", "le_salle_ave"]).unwrap();
-        r.insert_strs(&["villagewok", "chinese", "wash_ave"]).unwrap();
+        r.insert_strs(&["anjuman", "indian", "le_salle_ave"])
+            .unwrap();
+        r.insert_strs(&["villagewok", "chinese", "wash_ave"])
+            .unwrap();
 
         let s_schema = Schema::of_strs(
             "S",
@@ -239,10 +229,13 @@ mod tests {
         )
         .unwrap();
         let mut s = Relation::new(s_schema);
-        s.insert_strs(&["twincities", "hunan", "roseville"]).unwrap();
-        s.insert_strs(&["twincities", "sichuan", "hennepin"]).unwrap();
+        s.insert_strs(&["twincities", "hunan", "roseville"])
+            .unwrap();
+        s.insert_strs(&["twincities", "sichuan", "hennepin"])
+            .unwrap();
         s.insert_strs(&["itsgreek", "gyros", "ramsey"]).unwrap();
-        s.insert_strs(&["anjuman", "mughalai", "minneapolis"]).unwrap();
+        s.insert_strs(&["anjuman", "mughalai", "minneapolis"])
+            .unwrap();
 
         let ilfds: IlfdSet = vec![
             Ilfd::of_strs(&[("speciality", "hunan")], &[("cuisine", "chinese")]),
@@ -287,7 +280,10 @@ mod tests {
         for sel in [
             vec![Selection::eq("name", "twincities")],
             vec![Selection::eq("cuisine", "chinese")],
-            vec![Selection::eq("name", "anjuman"), Selection::eq("cuisine", "indian")],
+            vec![
+                Selection::eq("name", "anjuman"),
+                Selection::eq("cuisine", "indian"),
+            ],
             vec![Selection::eq("name", "nonexistent")],
         ] {
             let fast = v.select(&sel).unwrap();
@@ -318,9 +314,12 @@ mod tests {
             Schema::of_strs("R", &["name", "cuisine", "city"], &["name", "cuisine"]).unwrap();
         let mut r = Relation::new(r_schema);
         r.insert_strs(&["tc", "chinese", "st_paul"]).unwrap(); // conflicts with S
-        let s_schema =
-            Schema::of_strs("S", &["name", "speciality", "city"], &["name", "speciality"])
-                .unwrap();
+        let s_schema = Schema::of_strs(
+            "S",
+            &["name", "speciality", "city"],
+            &["name", "speciality"],
+        )
+        .unwrap();
         let mut s = Relation::new(s_schema);
         s.insert_strs(&["tc", "hunan", "mpls"]).unwrap();
         let ilfds: IlfdSet = vec![Ilfd::of_strs(
@@ -359,9 +358,12 @@ mod tests {
             Value::Null, // city unknown in R
         ]))
         .unwrap();
-        let s_schema =
-            Schema::of_strs("S", &["name", "speciality", "city"], &["name", "speciality"])
-                .unwrap();
+        let s_schema = Schema::of_strs(
+            "S",
+            &["name", "speciality", "city"],
+            &["name", "speciality"],
+        )
+        .unwrap();
         let mut s = Relation::new(s_schema);
         s.insert_strs(&["tc", "hunan", "mpls"]).unwrap();
         let ilfds: IlfdSet = vec![Ilfd::of_strs(

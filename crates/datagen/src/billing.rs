@@ -114,12 +114,8 @@ pub fn generate_billing(config: &BillingConfig) -> BillingWorkload {
         &["phone"],
     )
     .expect("valid schema");
-    let ld_schema = Schema::of_strs(
-        "LongDist",
-        &["account", "customer", "region"],
-        &["account"],
-    )
-    .expect("valid schema");
+    let ld_schema = Schema::of_strs("LongDist", &["account", "customer", "region"], &["account"])
+        .expect("valid schema");
     let mut local = Relation::new(local_schema);
     let mut long_dist = Relation::new(ld_schema);
     let mut truth = GroundTruth::new();

@@ -130,8 +130,7 @@ pub fn generate(config: &GeneratorConfig) -> Workload {
         order.swap(i, rng.random_range(0..=i));
     }
     let covered = ((specialities.len() as f64) * config.ilfd_coverage).round() as usize;
-    let covered_specs: std::collections::HashSet<usize> =
-        order.into_iter().take(covered).collect();
+    let covered_specs: std::collections::HashSet<usize> = order.into_iter().take(covered).collect();
     let ilfds: IlfdSet = (0..specialities.len())
         .filter(|i| covered_specs.contains(i))
         .map(|i| {
@@ -153,8 +152,7 @@ pub fn generate(config: &GeneratorConfig) -> Workload {
         membership: Membership,
     }
     let mut entities: Vec<Entity> = Vec::with_capacity(n);
-    let mut used: std::collections::HashMap<String, Vec<usize>> =
-        std::collections::HashMap::new();
+    let mut used: std::collections::HashMap<String, Vec<usize>> = std::collections::HashMap::new();
     for i in 0..n {
         let name = if i > 0 && rng.random_bool(config.homonym_rate) {
             entities[rng.random_range(0..i)].name.clone()
@@ -175,7 +173,11 @@ pub fn generate(config: &GeneratorConfig) -> Workload {
                 break; // give up on the homonym; fall back to a fresh name below
             }
         }
-        let name = if attempts > 64 { name_pool[i].clone() } else { name };
+        let name = if attempts > 64 {
+            name_pool[i].clone()
+        } else {
+            name
+        };
         let membership = if rng.random_bool(config.overlap) {
             Membership::Both
         } else if rng.random_bool(0.5) {

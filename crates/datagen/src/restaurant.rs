@@ -12,20 +12,23 @@ use eid_rules::ExtendedKey;
 /// `(name, street)` and `S(name, city, manager)` with key
 /// `(name, city)`.
 pub fn example1() -> (Relation, Relation) {
-    let r_schema =
-        Schema::of_strs("R", &["name", "street", "cuisine"], &["name", "street"])
-            .expect("valid schema");
+    let r_schema = Schema::of_strs("R", &["name", "street", "cuisine"], &["name", "street"])
+        .expect("valid schema");
     let mut r = Relation::new(r_schema);
-    r.insert_strs(&["villagewok", "wash_ave", "chinese"]).unwrap();
+    r.insert_strs(&["villagewok", "wash_ave", "chinese"])
+        .unwrap();
     r.insert_strs(&["ching", "co_b_rd", "chinese"]).unwrap();
-    r.insert_strs(&["oldcountry", "co_b2_rd", "american"]).unwrap();
+    r.insert_strs(&["oldcountry", "co_b2_rd", "american"])
+        .unwrap();
 
     let s_schema = Schema::of_strs("S", &["name", "city", "manager"], &["name", "city"])
         .expect("valid schema");
     let mut s = Relation::new(s_schema);
     s.insert_strs(&["villagewok", "mpls", "hwang"]).unwrap();
-    s.insert_strs(&["oldcountry", "roseville", "libby"]).unwrap();
-    s.insert_strs(&["expresscafe", "burnsville", "tom"]).unwrap();
+    s.insert_strs(&["oldcountry", "roseville", "libby"])
+        .unwrap();
+    s.insert_strs(&["expresscafe", "burnsville", "tom"])
+        .unwrap();
     (r, s)
 }
 
@@ -41,13 +44,11 @@ pub fn example1_ambiguous_insert(r: &mut Relation) {
 /// (Wash. Ave. vs Co. B2. Rd.). Returns `(db1, db2)` without domain
 /// attributes.
 pub fn figure2() -> (Relation, Relation) {
-    let schema1 =
-        Schema::of_strs("R", &["name", "cuisine"], &["name", "cuisine"]).expect("valid");
+    let schema1 = Schema::of_strs("R", &["name", "cuisine"], &["name", "cuisine"]).expect("valid");
     let mut db1 = Relation::new(schema1);
     db1.insert_strs(&["villagewok", "chinese"]).unwrap();
 
-    let schema2 =
-        Schema::of_strs("S", &["name", "cuisine"], &["name", "cuisine"]).expect("valid");
+    let schema2 = Schema::of_strs("S", &["name", "cuisine"], &["name", "cuisine"]).expect("valid");
     let mut db2 = Relation::new(schema2);
     db2.insert_strs(&["villagewok", "chinese"]).unwrap();
     (db1, db2)
@@ -79,24 +80,19 @@ pub fn figure2_with_domain() -> (Relation, Relation) {
 /// Example 2 (Table 2): the two-TwinCities workload with extended key
 /// `{name, cuisine}` and the single Mughalai ILFD.
 pub fn example2() -> (Relation, Relation, ExtendedKey, IlfdSet) {
-    let r_schema = Schema::of_strs(
-        "R",
-        &["name", "cuisine", "street"],
-        &["name", "cuisine"],
-    )
-    .expect("valid");
+    let r_schema =
+        Schema::of_strs("R", &["name", "cuisine", "street"], &["name", "cuisine"]).expect("valid");
     let mut r = Relation::new(r_schema);
-    r.insert_strs(&["twincities", "chinese", "wash_ave"]).unwrap();
-    r.insert_strs(&["twincities", "indian", "univ_ave"]).unwrap();
+    r.insert_strs(&["twincities", "chinese", "wash_ave"])
+        .unwrap();
+    r.insert_strs(&["twincities", "indian", "univ_ave"])
+        .unwrap();
 
-    let s_schema = Schema::of_strs(
-        "S",
-        &["name", "speciality", "city"],
-        &["name", "city"],
-    )
-    .expect("valid");
+    let s_schema =
+        Schema::of_strs("S", &["name", "speciality", "city"], &["name", "city"]).expect("valid");
     let mut s = Relation::new(s_schema);
-    s.insert_strs(&["twincities", "mughalai", "st_paul"]).unwrap();
+    s.insert_strs(&["twincities", "mughalai", "st_paul"])
+        .unwrap();
 
     let ilfds: IlfdSet = vec![Ilfd::of_strs(
         &[("speciality", "mughalai")],
@@ -104,29 +100,22 @@ pub fn example2() -> (Relation, Relation, ExtendedKey, IlfdSet) {
     )]
     .into_iter()
     .collect();
-    (
-        r,
-        s,
-        ExtendedKey::of_strs(&["name", "cuisine"]),
-        ilfds,
-    )
+    (r, s, ExtendedKey::of_strs(&["name", "cuisine"]), ilfds)
 }
 
 /// Example 3 (Table 5): the five-restaurant `R` and four-restaurant
 /// `S` with extended key `{name, cuisine, speciality}`.
 pub fn example3() -> (Relation, Relation, ExtendedKey, IlfdSet) {
-    let r_schema = Schema::of_strs(
-        "R",
-        &["name", "cuisine", "street"],
-        &["name", "cuisine"],
-    )
-    .expect("valid");
+    let r_schema =
+        Schema::of_strs("R", &["name", "cuisine", "street"], &["name", "cuisine"]).expect("valid");
     let mut r = Relation::new(r_schema);
     r.insert_strs(&["twincities", "chinese", "co_b2"]).unwrap();
     r.insert_strs(&["twincities", "indian", "co_b3"]).unwrap();
     r.insert_strs(&["itsgreek", "greek", "front_ave"]).unwrap();
-    r.insert_strs(&["anjuman", "indian", "le_salle_ave"]).unwrap();
-    r.insert_strs(&["villagewok", "chinese", "wash_ave"]).unwrap();
+    r.insert_strs(&["anjuman", "indian", "le_salle_ave"])
+        .unwrap();
+    r.insert_strs(&["villagewok", "chinese", "wash_ave"])
+        .unwrap();
 
     let s_schema = Schema::of_strs(
         "S",
@@ -135,10 +124,13 @@ pub fn example3() -> (Relation, Relation, ExtendedKey, IlfdSet) {
     )
     .expect("valid");
     let mut s = Relation::new(s_schema);
-    s.insert_strs(&["twincities", "hunan", "roseville"]).unwrap();
-    s.insert_strs(&["twincities", "sichuan", "hennepin"]).unwrap();
+    s.insert_strs(&["twincities", "hunan", "roseville"])
+        .unwrap();
+    s.insert_strs(&["twincities", "sichuan", "hennepin"])
+        .unwrap();
     s.insert_strs(&["itsgreek", "gyros", "ramsey"]).unwrap();
-    s.insert_strs(&["anjuman", "mughalai", "minneapolis"]).unwrap();
+    s.insert_strs(&["anjuman", "mughalai", "minneapolis"])
+        .unwrap();
 
     (
         r,

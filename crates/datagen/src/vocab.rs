@@ -9,8 +9,7 @@ use rand::rngs::StdRng;
 use rand::RngExt;
 
 const ONSETS: &[&str] = &[
-    "b", "ch", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "sh", "t", "v", "w",
-    "z",
+    "b", "ch", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "sh", "t", "v", "w", "z",
 ];
 const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ou"];
 const CODAS: &[&str] = &["", "n", "r", "s", "l", "k", "ng"];

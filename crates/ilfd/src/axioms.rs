@@ -158,10 +158,7 @@ impl Derivation {
 
     /// **Pseudo-transitivity rule** (Lemma 2.2): from `X → Y` and
     /// `W∧Y → Z` derive `W∧X → Z`.
-    pub fn pseudo_transitivity(
-        xy: Derivation,
-        wyz: Derivation,
-    ) -> Result<Derivation, AxiomError> {
+    pub fn pseudo_transitivity(xy: Derivation, wyz: Derivation) -> Result<Derivation, AxiomError> {
         let w_and_y = wyz.conclusion().antecedent().clone();
         let x = xy.conclusion().antecedent().clone();
         // W∧X → W∧Y by augmenting X → Y with W∧Y's leftover part ∪ X;
@@ -239,10 +236,10 @@ pub fn prove(f: &IlfdSet, target: &Ilfd) -> Option<Derivation> {
             break;
         }
         // Find a firing ILFD that adds something new.
-        let firing = f.iter().find(|i| {
-            i.antecedent().is_subset(&z) && !i.consequent().is_subset(&z)
-        })?; // closure membership guarantees progress, so None is unreachable
-        // Given U → V, augment with Z:  U∧Z → V∧Z  =  Z → Z∧V.
+        let firing = f
+            .iter()
+            .find(|i| i.antecedent().is_subset(&z) && !i.consequent().is_subset(&z))?; // closure membership guarantees progress, so None is unreachable
+                                                                                       // Given U → V, augment with Z:  U∧Z → V∧Z  =  Z → Z∧V.
         let given = Derivation::Given(firing.clone());
         let aug = Derivation::augmentation(given, z.clone());
         let new_z = z.union_with(firing.consequent());
@@ -357,15 +354,11 @@ mod tests {
 
     #[test]
     fn decomposition_rule() {
-        let f: IlfdSet = vec![Ilfd::of_strs(
-            &[("X", "x")],
-            &[("Y", "y"), ("Z", "z")],
-        )]
-        .into_iter()
-        .collect();
+        let f: IlfdSet = vec![Ilfd::of_strs(&[("X", "x")], &[("Y", "y"), ("Z", "z")])]
+            .into_iter()
+            .collect();
         let d = Derivation::given(&f, f.as_slice()[0].clone()).unwrap();
-        let dec =
-            Derivation::decomposition(d, SymbolSet::of_strs(&[("Z", "z")])).unwrap();
+        let dec = Derivation::decomposition(d, SymbolSet::of_strs(&[("Z", "z")])).unwrap();
         assert_eq!(
             dec.conclusion(),
             Ilfd::of_strs(&[("X", "x")], &[("Z", "z")])

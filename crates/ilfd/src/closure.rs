@@ -76,9 +76,7 @@ pub fn symbol_closure_naive(x: &SymbolSet, f: &IlfdSet) -> SymbolSet {
     while changed {
         changed = false;
         for ilfd in f.iter() {
-            if ilfd.antecedent().is_subset(&closure)
-                && !ilfd.consequent().is_subset(&closure)
-            {
+            if ilfd.antecedent().is_subset(&closure) && !ilfd.consequent().is_subset(&closure) {
                 closure = closure.union_with(ilfd.consequent());
                 changed = true;
             }
@@ -178,11 +176,7 @@ pub fn minimal_cover(f: &IlfdSet) -> IlfdSet {
 /// `Y = X⁺_F − X`. Exponential in `|universe|`; intended for tests
 /// and the theory experiment, mirroring §5's remark that "the closure
 /// of a set of ILFDs is expensive to compute".
-pub fn enumerate_closure(
-    f: &IlfdSet,
-    universe: &[PropSymbol],
-    max_antecedent: usize,
-) -> Vec<Ilfd> {
+pub fn enumerate_closure(f: &IlfdSet, universe: &[PropSymbol], max_antecedent: usize) -> Vec<Ilfd> {
     let n = universe.len();
     assert!(n <= 20, "closure enumeration universe too large");
     let mut out = Vec::new();
@@ -379,8 +373,6 @@ mod tests {
         // Contradictory antecedents are skipped.
         let universe2 = vec![sym("A", "a1"), sym("A", "a2")];
         let some = enumerate_closure(&f, &universe2, 2);
-        assert!(some
-            .iter()
-            .all(|i| !i.antecedent().is_contradictory()));
+        assert!(some.iter().all(|i| !i.antecedent().is_contradictory()));
     }
 }

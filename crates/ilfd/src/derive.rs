@@ -25,7 +25,7 @@
 
 use std::collections::HashMap;
 
-use eid_relational::{AttrName, Relation, Schema, Tuple, Value};
+use eid_relational::{AttrName, FxHashMap, Relation, Schema, Tuple, Value};
 
 use crate::closure::symbol_closure;
 use crate::ilfd::IlfdSet;
@@ -100,17 +100,55 @@ pub fn derive_tuple(
 
 /// Applies [`derive_tuple`] to every tuple of `rel`, returning the
 /// completed relation (same schema) and the per-tuple reports.
+///
+/// Derivation is **memoized** on the tuple's projection onto the
+/// ILFD-mentioned attributes (antecedent ∪ consequent attributes
+/// present in the schema): both strategies read and write only those
+/// attributes, so tuples agreeing on the projection derive
+/// identically. Relations with many duplicate projections — the norm
+/// when a few ILFD antecedent values spread over many tuples — pay
+/// for backward chaining once per distinct projection instead of
+/// once per tuple.
 pub fn derive_relation(
     rel: &Relation,
     f: &IlfdSet,
     strategy: Strategy,
 ) -> (Relation, Vec<DeriveReport>) {
-    let mut out = Relation::new_unchecked(rel.schema().clone());
+    let schema = rel.schema();
+    let mut mentioned: Vec<usize> = f
+        .iter()
+        .flat_map(|ilfd| ilfd.antecedent().iter().chain(ilfd.consequent().iter()))
+        .filter_map(|sym| schema.try_position(&sym.attr))
+        .collect();
+    mentioned.sort_unstable();
+    mentioned.dedup();
+
+    // Projection → (positional assignments, report of the first
+    // tuple with that projection).
+    let mut memo: FxHashMap<Tuple, (Vec<(usize, Value)>, DeriveReport)> = FxHashMap::default();
+    let mut out = Relation::new_unchecked(schema.clone());
     let mut reports = Vec::with_capacity(rel.len());
     for t in rel.iter() {
-        let (nt, rep) = derive_tuple(rel.schema(), t, f, strategy);
+        let (assignments, report) = memo.entry(t.project(&mentioned)).or_insert_with(|| {
+            let (_, rep) = derive_tuple(schema, t, f, strategy);
+            let assignments = rep
+                .assigned
+                .iter()
+                .map(|(attr, v)| {
+                    let pos = schema
+                        .try_position(attr)
+                        .expect("assigned attr is in schema");
+                    (pos, v.clone())
+                })
+                .collect();
+            (assignments, rep)
+        });
+        let mut nt = t.clone();
+        for (pos, v) in assignments.iter() {
+            nt = nt.with_value(*pos, v.clone());
+        }
         out.insert(nt).expect("same schema");
-        reports.push(rep);
+        reports.push(report.clone());
     }
     (out, reports)
 }
@@ -273,7 +311,13 @@ mod tests {
         .collect()
     }
 
-    fn t(name: &str, spec: Option<&str>, cui: Option<&str>, county: Option<&str>, street: Option<&str>) -> Tuple {
+    fn t(
+        name: &str,
+        spec: Option<&str>,
+        cui: Option<&str>,
+        county: Option<&str>,
+        street: Option<&str>,
+    ) -> Tuple {
         Tuple::new(vec![
             Value::str(name),
             spec.map(Value::str).unwrap_or(Value::Null),
@@ -377,6 +421,33 @@ mod tests {
         assert_eq!(out.tuples()[0].get(2), &Value::str("chinese"));
         assert_eq!(out.tuples()[1].get(2), &Value::str("greek"));
         assert_eq!(reports.len(), 2);
+    }
+
+    #[test]
+    fn derive_relation_memoized_matches_per_tuple_derivation() {
+        // Tuples differing only on attributes no ILFD mentions share
+        // one memoized derivation; the result must still equal
+        // tuple-by-tuple derivation, with untouched values preserved.
+        let f: IlfdSet = vec![Ilfd::of_strs(&[("spec", "hunan")], &[("cui", "chinese")])]
+            .into_iter()
+            .collect();
+        let mut rel = Relation::new_unchecked(schema());
+        for name in ["a", "b", "c"] {
+            rel.insert(t(name, Some("hunan"), None, None, Some(name)))
+                .unwrap();
+        }
+        rel.insert(t("d", Some("gyros"), None, None, None)).unwrap();
+        for strategy in [Strategy::FirstMatch, Strategy::Fixpoint] {
+            let (out, reports) = derive_relation(&rel, &f, strategy);
+            for (i, tup) in rel.iter().enumerate() {
+                let (expect_t, expect_r) = derive_tuple(&schema(), tup, &f, strategy);
+                assert_eq!(out.tuples()[i], expect_t, "{strategy:?} tuple {i}");
+                assert_eq!(reports[i], expect_r, "{strategy:?} report {i}");
+            }
+            assert_eq!(out.tuples()[0].get(0), &Value::str("a"));
+            assert_eq!(out.tuples()[1].get(4), &Value::str("b"));
+            assert!(out.tuples()[3].get(2).is_null());
+        }
     }
 
     #[test]

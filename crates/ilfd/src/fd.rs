@@ -157,10 +157,7 @@ pub fn candidate_keys(attrs: &BTreeSet<AttrName>, fds: &[Fd]) -> Vec<BTreeSet<At
         .collect();
     let core: BTreeSet<AttrName> = attrs.difference(&determined).cloned().collect();
     let optional: Vec<AttrName> = attrs.intersection(&determined).cloned().collect();
-    assert!(
-        optional.len() <= 20,
-        "candidate-key search space too large"
-    );
+    assert!(optional.len() <= 20, "candidate-key search space too large");
 
     let is_superkey =
         |set: &BTreeSet<AttrName>| -> bool { attr_closure(set, fds).is_superset(attrs) };
@@ -218,8 +215,7 @@ pub fn fd_from_ilfd_family(rel: &Relation, f: &IlfdSet, fd: &Fd) -> bool {
         // The closure of the antecedent must pin down every rhs attribute.
         let closure = crate::closure::symbol_closure(&ante, f);
         for b in &fd.rhs {
-            let derived: Vec<&PropSymbol> =
-                closure.iter().filter(|s| &s.attr == b).collect();
+            let derived: Vec<&PropSymbol> = closure.iter().filter(|s| &s.attr == b).collect();
             if derived.len() != 1 {
                 return false;
             }
@@ -287,8 +283,7 @@ mod tests {
     }
 
     fn restaurant_rel() -> Relation {
-        let schema =
-            Schema::of_strs("R", &["name", "speciality", "cuisine"], &["name"]).unwrap();
+        let schema = Schema::of_strs("R", &["name", "speciality", "cuisine"], &["name"]).unwrap();
         let mut r = Relation::new(schema);
         r.insert_strs(&["a", "hunan", "chinese"]).unwrap();
         r.insert_strs(&["b", "sichuan", "chinese"]).unwrap();
@@ -317,7 +312,10 @@ mod tests {
         let r = restaurant_rel();
         assert!(fd_holds_in(&r, &Fd::of_strs(&["speciality"], &["cuisine"])));
         // cuisine does not determine speciality (chinese → {hunan, sichuan}).
-        assert!(!fd_holds_in(&r, &Fd::of_strs(&["cuisine"], &["speciality"])));
+        assert!(!fd_holds_in(
+            &r,
+            &Fd::of_strs(&["cuisine"], &["speciality"])
+        ));
     }
 
     #[test]
@@ -383,8 +381,7 @@ mod tests {
     #[test]
     fn candidate_keys_basic() {
         // R(a, b, c) with a → b, b → c: the only key is {a}.
-        let attrs: BTreeSet<AttrName> =
-            ["a", "b", "c"].iter().map(|s| name(s)).collect();
+        let attrs: BTreeSet<AttrName> = ["a", "b", "c"].iter().map(|s| name(s)).collect();
         let fds = vec![Fd::of_strs(&["a"], &["b"]), Fd::of_strs(&["b"], &["c"])];
         let keys = candidate_keys(&attrs, &fds);
         assert_eq!(keys.len(), 1);
@@ -394,8 +391,7 @@ mod tests {
     #[test]
     fn candidate_keys_multiple() {
         // a → b and b → a: both {a, c} and {b, c} are keys.
-        let attrs: BTreeSet<AttrName> =
-            ["a", "b", "c"].iter().map(|s| name(s)).collect();
+        let attrs: BTreeSet<AttrName> = ["a", "b", "c"].iter().map(|s| name(s)).collect();
         let fds = vec![Fd::of_strs(&["a"], &["b"]), Fd::of_strs(&["b"], &["a"])];
         let mut keys = candidate_keys(&attrs, &fds);
         keys.sort();
@@ -414,8 +410,10 @@ mod tests {
 
     #[test]
     fn keys_are_minimal() {
-        let attrs: BTreeSet<AttrName> =
-            ["name", "cuisine", "speciality"].iter().map(|s| name(s)).collect();
+        let attrs: BTreeSet<AttrName> = ["name", "cuisine", "speciality"]
+            .iter()
+            .map(|s| name(s))
+            .collect();
         // speciality → cuisine (the paper's family as an FD).
         let fds = vec![Fd::of_strs(&["speciality"], &["cuisine"])];
         let keys = candidate_keys(&attrs, &fds);

@@ -407,10 +407,7 @@ mod tests {
         assert!(model.contains(&sym("b", "1")));
         assert!(p.prove_goal(&sym("a", "1"), &facts));
         assert!(p.prove_goal(&sym("b", "1"), &facts));
-        assert!(p.prove_all(
-            &SymbolSet::of_strs(&[("a", "1"), ("b", "1")]),
-            &facts
-        ));
+        assert!(p.prove_all(&SymbolSet::of_strs(&[("a", "1"), ("b", "1")]), &facts));
 
         // The in-call variant: one clause whose body is the whole
         // conjunction, so `b` is queried under the same memo that

@@ -89,7 +89,12 @@ impl Ilfd {
     pub fn decompose(&self) -> Vec<Ilfd> {
         self.consequent
             .iter()
-            .map(|s| Ilfd::new(self.antecedent.clone(), SymbolSet::from_symbols([s.clone()])))
+            .map(|s| {
+                Ilfd::new(
+                    self.antecedent.clone(),
+                    SymbolSet::from_symbols([s.clone()]),
+                )
+            })
             .collect()
     }
 
@@ -223,10 +228,7 @@ mod tests {
     #[test]
     fn paper_i1_displays() {
         let i1 = Ilfd::of_strs(&[("speciality", "hunan")], &[("cuisine", "chinese")]);
-        assert_eq!(
-            i1.to_string(),
-            "(speciality = hunan) → (cuisine = chinese)"
-        );
+        assert_eq!(i1.to_string(), "(speciality = hunan) → (cuisine = chinese)");
     }
 
     #[test]
@@ -260,7 +262,9 @@ mod tests {
     fn set_dedups_preserving_order() {
         let i1 = Ilfd::of_strs(&[("a", "1")], &[("b", "2")]);
         let i2 = Ilfd::of_strs(&[("c", "3")], &[("d", "4")]);
-        let set: IlfdSet = vec![i1.clone(), i2.clone(), i1.clone()].into_iter().collect();
+        let set: IlfdSet = vec![i1.clone(), i2.clone(), i1.clone()]
+            .into_iter()
+            .collect();
         assert_eq!(set.len(), 2);
         assert_eq!(set.as_slice()[0], i1);
         assert_eq!(set.as_slice()[1], i2);

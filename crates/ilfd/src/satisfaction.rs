@@ -42,8 +42,7 @@ pub fn tuple_satisfies_lenient(schema: &Schema, tuple: &Tuple, ilfd: &Ilfd) -> b
 
 /// Whether every tuple of `rel` satisfies `ilfd`.
 pub fn relation_satisfies(rel: &Relation, ilfd: &Ilfd) -> bool {
-    rel.iter()
-        .all(|t| tuple_satisfies(rel.schema(), t, ilfd))
+    rel.iter().all(|t| tuple_satisfies(rel.schema(), t, ilfd))
 }
 
 /// Whether `rel` violates `ilfd` (the negation of

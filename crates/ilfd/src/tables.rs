@@ -29,11 +29,7 @@ impl IlfdTable {
         let mut attrs: Vec<&str> = antecedent_attrs.iter().map(|a| a.as_str()).collect();
         attrs.push(consequent_attr.as_str());
         let key: Vec<&str> = antecedent_attrs.iter().map(|a| a.as_str()).collect();
-        let name = format!(
-            "IM({}; {})",
-            key.join(","),
-            consequent_attr.as_str()
-        );
+        let name = format!("IM({}; {})", key.join(","), consequent_attr.as_str());
         let schema = Schema::of_strs(name, &attrs, &key)?;
         Ok(IlfdTable {
             antecedent_attrs,
@@ -156,11 +152,7 @@ impl IlfdTable {
         if joined.schema().has_attribute(y) {
             keep.push(y.clone());
         } else {
-            keep.push(AttrName::new(format!(
-                "{}.{}",
-                self.relation.name(),
-                y
-            )));
+            keep.push(AttrName::new(format!("{}.{}", self.relation.name(), y)));
         }
         let mut out = algebra::project(&joined, &keep)?;
         // Normalize any prefixed names back to their plain forms.
@@ -239,11 +231,8 @@ pub fn ilfds_from_tables(tables: &[IlfdTable]) -> IlfdSet {
 /// Builds the paper's Table 8 — `IM(speciality; cuisine)` holding
 /// I1–I4 — as a ready-made fixture.
 pub fn paper_table8() -> IlfdTable {
-    let mut t = IlfdTable::new(
-        vec![AttrName::new("speciality")],
-        AttrName::new("cuisine"),
-    )
-    .expect("valid schema");
+    let mut t = IlfdTable::new(vec![AttrName::new("speciality")], AttrName::new("cuisine"))
+        .expect("valid schema");
     for (spec, cui) in [
         ("hunan", "chinese"),
         ("sichuan", "chinese"),
@@ -299,12 +288,9 @@ mod tests {
 
     #[test]
     fn multi_consequent_ilfds_are_decomposed() {
-        let f: IlfdSet = vec![Ilfd::of_strs(
-            &[("a", "1")],
-            &[("b", "2"), ("c", "3")],
-        )]
-        .into_iter()
-        .collect();
+        let f: IlfdSet = vec![Ilfd::of_strs(&[("a", "1")], &[("b", "2"), ("c", "3")])]
+            .into_iter()
+            .collect();
         let tables = tables_from_ilfds(&f).unwrap();
         assert_eq!(tables.len(), 2);
     }

@@ -169,12 +169,7 @@ fn check_union_compatible(a: &Relation, b: &Relation) -> Result<()> {
             ),
         });
     }
-    for (x, y) in a
-        .schema()
-        .attributes()
-        .iter()
-        .zip(b.schema().attributes())
-    {
+    for (x, y) in a.schema().attributes().iter().zip(b.schema().attributes()) {
         if x.ty != y.ty {
             return Err(RelationalError::SchemaMismatch {
                 detail: format!(
@@ -283,8 +278,7 @@ pub fn natural_join(a: &Relation, b: &Relation) -> Result<Relation> {
         .filter(|n| b.schema().has_attribute(n))
         .cloned()
         .collect();
-    let on: Vec<(AttrName, AttrName)> =
-        common.iter().map(|n| (n.clone(), n.clone())).collect();
+    let on: Vec<(AttrName, AttrName)> = common.iter().map(|n| (n.clone(), n.clone())).collect();
     let joined = equi_join(a, b, &on)?;
     // Drop the duplicated right-side copies of the common attributes.
     let keep: Vec<AttrName> = joined

@@ -61,7 +61,11 @@ pub fn from_csv(schema: Arc<Schema>, text: &str) -> Result<Relation> {
         .iter()
         .map(|a| a.name.as_str())
         .collect();
-    if header_cells.iter().map(|c| c.as_str()).ne(expected.iter().copied()) {
+    if header_cells
+        .iter()
+        .map(|c| c.as_str())
+        .ne(expected.iter().copied())
+    {
         return Err(RelationalError::Csv {
             line: 1,
             detail: format!(
@@ -204,7 +208,8 @@ mod tests {
     #[test]
     fn round_trip_with_nulls() {
         let mut rel = Relation::new_unchecked(schema());
-        rel.insert(Tuple::of_strs(&["villagewok", "chinese"])).unwrap();
+        rel.insert(Tuple::of_strs(&["villagewok", "chinese"]))
+            .unwrap();
         rel.insert(Tuple::new(vec![Value::str("x"), Value::Null]))
             .unwrap();
         let csv = to_csv(&rel);
@@ -215,7 +220,8 @@ mod tests {
     #[test]
     fn quoting_round_trips_commas_quotes_and_literal_null_string() {
         let mut rel = Relation::new_unchecked(schema());
-        rel.insert(Tuple::of_strs(&["a,b", "he said \"hi\""])).unwrap();
+        rel.insert(Tuple::of_strs(&["a,b", "he said \"hi\""]))
+            .unwrap();
         rel.insert(Tuple::of_strs(&["null", "ok"])).unwrap(); // string "null", not NULL
         let csv = to_csv(&rel);
         let back = from_csv(schema(), &csv).unwrap();

@@ -151,8 +151,18 @@ mod tests {
         let s = render_default("t", &rel);
         // The second column starts at the same offset in each data row.
         let rows: Vec<&str> = s.lines().skip(4).filter(|l| !l.is_empty()).collect();
-        let off_b = rows.iter().find(|r| r.contains(" b")).unwrap().find('b').unwrap();
-        let off_c = rows.iter().find(|r| r.contains(" c")).unwrap().find('c').unwrap();
+        let off_b = rows
+            .iter()
+            .find(|r| r.contains(" b"))
+            .unwrap()
+            .find('b')
+            .unwrap();
+        let off_c = rows
+            .iter()
+            .find(|r| r.contains(" c"))
+            .unwrap()
+            .find('c')
+            .unwrap();
         assert_eq!(off_b, off_c);
     }
 

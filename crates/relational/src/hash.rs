@@ -1,0 +1,131 @@
+//! A fast, non-cryptographic hasher for internal hash tables.
+//!
+//! The matcher's hot paths hash short tuple keys millions of times;
+//! SipHash's per-call finalization cost dominates there. This is the
+//! well-known Fx multiply-rotate hash (as used by rustc's internal
+//! tables), written out locally so the crate stays dependency-free.
+//! It is **not** DoS-resistant — use it only for tables whose keys
+//! come from trusted data, which is every table in this workspace.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the Fx hash: a 64-bit cousin of the golden ratio.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx word-at-a-time hasher.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            // Mix in the length so "b" and "a\0" (same padded word
+            // modulo byte values) cannot collide structurally.
+            self.add_to_hash(rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the Fx hash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the Fx hash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(hash_of(&"abc"), hash_of(&"abc"));
+        assert_eq!(hash_of(&(1u64, 2u64)), hash_of(&(1u64, 2u64)));
+    }
+
+    #[test]
+    fn distinct_short_strings_disperse() {
+        let hashes: FxHashSet<u64> = ["a", "b", "ab", "ba", "a\0", ""]
+            .iter()
+            .map(hash_of)
+            .collect();
+        assert_eq!(hashes.len(), 6);
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<&str, usize> = FxHashMap::default();
+        m.insert("x", 1);
+        assert_eq!(m.get("x"), Some(&1));
+        let mut s: FxHashSet<usize> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+
+    #[test]
+    fn value_hashing_is_consistent_with_eq() {
+        use crate::value::Value;
+        // Int/Float numeric equality must still imply equal hashes
+        // under the Fx hasher (Value's Hash impl guarantees it for
+        // any Hasher).
+        assert_eq!(hash_of(&Value::int(2)), hash_of(&Value::float(2.0)));
+    }
+}

@@ -9,10 +9,9 @@
 //! engine's non-NULL semantics), so an index probe can never return
 //! them.
 
-use std::collections::HashMap;
-
 use crate::attr::AttrName;
 use crate::error::Result;
+use crate::hash::FxHashMap;
 use crate::relation::Relation;
 use crate::tuple::Tuple;
 
@@ -20,7 +19,7 @@ use crate::tuple::Tuple;
 #[derive(Debug, Clone, Default)]
 pub struct HashIndex {
     positions: Vec<usize>,
-    map: HashMap<Tuple, Vec<usize>>,
+    map: FxHashMap<Tuple, Vec<usize>>,
     indexed_len: usize,
 }
 
@@ -30,11 +29,32 @@ impl HashIndex {
         let positions = rel.positions_of(attrs)?;
         let mut index = HashIndex {
             positions,
-            map: HashMap::new(),
+            map: FxHashMap::default(),
             indexed_len: 0,
         };
         index.refresh(rel);
         Ok(index)
+    }
+
+    /// Builds an index on the given column positions (already
+    /// resolved against `rel`'s schema). Positions must be in range
+    /// for the schema's arity.
+    ///
+    /// This is the positional twin of [`HashIndex::build`], used by
+    /// precompiled rule plans that have left attribute names behind.
+    pub fn build_at(rel: &Relation, positions: Vec<usize>) -> HashIndex {
+        let mut index = HashIndex {
+            positions,
+            map: FxHashMap::default(),
+            indexed_len: 0,
+        };
+        index.refresh(rel);
+        index
+    }
+
+    /// The indexed column positions.
+    pub fn positions(&self) -> &[usize] {
+        &self.positions
     }
 
     /// Re-scans `rel` from where the index left off — call after
@@ -43,7 +63,10 @@ impl HashIndex {
     pub fn refresh(&mut self, rel: &Relation) {
         for (i, t) in rel.iter().enumerate().skip(self.indexed_len) {
             if t.non_null_at(&self.positions) {
-                self.map.entry(t.project(&self.positions)).or_default().push(i);
+                self.map
+                    .entry(t.project(&self.positions))
+                    .or_default()
+                    .push(i);
             }
         }
         self.indexed_len = rel.len();
@@ -117,8 +140,7 @@ mod tests {
     #[test]
     fn composite_key_index_is_unique() {
         let r = rel();
-        let ix =
-            HashIndex::build(&r, &[AttrName::new("name"), AttrName::new("cuisine")]).unwrap();
+        let ix = HashIndex::build(&r, &[AttrName::new("name"), AttrName::new("cuisine")]).unwrap();
         assert!(ix.is_unique());
         assert_eq!(ix.probe(&Tuple::of_strs(&["tc", "indian"])), &[1]);
     }
@@ -140,7 +162,8 @@ mod tests {
     fn null_keys_are_not_indexed() {
         let schema = Schema::of_strs("R", &["a", "b"], &["a"]).unwrap();
         let mut r = Relation::new_unchecked(schema);
-        r.insert(Tuple::new(vec![Value::str("x"), Value::Null])).unwrap();
+        r.insert(Tuple::new(vec![Value::str("x"), Value::Null]))
+            .unwrap();
         r.insert(Tuple::of_strs(&["y", "v"])).unwrap();
         let ix = HashIndex::build(&r, &[AttrName::new("b")]).unwrap();
         assert_eq!(ix.len(), 1);

@@ -37,6 +37,7 @@ pub mod attr;
 pub mod csv;
 pub mod display;
 pub mod error;
+pub mod hash;
 pub mod index;
 pub mod relation;
 pub mod schema;
@@ -46,6 +47,7 @@ pub mod value;
 
 pub use attr::AttrName;
 pub use error::{RelationalError, Result};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use index::HashIndex;
 pub use relation::Relation;
 pub use schema::{Attribute, Key, Schema};

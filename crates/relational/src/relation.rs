@@ -219,7 +219,8 @@ mod tests {
     #[test]
     fn insert_and_len() {
         let mut r = Relation::new(r_schema());
-        r.insert_strs(&["villagewok", "wash_ave", "chinese"]).unwrap();
+        r.insert_strs(&["villagewok", "wash_ave", "chinese"])
+            .unwrap();
         r.insert_strs(&["ching", "co_b_rd", "chinese"]).unwrap();
         assert_eq!(r.len(), 2);
     }
@@ -227,7 +228,8 @@ mod tests {
     #[test]
     fn key_violation_on_duplicate_key() {
         let mut r = Relation::new(r_schema());
-        r.insert_strs(&["villagewok", "wash_ave", "chinese"]).unwrap();
+        r.insert_strs(&["villagewok", "wash_ave", "chinese"])
+            .unwrap();
         let err = r
             .insert_strs(&["villagewok", "wash_ave", "american"])
             .unwrap_err();
@@ -238,8 +240,10 @@ mod tests {
     fn same_key_attr_different_value_ok() {
         // Example 1: a second VillageWok on a different street is legal.
         let mut r = Relation::new(r_schema());
-        r.insert_strs(&["villagewok", "wash_ave", "chinese"]).unwrap();
-        r.insert_strs(&["villagewok", "penn_ave", "chinese"]).unwrap();
+        r.insert_strs(&["villagewok", "wash_ave", "chinese"])
+            .unwrap();
+        r.insert_strs(&["villagewok", "penn_ave", "chinese"])
+            .unwrap();
         assert_eq!(r.len(), 2);
     }
 
@@ -306,7 +310,8 @@ mod tests {
     #[test]
     fn find_by_primary_key() {
         let mut r = Relation::new(r_schema());
-        r.insert_strs(&["villagewok", "wash_ave", "chinese"]).unwrap();
+        r.insert_strs(&["villagewok", "wash_ave", "chinese"])
+            .unwrap();
         let key = Tuple::of_strs(&["villagewok", "wash_ave"]);
         let found = r.find_by_primary_key(&key).unwrap();
         assert_eq!(found.get(2), &Value::str("chinese"));

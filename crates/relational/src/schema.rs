@@ -118,11 +118,7 @@ impl Schema {
     /// Convenience constructor: all attributes are strings, one
     /// candidate key given by name. This matches every relation in
     /// the paper's examples.
-    pub fn of_strs(
-        name: impl Into<String>,
-        attrs: &[&str],
-        key: &[&str],
-    ) -> Result<Arc<Schema>> {
+    pub fn of_strs(name: impl Into<String>, attrs: &[&str], key: &[&str]) -> Result<Arc<Schema>> {
         Schema::new(
             name,
             attrs.iter().map(|a| Attribute::str(*a)).collect(),
@@ -275,12 +271,7 @@ mod tests {
 
     #[test]
     fn no_key_defaults_to_all_attributes() {
-        let s = Schema::new(
-            "R",
-            vec![Attribute::str("a"), Attribute::str("b")],
-            vec![],
-        )
-        .unwrap();
+        let s = Schema::new("R", vec![Attribute::str("a"), Attribute::str("b")], vec![]).unwrap();
         assert_eq!(s.keys().len(), 1);
         assert_eq!(s.keys()[0].positions, vec![0, 1]);
     }

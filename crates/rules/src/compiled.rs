@@ -1,0 +1,534 @@
+//! Rule precompilation: positional evaluators and block plans.
+//!
+//! [`crate::rulebase::RuleBase::decide`] resolves attribute names
+//! against schemas on **every** predicate evaluation — fine for one
+//! pair, ruinous inside an `|R|·|S|` loop. A [`CompiledRuleBase`]
+//! does that work once per run:
+//!
+//! * attribute names become column positions in the two concrete
+//!   schemas ([`CompiledOperand::R`]/[`CompiledOperand::S`]);
+//! * the two orientations a symmetric rule must be checked in
+//!   (`(e₁,e₂)` and `(e₂,e₁)`) become two compiled rules, deduplicated
+//!   when the rule is syntactically symmetric;
+//! * predicates over attributes missing from a schema make the whole
+//!   (three-valued) conjunction unknowable — such compiled rules are
+//!   **dead** and dropped;
+//! * constant-only predicates are folded at compile time;
+//! * rules whose shape admits index-based candidate generation expose
+//!   it via [`CompiledRule::identity_shape`] /
+//!   [`CompiledRule::distinct_shape`], which the blocked engine in
+//!   `eid-core` turns into hash-index probes instead of pairwise
+//!   scans.
+
+use eid_relational::{Schema, Tuple, Value};
+
+use crate::pred::{CmpOp, Operand, Predicate, Side};
+use crate::rulebase::RuleBase;
+
+/// A predicate operand resolved against the two concrete schemas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompiledOperand {
+    /// Column `pos` of the `R`-side tuple.
+    R(usize),
+    /// Column `pos` of the `S`-side tuple.
+    S(usize),
+    /// A constant.
+    Const(Value),
+}
+
+impl CompiledOperand {
+    fn resolve<'a>(&'a self, tr: &'a Tuple, ts: &'a Tuple) -> Option<&'a Value> {
+        let v = match self {
+            CompiledOperand::R(p) => tr.get(*p),
+            CompiledOperand::S(p) => ts.get(*p),
+            CompiledOperand::Const(v) => return Some(v),
+        };
+        (!v.is_null()).then_some(v)
+    }
+
+    /// A stable sort key for canonicalization.
+    fn rank(&self) -> (u8, usize, Option<&Value>) {
+        match self {
+            CompiledOperand::R(p) => (0, *p, None),
+            CompiledOperand::S(p) => (1, *p, None),
+            CompiledOperand::Const(v) => (2, 0, Some(v)),
+        }
+    }
+}
+
+/// One predicate with both operands resolved to column positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledPredicate {
+    /// Left operand.
+    pub lhs: CompiledOperand,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right operand.
+    pub rhs: CompiledOperand,
+}
+
+impl CompiledPredicate {
+    /// Three-valued evaluation over a positional tuple pair.
+    #[inline]
+    pub fn eval(&self, tr: &Tuple, ts: &Tuple) -> Option<bool> {
+        let l = self.lhs.resolve(tr, ts)?;
+        let r = self.rhs.resolve(tr, ts)?;
+        let ord = l.compare(r)?;
+        Some(self.op.test(ord))
+    }
+
+    /// Rewrites `>`/`≥` to `<`/`≤` (operand swap) and orders the
+    /// operands of symmetric operators canonically, so syntactically
+    /// mirrored predicates compare equal.
+    fn canonical(&self) -> CompiledPredicate {
+        let (mut lhs, mut op, mut rhs) = (self.lhs.clone(), self.op, self.rhs.clone());
+        match op {
+            CmpOp::Gt => {
+                std::mem::swap(&mut lhs, &mut rhs);
+                op = CmpOp::Lt;
+            }
+            CmpOp::Ge => {
+                std::mem::swap(&mut lhs, &mut rhs);
+                op = CmpOp::Le;
+            }
+            CmpOp::Eq | CmpOp::Ne => {
+                if lhs.rank() > rhs.rank() {
+                    std::mem::swap(&mut lhs, &mut rhs);
+                }
+            }
+            CmpOp::Lt | CmpOp::Le => {}
+        }
+        CompiledPredicate { lhs, op, rhs }
+    }
+}
+
+/// A rule compiled for one orientation over `(R-tuple, S-tuple)`
+/// pairs: a conjunction of positional predicates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledRule {
+    /// The source rule's name (both orientations share it).
+    pub name: String,
+    predicates: Vec<CompiledPredicate>,
+}
+
+impl CompiledRule {
+    /// The compiled predicate conjunction.
+    pub fn predicates(&self) -> &[CompiledPredicate] {
+        &self.predicates
+    }
+
+    /// Three-valued conjunction: `Some(false)` short-circuits,
+    /// any unknown predicate makes the conjunction unknown.
+    pub fn eval(&self, tr: &Tuple, ts: &Tuple) -> Option<bool> {
+        let mut all_true = true;
+        for p in &self.predicates {
+            match p.eval(tr, ts) {
+                Some(true) => {}
+                Some(false) => return Some(false),
+                None => all_true = false,
+            }
+        }
+        all_true.then_some(true)
+    }
+
+    /// Whether the rule fires (conjunction definitely true).
+    #[inline]
+    pub fn fires(&self, tr: &Tuple, ts: &Tuple) -> bool {
+        self.eval(tr, ts) == Some(true)
+    }
+
+    fn canonical(&self) -> Vec<CompiledPredicate> {
+        let mut c: Vec<CompiledPredicate> = self
+            .predicates
+            .iter()
+            .map(CompiledPredicate::canonical)
+            .collect();
+        c.sort_by(|a, b| {
+            (a.lhs.rank(), a.op as u8, a.rhs.rank()).cmp(&(b.lhs.rank(), b.op as u8, b.rhs.rank()))
+        });
+        c
+    }
+
+    /// The equi-join shape, when every predicate is an equality
+    /// literal or a cross-relation attribute equality. Pairs
+    /// surviving the shape's filters+join *candidate* generation
+    /// still get a final [`CompiledRule::fires`] check (cheap, and it
+    /// keeps index equality and three-valued comparison semantics
+    /// from having to coincide exactly).
+    pub fn identity_shape(&self) -> Option<IdentityShape> {
+        let mut shape = IdentityShape::default();
+        for p in &self.predicates {
+            match (&p.lhs, p.op, &p.rhs) {
+                (CompiledOperand::R(pos), CmpOp::Eq, CompiledOperand::Const(v))
+                | (CompiledOperand::Const(v), CmpOp::Eq, CompiledOperand::R(pos)) => {
+                    shape.r_lits.push((*pos, v.clone()));
+                }
+                (CompiledOperand::S(pos), CmpOp::Eq, CompiledOperand::Const(v))
+                | (CompiledOperand::Const(v), CmpOp::Eq, CompiledOperand::S(pos)) => {
+                    shape.s_lits.push((*pos, v.clone()));
+                }
+                (CompiledOperand::R(rp), CmpOp::Eq, CompiledOperand::S(sp))
+                | (CompiledOperand::S(sp), CmpOp::Eq, CompiledOperand::R(rp)) => {
+                    shape.join.push((*rp, *sp));
+                }
+                _ => return None,
+            }
+        }
+        Some(shape)
+    }
+
+    /// The ILFD-induced refutation shape: equality literals on both
+    /// relations plus exactly one `≠`-constant literal. The blocked
+    /// engine enumerates only tuples that disagree on that column.
+    pub fn distinct_shape(&self) -> Option<DistinctShape> {
+        let mut r_lits = Vec::new();
+        let mut s_lits = Vec::new();
+        let mut neq: Option<(NeqSide, usize, Value)> = None;
+        for p in &self.predicates {
+            match (&p.lhs, p.op, &p.rhs) {
+                (CompiledOperand::R(pos), CmpOp::Eq, CompiledOperand::Const(v))
+                | (CompiledOperand::Const(v), CmpOp::Eq, CompiledOperand::R(pos)) => {
+                    r_lits.push((*pos, v.clone()));
+                }
+                (CompiledOperand::S(pos), CmpOp::Eq, CompiledOperand::Const(v))
+                | (CompiledOperand::Const(v), CmpOp::Eq, CompiledOperand::S(pos)) => {
+                    s_lits.push((*pos, v.clone()));
+                }
+                (CompiledOperand::R(pos), CmpOp::Ne, CompiledOperand::Const(v))
+                | (CompiledOperand::Const(v), CmpOp::Ne, CompiledOperand::R(pos)) => {
+                    if neq.is_some() {
+                        return None;
+                    }
+                    neq = Some((NeqSide::R, *pos, v.clone()));
+                }
+                (CompiledOperand::S(pos), CmpOp::Ne, CompiledOperand::Const(v))
+                | (CompiledOperand::Const(v), CmpOp::Ne, CompiledOperand::S(pos)) => {
+                    if neq.is_some() {
+                        return None;
+                    }
+                    neq = Some((NeqSide::S, *pos, v.clone()));
+                }
+                _ => return None,
+            }
+        }
+        let neq = neq?;
+        // The opposite relation needs at least one literal to probe.
+        let opposite_lits = match neq.0 {
+            NeqSide::R => &s_lits,
+            NeqSide::S => &r_lits,
+        };
+        if opposite_lits.is_empty() {
+            return None;
+        }
+        Some(DistinctShape {
+            r_lits,
+            s_lits,
+            neq,
+        })
+    }
+}
+
+/// Which relation carries the `≠`-constant literal of a
+/// [`DistinctShape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NeqSide {
+    /// The `≠` literal reads the `R`-side tuple.
+    R,
+    /// The `≠` literal reads the `S`-side tuple.
+    S,
+}
+
+/// An indexable identity-rule shape: constant filters on each side
+/// plus cross-relation join columns.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IdentityShape {
+    /// `(column, value)` equality literals on `R`-side tuples.
+    pub r_lits: Vec<(usize, Value)>,
+    /// `(column, value)` equality literals on `S`-side tuples.
+    pub s_lits: Vec<(usize, Value)>,
+    /// `(r_column, s_column)` cross-relation equality pairs.
+    pub join: Vec<(usize, usize)>,
+}
+
+/// An indexable distinctness-rule shape (the Proposition-1 ILFD dual).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistinctShape {
+    /// `(column, value)` equality literals on `R`-side tuples.
+    pub r_lits: Vec<(usize, Value)>,
+    /// `(column, value)` equality literals on `S`-side tuples.
+    pub s_lits: Vec<(usize, Value)>,
+    /// The single `≠`-constant literal: which relation, column, value.
+    pub neq: (NeqSide, usize, Value),
+}
+
+/// A rule base compiled against one concrete schema pair.
+#[derive(Debug, Clone, Default)]
+pub struct CompiledRuleBase {
+    /// Compiled identity rules (both orientations, deduplicated,
+    /// dead rules dropped).
+    pub identity: Vec<CompiledRule>,
+    /// Compiled distinctness rules, likewise.
+    pub distinctness: Vec<CompiledRule>,
+}
+
+impl CompiledRuleBase {
+    /// Compiles `rb` against the schema pair. For each source rule
+    /// both orientations are compiled — `fires(s1,t1,s2,t2) ||
+    /// fires(s2,t2,s1,t1)` becomes two positional rules — and the
+    /// reversed one is dropped when it canonicalizes identically
+    /// (symmetric rules like extended-key equivalence).
+    pub fn compile(rb: &RuleBase, schema_r: &Schema, schema_s: &Schema) -> CompiledRuleBase {
+        let mut out = CompiledRuleBase::default();
+        for rule in rb.identity_rules() {
+            compile_orientations(
+                &rule.name,
+                rule.predicates(),
+                schema_r,
+                schema_s,
+                &mut out.identity,
+            );
+        }
+        for rule in rb.distinctness_rules() {
+            compile_orientations(
+                &rule.name,
+                rule.predicates(),
+                schema_r,
+                schema_s,
+                &mut out.distinctness,
+            );
+        }
+        out
+    }
+}
+
+/// Compiles one predicate for one orientation; `None` when an operand
+/// references an attribute absent from its schema (the predicate — and
+/// with it the whole rule — can then never be definitely true).
+fn compile_predicate(
+    p: &Predicate,
+    schema_r: &Schema,
+    schema_s: &Schema,
+    swapped: bool,
+) -> Option<CompiledPredicate> {
+    let compile_operand = |o: &Operand| -> Option<CompiledOperand> {
+        match o {
+            Operand::Const(v) => Some(CompiledOperand::Const(v.clone())),
+            Operand::Attr { side, attr } => {
+                let on_r = (*side == Side::E1) != swapped;
+                if on_r {
+                    schema_r.try_position(attr).map(CompiledOperand::R)
+                } else {
+                    schema_s.try_position(attr).map(CompiledOperand::S)
+                }
+            }
+        }
+    };
+    Some(CompiledPredicate {
+        lhs: compile_operand(&p.lhs)?,
+        op: p.op,
+        rhs: compile_operand(&p.rhs)?,
+    })
+}
+
+/// Compiles one source rule for one orientation; `None` when the rule
+/// is dead (a predicate is unknowable or a constant fold fails).
+fn compile_rule(
+    name: &str,
+    predicates: &[Predicate],
+    schema_r: &Schema,
+    schema_s: &Schema,
+    swapped: bool,
+) -> Option<CompiledRule> {
+    let mut compiled = Vec::with_capacity(predicates.len());
+    for p in predicates {
+        let cp = compile_predicate(p, schema_r, schema_s, swapped)?;
+        if let (CompiledOperand::Const(l), CompiledOperand::Const(r)) = (&cp.lhs, &cp.rhs) {
+            // Constant fold: definitely-true predicates vanish,
+            // anything else kills the conjunction.
+            match l.compare(r) {
+                Some(ord) if cp.op.test(ord) => continue,
+                _ => return None,
+            }
+        }
+        compiled.push(cp);
+    }
+    Some(CompiledRule {
+        name: name.to_string(),
+        predicates: compiled,
+    })
+}
+
+fn compile_orientations(
+    name: &str,
+    predicates: &[Predicate],
+    schema_r: &Schema,
+    schema_s: &Schema,
+    out: &mut Vec<CompiledRule>,
+) {
+    let forward = compile_rule(name, predicates, schema_r, schema_s, false);
+    let reversed = compile_rule(name, predicates, schema_r, schema_s, true);
+    match (forward, reversed) {
+        (Some(f), Some(r)) => {
+            let symmetric = f.canonical() == r.canonical();
+            out.push(f);
+            if !symmetric {
+                out.push(r);
+            }
+        }
+        (Some(f), None) => out.push(f),
+        (None, Some(r)) => out.push(r),
+        (None, None) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distinctness::DistinctnessRule;
+    use crate::identity::IdentityRule;
+    use eid_relational::Schema;
+
+    fn schemas() -> (std::sync::Arc<Schema>, std::sync::Arc<Schema>) {
+        (
+            Schema::of_strs("R", &["name", "cuisine", "street"], &["name"]).unwrap(),
+            Schema::of_strs("S", &["name", "cuisine", "city"], &["name"]).unwrap(),
+        )
+    }
+
+    fn rb() -> RuleBase {
+        let mut rb = RuleBase::new();
+        rb.add_identity(
+            IdentityRule::new(
+                "key-eq",
+                vec![Predicate::cross_eq("name"), Predicate::cross_eq("cuisine")],
+            )
+            .unwrap(),
+        );
+        rb.add_distinctness(
+            DistinctnessRule::new(
+                "r3",
+                vec![
+                    Predicate::attr_const(Side::E1, "cuisine", CmpOp::Eq, "indian"),
+                    Predicate::attr_const(Side::E2, "cuisine", CmpOp::Ne, "indian"),
+                ],
+            )
+            .unwrap(),
+        );
+        rb
+    }
+
+    #[test]
+    fn compiled_agrees_with_interpreted() {
+        let (s1, s2) = schemas();
+        let c = CompiledRuleBase::compile(&rb(), &s1, &s2);
+        let pairs = [
+            (
+                Tuple::of_strs(&["a", "indian", "x"]),
+                Tuple::of_strs(&["a", "indian", "y"]),
+            ),
+            (
+                Tuple::of_strs(&["a", "indian", "x"]),
+                Tuple::of_strs(&["a", "greek", "y"]),
+            ),
+            (
+                Tuple::of_strs(&["a", "greek", "x"]),
+                Tuple::of_strs(&["b", "indian", "y"]),
+            ),
+        ];
+        let rb = rb();
+        for (tr, ts) in &pairs {
+            assert_eq!(
+                c.identity.iter().any(|r| r.fires(tr, ts)),
+                rb.fires_identity(&s1, tr, &s2, ts),
+                "identity mismatch on {tr:?} {ts:?}"
+            );
+            assert_eq!(
+                c.distinctness.iter().any(|r| r.fires(tr, ts)),
+                rb.fires_distinctness(&s1, tr, &s2, ts),
+                "distinctness mismatch on {tr:?} {ts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn symmetric_rule_compiles_once() {
+        let (s1, s2) = schemas();
+        let c = CompiledRuleBase::compile(&rb(), &s1, &s2);
+        // Extended-key equivalence is symmetric: one orientation.
+        assert_eq!(c.identity.len(), 1);
+        // The r3 rule is directional: both orientations survive.
+        assert_eq!(c.distinctness.len(), 2);
+    }
+
+    #[test]
+    fn asymmetric_orientation_covers_swapped_pairs() {
+        let (s1, s2) = schemas();
+        let c = CompiledRuleBase::compile(&rb(), &s1, &s2);
+        // e1=indian ∧ e2≠indian fires in the swapped orientation when
+        // the *S* tuple is the Indian one.
+        let tr = Tuple::of_strs(&["a", "greek", "x"]);
+        let ts = Tuple::of_strs(&["b", "indian", "y"]);
+        assert!(c.distinctness.iter().any(|r| r.fires(&tr, &ts)));
+    }
+
+    #[test]
+    fn missing_attribute_kills_the_orientation() {
+        let (s1, s2) = schemas();
+        let mut base = RuleBase::new();
+        // street exists only in R: E1-orientation compiles, the
+        // swapped one (street on S) is dead.
+        base.add_distinctness(
+            DistinctnessRule::new(
+                "street-rule",
+                vec![
+                    Predicate::attr_const(Side::E1, "street", CmpOp::Eq, "x"),
+                    Predicate::attr_const(Side::E2, "cuisine", CmpOp::Ne, "greek"),
+                ],
+            )
+            .unwrap(),
+        );
+        let c = CompiledRuleBase::compile(&base, &s1, &s2);
+        assert_eq!(c.distinctness.len(), 1);
+    }
+
+    #[test]
+    fn shapes_extracted() {
+        let (s1, s2) = schemas();
+        let c = CompiledRuleBase::compile(&rb(), &s1, &s2);
+        let id = c.identity[0].identity_shape().unwrap();
+        assert_eq!(id.join.len(), 2);
+        assert!(id.r_lits.is_empty() && id.s_lits.is_empty());
+        let d = c.distinctness[0].distinct_shape().unwrap();
+        assert_eq!(d.neq.2, Value::str("indian"));
+    }
+
+    #[test]
+    fn non_indexable_rule_has_no_shape() {
+        let (s1, s2) = schemas();
+        let mut base = RuleBase::new();
+        base.add_distinctness(
+            DistinctnessRule::new(
+                "ordered",
+                vec![Predicate::new(
+                    Operand::attr(Side::E1, "name"),
+                    CmpOp::Lt,
+                    Operand::attr(Side::E2, "name"),
+                )],
+            )
+            .unwrap(),
+        );
+        let c = CompiledRuleBase::compile(&base, &s1, &s2);
+        assert!(c.distinctness[0].identity_shape().is_none());
+        assert!(c.distinctness[0].distinct_shape().is_none());
+    }
+
+    #[test]
+    fn null_values_keep_three_valued_semantics() {
+        let (s1, s2) = schemas();
+        let c = CompiledRuleBase::compile(&rb(), &s1, &s2);
+        let tr = Tuple::new(vec![Value::str("a"), Value::Null, Value::str("x")]);
+        let ts = Tuple::of_strs(&["a", "indian", "y"]);
+        assert!(!c.identity.iter().any(|r| r.fires(&tr, &ts)));
+        assert!(!c.distinctness.iter().any(|r| r.fires(&tr, &ts)));
+    }
+}

@@ -100,13 +100,7 @@ impl DistinctnessRule {
 
     /// Three-valued evaluation, as for identity rules: `Some(true)`
     /// proves the pair distinct.
-    pub fn eval(
-        &self,
-        s1: &Schema,
-        t1: &Tuple,
-        s2: &Schema,
-        t2: &Tuple,
-    ) -> Option<bool> {
+    pub fn eval(&self, s1: &Schema, t1: &Tuple, s2: &Schema, t2: &Tuple) -> Option<bool> {
         let mut all_true = true;
         for p in &self.predicates {
             match p.eval(s1, t1, s2, t2) {
@@ -135,12 +129,7 @@ impl DistinctnessRule {
                     .antecedent()
                     .iter()
                     .map(|s| {
-                        Predicate::attr_const(
-                            Side::E1,
-                            s.attr.clone(),
-                            CmpOp::Eq,
-                            s.value.clone(),
-                        )
+                        Predicate::attr_const(Side::E1, s.attr.clone(), CmpOp::Eq, s.value.clone())
                     })
                     .collect();
                 let cons = part
@@ -171,10 +160,24 @@ impl DistinctnessRule {
         let mut cons: Option<PropSymbol> = None;
         for p in &self.predicates {
             match (&p.lhs, p.op, &p.rhs) {
-                (Operand::Attr { side: Side::E1, attr }, CmpOp::Eq, Operand::Const(v)) => {
+                (
+                    Operand::Attr {
+                        side: Side::E1,
+                        attr,
+                    },
+                    CmpOp::Eq,
+                    Operand::Const(v),
+                ) => {
                     ante.insert(PropSymbol::new(attr.clone(), v.clone()));
                 }
-                (Operand::Attr { side: Side::E2, attr }, CmpOp::Ne, Operand::Const(v)) => {
+                (
+                    Operand::Attr {
+                        side: Side::E2,
+                        attr,
+                    },
+                    CmpOp::Ne,
+                    Operand::Const(v),
+                ) => {
                     if cons.is_some() {
                         return None; // more than one negated consequent
                     }
@@ -306,13 +309,11 @@ mod tests {
         assert!(r3().to_ilfd().is_some());
         let odd = DistinctnessRule::new(
             "odd",
-            vec![
-                Predicate::new(
-                    Operand::attr(Side::E1, "a"),
-                    CmpOp::Lt,
-                    Operand::attr(Side::E2, "a"),
-                ),
-            ],
+            vec![Predicate::new(
+                Operand::attr(Side::E1, "a"),
+                CmpOp::Lt,
+                Operand::attr(Side::E2, "a"),
+            )],
         )
         .unwrap();
         assert!(odd.to_ilfd().is_none());

@@ -186,9 +186,12 @@ mod tests {
         )
         .unwrap();
         let mut w = Relation::new(schema);
-        w.insert_strs(&["twincities", "chinese", "wash_ave"]).unwrap();
-        w.insert_strs(&["twincities", "indian", "univ_ave"]).unwrap();
-        w.insert_strs(&["anjuman", "indian", "lasalle_ave"]).unwrap();
+        w.insert_strs(&["twincities", "chinese", "wash_ave"])
+            .unwrap();
+        w.insert_strs(&["twincities", "indian", "univ_ave"])
+            .unwrap();
+        w.insert_strs(&["anjuman", "indian", "lasalle_ave"])
+            .unwrap();
         w
     }
 
@@ -232,9 +235,8 @@ mod tests {
 
     #[test]
     fn union_of_keys_dedups() {
-        let r = Relation::new(
-            Schema::of_strs("R", &["name", "street"], &["name", "street"]).unwrap(),
-        );
+        let r =
+            Relation::new(Schema::of_strs("R", &["name", "street"], &["name", "street"]).unwrap());
         let s = Relation::new(Schema::of_strs("S", &["name", "city"], &["name", "city"]).unwrap());
         let k = ExtendedKey::union_of_keys(&r, &s);
         assert_eq!(

@@ -126,13 +126,7 @@ impl IdentityRule {
     /// matches; `Some(false)` — some predicate is definitely false;
     /// `None` — a predicate is unknown (NULL/missing), so the rule
     /// neither fires nor refutes.
-    pub fn eval(
-        &self,
-        s1: &Schema,
-        t1: &Tuple,
-        s2: &Schema,
-        t2: &Tuple,
-    ) -> Option<bool> {
+    pub fn eval(&self, s1: &Schema, t1: &Tuple, s2: &Schema, t2: &Tuple) -> Option<bool> {
         let mut all_true = true;
         for p in &self.predicates {
             match p.eval(s1, t1, s2, t2) {
@@ -299,13 +293,11 @@ mod tests {
     fn inequality_predicates_do_not_connect() {
         let r = IdentityRule::new(
             "bad",
-            vec![
-                Predicate::new(
-                    Operand::attr(Side::E1, "n"),
-                    CmpOp::Lt,
-                    Operand::attr(Side::E2, "n"),
-                ),
-            ],
+            vec![Predicate::new(
+                Operand::attr(Side::E1, "n"),
+                CmpOp::Lt,
+                Operand::attr(Side::E2, "n"),
+            )],
         );
         assert!(r.is_err());
     }
@@ -368,8 +360,7 @@ mod tests {
     #[test]
     fn key_equivalence_builder() {
         let rule =
-            IdentityRule::key_equivalence(&[AttrName::new("name"), AttrName::new("city")])
-                .unwrap();
+            IdentityRule::key_equivalence(&[AttrName::new("name"), AttrName::new("city")]).unwrap();
         assert_eq!(rule.predicates().len(), 2);
         assert!(rule.validate().is_ok());
     }

@@ -11,6 +11,9 @@
 //!   Proposition 1 duality with ILFDs (both directions);
 //! * [`extended_key`] — extended keys `K_Ext`, their identity rule
 //!   (*extended key equivalence*), uniqueness and minimality checks;
+//! * [`compiled`] — rule precompilation: attribute names resolved to
+//!   column positions once per run, plus indexable *block plan*
+//!   shapes consumed by the `eid-core` blocked matching engine;
 //! * [`rulebase`] — a [`RuleBase`] with the three-valued
 //!   [`RuleBase::decide`] function over tuple pairs, plus detection
 //!   of mutually inconsistent rule firings.
@@ -35,6 +38,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod compiled;
 pub mod distinctness;
 pub mod extended_key;
 pub mod identity;
@@ -42,6 +46,10 @@ pub mod parser;
 pub mod pred;
 pub mod rulebase;
 
+pub use compiled::{
+    CompiledOperand, CompiledPredicate, CompiledRule, CompiledRuleBase, DistinctShape,
+    IdentityShape, NeqSide,
+};
 pub use distinctness::{DistinctnessRule, DistinctnessRuleError};
 pub use extended_key::ExtendedKey;
 pub use identity::{IdentityRule, IdentityRuleError};

@@ -160,16 +160,16 @@ enum Tok {
     Ident(String),
     Str(String),
     Int(i64),
-    Eq,     // =
-    EqEq,   // ==
-    Ne,     // !=
-    Lt,     // <
-    Le,     // <=
-    Gt,     // >
-    Ge,     // >=
-    And,    // &
-    Arrow,  // ->
-    Dot,    // .
+    Eq,    // =
+    EqEq,  // ==
+    Ne,    // !=
+    Lt,    // <
+    Le,    // <=
+    Gt,    // >
+    Ge,    // >=
+    And,   // &
+    Arrow, // ->
+    Dot,   // .
 }
 
 impl fmt::Display for Tok {
@@ -271,7 +271,9 @@ impl Parser {
                         tokens.push((Tok::Str(s), col));
                     }
                 }
-                c if c.is_ascii_digit() || (c == '-' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())) => {
+                c if c.is_ascii_digit()
+                    || (c == '-' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+                {
                     let start = i;
                     i += 1;
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -352,9 +354,8 @@ impl Parser {
                     Ok(Statement::Identity(rule))
                 }
                 EntityConclusion::Distinctness => {
-                    let rule =
-                        DistinctnessRule::new(format!("line {}", self.line), predicates)
-                            .map_err(|e| self.err(1, e.to_string()))?;
+                    let rule = DistinctnessRule::new(format!("line {}", self.line), predicates)
+                        .map_err(|e| self.err(1, e.to_string()))?;
                     Ok(Statement::Distinctness(rule))
                 }
             };
@@ -529,9 +530,7 @@ impl Term {
         let value = match self.rhs {
             RawOperand::Literal(v) => v,
             RawOperand::Bare(s) => Value::str(s),
-            RawOperand::Attr { .. } => {
-                return Err(err("ILFD values must be constants".into()))
-            }
+            RawOperand::Attr { .. } => return Err(err("ILFD values must be constants".into())),
         };
         Ok(PropSymbol::new(attr.as_str(), value))
     }
@@ -565,10 +564,8 @@ mod tests {
 
     #[test]
     fn parses_conjunctive_ilfd() {
-        let f = parse_rules(
-            r#"name = "itsgreek" & county = "ramsey" -> speciality = "gyros""#,
-        )
-        .unwrap();
+        let f = parse_rules(r#"name = "itsgreek" & county = "ramsey" -> speciality = "gyros""#)
+            .unwrap();
         let i = f.ilfds();
         assert_eq!(i.as_slice()[0].antecedent().len(), 2);
     }
@@ -584,14 +581,18 @@ mod tests {
     fn parses_integer_values() {
         let f = parse_rules("zip = 55455 -> city = minneapolis").unwrap();
         let ilfds = f.ilfds();
-        let sym = ilfds.as_slice()[0].antecedent().iter().next().unwrap().clone();
+        let sym = ilfds.as_slice()[0]
+            .antecedent()
+            .iter()
+            .next()
+            .unwrap()
+            .clone();
         assert_eq!(sym.value, Value::Int(55455));
     }
 
     #[test]
     fn parses_identity_rule() {
-        let f = parse_rules("e1.name = e2.name & e1.cuisine = e2.cuisine -> e1 == e2")
-            .unwrap();
+        let f = parse_rules("e1.name = e2.name & e1.cuisine = e2.cuisine -> e1 == e2").unwrap();
         match &f.statements[0] {
             Statement::Identity(rule) => {
                 assert_eq!(rule.predicates().len(), 2);
@@ -603,10 +604,8 @@ mod tests {
 
     #[test]
     fn parses_paper_r1_constant_identity() {
-        let f = parse_rules(
-            r#"e1.cuisine = "chinese" & e2.cuisine = "chinese" -> e1 == e2"#,
-        )
-        .unwrap();
+        let f =
+            parse_rules(r#"e1.cuisine = "chinese" & e2.cuisine = "chinese" -> e1 == e2"#).unwrap();
         assert!(matches!(f.statements[0], Statement::Identity(_)));
     }
 
@@ -619,10 +618,8 @@ mod tests {
 
     #[test]
     fn parses_distinctness_rule() {
-        let f = parse_rules(
-            r#"e1.speciality = "mughalai" & e2.cuisine != "indian" -> e1 != e2"#,
-        )
-        .unwrap();
+        let f = parse_rules(r#"e1.speciality = "mughalai" & e2.cuisine != "indian" -> e1 != e2"#)
+            .unwrap();
         match &f.statements[0] {
             Statement::Distinctness(rule) => {
                 assert_eq!(rule.predicates().len(), 2);
@@ -674,7 +671,10 @@ speciality = gyros -> cuisine = greek
     #[test]
     fn trailing_garbage_is_an_error() {
         let err = parse_rules("a = 1 -> b = 2 extra").unwrap_err();
-        assert!(err.message.contains("expected comparison") || err.message.contains("unexpected"), "{err}");
+        assert!(
+            err.message.contains("expected comparison") || err.message.contains("unexpected"),
+            "{err}"
+        );
     }
 
     #[test]

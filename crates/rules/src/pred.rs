@@ -34,7 +34,7 @@ pub enum CmpOp {
 
 impl CmpOp {
     /// Applies the operator to an ordering.
-    fn test(self, ord: Ordering) -> bool {
+    pub(crate) fn test(self, ord: Ordering) -> bool {
         match self {
             CmpOp::Eq => ord == Ordering::Equal,
             CmpOp::Ne => ord != Ordering::Equal,
@@ -179,13 +179,7 @@ impl Predicate {
     /// both operands are known, `None` otherwise. (Equivalent to
     /// [`Predicate::eval_tri`]; kept for the `Option<bool>`
     /// convention used across the engine.)
-    pub fn eval(
-        &self,
-        s1: &Schema,
-        t1: &Tuple,
-        s2: &Schema,
-        t2: &Tuple,
-    ) -> Option<bool> {
+    pub fn eval(&self, s1: &Schema, t1: &Tuple, s2: &Schema, t2: &Tuple) -> Option<bool> {
         let l = self.lhs.resolve(s1, t1, s2, t2)?;
         let r = self.rhs.resolve(s1, t1, s2, t2)?;
         let ord = l.compare(r)?;

@@ -158,13 +158,7 @@ impl RuleBase {
 
     /// Whether any distinctness rule fires on the pair (in either
     /// orientation). See [`RuleBase::fires_identity`].
-    pub fn fires_distinctness(
-        &self,
-        s1: &Schema,
-        t1: &Tuple,
-        s2: &Schema,
-        t2: &Tuple,
-    ) -> bool {
+    pub fn fires_distinctness(&self, s1: &Schema, t1: &Tuple, s2: &Schema, t2: &Tuple) -> bool {
         self.distinctness
             .iter()
             .any(|r| r.fires(s1, t1, s2, t2) || r.fires(s2, t2, s1, t1))

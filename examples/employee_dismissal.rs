@@ -15,11 +15,7 @@ use entity_id::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // HR database: employees keyed by (name, office).
-    let hr_schema = Schema::of_strs(
-        "HR",
-        &["name", "office", "division"],
-        &["name", "office"],
-    )?;
+    let hr_schema = Schema::of_strs("HR", &["name", "office", "division"], &["name", "office"])?;
     let mut hr = Relation::new(hr_schema);
     hr.insert_strs(&["john_smith", "mpls", "sensors"])?; // strong performer
     hr.insert_strs(&["john_smith", "st_paul", "controls"])?; // weak performer
@@ -40,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Baseline: probabilistic key equivalence on `name` ---------
     let prob = ProbabilisticKey::new(&["name"], 0.7, 0.2);
     let outcome = run_technique(&prob, &hr, &perf);
-    println!("probabilistic-key declares {} matches:", outcome.matching.len());
+    println!(
+        "probabilistic-key declares {} matches:",
+        outcome.matching.len()
+    );
     let mut wrongly_fired = 0;
     for e in outcome.matching.entries() {
         let below = perf
@@ -48,8 +47,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|t| t.get(2) == &Value::str("below"))
             .unwrap_or(false);
         let is_st_paul = e.r_key.get(1) == &Value::str("st_paul");
-        println!("  HR{} ↔ Perf{}{}", e.r_key, e.s_key,
-            if below && !is_st_paul { "   ← WRONGLY FIRED" } else { "" });
+        println!(
+            "  HR{} ↔ Perf{}{}",
+            e.r_key,
+            e.s_key,
+            if below && !is_st_paul {
+                "   ← WRONGLY FIRED"
+            } else {
+                ""
+            }
+        );
         if below && !is_st_paul {
             wrongly_fired += 1;
         }
@@ -68,11 +75,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ]
     .into_iter()
     .collect();
-    let outcome = EntityMatcher::new(hr.clone(), perf.clone(), MatchConfig::new(key, ilfds))?
-        .run()?;
+    let outcome =
+        EntityMatcher::new(hr.clone(), perf.clone(), MatchConfig::new(key, ilfds))?.run()?;
     outcome.verify()?;
 
-    println!("ILFD technique declares {} matches:", outcome.matching.len());
+    println!(
+        "ILFD technique declares {} matches:",
+        outcome.matching.len()
+    );
     for e in outcome.matching.entries() {
         println!("  HR{} ↔ Perf{}", e.r_key, e.s_key);
     }

@@ -23,12 +23,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mut session = Session::new(r, s, ilfds);
-    println!("Candidate extended-key attributes: {:?}\n",
+    println!(
+        "Candidate extended-key attributes: {:?}\n",
         session
             .candidate_attributes()
             .iter()
             .map(|a| a.to_string())
-            .collect::<Vec<_>>());
+            .collect::<Vec<_>>()
+    );
 
     // First try the unsound key, as the transcript does.
     println!("| ?- setup_extkey.   % picking {{name}} only");
@@ -44,8 +46,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("| ?- print_RRtable.\n{}", session.extended_r_display()?);
     println!("| ?- print_SStable.\n{}", session.extended_s_display()?);
-    println!("| ?- print_matchtable.\n{}", session.matching_table_display()?);
-    println!("| ?- print_integ_table.\n{}", session.integrated_table_display()?);
+    println!(
+        "| ?- print_matchtable.\n{}",
+        session.matching_table_display()?
+    );
+    println!(
+        "| ?- print_integ_table.\n{}",
+        session.integrated_table_display()?
+    );
 
     let outcome = session.outcome().expect("setup ran");
     assert_eq!(outcome.matching.len(), 3, "Table 7 has three matches");
@@ -59,11 +67,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Why did It'sGreek match? Show the I7→I8 derivation chain.
     let (r2, s2, key2, ilfds2) = restaurant::example3();
     let config = MatchConfig::new(key2, ilfds2);
-    let itsgreek_r = r2.iter().position(|t| t.to_string().contains("itsgreek")).unwrap();
-    let itsgreek_s = s2.iter().position(|t| t.to_string().contains("itsgreek")).unwrap();
+    let itsgreek_r = r2
+        .iter()
+        .position(|t| t.to_string().contains("itsgreek"))
+        .unwrap();
+    let itsgreek_s = s2
+        .iter()
+        .position(|t| t.to_string().contains("itsgreek"))
+        .unwrap();
     let explanation = explain_match(
-        &r2, &r2.tuples()[itsgreek_r],
-        &s2, &s2.tuples()[itsgreek_s],
+        &r2,
+        &r2.tuples()[itsgreek_r],
+        &s2,
+        &s2.tuples()[itsgreek_s],
         &config,
     )?;
     println!("Why (itsgreek, greek) ≡ (itsgreek, gyros)?\n{explanation}");

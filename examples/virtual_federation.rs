@@ -33,13 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Query 1: selection on a base attribute of both sides — fully
     // pushed down, only the qualifying tuples are matched.
-    let name = w
-        .universe
-        .tuples()[0]
-        .get(0)
-        .as_str()
-        .unwrap()
-        .to_string();
+    let name = w.universe.tuples()[0].get(0).as_str().unwrap().to_string();
     let ans = view.select(&[Selection::eq("name", name.as_str())])?;
     println!(
         "\nσ(name = {name}): scanned {} R + {} S tuples (of {} + {}), {} result rows",
@@ -54,13 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Query 2: selection on a *derived* attribute — S cannot be
     // pre-filtered (cuisine is ILFD-derived there), R can.
-    let cuisine = w
-        .universe
-        .tuples()[0]
-        .get(1)
-        .as_str()
-        .unwrap()
-        .to_string();
+    let cuisine = w.universe.tuples()[0].get(1).as_str().unwrap().to_string();
     let ans = view.select(&[Selection::eq("cuisine", cuisine.as_str())])?;
     println!(
         "σ(cuisine = {cuisine}): scanned {} R + {} S tuples — S is unfiltered \

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Full local gate: release build, tests, lints, formatting.
+#
+# clippy and rustfmt run only when their components are installed, so
+# the script works on minimal toolchains (the build and tests are
+# always mandatory).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+# First-party packages only: the vendored stubs under vendor/ stand in
+# for external dependencies and are not held to the lint/format gate.
+PACKAGES=(entity-id eid-relational eid-ilfd eid-rules eid-core \
+          eid-baselines eid-datagen eid-bench)
+PKG_FLAGS=()
+for p in "${PACKAGES[@]}"; do PKG_FLAGS+=(-p "$p"); done
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy -D warnings"
+    cargo clippy "${PKG_FLAGS[@]}" --all-targets -- -D warnings
+else
+    echo "==> clippy not installed; skipping"
+fi
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "==> cargo fmt --check"
+    cargo fmt "${PKG_FLAGS[@]}" --check
+else
+    echo "==> rustfmt not installed; skipping"
+fi
+
+echo "==> all checks passed"

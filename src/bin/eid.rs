@@ -151,7 +151,10 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
         "{}",
         render_default(
             "matching table",
-            &outcome.matching.to_relation("MT").map_err(|e| e.to_string())?
+            &outcome
+                .matching
+                .to_relation("MT")
+                .map_err(|e| e.to_string())?
         )
     );
     if flags.contains_key("negative") {
@@ -159,7 +162,10 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
             "{}",
             render_default(
                 "negative matching table",
-                &outcome.negative.to_relation("NMT").map_err(|e| e.to_string())?
+                &outcome
+                    .negative
+                    .to_relation("NMT")
+                    .map_err(|e| e.to_string())?
             )
         );
     }
@@ -280,9 +286,9 @@ fn cmd_session(args: &[String]) -> Result<(), String> {
                     .map_err(|e| e.to_string())
             }
             "print_matchtable" => session.matching_table_display().map_err(|e| e.to_string()),
-            "print_integ_table" => {
-                session.integrated_table_display().map_err(|e| e.to_string())
-            }
+            "print_integ_table" => session
+                .integrated_table_display()
+                .map_err(|e| e.to_string()),
             "print_rr" => session.extended_r_display().map_err(|e| e.to_string()),
             "print_ss" => session.extended_s_display().map_err(|e| e.to_string()),
             other => Err(format!("unknown command `{other}`")),
@@ -309,10 +315,16 @@ fn cmd_demo() -> Result<(), String> {
         "{}",
         render_default(
             "matching table (Table 7)",
-            &outcome.matching.to_relation("MT").map_err(|e| e.to_string())?
+            &outcome
+                .matching
+                .to_relation("MT")
+                .map_err(|e| e.to_string())?
         )
     );
     let table = IntegratedTable::build(&r, &s, &outcome, &key).map_err(|e| e.to_string())?;
-    println!("{}", render_default("integrated table (§6.3)", table.relation()));
+    println!(
+        "{}",
+        render_default("integrated table (§6.3)", table.relation())
+    );
     Ok(())
 }

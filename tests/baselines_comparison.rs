@@ -50,7 +50,10 @@ fn key_equivalence_breaks_under_homonyms_ilfd_does_not() {
 
     let naive = KeyEquivalence::new(&["name"], true);
     let clean_eval = evaluate_technique(&naive, &clean.r, &clean.s, &clean.truth);
-    assert_eq!(clean_eval.false_matches, 0, "no homonyms → no false matches");
+    assert_eq!(
+        clean_eval.false_matches, 0,
+        "no homonyms → no false matches"
+    );
 
     let dirty_eval = evaluate_technique(&naive, &dirty.r, &dirty.s, &dirty.truth);
     assert!(
@@ -119,12 +122,7 @@ fn precision_across_homonym_rates() {
             1.0,
             "ILFD precision dropped at homonym rate {rate}"
         );
-        let naive = evaluate_technique(
-            &KeyEquivalence::new(&["name"], true),
-            &w.r,
-            &w.s,
-            &w.truth,
-        );
+        let naive = evaluate_technique(&KeyEquivalence::new(&["name"], true), &w.r, &w.s, &w.truth);
         if rate > 0.0 {
             assert!(
                 naive.match_precision() < 1.0,

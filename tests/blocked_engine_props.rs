@@ -1,0 +1,159 @@
+//! Equivalence properties for the blocked matching engine: on
+//! randomized generated worlds, [`JoinAlgorithm::Blocked`] (the
+//! default), [`JoinAlgorithm::Hash`], and the exhaustive
+//! [`JoinAlgorithm::NestedLoop`] oracle must produce identical
+//! matching tables, negative matching tables, and undetermined
+//! counts — for any thread count — and the incremental matcher must
+//! still converge to the same state as a batch run under the new
+//! default engine.
+
+use proptest::prelude::*;
+
+use entity_id::datagen::{generate, GeneratorConfig};
+use entity_id::prelude::*;
+use entity_id::rules::{IdentityRule, Predicate};
+
+fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        10..60usize,  // n_entities
+        0.0..1.0f64,  // overlap
+        0.0..0.4f64,  // homonym_rate
+        0.0..1.0f64,  // ilfd_coverage
+        0.0..0.3f64,  // noise
+        any::<u64>(), // seed
+    )
+        .prop_map(
+            |(n, overlap, homonym, coverage, noise, seed)| GeneratorConfig {
+                n_entities: n,
+                overlap,
+                homonym_rate: homonym,
+                ilfd_coverage: coverage,
+                noise,
+                n_specialities: 16,
+                n_cuisines: 6,
+                seed,
+            },
+        )
+}
+
+fn run(w_r: &Relation, w_s: &Relation, config: &MatchConfig) -> MatchOutcome {
+    EntityMatcher::new(w_r.clone(), w_s.clone(), config.clone())
+        .unwrap()
+        .run()
+        .unwrap()
+}
+
+fn assert_same_tables(
+    a: &MatchOutcome,
+    b: &MatchOutcome,
+    label: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert!(a.matching.includes(&b.matching), "{label}: matching ⊉");
+    prop_assert!(b.matching.includes(&a.matching), "{label}: matching ⊈");
+    prop_assert!(a.negative.includes(&b.negative), "{label}: negative ⊉");
+    prop_assert!(b.negative.includes(&a.negative), "{label}: negative ⊈");
+    prop_assert_eq!(a.matching.len(), b.matching.len(), "{}: |MT|", label);
+    prop_assert_eq!(a.negative.len(), b.negative.len(), "{}: |NMT|", label);
+    prop_assert_eq!(a.undetermined, b.undetermined, "{}: undetermined", label);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Blocked (default) and Hash agree with the nested-loop oracle
+    /// on MT_RS, NMT_RS, and the undetermined count.
+    #[test]
+    fn blocked_equals_nested_loop_oracle(config in arb_config()) {
+        let w = generate(&config);
+        let base = MatchConfig::new(w.extended_key.clone(), w.ilfds.clone());
+        let mut oracle_cfg = base.clone();
+        oracle_cfg.join = JoinAlgorithm::NestedLoop;
+        let oracle = run(&w.r, &w.s, &oracle_cfg);
+        for join in [JoinAlgorithm::Blocked, JoinAlgorithm::Hash] {
+            let mut c = base.clone();
+            c.join = join;
+            let got = run(&w.r, &w.s, &c);
+            assert_same_tables(&got, &oracle, &format!("{join:?} vs oracle"))?;
+        }
+    }
+
+    /// The blocked engine's output is identical for every thread
+    /// count (serial, fixed pools, auto).
+    #[test]
+    fn blocked_is_thread_count_invariant(config in arb_config()) {
+        let w = generate(&config);
+        let base = MatchConfig::new(w.extended_key.clone(), w.ilfds.clone());
+        let mut serial_cfg = base.clone();
+        serial_cfg.threads = 1;
+        let serial = run(&w.r, &w.s, &serial_cfg);
+        for threads in [0usize, 2, 5] {
+            let mut c = base.clone();
+            c.threads = threads;
+            let got = run(&w.r, &w.s, &c);
+            prop_assert_eq!(
+                serial.matching.entries(), got.matching.entries(),
+                "threads={}", threads);
+            prop_assert_eq!(
+                serial.negative.entries(), got.negative.entries(),
+                "threads={}", threads);
+        }
+    }
+
+    /// Extra identity rules route through the engine's identity
+    /// plans (and the Hash path's extra-rules scan); both must agree
+    /// with the oracle.
+    #[test]
+    fn extra_identity_rules_agree_with_oracle(config in arb_config()) {
+        let w = generate(&config);
+        let mut base = MatchConfig::new(w.extended_key.clone(), w.ilfds.clone());
+        base.extra_rules.add_identity(
+            IdentityRule::new(
+                "same-name-same-cuisine",
+                vec![Predicate::cross_eq("name"), Predicate::cross_eq("cuisine")],
+            )
+            .unwrap(),
+        );
+        let mut oracle_cfg = base.clone();
+        oracle_cfg.join = JoinAlgorithm::NestedLoop;
+        let oracle = run(&w.r, &w.s, &oracle_cfg);
+        for join in [JoinAlgorithm::Blocked, JoinAlgorithm::Hash] {
+            let mut c = base.clone();
+            c.join = join;
+            let got = run(&w.r, &w.s, &c);
+            assert_same_tables(&got, &oracle, &format!("{join:?} with extra rules"))?;
+        }
+    }
+
+    /// The incremental matcher (bulk refutation now runs through the
+    /// blocked engine) still converges to the batch state under the
+    /// default engine: seed it with the full relations, then check
+    /// add_ilfd convergence from an empty knowledge base.
+    #[test]
+    fn incremental_matches_batch_under_default_engine(mut config in arb_config()) {
+        config.n_entities = config.n_entities.min(25);
+        let w = generate(&config);
+        let base = MatchConfig::new(w.extended_key.clone(), w.ilfds.clone());
+
+        let batch = run(&w.r, &w.s, &base);
+        let inc = IncrementalMatcher::new(w.r.clone(), w.s.clone(), base.clone()).unwrap();
+        prop_assert!(inc.matching().includes(&batch.matching));
+        prop_assert!(batch.matching.includes(inc.matching()));
+        prop_assert!(inc.negative().includes(&batch.negative));
+        prop_assert!(batch.negative.includes(inc.negative()));
+
+        // Growing knowledge: start with no ILFDs, add them one by
+        // one; the final state must equal the batch run above.
+        let mut empty_cfg = base.clone();
+        empty_cfg.ilfds = IlfdSet::new();
+        let mut grown =
+            IncrementalMatcher::new(w.r.clone(), w.s.clone(), empty_cfg).unwrap();
+        for ilfd in w.ilfds.iter() {
+            grown.add_ilfd(ilfd.clone()).unwrap();
+        }
+        prop_assert!(grown.matching().includes(&batch.matching));
+        prop_assert!(batch.matching.includes(grown.matching()));
+        prop_assert!(grown.negative().includes(&batch.negative));
+        prop_assert!(batch.negative.includes(grown.negative()));
+    }
+}

@@ -64,13 +64,28 @@ fn match_command_reproduces_example3() {
     let rules = fx.write("knowledge.rules", RULES);
     let out = eid()
         .args([
-            "match", "--r", &r, "--r-key", "name,cuisine", "--s", &s, "--s-key",
-            "name,speciality", "--rules", &rules, "--key", "name,cuisine,speciality",
+            "match",
+            "--r",
+            &r,
+            "--r-key",
+            "name,cuisine",
+            "--s",
+            &s,
+            "--s-key",
+            "name,speciality",
+            "--rules",
+            &rules,
+            "--key",
+            "name,cuisine,speciality",
             "--integrated",
         ])
         .output()
         .expect("run eid");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("Message: The extended key is verified."));
     assert!(text.contains("matching table"));
@@ -88,8 +103,19 @@ fn unsound_key_prints_warning_but_succeeds() {
     let rules = fx.write("knowledge.rules", RULES);
     let out = eid()
         .args([
-            "match", "--r", &r, "--r-key", "name,cuisine", "--s", &s, "--s-key",
-            "name,speciality", "--rules", &rules, "--key", "name",
+            "match",
+            "--r",
+            &r,
+            "--r-key",
+            "name,cuisine",
+            "--s",
+            &s,
+            "--s-key",
+            "name,speciality",
+            "--rules",
+            &rules,
+            "--key",
+            "name",
         ])
         .output()
         .expect("run eid");
@@ -105,7 +131,10 @@ fn validate_reports_rule_counts_and_redundancy() {
         "k.rules",
         "a = 1 -> b = 2\nb = 2 -> c = 3\na = 1 -> c = 3\n", // third is redundant
     );
-    let out = eid().args(["validate", "--rules", &rules]).output().unwrap();
+    let out = eid()
+        .args(["validate", "--rules", &rules])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("3 ILFDs"));
@@ -117,7 +146,10 @@ fn validate_reports_rule_counts_and_redundancy() {
 fn parse_errors_are_reported_with_position() {
     let fx = Fixture::new("badrules");
     let rules = fx.write("bad.rules", "speciality hunan -> cuisine = chinese\n");
-    let out = eid().args(["validate", "--rules", &rules]).output().unwrap();
+    let out = eid()
+        .args(["validate", "--rules", &rules])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("1:"), "{err}");
@@ -131,8 +163,19 @@ fn bad_csv_key_is_an_error() {
     let rules = fx.write("k.rules", RULES);
     let out = eid()
         .args([
-            "match", "--r", &r, "--r-key", "nope", "--s", &s, "--s-key",
-            "name,speciality", "--rules", &rules, "--key", "name",
+            "match",
+            "--r",
+            &r,
+            "--r-key",
+            "nope",
+            "--s",
+            &s,
+            "--s-key",
+            "name,speciality",
+            "--rules",
+            &rules,
+            "--key",
+            "name",
         ])
         .output()
         .unwrap();
@@ -151,24 +194,34 @@ fn demo_runs() {
 fn unify_prints_conflicts() {
     let fx = Fixture::new("unify");
     // Shared `city` column that disagrees on the matched pair.
-    let r = fx.write(
-        "r.csv",
-        "name,cuisine,city\ntc,chinese,mpls\n",
-    );
-    let s = fx.write(
-        "s.csv",
-        "name,speciality,city\ntc,hunan,st_paul\n",
-    );
+    let r = fx.write("r.csv", "name,cuisine,city\ntc,chinese,mpls\n");
+    let s = fx.write("s.csv", "name,speciality,city\ntc,hunan,st_paul\n");
     let rules = fx.write("k.rules", "speciality = hunan -> cuisine = chinese\n");
     let out = eid()
         .args([
-            "match", "--r", &r, "--r-key", "name,cuisine", "--s", &s, "--s-key",
-            "name,speciality", "--rules", &rules, "--key", "name,cuisine",
-            "--unify", "prefer-r",
+            "match",
+            "--r",
+            &r,
+            "--r-key",
+            "name,cuisine",
+            "--s",
+            &s,
+            "--s-key",
+            "name,speciality",
+            "--rules",
+            &rules,
+            "--key",
+            "name,cuisine",
+            "--unify",
+            "prefer-r",
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("unified relation"));
     assert!(text.contains("conflicts resolved"));
@@ -195,8 +248,17 @@ fn session_repl_runs_the_prototype_transcript() {
     let rules = fx.write("knowledge.rules", RULES);
     let mut child = eid()
         .args([
-            "session", "--r", &r, "--r-key", "name,cuisine", "--s", &s, "--s-key",
-            "name,speciality", "--rules", &rules,
+            "session",
+            "--r",
+            &r,
+            "--r-key",
+            "name,cuisine",
+            "--s",
+            &s,
+            "--s-key",
+            "name,speciality",
+            "--rules",
+            &rules,
         ])
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
@@ -231,8 +293,19 @@ fn match_warns_on_inconsistent_data() {
     let rules = fx.write("k.rules", "speciality = hunan -> cuisine = chinese\n");
     let out = eid()
         .args([
-            "match", "--r", &r, "--r-key", "name,cuisine", "--s", &s, "--s-key",
-            "name,speciality", "--rules", &rules, "--key", "name,cuisine",
+            "match",
+            "--r",
+            &r,
+            "--r-key",
+            "name,cuisine",
+            "--s",
+            &s,
+            "--s-key",
+            "name,speciality",
+            "--rules",
+            &rules,
+            "--key",
+            "name,cuisine",
         ])
         .output()
         .unwrap();

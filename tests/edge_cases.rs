@@ -96,8 +96,7 @@ fn mutually_inconsistent_rules_show_up_as_consistency_violation() {
     let mut config = MatchConfig::new(ExtendedKey::of_strs(&["name", "cuisine"]), ilfds);
     // DBA also (wrongly) asserts name equality is enough.
     config.extra_rules.add_identity(
-        entity_id::rules::IdentityRule::new("name-eq", vec![Predicate::cross_eq("name")])
-            .unwrap(),
+        entity_id::rules::IdentityRule::new("name-eq", vec![Predicate::cross_eq("name")]).unwrap(),
     );
     let outcome = EntityMatcher::new(r, s, config).unwrap().run().unwrap();
     // The pair is in both tables; verification reports it.
@@ -138,10 +137,7 @@ fn extended_key_attribute_unknown_to_both_sides_never_matches() {
     r.insert_strs(&["a", "chinese"]).unwrap();
     s.insert_strs(&["a", "hunan"]).unwrap();
     // `galaxy` exists nowhere and no ILFD derives it.
-    let config = MatchConfig::new(
-        ExtendedKey::of_strs(&["name", "galaxy"]),
-        IlfdSet::new(),
-    );
+    let config = MatchConfig::new(ExtendedKey::of_strs(&["name", "galaxy"]), IlfdSet::new());
     let outcome = EntityMatcher::new(r, s, config).unwrap().run().unwrap();
     assert!(outcome.matching.is_empty());
     assert_eq!(outcome.undetermined, 1);
@@ -234,9 +230,7 @@ fn null_heavy_relation_never_matches_on_null() {
     let mut r = Relation::new(schema.clone());
     r.insert(Tuple::new(vec![Value::str("a"), Value::Null]))
         .unwrap();
-    let mut s = Relation::new(
-        Schema::of_strs("S", &["name", "cuisine"], &["name"]).unwrap(),
-    );
+    let mut s = Relation::new(Schema::of_strs("S", &["name", "cuisine"], &["name"]).unwrap());
     s.insert(Tuple::new(vec![Value::str("b"), Value::Null]))
         .unwrap();
     let config = MatchConfig::new(ExtendedKey::of_strs(&["cuisine"]), IlfdSet::new());

@@ -14,17 +14,33 @@ use entity_id::relational::Schema;
 /// The event alphabet for generated scripts.
 #[derive(Debug, Clone)]
 enum Event {
-    InsertR { name: u8, cuisine: u8, street: u8 },
-    InsertS { name: u8, speciality: u8, county: u8 },
-    AddIlfd { speciality: u8 },
+    InsertR {
+        name: u8,
+        cuisine: u8,
+        street: u8,
+    },
+    InsertS {
+        name: u8,
+        speciality: u8,
+        county: u8,
+    },
+    AddIlfd {
+        speciality: u8,
+    },
 }
 
 fn arb_event() -> impl Strategy<Value = Event> {
     prop_oneof![
-        (0..6u8, 0..3u8, 0..16u8)
-            .prop_map(|(name, cuisine, street)| Event::InsertR { name, cuisine, street }),
-        (0..6u8, 0..9u8, 0..16u8)
-            .prop_map(|(name, speciality, county)| Event::InsertS { name, speciality, county }),
+        (0..6u8, 0..3u8, 0..16u8).prop_map(|(name, cuisine, street)| Event::InsertR {
+            name,
+            cuisine,
+            street
+        }),
+        (0..6u8, 0..9u8, 0..16u8).prop_map(|(name, speciality, county)| Event::InsertS {
+            name,
+            speciality,
+            county
+        }),
         (0..9u8).prop_map(|speciality| Event::AddIlfd { speciality }),
     ]
 }
@@ -121,16 +137,9 @@ proptest! {
 #[test]
 fn long_interleaved_script() {
     let (r_schema, s_schema) = schemas();
-    let config = MatchConfig::new(
-        ExtendedKey::of_strs(&["name", "cuisine"]),
-        IlfdSet::new(),
-    );
-    let mut inc = IncrementalMatcher::new(
-        Relation::new(r_schema),
-        Relation::new(s_schema),
-        config,
-    )
-    .unwrap();
+    let config = MatchConfig::new(ExtendedKey::of_strs(&["name", "cuisine"]), IlfdSet::new());
+    let mut inc =
+        IncrementalMatcher::new(Relation::new(r_schema), Relation::new(s_schema), config).unwrap();
     for i in 0..30u8 {
         let _ = inc.insert(
             SideSel::R,

@@ -9,8 +9,14 @@ use entity_id::datagen::{generate, GeneratorConfig};
 use entity_id::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
-    (10..60usize, 0.0..1.0f64, 0.0..0.3f64, 0.0..0.5f64, any::<u64>()).prop_map(
-        |(n, overlap, homonym, noise, seed)| GeneratorConfig {
+    (
+        10..60usize,
+        0.0..1.0f64,
+        0.0..0.3f64,
+        0.0..0.5f64,
+        any::<u64>(),
+    )
+        .prop_map(|(n, overlap, homonym, noise, seed)| GeneratorConfig {
             n_entities: n,
             overlap,
             homonym_rate: homonym,
@@ -19,8 +25,7 @@ fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
             n_specialities: 12,
             n_cuisines: 5,
             seed,
-        },
-    )
+        })
 }
 
 fn run(w: &entity_id::datagen::Workload) -> MatchOutcome {

@@ -32,12 +32,9 @@ fn job_on_generated_workloads_is_healthy_without_noise() {
             seed,
             ..GeneratorConfig::default()
         });
-        let report = IntegrationJob::new(MatchConfig::new(
-            w.extended_key.clone(),
-            w.ilfds.clone(),
-        ))
-        .run(&w.r, &w.s)
-        .unwrap();
+        let report = IntegrationJob::new(MatchConfig::new(w.extended_key.clone(), w.ilfds.clone()))
+            .run(&w.r, &w.s)
+            .unwrap();
         assert!(report.is_healthy(), "seed {seed}: {report}");
         // Row accounting holds.
         assert_eq!(
@@ -55,12 +52,9 @@ fn job_reports_noise_as_conflicts_not_failures() {
         seed: 9,
         ..GeneratorConfig::default()
     });
-    let report = IntegrationJob::new(MatchConfig::new(
-        w.extended_key.clone(),
-        w.ilfds.clone(),
-    ))
-    .run(&w.r, &w.s)
-    .unwrap();
+    let report = IntegrationJob::new(MatchConfig::new(w.extended_key.clone(), w.ilfds.clone()))
+        .run(&w.r, &w.s)
+        .unwrap();
     // Matching is still verified sound; the noise shows up as
     // attribute-value conflicts on the shared city column.
     assert!(report.verification.is_none());
@@ -110,16 +104,14 @@ fn explanations_on_generated_matches_always_succeed() {
     assert!(!outcome.matching.is_empty());
     let mut derived_seen = false;
     for entry in outcome.matching.entries() {
-        let rt = w
-            .r
-            .iter()
-            .find(|t| w.r.primary_key_of(t) == entry.r_key)
-            .unwrap();
-        let st = w
-            .s
-            .iter()
-            .find(|t| w.s.primary_key_of(t) == entry.s_key)
-            .unwrap();
+        let rt =
+            w.r.iter()
+                .find(|t| w.r.primary_key_of(t) == entry.r_key)
+                .unwrap();
+        let st =
+            w.s.iter()
+                .find(|t| w.s.primary_key_of(t) == entry.s_key)
+                .unwrap();
         let explanation = explain_match(&w.r, rt, &w.s, st, &config).unwrap();
         for a in &explanation.attributes {
             if matches!(a.s_support, Support::Derived(_)) {

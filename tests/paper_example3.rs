@@ -19,7 +19,10 @@ fn run_example3() -> (Relation, Relation, ExtendedKey, MatchOutcome) {
 fn table_6_extended_relations() {
     let (_, _, _, outcome) = run_example3();
     let ext_r = &outcome.extended_r.relation;
-    let spec = ext_r.schema().position(&AttrName::new("speciality")).unwrap();
+    let spec = ext_r
+        .schema()
+        .position(&AttrName::new("speciality"))
+        .unwrap();
 
     let expect_r = [
         ("twincities", "chinese", Some("hunan")),
@@ -82,9 +85,7 @@ fn dropping_i7_loses_the_itsgreek_match() {
     let (r, s, key, ilfds) = restaurant::example3();
     let without_i7: IlfdSet = ilfds
         .iter()
-        .filter(|i| {
-            i.to_string() != "(street = front_ave) → (county = ramsey)"
-        })
+        .filter(|i| i.to_string() != "(street = front_ave) → (county = ramsey)")
         .cloned()
         .collect();
     assert_eq!(without_i7.len(), 7);
@@ -128,36 +129,73 @@ fn integrated_table_rows_match_prototype_output() {
         ]
     );
 
-    let render = |t: &Tuple| -> Vec<String> {
-        t.values().iter().map(|v| v.render().into_owned()).collect()
-    };
+    let render =
+        |t: &Tuple| -> Vec<String> { t.values().iter().map(|v| v.render().into_owned()).collect() };
     let mut rows: Vec<Vec<String>> = rel.iter().map(render).collect();
     rows.sort();
 
     let mut expected: Vec<Vec<String>> = vec![
         // merged pairs
         vec![
-            "anjuman", "indian", "mughalai", "anjuman", "indian", "mughalai",
-            "le_salle_ave", "minneapolis",
+            "anjuman",
+            "indian",
+            "mughalai",
+            "anjuman",
+            "indian",
+            "mughalai",
+            "le_salle_ave",
+            "minneapolis",
         ],
         vec![
-            "itsgreek", "greek", "gyros", "itsgreek", "greek", "gyros", "front_ave",
+            "itsgreek",
+            "greek",
+            "gyros",
+            "itsgreek",
+            "greek",
+            "gyros",
+            "front_ave",
             "ramsey",
         ],
         vec![
-            "twincities", "chinese", "hunan", "twincities", "chinese", "hunan", "co_b2",
+            "twincities",
+            "chinese",
+            "hunan",
+            "twincities",
+            "chinese",
+            "hunan",
+            "co_b2",
             "roseville",
         ],
         // R-only
         vec![
-            "twincities", "indian", "null", "null", "null", "null", "co_b3", "null",
+            "twincities",
+            "indian",
+            "null",
+            "null",
+            "null",
+            "null",
+            "co_b3",
+            "null",
         ],
         vec![
-            "villagewok", "chinese", "null", "null", "null", "null", "wash_ave", "null",
+            "villagewok",
+            "chinese",
+            "null",
+            "null",
+            "null",
+            "null",
+            "wash_ave",
+            "null",
         ],
         // S-only
         vec![
-            "null", "null", "null", "twincities", "chinese", "sichuan", "null",
+            "null",
+            "null",
+            "null",
+            "twincities",
+            "chinese",
+            "sichuan",
+            "null",
             "hennepin",
         ],
     ]

@@ -21,9 +21,7 @@ fn arb_ilfd() -> impl Strategy<Value = Ilfd> {
         prop::collection::vec(arb_symbol(), 1..4),
         prop::collection::vec(arb_symbol(), 1..3),
     )
-        .prop_map(|(a, c)| {
-            Ilfd::new(SymbolSet::from_symbols(a), SymbolSet::from_symbols(c))
-        })
+        .prop_map(|(a, c)| Ilfd::new(SymbolSet::from_symbols(a), SymbolSet::from_symbols(c)))
 }
 
 proptest! {

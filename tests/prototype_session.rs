@@ -46,7 +46,11 @@ fn print_matchtable_transcript() {
         assert!(header.contains(col), "missing {col} in {header:?}");
     }
     // Data rows, sorted: anjuman < itsgreek < twincities.
-    let data: Vec<&str> = lines[4..].iter().filter(|l| !l.is_empty()).copied().collect();
+    let data: Vec<&str> = lines[4..]
+        .iter()
+        .filter(|l| !l.is_empty())
+        .copied()
+        .collect();
     assert_eq!(data.len(), 3);
     assert!(data[0].starts_with("anjuman"));
     assert!(data[1].starts_with("itsgreek"));

@@ -5,7 +5,9 @@
 use proptest::prelude::*;
 
 use entity_id::ilfd::axioms::prove;
-use entity_id::ilfd::closure::{equivalent, implies, minimal_cover, symbol_closure, symbol_closure_naive};
+use entity_id::ilfd::closure::{
+    equivalent, implies, minimal_cover, symbol_closure, symbol_closure_naive,
+};
 use entity_id::ilfd::horn::HornProgram;
 use entity_id::ilfd::satisfaction::tuple_satisfies;
 use entity_id::ilfd::{Ilfd, IlfdSet, PropSymbol, SymbolSet};
@@ -16,13 +18,11 @@ const ATTRS: [&str; 5] = ["a", "b", "c", "d", "e"];
 const VALS: i64 = 3;
 
 fn arb_symbol() -> impl Strategy<Value = PropSymbol> {
-    (0..ATTRS.len(), 0..VALS)
-        .prop_map(|(a, v)| PropSymbol::new(ATTRS[a], Value::int(v)))
+    (0..ATTRS.len(), 0..VALS).prop_map(|(a, v)| PropSymbol::new(ATTRS[a], Value::int(v)))
 }
 
 fn arb_symbol_set(max: usize) -> impl Strategy<Value = SymbolSet> {
-    prop::collection::vec(arb_symbol(), 1..=max)
-        .prop_map(SymbolSet::from_symbols)
+    prop::collection::vec(arb_symbol(), 1..=max).prop_map(SymbolSet::from_symbols)
 }
 
 fn arb_ilfd() -> impl Strategy<Value = Ilfd> {

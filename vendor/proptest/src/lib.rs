@@ -1,0 +1,149 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates-registry access, so this crate
+//! reimplements the slice of proptest's API this workspace uses:
+//!
+//! * [`strategy::Strategy`] with `prop_map` and `boxed`;
+//! * strategies for integer/float ranges, tuples, string patterns
+//!   (a small regex subset), [`collection::vec`], [`option::of`],
+//!   [`sample::select`] and [`sample::Index`];
+//! * [`arbitrary::any`] for the primitive types the tests request;
+//! * the [`proptest!`] macro family (`prop_assert!`, `prop_assert_eq!`,
+//!   `prop_assume!`, `prop_oneof!`) running a configurable number of
+//!   deterministic cases per property.
+//!
+//! Differences from upstream: cases are generated from a fixed
+//! per-test seed (reproducible, CI-friendly) and failing cases are
+//! reported **without shrinking** — the failure message contains the
+//! seed and case index instead. That trades minimal counterexamples
+//! for zero dependencies.
+
+#![allow(clippy::all)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod rng;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The `prop::` facade module, mirroring `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::sample;
+}
+
+/// Everything a property-test file needs, mirroring
+/// `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Declares property tests: an optional
+/// `#![proptest_config(expr)]` header followed by `#[test] fn
+/// name(binding in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @with_config ($config) $($rest)* }
+    };
+    (@with_config ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($binding:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                $crate::test_runner::run_cases(&config, stringify!($name), |__pt_rng| {
+                    $(let $binding = $crate::strategy::Strategy::generate(&($strat), __pt_rng);)+
+                    let mut __pt_case = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        Ok(())
+                    };
+                    __pt_case()
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// `assert!` that reports through the property-test runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the property-test runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// `assert_ne!` that reports through the property-test runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+/// Skips the current case when the assumption does not hold; skipped
+/// cases are regenerated and do not count toward the case budget.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(stringify!($cond)),
+            );
+        }
+    };
+}
+
+/// A uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

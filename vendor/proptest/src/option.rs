@@ -1,0 +1,41 @@
+//! Option strategies (`prop::option::of`).
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Generates `Option<T>` from a strategy for `T`; `None` roughly a
+/// quarter of the time, matching upstream's default weighting.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// The result of [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut rng = TestRng::new(1);
+        let s = of(0..4i64);
+        let values: Vec<_> = (0..200).map(|_| s.generate(&mut rng)).collect();
+        assert!(values.iter().any(Option::is_none));
+        assert!(values.iter().any(Option::is_some));
+        assert!(values.iter().flatten().all(|&v| (0..4).contains(&v)));
+    }
+}

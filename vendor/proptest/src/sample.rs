@@ -1,0 +1,81 @@
+//! Sampling strategies (`prop::sample::select`, `prop::sample::Index`).
+
+use crate::arbitrary::Arbitrary;
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Picks uniformly from a fixed list of values.
+pub fn select<T: Clone + 'static>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "cannot select from an empty list");
+    Select { items }
+}
+
+/// The result of [`select`].
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.items[rng.below(self.items.len() as u64) as usize].clone()
+    }
+}
+
+/// A collection-size-independent index, resolved against a concrete
+/// length with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Index(pub(crate) u64);
+
+impl Index {
+    /// Maps this abstract index into `[0, len)`; `len` must be positive.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+/// Strategy producing [`Index`] values (via `any::<Index>()`).
+pub struct IndexStrategy;
+
+impl Strategy for IndexStrategy {
+    type Value = Index;
+    fn generate(&self, rng: &mut TestRng) -> Index {
+        Index(rng.next_u64())
+    }
+}
+
+impl Arbitrary for Index {
+    type Strategy = IndexStrategy;
+    fn arbitrary() -> IndexStrategy {
+        IndexStrategy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn select_covers_all_items() {
+        let mut rng = TestRng::new(1);
+        let s = select(vec!["a", "b", "c"]);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(s.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn index_in_bounds_for_any_len() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let idx = any::<Index>().generate(&mut rng);
+            for len in [1usize, 2, 7, 1000] {
+                assert!(idx.index(len) < len);
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! String generation from a small regex subset.
+//!
+//! Supported syntax — enough for the patterns used in this workspace
+//! (e.g. `"[a-z][a-z0-9_]{0,8}"`, `".{0,200}"`):
+//!
+//! * literal characters and `\x` escapes;
+//! * `.` — any printable ASCII character;
+//! * `[...]` character classes with ranges (`a-z`) and singles;
+//! * quantifiers `{m}`, `{m,n}`, `?`, `*`, `+` (unbounded ones are
+//!   capped at 8 repetitions).
+
+use crate::rng::TestRng;
+
+/// One generatable atom of the pattern.
+enum Atom {
+    /// A fixed character.
+    Literal(char),
+    /// Any printable ASCII character (`.`).
+    AnyPrintable,
+    /// A character class: the flattened set of candidate characters.
+    Class(Vec<char>),
+}
+
+impl Atom {
+    fn generate(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Literal(c) => *c,
+            Atom::AnyPrintable => {
+                // 0x20..=0x7E: space through tilde.
+                char::from_u32(0x20 + rng.below(0x7F - 0x20) as u32).unwrap()
+            }
+            Atom::Class(chars) => chars[rng.below(chars.len() as u64) as usize],
+        }
+    }
+}
+
+/// Generates a string matching `pattern` (see module docs for the
+/// supported subset). Panics on syntax outside the subset so that a
+/// drifting test pattern fails loudly instead of mis-generating.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::AnyPrintable
+            }
+            '[' => {
+                let (class, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                Atom::Class(class)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 1;
+                Atom::Literal(unescape(c))
+            }
+            c => {
+                assert!(
+                    !matches!(c, '(' | ')' | '|' | '^' | '$'),
+                    "unsupported regex syntax {c:?} in pattern {pattern:?}"
+                );
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max, next) = parse_quantifier(&chars, i, pattern);
+        i = next;
+        let count = rng.usize_inclusive(min, max);
+        for _ in 0..count {
+            out.push(atom.generate(rng));
+        }
+    }
+    out
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+/// Parses a `[...]` class starting just after the `[`. Returns the
+/// flattened candidate set and the index just past the `]`.
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+    let mut class = Vec::new();
+    loop {
+        let c = *chars
+            .get(i)
+            .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+        match c {
+            ']' => {
+                assert!(!class.is_empty(), "empty class in pattern {pattern:?}");
+                return (class, i + 1);
+            }
+            '\\' => {
+                i += 1;
+                class.push(unescape(chars[i]));
+                i += 1;
+            }
+            lo => {
+                if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']') {
+                    let hi = chars[i + 2];
+                    assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+                    for v in lo as u32..=hi as u32 {
+                        class.push(char::from_u32(v).unwrap());
+                    }
+                    i += 3;
+                } else {
+                    class.push(lo);
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Parses an optional quantifier at `i`. Returns `(min, max, next)`.
+fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+    const UNBOUNDED_CAP: usize = 8;
+    match chars.get(i) {
+        Some('?') => (0, 1, i + 1),
+        Some('*') => (0, UNBOUNDED_CAP, i + 1),
+        Some('+') => (1, UNBOUNDED_CAP, i + 1),
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                None => {
+                    let n = body.parse().expect("bad quantifier count");
+                    (n, n)
+                }
+                Some((lo, "")) => (lo.parse().expect("bad quantifier min"), UNBOUNDED_CAP.max(lo.parse().unwrap_or(0))),
+                Some((lo, hi)) => (
+                    lo.parse().expect("bad quantifier min"),
+                    hi.parse().expect("bad quantifier max"),
+                ),
+            };
+            assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+            (min, max, close + 1)
+        }
+        _ => (1, 1, i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_passes_through() {
+        let mut rng = TestRng::new(1);
+        assert_eq!(generate_matching("abc", &mut rng), "abc");
+    }
+
+    #[test]
+    fn identifier_pattern_shape() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let s = generate_matching("[a-z][a-z0-9_]{0,8}", &mut rng);
+            let mut cs = s.chars();
+            let first = cs.next().unwrap();
+            assert!(first.is_ascii_lowercase(), "bad first char in {s:?}");
+            assert!(s.len() <= 9);
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn dot_quantified() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..100 {
+            let s = generate_matching(".{0,200}", &mut rng);
+            assert!(s.len() <= 200);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn exact_count() {
+        let mut rng = TestRng::new(4);
+        for _ in 0..50 {
+            assert_eq!(generate_matching("[0-9]{4}", &mut rng).len(), 4);
+        }
+    }
+
+    #[test]
+    fn optional_and_plus() {
+        let mut rng = TestRng::new(5);
+        for _ in 0..100 {
+            let s = generate_matching("a?b+", &mut rng);
+            assert!(s == s.trim());
+            assert!(s.ends_with('b'));
+            let bs = s.chars().filter(|&c| c == 'b').count();
+            assert!((1..=8).contains(&bs));
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! The case-running engine behind the [`proptest!`](crate::proptest)
+//! macro.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use crate::rng::TestRng;
+
+/// Per-test configuration (mirror of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property is violated: fail the test.
+    Fail(String),
+    /// The inputs don't satisfy an assumption: regenerate.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing case with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected case (does not count against the case budget).
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Runs `config.cases` successful cases of `f`, panicking on the
+/// first failure. The seed is derived from the test name, so each
+/// property sees a distinct but fully reproducible input stream.
+pub fn run_cases(
+    config: &ProptestConfig,
+    name: &str,
+    mut f: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let mut hasher = DefaultHasher::new();
+    name.hash(&mut hasher);
+    let seed = hasher.finish();
+    let mut rng = TestRng::new(seed);
+
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let reject_budget = config.cases.saturating_mul(100).max(1000);
+    while passed < config.cases {
+        match f(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(why)) => {
+                rejected += 1;
+                assert!(
+                    rejected < reject_budget,
+                    "property {name:?}: too many rejected cases \
+                     ({rejected}; last assumption: {why})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property {name:?} failed at case {passed} (seed {seed:#x}):\n{msg}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_completes() {
+        run_cases(&ProptestConfig::with_cases(10), "always_ok", |_| Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failing_property_panics_with_message() {
+        run_cases(&ProptestConfig::default(), "always_fails", |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    fn rejections_do_not_consume_cases() {
+        let mut calls = 0;
+        run_cases(&ProptestConfig::with_cases(5), "some_rejects", |rng| {
+            calls += 1;
+            if rng.below(2) == 0 {
+                Err(TestCaseError::reject("coin"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(calls > 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many rejected cases")]
+    fn reject_storm_panics() {
+        run_cases(&ProptestConfig::with_cases(1), "all_rejects", |_| {
+            Err(TestCaseError::reject("never"))
+        });
+    }
+}

@@ -1,0 +1,80 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment cannot reach a crates registry, so this
+//! crate supplies just enough of serde's public surface for the
+//! workspace to compile: the `Serialize`/`Deserialize`/`Serializer`/
+//! `Deserializer` traits (with only the methods the workspace calls)
+//! and re-exported no-op derive macros. No data format ships with the
+//! repository, so the no-op derives lose nothing; hand-written impls
+//! (e.g. `AttrName`'s string-interning round-trip) stay source
+//! compatible with real serde and will work unchanged if the real
+//! dependency is restored.
+
+#![allow(clippy::all)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt::Display;
+
+/// Error trait mirrored from `serde::ser::Error`/`serde::de::Error`.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from a display-able message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A type that can be serialized (mirror of `serde::Serialize`).
+pub trait SerializeTrait {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+// The derive macro and trait share the name `Serialize` in real
+// serde; Rust allows a trait and a macro to coexist under one name,
+// so re-exporting the trait under its public name keeps call sites
+// (`impl Serialize for AttrName`) compiling.
+pub use SerializeTrait as Serialize;
+
+/// A type that can be deserialized (mirror of `serde::Deserialize`).
+pub trait DeserializeTrait<'de>: Sized {
+    /// Deserializes a value from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+pub use DeserializeTrait as Deserialize;
+
+/// Minimal mirror of `serde::Serializer` — string output only, which
+/// is all the workspace's hand-written impls use.
+pub trait Serializer: Sized {
+    /// Successful output type.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serializes a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Minimal mirror of `serde::Deserializer` — string input only.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+    /// Deserializes a `String`.
+    fn deserialize_string(self) -> Result<String, Self::Error>;
+}
+
+impl<'de> DeserializeTrait<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_string()
+    }
+}
+
+impl SerializeTrait for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl SerializeTrait for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
