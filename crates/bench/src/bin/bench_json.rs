@@ -1,7 +1,10 @@
 //! Machine-readable matching benchmark: nested-loop oracle vs the
 //! seed hash path vs the blocked engine (serial and parallel), at a
 //! few workload sizes, written to `BENCH_matching.json` at the repo
-//! root.
+//! root. Each engine entry embeds the per-stage breakdown and engine
+//! counters from its [`MatchOutcome::stats`] report, so a regression
+//! can be localised (compile? index? residual scan?) without
+//! re-profiling.
 //!
 //! Run with `cargo run --release -p eid-bench --bin bench_json`.
 //! Pass sizes as arguments to override the defaults, e.g.
@@ -11,6 +14,7 @@ use std::time::Instant;
 
 use eid_bench::scaling_workload;
 use eid_core::matcher::{EntityMatcher, JoinAlgorithm, MatchConfig, MatchOutcome};
+use eid_obs::MatchReport;
 
 /// One engine configuration under measurement.
 struct Engine {
@@ -49,27 +53,75 @@ struct Measurement {
     matching: usize,
     negative: usize,
     undetermined: usize,
+    /// Observability report of the last timed run (stage timings are
+    /// that run's, not the best-of-3's).
+    stats: MatchReport,
 }
 
-fn measure(
-    engine: &Engine,
+/// The per-stage and counter breakdown of one engine run, as two JSON
+/// maps: stage path → seconds, counter name → value. Per-rule
+/// counters are elided (they scale with the rule base, not the
+/// engine).
+fn breakdown_json(stats: &MatchReport) -> String {
+    let stages: Vec<String> = stats
+        .stages
+        .iter()
+        .map(|s| format!("\"{}\": {}", s.path, json_f64(s.nanos as f64 / 1e9)))
+        .collect();
+    let counters: Vec<String> = stats
+        .counters
+        .iter()
+        .filter(|c| !c.name.starts_with("rule/"))
+        .map(|c| format!("\"{}\": {}", c.name, c.value))
+        .collect();
+    format!(
+        "\"stages\": {{{}}}, \"counters\": {{{}}}",
+        stages.join(", "),
+        counters.join(", ")
+    )
+}
+
+/// Measures every engine at one size. Repetitions are interleaved
+/// round-robin — engine A rep 1, engine B rep 1, …, engine A rep 2 —
+/// so slow system bursts and frequency drift hit all engines alike
+/// instead of biasing whichever ran last. Each engine's rep count
+/// targets ~0.6s of measurement (min 8, max 100: short runs on a
+/// noisy box need many samples for a stable minimum); the best rep
+/// is kept.
+fn measure_all(
     config: &MatchConfig,
     r: &eid_relational::Relation,
     s: &eid_relational::Relation,
-) -> (MatchOutcome, f64) {
-    let mut config = config.clone();
-    config.join = engine.join;
-    config.threads = engine.threads;
-    let matcher = EntityMatcher::new(r.clone(), s.clone(), config).unwrap();
-    // Warm-up once, then keep the best of three timed runs.
-    let mut outcome = matcher.run().unwrap();
-    let mut best = f64::INFINITY;
-    for _ in 0..3 {
+) -> Vec<(MatchOutcome, f64)> {
+    let matchers: Vec<EntityMatcher> = ENGINES
+        .iter()
+        .map(|engine| {
+            let mut config = config.clone();
+            config.join = engine.join;
+            config.threads = engine.threads;
+            EntityMatcher::new(r.clone(), s.clone(), config).unwrap()
+        })
+        .collect();
+    let mut outcomes = Vec::with_capacity(matchers.len());
+    let mut reps = Vec::with_capacity(matchers.len());
+    for matcher in &matchers {
         let start = Instant::now();
-        outcome = matcher.run().unwrap();
-        best = best.min(start.elapsed().as_secs_f64());
+        outcomes.push(matcher.run().unwrap());
+        let warmup = start.elapsed().as_secs_f64();
+        reps.push(((0.6 / warmup.max(1e-9)).ceil() as usize).clamp(8, 100));
     }
-    (outcome, best)
+    let mut best = vec![f64::INFINITY; matchers.len()];
+    for round in 0..reps.iter().copied().max().unwrap_or(0) {
+        for (k, matcher) in matchers.iter().enumerate() {
+            if round >= reps[k] {
+                continue;
+            }
+            let start = Instant::now();
+            outcomes[k] = matcher.run().unwrap();
+            best[k] = best[k].min(start.elapsed().as_secs_f64());
+        }
+    }
+    outcomes.into_iter().zip(best).collect()
 }
 
 fn json_f64(x: f64) -> String {
@@ -105,8 +157,7 @@ fn main() {
         );
 
         let mut measurements: Vec<Measurement> = Vec::new();
-        for engine in ENGINES {
-            let (outcome, seconds) = measure(engine, &config, &w.r, &w.s);
+        for (engine, (outcome, seconds)) in ENGINES.iter().zip(measure_all(&config, &w.r, &w.s)) {
             eprintln!(
                 "  {:<17} {seconds:>10.4}s  {:>12.0} pairs/s  |MT|={} |NMT|={}",
                 engine.name,
@@ -121,6 +172,7 @@ fn main() {
                 matching: outcome.matching.len(),
                 negative: outcome.negative.len(),
                 undetermined: outcome.undetermined,
+                stats: outcome.stats,
             });
         }
 
@@ -147,14 +199,15 @@ fn main() {
                     concat!(
                         "{{\"name\": \"{}\", \"seconds\": {}, ",
                         "\"pairs_per_sec\": {}, \"matching\": {}, ",
-                        "\"negative\": {}, \"undetermined\": {}}}"
+                        "\"negative\": {}, \"undetermined\": {}, {}}}"
                     ),
                     m.name,
                     json_f64(m.seconds),
                     json_f64(m.pairs_per_sec),
                     m.matching,
                     m.negative,
-                    m.undetermined
+                    m.undetermined,
+                    breakdown_json(&m.stats)
                 )
             })
             .collect();
@@ -185,7 +238,7 @@ fn main() {
             "{{\n",
             "  \"benchmark\": \"matching\",\n",
             "  \"workload\": \"eid_bench::scaling_workload(n, 42), full refutation\",\n",
-            "  \"metric\": \"pairs_per_sec = |R|*|S| / best-of-3 wall seconds\",\n",
+            "  \"metric\": \"pairs_per_sec = |R|*|S| / best-of-N wall seconds (N sized to ~0.6s)\",\n",
             "  \"sizes\": [\n{}\n  ]\n",
             "}}\n"
         ),

@@ -34,9 +34,19 @@
 //! retained as the exhaustive oracle.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
+use eid_obs::Recorder;
 use eid_relational::{FxHashMap, HashIndex, Relation, Tuple, Value};
 use eid_rules::{CompiledRule, CompiledRuleBase, DistinctShape, IdentityShape, NeqSide, RuleBase};
+
+use crate::stats::{counter, histogram, rule_counter, span};
+
+/// Below this many estimated pairs (`|R′|·|S′|`) the auto-parallel
+/// engine (`threads == 0`) runs serially: thread spawn + merge
+/// overhead exceeds the work itself on small inputs. Explicit thread
+/// counts are always honoured.
+const PARALLEL_MIN_PAIRS: usize = 50_000;
 
 /// Pair lists produced by one engine run, as row indices into the
 /// two (extended) relations. Duplicates may appear when several
@@ -113,24 +123,61 @@ pub struct BlockedEngine<'a> {
     ext_s: &'a Relation,
     compiled: CompiledRuleBase,
     threads: usize,
+    recorder: Recorder,
 }
 
 impl<'a> BlockedEngine<'a> {
     /// Compiles `rb` against the two schemas. `threads` = `0` uses
     /// the machine's available parallelism, `1` runs serially.
     pub fn new(ext_r: &'a Relation, ext_s: &'a Relation, rb: &RuleBase, threads: usize) -> Self {
-        let compiled = CompiledRuleBase::compile(rb, ext_r.schema(), ext_s.schema());
+        Self::with_recorder(ext_r, ext_s, rb, threads, Recorder::new())
+    }
+
+    /// [`BlockedEngine::new`] recording into a caller-supplied
+    /// [`Recorder`] (the matcher threads its run-level recorder
+    /// through here). Compile time and [`CompileStats`] counters are
+    /// recorded immediately.
+    ///
+    /// [`CompileStats`]: eid_rules::CompileStats
+    pub fn with_recorder(
+        ext_r: &'a Relation,
+        ext_s: &'a Relation,
+        rb: &RuleBase,
+        threads: usize,
+        recorder: Recorder,
+    ) -> Self {
+        let compiled = {
+            let _span = recorder.span(span::ENGINE_COMPILE);
+            CompiledRuleBase::compile(rb, ext_r.schema(), ext_s.schema())
+        };
+        let cs = compiled.stats;
+        recorder.add(counter::COMPILE_SOURCE_RULES, cs.source_rules as u64);
+        recorder.add(counter::COMPILE_COMPILED, cs.compiled as u64);
+        recorder.add(
+            counter::COMPILE_SYMMETRIC_FOLDED,
+            cs.symmetric_folded as u64,
+        );
+        recorder.add(
+            counter::COMPILE_DEAD_ORIENTATIONS,
+            cs.dead_orientations as u64,
+        );
         BlockedEngine {
             ext_r,
             ext_s,
             compiled,
             threads,
+            recorder,
         }
     }
 
     /// The compiled rule base (for inspection/tests).
     pub fn compiled(&self) -> &CompiledRuleBase {
         &self.compiled
+    }
+
+    /// The recorder this engine reports into.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Runs the engine. `record_identity`/`record_distinct` select
@@ -179,7 +226,11 @@ impl<'a> BlockedEngine<'a> {
             }
         }
 
-        let indexes = self.build_indexes(&plans);
+        let indexes = {
+            let _span = self.recorder.span(span::ENGINE_INDEX);
+            self.build_indexes(&plans)
+        };
+        self.recorder.add(counter::ENGINE_TASKS, plans.len() as u64);
         let outputs = self.run_tasks(&plans, &indexes, workers);
 
         let mut result = EnginePairs::default();
@@ -192,7 +243,15 @@ impl<'a> BlockedEngine<'a> {
 
     fn resolve_threads(&self) -> usize {
         match self.threads {
-            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            0 => {
+                let est_pairs = self.ext_r.len().saturating_mul(self.ext_s.len());
+                if est_pairs < PARALLEL_MIN_PAIRS {
+                    self.recorder.add(counter::ENGINE_SERIAL_FALLBACK, 1);
+                    1
+                } else {
+                    std::thread::available_parallelism().map_or(1, |n| n.get())
+                }
+            }
             n => n,
         }
     }
@@ -201,8 +260,9 @@ impl<'a> BlockedEngine<'a> {
     /// regardless of which worker ran what.
     fn run_tasks(&self, tasks: &[Task<'_>], indexes: &Indexes, workers: usize) -> Vec<EnginePairs> {
         let workers = workers.min(tasks.len()).max(1);
+        self.recorder.add(counter::ENGINE_WORKERS, workers as u64);
         if workers == 1 {
-            return tasks.iter().map(|t| self.run_task(t, indexes)).collect();
+            return tasks.iter().map(|t| self.run_timed(t, indexes)).collect();
         }
         let next = AtomicUsize::new(0);
         let mut slots: Vec<(usize, EnginePairs)> = Vec::with_capacity(tasks.len());
@@ -214,7 +274,7 @@ impl<'a> BlockedEngine<'a> {
                         loop {
                             let id = next.fetch_add(1, Ordering::Relaxed);
                             let Some(task) = tasks.get(id) else { break };
-                            local.push((id, self.run_task(task, indexes)));
+                            local.push((id, self.run_timed(task, indexes)));
                         }
                         local
                     })
@@ -226,6 +286,26 @@ impl<'a> BlockedEngine<'a> {
         });
         slots.sort_by_key(|(id, _)| *id);
         slots.into_iter().map(|(_, out)| out).collect()
+    }
+
+    /// [`BlockedEngine::run_task`] plus per-task accounting: wall
+    /// time goes into the `engine/task_nanos` histogram and the task
+    /// family's busy-time span. One recorder touch per *task*, never
+    /// per pair.
+    fn run_timed(&self, task: &Task<'_>, indexes: &Indexes) -> EnginePairs {
+        let start = Instant::now();
+        let out = self.run_task(task, indexes);
+        let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.recorder
+            .histogram(histogram::ENGINE_TASK_NANOS)
+            .record(nanos);
+        let path = match task {
+            Task::Identity { .. } => span::ENGINE_IDENTITY,
+            Task::Distinct { .. } => span::ENGINE_REFUTE,
+            Task::Residual { .. } => span::ENGINE_RESIDUAL,
+        };
+        self.recorder.record_span(path, nanos);
+        out
     }
 
     fn run_task(&self, task: &Task<'_>, indexes: &Indexes) -> EnginePairs {
@@ -242,20 +322,42 @@ impl<'a> BlockedEngine<'a> {
                 distinct,
                 r_range,
             } => {
+                let mut pairs = 0u64;
+                let mut matched = 0u64;
+                let mut refuted = 0u64;
                 for i in r_range.clone() {
                     let tr = &self.ext_r.tuples()[i];
                     for (j, ts) in self.ext_s.iter().enumerate() {
+                        pairs += 1;
                         if identity.iter().any(|r| r.fires(tr, ts)) {
+                            matched += 1;
                             out.matching.push((i, j));
                         }
                         if distinct.iter().any(|r| r.fires(tr, ts)) {
+                            refuted += 1;
                             out.negative.push((i, j));
                         }
                     }
                 }
+                self.recorder.add(counter::RESIDUAL_PAIRS, pairs);
+                self.recorder.add(counter::RESIDUAL_MATCHED, matched);
+                self.recorder.add(counter::RESIDUAL_REFUTED, refuted);
             }
         }
         out
+    }
+
+    /// Flushes one block plan's local tallies: global blocking
+    /// precision plus the per-rule breakdown.
+    fn flush_block(&self, family: &str, rule: &str, candidates: u64, accepted: u64) {
+        self.recorder.add(counter::BLOCK_CANDIDATES, candidates);
+        self.recorder.add(counter::BLOCK_ACCEPTED, accepted);
+        self.recorder
+            .add(counter::BLOCK_REJECTED, candidates - accepted);
+        self.recorder
+            .add(&rule_counter(family, rule, "candidates"), candidates);
+        self.recorder
+            .add(&rule_counter(family, rule, "accepted"), accepted);
     }
 
     /// Identity block plan: probe `R` candidates through the literal
@@ -270,17 +372,22 @@ impl<'a> BlockedEngine<'a> {
         indexes: &Indexes,
         out: &mut Vec<(usize, usize)>,
     ) {
+        let mut candidates = 0u64;
+        let mut accepted = 0u64;
         let r_rows = indexes.lit_rows(RelSide::R, &shape.r_lits, self.ext_r.len());
         if shape.join.is_empty() {
             let s_rows = indexes.lit_rows(RelSide::S, &shape.s_lits, self.ext_s.len());
             for i in r_rows.iter() {
                 let tr = &self.ext_r.tuples()[i];
                 for j in s_rows.iter() {
+                    candidates += 1;
                     if rule.fires(tr, &self.ext_s.tuples()[j]) {
+                        accepted += 1;
                         out.push((i, j));
                     }
                 }
             }
+            self.flush_block("identity", &rule.name, candidates, accepted);
             return;
         }
         let positions = identity_probe_positions(shape);
@@ -291,11 +398,14 @@ impl<'a> BlockedEngine<'a> {
                 continue;
             };
             for &j in index.probe(&key) {
+                candidates += 1;
                 if rule.fires(tr, &self.ext_s.tuples()[j]) {
+                    accepted += 1;
                     out.push((i, j));
                 }
             }
         }
+        self.flush_block("identity", &rule.name, candidates, accepted);
     }
 
     /// Distinctness block plan: the literal side comes from an index
@@ -319,14 +429,19 @@ impl<'a> BlockedEngine<'a> {
         };
         let lit_rows = indexes.lit_rows(lit_side, lit_lits, self.side_len(lit_side));
         if lit_rows.is_empty() {
+            self.flush_block("distinct", &rule.name, 0, 0);
             return;
         }
-        let emit = |lit_row: usize, neq_row: usize, out: &mut Vec<(usize, usize)>| {
+        let mut candidates = 0u64;
+        let mut accepted = 0u64;
+        let mut emit = |lit_row: usize, neq_row: usize, out: &mut Vec<(usize, usize)>| {
             let (i, j) = match neq_side {
                 RelSide::R => (neq_row, lit_row),
                 RelSide::S => (lit_row, neq_row),
             };
+            candidates += 1;
             if rule.fires(&self.ext_r.tuples()[i], &self.ext_s.tuples()[j]) {
+                accepted += 1;
                 out.push((i, j));
             }
         };
@@ -350,6 +465,7 @@ impl<'a> BlockedEngine<'a> {
                 }
             }
         }
+        self.flush_block("distinct", &rule.name, candidates, accepted);
     }
 
     fn side_len(&self, side: RelSide) -> usize {

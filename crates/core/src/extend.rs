@@ -13,7 +13,7 @@
 //! extended schema is fair game, which is what the Prolog program's
 //! dynamically asserted predicates achieve).
 
-use eid_ilfd::derive::{derive_relation, DeriveReport};
+use eid_ilfd::derive::{derive_relation_with_stats, DeriveReport, DeriveStats};
 use eid_ilfd::{IlfdSet, Strategy};
 use eid_relational::{algebra, Attribute, Relation, Value, ValueType};
 use eid_rules::ExtendedKey;
@@ -28,6 +28,9 @@ pub struct Extended {
     pub relation: Relation,
     /// One report per tuple, in relation order.
     pub reports: Vec<DeriveReport>,
+    /// What the derivation pass cost (tuples, memo hits/misses,
+    /// values assigned).
+    pub stats: DeriveStats,
 }
 
 impl Extended {
@@ -60,8 +63,12 @@ pub fn extend_relation(
     } else {
         algebra::extend(rel, &extra, |_| vec![Value::Null; extra.len()])?
     };
-    let (relation, reports) = derive_relation(&widened, ilfds, strategy);
-    Ok(Extended { relation, reports })
+    let (relation, reports, stats) = derive_relation_with_stats(&widened, ilfds, strategy);
+    Ok(Extended {
+        relation,
+        reports,
+        stats,
+    })
 }
 
 #[cfg(test)]

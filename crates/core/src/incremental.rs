@@ -33,6 +33,7 @@ use std::collections::HashMap;
 
 use eid_ilfd::derive::derive_tuple;
 use eid_ilfd::{Ilfd, IlfdSet};
+use eid_obs::{MatchReport, Recorder};
 use eid_relational::{Relation, Tuple, Value};
 use eid_rules::RuleBase;
 
@@ -41,6 +42,7 @@ use crate::error::{CoreError, Result};
 use crate::extend::extend_relation;
 use crate::match_table::{PairEntry, PairTable};
 use crate::matcher::MatchConfig;
+use crate::stats::counter;
 
 /// Which relation an event touches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +76,8 @@ pub struct IncrementalMatcher {
     matching: PairTable,
     negative: PairTable,
     rule_base: RuleBase,
+    /// Lifetime-scoped recorder; clones of the matcher share it.
+    recorder: Recorder,
 }
 
 impl IncrementalMatcher {
@@ -93,6 +97,27 @@ impl IncrementalMatcher {
             rule_base.add_ilfd_distinctness(&config.ilfds);
         }
 
+        let recorder = Recorder::new();
+        for (name, n) in [
+            (
+                counter::DERIVE_TUPLES,
+                ext_r.stats.tuples + ext_s.stats.tuples,
+            ),
+            (
+                counter::DERIVE_MEMO_HITS,
+                ext_r.stats.memo_hits + ext_s.stats.memo_hits,
+            ),
+            (
+                counter::DERIVE_MEMO_MISSES,
+                ext_r.stats.memo_misses + ext_s.stats.memo_misses,
+            ),
+            (
+                counter::DERIVE_ASSIGNED,
+                ext_r.stats.assigned + ext_s.stats.assigned,
+            ),
+        ] {
+            recorder.add(name, n as u64);
+        }
         let mut m = IncrementalMatcher {
             config,
             r,
@@ -104,6 +129,7 @@ impl IncrementalMatcher {
             matching,
             negative,
             rule_base,
+            recorder,
         };
         m.rebuild_indexes()?;
         m.initial_pass()?;
@@ -161,11 +187,12 @@ impl IncrementalMatcher {
     /// extended relations, recording every firing. Returns the pairs
     /// that are newly refuted.
     fn refute_all_pairs(&mut self) -> Vec<PairEntry> {
-        let engine = BlockedEngine::new(
+        let engine = BlockedEngine::with_recorder(
             &self.ext_r,
             &self.ext_s,
             &self.rule_base,
             self.config.threads,
+            self.recorder.clone(),
         );
         let pairs = engine.run(false, true);
         let mut new = Vec::new();
@@ -213,8 +240,23 @@ impl IncrementalMatcher {
         None
     }
 
+    /// Records one event's outcome: delta sizes, plus the §3.3
+    /// monotonicity check — a pair table that *shrank* across the
+    /// event increments `incremental/monotonicity_violations`
+    /// (observable via [`IncrementalMatcher::report`]; must stay 0).
+    fn record_event(&self, before_matching: usize, before_negative: usize, delta: &Delta) {
+        self.recorder
+            .add(counter::INCR_PROMOTED, delta.new_matches.len() as u64);
+        self.recorder
+            .add(counter::INCR_REFUTED, delta.new_non_matches.len() as u64);
+        if self.matching.len() < before_matching || self.negative.len() < before_negative {
+            self.recorder.add(counter::INCR_MONOTONICITY_VIOLATIONS, 1);
+        }
+    }
+
     /// Inserts a tuple into `R` or `S`, returning the new decisions.
     pub fn insert(&mut self, side: SideSel, tuple: Tuple) -> Result<Delta> {
+        let (before_matching, before_negative) = (self.matching.len(), self.negative.len());
         // Insert into the base relation (key constraints enforced).
         match side {
             SideSel::R => self.r.insert(tuple.clone())?,
@@ -271,6 +313,8 @@ impl IncrementalMatcher {
                 }
             }
         }
+        self.recorder.add(counter::INCR_INSERTS, 1);
+        self.record_event(before_matching, before_negative, &delta);
         Ok(delta)
     }
 
@@ -282,6 +326,8 @@ impl IncrementalMatcher {
         if !self.config.ilfds.insert(ilfd.clone()) {
             return Ok(Delta::default()); // already known
         }
+        let (before_matching, before_negative) = (self.matching.len(), self.negative.len());
+        self.recorder.add(counter::INCR_ILFDS_ADDED, 1);
         if self.config.use_ilfd_distinctness {
             let single: IlfdSet = [ilfd].into_iter().collect();
             self.rule_base.add_ilfd_distinctness(&single);
@@ -341,6 +387,7 @@ impl IncrementalMatcher {
         if self.config.collect_negative {
             delta.new_non_matches.extend(self.refute_all_pairs());
         }
+        self.record_event(before_matching, before_negative, &delta);
         Ok(delta)
     }
 
@@ -377,6 +424,15 @@ impl IncrementalMatcher {
     pub fn verify(&self) -> Result<()> {
         self.matching.verify_uniqueness()?;
         self.matching.verify_consistency(&self.negative)
+    }
+
+    /// Snapshots the lifetime observability report: event counters
+    /// (`incremental/*`), cumulative engine counters from each bulk
+    /// refutation pass, and derivation totals. The
+    /// `incremental/monotonicity_violations` counter is the §3.3
+    /// invariant made observable — it must read 0.
+    pub fn report(&self) -> MatchReport {
+        self.recorder.report()
     }
 }
 

@@ -22,6 +22,9 @@
 //!   NULL semantics (§4.1, §6.3);
 //! * [`partition`] — the Figure-3 three-way partition;
 //! * [`monotonic`] — the §3.3 monotonicity harness (knowledge sweeps);
+//! * [`stats`] — the observability vocabulary: every span path and
+//!   counter name the engine records into its
+//!   [`MatchReport`](eid_obs::MatchReport);
 //! * [`metrics`] — soundness/completeness measurement against ground
 //!   truth;
 //! * [`session`] — a facade reproducing the Prolog prototype's
@@ -84,6 +87,7 @@ pub mod metrics;
 pub mod monotonic;
 pub mod partition;
 pub mod session;
+pub mod stats;
 pub mod validate;
 pub mod virtual_view;
 

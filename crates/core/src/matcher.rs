@@ -28,6 +28,7 @@
 //! benchmarks.
 
 use eid_ilfd::{IlfdSet, Strategy};
+use eid_obs::{MatchReport, Recorder};
 use eid_relational::{FxHashSet, HashIndex, Relation, Tuple};
 use eid_rules::{ExtendedKey, RuleBase};
 
@@ -35,6 +36,7 @@ use crate::engine::BlockedEngine;
 use crate::error::{CoreError, Result};
 use crate::extend::{extend_relation, Extended};
 use crate::match_table::{PairEntry, PairTable};
+use crate::stats::{counter, span};
 
 /// How the matching and refutation phases are executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -111,6 +113,10 @@ pub struct MatchOutcome {
     /// Number of pairs left undetermined
     /// (`|R|·|S| − |MT| − |NMT|`, Figure 3's middle region).
     pub undetermined: usize,
+    /// What the run observed: per-stage timings, engine counters,
+    /// task-time histogram. Names are the [`crate::stats`]
+    /// constants; the schema is documented in DESIGN.md.
+    pub stats: MatchReport,
 }
 
 impl MatchOutcome {
@@ -175,18 +181,52 @@ impl EntityMatcher {
     /// [`MatchOutcome::verify`] (the prototype's `setup_extkey` does,
     /// printing a warning instead of failing).
     pub fn run(&self) -> Result<MatchOutcome> {
-        let ext_r = extend_relation(
-            &self.r,
-            &self.config.extended_key,
-            &self.config.ilfds,
-            self.config.strategy,
-        )?;
-        let ext_s = extend_relation(
-            &self.s,
-            &self.config.extended_key,
-            &self.config.ilfds,
-            self.config.strategy,
-        )?;
+        let recorder = Recorder::new();
+        let run_span = recorder.span(span::MATCH);
+        let derive_span = recorder.span(span::DERIVE);
+        let ext_r = {
+            let _span = recorder.span(span::DERIVE_R);
+            extend_relation(
+                &self.r,
+                &self.config.extended_key,
+                &self.config.ilfds,
+                self.config.strategy,
+            )?
+        };
+        let ext_s = {
+            let _span = recorder.span(span::DERIVE_S);
+            extend_relation(
+                &self.s,
+                &self.config.extended_key,
+                &self.config.ilfds,
+                self.config.strategy,
+            )?
+        };
+        derive_span.finish();
+        for (name, r_n, s_n) in [
+            (
+                counter::DERIVE_TUPLES,
+                ext_r.stats.tuples,
+                ext_s.stats.tuples,
+            ),
+            (
+                counter::DERIVE_MEMO_HITS,
+                ext_r.stats.memo_hits,
+                ext_s.stats.memo_hits,
+            ),
+            (
+                counter::DERIVE_MEMO_MISSES,
+                ext_r.stats.memo_misses,
+                ext_s.stats.memo_misses,
+            ),
+            (
+                counter::DERIVE_ASSIGNED,
+                ext_r.stats.assigned,
+                ext_s.stats.assigned,
+            ),
+        ] {
+            recorder.add(name, (r_n + s_n) as u64);
+        }
 
         let mut matching =
             PairTable::new(self.r.schema().primary_key(), self.s.schema().primary_key());
@@ -200,9 +240,17 @@ impl EntityMatcher {
         let mut blocked_overlap = None;
         match self.config.join {
             JoinAlgorithm::Blocked => {
-                let engine =
-                    BlockedEngine::new(&ext_r.relation, &ext_s.relation, &rb, self.config.threads);
+                let engine_span = recorder.span(span::ENGINE);
+                let engine = BlockedEngine::with_recorder(
+                    &ext_r.relation,
+                    &ext_s.relation,
+                    &rb,
+                    self.config.threads,
+                    recorder.clone(),
+                );
                 let pairs = engine.run(true, self.config.collect_negative);
+                engine_span.finish();
+                let _convert_span = recorder.span(span::CONVERT);
                 // Project each row's primary key once up front: entry
                 // construction then costs two reference-count bumps
                 // per pair instead of two fresh projections, and the
@@ -240,28 +288,38 @@ impl EntityMatcher {
                 blocked_overlap = Some(in_both);
             }
             JoinAlgorithm::Hash => {
-                self.hash_identity_phase(&ext_r.relation, &ext_s.relation, &mut matching)?;
-                // Extra identity rules (rare) still need pairwise
-                // checks — but only the extra rules: extended-key
-                // equivalence was already decided by the hash join,
-                // so re-running the full rule base here would redo
-                // the whole identity phase quadratically.
-                if !self.config.extra_rules.identity_rules().is_empty() {
-                    let mut extra_identity = RuleBase::new();
-                    for rule in self.config.extra_rules.identity_rules() {
-                        extra_identity.add_identity(rule.clone());
-                    }
-                    self.pairwise_phase(
+                {
+                    let _span = recorder.span(span::IDENTITY);
+                    self.hash_identity_phase(
                         &ext_r.relation,
                         &ext_s.relation,
-                        &extra_identity,
                         &mut matching,
-                        &mut negative,
-                        /*identity:*/ true,
-                        /*distinct:*/ false,
+                        &recorder,
                     )?;
+                    // Extra identity rules (rare) still need pairwise
+                    // checks — but only the extra rules: extended-key
+                    // equivalence was already decided by the hash join,
+                    // so re-running the full rule base here would redo
+                    // the whole identity phase quadratically.
+                    if !self.config.extra_rules.identity_rules().is_empty() {
+                        let mut extra_identity = RuleBase::new();
+                        for rule in self.config.extra_rules.identity_rules() {
+                            extra_identity.add_identity(rule.clone());
+                        }
+                        self.pairwise_phase(
+                            &ext_r.relation,
+                            &ext_s.relation,
+                            &extra_identity,
+                            &mut matching,
+                            &mut negative,
+                            /*identity:*/ true,
+                            /*distinct:*/ false,
+                            &recorder,
+                        )?;
+                    }
                 }
                 if self.config.collect_negative {
+                    let _span = recorder.span(span::REFUTE);
                     self.pairwise_phase(
                         &ext_r.relation,
                         &ext_s.relation,
@@ -270,10 +328,12 @@ impl EntityMatcher {
                         &mut negative,
                         false,
                         true,
+                        &recorder,
                     )?;
                 }
             }
             JoinAlgorithm::NestedLoop => {
+                let _span = recorder.span(span::PAIRWISE);
                 self.pairwise_phase(
                     &ext_r.relation,
                     &ext_s.relation,
@@ -282,6 +342,7 @@ impl EntityMatcher {
                     &mut negative,
                     true,
                     self.config.collect_negative,
+                    &recorder,
                 )?;
             }
         }
@@ -300,12 +361,19 @@ impl EntityMatcher {
         let undetermined = (total + overlap)
             .saturating_sub(matching.len())
             .saturating_sub(negative.len());
+        recorder.add(counter::CLASSIFY_MT, matching.len() as u64);
+        recorder.add(counter::CLASSIFY_NMT, negative.len() as u64);
+        recorder.add(counter::CLASSIFY_OVERLAP, overlap as u64);
+        recorder.add(counter::CLASSIFY_UNDETERMINED, undetermined as u64);
+        recorder.add(counter::CLASSIFY_PAIRS_TOTAL, total as u64);
+        run_span.finish();
         Ok(MatchOutcome {
             matching,
             negative,
             extended_r: ext_r,
             extended_s: ext_s,
             undetermined,
+            stats: recorder.report(),
         })
     }
 
@@ -316,11 +384,14 @@ impl EntityMatcher {
         ext_r: &Relation,
         ext_s: &Relation,
         matching: &mut PairTable,
+        recorder: &Recorder,
     ) -> Result<()> {
         let key_attrs = self.config.extended_key.attrs();
         let r_pos = ext_r.positions_of(key_attrs)?;
         let index = HashIndex::build(ext_s, key_attrs)?;
+        let mut probes = 0u64;
         for (i, t) in ext_r.iter().enumerate() {
+            probes += 1;
             let Some(js) = index.probe_tuple(t, &r_pos) else {
                 continue;
             };
@@ -331,6 +402,7 @@ impl EntityMatcher {
                 );
             }
         }
+        recorder.add(counter::IDENTITY_PROBES, probes);
         Ok(())
     }
 
@@ -351,23 +423,37 @@ impl EntityMatcher {
         negative: &mut PairTable,
         record_identity: bool,
         record_distinct: bool,
+        recorder: &Recorder,
     ) -> Result<()> {
+        let mut identity_probes = 0u64;
+        let mut refute_probes = 0u64;
         for (i, tr) in ext_r.iter().enumerate() {
             for (j, ts) in ext_s.iter().enumerate() {
-                if record_identity && rb.fires_identity(ext_r.schema(), tr, ext_s.schema(), ts) {
-                    matching.insert(
-                        self.r.primary_key_of(&self.r.tuples()[i]),
-                        self.s.primary_key_of(&self.s.tuples()[j]),
-                    );
+                if record_identity {
+                    identity_probes += 1;
+                    if rb.fires_identity(ext_r.schema(), tr, ext_s.schema(), ts) {
+                        matching.insert(
+                            self.r.primary_key_of(&self.r.tuples()[i]),
+                            self.s.primary_key_of(&self.s.tuples()[j]),
+                        );
+                    }
                 }
-                if record_distinct && rb.fires_distinctness(ext_r.schema(), tr, ext_s.schema(), ts)
-                {
-                    negative.insert(
-                        self.r.primary_key_of(&self.r.tuples()[i]),
-                        self.s.primary_key_of(&self.s.tuples()[j]),
-                    );
+                if record_distinct {
+                    refute_probes += 1;
+                    if rb.fires_distinctness(ext_r.schema(), tr, ext_s.schema(), ts) {
+                        negative.insert(
+                            self.r.primary_key_of(&self.r.tuples()[i]),
+                            self.s.primary_key_of(&self.s.tuples()[j]),
+                        );
+                    }
                 }
             }
+        }
+        if record_identity {
+            recorder.add(counter::IDENTITY_PROBES, identity_probes);
+        }
+        if record_distinct {
+            recorder.add(counter::REFUTE_PROBES, refute_probes);
         }
         Ok(())
     }

@@ -1,0 +1,128 @@
+//! The engine's observability vocabulary — every span path and
+//! counter name the matcher, blocked engine, and incremental matcher
+//! record, as constants.
+//!
+//! Both the invariant tests and downstream consumers (the `eid` CLI,
+//! the benchmark harness) key off these names; keeping them here
+//! makes a typo a compile error instead of a silently absent counter.
+//! The prose glossary lives in DESIGN.md §"Observability".
+
+/// Span paths (`/`-separated; reports indent by hierarchy).
+pub mod span {
+    /// Whole [`EntityMatcher::run`](crate::EntityMatcher::run) call.
+    pub const MATCH: &str = "match";
+    /// Extension + ILFD derivation of both sides.
+    pub const DERIVE: &str = "match/derive";
+    /// Extension + ILFD derivation of `R`.
+    pub const DERIVE_R: &str = "match/derive/r";
+    /// Extension + ILFD derivation of `S`.
+    pub const DERIVE_S: &str = "match/derive/s";
+    /// Blocked-engine wall time (compile + index + task queue).
+    pub const ENGINE: &str = "match/engine";
+    /// Rule-base precompilation inside the engine.
+    pub const ENGINE_COMPILE: &str = "match/engine/compile";
+    /// Eager index construction inside the engine.
+    pub const ENGINE_INDEX: &str = "match/engine/index";
+    /// Identity block-plan tasks — *busy* time summed across
+    /// workers, so it can exceed the parent's wall time.
+    pub const ENGINE_IDENTITY: &str = "match/engine/identity";
+    /// Distinctness block-plan tasks (busy time).
+    pub const ENGINE_REFUTE: &str = "match/engine/refute";
+    /// Residual pairwise-scan chunks (busy time).
+    pub const ENGINE_RESIDUAL: &str = "match/engine/residual";
+    /// Row-index pairs → keyed pair tables (dedup + projection).
+    pub const CONVERT: &str = "match/convert";
+    /// Hash-arm identity phase (extended-key hash join).
+    pub const IDENTITY: &str = "match/identity";
+    /// Hash-arm refutation phase (interpreted pairwise scan).
+    pub const REFUTE: &str = "match/refute";
+    /// Nested-loop arm: the single exhaustive pairwise scan.
+    pub const PAIRWISE: &str = "match/pairwise";
+}
+
+/// Counter names (`group/name`; per-rule counters are built with
+/// [`rule_counter`]).
+pub mod counter {
+    /// Rules in the source [`RuleBase`](eid_rules::RuleBase).
+    pub const COMPILE_SOURCE_RULES: &str = "compile/source_rules";
+    /// Compiled orientations kept.
+    pub const COMPILE_COMPILED: &str = "compile/compiled";
+    /// Symmetric orientation pairs folded into one.
+    pub const COMPILE_SYMMETRIC_FOLDED: &str = "compile/symmetric_folded";
+    /// Orientations dropped as unsatisfiable against the schemas.
+    pub const COMPILE_DEAD_ORIENTATIONS: &str = "compile/dead_orientations";
+
+    /// Worker threads the engine actually ran with.
+    pub const ENGINE_WORKERS: &str = "engine/workers";
+    /// Tasks (block plans + residual chunks) executed.
+    pub const ENGINE_TASKS: &str = "engine/tasks";
+    /// 1 when the auto-parallel engine chose the serial path for a
+    /// small input, 0 (absent) otherwise.
+    pub const ENGINE_SERIAL_FALLBACK: &str = "engine/serial_fallback";
+
+    /// Candidate pairs emitted by all block plans (pre-verification).
+    pub const BLOCK_CANDIDATES: &str = "block/candidates";
+    /// Candidates confirmed by the full compiled rule.
+    pub const BLOCK_ACCEPTED: &str = "block/accepted";
+    /// Candidates the verification check rejected
+    /// (`candidates − accepted`; blocking imprecision).
+    pub const BLOCK_REJECTED: &str = "block/rejected";
+
+    /// Residual-scan pairs visited (quadratic fallback volume).
+    pub const RESIDUAL_PAIRS: &str = "residual/pairs";
+    /// Residual pairs on which an identity rule fired.
+    pub const RESIDUAL_MATCHED: &str = "residual/matched";
+    /// Residual pairs on which a distinctness rule fired.
+    pub const RESIDUAL_REFUTED: &str = "residual/refuted";
+
+    /// Hash/nested-loop arms: identity-phase pair evaluations or
+    /// index probes.
+    pub const IDENTITY_PROBES: &str = "identity/probes";
+    /// Hash/nested-loop arms: refutation-phase pair evaluations.
+    pub const REFUTE_PROBES: &str = "refute/probes";
+
+    /// `|MT_RS|` — matching-table size after dedup.
+    pub const CLASSIFY_MT: &str = "classify/mt";
+    /// `|NMT_RS|` — negative-table size after dedup.
+    pub const CLASSIFY_NMT: &str = "classify/nmt";
+    /// Pairs recorded in both tables (inconsistent knowledge).
+    pub const CLASSIFY_OVERLAP: &str = "classify/overlap";
+    /// Undetermined pairs (Figure 3's middle region).
+    pub const CLASSIFY_UNDETERMINED: &str = "classify/undetermined";
+    /// `|R|·|S|` — the full pair space.
+    pub const CLASSIFY_PAIRS_TOTAL: &str = "classify/pairs_total";
+
+    /// Tuples pushed through ILFD derivation (both sides).
+    pub const DERIVE_TUPLES: &str = "derive/tuples";
+    /// Tuples answered from the derivation memo.
+    pub const DERIVE_MEMO_HITS: &str = "derive/memo_hits";
+    /// Distinct projections actually derived.
+    pub const DERIVE_MEMO_MISSES: &str = "derive/memo_misses";
+    /// Attribute values filled in by ILFDs.
+    pub const DERIVE_ASSIGNED: &str = "derive/assigned";
+
+    /// Incremental: tuple insertions processed.
+    pub const INCR_INSERTS: &str = "incremental/inserts";
+    /// Incremental: distinct ILFDs added.
+    pub const INCR_ILFDS_ADDED: &str = "incremental/ilfds_added";
+    /// Incremental: pairs newly proven matching across all events.
+    pub const INCR_PROMOTED: &str = "incremental/promoted";
+    /// Incremental: pairs newly proven distinct across all events.
+    pub const INCR_REFUTED: &str = "incremental/refuted";
+    /// Incremental: events after which a pair table *shrank*. §3.3
+    /// monotonicity says this must stay 0; the counter exists so the
+    /// invariant is observable, not assumed.
+    pub const INCR_MONOTONICITY_VIOLATIONS: &str = "incremental/monotonicity_violations";
+}
+
+/// Histogram names.
+pub mod histogram {
+    /// Per-task wall time inside the blocked engine's queue.
+    pub const ENGINE_TASK_NANOS: &str = "engine/task_nanos";
+}
+
+/// The name of a per-rule blocking counter:
+/// `rule/{identity|distinct}/<rule>/{candidates|accepted}`.
+pub fn rule_counter(family: &str, rule: &str, what: &str) -> String {
+    format!("rule/{family}/{rule}/{what}")
+}

@@ -84,6 +84,21 @@ impl DeriveReport {
     }
 }
 
+/// What one [`derive_relation`] pass cost — the derivation half of
+/// the engine's observability report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeriveStats {
+    /// Tuples processed.
+    pub tuples: usize,
+    /// Tuples whose ILFD-mentioned projection was already memoized
+    /// (no backward chaining ran).
+    pub memo_hits: usize,
+    /// Distinct projections actually derived (backward chaining ran).
+    pub memo_misses: usize,
+    /// Attribute values filled in across all tuples.
+    pub assigned: usize,
+}
+
 /// Derives missing (NULL) attribute values of `tuple` under `schema`
 /// from the ILFD set `f`, returning the completed tuple and a report.
 pub fn derive_tuple(
@@ -114,6 +129,17 @@ pub fn derive_relation(
     f: &IlfdSet,
     strategy: Strategy,
 ) -> (Relation, Vec<DeriveReport>) {
+    let (out, reports, _) = derive_relation_with_stats(rel, f, strategy);
+    (out, reports)
+}
+
+/// [`derive_relation`] plus a [`DeriveStats`] accounting of the pass
+/// (tuples processed, memo hits/misses, values assigned).
+pub fn derive_relation_with_stats(
+    rel: &Relation,
+    f: &IlfdSet,
+    strategy: Strategy,
+) -> (Relation, Vec<DeriveReport>, DeriveStats) {
     let schema = rel.schema();
     let mut mentioned: Vec<usize> = f
         .iter()
@@ -128,21 +154,32 @@ pub fn derive_relation(
     let mut memo: FxHashMap<Tuple, (Vec<(usize, Value)>, DeriveReport)> = FxHashMap::default();
     let mut out = Relation::new_unchecked(schema.clone());
     let mut reports = Vec::with_capacity(rel.len());
+    let mut stats = DeriveStats::default();
     for t in rel.iter() {
-        let (assignments, report) = memo.entry(t.project(&mentioned)).or_insert_with(|| {
-            let (_, rep) = derive_tuple(schema, t, f, strategy);
-            let assignments = rep
-                .assigned
-                .iter()
-                .map(|(attr, v)| {
-                    let pos = schema
-                        .try_position(attr)
-                        .expect("assigned attr is in schema");
-                    (pos, v.clone())
-                })
-                .collect();
-            (assignments, rep)
-        });
+        stats.tuples += 1;
+        let key = t.project(&mentioned);
+        let (assignments, report) = match memo.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                stats.memo_hits += 1;
+                e.into_mut()
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                stats.memo_misses += 1;
+                let (_, rep) = derive_tuple(schema, t, f, strategy);
+                let assignments = rep
+                    .assigned
+                    .iter()
+                    .map(|(attr, v)| {
+                        let pos = schema
+                            .try_position(attr)
+                            .expect("assigned attr is in schema");
+                        (pos, v.clone())
+                    })
+                    .collect();
+                e.insert((assignments, rep))
+            }
+        };
+        stats.assigned += assignments.len();
         let mut nt = t.clone();
         for (pos, v) in assignments.iter() {
             nt = nt.with_value(*pos, v.clone());
@@ -150,7 +187,7 @@ pub fn derive_relation(
         out.insert(nt).expect("same schema");
         reports.push(report.clone());
     }
-    (out, reports)
+    (out, reports, stats)
 }
 
 // ---------------------------------------------------------------------------

@@ -21,7 +21,7 @@
 //!   rules (Lemma 2), and a constructive completeness procedure
 //!   ([`axioms::prove`], Theorem 1);
 //! * [`satisfaction`] — per-tuple and per-relation ILFD checking;
-//! * [`derive`] — filling in missing attribute values of tuples
+//! * [`mod@derive`] — filling in missing attribute values of tuples
 //!   (Prolog-faithful first-match-with-cut, and an order-independent
 //!   fixpoint with conflict detection);
 //! * [`tables`] — ILFD tables `IM(x̄,y)` stored as relations (§4.2,
@@ -62,7 +62,9 @@ pub mod tables;
 
 pub use axioms::{AxiomError, Derivation};
 pub use closure::{implies, symbol_closure};
-pub use derive::{derive_relation, derive_tuple, DeriveReport, Strategy};
+pub use derive::{
+    derive_relation, derive_relation_with_stats, derive_tuple, DeriveReport, DeriveStats, Strategy,
+};
 pub use fd::Fd;
 pub use horn::{HornClause, HornProgram};
 pub use ilfd::{Ilfd, IlfdSet};

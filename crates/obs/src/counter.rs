@@ -1,0 +1,68 @@
+//! Thread-safe monotone counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotone event counter.
+///
+/// All operations use [`Ordering::Relaxed`]: counts are statistics,
+/// not synchronization, and relaxed atomics compile to plain locked
+/// adds — cheap enough to sit near (though preferably not inside)
+/// the pair loop. Hot paths should tally into a local `u64` and
+/// [`Counter::add`] once per task.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` to the count.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn starts_at_zero_and_accumulates() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn concurrent_adds_are_not_lost() {
+        let c = Arc::new(Counter::new());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+    }
+}

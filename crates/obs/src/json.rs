@@ -1,0 +1,66 @@
+//! A minimal JSON writer.
+//!
+//! The workspace's vendored `serde` is an offline stub with no data
+//! format, so reports serialize through these few helpers instead.
+//! Only what [`MatchReport`](crate::MatchReport) (and the bench
+//! harness) needs: string escaping and a small buffer-building
+//! convention — callers push directly into a `String`.
+
+/// Appends `s` to `out` as a JSON string literal (quotes included).
+pub fn push_str_literal(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON string literal for `s` (quotes included).
+pub fn str_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    push_str_literal(&mut out, s);
+    out
+}
+
+/// A JSON number for a float: finite values render with six decimal
+/// places, non-finite ones as `null` (JSON has no NaN/Infinity).
+pub fn f64_literal(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(str_literal("plain"), "\"plain\"");
+        assert_eq!(str_literal("a\"b"), "\"a\\\"b\"");
+        assert_eq!(str_literal("a\\b"), "\"a\\\\b\"");
+        assert_eq!(str_literal("a\nb\tc"), "\"a\\nb\\tc\"");
+        assert_eq!(str_literal("\u{1}"), "\"\\u0001\"");
+        // Non-ASCII passes through unescaped (JSON allows it).
+        assert_eq!(str_literal("café"), "\"café\"");
+    }
+
+    #[test]
+    fn float_rendering() {
+        assert_eq!(f64_literal(1.5), "1.500000");
+        assert_eq!(f64_literal(f64::NAN), "null");
+        assert_eq!(f64_literal(f64::INFINITY), "null");
+    }
+}

@@ -1,0 +1,40 @@
+//! # `eid-obs` — first-party observability for the matching engine
+//!
+//! The build environment vendors offline stub crates, so there is no
+//! `tracing` to lean on; this crate hand-rolls the three primitives
+//! the engine needs and nothing more:
+//!
+//! * [`Counter`] — a thread-safe monotone counter (relaxed atomics,
+//!   cheap enough for hot paths);
+//! * [`Histogram`] — a lock-free log2-bucketed value distribution
+//!   (task durations, batch sizes);
+//! * [`Recorder`] + [`Span`] — coarse-grained hierarchical wall-time
+//!   spans over a monotonic clock, aggregated by `/`-separated path.
+//!
+//! A [`Recorder`] is a cheaply cloneable shared handle; every clone
+//! feeds the same underlying sinks, so worker threads can record
+//! concurrently. [`Recorder::report`] snapshots everything into a
+//! [`MatchReport`] — a plain, serializable value that renders as an
+//! aligned text breakdown ([`std::fmt::Display`]) or as JSON
+//! ([`MatchReport::to_json`], hand-rolled because no data-format
+//! crate ships with the repository).
+//!
+//! Design constraints (mirrored from the engine's perf budget):
+//! counters are relaxed atomics and may be tallied locally and
+//! flushed once per task; spans are per *phase* or per *task*, never
+//! per pair; nothing in this crate allocates on the hot path once
+//! the handles are registered.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod counter;
+mod histogram;
+pub mod json;
+mod recorder;
+mod report;
+
+pub use counter::Counter;
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use recorder::{Recorder, Span};
+pub use report::{CounterStat, HistogramStat, MatchReport, StageStat};

@@ -1,0 +1,231 @@
+//! The shared recorder: named counters, histograms, and spans.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::counter::Counter;
+use crate::histogram::Histogram;
+use crate::report::{CounterStat, HistogramStat, MatchReport, StageStat};
+
+/// Aggregated wall time for one span path.
+#[derive(Debug, Default, Clone, Copy)]
+struct SpanAgg {
+    nanos: u64,
+    count: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    spans: Mutex<BTreeMap<String, SpanAgg>>,
+}
+
+/// A cheaply cloneable handle to one set of observability sinks.
+///
+/// Every clone shares the same underlying state, so a recorder can be
+/// handed to worker threads and an [`MatchReport`](crate::MatchReport)
+/// snapshot taken from any clone. Registration ([`Recorder::counter`],
+/// [`Recorder::histogram`]) takes a short lock and should happen at
+/// setup or task granularity; the returned [`Counter`]/[`Histogram`]
+/// handles are lock-free thereafter.
+///
+/// Span paths use `/` as the hierarchy separator (e.g.
+/// `match/engine/index`); reports sort and indent by path.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder(Arc<Inner>);
+
+impl Recorder {
+    /// A fresh, empty recorder.
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// The counter registered under `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut counters = self.0.counters.lock().expect("recorder poisoned");
+        match counters.get(name) {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = Arc::new(Counter::new());
+                counters.insert(name.to_string(), Arc::clone(&c));
+                c
+            }
+        }
+    }
+
+    /// Adds `n` to the counter named `name` (registering it if new).
+    /// Convenience for cold paths; hot paths should hold the
+    /// [`Recorder::counter`] handle.
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// The histogram registered under `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut histograms = self.0.histograms.lock().expect("recorder poisoned");
+        match histograms.get(name) {
+            Some(h) => Arc::clone(h),
+            None => {
+                let h = Arc::new(Histogram::new());
+                histograms.insert(name.to_string(), Arc::clone(&h));
+                h
+            }
+        }
+    }
+
+    /// Starts a wall-time span at `path`; the elapsed time is
+    /// recorded when the returned guard drops (or
+    /// [`Span::finish`] is called).
+    pub fn span(&self, path: &str) -> Span<'_> {
+        Span {
+            recorder: self,
+            path: path.to_string(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Merges `nanos` of wall time into the span aggregate at `path`.
+    /// Used directly when a duration is measured out of band (e.g.
+    /// per-task timings flushed from a worker).
+    pub fn record_span(&self, path: &str, nanos: u64) {
+        let mut spans = self.0.spans.lock().expect("recorder poisoned");
+        let agg = spans.entry(path.to_string()).or_default();
+        agg.nanos += nanos;
+        agg.count += 1;
+    }
+
+    /// Snapshots every sink into a plain [`MatchReport`].
+    pub fn report(&self) -> MatchReport {
+        let stages = self
+            .0
+            .spans
+            .lock()
+            .expect("recorder poisoned")
+            .iter()
+            .map(|(path, agg)| StageStat {
+                path: path.clone(),
+                nanos: agg.nanos,
+                count: agg.count,
+            })
+            .collect();
+        let counters = self
+            .0
+            .counters
+            .lock()
+            .expect("recorder poisoned")
+            .iter()
+            .map(|(name, c)| CounterStat {
+                name: name.clone(),
+                value: c.get(),
+            })
+            .collect();
+        let histograms = self
+            .0
+            .histograms
+            .lock()
+            .expect("recorder poisoned")
+            .iter()
+            .map(|(name, h)| HistogramStat {
+                name: name.clone(),
+                snapshot: h.snapshot(),
+            })
+            .collect();
+        MatchReport {
+            stages,
+            counters,
+            histograms,
+        }
+    }
+}
+
+/// A live wall-time span; records into its [`Recorder`] on drop.
+#[derive(Debug)]
+pub struct Span<'a> {
+    recorder: &'a Recorder,
+    path: String,
+    start: Instant,
+}
+
+impl Span<'_> {
+    /// Ends the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let nanos = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.recorder.record_span(&self.path, nanos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_shared_across_clones() {
+        let a = Recorder::new();
+        let b = a.clone();
+        a.counter("x").add(2);
+        b.counter("x").inc();
+        assert_eq!(a.report().counter("x"), 3);
+    }
+
+    #[test]
+    fn spans_aggregate_by_path() {
+        let rec = Recorder::new();
+        rec.record_span("match/engine", 10);
+        rec.record_span("match/engine", 5);
+        rec.span("match").finish();
+        let report = rec.report();
+        assert_eq!(report.stage_nanos("match/engine"), Some(15));
+        let engine = report
+            .stages
+            .iter()
+            .find(|s| s.path == "match/engine")
+            .unwrap();
+        assert_eq!(engine.count, 2);
+        assert!(report.stage_nanos("match").is_some());
+    }
+
+    #[test]
+    fn span_guard_measures_monotonic_time() {
+        let rec = Recorder::new();
+        {
+            let _span = rec.span("work");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert!(rec.report().stage_nanos("work").unwrap() >= 2_000_000);
+    }
+
+    #[test]
+    fn histograms_snapshot_through_report() {
+        let rec = Recorder::new();
+        rec.histogram("h").record(7);
+        let report = rec.report();
+        assert_eq!(report.histograms.len(), 1);
+        assert_eq!(report.histograms[0].snapshot.count, 1);
+    }
+
+    #[test]
+    fn concurrent_workers_record_into_one_report() {
+        let rec = Recorder::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let rec = rec.clone();
+                scope.spawn(move || {
+                    let c = rec.counter("tasks");
+                    for _ in 0..100 {
+                        c.inc();
+                    }
+                    rec.record_span("busy", 1);
+                });
+            }
+        });
+        let report = rec.report();
+        assert_eq!(report.counter("tasks"), 400);
+        assert_eq!(report.stage_nanos("busy"), Some(4));
+    }
+}

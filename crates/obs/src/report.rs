@@ -1,0 +1,274 @@
+//! The serializable observability snapshot.
+
+use std::fmt;
+
+use crate::histogram::HistogramSnapshot;
+use crate::json;
+
+/// Aggregated wall time of one span path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageStat {
+    /// `/`-separated hierarchical path (e.g. `match/engine/index`).
+    pub path: String,
+    /// Total nanoseconds across all recordings of this path. For
+    /// per-task paths drained by several workers this is *busy* time
+    /// (it can exceed the parent's wall time).
+    pub nanos: u64,
+    /// How many spans were merged into this aggregate.
+    pub count: u64,
+}
+
+/// One named counter value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterStat {
+    /// The counter's name (conventionally `group/name`).
+    pub name: String,
+    /// The counted value.
+    pub value: u64,
+}
+
+/// One named histogram snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramStat {
+    /// The histogram's name.
+    pub name: String,
+    /// Its point-in-time distribution.
+    pub snapshot: HistogramSnapshot,
+}
+
+/// Everything one matching run (or one incremental matcher lifetime)
+/// observed: stage timings, counters, and histograms.
+///
+/// Plain data — cloneable, comparable, and serializable to JSON via
+/// [`MatchReport::to_json`]. The stage list, counter list, and
+/// histogram list are each sorted by name, so two reports of the
+/// same run shape are structurally comparable and the JSON output is
+/// deterministic up to timing values.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MatchReport {
+    /// Stage timings, sorted by path.
+    pub stages: Vec<StageStat>,
+    /// Counters, sorted by name.
+    pub counters: Vec<CounterStat>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramStat>,
+}
+
+impl MatchReport {
+    /// The value of the counter named `name`, or 0 when the counter
+    /// was never touched (an untouched counter and a zero counter are
+    /// observationally identical).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    }
+
+    /// The counters whose names start with `prefix`.
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = &'a CounterStat> + 'a {
+        self.counters
+            .iter()
+            .filter(move |c| c.name.starts_with(prefix))
+    }
+
+    /// Total nanoseconds recorded at `path`, if any span ran there.
+    pub fn stage_nanos(&self, path: &str) -> Option<u64> {
+        self.stages.iter().find(|s| s.path == path).map(|s| s.nanos)
+    }
+
+    /// Total seconds recorded at `path` (0.0 when absent).
+    pub fn stage_seconds(&self, path: &str) -> f64 {
+        self.stage_nanos(path).unwrap_or(0) as f64 / 1e9
+    }
+
+    /// Serializes the report to pretty-printed JSON.
+    ///
+    /// Schema (documented in DESIGN.md §8):
+    ///
+    /// ```json
+    /// {
+    ///   "stages":     [{"path": "...", "nanos": 0, "count": 0}],
+    ///   "counters":   [{"name": "...", "value": 0}],
+    ///   "histograms": [{"name": "...", "count": 0, "sum": 0,
+    ///                   "max": 0, "mean": 0.0, "p50": 0, "p95": 0,
+    ///                   "p99": 0, "buckets": [{"le": 0, "count": 0}]}]
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"stages\": [");
+        for (i, s) in self.stages.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\"path\": ");
+            json::push_str_literal(&mut out, &s.path);
+            out.push_str(&format!(
+                ", \"nanos\": {}, \"count\": {}}}",
+                s.nanos, s.count
+            ));
+        }
+        if !self.stages.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"counters\": [");
+        for (i, c) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\"name\": ");
+            json::push_str_literal(&mut out, &c.name);
+            out.push_str(&format!(", \"value\": {}}}", c.value));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"histograms\": [");
+        for (i, h) in self.histograms.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let s = &h.snapshot;
+            out.push_str("    {\"name\": ");
+            json::push_str_literal(&mut out, &h.name);
+            out.push_str(&format!(
+                ", \"count\": {}, \"sum\": {}, \"max\": {}, \"mean\": {}, \
+                 \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [",
+                s.count,
+                s.sum,
+                s.max,
+                json::f64_literal(s.mean()),
+                s.quantile(0.50),
+                s.quantile(0.95),
+                s.quantile(0.99),
+            ));
+            for (j, (le, n)) in s.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{{\"le\": {le}, \"count\": {n}}}"));
+            }
+            out.push_str("]}");
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Renders a nanosecond quantity human-readably.
+fn fmt_nanos(nanos: u64) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.1} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+impl fmt::Display for MatchReport {
+    /// An aligned text breakdown: stages indented by hierarchy depth,
+    /// then counters, then histogram summaries.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "stages (wall/busy time):")?;
+        for s in &self.stages {
+            let depth = s.path.matches('/').count();
+            let name = s.path.rsplit('/').next().unwrap_or(&s.path);
+            let label = format!("{}{}", "  ".repeat(depth + 1), name);
+            let times = if s.count > 1 {
+                format!("{} ({}x)", fmt_nanos(s.nanos), s.count)
+            } else {
+                fmt_nanos(s.nanos)
+            };
+            writeln!(f, "{label:<32} {times:>18}")?;
+        }
+        writeln!(f, "counters:")?;
+        for c in &self.counters {
+            writeln!(f, "  {:<40} {:>12}", c.name, c.value)?;
+        }
+        if !self.histograms.is_empty() {
+            writeln!(f, "histograms:")?;
+            for h in &self.histograms {
+                let s = &h.snapshot;
+                writeln!(
+                    f,
+                    "  {:<28} n={:<6} mean={:<12} p50≤{:<12} p95≤{:<12} max={}",
+                    h.name,
+                    s.count,
+                    fmt_nanos(s.mean() as u64),
+                    fmt_nanos(s.quantile(0.50)),
+                    fmt_nanos(s.quantile(0.95)),
+                    fmt_nanos(s.max),
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    fn sample() -> MatchReport {
+        let rec = Recorder::new();
+        rec.record_span("match", 2_000_000);
+        rec.record_span("match/engine", 1_500_000);
+        rec.record_span("match/engine/index", 300_000);
+        rec.add("block/candidates", 10);
+        rec.add("block/accepted", 7);
+        rec.histogram("engine/task_nanos").record(750_000);
+        rec.report()
+    }
+
+    #[test]
+    fn accessors() {
+        let r = sample();
+        assert_eq!(r.counter("block/candidates"), 10);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.stage_nanos("match/engine"), Some(1_500_000));
+        assert_eq!(r.stage_nanos("absent"), None);
+        assert!((r.stage_seconds("match") - 0.002).abs() < 1e-12);
+        assert_eq!(r.counters_with_prefix("block/").count(), 2);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_deterministic() {
+        let r = sample();
+        let json = r.to_json();
+        // Deterministic: identical snapshot → identical text.
+        assert_eq!(json, r.to_json());
+        // Structure probes (no JSON parser available offline).
+        assert!(json.starts_with("{\n"));
+        assert!(json.trim_end().ends_with('}'));
+        assert!(json.contains("\"stages\""));
+        assert!(json.contains("\"path\": \"match/engine/index\""));
+        assert!(json.contains("\"name\": \"block/candidates\", \"value\": 10"));
+        assert!(json.contains("\"histograms\""));
+        // Balanced braces/brackets — a cheap well-formedness check.
+        let opens = json.matches('{').count() + json.matches('[').count();
+        let closes = json.matches('}').count() + json.matches(']').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn display_indents_by_hierarchy() {
+        let text = sample().to_string();
+        assert!(text.contains("  match "));
+        assert!(text.contains("    engine "));
+        assert!(text.contains("      index "));
+        assert!(text.contains("block/accepted"));
+        assert!(text.contains("engine/task_nanos"));
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let r = MatchReport::default();
+        assert!(r.to_json().contains("\"counters\": []"));
+        assert!(r.to_string().contains("counters:"));
+    }
+}

@@ -261,6 +261,23 @@ pub struct DistinctShape {
     pub neq: (NeqSide, usize, Value),
 }
 
+/// What one [`CompiledRuleBase::compile`] pass did — the compile-time
+/// half of the engine's observability report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Source rules handed to the compiler (identity + distinctness).
+    pub source_rules: usize,
+    /// Compiled orientations that survived (length of the output
+    /// rule lists).
+    pub compiled: usize,
+    /// Reversed orientations dropped because the rule is
+    /// syntactically symmetric.
+    pub symmetric_folded: usize,
+    /// Orientations dropped as dead (a predicate references an
+    /// attribute missing from its schema, or a constant fold failed).
+    pub dead_orientations: usize,
+}
+
 /// A rule base compiled against one concrete schema pair.
 #[derive(Debug, Clone, Default)]
 pub struct CompiledRuleBase {
@@ -269,6 +286,8 @@ pub struct CompiledRuleBase {
     pub identity: Vec<CompiledRule>,
     /// Compiled distinctness rules, likewise.
     pub distinctness: Vec<CompiledRule>,
+    /// What compilation did (folds, drops) — for the match report.
+    pub stats: CompileStats,
 }
 
 impl CompiledRuleBase {
@@ -286,6 +305,7 @@ impl CompiledRuleBase {
                 schema_r,
                 schema_s,
                 &mut out.identity,
+                &mut out.stats,
             );
         }
         for rule in rb.distinctness_rules() {
@@ -295,8 +315,10 @@ impl CompiledRuleBase {
                 schema_r,
                 schema_s,
                 &mut out.distinctness,
+                &mut out.stats,
             );
         }
+        out.stats.compiled = out.identity.len() + out.distinctness.len();
         out
     }
 }
@@ -364,20 +386,30 @@ fn compile_orientations(
     schema_r: &Schema,
     schema_s: &Schema,
     out: &mut Vec<CompiledRule>,
+    stats: &mut CompileStats,
 ) {
+    stats.source_rules += 1;
     let forward = compile_rule(name, predicates, schema_r, schema_s, false);
     let reversed = compile_rule(name, predicates, schema_r, schema_s, true);
     match (forward, reversed) {
         (Some(f), Some(r)) => {
             let symmetric = f.canonical() == r.canonical();
             out.push(f);
-            if !symmetric {
+            if symmetric {
+                stats.symmetric_folded += 1;
+            } else {
                 out.push(r);
             }
         }
-        (Some(f), None) => out.push(f),
-        (None, Some(r)) => out.push(r),
-        (None, None) => {}
+        (Some(f), None) => {
+            stats.dead_orientations += 1;
+            out.push(f);
+        }
+        (None, Some(r)) => {
+            stats.dead_orientations += 1;
+            out.push(r);
+        }
+        (None, None) => stats.dead_orientations += 2,
     }
 }
 
@@ -520,6 +552,37 @@ mod tests {
         let c = CompiledRuleBase::compile(&base, &s1, &s2);
         assert!(c.distinctness[0].identity_shape().is_none());
         assert!(c.distinctness[0].distinct_shape().is_none());
+    }
+
+    #[test]
+    fn compile_stats_account_for_folds_and_drops() {
+        let (s1, s2) = schemas();
+        // rb(): key-eq is symmetric (folded), r3 keeps both
+        // orientations — 2 source rules, 3 compiled, 1 folded, 0 dead.
+        let c = CompiledRuleBase::compile(&rb(), &s1, &s2);
+        assert_eq!(c.stats.source_rules, 2);
+        assert_eq!(c.stats.compiled, 3);
+        assert_eq!(c.stats.symmetric_folded, 1);
+        assert_eq!(c.stats.dead_orientations, 0);
+
+        // A street rule (street only in R) loses its swapped
+        // orientation as dead.
+        let mut base = RuleBase::new();
+        base.add_distinctness(
+            DistinctnessRule::new(
+                "street-rule",
+                vec![
+                    Predicate::attr_const(Side::E1, "street", CmpOp::Eq, "x"),
+                    Predicate::attr_const(Side::E2, "cuisine", CmpOp::Ne, "greek"),
+                ],
+            )
+            .unwrap(),
+        );
+        let c = CompiledRuleBase::compile(&base, &s1, &s2);
+        assert_eq!(c.stats.source_rules, 1);
+        assert_eq!(c.stats.compiled, 1);
+        assert_eq!(c.stats.dead_orientations, 1);
+        assert_eq!(c.stats.symmetric_folded, 0);
     }
 
     #[test]

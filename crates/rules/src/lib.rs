@@ -47,8 +47,8 @@ pub mod pred;
 pub mod rulebase;
 
 pub use compiled::{
-    CompiledOperand, CompiledPredicate, CompiledRule, CompiledRuleBase, DistinctShape,
-    IdentityShape, NeqSide,
+    CompileStats, CompiledOperand, CompiledPredicate, CompiledRule, CompiledRuleBase,
+    DistinctShape, IdentityShape, NeqSide,
 };
 pub use distinctness::{DistinctnessRule, DistinctnessRuleError};
 pub use extended_key::ExtendedKey;

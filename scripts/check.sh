@@ -15,10 +15,13 @@ cargo test -q --workspace
 
 # First-party packages only: the vendored stubs under vendor/ stand in
 # for external dependencies and are not held to the lint/format gate.
-PACKAGES=(entity-id eid-relational eid-ilfd eid-rules eid-core \
+PACKAGES=(entity-id eid-relational eid-ilfd eid-rules eid-obs eid-core \
           eid-baselines eid-datagen eid-bench)
 PKG_FLAGS=()
 for p in "${PACKAGES[@]}"; do PKG_FLAGS+=(-p "$p"); done
+
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q "${PKG_FLAGS[@]}"
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy -D warnings"
@@ -32,6 +35,41 @@ if cargo fmt --version >/dev/null 2>&1; then
     cargo fmt "${PKG_FLAGS[@]}" --check
 else
     echo "==> rustfmt not installed; skipping"
+fi
+
+# Observability smoke: a real CLI run on a sound world (the stock
+# example minus its intentionally-unsound sichuan row) must emit a
+# parseable report whose soundness counters read zero — no pair in
+# both tables (classify/overlap), no §3.3 monotonicity violations —
+# and whose blocking/classification ledgers sum correctly.
+if command -v python3 >/dev/null 2>&1; then
+    echo "==> eid match --report-json smoke"
+    report="$(mktemp)" s_sound="$(mktemp)"
+    trap 'rm -f "$report" "$s_sound"' EXIT
+    grep -v sichuan examples/data/s.csv > "$s_sound"
+    ./target/release/eid match \
+        --r examples/data/r.csv --r-key name,street \
+        --s "$s_sound" --s-key name,speciality,county \
+        --rules examples/data/knowledge.rules --key name,cuisine \
+        --negative --report-json "$report" >/dev/null
+    python3 - "$report" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+counters = {c["name"]: c["value"] for c in report["counters"]}
+stages = {s["path"] for s in report["stages"]}
+assert counters["classify/overlap"] == 0, counters
+assert counters.get("incremental/monotonicity_violations", 0) == 0, counters
+assert counters["block/candidates"] == \
+    counters["block/accepted"] + counters["block/rejected"], counters
+assert counters["classify/mt"] + counters["classify/nmt"] \
+    + counters["classify/undetermined"] \
+    == counters["classify/pairs_total"] + counters["classify/overlap"], counters
+assert {"match", "match/derive", "match/engine"} <= stages, stages
+print(f"    report OK: {len(counters)} counters, {len(stages)} stages")
+EOF
+else
+    echo "==> python3 not installed; skipping --report-json smoke"
 fi
 
 echo "==> all checks passed"

@@ -3,7 +3,8 @@
 //! ```text
 //! eid match --r R.csv --r-key name,street --s S.csv --s-key name,city \
 //!           --rules knowledge.rules --key name,cuisine \
-//!           [--integrated] [--unify prefer-r|prefer-s|null] [--negative]
+//!           [--integrated] [--unify prefer-r|prefer-s|null] [--negative] \
+//!           [--stats] [--report-json PATH]
 //! eid validate --rules knowledge.rules
 //! eid demo
 //! ```
@@ -54,7 +55,8 @@ fn usage() {
 USAGE:
   eid match --r R.csv --r-key a,b --s S.csv --s-key c,d \\
             --rules FILE --key x,y [--integrated] [--negative] \\
-            [--unify prefer-r|prefer-s|null]
+            [--unify prefer-r|prefer-s|null] \\
+            [--stats] [--report-json PATH]
   eid validate --rules FILE
   eid session --r R.csv --r-key a,b --s S.csv --s-key c,d --rules FILE
   eid demo"
@@ -99,8 +101,17 @@ fn required<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a st
 fn cmd_match(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(
         args,
-        &["r", "r-key", "s", "s-key", "rules", "key", "unify"],
-        &["integrated", "negative"],
+        &[
+            "r",
+            "r-key",
+            "s",
+            "s-key",
+            "rules",
+            "key",
+            "unify",
+            "report-json",
+        ],
+        &["integrated", "negative", "stats"],
     )?;
     let r_path = required(&flags, "r")?;
     let s_path = required(&flags, "s")?;
@@ -176,6 +187,16 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         println!();
         println!("{}", render_default("integrated table", table.relation()));
+    }
+    if flags.contains_key("stats") {
+        println!();
+        println!("match report:");
+        print!("{}", outcome.stats);
+    }
+    if let Some(path) = flags.get("report-json") {
+        std::fs::write(path, outcome.stats.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        println!();
+        println!("report written to {path}");
     }
     if let Some(policy) = flags.get("unify") {
         let policy = match policy.as_str() {

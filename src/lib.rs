@@ -18,7 +18,10 @@
 //!   tables, integrated table, prototype session);
 //! * [`baselines`] — the five §2.2 baseline techniques;
 //! * [`datagen`] — paper fixtures and the synthetic integrated-world
-//!   generator.
+//!   generator;
+//! * [`obs`] — first-party observability (counters, histograms,
+//!   spans, [`MatchReport`](eid_obs::MatchReport)): every matching
+//!   run returns a per-stage report in `MatchOutcome::stats`.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +43,7 @@ pub use eid_baselines as baselines;
 pub use eid_core as core;
 pub use eid_datagen as datagen;
 pub use eid_ilfd as ilfd;
+pub use eid_obs as obs;
 pub use eid_relational as relational;
 pub use eid_rules as rules;
 

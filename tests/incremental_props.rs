@@ -7,6 +7,7 @@ use proptest::prelude::*;
 
 use entity_id::core::incremental::{IncrementalMatcher, SideSel};
 use entity_id::core::matcher::{EntityMatcher, MatchConfig};
+use entity_id::core::stats::counter;
 use entity_id::ilfd::{Ilfd, IlfdSet};
 use entity_id::prelude::*;
 use entity_id::relational::Schema;
@@ -104,9 +105,16 @@ proptest! {
                     inc.add_ilfd(ilfd).unwrap();
                 }
             }
-            // Monotonicity: nothing retracted.
+            // Monotonicity: nothing retracted — checked both
+            // structurally and through the matcher's own §3.3
+            // violation counter, which must never tick.
             prop_assert!(inc.matching().includes(&prev_matching));
             prop_assert!(inc.negative().includes(&prev_negative));
+            prop_assert_eq!(
+                inc.report().counter(counter::INCR_MONOTONICITY_VIOLATIONS),
+                0,
+                "monotonicity violation counter ticked"
+            );
             prev_matching = inc.matching().clone();
             prev_negative = inc.negative().clone();
 
@@ -166,4 +174,18 @@ fn long_interleaved_script() {
     // verify() is for).
     let _ = inc.verify();
     assert!(inc.matching().len() + inc.negative().len() + inc.undetermined() > 0);
+
+    // The lifetime report accounts for the script exactly: every
+    // insert succeeded (both keys include a per-i unique attribute),
+    // the ten add_ilfd calls collapse to the three distinct ILFDs
+    // (sp ∈ {0,3,6} all map through i % 9), and §3.3 held throughout.
+    let report = inc.report();
+    assert_eq!(report.counter(counter::INCR_INSERTS), 60);
+    assert_eq!(report.counter(counter::INCR_ILFDS_ADDED), 3);
+    assert_eq!(report.counter(counter::INCR_MONOTONICITY_VIOLATIONS), 0);
+    assert_eq!(
+        report.counter(counter::INCR_PROMOTED),
+        inc.matching().len() as u64,
+        "every matching pair was promoted by exactly one event"
+    );
 }
