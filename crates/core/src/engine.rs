@@ -1,44 +1,58 @@
-//! The blocked matching engine — precompiled rules, inverted-index
-//! blocking, and chunked data parallelism.
+//! The blocked matching engine — precompiled rules lowered into
+//! interned symbol space, inverted-index blocking over columnar
+//! storage, and candidate-pair-chunked data parallelism.
 //!
 //! The seed refutation path evaluates every rule on all `|R|·|S|`
 //! pairs, resolving attribute names against schemas per predicate.
-//! This engine kills that hot path in three stacked steps:
+//! This engine kills that hot path in four stacked steps:
 //!
 //! 1. **Precompilation** ([`eid_rules::compiled`]): the rule base is
 //!    compiled once per run into positional evaluators — no name
 //!    lookups inside the pair loop, dead orientations dropped,
 //!    constants folded.
-//! 2. **Blocking**: rules whose shape admits it become *block plans*
-//!    over hash indexes ([`HashIndex`]). An identity rule with
-//!    cross-relation equalities runs as a hash join; an ILFD-induced
-//!    distinctness rule `(A₁=a₁ ∧ …) → B=b` only visits pairs where
-//!    one side satisfies the antecedent literals and the other
-//!    definitely disagrees on `B` — output-sensitive instead of
-//!    quadratic. Rules with no indexable shape fall back to a
-//!    compiled pairwise scan (*residual* path), chunked by `R` rows.
-//! 3. **Parallelism**: plans and residual chunks form a task queue
-//!    drained by `std::thread::scope` workers; per-task results are
-//!    merged in task order, so the output is identical for any
+//! 2. **Interning** ([`eid_relational::Interner`]): the extended
+//!    relations are encoded once into columnar `u32` symbol ids
+//!    ([`Columns`]) and the compiled rules are lowered to
+//!    [`InternedRule`]s over them — every hot `=`/`≠` predicate is a
+//!    single integer compare against cache-resident columns, with no
+//!    `Value` cloning or `Arc<str>` chasing anywhere in the pair
+//!    loop.
+//! 3. **Blocking**: rules whose shape admits it become *block plans*
+//!    over symbol-keyed inverted indexes. An identity rule with
+//!    cross-relation equalities runs as a hash join on `u32` keys; an
+//!    ILFD-induced distinctness rule `(A₁=a₁ ∧ …) → B=b` only visits
+//!    pairs where one side satisfies the antecedent literals and the
+//!    other definitely disagrees on `B` — output-sensitive instead of
+//!    quadratic. Rules with no indexable shape fall back to an
+//!    interned pairwise scan (*residual* path).
+//! 4. **Parallelism**: each plan's driver rows are split into chunks
+//!    of roughly equal *candidate-pair* weight (not one task per
+//!    rule, whose sizes are wildly uneven), and the chunks form a
+//!    task queue drained by `std::thread::scope` workers. The task
+//!    list does not depend on the worker count and per-task results
+//!    are merged in task order, so the output is identical for any
 //!    thread count.
 //!
 //! Every candidate pair a block plan emits is re-checked with the
-//! full compiled rule before it is reported. That keeps the engine
-//! *sound* by construction — index equality (hashing) and predicate
-//! comparison ([`eid_relational::Value::compare`]) never need to
-//! coincide exactly — and the check is O(1) per emitted pair, so the
-//! cost stays output-sensitive. The one completeness caveat is
-//! inherited from the seed hash join: a pair equal under `compare`
-//! but hash-unequal (only `-0.0` vs `0.0` floats) is not blocked
-//! together. [`JoinAlgorithm::NestedLoop`](crate::JoinAlgorithm) is
-//! retained as the exhaustive oracle.
+//! full interned rule before it is reported, which keeps the engine
+//! *sound* by construction. Completeness of symbol equality is exact:
+//! by the interner's contract, two non-NULL symbols are equal iff
+//! [`Value::compare`](eid_relational::Value::compare) returns `Equal`
+//! (the seed hash join's `-0.0` vs `0.0` blind spot is gone — both
+//! intern to one symbol).
+//! [`JoinAlgorithm::NestedLoop`](crate::JoinAlgorithm) is retained as
+//! the exhaustive oracle.
 
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use eid_obs::Recorder;
-use eid_relational::{FxHashMap, HashIndex, Relation, Tuple, Value};
-use eid_rules::{CompiledRule, CompiledRuleBase, DistinctShape, IdentityShape, NeqSide, RuleBase};
+use eid_relational::{Columns, FxHashMap, Interner, Relation, Sym, NULL_SYM};
+use eid_rules::{
+    CompiledRuleBase, InternedDistinctShape, InternedIdentityShape, InternedRule, InternedRuleBase,
+    NeqSide, RuleBase,
+};
 
 use crate::stats::{counter, histogram, rule_counter, span};
 
@@ -48,15 +62,30 @@ use crate::stats::{counter, histogram, rule_counter, span};
 /// counts are always honoured.
 const PARALLEL_MIN_PAIRS: usize = 50_000;
 
+/// Target candidate-pair weight of one task. Small enough that every
+/// worker stays busy even when one rule dominates the candidate
+/// volume, large enough that per-task accounting is noise.
+const CHUNK_TARGET_PAIRS: u64 = 32_768;
+
+/// Upper bound on tasks per plan (a backstop for enormous inputs;
+/// per-task overhead is ~1µs, so even this many is cheap).
+const MAX_CHUNKS_PER_PLAN: u64 = 256;
+
+/// Ceiling on the per-task output reservation derived from the
+/// chunk's candidate weight (1M pairs = 8 MiB); a backstop so a
+/// degenerate weight estimate cannot trigger a giant allocation.
+const TASK_RESERVE_CAP: u64 = 1 << 20;
+
 /// Pair lists produced by one engine run, as row indices into the
 /// two (extended) relations. Duplicates may appear when several
-/// rules fire on the same pair; `PairTable::insert` deduplicates.
+/// rules fire on the same pair; the matcher dedups on row-index
+/// pairs while converting.
 #[derive(Debug, Clone, Default)]
 pub struct EnginePairs {
     /// Pairs on which an identity rule definitely fired.
-    pub matching: Vec<(usize, usize)>,
+    pub matching: Vec<(u32, u32)>,
     /// Pairs on which a distinctness rule definitely fired.
-    pub negative: Vec<(usize, usize)>,
+    pub negative: Vec<(u32, u32)>,
 }
 
 /// Which relation a plan step reads.
@@ -84,64 +113,158 @@ impl RelSide {
     }
 }
 
-/// One unit of work in the task queue.
-enum Task<'e> {
-    /// Hash-join / literal-probe plan for one identity rule.
+/// How one plan enumerates candidate pairs.
+enum PlanKind<'e> {
+    /// Hash-join / literal-probe plan for one identity rule; drivers
+    /// are the `R`-side rows surviving the literal filter.
     Identity {
-        rule: &'e CompiledRule,
-        shape: IdentityShape,
+        rule: &'e InternedRule,
+        shape: InternedIdentityShape,
     },
     /// Literal-probe × disagreement-scan plan for one distinctness
-    /// rule.
+    /// rule; drivers are the `≠`-side rows that disagree with the
+    /// constant (or satisfy their own literals).
     Distinct {
-        rule: &'e CompiledRule,
-        shape: DistinctShape,
+        rule: &'e InternedRule,
+        shape: InternedDistinctShape,
     },
-    /// Compiled pairwise scan of non-indexable rules over one chunk
-    /// of `R` rows.
+    /// Interned pairwise scan of non-indexable rules; drivers are all
+    /// `R` rows.
     Residual {
-        identity: &'e [&'e CompiledRule],
-        distinct: &'e [&'e CompiledRule],
-        r_range: std::ops::Range<usize>,
+        identity: Vec<&'e InternedRule>,
+        distinct: Vec<&'e InternedRule>,
     },
+}
+
+/// Per-driver candidate-pair weights of a plan.
+enum PlanWeights {
+    /// Every driver contributes the same number of candidates.
+    Uniform(u64),
+    /// Per-driver candidate counts (identity hash joins: the probe
+    /// result sizes).
+    Per(Vec<u32>),
+}
+
+/// One block plan with its precomputed driver rows and weights —
+/// the unit the chunker splits into tasks.
+struct Plan<'e> {
+    kind: PlanKind<'e>,
+    drivers: Vec<u32>,
+    weights: PlanWeights,
+}
+
+impl Plan<'_> {
+    fn total_weight(&self) -> u64 {
+        match &self.weights {
+            PlanWeights::Uniform(w) => w * self.drivers.len() as u64,
+            PlanWeights::Per(v) => v.iter().map(|&x| x as u64).sum(),
+        }
+    }
+
+    fn weight(&self, i: usize) -> u64 {
+        match &self.weights {
+            PlanWeights::Uniform(w) => *w,
+            PlanWeights::Per(v) => v[i] as u64,
+        }
+    }
+}
+
+/// One unit of work: a contiguous driver range of one plan.
+struct Task {
+    plan: usize,
+    drivers: Range<usize>,
+    /// Exact candidate-pair weight of this chunk — the capacity hint
+    /// for refutation output (accept rate there is near 1).
+    est_pairs: u64,
+}
+
+/// Per-task accounting carried back to the main thread. Workers never
+/// touch the recorder (its maps are mutex-guarded; contended lock
+/// hops on the hot path would serialize the scan) — the main thread
+/// flushes every report after the scope ends.
+struct TaskReport {
+    nanos: u64,
+    tally: Tally,
+}
+
+/// One task's local tallies, aggregated per plan before flushing.
+enum Tally {
+    Block {
+        candidates: u64,
+        accepted: u64,
+    },
+    Residual {
+        pairs: u64,
+        matched: u64,
+        refuted: u64,
+    },
+}
+
+/// A symbol-keyed inverted index: multi-column `u32` key → row ids.
+/// Probing borrows the key as `&[Sym]`, so lookups never allocate.
+#[derive(Default)]
+struct SymIndex {
+    map: FxHashMap<Vec<Sym>, Vec<u32>>,
+}
+
+impl SymIndex {
+    fn build(cols: &Columns, positions: &[usize]) -> SymIndex {
+        let mut map: FxHashMap<Vec<Sym>, Vec<u32>> =
+            FxHashMap::with_capacity_and_hasher(cols.rows(), Default::default());
+        for row in 0..cols.rows() {
+            let key: Vec<Sym> = positions.iter().map(|&p| cols.get(row, p)).collect();
+            map.entry(key).or_default().push(row as u32);
+        }
+        SymIndex { map }
+    }
+
+    fn probe(&self, key: &[Sym]) -> &[u32] {
+        self.map.get(key).map_or(&[][..], |v| v.as_slice())
+    }
 }
 
 /// Per-side index caches, built once before the task queue runs.
 #[derive(Default)]
 struct SideIndexes {
     /// Multi-column equality indexes, keyed by sorted positions.
-    multi: FxHashMap<Vec<usize>, HashIndex>,
-    /// Single-column value groups in first-occurrence order (used to
-    /// enumerate tuples *disagreeing* with a constant; deterministic
+    multi: FxHashMap<Vec<usize>, SymIndex>,
+    /// Single-column symbol groups in first-occurrence order (used to
+    /// enumerate rows *disagreeing* with a constant; deterministic
     /// iteration, unlike a raw `HashMap`).
-    groups: FxHashMap<usize, Vec<(Value, Vec<usize>)>>,
+    groups: FxHashMap<usize, Vec<(Sym, Vec<u32>)>>,
 }
 
 /// The blocked matching engine over one (extended) relation pair.
-pub struct BlockedEngine<'a> {
-    ext_r: &'a Relation,
-    ext_s: &'a Relation,
+/// Construction compiles + encodes; afterwards the engine owns its
+/// whole working set (columns, interner, rules) and borrows nothing.
+pub struct BlockedEngine {
     compiled: CompiledRuleBase,
+    interned: InternedRuleBase,
+    interner: Interner,
+    cols_r: Columns,
+    cols_s: Columns,
     threads: usize,
     recorder: Recorder,
 }
 
-impl<'a> BlockedEngine<'a> {
-    /// Compiles `rb` against the two schemas. `threads` = `0` uses
+impl BlockedEngine {
+    /// Compiles `rb` against the two schemas and encodes both
+    /// relations into interned columnar form. `threads` = `0` uses
     /// the machine's available parallelism, `1` runs serially.
-    pub fn new(ext_r: &'a Relation, ext_s: &'a Relation, rb: &RuleBase, threads: usize) -> Self {
+    pub fn new(ext_r: &Relation, ext_s: &Relation, rb: &RuleBase, threads: usize) -> Self {
         Self::with_recorder(ext_r, ext_s, rb, threads, Recorder::new())
     }
 
     /// [`BlockedEngine::new`] recording into a caller-supplied
     /// [`Recorder`] (the matcher threads its run-level recorder
-    /// through here). Compile time and [`CompileStats`] counters are
-    /// recorded immediately.
+    /// through here). Compile/encode time and [`CompileStats`]
+    /// counters are recorded immediately; `alloc/values_interned`
+    /// reports the interner population.
     ///
     /// [`CompileStats`]: eid_rules::CompileStats
     pub fn with_recorder(
-        ext_r: &'a Relation,
-        ext_s: &'a Relation,
+        ext_r: &Relation,
+        ext_s: &Relation,
         rb: &RuleBase,
         threads: usize,
         recorder: Recorder,
@@ -161,10 +284,22 @@ impl<'a> BlockedEngine<'a> {
             counter::COMPILE_DEAD_ORIENTATIONS,
             cs.dead_orientations as u64,
         );
+        let mut interner = Interner::new();
+        let (interned, cols_r, cols_s) = {
+            let _span = recorder.span(span::ENGINE_ENCODE);
+            (
+                InternedRuleBase::from_compiled(&compiled, &mut interner),
+                Columns::encode(ext_r, &mut interner),
+                Columns::encode(ext_s, &mut interner),
+            )
+        };
+        recorder.add(counter::ALLOC_VALUES_INTERNED, interner.len() as u64);
         BlockedEngine {
-            ext_r,
-            ext_s,
             compiled,
+            interned,
+            interner,
+            cols_r,
+            cols_s,
             threads,
             recorder,
         }
@@ -187,69 +322,146 @@ impl<'a> BlockedEngine<'a> {
     pub fn run(&self, record_identity: bool, record_distinct: bool) -> EnginePairs {
         // Plan: indexable rules become block plans, the rest go to
         // the residual pairwise scan.
-        let mut plans: Vec<Task<'_>> = Vec::new();
-        let mut residual_identity: Vec<&CompiledRule> = Vec::new();
-        let mut residual_distinct: Vec<&CompiledRule> = Vec::new();
+        let mut kinds: Vec<PlanKind<'_>> = Vec::new();
+        let mut residual_identity: Vec<&InternedRule> = Vec::new();
+        let mut residual_distinct: Vec<&InternedRule> = Vec::new();
         if record_identity {
-            for rule in &self.compiled.identity {
+            for rule in &self.interned.identity {
                 match rule.identity_shape() {
-                    Some(shape) => plans.push(Task::Identity { rule, shape }),
+                    Some(shape) => kinds.push(PlanKind::Identity { rule, shape }),
                     None => residual_identity.push(rule),
                 }
             }
         }
         if record_distinct {
-            for rule in &self.compiled.distinctness {
+            for rule in &self.interned.distinctness {
                 match rule.distinct_shape() {
-                    Some(shape) => plans.push(Task::Distinct { rule, shape }),
+                    Some(shape) => kinds.push(PlanKind::Distinct { rule, shape }),
                     None => residual_distinct.push(rule),
                 }
             }
         }
-
-        let workers = self.resolve_threads();
         if !residual_identity.is_empty() || !residual_distinct.is_empty() {
-            // Split the quadratic residual scan into enough chunks to
-            // keep all workers busy alongside the block plans.
-            let r_len = self.ext_r.len();
-            let chunks = (workers * 3).min(r_len.max(1));
-            let step = r_len.div_ceil(chunks.max(1)).max(1);
-            let mut start = 0;
-            while start < r_len {
-                let end = (start + step).min(r_len);
-                plans.push(Task::Residual {
-                    identity: &residual_identity,
-                    distinct: &residual_distinct,
-                    r_range: start..end,
-                });
-                start = end;
-            }
+            kinds.push(PlanKind::Residual {
+                identity: residual_identity,
+                distinct: residual_distinct,
+            });
         }
 
-        let indexes = {
+        let (plans, indexes) = {
             let _span = self.recorder.span(span::ENGINE_INDEX);
-            self.build_indexes(&plans)
+            let indexes = self.build_indexes(&kinds);
+            let plans = self.build_plans(kinds, &indexes);
+            (plans, indexes)
         };
-        self.recorder.add(counter::ENGINE_TASKS, plans.len() as u64);
-        let outputs = self.run_tasks(&plans, &indexes, workers);
+
+        // Chunk every plan by candidate-pair weight. The task list is
+        // independent of the worker count, so output order (= task
+        // order = plan order, drivers in driver order) is identical
+        // for any thread count.
+        let mut tasks: Vec<Task> = Vec::new();
+        for (pid, plan) in plans.iter().enumerate() {
+            for (drivers, est_pairs) in chunk_ranges(plan) {
+                tasks.push(Task {
+                    plan: pid,
+                    drivers,
+                    est_pairs,
+                });
+            }
+        }
+        self.recorder.add(counter::ENGINE_TASKS, tasks.len() as u64);
+
+        let workers = self.resolve_threads();
+        let outputs = self.run_tasks(&plans, &tasks, &indexes, workers);
+        self.flush_reports(&plans, &tasks, &outputs);
 
         let mut result = EnginePairs::default();
-        for out in outputs {
+        result
+            .matching
+            .reserve(outputs.iter().map(|(o, _)| o.matching.len()).sum());
+        result
+            .negative
+            .reserve(outputs.iter().map(|(o, _)| o.negative.len()).sum());
+        for (out, _) in outputs {
             result.matching.extend(out.matching);
             result.negative.extend(out.negative);
         }
         result
     }
 
+    /// Flushes every task's accounting from the main thread, after
+    /// the worker scope has ended: wall time into the task histogram
+    /// and the family busy-span, tallies aggregated per plan into the
+    /// blocking/residual counters. Totals are identical to flushing
+    /// per task; only the contention moves off the hot path.
+    fn flush_reports(
+        &self,
+        plans: &[Plan<'_>],
+        tasks: &[Task],
+        outputs: &[(EnginePairs, TaskReport)],
+    ) {
+        let task_nanos = self.recorder.histogram(histogram::ENGINE_TASK_NANOS);
+        let mut block: Vec<(u64, u64)> = vec![(0, 0); plans.len()];
+        let mut residual = (0u64, 0u64, 0u64);
+        for (task, (_, report)) in tasks.iter().zip(outputs) {
+            task_nanos.record(report.nanos);
+            let path = match plans[task.plan].kind {
+                PlanKind::Identity { .. } => span::ENGINE_IDENTITY,
+                PlanKind::Distinct { .. } => span::ENGINE_REFUTE,
+                PlanKind::Residual { .. } => span::ENGINE_RESIDUAL,
+            };
+            self.recorder.record_span(path, report.nanos);
+            match report.tally {
+                Tally::Block {
+                    candidates,
+                    accepted,
+                } => {
+                    block[task.plan].0 += candidates;
+                    block[task.plan].1 += accepted;
+                }
+                Tally::Residual {
+                    pairs,
+                    matched,
+                    refuted,
+                } => {
+                    residual.0 += pairs;
+                    residual.1 += matched;
+                    residual.2 += refuted;
+                }
+            }
+        }
+        for (plan, &(candidates, accepted)) in plans.iter().zip(&block) {
+            match &plan.kind {
+                PlanKind::Identity { rule, .. } => {
+                    self.flush_block("identity", &rule.name, candidates, accepted)
+                }
+                PlanKind::Distinct { rule, .. } => {
+                    self.flush_block("distinct", &rule.name, candidates, accepted)
+                }
+                PlanKind::Residual { .. } => {
+                    self.recorder.add(counter::RESIDUAL_PAIRS, residual.0);
+                    self.recorder.add(counter::RESIDUAL_MATCHED, residual.1);
+                    self.recorder.add(counter::RESIDUAL_REFUTED, residual.2);
+                }
+            }
+        }
+    }
+
     fn resolve_threads(&self) -> usize {
         match self.threads {
             0 => {
-                let est_pairs = self.ext_r.len().saturating_mul(self.ext_s.len());
+                let est_pairs = self.cols_r.rows().saturating_mul(self.cols_s.rows());
                 if est_pairs < PARALLEL_MIN_PAIRS {
                     self.recorder.add(counter::ENGINE_SERIAL_FALLBACK, 1);
                     1
                 } else {
-                    std::thread::available_parallelism().map_or(1, |n| n.get())
+                    // Floor at 2: on single-core hosts the scoped
+                    // workers just timeslice (the chunked queue makes
+                    // oversubscription harmless), and the parallel
+                    // path — and its observability — actually runs.
+                    std::thread::available_parallelism()
+                        .map_or(2, |n| n.get())
+                        .max(2)
                 }
             }
             n => n,
@@ -258,28 +470,38 @@ impl<'a> BlockedEngine<'a> {
 
     /// Runs the task queue; outputs come back ordered by task id
     /// regardless of which worker ran what.
-    fn run_tasks(&self, tasks: &[Task<'_>], indexes: &Indexes, workers: usize) -> Vec<EnginePairs> {
+    fn run_tasks(
+        &self,
+        plans: &[Plan<'_>],
+        tasks: &[Task],
+        indexes: &Indexes,
+        workers: usize,
+    ) -> Vec<(EnginePairs, TaskReport)> {
         let workers = workers.min(tasks.len()).max(1);
         self.recorder.add(counter::ENGINE_WORKERS, workers as u64);
         if workers == 1 {
-            return tasks.iter().map(|t| self.run_timed(t, indexes)).collect();
+            return tasks
+                .iter()
+                .map(|t| self.run_timed(plans, t, indexes))
+                .collect();
         }
         let next = AtomicUsize::new(0);
-        let mut slots: Vec<(usize, EnginePairs)> = Vec::with_capacity(tasks.len());
+        let drain = || {
+            let mut local = Vec::new();
+            loop {
+                let id = next.fetch_add(1, Ordering::Relaxed);
+                let Some(task) = tasks.get(id) else { break };
+                local.push((id, self.run_timed(plans, task, indexes)));
+            }
+            local
+        };
+        let mut slots: Vec<(usize, (EnginePairs, TaskReport))> = Vec::with_capacity(tasks.len());
         std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut local = Vec::new();
-                        loop {
-                            let id = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(task) = tasks.get(id) else { break };
-                            local.push((id, self.run_timed(task, indexes)));
-                        }
-                        local
-                    })
-                })
-                .collect();
+            // The calling thread is worker 0: spawning `workers - 1`
+            // threads instead of `workers` keeps it busy draining the
+            // queue rather than parked at the join.
+            let handles: Vec<_> = (1..workers).map(|_| scope.spawn(drain)).collect();
+            slots.extend(drain());
             for h in handles {
                 slots.extend(h.join().expect("engine worker panicked"));
             }
@@ -288,66 +510,68 @@ impl<'a> BlockedEngine<'a> {
         slots.into_iter().map(|(_, out)| out).collect()
     }
 
-    /// [`BlockedEngine::run_task`] plus per-task accounting: wall
-    /// time goes into the `engine/task_nanos` histogram and the task
-    /// family's busy-time span. One recorder touch per *task*, never
-    /// per pair.
-    fn run_timed(&self, task: &Task<'_>, indexes: &Indexes) -> EnginePairs {
+    /// [`BlockedEngine::run_task`] plus wall-time measurement. No
+    /// recorder traffic here — this runs inside worker threads; the
+    /// report is flushed by [`BlockedEngine::flush_reports`] on the
+    /// main thread.
+    fn run_timed(
+        &self,
+        plans: &[Plan<'_>],
+        task: &Task,
+        indexes: &Indexes,
+    ) -> (EnginePairs, TaskReport) {
         let start = Instant::now();
-        let out = self.run_task(task, indexes);
+        let (out, tally) = self.run_task(plans, task, indexes);
         let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-        self.recorder
-            .histogram(histogram::ENGINE_TASK_NANOS)
-            .record(nanos);
-        let path = match task {
-            Task::Identity { .. } => span::ENGINE_IDENTITY,
-            Task::Distinct { .. } => span::ENGINE_REFUTE,
-            Task::Residual { .. } => span::ENGINE_RESIDUAL,
-        };
-        self.recorder.record_span(path, nanos);
-        out
+        (out, TaskReport { nanos, tally })
     }
 
-    fn run_task(&self, task: &Task<'_>, indexes: &Indexes) -> EnginePairs {
+    fn run_task(&self, plans: &[Plan<'_>], task: &Task, indexes: &Indexes) -> (EnginePairs, Tally) {
         let mut out = EnginePairs::default();
-        match task {
-            Task::Identity { rule, shape } => {
-                self.run_identity(rule, shape, indexes, &mut out.matching)
+        let plan = &plans[task.plan];
+        let drivers = &plan.drivers[task.drivers.clone()];
+        let tally = match &plan.kind {
+            PlanKind::Identity { rule, shape } => {
+                self.run_identity(rule, shape, drivers, indexes, &mut out.matching)
             }
-            Task::Distinct { rule, shape } => {
-                self.run_distinct(rule, shape, indexes, &mut out.negative)
+            PlanKind::Distinct { rule, shape } => {
+                out.negative
+                    .reserve(task.est_pairs.min(TASK_RESERVE_CAP) as usize);
+                self.run_distinct(rule, shape, drivers, indexes, &mut out.negative)
             }
-            Task::Residual {
-                identity,
-                distinct,
-                r_range,
-            } => {
+            PlanKind::Residual { identity, distinct } => {
                 let mut pairs = 0u64;
                 let mut matched = 0u64;
                 let mut refuted = 0u64;
-                for i in r_range.clone() {
-                    let tr = &self.ext_r.tuples()[i];
-                    for (j, ts) in self.ext_s.iter().enumerate() {
+                let s_rows = self.cols_s.rows();
+                for &i in drivers {
+                    for j in 0..s_rows {
                         pairs += 1;
-                        if identity.iter().any(|r| r.fires(tr, ts)) {
+                        if identity.iter().any(|r| {
+                            r.fires(&self.cols_r, i as usize, &self.cols_s, j, &self.interner)
+                        }) {
                             matched += 1;
-                            out.matching.push((i, j));
+                            out.matching.push((i, j as u32));
                         }
-                        if distinct.iter().any(|r| r.fires(tr, ts)) {
+                        if distinct.iter().any(|r| {
+                            r.fires(&self.cols_r, i as usize, &self.cols_s, j, &self.interner)
+                        }) {
                             refuted += 1;
-                            out.negative.push((i, j));
+                            out.negative.push((i, j as u32));
                         }
                     }
                 }
-                self.recorder.add(counter::RESIDUAL_PAIRS, pairs);
-                self.recorder.add(counter::RESIDUAL_MATCHED, matched);
-                self.recorder.add(counter::RESIDUAL_REFUTED, refuted);
+                Tally::Residual {
+                    pairs,
+                    matched,
+                    refuted,
+                }
             }
-        }
-        out
+        };
+        (out, tally)
     }
 
-    /// Flushes one block plan's local tallies: global blocking
+    /// Flushes one block plan's aggregated tallies: global blocking
     /// precision plus the per-rule breakdown.
     fn flush_block(&self, family: &str, rule: &str, candidates: u64, accepted: u64) {
         self.recorder.add(counter::BLOCK_CANDIDATES, candidates);
@@ -360,137 +584,141 @@ impl<'a> BlockedEngine<'a> {
             .add(&rule_counter(family, rule, "accepted"), accepted);
     }
 
-    /// Identity block plan: probe `R` candidates through the literal
-    /// index, then hash-join into `S` on the join columns (literal
-    /// constants folded into the probe key). Without join columns the
-    /// plan degrades to literal-filtered cross product — the shape of
-    /// constant-only rules like the paper's `r1`.
+    /// Identity block plan over one driver chunk: the drivers are the
+    /// literal-filtered `R` rows; with join columns each probes the
+    /// symbol-keyed `S` index (literal constants folded into the
+    /// probe key), without them the plan degrades to a
+    /// literal-filtered cross product — the shape of constant-only
+    /// rules like the paper's `r1`.
     fn run_identity(
         &self,
-        rule: &CompiledRule,
-        shape: &IdentityShape,
+        rule: &InternedRule,
+        shape: &InternedIdentityShape,
+        drivers: &[u32],
         indexes: &Indexes,
-        out: &mut Vec<(usize, usize)>,
-    ) {
+        out: &mut Vec<(u32, u32)>,
+    ) -> Tally {
         let mut candidates = 0u64;
         let mut accepted = 0u64;
-        let r_rows = indexes.lit_rows(RelSide::R, &shape.r_lits, self.ext_r.len());
         if shape.join.is_empty() {
-            let s_rows = indexes.lit_rows(RelSide::S, &shape.s_lits, self.ext_s.len());
-            for i in r_rows.iter() {
-                let tr = &self.ext_r.tuples()[i];
+            let s_rows = indexes.lit_rows(RelSide::S, &shape.s_lits, self.cols_s.rows());
+            for &i in drivers {
                 for j in s_rows.iter() {
                     candidates += 1;
-                    if rule.fires(tr, &self.ext_s.tuples()[j]) {
+                    if rule.fires(
+                        &self.cols_r,
+                        i as usize,
+                        &self.cols_s,
+                        j as usize,
+                        &self.interner,
+                    ) {
                         accepted += 1;
                         out.push((i, j));
                     }
                 }
             }
-            self.flush_block("identity", &rule.name, candidates, accepted);
-            return;
+            return Tally::Block {
+                candidates,
+                accepted,
+            };
         }
         let positions = identity_probe_positions(shape);
         let index = indexes.multi(RelSide::S, &positions);
-        for i in r_rows.iter() {
-            let tr = &self.ext_r.tuples()[i];
-            let Some(key) = identity_probe_key(shape, &positions, tr) else {
+        let mut key = vec![NULL_SYM; positions.len()];
+        for &i in drivers {
+            if !identity_probe_key(shape, &positions, &self.cols_r, i as usize, &mut key) {
                 continue;
-            };
+            }
             for &j in index.probe(&key) {
                 candidates += 1;
-                if rule.fires(tr, &self.ext_s.tuples()[j]) {
+                if rule.fires(
+                    &self.cols_r,
+                    i as usize,
+                    &self.cols_s,
+                    j as usize,
+                    &self.interner,
+                ) {
                     accepted += 1;
                     out.push((i, j));
                 }
             }
         }
-        self.flush_block("identity", &rule.name, candidates, accepted);
+        Tally::Block {
+            candidates,
+            accepted,
+        }
     }
 
-    /// Distinctness block plan: the literal side comes from an index
-    /// probe; the `≠` side enumerates only value groups disagreeing
-    /// with the constant (or its own literal probe, when it has
-    /// literals too). Cost is proportional to the refuted pairs, not
-    /// to `|R|·|S|`.
+    /// Distinctness block plan over one driver chunk: the drivers are
+    /// the `≠`-side rows (disagreement-group members, or that side's
+    /// own literal probe); each pairs with every literal-probe row of
+    /// the opposite side. Cost is proportional to the refuted pairs,
+    /// not to `|R|·|S|`.
     fn run_distinct(
         &self,
-        rule: &CompiledRule,
-        shape: &DistinctShape,
+        rule: &InternedRule,
+        shape: &InternedDistinctShape,
+        drivers: &[u32],
         indexes: &Indexes,
-        out: &mut Vec<(usize, usize)>,
-    ) {
-        let (neq_side, neq_pos, neq_value) = (&shape.neq.0, shape.neq.1, &shape.neq.2);
-        let neq_side = RelSide::from(*neq_side);
+        out: &mut Vec<(u32, u32)>,
+    ) -> Tally {
+        let neq_side = RelSide::from(shape.neq.0);
         let lit_side = neq_side.opposite();
-        let (lit_lits, neq_lits) = match neq_side {
-            RelSide::R => (&shape.s_lits, &shape.r_lits),
-            RelSide::S => (&shape.r_lits, &shape.s_lits),
+        let lit_lits = match neq_side {
+            RelSide::R => &shape.s_lits,
+            RelSide::S => &shape.r_lits,
         };
-        let lit_rows = indexes.lit_rows(lit_side, lit_lits, self.side_len(lit_side));
-        if lit_rows.is_empty() {
-            self.flush_block("distinct", &rule.name, 0, 0);
-            return;
-        }
+        let lit_rows = indexes.lit_rows(lit_side, lit_lits, self.side_rows(lit_side));
         let mut candidates = 0u64;
         let mut accepted = 0u64;
-        let mut emit = |lit_row: usize, neq_row: usize, out: &mut Vec<(usize, usize)>| {
-            let (i, j) = match neq_side {
-                RelSide::R => (neq_row, lit_row),
-                RelSide::S => (lit_row, neq_row),
-            };
-            candidates += 1;
-            if rule.fires(&self.ext_r.tuples()[i], &self.ext_s.tuples()[j]) {
-                accepted += 1;
-                out.push((i, j));
-            }
-        };
-        if neq_lits.is_empty() {
-            // The ILFD-induced shape: enumerate disagreement groups.
-            for (value, rows) in indexes.groups(neq_side, neq_pos) {
-                if value == neq_value {
-                    continue;
-                }
-                for &neq_row in rows {
-                    for lit_row in lit_rows.iter() {
-                        emit(lit_row, neq_row, out);
-                    }
-                }
-            }
-        } else {
-            let neq_rows = indexes.lit_rows(neq_side, neq_lits, self.side_len(neq_side));
-            for neq_row in neq_rows.iter() {
-                for lit_row in lit_rows.iter() {
-                    emit(lit_row, neq_row, out);
+        for &neq_row in drivers {
+            for lit_row in lit_rows.iter() {
+                let (i, j) = match neq_side {
+                    RelSide::R => (neq_row, lit_row),
+                    RelSide::S => (lit_row, neq_row),
+                };
+                candidates += 1;
+                if rule.fires(
+                    &self.cols_r,
+                    i as usize,
+                    &self.cols_s,
+                    j as usize,
+                    &self.interner,
+                ) {
+                    accepted += 1;
+                    out.push((i, j));
                 }
             }
         }
-        self.flush_block("distinct", &rule.name, candidates, accepted);
-    }
-
-    fn side_len(&self, side: RelSide) -> usize {
-        match side {
-            RelSide::R => self.ext_r.len(),
-            RelSide::S => self.ext_s.len(),
+        Tally::Block {
+            candidates,
+            accepted,
         }
     }
 
-    fn side_rel(&self, side: RelSide) -> &Relation {
+    fn side_rows(&self, side: RelSide) -> usize {
         match side {
-            RelSide::R => self.ext_r,
-            RelSide::S => self.ext_s,
+            RelSide::R => self.cols_r.rows(),
+            RelSide::S => self.cols_s.rows(),
+        }
+    }
+
+    fn side_cols(&self, side: RelSide) -> &Columns {
+        match side {
+            RelSide::R => &self.cols_r,
+            RelSide::S => &self.cols_s,
         }
     }
 
     /// Walks the plans once and eagerly builds every index they will
     /// probe, so the (read-only) cache can be shared across workers.
-    fn build_indexes(&self, plans: &[Task<'_>]) -> Indexes {
+    fn build_indexes(&self, kinds: &[PlanKind<'_>]) -> Indexes {
         let mut indexes = Indexes::default();
         let mut want_multi: Vec<(RelSide, Vec<usize>)> = Vec::new();
         let mut want_groups: Vec<(RelSide, usize)> = Vec::new();
-        for plan in plans {
-            match plan {
-                Task::Identity { shape, .. } => {
+        for kind in kinds {
+            match kind {
+                PlanKind::Identity { shape, .. } => {
                     if let Some(p) = lit_positions(&shape.r_lits) {
                         want_multi.push((RelSide::R, p));
                     }
@@ -502,7 +730,7 @@ impl<'a> BlockedEngine<'a> {
                         want_multi.push((RelSide::S, identity_probe_positions(shape)));
                     }
                 }
-                Task::Distinct { shape, .. } => {
+                PlanKind::Distinct { shape, .. } => {
                     let neq_side = RelSide::from(shape.neq.0);
                     let (lit_lits, neq_lits) = match neq_side {
                         RelSide::R => (&shape.s_lits, &shape.r_lits),
@@ -516,26 +744,137 @@ impl<'a> BlockedEngine<'a> {
                         None => want_groups.push((neq_side, shape.neq.1)),
                     }
                 }
-                Task::Residual { .. } => {}
+                PlanKind::Residual { .. } => {}
             }
         }
         for (side, positions) in want_multi {
+            let cols = self.side_cols(side);
             indexes
                 .side_mut(side)
                 .multi
                 .entry(positions.clone())
-                .or_insert_with(|| HashIndex::build_at(self.side_rel(side), positions));
+                .or_insert_with(|| SymIndex::build(cols, &positions));
         }
         for (side, pos) in want_groups {
-            let rel = self.side_rel(side);
+            let cols = self.side_cols(side);
             indexes
                 .side_mut(side)
                 .groups
                 .entry(pos)
-                .or_insert_with(|| column_groups(rel, pos));
+                .or_insert_with(|| column_groups(cols, pos));
         }
         indexes
     }
+
+    /// Materializes each plan's driver rows and per-driver candidate
+    /// weights (exact probe-result sizes for identity hash joins,
+    /// uniform fan-out everywhere else) — what the chunker splits by.
+    fn build_plans<'e>(&self, kinds: Vec<PlanKind<'e>>, indexes: &Indexes) -> Vec<Plan<'e>> {
+        let mut plans = Vec::with_capacity(kinds.len() + 1);
+        for kind in kinds {
+            let (drivers, weights) = match &kind {
+                PlanKind::Identity { shape, .. } => {
+                    let drivers = indexes
+                        .lit_rows(RelSide::R, &shape.r_lits, self.cols_r.rows())
+                        .to_vec();
+                    if shape.join.is_empty() {
+                        let fan_out = indexes
+                            .lit_rows(RelSide::S, &shape.s_lits, self.cols_s.rows())
+                            .len() as u64;
+                        (drivers, PlanWeights::Uniform(fan_out))
+                    } else {
+                        let positions = identity_probe_positions(shape);
+                        let index = indexes.multi(RelSide::S, &positions);
+                        let mut key = vec![NULL_SYM; positions.len()];
+                        let weights = drivers
+                            .iter()
+                            .map(|&i| {
+                                if identity_probe_key(
+                                    shape,
+                                    &positions,
+                                    &self.cols_r,
+                                    i as usize,
+                                    &mut key,
+                                ) {
+                                    index.probe(&key).len() as u32
+                                } else {
+                                    0
+                                }
+                            })
+                            .collect();
+                        (drivers, PlanWeights::Per(weights))
+                    }
+                }
+                PlanKind::Distinct { shape, .. } => {
+                    let neq_side = RelSide::from(shape.neq.0);
+                    let (lit_lits, neq_lits) = match neq_side {
+                        RelSide::R => (&shape.s_lits, &shape.r_lits),
+                        RelSide::S => (&shape.r_lits, &shape.s_lits),
+                    };
+                    let fan_out = indexes
+                        .lit_rows(
+                            neq_side.opposite(),
+                            lit_lits,
+                            self.side_rows(neq_side.opposite()),
+                        )
+                        .len() as u64;
+                    let drivers = if fan_out == 0 {
+                        Vec::new() // nothing to pair with
+                    } else if neq_lits.is_empty() {
+                        // The ILFD-induced shape: rows disagreeing
+                        // with the constant, in group order.
+                        let mut drivers = Vec::new();
+                        for (sym, rows) in indexes.groups(neq_side, shape.neq.1) {
+                            if *sym != shape.neq.2 {
+                                drivers.extend_from_slice(rows);
+                            }
+                        }
+                        drivers
+                    } else {
+                        indexes
+                            .lit_rows(neq_side, neq_lits, self.side_rows(neq_side))
+                            .to_vec()
+                    };
+                    (drivers, PlanWeights::Uniform(fan_out))
+                }
+                PlanKind::Residual { .. } => (
+                    (0..self.cols_r.rows() as u32).collect(),
+                    PlanWeights::Uniform(self.cols_s.rows() as u64),
+                ),
+            };
+            plans.push(Plan {
+                kind,
+                drivers,
+                weights,
+            });
+        }
+        plans
+    }
+}
+
+/// Splits one plan's drivers into contiguous ranges of roughly
+/// [`CHUNK_TARGET_PAIRS`] candidate weight each, paired with each
+/// range's exact weight. Always yields at least one range, so even
+/// empty plans appear in the task list (and flush zero tallies).
+fn chunk_ranges(plan: &Plan<'_>) -> Vec<(Range<usize>, u64)> {
+    let len = plan.drivers.len();
+    let total = plan.total_weight();
+    let target = CHUNK_TARGET_PAIRS.max(total.div_ceil(MAX_CHUNKS_PER_PLAN));
+    let mut ranges = Vec::new();
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for i in 0..len {
+        acc += plan.weight(i);
+        if acc >= target {
+            ranges.push((start..i + 1, acc));
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < len || ranges.is_empty() {
+        ranges.push((start..len, acc));
+    }
+    ranges
 }
 
 /// The shared, read-only index cache.
@@ -560,17 +899,17 @@ impl Indexes {
         }
     }
 
-    fn multi(&self, side: RelSide, positions: &[usize]) -> &HashIndex {
+    fn multi(&self, side: RelSide, positions: &[usize]) -> &SymIndex {
         &self.side(side).multi[positions]
     }
 
-    fn groups(&self, side: RelSide, pos: usize) -> &[(Value, Vec<usize>)] {
+    fn groups(&self, side: RelSide, pos: usize) -> &[(Sym, Vec<u32>)] {
         &self.side(side).groups[&pos]
     }
 
     /// The candidate rows satisfying equality literals: an index
     /// probe when there are literals, every row otherwise.
-    fn lit_rows(&self, side: RelSide, lits: &[(usize, Value)], len: usize) -> LitRows<'_> {
+    fn lit_rows(&self, side: RelSide, lits: &[(usize, Sym)], len: usize) -> LitRows<'_> {
         match lit_positions(lits) {
             None => LitRows::All(len),
             Some(positions) => {
@@ -586,28 +925,35 @@ enum LitRows<'a> {
     /// Every row `0..len`.
     All(usize),
     /// The rows returned by an index probe.
-    Probed(&'a [usize]),
+    Probed(&'a [u32]),
 }
 
 impl LitRows<'_> {
-    fn is_empty(&self) -> bool {
+    fn len(&self) -> usize {
         match self {
-            LitRows::All(len) => *len == 0,
-            LitRows::Probed(rows) => rows.is_empty(),
+            LitRows::All(len) => *len,
+            LitRows::Probed(rows) => rows.len(),
         }
     }
 
-    fn iter(&self) -> Box<dyn Iterator<Item = usize> + '_> {
+    fn iter(&self) -> Box<dyn Iterator<Item = u32> + '_> {
         match self {
-            LitRows::All(len) => Box::new(0..*len),
+            LitRows::All(len) => Box::new(0..*len as u32),
             LitRows::Probed(rows) => Box::new(rows.iter().copied()),
+        }
+    }
+
+    fn to_vec(&self) -> Vec<u32> {
+        match self {
+            LitRows::All(len) => (0..*len as u32).collect(),
+            LitRows::Probed(rows) => rows.to_vec(),
         }
     }
 }
 
 /// Sorted, deduplicated positions of a literal list; `None` when
 /// there are no literals.
-fn lit_positions(lits: &[(usize, Value)]) -> Option<Vec<usize>> {
+fn lit_positions(lits: &[(usize, Sym)]) -> Option<Vec<usize>> {
     if lits.is_empty() {
         return None;
     }
@@ -618,26 +964,24 @@ fn lit_positions(lits: &[(usize, Value)]) -> Option<Vec<usize>> {
 }
 
 /// The probe key aligned with [`lit_positions`]: the first literal
-/// value seen for each position. (A rule carrying two *different*
+/// symbol seen for each position. (A rule carrying two *different*
 /// constants for one position can never fire; the final
 /// verify-with-`fires` check rejects its candidates.)
-fn lit_probe_key(lits: &[(usize, Value)], positions: &[usize]) -> Tuple {
-    let values = positions
+fn lit_probe_key(lits: &[(usize, Sym)], positions: &[usize]) -> Vec<Sym> {
+    positions
         .iter()
         .map(|p| {
             lits.iter()
                 .find(|(lp, _)| lp == p)
                 .expect("position came from these literals")
                 .1
-                .clone()
         })
-        .collect();
-    Tuple::new(values)
+        .collect()
 }
 
 /// `S`-side index positions for an identity plan: join columns plus
 /// `S` literal columns, merged and sorted.
-fn identity_probe_positions(shape: &IdentityShape) -> Vec<usize> {
+fn identity_probe_positions(shape: &InternedIdentityShape) -> Vec<usize> {
     let mut positions: Vec<usize> = shape.join.iter().map(|(_, sp)| *sp).collect();
     positions.extend(shape.s_lits.iter().map(|(p, _)| *p));
     positions.sort_unstable();
@@ -645,16 +989,21 @@ fn identity_probe_positions(shape: &IdentityShape) -> Vec<usize> {
     positions
 }
 
-/// The probe key for [`identity_probe_positions`]: join columns take
-/// the `R` tuple's value, literal columns their constant (literals
-/// win when a column is both — the verify check covers the rest).
-/// `None` when a join value is NULL (the rule cannot definitely
-/// fire).
-fn identity_probe_key(shape: &IdentityShape, positions: &[usize], tr: &Tuple) -> Option<Tuple> {
-    let mut values = Vec::with_capacity(positions.len());
-    for sp in positions {
-        if let Some((_, v)) = shape.s_lits.iter().find(|(p, _)| p == sp) {
-            values.push(v.clone());
+/// Fills `key` (the caller's scratch buffer, one slot per
+/// [`identity_probe_positions`] entry): join columns take the `R`
+/// row's symbol, literal columns their constant (literals win when a
+/// column is both — the verify check covers the rest). `false` when a
+/// join symbol is NULL (the rule cannot definitely fire).
+fn identity_probe_key(
+    shape: &InternedIdentityShape,
+    positions: &[usize],
+    cols_r: &Columns,
+    row: usize,
+    key: &mut [Sym],
+) -> bool {
+    for (slot, sp) in positions.iter().enumerate() {
+        if let Some((_, sym)) = shape.s_lits.iter().find(|(p, _)| p == sp) {
+            key[slot] = *sym;
             continue;
         }
         let (rp, _) = shape
@@ -662,30 +1011,29 @@ fn identity_probe_key(shape: &IdentityShape, positions: &[usize], tr: &Tuple) ->
             .iter()
             .find(|(_, p)| p == sp)
             .expect("position came from join or literals");
-        let v = tr.get(*rp);
-        if v.is_null() {
-            return None;
+        let sym = cols_r.get(row, *rp);
+        if sym == NULL_SYM {
+            return false;
         }
-        values.push(v.clone());
+        key[slot] = sym;
     }
-    Some(Tuple::new(values))
+    true
 }
 
-/// Groups a column's rows by value, skipping NULLs, in
+/// Groups a column's rows by symbol, skipping NULLs, in
 /// first-occurrence order (deterministic iteration).
-fn column_groups(rel: &Relation, pos: usize) -> Vec<(Value, Vec<usize>)> {
-    let mut slot_of: FxHashMap<Value, usize> = FxHashMap::default();
-    let mut groups: Vec<(Value, Vec<usize>)> = Vec::new();
-    for (i, t) in rel.iter().enumerate() {
-        let v = t.get(pos);
-        if v.is_null() {
+fn column_groups(cols: &Columns, pos: usize) -> Vec<(Sym, Vec<u32>)> {
+    let mut slot_of: FxHashMap<Sym, usize> = FxHashMap::default();
+    let mut groups: Vec<(Sym, Vec<u32>)> = Vec::new();
+    for (row, &sym) in cols.col(pos).iter().enumerate() {
+        if sym == NULL_SYM {
             continue;
         }
-        let slot = *slot_of.entry(v.clone()).or_insert_with(|| {
-            groups.push((v.clone(), Vec::new()));
+        let slot = *slot_of.entry(sym).or_insert_with(|| {
+            groups.push((sym, Vec::new()));
             groups.len() - 1
         });
-        groups[slot].1.push(i);
+        groups[slot].1.push(row as u32);
     }
     groups
 }

@@ -197,8 +197,8 @@ impl IncrementalMatcher {
         let pairs = engine.run(false, true);
         let mut new = Vec::new();
         for (i, j) in pairs.negative {
-            let rk = self.r.primary_key_of(&self.r.tuples()[i]);
-            let sk = self.s.primary_key_of(&self.s.tuples()[j]);
+            let rk = self.r.primary_key_of(&self.r.tuples()[i as usize]);
+            let sk = self.s.primary_key_of(&self.s.tuples()[j as usize]);
             if self.negative.insert(rk.clone(), sk.clone()) {
                 new.push(PairEntry {
                     r_key: rk,

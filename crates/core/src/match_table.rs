@@ -29,19 +29,57 @@ pub struct PairEntry {
     pub s_key: Tuple,
 }
 
+/// The blocked arm's zero-copy table backing: deduplicated row-index
+/// pairs into two shared key pools (one projected key tuple per
+/// *row*, not per pair). `MT_RS` and `NMT_RS` share the same pools.
+#[derive(Debug, Clone)]
+struct CompactPairs {
+    pk_r: Arc<[Tuple]>,
+    pk_s: Arc<[Tuple]>,
+    pairs: Vec<(u32, u32)>,
+}
+
+impl CompactPairs {
+    fn decode(&self) -> Vec<PairEntry> {
+        self.pairs
+            .iter()
+            .map(|&(i, j)| PairEntry {
+                r_key: self.pk_r[i as usize].clone(),
+                s_key: self.pk_s[j as usize].clone(),
+            })
+            .collect()
+    }
+}
+
+/// Entry storage: explicit entries, or the compact id-pair form that
+/// decodes to entries only when somebody asks for `Value`-land.
+#[derive(Debug, Clone)]
+enum Backing {
+    Rows(Vec<PairEntry>),
+    Compact {
+        pairs: CompactPairs,
+        decoded: OnceCell<Vec<PairEntry>>,
+    },
+}
+
 /// A table of tuple pairs keyed by their relations' primary keys —
 /// used for both `MT_RS` and `NMT_RS`.
 ///
-/// The membership set backing [`PairTable::contains`] and the
-/// per-[`PairTable::insert`] dedup is built lazily: bulk producers
-/// (the blocked engine) append pre-deduplicated entries through
-/// [`PairTable::extend_unique`] without ever paying for tuple
-/// hashing, and the set materializes from `entries` on first use.
+/// Two laziness layers keep the bulk path allocation-free:
+///
+/// * tables built by the blocked engine ([`PairTable::from_compact`])
+///   store deduplicated *row-index pairs* plus shared per-row key
+///   pools, and only decode to [`PairEntry`] rows on first access to
+///   [`PairTable::entries`] (mutation also materializes first, so
+///   the incremental matcher's [`PairTable::insert`] keeps working);
+/// * the membership set backing [`PairTable::contains`] and the
+///   per-insert dedup materializes from the entries on first use —
+///   bulk producers never pay for tuple hashing.
 #[derive(Debug, Clone)]
 pub struct PairTable {
     r_key_attrs: Vec<AttrName>,
     s_key_attrs: Vec<AttrName>,
-    entries: Vec<PairEntry>,
+    backing: Backing,
     seen: OnceCell<FxHashSet<PairEntry>>,
 }
 
@@ -51,19 +89,52 @@ impl PairTable {
         PairTable {
             r_key_attrs,
             s_key_attrs,
-            entries: Vec::new(),
+            backing: Backing::Rows(Vec::new()),
             seen: OnceCell::new(),
         }
     }
 
-    /// The membership set, materialized from `entries` on first use.
+    /// Creates a table in compact form: `pairs` are row indices into
+    /// the shared key pools (`pk_r[i]` is row `i`'s primary-key
+    /// projection). The caller guarantees `pairs` is duplicate-free —
+    /// the blocked engine dedups on row-index pairs, which is exactly
+    /// entry identity because a row has one key projection.
+    pub fn from_compact(
+        r_key_attrs: Vec<AttrName>,
+        s_key_attrs: Vec<AttrName>,
+        pk_r: Arc<[Tuple]>,
+        pk_s: Arc<[Tuple]>,
+        pairs: Vec<(u32, u32)>,
+    ) -> Self {
+        PairTable {
+            r_key_attrs,
+            s_key_attrs,
+            backing: Backing::Compact {
+                pairs: CompactPairs { pk_r, pk_s, pairs },
+                decoded: OnceCell::new(),
+            },
+            seen: OnceCell::new(),
+        }
+    }
+
+    /// The membership set, materialized from the entries on first
+    /// use.
     fn seen(&self) -> &FxHashSet<PairEntry> {
         self.seen.get_or_init(|| {
-            let mut set =
-                FxHashSet::with_capacity_and_hasher(self.entries.len(), Default::default());
-            set.extend(self.entries.iter().cloned());
+            let entries = self.entries();
+            let mut set = FxHashSet::with_capacity_and_hasher(entries.len(), Default::default());
+            set.extend(entries.iter().cloned());
             set
         })
+    }
+
+    /// Converts a compact backing into explicit rows before a
+    /// mutation; no-op for row-backed tables.
+    fn materialize(&mut self) {
+        if let Backing::Compact { pairs, decoded } = &mut self.backing {
+            let rows = decoded.take().unwrap_or_else(|| pairs.decode());
+            self.backing = Backing::Rows(rows);
+        }
     }
 
     /// `R`'s key attribute names.
@@ -78,6 +149,7 @@ impl PairTable {
 
     /// Adds a pair (idempotent).
     pub fn insert(&mut self, r_key: Tuple, s_key: Tuple) -> bool {
+        self.materialize();
         self.seen();
         let e = PairEntry { r_key, s_key };
         if self
@@ -86,7 +158,10 @@ impl PairTable {
             .expect("just initialized")
             .insert(e.clone())
         {
-            self.entries.push(e);
+            let Backing::Rows(entries) = &mut self.backing else {
+                unreachable!("materialized above");
+            };
+            entries.push(e);
             true
         } else {
             false
@@ -94,37 +169,48 @@ impl PairTable {
     }
 
     /// Appends entries the caller guarantees are pairwise distinct
-    /// and absent from the table — the blocked engine's bulk path,
-    /// which dedups on row-index pairs before key projection and so
-    /// never needs per-entry tuple hashing here. If the membership
-    /// set has already materialized it is kept in sync (and then
-    /// still protects against duplicate inserts).
+    /// and absent from the table — the bulk path, which dedups
+    /// upstream and so never needs per-entry tuple hashing here. If
+    /// the membership set has already materialized it is kept in sync
+    /// (and then still protects against duplicate inserts).
     pub fn extend_unique(&mut self, new: impl IntoIterator<Item = PairEntry>) {
+        self.materialize();
+        let Backing::Rows(entries) = &mut self.backing else {
+            unreachable!("materialized above");
+        };
         match self.seen.get_mut() {
             Some(seen) => {
                 for e in new {
                     if seen.insert(e.clone()) {
-                        self.entries.push(e);
+                        entries.push(e);
                     }
                 }
             }
-            None => self.entries.extend(new),
+            None => entries.extend(new),
         }
     }
 
-    /// The entries in insertion order.
+    /// The entries in insertion order. On a compact table this
+    /// decodes the row-index pairs (once) — the only place the
+    /// blocked pipeline crosses back into `Value`-land.
     pub fn entries(&self) -> &[PairEntry] {
-        &self.entries
+        match &self.backing {
+            Backing::Rows(entries) => entries,
+            Backing::Compact { pairs, decoded } => decoded.get_or_init(|| pairs.decode()),
+        }
     }
 
-    /// Number of pairs.
+    /// Number of pairs (compact tables answer without decoding).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        match &self.backing {
+            Backing::Rows(entries) => entries.len(),
+            Backing::Compact { pairs, .. } => pairs.pairs.len(),
+        }
     }
 
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// Membership test.
@@ -139,7 +225,7 @@ impl PairTable {
     /// the monotonicity check's workhorse.
     pub fn includes(&self, other: &PairTable) -> bool {
         let seen = self.seen();
-        other.entries.iter().all(|e| seen.contains(e))
+        other.entries().iter().all(|e| seen.contains(e))
     }
 
     /// Checks the **uniqueness constraint**: every `R` key maps to at
@@ -149,7 +235,7 @@ impl PairTable {
     pub fn verify_uniqueness(&self) -> Result<()> {
         let mut r_seen: HashMap<&Tuple, &Tuple> = HashMap::new();
         let mut s_seen: HashMap<&Tuple, &Tuple> = HashMap::new();
-        for e in &self.entries {
+        for e in self.entries() {
             if let Some(prev) = r_seen.insert(&e.r_key, &e.s_key) {
                 if prev != &e.s_key {
                     return Err(CoreError::UniquenessViolation {
@@ -174,7 +260,7 @@ impl PairTable {
     /// table: no pair may appear in both.
     pub fn verify_consistency(&self, negative: &PairTable) -> Result<()> {
         let negative_seen = negative.seen();
-        for e in &self.entries {
+        for e in self.entries() {
             if negative_seen.contains(e) {
                 return Err(CoreError::ConsistencyViolation {
                     pair: format!("({}, {})", e.r_key, e.s_key),
@@ -199,7 +285,7 @@ impl PairTable {
         let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
         let schema: Arc<Schema> = Schema::of_strs(name, &name_refs, &name_refs)?;
         let mut rel = Relation::new_unchecked(schema);
-        for e in &self.entries {
+        for e in self.entries() {
             rel.insert(e.r_key.concat(&e.s_key))?;
         }
         Ok(rel)
@@ -207,12 +293,12 @@ impl PairTable {
 
     /// The set of `R` keys appearing in the table.
     pub fn r_keys(&self) -> HashSet<&Tuple> {
-        self.entries.iter().map(|e| &e.r_key).collect()
+        self.entries().iter().map(|e| &e.r_key).collect()
     }
 
     /// The set of `S` keys appearing in the table.
     pub fn s_keys(&self) -> HashSet<&Tuple> {
-        self.entries.iter().map(|e| &e.s_key).collect()
+        self.entries().iter().map(|e| &e.s_key).collect()
     }
 }
 
@@ -224,6 +310,24 @@ mod tests {
         PairTable::new(
             vec![AttrName::new("name"), AttrName::new("cuisine")],
             vec![AttrName::new("name"), AttrName::new("speciality")],
+        )
+    }
+
+    fn compact_table() -> PairTable {
+        let pk_r: Arc<[Tuple]> = vec![
+            Tuple::of_strs(&["a", "x"]),
+            Tuple::of_strs(&["b", "y"]),
+            Tuple::of_strs(&["c", "z"]),
+        ]
+        .into();
+        let pk_s: Arc<[Tuple]> =
+            vec![Tuple::of_strs(&["a", "p"]), Tuple::of_strs(&["b", "q"])].into();
+        PairTable::from_compact(
+            vec![AttrName::new("name"), AttrName::new("cuisine")],
+            vec![AttrName::new("name"), AttrName::new("speciality")],
+            pk_r,
+            pk_s,
+            vec![(0, 0), (1, 1)],
         )
     }
 
@@ -269,6 +373,30 @@ mod tests {
         t.extend_unique([c.clone()]);
         assert!(t.contains(&c.r_key, &c.s_key));
         assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn compact_table_decodes_lazily_and_answers_len_without_decoding() {
+        let t = compact_table();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let entries = t.entries();
+        assert_eq!(entries[0].r_key, Tuple::of_strs(&["a", "x"]));
+        assert_eq!(entries[1].s_key, Tuple::of_strs(&["b", "q"]));
+        assert!(t.contains(&Tuple::of_strs(&["a", "x"]), &Tuple::of_strs(&["a", "p"])));
+        assert!(!t.contains(&Tuple::of_strs(&["c", "z"]), &Tuple::of_strs(&["a", "p"])));
+    }
+
+    #[test]
+    fn compact_table_materializes_on_mutation() {
+        let mut t = compact_table();
+        // A duplicate of an existing compact pair is rejected…
+        assert!(!t.insert(Tuple::of_strs(&["a", "x"]), Tuple::of_strs(&["a", "p"])));
+        // …a fresh pair lands, and the table behaves like a row table.
+        assert!(t.insert(Tuple::of_strs(&["c", "z"]), Tuple::of_strs(&["a", "p"])));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.entries().len(), 3);
+        assert!(t.verify_uniqueness().is_err()); // s key "a,p" used twice
     }
 
     #[test]

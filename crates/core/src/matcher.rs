@@ -27,6 +27,8 @@
 //! are equivalence-tested against, and the baseline for the scaling
 //! benchmarks.
 
+use std::sync::Arc;
+
 use eid_ilfd::{IlfdSet, Strategy};
 use eid_obs::{MatchReport, Recorder};
 use eid_relational::{FxHashSet, HashIndex, Relation, Tuple};
@@ -35,8 +37,112 @@ use eid_rules::{ExtendedKey, RuleBase};
 use crate::engine::BlockedEngine;
 use crate::error::{CoreError, Result};
 use crate::extend::{extend_relation, Extended};
-use crate::match_table::{PairEntry, PairTable};
+use crate::match_table::PairTable;
 use crate::stats::{counter, span};
+
+/// Pair-space ceiling (in bits) for the dense bitset pair-dedup; a
+/// `|R|·|S|` grid up to this size costs at most 32 MiB per set.
+/// Larger inputs fall back to a hash set of packed pairs.
+const MAX_BITSET_BITS: u128 = 1 << 28;
+
+/// Below this many raw engine pairs the convert step dedups the two
+/// lists sequentially — same rationale as the engine's own serial
+/// fallback. The spawn is also skipped outright on single-hardware-
+/// thread hosts: a second dedup thread cannot overlap with the first
+/// there, so it only adds spawn latency and cold-arena page faults.
+const PARALLEL_CONVERT_MIN: usize = 50_000;
+
+/// A set of row-index pairs: a dense bitset when the pair space is
+/// small enough, a hash set of packed `u64`s otherwise. Either way
+/// membership never touches a key tuple.
+enum PairSet {
+    Bits { words: Vec<u64>, s_len: usize },
+    Hash(FxHashSet<u64>),
+}
+
+impl PairSet {
+    fn new(r_len: usize, s_len: usize, expected: usize) -> PairSet {
+        let bits = (r_len as u128) * (s_len as u128);
+        if bits > 0 && bits <= MAX_BITSET_BITS {
+            PairSet::Bits {
+                words: vec![0u64; (bits as usize).div_ceil(64)],
+                s_len,
+            }
+        } else {
+            PairSet::Hash(FxHashSet::with_capacity_and_hasher(
+                expected,
+                Default::default(),
+            ))
+        }
+    }
+
+    fn insert(&mut self, i: u32, j: u32) -> bool {
+        match self {
+            PairSet::Bits { words, s_len } => {
+                let bit = i as usize * *s_len + j as usize;
+                let (word, mask) = (bit / 64, 1u64 << (bit % 64));
+                if words[word] & mask != 0 {
+                    false
+                } else {
+                    words[word] |= mask;
+                    true
+                }
+            }
+            PairSet::Hash(set) => set.insert(((i as u64) << 32) | j as u64),
+        }
+    }
+
+    fn contains(&self, i: u32, j: u32) -> bool {
+        match self {
+            PairSet::Bits { words, s_len } => {
+                let bit = i as usize * *s_len + j as usize;
+                words[bit / 64] & (1u64 << (bit % 64)) != 0
+            }
+            PairSet::Hash(set) => set.contains(&(((i as u64) << 32) | j as u64)),
+        }
+    }
+
+    /// `|self ∩ other|` over the same `|R|·|S|` grid: an AND-popcount
+    /// sweep when both sides are bitsets, a probe of the explicit
+    /// pair list otherwise.
+    fn intersection_count(&self, other_pairs: &[(u32, u32)], other_set: &PairSet) -> usize {
+        match (self, other_set) {
+            (
+                PairSet::Bits {
+                    words: a,
+                    s_len: la,
+                },
+                PairSet::Bits {
+                    words: b,
+                    s_len: lb,
+                },
+            ) if la == lb => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x & y).count_ones() as usize)
+                .sum(),
+            _ => other_pairs
+                .iter()
+                .filter(|&&(i, j)| self.contains(i, j))
+                .count(),
+        }
+    }
+}
+
+/// First-occurrence dedup of an engine pair list, in id space. Takes
+/// the list by value and filters it in place: at n=3200 the negative
+/// list is ~40 MB, and a second allocation of that size is re-faulted
+/// from fresh zero pages on every run (it exceeds glibc's mmap
+/// threshold cap, so the pages are returned to the kernel on free).
+fn dedup_pairs(
+    mut list: Vec<(u32, u32)>,
+    r_len: usize,
+    s_len: usize,
+) -> (Vec<(u32, u32)>, PairSet) {
+    let mut set = PairSet::new(r_len, s_len, list.len());
+    list.retain(|&(i, j)| set.insert(i, j));
+    (list, set)
+}
 
 /// How the matching and refutation phases are executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -251,41 +357,53 @@ impl EntityMatcher {
                 let pairs = engine.run(true, self.config.collect_negative);
                 engine_span.finish();
                 let _convert_span = recorder.span(span::CONVERT);
-                // Project each row's primary key once up front: entry
-                // construction then costs two reference-count bumps
-                // per pair instead of two fresh projections, and the
-                // dedup below hashes row-index pairs instead of key
-                // tuples — the difference between this arm being
-                // output-bound and being engine-bound.
-                let pk_r: Vec<Tuple> = self.r.iter().map(|t| self.r.primary_key_of(t)).collect();
-                let pk_s: Vec<Tuple> = self.s.iter().map(|t| self.s.primary_key_of(t)).collect();
-                let mut m_seen: FxHashSet<(usize, usize)> =
-                    FxHashSet::with_capacity_and_hasher(pairs.matching.len(), Default::default());
-                matching.extend_unique(pairs.matching.iter().filter(|p| m_seen.insert(**p)).map(
-                    |&(i, j)| PairEntry {
-                        r_key: pk_r[i].clone(),
-                        s_key: pk_s[j].clone(),
-                    },
-                ));
-                let mut n_seen: FxHashSet<(usize, usize)> =
-                    FxHashSet::with_capacity_and_hasher(pairs.negative.len(), Default::default());
-                let mut in_both = 0usize;
-                negative.extend_unique(
-                    pairs
-                        .negative
-                        .iter()
-                        .filter(|p| n_seen.insert(**p))
-                        .inspect(|p| {
-                            if m_seen.contains(p) {
-                                in_both += 1;
-                            }
-                        })
-                        .map(|&(i, j)| PairEntry {
-                            r_key: pk_r[i].clone(),
-                            s_key: pk_s[j].clone(),
-                        }),
+                // Stay in id space: dedup the raw pair lists on row
+                // indices (dense bitsets when the pair grid is small
+                // enough), count the MT/NMT overlap by popcount, and
+                // hand the tables *compact* pair lists plus shared
+                // per-row key pools. Key tuples are projected once
+                // per row — never per pair — and entry rows only
+                // materialize if a consumer asks for Value-land.
+                let r_len = self.r.len();
+                let s_len = self.s.len();
+                let pk_r: Arc<[Tuple]> = self.r.iter().map(|t| self.r.primary_key_of(t)).collect();
+                let pk_s: Arc<[Tuple]> = self.s.iter().map(|t| self.s.primary_key_of(t)).collect();
+                recorder.add(counter::ALLOC_TUPLES_MATERIALIZED, (r_len + s_len) as u64);
+                let raw_pairs = pairs.matching.len() + pairs.negative.len();
+                let (raw_matching, raw_negative) = (pairs.matching, pairs.negative);
+                let hw_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+                let ((m_pairs, m_set), (n_pairs, n_set)) = if self.config.threads != 1
+                    && hw_threads > 1
+                    && raw_pairs >= PARALLEL_CONVERT_MIN
+                {
+                    // The two lists are independent until the
+                    // overlap count; dedup them concurrently.
+                    std::thread::scope(|scope| {
+                        let neg = scope.spawn(|| dedup_pairs(raw_negative, r_len, s_len));
+                        let mat = dedup_pairs(raw_matching, r_len, s_len);
+                        (mat, neg.join().expect("convert worker panicked"))
+                    })
+                } else {
+                    (
+                        dedup_pairs(raw_matching, r_len, s_len),
+                        dedup_pairs(raw_negative, r_len, s_len),
+                    )
+                };
+                blocked_overlap = Some(m_set.intersection_count(&n_pairs, &n_set));
+                matching = PairTable::from_compact(
+                    self.r.schema().primary_key(),
+                    self.s.schema().primary_key(),
+                    pk_r.clone(),
+                    pk_s.clone(),
+                    m_pairs,
                 );
-                blocked_overlap = Some(in_both);
+                negative = PairTable::from_compact(
+                    self.r.schema().primary_key(),
+                    self.s.schema().primary_key(),
+                    pk_r,
+                    pk_s,
+                    n_pairs,
+                );
             }
             JoinAlgorithm::Hash => {
                 {
@@ -390,12 +508,14 @@ impl EntityMatcher {
         let r_pos = ext_r.positions_of(key_attrs)?;
         let index = HashIndex::build(ext_s, key_attrs)?;
         let mut probes = 0u64;
+        let mut materialized = 0u64;
         for (i, t) in ext_r.iter().enumerate() {
             probes += 1;
             let Some(js) = index.probe_tuple(t, &r_pos) else {
                 continue;
             };
             for &j in js {
+                materialized += 2;
                 matching.insert(
                     self.r.primary_key_of(&self.r.tuples()[i]),
                     self.s.primary_key_of(&self.s.tuples()[j]),
@@ -403,6 +523,7 @@ impl EntityMatcher {
             }
         }
         recorder.add(counter::IDENTITY_PROBES, probes);
+        recorder.add(counter::ALLOC_TUPLES_MATERIALIZED, materialized);
         Ok(())
     }
 
@@ -427,11 +548,13 @@ impl EntityMatcher {
     ) -> Result<()> {
         let mut identity_probes = 0u64;
         let mut refute_probes = 0u64;
+        let mut materialized = 0u64;
         for (i, tr) in ext_r.iter().enumerate() {
             for (j, ts) in ext_s.iter().enumerate() {
                 if record_identity {
                     identity_probes += 1;
                     if rb.fires_identity(ext_r.schema(), tr, ext_s.schema(), ts) {
+                        materialized += 2;
                         matching.insert(
                             self.r.primary_key_of(&self.r.tuples()[i]),
                             self.s.primary_key_of(&self.s.tuples()[j]),
@@ -441,6 +564,7 @@ impl EntityMatcher {
                 if record_distinct {
                     refute_probes += 1;
                     if rb.fires_distinctness(ext_r.schema(), tr, ext_s.schema(), ts) {
+                        materialized += 2;
                         negative.insert(
                             self.r.primary_key_of(&self.r.tuples()[i]),
                             self.s.primary_key_of(&self.s.tuples()[j]),
@@ -455,6 +579,7 @@ impl EntityMatcher {
         if record_distinct {
             recorder.add(counter::REFUTE_PROBES, refute_probes);
         }
+        recorder.add(counter::ALLOC_TUPLES_MATERIALIZED, materialized);
         Ok(())
     }
 }

@@ -21,7 +21,10 @@ pub mod span {
     pub const ENGINE: &str = "match/engine";
     /// Rule-base precompilation inside the engine.
     pub const ENGINE_COMPILE: &str = "match/engine/compile";
-    /// Eager index construction inside the engine.
+    /// Value interning + columnar encoding of both relations inside
+    /// the engine.
+    pub const ENGINE_ENCODE: &str = "match/engine/encode";
+    /// Eager index construction + plan preparation inside the engine.
     pub const ENGINE_INDEX: &str = "match/engine/index";
     /// Identity block-plan tasks — *busy* time summed across
     /// workers, so it can exceed the parent's wall time.
@@ -100,6 +103,15 @@ pub mod counter {
     pub const DERIVE_MEMO_MISSES: &str = "derive/memo_misses";
     /// Attribute values filled in by ILFDs.
     pub const DERIVE_ASSIGNED: &str = "derive/assigned";
+
+    /// Distinct values interned for the run (interner population,
+    /// including rule constants and the NULL symbol).
+    pub const ALLOC_VALUES_INTERNED: &str = "alloc/values_interned";
+    /// Key tuples materialized while building pair tables — the
+    /// allocation volume of the convert step. The blocked arm pays
+    /// one per *row* (shared pools); the hash/nested-loop arms pay
+    /// per *inserted pair entry* (two per insertion attempt).
+    pub const ALLOC_TUPLES_MATERIALIZED: &str = "alloc/tuples_materialized";
 
     /// Incremental: tuple insertions processed.
     pub const INCR_INSERTS: &str = "incremental/inserts";

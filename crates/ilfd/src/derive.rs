@@ -25,7 +25,7 @@
 
 use std::collections::HashMap;
 
-use eid_relational::{AttrName, FxHashMap, Relation, Schema, Tuple, Value};
+use eid_relational::{AttrName, FxHashMap, Interner, Relation, Schema, Sym, Tuple, Value};
 
 use crate::closure::symbol_closure;
 use crate::ilfd::IlfdSet;
@@ -149,15 +149,24 @@ pub fn derive_relation_with_stats(
     mentioned.sort_unstable();
     mentioned.dedup();
 
-    // Projection → (positional assignments, report of the first
-    // tuple with that projection).
-    let mut memo: FxHashMap<Tuple, (Vec<(usize, Value)>, DeriveReport)> = FxHashMap::default();
+    // Interned projection → (positional assignments, report of the
+    // first tuple with that projection). Keys are flat `Vec<Sym>`s —
+    // no per-tuple `Tuple` allocation or `Value` re-hashing; the
+    // interner uses `intern_exact`, whose symbol equality is exactly
+    // `Value`'s own `Eq` (the relation the old tuple-keyed memo
+    // grouped by).
+    type Derived = (Vec<(usize, Value)>, DeriveReport);
+    let mut interner = Interner::new();
+    let mut memo: FxHashMap<Vec<Sym>, Derived> = FxHashMap::default();
     let mut out = Relation::new_unchecked(schema.clone());
     let mut reports = Vec::with_capacity(rel.len());
     let mut stats = DeriveStats::default();
     for t in rel.iter() {
         stats.tuples += 1;
-        let key = t.project(&mentioned);
+        let key: Vec<Sym> = mentioned
+            .iter()
+            .map(|&p| interner.intern_exact(t.get(p)))
+            .collect();
         let (assignments, report) = match memo.entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => {
                 stats.memo_hits += 1;

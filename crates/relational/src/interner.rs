@@ -1,0 +1,210 @@
+//! Value interning and columnar relation views — the id-space
+//! substrate of the blocked matching engine.
+//!
+//! The matching hot path (candidate generation, rule verification,
+//! pair dedup) is pure set bookkeeping over tuple identities; nothing
+//! in it needs the actual strings. An [`Interner`] maps each distinct
+//! [`Value`] to a dense `u32` symbol id ([`Sym`]) once per run, and
+//! [`Columns`] stores a relation as one contiguous `Vec<Sym>` per
+//! attribute. Everything downstream — inverted indexes, compiled
+//! predicates, pair lists — then works on integers that fit in cache,
+//! and decodes back to `Value`-land only at the API boundary.
+//!
+//! ## Equality contract
+//!
+//! For symbols produced by [`Interner::intern`]:
+//!
+//! * `NULL` always interns to [`NULL_SYM`] (id 0);
+//! * for non-NULL values, **id equality coincides exactly with
+//!   [`Value::compare`] returning `Equal`**. This requires one
+//!   canonicalization beyond `Value`'s own `Eq`/`Hash` (which already
+//!   merge `Int(2)` and `Float(2.0)`): `-0.0` is folded into `0.0`,
+//!   the single case where `compare` says `Equal` but the bitwise
+//!   `PartialEq` disagrees.
+//!
+//! [`Interner::intern_exact`] skips the canonicalization and follows
+//! `Value`'s own `Eq`/`Hash` verbatim — the right key for memo tables
+//! built on top of [`Value::non_null_eq`] (bitwise on floats), such
+//! as the ILFD derivation memo.
+
+use crate::hash::FxHashMap;
+use crate::relation::Relation;
+use crate::value::Value;
+
+/// A dense symbol id for an interned [`Value`].
+pub type Sym = u32;
+
+/// The symbol id reserved for [`Value::Null`]. Predicates over
+/// symbols must treat it as *unknown*, never as a value equal to
+/// itself — mirroring [`Value::non_null_eq`].
+pub const NULL_SYM: Sym = 0;
+
+/// A value ↔ symbol-id table. Build once per matching run, share
+/// immutably (`&Interner`) across worker threads.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    map: FxHashMap<Value, Sym>,
+    values: Vec<Value>,
+}
+
+impl Interner {
+    /// An interner holding only the NULL symbol.
+    pub fn new() -> Self {
+        Interner {
+            map: FxHashMap::default(),
+            values: vec![Value::Null],
+        }
+    }
+
+    /// Interns `value` under the matching-engine equality contract
+    /// (see the module docs): NULL ↦ [`NULL_SYM`], `-0.0` ↦ `0.0`,
+    /// ids stable for the lifetime of the interner.
+    pub fn intern(&mut self, value: &Value) -> Sym {
+        match value {
+            Value::Float(f) if *f == 0.0 => self.intern_exact(&Value::Float(0.0)),
+            v => self.intern_exact(v),
+        }
+    }
+
+    /// Interns `value` following `Value`'s own `Eq`/`Hash` verbatim
+    /// (no `-0.0` canonicalization). Symbols from `intern` and
+    /// `intern_exact` share one id space.
+    pub fn intern_exact(&mut self, value: &Value) -> Sym {
+        if value.is_null() {
+            return NULL_SYM;
+        }
+        if let Some(&sym) = self.map.get(value) {
+            return sym;
+        }
+        let sym = Sym::try_from(self.values.len()).expect("more than u32::MAX distinct values");
+        self.values.push(value.clone());
+        self.map.insert(value.clone(), sym);
+        sym
+    }
+
+    /// The value a symbol stands for. `NULL_SYM` resolves to
+    /// [`Value::Null`].
+    #[inline]
+    pub fn resolve(&self, sym: Sym) -> &Value {
+        &self.values[sym as usize]
+    }
+
+    /// Number of symbols issued, including the NULL symbol.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether only the NULL symbol exists.
+    pub fn is_empty(&self) -> bool {
+        self.values.len() == 1
+    }
+}
+
+/// A columnar, interned view of a relation: one contiguous `Vec<Sym>`
+/// per attribute. Encoded once per run; read-only and thread-shareable
+/// afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct Columns {
+    cols: Vec<Vec<Sym>>,
+    rows: usize,
+}
+
+impl Columns {
+    /// Encodes `rel` through `interner` ([`Interner::intern`]
+    /// semantics, so symbol equality is [`Value::compare`] equality).
+    pub fn encode(rel: &Relation, interner: &mut Interner) -> Columns {
+        let arity = rel.schema().arity();
+        let mut cols = vec![Vec::with_capacity(rel.len()); arity];
+        for t in rel.iter() {
+            for (p, col) in cols.iter_mut().enumerate() {
+                col.push(interner.intern(t.get(p)));
+            }
+        }
+        Columns {
+            cols,
+            rows: rel.len(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (the relation's arity).
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The symbol at (`row`, `col`).
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> Sym {
+        self.cols[col][row]
+    }
+
+    /// One attribute's column, contiguous over all rows.
+    #[inline]
+    pub fn col(&self, col: usize) -> &[Sym] {
+        &self.cols[col]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::tuple::Tuple;
+
+    #[test]
+    fn null_interns_to_null_sym() {
+        let mut it = Interner::new();
+        assert_eq!(it.intern(&Value::Null), NULL_SYM);
+        assert!(it.resolve(NULL_SYM).is_null());
+        assert!(it.is_empty());
+    }
+
+    #[test]
+    fn ids_are_stable_and_roundtrip() {
+        let mut it = Interner::new();
+        let a = it.intern(&Value::str("a"));
+        let b = it.intern(&Value::str("b"));
+        assert_ne!(a, b);
+        assert_eq!(it.intern(&Value::str("a")), a);
+        assert_eq!(it.resolve(a), &Value::str("a"));
+        assert_eq!(it.len(), 3); // null + a + b
+    }
+
+    #[test]
+    fn sym_equality_is_compare_equality() {
+        let mut it = Interner::new();
+        // Int(2) and Float(2.0) compare Equal: one symbol.
+        assert_eq!(it.intern(&Value::int(2)), it.intern(&Value::float(2.0)));
+        // -0.0 and 0.0 compare Equal but differ bitwise: one symbol
+        // under `intern`…
+        assert_eq!(
+            it.intern(&Value::float(0.0)),
+            it.intern(&Value::float(-0.0))
+        );
+        // …two under `intern_exact` (Value's own Eq is bitwise).
+        assert_ne!(
+            it.intern_exact(&Value::float(0.0)),
+            it.intern_exact(&Value::float(-0.0))
+        );
+    }
+
+    #[test]
+    fn columns_encode_roundtrips() {
+        let schema = Schema::of_strs("R", &["name", "cuisine"], &["name"]).unwrap();
+        let mut rel = Relation::new(schema);
+        rel.insert_strs(&["a", "chinese"]).unwrap();
+        rel.insert(Tuple::new(vec![Value::str("b"), Value::Null]))
+            .unwrap();
+        let mut it = Interner::new();
+        let cols = Columns::encode(&rel, &mut it);
+        assert_eq!(cols.rows(), 2);
+        assert_eq!(cols.arity(), 2);
+        assert_eq!(it.resolve(cols.get(0, 1)), &Value::str("chinese"));
+        assert_eq!(cols.get(1, 1), NULL_SYM);
+        assert_eq!(cols.col(0).len(), 2);
+    }
+}

@@ -39,6 +39,7 @@ pub mod display;
 pub mod error;
 pub mod hash;
 pub mod index;
+pub mod interner;
 pub mod relation;
 pub mod schema;
 pub mod tri;
@@ -49,6 +50,7 @@ pub use attr::AttrName;
 pub use error::{RelationalError, Result};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use index::HashIndex;
+pub use interner::{Columns, Interner, Sym, NULL_SYM};
 pub use relation::Relation;
 pub use schema::{Attribute, Key, Schema};
 pub use tri::TriBool;

@@ -1,0 +1,390 @@
+//! Interned rule evaluation: compiled rules lowered into symbol-id
+//! space.
+//!
+//! A [`CompiledRule`] still compares [`eid_relational::Value`]s —
+//! each `Eq` test on a string column chases an `Arc<str>` and compares
+//! bytes. An [`InternedRule`] is the same positional conjunction with
+//! every constant interned and every attribute read answered from a
+//! columnar [`Columns`] view, so the hot predicates (`=`, `≠`) become
+//! single `u32` compares. Ordering predicates (`<`, `≤`) resolve their
+//! symbols back through the [`Interner`] — they are rare and
+//! non-indexable, so they only run on the residual path.
+//!
+//! The three-valued semantics are preserved exactly: [`NULL_SYM`]
+//! makes a predicate *unknown* (never true), and for non-NULL symbols
+//! id equality coincides with [`eid_relational::Value::compare`]
+//! returning `Equal` by
+//! the interner's equality contract — so
+//! [`InternedRule::fires`] agrees with
+//! [`CompiledRule::fires`] on the encoded
+//! relations, predicate for predicate.
+
+use eid_relational::{Columns, Interner, Sym, NULL_SYM};
+
+use crate::compiled::{CompiledOperand, CompiledRule, CompiledRuleBase, NeqSide};
+use crate::pred::CmpOp;
+
+/// A predicate operand in symbol space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InternedOperand {
+    /// Column `pos` of the `R`-side row.
+    R(usize),
+    /// Column `pos` of the `S`-side row.
+    S(usize),
+    /// An interned constant.
+    Const(Sym),
+}
+
+impl InternedOperand {
+    /// The operand's symbol for row pair (`i`, `j`); `None` when it
+    /// reads NULL (the comparison is unknown).
+    #[inline]
+    fn resolve(&self, r: &Columns, i: usize, s: &Columns, j: usize) -> Option<Sym> {
+        let sym = match self {
+            InternedOperand::R(p) => r.get(i, *p),
+            InternedOperand::S(p) => s.get(j, *p),
+            InternedOperand::Const(sym) => *sym,
+        };
+        (sym != NULL_SYM).then_some(sym)
+    }
+}
+
+/// One compiled predicate lowered into symbol space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InternedPredicate {
+    /// Left operand.
+    pub lhs: InternedOperand,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right operand.
+    pub rhs: InternedOperand,
+}
+
+impl InternedPredicate {
+    /// Three-valued evaluation over columnar row pair (`i`, `j`).
+    /// `=`/`≠` are answered by id (in)equality; ordering operators
+    /// resolve the symbols back to values.
+    #[inline]
+    pub fn eval(
+        &self,
+        r: &Columns,
+        i: usize,
+        s: &Columns,
+        j: usize,
+        interner: &Interner,
+    ) -> Option<bool> {
+        let l = self.lhs.resolve(r, i, s, j)?;
+        let rr = self.rhs.resolve(r, i, s, j)?;
+        match self.op {
+            CmpOp::Eq => Some(l == rr),
+            CmpOp::Ne => Some(l != rr),
+            _ => {
+                let ord = interner.resolve(l).compare(interner.resolve(rr))?;
+                Some(self.op.test(ord))
+            }
+        }
+    }
+}
+
+/// A compiled rule in symbol space: a conjunction of interned
+/// positional predicates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InternedRule {
+    /// The source rule's name.
+    pub name: String,
+    predicates: Vec<InternedPredicate>,
+}
+
+impl InternedRule {
+    /// Lowers one compiled rule, interning its constants.
+    pub fn from_compiled(rule: &CompiledRule, interner: &mut Interner) -> InternedRule {
+        let mut lower = |o: &CompiledOperand| match o {
+            CompiledOperand::R(p) => InternedOperand::R(*p),
+            CompiledOperand::S(p) => InternedOperand::S(*p),
+            CompiledOperand::Const(v) => InternedOperand::Const(interner.intern(v)),
+        };
+        InternedRule {
+            name: rule.name.clone(),
+            predicates: rule
+                .predicates()
+                .iter()
+                .map(|p| InternedPredicate {
+                    lhs: lower(&p.lhs),
+                    op: p.op,
+                    rhs: lower(&p.rhs),
+                })
+                .collect(),
+        }
+    }
+
+    /// The interned predicate conjunction.
+    pub fn predicates(&self) -> &[InternedPredicate] {
+        &self.predicates
+    }
+
+    /// Three-valued conjunction, mirroring
+    /// [`CompiledRule::eval`](crate::CompiledRule::eval).
+    pub fn eval(
+        &self,
+        r: &Columns,
+        i: usize,
+        s: &Columns,
+        j: usize,
+        interner: &Interner,
+    ) -> Option<bool> {
+        let mut all_true = true;
+        for p in &self.predicates {
+            match p.eval(r, i, s, j, interner) {
+                Some(true) => {}
+                Some(false) => return Some(false),
+                None => all_true = false,
+            }
+        }
+        all_true.then_some(true)
+    }
+
+    /// Whether the rule definitely fires on row pair (`i`, `j`).
+    #[inline]
+    pub fn fires(&self, r: &Columns, i: usize, s: &Columns, j: usize, interner: &Interner) -> bool {
+        self.eval(r, i, s, j, interner) == Some(true)
+    }
+
+    /// The equi-join shape in symbol space; see
+    /// [`CompiledRule::identity_shape`](crate::CompiledRule::identity_shape).
+    pub fn identity_shape(&self) -> Option<InternedIdentityShape> {
+        let mut shape = InternedIdentityShape::default();
+        for p in &self.predicates {
+            match (&p.lhs, p.op, &p.rhs) {
+                (InternedOperand::R(pos), CmpOp::Eq, InternedOperand::Const(v))
+                | (InternedOperand::Const(v), CmpOp::Eq, InternedOperand::R(pos)) => {
+                    shape.r_lits.push((*pos, *v));
+                }
+                (InternedOperand::S(pos), CmpOp::Eq, InternedOperand::Const(v))
+                | (InternedOperand::Const(v), CmpOp::Eq, InternedOperand::S(pos)) => {
+                    shape.s_lits.push((*pos, *v));
+                }
+                (InternedOperand::R(rp), CmpOp::Eq, InternedOperand::S(sp))
+                | (InternedOperand::S(sp), CmpOp::Eq, InternedOperand::R(rp)) => {
+                    shape.join.push((*rp, *sp));
+                }
+                _ => return None,
+            }
+        }
+        Some(shape)
+    }
+
+    /// The refutation shape in symbol space; see
+    /// [`CompiledRule::distinct_shape`](crate::CompiledRule::distinct_shape).
+    pub fn distinct_shape(&self) -> Option<InternedDistinctShape> {
+        let mut r_lits = Vec::new();
+        let mut s_lits = Vec::new();
+        let mut neq: Option<(NeqSide, usize, Sym)> = None;
+        for p in &self.predicates {
+            match (&p.lhs, p.op, &p.rhs) {
+                (InternedOperand::R(pos), CmpOp::Eq, InternedOperand::Const(v))
+                | (InternedOperand::Const(v), CmpOp::Eq, InternedOperand::R(pos)) => {
+                    r_lits.push((*pos, *v));
+                }
+                (InternedOperand::S(pos), CmpOp::Eq, InternedOperand::Const(v))
+                | (InternedOperand::Const(v), CmpOp::Eq, InternedOperand::S(pos)) => {
+                    s_lits.push((*pos, *v));
+                }
+                (InternedOperand::R(pos), CmpOp::Ne, InternedOperand::Const(v))
+                | (InternedOperand::Const(v), CmpOp::Ne, InternedOperand::R(pos)) => {
+                    if neq.is_some() {
+                        return None;
+                    }
+                    neq = Some((NeqSide::R, *pos, *v));
+                }
+                (InternedOperand::S(pos), CmpOp::Ne, InternedOperand::Const(v))
+                | (InternedOperand::Const(v), CmpOp::Ne, InternedOperand::S(pos)) => {
+                    if neq.is_some() {
+                        return None;
+                    }
+                    neq = Some((NeqSide::S, *pos, *v));
+                }
+                _ => return None,
+            }
+        }
+        let neq = neq?;
+        let opposite_lits = match neq.0 {
+            NeqSide::R => &s_lits,
+            NeqSide::S => &r_lits,
+        };
+        if opposite_lits.is_empty() {
+            return None;
+        }
+        Some(InternedDistinctShape {
+            r_lits,
+            s_lits,
+            neq,
+        })
+    }
+}
+
+/// [`IdentityShape`](crate::IdentityShape) with interned literals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InternedIdentityShape {
+    /// `(column, symbol)` equality literals on `R`-side rows.
+    pub r_lits: Vec<(usize, Sym)>,
+    /// `(column, symbol)` equality literals on `S`-side rows.
+    pub s_lits: Vec<(usize, Sym)>,
+    /// `(r_column, s_column)` cross-relation equality pairs.
+    pub join: Vec<(usize, usize)>,
+}
+
+/// [`DistinctShape`](crate::DistinctShape) with interned literals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InternedDistinctShape {
+    /// `(column, symbol)` equality literals on `R`-side rows.
+    pub r_lits: Vec<(usize, Sym)>,
+    /// `(column, symbol)` equality literals on `S`-side rows.
+    pub s_lits: Vec<(usize, Sym)>,
+    /// The single `≠`-constant literal: which relation, column, symbol.
+    pub neq: (NeqSide, usize, Sym),
+}
+
+/// A whole [`CompiledRuleBase`] lowered into symbol space.
+#[derive(Debug, Clone, Default)]
+pub struct InternedRuleBase {
+    /// Interned identity rules, in compiled order.
+    pub identity: Vec<InternedRule>,
+    /// Interned distinctness rules, in compiled order.
+    pub distinctness: Vec<InternedRule>,
+}
+
+impl InternedRuleBase {
+    /// Lowers every compiled rule, interning all rule constants into
+    /// `interner` (which must be the same interner the relations are
+    /// encoded through, or symbol equality is meaningless).
+    pub fn from_compiled(base: &CompiledRuleBase, interner: &mut Interner) -> InternedRuleBase {
+        InternedRuleBase {
+            identity: base
+                .identity
+                .iter()
+                .map(|r| InternedRule::from_compiled(r, interner))
+                .collect(),
+            distinctness: base
+                .distinctness
+                .iter()
+                .map(|r| InternedRule::from_compiled(r, interner))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distinctness::DistinctnessRule;
+    use crate::identity::IdentityRule;
+    use crate::pred::{Operand, Predicate, Side};
+    use crate::rulebase::RuleBase;
+    use eid_relational::{Relation, Schema, Tuple, Value};
+
+    fn world() -> (Relation, Relation) {
+        let rs = Schema::of_strs("R", &["name", "cuisine", "street"], &["name"]).unwrap();
+        let ss = Schema::of_strs("S", &["name", "cuisine", "city"], &["name"]).unwrap();
+        let mut r = Relation::new(rs);
+        r.insert_strs(&["a", "indian", "x"]).unwrap();
+        r.insert_strs(&["b", "greek", "y"]).unwrap();
+        r.insert(Tuple::new(vec![
+            Value::str("c"),
+            Value::Null,
+            Value::str("z"),
+        ]))
+        .unwrap();
+        let mut s = Relation::new(ss);
+        s.insert_strs(&["a", "indian", "p"]).unwrap();
+        s.insert_strs(&["b", "indian", "q"]).unwrap();
+        (r, s)
+    }
+
+    fn rb() -> RuleBase {
+        let mut rb = RuleBase::new();
+        rb.add_identity(
+            IdentityRule::new(
+                "key-eq",
+                vec![Predicate::cross_eq("name"), Predicate::cross_eq("cuisine")],
+            )
+            .unwrap(),
+        );
+        rb.add_distinctness(
+            DistinctnessRule::new(
+                "r3",
+                vec![
+                    Predicate::attr_const(Side::E1, "cuisine", CmpOp::Eq, "indian"),
+                    Predicate::attr_const(Side::E2, "cuisine", CmpOp::Ne, "indian"),
+                ],
+            )
+            .unwrap(),
+        );
+        rb.add_distinctness(
+            DistinctnessRule::new(
+                "ordered",
+                vec![Predicate::new(
+                    Operand::attr(Side::E1, "name"),
+                    CmpOp::Lt,
+                    Operand::attr(Side::E2, "name"),
+                )],
+            )
+            .unwrap(),
+        );
+        rb
+    }
+
+    /// The load-bearing equivalence: interned `fires` agrees with
+    /// compiled `fires` on every row pair, for `=`, `≠`, `<`, and
+    /// NULL operands alike.
+    #[test]
+    fn interned_fires_agrees_with_compiled() {
+        let (r, s) = world();
+        let compiled = CompiledRuleBase::compile(&rb(), r.schema(), s.schema());
+        let mut interner = Interner::new();
+        let interned = InternedRuleBase::from_compiled(&compiled, &mut interner);
+        let cr = Columns::encode(&r, &mut interner);
+        let cs = Columns::encode(&s, &mut interner);
+        for (rules_c, rules_i) in [
+            (&compiled.identity, &interned.identity),
+            (&compiled.distinctness, &interned.distinctness),
+        ] {
+            for (rc, ri) in rules_c.iter().zip(rules_i.iter()) {
+                for i in 0..r.len() {
+                    for j in 0..s.len() {
+                        assert_eq!(
+                            rc.fires(&r.tuples()[i], &s.tuples()[j]),
+                            ri.fires(&cr, i, &cs, j, &interner),
+                            "rule {} on pair ({i},{j})",
+                            rc.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interned_shapes_mirror_compiled_shapes() {
+        let (r, s) = world();
+        let compiled = CompiledRuleBase::compile(&rb(), r.schema(), s.schema());
+        let mut interner = Interner::new();
+        let interned = InternedRuleBase::from_compiled(&compiled, &mut interner);
+        for (rc, ri) in compiled.identity.iter().zip(interned.identity.iter()) {
+            assert_eq!(rc.identity_shape().is_some(), ri.identity_shape().is_some());
+        }
+        for (rc, ri) in compiled
+            .distinctness
+            .iter()
+            .zip(interned.distinctness.iter())
+        {
+            assert_eq!(rc.distinct_shape().is_some(), ri.distinct_shape().is_some());
+            if let (Some(dc), Some(di)) = (rc.distinct_shape(), ri.distinct_shape()) {
+                assert_eq!(&dc.neq.2, interner.resolve(di.neq.2));
+            }
+        }
+        // The join-only identity rule keeps its join columns.
+        let shape = interned.identity[0].identity_shape().unwrap();
+        assert_eq!(shape.join.len(), 2);
+        assert!(shape.r_lits.is_empty() && shape.s_lits.is_empty());
+    }
+}

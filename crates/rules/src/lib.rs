@@ -42,6 +42,7 @@ pub mod compiled;
 pub mod distinctness;
 pub mod extended_key;
 pub mod identity;
+pub mod interned;
 pub mod parser;
 pub mod pred;
 pub mod rulebase;
@@ -53,6 +54,10 @@ pub use compiled::{
 pub use distinctness::{DistinctnessRule, DistinctnessRuleError};
 pub use extended_key::ExtendedKey;
 pub use identity::{IdentityRule, IdentityRuleError};
+pub use interned::{
+    InternedDistinctShape, InternedIdentityShape, InternedOperand, InternedPredicate, InternedRule,
+    InternedRuleBase,
+};
 pub use parser::{parse_rules, ParseError, RuleFile, Statement};
 pub use pred::{CmpOp, Operand, Predicate, Side};
 pub use rulebase::{InconsistentRules, MatchDecision, RuleBase};

@@ -44,8 +44,8 @@ fi
 # and whose blocking/classification ledgers sum correctly.
 if command -v python3 >/dev/null 2>&1; then
     echo "==> eid match --report-json smoke"
-    report="$(mktemp)" s_sound="$(mktemp)"
-    trap 'rm -f "$report" "$s_sound"' EXIT
+    report="$(mktemp)" s_sound="$(mktemp)" bench_out="$(mktemp)"
+    trap 'rm -f "$report" "$s_sound" "$bench_out"' EXIT
     grep -v sichuan examples/data/s.csv > "$s_sound"
     ./target/release/eid match \
         --r examples/data/r.csv --r-key name,street \
@@ -70,6 +70,36 @@ print(f"    report OK: {len(counters)} counters, {len(stages)} stages")
 EOF
 else
     echo "==> python3 not installed; skipping --report-json smoke"
+fi
+
+# Benchmark smoke at small n: every engine must agree with the
+# nested-loop oracle on MT/NMT/undetermined (the binary itself
+# asserts this before writing), and the blocked arms' convert step
+# must cost less than the engine step at the largest smoke size —
+# the invariant the interned/columnar pipeline exists to hold.
+if command -v python3 >/dev/null 2>&1; then
+    echo "==> bench_json smoke (n=100,200)"
+    ./target/release/bench_json 100 200 --out "$bench_out" >/dev/null
+    python3 - "$bench_out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    bench = json.load(f)
+largest = max(bench["sizes"], key=lambda s: s["n_entities"])
+engines = {e["name"]: e for e in largest["engines"]}
+oracle = engines["nested_loop"]
+for name, e in engines.items():
+    agree = (e["matching"], e["negative"], e["undetermined"])
+    want = (oracle["matching"], oracle["negative"], oracle["undetermined"])
+    assert agree == want, f"{name}: {agree} != oracle {want}"
+for name in ("blocked", "blocked_parallel"):
+    stages = engines[name]["stages"]
+    convert, engine = stages["match/convert"], stages["match/engine"]
+    assert convert < engine, \
+        f"{name}: convert {convert}s >= engine {engine}s at n={largest['n_entities']}"
+print(f"    bench OK: engines agree; convert < engine at n={largest['n_entities']}")
+EOF
+else
+    echo "==> python3 not installed; skipping bench smoke"
 fi
 
 echo "==> all checks passed"

@@ -91,7 +91,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one benchmark inside the group.
-    pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         let label = format!("{}/{}", self.name, id);
         run_benchmark(&label, f);
         self

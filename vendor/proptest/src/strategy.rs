@@ -87,7 +87,10 @@ pub struct Union<T> {
 impl<T> Union<T> {
     /// Builds a union; panics on an empty option list.
     pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
-        assert!(!options.is_empty(), "prop_oneof! needs at least one strategy");
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one strategy"
+        );
         Union { options }
     }
 }
@@ -183,14 +186,14 @@ macro_rules! tuple_strategy {
     };
 }
 
-tuple_strategy!(A/0);
-tuple_strategy!(A/0, B/1);
-tuple_strategy!(A/0, B/1, C/2);
-tuple_strategy!(A/0, B/1, C/2, D/3);
-tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
-tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5);
-tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5, G/6);
-tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7);
+tuple_strategy!(A / 0);
+tuple_strategy!(A / 0, B / 1);
+tuple_strategy!(A / 0, B / 1, C / 2);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
 
 #[cfg(test)]
 mod tests {

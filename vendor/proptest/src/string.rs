@@ -142,7 +142,10 @@ fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (usize, usize, u
                     let n = body.parse().expect("bad quantifier count");
                     (n, n)
                 }
-                Some((lo, "")) => (lo.parse().expect("bad quantifier min"), UNBOUNDED_CAP.max(lo.parse().unwrap_or(0))),
+                Some((lo, "")) => (
+                    lo.parse().expect("bad quantifier min"),
+                    UNBOUNDED_CAP.max(lo.parse().unwrap_or(0)),
+                ),
                 Some((lo, hi)) => (
                     lo.parse().expect("bad quantifier min"),
                     hi.parse().expect("bad quantifier max"),

@@ -75,9 +75,7 @@ pub fn run_cases(
                 );
             }
             Err(TestCaseError::Fail(msg)) => {
-                panic!(
-                    "property {name:?} failed at case {passed} (seed {seed:#x}):\n{msg}"
-                );
+                panic!("property {name:?} failed at case {passed} (seed {seed:#x}):\n{msg}");
             }
         }
     }
