@@ -42,9 +42,22 @@
 //! intern to one symbol).
 //! [`JoinAlgorithm::NestedLoop`](crate::JoinAlgorithm) is retained as
 //! the exhaustive oracle.
+//!
+//! **Hardening** (DESIGN.md §9): runs are guarded by a [`RunGuard`] —
+//! budgets and cancellation are checked at *task* boundaries, each
+//! task executes under `catch_unwind`, and a poisoned task degrades
+//! the run down the ladder `blocked_parallel → blocked (serial rerun
+//! from scratch) → nested-loop` instead of taking the process down.
+//! The serial rerun discards all partial results, so its output is
+//! byte-identical to a fault-free serial run. An aborted or poisoned
+//! attempt never flushes its half-finished task accounting into the
+//! recorder.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
 
 use eid_obs::Recorder;
@@ -54,7 +67,9 @@ use eid_rules::{
     NeqSide, RuleBase,
 };
 
-use crate::stats::{counter, histogram, rule_counter, span};
+use crate::error::{CoreError, Result};
+use crate::runtime::{AbortReason, RunGuard};
+use crate::stats::{counter, histogram, label, rule_counter, span};
 
 /// Below this many estimated pairs (`|R′|·|S′|`) the auto-parallel
 /// engine (`threads == 0`) runs serially: thread spawn + merge
@@ -284,14 +299,31 @@ impl BlockedEngine {
             counter::COMPILE_DEAD_ORIENTATIONS,
             cs.dead_orientations as u64,
         );
-        let mut interner = Interner::new();
-        let (interned, cols_r, cols_s) = {
+        // Encoding builds a fresh interner from scratch, so a panic
+        // mid-encode (e.g. the injected `interner/poison` fault)
+        // leaves nothing poisoned worth keeping: discard and retry
+        // once on a clean interner before letting the panic escape to
+        // the matcher's isolation boundary.
+        let encode = || {
+            eid_fault::maybe_panic("interner/poison");
+            let mut interner = Interner::new();
             let _span = recorder.span(span::ENGINE_ENCODE);
-            (
+            let parts = (
                 InternedRuleBase::from_compiled(&compiled, &mut interner),
                 Columns::encode(ext_r, &mut interner),
                 Columns::encode(ext_s, &mut interner),
-            )
+            );
+            (interner, parts)
+        };
+        let (interner, (interned, cols_r, cols_s)) = match catch_unwind(AssertUnwindSafe(encode)) {
+            Ok(ok) => ok,
+            Err(payload) => {
+                recorder.add(counter::RUNTIME_ENCODE_RETRIES, 1);
+                match catch_unwind(AssertUnwindSafe(encode)) {
+                    Ok(ok) => ok,
+                    Err(_second) => std::panic::resume_unwind(payload),
+                }
+            }
         };
         recorder.add(counter::ALLOC_VALUES_INTERNED, interner.len() as u64);
         BlockedEngine {
@@ -315,29 +347,151 @@ impl BlockedEngine {
         &self.recorder
     }
 
-    /// Runs the engine. `record_identity`/`record_distinct` select
-    /// which rule families execute (mirrors the matcher's pairwise
-    /// phase flags). The result is deterministic for any thread
-    /// count.
-    pub fn run(&self, record_identity: bool, record_distinct: bool) -> EnginePairs {
+    /// Runs the engine unguarded (no budgets, not cancellable).
+    /// `record_identity`/`record_distinct` select which rule families
+    /// execute (mirrors the matcher's pairwise phase flags). The
+    /// result is deterministic for any thread count. Errors only via
+    /// the degradation ladder's terminal rung (every arm poisoned).
+    pub fn run(&self, record_identity: bool, record_distinct: bool) -> Result<EnginePairs> {
+        self.run_guarded(record_identity, record_distinct, &RunGuard::unlimited())
+    }
+
+    /// [`BlockedEngine::run`] under a [`RunGuard`]: budgets and
+    /// cancellation are checked at task boundaries (each task is
+    /// pre-charged its exact candidate weight before it runs), and a
+    /// poisoned task walks the degradation ladder — serial rerun from
+    /// scratch, then the index-free nested-loop arm — before giving
+    /// up with [`CoreError::WorkerPanic`]. A memory budget that the
+    /// blocked indexes alone would exceed degrades straight to the
+    /// nested-loop arm. On success the recorder's `engine` label
+    /// names the arm that produced the published pairs.
+    pub fn run_guarded(
+        &self,
+        record_identity: bool,
+        record_distinct: bool,
+        guard: &RunGuard,
+    ) -> Result<EnginePairs> {
+        if let Err(reason) = guard.checkpoint() {
+            return Err(self.abort(guard, TaskAbort::early(reason)));
+        }
+
         // Plan: indexable rules become block plans, the rest go to
-        // the residual pairwise scan.
+        // the residual pairwise scan — unless the memory budget says
+        // the indexes themselves would blow the cap, in which case
+        // everything runs index-free (the nested-loop arm).
+        let mut kinds = self.plan_kinds(record_identity, record_distinct, false);
+        let mut nested = false;
+        if let Some(limit) = guard.mem_limit() {
+            let est = self.index_mem_estimate(&kinds);
+            if est > limit {
+                self.recorder.add(counter::RUNTIME_DEGRADED_INDEX_MEM, 1);
+                kinds = self.plan_kinds(record_identity, record_distinct, true);
+                nested = true;
+            }
+        }
+
+        let (plans, indexes) = {
+            let _span = self.recorder.span(span::ENGINE_INDEX);
+            let indexes = self.build_indexes(&kinds);
+            let plans = self.build_plans(kinds, &indexes);
+            (plans, indexes)
+        };
+        // Chunk every plan by candidate-pair weight. The task list is
+        // independent of the worker count, so output order (= task
+        // order = plan order, drivers in driver order) is identical
+        // for any thread count.
+        let tasks = build_tasks(&plans);
+
+        let workers = self.resolve_threads().min(tasks.len()).max(1);
+        self.recorder.add(counter::ENGINE_WORKERS, workers as u64);
+        let first_arm = if nested {
+            "nested_loop"
+        } else if workers > 1 {
+            "blocked_parallel"
+        } else {
+            "blocked"
+        };
+
+        match self.try_run_tasks(&plans, &tasks, &indexes, workers, guard, "engine/worker") {
+            Ok(outputs) => self.finish(&plans, &tasks, outputs, first_arm),
+            Err(TaskFailure::Aborted(a)) => Err(self.abort(guard, a)),
+            Err(TaskFailure::Poisoned { completed }) => {
+                // Rung 2: serial rerun from scratch. Partial results
+                // are discarded so the output is byte-identical to a
+                // fault-free serial run.
+                let lost = (tasks.len() as u64).saturating_sub(completed).max(1);
+                self.recorder.add(counter::ENGINE_ABORTED_TASKS, lost);
+                self.recorder.add(counter::RUNTIME_DEGRADED_TO_BLOCKED, 1);
+                match self.try_run_tasks(&plans, &tasks, &indexes, 1, guard, "engine/serial") {
+                    Ok(outputs) => {
+                        let arm = if nested { "nested_loop" } else { "blocked" };
+                        self.finish(&plans, &tasks, outputs, arm)
+                    }
+                    Err(TaskFailure::Aborted(a)) => Err(self.abort(guard, a)),
+                    Err(TaskFailure::Poisoned { .. }) => {
+                        self.run_nested_fallback(record_identity, record_distinct, guard)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rung 3 of the degradation ladder: every rule as an index-free
+    /// residual scan, serially. Emits the same pair *set* as the
+    /// blocked arms (possibly in a different order — callers dedup).
+    fn run_nested_fallback(
+        &self,
+        record_identity: bool,
+        record_distinct: bool,
+        guard: &RunGuard,
+    ) -> Result<EnginePairs> {
+        self.recorder
+            .add(counter::RUNTIME_DEGRADED_TO_NESTED_LOOP, 1);
+        let kinds = self.plan_kinds(record_identity, record_distinct, true);
+        let (plans, indexes) = {
+            let _span = self.recorder.span(span::ENGINE_INDEX);
+            let indexes = self.build_indexes(&kinds);
+            let plans = self.build_plans(kinds, &indexes);
+            (plans, indexes)
+        };
+        let tasks = build_tasks(&plans);
+        match self.try_run_tasks(&plans, &tasks, &indexes, 1, guard, "engine/nested") {
+            Ok(outputs) => self.finish(&plans, &tasks, outputs, "nested_loop"),
+            Err(TaskFailure::Aborted(a)) => Err(self.abort(guard, a)),
+            Err(TaskFailure::Poisoned { .. }) => {
+                self.recorder.set_label(label::ABORT, "worker_panic");
+                Err(CoreError::WorkerPanic {
+                    site: "engine/nested".into(),
+                })
+            }
+        }
+    }
+
+    /// Classifies every selected rule into a block plan or the
+    /// residual scan; `index_free` forces *all* rules residual (the
+    /// nested-loop arm).
+    fn plan_kinds(
+        &self,
+        record_identity: bool,
+        record_distinct: bool,
+        index_free: bool,
+    ) -> Vec<PlanKind<'_>> {
         let mut kinds: Vec<PlanKind<'_>> = Vec::new();
         let mut residual_identity: Vec<&InternedRule> = Vec::new();
         let mut residual_distinct: Vec<&InternedRule> = Vec::new();
         if record_identity {
             for rule in &self.interned.identity {
                 match rule.identity_shape() {
-                    Some(shape) => kinds.push(PlanKind::Identity { rule, shape }),
-                    None => residual_identity.push(rule),
+                    Some(shape) if !index_free => kinds.push(PlanKind::Identity { rule, shape }),
+                    _ => residual_identity.push(rule),
                 }
             }
         }
         if record_distinct {
             for rule in &self.interned.distinctness {
                 match rule.distinct_shape() {
-                    Some(shape) => kinds.push(PlanKind::Distinct { rule, shape }),
-                    None => residual_distinct.push(rule),
+                    Some(shape) if !index_free => kinds.push(PlanKind::Distinct { rule, shape }),
+                    _ => residual_distinct.push(rule),
                 }
             }
         }
@@ -347,34 +501,36 @@ impl BlockedEngine {
                 distinct: residual_distinct,
             });
         }
+        kinds
+    }
 
-        let (plans, indexes) = {
-            let _span = self.recorder.span(span::ENGINE_INDEX);
-            let indexes = self.build_indexes(&kinds);
-            let plans = self.build_plans(kinds, &indexes);
-            (plans, indexes)
-        };
+    /// Crude upper bound on the blocked indexes' resident bytes: each
+    /// block plan may index both sides, at roughly one boxed key +
+    /// row id + map overhead per row. Deliberately pessimistic — the
+    /// memory budget is a safety cap, not an allocator.
+    fn index_mem_estimate(&self, kinds: &[PlanKind<'_>]) -> u64 {
+        const BYTES_PER_ROW: u64 = 48;
+        let rows = (self.cols_r.rows() + self.cols_s.rows()) as u64;
+        let block_plans = kinds
+            .iter()
+            .filter(|k| !matches!(k, PlanKind::Residual { .. }))
+            .count() as u64;
+        block_plans * rows * BYTES_PER_ROW
+    }
 
-        // Chunk every plan by candidate-pair weight. The task list is
-        // independent of the worker count, so output order (= task
-        // order = plan order, drivers in driver order) is identical
-        // for any thread count.
-        let mut tasks: Vec<Task> = Vec::new();
-        for (pid, plan) in plans.iter().enumerate() {
-            for (drivers, est_pairs) in chunk_ranges(plan) {
-                tasks.push(Task {
-                    plan: pid,
-                    drivers,
-                    est_pairs,
-                });
-            }
-        }
+    /// Success epilogue for one attempt: record the task count, flush
+    /// the per-task accounting, stamp the arm label, and assemble the
+    /// pair lists in task order.
+    fn finish(
+        &self,
+        plans: &[Plan<'_>],
+        tasks: &[Task],
+        outputs: Vec<(EnginePairs, TaskReport)>,
+        arm: &str,
+    ) -> Result<EnginePairs> {
         self.recorder.add(counter::ENGINE_TASKS, tasks.len() as u64);
-
-        let workers = self.resolve_threads();
-        let outputs = self.run_tasks(&plans, &tasks, &indexes, workers);
-        self.flush_reports(&plans, &tasks, &outputs);
-
+        self.flush_reports(plans, tasks, &outputs);
+        self.recorder.set_label(label::ENGINE_ARM, arm);
         let mut result = EnginePairs::default();
         result
             .matching
@@ -386,7 +542,23 @@ impl BlockedEngine {
             result.matching.extend(out.matching);
             result.negative.extend(out.negative);
         }
-        result
+        Ok(result)
+    }
+
+    /// Abort epilogue: stamp the abort label and build the typed
+    /// error with partial stats. The attempt's task accounting is
+    /// *not* flushed — an aborted run never reports half-tasks.
+    fn abort(&self, guard: &RunGuard, a: TaskAbort) -> CoreError {
+        self.recorder.set_label(label::ABORT, a.reason.code());
+        let mut partial = guard.partial_stats();
+        partial.tasks_completed = a.completed;
+        partial.tasks_total = a.tasks_total;
+        partial.matching = a.matching;
+        partial.negative = a.negative;
+        CoreError::Aborted {
+            reason: a.reason,
+            partial,
+        }
     }
 
     /// Flushes every task's accounting from the main thread, after
@@ -468,46 +640,99 @@ impl BlockedEngine {
         }
     }
 
-    /// Runs the task queue; outputs come back ordered by task id
-    /// regardless of which worker ran what.
-    fn run_tasks(
+    /// Runs the task queue under the guard; on success, outputs come
+    /// back ordered by task id regardless of which worker ran what.
+    ///
+    /// Every task executes under `catch_unwind` (with `fault_site`
+    /// armed as an injection point): a panic poisons the attempt, the
+    /// remaining workers drain cleanly, and the caller decides which
+    /// ladder rung to try next. Each task is pre-charged its exact
+    /// candidate weight and the guard is checked *before* the task
+    /// runs, so budget trips happen ahead of the work.
+    fn try_run_tasks(
         &self,
         plans: &[Plan<'_>],
         tasks: &[Task],
         indexes: &Indexes,
         workers: usize,
-    ) -> Vec<(EnginePairs, TaskReport)> {
+        guard: &RunGuard,
+        fault_site: &str,
+    ) -> std::result::Result<Vec<(EnginePairs, TaskReport)>, TaskFailure> {
         let workers = workers.min(tasks.len()).max(1);
-        self.recorder.add(counter::ENGINE_WORKERS, workers as u64);
-        if workers == 1 {
-            return tasks
-                .iter()
-                .map(|t| self.run_timed(plans, t, indexes))
-                .collect();
-        }
         let next = AtomicUsize::new(0);
+        let poisoned = AtomicBool::new(false);
         let drain = || {
-            let mut local = Vec::new();
+            let mut local: Vec<(usize, (EnginePairs, TaskReport))> = Vec::new();
             loop {
+                if poisoned.load(Ordering::Relaxed) || guard.is_tripped() {
+                    break;
+                }
                 let id = next.fetch_add(1, Ordering::Relaxed);
                 let Some(task) = tasks.get(id) else { break };
-                local.push((id, self.run_timed(plans, task, indexes)));
+                guard.charge_pairs(task.est_pairs);
+                if guard.checkpoint().is_err() {
+                    break;
+                }
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    eid_fault::maybe_panic(fault_site);
+                    self.run_timed(plans, task, indexes)
+                }));
+                match run {
+                    Ok(out) => {
+                        let pairs = out.0.matching.len() + out.0.negative.len();
+                        guard.charge_bytes(8 * pairs as u64);
+                        local.push((id, out));
+                    }
+                    Err(_) => {
+                        poisoned.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
             }
             local
         };
         let mut slots: Vec<(usize, (EnginePairs, TaskReport))> = Vec::with_capacity(tasks.len());
-        std::thread::scope(|scope| {
-            // The calling thread is worker 0: spawning `workers - 1`
-            // threads instead of `workers` keeps it busy draining the
-            // queue rather than parked at the join.
-            let handles: Vec<_> = (1..workers).map(|_| scope.spawn(drain)).collect();
+        if workers == 1 {
             slots.extend(drain());
-            for h in handles {
-                slots.extend(h.join().expect("engine worker panicked"));
-            }
-        });
+        } else {
+            std::thread::scope(|scope| {
+                // The calling thread is worker 0: spawning
+                // `workers - 1` threads instead of `workers` keeps it
+                // busy draining the queue rather than parked at the
+                // join.
+                let handles: Vec<_> = (1..workers).map(|_| scope.spawn(drain)).collect();
+                slots.extend(drain());
+                for h in handles {
+                    match h.join() {
+                        Ok(local) => slots.extend(local),
+                        // A panic that escaped catch_unwind (e.g. out
+                        // of a payload drop) — treat as poison.
+                        Err(_) => poisoned.store(true, Ordering::Relaxed),
+                    }
+                }
+            });
+        }
         slots.sort_by_key(|(id, _)| *id);
-        slots.into_iter().map(|(_, out)| out).collect()
+        let completed = slots.len() as u64;
+        if let Some(reason) = guard.tripped_reason() {
+            return Err(TaskFailure::Aborted(TaskAbort {
+                reason,
+                completed,
+                tasks_total: tasks.len() as u64,
+                matching: slots
+                    .iter()
+                    .map(|(_, (o, _))| o.matching.len() as u64)
+                    .sum(),
+                negative: slots
+                    .iter()
+                    .map(|(_, (o, _))| o.negative.len() as u64)
+                    .sum(),
+            }));
+        }
+        if poisoned.load(Ordering::Relaxed) {
+            return Err(TaskFailure::Poisoned { completed });
+        }
+        Ok(slots.into_iter().map(|(_, out)| out).collect())
     }
 
     /// [`BlockedEngine::run_task`] plus wall-time measurement. No
@@ -852,6 +1077,52 @@ impl BlockedEngine {
     }
 }
 
+/// What an aborted attempt knows about its own progress.
+struct TaskAbort {
+    reason: AbortReason,
+    completed: u64,
+    tasks_total: u64,
+    matching: u64,
+    negative: u64,
+}
+
+impl TaskAbort {
+    /// An abort before any task ran (entry checkpoint).
+    fn early(reason: AbortReason) -> TaskAbort {
+        TaskAbort {
+            reason,
+            completed: 0,
+            tasks_total: 0,
+            matching: 0,
+            negative: 0,
+        }
+    }
+}
+
+/// Why one task-queue attempt did not complete.
+enum TaskFailure {
+    /// The guard tripped (budget, deadline, or cancellation).
+    Aborted(TaskAbort),
+    /// A task panicked; `completed` tasks finished before the drain
+    /// stopped.
+    Poisoned { completed: u64 },
+}
+
+/// Chunks every plan into the task list the workers drain.
+fn build_tasks(plans: &[Plan<'_>]) -> Vec<Task> {
+    let mut tasks: Vec<Task> = Vec::new();
+    for (pid, plan) in plans.iter().enumerate() {
+        for (drivers, est_pairs) in chunk_ranges(plan) {
+            tasks.push(Task {
+                plan: pid,
+                drivers,
+                est_pairs,
+            });
+        }
+    }
+    tasks
+}
+
 /// Splits one plan's drivers into contiguous ranges of roughly
 /// [`CHUNK_TARGET_PAIRS`] candidate weight each, paired with each
 /// range's exact weight. Always yields at least one range, so even
@@ -966,15 +1237,17 @@ fn lit_positions(lits: &[(usize, Sym)]) -> Option<Vec<usize>> {
 /// The probe key aligned with [`lit_positions`]: the first literal
 /// symbol seen for each position. (A rule carrying two *different*
 /// constants for one position can never fire; the final
-/// verify-with-`fires` check rejects its candidates.)
+/// verify-with-`fires` check rejects its candidates.) Positions all
+/// come from `lits`, so the NULL_SYM arm is unreachable — and inert
+/// if it ever were reached, since no row column holds NULL_SYM keys
+/// in an index built over non-NULL groups.
 fn lit_probe_key(lits: &[(usize, Sym)], positions: &[usize]) -> Vec<Sym> {
     positions
         .iter()
         .map(|p| {
             lits.iter()
                 .find(|(lp, _)| lp == p)
-                .expect("position came from these literals")
-                .1
+                .map_or(NULL_SYM, |&(_, sym)| sym)
         })
         .collect()
 }
@@ -1006,11 +1279,12 @@ fn identity_probe_key(
             key[slot] = *sym;
             continue;
         }
-        let (rp, _) = shape
-            .join
-            .iter()
-            .find(|(_, p)| p == sp)
-            .expect("position came from join or literals");
+        // Every position comes from the join or the literals; a miss
+        // here would mean a malformed shape — treat it as "cannot
+        // definitely fire" rather than panicking in the hot loop.
+        let Some((rp, _)) = shape.join.iter().find(|(_, p)| p == sp) else {
+            return false;
+        };
         let sym = cols_r.get(row, *rp);
         if sym == NULL_SYM {
             return false;

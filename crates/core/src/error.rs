@@ -5,6 +5,8 @@ use std::fmt;
 use eid_relational::RelationalError;
 use eid_rules::{IdentityRuleError, InconsistentRules};
 
+use crate::runtime::{AbortReason, PartialStats};
+
 /// Any error raised by the entity-identification engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CoreError {
@@ -31,6 +33,30 @@ pub enum CoreError {
     },
     /// The extended key is empty — it can never establish identity.
     EmptyExtendedKey,
+    /// The run tripped its [`RunGuard`](crate::RunGuard): cancelled,
+    /// past its deadline, or over a resource budget. No tables are
+    /// published (§3.3 forbids partial decisions); `partial` reports
+    /// how far the run got.
+    Aborted {
+        /// Why the guard tripped.
+        reason: AbortReason,
+        /// Progress snapshot at the trip.
+        partial: PartialStats,
+    },
+    /// A worker thread panicked and the degradation ladder was
+    /// exhausted (or the panic struck outside a recoverable stage).
+    WorkerPanic {
+        /// The stage that poisoned, e.g. `"engine/worker"`.
+        site: String,
+    },
+}
+
+impl CoreError {
+    /// Builds an [`CoreError::Aborted`] from a guard's reason and
+    /// partial-progress snapshot.
+    pub fn aborted(reason: AbortReason, partial: PartialStats) -> CoreError {
+        CoreError::Aborted { reason, partial }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -48,6 +74,12 @@ impl fmt::Display for CoreError {
                 "pair {pair} appears in both the matching and negative matching tables"
             ),
             CoreError::EmptyExtendedKey => write!(f, "extended key has no attributes"),
+            CoreError::Aborted { reason, partial } => {
+                write!(f, "run aborted: {reason} ({partial})")
+            }
+            CoreError::WorkerPanic { site } => {
+                write!(f, "worker panicked at {site}; degraded reruns exhausted")
+            }
         }
     }
 }

@@ -28,6 +28,18 @@
 //! Monotonicity (§3.3) is preserved by construction: existing
 //! entries are never removed. The test suite cross-validates every
 //! state against a from-scratch batch run.
+//!
+//! ## Hardening: staged commits under cancellation and budgets
+//!
+//! Every event ([`IncrementalMatcher::insert`],
+//! [`IncrementalMatcher::add_ilfd`]) runs under the matcher's
+//! [`RunGuard`] and is **staged**: new decisions are computed into
+//! locals first, and the matcher's tables, indexes, and knowledge are
+//! only mutated once the whole event has succeeded. A guard trip
+//! mid-event returns [`CoreError::Aborted`] with the base state
+//! exactly as it was before the event — a cancelled run never
+//! retracts a decision and never flushes half an event, so
+//! cancel-then-resume preserves §3.3 monotonicity by construction.
 
 use std::collections::HashMap;
 
@@ -42,6 +54,7 @@ use crate::error::{CoreError, Result};
 use crate::extend::extend_relation;
 use crate::match_table::{PairEntry, PairTable};
 use crate::matcher::MatchConfig;
+use crate::runtime::{AbortReason, RunBudget, RunGuard};
 use crate::stats::counter;
 
 /// Which relation an event touches.
@@ -78,6 +91,8 @@ pub struct IncrementalMatcher {
     rule_base: RuleBase,
     /// Lifetime-scoped recorder; clones of the matcher share it.
     recorder: Recorder,
+    /// Guard every event runs under; see [`IncrementalMatcher::set_budget`].
+    guard: RunGuard,
 }
 
 impl IncrementalMatcher {
@@ -118,6 +133,7 @@ impl IncrementalMatcher {
         ] {
             recorder.add(name, n as u64);
         }
+        let guard = RunGuard::new(&config.budget);
         let mut m = IncrementalMatcher {
             config,
             r,
@@ -130,10 +146,33 @@ impl IncrementalMatcher {
             negative,
             rule_base,
             recorder,
+            guard,
         };
         m.rebuild_indexes()?;
         m.initial_pass()?;
         Ok(m)
+    }
+
+    /// Re-arms the event guard with a fresh budget. The deadline (if
+    /// any) starts counting from this call, so call it immediately
+    /// before the event it should bound. Construction arms the guard
+    /// from [`MatchConfig::budget`].
+    pub fn set_budget(&mut self, budget: &RunBudget) {
+        self.guard = RunGuard::new(budget);
+    }
+
+    /// A clone of the currently armed guard — hand it to another
+    /// thread and call [`RunGuard::cancel`] to stop the in-flight
+    /// event at its next checkpoint.
+    pub fn guard(&self) -> RunGuard {
+        self.guard.clone()
+    }
+
+    fn abort(&self, reason: AbortReason) -> CoreError {
+        CoreError::Aborted {
+            reason,
+            partial: self.guard.partial_stats(),
+        }
     }
 
     fn key_projection(&self, side: SideSel, tuple: &Tuple) -> Result<Option<Tuple>> {
@@ -145,19 +184,22 @@ impl IncrementalMatcher {
         Ok(tuple.non_null_at(&pos).then(|| tuple.project(&pos)))
     }
 
+    /// Builds the extended-key projection index for one (possibly
+    /// staged) extended relation.
+    fn build_index(&self, ext: &Relation) -> Result<HashMap<Tuple, Vec<usize>>> {
+        let pos = ext.positions_of(self.config.extended_key.attrs())?;
+        let mut index: HashMap<Tuple, Vec<usize>> = HashMap::new();
+        for (i, t) in ext.iter().enumerate() {
+            if t.non_null_at(&pos) {
+                index.entry(t.project(&pos)).or_default().push(i);
+            }
+        }
+        Ok(index)
+    }
+
     fn rebuild_indexes(&mut self) -> Result<()> {
-        self.r_index.clear();
-        self.s_index.clear();
-        for (i, t) in self.ext_r.tuples().to_vec().iter().enumerate() {
-            if let Some(k) = self.key_projection(SideSel::R, t)? {
-                self.r_index.entry(k).or_default().push(i);
-            }
-        }
-        for (j, t) in self.ext_s.tuples().to_vec().iter().enumerate() {
-            if let Some(k) = self.key_projection(SideSel::S, t)? {
-                self.s_index.entry(k).or_default().push(j);
-            }
-        }
+        self.r_index = self.build_index(&self.ext_r)?;
+        self.s_index = self.build_index(&self.ext_s)?;
         Ok(())
     }
 
@@ -178,27 +220,45 @@ impl IncrementalMatcher {
         // Refutation phase: the blocked engine visits only candidate
         // pairs instead of scanning all |R|·|S| combinations.
         if self.config.collect_negative {
-            self.refute_all_pairs();
+            let fired = self.refute_pairs(&self.ext_r, &self.ext_s, &self.rule_base)?;
+            self.commit_refutations(fired);
         }
         Ok(())
     }
 
-    /// Runs the blocked engine's refutation pass over the full
-    /// extended relations, recording every firing. Returns the pairs
-    /// that are newly refuted.
-    fn refute_all_pairs(&mut self) -> Vec<PairEntry> {
+    /// Runs the blocked engine's refutation pass over the given
+    /// (possibly staged) extended relations under the event guard,
+    /// returning the raw fired pairs. Nothing is committed here —
+    /// callers fold the pairs into the negative table only once the
+    /// whole event has succeeded.
+    fn refute_pairs(
+        &self,
+        ext_r: &Relation,
+        ext_s: &Relation,
+        rule_base: &RuleBase,
+    ) -> Result<Vec<(usize, usize)>> {
         let engine = BlockedEngine::with_recorder(
-            &self.ext_r,
-            &self.ext_s,
-            &self.rule_base,
+            ext_r,
+            ext_s,
+            rule_base,
             self.config.threads,
             self.recorder.clone(),
         );
-        let pairs = engine.run(false, true);
+        let pairs = engine.run_guarded(false, true, &self.guard)?;
+        Ok(pairs
+            .negative
+            .into_iter()
+            .map(|(i, j)| (i as usize, j as usize))
+            .collect())
+    }
+
+    /// Commit step: folds raw refuted pairs into the negative table,
+    /// returning the entries that are actually new.
+    fn commit_refutations(&mut self, pairs: Vec<(usize, usize)>) -> Vec<PairEntry> {
         let mut new = Vec::new();
-        for (i, j) in pairs.negative {
-            let rk = self.r.primary_key_of(&self.r.tuples()[i as usize]);
-            let sk = self.s.primary_key_of(&self.s.tuples()[j as usize]);
+        for (i, j) in pairs {
+            let rk = self.r.primary_key_of(&self.r.tuples()[i]);
+            let sk = self.s.primary_key_of(&self.s.tuples()[j]);
             if self.negative.insert(rk.clone(), sk.clone()) {
                 new.push(PairEntry {
                     r_key: rk,
@@ -220,24 +280,12 @@ impl IncrementalMatcher {
             })
     }
 
-    fn try_refute(&mut self, i: usize, j: usize) -> Option<PairEntry> {
+    /// Compute-only distinctness check on one extended pair.
+    fn fires_refute(&self, i: usize, j: usize) -> bool {
         let tr = &self.ext_r.tuples()[i];
         let ts = &self.ext_s.tuples()[j];
-        if self
-            .rule_base
+        self.rule_base
             .fires_distinctness(self.ext_r.schema(), tr, self.ext_s.schema(), ts)
-        {
-            let rk = self.r.primary_key_of(&self.r.tuples()[i]);
-            let sk = self.s.primary_key_of(&self.s.tuples()[j]);
-            return self
-                .negative
-                .insert(rk.clone(), sk.clone())
-                .then_some(PairEntry {
-                    r_key: rk,
-                    s_key: sk,
-                });
-        }
-        None
     }
 
     /// Records one event's outcome: delta sizes, plus the §3.3
@@ -255,7 +303,12 @@ impl IncrementalMatcher {
     }
 
     /// Inserts a tuple into `R` or `S`, returning the new decisions.
+    ///
+    /// Staged: on a guard trip the base and extended insertions are
+    /// rolled back and no decision or counter is recorded — the
+    /// matcher is left exactly as it was before the call.
     pub fn insert(&mut self, side: SideSel, tuple: Tuple) -> Result<Delta> {
+        self.guard.checkpoint().map_err(|r| self.abort(r))?;
         let (before_matching, before_negative) = (self.matching.len(), self.negative.len());
         // Insert into the base relation (key constraints enforced).
         match side {
@@ -270,52 +323,110 @@ impl IncrementalMatcher {
         let widened = tuple.extend_with(&vec![Value::Null; schema.arity() - base_arity]);
         let (derived, _report) =
             derive_tuple(&schema, &widened, &self.config.ilfds, self.config.strategy);
-        match side {
-            SideSel::R => self.ext_r.insert(derived.clone())?,
-            SideSel::S => self.ext_s.insert(derived.clone())?,
+        if let Err(e) = match side {
+            SideSel::R => self.ext_r.insert(derived.clone()),
+            SideSel::S => self.ext_s.insert(derived.clone()),
+        } {
+            // Unwind the base insertion so the relations stay in step.
+            match side {
+                SideSel::R => self.r.remove_last(),
+                SideSel::S => self.s.remove_last(),
+            };
+            return Err(e.into());
         }
 
-        let mut delta = Delta::default();
         let idx = match side {
             SideSel::R => self.ext_r.len() - 1,
             SideSel::S => self.ext_s.len() - 1,
         };
-        // Probe the opposite index.
-        if let Some(key) = self.key_projection(side, &derived)? {
-            let hits: Vec<usize> = match side {
-                SideSel::R => self.s_index.get(&key).cloned().unwrap_or_default(),
-                SideSel::S => self.r_index.get(&key).cloned().unwrap_or_default(),
-            };
-            for other in hits {
-                let entry = match side {
-                    SideSel::R => self.record_match(idx, other),
-                    SideSel::S => self.record_match(other, idx),
+        // Stage: compute every new decision without touching the
+        // tables, so an abort can unwind cleanly.
+        let (key, match_hits, refute_hits) = match self.stage_insert_decisions(side, &derived, idx)
+        {
+            Ok(staged) => staged,
+            Err(e) => {
+                match side {
+                    SideSel::R => {
+                        self.ext_r.remove_last();
+                        self.r.remove_last();
+                    }
+                    SideSel::S => {
+                        self.ext_s.remove_last();
+                        self.s.remove_last();
+                    }
                 };
-                delta.new_matches.extend(entry);
+                return Err(e);
             }
+        };
+
+        // Commit: index, tables, counters.
+        let mut delta = Delta::default();
+        for other in match_hits {
+            let entry = match side {
+                SideSel::R => self.record_match(idx, other),
+                SideSel::S => self.record_match(other, idx),
+            };
+            delta.new_matches.extend(entry);
+        }
+        if let Some(key) = key {
             match side {
                 SideSel::R => self.r_index.entry(key).or_default().push(idx),
                 SideSel::S => self.s_index.entry(key).or_default().push(idx),
             };
         }
-        // Refutations against every opposite tuple.
+        delta.new_non_matches = self.commit_refutations(refute_hits);
+        self.recorder.add(counter::INCR_INSERTS, 1);
+        self.record_event(before_matching, before_negative, &delta);
+        Ok(delta)
+    }
+
+    /// Compute-only phase of [`IncrementalMatcher::insert`]: probes
+    /// the opposite index and scans the opposite side for
+    /// distinctness firings, charging the guard per candidate pair.
+    #[allow(clippy::type_complexity)]
+    fn stage_insert_decisions(
+        &self,
+        side: SideSel,
+        derived: &Tuple,
+        idx: usize,
+    ) -> Result<(Option<Tuple>, Vec<usize>, Vec<(usize, usize)>)> {
+        let key = self.key_projection(side, derived)?;
+        let mut match_hits: Vec<usize> = Vec::new();
+        if let Some(key) = &key {
+            let hits = match side {
+                SideSel::R => self.s_index.get(key),
+                SideSel::S => self.r_index.get(key),
+            };
+            if let Some(hits) = hits {
+                self.guard.charge_pairs(hits.len() as u64);
+                self.guard.checkpoint().map_err(|r| self.abort(r))?;
+                match_hits = hits.clone();
+            }
+        }
+        let mut refute_hits: Vec<(usize, usize)> = Vec::new();
         if self.config.collect_negative {
             match side {
                 SideSel::R => {
+                    self.guard.charge_pairs(self.ext_s.len() as u64);
                     for j in 0..self.ext_s.len() {
-                        delta.new_non_matches.extend(self.try_refute(idx, j));
+                        self.guard.checkpoint().map_err(|r| self.abort(r))?;
+                        if self.fires_refute(idx, j) {
+                            refute_hits.push((idx, j));
+                        }
                     }
                 }
                 SideSel::S => {
+                    self.guard.charge_pairs(self.ext_r.len() as u64);
                     for i in 0..self.ext_r.len() {
-                        delta.new_non_matches.extend(self.try_refute(i, idx));
+                        self.guard.checkpoint().map_err(|r| self.abort(r))?;
+                        if self.fires_refute(i, idx) {
+                            refute_hits.push((i, idx));
+                        }
                     }
                 }
             }
         }
-        self.recorder.add(counter::INCR_INSERTS, 1);
-        self.record_event(before_matching, before_negative, &delta);
-        Ok(delta)
+        Ok((key, match_hits, refute_hits))
     }
 
     /// Supplies one more ILFD (§3.3's growing knowledge). Tuples with
@@ -323,21 +434,27 @@ impl IncrementalMatcher {
     /// distinctness rule is evaluated against all pairs when the
     /// refutation phase is on.
     pub fn add_ilfd(&mut self, ilfd: Ilfd) -> Result<Delta> {
-        if !self.config.ilfds.insert(ilfd.clone()) {
+        // Stage the knowledge on clones: duplicates are detected
+        // here, and nothing reaches the matcher if the event aborts.
+        let mut ilfds = self.config.ilfds.clone();
+        if !ilfds.insert(ilfd.clone()) {
             return Ok(Delta::default()); // already known
         }
+        self.guard.checkpoint().map_err(|r| self.abort(r))?;
         let (before_matching, before_negative) = (self.matching.len(), self.negative.len());
-        self.recorder.add(counter::INCR_ILFDS_ADDED, 1);
+        let mut rule_base = self.rule_base.clone();
         if self.config.use_ilfd_distinctness {
             let single: IlfdSet = [ilfd].into_iter().collect();
-            self.rule_base.add_ilfd_distinctness(&single);
+            rule_base.add_ilfd_distinctness(&single);
         }
 
         // Re-derive every tuple that still has NULLs on either side —
         // not just incomplete extended keys: a new ILFD can also fill
         // a non-key NULL that a distinctness rule's `e₂.B ≠ b`
-        // condition needs to witness.
-        let mut delta = Delta::default();
+        // condition needs to witness. The rebuilt relations stay in
+        // locals until the whole event has succeeded.
+        let mut staged_r: Option<Relation> = None;
+        let mut staged_s: Option<Relation> = None;
         for side in [SideSel::R, SideSel::S] {
             let ext = match side {
                 SideSel::R => &self.ext_r,
@@ -346,10 +463,11 @@ impl IncrementalMatcher {
             let schema = ext.schema().clone();
             let mut updates: Vec<(usize, Tuple)> = Vec::new();
             for (i, t) in ext.iter().enumerate() {
+                self.guard.checkpoint().map_err(|r| self.abort(r))?;
                 if !t.has_null() {
                     continue;
                 }
-                let (nt, _) = derive_tuple(&schema, t, &self.config.ilfds, self.config.strategy);
+                let (nt, _) = derive_tuple(&schema, t, &ilfds, self.config.strategy);
                 if &nt != t {
                     updates.push((i, nt));
                 }
@@ -365,28 +483,52 @@ impl IncrementalMatcher {
                 rebuilt.insert(by_index.remove(&i).unwrap_or(t))?;
             }
             match side {
-                SideSel::R => self.ext_r = rebuilt,
-                SideSel::S => self.ext_s = rebuilt,
+                SideSel::R => staged_r = Some(rebuilt),
+                SideSel::S => staged_s = Some(rebuilt),
             }
         }
-        self.rebuild_indexes()?;
+        let new_ext_r = staged_r.as_ref().unwrap_or(&self.ext_r);
+        let new_ext_s = staged_s.as_ref().unwrap_or(&self.ext_s);
+        let r_index = self.build_index(new_ext_r)?;
+        let s_index = self.build_index(new_ext_s)?;
 
         // Probe everything that is now complete (cheap: index walk).
-        let pairs: Vec<(usize, usize)> = self
-            .r_index
-            .iter()
-            .filter_map(|(k, is)| self.s_index.get(k).map(|js| (is.clone(), js.clone())))
-            .flat_map(|(is, js)| {
-                is.into_iter()
-                    .flat_map(move |i| js.clone().into_iter().map(move |j| (i, j)))
-            })
-            .collect();
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for (k, is) in &r_index {
+            if let Some(js) = s_index.get(k) {
+                self.guard.charge_pairs((is.len() * js.len()) as u64);
+                self.guard.checkpoint().map_err(|r| self.abort(r))?;
+                for &i in is {
+                    for &j in js {
+                        pairs.push((i, j));
+                    }
+                }
+            }
+        }
+        let refuted = if self.config.collect_negative {
+            self.refute_pairs(new_ext_r, new_ext_s, &rule_base)?
+        } else {
+            Vec::new()
+        };
+
+        // Commit: nothing above mutated the matcher; from here the
+        // event applies in full.
+        if let Some(r) = staged_r {
+            self.ext_r = r;
+        }
+        if let Some(s) = staged_s {
+            self.ext_s = s;
+        }
+        self.r_index = r_index;
+        self.s_index = s_index;
+        self.rule_base = rule_base;
+        self.config.ilfds = ilfds;
+        self.recorder.add(counter::INCR_ILFDS_ADDED, 1);
+        let mut delta = Delta::default();
         for (i, j) in pairs {
             delta.new_matches.extend(self.record_match(i, j));
         }
-        if self.config.collect_negative {
-            delta.new_non_matches.extend(self.refute_all_pairs());
-        }
+        delta.new_non_matches = self.commit_refutations(refuted);
         self.record_event(before_matching, before_negative, &delta);
         Ok(delta)
     }

@@ -36,6 +36,9 @@
 //!   after identification (§2) and the unified relation;
 //! * [`incremental`] — matching tables maintained under federated
 //!   tuple inserts and growing ILFD knowledge (§2, §3.3);
+//! * [`runtime`] — the hardened run layer: [`RunGuard`] cooperative
+//!   cancellation, deadlines, and resource budgets, with the
+//!   degradation ladder documented in DESIGN.md §9;
 //! * [`virtual_view`] — query-time virtual integration with
 //!   selection pushdown (§1);
 //! * [`explain`] — per-match provenance: the ILFD chains behind each
@@ -86,6 +89,7 @@ pub mod matcher;
 pub mod metrics;
 pub mod monotonic;
 pub mod partition;
+pub mod runtime;
 pub mod session;
 pub mod stats;
 pub mod validate;
@@ -103,6 +107,7 @@ pub use matcher::{EntityMatcher, JoinAlgorithm, MatchConfig, MatchOutcome};
 pub use metrics::{Evaluation, GroundTruth};
 pub use monotonic::KnowledgeSweep;
 pub use partition::Partition;
+pub use runtime::{AbortReason, PartialStats, RunBudget, RunGuard};
 pub use session::Session;
 pub use validate::{validate_knowledge, KnowledgeReport};
 pub use virtual_view::{Selection, ViewAnswer, VirtualView};
@@ -119,6 +124,7 @@ pub mod prelude {
     pub use crate::metrics::{Evaluation, GroundTruth};
     pub use crate::monotonic::KnowledgeSweep;
     pub use crate::partition::Partition;
+    pub use crate::runtime::{AbortReason, PartialStats, RunBudget, RunGuard};
     pub use crate::session::Session;
     pub use crate::virtual_view::{Selection, VirtualView};
     pub use eid_ilfd::Strategy as DerivationStrategy;

@@ -26,7 +26,15 @@
 //! `|R|·|S|` pairs — the exhaustive correctness oracle the other two
 //! are equivalence-tested against, and the baseline for the scaling
 //! benchmarks.
+//!
+//! Every arm runs under a [`RunGuard`] (see [`crate::runtime`]):
+//! budgets and cancellation are honoured at chunk boundaries, and a
+//! tripped run returns [`CoreError::Aborted`] with partial stats
+//! instead of a half-built outcome.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use eid_ilfd::{IlfdSet, Strategy};
@@ -38,7 +46,8 @@ use crate::engine::BlockedEngine;
 use crate::error::{CoreError, Result};
 use crate::extend::{extend_relation, Extended};
 use crate::match_table::PairTable;
-use crate::stats::{counter, span};
+use crate::runtime::{AbortReason, RunBudget, RunGuard};
+use crate::stats::{counter, label, span};
 
 /// Pair-space ceiling (in bits) for the dense bitset pair-dedup; a
 /// `|R|·|S|` grid up to this size costs at most 32 MiB per set.
@@ -185,6 +194,9 @@ pub struct MatchConfig {
     /// machine's available parallelism, `1` runs serially. The
     /// result is identical for any value.
     pub threads: usize,
+    /// Resource budget for the run (deadline, max candidate pairs,
+    /// max pair-list bytes). Unlimited by default.
+    pub budget: RunBudget,
 }
 
 impl MatchConfig {
@@ -201,6 +213,7 @@ impl MatchConfig {
             use_ilfd_distinctness: true,
             collect_negative: true,
             threads: 0,
+            budget: RunBudget::default(),
         }
     }
 }
@@ -285,10 +298,22 @@ impl EntityMatcher {
     /// Runs the pipeline and returns the outcome. The §3.2
     /// constraints are **not** enforced here — call
     /// [`MatchOutcome::verify`] (the prototype's `setup_extkey` does,
-    /// printing a warning instead of failing).
+    /// printing a warning instead of failing). The configured
+    /// [`MatchConfig::budget`] is enforced: a tripped run returns
+    /// [`CoreError::Aborted`] with partial stats.
     pub fn run(&self) -> Result<MatchOutcome> {
+        self.run_guarded(&RunGuard::new(&self.config.budget))
+    }
+
+    /// [`EntityMatcher::run`] under a caller-held [`RunGuard`] — the
+    /// caller keeps a clone to [`RunGuard::cancel`] from another
+    /// thread. The guard's own budget wins over
+    /// [`MatchConfig::budget`] (they are the same object when called
+    /// via [`EntityMatcher::run`]).
+    pub fn run_guarded(&self, guard: &RunGuard) -> Result<MatchOutcome> {
         let recorder = Recorder::new();
         let run_span = recorder.span(span::MATCH);
+        guard.checkpoint().map_err(|r| abort_of(guard, r))?;
         let derive_span = recorder.span(span::DERIVE);
         let ext_r = {
             let _span = recorder.span(span::DERIVE_R);
@@ -344,17 +369,27 @@ impl EntityMatcher {
         // on row-index pairs while converting; the tuple-keyed probe
         // below stays for the seed paths.
         let mut blocked_overlap = None;
+        guard.checkpoint().map_err(|r| abort_of(guard, r))?;
         match self.config.join {
             JoinAlgorithm::Blocked => {
                 let engine_span = recorder.span(span::ENGINE);
-                let engine = BlockedEngine::with_recorder(
-                    &ext_r.relation,
-                    &ext_s.relation,
-                    &rb,
-                    self.config.threads,
-                    recorder.clone(),
-                );
-                let pairs = engine.run(true, self.config.collect_negative);
+                // Construction compiles + encodes; a panic there
+                // (e.g. interner poisoning past the engine's own
+                // retry) has no degraded arm to fall to — surface it
+                // as a typed error instead of unwinding the caller.
+                let engine = catch_unwind(AssertUnwindSafe(|| {
+                    BlockedEngine::with_recorder(
+                        &ext_r.relation,
+                        &ext_s.relation,
+                        &rb,
+                        self.config.threads,
+                        recorder.clone(),
+                    )
+                }))
+                .map_err(|_| CoreError::WorkerPanic {
+                    site: "engine/encode".into(),
+                })?;
+                let pairs = engine.run_guarded(true, self.config.collect_negative, guard)?;
                 engine_span.finish();
                 let _convert_span = recorder.span(span::CONVERT);
                 // Stay in id space: dedup the raw pair lists on row
@@ -369,20 +404,42 @@ impl EntityMatcher {
                 let pk_r: Arc<[Tuple]> = self.r.iter().map(|t| self.r.primary_key_of(t)).collect();
                 let pk_s: Arc<[Tuple]> = self.s.iter().map(|t| self.s.primary_key_of(t)).collect();
                 recorder.add(counter::ALLOC_TUPLES_MATERIALIZED, (r_len + s_len) as u64);
+                guard.checkpoint().map_err(|r| abort_of(guard, r))?;
                 let raw_pairs = pairs.matching.len() + pairs.negative.len();
                 let (raw_matching, raw_negative) = (pairs.matching, pairs.negative);
                 let hw_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-                let ((m_pairs, m_set), (n_pairs, n_set)) = if self.config.threads != 1
-                    && hw_threads > 1
-                    && raw_pairs >= PARALLEL_CONVERT_MIN
-                {
+                // `threads: 0` (auto) only spawns when the host is
+                // actually multicore; an explicit count is honoured
+                // even on one core (like the engine arm, the scoped
+                // worker just timeslices).
+                let want_parallel = raw_pairs >= PARALLEL_CONVERT_MIN
+                    && match self.config.threads {
+                        1 => false,
+                        0 => hw_threads > 1,
+                        _ => true,
+                    };
+                // Fault site checked *before* the spawn: a degraded
+                // convert runs the identical dedup serially on this
+                // thread, so no data is lost to the dying worker.
+                let inject_serial = want_parallel && eid_fault::hit("convert/worker");
+                if inject_serial {
+                    recorder.add(counter::RUNTIME_CONVERT_SERIAL_FALLBACK, 1);
+                }
+                let ((m_pairs, m_set), (n_pairs, n_set)) = if want_parallel && !inject_serial {
                     // The two lists are independent until the
                     // overlap count; dedup them concurrently.
                     std::thread::scope(|scope| {
                         let neg = scope.spawn(|| dedup_pairs(raw_negative, r_len, s_len));
                         let mat = dedup_pairs(raw_matching, r_len, s_len);
-                        (mat, neg.join().expect("convert worker panicked"))
-                    })
+                        match neg.join() {
+                            Ok(n) => Ok((mat, n)),
+                            // The raw negative list died with the
+                            // worker; nothing to degrade to.
+                            Err(_) => Err(CoreError::WorkerPanic {
+                                site: "convert/worker".into(),
+                            }),
+                        }
+                    })?
                 } else {
                     (
                         dedup_pairs(raw_matching, r_len, s_len),
@@ -406,6 +463,7 @@ impl EntityMatcher {
                 );
             }
             JoinAlgorithm::Hash => {
+                recorder.set_label(label::ENGINE_ARM, "hash");
                 {
                     let _span = recorder.span(span::IDENTITY);
                     self.hash_identity_phase(
@@ -413,6 +471,7 @@ impl EntityMatcher {
                         &ext_s.relation,
                         &mut matching,
                         &recorder,
+                        guard,
                     )?;
                     // Extra identity rules (rare) still need pairwise
                     // checks — but only the extra rules: extended-key
@@ -433,6 +492,7 @@ impl EntityMatcher {
                             /*identity:*/ true,
                             /*distinct:*/ false,
                             &recorder,
+                            guard,
                         )?;
                     }
                 }
@@ -447,10 +507,12 @@ impl EntityMatcher {
                         false,
                         true,
                         &recorder,
+                        guard,
                     )?;
                 }
             }
             JoinAlgorithm::NestedLoop => {
+                recorder.set_label(label::ENGINE_ARM, "nested_loop");
                 let _span = recorder.span(span::PAIRWISE);
                 self.pairwise_phase(
                     &ext_r.relation,
@@ -461,6 +523,7 @@ impl EntityMatcher {
                     true,
                     self.config.collect_negative,
                     &recorder,
+                    guard,
                 )?;
             }
         }
@@ -503,6 +566,7 @@ impl EntityMatcher {
         ext_s: &Relation,
         matching: &mut PairTable,
         recorder: &Recorder,
+        guard: &RunGuard,
     ) -> Result<()> {
         let key_attrs = self.config.extended_key.attrs();
         let r_pos = ext_r.positions_of(key_attrs)?;
@@ -510,6 +574,8 @@ impl EntityMatcher {
         let mut probes = 0u64;
         let mut materialized = 0u64;
         for (i, t) in ext_r.iter().enumerate() {
+            guard.charge_pairs(1);
+            guard.checkpoint().map_err(|r| abort_of(guard, r))?;
             probes += 1;
             let Some(js) = index.probe_tuple(t, &r_pos) else {
                 continue;
@@ -545,11 +611,14 @@ impl EntityMatcher {
         record_identity: bool,
         record_distinct: bool,
         recorder: &Recorder,
+        guard: &RunGuard,
     ) -> Result<()> {
         let mut identity_probes = 0u64;
         let mut refute_probes = 0u64;
         let mut materialized = 0u64;
         for (i, tr) in ext_r.iter().enumerate() {
+            guard.charge_pairs(ext_s.len() as u64);
+            guard.checkpoint().map_err(|r| abort_of(guard, r))?;
             for (j, ts) in ext_s.iter().enumerate() {
                 if record_identity {
                     identity_probes += 1;
@@ -581,6 +650,15 @@ impl EntityMatcher {
         }
         recorder.add(counter::ALLOC_TUPLES_MATERIALIZED, materialized);
         Ok(())
+    }
+}
+
+/// Wrap a tripped [`AbortReason`] into the typed [`CoreError::Aborted`]
+/// carrying the guard's partial-progress snapshot.
+fn abort_of(guard: &RunGuard, reason: AbortReason) -> CoreError {
+    CoreError::Aborted {
+        reason,
+        partial: guard.partial_stats(),
     }
 }
 

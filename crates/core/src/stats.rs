@@ -62,6 +62,28 @@ pub mod counter {
     /// 1 when the auto-parallel engine chose the serial path for a
     /// small input, 0 (absent) otherwise.
     pub const ENGINE_SERIAL_FALLBACK: &str = "engine/serial_fallback";
+    /// Tasks lost to a worker panic before the degradation ladder
+    /// recovered the run (0 on a clean run).
+    pub const ENGINE_ABORTED_TASKS: &str = "engine/aborted_tasks";
+
+    /// Runtime: 1 when the parallel arm degraded to the serial
+    /// blocked rerun after a task poisoned.
+    pub const RUNTIME_DEGRADED_TO_BLOCKED: &str = "runtime/degraded_to_blocked";
+    /// Runtime: 1 when the serial blocked rerun also poisoned and the
+    /// run fell back to the exhaustive nested-loop arm.
+    pub const RUNTIME_DEGRADED_TO_NESTED_LOOP: &str = "runtime/degraded_to_nested_loop";
+    /// Runtime: 1 when the memory budget ruled out building blocked
+    /// indexes and the engine planned everything as residual scans.
+    pub const RUNTIME_DEGRADED_INDEX_MEM: &str = "runtime/degraded_index_mem";
+    /// Runtime: columnar encode attempts retried after interner
+    /// poisoning.
+    pub const RUNTIME_ENCODE_RETRIES: &str = "runtime/encode_retries";
+    /// Runtime: 1 when the parallel convert worker was bypassed and
+    /// dedup ran serially on the main thread.
+    pub const RUNTIME_CONVERT_SERIAL_FALLBACK: &str = "runtime/convert_serial_fallback";
+
+    /// Ingestion: CSV rows rejected and skipped in `--lenient` mode.
+    pub const INGEST_ROWS_REJECTED: &str = "ingest/rows_rejected";
 
     /// Candidate pairs emitted by all block plans (pre-verification).
     pub const BLOCK_CANDIDATES: &str = "block/candidates";
@@ -125,6 +147,17 @@ pub mod counter {
     /// monotonicity says this must stay 0; the counter exists so the
     /// invariant is observable, not assumed.
     pub const INCR_MONOTONICITY_VIOLATIONS: &str = "incremental/monotonicity_violations";
+}
+
+/// Label names (string-valued report annotations).
+pub mod label {
+    /// Which engine arm produced the published tables after any
+    /// degradation: `"blocked_parallel"`, `"blocked"`, or
+    /// `"nested_loop"`.
+    pub const ENGINE_ARM: &str = "engine";
+    /// The abort reason when a run tripped its guard (absent on
+    /// successful runs).
+    pub const ABORT: &str = "abort";
 }
 
 /// Histogram names.

@@ -37,4 +37,4 @@ mod report;
 pub use counter::Counter;
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use recorder::{Recorder, Span};
-pub use report::{CounterStat, HistogramStat, MatchReport, StageStat};
+pub use report::{CounterStat, HistogramStat, LabelStat, MatchReport, StageStat};

@@ -6,7 +6,7 @@ use std::time::Instant;
 
 use crate::counter::Counter;
 use crate::histogram::Histogram;
-use crate::report::{CounterStat, HistogramStat, MatchReport, StageStat};
+use crate::report::{CounterStat, HistogramStat, LabelStat, MatchReport, StageStat};
 
 /// Aggregated wall time for one span path.
 #[derive(Debug, Default, Clone, Copy)]
@@ -20,6 +20,7 @@ struct Inner {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
     spans: Mutex<BTreeMap<String, SpanAgg>>,
+    labels: Mutex<BTreeMap<String, String>>,
 }
 
 /// A cheaply cloneable handle to one set of observability sinks.
@@ -73,6 +74,15 @@ impl Recorder {
                 h
             }
         }
+    }
+
+    /// Sets the string-valued label `name` to `value`, replacing any
+    /// previous value. Labels annotate a run with categorical facts a
+    /// counter cannot carry — which engine arm published the tables,
+    /// why a run aborted.
+    pub fn set_label(&self, name: &str, value: &str) {
+        let mut labels = self.0.labels.lock().expect("recorder poisoned");
+        labels.insert(name.to_string(), value.to_string());
     }
 
     /// Starts a wall-time span at `path`; the elapsed time is
@@ -132,10 +142,22 @@ impl Recorder {
                 snapshot: h.snapshot(),
             })
             .collect();
+        let labels = self
+            .0
+            .labels
+            .lock()
+            .expect("recorder poisoned")
+            .iter()
+            .map(|(name, value)| LabelStat {
+                name: name.clone(),
+                value: value.clone(),
+            })
+            .collect();
         MatchReport {
             stages,
             counters,
             histograms,
+            labels,
         }
     }
 }

@@ -36,8 +36,17 @@ pub struct HistogramStat {
     pub snapshot: HistogramSnapshot,
 }
 
+/// One string-valued label — a categorical annotation of the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelStat {
+    /// The label's name (e.g. `engine`).
+    pub name: String,
+    /// Its value (e.g. `blocked_parallel`).
+    pub value: String,
+}
+
 /// Everything one matching run (or one incremental matcher lifetime)
-/// observed: stage timings, counters, and histograms.
+/// observed: stage timings, counters, histograms, and labels.
 ///
 /// Plain data — cloneable, comparable, and serializable to JSON via
 /// [`MatchReport::to_json`]. The stage list, counter list, and
@@ -52,6 +61,8 @@ pub struct MatchReport {
     pub counters: Vec<CounterStat>,
     /// Histograms, sorted by name.
     pub histograms: Vec<HistogramStat>,
+    /// Labels, sorted by name.
+    pub labels: Vec<LabelStat>,
 }
 
 impl MatchReport {
@@ -63,6 +74,47 @@ impl MatchReport {
             .iter()
             .find(|c| c.name == name)
             .map_or(0, |c| c.value)
+    }
+
+    /// The value of the label named `name`, if the run set it.
+    pub fn label(&self, name: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|l| l.name == name)
+            .map(|l| l.value.as_str())
+    }
+
+    /// Sets the counter named `name` to `value`, inserting it in
+    /// sorted position when absent. Lets post-run stages (e.g. CLI
+    /// ingestion tallies) fold into a snapshot already taken.
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        match self
+            .counters
+            .binary_search_by(|c| c.name.as_str().cmp(name))
+        {
+            Ok(i) => self.counters[i].value = value,
+            Err(i) => self.counters.insert(
+                i,
+                CounterStat {
+                    name: name.to_string(),
+                    value,
+                },
+            ),
+        }
+    }
+
+    /// Sets the label named `name`, inserting in sorted position.
+    pub fn set_label(&mut self, name: &str, value: &str) {
+        match self.labels.binary_search_by(|l| l.name.as_str().cmp(name)) {
+            Ok(i) => self.labels[i].value = value.to_string(),
+            Err(i) => self.labels.insert(
+                i,
+                LabelStat {
+                    name: name.to_string(),
+                    value: value.to_string(),
+                },
+            ),
+        }
     }
 
     /// The counters whose names start with `prefix`.
@@ -95,7 +147,8 @@ impl MatchReport {
     ///   "counters":   [{"name": "...", "value": 0}],
     ///   "histograms": [{"name": "...", "count": 0, "sum": 0,
     ///                   "max": 0, "mean": 0.0, "p50": 0, "p95": 0,
-    ///                   "p99": 0, "buckets": [{"le": 0, "count": 0}]}]
+    ///                   "p99": 0, "buckets": [{"le": 0, "count": 0}]}],
+    ///   "labels":     [{"name": "...", "value": "..."}]
     /// }
     /// ```
     pub fn to_json(&self) -> String {
@@ -151,6 +204,18 @@ impl MatchReport {
         if !self.histograms.is_empty() {
             out.push_str("\n  ");
         }
+        out.push_str("],\n  \"labels\": [");
+        for (i, l) in self.labels.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\"name\": ");
+            json::push_str_literal(&mut out, &l.name);
+            out.push_str(", \"value\": ");
+            json::push_str_literal(&mut out, &l.value);
+            out.push('}');
+        }
+        if !self.labels.is_empty() {
+            out.push_str("\n  ");
+        }
         out.push_str("]\n}\n");
         out
     }
@@ -188,6 +253,12 @@ impl fmt::Display for MatchReport {
         writeln!(f, "counters:")?;
         for c in &self.counters {
             writeln!(f, "  {:<40} {:>12}", c.name, c.value)?;
+        }
+        if !self.labels.is_empty() {
+            writeln!(f, "labels:")?;
+            for l in &self.labels {
+                writeln!(f, "  {:<40} {}", l.name, l.value)?;
+            }
         }
         if !self.histograms.is_empty() {
             writeln!(f, "histograms:")?;
@@ -269,6 +340,39 @@ mod tests {
     fn empty_report_renders() {
         let r = MatchReport::default();
         assert!(r.to_json().contains("\"counters\": []"));
+        assert!(r.to_json().contains("\"labels\": []"));
         assert!(r.to_string().contains("counters:"));
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        let rec = Recorder::new();
+        rec.set_label("engine", "blocked_parallel");
+        rec.set_label("engine", "blocked"); // replaces
+        let r = rec.report();
+        assert_eq!(r.label("engine"), Some("blocked"));
+        assert_eq!(r.label("missing"), None);
+        let json = r.to_json();
+        assert!(json.contains("{\"name\": \"engine\", \"value\": \"blocked\"}"));
+        assert!(r.to_string().contains("labels:"));
+    }
+
+    #[test]
+    fn set_counter_and_label_keep_sorted_order() {
+        let mut r = sample();
+        r.set_counter("block/candidates", 99);
+        r.set_counter("aaa/first", 1);
+        assert_eq!(r.counter("block/candidates"), 99);
+        assert_eq!(r.counter("aaa/first"), 1);
+        let names: Vec<_> = r.counters.iter().map(|c| c.name.clone()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+
+        r.set_label("zz", "1");
+        r.set_label("aa", "2");
+        r.set_label("zz", "3");
+        assert_eq!(r.label("zz"), Some("3"));
+        assert_eq!(r.labels[0].name, "aa");
     }
 }

@@ -3,6 +3,12 @@
 //! Supports comma separation, double-quote quoting with `""` escapes,
 //! and the literal cell `null` (unquoted) for NULL. This is enough to
 //! round-trip generated workloads; it is not a general CSV library.
+//!
+//! Ingestion is hardened for autonomous sources: every malformed row
+//! surfaces as [`RelationalError::Csv`] with line *and column*
+//! context, and the `*_lenient` variants skip bad rows instead of
+//! failing, returning them as [`CsvReject`]s so callers can count
+//! rejected rows into their reports.
 
 use std::sync::Arc;
 
@@ -46,17 +52,85 @@ fn quote(s: &str) -> String {
     }
 }
 
+/// One skipped row from a lenient parse: which line, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvReject {
+    /// 1-based line number of the rejected row.
+    pub line: usize,
+    /// What was wrong with it.
+    pub error: RelationalError,
+}
+
 /// Parses CSV produced by [`to_csv`] into a relation under `schema`
 /// (header row must match the schema's attribute names). All values
-/// are read as strings except the literal `null`.
+/// are read as strings except the literal `null`. Any malformed row
+/// fails the whole parse with line/column context.
 pub fn from_csv(schema: Arc<Schema>, text: &str) -> Result<Relation> {
+    let mut rel = Relation::new_unchecked(schema);
+    let rejects = read_rows(&mut rel, text, false)?;
+    debug_assert!(rejects.is_empty(), "strict mode rejects nothing");
+    Ok(rel)
+}
+
+/// Like [`from_csv`] but *lenient*: a malformed data row is skipped
+/// and reported in the returned [`CsvReject`] list instead of failing
+/// the parse. A missing or mismatched header still fails — there is
+/// no sensible way to continue without one.
+pub fn from_csv_lenient(schema: Arc<Schema>, text: &str) -> Result<(Relation, Vec<CsvReject>)> {
+    let mut rel = Relation::new_unchecked(schema);
+    let rejects = read_rows(&mut rel, text, true)?;
+    Ok((rel, rejects))
+}
+
+/// Parses CSV whose schema is *inferred from the header row*: every
+/// column is string-typed, and `key` names the candidate key. This is
+/// the entry point for user-supplied workload files (the `eid` CLI).
+/// Key violations are detected on insert and fail the parse.
+pub fn from_csv_inferred(name: &str, text: &str, key: &[&str]) -> Result<Relation> {
+    let mut rel = Relation::new(inferred_schema(name, text, key)?);
+    let rejects = read_rows(&mut rel, text, false)?;
+    debug_assert!(rejects.is_empty(), "strict mode rejects nothing");
+    Ok(rel)
+}
+
+/// Lenient [`from_csv_inferred`]: malformed rows *and* key-violating
+/// rows are skipped and reported instead of failing the parse.
+pub fn from_csv_inferred_lenient(
+    name: &str,
+    text: &str,
+    key: &[&str],
+) -> Result<(Relation, Vec<CsvReject>)> {
+    let mut rel = Relation::new(inferred_schema(name, text, key)?);
+    let rejects = read_rows(&mut rel, text, true)?;
+    Ok((rel, rejects))
+}
+
+fn inferred_schema(name: &str, text: &str, key: &[&str]) -> Result<Arc<Schema>> {
+    let header = text.lines().next().ok_or(RelationalError::Csv {
+        line: 1,
+        col: 0,
+        detail: "missing header row".into(),
+    })?;
+    let cells = parse_line(header, 1)?;
+    let attrs: Vec<&str> = cells.iter().map(|c| c.as_str()).collect();
+    Schema::of_strs(name, &attrs, key)
+}
+
+/// The shared row loop: validates the header against `rel`'s schema,
+/// then parses and inserts every data row. In lenient mode a bad row
+/// (parse error, arity mismatch, or insert rejection such as a key
+/// violation) is returned as a [`CsvReject`]; in strict mode it fails
+/// the parse.
+fn read_rows(rel: &mut Relation, text: &str, lenient: bool) -> Result<Vec<CsvReject>> {
     let mut lines = text.lines().enumerate();
     let (_, header) = lines.next().ok_or(RelationalError::Csv {
         line: 1,
+        col: 0,
         detail: "missing header row".into(),
     })?;
     let header_cells = parse_line(header, 1)?;
-    let expected: Vec<&str> = schema
+    let expected: Vec<&str> = rel
+        .schema()
         .attributes()
         .iter()
         .map(|a| a.name.as_str())
@@ -68,69 +142,74 @@ pub fn from_csv(schema: Arc<Schema>, text: &str) -> Result<Relation> {
     {
         return Err(RelationalError::Csv {
             line: 1,
+            col: 0,
             detail: format!(
                 "header {:?} does not match schema attributes {:?}",
-                header_cells, expected
+                header_cells.iter().map(|c| c.as_str()).collect::<Vec<_>>(),
+                expected
             ),
         });
     }
-    let mut rel = Relation::new_unchecked(schema);
+    let mut rejects = Vec::new();
     for (i, line) in lines {
         if line.is_empty() {
             continue;
         }
-        let cells = parse_line(line, i + 1)?;
-        if cells.len() != rel.schema().arity() {
-            return Err(RelationalError::Csv {
-                line: i + 1,
-                detail: format!(
-                    "expected {} cells, got {}",
-                    rel.schema().arity(),
-                    cells.len()
-                ),
-            });
+        let line_no = i + 1;
+        match read_row(rel, line, line_no) {
+            Ok(()) => {}
+            Err(error) if lenient => rejects.push(CsvReject {
+                line: line_no,
+                error,
+            }),
+            Err(error) => return Err(error),
         }
-        let values: Vec<Value> = cells
-            .into_iter()
-            .map(|c| {
-                if c.raw && c.text == "null" {
-                    Value::Null
-                } else {
-                    Value::str(c.text)
-                }
-            })
-            .collect();
-        rel.insert(Tuple::new(values))?;
     }
-    Ok(rel)
+    Ok(rejects)
 }
 
-/// Parses CSV whose schema is *inferred from the header row*: every
-/// column is string-typed, and `key` names the candidate key. This is
-/// the entry point for user-supplied workload files (the `eid` CLI).
-pub fn from_csv_inferred(name: &str, text: &str, key: &[&str]) -> Result<Relation> {
-    let header = text.lines().next().ok_or(RelationalError::Csv {
-        line: 1,
-        detail: "missing header row".into(),
-    })?;
-    let cells = parse_line(header, 1)?;
-    let attrs: Vec<&str> = cells.iter().map(|c| c.as_str()).collect();
-    let schema = Schema::of_strs(name, &attrs, key)?;
-    let rel = from_csv(schema.clone(), text)?;
-    // Re-validate through a key-enforcing relation.
-    let mut checked = Relation::new(schema);
-    for t in rel.iter() {
-        checked.insert(t.clone())?;
+/// Parses one data row and inserts it into `rel`.
+fn read_row(rel: &mut Relation, line: &str, line_no: usize) -> Result<()> {
+    if eid_fault::hit("csv/read") {
+        return Err(RelationalError::Csv {
+            line: line_no,
+            col: 0,
+            detail: "injected read error (eid-fault csv/read)".into(),
+        });
     }
-    Ok(checked)
+    let cells = parse_line(line, line_no)?;
+    if cells.len() != rel.schema().arity() {
+        return Err(RelationalError::Csv {
+            line: line_no,
+            col: 0,
+            detail: format!(
+                "expected {} cells, got {}",
+                rel.schema().arity(),
+                cells.len()
+            ),
+        });
+    }
+    let values: Vec<Value> = cells
+        .into_iter()
+        .map(|c| {
+            if c.raw && c.text == "null" {
+                Value::Null
+            } else {
+                Value::str(c.text)
+            }
+        })
+        .collect();
+    rel.insert(Tuple::new(values))
 }
 
 /// A parsed cell: `raw` is false when the cell was quoted (so a
-/// quoted `"null"` stays the string `null`).
+/// quoted `"null"` stays the string `null`); `col` is the 1-based
+/// character column the cell started at.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Cell {
     text: String,
     raw: bool,
+    col: usize,
 }
 
 impl Cell {
@@ -141,27 +220,37 @@ impl Cell {
 
 fn parse_line(line: &str, line_no: usize) -> Result<Vec<Cell>> {
     let mut cells = Vec::new();
+    // 1-based character column of the *next* character to read.
+    let mut col = 1usize;
     let mut chars = line.chars().peekable();
     loop {
         let mut text = String::new();
         let mut raw = true;
+        let cell_col = col;
         if chars.peek() == Some(&'"') {
             raw = false;
             chars.next();
+            col += 1;
             loop {
                 match chars.next() {
                     Some('"') => {
+                        col += 1;
                         if chars.peek() == Some(&'"') {
                             chars.next();
+                            col += 1;
                             text.push('"');
                         } else {
                             break;
                         }
                     }
-                    Some(c) => text.push(c),
+                    Some(c) => {
+                        col += 1;
+                        text.push(c);
+                    }
                     None => {
                         return Err(RelationalError::Csv {
                             line: line_no,
+                            col: cell_col,
                             detail: "unterminated quoted cell".into(),
                         })
                     }
@@ -175,20 +264,30 @@ fn parse_line(line: &str, line_no: usize) -> Result<Vec<Cell>> {
                 if c == '"' {
                     return Err(RelationalError::Csv {
                         line: line_no,
+                        col,
                         detail: "quote inside unquoted cell".into(),
                     });
                 }
                 text.push(c);
                 chars.next();
+                col += 1;
             }
         }
-        cells.push(Cell { text, raw });
+        cells.push(Cell {
+            text,
+            raw,
+            col: cell_col,
+        });
         match chars.next() {
-            Some(',') => continue,
+            Some(',') => {
+                col += 1;
+                continue;
+            }
             None => break,
             Some(c) => {
                 return Err(RelationalError::Csv {
                     line: line_no,
+                    col,
                     detail: format!("unexpected character `{c}` after cell"),
                 })
             }
@@ -240,13 +339,84 @@ mod tests {
     fn bad_arity_is_error_with_line_number() {
         let csv = "name,cuisine\na\n";
         let err = from_csv(schema(), csv).unwrap_err();
-        assert!(matches!(err, RelationalError::Csv { line: 2, .. }));
+        assert!(matches!(
+            err,
+            RelationalError::Csv {
+                line: 2,
+                col: 0,
+                ..
+            }
+        ));
     }
 
     #[test]
-    fn unterminated_quote_is_error() {
-        let csv = "name,cuisine\n\"abc,def\n";
-        assert!(from_csv(schema(), csv).is_err());
+    fn unterminated_quote_is_error_with_column() {
+        let csv = "name,cuisine\nabc,\"def\n";
+        let err = from_csv(schema(), csv).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RelationalError::Csv {
+                    line: 2,
+                    col: 5,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("column 5"), "{err}");
+    }
+
+    #[test]
+    fn stray_quote_reports_its_column() {
+        let csv = "name,cuisine\nab\"c,def\n";
+        let err = from_csv(schema(), csv).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RelationalError::Csv {
+                    line: 2,
+                    col: 3,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_after_quoted_cell_reports_column() {
+        let csv = "name,cuisine\n\"ab\"x,def\n";
+        let err = from_csv(schema(), csv).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RelationalError::Csv {
+                    line: 2,
+                    col: 5,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn lenient_skips_bad_rows_and_reports_them() {
+        let csv = "name,cuisine\ngood1,chinese\nonly-one-cell\ngood2,greek\n\"broken\n";
+        let (rel, rejects) = from_csv_lenient(schema(), csv).unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rejects.len(), 2);
+        assert_eq!(rejects[0].line, 3);
+        assert_eq!(rejects[1].line, 5);
+        assert!(rejects[0].error.to_string().contains("expected 2 cells"));
+    }
+
+    #[test]
+    fn lenient_still_fails_on_bad_header() {
+        let csv = "wrong,header\na,b\n";
+        assert!(from_csv_lenient(schema(), csv).is_err());
+        assert!(from_csv_lenient(schema(), "").is_err());
     }
 }
 
@@ -273,5 +443,41 @@ mod inferred_tests {
     fn unknown_key_attribute_is_error() {
         let csv = "name\na\n";
         assert!(from_csv_inferred("R", csv, &["nope"]).is_err());
+    }
+
+    #[test]
+    fn lenient_inferred_skips_key_violations() {
+        let csv = "name,cuisine\na,chinese\na,greek\nb,thai\n";
+        let (rel, rejects) = from_csv_inferred_lenient("R", csv, &["name"]).unwrap();
+        assert_eq!(rel.len(), 2); // first `a` wins, duplicate skipped
+        assert_eq!(rejects.len(), 1);
+        assert_eq!(rejects[0].line, 3);
+        assert!(matches!(
+            rejects[0].error,
+            RelationalError::KeyViolation { .. }
+        ));
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+
+    #[test]
+    fn injected_read_error_surfaces_and_lenient_survives_it() {
+        // Process-global fault state: this is the only fault-armed
+        // test in this crate's test binary.
+        eid_fault::install("csv/read@2", 0).unwrap();
+        let csv = "name,cuisine\na,chinese\nb,greek\nc,thai\n";
+        let (rel, rejects) = from_csv_lenient(
+            Schema::of_strs("R", &["name", "cuisine"], &["name"]).unwrap(),
+            csv,
+        )
+        .unwrap();
+        eid_fault::clear();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rejects.len(), 1);
+        assert_eq!(rejects[0].line, 3);
+        assert!(rejects[0].error.to_string().contains("injected"));
     }
 }

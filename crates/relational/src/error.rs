@@ -75,6 +75,9 @@ pub enum RelationalError {
     Csv {
         /// 1-based line number of the problem.
         line: usize,
+        /// 1-based character column of the problem; 0 when the error
+        /// concerns the whole line (e.g. arity mismatch).
+        col: usize,
         /// Human-readable explanation.
         detail: String,
     },
@@ -130,8 +133,12 @@ impl fmt::Display for RelationalError {
             RelationalError::EmptySchema { relation } => {
                 write!(f, "relation `{relation}` must have at least one attribute")
             }
-            RelationalError::Csv { line, detail } => {
-                write!(f, "CSV error on line {line}: {detail}")
+            RelationalError::Csv { line, col, detail } => {
+                if *col > 0 {
+                    write!(f, "CSV error on line {line}, column {col}: {detail}")
+                } else {
+                    write!(f, "CSV error on line {line}: {detail}")
+                }
             }
         }
     }

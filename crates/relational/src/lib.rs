@@ -47,6 +47,7 @@ pub mod tuple;
 pub mod value;
 
 pub use attr::AttrName;
+pub use csv::CsvReject;
 pub use error::{RelationalError, Result};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use index::HashIndex;

@@ -141,6 +141,23 @@ impl Relation {
         self.insert(Tuple::of_strs(row))
     }
 
+    /// Removes and returns the most recently inserted tuple,
+    /// unwinding its key-index entries. This is the rollback
+    /// primitive for staged multi-tuple operations (an aborted
+    /// incremental event undoes its own inserts with it); it is *not*
+    /// general deletion — the paper's model has no deletes, and §3.3
+    /// monotonicity assumes tables only grow between published
+    /// states.
+    pub fn remove_last(&mut self) -> Option<Tuple> {
+        let tuple = self.tuples.pop()?;
+        if self.enforce_keys {
+            for (key, index) in self.schema.keys().iter().zip(self.key_indexes.iter_mut()) {
+                index.remove(&tuple.project(&key.positions));
+            }
+        }
+        Some(tuple)
+    }
+
     /// Looks up a tuple by its primary (first candidate) key value.
     /// Only meaningful for key-enforcing relations.
     pub fn find_by_primary_key(&self, key_value: &Tuple) -> Option<&Tuple> {
@@ -336,6 +353,21 @@ mod tests {
         b.insert_strs(&["y", "2", "c"]).unwrap();
         b.insert_strs(&["x", "1", "c"]).unwrap();
         assert!(a.same_tuples(&b));
+    }
+
+    #[test]
+    fn remove_last_unwinds_key_indexes() {
+        let mut r = Relation::new(r_schema());
+        r.insert_strs(&["x", "1", "c"]).unwrap();
+        r.insert_strs(&["y", "2", "c"]).unwrap();
+        let popped = r.remove_last().unwrap();
+        assert_eq!(popped, Tuple::of_strs(&["y", "2", "c"]));
+        assert_eq!(r.len(), 1);
+        // The key slot is free again.
+        r.insert_strs(&["y", "2", "d"]).unwrap();
+        assert!(r.remove_last().is_some());
+        assert!(r.remove_last().is_some());
+        assert!(r.remove_last().is_none());
     }
 
     #[test]

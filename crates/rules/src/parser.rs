@@ -25,6 +25,10 @@
 //! are validated against the §3.2 well-formedness condition at parse
 //! time.
 
+// DBA-supplied input must never bring the process down: every parse
+// failure is a typed `ParseError` with line/column context.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::fmt;
 
 use eid_ilfd::{Ilfd, IlfdSet, PropSymbol, SymbolSet};

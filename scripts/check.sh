@@ -16,7 +16,7 @@ cargo test -q --workspace
 # First-party packages only: the vendored stubs under vendor/ stand in
 # for external dependencies and are not held to the lint/format gate.
 PACKAGES=(entity-id eid-relational eid-ilfd eid-rules eid-obs eid-core \
-          eid-baselines eid-datagen eid-bench)
+          eid-baselines eid-datagen eid-bench eid-fault)
 PKG_FLAGS=()
 for p in "${PACKAGES[@]}"; do PKG_FLAGS+=(-p "$p"); done
 
@@ -72,6 +72,35 @@ else
     echo "==> python3 not installed; skipping --report-json smoke"
 fi
 
+# Fault-matrix smoke: the deterministic degradation ladder. The
+# injection harness is compiled out of release builds, so this runs
+# the debug test binary — every rung (worker panic -> serial rerun ->
+# nested loop -> typed error) plus the budget trips.
+echo "==> fault-matrix smoke (tests/fault_matrix.rs)"
+cargo test -q -p entity-id --test fault_matrix
+
+# Budget trips must stay typed in *release* too: distinct exit codes,
+# never a panic, and the report is still written on abort.
+echo "==> release budget-abort smoke (exit codes 124/125)"
+abort_report="$(mktemp)"
+rc=0
+./target/release/eid match \
+    --r examples/data/r.csv --r-key name,street \
+    --s examples/data/s.csv --s-key name,speciality,county \
+    --rules examples/data/knowledge.rules --key name,cuisine \
+    --timeout-ms 0 --report-json "$abort_report" >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 124 ] || { echo "expected exit 124 for --timeout-ms 0, got $rc"; exit 1; }
+grep -q '"abort"' "$abort_report" || { echo "abort report missing abort label"; exit 1; }
+rc=0
+./target/release/eid match \
+    --r examples/data/r.csv --r-key name,street \
+    --s examples/data/s.csv --s-key name,speciality,county \
+    --rules examples/data/knowledge.rules --key name,cuisine \
+    --max-pairs 1 >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 125 ] || { echo "expected exit 125 for --max-pairs 1, got $rc"; exit 1; }
+rm -f "$abort_report"
+echo "    budget aborts OK: 124/125 with abort-labelled report"
+
 # Benchmark smoke at small n: every engine must agree with the
 # nested-loop oracle on MT/NMT/undetermined (the binary itself
 # asserts this before writing), and the blocked arms' convert step
@@ -96,6 +125,13 @@ for name in ("blocked", "blocked_parallel"):
     convert, engine = stages["match/convert"], stages["match/engine"]
     assert convert < engine, \
         f"{name}: convert {convert}s >= engine {engine}s at n={largest['n_entities']}"
+# Panic isolation must not tax the fault-free path: the parallel arm
+# may not fall behind the serial blocked arm by more than tolerance
+# (it falls back to the serial path below the parallelism threshold,
+# so at smoke sizes the two should be near-identical).
+par, ser = engines["blocked_parallel"]["pairs_per_sec"], engines["blocked"]["pairs_per_sec"]
+assert par >= 0.75 * ser, \
+    f"blocked_parallel {par:.0f} pairs/s < 75% of blocked {ser:.0f} at n={largest['n_entities']}"
 print(f"    bench OK: engines agree; convert < engine at n={largest['n_entities']}")
 EOF
 else

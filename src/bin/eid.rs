@@ -4,6 +4,7 @@
 //! eid match --r R.csv --r-key name,street --s S.csv --s-key name,city \
 //!           --rules knowledge.rules --key name,cuisine \
 //!           [--integrated] [--unify prefer-r|prefer-s|null] [--negative] \
+//!           [--lenient] [--timeout-ms N] [--max-pairs N] [--max-mem-mb N] \
 //!           [--stats] [--report-json PATH]
 //! eid validate --rules knowledge.rules
 //! eid demo
@@ -12,38 +13,91 @@
 //! CSV files carry a header row; `null` cells are NULL. Rule files use
 //! the `eid-rules` textual syntax (`speciality = hunan -> cuisine =
 //! chinese`, `e1.a = e2.a -> e1 == e2`, `… -> e1 != e2`).
+//!
+//! ## Exit codes
+//!
+//! A tripped run budget maps to a distinct exit code (in the spirit
+//! of `timeout(1)`'s 124):
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | success |
+//! | 2    | usage / input error |
+//! | 70   | internal worker panic (degraded reruns exhausted) |
+//! | 124  | `--timeout-ms` deadline exceeded |
+//! | 125  | `--max-pairs` candidate-pair budget exceeded |
+//! | 126  | `--max-mem-mb` pair-list memory budget exceeded |
+//! | 130  | run cancelled |
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 use entity_id::core::conflict::{unify, ConflictPolicy};
+use entity_id::core::error::CoreError;
 use entity_id::core::integrate::IntegratedTable;
 use entity_id::core::matcher::{EntityMatcher, MatchConfig};
 use entity_id::core::partition::Partition;
+use entity_id::core::runtime::{AbortReason, PartialStats, RunBudget};
+use entity_id::core::stats::{counter, label};
 use entity_id::datagen::restaurant;
 use entity_id::ilfd::closure::minimal_cover;
-use entity_id::relational::csv::from_csv_inferred;
+use entity_id::obs::{MatchReport, Recorder};
+use entity_id::relational::csv::{from_csv_inferred, from_csv_inferred_lenient, CsvReject};
 use entity_id::relational::display::render_default;
+use entity_id::relational::Relation;
 use entity_id::rules::{parse_rules, ExtendedKey};
+
+/// A CLI failure: a message plus the process exit code it maps to.
+struct CliError {
+    msg: String,
+    code: u8,
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError { msg, code: 2 }
+    }
+}
+
+/// Maps a tripped budget (or exhausted degradation ladder) to its
+/// documented exit code; everything else is a generic input error.
+fn cli_error_of(e: CoreError) -> CliError {
+    let code = match &e {
+        CoreError::Aborted { reason, .. } => match reason {
+            AbortReason::DeadlineExceeded { .. } => 124,
+            AbortReason::PairBudgetExceeded { .. } => 125,
+            AbortReason::MemBudgetExceeded { .. } => 126,
+            AbortReason::Cancelled => 130,
+        },
+        CoreError::WorkerPanic { .. } => 70,
+        _ => 2,
+    };
+    CliError {
+        msg: e.to_string(),
+        code,
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
+    let result: Result<(), CliError> = match args.first().map(String::as_str) {
         Some("match") => cmd_match(&args[1..]),
-        Some("validate") => cmd_validate(&args[1..]),
-        Some("session") => cmd_session(&args[1..]),
-        Some("demo") => cmd_demo(),
+        Some("validate") => cmd_validate(&args[1..]).map_err(CliError::from),
+        Some("session") => cmd_session(&args[1..]).map_err(CliError::from),
+        Some("demo") => cmd_demo().map_err(CliError::from),
         Some("--help") | Some("-h") | None => {
             usage();
             Ok(())
         }
-        Some(other) => Err(format!("unknown command `{other}`; try --help")),
+        Some(other) => Err(CliError::from(format!(
+            "unknown command `{other}`; try --help"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::from(2)
+            eprintln!("error: {}", e.msg);
+            ExitCode::from(e.code)
         }
     }
 }
@@ -55,11 +109,20 @@ fn usage() {
 USAGE:
   eid match --r R.csv --r-key a,b --s S.csv --s-key c,d \\
             --rules FILE --key x,y [--integrated] [--negative] \\
-            [--unify prefer-r|prefer-s|null] \\
+            [--unify prefer-r|prefer-s|null] [--lenient] \\
+            [--timeout-ms N] [--max-pairs N] [--max-mem-mb N] \\
             [--stats] [--report-json PATH]
   eid validate --rules FILE
   eid session --r R.csv --r-key a,b --s S.csv --s-key c,d --rules FILE
-  eid demo"
+  eid demo
+
+RUN BUDGETS (eid match):
+  --lenient        skip malformed CSV rows (counted in the report)
+                   instead of failing the whole ingest
+  --timeout-ms N   abort with exit 124 after N wall-clock milliseconds
+  --max-pairs N    abort with exit 125 past N candidate pairs
+  --max-mem-mb N   abort with exit 126 past N MiB of pair lists
+  A tripped budget still writes --report-json with partial progress."
     );
 }
 
@@ -98,7 +161,56 @@ fn required<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a st
         .ok_or_else(|| format!("--{name} is required"))
 }
 
-fn cmd_match(args: &[String]) -> Result<(), String> {
+/// Parses one optional numeric budget flag.
+fn parse_budget_flag(flags: &HashMap<String, String>, name: &str) -> Result<Option<u64>, String> {
+    match flags.get(name) {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| format!("--{name}: `{v}` is not a non-negative integer")),
+    }
+}
+
+/// Loads one relation, honouring `--lenient`: malformed data rows are
+/// skipped (warned to stderr) instead of failing the ingest. Returns
+/// the relation and how many rows were rejected.
+fn load_relation(
+    name: &str,
+    path: &str,
+    text: &str,
+    key: &[&str],
+    lenient: bool,
+) -> Result<(Relation, u64), String> {
+    if lenient {
+        let (rel, rejects): (Relation, Vec<CsvReject>) =
+            from_csv_inferred_lenient(name, text, key).map_err(|e| format!("{path}: {e}"))?;
+        for rej in &rejects {
+            eprintln!("warning: {path}: skipped line {}: {}", rej.line, rej.error);
+        }
+        Ok((rel, rejects.len() as u64))
+    } else {
+        let rel = from_csv_inferred(name, text, key).map_err(|e| format!("{path}: {e}"))?;
+        Ok((rel, 0))
+    }
+}
+
+/// A minimal report for an aborted run: the abort label plus the
+/// partial-progress counters, so `--report-json` is still written.
+fn abort_report(reason: &AbortReason, partial: &PartialStats) -> MatchReport {
+    let mut rep = Recorder::new().report();
+    rep.set_label(label::ABORT, reason.code());
+    rep.set_counter("abort/elapsed_ms", partial.elapsed_ms);
+    rep.set_counter("abort/pairs_charged", partial.pairs_charged);
+    rep.set_counter("abort/bytes_charged", partial.bytes_charged);
+    rep.set_counter("abort/tasks_completed", partial.tasks_completed);
+    rep.set_counter("abort/tasks_total", partial.tasks_total);
+    rep.set_counter("abort/matching", partial.matching);
+    rep.set_counter("abort/negative", partial.negative);
+    rep
+}
+
+fn cmd_match(args: &[String]) -> Result<(), CliError> {
     let flags = parse_flags(
         args,
         &[
@@ -110,8 +222,11 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
             "key",
             "unify",
             "report-json",
+            "timeout-ms",
+            "max-pairs",
+            "max-mem-mb",
         ],
-        &["integrated", "negative", "stats"],
+        &["integrated", "negative", "stats", "lenient"],
     )?;
     let r_path = required(&flags, "r")?;
     let s_path = required(&flags, "s")?;
@@ -119,18 +234,25 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
     let s_key: Vec<&str> = required(&flags, "s-key")?.split(',').collect();
     let key: Vec<&str> = required(&flags, "key")?.split(',').collect();
     let rules_path = required(&flags, "rules")?;
+    let lenient = flags.contains_key("lenient");
 
     let r_text = std::fs::read_to_string(r_path).map_err(|e| format!("{r_path}: {e}"))?;
     let s_text = std::fs::read_to_string(s_path).map_err(|e| format!("{s_path}: {e}"))?;
     let rules_text =
         std::fs::read_to_string(rules_path).map_err(|e| format!("{rules_path}: {e}"))?;
 
-    let r = from_csv_inferred("R", &r_text, &r_key).map_err(|e| format!("{r_path}: {e}"))?;
-    let s = from_csv_inferred("S", &s_text, &s_key).map_err(|e| format!("{s_path}: {e}"))?;
+    let (r, r_rejected) = load_relation("R", r_path, &r_text, &r_key, lenient)?;
+    let (s, s_rejected) = load_relation("S", s_path, &s_text, &s_key, lenient)?;
+    let rows_rejected = r_rejected + s_rejected;
     let rules = parse_rules(&rules_text).map_err(|e| format!("{rules_path}:{e}"))?;
 
     let mut config = MatchConfig::new(ExtendedKey::of_strs(&key), rules.ilfds());
     config.extra_rules = rules.rule_base();
+    config.budget = RunBudget {
+        timeout_ms: parse_budget_flag(&flags, "timeout-ms")?,
+        max_candidate_pairs: parse_budget_flag(&flags, "max-pairs")?,
+        max_pair_bytes: parse_budget_flag(&flags, "max-mem-mb")?.map(|mb| mb * 1024 * 1024),
+    };
 
     // §3.2 necessary checks before matching.
     let report = entity_id::core::validate::validate_knowledge(&r, &s, &config)
@@ -148,10 +270,33 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
         );
     }
 
-    let outcome = EntityMatcher::new(r.clone(), s.clone(), config)
+    let run = EntityMatcher::new(r.clone(), s.clone(), config)
         .map_err(|e| e.to_string())?
-        .run()
-        .map_err(|e| e.to_string())?;
+        .run();
+    let mut outcome = match run {
+        Ok(o) => o,
+        Err(e) => {
+            // A tripped budget still honours --report-json: the abort
+            // label plus partial progress, so tooling can tell "ran
+            // out of budget at task 37/128" from "never started".
+            if let (Some(path), CoreError::Aborted { reason, partial }) =
+                (flags.get("report-json"), &e)
+            {
+                let mut rep = abort_report(reason, partial);
+                if rows_rejected > 0 {
+                    rep.set_counter(counter::INGEST_ROWS_REJECTED, rows_rejected);
+                }
+                std::fs::write(path, rep.to_json()).map_err(|e| format!("{path}: {e}"))?;
+                eprintln!("partial report written to {path}");
+            }
+            return Err(cli_error_of(e));
+        }
+    };
+    if rows_rejected > 0 {
+        outcome
+            .stats
+            .set_counter(counter::INGEST_ROWS_REJECTED, rows_rejected);
+    }
 
     match outcome.verify() {
         Ok(()) => println!("Message: The extended key is verified."),
@@ -203,7 +348,7 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
             "prefer-r" => ConflictPolicy::PreferR,
             "prefer-s" => ConflictPolicy::PreferS,
             "null" => ConflictPolicy::Null,
-            other => return Err(format!("unknown --unify policy `{other}`")),
+            other => return Err(format!("unknown --unify policy `{other}`").into()),
         };
         let unified = unify(&r, &s, &outcome, policy).map_err(|e| e.to_string())?;
         println!();

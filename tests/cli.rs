@@ -285,6 +285,116 @@ fn session_repl_runs_the_prototype_transcript() {
 }
 
 #[test]
+fn zero_deadline_exits_124_with_partial_report() {
+    let fx = Fixture::new("deadline");
+    let r = fx.write("r.csv", R_CSV);
+    let s = fx.write("s.csv", S_CSV);
+    let rules = fx.write("k.rules", RULES);
+    let report = fx.dir.join("report.json");
+    let out = eid()
+        .args([
+            "match",
+            "--r",
+            &r,
+            "--r-key",
+            "name,cuisine",
+            "--s",
+            &s,
+            "--s-key",
+            "name,speciality",
+            "--rules",
+            &rules,
+            "--key",
+            "name,cuisine,speciality",
+            "--timeout-ms",
+            "0",
+            "--report-json",
+            &report.to_string_lossy(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(124), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("deadline"), "{err}");
+    // A tripped budget still writes the report, flagged as an abort.
+    let json = std::fs::read_to_string(&report).unwrap();
+    assert!(json.contains("\"abort\""), "{json}");
+    assert!(json.contains("deadline"), "{json}");
+    assert!(json.contains("abort/elapsed_ms"), "{json}");
+}
+
+#[test]
+fn pair_budget_exits_125() {
+    let fx = Fixture::new("pairs");
+    let r = fx.write("r.csv", R_CSV);
+    let s = fx.write("s.csv", S_CSV);
+    let rules = fx.write("k.rules", RULES);
+    let out = eid()
+        .args([
+            "match",
+            "--r",
+            &r,
+            "--r-key",
+            "name,cuisine",
+            "--s",
+            &s,
+            "--s-key",
+            "name,speciality",
+            "--rules",
+            &rules,
+            "--key",
+            "name,cuisine,speciality",
+            "--max-pairs",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(125), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("pair budget"), "{err}");
+}
+
+#[test]
+fn lenient_skips_malformed_csv_rows() {
+    let fx = Fixture::new("lenient");
+    // One ragged row (two fields instead of three).
+    let ragged = format!("{R_CSV}short,row\n");
+    let r = fx.write("r.csv", &ragged);
+    let s = fx.write("s.csv", S_CSV);
+    let rules = fx.write("k.rules", RULES);
+    let args = [
+        "match",
+        "--r",
+        &r,
+        "--r-key",
+        "name,cuisine",
+        "--s",
+        &s,
+        "--s-key",
+        "name,speciality",
+        "--rules",
+        &rules,
+        "--key",
+        "name,cuisine,speciality",
+    ];
+    // Strict mode refuses the file outright, naming the line.
+    let strict = eid().args(args).output().unwrap();
+    assert!(!strict.status.success());
+    assert!(String::from_utf8_lossy(&strict.stderr).contains("line"));
+    // Lenient mode skips the row, warns, and matches the clean data.
+    let lenient = eid().args(args).arg("--lenient").output().unwrap();
+    assert!(
+        lenient.status.success(),
+        "{}",
+        String::from_utf8_lossy(&lenient.stderr)
+    );
+    let err = String::from_utf8_lossy(&lenient.stderr);
+    assert!(err.contains("skipped"), "{err}");
+    let text = String::from_utf8_lossy(&lenient.stdout);
+    assert!(text.contains("matching: 3"), "{text}");
+}
+
+#[test]
 fn match_warns_on_inconsistent_data() {
     let fx = Fixture::new("warn");
     // S's hunan tuple claims greek cuisine, contradicting the ILFD.
