@@ -4,7 +4,9 @@
 //! root. Each engine entry embeds the per-stage breakdown and engine
 //! counters from its [`MatchOutcome::stats`] report, so a regression
 //! can be localised (compile? index? residual scan?) without
-//! re-profiling.
+//! re-profiling — plus the planner's decisions (execution mode,
+//! chosen blocking keys per rule) and the plan-cache hit/miss
+//! counts, so a perf delta can also be traced to a *plan* change.
 //!
 //! Run with `cargo run --release -p eid-bench --bin bench_json`.
 //! Pass sizes as arguments to override the defaults, e.g.
@@ -64,6 +66,33 @@ struct Measurement {
     /// Observability report of the last timed run (stage timings are
     /// that run's, not the best-of-3's).
     stats: MatchReport,
+    /// Plan-cache `(hits, misses)` across every rep of this engine —
+    /// all reps after the first should hit.
+    plan_cache: (u64, u64),
+}
+
+/// The planner's decisions for one engine run, as a JSON object:
+/// the execution-mode label, the chosen blocking key (with the cost
+/// model's rationale) per probed identity rule, and the plan-cache
+/// accounting. Read off the run's `plan/*` report labels.
+fn plan_json(stats: &MatchReport, plan_cache: (u64, u64)) -> String {
+    let mode = stats.label("plan/mode").unwrap_or("?");
+    let keys: Vec<String> = stats
+        .labels
+        .iter()
+        .filter_map(|l| {
+            l.name
+                .strip_prefix("plan/key/")
+                .map(|rule| format!("\"{rule}\": \"{}\"", l.value))
+        })
+        .collect();
+    format!(
+        "\"plan\": {{\"mode\": \"{mode}\", \"keys\": {{{}}}, \
+         \"cache_hits\": {}, \"cache_misses\": {}}}",
+        keys.join(", "),
+        plan_cache.0,
+        plan_cache.1
+    )
 }
 
 /// The per-stage and counter breakdown of one engine run, as two JSON
@@ -101,7 +130,7 @@ fn measure_all(
     config: &MatchConfig,
     r: &eid_relational::Relation,
     s: &eid_relational::Relation,
-) -> Vec<(MatchOutcome, f64)> {
+) -> Vec<(MatchOutcome, f64, (u64, u64))> {
     let matchers: Vec<EntityMatcher> = engines
         .iter()
         .map(|engine| {
@@ -131,7 +160,13 @@ fn measure_all(
             best[k] = best[k].min(start.elapsed().as_secs_f64());
         }
     }
-    outcomes.into_iter().zip(best).collect()
+    let caches: Vec<(u64, u64)> = matchers.iter().map(|m| m.plan_cache_stats()).collect();
+    outcomes
+        .into_iter()
+        .zip(best)
+        .zip(caches)
+        .map(|((outcome, seconds), cache)| (outcome, seconds, cache))
+        .collect()
 }
 
 fn json_f64(x: f64) -> String {
@@ -183,7 +218,7 @@ fn main() {
         );
 
         let mut measurements: Vec<Measurement> = Vec::new();
-        for (engine, (outcome, seconds)) in engines
+        for (engine, (outcome, seconds, plan_cache)) in engines
             .iter()
             .zip(measure_all(&engines, &config, &w.r, &w.s))
         {
@@ -202,6 +237,7 @@ fn main() {
                 negative: outcome.negative.len(),
                 undetermined: outcome.undetermined,
                 stats: outcome.stats,
+                plan_cache,
             });
         }
 
@@ -230,7 +266,7 @@ fn main() {
                     concat!(
                         "{{\"name\": \"{}\", \"seconds\": {}, ",
                         "\"pairs_per_sec\": {}, \"matching\": {}, ",
-                        "\"negative\": {}, \"undetermined\": {}, {}}}"
+                        "\"negative\": {}, \"undetermined\": {}, {}, {}}}"
                     ),
                     m.name,
                     json_f64(m.seconds),
@@ -238,6 +274,7 @@ fn main() {
                     m.matching,
                     m.negative,
                     m.undetermined,
+                    plan_json(&m.stats, m.plan_cache),
                     breakdown_json(&m.stats)
                 )
             })

@@ -1,6 +1,7 @@
-//! The blocked matching engine — precompiled rules lowered into
-//! interned symbol space, inverted-index blocking over columnar
-//! storage, and candidate-pair-chunked data parallelism.
+//! The match-plan executor — precompiled rules lowered into interned
+//! symbol space, inverted-index blocking over columnar storage, and
+//! candidate-pair-chunked data parallelism, all driven by the typed
+//! [`MatchPlan`] IR.
 //!
 //! The seed refutation path evaluates every rule on all `|R|·|S|`
 //! pairs, resolving attribute names against schemas per predicate.
@@ -17,38 +18,34 @@
 //!    single integer compare against cache-resident columns, with no
 //!    `Value` cloning or `Arc<str>` chasing anywhere in the pair
 //!    loop.
-//! 3. **Blocking**: rules whose shape admits it become *block plans*
-//!    over symbol-keyed inverted indexes. An identity rule with
-//!    cross-relation equalities runs as a hash join on `u32` keys; an
-//!    ILFD-induced distinctness rule `(A₁=a₁ ∧ …) → B=b` only visits
-//!    pairs where one side satisfies the antecedent literals and the
-//!    other definitely disagrees on `B` — output-sensitive instead of
-//!    quadratic. Rules with no indexable shape fall back to an
-//!    interned pairwise scan (*residual* path).
+//! 3. **Blocking**: the [`Planner`] chooses,
+//!    per rule, a probe strategy from column statistics — an identity
+//!    rule becomes a hash join on its most selective blocking-key
+//!    columns, an ILFD-induced distinctness rule a disagreement
+//!    probe, and non-indexable rules fuse into an interned pairwise
+//!    scan (the *residual* path).
 //! 4. **Parallelism**: each plan's driver rows are split into chunks
-//!    of roughly equal *candidate-pair* weight (not one task per
-//!    rule, whose sizes are wildly uneven), and the chunks form a
+//!    of roughly equal *candidate-pair* weight, and the chunks form a
 //!    task queue drained by `std::thread::scope` workers. The task
 //!    list does not depend on the worker count and per-task results
 //!    are merged in task order, so the output is identical for any
-//!    thread count.
+//!    thread count — and for any sound blocking-key choice.
 //!
-//! Every candidate pair a block plan emits is re-checked with the
-//! full interned rule before it is reported, which keeps the engine
-//! *sound* by construction. Completeness of symbol equality is exact:
+//! Every candidate pair a probe node emits is re-checked with the
+//! full interned rule before it is reported, which keeps the executor
+//! *sound* by construction (and makes the planner's key choice a pure
+//! performance decision). Completeness of symbol equality is exact:
 //! by the interner's contract, two non-NULL symbols are equal iff
-//! [`Value::compare`](eid_relational::Value::compare) returns `Equal`
-//! (the seed hash join's `-0.0` vs `0.0` blind spot is gone — both
-//! intern to one symbol).
-//! [`JoinAlgorithm::NestedLoop`](crate::JoinAlgorithm) is retained as
-//! the exhaustive oracle.
+//! [`Value::compare`](eid_relational::Value::compare) returns `Equal`.
 //!
 //! **Hardening** (DESIGN.md §9): runs are guarded by a [`RunGuard`] —
 //! budgets and cancellation are checked at *task* boundaries, each
 //! task executes under `catch_unwind`, and a poisoned task degrades
-//! the run down the ladder `blocked_parallel → blocked (serial rerun
-//! from scratch) → nested-loop` instead of taking the process down.
-//! The serial rerun discards all partial results, so its output is
+//! the run down the ladder, now expressed as plan rewrites:
+//! [`MatchPlan::rewrite_serial`] (serial twin, byte-identical
+//! output), then [`MatchPlan::rewrite_index_free`] +
+//! `rewrite_serial` (the nested-loop arm, same output *set*). The
+//! serial rerun discards all partial results, so its output is
 //! byte-identical to a fault-free serial run. An aborted or poisoned
 //! attempt never flushes its half-finished task accounting into the
 //! recorder.
@@ -61,21 +58,17 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
 
 use eid_obs::Recorder;
-use eid_relational::{Columns, FxHashMap, Interner, Relation, Sym, NULL_SYM};
+use eid_relational::{Columns, FxHashMap, Interner, Relation, Sym, Tuple, NULL_SYM};
 use eid_rules::{
     CompiledRuleBase, InternedDistinctShape, InternedIdentityShape, InternedRule, InternedRuleBase,
     NeqSide, RuleBase,
 };
 
 use crate::error::{CoreError, Result};
+use crate::plan::{ArmHint, ExecMode, MatchPlan, PlanNodeKind, ProbeStrategy};
+use crate::planner::Planner;
 use crate::runtime::{AbortReason, RunGuard};
-use crate::stats::{counter, histogram, label, rule_counter, span};
-
-/// Below this many estimated pairs (`|R′|·|S′|`) the auto-parallel
-/// engine (`threads == 0`) runs serially: thread spawn + merge
-/// overhead exceeds the work itself on small inputs. Explicit thread
-/// counts are always honoured.
-const PARALLEL_MIN_PAIRS: usize = 50_000;
+use crate::stats::{counter, histogram, label, node_counter, rule_counter, span};
 
 /// Target candidate-pair weight of one task. Small enough that every
 /// worker stays busy even when one rule dominates the candidate
@@ -91,7 +84,7 @@ const MAX_CHUNKS_PER_PLAN: u64 = 256;
 /// degenerate weight estimate cannot trigger a giant allocation.
 const TASK_RESERVE_CAP: u64 = 1 << 20;
 
-/// Pair lists produced by one engine run, as row indices into the
+/// Pair lists produced by one executor run, as row indices into the
 /// two (extended) relations. Duplicates may appear when several
 /// rules fire on the same pair; the matcher dedups on row-index
 /// pairs while converting.
@@ -103,10 +96,12 @@ pub struct EnginePairs {
     pub negative: Vec<(u32, u32)>,
 }
 
-/// Which relation a plan step reads.
+/// Which of the two encoded relations an operation addresses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum RelSide {
+pub enum RelSide {
+    /// The `R` (extended) relation.
     R,
+    /// The `S` (extended) relation.
     S,
 }
 
@@ -128,13 +123,16 @@ impl RelSide {
     }
 }
 
-/// How one plan enumerates candidate pairs.
+/// How one lowered plan enumerates candidate pairs.
 enum PlanKind<'e> {
     /// Hash-join / literal-probe plan for one identity rule; drivers
     /// are the `R`-side rows surviving the literal filter.
+    /// `positions` is the planner-chosen blocking key (`None` for
+    /// the literal-filtered cross product of join-free rules).
     Identity {
         rule: &'e InternedRule,
         shape: InternedIdentityShape,
+        positions: Option<Vec<usize>>,
     },
     /// Literal-probe × disagreement-scan plan for one distinctness
     /// rule; drivers are the `≠`-side rows that disagree with the
@@ -143,8 +141,8 @@ enum PlanKind<'e> {
         rule: &'e InternedRule,
         shape: InternedDistinctShape,
     },
-    /// Interned pairwise scan of non-indexable rules; drivers are all
-    /// `R` rows.
+    /// Interned pairwise scan of non-indexable rules (all `Scan`
+    /// strategies fused); drivers are all `R` rows.
     Residual {
         identity: Vec<&'e InternedRule>,
         distinct: Vec<&'e InternedRule>,
@@ -160,10 +158,12 @@ enum PlanWeights {
     Per(Vec<u32>),
 }
 
-/// One block plan with its precomputed driver rows and weights —
-/// the unit the chunker splits into tasks.
+/// One lowered probe plan with its precomputed driver rows and
+/// weights — the unit the chunker splits into tasks.
 struct Plan<'e> {
     kind: PlanKind<'e>,
+    /// The [`MatchPlan`] node this plan executes (per-node report).
+    node: usize,
     drivers: Vec<u32>,
     weights: PlanWeights,
 }
@@ -249,20 +249,30 @@ struct SideIndexes {
     groups: FxHashMap<usize, Vec<(Sym, Vec<u32>)>>,
 }
 
-/// The blocked matching engine over one (extended) relation pair.
-/// Construction compiles + encodes; afterwards the engine owns its
-/// whole working set (columns, interner, rules) and borrows nothing.
-pub struct BlockedEngine {
+/// The one place match plans run. Construction compiles + encodes;
+/// afterwards the executor owns its whole working set (columns,
+/// interner, rules, attribute names for the planner) and borrows
+/// nothing. [`Executor::plan`] builds a cost-based [`MatchPlan`];
+/// [`Executor::execute`] runs any plan under a [`RunGuard`] with the
+/// degradation ladder expressed as plan rewrites.
+#[derive(Debug, Clone)]
+pub struct Executor {
     compiled: CompiledRuleBase,
     interned: InternedRuleBase,
     interner: Interner,
     cols_r: Columns,
     cols_s: Columns,
+    attrs_r: Vec<String>,
+    attrs_s: Vec<String>,
     threads: usize,
     recorder: Recorder,
 }
 
-impl BlockedEngine {
+/// The executor's historical name; kept so existing call sites and
+/// docs keep compiling while the IR refactor lands.
+pub type BlockedEngine = Executor;
+
+impl Executor {
     /// Compiles `rb` against the two schemas and encodes both
     /// relations into interned columnar form. `threads` = `0` uses
     /// the machine's available parallelism, `1` runs serially.
@@ -270,7 +280,7 @@ impl BlockedEngine {
         Self::with_recorder(ext_r, ext_s, rb, threads, Recorder::new())
     }
 
-    /// [`BlockedEngine::new`] recording into a caller-supplied
+    /// [`Executor::new`] recording into a caller-supplied
     /// [`Recorder`] (the matcher threads its run-level recorder
     /// through here). Compile/encode time and [`CompileStats`]
     /// counters are recorded immediately; `alloc/values_interned`
@@ -326,10 +336,18 @@ impl BlockedEngine {
             }
         };
         recorder.add(counter::ALLOC_VALUES_INTERNED, interner.len() as u64);
-        BlockedEngine {
+        let attr_names = |rel: &Relation| -> Vec<String> {
+            rel.schema()
+                .attribute_names()
+                .map(|a| a.to_string())
+                .collect()
+        };
+        Executor {
             compiled,
             interned,
             interner,
+            attrs_r: attr_names(ext_r),
+            attrs_s: attr_names(ext_s),
             cols_r,
             cols_s,
             threads,
@@ -342,58 +360,130 @@ impl BlockedEngine {
         &self.compiled
     }
 
-    /// The recorder this engine reports into.
+    /// The recorder this executor reports into.
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
     }
 
-    /// Runs the engine unguarded (no budgets, not cancellable).
-    /// `record_identity`/`record_distinct` select which rule families
-    /// execute (mirrors the matcher's pairwise phase flags). The
-    /// result is deterministic for any thread count. Errors only via
-    /// the degradation ladder's terminal rung (every arm poisoned).
+    /// Attribute names of one side's (extended) schema, in column
+    /// order — what the planner names blocking keys with.
+    pub fn attr_names(&self, side: RelSide) -> &[String] {
+        match side {
+            RelSide::R => &self.attrs_r,
+            RelSide::S => &self.attrs_s,
+        }
+    }
+
+    /// Encoded row count of one side.
+    pub fn rows(&self, side: RelSide) -> usize {
+        match side {
+            RelSide::R => self.cols_r.rows(),
+            RelSide::S => self.cols_s.rows(),
+        }
+    }
+
+    /// Appends one (extended) tuple to a side's columnar view,
+    /// interning its values — the incremental matcher keeps the
+    /// executor in sync with its relations instead of re-encoding.
+    pub fn push_row(&mut self, side: RelSide, tuple: &Tuple) {
+        match side {
+            RelSide::R => self.cols_r.push_row(tuple, &mut self.interner),
+            RelSide::S => self.cols_s.push_row(tuple, &mut self.interner),
+        }
+    }
+
+    /// Truncates a side back to `rows` rows — the rollback twin of
+    /// [`Executor::push_row`].
+    pub fn truncate(&mut self, side: RelSide, rows: usize) {
+        match side {
+            RelSide::R => self.cols_r.truncate(rows),
+            RelSide::S => self.cols_s.truncate(rows),
+        }
+    }
+
+    /// Whether any interned distinctness rule definitely fires on
+    /// row pair (`i`, `j`) — the incremental matcher's per-pair
+    /// delta check, in symbol space.
+    pub fn fires_distinct(&self, i: usize, j: usize) -> bool {
+        self.interned
+            .distinctness
+            .iter()
+            .any(|r| r.fires(&self.cols_r, i, &self.cols_s, j, &self.interner))
+    }
+
+    /// Builds the cost-based [`MatchPlan`] for the selected rule
+    /// families under `hint`, reading column statistics off the
+    /// interned columns. Pure planning — nothing executes.
+    pub fn plan(&self, record_identity: bool, record_distinct: bool, hint: ArmHint) -> MatchPlan {
+        let stats_s = self.cols_s.column_stats();
+        Planner::new(
+            &self.interned,
+            &stats_s,
+            &self.attrs_r,
+            &self.attrs_s,
+            self.cols_r.rows(),
+            self.cols_s.rows(),
+            self.threads,
+        )
+        .plan(record_identity, record_distinct, hint)
+    }
+
+    /// Plans with the [`ArmHint::Auto`] hint and executes, unguarded
+    /// (no budgets, not cancellable). The result is deterministic for
+    /// any thread count. Errors only via the degradation ladder's
+    /// terminal rung (every arm poisoned).
     pub fn run(&self, record_identity: bool, record_distinct: bool) -> Result<EnginePairs> {
         self.run_guarded(record_identity, record_distinct, &RunGuard::unlimited())
     }
 
-    /// [`BlockedEngine::run`] under a [`RunGuard`]: budgets and
-    /// cancellation are checked at task boundaries (each task is
-    /// pre-charged its exact candidate weight before it runs), and a
-    /// poisoned task walks the degradation ladder — serial rerun from
-    /// scratch, then the index-free nested-loop arm — before giving
-    /// up with [`CoreError::WorkerPanic`]. A memory budget that the
-    /// blocked indexes alone would exceed degrades straight to the
-    /// nested-loop arm. On success the recorder's `engine` label
-    /// names the arm that produced the published pairs.
+    /// [`Executor::run`] under a [`RunGuard`].
     pub fn run_guarded(
         &self,
         record_identity: bool,
         record_distinct: bool,
         guard: &RunGuard,
     ) -> Result<EnginePairs> {
+        let plan = self.plan(record_identity, record_distinct, ArmHint::Auto);
+        self.execute(&plan, guard)
+    }
+
+    /// Runs one [`MatchPlan`] under a [`RunGuard`]: budgets and
+    /// cancellation are checked at task boundaries (each task is
+    /// pre-charged its exact candidate weight before it runs), and a
+    /// poisoned task walks the degradation ladder as plan rewrites —
+    /// [`MatchPlan::rewrite_serial`] (rerun from scratch,
+    /// byte-identical), then [`MatchPlan::rewrite_index_free`] (the
+    /// nested-loop arm) — before giving up with
+    /// [`CoreError::WorkerPanic`]. A memory budget that the blocked
+    /// indexes alone would exceed rewrites the plan index-free up
+    /// front (keeping its mode). On success the recorder's `engine`
+    /// label names the arm that produced the published pairs.
+    pub fn execute(&self, plan: &MatchPlan, guard: &RunGuard) -> Result<EnginePairs> {
         if let Err(reason) = guard.checkpoint() {
             return Err(self.abort(guard, TaskAbort::early(reason)));
         }
 
-        // Plan: indexable rules become block plans, the rest go to
-        // the residual pairwise scan — unless the memory budget says
-        // the indexes themselves would blow the cap, in which case
-        // everything runs index-free (the nested-loop arm).
-        let mut kinds = self.plan_kinds(record_identity, record_distinct, false);
-        let mut nested = false;
+        let mut lowered = self.lower(plan)?;
+        let mut mem_degraded: Option<MatchPlan> = None;
         if let Some(limit) = guard.mem_limit() {
-            let est = self.index_mem_estimate(&kinds);
+            let est = self.index_mem_estimate(&lowered.0);
             if est > limit {
                 self.recorder.add(counter::RUNTIME_DEGRADED_INDEX_MEM, 1);
-                kinds = self.plan_kinds(record_identity, record_distinct, true);
-                nested = true;
+                let rewritten = plan.rewrite_index_free();
+                lowered = self.lower(&rewritten)?;
+                mem_degraded = Some(rewritten);
             }
         }
+        let plan = mem_degraded.as_ref().unwrap_or(plan);
+        if matches!(plan.mode, ExecMode::Serial { auto_small: true }) {
+            self.recorder.add(counter::ENGINE_SERIAL_FALLBACK, 1);
+        }
 
+        let (kinds, node_of) = lowered;
         let (plans, indexes) = {
             let _span = self.recorder.span(span::ENGINE_INDEX);
             let indexes = self.build_indexes(&kinds);
-            let plans = self.build_plans(kinds, &indexes);
+            let plans = self.build_plans(kinds, &node_of, &indexes);
             (plans, indexes)
         };
         // Chunk every plan by candidate-pair weight. The task list is
@@ -402,56 +492,46 @@ impl BlockedEngine {
         // for any thread count.
         let tasks = build_tasks(&plans);
 
-        let workers = self.resolve_threads().min(tasks.len()).max(1);
+        let workers = plan.mode.workers().min(tasks.len()).max(1);
         self.recorder.add(counter::ENGINE_WORKERS, workers as u64);
-        let first_arm = if nested {
-            "nested_loop"
-        } else if workers > 1 {
-            "blocked_parallel"
-        } else {
-            "blocked"
-        };
+        let first_arm = plan.arm.arm_label(plan.index_free, workers);
 
         match self.try_run_tasks(&plans, &tasks, &indexes, workers, guard, "engine/worker") {
             Ok(outputs) => self.finish(&plans, &tasks, outputs, first_arm),
             Err(TaskFailure::Aborted(a)) => Err(self.abort(guard, a)),
             Err(TaskFailure::Poisoned { completed }) => {
-                // Rung 2: serial rerun from scratch. Partial results
-                // are discarded so the output is byte-identical to a
-                // fault-free serial run.
+                // Rung 2: the serial-twin rewrite, rerun from
+                // scratch. Partial results are discarded so the
+                // output is byte-identical to a fault-free serial
+                // run (the task list is mode-independent, so the
+                // lowered plans are reused as-is).
                 let lost = (tasks.len() as u64).saturating_sub(completed).max(1);
                 self.recorder.add(counter::ENGINE_ABORTED_TASKS, lost);
                 self.recorder.add(counter::RUNTIME_DEGRADED_TO_BLOCKED, 1);
+                let serial_arm = plan.arm.arm_label(plan.index_free, 1);
                 match self.try_run_tasks(&plans, &tasks, &indexes, 1, guard, "engine/serial") {
-                    Ok(outputs) => {
-                        let arm = if nested { "nested_loop" } else { "blocked" };
-                        self.finish(&plans, &tasks, outputs, arm)
-                    }
+                    Ok(outputs) => self.finish(&plans, &tasks, outputs, serial_arm),
                     Err(TaskFailure::Aborted(a)) => Err(self.abort(guard, a)),
-                    Err(TaskFailure::Poisoned { .. }) => {
-                        self.run_nested_fallback(record_identity, record_distinct, guard)
-                    }
+                    Err(TaskFailure::Poisoned { .. }) => self.run_nested_fallback(plan, guard),
                 }
             }
         }
     }
 
-    /// Rung 3 of the degradation ladder: every rule as an index-free
-    /// residual scan, serially. Emits the same pair *set* as the
-    /// blocked arms (possibly in a different order — callers dedup).
-    fn run_nested_fallback(
-        &self,
-        record_identity: bool,
-        record_distinct: bool,
-        guard: &RunGuard,
-    ) -> Result<EnginePairs> {
+    /// Rung 3 of the degradation ladder:
+    /// `plan.rewrite_index_free().rewrite_serial()` — every rule as
+    /// an index-free residual scan, serially. Emits the same pair
+    /// *set* as the probe plans (possibly in a different order —
+    /// callers dedup).
+    fn run_nested_fallback(&self, plan: &MatchPlan, guard: &RunGuard) -> Result<EnginePairs> {
         self.recorder
             .add(counter::RUNTIME_DEGRADED_TO_NESTED_LOOP, 1);
-        let kinds = self.plan_kinds(record_identity, record_distinct, true);
+        let nested = plan.rewrite_index_free().rewrite_serial();
+        let (kinds, node_of) = self.lower(&nested)?;
         let (plans, indexes) = {
             let _span = self.recorder.span(span::ENGINE_INDEX);
             let indexes = self.build_indexes(&kinds);
-            let plans = self.build_plans(kinds, &indexes);
+            let plans = self.build_plans(kinds, &node_of, &indexes);
             (plans, indexes)
         };
         let tasks = build_tasks(&plans);
@@ -467,32 +547,100 @@ impl BlockedEngine {
         }
     }
 
-    /// Classifies every selected rule into a block plan or the
-    /// residual scan; `index_free` forces *all* rules residual (the
-    /// nested-loop arm).
-    fn plan_kinds(
-        &self,
-        record_identity: bool,
-        record_distinct: bool,
-        index_free: bool,
-    ) -> Vec<PlanKind<'_>> {
+    /// Lowers a [`MatchPlan`]'s probe/refute nodes into executable
+    /// [`PlanKind`]s (all `Scan` strategies fuse into one residual
+    /// appended last), paired with the node id each kind reports
+    /// under. Fails with [`CoreError::InvalidPlan`] when a node
+    /// references a rule or key the rule base cannot satisfy.
+    fn lower(&self, plan: &MatchPlan) -> Result<(Vec<PlanKind<'_>>, Vec<usize>)> {
+        let invalid = |detail: String| CoreError::InvalidPlan { detail };
         let mut kinds: Vec<PlanKind<'_>> = Vec::new();
+        let mut node_of: Vec<usize> = Vec::new();
         let mut residual_identity: Vec<&InternedRule> = Vec::new();
         let mut residual_distinct: Vec<&InternedRule> = Vec::new();
-        if record_identity {
-            for rule in &self.interned.identity {
-                match rule.identity_shape() {
-                    Some(shape) if !index_free => kinds.push(PlanKind::Identity { rule, shape }),
-                    _ => residual_identity.push(rule),
+        let mut residual_node: Option<usize> = None;
+        for node in &plan.nodes {
+            match &node.kind {
+                PlanNodeKind::IdentityProbe { rule, strategy } => {
+                    let interned = self.interned.identity.get(rule.index).ok_or_else(|| {
+                        invalid(format!("identity rule #{} out of range", rule.index))
+                    })?;
+                    match strategy {
+                        ProbeStrategy::Probe { key_positions } => {
+                            let shape = interned.identity_shape().ok_or_else(|| {
+                                invalid(format!("rule {} has no identity shape", rule.name))
+                            })?;
+                            let allowed = shape.probe_positions();
+                            if key_positions.is_empty()
+                                || key_positions.iter().any(|p| !allowed.contains(p))
+                            {
+                                return Err(invalid(format!(
+                                    "blocking key {key_positions:?} of rule {} is not a \
+                                     non-empty subset of its probe positions {allowed:?}",
+                                    rule.name
+                                )));
+                            }
+                            kinds.push(PlanKind::Identity {
+                                rule: interned,
+                                shape,
+                                positions: Some(key_positions.clone()),
+                            });
+                            node_of.push(node.id);
+                        }
+                        ProbeStrategy::Cross => {
+                            let shape = interned.identity_shape().ok_or_else(|| {
+                                invalid(format!("rule {} has no identity shape", rule.name))
+                            })?;
+                            if !shape.join.is_empty() {
+                                return Err(invalid(format!(
+                                    "cross strategy on rule {} which has join columns",
+                                    rule.name
+                                )));
+                            }
+                            kinds.push(PlanKind::Identity {
+                                rule: interned,
+                                shape,
+                                positions: None,
+                            });
+                            node_of.push(node.id);
+                        }
+                        ProbeStrategy::Scan => {
+                            residual_identity.push(interned);
+                            residual_node.get_or_insert(node.id);
+                        }
+                    }
                 }
-            }
-        }
-        if record_distinct {
-            for rule in &self.interned.distinctness {
-                match rule.distinct_shape() {
-                    Some(shape) if !index_free => kinds.push(PlanKind::Distinct { rule, shape }),
-                    _ => residual_distinct.push(rule),
+                PlanNodeKind::Refute { rule, strategy } => {
+                    let interned = self.interned.distinctness.get(rule.index).ok_or_else(|| {
+                        invalid(format!("distinctness rule #{} out of range", rule.index))
+                    })?;
+                    match strategy {
+                        ProbeStrategy::Probe { .. } => {
+                            let shape = interned.distinct_shape().ok_or_else(|| {
+                                invalid(format!("rule {} has no distinctness shape", rule.name))
+                            })?;
+                            kinds.push(PlanKind::Distinct {
+                                rule: interned,
+                                shape,
+                            });
+                            node_of.push(node.id);
+                        }
+                        ProbeStrategy::Cross => {
+                            return Err(invalid(format!(
+                                "cross strategy is not defined for distinctness rule {}",
+                                rule.name
+                            )));
+                        }
+                        ProbeStrategy::Scan => {
+                            residual_distinct.push(interned);
+                            residual_node.get_or_insert(node.id);
+                        }
+                    }
                 }
+                // Derive/Encode/Block/Dedup/Classify are the
+                // matcher's (and constructor's) stages; the executor
+                // only runs the probe DAG.
+                _ => {}
             }
         }
         if !residual_identity.is_empty() || !residual_distinct.is_empty() {
@@ -500,8 +648,9 @@ impl BlockedEngine {
                 identity: residual_identity,
                 distinct: residual_distinct,
             });
+            node_of.push(residual_node.unwrap_or(plan.nodes.len()));
         }
-        kinds
+        Ok((kinds, node_of))
     }
 
     /// Crude upper bound on the blocked indexes' resident bytes: each
@@ -562,10 +711,11 @@ impl BlockedEngine {
     }
 
     /// Flushes every task's accounting from the main thread, after
-    /// the worker scope has ended: wall time into the task histogram
-    /// and the family busy-span, tallies aggregated per plan into the
-    /// blocking/residual counters. Totals are identical to flushing
-    /// per task; only the contention moves off the hot path.
+    /// the worker scope has ended: wall time into the task histogram,
+    /// the family busy-span, *and* the per-rule node span; tallies
+    /// aggregated per plan into the blocking/residual counters plus
+    /// each plan node's own counters. Totals are identical to
+    /// flushing per task; only the contention moves off the hot path.
     fn flush_reports(
         &self,
         plans: &[Plan<'_>],
@@ -577,9 +727,21 @@ impl BlockedEngine {
         let mut residual = (0u64, 0u64, 0u64);
         for (task, (_, report)) in tasks.iter().zip(outputs) {
             task_nanos.record(report.nanos);
-            let path = match plans[task.plan].kind {
-                PlanKind::Identity { .. } => span::ENGINE_IDENTITY,
-                PlanKind::Distinct { .. } => span::ENGINE_REFUTE,
+            let path = match &plans[task.plan].kind {
+                PlanKind::Identity { rule, .. } => {
+                    self.recorder.record_span(
+                        &format!("{}/{}", span::ENGINE_IDENTITY, rule.name),
+                        report.nanos,
+                    );
+                    span::ENGINE_IDENTITY
+                }
+                PlanKind::Distinct { rule, .. } => {
+                    self.recorder.record_span(
+                        &format!("{}/{}", span::ENGINE_REFUTE, rule.name),
+                        report.nanos,
+                    );
+                    span::ENGINE_REFUTE
+                }
                 PlanKind::Residual { .. } => span::ENGINE_RESIDUAL,
             };
             self.recorder.record_span(path, report.nanos);
@@ -605,38 +767,23 @@ impl BlockedEngine {
         for (plan, &(candidates, accepted)) in plans.iter().zip(&block) {
             match &plan.kind {
                 PlanKind::Identity { rule, .. } => {
-                    self.flush_block("identity", &rule.name, candidates, accepted)
+                    self.flush_block("identity", &rule.name, plan.node, candidates, accepted)
                 }
                 PlanKind::Distinct { rule, .. } => {
-                    self.flush_block("distinct", &rule.name, candidates, accepted)
+                    self.flush_block("distinct", &rule.name, plan.node, candidates, accepted)
                 }
                 PlanKind::Residual { .. } => {
                     self.recorder.add(counter::RESIDUAL_PAIRS, residual.0);
                     self.recorder.add(counter::RESIDUAL_MATCHED, residual.1);
                     self.recorder.add(counter::RESIDUAL_REFUTED, residual.2);
+                    self.recorder
+                        .add(&node_counter(plan.node, "pairs"), residual.0);
+                    self.recorder
+                        .add(&node_counter(plan.node, "matched"), residual.1);
+                    self.recorder
+                        .add(&node_counter(plan.node, "refuted"), residual.2);
                 }
             }
-        }
-    }
-
-    fn resolve_threads(&self) -> usize {
-        match self.threads {
-            0 => {
-                let est_pairs = self.cols_r.rows().saturating_mul(self.cols_s.rows());
-                if est_pairs < PARALLEL_MIN_PAIRS {
-                    self.recorder.add(counter::ENGINE_SERIAL_FALLBACK, 1);
-                    1
-                } else {
-                    // Floor at 2: on single-core hosts the scoped
-                    // workers just timeslice (the chunked queue makes
-                    // oversubscription harmless), and the parallel
-                    // path — and its observability — actually runs.
-                    std::thread::available_parallelism()
-                        .map_or(2, |n| n.get())
-                        .max(2)
-                }
-            }
-            n => n,
         }
     }
 
@@ -735,9 +882,9 @@ impl BlockedEngine {
         Ok(slots.into_iter().map(|(_, out)| out).collect())
     }
 
-    /// [`BlockedEngine::run_task`] plus wall-time measurement. No
+    /// [`Executor::run_task`] plus wall-time measurement. No
     /// recorder traffic here — this runs inside worker threads; the
-    /// report is flushed by [`BlockedEngine::flush_reports`] on the
+    /// report is flushed by [`Executor::flush_reports`] on the
     /// main thread.
     fn run_timed(
         &self,
@@ -756,9 +903,18 @@ impl BlockedEngine {
         let plan = &plans[task.plan];
         let drivers = &plan.drivers[task.drivers.clone()];
         let tally = match &plan.kind {
-            PlanKind::Identity { rule, shape } => {
-                self.run_identity(rule, shape, drivers, indexes, &mut out.matching)
-            }
+            PlanKind::Identity {
+                rule,
+                shape,
+                positions,
+            } => self.run_identity(
+                rule,
+                shape,
+                positions.as_deref(),
+                drivers,
+                indexes,
+                &mut out.matching,
+            ),
             PlanKind::Distinct { rule, shape } => {
                 out.negative
                     .reserve(task.est_pairs.min(TASK_RESERVE_CAP) as usize);
@@ -797,8 +953,9 @@ impl BlockedEngine {
     }
 
     /// Flushes one block plan's aggregated tallies: global blocking
-    /// precision plus the per-rule breakdown.
-    fn flush_block(&self, family: &str, rule: &str, candidates: u64, accepted: u64) {
+    /// precision, the per-rule breakdown, and the plan node's own
+    /// counters (joinable back to the plan JSON by node id).
+    fn flush_block(&self, family: &str, rule: &str, node: usize, candidates: u64, accepted: u64) {
         self.recorder.add(counter::BLOCK_CANDIDATES, candidates);
         self.recorder.add(counter::BLOCK_ACCEPTED, accepted);
         self.recorder
@@ -807,25 +964,30 @@ impl BlockedEngine {
             .add(&rule_counter(family, rule, "candidates"), candidates);
         self.recorder
             .add(&rule_counter(family, rule, "accepted"), accepted);
+        self.recorder
+            .add(&node_counter(node, "candidates"), candidates);
+        self.recorder.add(&node_counter(node, "accepted"), accepted);
     }
 
-    /// Identity block plan over one driver chunk: the drivers are the
-    /// literal-filtered `R` rows; with join columns each probes the
-    /// symbol-keyed `S` index (literal constants folded into the
-    /// probe key), without them the plan degrades to a
+    /// Identity probe plan over one driver chunk: the drivers are the
+    /// literal-filtered `R` rows; with a blocking key each probes the
+    /// symbol-keyed `S` index on the planner-chosen `positions`
+    /// (literal constants folded into the probe key), without one
+    /// (`positions = None`, join-free rules) the plan degrades to a
     /// literal-filtered cross product — the shape of constant-only
     /// rules like the paper's `r1`.
     fn run_identity(
         &self,
         rule: &InternedRule,
         shape: &InternedIdentityShape,
+        positions: Option<&[usize]>,
         drivers: &[u32],
         indexes: &Indexes,
         out: &mut Vec<(u32, u32)>,
     ) -> Tally {
         let mut candidates = 0u64;
         let mut accepted = 0u64;
-        if shape.join.is_empty() {
+        let Some(positions) = positions else {
             let s_rows = indexes.lit_rows(RelSide::S, &shape.s_lits, self.cols_s.rows());
             for &i in drivers {
                 for j in s_rows.iter() {
@@ -846,12 +1008,11 @@ impl BlockedEngine {
                 candidates,
                 accepted,
             };
-        }
-        let positions = identity_probe_positions(shape);
-        let index = indexes.multi(RelSide::S, &positions);
+        };
+        let index = indexes.multi(RelSide::S, positions);
         let mut key = vec![NULL_SYM; positions.len()];
         for &i in drivers {
-            if !identity_probe_key(shape, &positions, &self.cols_r, i as usize, &mut key) {
+            if !identity_probe_key(shape, positions, &self.cols_r, i as usize, &mut key) {
                 continue;
             }
             for &j in index.probe(&key) {
@@ -874,7 +1035,7 @@ impl BlockedEngine {
         }
     }
 
-    /// Distinctness block plan over one driver chunk: the drivers are
+    /// Distinctness probe plan over one driver chunk: the drivers are
     /// the `≠`-side rows (disagreement-group members, or that side's
     /// own literal probe); each pairs with every literal-probe row of
     /// the opposite side. Cost is proportional to the refuted pairs,
@@ -935,24 +1096,28 @@ impl BlockedEngine {
         }
     }
 
-    /// Walks the plans once and eagerly builds every index they will
-    /// probe, so the (read-only) cache can be shared across workers.
+    /// Walks the lowered plans once and eagerly builds every index
+    /// they will probe, so the (read-only) cache can be shared across
+    /// workers.
     fn build_indexes(&self, kinds: &[PlanKind<'_>]) -> Indexes {
         let mut indexes = Indexes::default();
         let mut want_multi: Vec<(RelSide, Vec<usize>)> = Vec::new();
         let mut want_groups: Vec<(RelSide, usize)> = Vec::new();
         for kind in kinds {
             match kind {
-                PlanKind::Identity { shape, .. } => {
+                PlanKind::Identity {
+                    shape, positions, ..
+                } => {
                     if let Some(p) = lit_positions(&shape.r_lits) {
                         want_multi.push((RelSide::R, p));
                     }
-                    if shape.join.is_empty() {
-                        if let Some(p) = lit_positions(&shape.s_lits) {
-                            want_multi.push((RelSide::S, p));
+                    match positions {
+                        Some(positions) => want_multi.push((RelSide::S, positions.clone())),
+                        None => {
+                            if let Some(p) = lit_positions(&shape.s_lits) {
+                                want_multi.push((RelSide::S, p));
+                            }
                         }
-                    } else {
-                        want_multi.push((RelSide::S, identity_probe_positions(shape)));
                     }
                 }
                 PlanKind::Distinct { shape, .. } => {
@@ -994,40 +1159,49 @@ impl BlockedEngine {
     /// Materializes each plan's driver rows and per-driver candidate
     /// weights (exact probe-result sizes for identity hash joins,
     /// uniform fan-out everywhere else) — what the chunker splits by.
-    fn build_plans<'e>(&self, kinds: Vec<PlanKind<'e>>, indexes: &Indexes) -> Vec<Plan<'e>> {
+    fn build_plans<'e>(
+        &self,
+        kinds: Vec<PlanKind<'e>>,
+        node_of: &[usize],
+        indexes: &Indexes,
+    ) -> Vec<Plan<'e>> {
         let mut plans = Vec::with_capacity(kinds.len() + 1);
-        for kind in kinds {
+        for (kind, &node) in kinds.into_iter().zip(node_of) {
             let (drivers, weights) = match &kind {
-                PlanKind::Identity { shape, .. } => {
+                PlanKind::Identity {
+                    shape, positions, ..
+                } => {
                     let drivers = indexes
                         .lit_rows(RelSide::R, &shape.r_lits, self.cols_r.rows())
                         .to_vec();
-                    if shape.join.is_empty() {
-                        let fan_out = indexes
-                            .lit_rows(RelSide::S, &shape.s_lits, self.cols_s.rows())
-                            .len() as u64;
-                        (drivers, PlanWeights::Uniform(fan_out))
-                    } else {
-                        let positions = identity_probe_positions(shape);
-                        let index = indexes.multi(RelSide::S, &positions);
-                        let mut key = vec![NULL_SYM; positions.len()];
-                        let weights = drivers
-                            .iter()
-                            .map(|&i| {
-                                if identity_probe_key(
-                                    shape,
-                                    &positions,
-                                    &self.cols_r,
-                                    i as usize,
-                                    &mut key,
-                                ) {
-                                    index.probe(&key).len() as u32
-                                } else {
-                                    0
-                                }
-                            })
-                            .collect();
-                        (drivers, PlanWeights::Per(weights))
+                    match positions {
+                        None => {
+                            let fan_out = indexes
+                                .lit_rows(RelSide::S, &shape.s_lits, self.cols_s.rows())
+                                .len() as u64;
+                            (drivers, PlanWeights::Uniform(fan_out))
+                        }
+                        Some(positions) => {
+                            let index = indexes.multi(RelSide::S, positions);
+                            let mut key = vec![NULL_SYM; positions.len()];
+                            let weights = drivers
+                                .iter()
+                                .map(|&i| {
+                                    if identity_probe_key(
+                                        shape,
+                                        positions,
+                                        &self.cols_r,
+                                        i as usize,
+                                        &mut key,
+                                    ) {
+                                        index.probe(&key).len() as u32
+                                    } else {
+                                        0
+                                    }
+                                })
+                                .collect();
+                            (drivers, PlanWeights::Per(weights))
+                        }
                     }
                 }
                 PlanKind::Distinct { shape, .. } => {
@@ -1069,6 +1243,7 @@ impl BlockedEngine {
             };
             plans.push(Plan {
                 kind,
+                node,
                 drivers,
                 weights,
             });
@@ -1252,21 +1427,13 @@ fn lit_probe_key(lits: &[(usize, Sym)], positions: &[usize]) -> Vec<Sym> {
         .collect()
 }
 
-/// `S`-side index positions for an identity plan: join columns plus
-/// `S` literal columns, merged and sorted.
-fn identity_probe_positions(shape: &InternedIdentityShape) -> Vec<usize> {
-    let mut positions: Vec<usize> = shape.join.iter().map(|(_, sp)| *sp).collect();
-    positions.extend(shape.s_lits.iter().map(|(p, _)| *p));
-    positions.sort_unstable();
-    positions.dedup();
-    positions
-}
-
-/// Fills `key` (the caller's scratch buffer, one slot per
-/// [`identity_probe_positions`] entry): join columns take the `R`
-/// row's symbol, literal columns their constant (literals win when a
-/// column is both — the verify check covers the rest). `false` when a
-/// join symbol is NULL (the rule cannot definitely fire).
+/// Fills `key` (the caller's scratch buffer, one slot per chosen
+/// blocking-key position): join columns take the `R` row's symbol,
+/// literal columns their constant (literals win when a column is
+/// both — the verify check covers the rest). `false` when a join
+/// symbol is NULL (the rule cannot definitely fire). Works for any
+/// subset of the shape's probe positions, which is what makes the
+/// planner's key choice sound.
 fn identity_probe_key(
     shape: &InternedIdentityShape,
     positions: &[usize],
@@ -1280,7 +1447,7 @@ fn identity_probe_key(
             continue;
         }
         // Every position comes from the join or the literals; a miss
-        // here would mean a malformed shape — treat it as "cannot
+        // here would mean a malformed plan — treat it as "cannot
         // definitely fire" rather than panicking in the hot loop.
         let Some((rp, _)) = shape.join.iter().find(|(_, p)| p == sp) else {
             return false;

@@ -33,6 +33,13 @@ pub enum CoreError {
     },
     /// The extended key is empty — it can never establish identity.
     EmptyExtendedKey,
+    /// A [`MatchPlan`](crate::plan::MatchPlan) handed to the executor
+    /// references rules or blocking keys the compiled rule base
+    /// cannot satisfy.
+    InvalidPlan {
+        /// What the executor rejected.
+        detail: String,
+    },
     /// The run tripped its [`RunGuard`](crate::RunGuard): cancelled,
     /// past its deadline, or over a resource budget. No tables are
     /// published (§3.3 forbids partial decisions); `partial` reports
@@ -74,6 +81,9 @@ impl fmt::Display for CoreError {
                 "pair {pair} appears in both the matching and negative matching tables"
             ),
             CoreError::EmptyExtendedKey => write!(f, "extended key has no attributes"),
+            CoreError::InvalidPlan { detail } => {
+                write!(f, "invalid match plan: {detail}")
+            }
             CoreError::Aborted { reason, partial } => {
                 write!(f, "run aborted: {reason} ({partial})")
             }

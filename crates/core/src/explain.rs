@@ -1,5 +1,5 @@
 //! Match explanations: *why* does the engine say two tuples model
-//! the same entity?
+//! the same entity — and *how* would it go about deciding?
 //!
 //! Soundness is the paper's non-negotiable property, and a sound
 //! system should be able to justify its declarations. An explanation
@@ -8,6 +8,11 @@
 //! that derived it (the SLD proof trace from
 //! [`eid_ilfd::horn::HornProgram::prove_goal_trace`]), ending with
 //! the extended-key equality itself.
+//!
+//! The same module renders the *prospective* explanation:
+//! [`render_plan`] turns a [`MatchPlan`] into the indented text tree
+//! behind `eid plan` — which blocking keys the cost model picked,
+//! which rules scan, and why.
 
 use std::fmt;
 
@@ -17,6 +22,7 @@ use eid_relational::{AttrName, Relation, Tuple, Value};
 
 use crate::error::{CoreError, Result};
 use crate::matcher::MatchConfig;
+use crate::plan::{MatchPlan, PlanNodeKind, ProbeStrategy};
 
 /// How one extended-key attribute value came to be known.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +73,66 @@ impl fmt::Display for MatchExplanation {
         }
         Ok(())
     }
+}
+
+/// Renders a [`MatchPlan`] as an indented text tree — the default
+/// output of `eid plan`.
+///
+/// One line per node, indented by pipeline depth (a node sits one
+/// level below the deepest node it consumes), with the probe
+/// strategy and the cost model's rationale inline:
+///
+/// ```text
+/// match plan — arm blocked, mode serial(auto-small)
+///   mode: auto: 20 estimated pairs < 50000 — serial
+///   derive(R) — extend R with missing extended-key attributes …
+///   derive(S) — …
+///     encode — intern 2+2 rows into columnar u32 symbols …
+///       block-index — build symbol-keyed inverted indexes …
+///         probe(key-eq) [probe 0,1] — blocking key ⟨name, cuisine⟩ …
+///         scan(ilfd-1!) [scan] — …
+///           dedup — first-occurrence dedup of raw pair lists …
+///             classify — Figure-3 partition …
+/// ```
+pub fn render_plan(plan: &MatchPlan) -> String {
+    let mut depth = vec![0usize; plan.nodes.len()];
+    for node in &plan.nodes {
+        let d = node
+            .inputs
+            .iter()
+            .filter_map(|i| depth.get(*i).copied())
+            .max()
+            .map_or(0, |d| d + 1);
+        if let Some(slot) = depth.get_mut(node.id) {
+            *slot = d;
+        }
+    }
+    let mut out = format!(
+        "match plan — arm {}, mode {}\n  mode: {}\n",
+        plan.arm.arm_label(plan.index_free, plan.mode.workers()),
+        plan.mode_display(),
+        plan.mode_why
+    );
+    for node in &plan.nodes {
+        let indent = "  ".repeat(depth.get(node.id).copied().unwrap_or(0) + 1);
+        let strategy = match &node.kind {
+            PlanNodeKind::IdentityProbe { strategy, .. }
+            | PlanNodeKind::Refute { strategy, .. } => match strategy {
+                ProbeStrategy::Probe { key_positions } => {
+                    let cols: Vec<String> = key_positions.iter().map(|p| p.to_string()).collect();
+                    format!(" [probe {}]", cols.join(","))
+                }
+                ProbeStrategy::Cross => " [cross]".to_string(),
+                ProbeStrategy::Scan => " [scan]".to_string(),
+            },
+            _ => String::new(),
+        };
+        out.push_str(&format!(
+            "{indent}{}{} — {}\n",
+            node.label, strategy, node.why
+        ));
+    }
+    out
 }
 
 /// Explains why `r_tuple` and `s_tuple` satisfy extended-key
@@ -243,6 +309,32 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("does not match"));
+    }
+
+    #[test]
+    fn renders_the_plan_tree() {
+        let (r, s, config) = example3();
+        let matcher = crate::matcher::EntityMatcher::new(r, s, config).unwrap();
+        let plan = matcher.plan().unwrap();
+        let text = render_plan(&plan);
+        assert!(text.starts_with("match plan — arm "), "{text}");
+        assert!(text.contains("  mode: "), "{text}");
+        assert!(text.contains("[probe "), "{text}");
+        assert!(text.contains("blocking key"), "{text}");
+        assert!(text.contains("classify"), "{text}");
+        // Probe nodes sit deeper than the block stage they consume.
+        let block_line = text
+            .lines()
+            .find(|l| l.contains("block-index"))
+            .map(String::from);
+        let probe_line = text
+            .lines()
+            .find(|l| l.contains("[probe "))
+            .map(String::from);
+        if let (Some(b), Some(p)) = (block_line, probe_line) {
+            let ind = |l: &str| l.len() - l.trim_start().len();
+            assert!(ind(&p) > ind(&b), "{text}");
+        }
     }
 
     #[test]

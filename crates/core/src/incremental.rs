@@ -21,9 +21,15 @@
 //!   are refreshed and newly complete keys (re-)probed.
 //!
 //! Bulk refutation passes (the initial build and each ILFD addition)
-//! run through the [`BlockedEngine`], so they visit only candidate
-//! pairs instead of scanning all `|R|·|S|` combinations; per-insert
-//! refutation stays a single scan of the opposite relation.
+//! run through the [`Executor`] on a planned [`MatchPlan`], so they
+//! visit only candidate pairs instead of scanning all `|R|·|S|`
+//! combinations. The executor and its plan are **cached** between
+//! events: a tuple insert pushes the new row into the cached columnar
+//! view ([`Executor::push_row`]) and re-checks only the delta's pairs
+//! in symbol space ([`Executor::fires_distinct`]) — no re-encoding,
+//! no re-planning. Only an ILFD addition (new knowledge, hence new
+//! rules and possibly re-derived values) replans, and the staged
+//! executor is installed with the rest of the commit.
 //!
 //! Monotonicity (§3.3) is preserved by construction: existing
 //! entries are never removed. The test suite cross-validates every
@@ -42,6 +48,7 @@
 //! cancel-then-resume preserves §3.3 monotonicity by construction.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use eid_ilfd::derive::derive_tuple;
 use eid_ilfd::{Ilfd, IlfdSet};
@@ -49,11 +56,12 @@ use eid_obs::{MatchReport, Recorder};
 use eid_relational::{Relation, Tuple, Value};
 use eid_rules::RuleBase;
 
-use crate::engine::BlockedEngine;
+use crate::engine::{Executor, RelSide};
 use crate::error::{CoreError, Result};
 use crate::extend::extend_relation;
 use crate::match_table::{PairEntry, PairTable};
 use crate::matcher::MatchConfig;
+use crate::plan::{ArmHint, MatchPlan};
 use crate::runtime::{AbortReason, RunBudget, RunGuard};
 use crate::stats::counter;
 
@@ -89,6 +97,11 @@ pub struct IncrementalMatcher {
     matching: PairTable,
     negative: PairTable,
     rule_base: RuleBase,
+    /// The cached executor (compiled rules + interned columns, kept
+    /// in sync with the extended relations via
+    /// [`Executor::push_row`]) and its refutation [`MatchPlan`].
+    /// `None` until the first refutation pass plans one.
+    exec: Option<(Executor, Arc<MatchPlan>)>,
     /// Lifetime-scoped recorder; clones of the matcher share it.
     recorder: Recorder,
     /// Guard every event runs under; see [`IncrementalMatcher::set_budget`].
@@ -145,6 +158,7 @@ impl IncrementalMatcher {
             matching,
             negative,
             rule_base,
+            exec: None,
             recorder,
             guard,
         };
@@ -217,39 +231,37 @@ impl IncrementalMatcher {
         for (i, j) in pairs {
             self.record_match(i, j);
         }
-        // Refutation phase: the blocked engine visits only candidate
-        // pairs instead of scanning all |R|·|S| combinations.
+        // Refutation phase: the planned executor visits only
+        // candidate pairs instead of scanning all |R|·|S|
+        // combinations. The executor + plan are kept for later
+        // events (inserts reuse them verbatim).
         if self.config.collect_negative {
-            let fired = self.refute_pairs(&self.ext_r, &self.ext_s, &self.rule_base)?;
+            let exec = self.build_exec(&self.ext_r, &self.ext_s, &self.rule_base);
+            let fired = refute_with(&exec, &self.guard)?;
+            self.exec = Some(exec);
             self.commit_refutations(fired);
         }
         Ok(())
     }
 
-    /// Runs the blocked engine's refutation pass over the given
-    /// (possibly staged) extended relations under the event guard,
-    /// returning the raw fired pairs. Nothing is committed here —
-    /// callers fold the pairs into the negative table only once the
-    /// whole event has succeeded.
-    fn refute_pairs(
+    /// Compiles, encodes, and plans a refutation pass over the given
+    /// (possibly staged) extended relations. Pure — callers decide
+    /// when (and whether) to install the pair as the cached executor.
+    fn build_exec(
         &self,
         ext_r: &Relation,
         ext_s: &Relation,
         rule_base: &RuleBase,
-    ) -> Result<Vec<(usize, usize)>> {
-        let engine = BlockedEngine::with_recorder(
+    ) -> (Executor, Arc<MatchPlan>) {
+        let executor = Executor::with_recorder(
             ext_r,
             ext_s,
             rule_base,
             self.config.threads,
             self.recorder.clone(),
         );
-        let pairs = engine.run_guarded(false, true, &self.guard)?;
-        Ok(pairs
-            .negative
-            .into_iter()
-            .map(|(i, j)| (i as usize, j as usize))
-            .collect())
+        let plan = Arc::new(executor.plan(false, true, ArmHint::Auto));
+        (executor, plan)
     }
 
     /// Commit step: folds raw refuted pairs into the negative table,
@@ -280,8 +292,15 @@ impl IncrementalMatcher {
             })
     }
 
-    /// Compute-only distinctness check on one extended pair.
+    /// Compute-only distinctness check on one extended pair. Runs in
+    /// symbol space on the cached executor's interned columns when
+    /// one exists (the common case — no per-pair name resolution or
+    /// `Value` traffic); falls back to interpreting the rule base
+    /// otherwise.
     fn fires_refute(&self, i: usize, j: usize) -> bool {
+        if let Some((executor, _)) = &self.exec {
+            return executor.fires_distinct(i, j);
+        }
         let tr = &self.ext_r.tuples()[i];
         let ts = &self.ext_s.tuples()[j];
         self.rule_base
@@ -339,12 +358,25 @@ impl IncrementalMatcher {
             SideSel::R => self.ext_r.len() - 1,
             SideSel::S => self.ext_s.len() - 1,
         };
+        // Keep the cached executor's columnar view in step: intern
+        // just the delta row — the staged refutation below then runs
+        // entirely in symbol space against the cached artifacts.
+        let rel_side = match side {
+            SideSel::R => RelSide::R,
+            SideSel::S => RelSide::S,
+        };
+        if let Some((executor, _)) = self.exec.as_mut() {
+            executor.push_row(rel_side, &derived);
+        }
         // Stage: compute every new decision without touching the
         // tables, so an abort can unwind cleanly.
         let (key, match_hits, refute_hits) = match self.stage_insert_decisions(side, &derived, idx)
         {
             Ok(staged) => staged,
             Err(e) => {
+                if let Some((executor, _)) = self.exec.as_mut() {
+                    executor.truncate(rel_side, idx);
+                }
                 match side {
                     SideSel::R => {
                         self.ext_r.remove_last();
@@ -505,10 +537,16 @@ impl IncrementalMatcher {
                 }
             }
         }
-        let refuted = if self.config.collect_negative {
-            self.refute_pairs(new_ext_r, new_ext_s, &rule_base)?
+        // New knowledge means new rules (and possibly re-derived
+        // values), so the cached executor is stale: build — and run —
+        // a staged replacement over the staged relations. It is
+        // installed only if the whole event commits.
+        let (staged_exec, refuted) = if self.config.collect_negative {
+            let exec = self.build_exec(new_ext_r, new_ext_s, &rule_base);
+            let refuted = refute_with(&exec, &self.guard)?;
+            (Some(exec), refuted)
         } else {
-            Vec::new()
+            (None, Vec::new())
         };
 
         // Commit: nothing above mutated the matcher; from here the
@@ -518,6 +556,9 @@ impl IncrementalMatcher {
         }
         if let Some(s) = staged_s {
             self.ext_s = s;
+        }
+        if let Some(exec) = staged_exec {
+            self.exec = Some(exec);
         }
         self.r_index = r_index;
         self.s_index = s_index;
@@ -576,6 +617,20 @@ impl IncrementalMatcher {
     pub fn report(&self) -> MatchReport {
         self.recorder.report()
     }
+}
+
+/// Executes a staged `(executor, plan)` pair's refutation pass under
+/// the event guard, returning the raw fired pairs. Nothing is
+/// committed here — callers fold the pairs into the negative table
+/// only once the whole event has succeeded.
+fn refute_with(exec: &(Executor, Arc<MatchPlan>), guard: &RunGuard) -> Result<Vec<(usize, usize)>> {
+    let (executor, plan) = exec;
+    let pairs = executor.execute(plan, guard)?;
+    Ok(pairs
+        .negative
+        .into_iter()
+        .map(|(i, j)| (i as usize, j as usize))
+        .collect())
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@ use crate::error::Result;
 use crate::integrate::IntegratedTable;
 use crate::matcher::{EntityMatcher, MatchConfig, MatchOutcome};
 use crate::partition::Partition;
+use crate::plan::MatchPlan;
 use crate::validate::{validate_knowledge, KnowledgeReport};
 
 /// Configuration of a full integration run.
@@ -39,6 +40,14 @@ impl IntegrationJob {
             policy: ConflictPolicy::Null,
             strict: false,
         }
+    }
+
+    /// The match plan the job's matcher would execute for `r` and
+    /// `s`, without running it — the relations are extended and
+    /// encoded so the planner can read column statistics, but no
+    /// probing happens. This is the payload behind `eid plan`.
+    pub fn plan(&self, r: &Relation, s: &Relation) -> Result<std::sync::Arc<MatchPlan>> {
+        EntityMatcher::new(r.clone(), s.clone(), self.config.clone())?.plan()
     }
 
     /// Runs the full pipeline.
@@ -173,6 +182,14 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("verification: passed"));
         assert!(text.contains("1 attribute conflicts"));
+    }
+
+    #[test]
+    fn plan_is_available_without_running() {
+        let (r, s, config) = workload();
+        let plan = IntegrationJob::new(config).plan(&r, &s).unwrap();
+        assert!(plan.probe_nodes().count() >= 1);
+        assert!(plan.record_identity && plan.record_distinct);
     }
 
     #[test]

@@ -10,9 +10,16 @@
 //!   equivalence via hash join or nested loop, distinctness via
 //!   Proposition-1 rules, producing matching and negative matching
 //!   tables (§4.2 step 3);
-//! * [`engine`] — the blocked matching engine: precompiled rules,
-//!   per-rule inverted-index blocking, chunked data parallelism
-//!   (the default [`JoinAlgorithm::Blocked`] execution path);
+//! * [`plan`] — the typed match-plan IR: a DAG of stage nodes with
+//!   per-node labels, rationales, and span names, serializable to
+//!   JSON and rewritable (serial twin, index-free twin);
+//! * [`planner`] — the cost-based planner: chooses blocking keys,
+//!   probe strategies, and serial-vs-parallel execution from cheap
+//!   column statistics;
+//! * [`engine`] — the [`engine::Executor`], the one place match
+//!   plans run: precompiled rules, per-rule inverted-index blocking,
+//!   chunked data parallelism, and the degradation ladder as plan
+//!   rewrites;
 //! * [`match_table`] — pair tables with the §3.2 uniqueness and
 //!   consistency constraints;
 //! * [`algebra_pipeline`] — an independent implementation of the same
@@ -89,6 +96,8 @@ pub mod matcher;
 pub mod metrics;
 pub mod monotonic;
 pub mod partition;
+pub mod plan;
+pub mod planner;
 pub mod runtime;
 pub mod session;
 pub mod stats;
@@ -96,9 +105,9 @@ pub mod validate;
 pub mod virtual_view;
 
 pub use conflict::{AttributeConflict, ConflictPolicy, Unified};
-pub use engine::{BlockedEngine, EnginePairs};
+pub use engine::{BlockedEngine, EnginePairs, Executor, RelSide};
 pub use error::{CoreError, Result};
-pub use explain::{explain_match, MatchExplanation, Support};
+pub use explain::{explain_match, render_plan, MatchExplanation, Support};
 pub use incremental::{Delta, IncrementalMatcher, SideSel};
 pub use integrate::IntegratedTable;
 pub use job::{IntegrationJob, IntegrationReport};
@@ -107,6 +116,10 @@ pub use matcher::{EntityMatcher, JoinAlgorithm, MatchConfig, MatchOutcome};
 pub use metrics::{Evaluation, GroundTruth};
 pub use monotonic::KnowledgeSweep;
 pub use partition::Partition;
+pub use plan::{
+    ArmHint, ExecMode, MatchPlan, PlanNode, PlanNodeKind, ProbeStrategy, RuleFamily, RuleRef,
+};
+pub use planner::Planner;
 pub use runtime::{AbortReason, PartialStats, RunBudget, RunGuard};
 pub use session::Session;
 pub use validate::{validate_knowledge, KnowledgeReport};
@@ -115,7 +128,7 @@ pub use virtual_view::{Selection, ViewAnswer, VirtualView};
 /// Commonly used types, one `use` away.
 pub mod prelude {
     pub use crate::conflict::{AttributeConflict, ConflictPolicy, Unified};
-    pub use crate::engine::{BlockedEngine, EnginePairs};
+    pub use crate::engine::{BlockedEngine, EnginePairs, Executor};
     pub use crate::incremental::{Delta, IncrementalMatcher, SideSel};
     pub use crate::integrate::IntegratedTable;
     pub use crate::job::{IntegrationJob, IntegrationReport};
@@ -124,6 +137,7 @@ pub mod prelude {
     pub use crate::metrics::{Evaluation, GroundTruth};
     pub use crate::monotonic::KnowledgeSweep;
     pub use crate::partition::Partition;
+    pub use crate::plan::{ArmHint, MatchPlan};
     pub use crate::runtime::{AbortReason, PartialStats, RunBudget, RunGuard};
     pub use crate::session::Session;
     pub use crate::virtual_view::{Selection, VirtualView};

@@ -12,20 +12,20 @@
 //!    `NMT_RS`;
 //! 5. verify: the uniqueness and consistency constraints of §3.2.
 //!
-//! Steps 3–4 have three execution paths. [`JoinAlgorithm::Blocked`]
-//! (the default) hands the whole rule base to the
-//! [`crate::engine::BlockedEngine`]: rules are precompiled to
-//! positional form, indexable rules run as inverted-index block
-//! plans (identity rules as hash joins, ILFD-induced distinctness
-//! rules as disagreement probes), the rest fall back to a compiled
-//! pairwise scan — all optionally data-parallel and
-//! output-sensitive rather than quadratic. [`JoinAlgorithm::Hash`]
-//! is the seed path: a hash equi-join for extended-key equivalence
-//! plus interpreted pairwise scans for everything else.
-//! [`JoinAlgorithm::NestedLoop`] evaluates the full rule base on all
-//! `|R|·|S|` pairs — the exhaustive correctness oracle the other two
-//! are equivalence-tested against, and the baseline for the scaling
-//! benchmarks.
+//! Steps 3–4 run through one path: the matcher asks the
+//! [`Executor`] for a cost-based
+//! [`MatchPlan`] (cached across runs of the same matcher) and
+//! executes it. [`JoinAlgorithm`] survives as the planner *hint*:
+//! [`JoinAlgorithm::Blocked`] (the default) lets the planner choose
+//! blocking keys and parallelism freely — identity rules become
+//! inverted-index hash joins on their most selective columns,
+//! ILFD-induced distinctness rules disagreement probes, the rest a
+//! compiled pairwise scan. [`JoinAlgorithm::Hash`] pins the
+//! extended-key rule to a full-key hash join and scans everything
+//! else serially (the seed arm's shape). [`JoinAlgorithm::NestedLoop`]
+//! pins every rule to the exhaustive scan — the correctness oracle
+//! the other two are equivalence-tested against, and the baseline for
+//! the scaling benchmarks.
 //!
 //! Every arm runs under a [`RunGuard`] (see [`crate::runtime`]):
 //! budgets and cancellation are honoured at chunk boundaries, and a
@@ -35,19 +35,21 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use eid_ilfd::{IlfdSet, Strategy};
 use eid_obs::{MatchReport, Recorder};
-use eid_relational::{FxHashSet, HashIndex, Relation, Tuple};
+use eid_relational::{FxHashSet, Relation, Tuple};
 use eid_rules::{ExtendedKey, RuleBase};
 
-use crate::engine::BlockedEngine;
+use crate::engine::Executor;
 use crate::error::{CoreError, Result};
 use crate::extend::{extend_relation, Extended};
 use crate::match_table::PairTable;
+use crate::plan::{ArmHint, ExecMode, MatchPlan, PlanNodeKind, ProbeStrategy};
 use crate::runtime::{AbortReason, RunBudget, RunGuard};
-use crate::stats::{counter, label, span};
+use crate::stats::{counter, label, plan_key_label, span};
 
 /// Pair-space ceiling (in bits) for the dense bitset pair-dedup; a
 /// `|R|·|S|` grid up to this size costs at most 32 MiB per set.
@@ -153,19 +155,57 @@ fn dedup_pairs(
     (list, set)
 }
 
-/// How the matching and refutation phases are executed.
+/// Dedups both raw engine pair lists — the one convert code path for
+/// the parallel and serial cases alike. With `parallel` set, the
+/// negative list dedups on a scoped worker while the main thread
+/// handles the matching list; the two are independent until the
+/// overlap count. A worker that dies takes the raw negative list with
+/// it — there is nothing to degrade to, so that surfaces as
+/// [`CoreError::WorkerPanic`].
+type DedupedPairs = ((Vec<(u32, u32)>, PairSet), (Vec<(u32, u32)>, PairSet));
+
+fn dedup_pair_lists(
+    raw_matching: Vec<(u32, u32)>,
+    raw_negative: Vec<(u32, u32)>,
+    r_len: usize,
+    s_len: usize,
+    parallel: bool,
+) -> Result<DedupedPairs> {
+    if parallel {
+        std::thread::scope(|scope| {
+            let neg = scope.spawn(|| dedup_pairs(raw_negative, r_len, s_len));
+            let mat = dedup_pairs(raw_matching, r_len, s_len);
+            match neg.join() {
+                Ok(n) => Ok((mat, n)),
+                Err(_) => Err(CoreError::WorkerPanic {
+                    site: "convert/worker".into(),
+                }),
+            }
+        })
+    } else {
+        Ok((
+            dedup_pairs(raw_matching, r_len, s_len),
+            dedup_pairs(raw_negative, r_len, s_len),
+        ))
+    }
+}
+
+/// How the matching and refutation phases are executed — since the
+/// plan-IR refactor, a planner *hint* rather than a separate code
+/// path (every arm lowers to a [`MatchPlan`] run by the executor).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum JoinAlgorithm {
-    /// The blocked engine: precompiled rules, per-rule inverted-index
-    /// blocking, chunked data parallelism. Output-sensitive.
+    /// Let the planner choose: precompiled rules, cost-chosen
+    /// per-rule inverted-index blocking, chunked data parallelism.
+    /// Output-sensitive.
     #[default]
     Blocked,
-    /// Hash join on the extended-key projection (linear expected
-    /// time) plus interpreted pairwise scans for extra identity rules
-    /// and for refutation.
+    /// Pin the extended-key rule to a full-key hash join (linear
+    /// expected time) and everything else to serial pairwise scans —
+    /// the seed arm's shape.
     Hash,
-    /// Nested-loop evaluation of the full rule base on every pair —
-    /// the exhaustive oracle.
+    /// Pin every rule to the exhaustive serial scan of all
+    /// `|R|·|S|` pairs — the oracle.
     NestedLoop,
 }
 
@@ -252,12 +292,24 @@ impl MatchOutcome {
     }
 }
 
+/// The matcher's memoized plan plus cache hit/miss accounting. The
+/// plan depends only on the matcher's relations and config, both
+/// immutable, so the first run's plan is reused verbatim by every
+/// later run (and shared by clones of the matcher).
+#[derive(Debug, Default)]
+struct PlanCache {
+    slot: Mutex<Option<Arc<MatchPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
 /// The entity matcher over a pair of relations.
 #[derive(Debug, Clone)]
 pub struct EntityMatcher {
     r: Relation,
     s: Relation,
     config: MatchConfig,
+    plan_cache: Arc<PlanCache>,
 }
 
 impl EntityMatcher {
@@ -266,7 +318,12 @@ impl EntityMatcher {
         if config.extended_key.is_empty() {
             return Err(CoreError::EmptyExtendedKey);
         }
-        Ok(EntityMatcher { r, s, config })
+        Ok(EntityMatcher {
+            r,
+            s,
+            config,
+            plan_cache: Arc::new(PlanCache::default()),
+        })
     }
 
     /// The source relation `R`.
@@ -359,186 +416,89 @@ impl EntityMatcher {
             recorder.add(name, (r_n + s_n) as u64);
         }
 
-        let mut matching =
-            PairTable::new(self.r.schema().primary_key(), self.s.schema().primary_key());
-        let mut negative =
-            PairTable::new(self.r.schema().primary_key(), self.s.schema().primary_key());
-
         let rb = self.rule_base()?;
-        // For the blocked path the matching/negative overlap is counted
-        // on row-index pairs while converting; the tuple-keyed probe
-        // below stays for the seed paths.
-        let mut blocked_overlap = None;
         guard.checkpoint().map_err(|r| abort_of(guard, r))?;
-        match self.config.join {
-            JoinAlgorithm::Blocked => {
-                let engine_span = recorder.span(span::ENGINE);
-                // Construction compiles + encodes; a panic there
-                // (e.g. interner poisoning past the engine's own
-                // retry) has no degraded arm to fall to — surface it
-                // as a typed error instead of unwinding the caller.
-                let engine = catch_unwind(AssertUnwindSafe(|| {
-                    BlockedEngine::with_recorder(
-                        &ext_r.relation,
-                        &ext_s.relation,
-                        &rb,
-                        self.config.threads,
-                        recorder.clone(),
-                    )
-                }))
-                .map_err(|_| CoreError::WorkerPanic {
-                    site: "engine/encode".into(),
-                })?;
-                let pairs = engine.run_guarded(true, self.config.collect_negative, guard)?;
-                engine_span.finish();
-                let _convert_span = recorder.span(span::CONVERT);
-                // Stay in id space: dedup the raw pair lists on row
-                // indices (dense bitsets when the pair grid is small
-                // enough), count the MT/NMT overlap by popcount, and
-                // hand the tables *compact* pair lists plus shared
-                // per-row key pools. Key tuples are projected once
-                // per row — never per pair — and entry rows only
-                // materialize if a consumer asks for Value-land.
-                let r_len = self.r.len();
-                let s_len = self.s.len();
-                let pk_r: Arc<[Tuple]> = self.r.iter().map(|t| self.r.primary_key_of(t)).collect();
-                let pk_s: Arc<[Tuple]> = self.s.iter().map(|t| self.s.primary_key_of(t)).collect();
-                recorder.add(counter::ALLOC_TUPLES_MATERIALIZED, (r_len + s_len) as u64);
-                guard.checkpoint().map_err(|r| abort_of(guard, r))?;
-                let raw_pairs = pairs.matching.len() + pairs.negative.len();
-                let (raw_matching, raw_negative) = (pairs.matching, pairs.negative);
-                let hw_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-                // `threads: 0` (auto) only spawns when the host is
-                // actually multicore; an explicit count is honoured
-                // even on one core (like the engine arm, the scoped
-                // worker just timeslices).
-                let want_parallel = raw_pairs >= PARALLEL_CONVERT_MIN
-                    && match self.config.threads {
-                        1 => false,
-                        0 => hw_threads > 1,
-                        _ => true,
-                    };
-                // Fault site checked *before* the spawn: a degraded
-                // convert runs the identical dedup serially on this
-                // thread, so no data is lost to the dying worker.
-                let inject_serial = want_parallel && eid_fault::hit("convert/worker");
-                if inject_serial {
-                    recorder.add(counter::RUNTIME_CONVERT_SERIAL_FALLBACK, 1);
-                }
-                let ((m_pairs, m_set), (n_pairs, n_set)) = if want_parallel && !inject_serial {
-                    // The two lists are independent until the
-                    // overlap count; dedup them concurrently.
-                    std::thread::scope(|scope| {
-                        let neg = scope.spawn(|| dedup_pairs(raw_negative, r_len, s_len));
-                        let mat = dedup_pairs(raw_matching, r_len, s_len);
-                        match neg.join() {
-                            Ok(n) => Ok((mat, n)),
-                            // The raw negative list died with the
-                            // worker; nothing to degrade to.
-                            Err(_) => Err(CoreError::WorkerPanic {
-                                site: "convert/worker".into(),
-                            }),
-                        }
-                    })?
-                } else {
-                    (
-                        dedup_pairs(raw_matching, r_len, s_len),
-                        dedup_pairs(raw_negative, r_len, s_len),
-                    )
-                };
-                blocked_overlap = Some(m_set.intersection_count(&n_pairs, &n_set));
-                matching = PairTable::from_compact(
-                    self.r.schema().primary_key(),
-                    self.s.schema().primary_key(),
-                    pk_r.clone(),
-                    pk_s.clone(),
-                    m_pairs,
-                );
-                negative = PairTable::from_compact(
-                    self.r.schema().primary_key(),
-                    self.s.schema().primary_key(),
-                    pk_r,
-                    pk_s,
-                    n_pairs,
-                );
-            }
-            JoinAlgorithm::Hash => {
-                recorder.set_label(label::ENGINE_ARM, "hash");
-                {
-                    let _span = recorder.span(span::IDENTITY);
-                    self.hash_identity_phase(
-                        &ext_r.relation,
-                        &ext_s.relation,
-                        &mut matching,
-                        &recorder,
-                        guard,
-                    )?;
-                    // Extra identity rules (rare) still need pairwise
-                    // checks — but only the extra rules: extended-key
-                    // equivalence was already decided by the hash join,
-                    // so re-running the full rule base here would redo
-                    // the whole identity phase quadratically.
-                    if !self.config.extra_rules.identity_rules().is_empty() {
-                        let mut extra_identity = RuleBase::new();
-                        for rule in self.config.extra_rules.identity_rules() {
-                            extra_identity.add_identity(rule.clone());
-                        }
-                        self.pairwise_phase(
-                            &ext_r.relation,
-                            &ext_s.relation,
-                            &extra_identity,
-                            &mut matching,
-                            &mut negative,
-                            /*identity:*/ true,
-                            /*distinct:*/ false,
-                            &recorder,
-                            guard,
-                        )?;
-                    }
-                }
-                if self.config.collect_negative {
-                    let _span = recorder.span(span::REFUTE);
-                    self.pairwise_phase(
-                        &ext_r.relation,
-                        &ext_s.relation,
-                        &rb,
-                        &mut matching,
-                        &mut negative,
-                        false,
-                        true,
-                        &recorder,
-                        guard,
-                    )?;
-                }
-            }
-            JoinAlgorithm::NestedLoop => {
-                recorder.set_label(label::ENGINE_ARM, "nested_loop");
-                let _span = recorder.span(span::PAIRWISE);
-                self.pairwise_phase(
-                    &ext_r.relation,
-                    &ext_s.relation,
-                    &rb,
-                    &mut matching,
-                    &mut negative,
-                    true,
-                    self.config.collect_negative,
-                    &recorder,
-                    guard,
-                )?;
-            }
+        let engine_span = recorder.span(span::ENGINE);
+        // Construction compiles + encodes; a panic there (e.g.
+        // interner poisoning past the executor's own retry) has no
+        // degraded arm to fall to — surface it as a typed error
+        // instead of unwinding the caller.
+        let executor = catch_unwind(AssertUnwindSafe(|| {
+            Executor::with_recorder(
+                &ext_r.relation,
+                &ext_s.relation,
+                &rb,
+                self.config.threads,
+                recorder.clone(),
+            )
+        }))
+        .map_err(|_| CoreError::WorkerPanic {
+            site: "engine/encode".into(),
+        })?;
+        let plan = self.cached_plan(&executor);
+        record_plan_labels(&recorder, &plan);
+        let pairs = executor.execute(&plan, guard)?;
+        engine_span.finish();
+        let convert_span = recorder.span(span::CONVERT);
+        // Stay in id space: dedup the raw pair lists on row indices
+        // (dense bitsets when the pair grid is small enough), count
+        // the MT/NMT overlap by popcount, and hand the tables
+        // *compact* pair lists plus shared per-row key pools. Key
+        // tuples are projected once per row — never per pair — and
+        // entry rows only materialize if a consumer asks for
+        // Value-land.
+        let r_len = self.r.len();
+        let s_len = self.s.len();
+        let pk_r: Arc<[Tuple]> = self.r.iter().map(|t| self.r.primary_key_of(t)).collect();
+        let pk_s: Arc<[Tuple]> = self.s.iter().map(|t| self.s.primary_key_of(t)).collect();
+        recorder.add(counter::ALLOC_TUPLES_MATERIALIZED, (r_len + s_len) as u64);
+        guard.checkpoint().map_err(|r| abort_of(guard, r))?;
+        let raw_pairs = pairs.matching.len() + pairs.negative.len();
+        let (raw_matching, raw_negative) = (pairs.matching, pairs.negative);
+        let hw_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        // `threads: 0` (auto) only spawns when the host is actually
+        // multicore; an explicit count is honoured even on one core
+        // (like the engine arm, the scoped worker just timeslices).
+        let want_parallel = raw_pairs >= PARALLEL_CONVERT_MIN
+            && match self.config.threads {
+                1 => false,
+                0 => hw_threads > 1,
+                _ => true,
+            };
+        // Fault site checked *before* the spawn: a degraded convert
+        // runs the identical dedup serially on this thread, so no
+        // data is lost to the dying worker.
+        let inject_serial = want_parallel && eid_fault::hit("convert/worker");
+        if inject_serial {
+            recorder.add(counter::RUNTIME_CONVERT_SERIAL_FALLBACK, 1);
         }
+        let ((m_pairs, m_set), (n_pairs, n_set)) = dedup_pair_lists(
+            raw_matching,
+            raw_negative,
+            r_len,
+            s_len,
+            want_parallel && !inject_serial,
+        )?;
+        let overlap = m_set.intersection_count(&n_pairs, &n_set);
+        let matching = PairTable::from_compact(
+            self.r.schema().primary_key(),
+            self.s.schema().primary_key(),
+            pk_r.clone(),
+            pk_s.clone(),
+            m_pairs,
+        );
+        let negative = PairTable::from_compact(
+            self.r.schema().primary_key(),
+            self.s.schema().primary_key(),
+            pk_r,
+            pk_s,
+            n_pairs,
+        );
+        convert_span.finish();
 
         let total = self.r.len() * self.s.len();
-        // Pairs recorded in both tables (inconsistent knowledge, caught
-        // by verify()) must not be subtracted twice.
-        let overlap = match blocked_overlap {
-            Some(n) => n,
-            None => matching
-                .entries()
-                .iter()
-                .filter(|e| negative.contains(&e.r_key, &e.s_key))
-                .count(),
-        };
+        // Pairs recorded in both tables (inconsistent knowledge,
+        // caught by verify()) must not be subtracted twice.
         let undetermined = (total + overlap)
             .saturating_sub(matching.len())
             .saturating_sub(negative.len());
@@ -558,98 +518,85 @@ impl EntityMatcher {
         })
     }
 
-    /// Hash join over the extended-key projection (non-NULL only),
-    /// via a [`HashIndex`] on the extended `S` side.
-    fn hash_identity_phase(
-        &self,
-        ext_r: &Relation,
-        ext_s: &Relation,
-        matching: &mut PairTable,
-        recorder: &Recorder,
-        guard: &RunGuard,
-    ) -> Result<()> {
-        let key_attrs = self.config.extended_key.attrs();
-        let r_pos = ext_r.positions_of(key_attrs)?;
-        let index = HashIndex::build(ext_s, key_attrs)?;
-        let mut probes = 0u64;
-        let mut materialized = 0u64;
-        for (i, t) in ext_r.iter().enumerate() {
-            guard.charge_pairs(1);
-            guard.checkpoint().map_err(|r| abort_of(guard, r))?;
-            probes += 1;
-            let Some(js) = index.probe_tuple(t, &r_pos) else {
-                continue;
-            };
-            for &j in js {
-                materialized += 2;
-                matching.insert(
-                    self.r.primary_key_of(&self.r.tuples()[i]),
-                    self.s.primary_key_of(&self.s.tuples()[j]),
-                );
-            }
-        }
-        recorder.add(counter::IDENTITY_PROBES, probes);
-        recorder.add(counter::ALLOC_TUPLES_MATERIALIZED, materialized);
-        Ok(())
+    /// The [`MatchPlan`] this matcher's runs execute, planning (and
+    /// caching) it if no run has happened yet. Pure planning — the
+    /// relations are extended and encoded to read column statistics,
+    /// but nothing executes. This is what `eid plan` prints.
+    pub fn plan(&self) -> Result<Arc<MatchPlan>> {
+        let ext_r = extend_relation(
+            &self.r,
+            &self.config.extended_key,
+            &self.config.ilfds,
+            self.config.strategy,
+        )?;
+        let ext_s = extend_relation(
+            &self.s,
+            &self.config.extended_key,
+            &self.config.ilfds,
+            self.config.strategy,
+        )?;
+        let rb = self.rule_base()?;
+        let executor = Executor::new(&ext_r.relation, &ext_s.relation, &rb, self.config.threads);
+        Ok(self.cached_plan(&executor))
     }
 
-    /// Nested-loop evaluation of the rule base; fills the requested
-    /// tables. A pair on which both an identity and a distinctness
-    /// rule fire is recorded in **both** tables — the prototype does
-    /// not abort on inconsistent knowledge, it surfaces the problem
-    /// as the §3.2 consistency-constraint failure when
-    /// [`MatchOutcome::verify`] runs ("the extended key causes
-    /// unsound matching result").
-    #[allow(clippy::too_many_arguments)]
-    fn pairwise_phase(
-        &self,
-        ext_r: &Relation,
-        ext_s: &Relation,
-        rb: &RuleBase,
-        matching: &mut PairTable,
-        negative: &mut PairTable,
-        record_identity: bool,
-        record_distinct: bool,
-        recorder: &Recorder,
-        guard: &RunGuard,
-    ) -> Result<()> {
-        let mut identity_probes = 0u64;
-        let mut refute_probes = 0u64;
-        let mut materialized = 0u64;
-        for (i, tr) in ext_r.iter().enumerate() {
-            guard.charge_pairs(ext_s.len() as u64);
-            guard.checkpoint().map_err(|r| abort_of(guard, r))?;
-            for (j, ts) in ext_s.iter().enumerate() {
-                if record_identity {
-                    identity_probes += 1;
-                    if rb.fires_identity(ext_r.schema(), tr, ext_s.schema(), ts) {
-                        materialized += 2;
-                        matching.insert(
-                            self.r.primary_key_of(&self.r.tuples()[i]),
-                            self.s.primary_key_of(&self.s.tuples()[j]),
-                        );
-                    }
-                }
-                if record_distinct {
-                    refute_probes += 1;
-                    if rb.fires_distinctness(ext_r.schema(), tr, ext_s.schema(), ts) {
-                        materialized += 2;
-                        negative.insert(
-                            self.r.primary_key_of(&self.r.tuples()[i]),
-                            self.s.primary_key_of(&self.s.tuples()[j]),
-                        );
-                    }
-                }
-            }
+    /// Plan-cache accounting: `(hits, misses)` across all runs of
+    /// this matcher (and its clones, which share the cache).
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        (
+            self.plan_cache.hits.load(Ordering::Relaxed),
+            self.plan_cache.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The planner hint [`MatchConfig::join`] pins.
+    fn arm_hint(&self) -> ArmHint {
+        match self.config.join {
+            JoinAlgorithm::Blocked => ArmHint::Auto,
+            JoinAlgorithm::Hash => ArmHint::Hash,
+            JoinAlgorithm::NestedLoop => ArmHint::NestedLoop,
         }
-        if record_identity {
-            recorder.add(counter::IDENTITY_PROBES, identity_probes);
+    }
+
+    /// Returns the cached plan, planning through `executor` on first
+    /// use. The plan is a pure function of the matcher's (immutable)
+    /// relations and config, so reuse is sound.
+    fn cached_plan(&self, executor: &Executor) -> Arc<MatchPlan> {
+        let mut slot = match self.plan_cache.slot.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(plan) = slot.as_ref() {
+            self.plan_cache.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(plan);
         }
-        if record_distinct {
-            recorder.add(counter::REFUTE_PROBES, refute_probes);
+        let plan = Arc::new(executor.plan(true, self.config.collect_negative, self.arm_hint()));
+        self.plan_cache.misses.fetch_add(1, Ordering::Relaxed);
+        *slot = Some(Arc::clone(&plan));
+        plan
+    }
+}
+
+/// Stamps the planner's decisions into the run report as labels:
+/// the execution mode (with its rationale) and, per probed identity
+/// rule, the chosen blocking key's explanation.
+fn record_plan_labels(recorder: &Recorder, plan: &MatchPlan) {
+    let mode = match plan.mode {
+        ExecMode::Serial { .. } => "serial".to_string(),
+        ExecMode::Parallel { workers } => format!("parallel({workers})"),
+    };
+    recorder.set_label(
+        label::PLAN_MODE,
+        &format!("{mode}: {why}", why = plan.mode_why),
+    );
+    for node in &plan.nodes {
+        if let PlanNodeKind::IdentityProbe {
+            rule,
+            strategy: ProbeStrategy::Probe { .. },
+        } = &node.kind
+        {
+            recorder.set_label(&plan_key_label(&rule.name), &node.why);
         }
-        recorder.add(counter::ALLOC_TUPLES_MATERIALIZED, materialized);
-        Ok(())
     }
 }
 

@@ -1,0 +1,459 @@
+//! The typed match-plan IR — §4.2's pipeline as an explicit,
+//! inspectable object.
+//!
+//! A [`MatchPlan`] is a small DAG of [`PlanNode`]s covering the whole
+//! run: `Derive` (ILFD extension, §5), `Encode` (interning), `Block`
+//! (index construction), one `IdentityProbe` per identity rule (§4),
+//! one `Refute` per distinctness rule (§3), `Dedup` (pair-list
+//! conversion), and `Classify` (the Figure-3 partition). The
+//! cost-based [`Planner`](crate::planner::Planner) builds plans from
+//! cheap column statistics; the [`Executor`](crate::engine::Executor)
+//! is the only place that runs them.
+//!
+//! Plans are pure data: they can be serialized to JSON (`eid plan
+//! --explain`), rendered as a text tree
+//! ([`crate::explain::render_plan`]), cached across runs, and —
+//! centrally — **rewritten**. The PR 4 degradation ladder is now two
+//! rewrite rules instead of hand-rolled control flow:
+//!
+//! * [`MatchPlan::rewrite_serial`] — swap a parallel plan for its
+//!   serial twin (same nodes, same output bytes);
+//! * [`MatchPlan::rewrite_index_free`] — demote every probe strategy
+//!   to `Scan` (the index-free nested-loop arm; same output *set*).
+//!
+//! Every node carries an `eid-obs` span path and a stable id, so the
+//! run report's per-node breakdown can be joined back to the plan.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use eid_obs::json;
+
+/// Which rule family a plan node executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleFamily {
+    /// An identity rule (populates `MT_RS`).
+    Identity,
+    /// A distinctness rule (populates `NMT_RS`).
+    Distinct,
+}
+
+impl RuleFamily {
+    /// The family's report name (`"identity"` / `"distinct"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RuleFamily::Identity => "identity",
+            RuleFamily::Distinct => "distinct",
+        }
+    }
+}
+
+/// A stable reference to one interned rule: family plus index into
+/// the interned rule base's family list (interned order equals
+/// compiled order, so the reference survives re-encoding).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleRef {
+    /// The rule's family.
+    pub family: RuleFamily,
+    /// Index into the family's rule list.
+    pub index: usize,
+    /// The rule's source name (for display; resolution is by index).
+    pub name: String,
+}
+
+/// How a probe node enumerates candidate pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProbeStrategy {
+    /// Probe a symbol-keyed inverted index on the chosen `S`-side
+    /// key positions (the blocked hash join). Any non-empty subset
+    /// of the rule's probe positions is sound — candidates are
+    /// re-verified with the full rule — so the planner picks the
+    /// most selective subset.
+    Probe {
+        /// `S`-side column positions forming the blocking key.
+        key_positions: Vec<usize>,
+    },
+    /// Literal-filtered cross product (constant-only rules with no
+    /// join columns).
+    Cross,
+    /// Index-free pairwise scan (non-indexable shape, or the
+    /// nested-loop rewrite). All `Scan` nodes fuse into one residual
+    /// pass over the pair space.
+    Scan,
+}
+
+impl ProbeStrategy {
+    /// The strategy's report name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ProbeStrategy::Probe { .. } => "probe",
+            ProbeStrategy::Cross => "cross",
+            ProbeStrategy::Scan => "scan",
+        }
+    }
+}
+
+/// The node vocabulary of the match-plan IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanNodeKind {
+    /// ILFD extension + derivation of one side (`"R"` or `"S"`).
+    Derive {
+        /// Which relation (`"R"` / `"S"`).
+        side: &'static str,
+    },
+    /// Value interning + columnar encoding of both relations.
+    Encode,
+    /// Eager inverted-index construction for every probe node.
+    Block,
+    /// Candidate generation + verification for one identity rule.
+    IdentityProbe {
+        /// The rule this node runs.
+        rule: RuleRef,
+        /// How candidates are enumerated.
+        strategy: ProbeStrategy,
+    },
+    /// Candidate generation + verification for one distinctness rule.
+    Refute {
+        /// The rule this node runs.
+        rule: RuleRef,
+        /// How candidates are enumerated.
+        strategy: ProbeStrategy,
+    },
+    /// First-occurrence dedup of the raw pair lists (id space).
+    Dedup,
+    /// The Figure-3 partition: MT / NMT / undetermined accounting.
+    Classify,
+}
+
+impl PlanNodeKind {
+    /// The kind's report name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PlanNodeKind::Derive { .. } => "derive",
+            PlanNodeKind::Encode => "encode",
+            PlanNodeKind::Block => "block",
+            PlanNodeKind::IdentityProbe { .. } => "identity-probe",
+            PlanNodeKind::Refute { .. } => "refute",
+            PlanNodeKind::Dedup => "dedup",
+            PlanNodeKind::Classify => "classify",
+        }
+    }
+}
+
+/// One stage node of a [`MatchPlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanNode {
+    /// Stable node id (== index in [`MatchPlan::nodes`]).
+    pub id: usize,
+    /// What the node does.
+    pub kind: PlanNodeKind,
+    /// Short display label, e.g. `identity-probe(key-eq)`.
+    pub label: String,
+    /// The cost model's explanation of why this node looks the way
+    /// it does (chosen blocking key, selectivities, fallback reason).
+    pub why: String,
+    /// The `eid-obs` span path this node reports under.
+    pub span: String,
+    /// Ids of the nodes whose outputs this node consumes.
+    pub inputs: Vec<usize>,
+}
+
+/// Serial vs. parallel execution of the probe/refute task queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One worker. `auto_small` marks the planner's own small-input
+    /// fallback (reported as `engine/serial_fallback`), as opposed to
+    /// an explicit `threads = 1` or a degradation rewrite.
+    Serial {
+        /// Whether the planner chose serial for a small input.
+        auto_small: bool,
+    },
+    /// A scoped worker pool of `workers` threads (clamped to the
+    /// task count at execution time).
+    Parallel {
+        /// Requested worker count.
+        workers: usize,
+    },
+}
+
+impl ExecMode {
+    /// The worker count this mode requests.
+    pub fn workers(&self) -> usize {
+        match self {
+            ExecMode::Serial { .. } => 1,
+            ExecMode::Parallel { workers } => (*workers).max(1),
+        }
+    }
+}
+
+/// The surviving role of [`JoinAlgorithm`](crate::JoinAlgorithm): a
+/// planner hint. `Auto` lets the cost model choose per rule; `Hash`
+/// and `NestedLoop` force the seed arms' shapes (and their report
+/// labels) for oracles and A/B runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArmHint {
+    /// Cost-based: probe where a shape exists, scan the rest.
+    Auto,
+    /// The seed hash arm: key-rule probe plus a serial scan.
+    Hash,
+    /// The exhaustive oracle: everything scans, serially.
+    NestedLoop,
+}
+
+impl ArmHint {
+    /// The report's `engine` label for this hint under `index_free`
+    /// and the actual worker count.
+    pub fn arm_label(&self, index_free: bool, workers: usize) -> &'static str {
+        match self {
+            ArmHint::Auto => {
+                if index_free {
+                    "nested_loop"
+                } else if workers > 1 {
+                    "blocked_parallel"
+                } else {
+                    "blocked"
+                }
+            }
+            ArmHint::Hash => "hash",
+            ArmHint::NestedLoop => "nested_loop",
+        }
+    }
+}
+
+/// A complete, executable match plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchPlan {
+    /// The stage DAG, in execution order (probe nodes execute in
+    /// node order; `Scan` strategies fuse into one final residual
+    /// pass).
+    pub nodes: Vec<PlanNode>,
+    /// Serial vs. parallel task execution.
+    pub mode: ExecMode,
+    /// The cost model's explanation of the mode choice.
+    pub mode_why: String,
+    /// The planner hint the plan was built under (names the report's
+    /// `engine` arm label).
+    pub arm: ArmHint,
+    /// Whether every probe strategy has been demoted to `Scan` (the
+    /// nested-loop rewrite / memory-budget degradation).
+    pub index_free: bool,
+    /// Whether identity rules execute (populate `MT`).
+    pub record_identity: bool,
+    /// Whether distinctness rules execute (populate `NMT`).
+    pub record_distinct: bool,
+}
+
+impl MatchPlan {
+    /// The serial twin of this plan: same nodes, one worker. Output
+    /// is byte-identical — the task list never depends on the worker
+    /// count. This is rung 2 of the degradation ladder.
+    pub fn rewrite_serial(&self) -> MatchPlan {
+        let mut plan = self.clone();
+        plan.mode = ExecMode::Serial { auto_small: false };
+        plan
+    }
+
+    /// The index-free rewrite: every probe/cross strategy becomes
+    /// `Scan`, fusing into one residual pass — the nested-loop arm.
+    /// Same output *set* (emission order differs; the dedup node
+    /// absorbs it). Used by rung 3 of the ladder and by the
+    /// memory-budget degradation (which keeps the current mode).
+    pub fn rewrite_index_free(&self) -> MatchPlan {
+        let mut plan = self.clone();
+        plan.index_free = true;
+        for node in &mut plan.nodes {
+            match &mut node.kind {
+                PlanNodeKind::IdentityProbe { strategy, .. }
+                | PlanNodeKind::Refute { strategy, .. }
+                    if !matches!(strategy, ProbeStrategy::Scan) =>
+                {
+                    *strategy = ProbeStrategy::Scan;
+                    node.why = format!("index-free rewrite; was: {}", node.why);
+                }
+                _ => {}
+            }
+        }
+        plan
+    }
+
+    /// The probe/refute nodes, in execution order.
+    pub fn probe_nodes(&self) -> impl Iterator<Item = &PlanNode> {
+        self.nodes.iter().filter(|n| {
+            matches!(
+                n.kind,
+                PlanNodeKind::IdentityProbe { .. } | PlanNodeKind::Refute { .. }
+            )
+        })
+    }
+
+    /// A short human-readable mode string (`"serial"`,
+    /// `"serial(auto-small)"`, `"parallel(8)"`).
+    pub fn mode_display(&self) -> String {
+        match self.mode {
+            ExecMode::Serial { auto_small: true } => "serial(auto-small)".to_string(),
+            ExecMode::Serial { auto_small: false } => "serial".to_string(),
+            ExecMode::Parallel { workers } => format!("parallel({workers})"),
+        }
+    }
+
+    /// Serializes the plan to JSON (the `eid plan --json` payload).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024 + self.nodes.len() * 256);
+        out.push_str("{\n  \"arm\": ");
+        json::push_str_literal(
+            &mut out,
+            self.arm.arm_label(self.index_free, self.mode.workers()),
+        );
+        out.push_str(",\n  \"mode\": ");
+        json::push_str_literal(&mut out, &self.mode_display());
+        out.push_str(",\n  \"mode_why\": ");
+        json::push_str_literal(&mut out, &self.mode_why);
+        out.push_str(",\n  \"workers\": ");
+        out.push_str(&self.mode.workers().to_string());
+        out.push_str(",\n  \"index_free\": ");
+        out.push_str(if self.index_free { "true" } else { "false" });
+        out.push_str(",\n  \"nodes\": [\n");
+        for (i, node) in self.nodes.iter().enumerate() {
+            out.push_str("    {\"id\": ");
+            out.push_str(&node.id.to_string());
+            out.push_str(", \"kind\": ");
+            json::push_str_literal(&mut out, node.kind.as_str());
+            match &node.kind {
+                PlanNodeKind::IdentityProbe { rule, strategy }
+                | PlanNodeKind::Refute { rule, strategy } => {
+                    out.push_str(", \"rule\": ");
+                    json::push_str_literal(&mut out, &rule.name);
+                    out.push_str(", \"family\": ");
+                    json::push_str_literal(&mut out, rule.family.as_str());
+                    out.push_str(", \"strategy\": ");
+                    json::push_str_literal(&mut out, strategy.as_str());
+                    if let ProbeStrategy::Probe { key_positions } = strategy {
+                        out.push_str(", \"key_positions\": [");
+                        for (k, p) in key_positions.iter().enumerate() {
+                            if k > 0 {
+                                out.push_str(", ");
+                            }
+                            out.push_str(&p.to_string());
+                        }
+                        out.push(']');
+                    }
+                }
+                PlanNodeKind::Derive { side } => {
+                    out.push_str(", \"side\": ");
+                    json::push_str_literal(&mut out, side);
+                }
+                _ => {}
+            }
+            out.push_str(", \"label\": ");
+            json::push_str_literal(&mut out, &node.label);
+            out.push_str(", \"why\": ");
+            json::push_str_literal(&mut out, &node.why);
+            out.push_str(", \"span\": ");
+            json::push_str_literal(&mut out, &node.span);
+            out.push_str(", \"inputs\": [");
+            for (k, inp) in node.inputs.iter().enumerate() {
+                if k > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&inp.to_string());
+            }
+            out.push_str("]}");
+            out.push_str(if i + 1 < self.nodes.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MatchPlan {
+        MatchPlan {
+            nodes: vec![
+                PlanNode {
+                    id: 0,
+                    kind: PlanNodeKind::Derive { side: "R" },
+                    label: "derive(R)".into(),
+                    why: "extend R with the extended key".into(),
+                    span: "match/derive/r".into(),
+                    inputs: vec![],
+                },
+                PlanNode {
+                    id: 1,
+                    kind: PlanNodeKind::IdentityProbe {
+                        rule: RuleRef {
+                            family: RuleFamily::Identity,
+                            index: 0,
+                            name: "key-eq".into(),
+                        },
+                        strategy: ProbeStrategy::Probe {
+                            key_positions: vec![0, 1],
+                        },
+                    },
+                    label: "identity-probe(key-eq)".into(),
+                    why: "key (name, cuisine)".into(),
+                    span: "match/engine/identity/key-eq".into(),
+                    inputs: vec![0],
+                },
+            ],
+            mode: ExecMode::Parallel { workers: 4 },
+            mode_why: "est 9000000 pairs ≥ 50000 threshold".into(),
+            arm: ArmHint::Auto,
+            index_free: false,
+            record_identity: true,
+            record_distinct: true,
+        }
+    }
+
+    #[test]
+    fn rewrites_are_pure_and_compose() {
+        let plan = sample();
+        let serial = plan.rewrite_serial();
+        assert_eq!(serial.mode, ExecMode::Serial { auto_small: false });
+        assert_eq!(serial.nodes, plan.nodes); // nodes untouched
+        let nested = plan.rewrite_index_free().rewrite_serial();
+        assert!(nested.index_free);
+        assert!(nested.probe_nodes().all(|n| matches!(
+            n.kind,
+            PlanNodeKind::IdentityProbe {
+                strategy: ProbeStrategy::Scan,
+                ..
+            }
+        )));
+        assert_eq!(nested.arm.arm_label(nested.index_free, 1), "nested_loop");
+        // The original is untouched.
+        assert!(!plan.index_free);
+    }
+
+    #[test]
+    fn arm_labels_follow_workers_and_hint() {
+        assert_eq!(ArmHint::Auto.arm_label(false, 4), "blocked_parallel");
+        assert_eq!(ArmHint::Auto.arm_label(false, 1), "blocked");
+        assert_eq!(ArmHint::Auto.arm_label(true, 4), "nested_loop");
+        assert_eq!(ArmHint::Hash.arm_label(false, 1), "hash");
+        assert_eq!(ArmHint::NestedLoop.arm_label(false, 1), "nested_loop");
+    }
+
+    #[test]
+    fn json_has_the_expected_shape() {
+        let json = sample().to_json();
+        for needle in [
+            "\"arm\": \"blocked_parallel\"",
+            "\"mode\": \"parallel(4)\"",
+            "\"nodes\": [",
+            "\"kind\": \"identity-probe\"",
+            "\"rule\": \"key-eq\"",
+            "\"strategy\": \"probe\"",
+            "\"key_positions\": [0, 1]",
+            "\"why\": ",
+            "\"inputs\": [0]",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+    }
+}

@@ -1,0 +1,504 @@
+//! The cost-based match planner.
+//!
+//! [`Planner::plan`] turns the interned rule base plus cheap column
+//! statistics ([`ColumnStat`]: distinct-symbol counts and null
+//! fractions per attribute, read straight off the interned columns)
+//! into a [`MatchPlan`]:
+//!
+//! * **Blocking key per identity rule** — any non-empty subset of a
+//!   rule's probe positions (join ∪ `S`-literal columns) is sound,
+//!   because every candidate is re-verified with the full rule; the
+//!   planner drops columns with ≤ 1 distinct non-NULL symbol (they
+//!   cannot narrow a bucket) and keeps the rest, most selective
+//!   first in the explanation.
+//! * **Serial vs. parallel** — below [`PARALLEL_MIN_PAIRS`] estimated
+//!   candidate pairs the auto mode runs serially (thread spawn +
+//!   merge overhead exceeds the work); explicit thread counts are
+//!   honoured verbatim.
+//! * **Probe vs. scan** — rules without an indexable shape fuse into
+//!   one residual pairwise scan.
+//!
+//! [`JoinAlgorithm`](crate::JoinAlgorithm) survives only as the
+//! [`ArmHint`] override: `Hash` forces the seed arm's shape (key-rule
+//! probe + serial residual scan), `NestedLoop` forces everything to
+//! scan — both still execute through the one
+//! [`Executor`](crate::engine::Executor).
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use eid_relational::ColumnStat;
+use eid_rules::InternedRuleBase;
+
+use crate::plan::{
+    ArmHint, ExecMode, MatchPlan, PlanNode, PlanNodeKind, ProbeStrategy, RuleFamily, RuleRef,
+};
+use crate::stats::span;
+
+/// Below this many estimated pairs (`|R′|·|S′|`) the auto mode runs
+/// serially: thread spawn + merge overhead exceeds the work itself on
+/// small inputs. Explicit thread counts are always honoured.
+pub const PARALLEL_MIN_PAIRS: usize = 50_000;
+
+/// The cost-based planner over one encoded relation pair. Borrows
+/// the interned rule base and per-column statistics from the
+/// [`Executor`](crate::engine::Executor) that will run the plan.
+pub struct Planner<'e> {
+    interned: &'e InternedRuleBase,
+    stats_s: &'e [ColumnStat],
+    attrs_r: &'e [String],
+    attrs_s: &'e [String],
+    rows_r: usize,
+    rows_s: usize,
+    threads: usize,
+}
+
+impl<'e> Planner<'e> {
+    /// A planner reading the executor's interned rules and column
+    /// statistics. `threads` carries the caller's thread request
+    /// (`0` = auto).
+    pub fn new(
+        interned: &'e InternedRuleBase,
+        stats_s: &'e [ColumnStat],
+        attrs_r: &'e [String],
+        attrs_s: &'e [String],
+        rows_r: usize,
+        rows_s: usize,
+        threads: usize,
+    ) -> Planner<'e> {
+        Planner {
+            interned,
+            stats_s,
+            attrs_r,
+            attrs_s,
+            rows_r,
+            rows_s,
+            threads,
+        }
+    }
+
+    fn attr_s(&self, p: usize) -> String {
+        self.attrs_s
+            .get(p)
+            .cloned()
+            .unwrap_or_else(|| format!("col{p}"))
+    }
+
+    fn attr_r(&self, p: usize) -> String {
+        self.attrs_r
+            .get(p)
+            .cloned()
+            .unwrap_or_else(|| format!("col{p}"))
+    }
+
+    fn stat_s(&self, p: usize) -> ColumnStat {
+        self.stats_s.get(p).copied().unwrap_or(ColumnStat {
+            distinct: 0,
+            nulls: 0,
+            rows: self.rows_s,
+        })
+    }
+
+    /// Chooses the blocking-key positions for one identity shape and
+    /// explains the choice. Positions stay sorted ascending (the
+    /// probe-key layout); the ranking only decides what to drop.
+    fn choose_identity_key(
+        &self,
+        shape: &eid_rules::InternedIdentityShape,
+    ) -> (Vec<usize>, String) {
+        let candidates = shape.probe_positions();
+        let mut kept: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&p| self.stat_s(p).distinct > 1)
+            .collect();
+        let mut dropped: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|p| !kept.contains(p))
+            .collect();
+        if kept.is_empty() {
+            // Nothing selective: keep the single best column rather
+            // than degenerating to a one-bucket index.
+            if let Some(&best) = candidates
+                .iter()
+                .max_by_key(|&&p| (self.stat_s(p).distinct, usize::MAX - p))
+            {
+                kept.push(best);
+                dropped.retain(|&p| p != best);
+            }
+        }
+        let describe = |p: usize| {
+            let st = self.stat_s(p);
+            format!(
+                "{} ({} distinct, {:.0}% null)",
+                self.attr_s(p),
+                st.distinct,
+                st.null_fraction() * 100.0
+            )
+        };
+        let mut ranked = kept.clone();
+        ranked.sort_by_key(|&p| usize::MAX - self.stat_s(p).distinct);
+        let mut why = format!(
+            "blocking key ⟨{}⟩ — most selective first: {}",
+            kept.iter()
+                .map(|&p| self.attr_s(p))
+                .collect::<Vec<_>>()
+                .join(", "),
+            ranked
+                .iter()
+                .map(|&p| describe(p))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        if !dropped.is_empty() {
+            why.push_str(&format!(
+                "; dropped non-selective: {}",
+                dropped
+                    .iter()
+                    .map(|&p| describe(p))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        (kept, why)
+    }
+
+    /// The auto mode decision, mirroring the engine's historical
+    /// `resolve_threads`.
+    fn choose_mode(&self, hint: ArmHint) -> (ExecMode, String) {
+        if !matches!(hint, ArmHint::Auto) {
+            return (
+                ExecMode::Serial { auto_small: false },
+                format!("{hint:?} hint: seed arm runs serially"),
+            );
+        }
+        match self.threads {
+            1 => (
+                ExecMode::Serial { auto_small: false },
+                "threads=1 requested".into(),
+            ),
+            0 => {
+                let est = self.rows_r.saturating_mul(self.rows_s);
+                if est < PARALLEL_MIN_PAIRS {
+                    (
+                        ExecMode::Serial { auto_small: true },
+                        format!("auto: {est} estimated pairs < {PARALLEL_MIN_PAIRS} — serial"),
+                    )
+                } else {
+                    // Floor at 2: on single-core hosts the scoped
+                    // workers just timeslice (the chunked queue makes
+                    // oversubscription harmless), and the parallel
+                    // path — and its observability — actually runs.
+                    let workers = std::thread::available_parallelism()
+                        .map_or(2, |n| n.get())
+                        .max(2);
+                    (
+                        ExecMode::Parallel { workers },
+                        format!(
+                            "auto: {est} estimated pairs ≥ {PARALLEL_MIN_PAIRS} — {workers} workers"
+                        ),
+                    )
+                }
+            }
+            n => (
+                ExecMode::Parallel { workers: n },
+                format!("threads={n} requested"),
+            ),
+        }
+    }
+
+    /// The strategy (and explanation) for one identity rule under a
+    /// hint. `force_probe` marks the `Hash` hint's key rule.
+    fn identity_strategy(
+        &self,
+        rule: &eid_rules::InternedRule,
+        hint: ArmHint,
+        force_probe: bool,
+    ) -> (ProbeStrategy, String) {
+        let shape = rule.identity_shape();
+        match hint {
+            ArmHint::NestedLoop => (
+                ProbeStrategy::Scan,
+                "nested-loop hint: exhaustive pairwise scan".into(),
+            ),
+            ArmHint::Hash => {
+                if force_probe {
+                    if let Some(shape) = shape {
+                        let positions = shape.probe_positions();
+                        if !positions.is_empty() {
+                            let names = positions
+                                .iter()
+                                .map(|&p| self.attr_s(p))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            return (
+                                ProbeStrategy::Probe {
+                                    key_positions: positions,
+                                },
+                                format!("hash hint: full extended-key join on ⟨{names}⟩"),
+                            );
+                        }
+                    }
+                }
+                (
+                    ProbeStrategy::Scan,
+                    "hash hint: extra rules run in the serial residual scan".into(),
+                )
+            }
+            ArmHint::Auto => match shape {
+                Some(shape) if shape.join.is_empty() => (
+                    ProbeStrategy::Cross,
+                    "no join columns: literal-filtered cross product".into(),
+                ),
+                Some(shape) => {
+                    let (positions, why) = self.choose_identity_key(&shape);
+                    if positions.is_empty() {
+                        (ProbeStrategy::Scan, "empty blocking key".into())
+                    } else {
+                        (
+                            ProbeStrategy::Probe {
+                                key_positions: positions,
+                            },
+                            why,
+                        )
+                    }
+                }
+                None => (
+                    ProbeStrategy::Scan,
+                    "no indexable equi-join shape: fused residual scan".into(),
+                ),
+            },
+        }
+    }
+
+    /// The strategy (and explanation) for one distinctness rule.
+    fn distinct_strategy(
+        &self,
+        rule: &eid_rules::InternedRule,
+        hint: ArmHint,
+    ) -> (ProbeStrategy, String) {
+        if !matches!(hint, ArmHint::Auto) {
+            return (
+                ProbeStrategy::Scan,
+                format!("{hint:?} hint: refutation runs in the serial residual scan"),
+            );
+        }
+        match rule.distinct_shape() {
+            Some(shape) => {
+                let (neq_side, neq_pos, _) = shape.neq;
+                let (neq_name, lit_positions) = match neq_side {
+                    eid_rules::NeqSide::R => (
+                        format!("R.{}", self.attr_r(neq_pos)),
+                        shape.s_lits.iter().map(|(p, _)| *p).collect::<Vec<_>>(),
+                    ),
+                    eid_rules::NeqSide::S => (
+                        format!("S.{}", self.attr_s(neq_pos)),
+                        shape.r_lits.iter().map(|(p, _)| *p).collect::<Vec<_>>(),
+                    ),
+                };
+                let mut key_positions = lit_positions;
+                key_positions.sort_unstable();
+                key_positions.dedup();
+                (
+                    ProbeStrategy::Probe {
+                        key_positions: key_positions.clone(),
+                    },
+                    format!(
+                        "disagreement probe: drivers where {neq_name} ≠ const, \
+                         paired with the opposite side's literal block — \
+                         output-sensitive, not quadratic"
+                    ),
+                )
+            }
+            None => (
+                ProbeStrategy::Scan,
+                "no single-≠ shape: fused residual scan".into(),
+            ),
+        }
+    }
+
+    /// Builds the full-pipeline plan for the selected rule families
+    /// under `hint`.
+    pub fn plan(&self, record_identity: bool, record_distinct: bool, hint: ArmHint) -> MatchPlan {
+        let (mode, mode_why) = self.choose_mode(hint);
+        let mut nodes: Vec<PlanNode> = Vec::new();
+        let push = |nodes: &mut Vec<PlanNode>,
+                    kind: PlanNodeKind,
+                    label: String,
+                    why: String,
+                    span: &str,
+                    inputs: Vec<usize>| {
+            let id = nodes.len();
+            nodes.push(PlanNode {
+                id,
+                kind,
+                label,
+                why,
+                span: span.to_string(),
+                inputs,
+            });
+            id
+        };
+        let d_r = push(
+            &mut nodes,
+            PlanNodeKind::Derive { side: "R" },
+            "derive(R)".into(),
+            "extend R with missing extended-key attributes; ILFDs fill values (§5)".into(),
+            span::DERIVE_R,
+            vec![],
+        );
+        let d_s = push(
+            &mut nodes,
+            PlanNodeKind::Derive { side: "S" },
+            "derive(S)".into(),
+            "extend S with missing extended-key attributes; ILFDs fill values (§5)".into(),
+            span::DERIVE_S,
+            vec![],
+        );
+        let encode = push(
+            &mut nodes,
+            PlanNodeKind::Encode,
+            "encode".into(),
+            format!(
+                "intern {}+{} rows into columnar u32 symbols; hot predicates become integer compares",
+                self.rows_r, self.rows_s
+            ),
+            span::ENGINE_ENCODE,
+            vec![d_r, d_s],
+        );
+
+        // Probe/refute strategies, in the order the executor lowers
+        // them (the Hash hint pulls the extended-key rule — the last
+        // identity rule — to the front, matching the seed arm).
+        let mut rule_plan: Vec<(RuleRef, ProbeStrategy, String)> = Vec::new();
+        if record_identity {
+            let n = self.interned.identity.len();
+            let order: Vec<usize> = match hint {
+                ArmHint::Hash if n > 0 => {
+                    let mut order = vec![n - 1];
+                    order.extend(0..n - 1);
+                    order
+                }
+                _ => (0..n).collect(),
+            };
+            for idx in order {
+                let rule = &self.interned.identity[idx];
+                let force_probe = matches!(hint, ArmHint::Hash) && idx == n - 1;
+                let (strategy, why) = self.identity_strategy(rule, hint, force_probe);
+                rule_plan.push((
+                    RuleRef {
+                        family: RuleFamily::Identity,
+                        index: idx,
+                        name: rule.name.clone(),
+                    },
+                    strategy,
+                    why,
+                ));
+            }
+        }
+        if record_distinct {
+            for (idx, rule) in self.interned.distinctness.iter().enumerate() {
+                let (strategy, why) = self.distinct_strategy(rule, hint);
+                rule_plan.push((
+                    RuleRef {
+                        family: RuleFamily::Distinct,
+                        index: idx,
+                        name: rule.name.clone(),
+                    },
+                    strategy,
+                    why,
+                ));
+            }
+        }
+
+        let indexed = rule_plan
+            .iter()
+            .filter(|(_, s, _)| !matches!(s, ProbeStrategy::Scan))
+            .count();
+        let block = push(
+            &mut nodes,
+            PlanNodeKind::Block,
+            "block-index".into(),
+            format!("build symbol-keyed inverted indexes for {indexed} probe plan(s)"),
+            span::ENGINE_INDEX,
+            vec![encode],
+        );
+
+        let mut probe_ids = Vec::with_capacity(rule_plan.len());
+        for (rule, strategy, why) in rule_plan {
+            let input = if matches!(strategy, ProbeStrategy::Scan) {
+                encode
+            } else {
+                block
+            };
+            let (label, span_path, kind) = match rule.family {
+                RuleFamily::Identity => (
+                    format!("{}({})", strategy.as_str(), rule.name),
+                    format!("{}/{}", span::ENGINE_IDENTITY, rule.name),
+                    PlanNodeKind::IdentityProbe { rule, strategy },
+                ),
+                RuleFamily::Distinct => (
+                    format!("{}({})", strategy.as_str(), rule.name),
+                    format!("{}/{}", span::ENGINE_REFUTE, rule.name),
+                    PlanNodeKind::Refute { rule, strategy },
+                ),
+            };
+            let id = nodes.len();
+            nodes.push(PlanNode {
+                id,
+                kind,
+                label,
+                why,
+                span: span_path,
+                inputs: vec![input],
+            });
+            probe_ids.push(id);
+        }
+        // Scan nodes fuse into one residual pass; report under the
+        // residual span rather than a per-rule one.
+        for node in &mut nodes {
+            let is_scan = matches!(
+                &node.kind,
+                PlanNodeKind::IdentityProbe {
+                    strategy: ProbeStrategy::Scan,
+                    ..
+                } | PlanNodeKind::Refute {
+                    strategy: ProbeStrategy::Scan,
+                    ..
+                }
+            );
+            if is_scan {
+                node.span = span::ENGINE_RESIDUAL.to_string();
+            }
+        }
+
+        let dedup = push(
+            &mut nodes,
+            PlanNodeKind::Dedup,
+            "dedup".into(),
+            "first-occurrence dedup of raw pair lists in id space; \
+             runs on two threads when the lists are large"
+                .into(),
+            span::CONVERT,
+            probe_ids,
+        );
+        push(
+            &mut nodes,
+            PlanNodeKind::Classify,
+            "classify".into(),
+            "Figure-3 partition: MT / NMT / undetermined accounting".into(),
+            span::MATCH,
+            vec![dedup],
+        );
+
+        MatchPlan {
+            nodes,
+            mode,
+            mode_why,
+            arm: hint,
+            index_free: false,
+            record_identity,
+            record_distinct,
+        }
+    }
+}

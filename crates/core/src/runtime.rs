@@ -8,8 +8,10 @@
 //! of exhausting memory), **interruptible** (a caller can cancel and
 //! get a typed error with partial statistics), and
 //! **degrade-gracefully** (a poisoned worker falls back down the
-//! `blocked_parallel → blocked → nested-loop` ladder instead of
-//! taking the process down — see `DESIGN.md` §9).
+//! `blocked_parallel → blocked → nested-loop` ladder — expressed
+//! since the plan-IR refactor as match-plan rewrites: the parallel
+//! plan's serial twin, then its index-free twin — instead of taking
+//! the process down; see `DESIGN.md` §9–10).
 //!
 //! The contract is cooperative: the engine, matcher, and incremental
 //! matcher call [`RunGuard::checkpoint`] at *chunk boundaries* (task
@@ -43,8 +45,8 @@ pub struct RunBudget {
     /// Maximum resident pair-list bytes (raw engine output before
     /// dedup, 8 bytes per `(u32, u32)` pair). Also caps the blocked
     /// index: when the estimated index footprint alone exceeds this,
-    /// the engine degrades straight to the nested-loop arm rather
-    /// than building indexes it cannot afford.
+    /// the executor rewrites the plan index-free (the nested-loop
+    /// arm) rather than building indexes it cannot afford.
     pub max_pair_bytes: Option<u64>,
 }
 

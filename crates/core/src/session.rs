@@ -137,6 +137,22 @@ impl Session {
         Ok(render_default("integrated table", t.relation()))
     }
 
+    /// `plan`: renders the match plan the cost-based planner would
+    /// execute for the installed extended key — blocking keys, probe
+    /// strategies, serial/parallel — without running anything. (The
+    /// Prolog prototype had no analogue; this is the native engine
+    /// showing its §4.2 pipeline before committing to it.)
+    pub fn plan_display(&self) -> Result<String> {
+        let key = self
+            .extended_key
+            .as_ref()
+            .ok_or(CoreError::EmptyExtendedKey)?;
+        let config = MatchConfig::new(key.clone(), self.ilfds.clone());
+        let matcher = EntityMatcher::new(self.r.clone(), self.s.clone(), config)?;
+        let plan = matcher.plan()?;
+        Ok(crate::explain::render_plan(&plan))
+    }
+
     /// Renders the extended relation `R′` (the prototype's
     /// `print_RRtable`).
     pub fn extended_r_display(&self) -> Result<String> {
@@ -289,6 +305,17 @@ mod tests {
         assert!(s.matching_table_display().is_err());
         assert!(s.integrated_table_display().is_err());
         assert!(s.extended_r_display().is_err());
+    }
+
+    #[test]
+    fn plan_display_shows_blocking_keys() {
+        let mut s = session();
+        assert!(s.plan_display().is_err()); // requires setup_extkey
+        s.setup_extended_key(&["name", "cuisine", "speciality"])
+            .unwrap();
+        let out = s.plan_display().unwrap();
+        assert!(out.starts_with("match plan — arm "), "{out}");
+        assert!(out.contains("blocking key"), "{out}");
     }
 
     #[test]

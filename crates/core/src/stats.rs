@@ -35,12 +35,6 @@ pub mod span {
     pub const ENGINE_RESIDUAL: &str = "match/engine/residual";
     /// Row-index pairs → keyed pair tables (dedup + projection).
     pub const CONVERT: &str = "match/convert";
-    /// Hash-arm identity phase (extended-key hash join).
-    pub const IDENTITY: &str = "match/identity";
-    /// Hash-arm refutation phase (interpreted pairwise scan).
-    pub const REFUTE: &str = "match/refute";
-    /// Nested-loop arm: the single exhaustive pairwise scan.
-    pub const PAIRWISE: &str = "match/pairwise";
 }
 
 /// Counter names (`group/name`; per-rule counters are built with
@@ -100,12 +94,6 @@ pub mod counter {
     /// Residual pairs on which a distinctness rule fired.
     pub const RESIDUAL_REFUTED: &str = "residual/refuted";
 
-    /// Hash/nested-loop arms: identity-phase pair evaluations or
-    /// index probes.
-    pub const IDENTITY_PROBES: &str = "identity/probes";
-    /// Hash/nested-loop arms: refutation-phase pair evaluations.
-    pub const REFUTE_PROBES: &str = "refute/probes";
-
     /// `|MT_RS|` — matching-table size after dedup.
     pub const CLASSIFY_MT: &str = "classify/mt";
     /// `|NMT_RS|` — negative-table size after dedup.
@@ -158,6 +146,9 @@ pub mod label {
     /// The abort reason when a run tripped its guard (absent on
     /// successful runs).
     pub const ABORT: &str = "abort";
+    /// The planner's execution-mode decision and its one-line
+    /// rationale, e.g. `"parallel(8): est. 10240000 candidate pairs"`.
+    pub const PLAN_MODE: &str = "plan/mode";
 }
 
 /// Histogram names.
@@ -170,4 +161,17 @@ pub mod histogram {
 /// `rule/{identity|distinct}/<rule>/{candidates|accepted}`.
 pub fn rule_counter(family: &str, rule: &str, what: &str) -> String {
     format!("rule/{family}/{rule}/{what}")
+}
+
+/// The name of a per-plan-node counter:
+/// `plan/node/<id>/{candidates|accepted|pairs|matched|refuted}` —
+/// joinable back to the plan JSON by node id.
+pub fn node_counter(node: usize, what: &str) -> String {
+    format!("plan/node/{node}/{what}")
+}
+
+/// The label under which the planner records its chosen blocking key
+/// for one identity rule: `plan/key/<rule>`.
+pub fn plan_key_label(rule: &str) -> String {
+    format!("plan/key/{rule}")
 }

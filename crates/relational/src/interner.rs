@@ -27,8 +27,9 @@
 //! built on top of [`Value::non_null_eq`] (bitwise on floats), such
 //! as the ILFD derivation memo.
 
-use crate::hash::FxHashMap;
+use crate::hash::{FxHashMap, FxHashSet};
 use crate::relation::Relation;
+use crate::tuple::Tuple;
 use crate::value::Value;
 
 /// A dense symbol id for an interned [`Value`].
@@ -147,6 +148,76 @@ impl Columns {
     pub fn col(&self, col: usize) -> &[Sym] {
         &self.cols[col]
     }
+
+    /// Appends one tuple, interning its values (the incremental
+    /// matcher keeps a live columnar view in sync with its extended
+    /// relations). The tuple's arity must match; extra positions are
+    /// ignored and missing ones read as NULL.
+    pub fn push_row(&mut self, tuple: &Tuple, interner: &mut Interner) {
+        for (p, col) in self.cols.iter_mut().enumerate() {
+            match tuple.values().get(p) {
+                Some(v) => col.push(interner.intern(v)),
+                None => col.push(NULL_SYM),
+            }
+        }
+        self.rows += 1;
+    }
+
+    /// Truncates to the first `rows` rows — the rollback twin of
+    /// [`Columns::push_row`].
+    pub fn truncate(&mut self, rows: usize) {
+        for col in &mut self.cols {
+            col.truncate(rows);
+        }
+        self.rows = self.rows.min(rows);
+    }
+
+    /// Per-column statistics over the encoded rows — the cheap
+    /// inputs the match planner costs blocking keys with.
+    pub fn column_stats(&self) -> Vec<ColumnStat> {
+        self.cols
+            .iter()
+            .map(|col| {
+                let mut distinct: FxHashSet<Sym> = FxHashSet::default();
+                let mut nulls = 0usize;
+                for &sym in col {
+                    if sym == NULL_SYM {
+                        nulls += 1;
+                    } else {
+                        distinct.insert(sym);
+                    }
+                }
+                ColumnStat {
+                    distinct: distinct.len(),
+                    nulls,
+                    rows: self.rows,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Cheap per-attribute statistics of one interned column: what the
+/// cost-based match planner reads to choose blocking keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnStat {
+    /// Distinct non-NULL symbols in the column.
+    pub distinct: usize,
+    /// NULL entries in the column.
+    pub nulls: usize,
+    /// Total rows the column covers.
+    pub rows: usize,
+}
+
+impl ColumnStat {
+    /// Fraction of rows that are NULL (0.0 for an empty column).
+    pub fn null_fraction(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.nulls as f64 / self.rows as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -206,5 +277,40 @@ mod tests {
         assert_eq!(it.resolve(cols.get(0, 1)), &Value::str("chinese"));
         assert_eq!(cols.get(1, 1), NULL_SYM);
         assert_eq!(cols.col(0).len(), 2);
+    }
+
+    #[test]
+    fn column_stats_count_distinct_and_nulls() {
+        let schema = Schema::of_strs("R", &["name", "cuisine"], &["name"]).unwrap();
+        let mut rel = Relation::new(schema);
+        rel.insert_strs(&["a", "chinese"]).unwrap();
+        rel.insert_strs(&["b", "chinese"]).unwrap();
+        rel.insert(Tuple::new(vec![Value::str("c"), Value::Null]))
+            .unwrap();
+        let mut it = Interner::new();
+        let cols = Columns::encode(&rel, &mut it);
+        let stats = cols.column_stats();
+        assert_eq!(stats[0].distinct, 3);
+        assert_eq!(stats[0].nulls, 0);
+        assert_eq!(stats[1].distinct, 1);
+        assert_eq!(stats[1].nulls, 1);
+        assert!((stats[1].null_fraction() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn push_row_and_truncate_mirror_encode() {
+        let schema = Schema::of_strs("R", &["name", "cuisine"], &["name"]).unwrap();
+        let mut rel = Relation::new(schema.clone());
+        rel.insert_strs(&["a", "chinese"]).unwrap();
+        let mut it = Interner::new();
+        let mut cols = Columns::encode(&rel, &mut it);
+        cols.push_row(&Tuple::new(vec![Value::str("b"), Value::Null]), &mut it);
+        assert_eq!(cols.rows(), 2);
+        assert_eq!(it.resolve(cols.get(1, 0)), &Value::str("b"));
+        assert_eq!(cols.get(1, 1), NULL_SYM);
+        // Pushing then truncating restores the original shape.
+        cols.truncate(1);
+        assert_eq!(cols.rows(), 1);
+        assert_eq!(cols.col(0).len(), 1);
     }
 }

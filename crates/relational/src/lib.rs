@@ -51,7 +51,7 @@ pub use csv::CsvReject;
 pub use error::{RelationalError, Result};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use index::HashIndex;
-pub use interner::{Columns, Interner, Sym, NULL_SYM};
+pub use interner::{ColumnStat, Columns, Interner, Sym, NULL_SYM};
 pub use relation::Relation;
 pub use schema::{Attribute, Key, Schema};
 pub use tri::TriBool;

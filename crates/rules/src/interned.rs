@@ -233,6 +233,31 @@ pub struct InternedIdentityShape {
     pub join: Vec<(usize, usize)>,
 }
 
+impl InternedIdentityShape {
+    /// The full set of `S`-side index positions this shape can be
+    /// probed on: join columns plus `S` literal columns, sorted and
+    /// deduplicated. The planner chooses a (non-empty) subset of
+    /// these as the blocking key; any subset is sound because every
+    /// candidate is re-verified with the full rule.
+    pub fn probe_positions(&self) -> Vec<usize> {
+        let mut positions: Vec<usize> = self.join.iter().map(|(_, sp)| *sp).collect();
+        positions.extend(self.s_lits.iter().map(|(p, _)| *p));
+        positions.sort_unstable();
+        positions.dedup();
+        positions
+    }
+
+    /// The `R`-side column feeding one probe position: the join
+    /// partner when `sp` is a join column, `None` when it is pinned
+    /// by an `S` literal.
+    pub fn r_source_of(&self, sp: usize) -> Option<usize> {
+        if self.s_lits.iter().any(|(p, _)| *p == sp) {
+            return None;
+        }
+        self.join.iter().find(|(_, p)| *p == sp).map(|(rp, _)| *rp)
+    }
+}
+
 /// [`DistinctShape`](crate::DistinctShape) with interned literals.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InternedDistinctShape {
@@ -386,5 +411,10 @@ mod tests {
         let shape = interned.identity[0].identity_shape().unwrap();
         assert_eq!(shape.join.len(), 2);
         assert!(shape.r_lits.is_empty() && shape.s_lits.is_empty());
+        // Probe positions are the S-side join columns, sorted; each
+        // traces back to its R-side source.
+        assert_eq!(shape.probe_positions(), vec![0, 1]);
+        assert_eq!(shape.r_source_of(0), Some(0));
+        assert_eq!(shape.r_source_of(1), Some(1));
     }
 }

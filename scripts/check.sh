@@ -44,8 +44,8 @@ fi
 # and whose blocking/classification ledgers sum correctly.
 if command -v python3 >/dev/null 2>&1; then
     echo "==> eid match --report-json smoke"
-    report="$(mktemp)" s_sound="$(mktemp)" bench_out="$(mktemp)"
-    trap 'rm -f "$report" "$s_sound" "$bench_out"' EXIT
+    report="$(mktemp)" s_sound="$(mktemp)" bench_out="$(mktemp)" plan_out="$(mktemp)"
+    trap 'rm -f "$report" "$s_sound" "$bench_out" "$plan_out"' EXIT
     grep -v sichuan examples/data/s.csv > "$s_sound"
     ./target/release/eid match \
         --r examples/data/r.csv --r-key name,street \
@@ -67,6 +67,42 @@ assert counters["classify/mt"] + counters["classify/nmt"] \
     == counters["classify/pairs_total"] + counters["classify/overlap"], counters
 assert {"match", "match/derive", "match/engine"} <= stages, stages
 print(f"    report OK: {len(counters)} counters, {len(stages)} stages")
+EOF
+    # Plan-explain smoke: `eid plan` must print the cost model's
+    # choices without executing, and the --json form must be a
+    # well-shaped plan (every node carries id/kind/label/why/span,
+    # at least one probed identity rule names its blocking key).
+    echo "==> eid plan --explain smoke"
+    ./target/release/eid plan \
+        --r examples/data/r.csv --r-key name,street \
+        --s "$s_sound" --s-key name,speciality,county \
+        --rules examples/data/knowledge.rules --key name,cuisine \
+        --explain | grep -q '^match plan — arm ' \
+        || { echo "eid plan text tree missing header"; exit 1; }
+    ./target/release/eid plan \
+        --r examples/data/r.csv --r-key name,street \
+        --s "$s_sound" --s-key name,speciality,county \
+        --rules examples/data/knowledge.rules --key name,cuisine \
+        --json > "$plan_out"
+    python3 - "$plan_out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    plan = json.load(f)
+for key in ("arm", "mode", "mode_why", "workers", "index_free", "nodes"):
+    assert key in plan, f"plan JSON missing {key!r}"
+kinds = [n["kind"] for n in plan["nodes"]]
+for kind in ("derive", "encode", "block", "identity-probe", "dedup", "classify"):
+    assert kind in kinds, f"plan has no {kind!r} node: {kinds}"
+for n in plan["nodes"]:
+    for field in ("id", "kind", "label", "why", "span", "inputs"):
+        assert field in n, f"node {n} missing {field!r}"
+probes = [n for n in plan["nodes"]
+          if n["kind"] == "identity-probe" and n["strategy"] == "probe"]
+assert probes, "no probed identity rule in the plan"
+assert all(n["key_positions"] for n in probes), probes
+assert any("blocking key" in n["why"] for n in probes), probes
+print(f"    plan OK: {len(plan['nodes'])} nodes, arm {plan['arm']}, "
+      f"mode {plan['mode']}")
 EOF
 else
     echo "==> python3 not installed; skipping --report-json smoke"
@@ -120,6 +156,13 @@ for name, e in engines.items():
     agree = (e["matching"], e["negative"], e["undetermined"])
     want = (oracle["matching"], oracle["negative"], oracle["undetermined"])
     assert agree == want, f"{name}: {agree} != oracle {want}"
+    # Planner decisions ride along: mode, blocking keys, and a plan
+    # cache that misses exactly once then hits on every rep.
+    plan = e["plan"]
+    assert plan["mode"], f"{name}: empty plan mode"
+    assert plan["cache_misses"] == 1, f"{name}: {plan}"
+    assert plan["cache_hits"] >= 1, f"{name}: {plan}"
+assert engines["blocked"]["plan"]["keys"], "blocked arm chose no blocking key"
 for name in ("blocked", "blocked_parallel"):
     stages = engines[name]["stages"]
     convert, engine = stages["match/convert"], stages["match/engine"]

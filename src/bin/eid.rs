@@ -6,9 +6,17 @@
 //!           [--integrated] [--unify prefer-r|prefer-s|null] [--negative] \
 //!           [--lenient] [--timeout-ms N] [--max-pairs N] [--max-mem-mb N] \
 //!           [--stats] [--report-json PATH]
+//! eid plan --r R.csv --r-key name,street --s S.csv --s-key name,city \
+//!          --rules knowledge.rules --key name,cuisine \
+//!          [--json] [--explain] [--threads N]
 //! eid validate --rules knowledge.rules
 //! eid demo
 //! ```
+//!
+//! `eid plan` prints the cost-based match plan — chosen blocking
+//! keys, probe strategies, serial vs. parallel — without executing
+//! anything: an indented text tree by default (`--explain` is an
+//! accepted synonym), or the serialized plan with `--json`.
 //!
 //! CSV files carry a header row; `null` cells are NULL. Rule files use
 //! the `eid-rules` textual syntax (`speciality = hunan -> cuisine =
@@ -34,6 +42,7 @@ use std::process::ExitCode;
 
 use entity_id::core::conflict::{unify, ConflictPolicy};
 use entity_id::core::error::CoreError;
+use entity_id::core::explain::render_plan;
 use entity_id::core::integrate::IntegratedTable;
 use entity_id::core::matcher::{EntityMatcher, MatchConfig};
 use entity_id::core::partition::Partition;
@@ -82,6 +91,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result: Result<(), CliError> = match args.first().map(String::as_str) {
         Some("match") => cmd_match(&args[1..]),
+        Some("plan") => cmd_plan(&args[1..]).map_err(CliError::from),
         Some("validate") => cmd_validate(&args[1..]).map_err(CliError::from),
         Some("session") => cmd_session(&args[1..]).map_err(CliError::from),
         Some("demo") => cmd_demo().map_err(CliError::from),
@@ -112,9 +122,17 @@ USAGE:
             [--unify prefer-r|prefer-s|null] [--lenient] \\
             [--timeout-ms N] [--max-pairs N] [--max-mem-mb N] \\
             [--stats] [--report-json PATH]
+  eid plan  --r R.csv --r-key a,b --s S.csv --s-key c,d \\
+            --rules FILE --key x,y [--json] [--explain] [--threads N]
   eid validate --rules FILE
   eid session --r R.csv --r-key a,b --s S.csv --s-key c,d --rules FILE
   eid demo
+
+PLANNING (eid plan):
+  Prints the cost-based match plan — blocking keys chosen from
+  column statistics, probe strategies, serial vs. parallel — without
+  executing it. Default output is an indented text tree (--explain
+  is an accepted synonym); --json prints the serialized plan.
 
 RUN BUDGETS (eid match):
   --lenient        skip malformed CSV rows (counted in the report)
@@ -363,6 +381,50 @@ fn cmd_match(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `eid plan`: print the match plan the cost-based planner would
+/// execute for the given inputs, without running it. The relations
+/// are loaded, extended, and encoded (the planner reads column
+/// statistics from the interned columns), but no probing happens.
+fn cmd_plan(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(
+        args,
+        &["r", "r-key", "s", "s-key", "rules", "key", "threads"],
+        &["json", "explain", "lenient"],
+    )?;
+    let r_path = required(&flags, "r")?;
+    let s_path = required(&flags, "s")?;
+    let r_key: Vec<&str> = required(&flags, "r-key")?.split(',').collect();
+    let s_key: Vec<&str> = required(&flags, "s-key")?.split(',').collect();
+    let key: Vec<&str> = required(&flags, "key")?.split(',').collect();
+    let rules_path = required(&flags, "rules")?;
+    let lenient = flags.contains_key("lenient");
+
+    let r_text = std::fs::read_to_string(r_path).map_err(|e| format!("{r_path}: {e}"))?;
+    let s_text = std::fs::read_to_string(s_path).map_err(|e| format!("{s_path}: {e}"))?;
+    let rules_text =
+        std::fs::read_to_string(rules_path).map_err(|e| format!("{rules_path}: {e}"))?;
+    let (r, _) = load_relation("R", r_path, &r_text, &r_key, lenient)?;
+    let (s, _) = load_relation("S", s_path, &s_text, &s_key, lenient)?;
+    let rules = parse_rules(&rules_text).map_err(|e| format!("{rules_path}:{e}"))?;
+
+    let mut config = MatchConfig::new(ExtendedKey::of_strs(&key), rules.ilfds());
+    config.extra_rules = rules.rule_base();
+    if let Some(t) = flags.get("threads") {
+        config.threads = t
+            .parse()
+            .map_err(|_| format!("--threads: `{t}` is not a non-negative integer"))?;
+    }
+
+    let matcher = EntityMatcher::new(r, s, config).map_err(|e| e.to_string())?;
+    let plan = matcher.plan().map_err(|e| e.to_string())?;
+    if flags.contains_key("json") {
+        println!("{}", plan.to_json());
+    } else {
+        print!("{}", render_plan(&plan));
+    }
+    Ok(())
+}
+
 fn cmd_validate(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args, &["rules"], &[])?;
     let path = required(&flags, "rules")?;
@@ -422,7 +484,7 @@ fn cmd_session(args: &[String]) -> Result<(), String> {
 
     let mut session = entity_id::core::session::Session::new(r, s, rules.ilfds());
     println!("eid session — type `candidates`, `setup_extkey a,b`, `print_matchtable`,");
-    println!("`print_integ_table`, `print_rr`, `print_ss`, or `quit`.");
+    println!("`print_integ_table`, `print_rr`, `print_ss`, `plan`, or `quit`.");
 
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
@@ -457,6 +519,7 @@ fn cmd_session(args: &[String]) -> Result<(), String> {
                 .map_err(|e| e.to_string()),
             "print_rr" => session.extended_r_display().map_err(|e| e.to_string()),
             "print_ss" => session.extended_s_display().map_err(|e| e.to_string()),
+            "plan" => session.plan_display().map_err(|e| e.to_string()),
             other => Err(format!("unknown command `{other}`")),
         };
         match outcome {

@@ -158,8 +158,10 @@ proptest! {
         }
     }
 
-    /// The blocked engine's output is identical for every thread
-    /// count (serial, fixed pools, auto).
+    /// The blocked engine's output is byte-identical for every
+    /// thread count (serial, fixed pools of 2 and 7, auto): the
+    /// planner's task list never depends on the worker count, only
+    /// the concurrency of draining it does.
     #[test]
     fn blocked_is_thread_count_invariant(config in arb_config()) {
         let w = generate(&config);
@@ -167,7 +169,7 @@ proptest! {
         let mut serial_cfg = base.clone();
         serial_cfg.threads = 1;
         let serial = run(&w.r, &w.s, &serial_cfg);
-        for threads in [0usize, 2, 5] {
+        for threads in [0usize, 2, 7] {
             let mut c = base.clone();
             c.threads = threads;
             let got = run(&w.r, &w.s, &c);
@@ -202,6 +204,99 @@ proptest! {
             c.join = join;
             let got = run(&w.r, &w.s, &c);
             assert_same_tables(&got, &oracle, &format!("{join:?} with extra rules"))?;
+        }
+    }
+
+    /// Planner equivalence: plan shapes follow the hint, the
+    /// planner-chosen Auto plan agrees byte-identically (after
+    /// canonical ordering) with the Hash-hint plan and the
+    /// NestedLoop oracle, and the degradation-ladder rewrites
+    /// (serial twin, index-free twin) do not change the executed
+    /// pair sets.
+    #[test]
+    fn planner_equivalence_and_rewrite_noops(config in arb_config()) {
+        use entity_id::core::plan::{PlanNodeKind, ProbeStrategy};
+
+        let w = generate(&config);
+        let base = MatchConfig::new(w.extended_key.clone(), w.ilfds.clone());
+
+        let canon_tables = |o: &MatchOutcome| {
+            let canon = |t: &PairTable| {
+                let mut v: Vec<String> = t
+                    .entries()
+                    .iter()
+                    .map(|e| format!("{} <-> {}", e.r_key, e.s_key))
+                    .collect();
+                v.sort();
+                v
+            };
+            (canon(&o.matching), canon(&o.negative))
+        };
+
+        // Plan shapes follow the hint: Auto probes the extended key,
+        // the NestedLoop oracle scans everything.
+        let auto_plan = EntityMatcher::new(w.r.clone(), w.s.clone(), base.clone())
+            .unwrap()
+            .plan()
+            .unwrap();
+        prop_assert!(auto_plan.probe_nodes().any(|n| matches!(
+            &n.kind,
+            PlanNodeKind::IdentityProbe { strategy: ProbeStrategy::Probe { .. }, .. }
+        )));
+        let mut nl_cfg = base.clone();
+        nl_cfg.join = JoinAlgorithm::NestedLoop;
+        let nl_plan = EntityMatcher::new(w.r.clone(), w.s.clone(), nl_cfg.clone())
+            .unwrap()
+            .plan()
+            .unwrap();
+        prop_assert!(nl_plan.probe_nodes().all(|n| matches!(
+            &n.kind,
+            PlanNodeKind::IdentityProbe { strategy: ProbeStrategy::Scan, .. }
+                | PlanNodeKind::Refute { strategy: ProbeStrategy::Scan, .. }
+        )));
+
+        // The three arms produce byte-identical tables once
+        // canonically ordered.
+        let auto = run(&w.r, &w.s, &base);
+        let golden = canon_tables(&auto);
+        let mut hash_cfg = base.clone();
+        hash_cfg.join = JoinAlgorithm::Hash;
+        for (cfg, tag) in [(hash_cfg, "hash"), (nl_cfg, "nested_loop")] {
+            let got = run(&w.r, &w.s, &cfg);
+            prop_assert_eq!(&canon_tables(&got), &golden, "{} vs auto", tag);
+            prop_assert_eq!(got.undetermined, auto.undetermined, "{}: undetermined", tag);
+        }
+
+        // Ladder rewrites are semantic no-ops on the executed pair
+        // sets (rung 2 = serial twin, memory degradation = index-free
+        // twin, rung 3 = both).
+        let matcher = EntityMatcher::new(w.r.clone(), w.s.clone(), base).unwrap();
+        let rb = matcher.rule_base().unwrap();
+        let exec = Executor::new(
+            &auto.extended_r.relation,
+            &auto.extended_s.relation,
+            &rb,
+            2,
+        );
+        let plan = exec.plan(true, true, ArmHint::Auto);
+        let guard = RunGuard::unlimited();
+        let canon_pairs = |p: &EnginePairs| {
+            let dedup_sort = |v: &[(u32, u32)]| {
+                let mut v = v.to_vec();
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            (dedup_sort(&p.matching), dedup_sort(&p.negative))
+        };
+        let baseline = canon_pairs(&exec.execute(&plan, &guard).unwrap());
+        for (tag, rewritten) in [
+            ("serial", plan.rewrite_serial()),
+            ("index-free", plan.rewrite_index_free()),
+            ("nested", plan.rewrite_index_free().rewrite_serial()),
+        ] {
+            let got = canon_pairs(&exec.execute(&rewritten, &guard).unwrap());
+            prop_assert_eq!(&got, &baseline, "rewrite {} changed the pair sets", tag);
         }
     }
 

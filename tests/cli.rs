@@ -124,6 +124,95 @@ fn unsound_key_prints_warning_but_succeeds() {
     assert!(text.contains("unsound matching result"));
 }
 
+/// Example 1 (Table 1): R(name, street, cuisine) and S(name, city,
+/// manager) share only `name`.
+const R1_CSV: &str = "name,street,cuisine\n\
+villagewok,wash_ave,chinese\n\
+ching,co_b_rd,chinese\n\
+oldcountry,co_b2_rd,american\n";
+
+const S1_CSV: &str = "name,city,manager\n\
+villagewok,mpls,hwang\n\
+oldcountry,roseville,libby\n\
+expresscafe,burnsville,tom\n";
+
+#[test]
+fn plan_command_prints_the_golden_example1_tree() {
+    let fx = Fixture::new("plan");
+    let r = fx.write("r.csv", R1_CSV);
+    let s = fx.write("s.csv", S1_CSV);
+    let rules = fx.write("k.rules", "e1.name != e2.name -> e1 != e2\n");
+    let args = [
+        "plan",
+        "--r",
+        &r,
+        "--r-key",
+        "name,street",
+        "--s",
+        &s,
+        "--s-key",
+        "name,city",
+        "--rules",
+        &rules,
+        "--key",
+        "name",
+    ];
+    let out = eid().args(args).output().expect("run eid plan");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Golden: the full indented tree, including the cost model's
+    // blocking-key rationale. 3×3 = 9 estimated pairs → serial.
+    let golden = "match plan — arm blocked, mode serial(auto-small)
+  mode: auto: 9 estimated pairs < 50000 — serial
+  derive(R) — extend R with missing extended-key attributes; ILFDs fill values (§5)
+  derive(S) — extend S with missing extended-key attributes; ILFDs fill values (§5)
+    encode — intern 3+3 rows into columnar u32 symbols; hot predicates become integer compares
+      block-index — build symbol-keyed inverted indexes for 1 probe plan(s)
+        probe(extended-key-equivalence) [probe 0] — blocking key ⟨name⟩ — most selective first: name (3 distinct, 0% null)
+      scan(line 1) [scan] — no single-≠ shape: fused residual scan
+          dedup — first-occurrence dedup of raw pair lists in id space; runs on two threads when the lists are large
+            classify — Figure-3 partition: MT / NMT / undetermined accounting
+";
+    assert_eq!(text, golden);
+
+    // The JSON form carries the same plan, machine-readably.
+    let out = eid().args(args).arg("--json").output().unwrap();
+    assert!(out.status.success());
+    let json = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "\"arm\": \"blocked\"",
+        "\"mode\": \"serial(auto-small)\"",
+        "\"workers\": 1",
+        "\"index_free\": false",
+        "\"kind\": \"identity-probe\"",
+        "\"strategy\": \"probe\"",
+        "\"key_positions\": [0]",
+        "\"kind\": \"refute\"",
+        "\"strategy\": \"scan\"",
+        "\"kind\": \"classify\"",
+    ] {
+        assert!(json.contains(needle), "missing {needle} in:\n{json}");
+    }
+
+    // --explain is an accepted synonym for the default text tree.
+    let out = eid().args(args).arg("--explain").output().unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout), golden);
+
+    // Forcing threads flips the plan to parallel without executing.
+    let out = eid().args(args).args(["--threads", "3"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("arm blocked_parallel, mode parallel(3)"),
+        "{text}"
+    );
+}
+
 #[test]
 fn validate_reports_rule_counts_and_redundancy() {
     let fx = Fixture::new("validate");
