@@ -31,6 +31,12 @@ struct Engine {
     name: &'static str,
     join: JoinAlgorithm,
     threads: usize,
+    /// Largest workload this arm runs at. The quadratic scalar
+    /// oracle arms stop at 3200 — beyond that they dominate the
+    /// whole benchmark's wall time while measuring nothing new; the
+    /// cross-engine agreement assert then uses the first *selected*
+    /// arm as its reference.
+    max_n: usize,
 }
 
 const ENGINES: &[Engine] = &[
@@ -38,21 +44,25 @@ const ENGINES: &[Engine] = &[
         name: "nested_loop",
         join: JoinAlgorithm::NestedLoop,
         threads: 1,
+        max_n: 3200,
     },
     Engine {
         name: "hash",
         join: JoinAlgorithm::Hash,
         threads: 1,
+        max_n: 3200,
     },
     Engine {
         name: "blocked",
         join: JoinAlgorithm::Blocked,
         threads: 1,
+        max_n: usize::MAX,
     },
     Engine {
         name: "blocked_parallel",
         join: JoinAlgorithm::Blocked,
         threads: 0,
+        max_n: usize::MAX,
     },
 ];
 
@@ -183,6 +193,7 @@ fn main() {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_matching.json").to_string();
     let mut sizes: Vec<usize> = Vec::new();
     let mut engines: Vec<&Engine> = ENGINES.iter().collect();
+    let mut kernels = eid_core::kernels::enabled_default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--out" {
@@ -198,19 +209,28 @@ fn main() {
                         .unwrap_or_else(|| panic!("unknown engine {name:?}"))
                 })
                 .collect();
+        } else if arg == "--kernels" {
+            let v = args.next().expect("--kernels needs on|off");
+            kernels = match v.as_str() {
+                "on" => true,
+                "off" => false,
+                other => panic!("--kernels must be on or off, got {other:?}"),
+            };
         } else {
             sizes.push(arg.parse().expect("sizes must be integers"));
         }
     }
     if sizes.is_empty() {
-        sizes = vec![200, 400, 800, 1600, 3200];
+        sizes = vec![200, 400, 800, 1600, 3200, 6400];
     }
 
     let mut size_objects = Vec::new();
     for &n in &sizes {
         let w = scaling_workload(n, 42);
-        let config = MatchConfig::new(w.extended_key.clone(), w.ilfds.clone());
+        let mut config = MatchConfig::new(w.extended_key.clone(), w.ilfds.clone());
+        config.kernels = kernels;
         let pairs = w.r.len() * w.s.len();
+        let selected: Vec<&Engine> = engines.iter().copied().filter(|e| n <= e.max_n).collect();
         eprintln!(
             "n_entities={n}: |R|={}, |S|={}, {pairs} pairs",
             w.r.len(),
@@ -218,9 +238,9 @@ fn main() {
         );
 
         let mut measurements: Vec<Measurement> = Vec::new();
-        for (engine, (outcome, seconds, plan_cache)) in engines
+        for (engine, (outcome, seconds, plan_cache)) in selected
             .iter()
-            .zip(measure_all(&engines, &config, &w.r, &w.s))
+            .zip(measure_all(&selected, &config, &w.r, &w.s))
         {
             eprintln!(
                 "  {:<17} {seconds:>10.4}s  {:>12.0} pairs/s  |MT|={} |NMT|={}",
@@ -242,21 +262,50 @@ fn main() {
         }
 
         // All engines must agree — this is a benchmark, not a place
-        // to quietly diverge from the oracle.
+        // to quietly diverge from the oracle (the first selected arm
+        // is the reference; with all arms on that is the nested-loop
+        // oracle up to its size cap).
         let oracle = &measurements[0];
         for m in &measurements[1..] {
             assert_eq!(
                 (m.matching, m.negative, m.undetermined),
                 (oracle.matching, oracle.negative, oracle.undetermined),
-                "{} disagrees with the nested-loop oracle at n={n}",
-                m.name
+                "{} disagrees with the {} reference at n={n}",
+                m.name,
+                oracle.name
             );
         }
 
+        // Kernels A/B: one blocked run with the kernel dispatch
+        // flipped must classify every pair identically — the planner
+        // flag is a pure performance decision.
+        let ab = {
+            let mut ab_config = config.clone();
+            ab_config.join = JoinAlgorithm::Blocked;
+            ab_config.threads = 0;
+            ab_config.kernels = !kernels;
+            EntityMatcher::new(w.r.clone(), w.s.clone(), ab_config)
+                .unwrap()
+                .run()
+                .unwrap()
+        };
+        assert_eq!(
+            (ab.matching.len(), ab.negative.len(), ab.undetermined),
+            (oracle.matching, oracle.negative, oracle.undetermined),
+            "kernels={} disagrees with kernels={kernels} at n={n}",
+            !kernels
+        );
+        let kernels_json = format!(
+            "\"kernels\": {{\"enabled\": {kernels}, \"simd\": \"{}\", \
+             \"ab_identical\": true}}",
+            eid_core::kernels::simd_level()
+        );
+
+        let nested = measurements.iter().find(|m| m.name == "nested_loop");
         let speedup = |name: &str| -> f64 {
-            match measurements.iter().find(|m| m.name == name) {
-                Some(m) => oracle.seconds / m.seconds,
-                None => f64::NAN, // serialized as null under --engines
+            match (nested, measurements.iter().find(|m| m.name == name)) {
+                (Some(base), Some(m)) => base.seconds / m.seconds,
+                _ => f64::NAN, // serialized as null when either arm is absent
             }
         };
         let engines_json: Vec<String> = measurements
@@ -286,6 +335,7 @@ fn main() {
                 "      \"r_rows\": {},\n",
                 "      \"s_rows\": {},\n",
                 "      \"pairs\": {},\n",
+                "      {},\n",
                 "      \"engines\": [\n        {}\n      ],\n",
                 "      \"speedup_blocked_vs_nested_loop\": {},\n",
                 "      \"speedup_blocked_parallel_vs_nested_loop\": {}\n",
@@ -295,11 +345,57 @@ fn main() {
             w.r.len(),
             w.s.len(),
             pairs,
+            kernels_json,
             engines_json.join(",\n        "),
             json_f64(speedup("blocked")),
             json_f64(speedup("blocked_parallel"))
         ));
     }
+
+    // Core-count scaling at the largest size: the blocked arm's task
+    // queue is worker-count-invariant in output, so throughput per
+    // thread count is a clean strong-scaling curve.
+    let scaling_json = {
+        let avail = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let n = sizes.iter().copied().max().unwrap_or(0);
+        let w = scaling_workload(n, 42);
+        let pairs = (w.r.len() * w.s.len()) as f64;
+        let mut threads: Vec<usize> = Vec::new();
+        let mut t = 1;
+        while t < avail {
+            threads.push(t);
+            t *= 2;
+        }
+        threads.push(avail);
+        let mut rows = Vec::new();
+        for &t in &threads {
+            let mut config = MatchConfig::new(w.extended_key.clone(), w.ilfds.clone());
+            config.join = JoinAlgorithm::Blocked;
+            config.threads = t;
+            config.kernels = kernels;
+            let matcher = EntityMatcher::new(w.r.clone(), w.s.clone(), config).unwrap();
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let start = Instant::now();
+                matcher.run().unwrap();
+                best = best.min(start.elapsed().as_secs_f64());
+            }
+            eprintln!(
+                "scaling n={n} threads={t}: {best:.4}s  {:.0} pairs/s",
+                pairs / best
+            );
+            rows.push(format!(
+                "{{\"threads\": {t}, \"seconds\": {}, \"pairs_per_sec\": {}}}",
+                json_f64(best),
+                json_f64(pairs / best)
+            ));
+        }
+        format!(
+            "  \"scaling\": {{\"available_parallelism\": {avail}, \"n_entities\": {n}, \
+             \"blocked_by_threads\": [\n    {}\n  ]}},\n",
+            rows.join(",\n    ")
+        )
+    };
 
     let json = format!(
         concat!(
@@ -307,9 +403,11 @@ fn main() {
             "  \"benchmark\": \"matching\",\n",
             "  \"workload\": \"eid_bench::scaling_workload(n, 42), full refutation\",\n",
             "  \"metric\": \"pairs_per_sec = |R|*|S| / best-of-N wall seconds (N sized to ~0.6-1.2s)\",\n",
+            "{}",
             "  \"sizes\": [\n{}\n  ]\n",
             "}}\n"
         ),
+        scaling_json,
         size_objects.join(",\n")
     );
 

@@ -61,11 +61,12 @@ use eid_obs::Recorder;
 use eid_relational::{Columns, FxHashMap, Interner, Relation, Sym, Tuple, NULL_SYM};
 use eid_rules::{
     CompiledRuleBase, InternedDistinctShape, InternedIdentityShape, InternedRule, InternedRuleBase,
-    NeqSide, RuleBase,
+    KernelShape, NeqSide, RuleBase,
 };
 
 use crate::error::{CoreError, Result};
-use crate::plan::{ArmHint, ExecMode, MatchPlan, PlanNodeKind, ProbeStrategy};
+use crate::kernels::{self, KernelTally, Mask, Term, TermOp, FULL_MASK, LANES};
+use crate::plan::{ArmHint, ExecMode, MatchPlan, PlanNodeKind, ProbeStrategy, RuleFamily};
 use crate::planner::Planner;
 use crate::runtime::{AbortReason, RunGuard};
 use crate::stats::{counter, histogram, label, node_counter, rule_counter, span};
@@ -141,12 +142,87 @@ enum PlanKind<'e> {
         rule: &'e InternedRule,
         shape: InternedDistinctShape,
     },
+    /// Kernel-dispatched identity plan: per driver, the `S` side is
+    /// scanned in L2-sized tiles with the conjunctive equality kernel
+    /// instead of probing an index — the planner emits this when the
+    /// blocking key is non-selective enough that a probe would touch
+    /// every row anyway. Byte-identical to the `Identity` probe twin.
+    VectorEq {
+        rule: &'e InternedRule,
+        shape: InternedIdentityShape,
+        tile: usize,
+    },
+    /// Kernel-dispatched distinctness plan: drivers are produced by
+    /// the disagreement kernel over the `≠` column (every driver
+    /// *definitely* fires against every literal-block row, so
+    /// execution is pure bulk pair emission — no per-pair rule
+    /// evaluation at all). Byte-identical to the `Distinct` twin.
+    VectorDisagree {
+        rule: &'e InternedRule,
+        shape: InternedDistinctShape,
+    },
     /// Interned pairwise scan of non-indexable rules (all `Scan`
-    /// strategies fused); drivers are all `R` rows.
+    /// strategies fused); drivers are all `R` rows. Kernel-shaped
+    /// rules are additionally precompiled into [`ResidualVec`] term
+    /// lists so the tiled scan can evaluate them lane-wide, with the
+    /// remaining rules falling back to scalar `fires` per pair.
     Residual {
         identity: Vec<&'e InternedRule>,
         distinct: Vec<&'e InternedRule>,
+        vec_rules: Vec<ResidualVec>,
     },
+}
+
+/// One residual rule precompiled for tiled lane-wide evaluation:
+/// driver-row checks resolved per `R` row, then a conjunction of
+/// `S`-column terms the kernels evaluate 16 lanes at a time.
+struct ResidualVec {
+    /// Fires into the matching (identity) or negative (distinctness)
+    /// list.
+    is_identity: bool,
+    /// (`R` column, symbol, op) checks on the driver row; all must
+    /// pass (3-valued: NULL never passes) or the rule is inactive for
+    /// that driver.
+    r_checks: Vec<(usize, Sym, TermOp)>,
+    /// (`R` position, `S` position) join pairs — the `S` term's
+    /// symbol is gathered from the driver row (NULL deactivates).
+    joins: Vec<(usize, usize)>,
+    /// (`S` column, symbol, op) constant terms.
+    s_consts: Vec<(usize, Sym, TermOp)>,
+}
+
+impl ResidualVec {
+    /// Precompiles one kernel-shaped rule; `None` when the rule is
+    /// not kernel-eligible (evaluated scalar instead).
+    fn build(rule: &InternedRule, is_identity: bool) -> Option<ResidualVec> {
+        rule.kernel_shape()?;
+        let eq = |lits: &[(usize, Sym)]| -> Vec<(usize, Sym, TermOp)> {
+            lits.iter().map(|&(p, s)| (p, s, TermOp::Eq)).collect()
+        };
+        if is_identity {
+            let shape = rule.identity_shape()?;
+            Some(ResidualVec {
+                is_identity,
+                r_checks: eq(&shape.r_lits),
+                joins: shape.join.clone(),
+                s_consts: eq(&shape.s_lits),
+            })
+        } else {
+            let shape = rule.distinct_shape()?;
+            let mut r_checks = eq(&shape.r_lits);
+            let mut s_consts = eq(&shape.s_lits);
+            match shape.neq.0 {
+                NeqSide::R => r_checks.push((shape.neq.1, shape.neq.2, TermOp::Ne)),
+                NeqSide::S => s_consts.push((shape.neq.1, shape.neq.2, TermOp::Ne)),
+            }
+            Some(ResidualVec {
+                is_identity,
+                r_checks,
+                joins: Vec::new(),
+                s_consts,
+            })
+        }
+    }
 }
 
 /// Per-driver candidate-pair weights of a plan.
@@ -200,6 +276,8 @@ struct Task {
 struct TaskReport {
     nanos: u64,
     tally: Tally,
+    /// Kernel batch accounting for this task (zero on scalar paths).
+    kernel: KernelTally,
 }
 
 /// One task's local tallies, aggregated per plan before flushing.
@@ -243,10 +321,6 @@ impl SymIndex {
 struct SideIndexes {
     /// Multi-column equality indexes, keyed by sorted positions.
     multi: FxHashMap<Vec<usize>, SymIndex>,
-    /// Single-column symbol groups in first-occurrence order (used to
-    /// enumerate rows *disagreeing* with a constant; deterministic
-    /// iteration, unlike a raw `HashMap`).
-    groups: FxHashMap<usize, Vec<(Sym, Vec<u32>)>>,
 }
 
 /// The one place match plans run. Construction compiles + encodes;
@@ -265,6 +339,7 @@ pub struct Executor {
     attrs_r: Vec<String>,
     attrs_s: Vec<String>,
     threads: usize,
+    kernels: bool,
     recorder: Recorder,
 }
 
@@ -351,8 +426,23 @@ impl Executor {
             cols_r,
             cols_s,
             threads,
+            kernels: kernels::enabled_default(),
             recorder,
         }
+    }
+
+    /// Enables or disables vectorized-kernel dispatch for this
+    /// executor's planner (the `EID_KERNELS` environment variable
+    /// sets the default). With kernels off, plans never contain
+    /// `VectorScan` nodes and residual scans evaluate scalar rules
+    /// only — the classification outcome is identical either way.
+    pub fn set_kernels(&mut self, on: bool) {
+        self.kernels = on;
+    }
+
+    /// Whether vectorized-kernel dispatch is enabled.
+    pub fn kernels_enabled(&self) -> bool {
+        self.kernels
     }
 
     /// The compiled rule base (for inspection/tests).
@@ -415,15 +505,18 @@ impl Executor {
     /// families under `hint`, reading column statistics off the
     /// interned columns. Pure planning — nothing executes.
     pub fn plan(&self, record_identity: bool, record_distinct: bool, hint: ArmHint) -> MatchPlan {
+        let stats_r = self.cols_r.column_stats();
         let stats_s = self.cols_s.column_stats();
         Planner::new(
             &self.interned,
+            &stats_r,
             &stats_s,
             &self.attrs_r,
             &self.attrs_s,
             self.cols_r.rows(),
             self.cols_s.rows(),
             self.threads,
+            self.kernels,
         )
         .plan(record_identity, record_distinct, hint)
     }
@@ -559,6 +652,10 @@ impl Executor {
         let mut residual_identity: Vec<&InternedRule> = Vec::new();
         let mut residual_distinct: Vec<&InternedRule> = Vec::new();
         let mut residual_node: Option<usize> = None;
+        // Index-free plans are the degradation ladder's scalar rungs
+        // (and the memory-degraded arm): keep them kernel-free so a
+        // kernel fault can never survive its own fallback.
+        let vectorize_residual = self.kernels && !plan.index_free;
         for node in &plan.nodes {
             match &node.kind {
                 PlanNodeKind::IdentityProbe { rule, strategy } => {
@@ -637,6 +734,66 @@ impl Executor {
                         }
                     }
                 }
+                PlanNodeKind::VectorScan {
+                    rule,
+                    shape: kshape,
+                    tile_rows,
+                    ..
+                } => {
+                    let tile = (*tile_rows).max(LANES);
+                    match rule.family {
+                        RuleFamily::Identity => {
+                            let interned =
+                                self.interned.identity.get(rule.index).ok_or_else(|| {
+                                    invalid(format!("identity rule #{} out of range", rule.index))
+                                })?;
+                            if !matches!(kshape, KernelShape::EqSingle | KernelShape::EqMulti)
+                                || interned.kernel_shape() != Some(*kshape)
+                            {
+                                return Err(invalid(format!(
+                                    "vector-scan shape {kshape:?} does not match identity \
+                                     rule {}",
+                                    rule.name
+                                )));
+                            }
+                            let shape = interned.identity_shape().ok_or_else(|| {
+                                invalid(format!("rule {} has no identity shape", rule.name))
+                            })?;
+                            kinds.push(PlanKind::VectorEq {
+                                rule: interned,
+                                shape,
+                                tile,
+                            });
+                            node_of.push(node.id);
+                        }
+                        RuleFamily::Distinct => {
+                            let interned =
+                                self.interned.distinctness.get(rule.index).ok_or_else(|| {
+                                    invalid(format!(
+                                        "distinctness rule #{} out of range",
+                                        rule.index
+                                    ))
+                                })?;
+                            if *kshape != KernelShape::Disagree
+                                || interned.kernel_shape() != Some(*kshape)
+                            {
+                                return Err(invalid(format!(
+                                    "vector-scan shape {kshape:?} does not match distinctness \
+                                     rule {}",
+                                    rule.name
+                                )));
+                            }
+                            let shape = interned.distinct_shape().ok_or_else(|| {
+                                invalid(format!("rule {} has no distinctness shape", rule.name))
+                            })?;
+                            kinds.push(PlanKind::VectorDisagree {
+                                rule: interned,
+                                shape,
+                            });
+                            node_of.push(node.id);
+                        }
+                    }
+                }
                 // Derive/Encode/Block/Dedup/Classify are the
                 // matcher's (and constructor's) stages; the executor
                 // only runs the probe DAG.
@@ -644,9 +801,29 @@ impl Executor {
             }
         }
         if !residual_identity.is_empty() || !residual_distinct.is_empty() {
+            let mut vec_rules: Vec<ResidualVec> = Vec::new();
+            if vectorize_residual {
+                let mut scalar_identity = Vec::new();
+                for rule in residual_identity {
+                    match ResidualVec::build(rule, true) {
+                        Some(v) => vec_rules.push(v),
+                        None => scalar_identity.push(rule),
+                    }
+                }
+                residual_identity = scalar_identity;
+                let mut scalar_distinct = Vec::new();
+                for rule in residual_distinct {
+                    match ResidualVec::build(rule, false) {
+                        Some(v) => vec_rules.push(v),
+                        None => scalar_distinct.push(rule),
+                    }
+                }
+                residual_distinct = scalar_distinct;
+            }
             kinds.push(PlanKind::Residual {
                 identity: residual_identity,
                 distinct: residual_distinct,
+                vec_rules,
             });
             node_of.push(residual_node.unwrap_or(plan.nodes.len()));
         }
@@ -725,17 +902,19 @@ impl Executor {
         let task_nanos = self.recorder.histogram(histogram::ENGINE_TASK_NANOS);
         let mut block: Vec<(u64, u64)> = vec![(0, 0); plans.len()];
         let mut residual = (0u64, 0u64, 0u64);
+        let mut kernel = KernelTally::default();
         for (task, (_, report)) in tasks.iter().zip(outputs) {
             task_nanos.record(report.nanos);
+            kernel.merge(&report.kernel);
             let path = match &plans[task.plan].kind {
-                PlanKind::Identity { rule, .. } => {
+                PlanKind::Identity { rule, .. } | PlanKind::VectorEq { rule, .. } => {
                     self.recorder.record_span(
                         &format!("{}/{}", span::ENGINE_IDENTITY, rule.name),
                         report.nanos,
                     );
                     span::ENGINE_IDENTITY
                 }
-                PlanKind::Distinct { rule, .. } => {
+                PlanKind::Distinct { rule, .. } | PlanKind::VectorDisagree { rule, .. } => {
                     self.recorder.record_span(
                         &format!("{}/{}", span::ENGINE_REFUTE, rule.name),
                         report.nanos,
@@ -764,12 +943,19 @@ impl Executor {
                 }
             }
         }
+        if !kernel.is_zero() {
+            self.recorder.add(counter::KERNEL_BATCHES, kernel.batches);
+            self.recorder
+                .add(counter::KERNEL_LANES_USED, kernel.lane_rows);
+            self.recorder
+                .add(counter::KERNEL_SCALAR_FALLBACK, kernel.scalar_tail);
+        }
         for (plan, &(candidates, accepted)) in plans.iter().zip(&block) {
             match &plan.kind {
-                PlanKind::Identity { rule, .. } => {
+                PlanKind::Identity { rule, .. } | PlanKind::VectorEq { rule, .. } => {
                     self.flush_block("identity", &rule.name, plan.node, candidates, accepted)
                 }
-                PlanKind::Distinct { rule, .. } => {
+                PlanKind::Distinct { rule, .. } | PlanKind::VectorDisagree { rule, .. } => {
                     self.flush_block("distinct", &rule.name, plan.node, candidates, accepted)
                 }
                 PlanKind::Residual { .. } => {
@@ -893,13 +1079,26 @@ impl Executor {
         indexes: &Indexes,
     ) -> (EnginePairs, TaskReport) {
         let start = Instant::now();
-        let (out, tally) = self.run_task(plans, task, indexes);
+        let (out, tally, kernel) = self.run_task(plans, task, indexes);
         let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-        (out, TaskReport { nanos, tally })
+        (
+            out,
+            TaskReport {
+                nanos,
+                tally,
+                kernel,
+            },
+        )
     }
 
-    fn run_task(&self, plans: &[Plan<'_>], task: &Task, indexes: &Indexes) -> (EnginePairs, Tally) {
+    fn run_task(
+        &self,
+        plans: &[Plan<'_>],
+        task: &Task,
+        indexes: &Indexes,
+    ) -> (EnginePairs, Tally, KernelTally) {
         let mut out = EnginePairs::default();
+        let mut kernel = KernelTally::default();
         let plan = &plans[task.plan];
         let drivers = &plan.drivers[task.drivers.clone()];
         let tally = match &plan.kind {
@@ -920,36 +1119,339 @@ impl Executor {
                     .reserve(task.est_pairs.min(TASK_RESERVE_CAP) as usize);
                 self.run_distinct(rule, shape, drivers, indexes, &mut out.negative)
             }
-            PlanKind::Residual { identity, distinct } => {
-                let mut pairs = 0u64;
-                let mut matched = 0u64;
-                let mut refuted = 0u64;
-                let s_rows = self.cols_s.rows();
-                for &i in drivers {
-                    for j in 0..s_rows {
-                        pairs += 1;
-                        if identity.iter().any(|r| {
-                            r.fires(&self.cols_r, i as usize, &self.cols_s, j, &self.interner)
-                        }) {
-                            matched += 1;
-                            out.matching.push((i, j as u32));
-                        }
-                        if distinct.iter().any(|r| {
-                            r.fires(&self.cols_r, i as usize, &self.cols_s, j, &self.interner)
-                        }) {
-                            refuted += 1;
-                            out.negative.push((i, j as u32));
+            PlanKind::VectorEq { shape, tile, .. } => {
+                self.run_vector_eq(shape, *tile, drivers, &mut kernel, &mut out.matching)
+            }
+            PlanKind::VectorDisagree { shape, .. } => {
+                out.negative
+                    .reserve(task.est_pairs.min(TASK_RESERVE_CAP) as usize);
+                self.run_vector_disagree(shape, drivers, indexes, &mut out.negative)
+            }
+            PlanKind::Residual {
+                identity,
+                distinct,
+                vec_rules,
+            } => self.run_residual(
+                identity,
+                distinct,
+                vec_rules,
+                drivers,
+                &mut kernel,
+                &mut out,
+            ),
+        };
+        (out, tally, kernel)
+    }
+
+    /// Tiled residual scan over one driver chunk. The `S` side is
+    /// walked in L2-sized row tiles; inside a tile, kernel-shaped
+    /// rules evaluate lane-wide through their precompiled term lists
+    /// while the remaining rules fall back to scalar `fires` on lanes
+    /// the kernels left unset. Per-driver row buffers are concatenated
+    /// in driver order, so the emitted pair order is byte-identical to
+    /// the untiled scalar loop.
+    fn run_residual(
+        &self,
+        identity: &[&InternedRule],
+        distinct: &[&InternedRule],
+        vec_rules: &[ResidualVec],
+        drivers: &[u32],
+        kernel: &mut KernelTally,
+        out: &mut EnginePairs,
+    ) -> Tally {
+        /// One driver's resolved vector rules: the identity and
+        /// distinctness term lists still in play for this row.
+        type DriverTerms<'c> = (Vec<Vec<Term<'c>>>, Vec<Vec<Term<'c>>>);
+        let s_rows = self.cols_s.rows();
+        // Resolve each vector rule against each driver row once:
+        // driver-side checks either deactivate the rule or pin its
+        // `S`-column term list for the whole scan.
+        let states: Vec<DriverTerms<'_>> = drivers
+            .iter()
+            .map(|&i| {
+                let mut id_terms = Vec::new();
+                let mut dist_terms = Vec::new();
+                for vr in vec_rules {
+                    if let Some(terms) = self.resolve_residual_terms(vr, i as usize) {
+                        if vr.is_identity {
+                            id_terms.push(terms);
+                        } else {
+                            dist_terms.push(terms);
                         }
                     }
                 }
-                Tally::Residual {
-                    pairs,
-                    matched,
-                    refuted,
+                (id_terms, dist_terms)
+            })
+            .collect();
+        let tile = kernels::tile_rows(self.cols_s.arity().max(1));
+        let mut match_bufs: Vec<Vec<u32>> = vec![Vec::new(); drivers.len()];
+        let mut neg_bufs: Vec<Vec<u32>> = vec![Vec::new(); drivers.len()];
+        let mut tile_start = 0usize;
+        while tile_start < s_rows {
+            let tile_end = (tile_start + tile).min(s_rows);
+            for (di, &i) in drivers.iter().enumerate() {
+                let (id_terms, dist_terms) = &states[di];
+                self.residual_driver_tile(
+                    i as usize,
+                    tile_start..tile_end,
+                    id_terms,
+                    identity,
+                    dist_terms,
+                    distinct,
+                    kernel,
+                    &mut match_bufs[di],
+                    &mut neg_bufs[di],
+                );
+            }
+            tile_start = tile_end;
+        }
+        let mut matched = 0u64;
+        let mut refuted = 0u64;
+        out.matching.reserve(match_bufs.iter().map(Vec::len).sum());
+        out.negative.reserve(neg_bufs.iter().map(Vec::len).sum());
+        for (di, &i) in drivers.iter().enumerate() {
+            matched += match_bufs[di].len() as u64;
+            refuted += neg_bufs[di].len() as u64;
+            out.matching.extend(match_bufs[di].iter().map(|&j| (i, j)));
+            out.negative.extend(neg_bufs[di].iter().map(|&j| (i, j)));
+        }
+        Tally::Residual {
+            pairs: drivers.len() as u64 * s_rows as u64,
+            matched,
+            refuted,
+        }
+    }
+
+    /// Resolves one precompiled residual rule against driver row `i`:
+    /// `None` when a driver-side check fails or a join symbol is NULL
+    /// (the rule cannot definitely fire for this driver), otherwise
+    /// the `S`-column term list the kernels evaluate.
+    fn resolve_residual_terms(&self, vr: &ResidualVec, i: usize) -> Option<Vec<Term<'_>>> {
+        for &(pos, sym, op) in &vr.r_checks {
+            let cell = self.cols_r.get(i, pos);
+            let pass = match op {
+                TermOp::Eq => cell == sym,
+                TermOp::Ne => cell != sym && cell != NULL_SYM,
+            };
+            if !pass {
+                return None;
+            }
+        }
+        let mut terms = Vec::with_capacity(vr.joins.len() + vr.s_consts.len());
+        for &(rp, sp) in &vr.joins {
+            let sym = self.cols_r.get(i, rp);
+            if sym == NULL_SYM {
+                return None;
+            }
+            terms.push(Term {
+                col: self.cols_s.col(sp),
+                sym,
+                op: TermOp::Eq,
+            });
+        }
+        for &(sp, sym, op) in &vr.s_consts {
+            terms.push(Term {
+                col: self.cols_s.col(sp),
+                sym,
+                op,
+            });
+        }
+        Some(terms)
+    }
+
+    /// One driver's pass over one `S` tile: lane-wide masks from the
+    /// vector rules, scalar `fires` filling lanes they left unset,
+    /// matching/refuted rows appended in ascending order.
+    #[allow(clippy::too_many_arguments)]
+    fn residual_driver_tile(
+        &self,
+        i: usize,
+        range: Range<usize>,
+        id_terms: &[Vec<Term<'_>>],
+        id_scalar: &[&InternedRule],
+        dist_terms: &[Vec<Term<'_>>],
+        dist_scalar: &[&InternedRule],
+        kernel: &mut KernelTally,
+        match_buf: &mut Vec<u32>,
+        neg_buf: &mut Vec<u32>,
+    ) {
+        let vectored = !id_terms.is_empty() || !dist_terms.is_empty();
+        if vectored {
+            kernel.batches += 1;
+        }
+        let scalar_any = |rules: &[&InternedRule], j: usize| {
+            rules
+                .iter()
+                .any(|r| r.fires(&self.cols_r, i, &self.cols_s, j, &self.interner))
+        };
+        let mut j = range.start;
+        while j + LANES <= range.end {
+            let fill = |term_lists: &[Vec<Term<'_>>], scalar: &[&InternedRule]| -> Mask {
+                let mut mask: Mask = 0;
+                for terms in term_lists {
+                    if mask == FULL_MASK {
+                        break;
+                    }
+                    mask |= kernels::conj_chunk(terms, j);
+                }
+                if !scalar.is_empty() && mask != FULL_MASK {
+                    for lane in 0..LANES {
+                        if mask & (1 << lane) == 0 && scalar_any(scalar, j + lane) {
+                            mask |= 1 << lane;
+                        }
+                    }
+                }
+                mask
+            };
+            let mut m = fill(id_terms, id_scalar);
+            while m != 0 {
+                let lane = m.trailing_zeros() as usize;
+                match_buf.push((j + lane) as u32);
+                m &= m - 1;
+            }
+            let mut d = fill(dist_terms, dist_scalar);
+            while d != 0 {
+                let lane = d.trailing_zeros() as usize;
+                neg_buf.push((j + lane) as u32);
+                d &= d - 1;
+            }
+            if vectored {
+                kernel.lane_rows += LANES as u64;
+            }
+            j += LANES;
+        }
+        while j < range.end {
+            let id_hit = id_terms.iter().any(|t| t.iter().all(|term| term.test(j)))
+                || scalar_any(id_scalar, j);
+            if id_hit {
+                match_buf.push(j as u32);
+            }
+            let dist_hit = dist_terms.iter().any(|t| t.iter().all(|term| term.test(j)))
+                || scalar_any(dist_scalar, j);
+            if dist_hit {
+                neg_buf.push(j as u32);
+            }
+            if vectored {
+                kernel.scalar_tail += 1;
+            }
+            j += 1;
+        }
+    }
+
+    /// Vectorized identity plan over one driver chunk: each driver's
+    /// join symbols (plus the rule's `S` constants) become a term
+    /// conjunction the equality kernel scans over `S` in L2-sized
+    /// tiles. Every emitted row *definitely* fires the full rule (the
+    /// terms cover all of its predicates), so there is no per-pair
+    /// verification — and the emission order (drivers ascending, `S`
+    /// rows ascending per driver) is byte-identical to the probe twin.
+    fn run_vector_eq(
+        &self,
+        shape: &InternedIdentityShape,
+        tile: usize,
+        drivers: &[u32],
+        kernel: &mut KernelTally,
+        out: &mut Vec<(u32, u32)>,
+    ) -> Tally {
+        let s_rows = self.cols_s.rows();
+        let terms_of: Vec<Option<Vec<Term<'_>>>> = drivers
+            .iter()
+            .map(|&i| {
+                let mut terms = Vec::with_capacity(shape.join.len() + shape.s_lits.len());
+                for &(rp, sp) in &shape.join {
+                    let sym = self.cols_r.get(i as usize, rp);
+                    if sym == NULL_SYM {
+                        return None;
+                    }
+                    terms.push(Term {
+                        col: self.cols_s.col(sp),
+                        sym,
+                        op: TermOp::Eq,
+                    });
+                }
+                for &(sp, sym) in &shape.s_lits {
+                    terms.push(Term {
+                        col: self.cols_s.col(sp),
+                        sym,
+                        op: TermOp::Eq,
+                    });
+                }
+                Some(terms)
+            })
+            .collect();
+        let mut bufs: Vec<Vec<u32>> = vec![Vec::new(); drivers.len()];
+        let mut tile_start = 0usize;
+        while tile_start < s_rows {
+            let tile_end = (tile_start + tile).min(s_rows);
+            for (di, terms) in terms_of.iter().enumerate() {
+                if let Some(terms) = terms {
+                    let buf = &mut bufs[di];
+                    kernels::conj_scan(terms, tile_start..tile_end, kernel, |j| buf.push(j));
                 }
             }
+            tile_start = tile_end;
+        }
+        let mut candidates = 0u64;
+        let mut accepted = 0u64;
+        out.reserve(bufs.iter().map(Vec::len).sum());
+        for (di, &i) in drivers.iter().enumerate() {
+            if terms_of[di].is_some() {
+                candidates += s_rows as u64;
+            }
+            accepted += bufs[di].len() as u64;
+            out.extend(bufs[di].iter().map(|&j| (i, j)));
+        }
+        Tally::Block {
+            candidates,
+            accepted,
+        }
+    }
+
+    /// Vectorized distinctness plan over one driver chunk: the
+    /// build-phase disagreement kernel already proved every driver
+    /// disagrees with the constant (and satisfies its side's
+    /// literals), and every literal-block row satisfies the opposite
+    /// side's literals — so every (driver, literal-row) pair
+    /// definitely fires and execution is pure pair emission. The
+    /// emission order matches the scalar twin's ascending driver
+    /// enumeration exactly.
+    fn run_vector_disagree(
+        &self,
+        shape: &InternedDistinctShape,
+        drivers: &[u32],
+        indexes: &Indexes,
+        out: &mut Vec<(u32, u32)>,
+    ) -> Tally {
+        let neq_side = RelSide::from(shape.neq.0);
+        let lit_side = neq_side.opposite();
+        let lit_lits = match neq_side {
+            RelSide::R => &shape.s_lits,
+            RelSide::S => &shape.r_lits,
         };
-        (out, tally)
+        let lit_vec = indexes
+            .lit_rows(lit_side, lit_lits, self.side_rows(lit_side))
+            .to_vec();
+        match neq_side {
+            RelSide::R => {
+                for &i in drivers {
+                    for &j in &lit_vec {
+                        out.push((i, j));
+                    }
+                }
+            }
+            RelSide::S => {
+                for &j in drivers {
+                    for &i in &lit_vec {
+                        out.push((i, j));
+                    }
+                }
+            }
+        }
+        let pairs = drivers.len() as u64 * lit_vec.len() as u64;
+        Tally::Block {
+            candidates: pairs,
+            accepted: pairs,
+        }
     }
 
     /// Flushes one block plan's aggregated tallies: global blocking
@@ -1102,7 +1604,6 @@ impl Executor {
     fn build_indexes(&self, kinds: &[PlanKind<'_>]) -> Indexes {
         let mut indexes = Indexes::default();
         let mut want_multi: Vec<(RelSide, Vec<usize>)> = Vec::new();
-        let mut want_groups: Vec<(RelSide, usize)> = Vec::new();
         for kind in kinds {
             match kind {
                 PlanKind::Identity {
@@ -1120,7 +1621,12 @@ impl Executor {
                         }
                     }
                 }
-                PlanKind::Distinct { shape, .. } => {
+                PlanKind::VectorEq { shape, .. } => {
+                    if let Some(p) = lit_positions(&shape.r_lits) {
+                        want_multi.push((RelSide::R, p));
+                    }
+                }
+                PlanKind::Distinct { shape, .. } | PlanKind::VectorDisagree { shape, .. } => {
                     let neq_side = RelSide::from(shape.neq.0);
                     let (lit_lits, neq_lits) = match neq_side {
                         RelSide::R => (&shape.s_lits, &shape.r_lits),
@@ -1129,9 +1635,11 @@ impl Executor {
                     if let Some(p) = lit_positions(lit_lits) {
                         want_multi.push((neq_side.opposite(), p));
                     }
-                    match lit_positions(neq_lits) {
-                        Some(p) => want_multi.push((neq_side, p)),
-                        None => want_groups.push((neq_side, shape.neq.1)),
+                    // With no `≠`-side literals the drivers come from
+                    // a direct ascending scan of the `≠` column — no
+                    // index needed.
+                    if let Some(p) = lit_positions(neq_lits) {
+                        want_multi.push((neq_side, p));
                     }
                 }
                 PlanKind::Residual { .. } => {}
@@ -1144,14 +1652,6 @@ impl Executor {
                 .multi
                 .entry(positions.clone())
                 .or_insert_with(|| SymIndex::build(cols, &positions));
-        }
-        for (side, pos) in want_groups {
-            let cols = self.side_cols(side);
-            indexes
-                .side_mut(side)
-                .groups
-                .entry(pos)
-                .or_insert_with(|| column_groups(cols, pos));
         }
         indexes
     }
@@ -1166,6 +1666,10 @@ impl Executor {
         indexes: &Indexes,
     ) -> Vec<Plan<'e>> {
         let mut plans = Vec::with_capacity(kinds.len() + 1);
+        // Driver enumeration for vector plans runs the disagreement
+        // kernel here, on the main thread — its batches are flushed
+        // directly (task-phase tallies travel via TaskReport).
+        let mut build_tally = KernelTally::default();
         for (kind, &node) in kinds.into_iter().zip(node_of) {
             let (drivers, weights) = match &kind {
                 PlanKind::Identity {
@@ -1221,11 +1725,15 @@ impl Executor {
                         Vec::new() // nothing to pair with
                     } else if neq_lits.is_empty() {
                         // The ILFD-induced shape: rows disagreeing
-                        // with the constant, in group order.
+                        // with the constant, in ascending row order —
+                        // the same enumeration the disagreement
+                        // kernel produces, so the vectorized twin is
+                        // byte-identical.
+                        let col = self.side_cols(neq_side).col(shape.neq.1);
                         let mut drivers = Vec::new();
-                        for (sym, rows) in indexes.groups(neq_side, shape.neq.1) {
-                            if *sym != shape.neq.2 {
-                                drivers.extend_from_slice(rows);
+                        for (row, &sym) in col.iter().enumerate() {
+                            if sym != shape.neq.2 && sym != NULL_SYM {
+                                drivers.push(row as u32);
                             }
                         }
                         drivers
@@ -1233,6 +1741,48 @@ impl Executor {
                         indexes
                             .lit_rows(neq_side, neq_lits, self.side_rows(neq_side))
                             .to_vec()
+                    };
+                    (drivers, PlanWeights::Uniform(fan_out))
+                }
+                PlanKind::VectorEq { shape, .. } => {
+                    let drivers = indexes
+                        .lit_rows(RelSide::R, &shape.r_lits, self.cols_r.rows())
+                        .to_vec();
+                    (drivers, PlanWeights::Uniform(self.cols_s.rows() as u64))
+                }
+                PlanKind::VectorDisagree { shape, .. } => {
+                    let neq_side = RelSide::from(shape.neq.0);
+                    let (lit_lits, neq_lits) = match neq_side {
+                        RelSide::R => (&shape.s_lits, &shape.r_lits),
+                        RelSide::S => (&shape.r_lits, &shape.s_lits),
+                    };
+                    let fan_out = indexes
+                        .lit_rows(
+                            neq_side.opposite(),
+                            lit_lits,
+                            self.side_rows(neq_side.opposite()),
+                        )
+                        .len() as u64;
+                    let col = self.side_cols(neq_side).col(shape.neq.1);
+                    let drivers = if fan_out == 0 {
+                        Vec::new() // nothing to pair with
+                    } else if neq_lits.is_empty() {
+                        let mut drivers = Vec::with_capacity(col.len());
+                        kernels::disagree_rows(col, shape.neq.2, &mut build_tally, &mut drivers);
+                        drivers
+                    } else {
+                        let candidates = indexes
+                            .lit_rows(neq_side, neq_lits, self.side_rows(neq_side))
+                            .to_vec();
+                        let mut drivers = Vec::with_capacity(candidates.len());
+                        kernels::gather_disagree(
+                            col,
+                            shape.neq.2,
+                            &candidates,
+                            &mut build_tally,
+                            &mut drivers,
+                        );
+                        drivers
                     };
                     (drivers, PlanWeights::Uniform(fan_out))
                 }
@@ -1247,6 +1797,14 @@ impl Executor {
                 drivers,
                 weights,
             });
+        }
+        if !build_tally.is_zero() {
+            self.recorder
+                .add(counter::KERNEL_BATCHES, build_tally.batches);
+            self.recorder
+                .add(counter::KERNEL_LANES_USED, build_tally.lane_rows);
+            self.recorder
+                .add(counter::KERNEL_SCALAR_FALLBACK, build_tally.scalar_tail);
         }
         plans
     }
@@ -1347,10 +1905,6 @@ impl Indexes {
 
     fn multi(&self, side: RelSide, positions: &[usize]) -> &SymIndex {
         &self.side(side).multi[positions]
-    }
-
-    fn groups(&self, side: RelSide, pos: usize) -> &[(Sym, Vec<u32>)] {
-        &self.side(side).groups[&pos]
     }
 
     /// The candidate rows satisfying equality literals: an index
@@ -1459,22 +2013,4 @@ fn identity_probe_key(
         key[slot] = sym;
     }
     true
-}
-
-/// Groups a column's rows by symbol, skipping NULLs, in
-/// first-occurrence order (deterministic iteration).
-fn column_groups(cols: &Columns, pos: usize) -> Vec<(Sym, Vec<u32>)> {
-    let mut slot_of: FxHashMap<Sym, usize> = FxHashMap::default();
-    let mut groups: Vec<(Sym, Vec<u32>)> = Vec::new();
-    for (row, &sym) in cols.col(pos).iter().enumerate() {
-        if sym == NULL_SYM {
-            continue;
-        }
-        let slot = *slot_of.entry(sym).or_insert_with(|| {
-            groups.push((sym, Vec::new()));
-            groups.len() - 1
-        });
-        groups[slot].1.push(row as u32);
-    }
-    groups
 }

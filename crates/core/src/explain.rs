@@ -125,6 +125,14 @@ pub fn render_plan(plan: &MatchPlan) -> String {
                 ProbeStrategy::Cross => " [cross]".to_string(),
                 ProbeStrategy::Scan => " [scan]".to_string(),
             },
+            PlanNodeKind::VectorScan {
+                shape,
+                lanes,
+                tile_rows,
+                ..
+            } => {
+                format!(" [vector {} ×{lanes}, tile {tile_rows}]", shape.as_str())
+            }
             _ => String::new(),
         };
         out.push_str(&format!(
@@ -335,6 +343,40 @@ mod tests {
             let ind = |l: &str| l.len() - l.trim_start().len();
             assert!(ind(&p) > ind(&b), "{text}");
         }
+    }
+
+    #[test]
+    fn renders_vector_scan_nodes_with_shape_lanes_and_tile() {
+        use crate::plan::{ArmHint, ExecMode, PlanNode, RuleFamily, RuleRef};
+        let plan = MatchPlan {
+            nodes: vec![PlanNode {
+                id: 0,
+                kind: PlanNodeKind::VectorScan {
+                    rule: RuleRef {
+                        family: RuleFamily::Distinct,
+                        index: 0,
+                        name: "ilfd".into(),
+                    },
+                    shape: eid_rules::KernelShape::Disagree,
+                    lanes: 16,
+                    tile_rows: 65536,
+                    key_positions: vec![1],
+                },
+                label: "vector-scan(ilfd)".into(),
+                why: "disagreement drivers masked a column chunk at a time".into(),
+                span: "match/engine/refute/ilfd".into(),
+                inputs: vec![],
+            }],
+            mode: ExecMode::Serial { auto_small: false },
+            mode_why: "test".into(),
+            arm: ArmHint::Auto,
+            index_free: false,
+            record_identity: true,
+            record_distinct: true,
+        };
+        let text = render_plan(&plan);
+        assert!(text.contains("[vector disagree ×16, tile 65536]"), "{text}");
+        assert!(text.contains("disagreement drivers"), "{text}");
     }
 
     #[test]

@@ -253,13 +253,14 @@ impl IncrementalMatcher {
         ext_s: &Relation,
         rule_base: &RuleBase,
     ) -> (Executor, Arc<MatchPlan>) {
-        let executor = Executor::with_recorder(
+        let mut executor = Executor::with_recorder(
             ext_r,
             ext_s,
             rule_base,
             self.config.threads,
             self.recorder.clone(),
         );
+        executor.set_kernels(self.config.kernels);
         let plan = Arc::new(executor.plan(false, true, ArmHint::Auto));
         (executor, plan)
     }

@@ -1,0 +1,472 @@
+//! Vectorized predicate kernels over interned symbol columns.
+//!
+//! After interning (PR 3) every hot predicate is a `u32` compare
+//! against a contiguous column slice — exactly the shape SIMD
+//! rewards. This module evaluates a conjunction of per-column terms
+//! ([`Term`]) against [`LANES`] rows at a time and returns a bitmask
+//! of the rows where every term holds.
+//!
+//! Two implementations produce **bit-identical** masks:
+//!
+//! * a portable chunked-scalar path written so the compiler can
+//!   autovectorize it (fixed-width windows, branch-free mask
+//!   accumulation), the guaranteed fallback on every target;
+//! * an explicit AVX2 path behind `std::arch` runtime feature
+//!   detection (`is_x86_feature_detected!`), used only when the CPU
+//!   reports the feature at startup.
+//!
+//! Three-valued semantics are preserved by construction: [`NULL_SYM`]
+//! is id 0, every kernel-eligible constant is non-NULL (see
+//! [`eid_rules::KernelShape`]), so an `Eq` term can never match a
+//! NULL cell for free, and a `Ne` term masks NULL cells out
+//! explicitly (`v ≠ c` is *unknown*, not true, when `v` is NULL).
+//! `-0.0` needs no handling here at all — the interner already folded
+//! it into `0.0`'s symbol.
+//!
+//! The `EID_KERNELS` environment variable steers the defaults:
+//! `off`/`0`/`false` disables kernel dispatch in the planner
+//! ([`enabled_default`]), `scalar`/`portable` keeps dispatch on but
+//! forces the portable path (for A/B-testing the AVX2 twin).
+
+use std::ops::Range;
+use std::sync::OnceLock;
+
+use eid_relational::{Sym, NULL_SYM};
+
+/// Rows compared per kernel chunk. One bit of a [`Mask`] per lane.
+pub const LANES: usize = 16;
+
+/// Result of one chunk evaluation: bit `l` set ⇔ lane `l` matched.
+pub type Mask = u16;
+
+/// A [`Mask`] with every lane set.
+pub const FULL_MASK: Mask = Mask::MAX;
+
+/// L2 budget one residual tile of `S`-side columns should fit in.
+/// Half of a conservative 512 KiB L2: the driver side's working set,
+/// output buffers, and indexes want the rest.
+pub const L2_TILE_BYTES: usize = 256 * 1024;
+
+/// How one term compares a column cell against its symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TermOp {
+    /// `cell == sym`. The symbol must be non-NULL, which makes the
+    /// test NULL-safe for free (`NULL_SYM` never equals it).
+    Eq,
+    /// `cell != sym && cell != NULL_SYM` — three-valued `≠`.
+    Ne,
+}
+
+/// One conjunct of a kernel evaluation: a column slice compared
+/// against a fixed symbol. The symbol must be non-NULL (kernel
+/// eligibility guarantees it).
+#[derive(Debug, Clone, Copy)]
+pub struct Term<'a> {
+    /// The column the term reads, contiguous over all rows.
+    pub col: &'a [Sym],
+    /// The symbol compared against (driver-row gather or constant).
+    pub sym: Sym,
+    /// The comparison.
+    pub op: TermOp,
+}
+
+impl Term<'_> {
+    /// Scalar evaluation of one row — the reference semantics every
+    /// kernel path must reproduce bit-for-bit.
+    #[inline]
+    pub fn test(&self, j: usize) -> bool {
+        let v = self.col[j];
+        match self.op {
+            TermOp::Eq => v == self.sym,
+            TermOp::Ne => v != self.sym && v != NULL_SYM,
+        }
+    }
+}
+
+/// Work accounting for one kernel user: how much ran wide and how
+/// much fell back to scalar tails.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelTally {
+    /// Kernel invocations (one scan over a row range or gather batch).
+    pub batches: u64,
+    /// Rows evaluated in full [`LANES`]-wide chunks.
+    pub lane_rows: u64,
+    /// Rows evaluated by the scalar tail (range length not a multiple
+    /// of [`LANES`], or a short gather batch).
+    pub scalar_tail: u64,
+}
+
+impl KernelTally {
+    /// Folds another tally into this one.
+    pub fn merge(&mut self, other: &KernelTally) {
+        self.batches += other.batches;
+        self.lane_rows += other.lane_rows;
+        self.scalar_tail += other.scalar_tail;
+    }
+
+    /// Whether any kernel work was recorded.
+    pub fn is_zero(&self) -> bool {
+        self.batches == 0 && self.lane_rows == 0 && self.scalar_tail == 0
+    }
+}
+
+/// Whether planner kernel dispatch is on by default
+/// (`EID_KERNELS=off|0|false` turns it off). Read once per process.
+pub fn enabled_default() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| {
+        !matches!(
+            std::env::var("EID_KERNELS").ok().as_deref(),
+            Some("off") | Some("0") | Some("false")
+        )
+    })
+}
+
+/// Whether `EID_KERNELS=scalar|portable` pins the portable path.
+fn force_portable() -> bool {
+    static FORCE: OnceLock<bool> = OnceLock::new();
+    *FORCE.get_or_init(|| {
+        matches!(
+            std::env::var("EID_KERNELS").ok().as_deref(),
+            Some("scalar") | Some("portable")
+        )
+    })
+}
+
+/// Runtime dispatch decision: AVX2 detected and not pinned portable.
+#[cfg(target_arch = "x86_64")]
+fn use_avx2() -> bool {
+    static AVX2: OnceLock<bool> = OnceLock::new();
+    *AVX2.get_or_init(|| !force_portable() && std::arch::is_x86_feature_detected!("avx2"))
+}
+
+/// The instruction set the kernels will run with on this host.
+pub fn simd_level() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        return "avx2";
+    }
+    "portable"
+}
+
+/// Portable chunk evaluation of one term: window of [`LANES`] rows at
+/// `j0`, branch-free per lane so the loop autovectorizes.
+///
+/// The caller must guarantee `j0 + LANES <= t.col.len()`.
+#[inline]
+fn term_chunk_portable(t: &Term<'_>, j0: usize) -> Mask {
+    let w = &t.col[j0..j0 + LANES];
+    let mut m: Mask = 0;
+    match t.op {
+        TermOp::Eq => {
+            for (l, &v) in w.iter().enumerate() {
+                m |= Mask::from(v == t.sym) << l;
+            }
+        }
+        TermOp::Ne => {
+            for (l, &v) in w.iter().enumerate() {
+                m |= Mask::from(v != t.sym && v != NULL_SYM) << l;
+            }
+        }
+    }
+    m
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{Mask, Term, TermOp, LANES};
+
+    /// AVX2 twin of `term_chunk_portable`: two 8-lane compares plus
+    /// float-lane movemasks. Bit-identical to the portable path.
+    ///
+    /// # Safety
+    /// Requires AVX2 (enforced by the caller via runtime detection)
+    /// and `j0 + LANES <= t.col.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn term_chunk(t: &Term<'_>, j0: usize) -> Mask {
+        use std::arch::x86_64::*;
+        debug_assert!(j0 + LANES <= t.col.len());
+        let p = t.col.as_ptr().add(j0);
+        let lo = _mm256_loadu_si256(p as *const __m256i);
+        let hi = _mm256_loadu_si256(p.add(8) as *const __m256i);
+        let sym = _mm256_set1_epi32(t.sym as i32);
+        let eq = |a: __m256i, b: __m256i| {
+            _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(a, b))) as u32
+        };
+        let is_sym = (eq(lo, sym) | (eq(hi, sym) << 8)) as Mask;
+        match t.op {
+            TermOp::Eq => is_sym,
+            TermOp::Ne => {
+                let zero = _mm256_setzero_si256();
+                let is_null = (eq(lo, zero) | (eq(hi, zero) << 8)) as Mask;
+                !is_sym & !is_null
+            }
+        }
+    }
+}
+
+/// Evaluates the conjunction of `terms` over the [`LANES`]-row chunk
+/// at `j0`, returning the lanes where every term holds. Short-circuits
+/// on an all-zero intermediate mask.
+///
+/// Every term's column must satisfy `j0 + LANES <= col.len()`.
+#[inline]
+pub fn conj_chunk(terms: &[Term<'_>], j0: usize) -> Mask {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        let mut m: Mask = FULL_MASK;
+        for t in terms {
+            if m == 0 {
+                break;
+            }
+            // SAFETY: use_avx2() gates on runtime feature detection;
+            // the caller guarantees the window bound.
+            m &= unsafe { avx2::term_chunk(t, j0) };
+        }
+        return m;
+    }
+    let mut m: Mask = FULL_MASK;
+    for t in terms {
+        if m == 0 {
+            break;
+        }
+        m &= term_chunk_portable(t, j0);
+    }
+    m
+}
+
+/// Scans `rows` (a contiguous range of row ids shared by every term's
+/// column) for rows where all of `terms` hold, invoking `emit` with
+/// each matching row id in ascending order. Full chunks run through
+/// [`conj_chunk`]; the sub-[`LANES`] tail runs scalar.
+pub fn conj_scan(
+    terms: &[Term<'_>],
+    rows: Range<usize>,
+    tally: &mut KernelTally,
+    mut emit: impl FnMut(u32),
+) {
+    tally.batches += 1;
+    let mut j = rows.start;
+    while j + LANES <= rows.end {
+        let mut m = conj_chunk(terms, j);
+        tally.lane_rows += LANES as u64;
+        while m != 0 {
+            let l = m.trailing_zeros() as usize;
+            emit((j + l) as u32);
+            m &= m - 1;
+        }
+        j += LANES;
+    }
+    while j < rows.end {
+        tally.scalar_tail += 1;
+        if terms.iter().all(|t| t.test(j)) {
+            emit(j as u32);
+        }
+        j += 1;
+    }
+}
+
+/// Disagreement driver mask: appends to `out` every row of `col`
+/// whose symbol is neither `c` nor NULL, in ascending order — the
+/// rows that *definitely* disagree with the constant.
+pub fn disagree_rows(col: &[Sym], c: Sym, tally: &mut KernelTally, out: &mut Vec<u32>) {
+    let term = Term {
+        col,
+        sym: c,
+        op: TermOp::Ne,
+    };
+    conj_scan(&[term], 0..col.len(), tally, |row| out.push(row));
+}
+
+/// Gather variant of [`disagree_rows`] for pre-filtered (non-dense)
+/// driver candidates: keeps the rows of `rows` whose `col` symbol
+/// definitely disagrees with `c`, preserving order. Candidate symbols
+/// are gathered into a small aligned buffer and compared a chunk at a
+/// time.
+pub fn gather_disagree(
+    col: &[Sym],
+    c: Sym,
+    rows: &[u32],
+    tally: &mut KernelTally,
+    out: &mut Vec<u32>,
+) {
+    tally.batches += 1;
+    let mut buf = [NULL_SYM; LANES];
+    for chunk in rows.chunks(LANES) {
+        if chunk.len() == LANES {
+            for (slot, &row) in buf.iter_mut().zip(chunk) {
+                *slot = col[row as usize];
+            }
+            let term = Term {
+                col: &buf,
+                sym: c,
+                op: TermOp::Ne,
+            };
+            let mut m = conj_chunk(&[term], 0);
+            tally.lane_rows += LANES as u64;
+            while m != 0 {
+                let l = m.trailing_zeros() as usize;
+                out.push(chunk[l]);
+                m &= m - 1;
+            }
+        } else {
+            for &row in chunk {
+                tally.scalar_tail += 1;
+                let v = col[row as usize];
+                if v != c && v != NULL_SYM {
+                    out.push(row);
+                }
+            }
+        }
+    }
+}
+
+/// Rows per cache tile: how many `S`-side rows of `active_cols`
+/// 4-byte symbol columns fit in [`L2_TILE_BYTES`], rounded down to a
+/// multiple of [`LANES`] (minimum one chunk).
+pub fn tile_rows(active_cols: usize) -> usize {
+    let per_row = std::mem::size_of::<Sym>() * active_cols.max(1);
+    (L2_TILE_BYTES / per_row / LANES).max(1) * LANES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A column exercising every interesting symbol class: NULLs,
+    /// the probe symbol, near-misses, and repeats across chunk
+    /// boundaries.
+    fn column(len: usize) -> Vec<Sym> {
+        (0..len)
+            .map(|i| match i % 7 {
+                0 => NULL_SYM,
+                1 | 4 => 3,
+                2 => 5,
+                _ => (i % 11) as Sym,
+            })
+            .collect()
+    }
+
+    fn scalar_scan(terms: &[Term<'_>], rows: Range<usize>) -> Vec<u32> {
+        rows.filter(|&j| terms.iter().all(|t| t.test(j)))
+            .map(|j| j as u32)
+            .collect()
+    }
+
+    #[test]
+    fn conj_scan_matches_scalar_reference_on_all_range_offsets() {
+        let col_a = column(103);
+        let col_b: Vec<Sym> = (0..103).map(|i| (i % 5) as Sym).collect();
+        for (ops, syms) in [
+            ([TermOp::Eq, TermOp::Eq], [3, 2]),
+            ([TermOp::Ne, TermOp::Eq], [3, 2]),
+            ([TermOp::Ne, TermOp::Ne], [5, 0]),
+        ] {
+            let terms = [
+                Term {
+                    col: &col_a,
+                    sym: syms[0],
+                    op: ops[0],
+                },
+                Term {
+                    col: &col_b,
+                    sym: syms[1],
+                    op: ops[1],
+                },
+            ];
+            for start in [0usize, 1, 15, 16, 17] {
+                for end in [start, start + 1, 64, 95, 103] {
+                    if end < start {
+                        continue;
+                    }
+                    let mut got = Vec::new();
+                    let mut tally = KernelTally::default();
+                    conj_scan(&terms, start..end, &mut tally, |r| got.push(r));
+                    assert_eq!(got, scalar_scan(&terms, start..end), "range {start}..{end}");
+                    let total = tally.lane_rows + tally.scalar_tail;
+                    assert_eq!(total, (end - start) as u64, "coverage {start}..{end}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ne_terms_never_match_null_cells() {
+        let col = vec![NULL_SYM; 40];
+        let mut got = Vec::new();
+        let mut tally = KernelTally::default();
+        conj_scan(
+            &[Term {
+                col: &col,
+                sym: 7,
+                op: TermOp::Ne,
+            }],
+            0..col.len(),
+            &mut tally,
+            |r| got.push(r),
+        );
+        assert!(got.is_empty(), "NULL ≠ c must stay unknown: {got:?}");
+    }
+
+    #[test]
+    fn disagree_rows_is_the_ne_scan() {
+        let col = column(67);
+        let mut got = Vec::new();
+        let mut tally = KernelTally::default();
+        disagree_rows(&col, 3, &mut tally, &mut got);
+        let want: Vec<u32> = (0..col.len() as u32)
+            .filter(|&r| col[r as usize] != 3 && col[r as usize] != NULL_SYM)
+            .collect();
+        assert_eq!(got, want);
+        assert!(tally.batches > 0 && tally.lane_rows > 0);
+    }
+
+    #[test]
+    fn gather_disagree_filters_sparse_rows_in_order() {
+        let col = column(200);
+        let rows: Vec<u32> = (0..200).step_by(3).map(|r| r as u32).collect();
+        let mut got = Vec::new();
+        let mut tally = KernelTally::default();
+        gather_disagree(&col, 3, &rows, &mut tally, &mut got);
+        let want: Vec<u32> = rows
+            .iter()
+            .copied()
+            .filter(|&r| col[r as usize] != 3 && col[r as usize] != NULL_SYM)
+            .collect();
+        assert_eq!(got, want);
+        assert_eq!(tally.lane_rows + tally.scalar_tail, rows.len() as u64);
+    }
+
+    #[test]
+    fn tile_rows_is_l2_sized_and_chunk_aligned() {
+        assert_eq!(tile_rows(1), L2_TILE_BYTES / 4);
+        assert_eq!(tile_rows(0), tile_rows(1));
+        for cols in 1..12 {
+            let t = tile_rows(cols);
+            assert_eq!(t % LANES, 0, "tile for {cols} cols not chunk-aligned");
+            assert!(t >= LANES);
+            assert!(t * 4 * cols <= L2_TILE_BYTES + 4 * cols * LANES);
+        }
+    }
+
+    /// The AVX2 twin (when the host has it) must agree with the
+    /// portable path bit for bit. `conj_chunk` dispatches at runtime,
+    /// so compare it against the portable reference directly.
+    #[test]
+    fn dispatched_chunks_agree_with_portable() {
+        let col = column(160);
+        for op in [TermOp::Eq, TermOp::Ne] {
+            for sym in [0u32, 3, 5, 9999] {
+                let term = Term { col: &col, sym, op };
+                for j0 in (0..col.len() - LANES).step_by(5) {
+                    assert_eq!(
+                        conj_chunk(&[term], j0),
+                        term_chunk_portable(&term, j0),
+                        "op {op:?} sym {sym} at {j0} ({})",
+                        simd_level()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -20,6 +20,10 @@
 //!   plans run: precompiled rules, per-rule inverted-index blocking,
 //!   chunked data parallelism, and the degradation ladder as plan
 //!   rewrites;
+//! * [`kernels`] — vectorized predicate kernels over interned symbol
+//!   columns: portable autovectorizing chunked-scalar paths with an
+//!   AVX2 twin behind runtime feature detection, plus the L2 tile
+//!   sizing the residual scan uses;
 //! * [`match_table`] — pair tables with the §3.2 uniqueness and
 //!   consistency constraints;
 //! * [`algebra_pipeline`] — an independent implementation of the same
@@ -91,6 +95,7 @@ pub mod extend;
 pub mod incremental;
 pub mod integrate;
 pub mod job;
+pub mod kernels;
 pub mod match_table;
 pub mod matcher;
 pub mod metrics;

@@ -237,6 +237,10 @@ pub struct MatchConfig {
     /// Resource budget for the run (deadline, max candidate pairs,
     /// max pair-list bytes). Unlimited by default.
     pub budget: RunBudget,
+    /// Whether the planner may dispatch kernel-eligible rules to
+    /// vectorized `VectorScan` nodes (defaults to the `EID_KERNELS`
+    /// environment setting). Classification is identical either way.
+    pub kernels: bool,
 }
 
 impl MatchConfig {
@@ -254,6 +258,7 @@ impl MatchConfig {
             collect_negative: true,
             threads: 0,
             budget: RunBudget::default(),
+            kernels: crate::kernels::enabled_default(),
         }
     }
 }
@@ -424,13 +429,15 @@ impl EntityMatcher {
         // degraded arm to fall to — surface it as a typed error
         // instead of unwinding the caller.
         let executor = catch_unwind(AssertUnwindSafe(|| {
-            Executor::with_recorder(
+            let mut executor = Executor::with_recorder(
                 &ext_r.relation,
                 &ext_s.relation,
                 &rb,
                 self.config.threads,
                 recorder.clone(),
-            )
+            );
+            executor.set_kernels(self.config.kernels);
+            executor
         }))
         .map_err(|_| CoreError::WorkerPanic {
             site: "engine/encode".into(),
@@ -536,7 +543,9 @@ impl EntityMatcher {
             self.config.strategy,
         )?;
         let rb = self.rule_base()?;
-        let executor = Executor::new(&ext_r.relation, &ext_s.relation, &rb, self.config.threads);
+        let mut executor =
+            Executor::new(&ext_r.relation, &ext_s.relation, &rb, self.config.threads);
+        executor.set_kernels(self.config.kernels);
         Ok(self.cached_plan(&executor))
     }
 

@@ -27,6 +27,7 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use eid_obs::json;
+use eid_rules::KernelShape;
 
 /// Which rule family a plan node executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,6 +119,25 @@ pub enum PlanNodeKind {
         /// How candidates are enumerated.
         strategy: ProbeStrategy,
     },
+    /// Vectorized evaluation of one kernel-shaped rule: batch kernels
+    /// compare `lanes` rows per step over cache-sized column tiles.
+    /// Emitted by the planner only when the rule's interned shape
+    /// matches a kernel and the estimated candidate volume clears
+    /// [`crate::planner::VECTOR_MIN_PAIRS`]. Output is byte-identical
+    /// to the scalar twin [`MatchPlan::rewrite_scalar`] produces.
+    VectorScan {
+        /// The rule this node runs.
+        rule: RuleRef,
+        /// Which specialized kernel evaluates the rule.
+        shape: KernelShape,
+        /// Rows compared per kernel step ([`crate::kernels::LANES`]).
+        lanes: usize,
+        /// Rows per cache tile of the scanned side's active columns.
+        tile_rows: usize,
+        /// The blocking-key positions the scalar twin probes on —
+        /// kept so degradation rewrites need no re-planning.
+        key_positions: Vec<usize>,
+    },
     /// First-occurrence dedup of the raw pair lists (id space).
     Dedup,
     /// The Figure-3 partition: MT / NMT / undetermined accounting.
@@ -133,6 +153,7 @@ impl PlanNodeKind {
             PlanNodeKind::Block => "block",
             PlanNodeKind::IdentityProbe { .. } => "identity-probe",
             PlanNodeKind::Refute { .. } => "refute",
+            PlanNodeKind::VectorScan { .. } => "vector-scan",
             PlanNodeKind::Dedup => "dedup",
             PlanNodeKind::Classify => "classify",
         }
@@ -252,15 +273,81 @@ impl MatchPlan {
         plan
     }
 
+    /// The scalar rewrite: every [`PlanNodeKind::VectorScan`] node
+    /// becomes the probe node the planner would have emitted with
+    /// kernels off — an `IdentityProbe` or `Refute` on the stored
+    /// blocking-key positions. Output is **byte-identical**: the
+    /// vector and scalar paths enumerate drivers and emit pairs in
+    /// the same ascending order. Used when a kernel-bearing plan must
+    /// fall back without re-planning (and as the equivalence twin in
+    /// tests).
+    pub fn rewrite_scalar(&self) -> MatchPlan {
+        let mut plan = self.clone();
+        for node in &mut plan.nodes {
+            if let PlanNodeKind::VectorScan {
+                rule,
+                key_positions,
+                ..
+            } = &node.kind
+            {
+                let rule = rule.clone();
+                let strategy = ProbeStrategy::Probe {
+                    key_positions: key_positions.clone(),
+                };
+                let why = format!("scalar rewrite; was: {}", node.why);
+                node.label = format!(
+                    "{}({})",
+                    match rule.family {
+                        RuleFamily::Identity => "identity-probe",
+                        RuleFamily::Distinct => "refute",
+                    },
+                    rule.name
+                );
+                node.kind = match rule.family {
+                    RuleFamily::Identity => PlanNodeKind::IdentityProbe { rule, strategy },
+                    RuleFamily::Distinct => PlanNodeKind::Refute { rule, strategy },
+                };
+                node.why = why;
+            }
+        }
+        plan
+    }
+
     /// The index-free rewrite: every probe/cross strategy becomes
     /// `Scan`, fusing into one residual pass — the nested-loop arm.
     /// Same output *set* (emission order differs; the dedup node
-    /// absorbs it). Used by rung 3 of the ladder and by the
-    /// memory-budget degradation (which keeps the current mode).
+    /// absorbs it). `VectorScan` nodes are lowered all the way down
+    /// to the scalar scan as well — the degradation ladder must land
+    /// on a path with no indexes *and* no kernels. Used by rung 3 of
+    /// the ladder and by the memory-budget degradation (which keeps
+    /// the current mode).
     pub fn rewrite_index_free(&self) -> MatchPlan {
         let mut plan = self.clone();
         plan.index_free = true;
         for node in &mut plan.nodes {
+            if let PlanNodeKind::VectorScan { rule, .. } = &node.kind {
+                let rule = rule.clone();
+                node.label = format!(
+                    "{}({})",
+                    match rule.family {
+                        RuleFamily::Identity => "identity-probe",
+                        RuleFamily::Distinct => "refute",
+                    },
+                    rule.name
+                );
+                node.kind = match rule.family {
+                    RuleFamily::Identity => PlanNodeKind::IdentityProbe {
+                        rule,
+                        strategy: ProbeStrategy::Scan,
+                    },
+                    RuleFamily::Distinct => PlanNodeKind::Refute {
+                        rule,
+                        strategy: ProbeStrategy::Scan,
+                    },
+                };
+                node.why = format!("index-free rewrite; was: {}", node.why);
+                continue;
+            }
             match &mut node.kind {
                 PlanNodeKind::IdentityProbe { strategy, .. }
                 | PlanNodeKind::Refute { strategy, .. }
@@ -275,12 +362,14 @@ impl MatchPlan {
         plan
     }
 
-    /// The probe/refute nodes, in execution order.
+    /// The probe/refute/vector-scan nodes, in execution order.
     pub fn probe_nodes(&self) -> impl Iterator<Item = &PlanNode> {
         self.nodes.iter().filter(|n| {
             matches!(
                 n.kind,
-                PlanNodeKind::IdentityProbe { .. } | PlanNodeKind::Refute { .. }
+                PlanNodeKind::IdentityProbe { .. }
+                    | PlanNodeKind::Refute { .. }
+                    | PlanNodeKind::VectorScan { .. }
             )
         })
     }
@@ -336,6 +425,32 @@ impl MatchPlan {
                         }
                         out.push(']');
                     }
+                }
+                PlanNodeKind::VectorScan {
+                    rule,
+                    shape,
+                    lanes,
+                    tile_rows,
+                    key_positions,
+                } => {
+                    out.push_str(", \"rule\": ");
+                    json::push_str_literal(&mut out, &rule.name);
+                    out.push_str(", \"family\": ");
+                    json::push_str_literal(&mut out, rule.family.as_str());
+                    out.push_str(", \"shape\": ");
+                    json::push_str_literal(&mut out, shape.as_str());
+                    out.push_str(", \"lanes\": ");
+                    out.push_str(&lanes.to_string());
+                    out.push_str(", \"tile_rows\": ");
+                    out.push_str(&tile_rows.to_string());
+                    out.push_str(", \"key_positions\": [");
+                    for (k, p) in key_positions.iter().enumerate() {
+                        if k > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push_str(&p.to_string());
+                    }
+                    out.push(']');
                 }
                 PlanNodeKind::Derive { side } => {
                     out.push_str(", \"side\": ");
@@ -437,6 +552,88 @@ mod tests {
         assert_eq!(ArmHint::Auto.arm_label(true, 4), "nested_loop");
         assert_eq!(ArmHint::Hash.arm_label(false, 1), "hash");
         assert_eq!(ArmHint::NestedLoop.arm_label(false, 1), "nested_loop");
+    }
+
+    fn vector_sample() -> MatchPlan {
+        let mut plan = sample();
+        plan.nodes.push(PlanNode {
+            id: 2,
+            kind: PlanNodeKind::VectorScan {
+                rule: RuleRef {
+                    family: RuleFamily::Distinct,
+                    index: 3,
+                    name: "r3".into(),
+                },
+                shape: KernelShape::Disagree,
+                lanes: 16,
+                tile_rows: 65536,
+                key_positions: vec![1],
+            },
+            label: "vector-scan(r3)".into(),
+            why: "vector disagree kernel: est 161000 pairs; lanes=16, tile=65536 rows".into(),
+            span: "match/engine/refute/r3".into(),
+            inputs: vec![0],
+        });
+        plan
+    }
+
+    #[test]
+    fn scalar_rewrite_lowers_vector_scans_to_their_probe_twin() {
+        let plan = vector_sample();
+        let scalar = plan.rewrite_scalar();
+        let node = &scalar.nodes[2];
+        match &node.kind {
+            PlanNodeKind::Refute {
+                rule,
+                strategy: ProbeStrategy::Probe { key_positions },
+            } => {
+                assert_eq!(rule.name, "r3");
+                assert_eq!(key_positions, &vec![1]);
+            }
+            other => panic!("expected scalar refute probe, got {other:?}"),
+        }
+        assert!(
+            node.why.starts_with("scalar rewrite; was: "),
+            "{}",
+            node.why
+        );
+        assert_eq!(node.label, "refute(r3)");
+        // Non-vector nodes are untouched; the original plan is pure.
+        assert_eq!(scalar.nodes[..2], plan.nodes[..2]);
+        assert!(matches!(
+            plan.nodes[2].kind,
+            PlanNodeKind::VectorScan { .. }
+        ));
+    }
+
+    #[test]
+    fn index_free_rewrite_lowers_vector_scans_to_scan() {
+        let nested = vector_sample().rewrite_index_free();
+        assert!(nested.index_free);
+        assert!(matches!(
+            nested.nodes[2].kind,
+            PlanNodeKind::Refute {
+                strategy: ProbeStrategy::Scan,
+                ..
+            }
+        ));
+        assert!(nested.nodes[2].why.starts_with("index-free rewrite; was: "));
+    }
+
+    #[test]
+    fn vector_scan_json_round_trips_the_node_kind() {
+        let json = vector_sample().to_json();
+        for needle in [
+            "\"kind\": \"vector-scan\"",
+            "\"rule\": \"r3\"",
+            "\"family\": \"distinct\"",
+            "\"shape\": \"disagree\"",
+            "\"lanes\": 16",
+            "\"tile_rows\": 65536",
+            "\"key_positions\": [1]",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
     }
 
     #[test]

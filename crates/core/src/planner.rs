@@ -27,8 +27,9 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use eid_relational::ColumnStat;
-use eid_rules::InternedRuleBase;
+use eid_rules::{InternedRuleBase, KernelShape, NeqSide};
 
+use crate::kernels;
 use crate::plan::{
     ArmHint, ExecMode, MatchPlan, PlanNode, PlanNodeKind, ProbeStrategy, RuleFamily, RuleRef,
 };
@@ -39,40 +40,65 @@ use crate::stats::span;
 /// small inputs. Explicit thread counts are always honoured.
 pub const PARALLEL_MIN_PAIRS: usize = 50_000;
 
+/// Below this many estimated candidate pairs a kernel-shaped rule
+/// stays on the scalar probe path: the vectorized scan's fixed costs
+/// (driver-mask build, tile bookkeeping) only pay for themselves once
+/// the candidate volume is substantial.
+pub const VECTOR_MIN_PAIRS: usize = 32_768;
+
 /// The cost-based planner over one encoded relation pair. Borrows
 /// the interned rule base and per-column statistics from the
 /// [`Executor`](crate::engine::Executor) that will run the plan.
 pub struct Planner<'e> {
     interned: &'e InternedRuleBase,
+    stats_r: &'e [ColumnStat],
     stats_s: &'e [ColumnStat],
     attrs_r: &'e [String],
     attrs_s: &'e [String],
     rows_r: usize,
     rows_s: usize,
     threads: usize,
+    kernels: bool,
+}
+
+/// One rule's planned enumeration: a classic probe strategy or a
+/// vectorized kernel scan (which remembers the scalar twin's key).
+enum Choice {
+    Strategy(ProbeStrategy),
+    Vector {
+        shape: KernelShape,
+        tile_rows: usize,
+        key_positions: Vec<usize>,
+    },
 }
 
 impl<'e> Planner<'e> {
     /// A planner reading the executor's interned rules and column
     /// statistics. `threads` carries the caller's thread request
-    /// (`0` = auto).
+    /// (`0` = auto); `use_kernels` gates [`PlanNodeKind::VectorScan`]
+    /// dispatch (off ⇒ the scalar twin plan, byte-identical output).
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         interned: &'e InternedRuleBase,
+        stats_r: &'e [ColumnStat],
         stats_s: &'e [ColumnStat],
         attrs_r: &'e [String],
         attrs_s: &'e [String],
         rows_r: usize,
         rows_s: usize,
         threads: usize,
+        use_kernels: bool,
     ) -> Planner<'e> {
         Planner {
             interned,
+            stats_r,
             stats_s,
             attrs_r,
             attrs_s,
             rows_r,
             rows_s,
             threads,
+            kernels: use_kernels,
         }
     }
 
@@ -95,6 +121,14 @@ impl<'e> Planner<'e> {
             distinct: 0,
             nulls: 0,
             rows: self.rows_s,
+        })
+    }
+
+    fn stat_r(&self, p: usize) -> ColumnStat {
+        self.stats_r.get(p).copied().unwrap_or(ColumnStat {
+            distinct: 0,
+            nulls: 0,
+            rows: self.rows_r,
         })
     }
 
@@ -207,16 +241,29 @@ impl<'e> Planner<'e> {
         }
     }
 
-    /// The strategy (and explanation) for one identity rule under a
+    /// Appends the shared vectorization rationale (shape, lane width,
+    /// tile derivation) to a `why` string.
+    fn vector_why(shape: KernelShape, est: usize, active_cols: usize, tile: usize) -> String {
+        format!(
+            "vector {} kernel ({}): est {est} candidate pairs ≥ {VECTOR_MIN_PAIRS}; \
+             lanes={}, tile={tile} rows ({active_cols} active column(s) × 4 B ≤ {} KiB L2 budget)",
+            shape.as_str(),
+            kernels::simd_level(),
+            kernels::LANES,
+            kernels::L2_TILE_BYTES / 1024,
+        )
+    }
+
+    /// The choice (and explanation) for one identity rule under a
     /// hint. `force_probe` marks the `Hash` hint's key rule.
     fn identity_strategy(
         &self,
         rule: &eid_rules::InternedRule,
         hint: ArmHint,
         force_probe: bool,
-    ) -> (ProbeStrategy, String) {
+    ) -> (Choice, String) {
         let shape = rule.identity_shape();
-        match hint {
+        let (choice, why) = match hint {
             ArmHint::NestedLoop => (
                 ProbeStrategy::Scan,
                 "nested-loop hint: exhaustive pairwise scan".into(),
@@ -232,9 +279,9 @@ impl<'e> Planner<'e> {
                                 .collect::<Vec<_>>()
                                 .join(", ");
                             return (
-                                ProbeStrategy::Probe {
+                                Choice::Strategy(ProbeStrategy::Probe {
                                     key_positions: positions,
-                                },
+                                }),
                                 format!("hash hint: full extended-key join on ⟨{names}⟩"),
                             );
                         }
@@ -255,6 +302,34 @@ impl<'e> Planner<'e> {
                     if positions.is_empty() {
                         (ProbeStrategy::Scan, "empty blocking key".into())
                     } else {
+                        // A key whose every column has ≤ 1 distinct
+                        // symbol degenerates to one bucket — a full
+                        // scan behind a hash lookup. When the volume
+                        // is large enough, do the scan vectorized
+                        // instead (the probe stays the byte-identical
+                        // scalar twin).
+                        let selective = positions.iter().any(|&p| self.stat_s(p).distinct > 1);
+                        let est = self.rows_r.saturating_mul(self.rows_s);
+                        if let (false, Some(kshape), true) = (
+                            selective,
+                            self.kernels.then(|| rule.kernel_shape()).flatten(),
+                            est >= VECTOR_MIN_PAIRS,
+                        ) {
+                            let active = shape.join.len() + shape.s_lits.len();
+                            let tile = kernels::tile_rows(active);
+                            let vwhy = format!(
+                                "non-selective blocking key; {}",
+                                Self::vector_why(kshape, est, active, tile)
+                            );
+                            return (
+                                Choice::Vector {
+                                    shape: kshape,
+                                    tile_rows: tile,
+                                    key_positions: positions,
+                                },
+                                vwhy,
+                            );
+                        }
                         (
                             ProbeStrategy::Probe {
                                 key_positions: positions,
@@ -268,41 +343,73 @@ impl<'e> Planner<'e> {
                     "no indexable equi-join shape: fused residual scan".into(),
                 ),
             },
-        }
+        };
+        (Choice::Strategy(choice), why)
     }
 
-    /// The strategy (and explanation) for one distinctness rule.
-    fn distinct_strategy(
-        &self,
-        rule: &eid_rules::InternedRule,
-        hint: ArmHint,
-    ) -> (ProbeStrategy, String) {
+    /// The choice (and explanation) for one distinctness rule.
+    fn distinct_strategy(&self, rule: &eid_rules::InternedRule, hint: ArmHint) -> (Choice, String) {
         if !matches!(hint, ArmHint::Auto) {
             return (
-                ProbeStrategy::Scan,
+                Choice::Strategy(ProbeStrategy::Scan),
                 format!("{hint:?} hint: refutation runs in the serial residual scan"),
             );
         }
         match rule.distinct_shape() {
             Some(shape) => {
                 let (neq_side, neq_pos, _) = shape.neq;
-                let (neq_name, lit_positions) = match neq_side {
-                    eid_rules::NeqSide::R => (
+                let (neq_name, lit_positions, neq_rows, lit_rows) = match neq_side {
+                    NeqSide::R => (
                         format!("R.{}", self.attr_r(neq_pos)),
                         shape.s_lits.iter().map(|(p, _)| *p).collect::<Vec<_>>(),
+                        self.rows_r,
+                        self.rows_s,
                     ),
-                    eid_rules::NeqSide::S => (
+                    NeqSide::S => (
                         format!("S.{}", self.attr_s(neq_pos)),
                         shape.r_lits.iter().map(|(p, _)| *p).collect::<Vec<_>>(),
+                        self.rows_s,
+                        self.rows_r,
                     ),
                 };
                 let mut key_positions = lit_positions;
                 key_positions.sort_unstable();
                 key_positions.dedup();
+                // Estimated emitted pairs: every ≠-side row (almost
+                // all disagree with one constant) times the opposite
+                // side's literal block, sized by its most selective
+                // literal column.
+                let lit_selectivity = key_positions
+                    .iter()
+                    .map(|&p| match neq_side {
+                        NeqSide::R => self.stat_s(p).distinct,
+                        NeqSide::S => self.stat_r(p).distinct,
+                    })
+                    .max()
+                    .unwrap_or(1)
+                    .max(1);
+                let est = neq_rows.saturating_mul(lit_rows / lit_selectivity);
+                if let (Some(kshape), true) = (
+                    self.kernels.then(|| rule.kernel_shape()).flatten(),
+                    est >= VECTOR_MIN_PAIRS,
+                ) {
+                    let tile = kernels::tile_rows(1);
+                    let vwhy = format!(
+                        "disagreement drivers masked a column chunk at a time, \
+                         then bulk-paired with the literal block; {}",
+                        Self::vector_why(kshape, est, 1, tile)
+                    );
+                    return (
+                        Choice::Vector {
+                            shape: kshape,
+                            tile_rows: tile,
+                            key_positions,
+                        },
+                        vwhy,
+                    );
+                }
                 (
-                    ProbeStrategy::Probe {
-                        key_positions: key_positions.clone(),
-                    },
+                    Choice::Strategy(ProbeStrategy::Probe { key_positions }),
                     format!(
                         "disagreement probe: drivers where {neq_name} ≠ const, \
                          paired with the opposite side's literal block — \
@@ -311,7 +418,7 @@ impl<'e> Planner<'e> {
                 )
             }
             None => (
-                ProbeStrategy::Scan,
+                Choice::Strategy(ProbeStrategy::Scan),
                 "no single-≠ shape: fused residual scan".into(),
             ),
         }
@@ -370,7 +477,7 @@ impl<'e> Planner<'e> {
         // Probe/refute strategies, in the order the executor lowers
         // them (the Hash hint pulls the extended-key rule — the last
         // identity rule — to the front, matching the seed arm).
-        let mut rule_plan: Vec<(RuleRef, ProbeStrategy, String)> = Vec::new();
+        let mut rule_plan: Vec<(RuleRef, Choice, String)> = Vec::new();
         if record_identity {
             let n = self.interned.identity.len();
             let order: Vec<usize> = match hint {
@@ -384,28 +491,28 @@ impl<'e> Planner<'e> {
             for idx in order {
                 let rule = &self.interned.identity[idx];
                 let force_probe = matches!(hint, ArmHint::Hash) && idx == n - 1;
-                let (strategy, why) = self.identity_strategy(rule, hint, force_probe);
+                let (choice, why) = self.identity_strategy(rule, hint, force_probe);
                 rule_plan.push((
                     RuleRef {
                         family: RuleFamily::Identity,
                         index: idx,
                         name: rule.name.clone(),
                     },
-                    strategy,
+                    choice,
                     why,
                 ));
             }
         }
         if record_distinct {
             for (idx, rule) in self.interned.distinctness.iter().enumerate() {
-                let (strategy, why) = self.distinct_strategy(rule, hint);
+                let (choice, why) = self.distinct_strategy(rule, hint);
                 rule_plan.push((
                     RuleRef {
                         family: RuleFamily::Distinct,
                         index: idx,
                         name: rule.name.clone(),
                     },
-                    strategy,
+                    choice,
                     why,
                 ));
             }
@@ -413,7 +520,7 @@ impl<'e> Planner<'e> {
 
         let indexed = rule_plan
             .iter()
-            .filter(|(_, s, _)| !matches!(s, ProbeStrategy::Scan))
+            .filter(|(_, c, _)| !matches!(c, Choice::Strategy(ProbeStrategy::Scan)))
             .count();
         let block = push(
             &mut nodes,
@@ -425,22 +532,37 @@ impl<'e> Planner<'e> {
         );
 
         let mut probe_ids = Vec::with_capacity(rule_plan.len());
-        for (rule, strategy, why) in rule_plan {
-            let input = if matches!(strategy, ProbeStrategy::Scan) {
+        for (rule, choice, why) in rule_plan {
+            let input = if matches!(choice, Choice::Strategy(ProbeStrategy::Scan)) {
                 encode
             } else {
                 block
             };
-            let (label, span_path, kind) = match rule.family {
-                RuleFamily::Identity => (
+            let span_path = match rule.family {
+                RuleFamily::Identity => format!("{}/{}", span::ENGINE_IDENTITY, rule.name),
+                RuleFamily::Distinct => format!("{}/{}", span::ENGINE_REFUTE, rule.name),
+            };
+            let (label, kind) = match choice {
+                Choice::Strategy(strategy) => (
                     format!("{}({})", strategy.as_str(), rule.name),
-                    format!("{}/{}", span::ENGINE_IDENTITY, rule.name),
-                    PlanNodeKind::IdentityProbe { rule, strategy },
+                    match rule.family {
+                        RuleFamily::Identity => PlanNodeKind::IdentityProbe { rule, strategy },
+                        RuleFamily::Distinct => PlanNodeKind::Refute { rule, strategy },
+                    },
                 ),
-                RuleFamily::Distinct => (
-                    format!("{}({})", strategy.as_str(), rule.name),
-                    format!("{}/{}", span::ENGINE_REFUTE, rule.name),
-                    PlanNodeKind::Refute { rule, strategy },
+                Choice::Vector {
+                    shape,
+                    tile_rows,
+                    key_positions,
+                } => (
+                    format!("vector-scan({})", rule.name),
+                    PlanNodeKind::VectorScan {
+                        rule,
+                        shape,
+                        lanes: kernels::LANES,
+                        tile_rows,
+                        key_positions,
+                    },
                 ),
             };
             let id = nodes.len();

@@ -87,6 +87,15 @@ pub mod counter {
     /// (`candidates − accepted`; blocking imprecision).
     pub const BLOCK_REJECTED: &str = "block/rejected";
 
+    /// Kernel invocations (one vectorized scan over a row range or
+    /// gather batch).
+    pub const KERNEL_BATCHES: &str = "kernel/batches";
+    /// Rows the kernels evaluated in full lane-wide chunks.
+    pub const KERNEL_LANES_USED: &str = "kernel/lanes_used";
+    /// Rows the kernels fell back to scalar tails for (range length
+    /// not a multiple of the lane width, or short gather batches).
+    pub const KERNEL_SCALAR_FALLBACK: &str = "kernel/scalar_fallback";
+
     /// Residual-scan pairs visited (quadratic fallback volume).
     pub const RESIDUAL_PAIRS: &str = "residual/pairs";
     /// Residual pairs on which an identity rule fired.

@@ -222,6 +222,86 @@ impl InternedRule {
     }
 }
 
+/// Which specialized batch kernel can evaluate a rule, if any.
+///
+/// A kernel evaluates one rule against a contiguous run of `S`-side
+/// rows for a fixed `R`-side driver row, comparing whole column
+/// chunks at a time. Eligibility is decided from the interned shape:
+///
+/// * identity rules with a non-empty join lower to an equality kernel
+///   ([`KernelShape::EqSingle`] when exactly one `S`-side term is
+///   compared, [`KernelShape::EqMulti`] for a conjunction);
+/// * distinctness rules in [`InternedDistinctShape`] form lower to
+///   the disagreement kernel ([`KernelShape::Disagree`]).
+///
+/// Shapes with a NULL-interned constant are rejected (a constant
+/// NULL predicate is three-valued *unknown* on every row, so the rule
+/// can never fire — the scalar path proves this per pair; the kernels
+/// refuse the shape instead). So are shapes with two literals on the
+/// same column and different symbols (unsatisfiable, but the lit
+/// index probes only the first literal per column, so a kernel that
+/// trusted the probe would over-fire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelShape {
+    /// Single-attribute equality: one `S`-side term per driver row.
+    EqSingle,
+    /// Conjunctive multi-attribute equality.
+    EqMulti,
+    /// Disagreement with a constant (`≠ c`), driven by the `≠` side.
+    Disagree,
+}
+
+impl KernelShape {
+    /// Stable lowercase label for plans and JSON.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            KernelShape::EqSingle => "eq-single",
+            KernelShape::EqMulti => "eq-multi",
+            KernelShape::Disagree => "disagree",
+        }
+    }
+}
+
+/// `(column, symbol)` literal lists are kernel-safe when no symbol is
+/// NULL and no column is pinned to two different symbols.
+fn lits_kernel_safe(lits: &[(usize, Sym)]) -> bool {
+    lits.iter().all(|&(pos, sym)| {
+        sym != NULL_SYM && lits.iter().all(|&(pos2, sym2)| pos != pos2 || sym == sym2)
+    })
+}
+
+impl InternedRule {
+    /// The batch kernel this rule's shape lowers to, if any. See
+    /// [`KernelShape`] for the eligibility rules.
+    pub fn kernel_shape(&self) -> Option<KernelShape> {
+        if let Some(shape) = self.identity_shape() {
+            if shape.join.is_empty()
+                || !lits_kernel_safe(&shape.r_lits)
+                || !lits_kernel_safe(&shape.s_lits)
+            {
+                return None;
+            }
+            // S-side terms the kernel conjoins per driver row: every
+            // join column (symbol gathered from R) plus every S
+            // literal column.
+            return Some(if shape.join.len() + shape.s_lits.len() == 1 {
+                KernelShape::EqSingle
+            } else {
+                KernelShape::EqMulti
+            });
+        }
+        let shape = self.distinct_shape()?;
+        let (_, _, neq_sym) = shape.neq;
+        if neq_sym == NULL_SYM
+            || !lits_kernel_safe(&shape.r_lits)
+            || !lits_kernel_safe(&shape.s_lits)
+        {
+            return None;
+        }
+        Some(KernelShape::Disagree)
+    }
+}
+
 /// [`IdentityShape`](crate::IdentityShape) with interned literals.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct InternedIdentityShape {

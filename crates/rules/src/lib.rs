@@ -56,7 +56,7 @@ pub use extended_key::ExtendedKey;
 pub use identity::{IdentityRule, IdentityRuleError};
 pub use interned::{
     InternedDistinctShape, InternedIdentityShape, InternedOperand, InternedPredicate, InternedRule,
-    InternedRuleBase,
+    InternedRuleBase, KernelShape,
 };
 pub use parser::{parse_rules, ParseError, RuleFile, Statement};
 pub use pred::{CmpOp, Operand, Predicate, Side};

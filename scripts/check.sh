@@ -177,6 +177,37 @@ assert par >= 0.75 * ser, \
     f"blocked_parallel {par:.0f} pairs/s < 75% of blocked {ser:.0f} at n={largest['n_entities']}"
 print(f"    bench OK: engines agree; convert < engine at n={largest['n_entities']}")
 EOF
+    # Kernel smoke at a vectorizing size: the blocked arm with
+    # kernels forced on and forced off must produce identical
+    # classification counts, and the on-run must actually take the
+    # vectorized path (kernel/batches > 0) — a silent scalar
+    # fallback would keep the counts honest while voiding the perf
+    # claim this PR makes.
+    echo "==> kernel smoke (n=1600, kernels on vs off)"
+    kern_on="$(mktemp)" kern_off="$(mktemp)"
+    ./target/release/bench_json 1600 --engines blocked \
+        --kernels on --out "$kern_on" >/dev/null
+    ./target/release/bench_json 1600 --engines blocked \
+        --kernels off --out "$kern_off" >/dev/null
+    python3 - "$kern_on" "$kern_off" <<'EOF'
+import json, sys
+def arm(path):
+    with open(path) as f:
+        bench = json.load(f)
+    size = bench["sizes"][0]
+    return {e["name"]: e for e in size["engines"]}["blocked"]
+on, off = arm(sys.argv[1]), arm(sys.argv[2])
+for key in ("matching", "negative", "undetermined"):
+    assert on[key] == off[key], \
+        f"kernels changed {key}: on={on[key]} off={off[key]}"
+batches = on["counters"].get("kernel/batches", 0)
+assert batches > 0, f"kernels-on run never entered a kernel: {on['counters']}"
+assert off["counters"].get("kernel/batches", 0) == 0, \
+    "kernels-off run still tallied kernel batches"
+print(f"    kernel OK: counts identical; {batches} batches, "
+      f"{on['counters'].get('kernel/lanes_used', 0)} lanes on")
+EOF
+    rm -f "$kern_on" "$kern_off"
 else
     echo "==> python3 not installed; skipping bench smoke"
 fi
