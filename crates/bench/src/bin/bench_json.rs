@@ -105,10 +105,11 @@ fn plan_json(stats: &MatchReport, plan_cache: (u64, u64)) -> String {
     )
 }
 
-/// The per-stage and counter breakdown of one engine run, as two JSON
-/// maps: stage path → seconds, counter name → value. Per-rule
-/// counters are elided (they scale with the rule base, not the
-/// engine).
+/// The per-stage and counter breakdown of one engine run, as three
+/// JSON maps: stage path → seconds, counter name → value, histogram
+/// name → tail quantiles (p50/p95/p99 in nanoseconds — the per-task
+/// latency distribution, not just its sum). Per-rule counters are
+/// elided (they scale with the rule base, not the engine).
 fn breakdown_json(stats: &MatchReport) -> String {
     let stages: Vec<String> = stats
         .stages
@@ -121,10 +122,25 @@ fn breakdown_json(stats: &MatchReport) -> String {
         .filter(|c| !c.name.starts_with("rule/"))
         .map(|c| format!("\"{}\": {}", c.name, c.value))
         .collect();
+    let histograms: Vec<String> = stats
+        .histograms
+        .iter()
+        .map(|h| {
+            format!(
+                "\"{}\": {{\"count\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                h.name,
+                h.snapshot.count,
+                h.snapshot.quantile(0.50),
+                h.snapshot.quantile(0.95),
+                h.snapshot.quantile(0.99)
+            )
+        })
+        .collect();
     format!(
-        "\"stages\": {{{}}}, \"counters\": {{{}}}",
+        "\"stages\": {{{}}}, \"counters\": {{{}}}, \"histograms\": {{{}}}",
         stages.join(", "),
-        counters.join(", ")
+        counters.join(", "),
+        histograms.join(", ")
     )
 }
 
@@ -194,10 +210,13 @@ fn main() {
     let mut sizes: Vec<usize> = Vec::new();
     let mut engines: Vec<&Engine> = ENGINES.iter().collect();
     let mut kernels = eid_core::kernels::enabled_default();
+    let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--out" {
             out_path = args.next().expect("--out needs a path");
+        } else if arg == "--trace-out" {
+            trace_out = Some(args.next().expect("--trace-out needs a path"));
         } else if arg == "--engines" {
             let names = args.next().expect("--engines needs a comma-separated list");
             engines = names
@@ -410,6 +429,29 @@ fn main() {
         scaling_json,
         size_objects.join(",\n")
     );
+
+    // One *extra* traced run at the largest size (outside the timed
+    // reps, so tracing overhead never touches the numbers above),
+    // exported as Chrome trace_event JSON for Perfetto.
+    if let Some(path) = trace_out {
+        let n = sizes.iter().copied().max().unwrap_or(0);
+        let w = scaling_workload(n, 42);
+        let mut config = MatchConfig::new(w.extended_key.clone(), w.ilfds.clone());
+        config.join = JoinAlgorithm::Blocked;
+        config.threads = 0;
+        config.kernels = kernels;
+        config.trace = true;
+        let outcome = EntityMatcher::new(w.r.clone(), w.s.clone(), config)
+            .unwrap()
+            .run()
+            .unwrap();
+        let trace = outcome.trace.expect("traced blocked run yields a timeline");
+        std::fs::write(&path, trace.to_chrome_json()).expect("write trace JSON");
+        eprintln!(
+            "wrote {path} (n={n}, {} slices) — load in Perfetto or chrome://tracing",
+            trace.slice_count()
+        );
+    }
 
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
     eprintln!("wrote {out_path}");

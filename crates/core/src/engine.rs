@@ -55,9 +55,11 @@
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use eid_obs::Recorder;
+use eid_obs::trace::DEFAULT_SINK_CAPACITY;
+use eid_obs::{Recorder, Trace, TraceEvent, TraceSink};
 use eid_relational::{Columns, FxHashMap, Interner, Relation, Sym, Tuple, NULL_SYM};
 use eid_rules::{
     CompiledRuleBase, InternedDistinctShape, InternedIdentityShape, InternedRule, InternedRuleBase,
@@ -272,12 +274,68 @@ struct Task {
 /// Per-task accounting carried back to the main thread. Workers never
 /// touch the recorder (its maps are mutex-guarded; contended lock
 /// hops on the hot path would serialize the scan) — the main thread
-/// flushes every report after the scope ends.
+/// flushes every report after the scope ends. Timeline data rides
+/// the same channel: when tracing is on, the task's epoch-relative
+/// span and tile slices travel here and are replayed into per-worker
+/// [`TraceSink`]s post-scope.
 struct TaskReport {
     nanos: u64,
     tally: Tally,
     /// Kernel batch accounting for this task (zero on scalar paths).
     kernel: KernelTally,
+    /// The worker that drained this task (the coordinating thread is
+    /// worker 0); stamped at the drain loop, read at trace replay.
+    worker: u32,
+    /// The task's timeline contribution (`None` when tracing is off).
+    trace: Option<TaskTrace>,
+}
+
+/// One task's timeline contribution: its span relative to the run
+/// epoch plus any nested kernel-tile slices.
+struct TaskTrace {
+    /// Nanoseconds from the run epoch to task start.
+    start_nanos: u64,
+    /// Task wall time in nanoseconds.
+    dur_nanos: u64,
+    /// `(start, duration, batches)` per recorded kernel tile, epoch-
+    /// relative and chronological.
+    tiles: Vec<(u64, u64, u64)>,
+}
+
+/// Hard cap on recorded tile slices per task: a pathological residual
+/// scan keeps its first tiles rather than growing without bound (the
+/// task-level slice still covers the full duration).
+const MAX_TILE_SLICES: usize = 1024;
+
+/// Worker-side tile recorder, allocated per task only when tracing is
+/// enabled. It never touches shared state — tiles accumulate locally
+/// and ride back inside the [`TaskReport`].
+struct TaskTracer {
+    epoch: Instant,
+    tiles: Vec<(u64, u64, u64)>,
+}
+
+impl TaskTracer {
+    fn new(epoch: Instant) -> TaskTracer {
+        TaskTracer {
+            epoch,
+            tiles: Vec::new(),
+        }
+    }
+
+    /// Nanoseconds since the run epoch.
+    fn now(&self) -> u64 {
+        self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Records one tile slice that started at epoch-relative `start`
+    /// and ends now, attributing `batches` kernel invocations to it.
+    fn record_tile(&mut self, start: u64, batches: u64) {
+        if self.tiles.len() < MAX_TILE_SLICES {
+            let dur = self.now().saturating_sub(start);
+            self.tiles.push((start, dur, batches));
+        }
+    }
 }
 
 /// One task's local tallies, aggregated per plan before flushing.
@@ -340,6 +398,13 @@ pub struct Executor {
     attrs_s: Vec<String>,
     threads: usize,
     kernels: bool,
+    /// Capture a per-worker timeline on the next [`Executor::execute`]
+    /// (read back with [`Executor::take_trace`]).
+    trace_enabled: bool,
+    /// The most recent successful attempt's assembled timeline.
+    /// Behind an `Arc` so the executor stays cloneable; clones share
+    /// the slot.
+    trace_out: Arc<Mutex<Option<Trace>>>,
     recorder: Recorder,
 }
 
@@ -427,6 +492,8 @@ impl Executor {
             cols_s,
             threads,
             kernels: kernels::enabled_default(),
+            trace_enabled: false,
+            trace_out: Arc::new(Mutex::new(None)),
             recorder,
         }
     }
@@ -443,6 +510,29 @@ impl Executor {
     /// Whether vectorized-kernel dispatch is enabled.
     pub fn kernels_enabled(&self) -> bool {
         self.kernels
+    }
+
+    /// Enables or disables execution-timeline capture. When on, each
+    /// task records its span (plus nested kernel-tile slices) against
+    /// a single run epoch; the assembled [`Trace`] of the most recent
+    /// successful [`Executor::execute`] is read back with
+    /// [`Executor::take_trace`]. Off (the default), the hot path pays
+    /// one branch per task.
+    pub fn set_trace(&mut self, on: bool) {
+        self.trace_enabled = on;
+    }
+
+    /// Whether timeline capture is enabled.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace_enabled
+    }
+
+    /// Takes the timeline assembled by the most recent successful
+    /// [`Executor::execute`] with tracing enabled — `None` when
+    /// tracing was off, the run aborted, or the trace was already
+    /// taken.
+    pub fn take_trace(&self) -> Option<Trace> {
+        self.trace_out.lock().ok().and_then(|mut slot| slot.take())
     }
 
     /// The compiled rule base (for inspection/tests).
@@ -552,6 +642,9 @@ impl Executor {
     /// front (keeping its mode). On success the recorder's `engine`
     /// label names the arm that produced the published pairs.
     pub fn execute(&self, plan: &MatchPlan, guard: &RunGuard) -> Result<EnginePairs> {
+        // One epoch per execute call: every traced slice — across
+        // attempts and workers — shares this time axis.
+        let epoch = Instant::now();
         if let Err(reason) = guard.checkpoint() {
             return Err(self.abort(guard, TaskAbort::early(reason)));
         }
@@ -589,8 +682,16 @@ impl Executor {
         self.recorder.add(counter::ENGINE_WORKERS, workers as u64);
         let first_arm = plan.arm.arm_label(plan.index_free, workers);
 
-        match self.try_run_tasks(&plans, &tasks, &indexes, workers, guard, "engine/worker") {
-            Ok(outputs) => self.finish(&plans, &tasks, outputs, first_arm),
+        match self.try_run_tasks(
+            &plans,
+            &tasks,
+            &indexes,
+            workers,
+            guard,
+            epoch,
+            "engine/worker",
+        ) {
+            Ok(outputs) => self.finish(plan, &plans, &tasks, outputs, first_arm),
             Err(TaskFailure::Aborted(a)) => Err(self.abort(guard, a)),
             Err(TaskFailure::Poisoned { completed }) => {
                 // Rung 2: the serial-twin rewrite, rerun from
@@ -602,10 +703,13 @@ impl Executor {
                 self.recorder.add(counter::ENGINE_ABORTED_TASKS, lost);
                 self.recorder.add(counter::RUNTIME_DEGRADED_TO_BLOCKED, 1);
                 let serial_arm = plan.arm.arm_label(plan.index_free, 1);
-                match self.try_run_tasks(&plans, &tasks, &indexes, 1, guard, "engine/serial") {
-                    Ok(outputs) => self.finish(&plans, &tasks, outputs, serial_arm),
+                match self.try_run_tasks(&plans, &tasks, &indexes, 1, guard, epoch, "engine/serial")
+                {
+                    Ok(outputs) => self.finish(plan, &plans, &tasks, outputs, serial_arm),
                     Err(TaskFailure::Aborted(a)) => Err(self.abort(guard, a)),
-                    Err(TaskFailure::Poisoned { .. }) => self.run_nested_fallback(plan, guard),
+                    Err(TaskFailure::Poisoned { .. }) => {
+                        self.run_nested_fallback(plan, guard, epoch)
+                    }
                 }
             }
         }
@@ -616,7 +720,12 @@ impl Executor {
     /// an index-free residual scan, serially. Emits the same pair
     /// *set* as the probe plans (possibly in a different order —
     /// callers dedup).
-    fn run_nested_fallback(&self, plan: &MatchPlan, guard: &RunGuard) -> Result<EnginePairs> {
+    fn run_nested_fallback(
+        &self,
+        plan: &MatchPlan,
+        guard: &RunGuard,
+        epoch: Instant,
+    ) -> Result<EnginePairs> {
         self.recorder
             .add(counter::RUNTIME_DEGRADED_TO_NESTED_LOOP, 1);
         let nested = plan.rewrite_index_free().rewrite_serial();
@@ -628,8 +737,8 @@ impl Executor {
             (plans, indexes)
         };
         let tasks = build_tasks(&plans);
-        match self.try_run_tasks(&plans, &tasks, &indexes, 1, guard, "engine/nested") {
-            Ok(outputs) => self.finish(&plans, &tasks, outputs, "nested_loop"),
+        match self.try_run_tasks(&plans, &tasks, &indexes, 1, guard, epoch, "engine/nested") {
+            Ok(outputs) => self.finish(&nested, &plans, &tasks, outputs, "nested_loop"),
             Err(TaskFailure::Aborted(a)) => Err(self.abort(guard, a)),
             Err(TaskFailure::Poisoned { .. }) => {
                 self.recorder.set_label(label::ABORT, "worker_panic");
@@ -849,13 +958,14 @@ impl Executor {
     /// pair lists in task order.
     fn finish(
         &self,
+        mplan: &MatchPlan,
         plans: &[Plan<'_>],
         tasks: &[Task],
         outputs: Vec<(EnginePairs, TaskReport)>,
         arm: &str,
     ) -> Result<EnginePairs> {
         self.recorder.add(counter::ENGINE_TASKS, tasks.len() as u64);
-        self.flush_reports(plans, tasks, &outputs);
+        self.flush_reports(mplan, plans, tasks, &outputs);
         self.recorder.set_label(label::ENGINE_ARM, arm);
         let mut result = EnginePairs::default();
         result
@@ -895,17 +1005,25 @@ impl Executor {
     /// flushing per task; only the contention moves off the hot path.
     fn flush_reports(
         &self,
+        mplan: &MatchPlan,
         plans: &[Plan<'_>],
         tasks: &[Task],
         outputs: &[(EnginePairs, TaskReport)],
     ) {
         let task_nanos = self.recorder.histogram(histogram::ENGINE_TASK_NANOS);
         let mut block: Vec<(u64, u64)> = vec![(0, 0); plans.len()];
+        // Per-plan (nanos, tasks, batches) actuals — what EXPLAIN
+        // ANALYZE joins against the planner's estimates by node id.
+        let mut node_acc: Vec<(u64, u64, u64)> = vec![(0, 0, 0); plans.len()];
         let mut residual = (0u64, 0u64, 0u64);
         let mut kernel = KernelTally::default();
         for (task, (_, report)) in tasks.iter().zip(outputs) {
             task_nanos.record(report.nanos);
             kernel.merge(&report.kernel);
+            let acc = &mut node_acc[task.plan];
+            acc.0 += report.nanos;
+            acc.1 += 1;
+            acc.2 += report.kernel.batches;
             let path = match &plans[task.plan].kind {
                 PlanKind::Identity { rule, .. } | PlanKind::VectorEq { rule, .. } => {
                     self.recorder.record_span(
@@ -971,6 +1089,91 @@ impl Executor {
                 }
             }
         }
+        for (plan, &(nanos, tasks_run, batches)) in plans.iter().zip(&node_acc) {
+            self.recorder.add(&node_counter(plan.node, "nanos"), nanos);
+            self.recorder
+                .add(&node_counter(plan.node, "tasks"), tasks_run);
+            if batches > 0 {
+                self.recorder
+                    .add(&node_counter(plan.node, "batches"), batches);
+            }
+        }
+        self.assemble_trace(mplan, plans, tasks, outputs);
+    }
+
+    /// Replays every task's timeline contribution into per-worker
+    /// [`TraceSink`]s — post-scope, on the coordinating thread — and
+    /// publishes the merged [`Trace`] for [`Executor::take_trace`].
+    /// A worker claims task ids in increasing order, so iterating the
+    /// id-sorted outputs keeps each worker's stream chronological and
+    /// properly nested. No-op when tracing is off.
+    fn assemble_trace(
+        &self,
+        mplan: &MatchPlan,
+        plans: &[Plan<'_>],
+        tasks: &[Task],
+        outputs: &[(EnginePairs, TaskReport)],
+    ) {
+        if !self.trace_enabled {
+            return;
+        }
+        // Slice names are the plan-node span labels; the fused
+        // residual may report under a synthetic node past the plan's
+        // end.
+        let labels: Vec<Arc<str>> = plans
+            .iter()
+            .map(|p| {
+                Arc::from(
+                    mplan
+                        .nodes
+                        .get(p.node)
+                        .map(|n| n.span.as_str())
+                        .unwrap_or(span::ENGINE_RESIDUAL),
+                )
+            })
+            .collect();
+        let tile_label: Arc<str> = Arc::from("kernel/tile");
+        let mut sinks: std::collections::BTreeMap<u32, TraceSink> = Default::default();
+        let mut group: Vec<TraceEvent> = Vec::new();
+        for (id, (task, (_, report))) in tasks.iter().zip(outputs).enumerate() {
+            let Some(tt) = &report.trace else { continue };
+            let name = &labels[task.plan];
+            let (w, tid, node) = (report.worker, id as u32, plans[task.plan].node as u32);
+            group.clear();
+            group.push(TraceEvent::begin(
+                name,
+                w,
+                tid,
+                node,
+                tt.start_nanos,
+                report.kernel.batches,
+            ));
+            for &(t0, dur, batches) in &tt.tiles {
+                group.push(TraceEvent::begin(&tile_label, w, tid, node, t0, batches));
+                group.push(TraceEvent::end(&tile_label, w, tid, node, t0 + dur));
+            }
+            group.push(TraceEvent::end(
+                name,
+                w,
+                tid,
+                node,
+                tt.start_nanos + tt.dur_nanos,
+            ));
+            sinks
+                .entry(w)
+                .or_insert_with(|| TraceSink::new(w, DEFAULT_SINK_CAPACITY))
+                .record_group(&group);
+        }
+        let mut trace = Trace::new();
+        for (_, sink) in sinks {
+            trace.absorb(sink);
+        }
+        if trace.dropped > 0 {
+            self.recorder.add(counter::TRACE_DROPPED, trace.dropped);
+        }
+        if let Ok(mut slot) = self.trace_out.lock() {
+            *slot = Some(trace);
+        }
     }
 
     /// Runs the task queue under the guard; on success, outputs come
@@ -982,6 +1185,7 @@ impl Executor {
     /// ladder rung to try next. Each task is pre-charged its exact
     /// candidate weight and the guard is checked *before* the task
     /// runs, so budget trips happen ahead of the work.
+    #[allow(clippy::too_many_arguments)]
     fn try_run_tasks(
         &self,
         plans: &[Plan<'_>],
@@ -989,12 +1193,17 @@ impl Executor {
         indexes: &Indexes,
         workers: usize,
         guard: &RunGuard,
+        epoch: Instant,
         fault_site: &str,
     ) -> std::result::Result<Vec<(EnginePairs, TaskReport)>, TaskFailure> {
         let workers = workers.min(tasks.len()).max(1);
         let next = AtomicUsize::new(0);
         let poisoned = AtomicBool::new(false);
-        let drain = || {
+        // With the counting allocator installed, charge each task's
+        // *measured* thread-local allocation delta instead of the
+        // 8-bytes-per-pair output model.
+        let measured = eid_obs::alloc::active();
+        let drain = |worker: u32| {
             let mut local: Vec<(usize, (EnginePairs, TaskReport))> = Vec::new();
             loop {
                 if poisoned.load(Ordering::Relaxed) || guard.is_tripped() {
@@ -1006,14 +1215,25 @@ impl Executor {
                 if guard.checkpoint().is_err() {
                     break;
                 }
+                let before = if measured {
+                    eid_obs::alloc::thread_allocated()
+                } else {
+                    0
+                };
                 let run = catch_unwind(AssertUnwindSafe(|| {
                     eid_fault::maybe_panic(fault_site);
-                    self.run_timed(plans, task, indexes)
+                    self.run_timed(plans, task, indexes, epoch)
                 }));
                 match run {
-                    Ok(out) => {
+                    Ok(mut out) => {
+                        out.1.worker = worker;
                         let pairs = out.0.matching.len() + out.0.negative.len();
-                        guard.charge_bytes(8 * pairs as u64);
+                        let bytes = if measured {
+                            eid_obs::alloc::thread_allocated().saturating_sub(before)
+                        } else {
+                            8 * pairs as u64
+                        };
+                        guard.charge_bytes(bytes);
                         local.push((id, out));
                     }
                     Err(_) => {
@@ -1026,15 +1246,18 @@ impl Executor {
         };
         let mut slots: Vec<(usize, (EnginePairs, TaskReport))> = Vec::with_capacity(tasks.len());
         if workers == 1 {
-            slots.extend(drain());
+            slots.extend(drain(0));
         } else {
             std::thread::scope(|scope| {
                 // The calling thread is worker 0: spawning
                 // `workers - 1` threads instead of `workers` keeps it
                 // busy draining the queue rather than parked at the
                 // join.
-                let handles: Vec<_> = (1..workers).map(|_| scope.spawn(drain)).collect();
-                slots.extend(drain());
+                let drain = &drain;
+                let handles: Vec<_> = (1..workers)
+                    .map(|w| scope.spawn(move || drain(w as u32)))
+                    .collect();
+                slots.extend(drain(0));
                 for h in handles {
                     match h.join() {
                         Ok(local) => slots.extend(local),
@@ -1077,16 +1300,26 @@ impl Executor {
         plans: &[Plan<'_>],
         task: &Task,
         indexes: &Indexes,
+        epoch: Instant,
     ) -> (EnginePairs, TaskReport) {
+        let mut tracer = self.trace_enabled.then(|| TaskTracer::new(epoch));
+        let start_nanos = epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         let start = Instant::now();
-        let (out, tally, kernel) = self.run_task(plans, task, indexes);
+        let (out, tally, kernel) = self.run_task(plans, task, indexes, tracer.as_mut());
         let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let trace = tracer.map(|t| TaskTrace {
+            start_nanos,
+            dur_nanos: nanos,
+            tiles: t.tiles,
+        });
         (
             out,
             TaskReport {
                 nanos,
                 tally,
                 kernel,
+                worker: 0,
+                trace,
             },
         )
     }
@@ -1096,6 +1329,7 @@ impl Executor {
         plans: &[Plan<'_>],
         task: &Task,
         indexes: &Indexes,
+        tracer: Option<&mut TaskTracer>,
     ) -> (EnginePairs, Tally, KernelTally) {
         let mut out = EnginePairs::default();
         let mut kernel = KernelTally::default();
@@ -1119,9 +1353,14 @@ impl Executor {
                     .reserve(task.est_pairs.min(TASK_RESERVE_CAP) as usize);
                 self.run_distinct(rule, shape, drivers, indexes, &mut out.negative)
             }
-            PlanKind::VectorEq { shape, tile, .. } => {
-                self.run_vector_eq(shape, *tile, drivers, &mut kernel, &mut out.matching)
-            }
+            PlanKind::VectorEq { shape, tile, .. } => self.run_vector_eq(
+                shape,
+                *tile,
+                drivers,
+                &mut kernel,
+                &mut out.matching,
+                tracer,
+            ),
             PlanKind::VectorDisagree { shape, .. } => {
                 out.negative
                     .reserve(task.est_pairs.min(TASK_RESERVE_CAP) as usize);
@@ -1138,6 +1377,7 @@ impl Executor {
                 drivers,
                 &mut kernel,
                 &mut out,
+                tracer,
             ),
         };
         (out, tally, kernel)
@@ -1150,6 +1390,7 @@ impl Executor {
     /// the kernels left unset. Per-driver row buffers are concatenated
     /// in driver order, so the emitted pair order is byte-identical to
     /// the untiled scalar loop.
+    #[allow(clippy::too_many_arguments)]
     fn run_residual(
         &self,
         identity: &[&InternedRule],
@@ -1158,6 +1399,7 @@ impl Executor {
         drivers: &[u32],
         kernel: &mut KernelTally,
         out: &mut EnginePairs,
+        mut tracer: Option<&mut TaskTracer>,
     ) -> Tally {
         /// One driver's resolved vector rules: the identity and
         /// distinctness term lists still in play for this row.
@@ -1189,6 +1431,7 @@ impl Executor {
         let mut tile_start = 0usize;
         while tile_start < s_rows {
             let tile_end = (tile_start + tile).min(s_rows);
+            let pre = tracer.as_deref().map(|t| (t.now(), kernel.batches));
             for (di, &i) in drivers.iter().enumerate() {
                 let (id_terms, dist_terms) = &states[di];
                 self.residual_driver_tile(
@@ -1202,6 +1445,9 @@ impl Executor {
                     &mut match_bufs[di],
                     &mut neg_bufs[di],
                 );
+            }
+            if let (Some(t), Some((t0, b0))) = (tracer.as_deref_mut(), pre) {
+                t.record_tile(t0, kernel.batches - b0);
             }
             tile_start = tile_end;
         }
@@ -1352,6 +1598,7 @@ impl Executor {
         drivers: &[u32],
         kernel: &mut KernelTally,
         out: &mut Vec<(u32, u32)>,
+        mut tracer: Option<&mut TaskTracer>,
     ) -> Tally {
         let s_rows = self.cols_s.rows();
         let terms_of: Vec<Option<Vec<Term<'_>>>> = drivers
@@ -1383,11 +1630,15 @@ impl Executor {
         let mut tile_start = 0usize;
         while tile_start < s_rows {
             let tile_end = (tile_start + tile).min(s_rows);
+            let pre = tracer.as_deref().map(|t| (t.now(), kernel.batches));
             for (di, terms) in terms_of.iter().enumerate() {
                 if let Some(terms) = terms {
                     let buf = &mut bufs[di];
                     kernels::conj_scan(terms, tile_start..tile_end, kernel, |j| buf.push(j));
                 }
+            }
+            if let (Some(t), Some((t0, b0))) = (tracer.as_deref_mut(), pre) {
+                t.record_tile(t0, kernel.batches - b0);
             }
             tile_start = tile_end;
         }

@@ -12,17 +12,24 @@
 //! The same module renders the *prospective* explanation:
 //! [`render_plan`] turns a [`MatchPlan`] into the indented text tree
 //! behind `eid plan` — which blocking keys the cost model picked,
-//! which rules scan, and why.
+//! which rules scan, and why. Its retrospective twin,
+//! [`render_plan_analyzed`], joins an executed run's per-node actuals
+//! (wall time, candidate pairs, rows out, kernel batches) back
+//! against the planner's estimates — EXPLAIN ANALYZE for `eid plan
+//! --analyze`.
 
 use std::fmt;
 
 use eid_ilfd::horn::HornProgram;
 use eid_ilfd::{PropSymbol, SymbolSet};
+use eid_obs::json::str_literal;
+use eid_obs::MatchReport;
 use eid_relational::{AttrName, Relation, Tuple, Value};
 
 use crate::error::{CoreError, Result};
 use crate::matcher::MatchConfig;
-use crate::plan::{MatchPlan, PlanNodeKind, ProbeStrategy};
+use crate::plan::{MatchPlan, PlanNode, PlanNodeKind, ProbeStrategy};
+use crate::stats::node_counter;
 
 /// How one extended-key attribute value came to be known.
 #[derive(Debug, Clone, PartialEq)]
@@ -95,6 +102,28 @@ impl fmt::Display for MatchExplanation {
 ///             classify — Figure-3 partition …
 /// ```
 pub fn render_plan(plan: &MatchPlan) -> String {
+    let depth = node_depths(plan);
+    let mut out = format!(
+        "match plan — arm {}, mode {}\n  mode: {}\n",
+        plan.arm.arm_label(plan.index_free, plan.mode.workers()),
+        plan.mode_display(),
+        plan.mode_why
+    );
+    for node in &plan.nodes {
+        let indent = "  ".repeat(depth.get(node.id).copied().unwrap_or(0) + 1);
+        out.push_str(&format!(
+            "{indent}{}{} — {}\n",
+            node.label,
+            strategy_suffix(node),
+            node.why
+        ));
+    }
+    out
+}
+
+/// Pipeline depth per node id (a node sits one level below the
+/// deepest node it consumes).
+fn node_depths(plan: &MatchPlan) -> Vec<usize> {
     let mut depth = vec![0usize; plan.nodes.len()];
     for node in &plan.nodes {
         let d = node
@@ -107,39 +136,212 @@ pub fn render_plan(plan: &MatchPlan) -> String {
             *slot = d;
         }
     }
-    let mut out = format!(
-        "match plan — arm {}, mode {}\n  mode: {}\n",
-        plan.arm.arm_label(plan.index_free, plan.mode.workers()),
-        plan.mode_display(),
-        plan.mode_why
-    );
-    for node in &plan.nodes {
-        let indent = "  ".repeat(depth.get(node.id).copied().unwrap_or(0) + 1);
-        let strategy = match &node.kind {
-            PlanNodeKind::IdentityProbe { strategy, .. }
-            | PlanNodeKind::Refute { strategy, .. } => match strategy {
+    depth
+}
+
+/// The bracketed strategy annotation after a node label, e.g.
+/// ` [probe 0,1]` or ` [vector disagree ×16, tile 65536]`.
+fn strategy_suffix(node: &PlanNode) -> String {
+    match &node.kind {
+        PlanNodeKind::IdentityProbe { strategy, .. } | PlanNodeKind::Refute { strategy, .. } => {
+            match strategy {
                 ProbeStrategy::Probe { key_positions } => {
                     let cols: Vec<String> = key_positions.iter().map(|p| p.to_string()).collect();
                     format!(" [probe {}]", cols.join(","))
                 }
                 ProbeStrategy::Cross => " [cross]".to_string(),
                 ProbeStrategy::Scan => " [scan]".to_string(),
-            },
-            PlanNodeKind::VectorScan {
-                shape,
-                lanes,
-                tile_rows,
-                ..
-            } => {
-                format!(" [vector {} ×{lanes}, tile {tile_rows}]", shape.as_str())
             }
-            _ => String::new(),
+        }
+        PlanNodeKind::VectorScan {
+            shape,
+            lanes,
+            tile_rows,
+            ..
+        } => {
+            format!(" [vector {} ×{lanes}, tile {tile_rows}]", shape.as_str())
+        }
+        _ => String::new(),
+    }
+}
+
+/// Drift threshold for EXPLAIN ANALYZE: a probe/refute/vector node
+/// counts as *drifted* when its actual candidate volume differs from
+/// the planner's estimate by more than this factor, in either
+/// direction.
+pub const DRIFT_FACTOR: u64 = 4;
+
+/// Candidate-volume floor below which a node never counts as drifted.
+/// Tiny nodes are all noise; `plan/drift_nodes` exists so planner
+/// tests can assert the cost model held at real volumes.
+pub const DRIFT_MIN_PAIRS: u64 = 1024;
+
+/// One executed plan node's actuals, joined from the run report's
+/// `plan/node/<id>/*` counters.
+struct NodeActuals {
+    nanos: u64,
+    tasks: u64,
+    batches: u64,
+    /// Candidate volume: probe candidates, or residual pairs visited.
+    pairs: u64,
+    /// Rows out: accepted candidates, or residual matched + refuted.
+    out: u64,
+}
+
+fn actuals_of(report: &MatchReport, id: usize) -> NodeActuals {
+    let c = |what: &str| report.counter(&node_counter(id, what));
+    NodeActuals {
+        nanos: c("nanos"),
+        tasks: c("tasks"),
+        batches: c("batches"),
+        pairs: c("candidates") + c("pairs"),
+        out: c("accepted") + c("matched") + c("refuted"),
+    }
+}
+
+/// Whether an estimate/actual pair differs by more than
+/// [`DRIFT_FACTOR`]× at meaningful volume.
+fn drifted(est: u64, actual: u64) -> bool {
+    let (lo, hi) = if est <= actual {
+        (est, actual)
+    } else {
+        (actual, est)
+    };
+    hi >= DRIFT_MIN_PAIRS && hi > lo.saturating_mul(DRIFT_FACTOR)
+}
+
+/// Whether one node drifted: it carries an estimate, actually
+/// executed (fused scan nodes report under the first scan node, so
+/// the others have no tasks), and the volumes disagree.
+fn node_drifted(node: &PlanNode, a: &NodeActuals) -> bool {
+    node.est_pairs
+        .is_some_and(|est| a.tasks > 0 && drifted(est, a.pairs))
+}
+
+/// Counts the plan nodes whose actual candidate volume drifted ≥
+/// [`DRIFT_FACTOR`]× from the planner's estimate — the value the
+/// matcher publishes as `plan/drift_nodes`.
+pub fn drift_nodes(plan: &MatchPlan, report: &MatchReport) -> u64 {
+    plan.nodes
+        .iter()
+        .filter(|n| node_drifted(n, &actuals_of(report, n.id)))
+        .count() as u64
+}
+
+/// Renders a nanosecond quantity human-readably (no padding).
+fn fmt_time(nanos: u64) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.1} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// EXPLAIN ANALYZE: [`render_plan`]'s tree with estimated-vs-actual
+/// columns joined from an executed run's [`MatchReport`] — per node,
+/// the planner's candidate-pair estimate against the measured
+/// candidate pairs, rows out, kernel batches, and wall time (busy
+/// time summed across workers for executed nodes, the stage span for
+/// pipeline stages). Nodes whose volume drifted ≥ [`DRIFT_FACTOR`]×
+/// are flagged, and the footer totals them — the same number the run
+/// publishes as `plan/drift_nodes`.
+pub fn render_plan_analyzed(plan: &MatchPlan, report: &MatchReport) -> String {
+    let depth = node_depths(plan);
+    let mut out = format!(
+        "match plan — arm {}, mode {} (analyzed)\n  mode: {}\n",
+        plan.arm.arm_label(plan.index_free, plan.mode.workers()),
+        plan.mode_display(),
+        plan.mode_why
+    );
+    out.push_str(&format!(
+        "  {:<44} {:>12} {:>12} {:>10} {:>8} {:>12}\n",
+        "node", "est pairs", "act pairs", "rows out", "batches", "time"
+    ));
+    let mut drift_count = 0u64;
+    for node in &plan.nodes {
+        let indent = "  ".repeat(depth.get(node.id).copied().unwrap_or(0));
+        let name = format!("{indent}{}{}", node.label, strategy_suffix(node));
+        let a = actuals_of(report, node.id);
+        let executed = a.tasks > 0;
+        let nanos = if executed {
+            a.nanos
+        } else {
+            report.stage_nanos(&node.span).unwrap_or(0)
         };
+        let num = |v: u64, show: bool| -> String {
+            if show {
+                v.to_string()
+            } else {
+                "-".into()
+            }
+        };
+        let drift = node_drifted(node, &a);
+        if drift {
+            drift_count += 1;
+        }
         out.push_str(&format!(
-            "{indent}{}{} — {}\n",
-            node.label, strategy, node.why
+            "  {:<44} {:>12} {:>12} {:>10} {:>8} {:>12}{}\n",
+            name,
+            node.est_pairs
+                .map_or_else(|| "-".to_string(), |e| e.to_string()),
+            num(a.pairs, executed),
+            num(a.out, executed),
+            num(a.batches, executed && a.batches > 0),
+            fmt_time(nanos),
+            if drift { "  <- drift" } else { "" }
         ));
     }
+    out.push_str(&format!(
+        "  drift: {drift_count} node(s) ≥ ×{DRIFT_FACTOR} off estimate\n"
+    ));
+    out
+}
+
+/// JSON twin of [`render_plan_analyzed`]: the plan document plus an
+/// `analyze` section with per-node actuals and the drift total,
+/// joinable to the plan nodes by id.
+pub fn plan_analyzed_json(plan: &MatchPlan, report: &MatchReport) -> String {
+    let mut out = String::with_capacity(2048);
+    out.push_str("{\n\"plan\": ");
+    out.push_str(plan.to_json().trim_end());
+    out.push_str(",\n\"analyze\": {\n  \"nodes\": [");
+    let mut drift_count = 0u64;
+    for (i, node) in plan.nodes.iter().enumerate() {
+        let a = actuals_of(report, node.id);
+        let executed = a.tasks > 0;
+        let nanos = if executed {
+            a.nanos
+        } else {
+            report.stage_nanos(&node.span).unwrap_or(0)
+        };
+        let drift = node_drifted(node, &a);
+        if drift {
+            drift_count += 1;
+        }
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"id\": {}, \"label\": {}, \"est_pairs\": {}, \"executed\": {executed}, \
+             \"nanos\": {nanos}, \"tasks\": {}, \"pairs\": {}, \"rows_out\": {}, \
+             \"batches\": {}, \"drift\": {drift}}}",
+            node.id,
+            str_literal(&node.label),
+            node.est_pairs
+                .map_or_else(|| "null".to_string(), |e| e.to_string()),
+            a.tasks,
+            a.pairs,
+            a.out,
+            a.batches,
+        ));
+    }
+    out.push_str(&format!(
+        "\n  ],\n  \"drift_factor\": {DRIFT_FACTOR},\n  \"drift_nodes\": {drift_count}\n}}\n}}\n"
+    ));
     out
 }
 
@@ -366,6 +568,7 @@ mod tests {
                 why: "disagreement drivers masked a column chunk at a time".into(),
                 span: "match/engine/refute/ilfd".into(),
                 inputs: vec![],
+                est_pairs: Some(161_000),
             }],
             mode: ExecMode::Serial { auto_small: false },
             mode_why: "test".into(),
@@ -377,6 +580,36 @@ mod tests {
         let text = render_plan(&plan);
         assert!(text.contains("[vector disagree ×16, tile 65536]"), "{text}");
         assert!(text.contains("disagreement drivers"), "{text}");
+    }
+
+    #[test]
+    fn analyzed_render_joins_estimates_and_actuals() {
+        let (r, s, config) = example3();
+        let matcher = crate::matcher::EntityMatcher::new(r, s, config).unwrap();
+        let outcome = matcher.run().unwrap();
+        let plan = matcher.plan().unwrap();
+        let text = render_plan_analyzed(&plan, &outcome.stats);
+        assert!(text.contains("(analyzed)"), "{text}");
+        assert!(text.contains("est pairs"), "{text}");
+        assert!(text.contains("act pairs"), "{text}");
+        assert!(text.lines().last().unwrap().contains("drift:"), "{text}");
+        // 2×2 rows: nothing is near DRIFT_MIN_PAIRS, so the cost
+        // model cannot be flagged here.
+        assert_eq!(drift_nodes(&plan, &outcome.stats), 0);
+        let json = plan_analyzed_json(&plan, &outcome.stats);
+        assert!(json.contains("\"analyze\""), "{json}");
+        assert!(json.contains("\"drift_nodes\": 0"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn drift_needs_volume_and_factor() {
+        assert!(!drifted(10, 100), "below DRIFT_MIN_PAIRS is noise");
+        assert!(drifted(100, 10_000));
+        assert!(drifted(10_000, 100), "either direction");
+        assert!(!drifted(1000, 2000), "×2 is within tolerance");
+        assert!(!drifted(0, 0));
+        assert!(drifted(0, 5000), "estimated nothing, got a flood");
     }
 
     #[test]

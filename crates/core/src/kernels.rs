@@ -23,10 +23,13 @@
 //! `-0.0` needs no handling here at all — the interner already folded
 //! it into `0.0`'s symbol.
 //!
-//! The `EID_KERNELS` environment variable steers the defaults:
-//! `off`/`0`/`false` disables kernel dispatch in the planner
-//! ([`enabled_default`]), `scalar`/`portable` keeps dispatch on but
-//! forces the portable path (for A/B-testing the AVX2 twin).
+//! The `EID_KERNELS` environment variable steers the defaults
+//! (values are case-insensitive): `off`/`0`/`false` disables kernel
+//! dispatch in the planner ([`enabled_default`]),
+//! `scalar`/`portable` keeps dispatch on but forces the portable
+//! path (for A/B-testing the AVX2 twin), and `on`/`1`/`true`/`auto`
+//! spell out the default. Anything else warns once on stderr and
+//! falls back to the default.
 
 use std::ops::Range;
 use std::sync::OnceLock;
@@ -110,27 +113,44 @@ impl KernelTally {
     }
 }
 
+/// `EID_KERNELS`, lowercased and trimmed, read (and validated) once
+/// per process. Unrecognized values warn once on stderr and behave
+/// like an unset variable, so a typo degrades to the default instead
+/// of silently flipping a mode.
+fn kernels_env() -> Option<&'static str> {
+    static ENV: OnceLock<Option<String>> = OnceLock::new();
+    ENV.get_or_init(|| {
+        let raw = std::env::var("EID_KERNELS").ok()?;
+        let norm = raw.trim().to_ascii_lowercase();
+        match norm.as_str() {
+            "off" | "0" | "false" | "scalar" | "portable" | "on" | "1" | "true" | "auto" => {
+                Some(norm)
+            }
+            _ => {
+                eprintln!(
+                    "warning: unrecognized EID_KERNELS value {raw:?} \
+                     (expected off|0|false, scalar|portable, or on|1|true|auto); \
+                     using the default"
+                );
+                None
+            }
+        }
+    })
+    .as_deref()
+}
+
 /// Whether planner kernel dispatch is on by default
-/// (`EID_KERNELS=off|0|false` turns it off). Read once per process.
+/// (`EID_KERNELS=off|0|false`, case-insensitive, turns it off). Read
+/// once per process.
 pub fn enabled_default() -> bool {
     static ON: OnceLock<bool> = OnceLock::new();
-    *ON.get_or_init(|| {
-        !matches!(
-            std::env::var("EID_KERNELS").ok().as_deref(),
-            Some("off") | Some("0") | Some("false")
-        )
-    })
+    *ON.get_or_init(|| !matches!(kernels_env(), Some("off") | Some("0") | Some("false")))
 }
 
 /// Whether `EID_KERNELS=scalar|portable` pins the portable path.
 fn force_portable() -> bool {
     static FORCE: OnceLock<bool> = OnceLock::new();
-    *FORCE.get_or_init(|| {
-        matches!(
-            std::env::var("EID_KERNELS").ok().as_deref(),
-            Some("scalar") | Some("portable")
-        )
-    })
+    *FORCE.get_or_init(|| matches!(kernels_env(), Some("scalar") | Some("portable")))
 }
 
 /// Runtime dispatch decision: AVX2 detected and not pinned portable.

@@ -39,7 +39,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use eid_ilfd::{IlfdSet, Strategy};
-use eid_obs::{MatchReport, Recorder};
+use eid_obs::alloc::{self, StageScope};
+use eid_obs::{MatchReport, Recorder, Trace};
 use eid_relational::{FxHashSet, Relation, Tuple};
 use eid_rules::{ExtendedKey, RuleBase};
 
@@ -49,7 +50,7 @@ use crate::extend::{extend_relation, Extended};
 use crate::match_table::PairTable;
 use crate::plan::{ArmHint, ExecMode, MatchPlan, PlanNodeKind, ProbeStrategy};
 use crate::runtime::{AbortReason, RunBudget, RunGuard};
-use crate::stats::{counter, label, plan_key_label, span};
+use crate::stats::{alloc_slot, counter, label, plan_key_label, span};
 
 /// Pair-space ceiling (in bits) for the dense bitset pair-dedup; a
 /// `|R|·|S|` grid up to this size costs at most 32 MiB per set.
@@ -241,6 +242,11 @@ pub struct MatchConfig {
     /// vectorized `VectorScan` nodes (defaults to the `EID_KERNELS`
     /// environment setting). Classification is identical either way.
     pub kernels: bool,
+    /// Whether to capture an execution timeline
+    /// ([`MatchOutcome::trace`], exportable as Chrome `trace_event`
+    /// JSON). Off by default — tracing costs a few hundred bytes per
+    /// engine task when on, nothing when off.
+    pub trace: bool,
 }
 
 impl MatchConfig {
@@ -259,6 +265,7 @@ impl MatchConfig {
             threads: 0,
             budget: RunBudget::default(),
             kernels: crate::kernels::enabled_default(),
+            trace: false,
         }
     }
 }
@@ -281,6 +288,11 @@ pub struct MatchOutcome {
     /// task-time histogram. Names are the [`crate::stats`]
     /// constants; the schema is documented in DESIGN.md.
     pub stats: MatchReport,
+    /// The execution timeline, when [`MatchConfig::trace`] was set:
+    /// one slice per engine task attributed to its plan node and
+    /// worker, with nested kernel-tile slices. Serialize with
+    /// [`Trace::to_chrome_json`] for Perfetto / `chrome://tracing`.
+    pub trace: Option<Trace>,
 }
 
 impl MatchOutcome {
@@ -375,8 +387,13 @@ impl EntityMatcher {
     pub fn run_guarded(&self, guard: &RunGuard) -> Result<MatchOutcome> {
         let recorder = Recorder::new();
         let run_span = recorder.span(span::MATCH);
+        // With the counting allocator installed, the run's measured
+        // byte deltas (and per-stage attribution from the StageScope
+        // tags below) land in the `alloc/*` counters at the end.
+        let alloc_start = alloc::snapshot();
         guard.checkpoint().map_err(|r| abort_of(guard, r))?;
         let derive_span = recorder.span(span::DERIVE);
+        let _derive_stage = StageScope::enter(alloc_slot::DERIVE);
         let ext_r = {
             let _span = recorder.span(span::DERIVE_R);
             extend_relation(
@@ -395,6 +412,7 @@ impl EntityMatcher {
                 self.config.strategy,
             )?
         };
+        drop(_derive_stage);
         derive_span.finish();
         for (name, r_n, s_n) in [
             (
@@ -424,6 +442,7 @@ impl EntityMatcher {
         let rb = self.rule_base()?;
         guard.checkpoint().map_err(|r| abort_of(guard, r))?;
         let engine_span = recorder.span(span::ENGINE);
+        let engine_stage = StageScope::enter(alloc_slot::ENGINE);
         // Construction compiles + encodes; a panic there (e.g.
         // interner poisoning past the executor's own retry) has no
         // degraded arm to fall to — surface it as a typed error
@@ -437,16 +456,23 @@ impl EntityMatcher {
                 recorder.clone(),
             );
             executor.set_kernels(self.config.kernels);
+            executor.set_trace(self.config.trace);
             executor
         }))
         .map_err(|_| CoreError::WorkerPanic {
             site: "engine/encode".into(),
         })?;
         let plan = self.cached_plan(&executor);
+        let (cache_hits, cache_misses) = self.plan_cache_stats();
+        recorder.add(counter::PLAN_CACHE_HITS, cache_hits);
+        recorder.add(counter::PLAN_CACHE_MISSES, cache_misses);
         record_plan_labels(&recorder, &plan);
         let pairs = executor.execute(&plan, guard)?;
+        let trace = executor.take_trace();
+        drop(engine_stage);
         engine_span.finish();
         let convert_span = recorder.span(span::CONVERT);
+        let convert_stage = StageScope::enter(alloc_slot::CONVERT);
         // Stay in id space: dedup the raw pair lists on row indices
         // (dense bitsets when the pair grid is small enough), count
         // the MT/NMT overlap by popcount, and hand the tables
@@ -501,6 +527,7 @@ impl EntityMatcher {
             pk_s,
             n_pairs,
         );
+        drop(convert_stage);
         convert_span.finish();
 
         let total = self.r.len() * self.s.len();
@@ -514,14 +541,41 @@ impl EntityMatcher {
         recorder.add(counter::CLASSIFY_OVERLAP, overlap as u64);
         recorder.add(counter::CLASSIFY_UNDETERMINED, undetermined as u64);
         recorder.add(counter::CLASSIFY_PAIRS_TOTAL, total as u64);
+        // Measured allocation totals only exist when the caller
+        // installed the counting allocator (the `count-alloc`
+        // feature); absent counters mean "estimated", not "zero".
+        if alloc::active() {
+            let delta = alloc::snapshot().since(&alloc_start);
+            recorder.add(counter::ALLOC_MEASURED_BYTES, delta.allocated);
+            recorder.add(counter::ALLOC_MEASURED_FREED, delta.freed);
+            recorder.add(counter::ALLOC_PEAK_BYTES, delta.peak);
+            recorder.add(
+                counter::ALLOC_STAGE_DERIVE,
+                delta.stages[alloc_slot::DERIVE],
+            );
+            recorder.add(
+                counter::ALLOC_STAGE_ENGINE,
+                delta.stages[alloc_slot::ENGINE],
+            );
+            recorder.add(
+                counter::ALLOC_STAGE_CONVERT,
+                delta.stages[alloc_slot::CONVERT],
+            );
+        }
         run_span.finish();
+        let mut stats = recorder.report();
+        stats.set_counter(
+            counter::PLAN_DRIFT_NODES,
+            crate::explain::drift_nodes(&plan, &stats),
+        );
         Ok(MatchOutcome {
             matching,
             negative,
             extended_r: ext_r,
             extended_s: ext_s,
             undetermined,
-            stats: recorder.report(),
+            trace,
+            stats,
         })
     }
 

@@ -176,6 +176,11 @@ pub struct PlanNode {
     pub span: String,
     /// Ids of the nodes whose outputs this node consumes.
     pub inputs: Vec<usize>,
+    /// The cost model's candidate-pair estimate for this node, when
+    /// it made one (probe/refute/vector-scan nodes). EXPLAIN ANALYZE
+    /// joins this against the executed `plan/node/<id>/*` counters to
+    /// show estimated vs. actual.
+    pub est_pairs: Option<u64>,
 }
 
 /// Serial vs. parallel execution of the probe/refute task queue.
@@ -458,6 +463,10 @@ impl MatchPlan {
                 }
                 _ => {}
             }
+            if let Some(est) = node.est_pairs {
+                out.push_str(", \"est_pairs\": ");
+                out.push_str(&est.to_string());
+            }
             out.push_str(", \"label\": ");
             json::push_str_literal(&mut out, &node.label);
             out.push_str(", \"why\": ");
@@ -497,6 +506,7 @@ mod tests {
                     why: "extend R with the extended key".into(),
                     span: "match/derive/r".into(),
                     inputs: vec![],
+                    est_pairs: None,
                 },
                 PlanNode {
                     id: 1,
@@ -514,6 +524,7 @@ mod tests {
                     why: "key (name, cuisine)".into(),
                     span: "match/engine/identity/key-eq".into(),
                     inputs: vec![0],
+                    est_pairs: Some(9_000_000),
                 },
             ],
             mode: ExecMode::Parallel { workers: 4 },
@@ -573,6 +584,7 @@ mod tests {
             why: "vector disagree kernel: est 161000 pairs; lanes=16, tile=65536 rows".into(),
             span: "match/engine/refute/r3".into(),
             inputs: vec![0],
+            est_pairs: Some(161_000),
         });
         plan
     }
@@ -631,6 +643,7 @@ mod tests {
             "\"lanes\": 16",
             "\"tile_rows\": 65536",
             "\"key_positions\": [1]",
+            "\"est_pairs\": 161000",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }

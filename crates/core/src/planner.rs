@@ -197,6 +197,26 @@ impl<'e> Planner<'e> {
         (kept, why)
     }
 
+    /// The cross-product candidate volume — the scan/cross estimate
+    /// and the parallelism driver.
+    fn cross_est(&self) -> u64 {
+        self.rows_r.saturating_mul(self.rows_s) as u64
+    }
+
+    /// Estimated candidates a probe on `key_positions` enumerates:
+    /// the cross product scaled by the key's most selective column
+    /// (equality on a column with `d` distinct symbols keeps ~1/d of
+    /// the pair space).
+    fn probe_est(&self, key_positions: &[usize]) -> u64 {
+        let sel = key_positions
+            .iter()
+            .map(|&p| self.stat_s(p).distinct)
+            .max()
+            .unwrap_or(1)
+            .max(1) as u64;
+        self.cross_est() / sel
+    }
+
     /// The auto mode decision, mirroring the engine's historical
     /// `resolve_threads`.
     fn choose_mode(&self, hint: ArmHint) -> (ExecMode, String) {
@@ -254,19 +274,21 @@ impl<'e> Planner<'e> {
         )
     }
 
-    /// The choice (and explanation) for one identity rule under a
-    /// hint. `force_probe` marks the `Hash` hint's key rule.
+    /// The choice (explanation + candidate-pair estimate) for one
+    /// identity rule under a hint. `force_probe` marks the `Hash`
+    /// hint's key rule.
     fn identity_strategy(
         &self,
         rule: &eid_rules::InternedRule,
         hint: ArmHint,
         force_probe: bool,
-    ) -> (Choice, String) {
+    ) -> (Choice, String, u64) {
         let shape = rule.identity_shape();
-        let (choice, why) = match hint {
+        let (choice, why, est) = match hint {
             ArmHint::NestedLoop => (
                 ProbeStrategy::Scan,
                 "nested-loop hint: exhaustive pairwise scan".into(),
+                self.cross_est(),
             ),
             ArmHint::Hash => {
                 if force_probe {
@@ -278,11 +300,13 @@ impl<'e> Planner<'e> {
                                 .map(|&p| self.attr_s(p))
                                 .collect::<Vec<_>>()
                                 .join(", ");
+                            let est = self.probe_est(&positions);
                             return (
                                 Choice::Strategy(ProbeStrategy::Probe {
                                     key_positions: positions,
                                 }),
                                 format!("hash hint: full extended-key join on ⟨{names}⟩"),
+                                est,
                             );
                         }
                     }
@@ -290,17 +314,23 @@ impl<'e> Planner<'e> {
                 (
                     ProbeStrategy::Scan,
                     "hash hint: extra rules run in the serial residual scan".into(),
+                    self.cross_est(),
                 )
             }
             ArmHint::Auto => match shape {
                 Some(shape) if shape.join.is_empty() => (
                     ProbeStrategy::Cross,
                     "no join columns: literal-filtered cross product".into(),
+                    self.cross_est(),
                 ),
                 Some(shape) => {
                     let (positions, why) = self.choose_identity_key(&shape);
                     if positions.is_empty() {
-                        (ProbeStrategy::Scan, "empty blocking key".into())
+                        (
+                            ProbeStrategy::Scan,
+                            "empty blocking key".into(),
+                            self.cross_est(),
+                        )
                     } else {
                         // A key whose every column has ≤ 1 distinct
                         // symbol degenerates to one bucket — a full
@@ -328,31 +358,41 @@ impl<'e> Planner<'e> {
                                     key_positions: positions,
                                 },
                                 vwhy,
+                                est as u64,
                             );
                         }
+                        let est = self.probe_est(&positions);
                         (
                             ProbeStrategy::Probe {
                                 key_positions: positions,
                             },
                             why,
+                            est,
                         )
                     }
                 }
                 None => (
                     ProbeStrategy::Scan,
                     "no indexable equi-join shape: fused residual scan".into(),
+                    self.cross_est(),
                 ),
             },
         };
-        (Choice::Strategy(choice), why)
+        (Choice::Strategy(choice), why, est)
     }
 
-    /// The choice (and explanation) for one distinctness rule.
-    fn distinct_strategy(&self, rule: &eid_rules::InternedRule, hint: ArmHint) -> (Choice, String) {
+    /// The choice (explanation + candidate-pair estimate) for one
+    /// distinctness rule.
+    fn distinct_strategy(
+        &self,
+        rule: &eid_rules::InternedRule,
+        hint: ArmHint,
+    ) -> (Choice, String, u64) {
         if !matches!(hint, ArmHint::Auto) {
             return (
                 Choice::Strategy(ProbeStrategy::Scan),
                 format!("{hint:?} hint: refutation runs in the serial residual scan"),
+                self.cross_est(),
             );
         }
         match rule.distinct_shape() {
@@ -406,6 +446,7 @@ impl<'e> Planner<'e> {
                             key_positions,
                         },
                         vwhy,
+                        est as u64,
                     );
                 }
                 (
@@ -415,11 +456,13 @@ impl<'e> Planner<'e> {
                          paired with the opposite side's literal block — \
                          output-sensitive, not quadratic"
                     ),
+                    est as u64,
                 )
             }
             None => (
                 Choice::Strategy(ProbeStrategy::Scan),
                 "no single-≠ shape: fused residual scan".into(),
+                self.cross_est(),
             ),
         }
     }
@@ -443,6 +486,7 @@ impl<'e> Planner<'e> {
                 why,
                 span: span.to_string(),
                 inputs,
+                est_pairs: None,
             });
             id
         };
@@ -477,7 +521,7 @@ impl<'e> Planner<'e> {
         // Probe/refute strategies, in the order the executor lowers
         // them (the Hash hint pulls the extended-key rule — the last
         // identity rule — to the front, matching the seed arm).
-        let mut rule_plan: Vec<(RuleRef, Choice, String)> = Vec::new();
+        let mut rule_plan: Vec<(RuleRef, Choice, String, u64)> = Vec::new();
         if record_identity {
             let n = self.interned.identity.len();
             let order: Vec<usize> = match hint {
@@ -491,7 +535,7 @@ impl<'e> Planner<'e> {
             for idx in order {
                 let rule = &self.interned.identity[idx];
                 let force_probe = matches!(hint, ArmHint::Hash) && idx == n - 1;
-                let (choice, why) = self.identity_strategy(rule, hint, force_probe);
+                let (choice, why, est) = self.identity_strategy(rule, hint, force_probe);
                 rule_plan.push((
                     RuleRef {
                         family: RuleFamily::Identity,
@@ -500,12 +544,13 @@ impl<'e> Planner<'e> {
                     },
                     choice,
                     why,
+                    est,
                 ));
             }
         }
         if record_distinct {
             for (idx, rule) in self.interned.distinctness.iter().enumerate() {
-                let (choice, why) = self.distinct_strategy(rule, hint);
+                let (choice, why, est) = self.distinct_strategy(rule, hint);
                 rule_plan.push((
                     RuleRef {
                         family: RuleFamily::Distinct,
@@ -514,13 +559,14 @@ impl<'e> Planner<'e> {
                     },
                     choice,
                     why,
+                    est,
                 ));
             }
         }
 
         let indexed = rule_plan
             .iter()
-            .filter(|(_, c, _)| !matches!(c, Choice::Strategy(ProbeStrategy::Scan)))
+            .filter(|(_, c, _, _)| !matches!(c, Choice::Strategy(ProbeStrategy::Scan)))
             .count();
         let block = push(
             &mut nodes,
@@ -532,7 +578,7 @@ impl<'e> Planner<'e> {
         );
 
         let mut probe_ids = Vec::with_capacity(rule_plan.len());
-        for (rule, choice, why) in rule_plan {
+        for (rule, choice, why, est) in rule_plan {
             let input = if matches!(choice, Choice::Strategy(ProbeStrategy::Scan)) {
                 encode
             } else {
@@ -573,6 +619,7 @@ impl<'e> Planner<'e> {
                 why,
                 span: span_path,
                 inputs: vec![input],
+                est_pairs: Some(est),
             });
             probe_ids.push(id);
         }

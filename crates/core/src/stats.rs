@@ -132,6 +132,33 @@ pub mod counter {
     /// per *inserted pair entry* (two per insertion attempt).
     pub const ALLOC_TUPLES_MATERIALIZED: &str = "alloc/tuples_materialized";
 
+    /// Plan cache: runs answered from the matcher's cached plan.
+    pub const PLAN_CACHE_HITS: &str = "plan/cache_hits";
+    /// Plan cache: runs that had to invoke the planner.
+    pub const PLAN_CACHE_MISSES: &str = "plan/cache_misses";
+    /// Probe/refute/vector nodes whose actual candidate volume
+    /// drifted ≥ [`crate::explain::DRIFT_FACTOR`]× from the planner's
+    /// estimate (either direction). 0 means the cost model held.
+    pub const PLAN_DRIFT_NODES: &str = "plan/drift_nodes";
+
+    /// Measured bytes allocated during the run (present only when the
+    /// `count-alloc` feature's counting allocator is installed).
+    pub const ALLOC_MEASURED_BYTES: &str = "alloc/measured_bytes";
+    /// Measured bytes freed during the run (counting allocator only).
+    pub const ALLOC_MEASURED_FREED: &str = "alloc/measured_freed";
+    /// Process-wide peak live bytes (counting allocator only).
+    pub const ALLOC_PEAK_BYTES: &str = "alloc/peak_bytes";
+    /// Measured bytes attributed to the derive stage.
+    pub const ALLOC_STAGE_DERIVE: &str = "alloc/stage/derive";
+    /// Measured bytes attributed to the engine stage.
+    pub const ALLOC_STAGE_ENGINE: &str = "alloc/stage/engine";
+    /// Measured bytes attributed to the convert stage.
+    pub const ALLOC_STAGE_CONVERT: &str = "alloc/stage/convert";
+
+    /// Trace: slice groups dropped because a per-worker sink filled
+    /// (0 on any reasonable run; boundedness made observable).
+    pub const TRACE_DROPPED: &str = "trace/dropped";
+
     /// Incremental: tuple insertions processed.
     pub const INCR_INSERTS: &str = "incremental/inserts";
     /// Incremental: distinct ILFDs added.
@@ -172,9 +199,25 @@ pub fn rule_counter(family: &str, rule: &str, what: &str) -> String {
     format!("rule/{family}/{rule}/{what}")
 }
 
+/// Stage slots for the counting allocator's thread-scoped
+/// attribution ([`eid_obs::alloc::StageScope`]). Slot 0 is the
+/// untagged default.
+pub mod alloc_slot {
+    /// Untagged allocations (setup, reporting, caller code).
+    pub const OTHER: usize = 0;
+    /// ILFD extension + derivation.
+    pub const DERIVE: usize = 1;
+    /// The plan executor (indexes, tasks, pair lists).
+    pub const ENGINE: usize = 2;
+    /// Pair-list dedup + table conversion.
+    pub const CONVERT: usize = 3;
+}
+
 /// The name of a per-plan-node counter:
-/// `plan/node/<id>/{candidates|accepted|pairs|matched|refuted}` —
-/// joinable back to the plan JSON by node id.
+/// `plan/node/<id>/{candidates|accepted|pairs|matched|refuted|nanos|tasks|batches}`
+/// — joinable back to the plan JSON by node id. `nanos` is busy time
+/// summed across workers; `tasks` counts the engine tasks lowered
+/// from the node; `batches` counts its kernel invocations.
 pub fn node_counter(node: usize, what: &str) -> String {
     format!("plan/node/{node}/{what}")
 }

@@ -1,0 +1,310 @@
+//! A counting global allocator with stage-scoped attribution.
+//!
+//! The engine's memory budget (`max_pair_bytes`) has so far charged
+//! *estimates* — 8 bytes per emitted pair — which misses allocator
+//! slack, reserve headroom, and every non-pair allocation. This
+//! module measures the real thing: a [`CountingAlloc`] wraps the
+//! system allocator and tallies bytes allocated, freed, live, and
+//! peak, plus a per-thread cumulative count the engine can delta
+//! around a task to charge its measured footprint.
+//!
+//! Counting is compiled in only under the `count-alloc` cargo
+//! feature; without it [`CountingAlloc`] is a zero-overhead
+//! passthrough to [`System`] and every reader returns 0, so the
+//! default build pays nothing. A binary opts in by enabling the
+//! feature and installing the allocator:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: eid_obs::alloc::CountingAlloc = eid_obs::alloc::CountingAlloc;
+//! ```
+//!
+//! **Stage scopes** attribute allocations to coarse pipeline stages.
+//! A [`StageScope`] guard tags the current thread with a small slot
+//! index; every byte allocated while the guard lives is credited to
+//! that slot. Slot meanings belong to the caller (the matcher uses
+//! derive/engine/convert); slot 0 is the untagged default.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of stage-attribution slots (slot 0 = untagged).
+pub const STAGE_SLOTS: usize = 8;
+
+static ALLOCATED: AtomicU64 = AtomicU64::new(0);
+static FREED: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+static STAGES: [AtomicU64; STAGE_SLOTS] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+#[cfg(feature = "count-alloc")]
+thread_local! {
+    static CUR_STAGE: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+    static THREAD_ALLOCATED: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+#[cfg(feature = "count-alloc")]
+#[inline]
+fn on_alloc(bytes: u64) {
+    let allocated = ALLOCATED.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    let live = allocated.saturating_sub(FREED.load(Ordering::Relaxed));
+    PEAK.fetch_max(live, Ordering::Relaxed);
+    // `Cell<T: !Drop>` thread-locals register no destructor, so these
+    // accesses are safe inside the allocator; `try_with` covers the
+    // narrow teardown window anyway.
+    let slot = CUR_STAGE.try_with(|s| s.get()).unwrap_or(0);
+    STAGES[slot.min(STAGE_SLOTS - 1)].fetch_add(bytes, Ordering::Relaxed);
+    let _ = THREAD_ALLOCATED.try_with(|t| t.set(t.get() + bytes));
+}
+
+#[cfg(feature = "count-alloc")]
+#[inline]
+fn on_free(bytes: u64) {
+    FREED.fetch_add(bytes, Ordering::Relaxed);
+}
+
+/// A counting wrapper around the system allocator. Install as the
+/// `#[global_allocator]` with the `count-alloc` feature enabled to
+/// activate measured memory accounting; without the feature it is a
+/// plain passthrough.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingAlloc;
+
+// SAFETY: defers every allocation to `System` unchanged; the
+// counting side effects touch only atomics and no-Drop thread-locals.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        #[cfg(feature = "count-alloc")]
+        if !p.is_null() {
+            on_alloc(layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        #[cfg(feature = "count-alloc")]
+        on_free(layout.size() as u64);
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        #[cfg(feature = "count-alloc")]
+        if !p.is_null() {
+            on_alloc(layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        #[cfg(feature = "count-alloc")]
+        if !p.is_null() {
+            on_free(layout.size() as u64);
+            on_alloc(new_size as u64);
+        }
+        p
+    }
+}
+
+/// Whether measured accounting is live: the feature is compiled in
+/// *and* the counting allocator is installed (any process allocates
+/// long before user code runs, so a zero total means "not counting").
+pub fn active() -> bool {
+    cfg!(feature = "count-alloc") && ALLOCATED.load(Ordering::Relaxed) > 0
+}
+
+/// Cumulative bytes allocated process-wide (0 when not counting).
+pub fn total_allocated() -> u64 {
+    ALLOCATED.load(Ordering::Relaxed)
+}
+
+/// Cumulative bytes freed process-wide.
+pub fn total_freed() -> u64 {
+    FREED.load(Ordering::Relaxed)
+}
+
+/// Bytes currently live (allocated − freed, saturating).
+pub fn live_bytes() -> u64 {
+    total_allocated().saturating_sub(total_freed())
+}
+
+/// The high-water mark of live bytes.
+pub fn peak_bytes() -> u64 {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Cumulative bytes the *current thread* has allocated. Delta this
+/// around a task to measure the task's allocation footprint.
+pub fn thread_allocated() -> u64 {
+    #[cfg(feature = "count-alloc")]
+    {
+        THREAD_ALLOCATED.try_with(|t| t.get()).unwrap_or(0)
+    }
+    #[cfg(not(feature = "count-alloc"))]
+    {
+        0
+    }
+}
+
+/// Cumulative bytes attributed to stage `slot` (clamped to the last
+/// slot when out of range).
+pub fn stage_bytes(slot: usize) -> u64 {
+    STAGES[slot.min(STAGE_SLOTS - 1)].load(Ordering::Relaxed)
+}
+
+/// A point-in-time copy of every allocator meter; subtract two
+/// snapshots to attribute a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Cumulative bytes allocated.
+    pub allocated: u64,
+    /// Cumulative bytes freed.
+    pub freed: u64,
+    /// Peak live bytes (monotone; not delta-able).
+    pub peak: u64,
+    /// Cumulative bytes per stage slot.
+    pub stages: [u64; STAGE_SLOTS],
+}
+
+impl AllocSnapshot {
+    /// The bytes each meter grew since `earlier` (peak carries the
+    /// later absolute value — a high-water mark has no useful delta).
+    pub fn since(&self, earlier: &AllocSnapshot) -> AllocSnapshot {
+        let mut stages = [0u64; STAGE_SLOTS];
+        for (i, s) in stages.iter_mut().enumerate() {
+            *s = self.stages[i].saturating_sub(earlier.stages[i]);
+        }
+        AllocSnapshot {
+            allocated: self.allocated.saturating_sub(earlier.allocated),
+            freed: self.freed.saturating_sub(earlier.freed),
+            peak: self.peak,
+            stages,
+        }
+    }
+}
+
+/// Snapshots every meter.
+pub fn snapshot() -> AllocSnapshot {
+    let mut stages = [0u64; STAGE_SLOTS];
+    for (i, s) in stages.iter_mut().enumerate() {
+        *s = STAGES[i].load(Ordering::Relaxed);
+    }
+    AllocSnapshot {
+        allocated: total_allocated(),
+        freed: total_freed(),
+        peak: peak_bytes(),
+        stages,
+    }
+}
+
+/// An RAII guard tagging the current thread's allocations with a
+/// stage slot; restores the previous slot on drop. A no-op without
+/// the `count-alloc` feature.
+#[derive(Debug)]
+pub struct StageScope {
+    #[cfg(feature = "count-alloc")]
+    prev: usize,
+}
+
+impl StageScope {
+    /// Enters stage `slot` on the current thread.
+    pub fn enter(slot: usize) -> StageScope {
+        #[cfg(feature = "count-alloc")]
+        {
+            let prev = CUR_STAGE
+                .try_with(|s| {
+                    let p = s.get();
+                    s.set(slot.min(STAGE_SLOTS - 1));
+                    p
+                })
+                .unwrap_or(0);
+            StageScope { prev }
+        }
+        #[cfg(not(feature = "count-alloc"))]
+        {
+            let _ = slot;
+            StageScope {}
+        }
+    }
+}
+
+impl Drop for StageScope {
+    fn drop(&mut self) {
+        #[cfg(feature = "count-alloc")]
+        let _ = CUR_STAGE.try_with(|s| s.set(self.prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_without_installation_reads_zero() {
+        // These unit tests run without the counting allocator
+        // installed as the global allocator, so every meter is 0 and
+        // the scopes are harmless.
+        if !cfg!(feature = "count-alloc") {
+            assert!(!active());
+            assert_eq!(total_allocated(), 0);
+        }
+        let _scope = StageScope::enter(3);
+        let v: Vec<u8> = Vec::with_capacity(1024);
+        drop(v);
+        assert_eq!(
+            live_bytes(),
+            total_allocated().saturating_sub(total_freed())
+        );
+    }
+
+    #[test]
+    fn snapshot_delta_is_saturating_and_per_stage() {
+        let a = AllocSnapshot {
+            allocated: 100,
+            freed: 40,
+            peak: 90,
+            stages: [10, 0, 0, 0, 0, 0, 0, 0],
+        };
+        let b = AllocSnapshot {
+            allocated: 250,
+            freed: 100,
+            peak: 120,
+            stages: [10, 30, 0, 0, 0, 0, 0, 0],
+        };
+        let d = b.since(&a);
+        assert_eq!(d.allocated, 150);
+        assert_eq!(d.freed, 60);
+        assert_eq!(d.peak, 120, "peak carries the later absolute value");
+        assert_eq!(d.stages[0], 0);
+        assert_eq!(d.stages[1], 30);
+        assert_eq!(a.since(&b).allocated, 0, "reverse delta saturates");
+    }
+
+    #[test]
+    fn counting_allocator_is_usable_as_an_allocator() {
+        // Exercise the GlobalAlloc impl directly (not installed).
+        let a = CountingAlloc;
+        unsafe {
+            let layout = Layout::from_size_align(64, 8).unwrap();
+            let p = a.alloc(layout);
+            assert!(!p.is_null());
+            let p = a.realloc(p, layout, 128);
+            assert!(!p.is_null());
+            a.dealloc(p, Layout::from_size_align(128, 8).unwrap());
+            let z = a.alloc_zeroed(layout);
+            assert!(!z.is_null());
+            assert_eq!(std::slice::from_raw_parts(z, 64), &[0u8; 64]);
+            a.dealloc(z, layout);
+        }
+    }
+}

@@ -24,17 +24,30 @@
 //! flushed once per task; spans are per *phase* or per *task*, never
 //! per pair; nothing in this crate allocates on the hot path once
 //! the handles are registered.
+//!
+//! Two deeper instruments build on the same discipline:
+//!
+//! * [`trace`] — plan-attributed execution timelines. Bounded
+//!   per-worker [`TraceSink`] buffers are filled *post-scope* from
+//!   per-task reports (the hot loop never takes a lock) and exported
+//!   as Chrome `trace_event` JSON for Perfetto.
+//! * [`alloc`] — a feature-gated (`count-alloc`) counting global
+//!   allocator with stage-scoped attribution, turning the memory
+//!   budget from an estimate into a measurement.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod alloc;
 mod counter;
 mod histogram;
 pub mod json;
 mod recorder;
 mod report;
+pub mod trace;
 
 pub use counter::Counter;
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use recorder::{Recorder, Span};
 pub use report::{CounterStat, HistogramStat, LabelStat, MatchReport, StageStat};
+pub use trace::{Trace, TraceEvent, TracePhase, TraceSink};

@@ -266,12 +266,13 @@ impl fmt::Display for MatchReport {
                 let s = &h.snapshot;
                 writeln!(
                     f,
-                    "  {:<28} n={:<6} mean={:<12} p50≤{:<12} p95≤{:<12} max={}",
+                    "  {:<28} n={:<6} mean={:<12} p50≤{:<12} p95≤{:<12} p99≤{:<12} max={}",
                     h.name,
                     s.count,
                     fmt_nanos(s.mean() as u64),
                     fmt_nanos(s.quantile(0.50)),
                     fmt_nanos(s.quantile(0.95)),
+                    fmt_nanos(s.quantile(0.99)),
                     fmt_nanos(s.max),
                 )?;
             }

@@ -1,0 +1,404 @@
+//! Plan-attributed execution timelines.
+//!
+//! The aggregate counters and spans answer *how much* each stage
+//! cost; a timeline answers *which worker spent it, on which plan
+//! node, when*. This module records bounded per-worker event streams
+//! and serializes them as Chrome `trace_event` JSON, loadable in
+//! Perfetto or `chrome://tracing`.
+//!
+//! The design mirrors the engine's tally discipline: workers never
+//! touch a shared sink from the hot loop. Each task's timing rides
+//! back to the coordinating thread inside its task report, and the
+//! coordinator replays the run into one [`TraceSink`] per worker
+//! *post-scope*. A sink is a bounded buffer — once full it drops
+//! whole slices (never half of one), so the begin/end stream stays
+//! balanced by construction and memory stays bounded no matter how
+//! long a run is.
+//!
+//! Timestamps are nanoseconds relative to a single run epoch taken
+//! when the executor starts, so slices from different workers share
+//! one comparable time axis.
+
+use std::sync::Arc;
+
+use crate::json::push_str_literal;
+
+/// Default per-worker event capacity: 2^16 events ≈ 32 768 slices,
+/// about 3 MB per worker worst case — far above what a bounded task
+/// count produces, low enough to cap a pathological run.
+pub const DEFAULT_SINK_CAPACITY: usize = 1 << 16;
+
+/// Whether an event opens or closes a slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// Opens a slice (`ph: "B"` in Chrome trace terms).
+    Begin,
+    /// Closes the most recent open slice on the same track (`"E"`).
+    End,
+}
+
+/// One timeline event: a begin or end keyed by plan-node span label,
+/// worker id, and task index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Begin or end.
+    pub phase: TracePhase,
+    /// The slice name — a plan-node label, or `kernel/tile` for
+    /// nested kernel slices. Shared, so repeated labels cost one
+    /// allocation per run, not one per event.
+    pub name: Arc<str>,
+    /// The worker (track) the event belongs to. The coordinating
+    /// thread is worker 0.
+    pub worker: u32,
+    /// The engine task index the slice executed.
+    pub task: u32,
+    /// The plan-node id the slice is attributed to.
+    pub node: u32,
+    /// Nanoseconds since the run epoch.
+    pub ts_nanos: u64,
+    /// Kernel batches attributed to the slice (0 for non-kernel
+    /// slices; recorded on the begin event).
+    pub batches: u64,
+}
+
+impl TraceEvent {
+    /// A begin event.
+    pub fn begin(
+        name: &Arc<str>,
+        worker: u32,
+        task: u32,
+        node: u32,
+        ts_nanos: u64,
+        batches: u64,
+    ) -> TraceEvent {
+        TraceEvent {
+            phase: TracePhase::Begin,
+            name: Arc::clone(name),
+            worker,
+            task,
+            node,
+            ts_nanos,
+            batches,
+        }
+    }
+
+    /// The end event closing a slice opened by `begin`.
+    pub fn end(name: &Arc<str>, worker: u32, task: u32, node: u32, ts_nanos: u64) -> TraceEvent {
+        TraceEvent {
+            phase: TracePhase::End,
+            name: Arc::clone(name),
+            worker,
+            task,
+            node,
+            ts_nanos,
+            batches: 0,
+        }
+    }
+}
+
+/// A bounded per-worker event buffer.
+///
+/// Events are appended in chronological order (a worker executes its
+/// tasks sequentially, so replaying its tasks in claim order yields a
+/// sorted, properly nested stream). Appends are all-or-nothing per
+/// slice group: when the remaining capacity cannot hold a whole
+/// group, the group is dropped and counted, never truncated — the
+/// stream stays balanced.
+#[derive(Debug)]
+pub struct TraceSink {
+    worker: u32,
+    capacity: usize,
+    events: Vec<TraceEvent>,
+    dropped: u64,
+}
+
+impl TraceSink {
+    /// An empty sink for `worker` holding at most `capacity` events.
+    pub fn new(worker: u32, capacity: usize) -> TraceSink {
+        TraceSink {
+            worker,
+            capacity,
+            events: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// The worker this sink records.
+    pub fn worker(&self) -> u32 {
+        self.worker
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Slice groups dropped because the sink was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Appends a balanced group of events (one task's slices) — all
+    /// or nothing. Returns `false` when the group was dropped.
+    pub fn record_group(&mut self, group: &[TraceEvent]) -> bool {
+        if self.events.len() + group.len() > self.capacity {
+            self.dropped += 1;
+            return false;
+        }
+        self.events.extend_from_slice(group);
+        true
+    }
+}
+
+/// A merged run timeline: every worker's events plus drop accounting.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// All events, grouped by worker in absorb order; within one
+    /// worker, chronological.
+    pub events: Vec<TraceEvent>,
+    /// Total slice groups dropped across all absorbed sinks.
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Moves a worker's sink into the trace.
+    pub fn absorb(&mut self, sink: TraceSink) {
+        self.dropped += sink.dropped;
+        self.events.extend(sink.events);
+    }
+
+    /// Number of complete slices (begin events; equals end events
+    /// when the trace is balanced).
+    pub fn slice_count(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.phase == TracePhase::Begin)
+            .count() as u64
+    }
+
+    /// Whether every worker's stream opens and closes slices in
+    /// matched, properly nested pairs.
+    pub fn balanced(&self) -> bool {
+        let mut workers: Vec<u32> = self.events.iter().map(|e| e.worker).collect();
+        workers.sort_unstable();
+        workers.dedup();
+        workers.iter().all(|&w| {
+            let mut stack: Vec<&Arc<str>> = Vec::new();
+            for e in self.events.iter().filter(|e| e.worker == w) {
+                match e.phase {
+                    TracePhase::Begin => stack.push(&e.name),
+                    TracePhase::End => match stack.pop() {
+                        Some(open) => {
+                            if **open != *e.name {
+                                return false;
+                            }
+                        }
+                        None => return false,
+                    },
+                }
+            }
+            stack.is_empty()
+        })
+    }
+
+    /// Whether timestamps never run backwards within a worker's
+    /// stream (they cannot, if sinks were filled in replay order).
+    pub fn timestamps_monotonic(&self) -> bool {
+        let mut last: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+        for e in &self.events {
+            let prev = last.entry(e.worker).or_insert(0);
+            if e.ts_nanos < *prev {
+                return false;
+            }
+            *prev = e.ts_nanos;
+        }
+        true
+    }
+
+    /// Sum of the `batches` arguments across begin events — the
+    /// kernel batches the timeline accounts for.
+    pub fn batches_total(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.phase == TracePhase::Begin)
+            .map(|e| e.batches)
+            .sum()
+    }
+
+    /// Serializes the timeline as Chrome `trace_event` JSON (the
+    /// "JSON object format": a `traceEvents` array of `B`/`E` events
+    /// plus thread-name metadata), loadable in Perfetto and
+    /// `chrome://tracing`. Timestamps are microseconds with
+    /// nanosecond precision; worker ids become thread tracks.
+    pub fn to_chrome_json(&self) -> String {
+        let mut workers: Vec<u32> = self.events.iter().map(|e| e.worker).collect();
+        workers.sort_unstable();
+        workers.dedup();
+
+        let mut out = String::with_capacity(64 + self.events.len() * 96);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        for &w in &workers {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{w},\
+                 \"args\":{{\"name\":\"worker {w}\"}}}}"
+            ));
+        }
+        // Emit per worker so each track's B/E stream stays in its
+        // recorded (chronological, properly nested) order.
+        for &w in &workers {
+            for e in self.events.iter().filter(|e| e.worker == w) {
+                out.push(',');
+                let ts_us = e.ts_nanos as f64 / 1000.0;
+                match e.phase {
+                    TracePhase::Begin => {
+                        out.push_str("{\"name\":");
+                        push_str_literal(&mut out, &e.name);
+                        out.push_str(&format!(
+                            ",\"ph\":\"B\",\"pid\":0,\"tid\":{},\"ts\":{ts_us:.3},\
+                             \"args\":{{\"task\":{},\"node\":{},\"batches\":{}}}}}",
+                            e.worker, e.task, e.node, e.batches
+                        ));
+                    }
+                    TracePhase::End => {
+                        out.push_str("{\"name\":");
+                        push_str_literal(&mut out, &e.name);
+                        out.push_str(&format!(
+                            ",\"ph\":\"E\",\"pid\":0,\"tid\":{},\"ts\":{ts_us:.3}}}",
+                            e.worker
+                        ));
+                    }
+                }
+            }
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn label(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
+    fn slice(sink: &mut TraceSink, name: &Arc<str>, task: u32, node: u32, t0: u64, t1: u64) {
+        let w = sink.worker();
+        sink.record_group(&[
+            TraceEvent::begin(name, w, task, node, t0, 0),
+            TraceEvent::end(name, w, task, node, t1),
+        ]);
+    }
+
+    #[test]
+    fn slices_balance_and_count() {
+        let name = label("match/engine/identity/key-eq");
+        let mut sink = TraceSink::new(1, 16);
+        slice(&mut sink, &name, 0, 4, 10, 20);
+        slice(&mut sink, &name, 1, 4, 25, 40);
+        let mut trace = Trace::new();
+        trace.absorb(sink);
+        assert_eq!(trace.slice_count(), 2);
+        assert!(trace.balanced());
+        assert!(trace.timestamps_monotonic());
+    }
+
+    #[test]
+    fn nested_groups_stay_nested() {
+        let task = label("match/engine/residual");
+        let tile = label("kernel/tile");
+        let mut sink = TraceSink::new(0, 16);
+        sink.record_group(&[
+            TraceEvent::begin(&task, 0, 7, 5, 100, 0),
+            TraceEvent::begin(&tile, 0, 7, 5, 110, 3),
+            TraceEvent::end(&tile, 0, 7, 5, 150),
+            TraceEvent::end(&task, 0, 7, 5, 160),
+        ]);
+        let mut trace = Trace::new();
+        trace.absorb(sink);
+        assert!(trace.balanced());
+        assert_eq!(trace.slice_count(), 2);
+        assert_eq!(trace.batches_total(), 3);
+    }
+
+    #[test]
+    fn full_sink_drops_whole_groups() {
+        let name = label("n");
+        let mut sink = TraceSink::new(0, 3);
+        assert!(sink.record_group(&[
+            TraceEvent::begin(&name, 0, 0, 0, 0, 0),
+            TraceEvent::end(&name, 0, 0, 0, 1),
+        ]));
+        // Only one slot left: a two-event group must be refused whole.
+        assert!(!sink.record_group(&[
+            TraceEvent::begin(&name, 0, 1, 0, 2, 0),
+            TraceEvent::end(&name, 0, 1, 0, 3),
+        ]));
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.dropped(), 1);
+        let mut trace = Trace::new();
+        trace.absorb(sink);
+        assert!(trace.balanced(), "drops never split a begin/end pair");
+        assert_eq!(trace.dropped, 1);
+    }
+
+    #[test]
+    fn unbalanced_streams_are_detected() {
+        let name = label("n");
+        let mut trace = Trace::new();
+        trace.events.push(TraceEvent::begin(&name, 0, 0, 0, 0, 0));
+        assert!(!trace.balanced(), "dangling begin");
+        trace.events.clear();
+        trace.events.push(TraceEvent::end(&name, 0, 0, 0, 0));
+        assert!(!trace.balanced(), "end without begin");
+        let other = label("m");
+        trace.events.clear();
+        trace.events.push(TraceEvent::begin(&name, 0, 0, 0, 0, 0));
+        trace.events.push(TraceEvent::end(&other, 0, 0, 0, 1));
+        assert!(!trace.balanced(), "mismatched names");
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let name = label("match/engine/identity/\"quoted\"");
+        let mut sink = TraceSink::new(2, 8);
+        slice(&mut sink, &name, 3, 4, 1500, 2500);
+        let mut trace = Trace::new();
+        trace.absorb(sink);
+        let json = trace.to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"M\""), "thread metadata present");
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"E\""));
+        assert!(json.contains("\"tid\":2"));
+        assert!(json.contains("\"ts\":1.500"), "ns become µs");
+        assert!(json.contains("\\\"quoted\\\""), "names are escaped");
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "braces balance"
+        );
+    }
+
+    #[test]
+    fn empty_trace_serializes() {
+        let json = Trace::new().to_chrome_json();
+        assert_eq!(json, "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}");
+    }
+}

@@ -104,6 +104,78 @@ assert any("blocking key" in n["why"] for n in probes), probes
 print(f"    plan OK: {len(plan['nodes'])} nodes, arm {plan['arm']}, "
       f"mode {plan['mode']}")
 EOF
+    # Trace smoke: a traced run must write valid Chrome trace_event
+    # JSON (balanced B/E per worker track, plan-span slice names) and
+    # must classify identically to the untraced run — tracing is an
+    # observer, never a participant.
+    echo "==> eid match --trace-out smoke"
+    trace_out="$(mktemp)" rep_traced="$(mktemp)"
+    ./target/release/eid match \
+        --r examples/data/r.csv --r-key name,street \
+        --s "$s_sound" --s-key name,speciality,county \
+        --rules examples/data/knowledge.rules --key name,cuisine \
+        --trace-out "$trace_out" --report-json "$rep_traced" >/dev/null
+    python3 - "$trace_out" "$rep_traced" "$report" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert events, "empty trace"
+depth = {}
+names = set()
+for e in events:
+    if e["ph"] == "B":
+        depth[e["tid"]] = depth.get(e["tid"], 0) + 1
+        names.add(e["name"])
+    elif e["ph"] == "E":
+        depth[e["tid"]] = depth[e["tid"]] - 1
+        assert depth[e["tid"]] >= 0, f"E before B on tid {e['tid']}"
+assert all(d == 0 for d in depth.values()), f"unbalanced B/E: {depth}"
+assert any(n.startswith("match/engine/") for n in names), names
+with open(sys.argv[2]) as f:
+    traced = {c["name"]: c["value"] for c in json.load(f)["counters"]}
+with open(sys.argv[3]) as f:
+    plain = {c["name"]: c["value"] for c in json.load(f)["counters"]}
+for key in ("classify/mt", "classify/nmt", "classify/undetermined",
+            "classify/overlap", "block/candidates", "block/accepted"):
+    assert traced.get(key) == plain.get(key), \
+        f"tracing changed {key}: {traced.get(key)} != {plain.get(key)}"
+slices = sum(1 for e in events if e["ph"] == "B")
+print(f"    trace OK: {slices} slices over {len(depth)} worker track(s), "
+      f"classification identical to untraced run")
+EOF
+    # EXPLAIN ANALYZE smoke: --analyze executes the plan and joins
+    # estimates with per-node actuals; the text form carries the
+    # columns and drift footer, the JSON form the per-node documents.
+    echo "==> eid plan --analyze smoke"
+    ./target/release/eid plan \
+        --r examples/data/r.csv --r-key name,street \
+        --s "$s_sound" --s-key name,speciality,county \
+        --rules examples/data/knowledge.rules --key name,cuisine \
+        --analyze > "$plan_out"
+    grep -q '(analyzed)' "$plan_out" || { echo "--analyze missing header"; exit 1; }
+    grep -q 'est pairs' "$plan_out" || { echo "--analyze missing columns"; exit 1; }
+    grep -q '^  drift: ' "$plan_out" || { echo "--analyze missing drift footer"; exit 1; }
+    ./target/release/eid plan \
+        --r examples/data/r.csv --r-key name,street \
+        --s "$s_sound" --s-key name,speciality,county \
+        --rules examples/data/knowledge.rules --key name,cuisine \
+        --analyze --json > "$plan_out"
+    python3 - "$plan_out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert "plan" in doc and "analyze" in doc, list(doc)
+nodes = doc["analyze"]["nodes"]
+assert len(nodes) == len(doc["plan"]["nodes"]), "analyze/plan node mismatch"
+executed = [n for n in nodes if n["executed"]]
+assert executed, "no node executed"
+assert all("est_pairs" in n and "pairs" in n and "nanos" in n for n in nodes)
+assert doc["analyze"]["drift_nodes"] == sum(n["drift"] for n in nodes)
+print(f"    analyze OK: {len(nodes)} nodes, {len(executed)} executed, "
+      f"drift {doc['analyze']['drift_nodes']}")
+EOF
+    rm -f "$trace_out" "$rep_traced"
 else
     echo "==> python3 not installed; skipping --report-json smoke"
 fi

@@ -5,10 +5,10 @@
 //!           --rules knowledge.rules --key name,cuisine \
 //!           [--integrated] [--unify prefer-r|prefer-s|null] [--negative] \
 //!           [--lenient] [--timeout-ms N] [--max-pairs N] [--max-mem-mb N] \
-//!           [--stats] [--report-json PATH]
+//!           [--stats] [--report-json PATH] [--trace-out PATH]
 //! eid plan --r R.csv --r-key name,street --s S.csv --s-key name,city \
 //!          --rules knowledge.rules --key name,cuisine \
-//!          [--json] [--explain] [--threads N]
+//!          [--json] [--explain] [--analyze] [--threads N]
 //! eid validate --rules knowledge.rules
 //! eid demo
 //! ```
@@ -17,6 +17,12 @@
 //! keys, probe strategies, serial vs. parallel — without executing
 //! anything: an indented text tree by default (`--explain` is an
 //! accepted synonym), or the serialized plan with `--json`.
+//! `--analyze` *does* execute the plan and joins the planner's
+//! estimates with per-node actuals (EXPLAIN ANALYZE).
+//!
+//! `eid match --trace-out trace.json` writes the run's execution
+//! timeline as Chrome `trace_event` JSON — load it in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`.
 //!
 //! CSV files carry a header row; `null` cells are NULL. Rule files use
 //! the `eid-rules` textual syntax (`speciality = hunan -> cuisine =
@@ -42,7 +48,7 @@ use std::process::ExitCode;
 
 use entity_id::core::conflict::{unify, ConflictPolicy};
 use entity_id::core::error::CoreError;
-use entity_id::core::explain::render_plan;
+use entity_id::core::explain::{plan_analyzed_json, render_plan, render_plan_analyzed};
 use entity_id::core::integrate::IntegratedTable;
 use entity_id::core::matcher::{EntityMatcher, MatchConfig};
 use entity_id::core::partition::Partition;
@@ -55,6 +61,14 @@ use entity_id::relational::csv::{from_csv_inferred, from_csv_inferred_lenient, C
 use entity_id::relational::display::render_default;
 use entity_id::relational::Relation;
 use entity_id::rules::{parse_rules, ExtendedKey};
+
+/// With `--features count-alloc`, every allocation the binary makes
+/// goes through eid-obs's counting allocator, so match reports carry
+/// measured `alloc/*` bytes and the memory budget charges real
+/// deltas instead of the 8-bytes-per-pair estimate.
+#[cfg(feature = "count-alloc")]
+#[global_allocator]
+static COUNTING_ALLOC: entity_id::obs::alloc::CountingAlloc = entity_id::obs::alloc::CountingAlloc;
 
 /// A CLI failure: a message plus the process exit code it maps to.
 struct CliError {
@@ -121,9 +135,10 @@ USAGE:
             --rules FILE --key x,y [--integrated] [--negative] \\
             [--unify prefer-r|prefer-s|null] [--lenient] \\
             [--timeout-ms N] [--max-pairs N] [--max-mem-mb N] \\
-            [--stats] [--report-json PATH]
+            [--stats] [--report-json PATH] [--trace-out PATH]
   eid plan  --r R.csv --r-key a,b --s S.csv --s-key c,d \\
-            --rules FILE --key x,y [--json] [--explain] [--threads N]
+            --rules FILE --key x,y [--json] [--explain] [--analyze] \\
+            [--threads N]
   eid validate --rules FILE
   eid session --r R.csv --r-key a,b --s S.csv --s-key c,d --rules FILE
   eid demo
@@ -133,6 +148,16 @@ PLANNING (eid plan):
   column statistics, probe strategies, serial vs. parallel — without
   executing it. Default output is an indented text tree (--explain
   is an accepted synonym); --json prints the serialized plan.
+  --analyze executes the plan once and prints estimated-vs-actual
+  columns per node (candidate pairs, rows out, kernel batches, busy
+  time) plus a drift summary; combine with --json for the joined
+  plan + actuals document.
+
+TRACING (eid match):
+  --trace-out PATH writes the run's execution timeline as Chrome
+  trace_event JSON: one slice per engine task, labeled with its plan
+  node's span, nested kernel-tile slices, one track per worker. Load
+  it in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
 
 RUN BUDGETS (eid match):
   --lenient        skip malformed CSV rows (counted in the report)
@@ -240,6 +265,7 @@ fn cmd_match(args: &[String]) -> Result<(), CliError> {
             "key",
             "unify",
             "report-json",
+            "trace-out",
             "timeout-ms",
             "max-pairs",
             "max-mem-mb",
@@ -271,6 +297,7 @@ fn cmd_match(args: &[String]) -> Result<(), CliError> {
         max_candidate_pairs: parse_budget_flag(&flags, "max-pairs")?,
         max_pair_bytes: parse_budget_flag(&flags, "max-mem-mb")?.map(|mb| mb * 1024 * 1024),
     };
+    config.trace = flags.contains_key("trace-out");
 
     // §3.2 necessary checks before matching.
     let report = entity_id::core::validate::validate_knowledge(&r, &s, &config)
@@ -361,6 +388,21 @@ fn cmd_match(args: &[String]) -> Result<(), CliError> {
         println!();
         println!("report written to {path}");
     }
+    if let Some(path) = flags.get("trace-out") {
+        match &outcome.trace {
+            Some(trace) => {
+                std::fs::write(path, trace.to_chrome_json()).map_err(|e| format!("{path}: {e}"))?;
+                println!();
+                println!(
+                    "trace written to {path} ({} slices) — load in Perfetto or chrome://tracing",
+                    trace.slice_count()
+                );
+            }
+            // The nested-loop last resort bypasses the plan executor,
+            // so no timeline exists; say so instead of writing `{}`.
+            None => eprintln!("warning: no trace captured for this run; {path} not written"),
+        }
+    }
     if let Some(policy) = flags.get("unify") {
         let policy = match policy.as_str() {
             "prefer-r" => ConflictPolicy::PreferR,
@@ -389,7 +431,7 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(
         args,
         &["r", "r-key", "s", "s-key", "rules", "key", "threads"],
-        &["json", "explain", "lenient"],
+        &["json", "explain", "analyze", "lenient"],
     )?;
     let r_path = required(&flags, "r")?;
     let s_path = required(&flags, "s")?;
@@ -416,6 +458,18 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
     }
 
     let matcher = EntityMatcher::new(r, s, config).map_err(|e| e.to_string())?;
+    if flags.contains_key("analyze") {
+        // EXPLAIN ANALYZE: execute the plan once and join the
+        // planner's estimates with the measured per-node actuals.
+        let outcome = matcher.run().map_err(|e| e.to_string())?;
+        let plan = matcher.plan().map_err(|e| e.to_string())?;
+        if flags.contains_key("json") {
+            println!("{}", plan_analyzed_json(&plan, &outcome.stats));
+        } else {
+            print!("{}", render_plan_analyzed(&plan, &outcome.stats));
+        }
+        return Ok(());
+    }
     let plan = matcher.plan().map_err(|e| e.to_string())?;
     if flags.contains_key("json") {
         println!("{}", plan.to_json());

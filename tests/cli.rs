@@ -213,6 +213,152 @@ fn plan_command_prints_the_golden_example1_tree() {
     );
 }
 
+/// EXPLAIN ANALYZE on Example 1: `--analyze` executes the plan and
+/// joins the planner's estimates with per-node actuals. Timings vary
+/// run to run, so the golden covers everything *but* the time column:
+/// the header, the column names, the deterministic est/act volumes,
+/// and the drift footer.
+#[test]
+fn plan_analyze_joins_estimates_with_actuals_on_example1() {
+    let fx = Fixture::new("analyze");
+    let r = fx.write("r.csv", R1_CSV);
+    let s = fx.write("s.csv", S1_CSV);
+    let rules = fx.write("k.rules", "e1.name != e2.name -> e1 != e2\n");
+    let args = [
+        "plan",
+        "--r",
+        &r,
+        "--r-key",
+        "name,street",
+        "--s",
+        &s,
+        "--s-key",
+        "name,city",
+        "--rules",
+        &rules,
+        "--key",
+        "name",
+        "--analyze",
+    ];
+    let out = eid().args(args).output().expect("run eid plan --analyze");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let mut lines = text.lines();
+    assert_eq!(
+        lines.next().unwrap(),
+        "match plan — arm blocked, mode serial(auto-small) (analyzed)"
+    );
+    assert_eq!(
+        lines.next().unwrap(),
+        "  mode: auto: 9 estimated pairs < 50000 — serial"
+    );
+    let header = lines.next().unwrap();
+    for col in [
+        "node",
+        "est pairs",
+        "act pairs",
+        "rows out",
+        "batches",
+        "time",
+    ] {
+        assert!(header.contains(col), "missing column {col:?} in {header:?}");
+    }
+    // The probe estimated 3 pairs and saw 2 (2 shared names); the
+    // fused residual scan estimated and visited all 9.
+    let probe = text
+        .lines()
+        .find(|l| l.contains("probe(extended-key-equivalence)"))
+        .expect("probe row");
+    let fields: Vec<&str> = probe.split_whitespace().collect();
+    assert!(
+        probe.contains(" 3 ") && probe.contains(" 2 "),
+        "probe est/act pairs wrong: {fields:?}"
+    );
+    let scan = text
+        .lines()
+        .find(|l| l.contains("scan(line 1)"))
+        .expect("scan row");
+    assert!(scan.contains(" 9 "), "scan est/act pairs wrong: {scan:?}");
+    // Stage nodes carry no volume estimate: dash columns.
+    let derive = text
+        .lines()
+        .find(|l| l.contains("derive(R)"))
+        .expect("derive row");
+    assert!(
+        derive.contains(" - "),
+        "derive should show dashes: {derive:?}"
+    );
+    assert_eq!(
+        text.lines().last().unwrap(),
+        "  drift: 0 node(s) ≥ ×4 off estimate"
+    );
+
+    // The JSON form nests the untouched plan next to the actuals.
+    let out = eid().args(args).arg("--json").output().unwrap();
+    assert!(out.status.success());
+    let json = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "\"plan\": {",
+        "\"analyze\": {",
+        "\"executed\": true",
+        "\"drift_factor\": 4",
+        "\"drift_nodes\": 0",
+    ] {
+        assert!(json.contains(needle), "missing {needle} in:\n{json}");
+    }
+}
+
+#[test]
+fn match_trace_out_writes_balanced_chrome_json() {
+    let fx = Fixture::new("traceout");
+    let r = fx.write("r.csv", R_CSV);
+    let s = fx.write("s.csv", S_CSV);
+    let rules = fx.write("knowledge.rules", RULES);
+    let trace_path = fx.write("trace.json", "");
+    let out = eid()
+        .args([
+            "match",
+            "--r",
+            &r,
+            "--r-key",
+            "name,cuisine",
+            "--s",
+            &s,
+            "--s-key",
+            "name,speciality",
+            "--rules",
+            &rules,
+            "--key",
+            "name,cuisine,speciality",
+            "--trace-out",
+            &trace_path,
+        ])
+        .output()
+        .expect("run eid match --trace-out");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("trace written to"), "{text}");
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    assert!(trace.starts_with("{\"traceEvents\":["));
+    assert!(trace.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+    // Balanced: as many begin records as end records, at least one
+    // slice, and a thread-name track for worker 0.
+    let begins = trace.matches("\"ph\":\"B\"").count();
+    let ends = trace.matches("\"ph\":\"E\"").count();
+    assert!(begins > 0, "no slices in {trace}");
+    assert_eq!(begins, ends, "unbalanced trace");
+    assert!(trace.contains("\"worker 0\""));
+    assert!(trace.contains("match/engine/"));
+}
+
 #[test]
 fn validate_reports_rule_counts_and_redundancy() {
     let fx = Fixture::new("validate");

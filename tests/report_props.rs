@@ -9,6 +9,7 @@ use proptest::prelude::*;
 
 use entity_id::core::stats::{counter, histogram};
 use entity_id::datagen::{generate, GeneratorConfig};
+use entity_id::obs::MatchReport;
 use entity_id::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
@@ -184,8 +185,12 @@ proptest! {
     }
 
     /// Each run gets a fresh recorder: running the same matcher twice
-    /// yields identical counters (no cross-run accumulation), not
-    /// doubled ones.
+    /// yields identical work counters (no cross-run accumulation),
+    /// not doubled ones. Two counter families legitimately vary
+    /// between runs and are excluded from the equality check:
+    /// `*/nanos` measures wall time, and `plan/cache_*` reports the
+    /// matcher-lifetime plan-cache ledger, which accumulates across
+    /// runs *by design* — asserted separately.
     #[test]
     fn repeated_runs_do_not_accumulate(mut config in arb_config()) {
         config.n_entities = config.n_entities.min(25);
@@ -194,7 +199,22 @@ proptest! {
         let matcher = EntityMatcher::new(w.r.clone(), w.s.clone(), c).unwrap();
         let first = matcher.run().unwrap();
         let second = matcher.run().unwrap();
-        prop_assert_eq!(&first.stats.counters, &second.stats.counters);
+        let deterministic = |stats: &MatchReport| -> Vec<_> {
+            stats
+                .counters
+                .iter()
+                .filter(|c| !c.name.ends_with("/nanos") && !c.name.starts_with("plan/cache_"))
+                .cloned()
+                .collect()
+        };
+        prop_assert_eq!(deterministic(&first.stats), deterministic(&second.stats));
+        // The plan cache misses once (the first run plans) and hits
+        // on every rerun; each report carries the ledger as of its
+        // own run.
+        prop_assert_eq!(first.stats.counter(counter::PLAN_CACHE_MISSES), 1);
+        prop_assert_eq!(first.stats.counter(counter::PLAN_CACHE_HITS), 0);
+        prop_assert_eq!(second.stats.counter(counter::PLAN_CACHE_MISSES), 1);
+        prop_assert_eq!(second.stats.counter(counter::PLAN_CACHE_HITS), 1);
     }
 }
 
