@@ -24,6 +24,7 @@ use std::time::Instant;
 
 use eid_bench::scaling_workload;
 use eid_core::matcher::{EntityMatcher, JoinAlgorithm, MatchConfig, MatchOutcome};
+use eid_core::plan::EmitHint;
 use eid_obs::MatchReport;
 
 /// One engine configuration under measurement.
@@ -87,6 +88,7 @@ struct Measurement {
 /// accounting. Read off the run's `plan/*` report labels.
 fn plan_json(stats: &MatchReport, plan_cache: (u64, u64)) -> String {
     let mode = stats.label("plan/mode").unwrap_or("?");
+    let emit = stats.label("plan/emit").unwrap_or("?");
     let keys: Vec<String> = stats
         .labels
         .iter()
@@ -97,12 +99,21 @@ fn plan_json(stats: &MatchReport, plan_cache: (u64, u64)) -> String {
         })
         .collect();
     format!(
-        "\"plan\": {{\"mode\": \"{mode}\", \"keys\": {{{}}}, \
+        "\"plan\": {{\"mode\": \"{mode}\", \"emit\": \"{emit}\", \"keys\": {{{}}}, \
          \"cache_hits\": {}, \"cache_misses\": {}}}",
         keys.join(", "),
         plan_cache.0,
         plan_cache.1
     )
+}
+
+/// The `--emit` flag value, for the JSON header.
+fn emit_hint_str(hint: EmitHint) -> &'static str {
+    match hint {
+        EmitHint::Auto => "auto",
+        EmitHint::Buffered => "buffered",
+        EmitHint::Streamed => "streamed",
+    }
 }
 
 /// The per-stage and counter breakdown of one engine run, as three
@@ -210,13 +221,23 @@ fn main() {
     let mut sizes: Vec<usize> = Vec::new();
     let mut engines: Vec<&Engine> = ENGINES.iter().collect();
     let mut kernels = eid_core::kernels::enabled_default();
+    let mut emit = EmitHint::Auto;
     let mut trace_out: Option<String> = None;
+    let mut export_dir: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--out" {
             out_path = args.next().expect("--out needs a path");
         } else if arg == "--trace-out" {
             trace_out = Some(args.next().expect("--trace-out needs a path"));
+        } else if arg == "--emit" {
+            let v = args.next().expect("--emit needs auto|buffered|streamed");
+            emit = match v.as_str() {
+                "auto" => EmitHint::Auto,
+                "buffered" => EmitHint::Buffered,
+                "streamed" => EmitHint::Streamed,
+                other => panic!("--emit must be auto, buffered, or streamed, got {other:?}"),
+            };
         } else if arg == "--engines" {
             let names = args.next().expect("--engines needs a comma-separated list");
             engines = names
@@ -235,6 +256,8 @@ fn main() {
                 "off" => false,
                 other => panic!("--kernels must be on or off, got {other:?}"),
             };
+        } else if arg == "--export" {
+            export_dir = Some(args.next().expect("--export needs a directory"));
         } else {
             sizes.push(arg.parse().expect("sizes must be integers"));
         }
@@ -246,8 +269,18 @@ fn main() {
     let mut size_objects = Vec::new();
     for &n in &sizes {
         let w = scaling_workload(n, 42);
+        // `--export DIR` writes each size's workload as CSV + rules
+        // under DIR/n<size>/ so the `eid` CLI (e.g. a count-alloc
+        // build) can replay the exact bench inputs.
+        if let Some(dir) = &export_dir {
+            let sub = std::path::Path::new(dir).join(format!("n{n}"));
+            eid_datagen::io::export_workload(&w, &sub)
+                .unwrap_or_else(|e| panic!("--export {}: {e:?}", sub.display()));
+            eprintln!("exported n={n} workload to {}", sub.display());
+        }
         let mut config = MatchConfig::new(w.extended_key.clone(), w.ilfds.clone());
         config.kernels = kernels;
+        config.emit = emit;
         let pairs = w.r.len() * w.s.len();
         let selected: Vec<&Engine> = engines.iter().copied().filter(|e| n <= e.max_n).collect();
         eprintln!(
@@ -320,6 +353,48 @@ fn main() {
             eid_core::kernels::simd_level()
         );
 
+        // Emit A/B: the same blocked run with the emission path
+        // flipped (streamed ⇄ buffered) must classify every pair
+        // identically — the sharded sink is a pure representation
+        // change. The flip is read off the blocked arm's resolved
+        // plan label, so the A/B is meaningful whatever `--emit`
+        // (or the auto threshold) picked for the timed runs.
+        let resolved_emit = measurements
+            .iter()
+            .find(|m| m.name.starts_with("blocked"))
+            .or(measurements.first())
+            .and_then(|m| m.stats.label("plan/emit"))
+            .unwrap_or("?")
+            .to_string();
+        let ab_flip = if resolved_emit.starts_with("streamed") {
+            EmitHint::Buffered
+        } else {
+            EmitHint::Streamed
+        };
+        let ab = {
+            let mut ab_config = config.clone();
+            ab_config.join = JoinAlgorithm::Blocked;
+            ab_config.threads = 0;
+            ab_config.emit = ab_flip;
+            EntityMatcher::new(w.r.clone(), w.s.clone(), ab_config)
+                .unwrap()
+                .run()
+                .unwrap()
+        };
+        assert_eq!(
+            (ab.matching.len(), ab.negative.len(), ab.undetermined),
+            (oracle.matching, oracle.negative, oracle.undetermined),
+            "emit={} disagrees with the timed arms at n={n}",
+            emit_hint_str(ab_flip)
+        );
+        let emit_json = format!(
+            "\"emit\": {{\"hint\": \"{}\", \"resolved\": \"{}\", \
+             \"ab_flip\": \"{}\", \"ab_identical\": true}}",
+            emit_hint_str(emit),
+            resolved_emit.split(':').next().unwrap_or("?"),
+            emit_hint_str(ab_flip)
+        );
+
         let nested = measurements.iter().find(|m| m.name == "nested_loop");
         let speedup = |name: &str| -> f64 {
             match (nested, measurements.iter().find(|m| m.name == name)) {
@@ -355,6 +430,7 @@ fn main() {
                 "      \"s_rows\": {},\n",
                 "      \"pairs\": {},\n",
                 "      {},\n",
+                "      {},\n",
                 "      \"engines\": [\n        {}\n      ],\n",
                 "      \"speedup_blocked_vs_nested_loop\": {},\n",
                 "      \"speedup_blocked_parallel_vs_nested_loop\": {}\n",
@@ -365,6 +441,7 @@ fn main() {
             w.s.len(),
             pairs,
             kernels_json,
+            emit_json,
             engines_json.join(",\n        "),
             json_f64(speedup("blocked")),
             json_f64(speedup("blocked_parallel"))
@@ -392,6 +469,7 @@ fn main() {
             config.join = JoinAlgorithm::Blocked;
             config.threads = t;
             config.kernels = kernels;
+            config.emit = emit;
             let matcher = EntityMatcher::new(w.r.clone(), w.s.clone(), config).unwrap();
             let mut best = f64::INFINITY;
             for _ in 0..3 {
@@ -440,6 +518,7 @@ fn main() {
         config.join = JoinAlgorithm::Blocked;
         config.threads = 0;
         config.kernels = kernels;
+        config.emit = emit;
         config.trace = true;
         let outcome = EntityMatcher::new(w.r.clone(), w.s.clone(), config)
             .unwrap()

@@ -68,9 +68,12 @@ use eid_rules::{
 
 use crate::error::{CoreError, Result};
 use crate::kernels::{self, KernelTally, Mask, Term, TermOp, FULL_MASK, LANES};
-use crate::plan::{ArmHint, ExecMode, MatchPlan, PlanNodeKind, ProbeStrategy, RuleFamily};
+use crate::plan::{
+    ArmHint, EmitHint, EmitMode, ExecMode, MatchPlan, PlanNodeKind, ProbeStrategy, RuleFamily,
+};
 use crate::planner::Planner;
 use crate::runtime::{AbortReason, RunGuard};
+use crate::sink::{self, PairSet, PairSink, ShardedSink, SinkGeometry, SinkMergeStats};
 use crate::stats::{counter, histogram, label, node_counter, rule_counter, span};
 
 /// Target candidate-pair weight of one task. Small enough that every
@@ -88,15 +91,43 @@ const MAX_CHUNKS_PER_PLAN: u64 = 256;
 const TASK_RESERVE_CAP: u64 = 1 << 20;
 
 /// Pair lists produced by one executor run, as row indices into the
-/// two (extended) relations. Duplicates may appear when several
-/// rules fire on the same pair; the matcher dedups on row-index
-/// pairs while converting.
+/// two (extended) relations. On the buffered path duplicates may
+/// appear in `negative` when several rules fire on the same pair
+/// (the matcher dedups on row-index pairs while converting); on the
+/// streamed path the negative pairs arrive pre-deduped in
+/// `negative_set` and `negative` stays empty.
 #[derive(Debug, Clone, Default)]
 pub struct EnginePairs {
     /// Pairs on which an identity rule definitely fired.
     pub matching: Vec<(u32, u32)>,
-    /// Pairs on which a distinctness rule definitely fired.
+    /// Pairs on which a distinctness rule definitely fired (buffered
+    /// emission; empty when the run streamed).
     pub negative: Vec<(u32, u32)>,
+    /// The deduped negative pairs when the plan streamed emission
+    /// into sharded bitsets; `None` on buffered runs.
+    pub negative_set: Option<PairSet>,
+}
+
+impl EnginePairs {
+    /// The negative pairs as an explicit list regardless of emit
+    /// mode: the buffered raw list as-is (duplicates included, in
+    /// historical emission order), or the streamed set decoded in
+    /// ascending `(i, j)` order (already distinct).
+    pub fn negative_pairs(&self) -> Vec<(u32, u32)> {
+        match &self.negative_set {
+            Some(set) => set.to_pairs(),
+            None => self.negative.clone(),
+        }
+    }
+
+    /// Negative pair count visible in this result: the raw list
+    /// length when buffered, the distinct count when streamed.
+    pub fn negative_len(&self) -> usize {
+        match &self.negative_set {
+            Some(set) => set.count(),
+            None => self.negative.len(),
+        }
+    }
 }
 
 /// Which of the two encoded relations an operation addresses.
@@ -286,8 +317,25 @@ struct TaskReport {
     /// The worker that drained this task (the coordinating thread is
     /// worker 0); stamped at the drain loop, read at trace replay.
     worker: u32,
+    /// Negative pairs this task pushed into its worker's streaming
+    /// sink (0 on buffered runs) — the streamed twin of
+    /// `negative.len()` for abort accounting; stamped at the drain
+    /// loop.
+    neg_pushed: u64,
     /// The task's timeline contribution (`None` when tracing is off).
     trace: Option<TaskTrace>,
+}
+
+/// The post-scope merge of a streamed attempt's per-worker sinks:
+/// the deduped negative [`PairSet`] plus the accounting `finish`
+/// publishes (sink counters, the merge span, the Sink node's
+/// actuals).
+struct MergedSink {
+    set: PairSet,
+    stats: SinkMergeStats,
+    /// Merge start on the run epoch's time axis (trace slice).
+    start_nanos: u64,
+    dur_nanos: u64,
 }
 
 /// One task's timeline contribution: its span relative to the run
@@ -398,6 +446,10 @@ pub struct Executor {
     attrs_s: Vec<String>,
     threads: usize,
     kernels: bool,
+    /// Emission-path hint handed to the planner: stream negative
+    /// pairs into sharded bitset sinks, buffer them as raw pair
+    /// lists, or let the cost model decide (the default).
+    emit: EmitHint,
     /// Capture a per-worker timeline on the next [`Executor::execute`]
     /// (read back with [`Executor::take_trace`]).
     trace_enabled: bool,
@@ -492,6 +544,7 @@ impl Executor {
             cols_s,
             threads,
             kernels: kernels::enabled_default(),
+            emit: EmitHint::Auto,
             trace_enabled: false,
             trace_out: Arc::new(Mutex::new(None)),
             recorder,
@@ -510,6 +563,21 @@ impl Executor {
     /// Whether vectorized-kernel dispatch is enabled.
     pub fn kernels_enabled(&self) -> bool {
         self.kernels
+    }
+
+    /// Sets the emission-path hint the planner sees:
+    /// [`EmitHint::Auto`] (the default) streams above the pair-volume
+    /// threshold, [`EmitHint::Streamed`] / [`EmitHint::Buffered`]
+    /// force one path. The classification outcome is identical either
+    /// way; only the intermediate representation (and its memory
+    /// traffic) differs.
+    pub fn set_emit(&mut self, emit: EmitHint) {
+        self.emit = emit;
+    }
+
+    /// The current emission-path hint.
+    pub fn emit_hint(&self) -> EmitHint {
+        self.emit
     }
 
     /// Enables or disables execution-timeline capture. When on, each
@@ -607,6 +675,7 @@ impl Executor {
             self.cols_s.rows(),
             self.threads,
             self.kernels,
+            self.emit,
         )
         .plan(record_identity, record_distinct, hint)
     }
@@ -681,37 +750,61 @@ impl Executor {
         let workers = plan.mode.workers().min(tasks.len()).max(1);
         self.recorder.add(counter::ENGINE_WORKERS, workers as u64);
         let first_arm = plan.arm.arm_label(plan.index_free, workers);
+        let sink_geom = self.sink_geometry(plan);
 
         match self.try_run_tasks(
             &plans,
             &tasks,
             &indexes,
             workers,
+            sink_geom,
             guard,
             epoch,
             "engine/worker",
         ) {
-            Ok(outputs) => self.finish(plan, &plans, &tasks, outputs, first_arm),
+            Ok((outputs, merged)) => self.finish(plan, &plans, &tasks, outputs, merged, first_arm),
             Err(TaskFailure::Aborted(a)) => Err(self.abort(guard, a)),
             Err(TaskFailure::Poisoned { completed }) => {
                 // Rung 2: the serial-twin rewrite, rerun from
                 // scratch. Partial results are discarded so the
                 // output is byte-identical to a fault-free serial
                 // run (the task list is mode-independent, so the
-                // lowered plans are reused as-is).
+                // lowered plans are reused as-is; a streamed plan
+                // streams into fresh sinks and re-merges).
                 let lost = (tasks.len() as u64).saturating_sub(completed).max(1);
                 self.recorder.add(counter::ENGINE_ABORTED_TASKS, lost);
                 self.recorder.add(counter::RUNTIME_DEGRADED_TO_BLOCKED, 1);
                 let serial_arm = plan.arm.arm_label(plan.index_free, 1);
-                match self.try_run_tasks(&plans, &tasks, &indexes, 1, guard, epoch, "engine/serial")
-                {
-                    Ok(outputs) => self.finish(plan, &plans, &tasks, outputs, serial_arm),
+                match self.try_run_tasks(
+                    &plans,
+                    &tasks,
+                    &indexes,
+                    1,
+                    sink_geom,
+                    guard,
+                    epoch,
+                    "engine/serial",
+                ) {
+                    Ok((outputs, merged)) => {
+                        self.finish(plan, &plans, &tasks, outputs, merged, serial_arm)
+                    }
                     Err(TaskFailure::Aborted(a)) => Err(self.abort(guard, a)),
                     Err(TaskFailure::Poisoned { .. }) => {
                         self.run_nested_fallback(plan, guard, epoch)
                     }
                 }
             }
+        }
+    }
+
+    /// The sink geometry a plan's emission uses: `Some` exactly when
+    /// the plan streams. Computed from the executor's *current* row
+    /// counts at execute time (the planner's shard count in the plan
+    /// node is display-only).
+    fn sink_geometry(&self, plan: &MatchPlan) -> Option<SinkGeometry> {
+        match plan.emit.mode {
+            EmitMode::Streamed => SinkGeometry::new(self.cols_r.rows(), self.cols_s.rows()),
+            EmitMode::Buffered => None,
         }
     }
 
@@ -737,8 +830,22 @@ impl Executor {
             (plans, indexes)
         };
         let tasks = build_tasks(&plans);
-        match self.try_run_tasks(&plans, &tasks, &indexes, 1, guard, epoch, "engine/nested") {
-            Ok(outputs) => self.finish(&nested, &plans, &tasks, outputs, "nested_loop"),
+        // The nested twin went through `rewrite_buffered`, so its
+        // geometry is always `None`; computed anyway for uniformity.
+        let sink_geom = self.sink_geometry(&nested);
+        match self.try_run_tasks(
+            &plans,
+            &tasks,
+            &indexes,
+            1,
+            sink_geom,
+            guard,
+            epoch,
+            "engine/nested",
+        ) {
+            Ok((outputs, merged)) => {
+                self.finish(&nested, &plans, &tasks, outputs, merged, "nested_loop")
+            }
             Err(TaskFailure::Aborted(a)) => Err(self.abort(guard, a)),
             Err(TaskFailure::Poisoned { .. }) => {
                 self.recorder.set_label(label::ABORT, "worker_panic");
@@ -962,10 +1069,11 @@ impl Executor {
         plans: &[Plan<'_>],
         tasks: &[Task],
         outputs: Vec<(EnginePairs, TaskReport)>,
+        merged: Option<MergedSink>,
         arm: &str,
     ) -> Result<EnginePairs> {
         self.recorder.add(counter::ENGINE_TASKS, tasks.len() as u64);
-        self.flush_reports(mplan, plans, tasks, &outputs);
+        self.flush_reports(mplan, plans, tasks, &outputs, merged.as_ref());
         self.recorder.set_label(label::ENGINE_ARM, arm);
         let mut result = EnginePairs::default();
         result
@@ -977,6 +1085,26 @@ impl Executor {
         for (out, _) in outputs {
             result.matching.extend(out.matching);
             result.negative.extend(out.negative);
+        }
+        if let Some(ms) = merged {
+            self.recorder.add(counter::SINK_SHARDS, ms.stats.shards);
+            self.recorder
+                .add(counter::SINK_SPILLED_MERGES, ms.stats.spilled_merges);
+            self.recorder.add(counter::SINK_BYTES, ms.stats.bytes);
+            self.recorder
+                .record_span(span::ENGINE_SINK_MERGE, ms.dur_nanos);
+            if let Some(node) = mplan
+                .nodes
+                .iter()
+                .find(|n| matches!(n.kind, PlanNodeKind::Sink { .. }))
+            {
+                self.recorder
+                    .add(&node_counter(node.id, "nanos"), ms.dur_nanos);
+                self.recorder.add(&node_counter(node.id, "tasks"), 1);
+                self.recorder
+                    .add(&node_counter(node.id, "pairs"), ms.stats.distinct);
+            }
+            result.negative_set = Some(ms.set);
         }
         Ok(result)
     }
@@ -1009,6 +1137,7 @@ impl Executor {
         plans: &[Plan<'_>],
         tasks: &[Task],
         outputs: &[(EnginePairs, TaskReport)],
+        merged: Option<&MergedSink>,
     ) {
         let task_nanos = self.recorder.histogram(histogram::ENGINE_TASK_NANOS);
         let mut block: Vec<(u64, u64)> = vec![(0, 0); plans.len()];
@@ -1098,7 +1227,7 @@ impl Executor {
                     .add(&node_counter(plan.node, "batches"), batches);
             }
         }
-        self.assemble_trace(mplan, plans, tasks, outputs);
+        self.assemble_trace(mplan, plans, tasks, outputs, merged);
     }
 
     /// Replays every task's timeline contribution into per-worker
@@ -1113,6 +1242,7 @@ impl Executor {
         plans: &[Plan<'_>],
         tasks: &[Task],
         outputs: &[(EnginePairs, TaskReport)],
+        merged: Option<&MergedSink>,
     ) {
         if !self.trace_enabled {
             return;
@@ -1164,6 +1294,39 @@ impl Executor {
                 .or_insert_with(|| TraceSink::new(w, DEFAULT_SINK_CAPACITY))
                 .record_group(&group);
         }
+        // The shard merge runs post-scope on the coordinating thread
+        // (worker 0), strictly after its last task — appending keeps
+        // that worker's stream chronological.
+        if let (Some(ms), Some(node)) = (
+            merged,
+            mplan
+                .nodes
+                .iter()
+                .find(|n| matches!(n.kind, PlanNodeKind::Sink { .. })),
+        ) {
+            let name: Arc<str> = Arc::from(node.span.as_str());
+            let (w, tid, nid) = (0u32, tasks.len() as u32, node.id as u32);
+            group.clear();
+            group.push(TraceEvent::begin(
+                &name,
+                w,
+                tid,
+                nid,
+                ms.start_nanos,
+                ms.stats.distinct,
+            ));
+            group.push(TraceEvent::end(
+                &name,
+                w,
+                tid,
+                nid,
+                ms.start_nanos + ms.dur_nanos,
+            ));
+            sinks
+                .entry(w)
+                .or_insert_with(|| TraceSink::new(w, DEFAULT_SINK_CAPACITY))
+                .record_group(&group);
+        }
         let mut trace = Trace::new();
         for (_, sink) in sinks {
             trace.absorb(sink);
@@ -1192,10 +1355,11 @@ impl Executor {
         tasks: &[Task],
         indexes: &Indexes,
         workers: usize,
+        sink_geom: Option<SinkGeometry>,
         guard: &RunGuard,
         epoch: Instant,
         fault_site: &str,
-    ) -> std::result::Result<Vec<(EnginePairs, TaskReport)>, TaskFailure> {
+    ) -> std::result::Result<TaskRun, TaskFailure> {
         let workers = workers.min(tasks.len()).max(1);
         let next = AtomicUsize::new(0);
         let poisoned = AtomicBool::new(false);
@@ -1205,6 +1369,12 @@ impl Executor {
         let measured = eid_obs::alloc::active();
         let drain = |worker: u32| {
             let mut local: Vec<(usize, (EnginePairs, TaskReport))> = Vec::new();
+            // Streamed plans give each worker its own sink over the
+            // full pair grid, sharded by driver-row range: workers
+            // touch disjoint shard *rows* only by accident, so no
+            // synchronization — overlap is resolved by the post-scope
+            // merge OR.
+            let mut sink = sink_geom.map(ShardedSink::new);
             loop {
                 if poisoned.load(Ordering::Relaxed) || guard.is_tripped() {
                     break;
@@ -1220,18 +1390,24 @@ impl Executor {
                 } else {
                     0
                 };
+                let pushed_before = sink.as_ref().map_or(0, ShardedSink::pushes);
                 let run = catch_unwind(AssertUnwindSafe(|| {
                     eid_fault::maybe_panic(fault_site);
-                    self.run_timed(plans, task, indexes, epoch)
+                    self.run_timed(plans, task, indexes, epoch, sink.as_mut())
                 }));
                 match run {
                     Ok(mut out) => {
                         out.1.worker = worker;
+                        out.1.neg_pushed =
+                            sink.as_ref().map_or(0, ShardedSink::pushes) - pushed_before;
                         let pairs = out.0.matching.len() + out.0.negative.len();
                         let bytes = if measured {
                             eid_obs::alloc::thread_allocated().saturating_sub(before)
                         } else {
-                            8 * pairs as u64
+                            // Model mode: 8 bytes per buffered pair
+                            // plus whatever shard words this task's
+                            // pushes forced the sink to materialize.
+                            8 * pairs as u64 + sink.as_mut().map_or(0, ShardedSink::take_new_bytes)
                         };
                         guard.charge_bytes(bytes);
                         local.push((id, out));
@@ -1242,11 +1418,14 @@ impl Executor {
                     }
                 }
             }
-            local
+            (local, sink)
         };
         let mut slots: Vec<(usize, (EnginePairs, TaskReport))> = Vec::with_capacity(tasks.len());
+        let mut worker_sinks: Vec<ShardedSink> = Vec::new();
         if workers == 1 {
-            slots.extend(drain(0));
+            let (local, sink) = drain(0);
+            slots.extend(local);
+            worker_sinks.extend(sink);
         } else {
             std::thread::scope(|scope| {
                 // The calling thread is worker 0: spawning
@@ -1257,10 +1436,15 @@ impl Executor {
                 let handles: Vec<_> = (1..workers)
                     .map(|w| scope.spawn(move || drain(w as u32)))
                     .collect();
-                slots.extend(drain(0));
+                let (local, sink) = drain(0);
+                slots.extend(local);
+                worker_sinks.extend(sink);
                 for h in handles {
                     match h.join() {
-                        Ok(local) => slots.extend(local),
+                        Ok((local, sink)) => {
+                            slots.extend(local);
+                            worker_sinks.extend(sink);
+                        }
                         // A panic that escaped catch_unwind (e.g. out
                         // of a payload drop) — treat as poison.
                         Err(_) => poisoned.store(true, Ordering::Relaxed),
@@ -1270,25 +1454,72 @@ impl Executor {
         }
         slots.sort_by_key(|(id, _)| *id);
         let completed = slots.len() as u64;
+        // Streamed negative pairs live in the sinks, not the task
+        // outputs: partial stats count each task's raw pushes.
+        let partial_matching = || -> u64 {
+            slots
+                .iter()
+                .map(|(_, (o, _))| o.matching.len() as u64)
+                .sum()
+        };
+        let partial_negative = || -> u64 {
+            slots
+                .iter()
+                .map(|(_, (o, r))| o.negative.len() as u64 + r.neg_pushed)
+                .sum()
+        };
         if let Some(reason) = guard.tripped_reason() {
             return Err(TaskFailure::Aborted(TaskAbort {
                 reason,
                 completed,
                 tasks_total: tasks.len() as u64,
-                matching: slots
-                    .iter()
-                    .map(|(_, (o, _))| o.matching.len() as u64)
-                    .sum(),
-                negative: slots
-                    .iter()
-                    .map(|(_, (o, _))| o.negative.len() as u64)
-                    .sum(),
+                matching: partial_matching(),
+                negative: partial_negative(),
             }));
         }
         if poisoned.load(Ordering::Relaxed) {
             return Err(TaskFailure::Poisoned { completed });
         }
-        Ok(slots.into_iter().map(|(_, out)| out).collect())
+        let merged = match sink_geom {
+            None => None,
+            Some(geom) => {
+                // The merged set is one more full grid; charge it
+                // before merging so a memory budget trips here, not
+                // after the allocation.
+                guard.charge_bytes(geom.grid_bytes());
+                if let Err(reason) = guard.checkpoint() {
+                    return Err(TaskFailure::Aborted(TaskAbort {
+                        reason,
+                        completed,
+                        tasks_total: tasks.len() as u64,
+                        matching: partial_matching(),
+                        negative: partial_negative(),
+                    }));
+                }
+                let start_nanos = epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                let start = Instant::now();
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    eid_fault::maybe_panic("engine/sink_merge");
+                    sink::merge_shards(&geom, &worker_sinks)
+                }));
+                match run {
+                    Ok((set, stats)) => {
+                        let dur_nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                        Some(MergedSink {
+                            set,
+                            stats,
+                            start_nanos,
+                            dur_nanos,
+                        })
+                    }
+                    // A merge panic poisons the attempt like a task
+                    // panic: the ladder reruns the whole attempt (and
+                    // the merge) on the next rung.
+                    Err(_) => return Err(TaskFailure::Poisoned { completed }),
+                }
+            }
+        };
+        Ok((slots.into_iter().map(|(_, out)| out).collect(), merged))
     }
 
     /// [`Executor::run_task`] plus wall-time measurement. No
@@ -1301,11 +1532,12 @@ impl Executor {
         task: &Task,
         indexes: &Indexes,
         epoch: Instant,
+        sink: Option<&mut ShardedSink>,
     ) -> (EnginePairs, TaskReport) {
         let mut tracer = self.trace_enabled.then(|| TaskTracer::new(epoch));
         let start_nanos = epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         let start = Instant::now();
-        let (out, tally, kernel) = self.run_task(plans, task, indexes, tracer.as_mut());
+        let (out, tally, kernel) = self.run_task(plans, task, indexes, tracer.as_mut(), sink);
         let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         let trace = tracer.map(|t| TaskTrace {
             start_nanos,
@@ -1319,23 +1551,70 @@ impl Executor {
                 tally,
                 kernel,
                 worker: 0,
+                neg_pushed: 0,
                 trace,
             },
         )
     }
 
+    /// Dispatches the task's negative emission: into the worker's
+    /// streaming sink when the plan streamed, into the task-local
+    /// `negative` buffer otherwise. Matching pairs always buffer —
+    /// the matching table is tiny.
     fn run_task(
         &self,
         plans: &[Plan<'_>],
         task: &Task,
         indexes: &Indexes,
         tracer: Option<&mut TaskTracer>,
+        sink: Option<&mut ShardedSink>,
     ) -> (EnginePairs, Tally, KernelTally) {
         let mut out = EnginePairs::default();
         let mut kernel = KernelTally::default();
+        let tally = match sink {
+            Some(s) => self.run_task_kind(
+                plans,
+                task,
+                indexes,
+                tracer,
+                &mut out.matching,
+                s,
+                &mut kernel,
+            ),
+            None => {
+                let EnginePairs {
+                    matching, negative, ..
+                } = &mut out;
+                self.run_task_kind(
+                    plans,
+                    task,
+                    indexes,
+                    tracer,
+                    matching,
+                    negative,
+                    &mut kernel,
+                )
+            }
+        };
+        (out, tally, kernel)
+    }
+
+    /// [`Executor::run_task`] generic over the negative-pair sink
+    /// (monomorphized for `Vec<(u32, u32)>` and [`ShardedSink`]).
+    #[allow(clippy::too_many_arguments)]
+    fn run_task_kind<S: PairSink>(
+        &self,
+        plans: &[Plan<'_>],
+        task: &Task,
+        indexes: &Indexes,
+        tracer: Option<&mut TaskTracer>,
+        matching: &mut Vec<(u32, u32)>,
+        negative: &mut S,
+        kernel: &mut KernelTally,
+    ) -> Tally {
         let plan = &plans[task.plan];
         let drivers = &plan.drivers[task.drivers.clone()];
-        let tally = match &plan.kind {
+        match &plan.kind {
             PlanKind::Identity {
                 rule,
                 shape,
@@ -1346,41 +1625,27 @@ impl Executor {
                 positions.as_deref(),
                 drivers,
                 indexes,
-                &mut out.matching,
+                matching,
             ),
             PlanKind::Distinct { rule, shape } => {
-                out.negative
-                    .reserve(task.est_pairs.min(TASK_RESERVE_CAP) as usize);
-                self.run_distinct(rule, shape, drivers, indexes, &mut out.negative)
+                negative.reserve(task.est_pairs.min(TASK_RESERVE_CAP) as usize);
+                self.run_distinct(rule, shape, drivers, indexes, negative)
             }
-            PlanKind::VectorEq { shape, tile, .. } => self.run_vector_eq(
-                shape,
-                *tile,
-                drivers,
-                &mut kernel,
-                &mut out.matching,
-                tracer,
-            ),
+            PlanKind::VectorEq { shape, tile, .. } => {
+                self.run_vector_eq(shape, *tile, drivers, kernel, matching, tracer)
+            }
             PlanKind::VectorDisagree { shape, .. } => {
-                out.negative
-                    .reserve(task.est_pairs.min(TASK_RESERVE_CAP) as usize);
-                self.run_vector_disagree(shape, drivers, indexes, &mut out.negative)
+                negative.reserve(task.est_pairs.min(TASK_RESERVE_CAP) as usize);
+                self.run_vector_disagree(shape, drivers, indexes, negative)
             }
             PlanKind::Residual {
                 identity,
                 distinct,
                 vec_rules,
             } => self.run_residual(
-                identity,
-                distinct,
-                vec_rules,
-                drivers,
-                &mut kernel,
-                &mut out,
-                tracer,
+                identity, distinct, vec_rules, drivers, kernel, matching, negative, tracer,
             ),
-        };
-        (out, tally, kernel)
+        }
     }
 
     /// Tiled residual scan over one driver chunk. The `S` side is
@@ -1391,14 +1656,15 @@ impl Executor {
     /// in driver order, so the emitted pair order is byte-identical to
     /// the untiled scalar loop.
     #[allow(clippy::too_many_arguments)]
-    fn run_residual(
+    fn run_residual<S: PairSink>(
         &self,
         identity: &[&InternedRule],
         distinct: &[&InternedRule],
         vec_rules: &[ResidualVec],
         drivers: &[u32],
         kernel: &mut KernelTally,
-        out: &mut EnginePairs,
+        matching: &mut Vec<(u32, u32)>,
+        negative: &mut S,
         mut tracer: Option<&mut TaskTracer>,
     ) -> Tally {
         /// One driver's resolved vector rules: the identity and
@@ -1453,13 +1719,13 @@ impl Executor {
         }
         let mut matched = 0u64;
         let mut refuted = 0u64;
-        out.matching.reserve(match_bufs.iter().map(Vec::len).sum());
-        out.negative.reserve(neg_bufs.iter().map(Vec::len).sum());
+        matching.reserve(match_bufs.iter().map(Vec::len).sum());
+        negative.reserve(neg_bufs.iter().map(Vec::len).sum());
         for (di, &i) in drivers.iter().enumerate() {
             matched += match_bufs[di].len() as u64;
             refuted += neg_bufs[di].len() as u64;
-            out.matching.extend(match_bufs[di].iter().map(|&j| (i, j)));
-            out.negative.extend(neg_bufs[di].iter().map(|&j| (i, j)));
+            matching.extend(match_bufs[di].iter().map(|&j| (i, j)));
+            negative.push_row(i, &neg_bufs[di]);
         }
         Tally::Residual {
             pairs: drivers.len() as u64 * s_rows as u64,
@@ -1666,12 +1932,12 @@ impl Executor {
     /// definitely fires and execution is pure pair emission. The
     /// emission order matches the scalar twin's ascending driver
     /// enumeration exactly.
-    fn run_vector_disagree(
+    fn run_vector_disagree<S: PairSink>(
         &self,
         shape: &InternedDistinctShape,
         drivers: &[u32],
         indexes: &Indexes,
-        out: &mut Vec<(u32, u32)>,
+        out: &mut S,
     ) -> Tally {
         let neq_side = RelSide::from(shape.neq.0);
         let lit_side = neq_side.opposite();
@@ -1684,16 +1950,15 @@ impl Executor {
             .to_vec();
         match neq_side {
             RelSide::R => {
-                for &i in drivers {
-                    for &j in &lit_vec {
-                        out.push((i, j));
-                    }
-                }
+                // Bulk cross-product emission: the sharded sink ORs a
+                // prebuilt row template per driver instead of setting
+                // bits one by one.
+                out.push_rows(drivers, &lit_vec);
             }
             RelSide::S => {
                 for &j in drivers {
                     for &i in &lit_vec {
-                        out.push((i, j));
+                        out.push(i, j);
                     }
                 }
             }
@@ -1793,13 +2058,13 @@ impl Executor {
     /// own literal probe); each pairs with every literal-probe row of
     /// the opposite side. Cost is proportional to the refuted pairs,
     /// not to `|R|·|S|`.
-    fn run_distinct(
+    fn run_distinct<S: PairSink>(
         &self,
         rule: &InternedRule,
         shape: &InternedDistinctShape,
         drivers: &[u32],
         indexes: &Indexes,
-        out: &mut Vec<(u32, u32)>,
+        out: &mut S,
     ) -> Tally {
         let neq_side = RelSide::from(shape.neq.0);
         let lit_side = neq_side.opposite();
@@ -1825,7 +2090,7 @@ impl Executor {
                     &self.interner,
                 ) {
                     accepted += 1;
-                    out.push((i, j));
+                    out.push(i, j);
                 }
             }
         }
@@ -2082,6 +2347,10 @@ impl TaskAbort {
         }
     }
 }
+
+/// One completed task-queue attempt: the per-task pair outputs plus
+/// the merged streaming sinks, when the attempt ran streamed.
+type TaskRun = (Vec<(EnginePairs, TaskReport)>, Option<MergedSink>);
 
 /// Why one task-queue attempt did not complete.
 enum TaskFailure {

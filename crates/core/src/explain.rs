@@ -104,10 +104,12 @@ impl fmt::Display for MatchExplanation {
 pub fn render_plan(plan: &MatchPlan) -> String {
     let depth = node_depths(plan);
     let mut out = format!(
-        "match plan — arm {}, mode {}\n  mode: {}\n",
+        "match plan — arm {}, mode {}\n  mode: {}\n  emit: {}: {}\n",
         plan.arm.arm_label(plan.index_free, plan.mode.workers()),
         plan.mode_display(),
-        plan.mode_why
+        plan.mode_why,
+        plan.emit.display(),
+        plan.emit_why
     );
     for node in &plan.nodes {
         let indent = "  ".repeat(depth.get(node.id).copied().unwrap_or(0) + 1);
@@ -161,6 +163,7 @@ fn strategy_suffix(node: &PlanNode) -> String {
         } => {
             format!(" [vector {} ×{lanes}, tile {tile_rows}]", shape.as_str())
         }
+        PlanNodeKind::Sink { shards } => format!(" [streamed, {shards} shards]"),
         _ => String::new(),
     }
 }
@@ -576,6 +579,8 @@ mod tests {
             index_free: false,
             record_identity: true,
             record_distinct: true,
+            emit: crate::plan::Emit::buffered(),
+            emit_why: "test".into(),
         };
         let text = render_plan(&plan);
         assert!(text.contains("[vector disagree ×16, tile 65536]"), "{text}");

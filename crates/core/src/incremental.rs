@@ -261,7 +261,10 @@ impl IncrementalMatcher {
             self.recorder.clone(),
         );
         executor.set_kernels(self.config.kernels);
-        let plan = Arc::new(executor.plan(false, true, ArmHint::Auto));
+        // Incremental refutation consumes the raw pair list (and may
+        // roll the relations back mid-plan), so pin the buffered
+        // emission twin regardless of pair volume.
+        let plan = Arc::new(executor.plan(false, true, ArmHint::Auto).rewrite_buffered());
         (executor, plan)
     }
 

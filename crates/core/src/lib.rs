@@ -33,6 +33,9 @@
 //!   NULL semantics (§4.1, §6.3);
 //! * [`partition`] — the Figure-3 three-way partition;
 //! * [`monotonic`] — the §3.3 monotonicity harness (knowledge sweeps);
+//! * [`sink`] — streaming pair sinks: the [`sink::PairSink`] trait,
+//!   the row-range-sharded bitset sink workers emit into, and the
+//!   post-scope shard merge (dedup folded into emission);
 //! * [`stats`] — the observability vocabulary: every span path and
 //!   counter name the engine records into its
 //!   [`MatchReport`](eid_obs::MatchReport);
@@ -105,6 +108,7 @@ pub mod plan;
 pub mod planner;
 pub mod runtime;
 pub mod session;
+pub mod sink;
 pub mod stats;
 pub mod validate;
 pub mod virtual_view;
@@ -122,11 +126,13 @@ pub use metrics::{Evaluation, GroundTruth};
 pub use monotonic::KnowledgeSweep;
 pub use partition::Partition;
 pub use plan::{
-    ArmHint, ExecMode, MatchPlan, PlanNode, PlanNodeKind, ProbeStrategy, RuleFamily, RuleRef,
+    ArmHint, Emit, EmitHint, EmitMode, ExecMode, MatchPlan, PlanNode, PlanNodeKind, ProbeStrategy,
+    RuleFamily, RuleRef,
 };
 pub use planner::Planner;
 pub use runtime::{AbortReason, PartialStats, RunBudget, RunGuard};
 pub use session::Session;
+pub use sink::{PairSet, PairSink};
 pub use validate::{validate_knowledge, KnowledgeReport};
 pub use virtual_view::{Selection, ViewAnswer, VirtualView};
 
@@ -142,7 +148,7 @@ pub mod prelude {
     pub use crate::metrics::{Evaluation, GroundTruth};
     pub use crate::monotonic::KnowledgeSweep;
     pub use crate::partition::Partition;
-    pub use crate::plan::{ArmHint, MatchPlan};
+    pub use crate::plan::{ArmHint, EmitHint, MatchPlan};
     pub use crate::runtime::{AbortReason, PartialStats, RunBudget, RunGuard};
     pub use crate::session::Session;
     pub use crate::virtual_view::{Selection, VirtualView};

@@ -18,6 +18,7 @@ use std::sync::Arc;
 use eid_relational::{AttrName, FxHashSet, Relation, Schema, Tuple};
 
 use crate::error::{CoreError, Result};
+use crate::sink::PairSet;
 
 /// One entry: the key projections of a matched (or provably
 /// unmatched) tuple pair.
@@ -29,6 +30,30 @@ pub struct PairEntry {
     pub s_key: Tuple,
 }
 
+/// Row-index storage inside a compact table: an explicit pair list,
+/// or the streamed sink's deduplicated bitset. The set form is what
+/// lets the streamed convert step finish without ever materializing
+/// the (potentially tens-of-MB) index list — it decodes straight to
+/// entries if and when a consumer crosses into `Value`-land.
+#[derive(Debug, Clone)]
+enum PairIndexes {
+    List(Vec<(u32, u32)>),
+    Set {
+        set: PairSet,
+        /// Cached cardinality so `len` stays O(1).
+        count: usize,
+    },
+}
+
+impl PairIndexes {
+    fn len(&self) -> usize {
+        match self {
+            PairIndexes::List(pairs) => pairs.len(),
+            PairIndexes::Set { count, .. } => *count,
+        }
+    }
+}
+
 /// The blocked arm's zero-copy table backing: deduplicated row-index
 /// pairs into two shared key pools (one projected key tuple per
 /// *row*, not per pair). `MT_RS` and `NMT_RS` share the same pools.
@@ -36,18 +61,19 @@ pub struct PairEntry {
 struct CompactPairs {
     pk_r: Arc<[Tuple]>,
     pk_s: Arc<[Tuple]>,
-    pairs: Vec<(u32, u32)>,
+    pairs: PairIndexes,
 }
 
 impl CompactPairs {
     fn decode(&self) -> Vec<PairEntry> {
-        self.pairs
-            .iter()
-            .map(|&(i, j)| PairEntry {
-                r_key: self.pk_r[i as usize].clone(),
-                s_key: self.pk_s[j as usize].clone(),
-            })
-            .collect()
+        let entry = |(i, j): (u32, u32)| PairEntry {
+            r_key: self.pk_r[i as usize].clone(),
+            s_key: self.pk_s[j as usize].clone(),
+        };
+        match &self.pairs {
+            PairIndexes::List(pairs) => pairs.iter().copied().map(entry).collect(),
+            PairIndexes::Set { set, .. } => set.to_pairs().into_iter().map(entry).collect(),
+        }
     }
 }
 
@@ -110,7 +136,39 @@ impl PairTable {
             r_key_attrs,
             s_key_attrs,
             backing: Backing::Compact {
-                pairs: CompactPairs { pk_r, pk_s, pairs },
+                pairs: CompactPairs {
+                    pk_r,
+                    pk_s,
+                    pairs: PairIndexes::List(pairs),
+                },
+                decoded: OnceCell::new(),
+            },
+            seen: OnceCell::new(),
+        }
+    }
+
+    /// Creates a table whose row-index pairs are a deduplicated
+    /// [`PairSet`] — the streamed sink's merged bitset. Nothing is
+    /// decoded up front: the set decodes to ascending-order entries
+    /// on first [`PairTable::entries`] access, so the bulk pipeline
+    /// never pays for an explicit index list it may never read.
+    pub fn from_compact_set(
+        r_key_attrs: Vec<AttrName>,
+        s_key_attrs: Vec<AttrName>,
+        pk_r: Arc<[Tuple]>,
+        pk_s: Arc<[Tuple]>,
+        set: PairSet,
+    ) -> Self {
+        let count = set.count();
+        PairTable {
+            r_key_attrs,
+            s_key_attrs,
+            backing: Backing::Compact {
+                pairs: CompactPairs {
+                    pk_r,
+                    pk_s,
+                    pairs: PairIndexes::Set { set, count },
+                },
                 decoded: OnceCell::new(),
             },
             seen: OnceCell::new(),

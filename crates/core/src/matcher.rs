@@ -41,21 +41,17 @@ use std::sync::{Arc, Mutex};
 use eid_ilfd::{IlfdSet, Strategy};
 use eid_obs::alloc::{self, StageScope};
 use eid_obs::{MatchReport, Recorder, Trace};
-use eid_relational::{FxHashSet, Relation, Tuple};
+use eid_relational::{Relation, Tuple};
 use eid_rules::{ExtendedKey, RuleBase};
 
-use crate::engine::Executor;
+use crate::engine::{EnginePairs, Executor};
 use crate::error::{CoreError, Result};
 use crate::extend::{extend_relation, Extended};
 use crate::match_table::PairTable;
-use crate::plan::{ArmHint, ExecMode, MatchPlan, PlanNodeKind, ProbeStrategy};
+use crate::plan::{ArmHint, EmitHint, ExecMode, MatchPlan, PlanNodeKind, ProbeStrategy};
 use crate::runtime::{AbortReason, RunBudget, RunGuard};
+use crate::sink::PairSet;
 use crate::stats::{alloc_slot, counter, label, plan_key_label, span};
-
-/// Pair-space ceiling (in bits) for the dense bitset pair-dedup; a
-/// `|R|·|S|` grid up to this size costs at most 32 MiB per set.
-/// Larger inputs fall back to a hash set of packed pairs.
-const MAX_BITSET_BITS: u128 = 1 << 28;
 
 /// Below this many raw engine pairs the convert step dedups the two
 /// lists sequentially — same rationale as the engine's own serial
@@ -63,83 +59,6 @@ const MAX_BITSET_BITS: u128 = 1 << 28;
 /// thread hosts: a second dedup thread cannot overlap with the first
 /// there, so it only adds spawn latency and cold-arena page faults.
 const PARALLEL_CONVERT_MIN: usize = 50_000;
-
-/// A set of row-index pairs: a dense bitset when the pair space is
-/// small enough, a hash set of packed `u64`s otherwise. Either way
-/// membership never touches a key tuple.
-enum PairSet {
-    Bits { words: Vec<u64>, s_len: usize },
-    Hash(FxHashSet<u64>),
-}
-
-impl PairSet {
-    fn new(r_len: usize, s_len: usize, expected: usize) -> PairSet {
-        let bits = (r_len as u128) * (s_len as u128);
-        if bits > 0 && bits <= MAX_BITSET_BITS {
-            PairSet::Bits {
-                words: vec![0u64; (bits as usize).div_ceil(64)],
-                s_len,
-            }
-        } else {
-            PairSet::Hash(FxHashSet::with_capacity_and_hasher(
-                expected,
-                Default::default(),
-            ))
-        }
-    }
-
-    fn insert(&mut self, i: u32, j: u32) -> bool {
-        match self {
-            PairSet::Bits { words, s_len } => {
-                let bit = i as usize * *s_len + j as usize;
-                let (word, mask) = (bit / 64, 1u64 << (bit % 64));
-                if words[word] & mask != 0 {
-                    false
-                } else {
-                    words[word] |= mask;
-                    true
-                }
-            }
-            PairSet::Hash(set) => set.insert(((i as u64) << 32) | j as u64),
-        }
-    }
-
-    fn contains(&self, i: u32, j: u32) -> bool {
-        match self {
-            PairSet::Bits { words, s_len } => {
-                let bit = i as usize * *s_len + j as usize;
-                words[bit / 64] & (1u64 << (bit % 64)) != 0
-            }
-            PairSet::Hash(set) => set.contains(&(((i as u64) << 32) | j as u64)),
-        }
-    }
-
-    /// `|self ∩ other|` over the same `|R|·|S|` grid: an AND-popcount
-    /// sweep when both sides are bitsets, a probe of the explicit
-    /// pair list otherwise.
-    fn intersection_count(&self, other_pairs: &[(u32, u32)], other_set: &PairSet) -> usize {
-        match (self, other_set) {
-            (
-                PairSet::Bits {
-                    words: a,
-                    s_len: la,
-                },
-                PairSet::Bits {
-                    words: b,
-                    s_len: lb,
-                },
-            ) if la == lb => a
-                .iter()
-                .zip(b)
-                .map(|(x, y)| (x & y).count_ones() as usize)
-                .sum(),
-            _ => other_pairs
-                .iter()
-                .filter(|&&(i, j)| self.contains(i, j))
-                .count(),
-        }
-    }
-}
 
 /// First-occurrence dedup of an engine pair list, in id space. Takes
 /// the list by value and filters it in place: at n=3200 the negative
@@ -247,6 +166,13 @@ pub struct MatchConfig {
     /// JSON). Off by default — tracing costs a few hundred bytes per
     /// engine task when on, nothing when off.
     pub trace: bool,
+    /// Emission-path hint for the refutation phase:
+    /// [`EmitHint::Streamed`] folds dedup into emission via sharded
+    /// bitset sinks, [`EmitHint::Buffered`] materializes raw pair
+    /// lists, [`EmitHint::Auto`] (the default) streams above the
+    /// planner's pair-volume threshold. Classification is identical
+    /// either way.
+    pub emit: EmitHint,
 }
 
 impl MatchConfig {
@@ -266,6 +192,7 @@ impl MatchConfig {
             budget: RunBudget::default(),
             kernels: crate::kernels::enabled_default(),
             trace: false,
+            emit: EmitHint::Auto,
         }
     }
 }
@@ -457,6 +384,7 @@ impl EntityMatcher {
             );
             executor.set_kernels(self.config.kernels);
             executor.set_trace(self.config.trace);
+            executor.set_emit(self.config.emit);
             executor
         }))
         .map_err(|_| CoreError::WorkerPanic {
@@ -486,13 +414,19 @@ impl EntityMatcher {
         let pk_s: Arc<[Tuple]> = self.s.iter().map(|t| self.s.primary_key_of(t)).collect();
         recorder.add(counter::ALLOC_TUPLES_MATERIALIZED, (r_len + s_len) as u64);
         guard.checkpoint().map_err(|r| abort_of(guard, r))?;
-        let raw_pairs = pairs.matching.len() + pairs.negative.len();
-        let (raw_matching, raw_negative) = (pairs.matching, pairs.negative);
+        let EnginePairs {
+            matching: raw_matching,
+            negative: raw_negative,
+            negative_set,
+        } = pairs;
+        let streamed = negative_set.is_some();
+        let raw_pairs = raw_matching.len() + raw_negative.len();
         let hw_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
         // `threads: 0` (auto) only spawns when the host is actually
         // multicore; an explicit count is honoured even on one core
         // (like the engine arm, the scoped worker just timeslices).
-        let want_parallel = raw_pairs >= PARALLEL_CONVERT_MIN
+        let want_parallel = !streamed
+            && raw_pairs >= PARALLEL_CONVERT_MIN
             && match self.config.threads {
                 1 => false,
                 0 => hw_threads > 1,
@@ -505,14 +439,51 @@ impl EntityMatcher {
         if inject_serial {
             recorder.add(counter::RUNTIME_CONVERT_SERIAL_FALLBACK, 1);
         }
-        let ((m_pairs, m_set), (n_pairs, n_set)) = dedup_pair_lists(
-            raw_matching,
-            raw_negative,
-            r_len,
-            s_len,
-            want_parallel && !inject_serial,
-        )?;
-        let overlap = m_set.intersection_count(&n_pairs, &n_set);
+        // The negative side of a streamed run needs no convert work
+        // at all: the merged bitset IS the deduplicated table index,
+        // handed to `PairTable` as-is (entries decode lazily). Only
+        // buffered runs still dedup an explicit negative pair list.
+        enum NegIndexes {
+            Streamed(PairSet),
+            Buffered(Vec<(u32, u32)>, PairSet),
+        }
+        let ((m_pairs, m_set), neg) = match negative_set {
+            Some(n_set) => (
+                dedup_pairs(raw_matching, r_len, s_len),
+                NegIndexes::Streamed(n_set),
+            ),
+            None => {
+                let (m, (n_pairs, n_set)) = dedup_pair_lists(
+                    raw_matching,
+                    raw_negative,
+                    r_len,
+                    s_len,
+                    want_parallel && !inject_serial,
+                )?;
+                (m, NegIndexes::Buffered(n_pairs, n_set))
+            }
+        };
+        // Without the counting allocator the byte budget only sees
+        // the engine's 8-bytes-per-pair model: charge convert's own
+        // allocations — the dedup sets' capacity — so `--max-mem-mb`
+        // trips consistently in both accounting modes. A streamed
+        // negative grid was already charged by the engine at shard
+        // merge, and nothing new materializes for it here.
+        if !alloc::active() {
+            let convert_bytes = m_set.capacity_bytes()
+                + match &neg {
+                    NegIndexes::Streamed(_) => 0,
+                    NegIndexes::Buffered(_, n_set) => n_set.capacity_bytes(),
+                };
+            guard.charge_bytes(convert_bytes);
+            guard.checkpoint().map_err(|r| abort_of(guard, r))?;
+        }
+        let overlap = match &neg {
+            // Bitset × bitset: the overlap is a popcount zip, no
+            // explicit pair list needed on either side.
+            NegIndexes::Streamed(n_set) => m_set.intersection_count(&[], n_set),
+            NegIndexes::Buffered(n_pairs, n_set) => m_set.intersection_count(n_pairs, n_set),
+        };
         let matching = PairTable::from_compact(
             self.r.schema().primary_key(),
             self.s.schema().primary_key(),
@@ -520,13 +491,22 @@ impl EntityMatcher {
             pk_s.clone(),
             m_pairs,
         );
-        let negative = PairTable::from_compact(
-            self.r.schema().primary_key(),
-            self.s.schema().primary_key(),
-            pk_r,
-            pk_s,
-            n_pairs,
-        );
+        let negative = match neg {
+            NegIndexes::Streamed(n_set) => PairTable::from_compact_set(
+                self.r.schema().primary_key(),
+                self.s.schema().primary_key(),
+                pk_r,
+                pk_s,
+                n_set,
+            ),
+            NegIndexes::Buffered(n_pairs, _) => PairTable::from_compact(
+                self.r.schema().primary_key(),
+                self.s.schema().primary_key(),
+                pk_r,
+                pk_s,
+                n_pairs,
+            ),
+        };
         drop(convert_stage);
         convert_span.finish();
 
@@ -600,6 +580,7 @@ impl EntityMatcher {
         let mut executor =
             Executor::new(&ext_r.relation, &ext_s.relation, &rb, self.config.threads);
         executor.set_kernels(self.config.kernels);
+        executor.set_emit(self.config.emit);
         Ok(self.cached_plan(&executor))
     }
 
@@ -651,6 +632,10 @@ fn record_plan_labels(recorder: &Recorder, plan: &MatchPlan) {
     recorder.set_label(
         label::PLAN_MODE,
         &format!("{mode}: {why}", why = plan.mode_why),
+    );
+    recorder.set_label(
+        label::PLAN_EMIT,
+        &format!("{}: {}", plan.emit.display(), plan.emit_why),
     );
     for node in &plan.nodes {
         if let PlanNodeKind::IdentityProbe {

@@ -26,6 +26,7 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
+use crate::stats::span;
 use eid_obs::json;
 use eid_rules::KernelShape;
 
@@ -140,6 +141,15 @@ pub enum PlanNodeKind {
     },
     /// First-occurrence dedup of the raw pair lists (id space).
     Dedup,
+    /// Post-scope merge of the streamed per-worker bitset shards
+    /// into one deduped [`PairSet`](crate::sink::PairSet). Replaces
+    /// `Dedup` when [`MatchPlan::emit`] is streamed: dedup already
+    /// happened at emission time, so the convert stage collapses
+    /// onto the merged shards.
+    Sink {
+        /// Row-range shard count of the sink geometry.
+        shards: usize,
+    },
     /// The Figure-3 partition: MT / NMT / undetermined accounting.
     Classify,
 }
@@ -155,6 +165,7 @@ impl PlanNodeKind {
             PlanNodeKind::Refute { .. } => "refute",
             PlanNodeKind::VectorScan { .. } => "vector-scan",
             PlanNodeKind::Dedup => "dedup",
+            PlanNodeKind::Sink { .. } => "sink",
             PlanNodeKind::Classify => "classify",
         }
     }
@@ -245,6 +256,61 @@ impl ArmHint {
     }
 }
 
+/// How the engine publishes the negative (refuted) pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmitMode {
+    /// Per-task `Vec`s merged in task order, deduped by the convert
+    /// stage — the historical path, byte-identical across releases.
+    Buffered,
+    /// Workers emit straight into row-range bitset shards; dedup is
+    /// free at emission and the shards merge post-scope. The raw
+    /// pair list never exists.
+    Streamed,
+}
+
+/// The planner's emission decision for a plan, carried on
+/// [`MatchPlan::emit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Emit {
+    /// Buffered vs. streamed emission.
+    pub mode: EmitMode,
+    /// Row-range shard count when streamed (0 when buffered).
+    pub shards: usize,
+}
+
+impl Emit {
+    /// The buffered decision (the default and every rewrite target).
+    pub fn buffered() -> Emit {
+        Emit {
+            mode: EmitMode::Buffered,
+            shards: 0,
+        }
+    }
+
+    /// Short display string (`"buffered"` / `"streamed(11)"`).
+    pub fn display(&self) -> String {
+        match self.mode {
+            EmitMode::Buffered => "buffered".to_string(),
+            EmitMode::Streamed => format!("streamed({})", self.shards),
+        }
+    }
+}
+
+/// Caller-side override of the emission decision (`--emit` on the
+/// CLI and bench). `Auto` lets the pair-volume threshold decide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EmitHint {
+    /// Cost-based: streamed above the pair-volume threshold.
+    #[default]
+    Auto,
+    /// Force buffered emission.
+    Buffered,
+    /// Force streamed emission (where structurally possible — the
+    /// grid must fit the dense-bitset ceiling and a refutation phase
+    /// must exist).
+    Streamed,
+}
+
 /// A complete, executable match plan.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MatchPlan {
@@ -266,15 +332,49 @@ pub struct MatchPlan {
     pub record_identity: bool,
     /// Whether distinctness rules execute (populate `NMT`).
     pub record_distinct: bool,
+    /// How negative pairs are emitted (buffered vs. streamed sink).
+    pub emit: Emit,
+    /// The cost model's explanation of the emit choice.
+    pub emit_why: String,
 }
 
 impl MatchPlan {
     /// The serial twin of this plan: same nodes, one worker. Output
     /// is byte-identical — the task list never depends on the worker
-    /// count. This is rung 2 of the degradation ladder.
+    /// count. This is rung 2 of the degradation ladder. Emission is
+    /// lowered to buffered first, so degradation twins always run
+    /// the historical `Vec` path.
     pub fn rewrite_serial(&self) -> MatchPlan {
-        let mut plan = self.clone();
+        let mut plan = self.rewrite_buffered();
         plan.mode = ExecMode::Serial { auto_small: false };
+        plan
+    }
+
+    /// The buffered-emission twin: a streamed plan's [`Sink`] node
+    /// becomes the `Dedup` node the planner would have emitted for a
+    /// buffered plan, and [`MatchPlan::emit`] drops to buffered.
+    /// Same output *set* (the buffered path preserves first-occurrence
+    /// order, the streamed path decodes ascending). A buffered plan
+    /// is returned unchanged. Used by the serial and index-free
+    /// rewrites and by the incremental matcher, whose staged-commit
+    /// rollback needs the raw pair lists.
+    ///
+    /// [`Sink`]: PlanNodeKind::Sink
+    pub fn rewrite_buffered(&self) -> MatchPlan {
+        let mut plan = self.clone();
+        if plan.emit.mode == EmitMode::Buffered {
+            return plan;
+        }
+        plan.emit = Emit::buffered();
+        plan.emit_why = format!("buffered rewrite; was: {}", plan.emit_why);
+        for node in &mut plan.nodes {
+            if matches!(node.kind, PlanNodeKind::Sink { .. }) {
+                node.kind = PlanNodeKind::Dedup;
+                node.label = "dedup".into();
+                node.span = span::CONVERT.into();
+                node.why = format!("buffered rewrite; was: {}", node.why);
+            }
+        }
         plan
     }
 
@@ -325,9 +425,11 @@ impl MatchPlan {
     /// to the scalar scan as well — the degradation ladder must land
     /// on a path with no indexes *and* no kernels. Used by rung 3 of
     /// the ladder and by the memory-budget degradation (which keeps
-    /// the current mode).
+    /// the current mode). Emission is lowered to buffered as well —
+    /// the index-free arm is a degradation target and must run the
+    /// historical path.
     pub fn rewrite_index_free(&self) -> MatchPlan {
-        let mut plan = self.clone();
+        let mut plan = self.rewrite_buffered();
         plan.index_free = true;
         for node in &mut plan.nodes {
             if let PlanNodeKind::VectorScan { rule, .. } = &node.kind {
@@ -405,6 +507,12 @@ impl MatchPlan {
         out.push_str(&self.mode.workers().to_string());
         out.push_str(",\n  \"index_free\": ");
         out.push_str(if self.index_free { "true" } else { "false" });
+        out.push_str(",\n  \"emit\": ");
+        json::push_str_literal(&mut out, &self.emit.display());
+        out.push_str(",\n  \"emit_why\": ");
+        json::push_str_literal(&mut out, &self.emit_why);
+        out.push_str(",\n  \"sink_shards\": ");
+        out.push_str(&self.emit.shards.to_string());
         out.push_str(",\n  \"nodes\": [\n");
         for (i, node) in self.nodes.iter().enumerate() {
             out.push_str("    {\"id\": ");
@@ -460,6 +568,10 @@ impl MatchPlan {
                 PlanNodeKind::Derive { side } => {
                     out.push_str(", \"side\": ");
                     json::push_str_literal(&mut out, side);
+                }
+                PlanNodeKind::Sink { shards } => {
+                    out.push_str(", \"shards\": ");
+                    out.push_str(&shards.to_string());
                 }
                 _ => {}
             }
@@ -533,6 +645,8 @@ mod tests {
             index_free: false,
             record_identity: true,
             record_distinct: true,
+            emit: Emit::buffered(),
+            emit_why: "est 100 raw negative pairs below the stream threshold".into(),
         }
     }
 
@@ -554,6 +668,57 @@ mod tests {
         assert_eq!(nested.arm.arm_label(nested.index_free, 1), "nested_loop");
         // The original is untouched.
         assert!(!plan.index_free);
+    }
+
+    fn streamed_sample() -> MatchPlan {
+        let mut plan = sample();
+        plan.emit = Emit {
+            mode: EmitMode::Streamed,
+            shards: 5,
+        };
+        plan.emit_why = "est 21000000 raw negative pairs ≥ threshold".into();
+        plan.nodes.push(PlanNode {
+            id: 2,
+            kind: PlanNodeKind::Sink { shards: 5 },
+            label: "sink(5 shards)".into(),
+            why: "est 21000000 raw negative pairs ≥ threshold".into(),
+            span: "match/engine/sink_merge".into(),
+            inputs: vec![1],
+            est_pairs: None,
+        });
+        plan
+    }
+
+    #[test]
+    fn buffered_rewrite_lowers_the_sink_node_and_the_ladder_uses_it() {
+        let plan = streamed_sample();
+        let buffered = plan.rewrite_buffered();
+        assert_eq!(buffered.emit, Emit::buffered());
+        assert!(matches!(buffered.nodes[2].kind, PlanNodeKind::Dedup));
+        assert_eq!(buffered.nodes[2].label, "dedup");
+        assert!(buffered.nodes[2].why.starts_with("buffered rewrite; was: "));
+        // Both degradation rewrites land on buffered emission.
+        assert_eq!(plan.rewrite_serial().emit, Emit::buffered());
+        let nested = plan.rewrite_index_free();
+        assert_eq!(nested.emit, Emit::buffered());
+        assert!(!nested
+            .nodes
+            .iter()
+            .any(|n| matches!(n.kind, PlanNodeKind::Sink { .. })));
+        // A buffered plan passes through unchanged, and the original
+        // streamed plan is untouched.
+        assert_eq!(buffered.rewrite_buffered().nodes, buffered.nodes);
+        assert!(matches!(plan.nodes[2].kind, PlanNodeKind::Sink { .. }));
+        // JSON carries the emit decision and the shard count.
+        let json = plan.to_json();
+        for needle in [
+            "\"emit\": \"streamed(5)\"",
+            "\"sink_shards\": 5",
+            "\"kind\": \"sink\"",
+            "\"shards\": 5",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
     }
 
     #[test]

@@ -31,8 +31,10 @@ use eid_rules::{InternedRuleBase, KernelShape, NeqSide};
 
 use crate::kernels;
 use crate::plan::{
-    ArmHint, ExecMode, MatchPlan, PlanNode, PlanNodeKind, ProbeStrategy, RuleFamily, RuleRef,
+    ArmHint, Emit, EmitHint, EmitMode, ExecMode, MatchPlan, PlanNode, PlanNodeKind, ProbeStrategy,
+    RuleFamily, RuleRef,
 };
+use crate::sink::SinkGeometry;
 use crate::stats::span;
 
 /// Below this many estimated pairs (`|R′|·|S′|`) the auto mode runs
@@ -45,6 +47,14 @@ pub const PARALLEL_MIN_PAIRS: usize = 50_000;
 /// (driver-mask build, tile bookkeeping) only pay for themselves once
 /// the candidate volume is substantial.
 pub const VECTOR_MIN_PAIRS: usize = 32_768;
+
+/// Below this many estimated raw negative pairs (summed over the
+/// distinctness rules) the auto emit decision stays buffered: the
+/// per-task `Vec`s fit cache and the streamed sink's shard setup +
+/// post-scope merge would cost more than the dedup it saves. Above
+/// it, buffering is the bottleneck — the raw list is re-read twice
+/// (merge, dedup) — and emission streams into bitset shards instead.
+pub const STREAM_MIN_PAIRS: u64 = 2_000_000;
 
 /// The cost-based planner over one encoded relation pair. Borrows
 /// the interned rule base and per-column statistics from the
@@ -59,6 +69,7 @@ pub struct Planner<'e> {
     rows_s: usize,
     threads: usize,
     kernels: bool,
+    emit: EmitHint,
 }
 
 /// One rule's planned enumeration: a classic probe strategy or a
@@ -76,7 +87,9 @@ impl<'e> Planner<'e> {
     /// A planner reading the executor's interned rules and column
     /// statistics. `threads` carries the caller's thread request
     /// (`0` = auto); `use_kernels` gates [`PlanNodeKind::VectorScan`]
-    /// dispatch (off ⇒ the scalar twin plan, byte-identical output).
+    /// dispatch (off ⇒ the scalar twin plan, byte-identical output);
+    /// `emit` overrides the buffered-vs-streamed emission decision
+    /// (`Auto` = the [`STREAM_MIN_PAIRS`] threshold decides).
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         interned: &'e InternedRuleBase,
@@ -88,6 +101,7 @@ impl<'e> Planner<'e> {
         rows_s: usize,
         threads: usize,
         use_kernels: bool,
+        emit: EmitHint,
     ) -> Planner<'e> {
         Planner {
             interned,
@@ -99,6 +113,7 @@ impl<'e> Planner<'e> {
             rows_s,
             threads,
             kernels: use_kernels,
+            emit,
         }
     }
 
@@ -258,6 +273,70 @@ impl<'e> Planner<'e> {
                 ExecMode::Parallel { workers: n },
                 format!("threads={n} requested"),
             ),
+        }
+    }
+
+    /// The emission decision: streamed when a refutation phase will
+    /// emit enough raw pairs that buffering them is the bottleneck,
+    /// buffered for the seed arms (their output bytes are frozen),
+    /// when there is no refutation phase, or when the pair grid
+    /// falls outside the dense-bitset range. The caller's
+    /// [`EmitHint`] overrides the threshold, never the structural
+    /// gates.
+    fn choose_emit(
+        &self,
+        hint: ArmHint,
+        record_distinct: bool,
+        est_raw_negative: u64,
+    ) -> (Emit, String) {
+        if !matches!(hint, ArmHint::Auto) {
+            return (
+                Emit::buffered(),
+                format!("{hint:?} hint: seed arms convert through the buffered dedup"),
+            );
+        }
+        if !record_distinct {
+            return (
+                Emit::buffered(),
+                "no refutation phase: nothing worth streaming".into(),
+            );
+        }
+        let Some(geom) = SinkGeometry::new(self.rows_r, self.rows_s) else {
+            return (
+                Emit::buffered(),
+                format!(
+                    "{}×{} pair grid outside the dense-bitset range",
+                    self.rows_r, self.rows_s
+                ),
+            );
+        };
+        let streamed = Emit {
+            mode: EmitMode::Streamed,
+            shards: geom.shard_count,
+        };
+        match self.emit {
+            EmitHint::Buffered => (Emit::buffered(), "emit=buffered requested".into()),
+            EmitHint::Streamed => (streamed, "emit=streamed requested".into()),
+            EmitHint::Auto => {
+                if est_raw_negative >= STREAM_MIN_PAIRS {
+                    (
+                        streamed,
+                        format!(
+                            "est {est_raw_negative} raw negative pairs ≥ {STREAM_MIN_PAIRS}: \
+                             workers emit into {} row-range bitset shards, dedup free at emission",
+                            geom.shard_count
+                        ),
+                    )
+                } else {
+                    (
+                        Emit::buffered(),
+                        format!(
+                            "est {est_raw_negative} raw negative pairs < {STREAM_MIN_PAIRS}: \
+                             per-task buffers stay cache-resident"
+                        ),
+                    )
+                }
+            }
         }
     }
 
@@ -564,6 +643,13 @@ impl<'e> Planner<'e> {
             }
         }
 
+        let est_raw_negative: u64 = rule_plan
+            .iter()
+            .filter(|(r, _, _, _)| matches!(r.family, RuleFamily::Distinct))
+            .map(|(_, _, _, est)| *est)
+            .sum();
+        let (emit, emit_why) = self.choose_emit(hint, record_distinct, est_raw_negative);
+
         let indexed = rule_plan
             .iter()
             .filter(|(_, c, _, _)| !matches!(c, Choice::Strategy(ProbeStrategy::Scan)))
@@ -641,16 +727,28 @@ impl<'e> Planner<'e> {
             }
         }
 
-        let dedup = push(
-            &mut nodes,
-            PlanNodeKind::Dedup,
-            "dedup".into(),
-            "first-occurrence dedup of raw pair lists in id space; \
-             runs on two threads when the lists are large"
-                .into(),
-            span::CONVERT,
-            probe_ids,
-        );
+        let dedup = match emit.mode {
+            EmitMode::Streamed => push(
+                &mut nodes,
+                PlanNodeKind::Sink {
+                    shards: emit.shards,
+                },
+                format!("sink({} shards)", emit.shards),
+                format!("streamed emission — {emit_why}; shards merged by row range post-scope"),
+                span::ENGINE_SINK_MERGE,
+                probe_ids,
+            ),
+            EmitMode::Buffered => push(
+                &mut nodes,
+                PlanNodeKind::Dedup,
+                "dedup".into(),
+                "first-occurrence dedup of raw pair lists in id space; \
+                 runs on two threads when the lists are large"
+                    .into(),
+                span::CONVERT,
+                probe_ids,
+            ),
+        };
         push(
             &mut nodes,
             PlanNodeKind::Classify,
@@ -668,6 +766,8 @@ impl<'e> Planner<'e> {
             index_free: false,
             record_identity,
             record_distinct,
+            emit,
+            emit_why,
         }
     }
 }

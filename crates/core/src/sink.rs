@@ -1,0 +1,634 @@
+//! Streaming pair sinks — emission, dedup, and conversion folded
+//! into one pass.
+//!
+//! The buffered pipeline materializes every raw negative pair into
+//! per-task `Vec`s (~41 MB at n=3200), merges them in task order,
+//! and only then dedups into a [`PairSet`]. The paper's refutation
+//! semantics (Lim et al., ICDE 1993 §3) are order-insensitive, so
+//! nothing forces that intermediate to exist: a worker can set the
+//! pair's bit the moment a rule fires, and dedup is free at emission
+//! time.
+//!
+//! Two [`PairSink`] implementations realize that choice:
+//!
+//! * `Vec<(u32, u32)>` — the buffered twin. Emission order is the
+//!   task/driver order the engine has always produced, byte-identical
+//!   to every pre-sink release; the degradation ladder and the
+//!   incremental matcher's staged-commit rollback run on this path.
+//! * [`ShardedSink`] — the streaming sink. The `|R|·|S|` bit grid is
+//!   cut into *row-range shards* ([`SinkGeometry`]); each worker
+//!   lazily allocates only the shards its tasks touch, so workers
+//!   never share a cache line, and [`merge_shards`] ORs the per-worker
+//!   shards into one dense [`PairSet`] after the task scope ends.
+//!   Shard boundaries are row-aligned **and** word-aligned
+//!   (`rows_per_shard · s_len ≡ 0 mod 64`), which keeps every row's
+//!   bit span inside a single shard — the bulk emission paths below
+//!   never split a row across shards.
+//!
+//! Bulk emission: [`PairSink::push_rows`] carries the vectorized
+//! disagreement kernels' cross-product emission (`drivers ×
+//! literal-block`). The sharded override builds the literal block's
+//! bitmask template once and ORs it word-shifted into each driver
+//! row's range — the per-pair loop disappears entirely.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::fmt;
+
+use eid_relational::FxHashSet;
+
+/// Pair-space ceiling (in bits) for the dense bitset pair structures;
+/// a `|R|·|S|` grid up to this size costs at most 32 MiB per set.
+/// Larger inputs fall back to a hash set of packed pairs (and the
+/// planner keeps emission buffered).
+pub const MAX_BITSET_BITS: u128 = 1 << 28;
+
+/// Target shard size in grid bits (128 KiB of words): small enough
+/// that a worker's active shard stays cache-resident, large enough
+/// that shard bookkeeping is noise.
+pub const SHARD_TARGET_BITS: usize = 1 << 20;
+
+/// A set of row-index pairs: a dense bitset when the pair space is
+/// small enough, a hash set of packed `u64`s otherwise. Either way
+/// membership never touches a key tuple.
+#[derive(Clone)]
+pub enum PairSet {
+    /// Dense bit grid, bit `i·s_len + j` ⇔ pair `(i, j)`.
+    Bits {
+        /// The grid words, row-major.
+        words: Vec<u64>,
+        /// Row width of the grid (`|S|`).
+        s_len: usize,
+    },
+    /// Hash set of `(i << 32) | j` packed pairs.
+    Hash(FxHashSet<u64>),
+}
+
+impl PairSet {
+    /// An empty set over an `r_len × s_len` grid; `expected` sizes
+    /// the hash fallback.
+    pub fn new(r_len: usize, s_len: usize, expected: usize) -> PairSet {
+        let bits = (r_len as u128) * (s_len as u128);
+        if bits > 0 && bits <= MAX_BITSET_BITS {
+            PairSet::Bits {
+                words: vec![0u64; (bits as usize).div_ceil(64)],
+                s_len,
+            }
+        } else {
+            PairSet::Hash(FxHashSet::with_capacity_and_hasher(
+                expected,
+                Default::default(),
+            ))
+        }
+    }
+
+    /// Wraps merged sink words as a dense set (the shard-merge
+    /// output; the words already cover the full grid).
+    pub fn from_words(words: Vec<u64>, s_len: usize) -> PairSet {
+        PairSet::Bits { words, s_len }
+    }
+
+    /// Inserts a pair; `true` if it was new.
+    pub fn insert(&mut self, i: u32, j: u32) -> bool {
+        match self {
+            PairSet::Bits { words, s_len } => {
+                let bit = i as usize * *s_len + j as usize;
+                let (word, mask) = (bit / 64, 1u64 << (bit % 64));
+                if words[word] & mask != 0 {
+                    false
+                } else {
+                    words[word] |= mask;
+                    true
+                }
+            }
+            PairSet::Hash(set) => set.insert(((i as u64) << 32) | j as u64),
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: u32, j: u32) -> bool {
+        match self {
+            PairSet::Bits { words, s_len } => {
+                let bit = i as usize * *s_len + j as usize;
+                words[bit / 64] & (1u64 << (bit % 64)) != 0
+            }
+            PairSet::Hash(set) => set.contains(&(((i as u64) << 32) | j as u64)),
+        }
+    }
+
+    /// Number of pairs in the set (a popcount sweep for bitsets).
+    pub fn count(&self) -> usize {
+        match self {
+            PairSet::Bits { words, .. } => words.iter().map(|w| w.count_ones() as usize).sum(),
+            PairSet::Hash(set) => set.len(),
+        }
+    }
+
+    /// Resident bytes of the structure itself — what [`RunGuard`]
+    /// charges when the counting allocator is not installed, so the
+    /// `--max-mem-mb` budget trips consistently in both builds.
+    ///
+    /// [`RunGuard`]: crate::runtime::RunGuard
+    pub fn capacity_bytes(&self) -> u64 {
+        match self {
+            PairSet::Bits { words, .. } => (words.len() * 8) as u64,
+            // hashbrown: 8-byte key + 1 control byte per slot.
+            PairSet::Hash(set) => set.capacity() as u64 * 9,
+        }
+    }
+
+    /// `|self ∩ other|` over the same `|R|·|S|` grid: an AND-popcount
+    /// sweep when both sides are bitsets, a probe of the explicit
+    /// pair list otherwise.
+    pub fn intersection_count(&self, other_pairs: &[(u32, u32)], other_set: &PairSet) -> usize {
+        match (self, other_set) {
+            (
+                PairSet::Bits {
+                    words: a,
+                    s_len: la,
+                },
+                PairSet::Bits {
+                    words: b,
+                    s_len: lb,
+                },
+            ) if la == lb => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x & y).count_ones() as usize)
+                .sum(),
+            _ => other_pairs
+                .iter()
+                .filter(|&&(i, j)| self.contains(i, j))
+                .count(),
+        }
+    }
+
+    /// Decodes the set into an ascending `(i, j)` pair list — the
+    /// streamed path's convert step. The bitset walk keeps a running
+    /// row cursor instead of dividing per bit and writes through
+    /// spare capacity (the exact length is known up front from
+    /// `count`). Words that sit entirely inside one row — all but
+    /// ~one word per row — unpack branchlessly: 64 unconditional
+    /// sequential stores with the cursor advanced per set bit, so at
+    /// refutation densities (~90% of the grid) there is no
+    /// data-dependent `trailing_zeros` chain on the hot path.
+    pub fn to_pairs(&self) -> Vec<(u32, u32)> {
+        match self {
+            PairSet::Bits { words, s_len } => {
+                let total = self.count();
+                // 64 slots of slack absorb the unconditional trailing
+                // writes of the branchless unpack below.
+                let mut out: Vec<(u32, u32)> = Vec::with_capacity(total + 64);
+                let s_len = *s_len;
+                if s_len == 0 {
+                    return out;
+                }
+                let (mut row, mut row_start, mut row_end) = (0u32, 0usize, s_len);
+                let p = out.as_mut_ptr();
+                let mut written = 0usize;
+                for (wi, &word) in words.iter().enumerate() {
+                    if word == 0 {
+                        continue;
+                    }
+                    let word_base = wi << 6;
+                    while word_base >= row_end {
+                        row += 1;
+                        row_start = row_end;
+                        row_end += s_len;
+                    }
+                    if word_base + 64 <= row_end {
+                        // Whole word inside the current row: write every
+                        // candidate slot, advance only on set bits.
+                        let col = (word_base - row_start) as u32;
+                        debug_assert!(written + 64 <= total + 64);
+                        let mut w = word;
+                        for k in 0..64u32 {
+                            // SAFETY: `written` never exceeds `total` (one
+                            // advance per set bit) and the vec reserves
+                            // `total + 64`, covering the trailing
+                            // unconditional stores.
+                            unsafe { p.add(written).write((row, col + k)) };
+                            written += (w & 1) as usize;
+                            w >>= 1;
+                        }
+                        continue;
+                    }
+                    // Row boundary crosses this word: fall back to the
+                    // per-bit scan that tracks the cursor exactly.
+                    let mut w = word;
+                    while w != 0 {
+                        let bit = word_base + w.trailing_zeros() as usize;
+                        while bit >= row_end {
+                            row += 1;
+                            row_start = row_end;
+                            row_end += s_len;
+                        }
+                        debug_assert!(written < total);
+                        // SAFETY: one slot per set bit, within capacity.
+                        unsafe { p.add(written).write((row, (bit - row_start) as u32)) };
+                        written += 1;
+                        w &= w - 1;
+                    }
+                }
+                debug_assert_eq!(written, total);
+                // SAFETY: slots `0..written` were all initialised above
+                // (one per set bit, verified in debug builds).
+                unsafe { out.set_len(written) };
+                out
+            }
+            PairSet::Hash(set) => {
+                let mut out: Vec<(u32, u32)> =
+                    set.iter().map(|&p| ((p >> 32) as u32, p as u32)).collect();
+                out.sort_unstable();
+                out
+            }
+        }
+    }
+}
+
+impl fmt::Debug for PairSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PairSet::Bits { s_len, .. } => f
+                .debug_struct("PairSet::Bits")
+                .field("s_len", s_len)
+                .field("count", &self.count())
+                .finish(),
+            PairSet::Hash(set) => f
+                .debug_struct("PairSet::Hash")
+                .field("count", &set.len())
+                .finish(),
+        }
+    }
+}
+
+/// Where a probe/refute plan sends the pairs it proves. The engine's
+/// emission loops are generic over this trait; the buffered `Vec`
+/// impl preserves the historical emission order byte-for-byte, the
+/// [`ShardedSink`] impl dedups at emission time.
+pub trait PairSink {
+    /// Emits one pair.
+    fn push(&mut self, i: u32, j: u32);
+
+    /// Capacity hint for `additional` upcoming pairs (no-op for
+    /// sinks with fixed-size storage).
+    fn reserve(&mut self, additional: usize) {
+        let _ = additional;
+    }
+
+    /// Emits `(i, j)` for every `j` in `js` (ascending within the
+    /// row — the residual scan's per-driver row buffer).
+    fn push_row(&mut self, i: u32, js: &[u32]) {
+        for &j in js {
+            self.push(i, j);
+        }
+    }
+
+    /// Emits the full cross product `is × js`, `i`-major — the bulk
+    /// disagreement emission (every pair definitely fires). The
+    /// default preserves the scalar loop's order exactly.
+    fn push_rows(&mut self, is: &[u32], js: &[u32]) {
+        for &i in is {
+            self.push_row(i, js);
+        }
+    }
+}
+
+impl PairSink for Vec<(u32, u32)> {
+    fn push(&mut self, i: u32, j: u32) {
+        Vec::push(self, (i, j));
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        Vec::reserve(self, additional);
+    }
+
+    fn push_row(&mut self, i: u32, js: &[u32]) {
+        self.extend(js.iter().map(|&j| (i, j)));
+    }
+}
+
+/// The shard layout of one `r_len × s_len` bit grid. Shards are
+/// contiguous word ranges covering whole row groups; `rows_per_shard`
+/// is the smallest multiple of the 64-bit alignment period at least
+/// [`SHARD_TARGET_BITS`] wide, so every shard starts on a fresh word
+/// *and* a fresh row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SinkGeometry {
+    /// Row width of the grid (`|S|`).
+    pub s_len: usize,
+    /// Rows covered by each shard (last shard may cover fewer).
+    pub rows_per_shard: usize,
+    /// Words per full shard (`rows_per_shard · s_len / 64`, exact).
+    pub shard_words: usize,
+    /// Words of the whole grid.
+    pub grid_words: usize,
+    /// Number of shards.
+    pub shard_count: usize,
+}
+
+fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a.max(1)
+}
+
+impl SinkGeometry {
+    /// The shard layout for an `r_len × s_len` grid; `None` when the
+    /// grid is empty or exceeds [`MAX_BITSET_BITS`] (emission must
+    /// stay buffered there).
+    pub fn new(r_len: usize, s_len: usize) -> Option<SinkGeometry> {
+        let bits = (r_len as u128) * (s_len as u128);
+        if bits == 0 || bits > MAX_BITSET_BITS {
+            return None;
+        }
+        // rows_per_shard · s_len must be a word multiple so shard
+        // boundaries never split a word (or a row) between workers.
+        let step = 64 / gcd(s_len, 64);
+        let base = (SHARD_TARGET_BITS / s_len).max(1);
+        let rows_per_shard = base.div_ceil(step) * step;
+        Some(SinkGeometry {
+            s_len,
+            rows_per_shard,
+            shard_words: rows_per_shard * s_len / 64,
+            grid_words: (bits as usize).div_ceil(64),
+            shard_count: r_len.div_ceil(rows_per_shard),
+        })
+    }
+
+    /// Word length of shard `k` (the last shard covers the grid
+    /// remainder).
+    pub fn shard_len(&self, k: usize) -> usize {
+        (self.grid_words - k * self.shard_words).min(self.shard_words)
+    }
+
+    /// Bytes of the merged full-grid word vector.
+    pub fn grid_bytes(&self) -> u64 {
+        self.grid_words as u64 * 8
+    }
+}
+
+/// One worker's streaming sink: lazily allocated row-range bitset
+/// shards. No shared state — each worker owns its sink for the whole
+/// task scope, and [`merge_shards`] combines them afterwards.
+pub struct ShardedSink {
+    geom: SinkGeometry,
+    shards: Vec<Option<Box<[u64]>>>,
+    pushes: u64,
+    new_bytes: u64,
+}
+
+impl ShardedSink {
+    /// An empty sink over `geom` (no shards allocated yet).
+    pub fn new(geom: SinkGeometry) -> ShardedSink {
+        ShardedSink {
+            geom,
+            shards: vec![None; geom.shard_count],
+            pushes: 0,
+            new_bytes: 0,
+        }
+    }
+
+    /// Total pairs pushed into this sink (pre-dedup — the streamed
+    /// twin of the buffered path's raw list length, used for abort
+    /// accounting).
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Bytes of shards allocated since the last call — what the task
+    /// drain charges against the memory budget in place of the
+    /// 8·pairs output model.
+    pub fn take_new_bytes(&mut self) -> u64 {
+        std::mem::take(&mut self.new_bytes)
+    }
+
+    fn shard_mut(&mut self, k: usize) -> &mut [u64] {
+        if self.shards[k].is_none() {
+            let len = self.geom.shard_len(k);
+            self.new_bytes += (len * 8) as u64;
+            self.shards[k] = Some(vec![0u64; len].into_boxed_slice());
+        }
+        match &mut self.shards[k] {
+            Some(shard) => shard,
+            None => &mut [],
+        }
+    }
+}
+
+impl PairSink for ShardedSink {
+    fn push(&mut self, i: u32, j: u32) {
+        self.pushes += 1;
+        let bit = i as usize * self.geom.s_len + j as usize;
+        let word = bit >> 6;
+        let k = word / self.geom.shard_words;
+        let off = word - k * self.geom.shard_words;
+        self.shard_mut(k)[off] |= 1u64 << (bit & 63);
+    }
+
+    fn push_row(&mut self, i: u32, js: &[u32]) {
+        if js.is_empty() {
+            return;
+        }
+        self.pushes += js.len() as u64;
+        let base = i as usize * self.geom.s_len;
+        let k = i as usize / self.geom.rows_per_shard;
+        let off0 = k * self.geom.shard_words;
+        let shard = self.shard_mut(k);
+        for &j in js {
+            let bit = base + j as usize;
+            shard[(bit >> 6) - off0] |= 1u64 << (bit & 63);
+        }
+    }
+
+    /// Template-OR bulk emission: the `js` block becomes a row-width
+    /// bitmask built once, then OR-shifted into each driver row's
+    /// word range. Shard boundaries are row-aligned, so a row's whole
+    /// span lives in one shard and the inner loop is pure word ORs.
+    fn push_rows(&mut self, is: &[u32], js: &[u32]) {
+        if is.is_empty() || js.is_empty() {
+            return;
+        }
+        let s_len = self.geom.s_len;
+        let t_words = s_len.div_ceil(64);
+        let mut template = vec![0u64; t_words];
+        for &j in js {
+            template[(j as usize) >> 6] |= 1u64 << (j & 63);
+        }
+        self.pushes += is.len() as u64 * js.len() as u64;
+        for &i in is {
+            let base = i as usize * s_len;
+            let (word0, shift) = (base >> 6, (base & 63) as u32);
+            let k = i as usize / self.geom.rows_per_shard;
+            let off = word0 - k * self.geom.shard_words;
+            let shard = self.shard_mut(k);
+            if shift == 0 {
+                for (w, &t) in shard[off..off + t_words].iter_mut().zip(&template) {
+                    *w |= t;
+                }
+            } else {
+                // The template's bits above s_len are zero, so the
+                // shifted row never writes past its own span: the
+                // last in-range word is off + t_words - 1, and the
+                // spill word is only touched when real row bits
+                // carried into it.
+                let mut carry = 0u64;
+                for (idx, &t) in template.iter().enumerate() {
+                    shard[off + idx] |= (t << shift) | carry;
+                    carry = t >> (64 - shift);
+                }
+                if carry != 0 {
+                    shard[off + t_words] |= carry;
+                }
+            }
+        }
+    }
+}
+
+/// Counters of one shard merge, reported as `sink/*`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SinkMergeStats {
+    /// Shards allocated across all workers (`sink/shards`).
+    pub shards: u64,
+    /// Shard ranges more than one worker touched, merged by OR
+    /// (`sink/spilled_merges`); 0 means perfect row-range locality.
+    pub spilled_merges: u64,
+    /// Total shard bytes the workers allocated (`sink/bytes`).
+    pub bytes: u64,
+    /// Distinct pairs in the merged set.
+    pub distinct: u64,
+}
+
+/// ORs every worker's shards into one dense full-grid [`PairSet`],
+/// by shard index (single-owner shards are straight copies). Runs
+/// post-scope on the coordinating thread.
+pub fn merge_shards(geom: &SinkGeometry, sinks: &[ShardedSink]) -> (PairSet, SinkMergeStats) {
+    let mut words = vec![0u64; geom.grid_words];
+    let mut stats = SinkMergeStats::default();
+    for sink in sinks {
+        stats.bytes += sink
+            .shards
+            .iter()
+            .flatten()
+            .map(|s| (s.len() * 8) as u64)
+            .sum::<u64>();
+    }
+    for k in 0..geom.shard_count {
+        let off = k * geom.shard_words;
+        let mut owners = 0u64;
+        for sink in sinks {
+            let Some(shard) = sink.shards.get(k).and_then(|s| s.as_ref()) else {
+                continue;
+            };
+            owners += 1;
+            let dst = &mut words[off..off + shard.len()];
+            if owners == 1 {
+                dst.copy_from_slice(shard);
+            } else {
+                for (d, &s) in dst.iter_mut().zip(shard.iter()) {
+                    *d |= s;
+                }
+            }
+        }
+        stats.shards += owners;
+        if owners > 1 {
+            stats.spilled_merges += owners - 1;
+        }
+    }
+    let set = PairSet::from_words(words, geom.s_len);
+    stats.distinct = set.count() as u64;
+    (set, stats)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_is_row_and_word_aligned() {
+        for (r, s) in [(1, 1), (7, 3), (800, 800), (3200, 3200), (1 << 14, 5)] {
+            let g = SinkGeometry::new(r, s).unwrap_or_else(|| panic!("no geometry for {r}x{s}"));
+            assert_eq!(g.rows_per_shard * g.s_len % 64, 0, "{r}x{s}");
+            assert_eq!(g.shard_words, g.rows_per_shard * s / 64, "{r}x{s}");
+            assert_eq!(g.shard_count, r.div_ceil(g.rows_per_shard), "{r}x{s}");
+            let total: usize = (0..g.shard_count).map(|k| g.shard_len(k)).sum();
+            assert_eq!(total, g.grid_words, "{r}x{s}");
+        }
+        assert!(SinkGeometry::new(0, 10).is_none());
+        assert!(SinkGeometry::new(1 << 20, 1 << 20).is_none());
+    }
+
+    #[test]
+    fn sharded_sink_matches_buffered_dedup() {
+        // Odd row width so rows straddle words and shifts exercise
+        // the carry path.
+        let (r_len, s_len) = (301, 67);
+        let geom = SinkGeometry::new(r_len, s_len).unwrap();
+        let mut sink = ShardedSink::new(geom);
+        let mut buffered: Vec<(u32, u32)> = Vec::new();
+        let mut x = 0x243F_6A88_85A3_08D3u64; // deterministic LCG
+        let mut pairs = Vec::new();
+        for _ in 0..5_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let i = ((x >> 33) % r_len as u64) as u32;
+            let j = ((x >> 11) % s_len as u64) as u32;
+            pairs.push((i, j));
+        }
+        for &(i, j) in &pairs {
+            PairSink::push(&mut sink, i, j);
+            PairSink::push(&mut buffered, i, j);
+        }
+        // Bulk paths on top of the scalar ones.
+        let is: Vec<u32> = (0..r_len as u32).step_by(7).collect();
+        let js: Vec<u32> = (0..s_len as u32).step_by(5).collect();
+        sink.push_rows(&is, &js);
+        buffered.push_rows(&is, &js);
+        sink.push_row(300, &js);
+        buffered.push_row(300, &js);
+        assert_eq!(sink.pushes(), buffered.len() as u64);
+
+        let (set, stats) = merge_shards(&geom, &[sink]);
+        let mut expect = buffered;
+        expect.sort_unstable();
+        expect.dedup();
+        assert_eq!(set.to_pairs(), expect);
+        assert_eq!(stats.distinct as usize, expect.len());
+        assert_eq!(stats.spilled_merges, 0);
+    }
+
+    #[test]
+    fn merge_ors_across_workers_and_counts_spills() {
+        let geom = SinkGeometry::new(64, 64).unwrap();
+        let mut a = ShardedSink::new(geom);
+        let mut b = ShardedSink::new(geom);
+        PairSink::push(&mut a, 0, 0);
+        PairSink::push(&mut b, 0, 0); // duplicate across workers
+        PairSink::push(&mut b, 63, 63);
+        let (set, stats) = merge_shards(&geom, &[a, b]);
+        assert!(set.contains(0, 0) && set.contains(63, 63));
+        assert_eq!(set.count(), 2);
+        // 64×64 fits one shard: both workers own it → one spill.
+        assert_eq!(stats.spilled_merges, 1);
+        assert_eq!(stats.shards, 2);
+    }
+
+    #[test]
+    fn pair_set_decodes_ascending_for_both_representations() {
+        let pairs = [(3u32, 1u32), (0, 5), (3, 0), (0, 5), (2, 7)];
+        let mut dense = PairSet::new(10, 10, 8);
+        let mut hash = PairSet::Hash(FxHashSet::default());
+        for &(i, j) in &pairs {
+            dense.insert(i, j);
+            hash.insert(i, j);
+        }
+        let expect = vec![(0, 5), (2, 7), (3, 0), (3, 1)];
+        assert_eq!(dense.to_pairs(), expect);
+        assert_eq!(hash.to_pairs(), expect);
+        assert_eq!(dense.count(), 4);
+        assert!(dense.capacity_bytes() > 0);
+    }
+}

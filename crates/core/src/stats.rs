@@ -35,6 +35,9 @@ pub mod span {
     pub const ENGINE_RESIDUAL: &str = "match/engine/residual";
     /// Row-index pairs → keyed pair tables (dedup + projection).
     pub const CONVERT: &str = "match/convert";
+    /// Post-scope merge of the streamed per-worker sink shards into
+    /// one deduped pair set (streamed emission only).
+    pub const ENGINE_SINK_MERGE: &str = "match/engine/sink_merge";
 }
 
 /// Counter names (`group/name`; per-rule counters are built with
@@ -155,6 +158,16 @@ pub mod counter {
     /// Measured bytes attributed to the convert stage.
     pub const ALLOC_STAGE_CONVERT: &str = "alloc/stage/convert";
 
+    /// Streamed emission: bitset shards allocated across all workers
+    /// (absent on buffered runs).
+    pub const SINK_SHARDS: &str = "sink/shards";
+    /// Streamed emission: shard ranges more than one worker touched,
+    /// merged by OR post-scope. 0 means perfect row-range locality.
+    pub const SINK_SPILLED_MERGES: &str = "sink/spilled_merges";
+    /// Streamed emission: total shard bytes the workers allocated —
+    /// the streamed twin of the buffered path's 8·pairs volume.
+    pub const SINK_BYTES: &str = "sink/bytes";
+
     /// Trace: slice groups dropped because a per-worker sink filled
     /// (0 on any reasonable run; boundedness made observable).
     pub const TRACE_DROPPED: &str = "trace/dropped";
@@ -185,6 +198,9 @@ pub mod label {
     /// The planner's execution-mode decision and its one-line
     /// rationale, e.g. `"parallel(8): est. 10240000 candidate pairs"`.
     pub const PLAN_MODE: &str = "plan/mode";
+    /// The planner's emission decision (`"buffered"` /
+    /// `"streamed(<shards>)"`) and its rationale.
+    pub const PLAN_EMIT: &str = "plan/emit";
 }
 
 /// Histogram names.

@@ -280,6 +280,63 @@ print(f"    kernel OK: counts identical; {batches} batches, "
       f"{on['counters'].get('kernel/lanes_used', 0)} lanes on")
 EOF
     rm -f "$kern_on" "$kern_off"
+    # Sink smoke: forced streamed vs forced buffered emission must
+    # classify identically (same MT/NMT/undetermined), the streamed
+    # run must actually engage the sharded sinks (sink/* counters),
+    # and the buffered run must not.
+    echo "==> sink smoke (n=800, emit streamed vs buffered)"
+    sink_s="$(mktemp)" sink_b="$(mktemp)"
+    ./target/release/bench_json 800 --engines blocked \
+        --emit streamed --out "$sink_s" >/dev/null
+    ./target/release/bench_json 800 --engines blocked \
+        --emit buffered --out "$sink_b" >/dev/null
+    python3 - "$sink_s" "$sink_b" <<'EOF'
+import json, sys
+def arm(path):
+    with open(path) as f:
+        bench = json.load(f)
+    size = bench["sizes"][0]
+    return size, {e["name"]: e for e in size["engines"]}["blocked"]
+(size_s, streamed), (size_b, buffered) = arm(sys.argv[1]), arm(sys.argv[2])
+for key in ("matching", "negative", "undetermined"):
+    assert streamed[key] == buffered[key], \
+        f"emission mode changed {key}: streamed={streamed[key]} buffered={buffered[key]}"
+assert streamed["plan"]["emit"].startswith("streamed"), streamed["plan"]["emit"]
+assert buffered["plan"]["emit"].startswith("buffered"), buffered["plan"]["emit"]
+shards = streamed["counters"].get("sink/shards", 0)
+assert shards >= 1, f"streamed run recorded no sink shards: {streamed['counters']}"
+assert "sink/shards" not in buffered["counters"], \
+    "buffered run tallied sink counters"
+assert size_s["emit"]["ab_identical"] and size_b["emit"]["ab_identical"]
+print(f"    sink OK: counts identical; {shards} shard(s), "
+      f"{streamed['counters'].get('sink/bytes', 0)} sink bytes streamed")
+EOF
+    rm -f "$sink_s" "$sink_b"
+    # Streaming perf gate: at n=3200 the blocked arm must resolve to
+    # streamed emission on its own (auto), classify exactly the known
+    # workload counts, and convert must come in under the buffered
+    # baseline's 0.020943 s — the regression tripwire for the
+    # fold-emission-dedup-convert-into-one-pass claim.
+    echo "==> streaming perf gate (n=3200)"
+    sink_l="$(mktemp)"
+    ./target/release/bench_json 3200 --engines blocked --out "$sink_l" >/dev/null
+    python3 - "$sink_l" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    bench = json.load(f)
+size = bench["sizes"][0]
+blocked = {e["name"]: e for e in size["engines"]}["blocked"]
+assert blocked["plan"]["emit"].startswith("streamed"), \
+    f"n=3200 did not auto-stream: {blocked['plan']['emit']}"
+assert (blocked["matching"], blocked["negative"]) == (1595, 5164412), \
+    f"classification drifted: {blocked['matching']}/{blocked['negative']}"
+convert = blocked["stages"]["match/convert"]
+assert convert < 0.020943, \
+    f"streamed convert {convert}s not under buffered baseline 0.020943s"
+print(f"    perf gate OK: auto-streamed, convert {convert*1e3:.2f} ms, "
+      f"{blocked['seconds']*1e3:.2f} ms total")
+EOF
+    rm -f "$sink_l"
 else
     echo "==> python3 not installed; skipping bench smoke"
 fi

@@ -5,10 +5,12 @@
 //!           --rules knowledge.rules --key name,cuisine \
 //!           [--integrated] [--unify prefer-r|prefer-s|null] [--negative] \
 //!           [--lenient] [--timeout-ms N] [--max-pairs N] [--max-mem-mb N] \
-//!           [--stats] [--report-json PATH] [--trace-out PATH]
+//!           [--stats] [--report-json PATH] [--trace-out PATH] \
+//!           [--emit auto|buffered|streamed]
 //! eid plan --r R.csv --r-key name,street --s S.csv --s-key name,city \
 //!          --rules knowledge.rules --key name,cuisine \
-//!          [--json] [--explain] [--analyze] [--threads N]
+//!          [--json] [--explain] [--analyze] [--threads N] \
+//!          [--emit auto|buffered|streamed]
 //! eid validate --rules knowledge.rules
 //! eid demo
 //! ```
@@ -52,6 +54,7 @@ use entity_id::core::explain::{plan_analyzed_json, render_plan, render_plan_anal
 use entity_id::core::integrate::IntegratedTable;
 use entity_id::core::matcher::{EntityMatcher, MatchConfig};
 use entity_id::core::partition::Partition;
+use entity_id::core::plan::EmitHint;
 use entity_id::core::runtime::{AbortReason, PartialStats, RunBudget};
 use entity_id::core::stats::{counter, label};
 use entity_id::datagen::restaurant;
@@ -204,6 +207,18 @@ fn required<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a st
         .ok_or_else(|| format!("--{name} is required"))
 }
 
+/// Parses the optional `--emit` flag (refutation emission path).
+fn parse_emit_flag(flags: &HashMap<String, String>) -> Result<EmitHint, String> {
+    match flags.get("emit").map(String::as_str) {
+        None | Some("auto") => Ok(EmitHint::Auto),
+        Some("buffered") => Ok(EmitHint::Buffered),
+        Some("streamed") => Ok(EmitHint::Streamed),
+        Some(other) => Err(format!(
+            "--emit: `{other}` is not one of auto, buffered, streamed"
+        )),
+    }
+}
+
 /// Parses one optional numeric budget flag.
 fn parse_budget_flag(flags: &HashMap<String, String>, name: &str) -> Result<Option<u64>, String> {
     match flags.get(name) {
@@ -269,6 +284,7 @@ fn cmd_match(args: &[String]) -> Result<(), CliError> {
             "timeout-ms",
             "max-pairs",
             "max-mem-mb",
+            "emit",
         ],
         &["integrated", "negative", "stats", "lenient"],
     )?;
@@ -298,6 +314,7 @@ fn cmd_match(args: &[String]) -> Result<(), CliError> {
         max_pair_bytes: parse_budget_flag(&flags, "max-mem-mb")?.map(|mb| mb * 1024 * 1024),
     };
     config.trace = flags.contains_key("trace-out");
+    config.emit = parse_emit_flag(&flags)?;
 
     // §3.2 necessary checks before matching.
     let report = entity_id::core::validate::validate_knowledge(&r, &s, &config)
@@ -430,7 +447,9 @@ fn cmd_match(args: &[String]) -> Result<(), CliError> {
 fn cmd_plan(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(
         args,
-        &["r", "r-key", "s", "s-key", "rules", "key", "threads"],
+        &[
+            "r", "r-key", "s", "s-key", "rules", "key", "threads", "emit",
+        ],
         &["json", "explain", "analyze", "lenient"],
     )?;
     let r_path = required(&flags, "r")?;
@@ -456,6 +475,7 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
             .parse()
             .map_err(|_| format!("--threads: `{t}` is not a non-negative integer"))?;
     }
+    config.emit = parse_emit_flag(&flags)?;
 
     let matcher = EntityMatcher::new(r, s, config).map_err(|e| e.to_string())?;
     if flags.contains_key("analyze") {

@@ -168,6 +168,7 @@ fn plan_command_prints_the_golden_example1_tree() {
     // blocking-key rationale. 3×3 = 9 estimated pairs → serial.
     let golden = "match plan — arm blocked, mode serial(auto-small)
   mode: auto: 9 estimated pairs < 50000 — serial
+  emit: buffered: est 9 raw negative pairs < 2000000: per-task buffers stay cache-resident
   derive(R) — extend R with missing extended-key attributes; ILFDs fill values (§5)
   derive(S) — extend S with missing extended-key attributes; ILFDs fill values (§5)
     encode — intern 3+3 rows into columnar u32 symbols; hot predicates become integer compares

@@ -28,10 +28,11 @@ fn lock() -> std::sync::MutexGuard<'static, ()> {
 /// Every fault site the runtime exposes (CSV sites are exercised in
 /// the relational crate's own tests; they are inert here and prove
 /// unknown sites never fire).
-const SITES: [&str; 6] = [
+const SITES: [&str; 7] = [
     "engine/worker",
     "engine/serial",
     "engine/nested",
+    "engine/sink_merge",
     "interner/poison",
     "convert/worker",
     "csv/read",
