@@ -25,6 +25,7 @@ use std::time::Instant;
 use eid_bench::scaling_workload;
 use eid_core::matcher::{EntityMatcher, JoinAlgorithm, MatchConfig, MatchOutcome};
 use eid_core::plan::EmitHint;
+use eid_core::SpillDirGuard;
 use eid_obs::MatchReport;
 
 /// One engine configuration under measurement.
@@ -113,6 +114,7 @@ fn emit_hint_str(hint: EmitHint) -> &'static str {
         EmitHint::Auto => "auto",
         EmitHint::Buffered => "buffered",
         EmitHint::Streamed => "streamed",
+        EmitHint::Spilled => "spilled",
     }
 }
 
@@ -231,12 +233,17 @@ fn main() {
         } else if arg == "--trace-out" {
             trace_out = Some(args.next().expect("--trace-out needs a path"));
         } else if arg == "--emit" {
-            let v = args.next().expect("--emit needs auto|buffered|streamed");
+            let v = args
+                .next()
+                .expect("--emit needs auto|buffered|streamed|spilled");
             emit = match v.as_str() {
                 "auto" => EmitHint::Auto,
                 "buffered" => EmitHint::Buffered,
                 "streamed" => EmitHint::Streamed,
-                other => panic!("--emit must be auto, buffered, or streamed, got {other:?}"),
+                "spilled" => EmitHint::Spilled,
+                other => {
+                    panic!("--emit must be auto, buffered, streamed, or spilled, got {other:?}")
+                }
             };
         } else if arg == "--engines" {
             let names = args.next().expect("--engines needs a comma-separated list");
@@ -265,6 +272,23 @@ fn main() {
     if sizes.is_empty() {
         sizes = vec![200, 400, 800, 1600, 3200, 6400];
     }
+
+    // `--export DIR` output is disposable until the whole benchmark
+    // completes: a panic mid-run (cross-engine disagreement, write
+    // failure) must not leave a half-written workload tree behind.
+    // A pre-existing directory belongs to the user and is never
+    // guarded; one we create is removed on unwind and kept on
+    // success.
+    let mut export_guard = export_dir.as_ref().and_then(|dir| {
+        let path = std::path::PathBuf::from(dir);
+        if path.exists() {
+            None
+        } else {
+            std::fs::create_dir_all(&path)
+                .unwrap_or_else(|e| panic!("--export {}: {e}", path.display()));
+            Some(SpillDirGuard::adopt(path, false))
+        }
+    });
 
     let mut size_objects = Vec::new();
     for &n in &sizes {
@@ -494,6 +518,92 @@ fn main() {
         )
     };
 
+    // Spill A/B/C at the largest size. Three arms against one world:
+    // streamed with no budget (baseline), auto emission under a
+    // 32 MiB pair-byte budget (the planner must degrade to spilled
+    // rather than abort — but at bench scale the resident bitmap fits
+    // the budget-derived shard cap, so no segments are written), and
+    // forced spilled with floor-sized caps (real segment I/O: the
+    // spill traffic and retry counters come from this arm). All three
+    // must classify identically — out-of-core emission changes
+    // nothing but the memory profile.
+    //
+    // Below n=3200 the raw-pair estimate sits under the budget, so a
+    // 32 MiB cap never flips the plan to spilled and the section would
+    // be vacuous — skip it rather than assert on a plan the planner
+    // has no reason to choose.
+    const SPILL_MIN_N: usize = 3200;
+    let spill_json = if sizes.iter().copied().max().unwrap_or(0) < SPILL_MIN_N {
+        String::new()
+    } else {
+        let n = sizes.iter().copied().max().unwrap_or(0);
+        let w = scaling_workload(n, 42);
+        let budget_bytes: u64 = 32 * 1024 * 1024;
+        let run_arm = |hint: EmitHint, budget: Option<u64>| {
+            let mut config = MatchConfig::new(w.extended_key.clone(), w.ilfds.clone());
+            config.join = JoinAlgorithm::Blocked;
+            config.threads = 0;
+            config.kernels = kernels;
+            config.emit = hint;
+            config.budget.max_pair_bytes = budget;
+            let matcher = EntityMatcher::new(w.r.clone(), w.s.clone(), config).unwrap();
+            let mut best = f64::INFINITY;
+            let mut outcome = None;
+            for _ in 0..3 {
+                let start = Instant::now();
+                outcome = Some(matcher.run().unwrap());
+                best = best.min(start.elapsed().as_secs_f64());
+            }
+            (outcome.unwrap(), best)
+        };
+        let (streamed, streamed_s) = run_arm(EmitHint::Streamed, None);
+        let (budgeted, budgeted_s) = run_arm(EmitHint::Auto, Some(budget_bytes));
+        let (forced, forced_s) = run_arm(EmitHint::Spilled, None);
+        let counts = |o: &MatchOutcome| (o.matching.len(), o.negative.len(), o.undetermined);
+        assert_eq!(
+            counts(&budgeted),
+            counts(&streamed),
+            "budgeted spilled emission disagrees with streamed at n={n}"
+        );
+        assert_eq!(
+            counts(&forced),
+            counts(&streamed),
+            "forced spilled emission disagrees with streamed at n={n}"
+        );
+        assert!(
+            budgeted
+                .stats
+                .label("plan/emit")
+                .is_some_and(|e| e.starts_with("spilled")),
+            "a {budget_bytes}-byte budget did not plan spilled emission at n={n}: {:?}",
+            budgeted.stats.label("plan/emit")
+        );
+        let spill_bytes = forced.stats.counter("sink/spill_bytes");
+        assert!(
+            spill_bytes > 0,
+            "forced spilled arm wrote no segments at n={n}"
+        );
+        eprintln!(
+            "spill n={n}: streamed {streamed_s:.4}s, spilled {budgeted_s:.4}s under {} MiB, \
+             forced-spill {forced_s:.4}s ({spill_bytes} spill bytes, {} segments, {} io retries)",
+            budget_bytes / (1024 * 1024),
+            forced.stats.counter("sink/spill_shards"),
+            forced.stats.counter("runtime/io_retries"),
+        );
+        format!(
+            "  \"spill\": {{\"n_entities\": {n}, \"budget_bytes\": {budget_bytes}, \
+             \"streamed_seconds\": {}, \"spilled_seconds\": {}, \
+             \"forced_spilled_seconds\": {}, \
+             \"spill_bytes\": {spill_bytes}, \"spill_segments\": {}, \"io_retries\": {}, \
+             \"ab_identical\": true}},\n",
+            json_f64(streamed_s),
+            json_f64(budgeted_s),
+            json_f64(forced_s),
+            forced.stats.counter("sink/spill_shards"),
+            forced.stats.counter("runtime/io_retries"),
+        )
+    };
+
     let json = format!(
         concat!(
             "{{\n",
@@ -501,10 +611,12 @@ fn main() {
             "  \"workload\": \"eid_bench::scaling_workload(n, 42), full refutation\",\n",
             "  \"metric\": \"pairs_per_sec = |R|*|S| / best-of-N wall seconds (N sized to ~0.6-1.2s)\",\n",
             "{}",
+            "{}",
             "  \"sizes\": [\n{}\n  ]\n",
             "}}\n"
         ),
         scaling_json,
+        spill_json,
         size_objects.join(",\n")
     );
 
@@ -533,6 +645,9 @@ fn main() {
     }
 
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    if let Some(g) = export_guard.as_mut() {
+        g.set_keep(true);
+    }
     eprintln!("wrote {out_path}");
     println!("{json}");
 }

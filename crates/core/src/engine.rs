@@ -52,8 +52,10 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
+use std::borrow::Cow;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -69,11 +71,14 @@ use eid_rules::{
 use crate::error::{CoreError, Result};
 use crate::kernels::{self, KernelTally, Mask, Term, TermOp, FULL_MASK, LANES};
 use crate::plan::{
-    ArmHint, EmitHint, EmitMode, ExecMode, MatchPlan, PlanNodeKind, ProbeStrategy, RuleFamily,
+    ArmHint, Emit, EmitHint, EmitMode, ExecMode, MatchPlan, PlanNodeKind, ProbeStrategy, RuleFamily,
 };
 use crate::planner::Planner;
 use crate::runtime::{AbortReason, RunGuard};
-use crate::sink::{self, PairSet, PairSink, ShardedSink, SinkGeometry, SinkMergeStats};
+use crate::sink::{
+    self, PairSet, PairSink, ShardedSink, SinkGeometry, SinkMergeStats, SpillDirGuard, SpillSink,
+    SpillStats,
+};
 use crate::stats::{counter, histogram, label, node_counter, rule_counter, span};
 
 /// Target candidate-pair weight of one task. Small enough that every
@@ -324,6 +329,10 @@ struct TaskReport {
     neg_pushed: u64,
     /// The task's timeline contribution (`None` when tracing is off).
     trace: Option<TaskTrace>,
+    /// A spill flush that followed this task, as an epoch-relative
+    /// `(start, duration, bytes freed)` trace slice (`None` when
+    /// tracing is off or nothing spilled).
+    spill_trace: Option<(u64, u64, u64)>,
 }
 
 /// The post-scope merge of a streamed attempt's per-worker sinks:
@@ -333,9 +342,73 @@ struct TaskReport {
 struct MergedSink {
     set: PairSet,
     stats: SinkMergeStats,
+    /// Summed spill counters of the attempt's [`SpillSink`]s (`None`
+    /// on streamed runs) — `sink/spill_*` and `runtime/io_retries`.
+    spill: Option<SpillStats>,
     /// Merge start on the run epoch's time axis (trace slice).
     start_nanos: u64,
     dur_nanos: u64,
+}
+
+/// One worker's negative-pair sink for a streamed or spilled attempt.
+/// Push traffic delegates to the underlying [`ShardedSink`] either
+/// way; the spilled variant additionally flushes resident shards to
+/// its per-worker temp file at task boundaries.
+enum WorkerSink {
+    Mem(ShardedSink),
+    Spill(SpillSink),
+}
+
+impl WorkerSink {
+    fn pushes(&self) -> u64 {
+        match self {
+            WorkerSink::Mem(s) => s.pushes(),
+            WorkerSink::Spill(s) => s.pushes(),
+        }
+    }
+
+    fn take_new_bytes(&mut self) -> u64 {
+        match self {
+            WorkerSink::Mem(s) => s.take_new_bytes(),
+            WorkerSink::Spill(s) => s.take_new_bytes(),
+        }
+    }
+}
+
+impl PairSink for WorkerSink {
+    fn push(&mut self, i: u32, j: u32) {
+        match self {
+            WorkerSink::Mem(s) => s.push(i, j),
+            WorkerSink::Spill(s) => s.push(i, j),
+        }
+    }
+
+    fn push_row(&mut self, i: u32, js: &[u32]) {
+        match self {
+            WorkerSink::Mem(s) => s.push_row(i, js),
+            WorkerSink::Spill(s) => s.push_row(i, js),
+        }
+    }
+
+    fn push_rows(&mut self, is: &[u32], js: &[u32]) {
+        match self {
+            WorkerSink::Mem(s) => s.push_rows(is, js),
+            WorkerSink::Spill(s) => s.push_rows(is, js),
+        }
+    }
+}
+
+/// A spilled attempt's resolved emission parameters: where the run
+/// directory goes and how many resident bytes each worker may hold.
+struct SpillConfig {
+    /// Parent directory for the run's spill dir (the plan's `dir`, or
+    /// the platform temp dir when empty).
+    parent: PathBuf,
+    /// Per-worker resident-shard cap (floored so a worker can always
+    /// hold the shard it is writing).
+    shard_bytes: u64,
+    /// `--keep-spill`: leave the run directory behind on drop.
+    keep: bool,
 }
 
 /// One task's timeline contribution: its span relative to the run
@@ -448,8 +521,20 @@ pub struct Executor {
     kernels: bool,
     /// Emission-path hint handed to the planner: stream negative
     /// pairs into sharded bitset sinks, buffer them as raw pair
-    /// lists, or let the cost model decide (the default).
+    /// lists, spill shards to disk, or let the cost model decide
+    /// (the default).
     emit: EmitHint,
+    /// Whether a memory-budget breach may degrade to out-of-core
+    /// spilling (`--no-spill` turns this off, restoring abort).
+    spill: bool,
+    /// `--keep-spill`: leave spill run directories behind on drop.
+    spill_keep: bool,
+    /// Override of the spill parent directory (`None` = platform
+    /// temp dir).
+    spill_dir: Option<String>,
+    /// The run's `max_pair_bytes` budget, mirrored here so the
+    /// planner can choose spilled emission up front.
+    budget_bytes: Option<u64>,
     /// Capture a per-worker timeline on the next [`Executor::execute`]
     /// (read back with [`Executor::take_trace`]).
     trace_enabled: bool,
@@ -545,6 +630,10 @@ impl Executor {
             threads,
             kernels: kernels::enabled_default(),
             emit: EmitHint::Auto,
+            spill: true,
+            spill_keep: false,
+            spill_dir: None,
+            budget_bytes: None,
             trace_enabled: false,
             trace_out: Arc::new(Mutex::new(None)),
             recorder,
@@ -578,6 +667,26 @@ impl Executor {
     /// The current emission-path hint.
     pub fn emit_hint(&self) -> EmitHint {
         self.emit
+    }
+
+    /// Configures out-of-core spilling: `budget_bytes` mirrors the
+    /// guard's `max_pair_bytes` so the planner can choose spilled
+    /// emission up front; `enabled = false` (`--no-spill`) restores
+    /// the pre-spill behaviour where a budget breach aborts; `dir`
+    /// overrides the spill parent directory (`None` = the platform
+    /// temp dir); `keep` (`--keep-spill`) leaves run directories
+    /// behind for inspection.
+    pub fn set_spill(
+        &mut self,
+        budget_bytes: Option<u64>,
+        enabled: bool,
+        dir: Option<String>,
+        keep: bool,
+    ) {
+        self.budget_bytes = budget_bytes;
+        self.spill = enabled;
+        self.spill_dir = dir;
+        self.spill_keep = keep;
     }
 
     /// Enables or disables execution-timeline capture. When on, each
@@ -677,6 +786,7 @@ impl Executor {
             self.kernels,
             self.emit,
         )
+        .with_spill(self.budget_bytes, self.spill, self.spill_dir.clone())
         .plan(record_identity, record_distinct, hint)
     }
 
@@ -730,6 +840,19 @@ impl Executor {
             }
         }
         let plan = mem_degraded.as_ref().unwrap_or(plan);
+        // Pre-emptive spill upgrade: a streamed plan whose estimated
+        // output bytes would trip the memory budget is rewritten to
+        // spilled emission up front (mirroring the index-mem
+        // degradation above), so `--max-mem-mb` means "go out-of-core"
+        // rather than "abort mid-merge".
+        let mut spill_upgraded: Option<MatchPlan> = None;
+        if let Some(limit) = guard.mem_limit() {
+            if let Some(up) = self.spill_upgrade(plan, limit) {
+                self.recorder.add(counter::RUNTIME_DEGRADED_TO_SPILL, 1);
+                spill_upgraded = Some(up);
+            }
+        }
+        let plan = spill_upgraded.as_ref().unwrap_or(plan);
         if matches!(plan.mode, ExecMode::Serial { auto_small: true }) {
             self.recorder.add(counter::ENGINE_SERIAL_FALLBACK, 1);
         }
@@ -749,48 +872,54 @@ impl Executor {
 
         let workers = plan.mode.workers().min(tasks.len()).max(1);
         self.recorder.add(counter::ENGINE_WORKERS, workers as u64);
-        let first_arm = plan.arm.arm_label(plan.index_free, workers);
         let sink_geom = self.sink_geometry(plan);
 
-        match self.try_run_tasks(
-            &plans,
-            &tasks,
-            &indexes,
-            workers,
-            sink_geom,
-            guard,
-            epoch,
-            "engine/worker",
-        ) {
-            Ok((outputs, merged)) => self.finish(plan, &plans, &tasks, outputs, merged, first_arm),
-            Err(TaskFailure::Aborted(a)) => Err(self.abort(guard, a)),
-            Err(TaskFailure::Poisoned { completed }) => {
-                // Rung 2: the serial-twin rewrite, rerun from
-                // scratch. Partial results are discarded so the
-                // output is byte-identical to a fault-free serial
-                // run (the task list is mode-independent, so the
-                // lowered plans are reused as-is; a streamed plan
-                // streams into fresh sinks and re-merges).
-                let lost = (tasks.len() as u64).saturating_sub(completed).max(1);
-                self.recorder.add(counter::ENGINE_ABORTED_TASKS, lost);
-                self.recorder.add(counter::RUNTIME_DEGRADED_TO_BLOCKED, 1);
-                let serial_arm = plan.arm.arm_label(plan.index_free, 1);
-                match self.try_run_tasks(
-                    &plans,
-                    &tasks,
-                    &indexes,
-                    1,
-                    sink_geom,
-                    guard,
-                    epoch,
-                    "engine/serial",
-                ) {
-                    Ok((outputs, merged)) => {
-                        self.finish(plan, &plans, &tasks, outputs, merged, serial_arm)
-                    }
-                    Err(TaskFailure::Aborted(a)) => Err(self.abort(guard, a)),
-                    Err(TaskFailure::Poisoned { .. }) => {
-                        self.run_nested_fallback(plan, guard, epoch)
+        // The in-engine ladder, one attempt per iteration. A spill
+        // I/O failure (after retries) drops the *emission* rung —
+        // spilled→streamed, same worker count, fresh sinks. A task
+        // panic drops the *execution* rung — the serial-twin rerun
+        // from scratch (partial results discarded, so the output is
+        // byte-identical to a fault-free serial run; the task list is
+        // mode-independent, so the lowered plans are reused as-is),
+        // then the nested-loop fallback.
+        let mut cur: Cow<'_, MatchPlan> = Cow::Borrowed(plan);
+        let mut workers_now = workers;
+        let mut site = "engine/worker";
+        let mut serial_tried = false;
+        loop {
+            let spill_cfg = self.spill_config(&cur);
+            let arm = cur.arm.arm_label(cur.index_free, workers_now);
+            match self.try_run_tasks(
+                &plans,
+                &tasks,
+                &indexes,
+                workers_now,
+                sink_geom,
+                spill_cfg.as_ref(),
+                guard,
+                epoch,
+                site,
+            ) {
+                Ok((outputs, merged)) => {
+                    return self.finish(&cur, &plans, &tasks, outputs, merged, arm)
+                }
+                Err(TaskFailure::Aborted(a)) => return Err(self.abort(guard, a)),
+                Err(TaskFailure::SpillFailed { completed }) => {
+                    let lost = (tasks.len() as u64).saturating_sub(completed);
+                    self.recorder.add(counter::ENGINE_ABORTED_TASKS, lost);
+                    self.recorder.add(counter::RUNTIME_SPILL_FALLBACK, 1);
+                    cur = Cow::Owned(cur.rewrite_streamed());
+                }
+                Err(TaskFailure::Poisoned { completed }) => {
+                    if !serial_tried {
+                        serial_tried = true;
+                        let lost = (tasks.len() as u64).saturating_sub(completed).max(1);
+                        self.recorder.add(counter::ENGINE_ABORTED_TASKS, lost);
+                        self.recorder.add(counter::RUNTIME_DEGRADED_TO_BLOCKED, 1);
+                        workers_now = 1;
+                        site = "engine/serial";
+                    } else {
+                        return self.run_nested_fallback(&cur, guard, epoch);
                     }
                 }
             }
@@ -803,9 +932,77 @@ impl Executor {
     /// node is display-only).
     fn sink_geometry(&self, plan: &MatchPlan) -> Option<SinkGeometry> {
         match plan.emit.mode {
-            EmitMode::Streamed => SinkGeometry::new(self.cols_r.rows(), self.cols_s.rows()),
+            EmitMode::Streamed | EmitMode::Spilled => {
+                SinkGeometry::new(self.cols_r.rows(), self.cols_s.rows())
+            }
             EmitMode::Buffered => None,
         }
+    }
+
+    /// The resolved spill parameters for a spilled plan's attempt
+    /// (`None` when the plan does not spill).
+    fn spill_config(&self, plan: &MatchPlan) -> Option<SpillConfig> {
+        if plan.emit.mode != EmitMode::Spilled {
+            return None;
+        }
+        let parent = if plan.emit.dir.is_empty() {
+            std::env::temp_dir()
+        } else {
+            PathBuf::from(&plan.emit.dir)
+        };
+        Some(SpillConfig {
+            parent,
+            shard_bytes: plan.emit.shard_bytes.max(4096),
+            keep: self.spill_keep,
+        })
+    }
+
+    /// The spilled twin of a streamed plan whose estimated output
+    /// bytes exceed the memory budget — the out-of-core upgrade the
+    /// executor applies up front (mirroring the index-mem
+    /// degradation) when it is handed a streamed plan that would
+    /// otherwise trip at merge time. `None` when spilling is off, the
+    /// plan is not streamed, the estimate fits, or there is no sink
+    /// geometry.
+    fn spill_upgrade(&self, plan: &MatchPlan, limit: u64) -> Option<MatchPlan> {
+        if !self.spill || plan.emit.mode != EmitMode::Streamed {
+            return None;
+        }
+        let est_pairs: u64 = plan
+            .nodes
+            .iter()
+            .filter_map(|n| match &n.kind {
+                PlanNodeKind::Refute { .. } => n.est_pairs,
+                PlanNodeKind::VectorScan { rule, .. }
+                    if matches!(rule.family, RuleFamily::Distinct) =>
+                {
+                    n.est_pairs
+                }
+                _ => None,
+            })
+            .sum();
+        let est_bytes = est_pairs.saturating_mul(8);
+        if est_bytes <= limit {
+            return None;
+        }
+        let geom = SinkGeometry::new(self.cols_r.rows(), self.cols_s.rows())?;
+        let grid = geom.grid_bytes();
+        let floor = (grid / geom.shard_count.max(1) as u64).max(4096);
+        let workers = plan.mode.workers().max(1) as u64;
+        let cap = (limit.saturating_sub(grid) / workers).max(floor);
+        let mut p = plan.clone();
+        p.emit = Emit {
+            mode: EmitMode::Spilled,
+            shards: p.emit.shards,
+            dir: self.spill_dir.clone().unwrap_or_default(),
+            shard_bytes: cap,
+        };
+        p.emit_why = format!(
+            "spill upgrade: est {est_bytes} output pair bytes over the {limit}-byte budget; \
+             was: {}",
+            p.emit_why
+        );
+        Some(p)
     }
 
     /// Rung 3 of the degradation ladder:
@@ -839,6 +1036,7 @@ impl Executor {
             &indexes,
             1,
             sink_geom,
+            None,
             guard,
             epoch,
             "engine/nested",
@@ -847,7 +1045,7 @@ impl Executor {
                 self.finish(&nested, &plans, &tasks, outputs, merged, "nested_loop")
             }
             Err(TaskFailure::Aborted(a)) => Err(self.abort(guard, a)),
-            Err(TaskFailure::Poisoned { .. }) => {
+            Err(TaskFailure::Poisoned { .. }) | Err(TaskFailure::SpillFailed { .. }) => {
                 self.recorder.set_label(label::ABORT, "worker_panic");
                 Err(CoreError::WorkerPanic {
                     site: "engine/nested".into(),
@@ -1091,6 +1289,13 @@ impl Executor {
             self.recorder
                 .add(counter::SINK_SPILLED_MERGES, ms.stats.spilled_merges);
             self.recorder.add(counter::SINK_BYTES, ms.stats.bytes);
+            if let Some(sp) = &ms.spill {
+                self.recorder
+                    .add(counter::SINK_SPILL_BYTES, sp.spilled_bytes);
+                self.recorder
+                    .add(counter::SINK_SPILL_SHARDS, sp.spilled_segments);
+                self.recorder.add(counter::RUNTIME_IO_RETRIES, sp.retries);
+            }
             self.recorder
                 .record_span(span::ENGINE_SINK_MERGE, ms.dur_nanos);
             if let Some(node) = mplan
@@ -1263,6 +1468,7 @@ impl Executor {
             })
             .collect();
         let tile_label: Arc<str> = Arc::from("kernel/tile");
+        let spill_label: Arc<str> = Arc::from(span::ENGINE_SINK_SPILL);
         let mut sinks: std::collections::BTreeMap<u32, TraceSink> = Default::default();
         let mut group: Vec<TraceEvent> = Vec::new();
         for (id, (task, (_, report))) in tasks.iter().zip(outputs).enumerate() {
@@ -1289,6 +1495,14 @@ impl Executor {
                 node,
                 tt.start_nanos + tt.dur_nanos,
             ));
+            // A task-boundary spill flush runs strictly after the
+            // task on the same worker thread; emit it as a sibling
+            // slice (args = bytes freed) to keep the stream
+            // chronological.
+            if let Some((t0, dur, freed)) = report.spill_trace {
+                group.push(TraceEvent::begin(&spill_label, w, tid, node, t0, freed));
+                group.push(TraceEvent::end(&spill_label, w, tid, node, t0 + dur));
+            }
             sinks
                 .entry(w)
                 .or_insert_with(|| TraceSink::new(w, DEFAULT_SINK_CAPACITY))
@@ -1356,6 +1570,7 @@ impl Executor {
         indexes: &Indexes,
         workers: usize,
         sink_geom: Option<SinkGeometry>,
+        spill: Option<&SpillConfig>,
         guard: &RunGuard,
         epoch: Instant,
         fault_site: &str,
@@ -1363,6 +1578,18 @@ impl Executor {
         let workers = workers.min(tasks.len()).max(1);
         let next = AtomicUsize::new(0);
         let poisoned = AtomicBool::new(false);
+        // A spilled attempt gets one uniquely-named run directory;
+        // the guard removes it (unless `--keep-spill`) when this
+        // attempt ends — success, abort, poison, or panic alike.
+        let dir_guard = match spill {
+            Some(cfg) => match SpillDirGuard::create(&cfg.parent, cfg.keep) {
+                Ok(g) => Some(g),
+                // Can't even create the spill dir: terminal spill
+                // failure, drop the emission rung before any work.
+                Err(_) => return Err(TaskFailure::SpillFailed { completed: 0 }),
+            },
+            None => None,
+        };
         // With the counting allocator installed, charge each task's
         // *measured* thread-local allocation delta instead of the
         // 8-bytes-per-pair output model.
@@ -1373,8 +1600,17 @@ impl Executor {
             // full pair grid, sharded by driver-row range: workers
             // touch disjoint shard *rows* only by accident, so no
             // synchronization — overlap is resolved by the post-scope
-            // merge OR.
-            let mut sink = sink_geom.map(ShardedSink::new);
+            // merge OR. Spilled plans wrap the same sink in a
+            // per-worker spill file under the shared run dir.
+            let mut sink = sink_geom.map(|geom| match (spill, &dir_guard) {
+                (Some(cfg), Some(g)) => WorkerSink::Spill(SpillSink::new(
+                    geom,
+                    worker as usize,
+                    g.path(),
+                    cfg.shard_bytes,
+                )),
+                _ => WorkerSink::Mem(ShardedSink::new(geom)),
+            });
             loop {
                 if poisoned.load(Ordering::Relaxed) || guard.is_tripped() {
                     break;
@@ -1390,7 +1626,7 @@ impl Executor {
                 } else {
                     0
                 };
-                let pushed_before = sink.as_ref().map_or(0, ShardedSink::pushes);
+                let pushed_before = sink.as_ref().map_or(0, WorkerSink::pushes);
                 let run = catch_unwind(AssertUnwindSafe(|| {
                     eid_fault::maybe_panic(fault_site);
                     self.run_timed(plans, task, indexes, epoch, sink.as_mut())
@@ -1399,7 +1635,7 @@ impl Executor {
                     Ok(mut out) => {
                         out.1.worker = worker;
                         out.1.neg_pushed =
-                            sink.as_ref().map_or(0, ShardedSink::pushes) - pushed_before;
+                            sink.as_ref().map_or(0, WorkerSink::pushes) - pushed_before;
                         let pairs = out.0.matching.len() + out.0.negative.len();
                         let bytes = if measured {
                             eid_obs::alloc::thread_allocated().saturating_sub(before)
@@ -1407,9 +1643,36 @@ impl Executor {
                             // Model mode: 8 bytes per buffered pair
                             // plus whatever shard words this task's
                             // pushes forced the sink to materialize.
-                            8 * pairs as u64 + sink.as_mut().map_or(0, ShardedSink::take_new_bytes)
+                            8 * pairs as u64 + sink.as_mut().map_or(0, WorkerSink::take_new_bytes)
                         };
                         guard.charge_bytes(bytes);
+                        // Task boundary: cooperatively spill resident
+                        // shards once the worker's cap is breached,
+                        // crediting the freed bytes back to the budget
+                        // (both accounting modes charge shard
+                        // allocation but never observe frees). A write
+                        // failure is contained inside the sink — it
+                        // latches write-failed and keeps shards
+                        // resident, the streamed memory profile.
+                        if let Some(WorkerSink::Spill(s)) = sink.as_mut() {
+                            let spill_start =
+                                epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                            match s.maybe_spill() {
+                                Ok(0) | Err(_) => {}
+                                Ok(freed) => {
+                                    guard.uncharge_bytes(freed);
+                                    if self.trace_enabled {
+                                        let now =
+                                            epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                                        out.1.spill_trace = Some((
+                                            spill_start,
+                                            now.saturating_sub(spill_start),
+                                            freed,
+                                        ));
+                                    }
+                                }
+                            }
+                        }
                         local.push((id, out));
                     }
                     Err(_) => {
@@ -1421,7 +1684,7 @@ impl Executor {
             (local, sink)
         };
         let mut slots: Vec<(usize, (EnginePairs, TaskReport))> = Vec::with_capacity(tasks.len());
-        let mut worker_sinks: Vec<ShardedSink> = Vec::new();
+        let mut worker_sinks: Vec<WorkerSink> = Vec::new();
         if workers == 1 {
             let (local, sink) = drain(0);
             slots.extend(local);
@@ -1498,24 +1761,79 @@ impl Executor {
                 }
                 let start_nanos = epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64;
                 let start = Instant::now();
-                let run = catch_unwind(AssertUnwindSafe(|| {
-                    eid_fault::maybe_panic("engine/sink_merge");
-                    sink::merge_shards(&geom, &worker_sinks)
-                }));
-                match run {
-                    Ok((set, stats)) => {
-                        let dur_nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-                        Some(MergedSink {
-                            set,
-                            stats,
-                            start_nanos,
-                            dur_nanos,
+                if spill.is_some() {
+                    // Spilled merge: stream each worker's on-disk
+                    // segments back in row-range order and OR them
+                    // with whatever stayed resident.
+                    let mut spill_sinks: Vec<SpillSink> = worker_sinks
+                        .into_iter()
+                        .filter_map(|ws| match ws {
+                            WorkerSink::Spill(s) => Some(s),
+                            WorkerSink::Mem(_) => None,
                         })
+                        .collect();
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        eid_fault::maybe_panic("engine/sink_merge");
+                        sink::merge_spilled(&geom, &mut spill_sinks)
+                    }));
+                    let mut spill_stats = SpillStats::default();
+                    for s in &spill_sinks {
+                        spill_stats.absorb(&s.stats());
                     }
-                    // A merge panic poisons the attempt like a task
-                    // panic: the ladder reruns the whole attempt (and
-                    // the merge) on the next rung.
-                    Err(_) => return Err(TaskFailure::Poisoned { completed }),
+                    match run {
+                        Ok(Ok((set, stats))) => {
+                            let dur_nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                            Some(MergedSink {
+                                set,
+                                stats,
+                                spill: Some(spill_stats),
+                                start_nanos,
+                                dur_nanos,
+                            })
+                        }
+                        // Segment read-back failed after retries:
+                        // terminal spill failure, the ladder drops to
+                        // streamed emission. Publish the retries spent
+                        // here since this attempt's stats are
+                        // otherwise discarded.
+                        Ok(Err(_)) => {
+                            self.recorder
+                                .add(counter::RUNTIME_IO_RETRIES, spill_stats.retries);
+                            return Err(TaskFailure::SpillFailed { completed });
+                        }
+                        // A merge panic poisons the attempt like a
+                        // task panic: the ladder reruns the whole
+                        // attempt (and the merge) on the next rung.
+                        Err(_) => return Err(TaskFailure::Poisoned { completed }),
+                    }
+                } else {
+                    let mem_sinks: Vec<ShardedSink> = worker_sinks
+                        .into_iter()
+                        .filter_map(|ws| match ws {
+                            WorkerSink::Mem(s) => Some(s),
+                            WorkerSink::Spill(_) => None,
+                        })
+                        .collect();
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        eid_fault::maybe_panic("engine/sink_merge");
+                        sink::merge_shards(&geom, &mem_sinks)
+                    }));
+                    match run {
+                        Ok((set, stats)) => {
+                            let dur_nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                            Some(MergedSink {
+                                set,
+                                stats,
+                                spill: None,
+                                start_nanos,
+                                dur_nanos,
+                            })
+                        }
+                        // A merge panic poisons the attempt like a task
+                        // panic: the ladder reruns the whole attempt (and
+                        // the merge) on the next rung.
+                        Err(_) => return Err(TaskFailure::Poisoned { completed }),
+                    }
                 }
             }
         };
@@ -1532,7 +1850,7 @@ impl Executor {
         task: &Task,
         indexes: &Indexes,
         epoch: Instant,
-        sink: Option<&mut ShardedSink>,
+        sink: Option<&mut WorkerSink>,
     ) -> (EnginePairs, TaskReport) {
         let mut tracer = self.trace_enabled.then(|| TaskTracer::new(epoch));
         let start_nanos = epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64;
@@ -1553,6 +1871,7 @@ impl Executor {
                 worker: 0,
                 neg_pushed: 0,
                 trace,
+                spill_trace: None,
             },
         )
     }
@@ -1567,7 +1886,7 @@ impl Executor {
         task: &Task,
         indexes: &Indexes,
         tracer: Option<&mut TaskTracer>,
-        sink: Option<&mut ShardedSink>,
+        sink: Option<&mut WorkerSink>,
     ) -> (EnginePairs, Tally, KernelTally) {
         let mut out = EnginePairs::default();
         let mut kernel = KernelTally::default();
@@ -1600,7 +1919,7 @@ impl Executor {
     }
 
     /// [`Executor::run_task`] generic over the negative-pair sink
-    /// (monomorphized for `Vec<(u32, u32)>` and [`ShardedSink`]).
+    /// (monomorphized for `Vec<(u32, u32)>` and [`WorkerSink`]).
     #[allow(clippy::too_many_arguments)]
     fn run_task_kind<S: PairSink>(
         &self,
@@ -2359,6 +2678,11 @@ enum TaskFailure {
     /// A task panicked; `completed` tasks finished before the drain
     /// stopped.
     Poisoned { completed: u64 },
+    /// A spilled attempt's I/O failed terminally (spill-dir creation,
+    /// or segment read-back at merge, each after retries): the
+    /// emission ladder drops a rung (spilled → streamed) and the
+    /// attempt reruns with resident shards.
+    SpillFailed { completed: u64 },
 }
 
 /// Chunks every plan into the task list the workers drain.

@@ -132,7 +132,7 @@ pub use plan::{
 pub use planner::Planner;
 pub use runtime::{AbortReason, PartialStats, RunBudget, RunGuard};
 pub use session::Session;
-pub use sink::{PairSet, PairSink};
+pub use sink::{PairSet, PairSink, SpillDirGuard};
 pub use validate::{validate_knowledge, KnowledgeReport};
 pub use virtual_view::{Selection, ViewAnswer, VirtualView};
 

@@ -48,7 +48,7 @@ use crate::engine::{EnginePairs, Executor};
 use crate::error::{CoreError, Result};
 use crate::extend::{extend_relation, Extended};
 use crate::match_table::PairTable;
-use crate::plan::{ArmHint, EmitHint, ExecMode, MatchPlan, PlanNodeKind, ProbeStrategy};
+use crate::plan::{ArmHint, EmitHint, EmitMode, ExecMode, MatchPlan, PlanNodeKind, ProbeStrategy};
 use crate::runtime::{AbortReason, RunBudget, RunGuard};
 use crate::sink::PairSet;
 use crate::stats::{alloc_slot, counter, label, plan_key_label, span};
@@ -173,6 +173,19 @@ pub struct MatchConfig {
     /// planner's pair-volume threshold. Classification is identical
     /// either way.
     pub emit: EmitHint,
+    /// Whether sharded sinks may spill to disk when the pair volume
+    /// exceeds [`RunBudget::max_pair_bytes`]. On (the default), a
+    /// tight byte budget degrades to out-of-core emission instead of
+    /// aborting; off (`--no-spill`) restores abort as the only
+    /// response to a tripped byte budget.
+    pub spill: bool,
+    /// Parent directory for spill files. `None` (the default) uses
+    /// the system temp dir; each run creates — and removes — its own
+    /// uniquely-named subdirectory underneath.
+    pub spill_dir: Option<std::path::PathBuf>,
+    /// Keep the spill directory after the run instead of removing it
+    /// (`--keep-spill`) — a debugging escape hatch.
+    pub keep_spill: bool,
 }
 
 impl MatchConfig {
@@ -193,6 +206,9 @@ impl MatchConfig {
             kernels: crate::kernels::enabled_default(),
             trace: false,
             emit: EmitHint::Auto,
+            spill: true,
+            spill_dir: None,
+            keep_spill: false,
         }
     }
 }
@@ -385,6 +401,15 @@ impl EntityMatcher {
             executor.set_kernels(self.config.kernels);
             executor.set_trace(self.config.trace);
             executor.set_emit(self.config.emit);
+            executor.set_spill(
+                self.config.budget.max_pair_bytes,
+                self.config.spill,
+                self.config
+                    .spill_dir
+                    .as_ref()
+                    .map(|p| p.display().to_string()),
+                self.config.keep_spill,
+            );
             executor
         }))
         .map_err(|_| CoreError::WorkerPanic {
@@ -395,6 +420,19 @@ impl EntityMatcher {
         recorder.add(counter::PLAN_CACHE_HITS, cache_hits);
         recorder.add(counter::PLAN_CACHE_MISSES, cache_misses);
         record_plan_labels(&recorder, &plan);
+        // An *explicit* emission hint the planner could not honour
+        // (structural gate: pinned arm, negatives off, no sink
+        // geometry) is surfaced once per run instead of silently
+        // ignored — the why is already in the `plan/emit` label.
+        let hint_honored = match self.config.emit {
+            EmitHint::Auto => true,
+            EmitHint::Buffered => plan.emit.mode == EmitMode::Buffered,
+            EmitHint::Streamed => plan.emit.mode == EmitMode::Streamed,
+            EmitHint::Spilled => plan.emit.mode == EmitMode::Spilled,
+        };
+        if !hint_honored {
+            recorder.add(counter::PLAN_EMIT_HINT_OVERRIDDEN, 1);
+        }
         let pairs = executor.execute(&plan, guard)?;
         let trace = executor.take_trace();
         drop(engine_stage);
@@ -581,6 +619,15 @@ impl EntityMatcher {
             Executor::new(&ext_r.relation, &ext_s.relation, &rb, self.config.threads);
         executor.set_kernels(self.config.kernels);
         executor.set_emit(self.config.emit);
+        executor.set_spill(
+            self.config.budget.max_pair_bytes,
+            self.config.spill,
+            self.config
+                .spill_dir
+                .as_ref()
+                .map(|p| p.display().to_string()),
+            self.config.keep_spill,
+        );
         Ok(self.cached_plan(&executor))
     }
 

@@ -21,6 +21,12 @@
 //! * [`MatchPlan::rewrite_index_free`] — demote every probe strategy
 //!   to `Scan` (the index-free nested-loop arm; same output *set*).
 //!
+//! Emission has its own ladder, lowered one rung at a time:
+//! [`MatchPlan::rewrite_streamed`] (spilled→streamed, shards stay
+//! resident) and [`MatchPlan::rewrite_buffered`] (streamed→buffered,
+//! the historical `Vec` path). Both are idempotent and compose:
+//! `rewrite_streamed().rewrite_buffered() == rewrite_buffered()`.
+//!
 //! Every node carries an `eid-obs` span path and a stable id, so the
 //! run report's per-node breakdown can be joined back to the plan.
 
@@ -266,16 +272,29 @@ pub enum EmitMode {
     /// free at emission and the shards merge post-scope. The raw
     /// pair list never exists.
     Streamed,
+    /// Streamed emission whose shards spill to temp files when the
+    /// per-worker resident cap is breached; the merge streams spilled
+    /// segments back in row-range order under bounded memory. The
+    /// out-of-core rung: `--max-mem-mb` degrades here before it
+    /// aborts.
+    Spilled,
 }
 
 /// The planner's emission decision for a plan, carried on
 /// [`MatchPlan::emit`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Emit {
-    /// Buffered vs. streamed emission.
+    /// Buffered vs. streamed vs. spilled emission.
     pub mode: EmitMode,
-    /// Row-range shard count when streamed (0 when buffered).
+    /// Row-range shard count when streamed/spilled (0 when buffered).
     pub shards: usize,
+    /// Parent directory for spill files when spilled (empty = the
+    /// platform temp dir). The executor creates a uniquely-named run
+    /// directory underneath and removes it on drop.
+    pub dir: String,
+    /// Per-worker resident-shard byte cap when spilled (0 when not
+    /// spilled): shards flush to disk once resident bytes exceed it.
+    pub shard_bytes: u64,
 }
 
 impl Emit {
@@ -284,14 +303,18 @@ impl Emit {
         Emit {
             mode: EmitMode::Buffered,
             shards: 0,
+            dir: String::new(),
+            shard_bytes: 0,
         }
     }
 
-    /// Short display string (`"buffered"` / `"streamed(11)"`).
+    /// Short display string (`"buffered"` / `"streamed(11)"` /
+    /// `"spilled(11)"`).
     pub fn display(&self) -> String {
         match self.mode {
             EmitMode::Buffered => "buffered".to_string(),
             EmitMode::Streamed => format!("streamed({})", self.shards),
+            EmitMode::Spilled => format!("spilled({})", self.shards),
         }
     }
 }
@@ -300,7 +323,8 @@ impl Emit {
 /// CLI and bench). `Auto` lets the pair-volume threshold decide.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EmitHint {
-    /// Cost-based: streamed above the pair-volume threshold.
+    /// Cost-based: streamed above the pair-volume threshold, spilled
+    /// when the memory budget says the pairs won't fit.
     #[default]
     Auto,
     /// Force buffered emission.
@@ -309,6 +333,8 @@ pub enum EmitHint {
     /// grid must fit the dense-bitset ceiling and a refutation phase
     /// must exist).
     Streamed,
+    /// Force spilled emission (same structural limits as streamed).
+    Spilled,
 }
 
 /// A complete, executable match plan.
@@ -350,14 +376,14 @@ impl MatchPlan {
         plan
     }
 
-    /// The buffered-emission twin: a streamed plan's [`Sink`] node
-    /// becomes the `Dedup` node the planner would have emitted for a
-    /// buffered plan, and [`MatchPlan::emit`] drops to buffered.
-    /// Same output *set* (the buffered path preserves first-occurrence
-    /// order, the streamed path decodes ascending). A buffered plan
-    /// is returned unchanged. Used by the serial and index-free
-    /// rewrites and by the incremental matcher, whose staged-commit
-    /// rollback needs the raw pair lists.
+    /// The buffered-emission twin: a streamed or spilled plan's
+    /// [`Sink`] node becomes the `Dedup` node the planner would have
+    /// emitted for a buffered plan, and [`MatchPlan::emit`] drops to
+    /// buffered. Same output *set* (the buffered path preserves
+    /// first-occurrence order, the sink paths decode ascending). A
+    /// buffered plan is returned unchanged. Used by the serial and
+    /// index-free rewrites and by the incremental matcher, whose
+    /// staged-commit rollback needs the raw pair lists.
     ///
     /// [`Sink`]: PlanNodeKind::Sink
     pub fn rewrite_buffered(&self) -> MatchPlan {
@@ -373,6 +399,36 @@ impl MatchPlan {
                 node.label = "dedup".into();
                 node.span = span::CONVERT.into();
                 node.why = format!("buffered rewrite; was: {}", node.why);
+            }
+        }
+        plan
+    }
+
+    /// The streamed-emission twin of a spilled plan: same [`Sink`]
+    /// node and shard geometry, but shards stay resident and nothing
+    /// touches disk. One rung up the emission ladder —
+    /// spilled→streamed→buffered, each step idempotent, so
+    /// `p.rewrite_streamed().rewrite_buffered() == p.rewrite_buffered()`.
+    /// Streamed and buffered plans are returned unchanged. Used when
+    /// spill I/O fails terminally (retries exhausted) and the run
+    /// falls back to in-memory shards.
+    ///
+    /// [`Sink`]: PlanNodeKind::Sink
+    pub fn rewrite_streamed(&self) -> MatchPlan {
+        let mut plan = self.clone();
+        if plan.emit.mode != EmitMode::Spilled {
+            return plan;
+        }
+        plan.emit = Emit {
+            mode: EmitMode::Streamed,
+            shards: plan.emit.shards,
+            dir: String::new(),
+            shard_bytes: 0,
+        };
+        plan.emit_why = format!("streamed rewrite; was: {}", plan.emit_why);
+        for node in &mut plan.nodes {
+            if matches!(node.kind, PlanNodeKind::Sink { .. }) {
+                node.why = format!("streamed rewrite; was: {}", node.why);
             }
         }
         plan
@@ -513,6 +569,19 @@ impl MatchPlan {
         json::push_str_literal(&mut out, &self.emit_why);
         out.push_str(",\n  \"sink_shards\": ");
         out.push_str(&self.emit.shards.to_string());
+        if self.emit.mode == EmitMode::Spilled {
+            out.push_str(",\n  \"spill_dir\": ");
+            json::push_str_literal(
+                &mut out,
+                if self.emit.dir.is_empty() {
+                    "<temp>"
+                } else {
+                    &self.emit.dir
+                },
+            );
+            out.push_str(",\n  \"spill_shard_bytes\": ");
+            out.push_str(&self.emit.shard_bytes.to_string());
+        }
         out.push_str(",\n  \"nodes\": [\n");
         for (i, node) in self.nodes.iter().enumerate() {
             out.push_str("    {\"id\": ");
@@ -675,6 +744,8 @@ mod tests {
         plan.emit = Emit {
             mode: EmitMode::Streamed,
             shards: 5,
+            dir: String::new(),
+            shard_bytes: 0,
         };
         plan.emit_why = "est 21000000 raw negative pairs ≥ threshold".into();
         plan.nodes.push(PlanNode {
@@ -719,6 +790,64 @@ mod tests {
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }
+    }
+
+    fn spilled_sample() -> MatchPlan {
+        let mut plan = streamed_sample();
+        plan.emit = Emit {
+            mode: EmitMode::Spilled,
+            shards: 5,
+            dir: "/tmp/eid-test".into(),
+            shard_bytes: 1 << 20,
+        };
+        plan.emit_why = "est 84000000 pair bytes over the 33554432-byte budget".into();
+        plan
+    }
+
+    #[test]
+    fn streamed_rewrite_lowers_spilled_one_rung_and_composes() {
+        let plan = spilled_sample();
+        let streamed = plan.rewrite_streamed();
+        assert_eq!(streamed.emit.mode, EmitMode::Streamed);
+        assert_eq!(streamed.emit.shards, 5); // geometry survives
+        assert_eq!(streamed.emit.dir, "");
+        assert_eq!(streamed.emit.shard_bytes, 0);
+        assert!(streamed.emit_why.starts_with("streamed rewrite; was: "));
+        // The Sink node stays a Sink node — only its why is annotated.
+        assert!(matches!(
+            streamed.nodes[2].kind,
+            PlanNodeKind::Sink { shards: 5 }
+        ));
+        assert!(streamed.nodes[2].why.starts_with("streamed rewrite; was: "));
+        // Idempotent on streamed, no-op on buffered.
+        assert_eq!(streamed.rewrite_streamed(), streamed);
+        let buffered = plan.rewrite_buffered();
+        assert_eq!(buffered.rewrite_streamed(), buffered);
+        // Composition law: streamed then buffered == buffered, up to
+        // the why trail.
+        let composed = plan.rewrite_streamed().rewrite_buffered();
+        assert_eq!(composed.emit, Emit::buffered());
+        assert!(matches!(composed.nodes[2].kind, PlanNodeKind::Dedup));
+        // Degradation rewrites lower spilled all the way to buffered.
+        assert_eq!(plan.rewrite_serial().emit, Emit::buffered());
+        assert_eq!(plan.rewrite_index_free().emit, Emit::buffered());
+        // The original plan is untouched.
+        assert_eq!(plan.emit.mode, EmitMode::Spilled);
+    }
+
+    #[test]
+    fn spilled_json_carries_the_spill_decision() {
+        let json = spilled_sample().to_json();
+        for needle in [
+            "\"emit\": \"spilled(5)\"",
+            "\"sink_shards\": 5",
+            "\"spill_dir\": \"/tmp/eid-test\"",
+            "\"spill_shard_bytes\": 1048576",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        // Non-spilled plans don't grow the spill keys.
+        assert!(!streamed_sample().to_json().contains("spill_dir"));
     }
 
     #[test]

@@ -70,6 +70,9 @@ pub struct Planner<'e> {
     threads: usize,
     kernels: bool,
     emit: EmitHint,
+    budget_bytes: Option<u64>,
+    spill: bool,
+    spill_dir: Option<String>,
 }
 
 /// One rule's planned enumeration: a classic probe strategy or a
@@ -114,7 +117,27 @@ impl<'e> Planner<'e> {
             threads,
             kernels: use_kernels,
             emit,
+            budget_bytes: None,
+            spill: true,
+            spill_dir: None,
         }
+    }
+
+    /// Configures spill-aware emission: `budget_bytes` is the run's
+    /// `max_pair_bytes` budget (None = unlimited), `spill = false`
+    /// (`--no-spill`) keeps the pre-spill behaviour where a budget
+    /// breach aborts, and `dir` overrides the spill parent directory
+    /// (None = the platform temp dir).
+    pub fn with_spill(
+        mut self,
+        budget_bytes: Option<u64>,
+        spill: bool,
+        dir: Option<String>,
+    ) -> Planner<'e> {
+        self.budget_bytes = budget_bytes;
+        self.spill = spill;
+        self.spill_dir = dir;
+        self
     }
 
     fn attr_s(&self, p: usize) -> String {
@@ -276,48 +299,99 @@ impl<'e> Planner<'e> {
         }
     }
 
-    /// The emission decision: streamed when a refutation phase will
-    /// emit enough raw pairs that buffering them is the bottleneck,
-    /// buffered for the seed arms (their output bytes are frozen),
-    /// when there is no refutation phase, or when the pair grid
-    /// falls outside the dense-bitset range. The caller's
-    /// [`EmitHint`] overrides the threshold, never the structural
-    /// gates.
+    /// The emission decision: spilled when the estimated pair bytes
+    /// exceed the memory budget (and spilling is allowed), streamed
+    /// when a refutation phase will emit enough raw pairs that
+    /// buffering them is the bottleneck, buffered for the seed arms
+    /// (their output bytes are frozen), when there is no refutation
+    /// phase, or when the pair grid falls outside the dense-bitset
+    /// range. The caller's [`EmitHint`] overrides the thresholds,
+    /// never the structural gates — but a structurally-overridden
+    /// explicit hint is called out in `emit_why` (and surfaced as the
+    /// warn-once `plan/emit_hint_overridden` counter by the matcher).
     fn choose_emit(
         &self,
         hint: ArmHint,
         record_distinct: bool,
         est_raw_negative: u64,
+        workers: usize,
     ) -> (Emit, String) {
+        let hinted = !matches!(self.emit, EmitHint::Auto);
+        let overridden = |why: String| {
+            if hinted {
+                format!(
+                    "{why} (explicit emit={:?} hint overridden by a structural gate)",
+                    self.emit
+                )
+            } else {
+                why
+            }
+        };
         if !matches!(hint, ArmHint::Auto) {
             return (
                 Emit::buffered(),
-                format!("{hint:?} hint: seed arms convert through the buffered dedup"),
+                overridden(format!(
+                    "{hint:?} hint: seed arms convert through the buffered dedup"
+                )),
             );
         }
         if !record_distinct {
             return (
                 Emit::buffered(),
-                "no refutation phase: nothing worth streaming".into(),
+                overridden("no refutation phase: nothing worth streaming".into()),
             );
         }
         let Some(geom) = SinkGeometry::new(self.rows_r, self.rows_s) else {
             return (
                 Emit::buffered(),
-                format!(
+                overridden(format!(
                     "{}×{} pair grid outside the dense-bitset range",
                     self.rows_r, self.rows_s
-                ),
+                )),
             );
         };
         let streamed = Emit {
             mode: EmitMode::Streamed,
             shards: geom.shard_count,
+            dir: String::new(),
+            shard_bytes: 0,
+        };
+        // The per-worker resident cap for spilled emission: the
+        // budget minus the merge grid, split across workers, floored
+        // at one full shard so a worker can always hold the shard it
+        // is writing.
+        let grid = geom.grid_bytes();
+        let shard_floor = (grid / geom.shard_count.max(1) as u64).max(4096);
+        let cap_for =
+            |budget: u64| (budget.saturating_sub(grid) / workers.max(1) as u64).max(shard_floor);
+        let spill_emit = |shard_bytes: u64| Emit {
+            mode: EmitMode::Spilled,
+            shards: geom.shard_count,
+            dir: self.spill_dir.clone().unwrap_or_default(),
+            shard_bytes,
         };
         match self.emit {
             EmitHint::Buffered => (Emit::buffered(), "emit=buffered requested".into()),
             EmitHint::Streamed => (streamed, "emit=streamed requested".into()),
+            EmitHint::Spilled => {
+                let cap = self.budget_bytes.map_or(shard_floor, cap_for);
+                (spill_emit(cap), "emit=spilled requested".into())
+            }
             EmitHint::Auto => {
+                let est_bytes = est_raw_negative.saturating_mul(8);
+                if let Some(budget) = self.budget_bytes {
+                    if self.spill && est_bytes > budget {
+                        let cap = cap_for(budget);
+                        return (
+                            spill_emit(cap),
+                            format!(
+                                "est {est_bytes} pair bytes over the {budget}-byte budget: \
+                                 shards spill past a {cap}-byte per-worker resident cap, \
+                                 merged out-of-core in row-range order"
+                            ),
+                        );
+                    }
+                }
                 if est_raw_negative >= STREAM_MIN_PAIRS {
                     (
                         streamed,
@@ -648,7 +722,8 @@ impl<'e> Planner<'e> {
             .filter(|(r, _, _, _)| matches!(r.family, RuleFamily::Distinct))
             .map(|(_, _, _, est)| *est)
             .sum();
-        let (emit, emit_why) = self.choose_emit(hint, record_distinct, est_raw_negative);
+        let (emit, emit_why) =
+            self.choose_emit(hint, record_distinct, est_raw_negative, mode.workers());
 
         let indexed = rule_plan
             .iter()
@@ -735,6 +810,19 @@ impl<'e> Planner<'e> {
                 },
                 format!("sink({} shards)", emit.shards),
                 format!("streamed emission — {emit_why}; shards merged by row range post-scope"),
+                span::ENGINE_SINK_MERGE,
+                probe_ids,
+            ),
+            EmitMode::Spilled => push(
+                &mut nodes,
+                PlanNodeKind::Sink {
+                    shards: emit.shards,
+                },
+                format!("sink({} shards, spilled)", emit.shards),
+                format!(
+                    "spilled emission — {emit_why}; spilled segments streamed back \
+                     in row-range order at merge"
+                ),
                 span::ENGINE_SINK_MERGE,
                 probe_ids,
             ),

@@ -264,6 +264,23 @@ impl RunGuard {
         self.inner.bytes.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Returns `n` bytes to the budget — the spill path's accounting
+    /// twin of [`RunGuard::charge_bytes`]: shard bytes flushed to
+    /// disk are no longer resident, so `--max-mem-mb` measures what
+    /// is actually in memory and spilling *prevents* the trip instead
+    /// of merely delaying it. Saturates at zero.
+    pub fn uncharge_bytes(&self, n: u64) {
+        let bytes = &self.inner.bytes;
+        let mut cur = bytes.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match bytes.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
     /// Candidate pairs charged so far.
     pub fn pairs_charged(&self) -> u64 {
         self.inner.pairs.load(Ordering::Relaxed)
@@ -300,6 +317,16 @@ impl RunGuard {
         }
         if self.inner.cancelled.load(Ordering::Acquire) {
             return Err(self.trip(AbortReason::Cancelled));
+        }
+        // Fault hook for budget-trip *timing* tests: `budget@k` trips
+        // the memory budget at exactly the k-th checkpoint of the
+        // process, wherever that lands in the pipeline. Compiled out
+        // of release builds along with the rest of eid-fault.
+        if eid_fault::ENABLED && eid_fault::hit("runtime/budget") {
+            return Err(self.trip(AbortReason::MemBudgetExceeded {
+                limit: self.inner.max_bytes.unwrap_or(0),
+                observed: self.bytes_charged().max(1),
+            }));
         }
         if !self.inner.limited {
             return Ok(());
@@ -403,6 +430,24 @@ mod tests {
             g.checkpoint(),
             Err(AbortReason::MemBudgetExceeded { limit: 64, .. })
         ));
+    }
+
+    #[test]
+    fn uncharge_returns_bytes_and_saturates() {
+        let g = RunGuard::new(&RunBudget {
+            max_pair_bytes: Some(100),
+            ..RunBudget::default()
+        });
+        g.charge_bytes(90);
+        g.uncharge_bytes(50);
+        assert_eq!(g.bytes_charged(), 40);
+        g.charge_bytes(60);
+        assert!(
+            g.checkpoint().is_ok(),
+            "spill accounting must avert the trip"
+        );
+        g.uncharge_bytes(10_000);
+        assert_eq!(g.bytes_charged(), 0, "uncharge saturates at zero");
     }
 
     #[test]

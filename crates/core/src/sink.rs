@@ -30,10 +30,25 @@
 //! literal-block`). The sharded override builds the literal block's
 //! bitmask template once and ORs it word-shifted into each driver
 //! row's range — the per-pair loop disappears entirely.
+//!
+//! Out-of-core emission: [`SpillSink`] wraps a [`ShardedSink`] with a
+//! resident-byte cap. When the cap is breached (checked cooperatively
+//! at task boundaries), every resident shard is appended to a
+//! per-worker temp file as a `[shard index][word count][words…]`
+//! segment and freed; [`merge_spilled`] then streams the segments
+//! back *in shard (row-range) order*, so peak memory is one full grid
+//! plus one read buffer instead of `workers × grid`. Transient spill
+//! I/O is retried with capped exponential backoff behind the
+//! `sink/spill_open`, `sink/spill_write`, and `sink/spill_read` fault
+//! sites before the degradation ladder drops a rung.
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use eid_relational::FxHashSet;
 
@@ -541,6 +556,410 @@ pub fn merge_shards(geom: &SinkGeometry, sinks: &[ShardedSink]) -> (PairSet, Sin
     (set, stats)
 }
 
+/// Attempts before giving up on one spill I/O operation (the first
+/// try plus [`IO_RETRIES`] retries).
+pub const IO_RETRIES: u32 = 3;
+
+/// First retry backoff; doubles per retry, capped at [`IO_BACKOFF_CAP`].
+const IO_BACKOFF_BASE: Duration = Duration::from_millis(1);
+
+/// Ceiling of the exponential backoff between retries.
+const IO_BACKOFF_CAP: Duration = Duration::from_millis(8);
+
+/// Runs one spill I/O operation with capped exponential backoff
+/// (1 → 2 → 4 ms, [`IO_RETRIES`] retries). The `site` fault hook can
+/// inject a synthetic transient error *instead of* the real
+/// operation — one armed clause fails exactly one attempt, so the
+/// retry exercises recovery; arming more clauses than retries at the
+/// same site forces exhaustion and a real error return. `retries`
+/// accumulates into `runtime/io_retries`.
+fn with_retries<T>(
+    site: &'static str,
+    retries: &mut u64,
+    mut op: impl FnMut() -> io::Result<T>,
+) -> io::Result<T> {
+    let mut backoff = IO_BACKOFF_BASE;
+    let mut attempt = 0u32;
+    loop {
+        let result = if eid_fault::hit(site) {
+            Err(io::Error::other(format!(
+                "injected transient fault at {site}"
+            )))
+        } else {
+            op()
+        };
+        match result {
+            Ok(v) => return Ok(v),
+            Err(_) if attempt < IO_RETRIES => {
+                attempt += 1;
+                *retries += 1;
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(IO_BACKOFF_CAP);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Spill-side counters of one [`SpillSink`] (or summed over a run's
+/// sinks), reported as `sink/spill_*` and `runtime/io_retries`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Bytes written to spill files (`sink/spill_bytes`).
+    pub spilled_bytes: u64,
+    /// Shard segments written to spill files (`sink/spill_shards`).
+    pub spilled_segments: u64,
+    /// Spill-flush events (each flushes every resident shard).
+    pub flushes: u64,
+    /// I/O attempts that failed and were retried
+    /// (`runtime/io_retries`).
+    pub retries: u64,
+}
+
+impl SpillStats {
+    /// Component-wise sum (for run-level reporting).
+    pub fn absorb(&mut self, other: &SpillStats) {
+        self.spilled_bytes += other.spilled_bytes;
+        self.spilled_segments += other.spilled_segments;
+        self.flushes += other.flushes;
+        self.retries += other.retries;
+    }
+}
+
+/// One spilled shard segment: where in the worker's spill file shard
+/// `k`'s words were appended. The file itself is self-describing
+/// (`[k: u64 LE][words: u64 LE][words × u64 LE]` per segment), but
+/// reads go through this in-memory index — the file is never scanned.
+#[derive(Debug, Clone, Copy)]
+struct SpillSegment {
+    k: usize,
+    offset: u64,
+    words: usize,
+}
+
+/// One worker's out-of-core streaming sink: a [`ShardedSink`] whose
+/// resident shards spill to a per-worker temp file whenever they
+/// outgrow `cap_bytes`. Spilling is cooperative — the engine calls
+/// [`SpillSink::maybe_spill`] at task boundaries, never mid-scan —
+/// and a shard may be spilled multiple times (segments are OR-merged
+/// on read-back, so re-dirtied shards stay correct).
+///
+/// A spill *write* failure (after retries) is contained, not fatal:
+/// the sink marks itself [`SpillSink::write_failed`] and keeps shards
+/// resident from then on — degraded to the streamed path's memory
+/// profile but still exact. A *read* failure at merge time is
+/// surfaced to the caller, which drops the degradation ladder a rung.
+pub struct SpillSink {
+    mem: ShardedSink,
+    /// `<dir>/worker-<w>.spill`, created lazily on first flush.
+    path: PathBuf,
+    file: Option<File>,
+    cap_bytes: u64,
+    segments: Vec<SpillSegment>,
+    stats: SpillStats,
+    write_failed: bool,
+}
+
+impl SpillSink {
+    /// An empty spill sink for `worker`, spilling into
+    /// `dir/worker-<worker>.spill` once resident shard bytes exceed
+    /// `cap_bytes`.
+    pub fn new(geom: SinkGeometry, worker: usize, dir: &Path, cap_bytes: u64) -> SpillSink {
+        SpillSink {
+            mem: ShardedSink::new(geom),
+            path: dir.join(format!("worker-{worker}.spill")),
+            file: None,
+            cap_bytes,
+            segments: Vec::new(),
+            stats: SpillStats::default(),
+            write_failed: false,
+        }
+    }
+
+    /// Total pairs pushed (pre-dedup), mirroring
+    /// [`ShardedSink::pushes`].
+    pub fn pushes(&self) -> u64 {
+        self.mem.pushes()
+    }
+
+    /// Bytes of shards allocated since the last call (see
+    /// [`ShardedSink::take_new_bytes`]).
+    pub fn take_new_bytes(&mut self) -> u64 {
+        self.mem.take_new_bytes()
+    }
+
+    /// This sink's spill counters so far.
+    pub fn stats(&self) -> SpillStats {
+        self.stats
+    }
+
+    /// Whether a spill write failed after retries — the sink has
+    /// degraded to keeping shards resident (the streamed profile).
+    pub fn write_failed(&self) -> bool {
+        self.write_failed
+    }
+
+    /// Bytes of currently resident (unspilled) shards.
+    pub fn resident_bytes(&self) -> u64 {
+        self.mem
+            .shards
+            .iter()
+            .flatten()
+            .map(|s| (s.len() * 8) as u64)
+            .sum()
+    }
+
+    fn open_file(&mut self) -> io::Result<&mut File> {
+        if self.file.is_none() {
+            let path = self.path.clone();
+            let file = with_retries("sink/spill_open", &mut self.stats.retries, || {
+                OpenOptions::new()
+                    .read(true)
+                    .append(true)
+                    .create(true)
+                    .open(&path)
+            })?;
+            self.file = Some(file);
+        }
+        match &mut self.file {
+            Some(f) => Ok(f),
+            None => Err(io::Error::other("spill file vanished after open")),
+        }
+    }
+
+    /// Spills every resident shard to the temp file and frees it, if
+    /// resident bytes exceed the cap. Returns the bytes freed (0 when
+    /// under the cap, already failed, or nothing resident). A write
+    /// failure after retries returns the error once, marks the sink
+    /// write-failed, and keeps every shard resident — the caller
+    /// records the rung drop and the run continues exact.
+    pub fn maybe_spill(&mut self) -> io::Result<u64> {
+        if self.write_failed || self.resident_bytes() <= self.cap_bytes {
+            return Ok(0);
+        }
+        match self.flush_all() {
+            Ok(freed) => Ok(freed),
+            Err(e) => {
+                self.write_failed = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Appends every resident shard as a segment and frees it.
+    fn flush_all(&mut self) -> io::Result<u64> {
+        self.open_file()?;
+        let mut freed = 0u64;
+        let shard_count = self.mem.shards.len();
+        for k in 0..shard_count {
+            let Some(shard) = self.mem.shards[k].take() else {
+                continue;
+            };
+            match self.append_segment(k, &shard) {
+                Ok(bytes) => freed += bytes,
+                Err(e) => {
+                    // Failed mid-flush: put the shard back so no bits
+                    // are lost; earlier shards in this flush are
+                    // already safely in the file and indexed.
+                    self.mem.shards[k] = Some(shard);
+                    return Err(e);
+                }
+            }
+        }
+        if freed > 0 {
+            self.stats.flushes += 1;
+        }
+        Ok(freed)
+    }
+
+    /// Writes one `[k][words][words…]` segment, records its index
+    /// entry, and returns the resident bytes it freed.
+    fn append_segment(&mut self, k: usize, shard: &[u64]) -> io::Result<u64> {
+        let offset = {
+            let file = match &mut self.file {
+                Some(f) => f,
+                None => return Err(io::Error::other("spill file not open")),
+            };
+            // Append mode: the write position is always the end.
+            file.seek(SeekFrom::End(0))?
+        };
+        let mut buf: Vec<u8> = Vec::with_capacity(16 + shard.len() * 8);
+        buf.extend_from_slice(&(k as u64).to_le_bytes());
+        buf.extend_from_slice(&(shard.len() as u64).to_le_bytes());
+        for &w in shard {
+            buf.extend_from_slice(&w.to_le_bytes());
+        }
+        let retries = &mut self.stats.retries;
+        let file = match &mut self.file {
+            Some(f) => f,
+            None => return Err(io::Error::other("spill file not open")),
+        };
+        with_retries("sink/spill_write", retries, || {
+            // Rewind to the segment start: a partially written
+            // previous attempt is simply overwritten.
+            file.seek(SeekFrom::Start(offset))?;
+            file.set_len(offset)?;
+            file.write_all(&buf)
+        })?;
+        self.segments.push(SpillSegment {
+            k,
+            offset: offset + 16,
+            words: shard.len(),
+        });
+        self.stats.spilled_bytes += buf.len() as u64;
+        self.stats.spilled_segments += 1;
+        Ok((shard.len() * 8) as u64)
+    }
+
+    /// Reads segment `seg` back and ORs it into `dst` (which must be
+    /// at least `seg.words` long), reusing `buf` as the read buffer.
+    fn read_segment_into(
+        &mut self,
+        seg: SpillSegment,
+        dst: &mut [u64],
+        buf: &mut Vec<u8>,
+    ) -> io::Result<()> {
+        let retries = &mut self.stats.retries;
+        let file = match &mut self.file {
+            Some(f) => f,
+            None => return Err(io::Error::other("spill file not open for read-back")),
+        };
+        buf.clear();
+        buf.resize(seg.words * 8, 0);
+        with_retries("sink/spill_read", retries, || {
+            file.seek(SeekFrom::Start(seg.offset))?;
+            file.read_exact(buf)
+        })?;
+        for (w, chunk) in dst[..seg.words].iter_mut().zip(buf.chunks_exact(8)) {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(chunk);
+            *w |= u64::from_le_bytes(bytes);
+        }
+        Ok(())
+    }
+}
+
+impl PairSink for SpillSink {
+    fn push(&mut self, i: u32, j: u32) {
+        self.mem.push(i, j);
+    }
+
+    fn push_row(&mut self, i: u32, js: &[u32]) {
+        self.mem.push_row(i, js);
+    }
+
+    fn push_rows(&mut self, is: &[u32], js: &[u32]) {
+        self.mem.push_rows(is, js);
+    }
+}
+
+/// Streams every worker's resident *and* spilled shards into one
+/// dense full-grid [`PairSet`], walking shards in index order — which
+/// is row-range order, so the merge is one ascending pass over the
+/// output grid. Bounded memory: the final grid (≤ 32 MiB whenever a
+/// [`SinkGeometry`] exists) plus one reusable read buffer, instead of
+/// the all-resident merge's `workers × grid` worst case. Spilled
+/// segments are OR-merged exactly like resident shards, so a shard
+/// spilled twice (or spilled and then re-dirtied) still lands every
+/// bit. A read failure after retries aborts the merge with the error;
+/// the caller drops the ladder a rung (spilled → streamed).
+pub fn merge_spilled(
+    geom: &SinkGeometry,
+    sinks: &mut [SpillSink],
+) -> io::Result<(PairSet, SinkMergeStats)> {
+    let mut words = vec![0u64; geom.grid_words];
+    let mut stats = SinkMergeStats::default();
+    for sink in sinks.iter() {
+        stats.bytes += sink.resident_bytes() + sink.stats.spilled_bytes;
+    }
+    let mut buf: Vec<u8> = Vec::new();
+    for k in 0..geom.shard_count {
+        let off = k * geom.shard_words;
+        let len = geom.shard_len(k);
+        let mut owners = 0u64;
+        for sink in sinks.iter_mut() {
+            let mut touched = false;
+            if let Some(shard) = sink.mem.shards.get(k).and_then(|s| s.as_ref()) {
+                for (d, &s) in words[off..off + shard.len()].iter_mut().zip(shard.iter()) {
+                    *d |= s;
+                }
+                touched = true;
+            }
+            let segs: Vec<SpillSegment> =
+                sink.segments.iter().filter(|s| s.k == k).copied().collect();
+            for seg in segs {
+                sink.read_segment_into(seg, &mut words[off..off + len], &mut buf)?;
+                touched = true;
+            }
+            if touched {
+                owners += 1;
+            }
+        }
+        stats.shards += owners;
+        if owners > 1 {
+            stats.spilled_merges += owners - 1;
+        }
+    }
+    let set = PairSet::from_words(words, geom.s_len);
+    stats.distinct = set.count() as u64;
+    Ok((set, stats))
+}
+
+/// RAII cleanup for a run's spill directory (or any scratch dir, e.g.
+/// a bench export tree): removes the directory and everything in it
+/// on drop unless kept. Guards the whole emission + merge window, so
+/// aborts, poisons, and panics all clean up — "never a leaked temp
+/// file".
+#[derive(Debug)]
+pub struct SpillDirGuard {
+    path: PathBuf,
+    keep: bool,
+}
+
+impl SpillDirGuard {
+    /// Creates `<parent>/eid-spill-<pid>-<seq>` and guards it.
+    /// `keep = true` (the CLI's `--keep-spill`) leaves the directory
+    /// behind on drop for post-mortem inspection.
+    pub fn create(parent: &Path, keep: bool) -> io::Result<SpillDirGuard> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = parent.join(format!("eid-spill-{}-{seq}", std::process::id()));
+        std::fs::create_dir_all(&path)?;
+        Ok(SpillDirGuard { path, keep })
+    }
+
+    /// Guards an already-created directory.
+    pub fn adopt(path: PathBuf, keep: bool) -> SpillDirGuard {
+        SpillDirGuard { path, keep }
+    }
+
+    /// The guarded directory.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Whether the directory will survive drop.
+    pub fn keeps(&self) -> bool {
+        self.keep
+    }
+
+    /// Flips survival: an adopted scratch/export directory starts
+    /// disposable (removed on abort or panic) and is kept only once
+    /// the producing run completes.
+    pub fn set_keep(&mut self, keep: bool) {
+        self.keep = keep;
+    }
+}
+
+impl Drop for SpillDirGuard {
+    fn drop(&mut self) {
+        if !self.keep {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used)]
 mod tests {
@@ -614,6 +1033,65 @@ mod tests {
         // 64×64 fits one shard: both workers own it → one spill.
         assert_eq!(stats.spilled_merges, 1);
         assert_eq!(stats.shards, 2);
+    }
+
+    #[test]
+    fn spill_sink_round_trips_through_disk_and_matches_in_memory_merge() {
+        let (r_len, s_len) = (301, 67);
+        let geom = SinkGeometry::new(r_len, s_len).unwrap();
+        let dir = SpillDirGuard::create(&std::env::temp_dir(), false).unwrap();
+        // Zero cap: every maybe_spill flushes everything resident.
+        let mut spill = SpillSink::new(geom, 0, dir.path(), 0);
+        let mut mem = ShardedSink::new(geom);
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for round in 0..4 {
+            for _ in 0..2_000 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let i = ((x >> 33) % r_len as u64) as u32;
+                let j = ((x >> 11) % s_len as u64) as u32;
+                PairSink::push(&mut spill, i, j);
+                PairSink::push(&mut mem, i, j);
+            }
+            let freed = spill.maybe_spill().unwrap();
+            assert!(freed > 0, "round {round} spilled nothing");
+        }
+        // Leave some resident too: re-dirty shards after the last
+        // flush so the merge must OR disk segments with memory.
+        let is: Vec<u32> = (0..r_len as u32).step_by(11).collect();
+        let js: Vec<u32> = (0..s_len as u32).step_by(3).collect();
+        spill.push_rows(&is, &js);
+        mem.push_rows(&is, &js);
+        assert_eq!(spill.pushes(), mem.pushes());
+        let stats = spill.stats();
+        assert!(stats.spilled_segments >= 4, "{stats:?}");
+        assert!(stats.spilled_bytes > 0);
+        assert!(!spill.write_failed());
+
+        let (oracle, _) = merge_shards(&geom, &[mem]);
+        let mut sinks = [spill];
+        let (set, merge_stats) = merge_spilled(&geom, &mut sinks).unwrap();
+        assert_eq!(set.to_pairs(), oracle.to_pairs());
+        assert_eq!(merge_stats.distinct, oracle_count(&oracle));
+        let spill_path = sinks[0].path.clone();
+        assert!(spill_path.exists(), "spill file should exist before drop");
+        drop(sinks);
+        drop(dir);
+        assert!(!spill_path.exists(), "guard should remove the spill dir");
+    }
+
+    fn oracle_count(set: &PairSet) -> u64 {
+        set.count() as u64
+    }
+
+    #[test]
+    fn spill_dir_guard_keep_leaves_the_directory() {
+        let guard = SpillDirGuard::create(&std::env::temp_dir(), true).unwrap();
+        let path = guard.path().to_path_buf();
+        drop(guard);
+        assert!(path.exists(), "--keep-spill dir must survive drop");
+        std::fs::remove_dir_all(&path).unwrap();
     }
 
     #[test]

@@ -38,6 +38,9 @@ pub mod span {
     /// Post-scope merge of the streamed per-worker sink shards into
     /// one deduped pair set (streamed emission only).
     pub const ENGINE_SINK_MERGE: &str = "match/engine/sink_merge";
+    /// Spill flushes: resident shards written to the per-worker spill
+    /// file at a task boundary (spilled emission only).
+    pub const ENGINE_SINK_SPILL: &str = "match/engine/sink_spill";
 }
 
 /// Counter names (`group/name`; per-rule counters are built with
@@ -167,6 +170,26 @@ pub mod counter {
     /// Streamed emission: total shard bytes the workers allocated —
     /// the streamed twin of the buffered path's 8·pairs volume.
     pub const SINK_BYTES: &str = "sink/bytes";
+    /// Spilled emission: bytes written to spill files (segment
+    /// headers included; absent when nothing spilled).
+    pub const SINK_SPILL_BYTES: &str = "sink/spill_bytes";
+    /// Spilled emission: shard segments written to spill files.
+    pub const SINK_SPILL_SHARDS: &str = "sink/spill_shards";
+    /// Spill I/O attempts that failed and were retried with backoff
+    /// (write, read, or open) before succeeding or giving up.
+    pub const RUNTIME_IO_RETRIES: &str = "runtime/io_retries";
+    /// Runtime: 1 when the executor degraded the plan to spilled
+    /// emission up front because the estimated pair bytes exceeded
+    /// the memory budget.
+    pub const RUNTIME_DEGRADED_TO_SPILL: &str = "runtime/degraded_to_spill";
+    /// Runtime: 1 when spilled emission failed (spill I/O exhausted
+    /// its retries) and the run fell back to the streamed rung.
+    pub const RUNTIME_SPILL_FALLBACK: &str = "runtime/spill_fallback";
+    /// Planner: an explicit `--emit` hint was structurally impossible
+    /// (forced arm, no refutation phase, or no dense-bitset geometry)
+    /// and was overridden — warn-once, so A/B runs can tell they did
+    /// not compare what they claimed to.
+    pub const PLAN_EMIT_HINT_OVERRIDDEN: &str = "plan/emit_hint_overridden";
 
     /// Trace: slice groups dropped because a per-worker sink filled
     /// (0 on any reasonable run; boundedness made observable).
@@ -199,7 +222,8 @@ pub mod label {
     /// rationale, e.g. `"parallel(8): est. 10240000 candidate pairs"`.
     pub const PLAN_MODE: &str = "plan/mode";
     /// The planner's emission decision (`"buffered"` /
-    /// `"streamed(<shards>)"`) and its rationale.
+    /// `"streamed(<shards>)"` / `"spilled(<shards>)"`) and its
+    /// rationale.
     pub const PLAN_EMIT: &str = "plan/emit";
 }
 

@@ -2,8 +2,13 @@
 //!
 //! A tiny, dependency-free harness that lets tests drive every
 //! failure path of the matching runtime reproducibly: worker panics
-//! at task *k*, CSV read errors at row *l*, interner poisoning, and
-//! so on. Production code sprinkles named *sites*
+//! at task *k*, CSV read errors at row *l*, interner poisoning,
+//! transient spill I/O failures (`sink/spill_open`,
+//! `sink/spill_write`, `sink/spill_read` — each armed clause fails
+//! one attempt; the sinks retry with backoff, so forcing retry
+//! exhaustion takes more clauses than retries), forced memory-budget
+//! trips (`runtime/budget`), and so on. Production code sprinkles
+//! named *sites*
 //! ([`hit`]/[`maybe_panic`] calls); tests arm a *plan* (via
 //! [`install`] or the `EID_FAULT`/`EID_FAULT_SEED` environment
 //! variables) that says which site fires at which call count.

@@ -187,6 +187,19 @@ fi
 echo "==> fault-matrix smoke (tests/fault_matrix.rs)"
 cargo test -q -p entity-id --test fault_matrix
 
+# Chaos smoke: fixed multi-fault spill schedules — transient
+# open/write/read failures that retry with backoff, retry exhaustion
+# that latches containment or drops the emission rung, and a budget
+# that must degrade to out-of-core instead of aborting (plus its
+# --no-spill inverse). Every schedule must land a byte-identical
+# table or a typed error, with no leaked spill files. The injection
+# harness is compiled out of release builds, so this runs the debug
+# test binary.
+echo "==> chaos smoke (tests/chaos_props.rs, fixed schedules)"
+cargo test -q -p entity-id --test chaos_props -- \
+    spill_io_faults_recover_or_degrade_a_rung \
+    no_spill_restores_abort_as_the_final_rung
+
 # Budget trips must stay typed in *release* too: distinct exit codes,
 # never a panic, and the report is still written on abort.
 echo "==> release budget-abort smoke (exit codes 124/125)"
@@ -335,6 +348,27 @@ assert convert < 0.020943, \
     f"streamed convert {convert}s not under buffered baseline 0.020943s"
 print(f"    perf gate OK: auto-streamed, convert {convert*1e3:.2f} ms, "
       f"{blocked['seconds']*1e3:.2f} ms total")
+EOF
+    # Release spill smoke, from the same bench run: under a 32 MiB
+    # pair-byte budget the n=3200 run must *plan* spilled emission and
+    # complete with counts identical to the unbudgeted arm (the bench
+    # binary asserts agreement before writing), and the forced-spill
+    # arm must move real segment bytes through the spill files. A
+    # budget that aborts — or spilled counts that drift — fail here.
+    echo "==> release spill smoke (n=3200, --max-mem-mb 32 equivalent)"
+    python3 - "$sink_l" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    bench = json.load(f)
+spill = bench["spill"]
+assert spill["n_entities"] == 3200, spill
+assert spill["budget_bytes"] == 32 * 1024 * 1024, spill
+assert spill["ab_identical"], "spilled counts drifted from streamed"
+assert spill["spill_bytes"] > 0, f"forced-spill arm wrote no segments: {spill}"
+assert spill["spill_segments"] > 0, spill
+print(f"    spill smoke OK: budgeted spilled {spill['spilled_seconds']*1e3:.2f} ms "
+      f"vs streamed {spill['streamed_seconds']*1e3:.2f} ms; forced spill moved "
+      f"{spill['spill_bytes']} bytes in {spill['spill_segments']} segments")
 EOF
     rm -f "$sink_l"
 else

@@ -5,12 +5,13 @@
 //!           --rules knowledge.rules --key name,cuisine \
 //!           [--integrated] [--unify prefer-r|prefer-s|null] [--negative] \
 //!           [--lenient] [--timeout-ms N] [--max-pairs N] [--max-mem-mb N] \
+//!           [--no-spill] [--spill-dir DIR] [--keep-spill] \
 //!           [--stats] [--report-json PATH] [--trace-out PATH] \
-//!           [--emit auto|buffered|streamed]
+//!           [--emit auto|buffered|streamed|spilled]
 //! eid plan --r R.csv --r-key name,street --s S.csv --s-key name,city \
 //!          --rules knowledge.rules --key name,cuisine \
 //!          [--json] [--explain] [--analyze] [--threads N] \
-//!          [--emit auto|buffered|streamed]
+//!          [--emit auto|buffered|streamed|spilled]
 //! eid validate --rules knowledge.rules
 //! eid demo
 //! ```
@@ -138,6 +139,7 @@ USAGE:
             --rules FILE --key x,y [--integrated] [--negative] \\
             [--unify prefer-r|prefer-s|null] [--lenient] \\
             [--timeout-ms N] [--max-pairs N] [--max-mem-mb N] \\
+            [--no-spill] [--spill-dir DIR] [--keep-spill] \\
             [--stats] [--report-json PATH] [--trace-out PATH]
   eid plan  --r R.csv --r-key a,b --s S.csv --s-key c,d \\
             --rules FILE --key x,y [--json] [--explain] [--analyze] \\
@@ -167,7 +169,13 @@ RUN BUDGETS (eid match):
                    instead of failing the whole ingest
   --timeout-ms N   abort with exit 124 after N wall-clock milliseconds
   --max-pairs N    abort with exit 125 past N candidate pairs
-  --max-mem-mb N   abort with exit 126 past N MiB of pair lists
+  --max-mem-mb N   past N MiB of pair lists, degrade to spilled
+                   (out-of-core) emission; abort with exit 126 only
+                   when spilling is off or also fails
+  --no-spill       never spill to disk — a tripped byte budget aborts
+  --spill-dir DIR  parent directory for spill files (default: the
+                   system temp dir); each run removes its own subdir
+  --keep-spill     keep the run's spill directory for debugging
   A tripped budget still writes --report-json with partial progress."
     );
 }
@@ -213,8 +221,9 @@ fn parse_emit_flag(flags: &HashMap<String, String>) -> Result<EmitHint, String> 
         None | Some("auto") => Ok(EmitHint::Auto),
         Some("buffered") => Ok(EmitHint::Buffered),
         Some("streamed") => Ok(EmitHint::Streamed),
+        Some("spilled") => Ok(EmitHint::Spilled),
         Some(other) => Err(format!(
-            "--emit: `{other}` is not one of auto, buffered, streamed"
+            "--emit: `{other}` is not one of auto, buffered, streamed, spilled"
         )),
     }
 }
@@ -285,8 +294,16 @@ fn cmd_match(args: &[String]) -> Result<(), CliError> {
             "max-pairs",
             "max-mem-mb",
             "emit",
+            "spill-dir",
         ],
-        &["integrated", "negative", "stats", "lenient"],
+        &[
+            "integrated",
+            "negative",
+            "stats",
+            "lenient",
+            "no-spill",
+            "keep-spill",
+        ],
     )?;
     let r_path = required(&flags, "r")?;
     let s_path = required(&flags, "s")?;
@@ -315,6 +332,9 @@ fn cmd_match(args: &[String]) -> Result<(), CliError> {
     };
     config.trace = flags.contains_key("trace-out");
     config.emit = parse_emit_flag(&flags)?;
+    config.spill = !flags.contains_key("no-spill");
+    config.spill_dir = flags.get("spill-dir").map(std::path::PathBuf::from);
+    config.keep_spill = flags.contains_key("keep-spill");
 
     // §3.2 necessary checks before matching.
     let report = entity_id::core::validate::validate_knowledge(&r, &s, &config)

@@ -26,15 +26,19 @@ fn lock() -> std::sync::MutexGuard<'static, ()> {
 }
 
 /// Every fault site the runtime exposes (CSV sites are exercised in
-/// the relational crate's own tests; they are inert here and prove
-/// unknown sites never fire).
-const SITES: [&str; 7] = [
+/// the relational crate's own tests; the spill I/O sites only fire
+/// under spilled emission, exercised by `chaos_props` — here they
+/// are inert and prove unfired sites change nothing).
+const SITES: [&str; 10] = [
     "engine/worker",
     "engine/serial",
     "engine/nested",
     "engine/sink_merge",
     "interner/poison",
     "convert/worker",
+    "sink/spill_open",
+    "sink/spill_write",
+    "sink/spill_read",
     "csv/read",
 ];
 
@@ -77,8 +81,8 @@ proptest! {
         n in 10..50usize,
         world_seed in any::<u64>(),
         fault_seed in any::<u64>(),
-        s1 in 0..6usize, k1 in 1..12u64,
-        s2 in 0..6usize, k2 in 1..12u64,
+        s1 in 0..9usize, k1 in 1..12u64,
+        s2 in 0..9usize, k2 in 1..12u64,
     ) {
         let _l = lock();
         eid_fault::quiet_panics();
