@@ -20,11 +20,13 @@
 //! benchmark (all arms) still checks everything against the
 //! nested-loop oracle.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use eid_bench::scaling_workload;
 use eid_core::matcher::{EntityMatcher, JoinAlgorithm, MatchConfig, MatchOutcome};
 use eid_core::plan::EmitHint;
+use eid_core::store::Dataset;
 use eid_core::SpillDirGuard;
 use eid_obs::MatchReport;
 
@@ -226,6 +228,7 @@ fn main() {
     let mut emit = EmitHint::Auto;
     let mut trace_out: Option<String> = None;
     let mut export_dir: Option<String> = None;
+    let mut store_dir: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--out" {
@@ -265,11 +268,14 @@ fn main() {
             };
         } else if arg == "--export" {
             export_dir = Some(args.next().expect("--export needs a directory"));
+        } else if arg == "--store-dir" {
+            store_dir = Some(args.next().expect("--store-dir needs a directory"));
         } else {
             sizes.push(arg.parse().expect("sizes must be integers"));
         }
     }
-    if sizes.is_empty() {
+    let default_sizes = sizes.is_empty();
+    if default_sizes {
         sizes = vec![200, 400, 800, 1600, 3200, 6400];
     }
 
@@ -604,6 +610,152 @@ fn main() {
         )
     };
 
+    // Persistent dataset-store rung: encode the workload once,
+    // persist it, and run matching three ways — full re-encode (the
+    // CSV path: derive + intern inside every run), warm RAM (the
+    // pre-encoded dataset reused across runs), and cold open (read
+    // the store back from disk, then run). The default rung is
+    // n=25600 — a size the timed matrix never touches — and the
+    // store-backed arms never re-encode: one `Dataset::encode` feeds
+    // the write, every open, and both store-backed match arms.
+    // `encode_ms` times the whole original ingest pipeline — CSV
+    // parse (re-interning every value) plus `Dataset::encode` — since
+    // that is what a store-less invocation pays before it can match.
+    // Opening must be far cheaper than encoding (asserted < 5% of
+    // encode time at n ≥ 6400).
+    let store_json = {
+        let n = if default_sizes {
+            25_600
+        } else {
+            sizes.iter().copied().max().unwrap_or(0)
+        };
+        let w = scaling_workload(n, 42);
+        let csv_dir =
+            std::env::temp_dir().join(format!("eid-bench-store-csv-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&csv_dir);
+        eid_datagen::io::export_workload(&w, &csv_dir).expect("export workload csv");
+        let r_text = std::fs::read_to_string(csv_dir.join("r.csv")).expect("read r.csv");
+        let s_text = std::fs::read_to_string(csv_dir.join("s.csv")).expect("read s.csv");
+        let t0 = Instant::now();
+        let r = eid_relational::csv::from_csv_inferred("R", &r_text, &["name", "street"])
+            .expect("parse r.csv");
+        let s = eid_relational::csv::from_csv_inferred("S", &s_text, &["name", "speciality"])
+            .expect("parse s.csv");
+        let ds = Dataset::encode(
+            "bench",
+            r,
+            s,
+            w.extended_key.clone(),
+            w.ilfds.clone(),
+            eid_ilfd::Strategy::FirstMatch,
+        )
+        .expect("encode bench dataset");
+        let encode_s = t0.elapsed().as_secs_f64();
+        let _ = std::fs::remove_dir_all(&csv_dir);
+
+        let (parent, keep_store) = match &store_dir {
+            Some(dir) => (std::path::PathBuf::from(dir), true),
+            None => (
+                std::env::temp_dir().join(format!("eid-bench-store-{}", std::process::id())),
+                false,
+            ),
+        };
+        std::fs::create_dir_all(&parent).expect("create store dir");
+        let dir = parent.join(format!("bench-n{n}.eids"));
+        let t0 = Instant::now();
+        let store_bytes = ds.write(&dir).expect("write bench dataset");
+        let write_s = t0.elapsed().as_secs_f64();
+
+        let mut open_s = f64::INFINITY;
+        let mut opened = None;
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            opened = Some(Dataset::open(&dir).expect("open bench dataset"));
+            open_s = open_s.min(t0.elapsed().as_secs_f64());
+        }
+        let opened = Arc::new(opened.expect("at least one open"));
+        let encoded = Arc::new(ds);
+
+        let tune = |mut config: MatchConfig| {
+            config.join = JoinAlgorithm::Blocked;
+            config.threads = 0;
+            config.kernels = kernels;
+            config.emit = emit;
+            config
+        };
+        let best_run = |matcher: &EntityMatcher| {
+            let mut best = f64::INFINITY;
+            let mut outcome = None;
+            for _ in 0..2 {
+                let t0 = Instant::now();
+                outcome = Some(matcher.run().expect("bench store run"));
+                best = best.min(t0.elapsed().as_secs_f64());
+            }
+            (outcome.expect("at least one run"), best)
+        };
+        let reencode_matcher = EntityMatcher::new(
+            w.r.clone(),
+            w.s.clone(),
+            tune(MatchConfig::new(w.extended_key.clone(), w.ilfds.clone())),
+        )
+        .expect("re-encode matcher");
+        let (reencode, reencode_s) = best_run(&reencode_matcher);
+        let warm_matcher =
+            EntityMatcher::from_dataset(Arc::clone(&encoded), tune(encoded.match_config()))
+                .expect("warm matcher");
+        let (warm, warm_s) = best_run(&warm_matcher);
+        let cold_matcher =
+            EntityMatcher::from_dataset(Arc::clone(&opened), tune(opened.match_config()))
+                .expect("cold matcher");
+        let (cold, cold_s) = best_run(&cold_matcher);
+
+        let counts = |o: &MatchOutcome| (o.matching.len(), o.negative.len(), o.undetermined);
+        assert_eq!(
+            counts(&warm),
+            counts(&reencode),
+            "warm store-backed run disagrees with the re-encode path at n={n}"
+        );
+        assert_eq!(
+            counts(&cold),
+            counts(&reencode),
+            "cold store-backed run disagrees with the re-encode path at n={n}"
+        );
+        assert_eq!(
+            cold.stats.label("plan/stats"),
+            Some("persisted"),
+            "cold run did not plan from persisted statistics at n={n}"
+        );
+        if n >= 6400 {
+            assert!(
+                open_s < 0.05 * encode_s,
+                "store open ({open_s:.4}s) is not < 5% of encode ({encode_s:.4}s) at n={n}"
+            );
+        }
+        if !keep_store {
+            let _ = std::fs::remove_dir_all(&parent);
+        }
+        eprintln!(
+            "store n={n}: encode {encode_s:.4}s, write {write_s:.4}s ({store_bytes} bytes), \
+             open {open_s:.4}s ({:.1}% of encode); match re-encode {reencode_s:.4}s, \
+             warm {warm_s:.4}s, cold {cold_s:.4}s",
+            100.0 * open_s / encode_s.max(1e-12)
+        );
+        format!(
+            "  \"store\": {{\"n_entities\": {n}, \"encode_ms\": {}, \"write_ms\": {}, \
+             \"open_ms\": {}, \"store_bytes\": {store_bytes}, \
+             \"reencode_seconds\": {}, \"warm_seconds\": {}, \"cold_seconds\": {}, \
+             \"open_pct_of_encode\": {}, \"stats_source_cold\": \"persisted\", \
+             \"ab_identical\": true}},\n",
+            json_f64(encode_s * 1e3),
+            json_f64(write_s * 1e3),
+            json_f64(open_s * 1e3),
+            json_f64(reencode_s),
+            json_f64(warm_s),
+            json_f64(cold_s),
+            json_f64(100.0 * open_s / encode_s.max(1e-12)),
+        )
+    };
+
     let json = format!(
         concat!(
             "{{\n",
@@ -612,11 +764,13 @@ fn main() {
             "  \"metric\": \"pairs_per_sec = |R|*|S| / best-of-N wall seconds (N sized to ~0.6-1.2s)\",\n",
             "{}",
             "{}",
+            "{}",
             "  \"sizes\": [\n{}\n  ]\n",
             "}}\n"
         ),
         scaling_json,
         spill_json,
+        store_json,
         size_objects.join(",\n")
     );
 

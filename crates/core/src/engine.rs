@@ -62,7 +62,7 @@ use std::time::Instant;
 
 use eid_obs::trace::DEFAULT_SINK_CAPACITY;
 use eid_obs::{Recorder, Trace, TraceEvent, TraceSink};
-use eid_relational::{Columns, FxHashMap, Interner, Relation, Sym, Tuple, NULL_SYM};
+use eid_relational::{ColumnStat, Columns, FxHashMap, Interner, Relation, Sym, Tuple, NULL_SYM};
 use eid_rules::{
     CompiledRuleBase, InternedDistinctShape, InternedIdentityShape, InternedRule, InternedRuleBase,
     KernelShape, NeqSide, RuleBase,
@@ -71,7 +71,8 @@ use eid_rules::{
 use crate::error::{CoreError, Result};
 use crate::kernels::{self, KernelTally, Mask, Term, TermOp, FULL_MASK, LANES};
 use crate::plan::{
-    ArmHint, Emit, EmitHint, EmitMode, ExecMode, MatchPlan, PlanNodeKind, ProbeStrategy, RuleFamily,
+    ArmHint, Emit, EmitHint, EmitMode, ExecMode, MatchPlan, PlanNodeKind, ProbeStrategy,
+    RuleFamily, StatsSource,
 };
 use crate::planner::Planner;
 use crate::runtime::{AbortReason, RunGuard};
@@ -542,7 +543,21 @@ pub struct Executor {
     /// Behind an `Arc` so the executor stays cloneable; clones share
     /// the slot.
     trace_out: Arc<Mutex<Option<Trace>>>,
+    /// Column statistics handed in from a persistent dataset instead
+    /// of recomputed per plan (`None` = scan the columns).
+    stats_override: Option<StatsOverride>,
     recorder: Recorder,
+}
+
+/// Pre-computed column statistics (and their provenance) that
+/// [`Executor::plan`] consumes instead of scanning the columns — the
+/// dataset-store path, where the stats section was written at encode
+/// time.
+#[derive(Debug, Clone)]
+struct StatsOverride {
+    r: Vec<ColumnStat>,
+    s: Vec<ColumnStat>,
+    source: StatsSource,
 }
 
 /// The executor's historical name; kept so existing call sites and
@@ -571,21 +586,7 @@ impl Executor {
         threads: usize,
         recorder: Recorder,
     ) -> Self {
-        let compiled = {
-            let _span = recorder.span(span::ENGINE_COMPILE);
-            CompiledRuleBase::compile(rb, ext_r.schema(), ext_s.schema())
-        };
-        let cs = compiled.stats;
-        recorder.add(counter::COMPILE_SOURCE_RULES, cs.source_rules as u64);
-        recorder.add(counter::COMPILE_COMPILED, cs.compiled as u64);
-        recorder.add(
-            counter::COMPILE_SYMMETRIC_FOLDED,
-            cs.symmetric_folded as u64,
-        );
-        recorder.add(
-            counter::COMPILE_DEAD_ORIENTATIONS,
-            cs.dead_orientations as u64,
-        );
+        let compiled = Self::compile_recorded(rb, ext_r, ext_s, &recorder);
         // Encoding builds a fresh interner from scratch, so a panic
         // mid-encode (e.g. the injected `interner/poison` fault)
         // leaves nothing poisoned worth keeping: discard and retry
@@ -636,8 +637,101 @@ impl Executor {
             budget_bytes: None,
             trace_enabled: false,
             trace_out: Arc::new(Mutex::new(None)),
+            stats_override: None,
             recorder,
         }
+    }
+
+    /// Builds an executor over an *already encoded* dataset — the
+    /// store-open path. The shared interner is cloned and only the
+    /// rule constants are lowered into the clone (fresh ids for
+    /// constants the data never mentions are fine: classification
+    /// depends on symbol *equality*, never on id values), so nothing
+    /// re-scans or re-interns the relations.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_encoded(
+        ext_r: &Relation,
+        ext_s: &Relation,
+        rb: &RuleBase,
+        interner: &Interner,
+        cols_r: &Columns,
+        cols_s: &Columns,
+        threads: usize,
+        recorder: Recorder,
+    ) -> Self {
+        let compiled = Self::compile_recorded(rb, ext_r, ext_s, &recorder);
+        let mut interner = interner.clone();
+        let interned = {
+            let _span = recorder.span(span::ENGINE_ENCODE);
+            InternedRuleBase::from_compiled(&compiled, &mut interner)
+        };
+        recorder.add(counter::ALLOC_VALUES_INTERNED, interner.len() as u64);
+        let attr_names = |rel: &Relation| -> Vec<String> {
+            rel.schema()
+                .attribute_names()
+                .map(|a| a.to_string())
+                .collect()
+        };
+        Executor {
+            compiled,
+            interned,
+            interner,
+            attrs_r: attr_names(ext_r),
+            attrs_s: attr_names(ext_s),
+            cols_r: cols_r.clone(),
+            cols_s: cols_s.clone(),
+            threads,
+            kernels: kernels::enabled_default(),
+            emit: EmitHint::Auto,
+            spill: true,
+            spill_keep: false,
+            spill_dir: None,
+            budget_bytes: None,
+            trace_enabled: false,
+            trace_out: Arc::new(Mutex::new(None)),
+            stats_override: None,
+            recorder,
+        }
+    }
+
+    /// Hands the planner pre-computed column statistics (with their
+    /// provenance) so [`Executor::plan`] skips its per-plan column
+    /// scan — the dataset store wrote these at encode time.
+    pub fn set_stats_override(
+        &mut self,
+        stats_r: Vec<ColumnStat>,
+        stats_s: Vec<ColumnStat>,
+        source: StatsSource,
+    ) {
+        self.stats_override = Some(StatsOverride {
+            r: stats_r,
+            s: stats_s,
+            source,
+        });
+    }
+
+    fn compile_recorded(
+        rb: &RuleBase,
+        ext_r: &Relation,
+        ext_s: &Relation,
+        recorder: &Recorder,
+    ) -> CompiledRuleBase {
+        let compiled = {
+            let _span = recorder.span(span::ENGINE_COMPILE);
+            CompiledRuleBase::compile(rb, ext_r.schema(), ext_s.schema())
+        };
+        let cs = compiled.stats;
+        recorder.add(counter::COMPILE_SOURCE_RULES, cs.source_rules as u64);
+        recorder.add(counter::COMPILE_COMPILED, cs.compiled as u64);
+        recorder.add(
+            counter::COMPILE_SYMMETRIC_FOLDED,
+            cs.symmetric_folded as u64,
+        );
+        recorder.add(
+            counter::COMPILE_DEAD_ORIENTATIONS,
+            cs.dead_orientations as u64,
+        );
+        compiled
     }
 
     /// Enables or disables vectorized-kernel dispatch for this
@@ -772,8 +866,14 @@ impl Executor {
     /// families under `hint`, reading column statistics off the
     /// interned columns. Pure planning — nothing executes.
     pub fn plan(&self, record_identity: bool, record_distinct: bool, hint: ArmHint) -> MatchPlan {
-        let stats_r = self.cols_r.column_stats();
-        let stats_s = self.cols_s.column_stats();
+        let (stats_r, stats_s, source) = match &self.stats_override {
+            Some(o) => (o.r.clone(), o.s.clone(), o.source),
+            None => (
+                self.cols_r.column_stats(),
+                self.cols_s.column_stats(),
+                StatsSource::Computed,
+            ),
+        };
         Planner::new(
             &self.interned,
             &stats_r,
@@ -787,6 +887,7 @@ impl Executor {
             self.emit,
         )
         .with_spill(self.budget_bytes, self.spill, self.spill_dir.clone())
+        .with_stats_source(source)
         .plan(record_identity, record_distinct, hint)
     }
 

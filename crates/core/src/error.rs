@@ -56,6 +56,16 @@ pub enum CoreError {
         /// The stage that poisoned, e.g. `"engine/worker"`.
         site: String,
     },
+    /// A persistent dataset store could not be written, opened, or
+    /// validated: truncation, checksum/version mismatch, impossible
+    /// lengths, I/O failure. Corrupt stores *always* land here —
+    /// never a panic, never silently-wrong tables.
+    Store {
+        /// The offending file or dataset directory.
+        path: String,
+        /// What failed.
+        reason: String,
+    },
 }
 
 impl CoreError {
@@ -90,6 +100,9 @@ impl fmt::Display for CoreError {
             CoreError::WorkerPanic { site } => {
                 write!(f, "worker panicked at {site}; degraded reruns exhausted")
             }
+            CoreError::Store { path, reason } => {
+                write!(f, "dataset store {path}: {reason}")
+            }
         }
     }
 }
@@ -120,6 +133,15 @@ impl From<IdentityRuleError> for CoreError {
 impl From<InconsistentRules> for CoreError {
     fn from(e: InconsistentRules) -> Self {
         CoreError::InconsistentRules(e)
+    }
+}
+
+impl From<eid_relational::store::StoreError> for CoreError {
+    fn from(e: eid_relational::store::StoreError) -> Self {
+        CoreError::Store {
+            path: e.path,
+            reason: e.reason,
+        }
     }
 }
 

@@ -104,12 +104,13 @@ impl fmt::Display for MatchExplanation {
 pub fn render_plan(plan: &MatchPlan) -> String {
     let depth = node_depths(plan);
     let mut out = format!(
-        "match plan — arm {}, mode {}\n  mode: {}\n  emit: {}: {}\n",
+        "match plan — arm {}, mode {}\n  mode: {}\n  emit: {}: {}\n  stats: {}\n",
         plan.arm.arm_label(plan.index_free, plan.mode.workers()),
         plan.mode_display(),
         plan.mode_why,
         plan.emit.display(),
-        plan.emit_why
+        plan.emit_why,
+        plan.stats_source.as_str()
     );
     for node in &plan.nodes {
         let indent = "  ".repeat(depth.get(node.id).copied().unwrap_or(0) + 1);
@@ -552,7 +553,7 @@ mod tests {
 
     #[test]
     fn renders_vector_scan_nodes_with_shape_lanes_and_tile() {
-        use crate::plan::{ArmHint, ExecMode, PlanNode, RuleFamily, RuleRef};
+        use crate::plan::{ArmHint, ExecMode, PlanNode, RuleFamily, RuleRef, StatsSource};
         let plan = MatchPlan {
             nodes: vec![PlanNode {
                 id: 0,
@@ -581,6 +582,7 @@ mod tests {
             record_distinct: true,
             emit: crate::plan::Emit::buffered(),
             emit_why: "test".into(),
+            stats_source: StatsSource::default(),
         };
         let text = render_plan(&plan);
         assert!(text.contains("[vector disagree ×16, tile 65536]"), "{text}");

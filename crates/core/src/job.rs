@@ -7,6 +7,7 @@
 //! individual stages remain available for fine-grained use.
 
 use std::fmt;
+use std::sync::Arc;
 
 use eid_relational::Relation;
 
@@ -16,6 +17,7 @@ use crate::integrate::IntegratedTable;
 use crate::matcher::{EntityMatcher, MatchConfig, MatchOutcome};
 use crate::partition::Partition;
 use crate::plan::MatchPlan;
+use crate::store::Dataset;
 use crate::validate::{validate_knowledge, KnowledgeReport};
 
 /// Configuration of a full integration run.
@@ -50,13 +52,41 @@ impl IntegrationJob {
         EntityMatcher::new(r.clone(), s.clone(), self.config.clone())?.plan()
     }
 
+    /// [`IntegrationJob::plan`] against an encoded [`Dataset`]: no
+    /// derivation or interning happens, and a persistent dataset's
+    /// plan reads the *persisted* column statistics (`stats:
+    /// persisted` in `eid plan --explain`).
+    pub fn plan_dataset(&self, dataset: Arc<Dataset>) -> Result<std::sync::Arc<MatchPlan>> {
+        EntityMatcher::from_dataset(dataset, self.config.clone())?.plan()
+    }
+
     /// Runs the full pipeline.
     pub fn run(&self, r: &Relation, s: &Relation) -> Result<IntegrationReport> {
+        let matcher = EntityMatcher::new(r.clone(), s.clone(), self.config.clone())?;
+        self.run_with(r, s, matcher)
+    }
+
+    /// [`IntegrationJob::run`] against an encoded [`Dataset`] — the
+    /// store-backed path behind `eid match --store`. The matcher
+    /// adopts the dataset's extension, interner, columns, and
+    /// statistics; validation, integration, and unification run on
+    /// the original relations it carries.
+    pub fn run_dataset(&self, dataset: Arc<Dataset>) -> Result<IntegrationReport> {
+        let matcher = EntityMatcher::from_dataset(Arc::clone(&dataset), self.config.clone())?;
+        self.run_with(dataset.r()?, dataset.s()?, matcher)
+    }
+
+    fn run_with(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        matcher: EntityMatcher,
+    ) -> Result<IntegrationReport> {
         // 1. §3.2 necessary checks.
         let knowledge = validate_knowledge(r, s, &self.config)?;
 
         // 2. Entity identification.
-        let outcome = EntityMatcher::new(r.clone(), s.clone(), self.config.clone())?.run()?;
+        let outcome = matcher.run()?;
 
         // 3. §3.2 sufficient checks.
         let verification = outcome.verify().err().map(|e| e.to_string());

@@ -110,6 +110,7 @@ pub mod runtime;
 pub mod session;
 pub mod sink;
 pub mod stats;
+pub mod store;
 pub mod validate;
 pub mod virtual_view;
 
@@ -133,6 +134,7 @@ pub use planner::Planner;
 pub use runtime::{AbortReason, PartialStats, RunBudget, RunGuard};
 pub use session::Session;
 pub use sink::{PairSet, PairSink, SpillDirGuard};
+pub use store::Dataset;
 pub use validate::{validate_knowledge, KnowledgeReport};
 pub use virtual_view::{Selection, ViewAnswer, VirtualView};
 

@@ -48,10 +48,13 @@ use crate::engine::{EnginePairs, Executor};
 use crate::error::{CoreError, Result};
 use crate::extend::{extend_relation, Extended};
 use crate::match_table::PairTable;
-use crate::plan::{ArmHint, EmitHint, EmitMode, ExecMode, MatchPlan, PlanNodeKind, ProbeStrategy};
+use crate::plan::{
+    ArmHint, EmitHint, EmitMode, ExecMode, MatchPlan, PlanNodeKind, ProbeStrategy, StatsSource,
+};
 use crate::runtime::{AbortReason, RunBudget, RunGuard};
 use crate::sink::PairSet;
 use crate::stats::{alloc_slot, counter, label, plan_key_label, span};
+use crate::store::Dataset;
 
 /// Below this many raw engine pairs the convert step dedups the two
 /// lists sequentially — same rationale as the engine's own serial
@@ -269,6 +272,12 @@ pub struct EntityMatcher {
     r: Relation,
     s: Relation,
     config: MatchConfig,
+    /// When present, the matcher runs against this persistent (or
+    /// pre-encoded) dataset: derivation, interning, and columnar
+    /// encoding are *skipped* — the store's artifacts are adopted
+    /// as-is, and the planner consumes the persisted column
+    /// statistics instead of recomputing them.
+    dataset: Option<Arc<Dataset>>,
     plan_cache: Arc<PlanCache>,
 }
 
@@ -282,8 +291,55 @@ impl EntityMatcher {
             r,
             s,
             config,
+            dataset: None,
             plan_cache: Arc::new(PlanCache::default()),
         })
+    }
+
+    /// Builds a matcher over an encoded [`Dataset`] — the store-backed
+    /// fast path. The dataset's extended relations, interner, symbol
+    /// columns, and column statistics are reused verbatim, so a run
+    /// does no derivation, no interning, and no stats recomputation.
+    /// The config's extended key and strategy must agree with what the
+    /// dataset was encoded under (the persisted extension is only
+    /// valid for that pair); a mismatch is a typed
+    /// [`CoreError::Store`], not silent re-derivation.
+    pub fn from_dataset(dataset: Arc<Dataset>, config: MatchConfig) -> Result<Self> {
+        if config.extended_key.is_empty() {
+            return Err(CoreError::EmptyExtendedKey);
+        }
+        if config.extended_key != *dataset.extended_key() {
+            return Err(CoreError::Store {
+                path: dataset.name().to_string(),
+                reason: format!(
+                    "extended key mismatch: dataset encoded under {:?}, config asks {:?}",
+                    dataset.extended_key().attrs(),
+                    config.extended_key.attrs()
+                ),
+            });
+        }
+        if config.strategy != dataset.strategy() {
+            return Err(CoreError::Store {
+                path: dataset.name().to_string(),
+                reason: format!(
+                    "derivation strategy mismatch: dataset encoded under {:?}, config asks {:?}",
+                    dataset.strategy(),
+                    config.strategy
+                ),
+            });
+        }
+        Ok(EntityMatcher {
+            r: dataset.r()?.clone(),
+            s: dataset.s()?.clone(),
+            config,
+            dataset: Some(dataset),
+            plan_cache: Arc::new(PlanCache::default()),
+        })
+    }
+
+    /// The dataset this matcher runs against, when store-backed.
+    pub fn dataset(&self) -> Option<&Arc<Dataset>> {
+        self.dataset.as_ref()
     }
 
     /// The source relation `R`.
@@ -337,23 +393,39 @@ impl EntityMatcher {
         guard.checkpoint().map_err(|r| abort_of(guard, r))?;
         let derive_span = recorder.span(span::DERIVE);
         let _derive_stage = StageScope::enter(alloc_slot::DERIVE);
-        let ext_r = {
-            let _span = recorder.span(span::DERIVE_R);
-            extend_relation(
-                &self.r,
-                &self.config.extended_key,
-                &self.config.ilfds,
-                self.config.strategy,
-            )?
-        };
-        let ext_s = {
-            let _span = recorder.span(span::DERIVE_S);
-            extend_relation(
-                &self.s,
-                &self.config.extended_key,
-                &self.config.ilfds,
-                self.config.strategy,
-            )?
+        // A dataset-backed run skips derivation entirely: the
+        // extended relations (and their derive stats, re-reported
+        // below) were persisted at encode time. The spans still open
+        // and close so the report schema is identical either way.
+        let (ext_r, ext_s) = match &self.dataset {
+            Some(ds) => {
+                let _r = recorder.span(span::DERIVE_R);
+                let ext_r = ds.ext_r()?.clone();
+                drop(_r);
+                let _s = recorder.span(span::DERIVE_S);
+                (ext_r, ds.ext_s()?.clone())
+            }
+            None => {
+                let ext_r = {
+                    let _span = recorder.span(span::DERIVE_R);
+                    extend_relation(
+                        &self.r,
+                        &self.config.extended_key,
+                        &self.config.ilfds,
+                        self.config.strategy,
+                    )?
+                };
+                let ext_s = {
+                    let _span = recorder.span(span::DERIVE_S);
+                    extend_relation(
+                        &self.s,
+                        &self.config.extended_key,
+                        &self.config.ilfds,
+                        self.config.strategy,
+                    )?
+                };
+                (ext_r, ext_s)
+            }
         };
         drop(_derive_stage);
         derive_span.finish();
@@ -390,14 +462,8 @@ impl EntityMatcher {
         // interner poisoning past the executor's own retry) has no
         // degraded arm to fall to — surface it as a typed error
         // instead of unwinding the caller.
-        let executor = catch_unwind(AssertUnwindSafe(|| {
-            let mut executor = Executor::with_recorder(
-                &ext_r.relation,
-                &ext_s.relation,
-                &rb,
-                self.config.threads,
-                recorder.clone(),
-            );
+        let executor = catch_unwind(AssertUnwindSafe(|| -> Result<Executor> {
+            let mut executor = self.build_executor(&ext_r, &ext_s, &rb, recorder.clone())?;
             executor.set_kernels(self.config.kernels);
             executor.set_trace(self.config.trace);
             executor.set_emit(self.config.emit);
@@ -410,11 +476,11 @@ impl EntityMatcher {
                     .map(|p| p.display().to_string()),
                 self.config.keep_spill,
             );
-            executor
+            Ok(executor)
         }))
         .map_err(|_| CoreError::WorkerPanic {
             site: "engine/encode".into(),
-        })?;
+        })??;
         let plan = self.cached_plan(&executor);
         let (cache_hits, cache_misses) = self.plan_cache_stats();
         recorder.add(counter::PLAN_CACHE_HITS, cache_hits);
@@ -602,21 +668,25 @@ impl EntityMatcher {
     /// relations are extended and encoded to read column statistics,
     /// but nothing executes. This is what `eid plan` prints.
     pub fn plan(&self) -> Result<Arc<MatchPlan>> {
-        let ext_r = extend_relation(
-            &self.r,
-            &self.config.extended_key,
-            &self.config.ilfds,
-            self.config.strategy,
-        )?;
-        let ext_s = extend_relation(
-            &self.s,
-            &self.config.extended_key,
-            &self.config.ilfds,
-            self.config.strategy,
-        )?;
+        let (ext_r, ext_s) = match &self.dataset {
+            Some(ds) => (ds.ext_r()?.clone(), ds.ext_s()?.clone()),
+            None => (
+                extend_relation(
+                    &self.r,
+                    &self.config.extended_key,
+                    &self.config.ilfds,
+                    self.config.strategy,
+                )?,
+                extend_relation(
+                    &self.s,
+                    &self.config.extended_key,
+                    &self.config.ilfds,
+                    self.config.strategy,
+                )?,
+            ),
+        };
         let rb = self.rule_base()?;
-        let mut executor =
-            Executor::new(&ext_r.relation, &ext_s.relation, &rb, self.config.threads);
+        let mut executor = self.build_executor(&ext_r, &ext_s, &rb, Recorder::new())?;
         executor.set_kernels(self.config.kernels);
         executor.set_emit(self.config.emit);
         executor.set_spill(
@@ -638,6 +708,52 @@ impl EntityMatcher {
             self.plan_cache.hits.load(Ordering::Relaxed),
             self.plan_cache.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Builds the executor for one run. The in-memory path interns
+    /// and encodes the freshly-extended relations; the dataset path
+    /// adopts the store's interner, symbol columns, and column
+    /// statistics (tagged [`StatsSource::Persisted`] when the dataset
+    /// was opened from disk), so no value is re-interned and no stat
+    /// recomputed.
+    fn build_executor(
+        &self,
+        ext_r: &Extended,
+        ext_s: &Extended,
+        rb: &RuleBase,
+        recorder: Recorder,
+    ) -> Result<Executor> {
+        Ok(match &self.dataset {
+            Some(ds) => {
+                let mut executor = Executor::from_encoded(
+                    &ext_r.relation,
+                    &ext_s.relation,
+                    rb,
+                    ds.interner()?,
+                    ds.cols_r(),
+                    ds.cols_s(),
+                    self.config.threads,
+                    recorder,
+                );
+                executor.set_stats_override(
+                    ds.stats_r().to_vec(),
+                    ds.stats_s().to_vec(),
+                    if ds.persisted() {
+                        StatsSource::Persisted
+                    } else {
+                        StatsSource::Computed
+                    },
+                );
+                executor
+            }
+            None => Executor::with_recorder(
+                &ext_r.relation,
+                &ext_s.relation,
+                rb,
+                self.config.threads,
+                recorder,
+            ),
+        })
     }
 
     /// The planner hint [`MatchConfig::join`] pins.
@@ -684,6 +800,7 @@ fn record_plan_labels(recorder: &Recorder, plan: &MatchPlan) {
         label::PLAN_EMIT,
         &format!("{}: {}", plan.emit.display(), plan.emit_why),
     );
+    recorder.set_label(label::PLAN_STATS, plan.stats_source.as_str());
     for node in &plan.nodes {
         if let PlanNodeKind::IdentityProbe {
             rule,

@@ -337,6 +337,29 @@ pub enum EmitHint {
     Spilled,
 }
 
+/// Where the column statistics that costed a plan came from — shown
+/// by `eid plan --explain` so planner decisions on a persistent
+/// dataset stay auditable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StatsSource {
+    /// Recomputed from the in-memory symbol columns (the CSV path).
+    #[default]
+    Computed,
+    /// Read back from a dataset store's stats section — no per-plan
+    /// column scan happened.
+    Persisted,
+}
+
+impl StatsSource {
+    /// Display string (`"computed"` / `"persisted"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StatsSource::Computed => "computed",
+            StatsSource::Persisted => "persisted",
+        }
+    }
+}
+
 /// A complete, executable match plan.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MatchPlan {
@@ -362,6 +385,9 @@ pub struct MatchPlan {
     pub emit: Emit,
     /// The cost model's explanation of the emit choice.
     pub emit_why: String,
+    /// Whether the column statistics behind the cost model were
+    /// recomputed or read from a persistent store.
+    pub stats_source: StatsSource,
 }
 
 impl MatchPlan {
@@ -567,6 +593,8 @@ impl MatchPlan {
         json::push_str_literal(&mut out, &self.emit.display());
         out.push_str(",\n  \"emit_why\": ");
         json::push_str_literal(&mut out, &self.emit_why);
+        out.push_str(",\n  \"stats\": ");
+        json::push_str_literal(&mut out, self.stats_source.as_str());
         out.push_str(",\n  \"sink_shards\": ");
         out.push_str(&self.emit.shards.to_string());
         if self.emit.mode == EmitMode::Spilled {
@@ -716,6 +744,7 @@ mod tests {
             record_distinct: true,
             emit: Emit::buffered(),
             emit_why: "est 100 raw negative pairs below the stream threshold".into(),
+            stats_source: StatsSource::default(),
         }
     }
 

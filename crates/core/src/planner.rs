@@ -32,7 +32,7 @@ use eid_rules::{InternedRuleBase, KernelShape, NeqSide};
 use crate::kernels;
 use crate::plan::{
     ArmHint, Emit, EmitHint, EmitMode, ExecMode, MatchPlan, PlanNode, PlanNodeKind, ProbeStrategy,
-    RuleFamily, RuleRef,
+    RuleFamily, RuleRef, StatsSource,
 };
 use crate::sink::SinkGeometry;
 use crate::stats::span;
@@ -73,6 +73,7 @@ pub struct Planner<'e> {
     budget_bytes: Option<u64>,
     spill: bool,
     spill_dir: Option<String>,
+    stats_source: StatsSource,
 }
 
 /// One rule's planned enumeration: a classic probe strategy or a
@@ -120,6 +121,7 @@ impl<'e> Planner<'e> {
             budget_bytes: None,
             spill: true,
             spill_dir: None,
+            stats_source: StatsSource::Computed,
         }
     }
 
@@ -137,6 +139,14 @@ impl<'e> Planner<'e> {
         self.budget_bytes = budget_bytes;
         self.spill = spill;
         self.spill_dir = dir;
+        self
+    }
+
+    /// Records where the column statistics came from — a persistent
+    /// dataset's stats section vs. a fresh per-plan column scan. Pure
+    /// provenance: the cost model reads the numbers either way.
+    pub fn with_stats_source(mut self, source: StatsSource) -> Planner<'e> {
+        self.stats_source = source;
         self
     }
 
@@ -856,6 +866,7 @@ impl<'e> Planner<'e> {
             record_distinct,
             emit,
             emit_why,
+            stats_source: self.stats_source,
         }
     }
 }

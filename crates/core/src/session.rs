@@ -62,6 +62,20 @@ impl Session {
         }
     }
 
+    /// Opens a session over an encoded [`Dataset`](crate::store::Dataset)
+    /// — relations and ILFDs come from the store, so a persistent
+    /// dataset can be explored interactively without re-supplying CSVs
+    /// or rules. `setup_extended_key` still re-runs the matcher (the
+    /// session exists to try *different* keys, which invalidates the
+    /// persisted extension).
+    pub fn from_dataset(dataset: &crate::store::Dataset) -> Result<Self> {
+        Ok(Session::new(
+            dataset.r()?.clone(),
+            dataset.s()?.clone(),
+            dataset.ilfds().clone(),
+        ))
+    }
+
     /// The candidate extended-key attributes the prototype would list:
     /// attributes that exist in (or are ILFD-derivable for) *both*
     /// relations, so cross-equality over them is meaningful.

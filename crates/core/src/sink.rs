@@ -53,10 +53,10 @@ use std::time::Duration;
 use eid_relational::FxHashSet;
 
 /// Pair-space ceiling (in bits) for the dense bitset pair structures;
-/// a `|R|·|S|` grid up to this size costs at most 32 MiB per set.
+/// a `|R|·|S|` grid up to this size costs at most 64 MiB per set.
 /// Larger inputs fall back to a hash set of packed pairs (and the
 /// planner keeps emission buffered).
-pub const MAX_BITSET_BITS: u128 = 1 << 28;
+pub const MAX_BITSET_BITS: u128 = 1 << 29;
 
 /// Target shard size in grid bits (128 KiB of words): small enough
 /// that a worker's active shard stays cache-resident, large enough

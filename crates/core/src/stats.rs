@@ -225,6 +225,10 @@ pub mod label {
     /// `"streamed(<shards>)"` / `"spilled(<shards>)"`) and its
     /// rationale.
     pub const PLAN_EMIT: &str = "plan/emit";
+    /// Where the planner's column statistics came from:
+    /// `"computed"` (freshly encoded this run) or `"persisted"`
+    /// (read back from a dataset store).
+    pub const PLAN_STATS: &str = "plan/stats";
 }
 
 /// Histogram names.

@@ -127,6 +127,14 @@ impl Columns {
         }
     }
 
+    /// Rebuilds a view from raw parts — the store's open path. The
+    /// caller (the section reader) has already validated that every
+    /// column holds exactly `rows` symbols.
+    pub(crate) fn from_parts(cols: Vec<Vec<Sym>>, rows: usize) -> Columns {
+        debug_assert!(cols.iter().all(|c| c.len() == rows));
+        Columns { cols, rows }
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows

@@ -42,6 +42,7 @@ pub mod index;
 pub mod interner;
 pub mod relation;
 pub mod schema;
+pub mod store;
 pub mod tri;
 pub mod tuple;
 pub mod value;

@@ -370,7 +370,59 @@ print(f"    spill smoke OK: budgeted spilled {spill['spilled_seconds']*1e3:.2f} 
       f"vs streamed {spill['streamed_seconds']*1e3:.2f} ms; forced spill moved "
       f"{spill['spill_bytes']} bytes in {spill['spill_segments']} segments")
 EOF
+    # Store rung of the same n=3200 bench run: the three arms
+    # (re-encode, warm RAM, cold open) agreed before the JSON was
+    # written; here assert the economics — reopening the persisted
+    # store must be cheaper than re-encoding it (the hard < 5% bound
+    # is asserted inside bench_json itself at n >= 6400).
+    echo "==> store rung smoke (n=3200, cold open vs re-encode)"
+    python3 - "$sink_l" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    bench = json.load(f)
+store = bench["store"]
+assert store["ab_identical"], "store-backed counts drifted from the re-encode path"
+assert store["stats_source_cold"] == "persisted", store
+assert store["open_ms"] < store["encode_ms"], \
+    f"cold open {store['open_ms']:.2f} ms not under encode {store['encode_ms']:.2f} ms"
+print(f"    store rung OK: encode {store['encode_ms']:.2f} ms, "
+      f"open {store['open_ms']:.2f} ms ({store['open_pct_of_encode']:.1f}%), "
+      f"{store['store_bytes']} bytes on disk")
+EOF
     rm -f "$sink_l"
+    # Dataset-store CLI smoke: encode the example world once, then
+    # match from the store — stdout must be byte-identical to the CSV
+    # path (same tables, same message, same partition), the reopened
+    # plan must read persisted statistics, and a truncated store file
+    # must exit 65 (EX_DATAERR), never a panic or a partial answer.
+    echo "==> dataset-store CLI smoke (encode/match --store/corruption)"
+    store_dir="$(mktemp -d)" csv_out="$(mktemp)" store_out="$(mktemp)"
+    ./target/release/eid encode \
+        --r examples/data/r.csv --r-key name,street \
+        --s "$s_sound" --s-key name,speciality,county \
+        --rules examples/data/knowledge.rules --key name,cuisine \
+        --out "$store_dir/world.eids" >/dev/null
+    ./target/release/eid match \
+        --r examples/data/r.csv --r-key name,street \
+        --s "$s_sound" --s-key name,speciality,county \
+        --rules examples/data/knowledge.rules --key name,cuisine \
+        --negative > "$csv_out"
+    ./target/release/eid match --store "$store_dir/world.eids" --negative > "$store_out"
+    diff "$csv_out" "$store_out" \
+        || { echo "store-backed match differs from the CSV path"; exit 1; }
+    ./target/release/eid plan --store "$store_dir/world.eids" \
+        | grep -q '^  stats: persisted$' \
+        || { echo "store-backed plan missing persisted stats provenance"; exit 1; }
+    ./target/release/eid inspect --store "$store_dir/world.eids" \
+        | grep -q 'blocking index: ' \
+        || { echo "eid inspect missing index line"; exit 1; }
+    mv "$store_dir/world.eids/stats.eid" "$store_dir/stats.bak"
+    head -c 10 "$store_dir/stats.bak" > "$store_dir/world.eids/stats.eid"
+    rc=0
+    ./target/release/eid match --store "$store_dir/world.eids" >/dev/null 2>&1 || rc=$?
+    [ "$rc" -eq 65 ] || { echo "expected exit 65 for truncated store, got $rc"; exit 1; }
+    rm -rf "$store_dir" "$csv_out" "$store_out"
+    echo "    store CLI OK: store-backed match byte-identical; corrupt store exits 65"
 else
     echo "==> python3 not installed; skipping bench smoke"
 fi

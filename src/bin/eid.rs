@@ -40,6 +40,7 @@
 //! |------|---------|
 //! | 0    | success |
 //! | 2    | usage / input error |
+//! | 65   | corrupt / truncated / incompatible dataset store |
 //! | 70   | internal worker panic (degraded reruns exhausted) |
 //! | 124  | `--timeout-ms` deadline exceeded |
 //! | 125  | `--max-pairs` candidate-pair budget exceeded |
@@ -47,7 +48,9 @@
 //! | 130  | run cancelled |
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use entity_id::core::conflict::{unify, ConflictPolicy};
 use entity_id::core::error::CoreError;
@@ -58,6 +61,7 @@ use entity_id::core::partition::Partition;
 use entity_id::core::plan::EmitHint;
 use entity_id::core::runtime::{AbortReason, PartialStats, RunBudget};
 use entity_id::core::stats::{counter, label};
+use entity_id::core::store::{store_files, Dataset};
 use entity_id::datagen::restaurant;
 use entity_id::ilfd::closure::minimal_cover;
 use entity_id::obs::{MatchReport, Recorder};
@@ -97,6 +101,9 @@ fn cli_error_of(e: CoreError) -> CliError {
             AbortReason::Cancelled => 130,
         },
         CoreError::WorkerPanic { .. } => 70,
+        // EX_DATAERR: the dataset store is corrupt, truncated, or
+        // from an incompatible version.
+        CoreError::Store { .. } => 65,
         _ => 2,
     };
     CliError {
@@ -109,7 +116,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result: Result<(), CliError> = match args.first().map(String::as_str) {
         Some("match") => cmd_match(&args[1..]),
-        Some("plan") => cmd_plan(&args[1..]).map_err(CliError::from),
+        Some("plan") => cmd_plan(&args[1..]),
+        Some("encode") => cmd_encode(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]).map_err(CliError::from),
         Some("session") => cmd_session(&args[1..]).map_err(CliError::from),
         Some("demo") => cmd_demo().map_err(CliError::from),
@@ -141,12 +150,27 @@ USAGE:
             [--timeout-ms N] [--max-pairs N] [--max-mem-mb N] \\
             [--no-spill] [--spill-dir DIR] [--keep-spill] \\
             [--stats] [--report-json PATH] [--trace-out PATH]
+  eid match --store DIR.eids [same run flags]
   eid plan  --r R.csv --r-key a,b --s S.csv --s-key c,d \\
             --rules FILE --key x,y [--json] [--explain] [--analyze] \\
             [--threads N]
+  eid plan  --store DIR.eids [--json] [--explain] [--analyze]
+  eid encode --r R.csv --r-key a,b --s S.csv --s-key c,d \\
+            --rules FILE --key x,y --out DIR.eids [--lenient]
+  eid inspect --store DIR.eids
   eid validate --rules FILE
   eid session --r R.csv --r-key a,b --s S.csv --s-key c,d --rules FILE
   eid demo
+
+DATASET STORES (eid encode / --store):
+  `eid encode` derives, interns, and columnar-encodes the inputs
+  once, then persists everything — interner, symbol columns, column
+  statistics, blocking indexes — into a checksummed DIR.eids dataset
+  directory. `eid match --store` / `eid plan --store` reopen it with
+  a single bounded pass: no re-derivation, no re-interning, and the
+  planner reads the *persisted* statistics (`stats: persisted` in
+  the plan tree). A corrupt or truncated store exits 65, never a
+  partial answer.
 
 PLANNING (eid plan):
   Prints the cost-based match plan — blocking keys chosen from
@@ -277,6 +301,57 @@ fn abort_report(reason: &AbortReason, partial: &PartialStats) -> MatchReport {
     rep
 }
 
+/// Loads the matching inputs for `eid match` / `eid plan` from either
+/// a persistent dataset store (`--store DIR`) or the CSV + rules
+/// flags. Returns the original relations, the count of lenient-mode
+/// rejected rows, the base [`MatchConfig`], and the opened dataset
+/// (when store-backed).
+type MatchInputs = (Relation, Relation, u64, MatchConfig, Option<Arc<Dataset>>);
+
+fn load_match_inputs(flags: &HashMap<String, String>) -> Result<MatchInputs, CliError> {
+    if let Some(dir) = flags.get("store") {
+        for f in ["r", "s", "r-key", "s-key", "rules"] {
+            if flags.contains_key(f) {
+                return Err(CliError::from(format!(
+                    "--{f} cannot be combined with --store (the dataset carries it)"
+                )));
+            }
+        }
+        let ds = Arc::new(Dataset::open(Path::new(dir)).map_err(cli_error_of)?);
+        let mut config = ds.match_config();
+        // An explicit --key must agree with the persisted extension;
+        // EntityMatcher::from_dataset rejects a mismatch (exit 65).
+        if let Some(k) = flags.get("key") {
+            config.extended_key = ExtendedKey::of_strs(&k.split(',').collect::<Vec<_>>());
+        }
+        let (r, s) = (
+            ds.r().map_err(cli_error_of)?.clone(),
+            ds.s().map_err(cli_error_of)?.clone(),
+        );
+        return Ok((r, s, 0, config, Some(ds)));
+    }
+    let r_path = required(flags, "r")?;
+    let s_path = required(flags, "s")?;
+    let r_key: Vec<&str> = required(flags, "r-key")?.split(',').collect();
+    let s_key: Vec<&str> = required(flags, "s-key")?.split(',').collect();
+    let key: Vec<&str> = required(flags, "key")?.split(',').collect();
+    let rules_path = required(flags, "rules")?;
+    let lenient = flags.contains_key("lenient");
+
+    let r_text = std::fs::read_to_string(r_path).map_err(|e| format!("{r_path}: {e}"))?;
+    let s_text = std::fs::read_to_string(s_path).map_err(|e| format!("{s_path}: {e}"))?;
+    let rules_text =
+        std::fs::read_to_string(rules_path).map_err(|e| format!("{rules_path}: {e}"))?;
+
+    let (r, r_rejected) = load_relation("R", r_path, &r_text, &r_key, lenient)?;
+    let (s, s_rejected) = load_relation("S", s_path, &s_text, &s_key, lenient)?;
+    let rules = parse_rules(&rules_text).map_err(|e| format!("{rules_path}:{e}"))?;
+
+    let mut config = MatchConfig::new(ExtendedKey::of_strs(&key), rules.ilfds());
+    config.extra_rules = rules.rule_base();
+    Ok((r, s, r_rejected + s_rejected, config, None))
+}
+
 fn cmd_match(args: &[String]) -> Result<(), CliError> {
     let flags = parse_flags(
         args,
@@ -287,6 +362,7 @@ fn cmd_match(args: &[String]) -> Result<(), CliError> {
             "s-key",
             "rules",
             "key",
+            "store",
             "unify",
             "report-json",
             "trace-out",
@@ -305,26 +381,8 @@ fn cmd_match(args: &[String]) -> Result<(), CliError> {
             "keep-spill",
         ],
     )?;
-    let r_path = required(&flags, "r")?;
-    let s_path = required(&flags, "s")?;
-    let r_key: Vec<&str> = required(&flags, "r-key")?.split(',').collect();
-    let s_key: Vec<&str> = required(&flags, "s-key")?.split(',').collect();
-    let key: Vec<&str> = required(&flags, "key")?.split(',').collect();
-    let rules_path = required(&flags, "rules")?;
-    let lenient = flags.contains_key("lenient");
-
-    let r_text = std::fs::read_to_string(r_path).map_err(|e| format!("{r_path}: {e}"))?;
-    let s_text = std::fs::read_to_string(s_path).map_err(|e| format!("{s_path}: {e}"))?;
-    let rules_text =
-        std::fs::read_to_string(rules_path).map_err(|e| format!("{rules_path}: {e}"))?;
-
-    let (r, r_rejected) = load_relation("R", r_path, &r_text, &r_key, lenient)?;
-    let (s, s_rejected) = load_relation("S", s_path, &s_text, &s_key, lenient)?;
-    let rows_rejected = r_rejected + s_rejected;
-    let rules = parse_rules(&rules_text).map_err(|e| format!("{rules_path}:{e}"))?;
-
-    let mut config = MatchConfig::new(ExtendedKey::of_strs(&key), rules.ilfds());
-    config.extra_rules = rules.rule_base();
+    let (r, s, rows_rejected, mut config, dataset) = load_match_inputs(&flags)?;
+    let key = config.extended_key.clone();
     config.budget = RunBudget {
         timeout_ms: parse_budget_flag(&flags, "timeout-ms")?,
         max_candidate_pairs: parse_budget_flag(&flags, "max-pairs")?,
@@ -352,9 +410,12 @@ fn cmd_match(args: &[String]) -> Result<(), CliError> {
         );
     }
 
-    let run = EntityMatcher::new(r.clone(), s.clone(), config)
-        .map_err(|e| e.to_string())?
-        .run();
+    let matcher = match &dataset {
+        Some(ds) => EntityMatcher::from_dataset(Arc::clone(ds), config),
+        None => EntityMatcher::new(r.clone(), s.clone(), config),
+    }
+    .map_err(cli_error_of)?;
+    let run = matcher.run();
     let mut outcome = match run {
         Ok(o) => o,
         Err(e) => {
@@ -410,8 +471,7 @@ fn cmd_match(args: &[String]) -> Result<(), CliError> {
     println!("{}", Partition::of(&outcome));
 
     if flags.contains_key("integrated") {
-        let table = IntegratedTable::build(&r, &s, &outcome, &ExtendedKey::of_strs(&key))
-            .map_err(|e| e.to_string())?;
+        let table = IntegratedTable::build(&r, &s, &outcome, &key).map_err(|e| e.to_string())?;
         println!();
         println!("{}", render_default("integrated table", table.relation()));
     }
@@ -464,32 +524,15 @@ fn cmd_match(args: &[String]) -> Result<(), CliError> {
 /// execute for the given inputs, without running it. The relations
 /// are loaded, extended, and encoded (the planner reads column
 /// statistics from the interned columns), but no probing happens.
-fn cmd_plan(args: &[String]) -> Result<(), String> {
+fn cmd_plan(args: &[String]) -> Result<(), CliError> {
     let flags = parse_flags(
         args,
         &[
-            "r", "r-key", "s", "s-key", "rules", "key", "threads", "emit",
+            "r", "r-key", "s", "s-key", "rules", "key", "store", "threads", "emit",
         ],
         &["json", "explain", "analyze", "lenient"],
     )?;
-    let r_path = required(&flags, "r")?;
-    let s_path = required(&flags, "s")?;
-    let r_key: Vec<&str> = required(&flags, "r-key")?.split(',').collect();
-    let s_key: Vec<&str> = required(&flags, "s-key")?.split(',').collect();
-    let key: Vec<&str> = required(&flags, "key")?.split(',').collect();
-    let rules_path = required(&flags, "rules")?;
-    let lenient = flags.contains_key("lenient");
-
-    let r_text = std::fs::read_to_string(r_path).map_err(|e| format!("{r_path}: {e}"))?;
-    let s_text = std::fs::read_to_string(s_path).map_err(|e| format!("{s_path}: {e}"))?;
-    let rules_text =
-        std::fs::read_to_string(rules_path).map_err(|e| format!("{rules_path}: {e}"))?;
-    let (r, _) = load_relation("R", r_path, &r_text, &r_key, lenient)?;
-    let (s, _) = load_relation("S", s_path, &s_text, &s_key, lenient)?;
-    let rules = parse_rules(&rules_text).map_err(|e| format!("{rules_path}:{e}"))?;
-
-    let mut config = MatchConfig::new(ExtendedKey::of_strs(&key), rules.ilfds());
-    config.extra_rules = rules.rule_base();
+    let (r, s, _, mut config, dataset) = load_match_inputs(&flags)?;
     if let Some(t) = flags.get("threads") {
         config.threads = t
             .parse()
@@ -497,12 +540,16 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
     }
     config.emit = parse_emit_flag(&flags)?;
 
-    let matcher = EntityMatcher::new(r, s, config).map_err(|e| e.to_string())?;
+    let matcher = match &dataset {
+        Some(ds) => EntityMatcher::from_dataset(Arc::clone(ds), config),
+        None => EntityMatcher::new(r, s, config),
+    }
+    .map_err(cli_error_of)?;
     if flags.contains_key("analyze") {
         // EXPLAIN ANALYZE: execute the plan once and join the
         // planner's estimates with the measured per-node actuals.
-        let outcome = matcher.run().map_err(|e| e.to_string())?;
-        let plan = matcher.plan().map_err(|e| e.to_string())?;
+        let outcome = matcher.run().map_err(cli_error_of)?;
+        let plan = matcher.plan().map_err(cli_error_of)?;
         if flags.contains_key("json") {
             println!("{}", plan_analyzed_json(&plan, &outcome.stats));
         } else {
@@ -510,11 +557,127 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
         }
         return Ok(());
     }
-    let plan = matcher.plan().map_err(|e| e.to_string())?;
+    let plan = matcher.plan().map_err(cli_error_of)?;
     if flags.contains_key("json") {
         println!("{}", plan.to_json());
     } else {
         print!("{}", render_plan(&plan));
+    }
+    Ok(())
+}
+
+/// `eid encode`: derive + intern + encode the inputs once and persist
+/// the result as a checksummed dataset directory.
+fn cmd_encode(args: &[String]) -> Result<(), CliError> {
+    let flags = parse_flags(
+        args,
+        &["r", "r-key", "s", "s-key", "rules", "key", "out"],
+        &["lenient"],
+    )?;
+    let out = required(&flags, "out")?.to_string();
+    let (r, s, _, config, _) = load_match_inputs(&flags)?;
+    if !config.extra_rules.identity_rules().is_empty()
+        || !config.extra_rules.distinctness_rules().is_empty()
+    {
+        eprintln!(
+            "warning: the rules file carries identity/distinctness rules beyond the ILFDs; \
+             only ILFDs persist in the store — pass the extra rules again at match time"
+        );
+    }
+    let dir = Path::new(&out);
+    let name = dir
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "dataset".to_string());
+    let rows_r = r.len();
+    let rows_s = s.len();
+
+    let t0 = std::time::Instant::now();
+    let ds = Dataset::encode(
+        &name,
+        r,
+        s,
+        config.extended_key.clone(),
+        config.ilfds.clone(),
+        config.strategy,
+    )
+    .map_err(cli_error_of)?;
+    let encode_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = std::time::Instant::now();
+    let bytes = ds.write(dir).map_err(cli_error_of)?;
+    let write_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    println!(
+        "encoded {name}: {rows_r}+{rows_s} rows, {} interned values",
+        ds.interner().map_err(cli_error_of)?.len()
+    );
+    println!("wrote {out}: {bytes} bytes ({encode_ms:.1} ms encode, {write_ms:.1} ms write)");
+    Ok(())
+}
+
+/// `eid inspect`: open a dataset store (validating every checksum on
+/// the way) and print its manifest, per-column statistics, and file
+/// sizes.
+fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
+    let flags = parse_flags(args, &["store"], &[])?;
+    let dir = required(&flags, "store")?;
+    let path = Path::new(dir);
+    let ds = Dataset::open(path).map_err(cli_error_of)?;
+    // Inspection doubles as verification: force every deferred
+    // section so semantic corruption fails here, not at first match.
+    ds.validate().map_err(cli_error_of)?;
+    println!("dataset {} ({dir})", ds.name());
+    println!(
+        "  rows: R={} S={}  interned values: {}",
+        ds.r().map_err(cli_error_of)?.len(),
+        ds.s().map_err(cli_error_of)?.len(),
+        ds.interner().map_err(cli_error_of)?.len()
+    );
+    println!(
+        "  extended key: {}",
+        ds.extended_key()
+            .attrs()
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "  strategy: {:?}  ILFDs: {}  blocking index: {}",
+        ds.strategy(),
+        ds.ilfds().len(),
+        if ds.index().map_err(cli_error_of)?.is_some() {
+            "persisted"
+        } else {
+            "absent"
+        }
+    );
+    for (side, rel, stats) in [
+        (
+            "R'",
+            &ds.ext_r().map_err(cli_error_of)?.relation,
+            ds.stats_r(),
+        ),
+        (
+            "S'",
+            &ds.ext_s().map_err(cli_error_of)?.relation,
+            ds.stats_s(),
+        ),
+    ] {
+        println!("  {side} column stats:");
+        for (attr, stat) in rel.schema().attribute_names().zip(stats.iter()) {
+            println!(
+                "    {attr}: {} distinct, {} null ({:.0}%)",
+                stat.distinct,
+                stat.nulls,
+                stat.null_fraction() * 100.0
+            );
+        }
+    }
+    let (files, total) = store_files(path).map_err(cli_error_of)?;
+    println!("  files ({total} bytes total):");
+    for f in &files {
+        println!("    {}: {} bytes", f.name, f.bytes);
     }
     Ok(())
 }

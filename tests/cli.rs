@@ -169,6 +169,7 @@ fn plan_command_prints_the_golden_example1_tree() {
     let golden = "match plan — arm blocked, mode serial(auto-small)
   mode: auto: 9 estimated pairs < 50000 — serial
   emit: buffered: est 9 raw negative pairs < 2000000: per-task buffers stay cache-resident
+  stats: computed
   derive(R) — extend R with missing extended-key attributes; ILFDs fill values (§5)
   derive(S) — extend S with missing extended-key attributes; ILFDs fill values (§5)
     encode — intern 3+3 rows into columnar u32 symbols; hot predicates become integer compares
@@ -628,6 +629,116 @@ fn lenient_skips_malformed_csv_rows() {
     assert!(err.contains("skipped"), "{err}");
     let text = String::from_utf8_lossy(&lenient.stdout);
     assert!(text.contains("matching: 3"), "{text}");
+}
+
+#[test]
+fn encode_inspect_and_store_backed_match_round_trip() {
+    let fx = Fixture::new("store");
+    let r = fx.write("r.csv", R_CSV);
+    let s = fx.write("s.csv", S_CSV);
+    let rules = fx.write("knowledge.rules", RULES);
+    let store = fx.dir.join("world.eids");
+    let store = store.to_string_lossy().into_owned();
+    let csv_args = [
+        "--r",
+        &r,
+        "--r-key",
+        "name,cuisine",
+        "--s",
+        &s,
+        "--s-key",
+        "name,speciality",
+        "--rules",
+        &rules,
+        "--key",
+        "name,cuisine,speciality",
+    ];
+
+    // Encode once…
+    let out = eid()
+        .arg("encode")
+        .args(csv_args)
+        .args(["--out", &store])
+        .output()
+        .expect("run eid encode");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("encoded world:"), "{text}");
+    assert!(text.contains("wrote "), "{text}");
+
+    // …inspect shows the manifest, stats, and files…
+    let out = eid().args(["inspect", "--store", &store]).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("dataset world"), "{text}");
+    assert!(
+        text.contains("extended key: name, cuisine, speciality"),
+        "{text}"
+    );
+    assert!(text.contains("column stats"), "{text}");
+    assert!(text.contains("manifest.eid"), "{text}");
+
+    // …and a store-backed match is byte-identical to the CSV path.
+    let from_csv = eid()
+        .arg("match")
+        .args(csv_args)
+        .args(["--integrated", "--negative"])
+        .output()
+        .unwrap();
+    assert!(from_csv.status.success());
+    let from_store = eid()
+        .args(["match", "--store", &store, "--integrated", "--negative"])
+        .output()
+        .unwrap();
+    assert!(
+        from_store.status.success(),
+        "{}",
+        String::from_utf8_lossy(&from_store.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&from_csv.stdout),
+        String::from_utf8_lossy(&from_store.stdout),
+        "store-backed match differs from the CSV path"
+    );
+
+    // The store-backed plan reads persisted statistics; the CSV path
+    // computes them.
+    let out = eid().args(["plan", "--store", &store]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("  stats: persisted\n"), "{text}");
+    let out = eid().arg("plan").args(csv_args).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("  stats: computed\n"), "{text}");
+
+    // --store refuses to mix with CSV inputs.
+    let out = eid()
+        .args(["match", "--store", &store, "--r", &r])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot be combined with --store"), "{err}");
+
+    // A truncated store file is a typed data error: exit 65, no panic.
+    let stats = std::path::Path::new(&store).join("stats.eid");
+    let bytes = std::fs::read(&stats).unwrap();
+    std::fs::write(&stats, &bytes[..bytes.len() / 2]).unwrap();
+    for cmd in ["match", "inspect", "plan"] {
+        let out = eid().args([cmd, "--store", &store]).output().unwrap();
+        assert_eq!(out.status.code(), Some(65), "{cmd}: {out:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("dataset store"), "{cmd}: {err}");
+    }
 }
 
 #[test]

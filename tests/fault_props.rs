@@ -27,9 +27,11 @@ fn lock() -> std::sync::MutexGuard<'static, ()> {
 
 /// Every fault site the runtime exposes (CSV sites are exercised in
 /// the relational crate's own tests; the spill I/O sites only fire
-/// under spilled emission, exercised by `chaos_props` — here they
-/// are inert and prove unfired sites change nothing).
-const SITES: [&str; 10] = [
+/// under spilled emission, exercised by `chaos_props`; the store
+/// sites only fire on dataset encode/open, exercised by
+/// `store_props` — here they are inert and prove unfired sites
+/// change nothing).
+const SITES: [&str; 13] = [
     "engine/worker",
     "engine/serial",
     "engine/nested",
@@ -39,6 +41,9 @@ const SITES: [&str; 10] = [
     "sink/spill_open",
     "sink/spill_write",
     "sink/spill_read",
+    "store/open",
+    "store/read",
+    "store/write",
     "csv/read",
 ];
 
@@ -81,8 +86,8 @@ proptest! {
         n in 10..50usize,
         world_seed in any::<u64>(),
         fault_seed in any::<u64>(),
-        s1 in 0..9usize, k1 in 1..12u64,
-        s2 in 0..9usize, k2 in 1..12u64,
+        s1 in 0..12usize, k1 in 1..12u64,
+        s2 in 0..12usize, k2 in 1..12u64,
     ) {
         let _l = lock();
         eid_fault::quiet_panics();
